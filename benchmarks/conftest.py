@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables/figures on the
+simulated 1987 testbed, prints the paper-style rows (visible with
+``pytest -s``), writes them under ``benchmarks/results/``, and asserts
+the *shape* claims the paper makes (who wins, by roughly what factor).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def publish(name: str, text: str) -> None:
+    """Print a result block and persist it for EXPERIMENTS.md."""
+    banner = f"\n===== {name} =====\n"
+    print(banner + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,62 @@
+"""Ablation A8: a community of users sharing one centre (§2.1).
+
+"Because a supercomputer serves several users, it is likely to be
+swamped with several such remote login and file transfer sessions."
+The aggregate bytes arriving at the centre bound how many users one
+access trunk can serve; shadow processing multiplies that capacity.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from conftest import publish
+
+from repro.metrics.report import format_table
+from repro.workload.community import run_community
+
+USER_COUNTS = (2, 8, 16)
+
+
+@lru_cache(maxsize=1)
+def run_all():
+    results = {}
+    for users in USER_COUNTS:
+        results[users] = {
+            "shadow": run_community(users=users, shadow=True),
+            "conventional": run_community(users=users, shadow=False),
+        }
+    return results
+
+
+def test_community_load(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for users, modes in results.items():
+        shadow = modes["shadow"]
+        conventional = modes["conventional"]
+        rows.append(
+            [
+                str(users),
+                f"{conventional.total_bytes:,}",
+                f"{shadow.total_bytes:,}",
+                f"{conventional.total_bytes / shadow.total_bytes:.1f}x",
+            ]
+        )
+    publish(
+        "ablation_a8_community",
+        format_table(
+            ["users", "conventional B", "shadow B", "capacity factor"],
+            rows,
+        ),
+    )
+    for users, modes in results.items():
+        shadow = modes["shadow"]
+        conventional = modes["conventional"]
+        # The centre sees several-fold less traffic per community...
+        assert conventional.total_bytes > shadow.total_bytes * 4
+        # ...and the per-cycle cost is flat in community size (no
+        # cross-user interference in either system).
+    small = results[USER_COUNTS[0]]["shadow"].bytes_per_cycle
+    large = results[USER_COUNTS[-1]]["shadow"].bytes_per_cycle
+    assert abs(small - large) < 0.15 * small

@@ -1,0 +1,84 @@
+"""Ablation A5: congestion sensitivity (§2.2, §8.1).
+
+The paper argues that reducing traffic volume matters *more* as networks
+congest ("More traffic causes the network congestion and results in poor
+performance [Nag84]") and that even 56 kbps-and-faster trunks reward
+deltas because effective per-user bandwidth is congestion-limited.
+
+This bench sweeps the available fraction of a clear 56 kbps line and
+shows the shadow-vs-conventional speedup holding (and the absolute gap
+widening) as congestion grows — plus the bursty-traffic model for a
+non-stationary trace.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from conftest import publish
+
+from repro.metrics.report import format_table
+from repro.simnet.link import CLEAR_56K
+from repro.simnet.traffic import BurstyTraffic, CongestedLink, ConstantTraffic
+from repro.workload.cycles import (
+    ExperimentConfig,
+    run_conventional_experiment,
+    run_shadow_experiment,
+)
+
+FILE_SIZE = 100_000
+PERCENT = 5
+AVAILABLE_FRACTIONS = (1.0, 0.5, 0.2, 0.1)
+
+
+@lru_cache(maxsize=1)
+def run_sweep():
+    results = {}
+    for available in AVAILABLE_FRACTIONS:
+        link = CongestedLink(CLEAR_56K, ConstantTraffic(available=available))
+        config = ExperimentConfig(link=link)
+        conventional = run_conventional_experiment(FILE_SIZE, config)
+        _, shadow = run_shadow_experiment(FILE_SIZE, PERCENT, config)
+        results[f"{int(available * 100)}% available"] = (
+            conventional.seconds,
+            shadow.seconds,
+        )
+    bursty = CongestedLink(CLEAR_56K, BurstyTraffic(seed=1988))
+    config = ExperimentConfig(link=bursty)
+    conventional = run_conventional_experiment(FILE_SIZE, config)
+    _, shadow = run_shadow_experiment(FILE_SIZE, PERCENT, config)
+    results["bursty trace"] = (conventional.seconds, shadow.seconds)
+    return results
+
+
+def test_congestion_sweep(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = [
+        [
+            label,
+            f"{conventional:.1f}s",
+            f"{shadow:.1f}s",
+            f"{conventional / shadow:.1f}x",
+        ]
+        for label, (conventional, shadow) in results.items()
+    ]
+    publish(
+        "ablation_a5_congestion",
+        format_table(
+            ["congestion", "conventional", "shadow", "speedup"], rows
+        ),
+    )
+    labels = [f"{int(a * 100)}% available" for a in AVAILABLE_FRACTIONS]
+    # Conventional time explodes with congestion...
+    conventional_times = [results[label][0] for label in labels]
+    assert conventional_times == sorted(conventional_times)
+    # ...and the absolute seconds saved per cycle grow with congestion.
+    savings = [results[label][0] - results[label][1] for label in labels]
+    assert savings == sorted(savings)
+    # Speedup stays solid even on the *uncongested* fast line ("utility
+    # not limited to low-speed lines").
+    clear_conventional, clear_shadow = results["100% available"]
+    assert clear_conventional / clear_shadow > 2.0
+    # And under the bursty trace.
+    bursty_conventional, bursty_shadow = results["bursty trace"]
+    assert bursty_conventional / bursty_shadow > 3.0

@@ -1,0 +1,92 @@
+"""Ablation A1: differencing algorithm choice (§8.3 future work).
+
+"There are different algorithms proposed to compute the differences
+between two files [MM85, Tic84].  We will study these algorithms and
+adopt the one that offers better performance."
+
+Compares Hunt–McIlroy (what the prototype used), Myers, and Tichy on
+delta size and compute time across edit styles, plus the ``best_delta``
+pick-the-smallest policy.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import pytest
+from conftest import publish
+
+from repro.diffing.selector import ALGORITHMS, best_delta, compute_delta
+from repro.metrics.report import format_table
+from repro.workload.edits import delete_percent, insert_percent, modify_percent
+from repro.workload.files import make_text_file
+
+FILE_SIZE = 100_000
+EDIT_STYLES = {
+    "scattered-5%": lambda data: modify_percent(data, 5, seed=7),
+    "clustered-5%": lambda data: modify_percent(data, 5, seed=7, clustered=True),
+    "insert-5%": lambda data: insert_percent(data, 5, seed=7),
+    "delete-5%": lambda data: delete_percent(data, 5, seed=7),
+    "scattered-40%": lambda data: modify_percent(data, 40, seed=7),
+}
+
+
+@lru_cache(maxsize=1)
+def delta_size_matrix():
+    base = make_text_file(FILE_SIZE, seed=7)
+    matrix = {}
+    for style, edit in EDIT_STYLES.items():
+        target = edit(base)
+        for name in sorted(ALGORITHMS):
+            delta = compute_delta(base, target, name)
+            assert delta.apply(base) == target
+            matrix[(style, name)] = delta.encoded_size
+        matrix[(style, "best")] = best_delta(base, target).encoded_size
+    return matrix
+
+
+def test_delta_sizes_by_algorithm(benchmark):
+    matrix = benchmark.pedantic(delta_size_matrix, rounds=1, iterations=1)
+    algorithms = sorted(ALGORITHMS) + ["best"]
+    rows = [
+        [style] + [str(matrix[(style, name)]) for name in algorithms]
+        for style in EDIT_STYLES
+    ]
+    publish(
+        "ablation_a1_delta_sizes",
+        format_table(["edit style"] + algorithms, rows),
+    )
+    for style in EDIT_STYLES:
+        sizes = {name: matrix[(style, name)] for name in sorted(ALGORITHMS)}
+        # Every delta is far smaller than the file for 5% edits.
+        if style.endswith("5%"):
+            assert all(size < FILE_SIZE * 0.35 for size in sizes.values())
+        # The best policy is never worse than any single algorithm.
+        assert matrix[(style, "best")] <= min(sizes.values())
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+def test_diff_compute_time(benchmark, name):
+    base = make_text_file(FILE_SIZE, seed=8)
+    target = modify_percent(base, 5, seed=8)
+    benchmark(lambda: compute_delta(base, target, name))
+
+
+def test_tichy_wins_on_subline_edits(benchmark):
+    base = make_text_file(FILE_SIZE, seed=9)
+    # One character per edited line: line diffs resend whole lines.
+    lines = base.split(b"\n")
+    for index in range(0, len(lines), 20):
+        if lines[index]:
+            lines[index] = lines[index][:-1] + b"#"
+    target = b"\n".join(lines)
+
+    def run():
+        return {
+            name: compute_delta(base, target, name).encoded_size
+            for name in sorted(ALGORITHMS)
+        }
+
+    sizes = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert sizes["tichy"] < sizes["hunt-mcilroy"]
+    assert sizes["tichy"] < sizes["myers"]

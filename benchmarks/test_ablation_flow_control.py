@@ -1,0 +1,84 @@
+"""Ablation A3: demand-driven flow control policies (§5.2, §6.4).
+
+The server chooses *when* to pull updates: immediately on notification
+(moving transfer into editing time, so a later submit is fast — the §5.1
+concurrency argument), lazily at submit time, or load-dependently.  This
+bench splits one resubmission cycle into its edit phase (write + notify
++ any immediate pull) and its submit phase (submit + remaining pulls +
+execution + output) and shows how the policy moves cost between them.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Tuple
+
+from conftest import publish
+
+from repro.core.service import SimulatedDeployment
+from repro.jobs.scheduler import ConstantLoad, PullPolicy, Scheduler
+from repro.metrics.report import format_table
+from repro.simnet.link import CYPRESS_9600
+from repro.workload.edits import modify_percent
+from repro.workload.files import make_text_file
+
+PATH = "/exp/data.dat"
+FILE_SIZE = 60_000
+PERCENT = 5
+
+
+def phased_cycle(policy: PullPolicy, load: float) -> Tuple[float, float]:
+    """Return (edit-phase seconds, submit-phase seconds)."""
+    scheduler = Scheduler(pull_policy=policy, load_model=ConstantLoad(load))
+    deployment = SimulatedDeployment.build(CYPRESS_9600, scheduler=scheduler)
+    client = deployment.client
+    base = make_text_file(FILE_SIZE, seed=17)
+    client.write_file(PATH, base)
+    client.fetch_output(client.submit("wc data.dat", [PATH]))
+    edited = modify_percent(base, PERCENT, seed=17)
+    edit_start = deployment.clock.now()
+    client.write_file(PATH, edited)
+    submit_start = deployment.clock.now()
+    client.fetch_output(client.submit("wc data.dat", [PATH]))
+    submit_end = deployment.clock.now()
+    return submit_start - edit_start, submit_end - submit_start
+
+
+@lru_cache(maxsize=1)
+def run_policies() -> Dict[str, Tuple[float, float]]:
+    return {
+        "immediate": phased_cycle(PullPolicy.IMMEDIATE, load=0.2),
+        "on-submit": phased_cycle(PullPolicy.ON_SUBMIT, load=0.2),
+        "load-aware (idle)": phased_cycle(PullPolicy.LOAD_AWARE, load=0.2),
+        "load-aware (busy)": phased_cycle(PullPolicy.LOAD_AWARE, load=0.9),
+    }
+
+
+def test_flow_control_policies(benchmark):
+    results = benchmark.pedantic(run_policies, rounds=1, iterations=1)
+    rows = [
+        [name, f"{edit:.1f}s", f"{submit:.1f}s", f"{edit + submit:.1f}s"]
+        for name, (edit, submit) in results.items()
+    ]
+    publish(
+        "ablation_a3_flow_control",
+        format_table(["policy", "edit phase", "submit phase", "total"], rows),
+    )
+
+    immediate = results["immediate"]
+    deferred = results["on-submit"]
+    # Immediate pulls move the transfer into editing time: the user's
+    # submit-to-results wait shrinks dramatically.
+    assert immediate[1] < deferred[1] * 0.6
+    # ...at the cost of a heavier edit phase.
+    assert immediate[0] > deferred[0]
+    # Totals are within ~20 %: the same bytes move either way.
+    total_immediate = sum(immediate)
+    total_deferred = sum(deferred)
+    assert abs(total_immediate - total_deferred) < 0.2 * total_deferred
+
+    # The adaptive policy matches IMMEDIATE when idle, ON_SUBMIT when busy.
+    idle = results["load-aware (idle)"]
+    busy = results["load-aware (busy)"]
+    assert abs(idle[1] - immediate[1]) < 1.0
+    assert busy[1] > idle[1]

@@ -1,0 +1,99 @@
+"""Ablation A7: version retention limit (§6.3.2 customisation).
+
+"a user may specify, as part of customization, a limit on the number of
+older versions that should be retained at any time."
+
+Retention trades client disk for wire bytes: with a deferring server
+(pulls at submit time) and several edits per submission, the server's
+delta base is an *older* version.  A deep chain still has it (delta); a
+shallow chain does not (full transfer).  This bench quantifies that
+trade across retention limits.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict
+
+from conftest import publish
+
+from repro.core.client import ShadowClient
+from repro.core.environment import ShadowEnvironment
+from repro.core.server import ShadowServer
+from repro.core.workspace import MappingWorkspace
+from repro.jobs.scheduler import PullPolicy, Scheduler
+from repro.metrics.report import format_table
+from repro.transport.base import LoopbackChannel
+from repro.workload.edits import modify_percent
+from repro.workload.files import make_text_file
+
+PATH = "/data/input.dat"
+FILE_SIZE = 40_000
+EDITS_PER_SUBMIT = 3
+SUBMISSIONS = 5
+RETENTION_LIMITS = (1, 2, 4, 8)
+
+
+def run_retention(limit: int) -> Dict[str, float]:
+    server = ShadowServer(
+        scheduler=Scheduler(pull_policy=PullPolicy.ON_SUBMIT)
+    )
+    client = ShadowClient(
+        "retention@ws",
+        MappingWorkspace(),
+        environment=ShadowEnvironment(max_retained_versions=limit),
+    )
+    channel = LoopbackChannel(server.handle)
+    client.connect(server.name, channel)
+    content = make_text_file(FILE_SIZE, seed=77)
+    client.write_file(PATH, content)
+    client.fetch_output(client.submit("wc input.dat", [PATH]))  # prime
+    baseline = channel.stats.request_bytes
+    peak_retained = 0
+    edit_number = 0
+    for _ in range(SUBMISSIONS):
+        for _ in range(EDITS_PER_SUBMIT):
+            edit_number += 1
+            content = modify_percent(content, 2, seed=700 + edit_number)
+            client.write_file(PATH, content)
+            peak_retained = max(peak_retained, client.versions.retained_bytes)
+        client.fetch_output(client.submit("wc input.dat", [PATH]))
+    return {
+        "uplink_bytes": channel.stats.request_bytes - baseline,
+        "peak_retained_bytes": peak_retained,
+    }
+
+
+@lru_cache(maxsize=1)
+def run_all():
+    return {limit: run_retention(limit) for limit in RETENTION_LIMITS}
+
+
+def test_retention_limits(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [
+        [
+            str(limit),
+            f"{stats['uplink_bytes']:,}",
+            f"{stats['peak_retained_bytes']:,}",
+        ]
+        for limit, stats in results.items()
+    ]
+    publish(
+        "ablation_a7_retention",
+        format_table(
+            ["max retained versions", "uplink bytes", "peak client bytes"],
+            rows,
+        ),
+    )
+    # A retention of 1 cannot serve deltas from the pre-edit base the
+    # deferring server holds: every submit pays a full transfer.
+    assert results[1]["uplink_bytes"] > results[4]["uplink_bytes"] * 1.8
+    # Deeper chains cost client disk...
+    assert (
+        results[8]["peak_retained_bytes"]
+        > results[1]["peak_retained_bytes"] * 2
+    )
+    # ...but wire cost stops improving once the chain covers the gap
+    # between submissions (EDITS_PER_SUBMIT versions).
+    assert results[4]["uplink_bytes"] == results[8]["uplink_bytes"]

@@ -1,0 +1,65 @@
+"""Figure 1: Cypress (9600 baud) transfer times vs % of file modified.
+
+Paper: S-time curves for 100k/200k/500k files grow with the modification
+percentage; horizontal E-time lines show the conventional batch system
+(full transfer every submission).  The 500k E-time sits near 600 s; the
+S-time curves start far below their E-time lines and stay below them
+even at 80 % modified.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from conftest import publish
+
+from repro.metrics.plot import ascii_plot
+from repro.metrics.report import format_figure, format_series_csv
+from repro.simnet.link import CYPRESS_9600
+from repro.workload.cycles import ExperimentConfig, figure_data
+from repro.workload.edits import FIGURE_PERCENTAGES
+
+FILE_SIZES = (100_000, 200_000, 500_000)
+
+
+@lru_cache(maxsize=1)
+def run_figure1():
+    config = ExperimentConfig(link=CYPRESS_9600)
+    return figure_data(
+        "Figure 1: Cypress transfer times (9600 baud)",
+        FILE_SIZES,
+        FIGURE_PERCENTAGES,
+        config,
+    )
+
+
+def test_figure1_cypress(benchmark):
+    figure = benchmark.pedantic(run_figure1, rounds=1, iterations=1)
+    publish(
+        "figure1_cypress",
+        format_figure(figure)
+        + "\n\n" + ascii_plot(figure)
+        + "\n\n" + format_series_csv(figure),
+    )
+
+    # E-time level for 500k is in the paper's ~560-650 s band.
+    assert 500 < figure.conventional_levels[500_000] < 650
+
+    for size in FILE_SIZES:
+        series = figure.shadow_series[size]
+        level = figure.conventional_levels[size]
+        seconds_by_percent = dict(series.points)
+        # S-time grows monotonically with % modified.
+        ordered = [seconds_by_percent[p] for p in FIGURE_PERCENTAGES]
+        assert ordered == sorted(ordered)
+        # Shadow always beats conventional, even at 80 % modified
+        # (Figure 1: "improvement ... is significant even if a large
+        # portion of a file gets modified").
+        assert seconds_by_percent[80] < level
+        # At 1 % the win is at least an order of magnitude on Cypress.
+        assert level / seconds_by_percent[1] > 8
+
+    # Larger files sit on higher curves (the figure's vertical ordering).
+    for percent in FIGURE_PERCENTAGES:
+        times = [dict(figure.shadow_series[s].points)[percent] for s in FILE_SIZES]
+        assert times == sorted(times)

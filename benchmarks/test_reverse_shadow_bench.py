@@ -1,0 +1,74 @@
+"""Future-work experiment: reverse shadow processing (§8.3).
+
+"cache the output on supercomputer, and, next time the same job is run,
+send the differences between the current output and the previous output
+to the client."
+
+Runs a large-output simulation job twice (1 % clustered input change)
+with the feature off/on, and sweeps the input-change size to show where
+the output deltas stop paying.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from conftest import publish
+
+from repro.metrics.report import format_table
+from repro.reverse import run_reverse_shadow_experiment
+from repro.simnet.link import CYPRESS_9600
+
+INPUT_SIZE = 20_000
+STEPS = 2_000
+
+
+@lru_cache(maxsize=1)
+def run_experiments():
+    modes = {
+        "off": run_reverse_shadow_experiment(
+            CYPRESS_9600, INPUT_SIZE, STEPS, 1.0, enabled=False
+        ),
+        "on (1% input change)": run_reverse_shadow_experiment(
+            CYPRESS_9600, INPUT_SIZE, STEPS, 1.0, enabled=True
+        ),
+        "on (10% input change)": run_reverse_shadow_experiment(
+            CYPRESS_9600, INPUT_SIZE, STEPS, 10.0, enabled=True
+        ),
+        "on (80% input change)": run_reverse_shadow_experiment(
+            CYPRESS_9600, INPUT_SIZE, STEPS, 80.0, enabled=True
+        ),
+    }
+    return modes
+
+
+def test_reverse_shadow(benchmark):
+    results = benchmark.pedantic(run_experiments, rounds=1, iterations=1)
+    rows = [
+        [
+            mode,
+            f"{outcome.output_size:,}",
+            f"{outcome.rerun_download_bytes:,}",
+            f"{outcome.rerun_seconds:.1f}s",
+            f"{outcome.byte_savings_factor:.1f}x",
+        ]
+        for mode, outcome in results.items()
+    ]
+    publish(
+        "reverse_shadow",
+        format_table(
+            ["mode", "output B", "rerun download B", "rerun cycle", "shrink"],
+            rows,
+        ),
+    )
+    off = results["off"]
+    small = results["on (1% input change)"]
+    medium = results["on (10% input change)"]
+    large = results["on (80% input change)"]
+    # Small input perturbation: output delta is an order of magnitude win.
+    assert small.byte_savings_factor > 10
+    assert small.rerun_seconds < off.rerun_seconds / 3
+    # Savings degrade as more of the output churns...
+    assert small.rerun_download_bytes < medium.rerun_download_bytes
+    # ...and never make things *worse* than shipping full output.
+    assert large.rerun_download_bytes <= off.rerun_download_bytes * 1.02

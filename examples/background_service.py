@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""The fully asynchronous service: deferred pulls and completion push.
+
+Shows the two server-initiated behaviours from §6.4 and §6.2 working
+together on the discrete-event scheduler:
+
+* the server *postpones* retrieving a notified change and fetches it in
+  the background later, load permitting ("may postpone such a retrieval
+  for a later time");
+* when a job completes, the server *pushes* the output to the client
+  ("the shadow server contacts the client to transfer the output").
+
+Run:  python examples/background_service.py
+"""
+
+from repro.core.background import BackgroundPuller
+from repro.core.client import ShadowClient
+from repro.core.server import ShadowServer
+from repro.core.workspace import MappingWorkspace
+from repro.jobs.scheduler import ConstantLoad, PullPolicy, Scheduler
+from repro.simnet.events import EventScheduler
+from repro.transport.base import LoopbackChannel
+from repro.workload.files import make_text_file
+
+
+def main() -> None:
+    events = EventScheduler()
+    server = ShadowServer(
+        scheduler=Scheduler(
+            pull_policy=PullPolicy.LOAD_AWARE,
+            load_model=ConstantLoad(0.9),  # busy machine: defers pulls
+        ),
+        push_outputs=True,
+    )
+    client = ShadowClient("alice@workstation", MappingWorkspace())
+    client.connect(server.name, LoopbackChannel(server.handle))
+    server.register_callback(
+        client.client_id, LoopbackChannel(client.handle_callback)
+    )
+    puller = BackgroundPuller(server, events, delay_seconds=30.0)
+    puller.attach()
+
+    content = make_text_file(25_000, seed=1988)
+    client.write_file("/data/results.dat", content)
+    key = str(client.workspace.resolve("/data/results.dat"))
+    print("edit notified; server is busy, so the pull was deferred")
+    print(f"  cached at server  : {server.cache.peek_version(key)}")
+    print(f"  pending pull timers: {puller.pending_keys}")
+
+    print("\n-- 90 virtual seconds pass; the machine stays busy --")
+    events.run_until(90.0)
+    print(f"  cached at server  : {server.cache.peek_version(key)}")
+    print(f"  deferred attempts : {puller.pulls_deferred}")
+
+    print("\n-- the load drops to 0.1; the next timer firing pulls --")
+    server.scheduler.load_model = ConstantLoad(0.1)
+    events.run()
+    print(f"  cached at server  : v{server.cache.peek_version(key)}")
+    print(f"  background pulls  : {puller.pulls_completed}")
+
+    print("\n-- submit: the file is already current; output is PUSHED --")
+    job_id = client.submit("wc results.dat", ["/data/results.dat"])
+    job = client._jobs[job_id]
+    print(f"  result in client sink without any fetch call:")
+    print(f"    {client.results[job.output_file].decode().strip()}")
+
+    print("\nserver's view of this client:")
+    account = server.ledger[client.client_id]
+    print(f"  requests={account.requests} bytes_in={account.bytes_in:,} "
+          f"bytes_out={account.bytes_out:,} pushed={account.pushed_bytes:,}")
+    described = server.describe()
+    print(f"  cache: {described['cache']['entries']} entries, "
+          f"{described['cache']['used_bytes']:,} bytes")
+
+
+if __name__ == "__main__":
+    main()

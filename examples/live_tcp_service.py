@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""A live shadow service over real TCP sockets (§7).
+
+The prototype ran clients and servers as UNIX processes speaking TCP/IP;
+this example does the same on localhost: a shadow server listening on a
+real socket, a client connecting through it, and a
+:class:`LocalExecutor` that runs the job's commands as genuine
+subprocesses (``wc``, ``sort``, ``grep``...).
+
+Run:  python examples/live_tcp_service.py
+"""
+
+from repro.core.editor import ShadowEditor
+from repro.core.service import tcp_pair
+from repro.jobs.executor import LocalExecutor
+
+
+def main() -> None:
+    deployment = tcp_pair(executor=LocalExecutor())
+    try:
+        client = deployment.client
+        print(
+            f"shadow server listening on "
+            f"127.0.0.1:{deployment.listener.port} (real socket)\n"
+        )
+
+        # Edit through the shadow editor wrapper: a "user editor" that
+        # appends a line each session.
+        def appending_editor(path: str, old: bytes) -> bytes:
+            count = old.count(b"\n") + 1
+            return old + b"observation %d: photon flux nominal\n" % count
+
+        editor = ShadowEditor(client, appending_editor, editor_name="demo-ed")
+        for _ in range(3):
+            editor.edit("/lab/observations.txt")
+        print(f"editing sessions: {editor.sessions}, "
+              f"versions created: {editor.versions_created}")
+
+        job_id = client.submit(
+            "wc observations.txt\nsort observations.txt > sorted.txt",
+            ["/lab/observations.txt"],
+        )
+        print(f"submitted {job_id} (runs as real subprocesses)")
+        bundle = client.fetch_output(job_id)
+        print(f"exit code : {bundle.exit_code}")
+        print(f"wc output : {bundle.stdout.decode().strip()}")
+        print(f"sorted.txt: {bundle.output_files['sorted.txt'].decode()!r}")
+
+        records = client.job_status(job_id)
+        print(f"status    : {records[0]['state']}")
+    finally:
+        deployment.close()
+    print("\nserver closed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Regenerate every figure and table from the paper in one run.
+
+Produces Figure 1 (Cypress), Figure 2 (ARPANET), and Figure 3 (the
+speedup table) on the simulated 1987 testbed, prints paper-style tables
+and ASCII plots, and checks the headline §8.1 claims.  Takes a few
+seconds; the full benchmark harness (`pytest benchmarks/
+--benchmark-only`) adds the ablation studies.
+
+Run:  python examples/reproduce_paper.py
+"""
+
+from repro.metrics.plot import ascii_plot
+from repro.metrics.report import format_figure, format_speedup_table
+from repro.simnet.link import ARPANET_56K, CYPRESS_9600
+from repro.workload.cycles import ExperimentConfig, figure_data
+from repro.workload.edits import FIGURE_PERCENTAGES, TABLE_PERCENTAGES
+
+PAPER_SPEEDUPS = {
+    (10_000, 1): 13.5, (10_000, 5): 9.3, (10_000, 10): 6.5, (10_000, 20): 3.7,
+    (50_000, 1): 22.5, (50_000, 5): 11.9, (50_000, 10): 7.1, (50_000, 20): 4.3,
+    (100_000, 1): 24.2, (100_000, 5): 12.0, (100_000, 10): 7.5, (100_000, 20): 4.3,
+    (500_000, 1): 24.9, (500_000, 5): 12.5, (500_000, 10): 7.6, (500_000, 20): 4.3,
+}
+
+
+def main() -> None:
+    print("Reproducing Comer, Griffioen & Yavatkar (1987), section 8.1\n")
+
+    print("== Figure 1: Cypress (9600 baud) ==")
+    figure_1 = figure_data(
+        "Figure 1: Cypress transfer times (9600 baud)",
+        (100_000, 200_000, 500_000),
+        FIGURE_PERCENTAGES,
+        ExperimentConfig(link=CYPRESS_9600),
+    )
+    print(format_figure(figure_1))
+    print()
+    print(ascii_plot(figure_1))
+    print()
+
+    print("== Figure 2: ARPANET (56 kbps, congested) ==")
+    figure_2 = figure_data(
+        "Figure 2: ARPANET transfer times (56 kbps)",
+        (100_000, 200_000, 500_000),
+        FIGURE_PERCENTAGES,
+        ExperimentConfig(link=ARPANET_56K),
+    )
+    print(format_figure(figure_2))
+    print()
+
+    print("== Figure 3: speedup factors (ARPANET) ==")
+    figure_3 = figure_data(
+        "Figure 3 sweep",
+        (10_000, 50_000, 100_000, 500_000),
+        TABLE_PERCENTAGES,
+        ExperimentConfig(link=ARPANET_56K),
+    )
+    speedups = figure_3.speedups()
+    print("Measured:")
+    print(
+        format_speedup_table(
+            speedups,
+            sizes=(10_000, 50_000, 100_000, 500_000),
+            percents=TABLE_PERCENTAGES,
+        )
+    )
+    print("\nPaper:")
+    print(
+        format_speedup_table(
+            PAPER_SPEEDUPS,
+            sizes=(10_000, 50_000, 100_000, 500_000),
+            percents=TABLE_PERCENTAGES,
+        )
+    )
+
+    print("\n== §8.1 headline claims ==")
+    at_20 = min(speedups[(size, 20)] for size in (100_000, 500_000))
+    at_1_large = speedups[(500_000, 1)]
+    print(f"'<=20% modified => ~4x faster'      : measured {at_20:.1f}x")
+    print(f"'large files, <5% => up to 20x'     : measured {at_1_large:.1f}x")
+    shape_ok = all(
+        speedups[(size, percents[0])] >= speedups[(size, percents[1])]
+        for size in (10_000, 50_000, 100_000, 500_000)
+        for percents in zip(TABLE_PERCENTAGES, TABLE_PERCENTAGES[1:])
+    )
+    print(f"speedup monotone in % modified      : {shape_ok}")
+    print("\n(see EXPERIMENTS.md for the paper-vs-measured discussion)")
+
+
+if __name__ == "__main__":
+    main()

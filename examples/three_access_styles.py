@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""The paper's motivation (§2.1): three ways to use a supercomputer.
+
+Replays the same work cycle — "fix a data file, run the job, get the
+results" — three ways over the same congested ARPANET path:
+
+* remote login: interactive session + FTP everything + poll for status;
+* conventional batch RJE: submit, but re-transfer every file in full;
+* shadow editing: ship only the difference.
+
+Run:  python examples/three_access_styles.py
+"""
+
+from repro import ARPANET_56K
+from repro.baseline.remote_login import RemoteLoginSession
+from repro.transport.sim import Wire
+from repro.workload.cycles import (
+    ExperimentConfig,
+    run_conventional_experiment,
+    run_shadow_experiment,
+)
+
+FILE_SIZE = 100_000
+PERCENT_MODIFIED = 5
+
+
+def main() -> None:
+    config = ExperimentConfig(link=ARPANET_56K)
+    print(
+        f"workload: {FILE_SIZE // 1000}k data file, "
+        f"{PERCENT_MODIFIED}% edited between runs, ARPANET path\n"
+    )
+
+    # Remote login (§2.1): the user drives everything interactively.
+    session = RemoteLoginSession(Wire(ARPANET_56K), poll_interval_seconds=60)
+    report = session.run_cycle(
+        input_sizes={"data.dat": FILE_SIZE},
+        output_size=2_000,
+        execution_seconds=5.0,
+    )
+    print("1. remote login + FTP + polling")
+    print(f"   login     {report.login_seconds:8.1f}s")
+    print(f"   upload    {report.upload_seconds:8.1f}s")
+    print(f"   execute   {report.execute_seconds:8.1f}s")
+    print(f"   polling   {report.polling_seconds:8.1f}s")
+    print(f"   download  {report.download_seconds:8.1f}s")
+    print(f"   TOTAL     {report.total_seconds:8.1f}s\n")
+
+    # Conventional batch: automatic, but full transfer every time.
+    conventional = run_conventional_experiment(FILE_SIZE, config)
+    print("2. conventional batch RJE (full file every submission)")
+    print(f"   TOTAL     {conventional.seconds:8.1f}s "
+          f"({conventional.uplink_payload_bytes:,} B uplink)\n")
+
+    # Shadow editing: the resubmission ships the delta only.
+    _, shadow = run_shadow_experiment(FILE_SIZE, PERCENT_MODIFIED, config)
+    print("3. shadow editing (this paper)")
+    print(f"   TOTAL     {shadow.seconds:8.1f}s "
+          f"({shadow.uplink_payload_bytes:,} B uplink)\n")
+
+    print(f"shadow vs conventional: {conventional.seconds / shadow.seconds:.1f}x faster")
+    print(f"shadow vs remote login: {report.total_seconds / shadow.seconds:.1f}x faster")
+
+
+if __name__ == "__main__":
+    main()

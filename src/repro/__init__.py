@@ -1,0 +1,72 @@
+"""Shadow Editing: a distributed service for supercomputer access.
+
+A full reproduction of Comer, Griffioen & Yavatkar (Purdue CSD-TR-722,
+1987 / ICDCS 1988): a remote-job-entry service that caches submitted
+files ("shadow files") at the supercomputer site and ships *differences*
+between file versions instead of whole files over slow long-haul links.
+
+Quickstart::
+
+    from repro import SimulatedDeployment, CYPRESS_9600
+
+    deployment = SimulatedDeployment.build(CYPRESS_9600)
+    client = deployment.client
+    client.write_file("/data/input.dat", b"hello\\nworld\\n")
+    job_id = client.submit("wc input.dat", ["/data/input.dat"])
+    bundle = client.fetch_output(job_id)
+    print(bundle.stdout, deployment.clock.now(), "virtual seconds")
+
+Subpackages:
+
+=====================  ====================================================
+``repro.core``         the shadow service: protocol, client, server, editor
+``repro.diffing``      Hunt–McIlroy, Myers and Tichy deltas; ed scripts
+``repro.versioning``   client-side version chains and pruning
+``repro.cache``        best-effort server cache with eviction policies
+``repro.naming``       simulated VFS/NFS and global name resolution
+``repro.transport``    loopback, simulated-wire and TCP channels
+``repro.simnet``       discrete-event simulator, 1987 link/CPU models
+``repro.jobs``         batch subsystem: specs, queue, scheduler, executors
+``repro.compression``  RLE / LZ77 / Huffman pipelines
+``repro.baseline``     conventional batch RJE and remote-login comparators
+``repro.workload``     synthetic files, %-modification edits, §8.1 driver
+``repro.metrics``      figure/table data structures and reporting
+``repro.reverse``      reverse shadow processing experiments (§8.3)
+=====================  ====================================================
+"""
+
+from repro.core.client import ShadowClient
+from repro.core.editor import ShadowEditor, scripted_editor
+from repro.core.environment import ShadowEnvironment
+from repro.core.server import ShadowServer
+from repro.core.service import (
+    SimulatedDeployment,
+    TcpDeployment,
+    loopback_pair,
+    tcp_pair,
+)
+from repro.core.workspace import MappingWorkspace, NfsWorkspace
+from repro.errors import ShadowError
+from repro.simnet.link import ARPANET_56K, CLEAR_56K, CYPRESS_9600, LAN_10M
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ARPANET_56K",
+    "CLEAR_56K",
+    "CYPRESS_9600",
+    "LAN_10M",
+    "MappingWorkspace",
+    "NfsWorkspace",
+    "ShadowClient",
+    "ShadowEditor",
+    "ShadowEnvironment",
+    "ShadowError",
+    "ShadowServer",
+    "SimulatedDeployment",
+    "TcpDeployment",
+    "__version__",
+    "loopback_pair",
+    "scripted_editor",
+    "tcp_pair",
+]

@@ -1,0 +1,10 @@
+"""Comparators: conventional batch RJE and remote login (§2.1)."""
+
+from repro.baseline.conventional import ConventionalBatchClient
+from repro.baseline.remote_login import RemoteLoginReport, RemoteLoginSession
+
+__all__ = [
+    "ConventionalBatchClient",
+    "RemoteLoginReport",
+    "RemoteLoginSession",
+]

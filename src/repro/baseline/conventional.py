@@ -1,0 +1,139 @@
+"""The conventional batch RJE baseline (§2.1, Figure 1's E-time lines).
+
+"In a naive implementation, the client must transfer all the files needed
+for remote processing over the network every time he submits a job."
+
+:class:`ConventionalBatchClient` speaks the same wire protocol to the
+same shadow server over the same links — but never notifies, never sends
+deltas, and re-ships every file in full on every submission.  That makes
+it the paper's "conventional batch system" comparator measured under
+identical conditions, which is exactly what the horizontal E-time lines
+of Figures 1 and 2 show.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.protocol import (
+    FetchOutput,
+    Hello,
+    Message,
+    Ok,
+    OutputReply,
+    Submit,
+    SubmitReply,
+    Update,
+    UpdateAck,
+    decode_message,
+    expect,
+)
+from repro.core.workspace import Workspace
+from repro.diffing.model import checksum as content_checksum
+from repro.errors import ProtocolError, TransportError
+from repro.jobs.output import OutputBundle
+from repro.transport.base import RequestChannel
+
+
+class ConventionalBatchClient:
+    """Full-file-every-time remote job entry."""
+
+    def __init__(self, client_id: str, workspace: Workspace) -> None:
+        if not client_id:
+            raise ProtocolError("client id must be non-empty")
+        self.client_id = client_id
+        self.workspace = workspace
+        self._channels: Dict[str, RequestChannel] = {}
+        self._versions: Dict[str, int] = {}
+
+    def connect(self, host: str, channel: RequestChannel) -> None:
+        reply = self._request(channel, Hello(client_id=self.client_id))
+        expect(reply, Ok)
+        self._channels[host] = channel
+
+    def _channel(self, host: Optional[str]) -> RequestChannel:
+        if host is None:
+            if len(self._channels) != 1:
+                raise TransportError("specify a host; several are connected")
+            return next(iter(self._channels.values()))
+        try:
+            return self._channels[host]
+        except KeyError:
+            raise TransportError(f"not connected to {host!r}") from None
+
+    @staticmethod
+    def _request(channel: RequestChannel, message: Message) -> Message:
+        return decode_message(channel.request(message.to_wire()))
+
+    def submit_job(
+        self,
+        script: str,
+        data_files: List[str],
+        host: Optional[str] = None,
+    ) -> str:
+        """Ship every file in full, then submit.  Returns the job id."""
+        channel = self._channel(host)
+        files: List[Tuple[str, int, str]] = []
+        for path in data_files:
+            key = str(self.workspace.resolve(path))
+            content = self.workspace.read(path)
+            version = self._versions.get(key, 0) + 1
+            self._versions[key] = version
+            digest = content_checksum(content)
+            reply = self._request(
+                channel,
+                Update(
+                    client_id=self.client_id,
+                    key=key,
+                    version=version,
+                    base_version=None,
+                    is_delta=False,
+                    payload=content,
+                ),
+            )
+            expect(reply, UpdateAck)
+            files.append((key, version, digest))
+        reply = self._request(
+            channel,
+            Submit(client_id=self.client_id, script=script, files=tuple(files)),
+        )
+        submit_reply = expect(reply, SubmitReply)
+        assert isinstance(submit_reply, SubmitReply)
+        if submit_reply.needs:
+            raise ProtocolError(
+                "server reported missing files right after full uploads"
+            )
+        return submit_reply.job_id
+
+    def fetch_output(
+        self, job_id: str, host: Optional[str] = None
+    ) -> Optional[OutputBundle]:
+        """Retrieve results (always full content — no reverse shadow)."""
+        channel = self._channel(host)
+        reply = self._request(
+            channel, FetchOutput(client_id=self.client_id, job_id=job_id)
+        )
+        output = expect(reply, OutputReply)
+        assert isinstance(output, OutputReply)
+        if not output.ready:
+            return None
+        streams: Dict[str, bytes] = {}
+        for name, stream in output.streams.items():
+            if stream.get("kind") != "full":
+                raise ProtocolError(
+                    "conventional client cannot apply delta streams"
+                )
+            streams[name] = stream.get("data", b"")
+        output_files = {
+            name[len("file:") :]: data
+            for name, data in streams.items()
+            if name.startswith("file:")
+        }
+        return OutputBundle(
+            job_id=job_id,
+            exit_code=output.exit_code,
+            stdout=streams.get("stdout", b""),
+            stderr=streams.get("stderr", b""),
+            output_files=output_files,
+            cpu_seconds=output.cpu_seconds,
+        )

@@ -1,0 +1,32 @@
+"""Best-effort shadow-file cache at the supercomputer site (§5.1)."""
+
+from repro.cache.coherence import CoherenceTracker, PullNeed
+from repro.cache.entry import ShadowFile
+from repro.cache.eviction import (
+    POLICIES,
+    CostAwarePolicy,
+    EvictionPolicy,
+    FifoPolicy,
+    LargestFirstPolicy,
+    LfuPolicy,
+    LruPolicy,
+    policy_named,
+)
+from repro.cache.store import CacheStats, CacheStore, DomainDirectory
+
+__all__ = [
+    "POLICIES",
+    "CacheStats",
+    "CacheStore",
+    "CoherenceTracker",
+    "CostAwarePolicy",
+    "DomainDirectory",
+    "EvictionPolicy",
+    "FifoPolicy",
+    "LargestFirstPolicy",
+    "LfuPolicy",
+    "LruPolicy",
+    "PullNeed",
+    "ShadowFile",
+    "policy_named",
+]

@@ -1,0 +1,73 @@
+"""Cache-coherence bookkeeping for the demand-driven server (§6.4).
+
+"The key aspect of the client-server interaction is maintaining the
+coherency of the server cache."  Clients notify the server whenever a new
+version of a shadow file exists; the server records the newest version
+known per file and compares it against what the cache holds to decide
+whether (and from which base) an update must be pulled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cache.store import CacheStore
+
+
+@dataclass(frozen=True)
+class PullNeed:
+    """One file the server should refresh, and the base it can offer."""
+
+    key: str
+    cached_version: Optional[int]
+    latest_version: int
+
+    @property
+    def is_initial(self) -> bool:
+        """True when no usable base exists (full transfer expected)."""
+        return self.cached_version is None
+
+
+class CoherenceTracker:
+    """Tracks newest-known client versions against cached versions."""
+
+    def __init__(self, store: CacheStore) -> None:
+        self.store = store
+        self._latest_known: Dict[str, int] = {}
+
+    def note_notification(self, key: str, version: int) -> None:
+        """A client announced that ``version`` of ``key`` now exists."""
+        current = self._latest_known.get(key, 0)
+        if version > current:
+            self._latest_known[key] = version
+
+    def latest_known(self, key: str) -> Optional[int]:
+        return self._latest_known.get(key)
+
+    def needs_pull(self, key: str) -> Optional[PullNeed]:
+        """Does the cache lag the newest announced version of ``key``?"""
+        latest = self._latest_known.get(key)
+        if latest is None:
+            return None
+        cached = self.store.peek_version(key)
+        if cached is not None and cached >= latest:
+            return None
+        return PullNeed(key=key, cached_version=cached, latest_version=latest)
+
+    def stale_keys(self) -> List[PullNeed]:
+        """Every file whose cached copy lags its newest announced version."""
+        needs = []
+        for key in sorted(self._latest_known):
+            need = self.needs_pull(key)
+            if need is not None:
+                needs.append(need)
+        return needs
+
+    def is_current(self, key: str) -> bool:
+        return self.needs_pull(key) is None
+
+    def forget(self, key: str) -> None:
+        """Stop tracking a file (client deleted it)."""
+        self._latest_known.pop(key, None)
+        self.store.invalidate(key)

@@ -1,0 +1,48 @@
+"""Cache entries: shadow files held at the supercomputer site (§4, §5.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CacheError
+
+
+@dataclass
+class ShadowFile:
+    """One cached copy of a submitted file.
+
+    ``shadow_id`` is the server-local unique identifier the per-domain
+    directory maps file ids onto (§5.3: "a mapping function at the remote
+    site that maps a unique file name presented by the client into the
+    name of the corresponding cached file").
+    """
+
+    shadow_id: str
+    key: str
+    version: int
+    content: bytes
+    created_at: float = 0.0
+    last_access: float = 0.0
+    access_count: int = 0
+    #: Content checksum; the server's identity check against client
+    #: notifications (version numbers alone are per-client lineage).
+    checksum: str = ""
+
+    def __post_init__(self) -> None:
+        if self.version < 1:
+            raise CacheError(f"shadow file version must be >= 1, got {self.version}")
+
+    @property
+    def size(self) -> int:
+        return len(self.content)
+
+    def touch(self, timestamp: float) -> None:
+        """Record an access for recency/frequency eviction policies."""
+        self.last_access = timestamp
+        self.access_count += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"ShadowFile(shadow_id={self.shadow_id!r}, key={self.key!r}, "
+            f"version={self.version}, size={self.size})"
+        )

@@ -1,0 +1,115 @@
+"""Eviction policies for the best-effort shadow cache.
+
+The paper leaves the remote host free to decide "how much disk space
+should be used for caching ... and also which files should be removed
+from the cache first" (§5.1).  Each policy ranks entries; the store evicts
+the worst-ranked until the newcomer fits.  Ablation A4 compares them.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, List
+
+from repro.cache.entry import ShadowFile
+from repro.errors import CacheError
+
+
+class EvictionPolicy(ABC):
+    """Ranks cache entries for eviction."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def victim_order(self, entries: Iterable[ShadowFile], now: float) -> List[ShadowFile]:
+        """Entries sorted most-evictable first."""
+
+
+class LruPolicy(EvictionPolicy):
+    """Evict the least recently used entry first."""
+
+    name = "lru"
+
+    def victim_order(self, entries: Iterable[ShadowFile], now: float) -> List[ShadowFile]:
+        return sorted(entries, key=lambda entry: entry.last_access)
+
+
+class LfuPolicy(EvictionPolicy):
+    """Evict the least frequently used entry first (ties by recency)."""
+
+    name = "lfu"
+
+    def victim_order(self, entries: Iterable[ShadowFile], now: float) -> List[ShadowFile]:
+        return sorted(
+            entries, key=lambda entry: (entry.access_count, entry.last_access)
+        )
+
+
+class FifoPolicy(EvictionPolicy):
+    """Evict the oldest entry first, regardless of use."""
+
+    name = "fifo"
+
+    def victim_order(self, entries: Iterable[ShadowFile], now: float) -> List[ShadowFile]:
+        return sorted(entries, key=lambda entry: entry.created_at)
+
+
+class LargestFirstPolicy(EvictionPolicy):
+    """Evict the largest entry first.
+
+    Frees the most disk per eviction, at the cost of discarding exactly
+    the files whose re-transfer is most expensive — the trade-off the
+    cache ablation quantifies.
+    """
+
+    name = "largest-first"
+
+    def victim_order(self, entries: Iterable[ShadowFile], now: float) -> List[ShadowFile]:
+        return sorted(entries, key=lambda entry: -entry.size)
+
+
+class CostAwarePolicy(EvictionPolicy):
+    """Evict the entry with the lowest re-transfer cost per byte of disk.
+
+    Score = size / (age-discounted access rate * size) — effectively a
+    greedy knapsack on (recency-weighted hits) per byte, keeping small,
+    hot files.  ``half_life`` controls how fast old hits stop counting.
+    """
+
+    name = "cost-aware"
+
+    def __init__(self, half_life: float = 3600.0) -> None:
+        if half_life <= 0:
+            raise CacheError(f"half_life must be positive, got {half_life}")
+        self.half_life = half_life
+
+    def victim_order(self, entries: Iterable[ShadowFile], now: float) -> List[ShadowFile]:
+        def keep_value(entry: ShadowFile) -> float:
+            age = max(0.0, now - entry.last_access)
+            decay = 0.5 ** (age / self.half_life)
+            hits = max(1, entry.access_count)
+            return hits * decay / max(1, entry.size)
+
+        return sorted(entries, key=keep_value)
+
+
+POLICIES = {
+    policy.name: policy
+    for policy in (
+        LruPolicy(),
+        LfuPolicy(),
+        FifoPolicy(),
+        LargestFirstPolicy(),
+        CostAwarePolicy(),
+    )
+}
+
+
+def policy_named(name: str) -> EvictionPolicy:
+    """Look up a shared policy instance by name."""
+    try:
+        return POLICIES[name]
+    except KeyError:
+        raise CacheError(
+            f"unknown eviction policy {name!r}; known: {sorted(POLICIES)}"
+        ) from None

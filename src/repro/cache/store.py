@@ -1,0 +1,232 @@
+"""The best-effort caching store at the supercomputer site (§5.1).
+
+"Caching is a best effort storage system.  Caching does not guarantee
+that a duplicate copy of the user's file will always be available at the
+remote host. ... The software takes advantage of a cached file if it is
+at the remote host, but in the worst case it would have to send the
+entire file."
+
+:class:`CacheStore` bounds total bytes, delegates victim selection to an
+:class:`~repro.cache.eviction.EvictionPolicy`, and keeps the per-domain
+directories (§5.3) mapping each domain's file ids to server-local shadow
+identifiers.  A lookup miss raises :class:`CacheMissError`; callers treat
+it as "request the full file", never as failure.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cache.entry import ShadowFile
+from repro.cache.eviction import EvictionPolicy, LruPolicy
+from repro.diffing.model import checksum as content_checksum
+from repro.errors import CacheError, CacheMissError
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction accounting for one store."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    updates: int = 0
+    evictions: int = 0
+    evicted_bytes: int = 0
+    rejected: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class DomainDirectory:
+    """Maps one domain's file ids to shadow identifiers (§5.3)."""
+
+    def __init__(self, domain: str) -> None:
+        self.domain = domain
+        self._mapping: Dict[str, str] = {}
+
+    def bind(self, file_id: str, shadow_id: str) -> None:
+        self._mapping[file_id] = shadow_id
+
+    def lookup(self, file_id: str) -> Optional[str]:
+        return self._mapping.get(file_id)
+
+    def unbind(self, file_id: str) -> None:
+        self._mapping.pop(file_id, None)
+
+    def entries(self) -> Dict[str, str]:
+        return dict(self._mapping)
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+
+class CacheStore:
+    """Bounded, policy-driven store of shadow files."""
+
+    def __init__(
+        self,
+        capacity_bytes: Optional[int] = None,
+        policy: Optional[EvictionPolicy] = None,
+    ) -> None:
+        if capacity_bytes is not None and capacity_bytes < 0:
+            raise CacheError(f"capacity must be >= 0, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self.policy = policy if policy is not None else LruPolicy()
+        self.stats = CacheStats()
+        self._entries: Dict[str, ShadowFile] = {}
+        self._domains: Dict[str, DomainDirectory] = {}
+        self._shadow_ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # sizing
+    # ------------------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        return sum(entry.size for entry in self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    # ------------------------------------------------------------------
+    # domain directories
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _split_key(key: str) -> tuple:
+        domain, _, file_id = key.partition("/")
+        return domain, file_id
+
+    def domain_directory(self, domain: str) -> DomainDirectory:
+        directory = self._domains.get(domain)
+        if directory is None:
+            directory = DomainDirectory(domain)
+            self._domains[domain] = directory
+        return directory
+
+    @property
+    def domains(self) -> List[str]:
+        return sorted(self._domains)
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def put(
+        self, key: str, content: bytes, version: int, timestamp: float = 0.0
+    ) -> Optional[ShadowFile]:
+        """Cache ``content`` as ``version`` of ``key``.
+
+        Best effort: if the file cannot fit even after evicting everything
+        else, it is *not* cached and ``None`` is returned — the system
+        stays correct, only slower (§5.1).
+        """
+        existing = self._entries.get(key)
+        if existing is not None:
+            freed = existing.size
+        else:
+            freed = 0
+        if self.capacity_bytes is not None and len(content) > self.capacity_bytes:
+            if existing is not None:
+                self._drop(key)
+            self.stats.rejected += 1
+            return None
+        self._make_room(len(content) - freed, protect=key)
+        if existing is not None:
+            existing.content = content
+            existing.version = version
+            existing.checksum = content_checksum(content)
+            existing.touch(timestamp)
+            self.stats.updates += 1
+            return existing
+        shadow_id = f"sf-{next(self._shadow_ids):06d}"
+        entry = ShadowFile(
+            shadow_id=shadow_id,
+            key=key,
+            version=version,
+            content=content,
+            created_at=timestamp,
+            last_access=timestamp,
+            checksum=content_checksum(content),
+        )
+        self._entries[key] = entry
+        domain, file_id = self._split_key(key)
+        self.domain_directory(domain).bind(file_id, shadow_id)
+        self.stats.insertions += 1
+        return entry
+
+    def get(self, key: str, timestamp: float = 0.0) -> ShadowFile:
+        """Fetch the cached entry, recording a hit or raising on a miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            raise CacheMissError(key)
+        entry.touch(timestamp)
+        self.stats.hits += 1
+        return entry
+
+    def peek_version(self, key: str) -> Optional[int]:
+        """The cached version number without touching access stats."""
+        entry = self._entries.get(key)
+        return entry.version if entry is not None else None
+
+    def peek_entry(self, key: str) -> Optional[ShadowFile]:
+        """The cached entry without touching access stats (or None)."""
+        return self._entries.get(key)
+
+    def invalidate(self, key: str) -> bool:
+        """Drop an entry (e.g. the client reported it deleted)."""
+        if key in self._entries:
+            self._drop(key)
+            return True
+        return False
+
+    def flush(self) -> int:
+        """Drop everything (simulates the remote host reclaiming disk)."""
+        count = len(self._entries)
+        for key in list(self._entries):
+            self._drop(key)
+        return count
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _drop(self, key: str) -> None:
+        entry = self._entries.pop(key)
+        domain, file_id = self._split_key(key)
+        directory = self._domains.get(domain)
+        if directory is not None:
+            directory.unbind(file_id)
+
+    def _make_room(self, needed: int, protect: str) -> None:
+        if self.capacity_bytes is None or needed <= 0:
+            return
+        headroom = self.capacity_bytes - self.used_bytes
+        if headroom >= needed:
+            return
+        candidates = [
+            entry for key, entry in self._entries.items() if key != protect
+        ]
+        now = max(
+            (entry.last_access for entry in self._entries.values()), default=0.0
+        )
+        for victim in self.policy.victim_order(candidates, now):
+            self._drop(victim.key)
+            self.stats.evictions += 1
+            self.stats.evicted_bytes += victim.size
+            headroom = self.capacity_bytes - self.used_bytes
+            if headroom >= needed:
+                return
+        if headroom < needed:
+            raise CacheError(
+                f"cannot free {needed} bytes (capacity {self.capacity_bytes})"
+            )

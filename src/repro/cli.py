@@ -1,0 +1,408 @@
+"""Command-line interface: the paper's user commands (§6.2).
+
+The prototype's user interface was a handful of commands — a wrapped
+editor, ``submit`` and ``status`` — with output retrieval automatic and
+all state kept by the system.  This module provides the same surface over
+the real TCP transport:
+
+.. code-block:: console
+
+    shadow serve --port 7220                       # at the "supercomputer"
+    shadow submit --script "wc data.dat" data.dat  # at the workstation
+    shadow status [JOB]                            # query outstanding jobs
+    shadow fetch JOB                               # retrieve results
+    shadow edit data.dat                           # shadow-edit via $EDITOR
+    shadow env [--set key=value]                   # customise (§6.3.1)
+
+The client's shadow environment — retained versions (so resubmissions
+ship deltas), the job table, customisation — persists in a state file
+(default ``.shadow/state.json``) exactly as §6.3.1's "database"
+prescribes; no user-managed state is ever required.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.client import ShadowClient
+from repro.core.server import ShadowServer
+from repro.core.state import (
+    environment_from_state,
+    load_state,
+    restore_client,
+    save_state,
+)
+from repro.core.workspace import LocalDirectoryWorkspace
+from repro.errors import ShadowError
+from repro.jobs.executor import LocalExecutor, SimulatedExecutor
+from repro.transport.tcp import TcpChannel, TcpChannelServer
+
+#: The service's well-known port (after technical report CSD-TR-722).
+WELL_KNOWN_PORT = 7220
+
+_DEFAULT_STATE = ".shadow/state.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="shadow",
+        description="Shadow editing: remote job entry with cached deltas.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    serve = subparsers.add_parser("serve", help="run a shadow server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=WELL_KNOWN_PORT)
+    serve.add_argument(
+        "--executor",
+        choices=("local", "simulated"),
+        default="local",
+        help="run job commands as real subprocesses or in the interpreter",
+    )
+    serve.add_argument(
+        "--cache-bytes", type=int, default=None,
+        help="bound the shadow cache (best-effort eviction beyond this)",
+    )
+    serve.add_argument(
+        "--once", action="store_true",
+        help="exit after start-up (used by the test suite)",
+    )
+
+    def client_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--server", default=f"127.0.0.1:{WELL_KNOWN_PORT}")
+        sub.add_argument("--state", default=_DEFAULT_STATE)
+        sub.add_argument("--root", default=".", help="workspace root")
+        sub.add_argument("--client-id", default=None)
+
+    submit = subparsers.add_parser("submit", help="submit a job")
+    client_options(submit)
+    submit.add_argument("--script", required=True, help="job command file text")
+    submit.add_argument("files", nargs="*", help="data files the job needs")
+    submit.add_argument("--output", default=None, help="result file name")
+    submit.add_argument("--error", default=None, help="error file name")
+    submit.add_argument(
+        "--wait", action="store_true", help="wait and fetch the output now"
+    )
+
+    status = subparsers.add_parser("status", help="query job status")
+    client_options(status)
+    status.add_argument("job", nargs="?", default=None)
+
+    fetch = subparsers.add_parser("fetch", help="retrieve job output")
+    client_options(fetch)
+    fetch.add_argument("job")
+    fetch.add_argument("--out-dir", default=".", help="where results land")
+
+    cancel = subparsers.add_parser("cancel", help="withdraw an unfinished job")
+    client_options(cancel)
+    cancel.add_argument("job")
+
+    edit = subparsers.add_parser(
+        "edit", help="edit a file through the shadow editor wrapper"
+    )
+    client_options(edit)
+    edit.add_argument("file")
+    edit.add_argument(
+        "--with-content",
+        default=None,
+        help="replace the file with this text instead of running $EDITOR "
+        "(scripting/testing hook)",
+    )
+
+    files = subparsers.add_parser(
+        "files", help="list shadow files and retained versions"
+    )
+    client_options(files)
+
+    env = subparsers.add_parser("env", help="show or customise the environment")
+    client_options(env)
+    env.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override a parameter (repeatable)",
+    )
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# client plumbing
+# ---------------------------------------------------------------------------
+
+
+def _parse_endpoint(text: str) -> tuple:
+    host, _, port = text.partition(":")
+    return host or "127.0.0.1", int(port) if port else WELL_KNOWN_PORT
+
+
+def _open_client(args: argparse.Namespace) -> ShadowClient:
+    state_path = Path(args.state)
+    state = load_state(state_path)
+    client_id = args.client_id or (
+        state.get("client_id") if state else None
+    ) or f"{os.environ.get('USER', 'user')}@{os.uname().nodename}"
+    environment = environment_from_state(state) if state else None
+    client = ShadowClient(
+        client_id=client_id,
+        workspace=LocalDirectoryWorkspace(args.root),
+        environment=environment,
+    )
+    if state:
+        restore_client(client, state)
+    host, port = _parse_endpoint(args.server)
+    client.connect(
+        client.environment.default_host, TcpChannel(host, port)
+    )
+    return client
+
+
+def _close_client(client: ShadowClient, args: argparse.Namespace) -> None:
+    save_state(client, Path(args.state))
+    client.disconnect(client.environment.default_host)
+
+
+# ---------------------------------------------------------------------------
+# commands
+# ---------------------------------------------------------------------------
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    executor = LocalExecutor() if args.executor == "local" else SimulatedExecutor()
+    from repro.cache.store import CacheStore
+
+    server = ShadowServer(
+        executor=executor,
+        cache=CacheStore(capacity_bytes=args.cache_bytes),
+    )
+    listener = TcpChannelServer(server.handle, host=args.host, port=args.port)
+    print(f"shadow server listening on {args.host}:{listener.port}")
+    try:
+        if args.once:
+            return 0
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        listener.close()
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    client = _open_client(args)
+    try:
+        job_id = client.submit(
+            args.script,
+            list(args.files),
+            output_file=args.output,
+            error_file=args.error,
+        )
+        print(f"submitted {job_id}")
+        if args.wait:
+            bundle = _wait_for_output(client, job_id)
+            sys.stdout.write(bundle.stdout.decode("utf-8", "replace"))
+            if bundle.stderr:
+                sys.stderr.write(bundle.stderr.decode("utf-8", "replace"))
+            _materialise_job(client, job_id, bundle, out_dir=".")
+            return 0 if bundle.exit_code == 0 else bundle.exit_code
+        return 0
+    finally:
+        _close_client(client, args)
+
+
+def _wait_for_output(client: ShadowClient, job_id: str, timeout: float = 60.0):
+    deadline = time.monotonic() + timeout
+    while True:
+        bundle = client.fetch_output(job_id)
+        if bundle is not None:
+            return bundle
+        if time.monotonic() > deadline:
+            raise ShadowError(f"timed out waiting for {job_id}")
+        time.sleep(0.2)
+
+
+def _materialise_job(
+    client: ShadowClient, job_id: str, bundle, out_dir: str
+) -> None:
+    """Write one job's delivered result files into ``out_dir``."""
+    job = client._jobs[job_id]
+    names = [job.output_file]
+    if bundle.stderr:
+        names.append(job.error_file)
+    names.extend(bundle.output_files)
+    out_root = Path(out_dir)
+    for name in names:
+        content = client.results.get(name)
+        if content is not None:
+            (out_root / Path(name).name).write_bytes(content)
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    client = _open_client(args)
+    try:
+        records = client.job_status(args.job)
+        if not records:
+            print("no pending jobs")
+        for record in records:
+            print(
+                f"{record['job_id']}: {record['state']}"
+                + (f" ({record['detail']})" if record.get("detail") else "")
+            )
+        return 0
+    finally:
+        _close_client(client, args)
+
+
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    client = _open_client(args)
+    try:
+        bundle = client.fetch_output(args.job)
+        if bundle is None:
+            print(f"{args.job} is still running")
+            return 1
+        _materialise_job(client, args.job, bundle, args.out_dir)
+        print(f"{args.job}: exit {bundle.exit_code}")
+        return 0 if bundle.exit_code == 0 else bundle.exit_code
+    finally:
+        _close_client(client, args)
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    client = _open_client(args)
+    try:
+        if client.cancel_job(args.job):
+            print(f"{args.job} cancelled")
+            return 0
+        print(f"{args.job} had already finished")
+        return 1
+    finally:
+        _close_client(client, args)
+
+
+def _cmd_edit(args: argparse.Namespace) -> int:
+    client = _open_client(args)
+    try:
+        if args.with_content is not None:
+            new_content = args.with_content.encode()
+        else:
+            new_content = _run_real_editor(client, args.file)
+        old = (
+            client.workspace.read(args.file)
+            if client.workspace.exists(args.file)
+            else b""
+        )
+        if new_content == old:
+            print("no change; no shadow processing needed")
+            return 0
+        version = client.write_file(args.file, new_content)
+        print(f"{args.file}: version {version} shadowed")
+        return 0
+    finally:
+        _close_client(client, args)
+
+
+def _run_real_editor(client: ShadowClient, path: str) -> bytes:
+    """Invoke $EDITOR on a copy, per the wrapper design (§6.2)."""
+    editor = os.environ.get("EDITOR", client.environment.editor)
+    original = (
+        client.workspace.read(path) if client.workspace.exists(path) else b""
+    )
+    with tempfile.NamedTemporaryFile(suffix=Path(path).suffix, delete=False) as scratch:
+        scratch.write(original)
+        scratch_path = scratch.name
+    try:
+        subprocess.run([editor, scratch_path], check=True)
+        return Path(scratch_path).read_bytes()
+    finally:
+        os.unlink(scratch_path)
+
+
+def _cmd_files(args: argparse.Namespace) -> int:
+    client = _open_client(args)
+    try:
+        described = client.describe()
+        if not described["shadow_files"]:
+            print("no shadow files yet")
+        for name, info in sorted(described["shadow_files"].items()):
+            retained = ",".join(str(n) for n in info["retained"])
+            print(
+                f"{name}: latest v{info['latest']} "
+                f"(retained: {retained}; {info['retained_bytes']:,} B)"
+            )
+        return 0
+    finally:
+        _close_client(client, args)
+
+
+def _cmd_env(args: argparse.Namespace) -> int:
+    state_path = Path(args.state)
+    state = load_state(state_path)
+    environment = environment_from_state(state) if state else None
+    if environment is None:
+        from repro.core.environment import ShadowEnvironment
+
+        environment = ShadowEnvironment()
+    if args.set:
+        overrides = {}
+        for item in args.set:
+            key, separator, value = item.partition("=")
+            if not separator:
+                raise ShadowError(f"--set expects KEY=VALUE, got {item!r}")
+            overrides[key] = _coerce(value)
+        environment = environment.customized(**overrides)
+        # Persist through a throwaway client snapshot.
+        client_id = args.client_id or (
+            state.get("client_id") if state else None
+        ) or f"{os.environ.get('USER', 'user')}@{os.uname().nodename}"
+        client = ShadowClient(
+            client_id=client_id,
+            workspace=LocalDirectoryWorkspace(args.root),
+            environment=environment,
+        )
+        if state:
+            restore_client(client, state)
+        save_state(client, state_path)
+    for key, value in sorted(environment.describe().items()):
+        print(f"{key} = {value}")
+    return 0
+
+
+def _coerce(text: str):
+    if text.lower() in ("true", "false"):
+        return text.lower() == "true"
+    try:
+        return int(text)
+    except ValueError:
+        return text
+
+
+_COMMANDS = {
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
+    "fetch": _cmd_fetch,
+    "cancel": _cmd_cancel,
+    "edit": _cmd_edit,
+    "files": _cmd_files,
+    "env": _cmd_env,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ShadowError as exc:
+        print(f"shadow: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

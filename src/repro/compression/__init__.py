@@ -1,0 +1,30 @@
+"""From-scratch compression codecs (paper §8.3 future work).
+
+RLE, LZ77 and canonical Huffman, composable via
+:class:`~repro.compression.pipeline.Pipeline`, used optionally on deltas
+and full files before they hit the (simulated) wire.
+"""
+
+from repro.compression import huffman, lz77, rle
+from repro.compression.pipeline import (
+    HUFFMAN,
+    LZ77,
+    REGISTRY,
+    RLE,
+    Codec,
+    Pipeline,
+    register,
+)
+
+__all__ = [
+    "HUFFMAN",
+    "LZ77",
+    "REGISTRY",
+    "RLE",
+    "Codec",
+    "Pipeline",
+    "huffman",
+    "lz77",
+    "register",
+    "rle",
+]

@@ -1,0 +1,137 @@
+"""Canonical Huffman entropy coding.
+
+The entropy-coding half of a classic 1980s compression pipeline.  Code
+lengths are derived from byte frequencies with a heap-built Huffman tree,
+then converted to *canonical* form so the header only carries 256 code
+lengths (not the tree shape).
+
+Format::
+
+    <u32 original_length> <256 x u8 code length> <packed bit stream>
+
+A code length of 0 means the byte never occurs.  Single-symbol inputs get
+a 1-bit code.  Decoding walks the canonical first-code table, which is
+O(1) per bit and allocation-free.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import struct
+from typing import Dict, List, Tuple
+
+from repro.errors import CompressionError
+
+NAME = "huffman"
+
+_MAX_CODE_LENGTH = 32
+
+
+def _code_lengths(frequencies: List[int]) -> List[int]:
+    """Huffman code length per byte value (0 for absent bytes)."""
+    heap: List[Tuple[int, int, object]] = []
+    counter = itertools.count()
+    for value, frequency in enumerate(frequencies):
+        if frequency:
+            heap.append((frequency, next(counter), value))
+    heapq.heapify(heap)
+    if not heap:
+        return [0] * 256
+    if len(heap) == 1:
+        lengths = [0] * 256
+        lengths[heap[0][2]] = 1  # type: ignore[index]
+        return lengths
+    while len(heap) > 1:
+        freq_a, _, left = heapq.heappop(heap)
+        freq_b, _, right = heapq.heappop(heap)
+        heapq.heappush(heap, (freq_a + freq_b, next(counter), (left, right)))
+    lengths = [0] * 256
+    stack: List[Tuple[object, int]] = [(heap[0][2], 0)]
+    while stack:
+        node, depth = stack.pop()
+        if isinstance(node, int):
+            lengths[node] = max(depth, 1)
+        else:
+            left, right = node  # type: ignore[misc]
+            stack.append((left, depth + 1))
+            stack.append((right, depth + 1))
+    return lengths
+
+
+def _canonical_codes(lengths: List[int]) -> Dict[int, Tuple[int, int]]:
+    """Map byte value -> (code, length) in canonical order."""
+    ordered = sorted(
+        (length, value) for value, length in enumerate(lengths) if length
+    )
+    codes: Dict[int, Tuple[int, int]] = {}
+    code = 0
+    previous_length = 0
+    for length, value in ordered:
+        code <<= length - previous_length
+        codes[value] = (code, length)
+        code += 1
+        previous_length = length
+    return codes
+
+
+def compress(data: bytes) -> bytes:
+    """Huffman-encode ``data``."""
+    frequencies = [0] * 256
+    for byte in data:
+        frequencies[byte] += 1
+    lengths = _code_lengths(frequencies)
+    if any(length > _MAX_CODE_LENGTH for length in lengths):
+        raise CompressionError("Huffman code length overflow")
+    codes = _canonical_codes(lengths)
+    header = struct.pack(">I", len(data)) + bytes(lengths)
+    bit_buffer = 0
+    bit_count = 0
+    body = bytearray()
+    for byte in data:
+        code, length = codes[byte]
+        bit_buffer = (bit_buffer << length) | code
+        bit_count += length
+        while bit_count >= 8:
+            bit_count -= 8
+            body.append((bit_buffer >> bit_count) & 0xFF)
+    if bit_count:
+        body.append((bit_buffer << (8 - bit_count)) & 0xFF)
+    return header + bytes(body)
+
+
+def decompress(data: bytes) -> bytes:
+    """Inverse of :func:`compress`."""
+    if len(data) < 4 + 256:
+        raise CompressionError("truncated Huffman header")
+    (original_length,) = struct.unpack(">I", data[:4])
+    lengths = list(data[4 : 4 + 256])
+    body = data[4 + 256 :]
+    if original_length == 0:
+        return b""
+    codes = _canonical_codes(lengths)
+    if not codes:
+        raise CompressionError("Huffman header has no codes for non-empty data")
+    # Invert: (length, code) -> value.
+    decoder = {
+        (length, code): value for value, (code, length) in codes.items()
+    }
+    out = bytearray()
+    code = 0
+    code_length = 0
+    for byte in body:
+        for bit_index in range(7, -1, -1):
+            code = (code << 1) | ((byte >> bit_index) & 1)
+            code_length += 1
+            if code_length > _MAX_CODE_LENGTH:
+                raise CompressionError("corrupt Huffman stream (no code match)")
+            value = decoder.get((code_length, code))
+            if value is not None:
+                out.append(value)
+                code = 0
+                code_length = 0
+                if len(out) == original_length:
+                    return bytes(out)
+    raise CompressionError(
+        f"Huffman stream ended after {len(out)} of {original_length} bytes"
+    )

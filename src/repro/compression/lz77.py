@@ -1,0 +1,128 @@
+"""LZ77 sliding-window compression.
+
+The dictionary coder of the paper-era family (Ziv & Lempel 1977); this is
+the same scheme the contemporary ``compress``/ZIP lineage built on and a
+natural candidate for the paper's §8.3 compression plan.
+
+Format: a token stream.
+
+* ``0x00 <u8 len> <len bytes>`` — literal block (1..255 bytes).
+* ``0x01 <u16 distance> <u16 length>`` — match: copy ``length`` bytes from
+  ``distance`` bytes back in the already-decoded output (big-endian).
+
+Matches may overlap themselves (distance < length), giving cheap run
+encoding.  The encoder hash-chains 4-byte seeds over a 64 KiB window.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List
+
+from repro.errors import CompressionError
+
+NAME = "lz77"
+
+_WINDOW = 65_535
+_SEED = 4
+_MIN_MATCH = 6  # a match token costs 5 bytes; shorter matches are literals
+_MAX_MATCH = 65_535
+_MAX_LITERAL = 255
+_MAX_CHAIN = 32
+
+
+def compress(data: bytes) -> bytes:
+    """LZ77-encode ``data``."""
+    out = bytearray()
+    literal = bytearray()
+    chains: Dict[bytes, List[int]] = {}
+    position = 0
+    length = len(data)
+
+    def flush_literal() -> None:
+        start = 0
+        while start < len(literal):
+            chunk = literal[start : start + _MAX_LITERAL]
+            out.append(0x00)
+            out.append(len(chunk))
+            out.extend(chunk)
+            start += len(chunk)
+        literal.clear()
+
+    while position < length:
+        best_length = 0
+        best_distance = 0
+        if position + _SEED <= length:
+            seed = bytes(data[position : position + _SEED])
+            candidates = chains.get(seed, [])
+            for candidate in reversed(candidates[-_MAX_CHAIN:]):
+                if position - candidate > _WINDOW:
+                    continue
+                match_length = _SEED
+                limit = min(length - position, _MAX_MATCH)
+                while (
+                    match_length < limit
+                    and data[candidate + match_length] == data[position + match_length]
+                ):
+                    match_length += 1
+                if match_length > best_length:
+                    best_length = match_length
+                    best_distance = position - candidate
+        if best_length >= _MIN_MATCH:
+            flush_literal()
+            out.append(0x01)
+            out.extend(struct.pack(">HH", best_distance, best_length))
+            end = position + best_length
+            while position < end:
+                if position + _SEED <= length:
+                    chains.setdefault(
+                        bytes(data[position : position + _SEED]), []
+                    ).append(position)
+                position += 1
+        else:
+            literal.append(data[position])
+            if position + _SEED <= length:
+                chains.setdefault(
+                    bytes(data[position : position + _SEED]), []
+                ).append(position)
+            position += 1
+    flush_literal()
+    return bytes(out)
+
+
+def decompress(data: bytes) -> bytes:
+    """Inverse of :func:`compress`."""
+    out = bytearray()
+    position = 0
+    length = len(data)
+    while position < length:
+        token = data[position]
+        position += 1
+        if token == 0x00:
+            if position >= length:
+                raise CompressionError("truncated LZ77 literal header")
+            count = data[position]
+            position += 1
+            if count == 0:
+                raise CompressionError("zero-length LZ77 literal block")
+            if position + count > length:
+                raise CompressionError("truncated LZ77 literal block")
+            out.extend(data[position : position + count])
+            position += count
+        elif token == 0x01:
+            if position + 4 > length:
+                raise CompressionError("truncated LZ77 match token")
+            distance, match_length = struct.unpack(
+                ">HH", data[position : position + 4]
+            )
+            position += 4
+            if distance == 0 or distance > len(out):
+                raise CompressionError(
+                    f"LZ77 match distance {distance} exceeds output {len(out)}"
+                )
+            start = len(out) - distance
+            for i in range(match_length):
+                out.append(out[start + i])
+        else:
+            raise CompressionError(f"unknown LZ77 token {token:#x}")
+    return bytes(out)

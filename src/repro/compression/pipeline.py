@@ -1,0 +1,137 @@
+"""Composable compression pipelines with self-describing framing.
+
+A :class:`Codec` names a compress/decompress pair; a :class:`Pipeline`
+chains codecs (e.g. LZ77 then Huffman — the classic deflate shape) and
+frames the result so the receiver can reverse it without out-of-band
+agreement.  The frame also guards against *expansion*: if a stage grows
+its input (already-compressed or high-entropy data), the stage is skipped
+and recorded as the identity — compression must never cost wire bytes.
+
+Frame format::
+
+    b"SCP1" <u8 stage count> [<u8 name length> <name>]... <payload>
+
+Stage names are listed in application order; decompression applies them in
+reverse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.compression import huffman, lz77, rle
+from repro.errors import CompressionError
+
+_MAGIC = b"SCP1"
+
+
+@dataclass(frozen=True)
+class Codec:
+    """A named, symmetric transform over byte strings."""
+
+    name: str
+    compress: Callable[[bytes], bytes]
+    decompress: Callable[[bytes], bytes]
+
+
+RLE = Codec(rle.NAME, rle.compress, rle.decompress)
+LZ77 = Codec(lz77.NAME, lz77.compress, lz77.decompress)
+HUFFMAN = Codec(huffman.NAME, huffman.compress, huffman.decompress)
+
+REGISTRY: Dict[str, Codec] = {codec.name: codec for codec in (RLE, LZ77, HUFFMAN)}
+
+
+def register(codec: Codec) -> None:
+    """Add a codec to the global registry (used by tests and extensions)."""
+    if codec.name in REGISTRY:
+        raise CompressionError(f"codec {codec.name!r} already registered")
+    REGISTRY[codec.name] = codec
+
+
+class Pipeline:
+    """An ordered chain of codecs applied stage by stage.
+
+    ``Pipeline([])`` is the identity pipeline: it frames the payload but
+    transforms nothing, so "compression disabled" and "compression
+    enabled" traffic share one wire format.
+    """
+
+    def __init__(self, codecs: Sequence[Codec] = ()) -> None:
+        self.codecs: List[Codec] = list(codecs)
+
+    @classmethod
+    def named(cls, names: Sequence[str]) -> "Pipeline":
+        """Build a pipeline from registry names."""
+        missing = [name for name in names if name not in REGISTRY]
+        if missing:
+            raise CompressionError(
+                f"unknown codecs {missing}; known: {sorted(REGISTRY)}"
+            )
+        return cls([REGISTRY[name] for name in names])
+
+    @classmethod
+    def default(cls) -> "Pipeline":
+        """LZ77 then Huffman — the classic dictionary+entropy stack."""
+        return cls([LZ77, HUFFMAN])
+
+    @classmethod
+    def identity(cls) -> "Pipeline":
+        return cls([])
+
+    def compress(self, data: bytes) -> bytes:
+        """Apply every stage, skipping any that would expand the data."""
+        applied: List[str] = []
+        current = data
+        for codec in self.codecs:
+            candidate = codec.compress(current)
+            # Keep the stage only if it pays for its own frame-header
+            # entry; otherwise the total frame could exceed the input.
+            stage_overhead = 1 + len(codec.name)
+            if len(candidate) + stage_overhead < len(current):
+                current = candidate
+                applied.append(codec.name)
+        header = bytearray(_MAGIC)
+        header.append(len(applied))
+        for name in applied:
+            encoded = name.encode("ascii")
+            header.append(len(encoded))
+            header.extend(encoded)
+        return bytes(header) + current
+
+    def decompress(self, data: bytes) -> bytes:
+        """Reverse a frame produced by any pipeline's :meth:`compress`."""
+        if data[:4] != _MAGIC:
+            raise CompressionError(f"bad compression frame magic {data[:4]!r}")
+        position = 4
+        if position >= len(data):
+            raise CompressionError("truncated compression frame header")
+        stage_count = data[position]
+        position += 1
+        names: List[str] = []
+        for _ in range(stage_count):
+            if position >= len(data):
+                raise CompressionError("truncated codec name list")
+            name_length = data[position]
+            position += 1
+            raw = data[position : position + name_length]
+            if len(raw) != name_length:
+                raise CompressionError("truncated codec name")
+            names.append(raw.decode("ascii"))
+            position += name_length
+        payload = data[position:]
+        for name in reversed(names):
+            codec = REGISTRY.get(name)
+            if codec is None:
+                raise CompressionError(f"frame names unknown codec {name!r}")
+            payload = codec.decompress(payload)
+        return payload
+
+    def ratio(self, data: bytes) -> float:
+        """Compressed/original size; 1.0 for empty input."""
+        if not data:
+            return 1.0
+        return len(self.compress(data)) / len(data)
+
+    def __repr__(self) -> str:
+        return f"Pipeline({[codec.name for codec in self.codecs]})"

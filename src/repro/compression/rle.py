@@ -1,0 +1,83 @@
+"""Byte-oriented run-length encoding.
+
+The simplest of the codecs behind the paper's "we also plan to explore
+data compression techniques" (§8.3).  RLE pays off on runs (padded data
+files, tables of repeated values) and is nearly free to compute, which
+mattered on 1987 workstations.
+
+Format: a stream of chunks, each headed by one control byte.
+
+* ``0x00..0x7F`` — literal chunk: control+1 (1..128) raw bytes follow.
+* ``0x80..0xFF`` — run chunk: the next byte repeats (control-0x80)+3
+  (3..130) times.
+
+Runs shorter than 3 bytes are cheaper as literals and are emitted as such.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CompressionError
+
+NAME = "rle"
+
+_MAX_LITERAL = 128
+_MIN_RUN = 3
+_MAX_RUN = 130
+
+
+def compress(data: bytes) -> bytes:
+    """Run-length encode ``data``."""
+    out = bytearray()
+    literal_start = 0
+    position = 0
+    length = len(data)
+
+    def flush_literal(end: int) -> None:
+        start = literal_start
+        while start < end:
+            chunk = data[start : min(start + _MAX_LITERAL, end)]
+            out.append(len(chunk) - 1)
+            out.extend(chunk)
+            start += len(chunk)
+
+    while position < length:
+        run_end = position + 1
+        while (
+            run_end < length
+            and data[run_end] == data[position]
+            and run_end - position < _MAX_RUN
+        ):
+            run_end += 1
+        run_length = run_end - position
+        if run_length >= _MIN_RUN:
+            flush_literal(position)
+            out.append(0x80 + (run_length - _MIN_RUN))
+            out.append(data[position])
+            position = run_end
+            literal_start = position
+        else:
+            position = run_end
+    flush_literal(position)
+    return bytes(out)
+
+
+def decompress(data: bytes) -> bytes:
+    """Inverse of :func:`compress`."""
+    out = bytearray()
+    position = 0
+    length = len(data)
+    while position < length:
+        control = data[position]
+        position += 1
+        if control < 0x80:
+            count = control + 1
+            if position + count > length:
+                raise CompressionError("truncated RLE literal chunk")
+            out.extend(data[position : position + count])
+            position += count
+        else:
+            if position >= length:
+                raise CompressionError("truncated RLE run chunk")
+            out.extend(data[position : position + 1] * (control - 0x80 + _MIN_RUN))
+            position += 1
+    return bytes(out)

@@ -1,0 +1,48 @@
+"""The shadow-editing service itself: protocol, client, server, editor."""
+
+from repro.core.background import BackgroundPuller
+from repro.core.client import ShadowClient, SubmittedJob
+from repro.core.editor import EditorFunction, ShadowEditor, scripted_editor
+from repro.core.environment import ShadowEnvironment
+from repro.core.server import ShadowServer
+from repro.core.service import (
+    SimulatedDeployment,
+    TcpDeployment,
+    loopback_pair,
+    tcp_pair,
+)
+from repro.core.state import (
+    load_state,
+    restore_client,
+    save_state,
+    snapshot_client,
+)
+from repro.core.workspace import (
+    LocalDirectoryWorkspace,
+    MappingWorkspace,
+    NfsWorkspace,
+    Workspace,
+)
+
+__all__ = [
+    "BackgroundPuller",
+    "EditorFunction",
+    "LocalDirectoryWorkspace",
+    "MappingWorkspace",
+    "NfsWorkspace",
+    "ShadowClient",
+    "ShadowEditor",
+    "ShadowEnvironment",
+    "ShadowServer",
+    "SimulatedDeployment",
+    "SubmittedJob",
+    "TcpDeployment",
+    "Workspace",
+    "load_state",
+    "loopback_pair",
+    "restore_client",
+    "save_state",
+    "scripted_editor",
+    "snapshot_client",
+    "tcp_pair",
+]

@@ -1,0 +1,119 @@
+"""Server-initiated background retrieval (§6.4).
+
+"The server, in turn, may request the client to supply the updates
+immediately, or may postpone such a retrieval for a later time. ... The
+updates for the files involved may be obtained in the background even
+before a submit request is received and processed."
+
+:class:`BackgroundPuller` gives a deferring server (ON_SUBMIT or
+LOAD_AWARE pull policy) the *postpone-then-fetch* half of that sentence:
+when a notification is deferred, a pull is scheduled on the discrete-
+event scheduler; when it fires — and the file is still stale, and the
+load admits it — the server sends ``RequestUpdate`` over the client's
+callback channel and feeds the returned ``Update`` through its own
+handler.  A busy server re-defers, so retrieval genuinely tracks load.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.protocol import (
+    ErrorReply,
+    RequestUpdate,
+    Update,
+    decode_message,
+)
+from repro.core.server import ShadowServer
+from repro.errors import ShadowError, TransportError
+from repro.simnet.events import EventScheduler
+
+
+class BackgroundPuller:
+    """Schedules deferred pulls for one server on an event scheduler."""
+
+    def __init__(
+        self,
+        server: ShadowServer,
+        scheduler: EventScheduler,
+        delay_seconds: float = 60.0,
+        max_retries: int = 8,
+    ) -> None:
+        if delay_seconds <= 0:
+            raise ShadowError(f"delay must be positive, got {delay_seconds}")
+        self.server = server
+        self.scheduler = scheduler
+        self.delay_seconds = delay_seconds
+        self.max_retries = max_retries
+        self.pulls_completed = 0
+        self.pulls_deferred = 0
+        self._pending: Dict[str, int] = {}  # key -> retries so far
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach(self) -> None:
+        """Hook into the server: every deferred notify schedules a pull."""
+        self.server.on_deferred_pull = self.schedule_pull
+
+    def schedule_pull(self, client_id: str, key: str) -> None:
+        """Arrange to fetch ``key`` from ``client_id`` after the delay."""
+        if key in self._pending:
+            return  # one timer per stale file is enough
+        self._pending[key] = 0
+        self.scheduler.schedule_in(
+            self.delay_seconds, lambda: self._fire(client_id, key)
+        )
+
+    # ------------------------------------------------------------------
+    # the timer body
+    # ------------------------------------------------------------------
+    def _fire(self, client_id: str, key: str) -> None:
+        need = self.server.coherence.needs_pull(key)
+        if need is None:
+            self._pending.pop(key, None)
+            return  # someone else (a submit) already made it current
+        now = self.scheduler.clock.now()
+        # Gate on load directly: the timer itself IS the postponed
+        # retrieval, so the notify-time policy (which said "defer") must
+        # not veto it forever — only a genuinely busy machine does.
+        load = self.server.scheduler.load_model.load_at(now)
+        if load >= self.server.scheduler.pull_load_threshold:
+            self._retry(client_id, key, reason="server busy")
+            return
+        channel = self.server._callbacks.get(client_id)
+        if channel is None:
+            self._pending.pop(key, None)
+            return  # push channel gone; submit-time pull will cover it
+        request = RequestUpdate(
+            key=key, base_version=need.cached_version or 0
+        )
+        try:
+            reply = decode_message(channel.request(request.to_wire()))
+        except (TransportError, ShadowError):
+            self._retry(client_id, key, reason="transport failure")
+            return
+        if isinstance(reply, ErrorReply):
+            self._retry(client_id, key, reason=reply.message)
+            return
+        if not isinstance(reply, Update):
+            self._retry(client_id, key, reason=f"unexpected {reply.TYPE}")
+            return
+        self.server.handle(reply.to_wire())
+        self._pending.pop(key, None)
+        self.pulls_completed += 1
+
+    def _retry(self, client_id: str, key: str, reason: str) -> None:
+        retries = self._pending.get(key, 0) + 1
+        self.pulls_deferred += 1
+        if retries > self.max_retries:
+            self._pending.pop(key, None)
+            return  # give up; the next submit pulls it anyway
+        self._pending[key] = retries
+        self.scheduler.schedule_in(
+            self.delay_seconds, lambda: self._fire(client_id, key)
+        )
+
+    @property
+    def pending_keys(self) -> int:
+        return len(self._pending)

@@ -1,0 +1,593 @@
+"""The shadow client: the user's side of the service (§6.1–§6.4).
+
+"The client hides the details of communication, and accepts requests for
+remote processing at the user's site."  It owns the version store, the
+user's job-status table, the result sink where delivered output lands,
+and connections to one or more shadow servers ("a client can have
+simultaneous connections to multiple servers").
+
+All protocol behaviour is here: notify-on-edit, answering demand-driven
+pulls (immediately via the notify reply, lazily via submit needs, or
+through the callback channel), submit / status / fetch, version pruning
+on acknowledgement, optional compression, and reverse-shadow output
+reconstruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.compression.pipeline import Pipeline
+from repro.core.environment import ShadowEnvironment
+from repro.core.protocol import (
+    Bye,
+    CancelJob,
+    DeliverOutput,
+    ErrorReply,
+    FetchOutput,
+    Hello,
+    Message,
+    Notify,
+    NotifyReply,
+    Ok,
+    OutputReply,
+    RequestUpdate,
+    StatusQuery,
+    StatusReply,
+    Submit,
+    SubmitReply,
+    Update,
+    UpdateAck,
+    decode_message,
+    expect,
+)
+from repro.core.workspace import Workspace
+from repro.diffing.model import decode_delta
+from repro.diffing.selector import best_delta, worthwhile
+from repro.errors import ProtocolError, ShadowError, TransportError
+from repro.jobs.output import OutputBundle
+from repro.jobs.status import JobRecord, JobState, StatusTable
+from repro.simnet.clock import Clock
+from repro.simnet.link import ProcessingModel
+from repro.transport.base import RequestChannel
+from repro.versioning.store import DeltaUpdate, FullContent, VersionStore
+
+
+@dataclass
+class SubmittedJob:
+    """What the client remembers about one of its submissions."""
+
+    job_id: str
+    host: str
+    signature: str
+    output_file: str
+    error_file: str
+
+
+class ShadowClient:
+    """One user's shadow service endpoint."""
+
+    def __init__(
+        self,
+        client_id: str,
+        workspace: Workspace,
+        environment: Optional[ShadowEnvironment] = None,
+        clock: Optional[Clock] = None,
+        processing: Optional[ProcessingModel] = None,
+    ) -> None:
+        if not client_id:
+            raise ProtocolError("client id must be non-empty")
+        self.client_id = client_id
+        self.workspace = workspace
+        self.environment = (
+            environment if environment is not None else ShadowEnvironment()
+        )
+        self.clock = clock
+        self.processing = processing
+        self.versions = VersionStore(
+            max_retained=self.environment.max_retained_versions,
+            diff_algorithm=self.environment.diff_algorithm,
+        )
+        self.status = StatusTable()
+        #: Delivered results: local file name -> content.
+        self.results: Dict[str, bytes] = {}
+        self._channels: Dict[str, RequestChannel] = {}
+        self._jobs: Dict[str, SubmittedJob] = {}
+        #: Bundles the server pushed on completion (§6.2); fetch_output
+        #: serves these locally instead of re-downloading.
+        self._delivered: Dict[str, OutputBundle] = {}
+        #: signature -> (job_id, {stream: bytes}) retained for reverse shadow.
+        self._retained_outputs: Dict[str, Tuple[str, Dict[str, bytes]]] = {}
+        self._pipeline = Pipeline.default()
+
+    # ------------------------------------------------------------------
+    # time helpers
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        return self.clock.now() if self.clock is not None else 0.0
+
+    def _charge(self, seconds: float) -> None:
+        if self.clock is not None and seconds > 0:
+            self.clock.advance(seconds)
+
+    def _diff_cost(self, file_bytes: int) -> float:
+        if self.processing is None:
+            return 0.0
+        return self.processing.diff_seconds(file_bytes)
+
+    # ------------------------------------------------------------------
+    # connections
+    # ------------------------------------------------------------------
+    def connect(self, host: str, channel: RequestChannel) -> None:
+        """Open a session to a shadow server reachable via ``channel``."""
+        reply = self._request(
+            channel,
+            Hello(client_id=self.client_id, domain=str(self._domain())),
+        )
+        expect(reply, Ok)
+        self._channels[host] = channel
+
+    def disconnect(self, host: str) -> None:
+        channel = self._channels.pop(host, None)
+        if channel is not None and not channel.closed:
+            try:
+                self._request(channel, Bye(client_id=self.client_id))
+            except (TransportError, ProtocolError):
+                pass  # best effort: the session is going away regardless
+
+    def _domain(self) -> str:
+        probe = self.workspace.resolve("/")  # root always resolves
+        return str(probe.domain)
+
+    def _channel(self, host: Optional[str]) -> Tuple[str, RequestChannel]:
+        name = host or self.environment.default_host
+        try:
+            return name, self._channels[name]
+        except KeyError:
+            raise TransportError(
+                f"not connected to {name!r}; connected: {sorted(self._channels)}"
+            ) from None
+
+    @staticmethod
+    def _request(channel: RequestChannel, message: Message) -> Message:
+        return decode_message(channel.request(message.to_wire()))
+
+    # ------------------------------------------------------------------
+    # editing and notification (§6.4 "typical scenario")
+    # ------------------------------------------------------------------
+    def write_file(
+        self, path: str, content: bytes, host: Optional[str] = None
+    ) -> int:
+        """Store a file and run the shadow post-processing: version +
+        notify + (if the server asks) immediate update.
+
+        Returns the new version number.  This is the programmatic
+        equivalent of finishing a shadow-editor session on ``path``.
+        """
+        self.workspace.write(path, content)
+        key = str(self.workspace.resolve(path))
+        version = self.versions.record_edit(key, content, self.now())
+        self._notify(key, version.number, host)
+        return version.number
+
+    def _notify(self, key: str, version: int, host: Optional[str]) -> None:
+        name, channel = self._channel(host)
+        snapshot = self.versions.get(key, version)
+        reply = self._request(
+            channel,
+            Notify(
+                client_id=self.client_id,
+                key=key,
+                version=version,
+                size=snapshot.size,
+                checksum=snapshot.checksum,
+            ),
+        )
+        notify_reply = expect(reply, NotifyReply)
+        assert isinstance(notify_reply, NotifyReply)
+        if notify_reply.pull_now:
+            self._send_update(channel, key, notify_reply.base_version, version)
+
+    # ------------------------------------------------------------------
+    # updates (client -> server content flow)
+    # ------------------------------------------------------------------
+    def _send_update(
+        self,
+        channel: RequestChannel,
+        key: str,
+        base_version: int,
+        target_version: Optional[int] = None,
+    ) -> int:
+        """Ship the requested update; returns the version now at the server."""
+        update = self._build_update(key, base_version, target_version)
+        reply = self._request(channel, update)
+        if isinstance(reply, ErrorReply) and reply.code == "need-full":
+            # Best-effort cache let us down mid-flight; fall back to full.
+            update = self._build_update(key, 0, target_version)
+            reply = self._request(channel, update)
+        ack = expect(reply, UpdateAck)
+        assert isinstance(ack, UpdateAck)
+        self.versions.acknowledge(key, ack.stored_version)
+        return ack.stored_version
+
+    def _build_update(
+        self, key: str, base_version: int, target_version: Optional[int]
+    ) -> Update:
+        chain = self.versions.chain(key)
+        target = target_version or chain.latest_number
+        if self.environment.use_best_delta and base_version and chain.retains(
+            base_version
+        ):
+            base = chain.get(base_version)
+            goal = chain.get(target)
+            self._charge(self._diff_cost(len(goal.content)))
+            delta = best_delta(base.content, goal.content)
+            if worthwhile(delta, len(goal.content)):
+                produced: Any = DeltaUpdate(key, target, base_version, delta)
+            else:
+                produced = FullContent(key, target, goal.content)
+        else:
+            if base_version and chain.retains(base_version):
+                self._charge(
+                    self._diff_cost(len(chain.get(target).content))
+                )
+            produced = self.versions.update_from(
+                key, base_version or None, target
+            )
+        if isinstance(produced, DeltaUpdate):
+            payload = produced.delta.encode()
+            is_delta = True
+            base: Optional[int] = produced.base_number
+        else:
+            payload = produced.content
+            is_delta = False
+            base = None
+        compressed = False
+        if self.environment.compress_updates:
+            framed = self._pipeline.compress(payload)
+            if len(framed) < len(payload):
+                payload = framed
+                compressed = True
+        return Update(
+            client_id=self.client_id,
+            key=key,
+            version=produced.number,
+            base_version=base,
+            is_delta=is_delta,
+            compressed=compressed,
+            payload=payload,
+        )
+
+    # ------------------------------------------------------------------
+    # submit / status / fetch (§6.2 user interface)
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        script: str,
+        data_files: List[str],
+        host: Optional[str] = None,
+        output_file: Optional[str] = None,
+        error_file: Optional[str] = None,
+        deliver_to_host: Optional[str] = None,
+        priority: int = 0,
+    ) -> str:
+        """Submit a job; returns the job identifier (§6.2).
+
+        ``data_files`` are local paths; any not yet under shadow control
+        are versioned and announced on the spot (the "no user setup"
+        transparency objective).
+        """
+        name, channel = self._channel(host)
+        files: List[Tuple[str, int, str]] = []
+        for path in data_files:
+            key = str(self.workspace.resolve(path))
+            if not self.versions.tracks(key):
+                content = self.workspace.read(path)
+                version = self.versions.record_edit(key, content, self.now())
+                self._notify(key, version.number, host)
+            latest = self.versions.latest(key)
+            files.append((key, latest.number, latest.checksum))
+        reply = self._request(
+            channel,
+            Submit(
+                client_id=self.client_id,
+                script=script,
+                files=tuple(files),
+                output_file=output_file,
+                error_file=error_file,
+                deliver_to_host=deliver_to_host,
+                priority=priority,
+            ),
+        )
+        submit_reply = expect(reply, SubmitReply)
+        assert isinstance(submit_reply, SubmitReply)
+        for key, base_version in submit_reply.needs:
+            self._send_update(channel, key, base_version)
+        job_id = submit_reply.job_id
+        signature = _job_signature(script, [key for key, _, _ in files])
+        self._jobs[job_id] = SubmittedJob(
+            job_id=job_id,
+            host=name,
+            signature=signature,
+            output_file=output_file or f"{job_id}{self.environment.output_suffix}",
+            error_file=error_file or f"{job_id}{self.environment.error_suffix}",
+        )
+        self.status.add(
+            JobRecord(job_id=job_id, owner=self.client_id, submitted_at=self.now())
+        )
+        self._reconcile_pushed(job_id)
+        return job_id
+
+    def _reconcile_pushed(self, job_id: str) -> None:
+        """Adopt a completion push that raced ahead of the submit reply.
+
+        With push delivery enabled, a fast job's ``DeliverOutput`` arrives
+        over the callback channel *while* the submit request is still in
+        flight — before this client has recorded the job.  The callback
+        stashes the bundle; this hook files it properly once the job is
+        registered.
+        """
+        bundle = self._delivered.get(job_id)
+        if bundle is None:
+            return
+        job = self._jobs[job_id]
+        self._store_bundle(job, bundle)
+        if self.environment.reverse_shadow:
+            streams: Dict[str, bytes] = {
+                "stdout": bundle.stdout,
+                "stderr": bundle.stderr,
+            }
+            for name, content in bundle.output_files.items():
+                streams[f"file:{name}"] = content
+            self._retained_outputs[job.signature] = (job_id, streams)
+        local = self.status.get(job_id)
+        if not local.state.terminal:
+            local.state = (
+                JobState.COMPLETED if bundle.exit_code == 0 else JobState.FAILED
+            )
+            local.exit_code = bundle.exit_code
+
+    def job_status(
+        self, job_id: Optional[str] = None, host: Optional[str] = None
+    ) -> List[Dict[str, Any]]:
+        """Status of one job, or of all pending jobs (§6.2)."""
+        if job_id is not None and job_id in self._jobs:
+            host = host or self._jobs[job_id].host
+        _, channel = self._channel(host)
+        reply = self._request(
+            channel, StatusQuery(client_id=self.client_id, job_id=job_id)
+        )
+        status_reply = expect(reply, StatusReply)
+        assert isinstance(status_reply, StatusReply)
+        records = [dict(record) for record in status_reply.records]
+        for record in records:
+            self._merge_status(record)
+        return records
+
+    def _merge_status(self, record: Dict[str, Any]) -> None:
+        job_id = record.get("job_id")
+        if not isinstance(job_id, str) or job_id not in self.status:
+            return
+        local = self.status.get(job_id)
+        state = JobState(record["state"])
+        if local.state is not state and not local.state.terminal:
+            local.state = state  # mirror, no transition validation needed
+            local.detail = str(record.get("detail", ""))
+
+    def fetch_output(
+        self, job_id: str, host: Optional[str] = None
+    ) -> Optional[OutputBundle]:
+        """Retrieve a finished job's output; ``None`` if still running.
+
+        Output and error streams are stored into :attr:`results` under the
+        names chosen at submit time; extra output files keep their own
+        names.  With ``reverse_shadow`` enabled the server may send deltas
+        against a previous run's output, reconstructed here transparently.
+        """
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise ProtocolError(f"job {job_id!r} was not submitted here")
+        pushed = self._delivered.get(job_id)
+        if pushed is not None:
+            return pushed
+        _, channel = self._channel(host or job.host)
+        have = ""
+        if self.environment.reverse_shadow:
+            retained = self._retained_outputs.get(job.signature)
+            if retained is not None:
+                have = retained[0]
+        reply = self._request(
+            channel,
+            FetchOutput(
+                client_id=self.client_id, job_id=job_id, have_output_of=have
+            ),
+        )
+        output = expect(reply, OutputReply)
+        assert isinstance(output, OutputReply)
+        if not output.ready:
+            return None
+        streams = self._decode_streams(job, output)
+        bundle = _bundle_from_streams(
+            job_id, output.exit_code, output.cpu_seconds, streams
+        )
+        self._store_bundle(job, bundle)
+        if self.environment.reverse_shadow:
+            self._retained_outputs[job.signature] = (job_id, streams)
+        local = self.status.get(job_id)
+        if not local.state.terminal:
+            local.state = JobState(output.state) if output.state in {
+                state.value for state in JobState
+            } else JobState.COMPLETED
+            local.exit_code = output.exit_code
+        return bundle
+
+    def _decode_streams(
+        self, job: SubmittedJob, output: OutputReply
+    ) -> Dict[str, bytes]:
+        retained = self._retained_outputs.get(job.signature)
+        decoded: Dict[str, bytes] = {}
+        for stream_name, stream in output.streams.items():
+            kind = stream.get("kind")
+            data = stream.get("data", b"")
+            if kind == "full":
+                decoded[stream_name] = data
+            elif kind == "delta":
+                base_job = stream.get("base_job", "")
+                if retained is None or retained[0] != base_job:
+                    raise ProtocolError(
+                        f"server sent delta against {base_job!r} which this "
+                        "client no longer retains"
+                    )
+                base_data = retained[1].get(stream_name)
+                if base_data is None:
+                    raise ProtocolError(
+                        f"no retained base for stream {stream_name!r}"
+                    )
+                decoded[stream_name] = decode_delta(data).apply(base_data)
+            else:
+                raise ProtocolError(f"unknown stream kind {kind!r}")
+        return decoded
+
+    def _store_bundle(self, job: SubmittedJob, bundle: OutputBundle) -> None:
+        self.results[job.output_file] = bundle.stdout
+        if bundle.stderr:
+            self.results[job.error_file] = bundle.stderr
+        for name, content in bundle.output_files.items():
+            self.results[name] = content
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict[str, Any]:
+        """The user's view of their shadow environment (§6.3).
+
+        Lists every shadow file with its retained versions and sizes,
+        outstanding jobs, and the customisation in force — the client
+        half of the environment database.
+        """
+        files = {}
+        for name in self.versions.names:
+            chain = self.versions.chain(name)
+            files[name] = {
+                "latest": chain.latest_number,
+                "retained": chain.retained_numbers,
+                "retained_bytes": chain.retained_bytes,
+            }
+        return {
+            "client_id": self.client_id,
+            "connected_hosts": sorted(self._channels),
+            "environment": self.environment.describe(),
+            "shadow_files": files,
+            "jobs": {
+                "total": len(self.status),
+                "pending": [record.job_id for record in self.status.pending()],
+            },
+            "results_held": len(self.results),
+        }
+
+    def cancel_job(self, job_id: str, host: Optional[str] = None) -> bool:
+        """Withdraw an unfinished job; returns True if it was cancelled."""
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise ProtocolError(f"job {job_id!r} was not submitted here")
+        _, channel = self._channel(host or job.host)
+        reply = self._request(
+            channel, CancelJob(client_id=self.client_id, job_id=job_id)
+        )
+        ok = expect(reply, Ok)
+        assert isinstance(ok, Ok)
+        cancelled = ok.detail == "cancelled"
+        if cancelled:
+            local = self.status.get(job_id)
+            if not local.state.terminal:
+                local.state = JobState.CANCELLED
+        return cancelled
+
+    # ------------------------------------------------------------------
+    # callback handling (server-initiated messages)
+    # ------------------------------------------------------------------
+    def handle_callback(self, payload: bytes) -> bytes:
+        """Answer a server-initiated request (push mode).
+
+        Handles ``RequestUpdate`` (demand-driven background pull, §6.4)
+        and ``DeliverOutput`` (completion push, §6.2).
+        """
+        try:
+            message = decode_message(payload)
+            if isinstance(message, RequestUpdate):
+                return self._build_update(
+                    message.key, message.base_version, None
+                ).to_wire()
+            if isinstance(message, DeliverOutput):
+                streams = {
+                    name: stream.get("data", b"")
+                    for name, stream in message.streams.items()
+                    if stream.get("kind") == "full"
+                }
+                bundle = _bundle_from_streams(
+                    message.job_id,
+                    message.exit_code,
+                    message.cpu_seconds,
+                    streams,
+                )
+                self._delivered[message.job_id] = bundle
+                job = self._jobs.get(message.job_id)
+                if job is not None:
+                    self._store_bundle(job, bundle)
+                    if self.environment.reverse_shadow:
+                        self._retained_outputs[job.signature] = (
+                            message.job_id,
+                            {
+                                name: stream.get("data", b"")
+                                for name, stream in message.streams.items()
+                                if stream.get("kind") == "full"
+                            },
+                        )
+                    local = (
+                        self.status.get(message.job_id)
+                        if message.job_id in self.status
+                        else None
+                    )
+                    if local is not None and not local.state.terminal:
+                        local.state = (
+                            JobState.COMPLETED
+                            if message.exit_code == 0
+                            else JobState.FAILED
+                        )
+                        local.exit_code = message.exit_code
+                else:
+                    # Routed here from another submitter (§8.3): store
+                    # under conventional batch names.
+                    self.results[f"{message.job_id}.out"] = bundle.stdout
+                    if bundle.stderr:
+                        self.results[f"{message.job_id}.err"] = bundle.stderr
+                    for name, content in bundle.output_files.items():
+                        self.results[name] = content
+                return Ok(detail="delivered").to_wire()
+            raise ProtocolError(f"client cannot handle {message.TYPE!r}")
+        except ShadowError as exc:
+            return ErrorReply(code="client-error", message=str(exc)).to_wire()
+
+
+def _job_signature(script: str, keys: List[str]) -> str:
+    """Identity of "the same job" for reverse shadow processing (§8.3)."""
+    return script + "\x00" + "\x00".join(sorted(keys))
+
+
+def _bundle_from_streams(
+    job_id: str, exit_code: int, cpu_seconds: float, streams: Dict[str, bytes]
+) -> OutputBundle:
+    output_files = {
+        stream_name[len("file:") :]: data
+        for stream_name, data in streams.items()
+        if stream_name.startswith("file:")
+    }
+    return OutputBundle(
+        job_id=job_id,
+        exit_code=exit_code,
+        stdout=streams.get("stdout", b""),
+        stderr=streams.get("stderr", b""),
+        output_files=output_files,
+        cpu_seconds=cpu_seconds,
+    )

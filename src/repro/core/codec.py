@@ -1,0 +1,179 @@
+"""Compact binary value codec for protocol messages.
+
+Control messages must be small — "job submission and update requests are
+short and quick in the demand driven model" (§5.2) — and their size is
+charged to the simulated wire, so the encoding matters.  This is a
+bencode-style tagged format over byte strings, integers, booleans, lists
+and string-keyed dictionaries:
+
+* ``i<varint>`` / ``j<varint>`` — non-negative / negative integer
+* ``r<8 bytes>`` — IEEE-754 double, big-endian
+* ``t`` / ``f`` — true / false
+* ``n`` — none
+* ``b<varint length><bytes>`` — byte string
+* ``u<varint length><utf-8 bytes>`` — text string
+* ``l<varint count><items>`` — list
+* ``d<varint count><key value ...>`` — dict (keys are text, sorted)
+
+Varints are unsigned LEB128.  Encoding is deterministic (sorted dict
+keys), so message sizes are stable across runs.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Tuple, Union
+
+from repro.errors import ProtocolError
+
+Value = Union[
+    None, bool, int, float, bytes, str, List["Value"], Dict[str, "Value"]
+]
+
+
+def _encode_varint(value: int) -> bytes:
+    if value < 0:
+        raise ProtocolError(f"varint cannot encode negative {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def _decode_varint(data: bytes, position: int) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if position >= len(data):
+            raise ProtocolError("truncated varint")
+        byte = data[position]
+        position += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, position
+        shift += 7
+        if shift > 63:
+            raise ProtocolError("varint too long")
+
+
+def encode(value: Value) -> bytes:
+    """Serialise ``value`` deterministically."""
+    out = bytearray()
+    _encode_into(value, out)
+    return bytes(out)
+
+
+def _encode_into(value: Value, out: bytearray) -> None:
+    if value is None:
+        out += b"n"
+    elif value is True:
+        out += b"t"
+    elif value is False:
+        out += b"f"
+    elif isinstance(value, int):
+        if value >= 0:
+            out += b"i"
+            out += _encode_varint(value)
+        else:
+            out += b"j"
+            out += _encode_varint(-value)
+    elif isinstance(value, float):
+        out += b"r"
+        out += struct.pack(">d", value)
+    elif isinstance(value, bytes):
+        out += b"b"
+        out += _encode_varint(len(value))
+        out += value
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out += b"u"
+        out += _encode_varint(len(raw))
+        out += raw
+    elif isinstance(value, list):
+        out += b"l"
+        out += _encode_varint(len(value))
+        for item in value:
+            _encode_into(item, out)
+    elif isinstance(value, dict):
+        out += b"d"
+        out += _encode_varint(len(value))
+        for key in sorted(value):
+            if not isinstance(key, str):
+                raise ProtocolError(f"dict keys must be str, got {type(key)}")
+            raw = key.encode("utf-8")
+            out += _encode_varint(len(raw))
+            out += raw
+            _encode_into(value[key], out)
+    else:
+        raise ProtocolError(f"cannot encode {type(value).__name__}")
+
+
+def decode(data: bytes) -> Value:
+    """Inverse of :func:`encode`; rejects trailing bytes."""
+    value, position = _decode_at(data, 0)
+    if position != len(data):
+        raise ProtocolError(f"{len(data) - position} trailing bytes after value")
+    return value
+
+
+def _decode_at(data: bytes, position: int) -> Tuple[Value, int]:
+    if position >= len(data):
+        raise ProtocolError("truncated value")
+    tag = data[position : position + 1]
+    position += 1
+    if tag == b"n":
+        return None, position
+    if tag == b"t":
+        return True, position
+    if tag == b"f":
+        return False, position
+    if tag == b"i":
+        value, position = _decode_varint(data, position)
+        return value, position
+    if tag == b"j":
+        value, position = _decode_varint(data, position)
+        return -value, position
+    if tag == b"r":
+        if position + 8 > len(data):
+            raise ProtocolError("truncated float")
+        (real,) = struct.unpack(">d", data[position : position + 8])
+        return real, position + 8
+    if tag == b"b":
+        length, position = _decode_varint(data, position)
+        if position + length > len(data):
+            raise ProtocolError("truncated byte string")
+        return data[position : position + length], position + length
+    if tag == b"u":
+        length, position = _decode_varint(data, position)
+        if position + length > len(data):
+            raise ProtocolError("truncated text string")
+        raw = data[position : position + length]
+        try:
+            return raw.decode("utf-8"), position + length
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"invalid utf-8 in text string: {exc}") from exc
+    if tag == b"l":
+        count, position = _decode_varint(data, position)
+        items: List[Value] = []
+        for _ in range(count):
+            item, position = _decode_at(data, position)
+            items.append(item)
+        return items, position
+    if tag == b"d":
+        count, position = _decode_varint(data, position)
+        result: Dict[str, Value] = {}
+        for _ in range(count):
+            key_length, position = _decode_varint(data, position)
+            if position + key_length > len(data):
+                raise ProtocolError("truncated dict key")
+            key = data[position : position + key_length].decode("utf-8")
+            position += key_length
+            value, position = _decode_at(data, position)
+            result[key] = value
+        return result, position
+    raise ProtocolError(f"unknown type tag {tag!r}")

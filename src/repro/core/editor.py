@@ -1,0 +1,82 @@
+"""The shadow editor: wraps the user's own editor (§6.2).
+
+"Shadow Editor encapsulates a conventional editor of the user's choice
+(specified through an environment variable).  It does not modify an
+existing editor and the user's view of the editor remains unchanged.  It
+contains a postprocessor responsible for carrying out tasks related to
+shadow processing at the end of an editing session."
+
+An *editor* here is any callable ``(path, old_content) -> new_content``;
+the wrapper reads the file, runs the editor, writes the result back, and
+then runs the shadow postprocessor (version snapshot + server
+notification) through the client.  Editors that leave the content
+byte-identical produce **no** version and no network traffic — opening a
+file to look at it costs nothing, exactly as transparency demands.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.client import ShadowClient
+from repro.errors import ShadowError
+
+EditorFunction = Callable[[str, bytes], bytes]
+
+
+class ShadowEditor:
+    """The encapsulating wrapper around a conventional editor."""
+
+    def __init__(
+        self,
+        client: ShadowClient,
+        editor: EditorFunction,
+        editor_name: Optional[str] = None,
+    ) -> None:
+        self.client = client
+        self.editor = editor
+        self.editor_name = editor_name or client.environment.editor
+        self.sessions = 0
+        self.versions_created = 0
+
+    def edit(self, path: str, host: Optional[str] = None) -> Optional[int]:
+        """Run one editing session on ``path``.
+
+        Returns the new version number, or ``None`` when the editor made
+        no change (no shadow processing happens then).  A missing file
+        starts from empty content, like editors do.
+        """
+        self.sessions += 1
+        old_content = (
+            self.client.workspace.read(path)
+            if self.client.workspace.exists(path)
+            else b""
+        )
+        new_content = self.editor(path, old_content)
+        if not isinstance(new_content, bytes):
+            raise ShadowError(
+                f"editor {self.editor_name!r} returned "
+                f"{type(new_content).__name__}, expected bytes"
+            )
+        if new_content == old_content:
+            return None
+        version = self.client.write_file(path, new_content, host=host)
+        self.versions_created += 1
+        return version
+
+
+def scripted_editor(*contents: bytes) -> EditorFunction:
+    """An editor that returns each of ``contents`` in turn.
+
+    Handy for tests and examples: session 1 produces ``contents[0]``,
+    session 2 ``contents[1]``, and so on; further sessions leave the file
+    unchanged.
+    """
+    queue = list(contents)
+
+    def editor(path: str, old_content: bytes) -> bytes:  # noqa: ARG001
+        if queue:
+            return queue.pop(0)
+        return old_content
+
+    return editor

@@ -1,0 +1,76 @@
+"""The shadow environment: per-user customisation database (§6.3).
+
+"The shadow environment is a database that contains the information about
+the status of all the jobs submitted and customization information for
+each user. ... Though the environment is set up automatically, a user has
+an option to customize it according to his own choice."
+
+:class:`ShadowEnvironment` holds the customisable parameters with sane
+defaults (the paper's "Transparency" objective: the system works with no
+user setup at all) and validates every override (the "Customizability"
+objective).  The job-status half of the environment database lives in the
+client's :class:`~repro.jobs.status.StatusTable`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields as dataclass_fields, replace
+from typing import Any, Dict
+
+from repro.diffing.selector import ALGORITHMS, DEFAULT_ALGORITHM
+from repro.errors import EnvironmentError_
+
+
+@dataclass(frozen=True)
+class ShadowEnvironment:
+    """Defaults plus per-user overrides for client behaviour."""
+
+    #: Supercomputer to submit to when the user names none (§6.2).
+    default_host: str = "supercomputer"
+    #: The wrapped editor's name, purely informational (EDITOR-style).
+    editor: str = "ed"
+    #: Which differencing algorithm update computation uses.
+    diff_algorithm: str = DEFAULT_ALGORITHM
+    #: Try every algorithm and ship the smallest delta (§8.3).
+    use_best_delta: bool = False
+    #: Compress update payloads with the LZ77+Huffman pipeline (§8.3).
+    compress_updates: bool = False
+    #: "a user may specify ... a limit on the number of older versions
+    #: that should be retained at any time" (§6.3.2).
+    max_retained_versions: int = 8
+    #: Ask the server to send output as deltas against prior runs (§8.3).
+    reverse_shadow: bool = False
+    #: Default names for result files when the submit names none.
+    output_suffix: str = ".out"
+    error_suffix: str = ".err"
+
+    def __post_init__(self) -> None:
+        if not self.default_host:
+            raise EnvironmentError_("default_host must be non-empty")
+        if self.diff_algorithm not in ALGORITHMS:
+            raise EnvironmentError_(
+                f"unknown diff algorithm {self.diff_algorithm!r}; "
+                f"known: {sorted(ALGORITHMS)}"
+            )
+        if self.max_retained_versions < 1:
+            raise EnvironmentError_(
+                f"max_retained_versions must be >= 1, "
+                f"got {self.max_retained_versions}"
+            )
+
+    def customized(self, **overrides: Any) -> "ShadowEnvironment":
+        """A copy with ``overrides`` applied (validated)."""
+        known = {field_info.name for field_info in dataclass_fields(self)}
+        unknown = set(overrides) - known
+        if unknown:
+            raise EnvironmentError_(
+                f"unknown environment parameters: {sorted(unknown)}"
+            )
+        return replace(self, **overrides)
+
+    def describe(self) -> Dict[str, Any]:
+        """The full parameter set, for status displays and tests."""
+        return {
+            field_info.name: getattr(self, field_info.name)
+            for field_info in dataclass_fields(self)
+        }

@@ -1,0 +1,340 @@
+"""The shadow protocol: every message exchanged between client and server.
+
+The interaction model is §6.4's demand-driven design, flattened onto
+request/reply channels:
+
+* The client *notifies* (``Notify``) when the shadow editor creates a new
+  version; the server's reply says whether it wants the update now
+  (immediate pull), later (deferred), or not at all (already current).
+* Updates travel as ``Update`` messages carrying either a delta against a
+  base version the server named, or the full content (first submission,
+  pruned base, evicted cache — the best-effort fallback).
+* ``Submit`` names the job script and the (global name, version) pairs it
+  needs; the reply lists the files the server must still pull, which the
+  client supplies before the job becomes ready.
+* ``StatusQuery``/``FetchOutput`` mirror the paper's status command and
+  output retrieval; ``DeliverOutput`` is the server-initiated push used
+  where a callback channel exists.
+
+Each message is a dataclass with a ``TYPE`` tag, serialised through the
+deterministic codec in :mod:`repro.core.codec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields as dataclass_fields
+from typing import Any, Dict, Optional, Tuple, Type
+
+from repro.core import codec
+from repro.errors import ProtocolError
+
+PROTOCOL_VERSION = 1
+
+_REGISTRY: Dict[str, Type["Message"]] = {}
+
+
+def register(cls: Type["Message"]) -> Type["Message"]:
+    """Class decorator adding a message type to the wire registry."""
+    if not cls.TYPE:
+        raise ProtocolError(f"{cls.__name__} lacks a TYPE tag")
+    if cls.TYPE in _REGISTRY:
+        raise ProtocolError(f"duplicate message type {cls.TYPE!r}")
+    _REGISTRY[cls.TYPE] = cls
+    return cls
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base for all protocol messages."""
+
+    TYPE = ""
+
+    def to_wire(self) -> bytes:
+        payload: Dict[str, codec.Value] = {"_t": self.TYPE}
+        for field_info in dataclass_fields(self):
+            payload[field_info.name] = _to_value(getattr(self, field_info.name))
+        return codec.encode(payload)
+
+    @classmethod
+    def _from_payload(cls, payload: Dict[str, codec.Value]) -> "Message":
+        kwargs: Dict[str, Any] = {}
+        names = {field_info.name for field_info in dataclass_fields(cls)}
+        for key, value in payload.items():
+            if key == "_t":
+                continue
+            if key not in names:
+                raise ProtocolError(
+                    f"{cls.TYPE}: unexpected field {key!r}"
+                )
+            kwargs[key] = _from_value(value)
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise ProtocolError(f"{cls.TYPE}: {exc}") from exc
+
+
+def _to_value(value: Any) -> codec.Value:
+    if isinstance(value, tuple):
+        return [_to_value(item) for item in value]
+    if isinstance(value, list):
+        return [_to_value(item) for item in value]
+    if isinstance(value, dict):
+        return {key: _to_value(item) for key, item in value.items()}
+    return value
+
+
+def _from_value(value: codec.Value) -> Any:
+    if isinstance(value, list):
+        return tuple(_from_value(item) for item in value)
+    if isinstance(value, dict):
+        return {key: _from_value(item) for key, item in value.items()}
+    return value
+
+
+def decode_message(data: bytes) -> Message:
+    """Parse any registered message from its wire form."""
+    payload = codec.decode(data)
+    if not isinstance(payload, dict) or "_t" not in payload:
+        raise ProtocolError("message payload is not a tagged dict")
+    type_tag = payload["_t"]
+    if not isinstance(type_tag, str) or type_tag not in _REGISTRY:
+        raise ProtocolError(f"unknown message type {type_tag!r}")
+    return _REGISTRY[type_tag]._from_payload(payload)
+
+
+# ---------------------------------------------------------------------------
+# client -> server
+# ---------------------------------------------------------------------------
+
+
+@register
+@dataclass(frozen=True)
+class Hello(Message):
+    """Session opener: who is calling, from which naming domain."""
+
+    TYPE = "hello"
+    client_id: str = ""
+    domain: str = ""
+    protocol_version: int = PROTOCOL_VERSION
+
+
+@register
+@dataclass(frozen=True)
+class Notify(Message):
+    """A new version of a shadow file exists at the client (§6.4)."""
+
+    TYPE = "notify"
+    client_id: str = ""
+    key: str = ""
+    version: int = 0
+    size: int = 0
+    checksum: str = ""
+
+
+@register
+@dataclass(frozen=True)
+class Update(Message):
+    """File content flowing client -> server.
+
+    ``base_version`` None (with ``is_delta`` False) means full content;
+    otherwise ``payload`` is an encoded delta against that base version.
+    ``compressed`` marks a compression-pipeline frame around the payload.
+    """
+
+    TYPE = "update"
+    client_id: str = ""
+    key: str = ""
+    version: int = 0
+    base_version: Optional[int] = None
+    is_delta: bool = False
+    compressed: bool = False
+    payload: bytes = b""
+
+
+@register
+@dataclass(frozen=True)
+class Submit(Message):
+    """A job submission (§6.2): script plus file identities.
+
+    Each ``files`` entry is ``(key, version)`` or ``(key, version,
+    checksum)``; the checksum lets the server detect same-version
+    divergence between clients sharing one file.
+    """
+
+    TYPE = "submit"
+    client_id: str = ""
+    script: str = ""
+    files: Tuple[Tuple, ...] = ()
+    output_file: Optional[str] = None
+    error_file: Optional[str] = None
+    deliver_to_host: Optional[str] = None
+    priority: int = 0
+
+
+@register
+@dataclass(frozen=True)
+class StatusQuery(Message):
+    """Ask after one job, or all pending jobs when ``job_id`` is None."""
+
+    TYPE = "status"
+    client_id: str = ""
+    job_id: Optional[str] = None
+
+
+@register
+@dataclass(frozen=True)
+class FetchOutput(Message):
+    """Client-initiated output retrieval (poll mode)."""
+
+    TYPE = "fetch"
+    client_id: str = ""
+    job_id: str = ""
+    #: Highest job generation whose output this client still holds, for
+    #: reverse shadow processing (§8.3); empty means none.
+    have_output_of: str = ""
+
+
+@register
+@dataclass(frozen=True)
+class CancelJob(Message):
+    """Withdraw a job that has not finished (owner only)."""
+
+    TYPE = "cancel"
+    client_id: str = ""
+    job_id: str = ""
+
+
+@register
+@dataclass(frozen=True)
+class Bye(Message):
+    """Session close."""
+
+    TYPE = "bye"
+    client_id: str = ""
+
+
+# ---------------------------------------------------------------------------
+# server -> client (replies and callbacks)
+# ---------------------------------------------------------------------------
+
+
+@register
+@dataclass(frozen=True)
+class Ok(Message):
+    TYPE = "ok"
+    detail: str = ""
+
+
+@register
+@dataclass(frozen=True)
+class ErrorReply(Message):
+    TYPE = "error"
+    code: str = "error"
+    message: str = ""
+
+
+@register
+@dataclass(frozen=True)
+class NotifyReply(Message):
+    """The server's demand-driven answer to a change notification.
+
+    ``pull_now`` True asks the client to send the update immediately;
+    ``base_version`` is the version the server can patch from (0 = none,
+    send full).  ``pull_now`` False defers retrieval (§6.4: "may postpone
+    such a retrieval until the changes are actually needed").
+    """
+
+    TYPE = "notify-reply"
+    pull_now: bool = False
+    base_version: int = 0
+
+
+@register
+@dataclass(frozen=True)
+class UpdateAck(Message):
+    """The server stored (or declined to cache) an update."""
+
+    TYPE = "update-ack"
+    key: str = ""
+    stored_version: int = 0
+    cached: bool = True
+
+
+@register
+@dataclass(frozen=True)
+class SubmitReply(Message):
+    """Job accepted; ``needs`` lists files the server must still pull.
+
+    Each need is ``(key, base_version)`` — the base the server holds (0
+    for none).  The job runs once every need is satisfied.
+    """
+
+    TYPE = "submit-reply"
+    job_id: str = ""
+    needs: Tuple[Tuple[str, int], ...] = ()
+
+
+@register
+@dataclass(frozen=True)
+class StatusReply(Message):
+    """Job status records, one dict per job."""
+
+    TYPE = "status-reply"
+    records: Tuple[Dict[str, Any], ...] = ()
+
+
+@register
+@dataclass(frozen=True)
+class OutputReply(Message):
+    """Job output, or not-ready.
+
+    ``streams`` maps stream name (``stdout``, ``stderr``, or an output
+    file name prefixed ``file:``) to a stream dict::
+
+        {"kind": "full",  "data": bytes}
+        {"kind": "delta", "base_job": str, "data": bytes}   # reverse shadow
+
+    Delta streams (§8.3 reverse shadow processing) apply against the same
+    stream of the named earlier job's output, which the client retained.
+    """
+
+    TYPE = "output-reply"
+    job_id: str = ""
+    ready: bool = False
+    state: str = ""
+    exit_code: int = 0
+    cpu_seconds: float = 0.0
+    streams: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+
+@register
+@dataclass(frozen=True)
+class RequestUpdate(Message):
+    """Server-initiated pull over a callback channel (§6.4)."""
+
+    TYPE = "request-update"
+    key: str = ""
+    base_version: int = 0
+
+
+@register
+@dataclass(frozen=True)
+class DeliverOutput(Message):
+    """Server-initiated output push on job completion (§6.2)."""
+
+    TYPE = "deliver-output"
+    job_id: str = ""
+    exit_code: int = 0
+    cpu_seconds: float = 0.0
+    streams: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+
+def expect(reply: Message, expected: Type[Message]) -> Message:
+    """Assert a reply's type, surfacing server-side errors cleanly."""
+    if isinstance(reply, ErrorReply):
+        raise ProtocolError(f"server error [{reply.code}]: {reply.message}")
+    if not isinstance(reply, expected):
+        raise ProtocolError(
+            f"expected {expected.TYPE!r} reply, got {reply.TYPE!r}"
+        )
+    return reply

@@ -1,0 +1,674 @@
+"""The shadow server: cache, demand-driven pulls, job execution (§6).
+
+"A shadow server runs at each supercomputer site. ... The server accepts
+requests for job execution, initiates execution at the supercomputer,
+reports on the status of outstanding jobs, and transfers results back to
+an appropriate client."
+
+The server is a pure request handler (`handle` maps request payload to
+reply payload), so the same instance runs over loopback, the simulated
+wire, or TCP.  When given a :class:`SimulatedClock` it charges virtual
+CPU seconds for patching, diffing and job execution from a
+:class:`ProcessingModel` — reproducing 1987 costs on modern hardware.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cache.coherence import CoherenceTracker
+from repro.cache.store import CacheStore
+from repro.compression.pipeline import Pipeline
+from repro.core import protocol
+from repro.core.protocol import (
+    Bye,
+    CancelJob,
+    DeliverOutput,
+    ErrorReply,
+    FetchOutput,
+    Hello,
+    Message,
+    Notify,
+    NotifyReply,
+    Ok,
+    OutputReply,
+    StatusQuery,
+    StatusReply,
+    Submit,
+    SubmitReply,
+    Update,
+    UpdateAck,
+    decode_message,
+)
+from repro.diffing import tichy
+from repro.diffing.model import checksum as content_digest, decode_delta
+from repro.diffing.selector import worthwhile
+from repro.errors import (
+    CacheMissError,
+    DiffError,
+    JobCommandError,
+    JobError,
+    PatchConflictError,
+    ProtocolError,
+    ShadowError,
+    UnknownJobError,
+)
+from repro.jobs.executor import Executor, SimulatedExecutor
+from repro.jobs.output import DeliveryPlan, OutputBundle
+from repro.jobs.queue import JobQueue, QueuedJob
+from repro.jobs.scheduler import Scheduler
+from repro.jobs.spec import JobCommandFile, JobRequest
+from repro.jobs.status import JobRecord, JobState, StatusTable
+from repro.simnet.clock import Clock
+from repro.simnet.link import ProcessingModel
+from repro.transport.base import RequestChannel
+
+#: How many finished output bundles are retained per client for the
+#: reverse-shadow delta base (§8.3) and late fetches.
+_RETAINED_BUNDLES_PER_CLIENT = 8
+
+
+@dataclass
+class TrafficAccount:
+    """Per-client traffic totals (§2.2: "users will be charged for their
+    use of network services in proportion to the volume of traffic
+    generated")."""
+
+    requests: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    pushed_bytes: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_in + self.bytes_out + self.pushed_bytes
+
+
+class ShadowServer:
+    """One supercomputer site's shadow service."""
+
+    def __init__(
+        self,
+        name: str = "supercomputer",
+        cache: Optional[CacheStore] = None,
+        executor: Optional[Executor] = None,
+        scheduler: Optional[Scheduler] = None,
+        clock: Optional[Clock] = None,
+        processing: Optional[ProcessingModel] = None,
+        reverse_shadow: bool = True,
+        push_outputs: bool = False,
+    ) -> None:
+        self.name = name
+        self.cache = cache if cache is not None else CacheStore()
+        self.coherence = CoherenceTracker(self.cache)
+        self.executor = executor if executor is not None else SimulatedExecutor()
+        self.scheduler = scheduler if scheduler is not None else Scheduler()
+        self.clock = clock
+        self.processing = processing
+        self.reverse_shadow = reverse_shadow
+        self.push_outputs = push_outputs
+        self.ledger: Dict[str, TrafficAccount] = {}
+        self.status = StatusTable()
+        self.queue = JobQueue()
+        self._pipeline = Pipeline.default()
+        self._job_counter = 0
+        self._clients: Dict[str, str] = {}
+        self._callbacks: Dict[str, RequestChannel] = {}
+        self._requests: Dict[str, JobRequest] = {}
+        self._plans: Dict[str, DeliveryPlan] = {}
+        #: Per-queued-job input staging, independent of the cache: a file
+        #: larger than the whole cache must still reach its job (§5.1's
+        #: worst case is re-transfer, never failure).  Cleared on run.
+        self._staged: Dict[str, Dict[str, bytes]] = {}
+        self._finished: "OrderedDict[str, OutputBundle]" = OrderedDict()
+        self._routed: Dict[str, str] = {}
+        #: Optional hook fired as (client_id, key) whenever a change
+        #: notification is deferred; a BackgroundPuller attaches here to
+        #: realise §6.4's postponed retrieval.
+        self.on_deferred_pull = None
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict[str, Any]:
+        """Operational snapshot for monitoring and the admin examples."""
+        states: Dict[str, int] = {}
+        for record in self.status.all_records():
+            states[record.state.value] = states.get(record.state.value, 0) + 1
+        return {
+            "name": self.name,
+            "clients": sorted(self._clients),
+            "cache": {
+                "entries": len(self.cache),
+                "used_bytes": self.cache.used_bytes,
+                "capacity_bytes": self.cache.capacity_bytes,
+                "hit_rate": round(self.cache.stats.hit_rate, 4),
+                "evictions": self.cache.stats.evictions,
+                "policy": self.cache.policy.name,
+            },
+            "jobs": {
+                "queued": len(self.queue),
+                "total": len(self.status),
+                "by_state": states,
+            },
+            "retained_bundles": len(self._finished),
+            "stale_files": len(self.coherence.stale_keys()),
+        }
+
+    # ------------------------------------------------------------------
+    # time helpers
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        return self.clock.now() if self.clock is not None else 0.0
+
+    def _charge(self, seconds: float) -> None:
+        """Consume virtual CPU time when running under a simulated clock."""
+        if self.clock is not None and seconds > 0:
+            self.clock.advance(seconds)
+
+    def _patch_cost(self, result_bytes: int) -> float:
+        if self.processing is None:
+            return 0.0
+        return self.processing.patch_seconds(result_bytes)
+
+    def _diff_cost(self, file_bytes: int) -> float:
+        if self.processing is None:
+            return 0.0
+        return self.processing.diff_seconds(file_bytes)
+
+    # ------------------------------------------------------------------
+    # the wire entry point
+    # ------------------------------------------------------------------
+    def handle(self, payload: bytes) -> bytes:
+        """Decode, dispatch, encode — every request lands here."""
+        try:
+            message = decode_message(payload)
+        except ShadowError as exc:
+            return ErrorReply(code="bad-message", message=str(exc)).to_wire()
+        try:
+            reply = self._dispatch(message)
+        except UnknownJobError as exc:
+            reply = ErrorReply(code="unknown-job", message=str(exc))
+        except (JobError, JobCommandError) as exc:
+            reply = ErrorReply(code="job-error", message=str(exc))
+        except (DiffError, PatchConflictError) as exc:
+            reply = ErrorReply(code="need-full", message=str(exc))
+        except ProtocolError as exc:
+            reply = ErrorReply(code="protocol", message=str(exc))
+        except ShadowError as exc:
+            reply = ErrorReply(code="server-error", message=str(exc))
+        encoded = reply.to_wire()
+        client_id = getattr(message, "client_id", "")
+        if client_id:
+            account = self.ledger.setdefault(client_id, TrafficAccount())
+            account.requests += 1
+            account.bytes_in += len(payload)
+            account.bytes_out += len(encoded)
+        return encoded
+
+    def _dispatch(self, message: Message) -> Message:
+        if isinstance(message, Hello):
+            return self._on_hello(message)
+        if isinstance(message, Notify):
+            return self._on_notify(message)
+        if isinstance(message, Update):
+            return self._on_update(message)
+        if isinstance(message, Submit):
+            return self._on_submit(message)
+        if isinstance(message, StatusQuery):
+            return self._on_status(message)
+        if isinstance(message, FetchOutput):
+            return self._on_fetch(message)
+        if isinstance(message, CancelJob):
+            return self._on_cancel(message)
+        if isinstance(message, Bye):
+            return self._on_bye(message)
+        raise ProtocolError(f"server cannot handle {message.TYPE!r}")
+
+    # ------------------------------------------------------------------
+    # session management
+    # ------------------------------------------------------------------
+    def _on_hello(self, message: Hello) -> Message:
+        if message.protocol_version != protocol.PROTOCOL_VERSION:
+            return ErrorReply(
+                code="version",
+                message=(
+                    f"server speaks protocol {protocol.PROTOCOL_VERSION}, "
+                    f"client spoke {message.protocol_version}"
+                ),
+            )
+        if not message.client_id:
+            return ErrorReply(code="bad-client", message="empty client id")
+        self._clients[message.client_id] = message.domain
+        return Ok(detail=f"welcome to {self.name}")
+
+    def _on_bye(self, message: Bye) -> Message:
+        self._clients.pop(message.client_id, None)
+        self._callbacks.pop(message.client_id, None)
+        for job in self.queue.remove_for_owner(message.client_id):
+            self._staged.pop(job.job_id, None)
+            record = self.status.get(job.job_id)
+            if not record.state.terminal:
+                record.transition(JobState.CANCELLED, self.now(), "client left")
+        return Ok(detail="bye")
+
+    def register_callback(self, client_id: str, channel: RequestChannel) -> None:
+        """Attach a server->client channel for pushes (sim / live modes)."""
+        self._callbacks[client_id] = channel
+
+    def _require_client(self, client_id: str) -> None:
+        if client_id not in self._clients:
+            raise ProtocolError(f"client {client_id!r} has not said hello")
+
+    # ------------------------------------------------------------------
+    # coherence: notifications and updates
+    # ------------------------------------------------------------------
+    def _on_notify(self, message: Notify) -> Message:
+        self._require_client(message.client_id)
+        if message.version < 1:
+            raise ProtocolError(f"bad version {message.version}")
+        self.coherence.note_notification(message.key, message.version)
+        cached = self.cache.peek_entry(message.key)
+        if cached is not None and cached.version >= message.version:
+            # Version numbers are per-client lineage; only a matching
+            # content checksum proves the cache is actually current (two
+            # clients sharing one NFS file both start at version 1).
+            if not message.checksum or cached.checksum == message.checksum:
+                return NotifyReply(pull_now=False, base_version=cached.version)
+            base = 0  # divergent content: a delta base cannot be trusted
+        else:
+            base = cached.version if cached is not None else 0
+        if self.scheduler.should_pull_on_notify(self.now()):
+            return NotifyReply(pull_now=True, base_version=base)
+        if self.on_deferred_pull is not None:
+            self.on_deferred_pull(message.client_id, message.key)
+        return NotifyReply(pull_now=False, base_version=base)
+
+    def _on_update(self, message: Update) -> Message:
+        self._require_client(message.client_id)
+        payload = message.payload
+        if message.compressed:
+            payload = self._pipeline.decompress(payload)
+        if message.is_delta:
+            if message.base_version is None:
+                raise ProtocolError("delta update without base_version")
+            try:
+                entry = self.cache.get(message.key, self.now())
+            except CacheMissError:
+                # Evicted since the pull decision: best-effort fallback.
+                raise PatchConflictError(
+                    f"no cached base for {message.key}; send full"
+                ) from None
+            if entry.version != message.base_version:
+                raise PatchConflictError(
+                    f"cached version {entry.version} != update base "
+                    f"{message.base_version}; send full"
+                )
+            delta = decode_delta(payload)
+            content = delta.apply(entry.content)
+            self._charge(self._patch_cost(len(content)))
+        else:
+            content = payload
+        self.coherence.note_notification(message.key, message.version)
+        stored = self.cache.put(
+            message.key, content, message.version, self.now()
+        )
+        self._stage_for_waiting_jobs(message.key, message.version, content)
+        self._run_ready_jobs()
+        return UpdateAck(
+            key=message.key,
+            stored_version=message.version,
+            cached=stored is not None,
+        )
+
+    def _stage_for_waiting_jobs(
+        self, key: str, version: int, content: bytes
+    ) -> None:
+        """Pin arriving content to every queued job that needs it."""
+        digest = None
+        for job in self.queue.snapshot():
+            needed = job.file_versions.get(key)
+            if needed is None or version < needed:
+                continue
+            expected = job.file_checksums.get(key, "")
+            if expected and version == needed:
+                if digest is None:
+                    digest = content_digest(content)
+                if digest != expected:
+                    continue
+            self._staged.setdefault(job.job_id, {})[key] = content
+
+    # ------------------------------------------------------------------
+    # submission and execution
+    # ------------------------------------------------------------------
+    def _on_submit(self, message: Submit) -> Message:
+        self._require_client(message.client_id)
+        command_file = JobCommandFile.parse(message.script)
+        request = JobRequest(
+            command_file=command_file,
+            data_files=tuple(entry[0] for entry in message.files),
+            output_file=message.output_file,
+            error_file=message.error_file,
+            deliver_to_host=message.deliver_to_host,
+        )
+        self._job_counter += 1
+        job_id = f"{self.name}-job-{self._job_counter:05d}"
+        file_versions: Dict[str, int] = {}
+        file_checksums: Dict[str, str] = {}
+        for entry in message.files:
+            key, version = entry[0], entry[1]
+            file_versions[key] = version
+            # Checksums are an optional third element (older clients and
+            # hand-built messages may omit them; identity checks then skip).
+            file_checksums[key] = entry[2] if len(entry) > 2 else ""
+        _stage_names(file_versions)  # validate basename collisions early
+        for key, version in file_versions.items():
+            if version < 1:
+                raise ProtocolError(f"bad version {version} for {key}")
+            self.coherence.note_notification(key, version)
+        job = QueuedJob(
+            job_id=job_id,
+            owner=message.client_id,
+            request=request,
+            file_keys=tuple(file_versions),
+            file_versions=file_versions,
+            file_checksums=file_checksums,
+            enqueued_at=self.now(),
+            priority=message.priority,
+        )
+        record = JobRecord(
+            job_id=job_id, owner=message.client_id, submitted_at=self.now()
+        )
+        self.status.add(record)
+        self._requests[job_id] = request
+        self._plans[job_id] = DeliveryPlan.for_request(
+            job_id, request, client_host=message.client_id
+        )
+        needs = self._missing_files(job)
+        self.queue.push(job)
+        if needs:
+            record.transition(
+                JobState.WAITING_FILES, self.now(), f"waiting for {len(needs)} files"
+            )
+        self._run_ready_jobs()
+        return SubmitReply(job_id=job_id, needs=tuple(needs))
+
+    def _missing_files(self, job: QueuedJob) -> List[Tuple[str, int]]:
+        """Files whose cached copy cannot satisfy this job.
+
+        A copy satisfies the job when its version is at least the
+        submitted one AND, when the submit carried a checksum and the
+        versions are equal, the content actually matches — two clients
+        sharing one file each start their lineage at version 1 (§5.3).
+        A checksum mismatch forces a full pull (base 0): the divergent
+        cached copy is useless as a delta base.
+        """
+        staged = self._staged.get(job.job_id, {})
+        needs: List[Tuple[str, int]] = []
+        for key, version in job.file_versions.items():
+            if key in staged:
+                continue  # pinned for this job regardless of the cache
+            cached = self.cache.peek_entry(key)
+            if cached is None:
+                needs.append((key, 0))
+                continue
+            expected = job.file_checksums.get(key, "")
+            if cached.version < version:
+                needs.append((key, cached.version))
+            elif (
+                expected
+                and cached.version == version
+                and cached.checksum != expected
+            ):
+                needs.append((key, 0))
+        return needs
+
+    def _job_is_ready(self, job: QueuedJob) -> bool:
+        return not self._missing_files(job)
+
+    def _run_ready_jobs(self) -> None:
+        """Start every queued job whose files are now current."""
+        while True:
+            job = self.queue.peek_ready(self._job_is_ready)
+            if job is None:
+                return
+            self.queue.pop(job.job_id)
+            self._execute(job)
+
+    def _execute(self, job: QueuedJob) -> None:
+        record = self.status.get(job.job_id)
+        if record.state is JobState.QUEUED:
+            record.transition(JobState.READY, self.now())
+        elif record.state is JobState.WAITING_FILES:
+            record.transition(JobState.READY, self.now())
+        self._charge(self.scheduler.start_delay(self.now(), len(self.queue) + 1))
+        record.transition(JobState.RUNNING, self.now())
+        inputs: Dict[str, bytes] = {}
+        stage_names = _stage_names(job.file_versions)
+        staged = self._staged.pop(job.job_id, {})
+        for key in job.file_keys:
+            pinned = staged.get(key)
+            if pinned is not None:
+                inputs[stage_names[key]] = pinned
+                continue
+            try:
+                entry = self.cache.get(key, self.now())
+            except CacheMissError:
+                record.transition(
+                    JobState.FAILED,
+                    self.now(),
+                    f"staged file {key} vanished from cache",
+                )
+                return
+            inputs[stage_names[key]] = entry.content
+        result = self.executor.execute(job.request.command_file, inputs)
+        self._charge(result.cpu_seconds)
+        bundle = OutputBundle.from_result(job.job_id, result)
+        self._remember_bundle(job.owner, bundle)
+        record.exit_code = result.exit_code
+        record.transition(
+            JobState.COMPLETED if result.succeeded else JobState.FAILED,
+            self.now(),
+            f"exit {result.exit_code}",
+        )
+        self._deliver_if_routed(job, bundle)
+        self._push_to_owner(job, bundle)
+
+    def _remember_bundle(self, owner: str, bundle: OutputBundle) -> None:
+        self._finished[bundle.job_id] = bundle
+        owned = [
+            job_id
+            for job_id, kept in self._finished.items()
+            if self.status.get(job_id).owner == owner
+        ]
+        while len(owned) > _RETAINED_BUNDLES_PER_CLIENT:
+            self._finished.pop(owned.pop(0), None)
+
+    def _deliver_if_routed(self, job: QueuedJob, bundle: OutputBundle) -> None:
+        """Push output onward when routed to a third host (§8.3)."""
+        plan = self._plans[job.job_id]
+        if not plan.is_third_party:
+            return
+        channel = self._callbacks.get(plan.destination_host)
+        if channel is None:
+            # Destination not connected; the bundle stays fetchable there.
+            return
+        push = DeliverOutput(
+            job_id=job.job_id,
+            exit_code=bundle.exit_code,
+            cpu_seconds=bundle.cpu_seconds,
+            streams=_full_streams(bundle),
+        )
+        channel.request(push.to_wire())
+        self._routed[job.job_id] = plan.destination_host
+
+    def _push_to_owner(self, job: QueuedJob, bundle: OutputBundle) -> None:
+        """§6.2 completion push: "the shadow server contacts the client
+        to transfer the output"."""
+        if not self.push_outputs:
+            return
+        plan = self._plans[job.job_id]
+        if plan.is_third_party:
+            return  # routed delivery already handled it
+        channel = self._callbacks.get(job.owner)
+        if channel is None:
+            return  # no callback path; the client will fetch
+        push = DeliverOutput(
+            job_id=job.job_id,
+            exit_code=bundle.exit_code,
+            cpu_seconds=bundle.cpu_seconds,
+            streams=_full_streams(bundle),
+        )
+        try:
+            payload = push.to_wire()
+            channel.request(payload)
+        except ShadowError:
+            return  # push is opportunistic; fetch remains available
+        account = self.ledger.setdefault(job.owner, TrafficAccount())
+        account.pushed_bytes += len(payload)
+
+    # ------------------------------------------------------------------
+    # status and output
+    # ------------------------------------------------------------------
+    def _on_status(self, message: StatusQuery) -> Message:
+        self._require_client(message.client_id)
+        if message.job_id is not None:
+            records = [self.status.get(message.job_id)]
+        else:
+            records = [
+                record
+                for record in self.status.pending()
+                if record.owner == message.client_id
+            ]
+        return StatusReply(
+            records=tuple(_record_dict(record) for record in records)
+        )
+
+    def _on_cancel(self, message: CancelJob) -> Message:
+        self._require_client(message.client_id)
+        record = self.status.get(message.job_id)
+        if record.owner != message.client_id:
+            raise JobError(
+                f"{message.job_id} belongs to {record.owner}, "
+                f"not {message.client_id}"
+            )
+        if record.state.terminal:
+            return Ok(detail=f"already {record.state.value}")
+        if message.job_id in self.queue:
+            self.queue.pop(message.job_id)
+        self._staged.pop(message.job_id, None)
+        record.transition(JobState.CANCELLED, self.now(), "cancelled by owner")
+        return Ok(detail="cancelled")
+
+    def _on_fetch(self, message: FetchOutput) -> Message:
+        self._require_client(message.client_id)
+        record = self.status.get(message.job_id)
+        if not record.state.terminal:
+            return OutputReply(
+                job_id=message.job_id, ready=False, state=record.state.value
+            )
+        if message.job_id in self._routed:
+            return OutputReply(
+                job_id=message.job_id,
+                ready=True,
+                state=f"routed:{self._routed[message.job_id]}",
+                exit_code=record.exit_code or 0,
+            )
+        bundle = self._finished.get(message.job_id)
+        if bundle is None:
+            if record.state is JobState.CANCELLED:
+                return OutputReply(
+                    job_id=message.job_id, ready=True, state="cancelled"
+                )
+            raise JobError(f"output of {message.job_id} no longer retained")
+        streams = self._encode_streams(bundle, message.have_output_of)
+        return OutputReply(
+            job_id=message.job_id,
+            ready=True,
+            state=record.state.value,
+            exit_code=bundle.exit_code,
+            cpu_seconds=bundle.cpu_seconds,
+            streams=streams,
+        )
+
+    def _encode_streams(
+        self, bundle: OutputBundle, have_output_of: str
+    ) -> Dict[str, Dict[str, Any]]:
+        """Full streams, or reverse-shadow deltas against a prior bundle."""
+        base = (
+            self._finished.get(have_output_of)
+            if self.reverse_shadow and have_output_of
+            else None
+        )
+        if base is None:
+            return _full_streams(bundle)
+        streams: Dict[str, Dict[str, Any]] = {}
+        for name, data in _stream_items(bundle):
+            base_data = dict(_stream_items(base)).get(name)
+            if base_data is None:
+                streams[name] = {"kind": "full", "data": data}
+                continue
+            self._charge(self._diff_cost(len(base_data)))
+            delta = tichy.diff(base_data, data)
+            if worthwhile(delta, len(data)):
+                streams[name] = {
+                    "kind": "delta",
+                    "base_job": have_output_of,
+                    "data": delta.encode(),
+                }
+            else:
+                streams[name] = {"kind": "full", "data": data}
+        return streams
+
+
+def _stage_names(file_versions: Dict[str, int]) -> Dict[str, str]:
+    """Map global keys to the basenames the job script uses.
+
+    Raises if two staged files collide on basename — the script could not
+    tell them apart.
+    """
+    names: Dict[str, str] = {}
+    seen: Dict[str, str] = {}
+    for key in file_versions:
+        basename = key.rsplit("/", 1)[-1]
+        if basename in seen:
+            raise JobCommandError(
+                f"staged files {seen[basename]!r} and {key!r} both "
+                f"named {basename!r}"
+            )
+        seen[basename] = key
+        names[key] = basename
+    return names
+
+
+def _stream_items(bundle: OutputBundle) -> List[Tuple[str, bytes]]:
+    items = [("stdout", bundle.stdout), ("stderr", bundle.stderr)]
+    items.extend(
+        (f"file:{name}", content)
+        for name, content in sorted(bundle.output_files.items())
+    )
+    return items
+
+
+def _full_streams(bundle: OutputBundle) -> Dict[str, Dict[str, Any]]:
+    return {
+        name: {"kind": "full", "data": data}
+        for name, data in _stream_items(bundle)
+    }
+
+
+def _record_dict(record: JobRecord) -> Dict[str, Any]:
+    return {
+        "job_id": record.job_id,
+        "owner": record.owner,
+        "state": record.state.value,
+        "submitted_at": record.submitted_at,
+        "started_at": record.started_at if record.started_at is not None else -1.0,
+        "finished_at": (
+            record.finished_at if record.finished_at is not None else -1.0
+        ),
+        "exit_code": record.exit_code if record.exit_code is not None else -1,
+        "detail": record.detail,
+    }

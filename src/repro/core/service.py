@@ -1,0 +1,166 @@
+"""Service wiring: assemble client/server pairs over any transport.
+
+Three factory shapes:
+
+* :func:`loopback_pair` — zero-cost direct wiring for unit tests;
+* :class:`SimulatedDeployment` — the full benchmark rig: shared virtual
+  clock, a slow link each way, 1987 processing costs, and byte
+  accounting, reproducing the paper's measurement setup;
+* :func:`tcp_pair` — a live server on a real socket plus a connected
+  client, for the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from repro.core.client import ShadowClient
+from repro.core.environment import ShadowEnvironment
+from repro.core.server import ShadowServer
+from repro.core.workspace import MappingWorkspace, Workspace
+from repro.jobs.executor import Executor
+from repro.jobs.scheduler import Scheduler
+from repro.simnet.clock import SimulatedClock
+from repro.simnet.link import (
+    SUN3_PROCESSING,
+    Link,
+    ProcessingModel,
+)
+from repro.simnet.traffic import CongestedLink
+from repro.transport.base import LoopbackChannel
+from repro.transport.sim import SimChannel, Wire
+from repro.transport.tcp import TcpChannel, TcpChannelServer
+
+
+def loopback_pair(
+    client_id: str = "alice@workstation",
+    server_name: str = "supercomputer",
+    environment: Optional[ShadowEnvironment] = None,
+    workspace: Optional[Workspace] = None,
+    executor: Optional[Executor] = None,
+    scheduler: Optional[Scheduler] = None,
+) -> Tuple[ShadowClient, ShadowServer]:
+    """A connected client/server with no wire costs (tests)."""
+    server = ShadowServer(
+        name=server_name, executor=executor, scheduler=scheduler
+    )
+    client = ShadowClient(
+        client_id=client_id,
+        workspace=workspace if workspace is not None else MappingWorkspace(),
+        environment=environment,
+    )
+    client.connect(server_name, LoopbackChannel(server.handle))
+    server.register_callback(client_id, LoopbackChannel(client.handle_callback))
+    return client, server
+
+
+@dataclass
+class SimulatedDeployment:
+    """A client and server joined by a simulated slow line.
+
+    The shared :class:`SimulatedClock` is the experiment stopwatch: take
+    ``clock.now()`` before and after a cycle to get the paper's measured
+    seconds.  ``uplink``/``downlink`` wires expose byte accounting.
+    """
+
+    client: ShadowClient
+    server: ShadowServer
+    clock: SimulatedClock
+    uplink: Wire
+    downlink: Wire
+    channel: SimChannel
+
+    @classmethod
+    def build(
+        cls,
+        link: Union[Link, CongestedLink],
+        client_id: str = "alice@workstation",
+        server_name: str = "supercomputer",
+        environment: Optional[ShadowEnvironment] = None,
+        workspace: Optional[Workspace] = None,
+        executor: Optional[Executor] = None,
+        scheduler: Optional[Scheduler] = None,
+        processing: Optional[ProcessingModel] = SUN3_PROCESSING,
+        reverse_shadow: bool = True,
+    ) -> "SimulatedDeployment":
+        clock = SimulatedClock()
+        server = ShadowServer(
+            name=server_name,
+            executor=executor,
+            scheduler=scheduler,
+            clock=clock,
+            processing=processing,
+            reverse_shadow=reverse_shadow,
+        )
+        client = ShadowClient(
+            client_id=client_id,
+            workspace=workspace if workspace is not None else MappingWorkspace(),
+            environment=environment,
+            clock=clock,
+            processing=processing,
+        )
+        uplink = Wire(link, clock)
+        downlink = Wire(link, clock)
+        channel = SimChannel(server.handle, uplink, downlink)
+        client.connect(server_name, channel)
+        # Server -> client pushes ride the same pair of wires, reversed.
+        callback = SimChannel(client.handle_callback, downlink, uplink)
+        server.register_callback(client_id, callback)
+        return cls(
+            client=client,
+            server=server,
+            clock=clock,
+            uplink=uplink,
+            downlink=downlink,
+            channel=channel,
+        )
+
+    @property
+    def total_wire_bytes(self) -> int:
+        return self.uplink.stats.wire_bytes + self.downlink.stats.wire_bytes
+
+
+@dataclass
+class TcpDeployment:
+    """A live server on a real socket plus a connected client."""
+
+    client: ShadowClient
+    server: ShadowServer
+    listener: TcpChannelServer
+    channel: TcpChannel
+
+    def close(self) -> None:
+        self.client.disconnect(self.server.name)
+        self.channel.close()
+        self.listener.close()
+
+    def __enter__(self) -> "TcpDeployment":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def tcp_pair(
+    client_id: str = "alice@workstation",
+    server_name: str = "supercomputer",
+    host: str = "127.0.0.1",
+    port: int = 0,
+    environment: Optional[ShadowEnvironment] = None,
+    workspace: Optional[Workspace] = None,
+    executor: Optional[Executor] = None,
+) -> TcpDeployment:
+    """Start a TCP shadow server and connect a client to it."""
+    server = ShadowServer(name=server_name, executor=executor)
+    listener = TcpChannelServer(server.handle, host=host, port=port)
+    channel = TcpChannel(host, listener.port)
+    client = ShadowClient(
+        client_id=client_id,
+        workspace=workspace if workspace is not None else MappingWorkspace(),
+        environment=environment,
+    )
+    client.connect(server_name, channel)
+    return TcpDeployment(
+        client=client, server=server, listener=listener, channel=channel
+    )

@@ -1,0 +1,314 @@
+"""Persistence for the shadow environment database (§6.3.1).
+
+"The shadow environment is a database that contains the information
+about the status of all the jobs submitted and customization information
+for each user. ... Users should not be required to maintain or set up
+any state information ... The system should establish and maintain any
+such state information automatically without user intervention."
+
+The command-line tools run one process per command, so the client's
+state — retained file versions (needed to compute the *next* delta), the
+job table, delivered results, and the customisation parameters — must
+survive between invocations.  This module serialises all of it to a
+single JSON document (binary content base64-encoded) and restores it.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from dataclasses import fields as dataclass_fields
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.core.client import ShadowClient, SubmittedJob
+from repro.core.environment import ShadowEnvironment
+from repro.core.server import ShadowServer
+from repro.errors import ShadowError
+from repro.jobs.output import OutputBundle
+from repro.jobs.status import JobRecord, JobState
+from repro.versioning.version import VersionChain
+
+_FORMAT = "shadow-state-v1"
+
+
+def _encode_bytes(data: bytes) -> str:
+    return base64.b64encode(data).decode("ascii")
+
+
+def _decode_bytes(text: str) -> bytes:
+    try:
+        return base64.b64decode(text.encode("ascii"), validate=True)
+    except Exception as exc:
+        raise ShadowError(f"corrupt base64 in state file: {exc}") from exc
+
+
+def snapshot_client(client: ShadowClient) -> Dict[str, Any]:
+    """Capture everything a future process needs, as JSON-able data."""
+    chains = {}
+    for name in client.versions.names:
+        chain = client.versions.chain(name)
+        chains[name] = {
+            "next_number": chain.latest_number + 1,
+            "versions": [
+                {
+                    "number": version.number,
+                    "content": _encode_bytes(version.content),
+                    "created_at": version.created_at,
+                }
+                for version in (
+                    chain.get(number) for number in chain.retained_numbers
+                )
+            ],
+        }
+    jobs = {
+        job_id: {
+            "job_id": job.job_id,
+            "host": job.host,
+            "signature": job.signature,
+            "output_file": job.output_file,
+            "error_file": job.error_file,
+        }
+        for job_id, job in client._jobs.items()
+    }
+    records = [
+        {
+            "job_id": record.job_id,
+            "owner": record.owner,
+            "state": record.state.value,
+            "submitted_at": record.submitted_at,
+            "started_at": record.started_at,
+            "finished_at": record.finished_at,
+            "exit_code": record.exit_code,
+            "detail": record.detail,
+        }
+        for record in client.status.all_records()
+    ]
+    retained_outputs = {
+        signature: {
+            "job_id": job_id,
+            "streams": {
+                name: _encode_bytes(content)
+                for name, content in streams.items()
+            },
+        }
+        for signature, (job_id, streams) in client._retained_outputs.items()
+    }
+    return {
+        "format": _FORMAT,
+        "client_id": client.client_id,
+        "environment": client.environment.describe(),
+        "version_chains": chains,
+        "jobs": jobs,
+        "status": records,
+        "results": {
+            name: _encode_bytes(content)
+            for name, content in client.results.items()
+        },
+        "retained_outputs": retained_outputs,
+    }
+
+
+def restore_client(client: ShadowClient, state: Dict[str, Any]) -> None:
+    """Load a snapshot into a freshly constructed client (in place)."""
+    if state.get("format") != _FORMAT:
+        raise ShadowError(
+            f"unknown state format {state.get('format')!r}; expected {_FORMAT}"
+        )
+    if state.get("client_id") != client.client_id:
+        raise ShadowError(
+            f"state belongs to {state.get('client_id')!r}, "
+            f"not {client.client_id!r}"
+        )
+    for name, chain_state in state.get("version_chains", {}).items():
+        chain = VersionChain(name, max_retained=client.versions.max_retained)
+        for version_state in chain_state["versions"]:
+            # Recreate history gaps by advancing the counter first.
+            chain._next_number = version_state["number"]
+            chain.add(
+                _decode_bytes(version_state["content"]),
+                timestamp=version_state.get("created_at", 0.0),
+            )
+        chain._next_number = chain_state["next_number"]
+        client.versions._chains[name] = chain
+    for job_id, job_state in state.get("jobs", {}).items():
+        client._jobs[job_id] = SubmittedJob(**job_state)
+    for record_state in state.get("status", []):
+        record = JobRecord(
+            job_id=record_state["job_id"],
+            owner=record_state["owner"],
+            submitted_at=record_state["submitted_at"],
+        )
+        record.state = JobState(record_state["state"])
+        record.started_at = record_state.get("started_at")
+        record.finished_at = record_state.get("finished_at")
+        record.exit_code = record_state.get("exit_code")
+        record.detail = record_state.get("detail", "")
+        client.status.add(record)
+    for name, encoded in state.get("results", {}).items():
+        client.results[name] = _decode_bytes(encoded)
+    for signature, retained in state.get("retained_outputs", {}).items():
+        client._retained_outputs[signature] = (
+            retained["job_id"],
+            {
+                name: _decode_bytes(content)
+                for name, content in retained["streams"].items()
+            },
+        )
+
+
+def environment_from_state(state: Dict[str, Any]) -> ShadowEnvironment:
+    """Rebuild the customisation parameters stored in a snapshot."""
+    described = state.get("environment", {})
+    known = {field.name for field in dataclass_fields(ShadowEnvironment)}
+    return ShadowEnvironment(
+        **{key: value for key, value in described.items() if key in known}
+    )
+
+
+_SERVER_FORMAT = "shadow-server-state-v1"
+
+
+def snapshot_server(server: "ShadowServer") -> Dict[str, Any]:
+    """Capture the server-side half of the shadow environment (§6.3.1).
+
+    Persisting the cache across restarts preserves the whole point of
+    shadow processing: clients resume sending deltas instead of refilling
+    the cache with full transfers.
+    """
+    entries = []
+    for key in sorted(
+        entry.key for entry in server.cache._entries.values()
+    ):
+        entry = server.cache.peek_entry(key)
+        assert entry is not None
+        entries.append(
+            {
+                "key": entry.key,
+                "version": entry.version,
+                "content": _encode_bytes(entry.content),
+                "created_at": entry.created_at,
+                "last_access": entry.last_access,
+                "access_count": entry.access_count,
+            }
+        )
+    # Terminal jobs and their retained outputs survive a restart, so a
+    # client can fetch results submitted before the server went down.
+    # In-flight (queued / waiting) jobs are deliberately dropped: their
+    # owners resubmit, exactly as with classic batch systems.
+    terminal_records = [
+        {
+            "job_id": record.job_id,
+            "owner": record.owner,
+            "state": record.state.value,
+            "submitted_at": record.submitted_at,
+            "started_at": record.started_at,
+            "finished_at": record.finished_at,
+            "exit_code": record.exit_code,
+            "detail": record.detail,
+        }
+        for record in server.status.all_records()
+        if record.state.terminal
+    ]
+    bundles = {
+        job_id: {
+            "exit_code": bundle.exit_code,
+            "stdout": _encode_bytes(bundle.stdout),
+            "stderr": _encode_bytes(bundle.stderr),
+            "cpu_seconds": bundle.cpu_seconds,
+            "files": {
+                name: _encode_bytes(content)
+                for name, content in bundle.output_files.items()
+            },
+        }
+        for job_id, bundle in server._finished.items()
+    }
+    return {
+        "format": _SERVER_FORMAT,
+        "name": server.name,
+        "cache_entries": entries,
+        "latest_known": dict(server.coherence._latest_known),
+        "job_counter": server._job_counter,
+        "jobs": terminal_records,
+        "bundles": bundles,
+        "routed": dict(server._routed),
+    }
+
+
+def restore_server(server: "ShadowServer", state: Dict[str, Any]) -> None:
+    """Load a server snapshot into a freshly constructed server."""
+    if state.get("format") != _SERVER_FORMAT:
+        raise ShadowError(
+            f"unknown server state format {state.get('format')!r}"
+        )
+    for entry_state in state.get("cache_entries", []):
+        entry = server.cache.put(
+            entry_state["key"],
+            _decode_bytes(entry_state["content"]),
+            version=entry_state["version"],
+            timestamp=entry_state.get("created_at", 0.0),
+        )
+        if entry is not None:
+            entry.last_access = entry_state.get("last_access", 0.0)
+            entry.access_count = entry_state.get("access_count", 0)
+    for key, version in state.get("latest_known", {}).items():
+        server.coherence.note_notification(key, int(version))
+    for record_state in state.get("jobs", []):
+        record = JobRecord(
+            job_id=record_state["job_id"],
+            owner=record_state["owner"],
+            submitted_at=record_state.get("submitted_at", 0.0),
+        )
+        record.state = JobState(record_state["state"])
+        record.started_at = record_state.get("started_at")
+        record.finished_at = record_state.get("finished_at")
+        record.exit_code = record_state.get("exit_code")
+        record.detail = record_state.get("detail", "")
+        server.status.add(record)
+    for job_id, bundle_state in state.get("bundles", {}).items():
+        server._finished[job_id] = OutputBundle(
+            job_id=job_id,
+            exit_code=bundle_state["exit_code"],
+            stdout=_decode_bytes(bundle_state["stdout"]),
+            stderr=_decode_bytes(bundle_state["stderr"]),
+            output_files={
+                name: _decode_bytes(content)
+                for name, content in bundle_state.get("files", {}).items()
+            },
+            cpu_seconds=bundle_state.get("cpu_seconds", 0.0),
+        )
+    server._routed.update(state.get("routed", {}))
+    # Job ids keep increasing so old and new ids never collide.
+    server._job_counter = int(state.get("job_counter", 0))
+
+
+def save_server_state(server: "ShadowServer", path: Union[str, Path]) -> None:
+    """Write the server's state file (atomic rename)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    scratch = target.with_suffix(target.suffix + ".tmp")
+    scratch.write_text(json.dumps(snapshot_server(server), indent=1))
+    scratch.replace(target)
+
+
+def save_state(client: ShadowClient, path: Union[str, Path]) -> None:
+    """Write the client's state file (created atomically via rename)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    scratch = target.with_suffix(target.suffix + ".tmp")
+    scratch.write_text(json.dumps(snapshot_client(client), indent=1))
+    scratch.replace(target)
+
+
+def load_state(path: Union[str, Path]) -> Optional[Dict[str, Any]]:
+    """Read a state file; None when it does not exist yet."""
+    target = Path(path)
+    if not target.exists():
+        return None
+    try:
+        state = json.loads(target.read_text())
+    except json.JSONDecodeError as exc:
+        raise ShadowError(f"corrupt state file {target}: {exc}") from exc
+    if not isinstance(state, dict):
+        raise ShadowError(f"corrupt state file {target}: not an object")
+    return state

@@ -1,0 +1,158 @@
+"""Client-side workspaces: where the user's files live.
+
+The shadow client reads the files a user edits and resolves their names
+to global names.  Three backends:
+
+* :class:`MappingWorkspace` — a plain dict of path -> bytes with a
+  synthetic domain.  Used by tests, benchmarks and the simulated
+  examples, where the file system is incidental.
+* :class:`NfsWorkspace` — backed by the simulated NFS environment and
+  the paper's full resolution chain (§6.5), as seen from one host.  Two
+  aliases of a file yield one global name, so the server caches one copy.
+* :class:`LocalDirectoryWorkspace` — real files on the real OS, used by
+  the command-line tools; symlinks resolve through ``os.path.realpath``
+  (the paper's "basic name" step against a live file system).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.errors import FileNotFoundInVfsError, NamingError
+from repro.naming.domain import DomainId, GlobalName
+from repro.naming.resolver import NameResolver
+
+
+class Workspace(ABC):
+    """File access plus name resolution for one user's site."""
+
+    @abstractmethod
+    def read(self, path: str) -> bytes:
+        """Content of ``path`` (raises NamingError family if absent)."""
+
+    @abstractmethod
+    def write(self, path: str, content: bytes) -> None:
+        """Create or replace ``path``."""
+
+    @abstractmethod
+    def resolve(self, path: str) -> GlobalName:
+        """The globally unique name for ``path`` (§5.3)."""
+
+    @abstractmethod
+    def exists(self, path: str) -> bool:
+        """Does ``path`` currently exist?"""
+
+
+class MappingWorkspace(Workspace):
+    """Dict-backed workspace with a trivial one-host domain."""
+
+    def __init__(
+        self,
+        domain: str = "local",
+        host: str = "workstation",
+        files: Optional[Dict[str, bytes]] = None,
+    ) -> None:
+        self.domain = DomainId(domain)
+        self.host = host
+        self._files: Dict[str, bytes] = dict(files or {})
+
+    def read(self, path: str) -> bytes:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FileNotFoundInVfsError(path) from None
+
+    def write(self, path: str, content: bytes) -> None:
+        if not path.startswith("/"):
+            raise NamingError(f"path must be absolute: {path!r}")
+        self._files[path] = content
+
+    def resolve(self, path: str) -> GlobalName:
+        if not path.startswith("/"):
+            raise NamingError(f"path must be absolute: {path!r}")
+        return GlobalName(self.domain, self.host, path)
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def paths(self) -> List[str]:
+        return sorted(self._files)
+
+
+class LocalDirectoryWorkspace(Workspace):
+    """Real files under a root directory on the local machine.
+
+    Paths are confined to ``root`` (a request escaping it is a naming
+    error), and global names use the canonical on-disk path — so two
+    symlinked names for one file shadow a single copy, exactly as the
+    paper's resolution algorithm intends, but against the live OS.
+    """
+
+    def __init__(
+        self,
+        root: str = ".",
+        domain: str = "localfs",
+        host: Optional[str] = None,
+    ) -> None:
+        self.root = Path(root).resolve()
+        self.domain = DomainId(domain)
+        self.host = host or socket.gethostname() or "localhost"
+
+    def _locate(self, path: str) -> Path:
+        candidate = (
+            Path(path) if os.path.isabs(path) else self.root / path
+        )
+        resolved = Path(os.path.realpath(candidate))
+        if not str(resolved).startswith(str(self.root) + os.sep) and (
+            resolved != self.root
+        ):
+            raise NamingError(
+                f"{path!r} escapes the workspace root {self.root}"
+            )
+        return resolved
+
+    def read(self, path: str) -> bytes:
+        target = self._locate(path)
+        if not target.is_file():
+            raise FileNotFoundInVfsError(str(target))
+        return target.read_bytes()
+
+    def write(self, path: str, content: bytes) -> None:
+        target = self._locate(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_bytes(content)
+
+    def resolve(self, path: str) -> GlobalName:
+        if path == "/":  # domain probe used by the client handshake
+            return GlobalName(self.domain, self.host, "/")
+        return GlobalName(self.domain, self.host, str(self._locate(path)))
+
+    def exists(self, path: str) -> bool:
+        try:
+            return self._locate(path).is_file()
+        except NamingError:
+            return False
+
+
+class NfsWorkspace(Workspace):
+    """The view from one host of a simulated NFS domain."""
+
+    def __init__(self, resolver: NameResolver, host: str) -> None:
+        self.resolver = resolver
+        self.host = host
+
+    def read(self, path: str) -> bytes:
+        return self.resolver.environment.read_file(self.host, path)
+
+    def write(self, path: str, content: bytes) -> None:
+        self.resolver.environment.write_file(self.host, path, content)
+
+    def resolve(self, path: str) -> GlobalName:
+        return self.resolver.resolve(self.host, path)
+
+    def exists(self, path: str) -> bool:
+        return self.resolver.environment.exists(self.host, path)

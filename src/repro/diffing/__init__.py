@@ -1,0 +1,66 @@
+"""Differential file comparison: the paper's core bandwidth saver.
+
+Three from-scratch algorithms, one delta model:
+
+* :mod:`~repro.diffing.hunt_mcilroy` — the UNIX ``diff`` algorithm the
+  prototype used [HM75];
+* :mod:`~repro.diffing.myers` — the O(ND) shortest-edit-script algorithm
+  from the future-work list [MM85];
+* :mod:`~repro.diffing.tichy` — byte-level block moves [Tic84].
+
+Plus the historical ``ed``-script wire form and a selection policy.
+"""
+
+from repro.diffing import hunt_mcilroy, myers, tichy
+from repro.diffing.edscript import (
+    apply_ed_script,
+    parse_ed_script,
+    to_ed_script,
+)
+from repro.diffing.model import (
+    AddOp,
+    AppendOp,
+    BlockDelta,
+    ChangeOp,
+    CopyOp,
+    Delta,
+    DeleteOp,
+    LineDelta,
+    checksum,
+    decode_delta,
+    join_lines,
+    split_lines,
+)
+from repro.diffing.selector import (
+    ALGORITHMS,
+    DEFAULT_ALGORITHM,
+    best_delta,
+    compute_delta,
+    worthwhile,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "DEFAULT_ALGORITHM",
+    "AddOp",
+    "AppendOp",
+    "BlockDelta",
+    "ChangeOp",
+    "CopyOp",
+    "Delta",
+    "DeleteOp",
+    "LineDelta",
+    "apply_ed_script",
+    "best_delta",
+    "checksum",
+    "compute_delta",
+    "decode_delta",
+    "hunt_mcilroy",
+    "join_lines",
+    "myers",
+    "parse_ed_script",
+    "split_lines",
+    "tichy",
+    "to_ed_script",
+    "worthwhile",
+]

@@ -1,0 +1,458 @@
+"""Common delta model shared by all differential-comparison algorithms.
+
+The paper transmits *changes* between file versions instead of whole files.
+Two families of delta are supported, matching the algorithms the paper uses
+and cites:
+
+* **Line deltas** (:class:`LineDelta`) — produced by the Hunt–McIlroy and
+  Myers algorithms, expressed as the classic ``ed``-style operations
+  (*append*, *delete*, *change*) the prototype shipped over the wire
+  ("changes in a form suitable for an editor (like ed in Unix)", §7).
+
+* **Block deltas** (:class:`BlockDelta`) — produced by the Tichy
+  string-to-string-with-block-moves algorithm [Tic84], expressed as
+  *copy from base* / *add literal* instructions over raw bytes.
+
+Both kinds share one interface: they apply to a base byte string to
+reconstruct the target, and they serialise to a compact binary encoding
+whose length is what the network simulation charges to the wire.
+
+Files are byte strings throughout; line deltas tokenise on ``b"\\n"`` with
+the property ``b"\\n".join(data.split(b"\\n")) == data``, so reconstruction
+is exact for any input, including files without a trailing newline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple, Union
+
+from repro.errors import DiffError, PatchConflictError
+
+_MAGIC_LINE = b"SDL1"
+_MAGIC_BLOCK = b"SDB1"
+
+
+def checksum(data: bytes) -> str:
+    """Short content checksum used for delta base/target validation."""
+    return hashlib.sha256(data).hexdigest()[:16]
+
+
+def split_lines(data: bytes) -> List[bytes]:
+    """Tokenise ``data`` into newline-free segments.
+
+    ``join_lines(split_lines(data)) == data`` holds for every byte string:
+    a trailing newline yields a final empty segment.
+    """
+    return data.split(b"\n")
+
+
+def join_lines(lines: Sequence[bytes]) -> bytes:
+    """Inverse of :func:`split_lines`."""
+    return b"\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# line operations (ed semantics, 1-based line numbers)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AppendOp:
+    """Insert ``lines`` after base line ``after`` (0 means at the top)."""
+
+    after: int
+    lines: Tuple[bytes, ...]
+
+    def __post_init__(self) -> None:
+        if self.after < 0:
+            raise DiffError(f"append after negative line {self.after}")
+        if not self.lines:
+            raise DiffError("append of zero lines")
+
+
+@dataclass(frozen=True)
+class DeleteOp:
+    """Delete base lines ``start``..``end`` inclusive (1-based)."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.start <= self.end:
+            raise DiffError(f"bad delete range {self.start},{self.end}")
+
+
+@dataclass(frozen=True)
+class ChangeOp:
+    """Replace base lines ``start``..``end`` with ``lines``."""
+
+    start: int
+    end: int
+    lines: Tuple[bytes, ...]
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.start <= self.end:
+            raise DiffError(f"bad change range {self.start},{self.end}")
+        if not self.lines:
+            raise DiffError("change to zero lines (use DeleteOp)")
+
+
+LineOp = Union[AppendOp, DeleteOp, ChangeOp]
+
+
+def _op_position(op: LineOp) -> int:
+    return op.after if isinstance(op, AppendOp) else op.start
+
+
+# ---------------------------------------------------------------------------
+# block operations (byte offsets into the base)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CopyOp:
+    """Copy ``length`` bytes from base offset ``offset``."""
+
+    offset: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.offset < 0 or self.length <= 0:
+            raise DiffError(f"bad copy op offset={self.offset} len={self.length}")
+
+
+@dataclass(frozen=True)
+class AddOp:
+    """Emit literal ``data`` into the target."""
+
+    data: bytes
+
+    def __post_init__(self) -> None:
+        if not self.data:
+            raise DiffError("add of zero bytes")
+
+
+BlockOp = Union[CopyOp, AddOp]
+
+
+# ---------------------------------------------------------------------------
+# deltas
+# ---------------------------------------------------------------------------
+
+
+class Delta(ABC):
+    """A reconstruction recipe from one file version to the next."""
+
+    algorithm: str
+    base_checksum: str
+    target_checksum: str
+
+    @abstractmethod
+    def apply(self, base: bytes) -> bytes:
+        """Reconstruct the target from ``base``.
+
+        Raises :class:`PatchConflictError` if ``base`` does not match the
+        version this delta was computed against.
+        """
+
+    @abstractmethod
+    def encode(self) -> bytes:
+        """Serialise to the compact wire form."""
+
+    @property
+    def encoded_size(self) -> int:
+        """Bytes this delta occupies on the wire."""
+        return len(self.encode())
+
+
+def _encode_blob(data: bytes) -> bytes:
+    return struct.pack(">I", len(data)) + data
+
+
+class _Reader:
+    """Cursor over an encoded delta, with bounds checking."""
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def take(self, count: int) -> bytes:
+        if self.pos + count > len(self.data):
+            raise DiffError("truncated delta encoding")
+        piece = self.data[self.pos : self.pos + count]
+        self.pos += count
+        return piece
+
+    def take_u32(self) -> int:
+        return struct.unpack(">I", self.take(4))[0]
+
+    def take_blob(self) -> bytes:
+        return self.take(self.take_u32())
+
+    @property
+    def exhausted(self) -> bool:
+        return self.pos == len(self.data)
+
+
+class LineDelta(Delta):
+    """An ordered set of ed-style line operations.
+
+    Operations are stored in ascending base-line order and applied in
+    *descending* order so earlier edits never shift the line numbers of
+    later ones — exactly how ``diff -e`` output is consumed by ``ed``.
+    """
+
+    def __init__(
+        self,
+        ops: Sequence[LineOp],
+        base_checksum: str,
+        target_checksum: str,
+        algorithm: str = "hunt-mcilroy",
+    ) -> None:
+        self.ops: Tuple[LineOp, ...] = tuple(
+            sorted(ops, key=_op_position)
+        )
+        self._validate_disjoint()
+        self.base_checksum = base_checksum
+        self.target_checksum = target_checksum
+        self.algorithm = algorithm
+
+    def _validate_disjoint(self) -> None:
+        previous_end = 0
+        for op in self.ops:
+            if isinstance(op, AppendOp):
+                if op.after < previous_end:
+                    raise DiffError(f"overlapping ops near line {op.after}")
+                previous_end = op.after
+            else:
+                if op.start <= previous_end:
+                    raise DiffError(f"overlapping ops near line {op.start}")
+                previous_end = op.end
+
+    @property
+    def is_identity(self) -> bool:
+        return not self.ops
+
+    def apply(self, base: bytes) -> bytes:
+        if checksum(base) != self.base_checksum:
+            raise PatchConflictError(
+                f"delta base mismatch: expected {self.base_checksum}, "
+                f"got {checksum(base)}"
+            )
+        lines = split_lines(base)
+        count = len(lines)
+        for op in reversed(self.ops):
+            if isinstance(op, AppendOp):
+                if op.after > count:
+                    raise PatchConflictError(
+                        f"append after line {op.after} of {count}-line file"
+                    )
+                lines[op.after : op.after] = list(op.lines)
+            elif isinstance(op, DeleteOp):
+                if op.end > count:
+                    raise PatchConflictError(
+                        f"delete through line {op.end} of {count}-line file"
+                    )
+                del lines[op.start - 1 : op.end]
+            else:
+                if op.end > count:
+                    raise PatchConflictError(
+                        f"change through line {op.end} of {count}-line file"
+                    )
+                lines[op.start - 1 : op.end] = list(op.lines)
+        result = join_lines(lines)
+        if checksum(result) != self.target_checksum:
+            raise PatchConflictError(
+                "delta applied but target checksum mismatched"
+            )
+        return result
+
+    def encode(self) -> bytes:
+        parts = [
+            _MAGIC_LINE,
+            _encode_blob(self.algorithm.encode("ascii")),
+            _encode_blob(self.base_checksum.encode("ascii")),
+            _encode_blob(self.target_checksum.encode("ascii")),
+            struct.pack(">I", len(self.ops)),
+        ]
+        for op in self.ops:
+            if isinstance(op, AppendOp):
+                parts.append(b"a" + struct.pack(">II", op.after, len(op.lines)))
+                parts.extend(_encode_blob(line) for line in op.lines)
+            elif isinstance(op, DeleteOp):
+                parts.append(b"d" + struct.pack(">II", op.start, op.end))
+            else:
+                parts.append(
+                    b"c" + struct.pack(">III", op.start, op.end, len(op.lines))
+                )
+                parts.extend(_encode_blob(line) for line in op.lines)
+        return b"".join(parts)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "LineDelta":
+        reader = _Reader(data)
+        if reader.take(4) != _MAGIC_LINE:
+            raise DiffError("not a line-delta encoding")
+        algorithm = reader.take_blob().decode("ascii")
+        base_checksum = reader.take_blob().decode("ascii")
+        target_checksum = reader.take_blob().decode("ascii")
+        op_count = reader.take_u32()
+        ops: List[LineOp] = []
+        for _ in range(op_count):
+            kind = reader.take(1)
+            if kind == b"a":
+                after, line_count = struct.unpack(">II", reader.take(8))
+                lines = tuple(reader.take_blob() for _ in range(line_count))
+                ops.append(AppendOp(after, lines))
+            elif kind == b"d":
+                start, end = struct.unpack(">II", reader.take(8))
+                ops.append(DeleteOp(start, end))
+            elif kind == b"c":
+                start, end, line_count = struct.unpack(">III", reader.take(12))
+                lines = tuple(reader.take_blob() for _ in range(line_count))
+                ops.append(ChangeOp(start, end, lines))
+            else:
+                raise DiffError(f"unknown line op kind {kind!r}")
+        if not reader.exhausted:
+            raise DiffError("trailing bytes after line-delta encoding")
+        return cls(ops, base_checksum, target_checksum, algorithm)
+
+    def __repr__(self) -> str:
+        return (
+            f"LineDelta(algorithm={self.algorithm!r}, ops={len(self.ops)}, "
+            f"size={self.encoded_size})"
+        )
+
+
+class BlockDelta(Delta):
+    """A copy/add instruction stream over raw bytes (Tichy block moves)."""
+
+    def __init__(
+        self,
+        ops: Sequence[BlockOp],
+        base_checksum: str,
+        target_checksum: str,
+        algorithm: str = "tichy",
+    ) -> None:
+        self.ops: Tuple[BlockOp, ...] = tuple(ops)
+        self.base_checksum = base_checksum
+        self.target_checksum = target_checksum
+        self.algorithm = algorithm
+
+    def apply(self, base: bytes) -> bytes:
+        if checksum(base) != self.base_checksum:
+            raise PatchConflictError(
+                f"delta base mismatch: expected {self.base_checksum}, "
+                f"got {checksum(base)}"
+            )
+        pieces: List[bytes] = []
+        for op in self.ops:
+            if isinstance(op, CopyOp):
+                if op.offset + op.length > len(base):
+                    raise PatchConflictError(
+                        f"copy [{op.offset}:{op.offset + op.length}] exceeds "
+                        f"base of {len(base)} bytes"
+                    )
+                pieces.append(base[op.offset : op.offset + op.length])
+            else:
+                pieces.append(op.data)
+        result = b"".join(pieces)
+        if checksum(result) != self.target_checksum:
+            raise PatchConflictError(
+                "delta applied but target checksum mismatched"
+            )
+        return result
+
+    def encode(self) -> bytes:
+        parts = [
+            _MAGIC_BLOCK,
+            _encode_blob(self.algorithm.encode("ascii")),
+            _encode_blob(self.base_checksum.encode("ascii")),
+            _encode_blob(self.target_checksum.encode("ascii")),
+            struct.pack(">I", len(self.ops)),
+        ]
+        for op in self.ops:
+            if isinstance(op, CopyOp):
+                parts.append(b"C" + struct.pack(">II", op.offset, op.length))
+            else:
+                parts.append(b"A" + _encode_blob(op.data))
+        return b"".join(parts)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "BlockDelta":
+        reader = _Reader(data)
+        if reader.take(4) != _MAGIC_BLOCK:
+            raise DiffError("not a block-delta encoding")
+        algorithm = reader.take_blob().decode("ascii")
+        base_checksum = reader.take_blob().decode("ascii")
+        target_checksum = reader.take_blob().decode("ascii")
+        op_count = reader.take_u32()
+        ops: List[BlockOp] = []
+        for _ in range(op_count):
+            kind = reader.take(1)
+            if kind == b"C":
+                offset, length = struct.unpack(">II", reader.take(8))
+                ops.append(CopyOp(offset, length))
+            elif kind == b"A":
+                ops.append(AddOp(reader.take_blob()))
+            else:
+                raise DiffError(f"unknown block op kind {kind!r}")
+        if not reader.exhausted:
+            raise DiffError("trailing bytes after block-delta encoding")
+        return cls(ops, base_checksum, target_checksum, algorithm)
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockDelta(algorithm={self.algorithm!r}, ops={len(self.ops)}, "
+            f"size={self.encoded_size})"
+        )
+
+
+def decode_delta(data: bytes) -> Delta:
+    """Decode either delta kind from its wire form."""
+    if data[:4] == _MAGIC_LINE:
+        return LineDelta.decode(data)
+    if data[:4] == _MAGIC_BLOCK:
+        return BlockDelta.decode(data)
+    raise DiffError(f"unknown delta magic {data[:4]!r}")
+
+
+def ops_from_matches(
+    base_lines: Sequence[bytes],
+    target_lines: Sequence[bytes],
+    matches: Iterable[Tuple[int, int]],
+) -> List[LineOp]:
+    """Convert an LCS match list into minimal ed-style operations.
+
+    ``matches`` is an ascending list of ``(base_index, target_index)`` pairs
+    (0-based) of lines common to both files.  The gaps between consecutive
+    matches become append / delete / change operations.
+    """
+    ops: List[LineOp] = []
+    base_pos = 0
+    target_pos = 0
+    sentinel = (len(base_lines), len(target_lines))
+    for base_match, target_match in list(matches) + [sentinel]:
+        base_gap = base_match - base_pos
+        target_gap = target_match - target_pos
+        if base_gap and target_gap:
+            ops.append(
+                ChangeOp(
+                    base_pos + 1,
+                    base_match,
+                    tuple(target_lines[target_pos:target_match]),
+                )
+            )
+        elif base_gap:
+            ops.append(DeleteOp(base_pos + 1, base_match))
+        elif target_gap:
+            ops.append(
+                AppendOp(base_pos, tuple(target_lines[target_pos:target_match]))
+            )
+        base_pos = base_match + 1
+        target_pos = target_match + 1
+    return ops

@@ -1,0 +1,77 @@
+"""Algorithm registry and delta selection policy.
+
+The shadow environment lets each user pick a differencing algorithm
+(§6.3.1 customisation), and the paper's future work proposes "adopting the
+one that offers better performance" among [HM75], [MM85] and [Tic84].
+:func:`best_delta` realises that policy mechanically: compute several,
+ship the smallest.
+
+:func:`worthwhile` captures the client's send decision: a delta is only
+sent when it is actually smaller than the full file — otherwise (heavily
+edited or binary-ish content) the full file goes out, which also bounds
+shadow transfer time by conventional transfer time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.diffing import hunt_mcilroy, myers, tichy
+from repro.diffing.model import Delta
+from repro.errors import DiffError
+
+DiffFunction = Callable[[bytes, bytes], Delta]
+
+ALGORITHMS: Dict[str, DiffFunction] = {
+    hunt_mcilroy.ALGORITHM_NAME: hunt_mcilroy.diff,
+    myers.ALGORITHM_NAME: myers.diff,
+    tichy.ALGORITHM_NAME: tichy.diff,
+}
+
+DEFAULT_ALGORITHM = hunt_mcilroy.ALGORITHM_NAME
+
+
+def algorithm(name: str) -> DiffFunction:
+    """Look up a registered diff function by name."""
+    try:
+        return ALGORITHMS[name]
+    except KeyError:
+        raise DiffError(
+            f"unknown diff algorithm {name!r}; "
+            f"known: {sorted(ALGORITHMS)}"
+        ) from None
+
+
+def compute_delta(
+    base: bytes, target: bytes, algorithm_name: str = DEFAULT_ALGORITHM
+) -> Delta:
+    """Diff with one named algorithm."""
+    return algorithm(algorithm_name)(base, target)
+
+
+def best_delta(
+    base: bytes,
+    target: bytes,
+    algorithm_names: Optional[Iterable[str]] = None,
+) -> Delta:
+    """Diff with several algorithms and keep the smallest encoding."""
+    if algorithm_names is None:
+        names = sorted(ALGORITHMS)
+    else:
+        names = list(algorithm_names)
+    if not names:
+        raise DiffError("best_delta requires at least one algorithm")
+    deltas = [compute_delta(base, target, name) for name in names]
+    return min(deltas, key=lambda delta: delta.encoded_size)
+
+
+def worthwhile(delta: Delta, full_size: int, margin: float = 1.0) -> bool:
+    """Should this delta be sent instead of the full file?
+
+    ``margin`` below 1.0 demands the delta beat the full file by that
+    factor before it is preferred (guarding against patch CPU cost on a
+    loaded server); the default simply compares sizes.
+    """
+    if margin <= 0:
+        raise DiffError(f"margin must be positive, got {margin}")
+    return delta.encoded_size < full_size * margin

@@ -1,0 +1,136 @@
+"""Tichy's string-to-string correction with block moves [Tic84].
+
+The paper's future-work section names this algorithm as a candidate for
+computing smaller deltas.  Where line diffs must re-send a whole line for a
+one-character edit, a block-move delta reconstructs the target from
+arbitrary *byte* ranges of the base plus literal insertions — the same
+family of technique later used by rsync, vdelta and xdelta.
+
+Tichy proved that the greedy strategy — repeatedly emitting the longest
+base substring matching a prefix of the remaining target — produces a
+minimal covering set of block moves.  We realise the greedy search with a
+fixed-width block index over the base (every ``block_size``-aligned window)
+and bidirectional extension, which finds every match of length >=
+``2 * block_size - 1`` plus most shorter ones, in linear time in practice.
+Matches shorter than ``min_copy_length`` are not worth a copy
+instruction's 9-byte encoding and are emitted as literals instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.diffing.model import (
+    AddOp,
+    BlockDelta,
+    BlockOp,
+    CopyOp,
+    checksum,
+)
+
+ALGORITHM_NAME = "tichy"
+
+#: Width of indexed base windows; also the shortest findable match seed.
+DEFAULT_BLOCK_SIZE = 8
+
+#: A CopyOp costs 9 encoded bytes, so shorter matches go out as literals.
+DEFAULT_MIN_COPY_LENGTH = 12
+
+#: Cap on index bucket size; repetitive bases (all-zero files) would
+#: otherwise make every lookup scan thousands of identical positions.
+_MAX_BUCKET = 16
+
+
+def _build_index(base: bytes, block_size: int) -> Dict[bytes, List[int]]:
+    """Map each ``block_size`` window at stride ``block_size`` to offsets."""
+    index: Dict[bytes, List[int]] = {}
+    for offset in range(0, len(base) - block_size + 1, block_size):
+        window = base[offset : offset + block_size]
+        bucket = index.setdefault(window, [])
+        if len(bucket) < _MAX_BUCKET:
+            bucket.append(offset)
+    return index
+
+
+def _extend_match(
+    base: bytes,
+    target: bytes,
+    base_seed: int,
+    target_seed: int,
+    seed_length: int,
+    target_floor: int,
+) -> Tuple[int, int, int]:
+    """Grow a seed match in both directions.
+
+    The seed is ``base[base_seed : base_seed + seed_length] ==
+    target[target_seed : target_seed + seed_length]``.  Backward extension
+    never reaches below ``target_floor`` (bytes before it were already
+    emitted by earlier operations).  Returns ``(base_start, target_start,
+    length)`` of the maximal clamped run.
+    """
+    base_start, target_start = base_seed, target_seed
+    while (
+        base_start > 0
+        and target_start > target_floor
+        and base[base_start - 1] == target[target_start - 1]
+    ):
+        base_start -= 1
+        target_start -= 1
+    base_end = base_seed + seed_length
+    target_end = target_seed + seed_length
+    while (
+        base_end < len(base)
+        and target_end < len(target)
+        and base[base_end] == target[target_end]
+    ):
+        base_end += 1
+        target_end += 1
+    return base_start, target_start, base_end - base_start
+
+
+def diff(
+    base: bytes,
+    target: bytes,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    min_copy_length: int = DEFAULT_MIN_COPY_LENGTH,
+) -> BlockDelta:
+    """Compute a :class:`BlockDelta` turning ``base`` into ``target``."""
+    ops: List[BlockOp] = []
+    literal = bytearray()
+    index = _build_index(base, block_size) if len(base) >= block_size else {}
+
+    position = 0
+    while position < len(target):
+        window = target[position : position + block_size]
+        best: Optional[Tuple[int, int, int]] = None
+        if len(window) == block_size and index:
+            floor = position - len(literal)
+            for base_offset in index.get(window, ()):
+                candidate = _extend_match(
+                    base, target, base_offset, position, block_size, floor
+                )
+                if best is None or candidate[2] > best[2]:
+                    best = candidate
+        if best is not None and best[2] >= min_copy_length:
+            base_start, target_start, length = best
+            # Backward extension re-covered some pending literal bytes;
+            # drop them so the copy supplies those bytes instead.
+            reclaimed = position - target_start
+            if reclaimed:
+                del literal[len(literal) - reclaimed :]
+            if literal:
+                ops.append(AddOp(bytes(literal)))
+                literal.clear()
+            ops.append(CopyOp(base_start, length))
+            position = target_start + length
+        else:
+            literal.append(target[position])
+            position += 1
+    if literal:
+        ops.append(AddOp(bytes(literal)))
+    return BlockDelta(
+        ops,
+        base_checksum=checksum(base),
+        target_checksum=checksum(target),
+        algorithm=ALGORITHM_NAME,
+    )

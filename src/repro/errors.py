@@ -1,0 +1,111 @@
+"""Exception hierarchy for the shadow-editing service.
+
+All exceptions raised by :mod:`repro` derive from :class:`ShadowError`, so
+callers can catch a single base class at a service boundary.  Subsystems
+define narrower classes here rather than locally to avoid import cycles and
+to keep the full taxonomy visible in one place.
+"""
+
+from __future__ import annotations
+
+
+class ShadowError(Exception):
+    """Base class for every error raised by the shadow-editing service."""
+
+
+class ProtocolError(ShadowError):
+    """A wire message was malformed, out of sequence, or unrecognised."""
+
+
+class TransportError(ShadowError):
+    """The underlying transport failed (closed channel, framing error...)."""
+
+
+class TransportClosedError(TransportError):
+    """An operation was attempted on a closed transport."""
+
+
+class NamingError(ShadowError):
+    """A file name could not be resolved to a global name."""
+
+
+class FileNotFoundInVfsError(NamingError):
+    """A path does not exist in the (simulated) file system."""
+
+
+class SymlinkLoopError(NamingError):
+    """Symbolic-link resolution exceeded the allowed depth."""
+
+    def __init__(self, path: str, limit: int) -> None:
+        super().__init__(f"symlink resolution exceeded {limit} hops at {path!r}")
+        self.path = path
+        self.limit = limit
+
+
+class MountError(NamingError):
+    """An NFS export or mount operation was invalid."""
+
+
+class VersioningError(ShadowError):
+    """The client-side version store was asked for an impossible operation."""
+
+
+class VersionNotFoundError(VersioningError):
+    """A requested version of a file is not retained in the version store."""
+
+    def __init__(self, name: str, version: int) -> None:
+        super().__init__(f"version {version} of {name!r} is not retained")
+        self.name = name
+        self.version = version
+
+
+class DiffError(ShadowError):
+    """Differential comparison failed or a delta could not be applied."""
+
+
+class PatchConflictError(DiffError):
+    """An ed script did not apply cleanly to the given base text."""
+
+
+class CacheError(ShadowError):
+    """The server cache rejected an operation."""
+
+
+class CacheMissError(CacheError):
+    """A lookup for a shadow file found no cached copy (best-effort miss)."""
+
+    def __init__(self, key: object) -> None:
+        super().__init__(f"no cached copy for {key!r}")
+        self.key = key
+
+
+class JobError(ShadowError):
+    """The batch job subsystem rejected or failed a job."""
+
+
+class UnknownJobError(JobError):
+    """A status or cancel request referenced a job id the server never saw."""
+
+    def __init__(self, job_id: str) -> None:
+        super().__init__(f"unknown job id {job_id!r}")
+        self.job_id = job_id
+
+
+class JobCommandError(JobError):
+    """A job command file was malformed or referenced a missing input."""
+
+
+class SimulationError(ShadowError):
+    """The discrete-event simulator was driven incorrectly."""
+
+
+class ClockError(SimulationError):
+    """An event was scheduled in the past or the clock moved backwards."""
+
+
+class CompressionError(ShadowError):
+    """Compressed data was corrupt or produced by an unknown codec."""
+
+
+class EnvironmentError_(ShadowError):
+    """The shadow environment (user customisation DB) was misconfigured."""

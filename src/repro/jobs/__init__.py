@@ -1,0 +1,46 @@
+"""The batch job subsystem: specs, queueing, scheduling, execution (§6)."""
+
+from repro.jobs.executor import (
+    ExecutionResult,
+    Executor,
+    ExecutorCostModel,
+    LocalExecutor,
+    SimulatedExecutor,
+)
+from repro.jobs.output import DeliveryPlan, OutputBundle, store_bundle
+from repro.jobs.queue import JobQueue, QueuedJob
+from repro.jobs.scheduler import (
+    ConstantLoad,
+    LoadModel,
+    PullPolicy,
+    Scheduler,
+    SeededRandomLoad,
+    SinusoidalLoad,
+)
+from repro.jobs.spec import JobCommand, JobCommandFile, JobRequest
+from repro.jobs.status import JobRecord, JobState, StatusTable
+
+__all__ = [
+    "ConstantLoad",
+    "DeliveryPlan",
+    "ExecutionResult",
+    "Executor",
+    "ExecutorCostModel",
+    "JobCommand",
+    "JobCommandFile",
+    "JobQueue",
+    "JobRecord",
+    "JobRequest",
+    "JobState",
+    "LoadModel",
+    "LocalExecutor",
+    "OutputBundle",
+    "PullPolicy",
+    "QueuedJob",
+    "Scheduler",
+    "SeededRandomLoad",
+    "SimulatedExecutor",
+    "SinusoidalLoad",
+    "StatusTable",
+    "store_bundle",
+]

@@ -1,0 +1,343 @@
+"""Job executors: the simulated supercomputer, and a real-subprocess one.
+
+The paper's testbed used "a remote UNIX system [that] currently serves as
+the supercomputer" (§7) — the evaluation never depends on *what* the jobs
+compute, only that submitted files are staged and commands run against
+them.  :class:`SimulatedExecutor` interprets a small command language over
+the staged shadow files deterministically and charges virtual CPU
+seconds, so benchmark timings are reproducible.  :class:`LocalExecutor`
+runs real subprocesses in a scratch directory for the live TCP examples.
+
+Command language (one command per job-script line)::
+
+    cat FILE...            concatenate staged files to stdout
+    wc FILE...             line/word/byte counts
+    sort FILE              sort lines
+    grep PATTERN FILE      print matching lines
+    head N FILE            first N lines
+    tail N FILE            last N lines
+    checksum FILE...       content digest per file
+    paste FILE FILE        join files line-wise with tabs
+    echo WORD...           print arguments
+    simulate STEPS FILE    deterministic "scientific computation" over FILE
+    gen-output NBYTES      produce NBYTES of deterministic output
+    sleep SECONDS          consume virtual CPU seconds
+    fail MESSAGE           exit non-zero (failure injection)
+
+Any command may end with ``> NAME`` to write stdout to an output file
+instead, which the output-delivery stage ships back (or onward, §8.3).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import subprocess
+import tempfile
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.errors import JobCommandError
+from repro.jobs.spec import JobCommand, JobCommandFile
+
+
+@dataclass
+class ExecutionResult:
+    """Everything a finished job produced."""
+
+    exit_code: int
+    stdout: bytes
+    stderr: bytes
+    output_files: Dict[str, bytes] = field(default_factory=dict)
+    cpu_seconds: float = 0.0
+
+    @property
+    def succeeded(self) -> bool:
+        return self.exit_code == 0
+
+
+@dataclass(frozen=True)
+class ExecutorCostModel:
+    """Virtual CPU accounting for the simulated supercomputer.
+
+    A 1987 vector machine chews through data far faster than the 9600-baud
+    line feeds it, so the defaults keep execution cheap relative to
+    transfer — matching the paper, where E-time and S-time differ only in
+    transfer, not compute.
+    """
+
+    per_command_seconds: float = 0.2
+    per_input_byte_seconds: float = 2e-7
+    per_output_byte_seconds: float = 2e-7
+
+    def command_cost(self, input_bytes: int, output_bytes: int) -> float:
+        return (
+            self.per_command_seconds
+            + input_bytes * self.per_input_byte_seconds
+            + output_bytes * self.per_output_byte_seconds
+        )
+
+
+class Executor(ABC):
+    """Runs a job command file against staged input files."""
+
+    @abstractmethod
+    def execute(
+        self, command_file: JobCommandFile, inputs: Dict[str, bytes]
+    ) -> ExecutionResult:
+        """Run every command; stop at the first failure."""
+
+
+class SimulatedExecutor(Executor):
+    """Deterministic in-process interpreter for the command language."""
+
+    def __init__(self, cost_model: Optional[ExecutorCostModel] = None) -> None:
+        self.cost_model = cost_model if cost_model is not None else ExecutorCostModel()
+
+    def execute(
+        self, command_file: JobCommandFile, inputs: Dict[str, bytes]
+    ) -> ExecutionResult:
+        stdout = bytearray()
+        stderr = bytearray()
+        outputs: Dict[str, bytes] = {}
+        cpu = 0.0
+        workspace = dict(inputs)
+        for command in command_file.commands:
+            arguments, redirect = self._split_redirect(command.arguments)
+            try:
+                text, consumed = self._run_builtin(
+                    command.program, arguments, workspace
+                )
+            except JobCommandError as exc:
+                stderr += f"{command.program}: {exc}\n".encode()
+                cpu += self.cost_model.command_cost(0, 0)
+                return ExecutionResult(1, bytes(stdout), bytes(stderr), outputs, cpu)
+            cpu += self.cost_model.command_cost(consumed, len(text))
+            if command.program == "sleep" and arguments:
+                cpu += float(arguments[0])
+            if redirect is not None:
+                outputs[redirect] = text
+                workspace[redirect] = text  # later commands may read it
+            else:
+                stdout += text
+        return ExecutionResult(0, bytes(stdout), bytes(stderr), outputs, cpu)
+
+    @staticmethod
+    def _split_redirect(
+        arguments: Tuple[str, ...]
+    ) -> Tuple[Tuple[str, ...], Optional[str]]:
+        if len(arguments) >= 2 and arguments[-2] == ">":
+            return arguments[:-2], arguments[-1]
+        if arguments and arguments[-1].startswith(">") and len(arguments[-1]) > 1:
+            return arguments[:-1], arguments[-1][1:]
+        return arguments, None
+
+    def _run_builtin(
+        self,
+        program: str,
+        arguments: Tuple[str, ...],
+        workspace: Dict[str, bytes],
+    ) -> Tuple[bytes, int]:
+        """Return (stdout bytes, input bytes consumed)."""
+
+        def staged(name: str) -> bytes:
+            if name not in workspace:
+                raise JobCommandError(f"no staged file {name!r}")
+            return workspace[name]
+
+        if program == "cat":
+            if not arguments:
+                raise JobCommandError("cat requires at least one file")
+            data = b"".join(staged(name) for name in arguments)
+            return data, len(data)
+        if program == "wc":
+            if not arguments:
+                raise JobCommandError("wc requires at least one file")
+            consumed = 0
+            lines = []
+            for name in arguments:
+                data = staged(name)
+                consumed += len(data)
+                lines.append(
+                    f"{data.count(10):7d} {len(data.split()):7d} "
+                    f"{len(data):7d} {name}".encode()
+                )
+            return b"\n".join(lines) + b"\n", consumed
+        if program == "sort":
+            if len(arguments) != 1:
+                raise JobCommandError("sort requires exactly one file")
+            data = staged(arguments[0])
+            body = data.split(b"\n")
+            return b"\n".join(sorted(body)) + b"\n", len(data)
+        if program == "grep":
+            if len(arguments) != 2:
+                raise JobCommandError("grep requires PATTERN FILE")
+            pattern = arguments[0].encode()
+            data = staged(arguments[1])
+            hits = [line for line in data.split(b"\n") if pattern in line]
+            return b"\n".join(hits) + (b"\n" if hits else b""), len(data)
+        if program == "head" or program == "tail":
+            if len(arguments) != 2:
+                raise JobCommandError(f"{program} requires N FILE")
+            count = self._positive_int(arguments[0], "line count")
+            data = staged(arguments[1])
+            lines = data.split(b"\n")
+            if lines and lines[-1] == b"":
+                lines.pop()
+            chosen = lines[:count] if program == "head" else lines[-count:]
+            return b"\n".join(chosen) + (b"\n" if chosen else b""), len(data)
+        if program == "checksum":
+            if not arguments:
+                raise JobCommandError("checksum requires at least one file")
+            consumed = 0
+            rows = []
+            for name in arguments:
+                data = staged(name)
+                consumed += len(data)
+                digest = hashlib.sha256(data).hexdigest()[:16]
+                rows.append(f"{digest}  {name}".encode())
+            return b"\n".join(rows) + b"\n", consumed
+        if program == "paste":
+            if len(arguments) != 2:
+                raise JobCommandError("paste requires exactly two files")
+            left = staged(arguments[0]).split(b"\n")
+            right = staged(arguments[1]).split(b"\n")
+            length = max(len(left), len(right))
+            left += [b""] * (length - len(left))
+            right += [b""] * (length - len(right))
+            joined = b"\n".join(
+                a + b"\t" + b for a, b in zip(left, right)
+            )
+            consumed = sum(len(staged(name)) for name in arguments)
+            return joined + b"\n", consumed
+        if program == "echo":
+            return " ".join(arguments).encode() + b"\n", 0
+        if program == "simulate":
+            if len(arguments) != 2:
+                raise JobCommandError("simulate requires STEPS FILE")
+            steps = self._positive_int(arguments[0], "steps")
+            data = staged(arguments[1])
+            return _simulate_computation(steps, data), len(data)
+        if program == "gen-output":
+            if len(arguments) != 1:
+                raise JobCommandError("gen-output requires NBYTES")
+            nbytes = self._positive_int(arguments[0], "nbytes")
+            return _deterministic_bytes(nbytes, seed=b"gen-output"), 0
+        if program == "sleep":
+            if len(arguments) != 1:
+                raise JobCommandError("sleep requires SECONDS")
+            try:
+                seconds = float(arguments[0])
+            except ValueError:
+                raise JobCommandError(f"bad sleep duration {arguments[0]!r}") from None
+            if seconds < 0:
+                raise JobCommandError("sleep duration must be >= 0")
+            return b"", 0
+        if program == "fail":
+            raise JobCommandError(" ".join(arguments) or "job failed")
+        raise JobCommandError(f"unknown program {program!r}")
+
+    @staticmethod
+    def _positive_int(text: str, what: str) -> int:
+        try:
+            value = int(text)
+        except ValueError:
+            raise JobCommandError(f"bad {what} {text!r}") from None
+        if value <= 0:
+            raise JobCommandError(f"{what} must be positive, got {value}")
+        return value
+
+
+def _deterministic_bytes(count: int, seed: bytes) -> bytes:
+    """Reproducible pseudo-random text of ``count`` bytes."""
+    out = bytearray()
+    block_index = 0
+    while len(out) < count:
+        digest = hashlib.sha256(seed + block_index.to_bytes(8, "big")).hexdigest()
+        out += f"{digest}\n".encode()
+        block_index += 1
+    return bytes(out[:count])
+
+
+_SIMULATE_CHUNK = 512
+
+
+def _simulate_computation(steps: int, data: bytes) -> bytes:
+    """A fake scientific code: an iteration log derived from the input.
+
+    Each step's row is a digest of one *chunk* of the input (round-robin),
+    so a small localised input edit perturbs only the rows fed by the
+    touched chunks while the rest of the log is byte-identical — the
+    partially-stable-output regime reverse shadow processing (§8.3)
+    exploits.  Output is a pure function of (steps, data).
+    """
+    rows = [b"step residual checksum"]
+    chunks = [
+        data[offset : offset + _SIMULATE_CHUNK]
+        for offset in range(0, len(data), _SIMULATE_CHUNK)
+    ] or [b""]
+    for step in range(1, steps + 1):
+        chunk = chunks[(step - 1) % len(chunks)]
+        state = hashlib.sha256(chunk + step.to_bytes(4, "big")).digest()
+        residual = int.from_bytes(state[:4], "big") / 2**32
+        rows.append(f"{step:5d} {residual:.8f} {state[:6].hex()}".encode())
+    return b"\n".join(rows) + b"\n"
+
+
+class LocalExecutor(Executor):
+    """Runs each command as a real subprocess in a scratch directory.
+
+    Used by the live TCP examples, where the 'supercomputer' is the local
+    machine.  Commands run with ``shell=False``; the staged files are
+    materialised into a temporary directory that is the working directory.
+    """
+
+    def __init__(self, timeout_seconds: float = 30.0) -> None:
+        self.timeout_seconds = timeout_seconds
+
+    def execute(
+        self, command_file: JobCommandFile, inputs: Dict[str, bytes]
+    ) -> ExecutionResult:
+        stdout = bytearray()
+        stderr = bytearray()
+        outputs: Dict[str, bytes] = {}
+        with tempfile.TemporaryDirectory(prefix="shadow-job-") as scratch:
+            root = Path(scratch)
+            for name, content in inputs.items():
+                safe = Path(name).name  # no path escapes out of scratch
+                (root / safe).write_bytes(content)
+            before = {path.name for path in root.iterdir()}
+            for command in command_file.commands:
+                argv = [command.program, *command.arguments]
+                redirect: Optional[str] = None
+                if len(argv) >= 3 and argv[-2] == ">":
+                    redirect = Path(argv[-1]).name
+                    argv = argv[:-2]
+                try:
+                    completed = subprocess.run(
+                        argv,
+                        cwd=root,
+                        capture_output=True,
+                        timeout=self.timeout_seconds,
+                        check=False,
+                    )
+                except FileNotFoundError:
+                    stderr += f"{command.program}: command not found\n".encode()
+                    return ExecutionResult(127, bytes(stdout), bytes(stderr), outputs)
+                except subprocess.TimeoutExpired:
+                    stderr += f"{command.program}: timed out\n".encode()
+                    return ExecutionResult(124, bytes(stdout), bytes(stderr), outputs)
+                stderr += completed.stderr
+                if redirect is not None:
+                    (root / redirect).write_bytes(completed.stdout)
+                else:
+                    stdout += completed.stdout
+                if completed.returncode != 0:
+                    return ExecutionResult(
+                        completed.returncode, bytes(stdout), bytes(stderr), outputs
+                    )
+            for path in root.iterdir():
+                if path.name not in before and path.is_file():
+                    outputs[path.name] = path.read_bytes()
+        return ExecutionResult(0, bytes(stdout), bytes(stderr), outputs)

@@ -1,0 +1,106 @@
+"""Output packaging and delivery routing (§6.2, §8.3).
+
+"After a job is executed, the output and the errors (if any) are returned
+automatically.  The optional arguments allow the user to specify the
+names of files into which the system stores output and error messages."
+
+The future-work item — "routing the output to different hosts", e.g. a
+host with a high-speed printer (§1) — is implemented here too: a
+:class:`DeliveryPlan` says *where* each piece goes, and the server's
+delivery step follows it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import JobError
+from repro.jobs.executor import ExecutionResult
+from repro.jobs.spec import JobRequest
+
+
+@dataclass(frozen=True)
+class OutputBundle:
+    """Everything shipped back for one finished job."""
+
+    job_id: str
+    exit_code: int
+    stdout: bytes
+    stderr: bytes
+    output_files: Dict[str, bytes] = field(default_factory=dict)
+    cpu_seconds: float = 0.0
+
+    @property
+    def payload_bytes(self) -> int:
+        return (
+            len(self.stdout)
+            + len(self.stderr)
+            + sum(len(content) for content in self.output_files.values())
+        )
+
+    @classmethod
+    def from_result(cls, job_id: str, result: ExecutionResult) -> "OutputBundle":
+        return cls(
+            job_id=job_id,
+            exit_code=result.exit_code,
+            stdout=result.stdout,
+            stderr=result.stderr,
+            output_files=dict(result.output_files),
+            cpu_seconds=result.cpu_seconds,
+        )
+
+
+@dataclass(frozen=True)
+class DeliveryPlan:
+    """Where a job's results should land.
+
+    ``destination_host`` is the submitting client's host unless the user
+    routed output elsewhere; ``output_file``/``error_file`` are the local
+    names to store stdout/stderr under (defaults derived from the job id,
+    as batch systems traditionally do).
+    """
+
+    job_id: str
+    destination_host: str
+    output_file: str
+    error_file: str
+    is_third_party: bool = False
+
+    @classmethod
+    def for_request(
+        cls, job_id: str, request: JobRequest, client_host: str
+    ) -> "DeliveryPlan":
+        if not client_host:
+            raise JobError("delivery requires a client host")
+        destination = request.deliver_to_host or client_host
+        return cls(
+            job_id=job_id,
+            destination_host=destination,
+            output_file=request.output_file or f"{job_id}.out",
+            error_file=request.error_file or f"{job_id}.err",
+            is_third_party=destination != client_host,
+        )
+
+
+def store_bundle(
+    bundle: OutputBundle,
+    plan: DeliveryPlan,
+    sink: Dict[str, bytes],
+) -> List[str]:
+    """Materialise a bundle into a client-side file sink.
+
+    ``sink`` maps file names to contents (the client's result area).
+    Returns the names written.  Empty stderr writes no error file, like
+    classic batch systems.
+    """
+    written: List[str] = []
+    sink[plan.output_file] = bundle.stdout
+    written.append(plan.output_file)
+    if bundle.stderr:
+        sink[plan.error_file] = bundle.stderr
+        written.append(plan.error_file)
+    for name, content in bundle.output_files.items():
+        sink[name] = content
+        written.append(name)
+    return written

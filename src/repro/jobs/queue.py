@@ -1,0 +1,76 @@
+"""The server-side job queue (§5.2, §6.4).
+
+"Depending on the system state, the server may process such a request
+immediately or queue it up for later processing."  Jobs wait here until
+their shadow files are current and the scheduler says the machine can
+take more work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import JobError, UnknownJobError
+from repro.jobs.spec import JobRequest
+
+
+@dataclass
+class QueuedJob:
+    """A submission waiting at the supercomputer."""
+
+    job_id: str
+    owner: str
+    request: JobRequest
+    file_keys: Tuple[str, ...]
+    file_versions: Dict[str, int]
+    #: Optional content identity per key ("" = not supplied, skip checks).
+    file_checksums: Dict[str, str] = field(default_factory=dict)
+    enqueued_at: float = 0.0
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if set(self.file_versions) != set(self.file_keys):
+            raise JobError(
+                f"job {self.job_id}: file_versions must cover file_keys"
+            )
+
+
+class JobQueue:
+    """Priority-then-FIFO queue of jobs awaiting execution."""
+
+    def __init__(self) -> None:
+        self._jobs: List[QueuedJob] = []
+
+    def push(self, job: QueuedJob) -> None:
+        self._jobs.append(job)
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __contains__(self, job_id: str) -> bool:
+        return any(job.job_id == job_id for job in self._jobs)
+
+    def peek_ready(self, is_ready) -> Optional[QueuedJob]:
+        """Best runnable job: highest priority, then earliest submission."""
+        candidates = [job for job in self._jobs if is_ready(job)]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda job: (-job.priority, job.enqueued_at))
+
+    def pop(self, job_id: str) -> QueuedJob:
+        for index, job in enumerate(self._jobs):
+            if job.job_id == job_id:
+                return self._jobs.pop(index)
+        raise UnknownJobError(job_id)
+
+    def remove_for_owner(self, owner: str) -> List[QueuedJob]:
+        """Drop all of one client's queued jobs (disconnect handling)."""
+        kept, removed = [], []
+        for job in self._jobs:
+            (removed if job.owner == owner else kept).append(job)
+        self._jobs = kept
+        return removed
+
+    def snapshot(self) -> List[QueuedJob]:
+        return list(self._jobs)

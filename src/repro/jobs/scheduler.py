@@ -1,0 +1,139 @@
+"""Demand-driven scheduling policy at the supercomputer (§5.2, §6.4).
+
+"By monitoring the load average, cache size to disk space ratio, number
+of incoming jobs, network delays, etc., the remote host can decide when
+is the best time to retrieve the needed files and to schedule and run the
+jobs."
+
+Two pluggable decisions live here:
+
+* **when to pull file updates** after a client's change notification —
+  immediately, lazily at submit time, or load-dependent;
+* **when to start a queued job** — now, or after a load-dependent delay.
+
+Load comes from a :class:`LoadModel` over virtual time, so experiments
+are reproducible; the adaptive policy is the paper's "Adaptability"
+objective (§3) made concrete and is exercised by ablation A3.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.errors import JobError
+
+
+class LoadModel(ABC):
+    """Server load average (normalised 0..1) as a function of time."""
+
+    @abstractmethod
+    def load_at(self, timestamp: float) -> float:
+        """Load in [0, 1] at ``timestamp``."""
+
+
+@dataclass
+class ConstantLoad(LoadModel):
+    """A fixed load level (default for the paper's figures: idle-ish)."""
+
+    level: float = 0.2
+
+    def load_at(self, timestamp: float) -> float:  # noqa: ARG002
+        if not 0 <= self.level <= 1:
+            raise JobError(f"load level {self.level} out of [0, 1]")
+        return self.level
+
+
+@dataclass
+class SinusoidalLoad(LoadModel):
+    """Cyclic load: busy at mid-period, idle at the edges."""
+
+    peak: float = 0.9
+    trough: float = 0.1
+    period_seconds: float = 3600.0
+
+    def load_at(self, timestamp: float) -> float:
+        if not 0 <= self.trough <= self.peak <= 1:
+            raise JobError(
+                f"need 0 <= trough {self.trough} <= peak {self.peak} <= 1"
+            )
+        phase = 0.5 * (1 - math.cos(2 * math.pi * timestamp / self.period_seconds))
+        return self.trough + (self.peak - self.trough) * phase
+
+
+@dataclass
+class SeededRandomLoad(LoadModel):
+    """Piecewise-constant random load from a seeded PRNG (reproducible)."""
+
+    seed: int = 722
+    slot_seconds: float = 60.0
+    mean: float = 0.5
+    spread: float = 0.25
+
+    def load_at(self, timestamp: float) -> float:
+        slot = int(max(0.0, timestamp) // self.slot_seconds)
+        rng = random.Random(str((self.seed, slot)))
+        return min(1.0, max(0.0, rng.gauss(self.mean, self.spread)))
+
+
+class PullPolicy(enum.Enum):
+    """When the server retrieves a changed file from the client (§6.4)."""
+
+    #: Pull as soon as the change notification arrives.
+    IMMEDIATE = "immediate"
+    #: Postpone until a submit actually needs the file.
+    ON_SUBMIT = "on-submit"
+    #: Pull on notification only while load is low; otherwise at submit.
+    LOAD_AWARE = "load-aware"
+
+
+@dataclass
+class Scheduler:
+    """The server's demand-driven control knobs."""
+
+    pull_policy: PullPolicy = PullPolicy.IMMEDIATE
+    load_model: LoadModel = None  # type: ignore[assignment]
+    pull_load_threshold: float = 0.7
+    run_load_threshold: float = 0.95
+    max_start_delay_seconds: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.load_model is None:
+            self.load_model = ConstantLoad()
+        if not 0 < self.pull_load_threshold <= 1:
+            raise JobError("pull_load_threshold must be in (0, 1]")
+        if not 0 < self.run_load_threshold <= 1:
+            raise JobError("run_load_threshold must be in (0, 1]")
+
+    # ------------------------------------------------------------------
+    # pull decisions
+    # ------------------------------------------------------------------
+    def should_pull_on_notify(self, timestamp: float) -> bool:
+        """Pull now, or defer to submit time?"""
+        if self.pull_policy is PullPolicy.IMMEDIATE:
+            return True
+        if self.pull_policy is PullPolicy.ON_SUBMIT:
+            return False
+        return self.load_model.load_at(timestamp) < self.pull_load_threshold
+
+    # ------------------------------------------------------------------
+    # run decisions
+    # ------------------------------------------------------------------
+    def start_delay(self, timestamp: float, queue_depth: int) -> float:
+        """Seconds to hold a ready job before starting it.
+
+        An idle machine starts jobs immediately; a loaded one backs off
+        proportionally, and queue depth adds linear pressure.  The delay
+        is capped so jobs always run eventually.
+        """
+        if queue_depth < 0:
+            raise JobError(f"negative queue depth {queue_depth}")
+        load = self.load_model.load_at(timestamp)
+        if load < self.run_load_threshold and queue_depth <= 1:
+            return 0.0
+        pressure = load + 0.05 * max(0, queue_depth - 1)
+        delay = self.max_start_delay_seconds * min(1.0, max(0.0, pressure - 0.5))
+        return delay

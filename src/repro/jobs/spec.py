@@ -1,0 +1,115 @@
+"""Job requests and job command files (§6.2).
+
+"The submit command accepts a list of file names, the name of a job
+command file and a few optional arguments.  The job command file contains
+one or more lines where each line specifies a command (along with its
+arguments) to be executed at the remote host."
+
+A :class:`JobCommandFile` is that script; a :class:`JobRequest` is the
+full submission: the script, the data files it needs, and the optional
+arguments (output/error file names, target host, and — future work §8.3 —
+a different *delivery* host for the output).
+"""
+
+from __future__ import annotations
+
+import shlex
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import JobCommandError
+
+
+@dataclass(frozen=True)
+class JobCommand:
+    """One line of a job command file: a program and its arguments."""
+
+    program: str
+    arguments: Tuple[str, ...] = ()
+
+    def render(self) -> str:
+        return " ".join([self.program, *self.arguments])
+
+
+@dataclass(frozen=True)
+class JobCommandFile:
+    """An ordered list of commands to execute at the remote host."""
+
+    commands: Tuple[JobCommand, ...]
+
+    def __post_init__(self) -> None:
+        if not self.commands:
+            raise JobCommandError("job command file contains no commands")
+
+    @classmethod
+    def parse(cls, text: str) -> "JobCommandFile":
+        """Parse script text: one command per line, '#' comments allowed."""
+        commands: List[JobCommand] = []
+        for line_number, raw in enumerate(text.splitlines(), start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                parts = shlex.split(line)
+            except ValueError as exc:
+                raise JobCommandError(
+                    f"line {line_number}: unparsable command {raw!r}: {exc}"
+                ) from exc
+            if not parts:
+                continue
+            commands.append(JobCommand(parts[0], tuple(parts[1:])))
+        if not commands:
+            raise JobCommandError("job command file contains no commands")
+        return cls(tuple(commands))
+
+    def render(self) -> str:
+        return "\n".join(command.render() for command in self.commands) + "\n"
+
+    def __len__(self) -> int:
+        return len(self.commands)
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """A remote-execution request as the user's submit command builds it.
+
+    ``data_files`` are the *local* names of the files the commands need;
+    the client resolves them to global names before anything crosses the
+    wire.  ``output_file``/``error_file`` name where results land at the
+    client; ``deliver_to_host`` routes output to a third host instead
+    (§8.3: "routing the output to different hosts").
+    """
+
+    command_file: JobCommandFile
+    data_files: Tuple[str, ...] = ()
+    output_file: Optional[str] = None
+    error_file: Optional[str] = None
+    target_host: Optional[str] = None
+    deliver_to_host: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for name in self.data_files:
+            if name in seen:
+                raise JobCommandError(f"duplicate data file {name!r}")
+            seen.add(name)
+
+    @classmethod
+    def build(
+        cls,
+        script: str,
+        data_files: Sequence[str] = (),
+        output_file: Optional[str] = None,
+        error_file: Optional[str] = None,
+        target_host: Optional[str] = None,
+        deliver_to_host: Optional[str] = None,
+    ) -> "JobRequest":
+        """Parse ``script`` and assemble a request in one step."""
+        return cls(
+            command_file=JobCommandFile.parse(script),
+            data_files=tuple(data_files),
+            output_file=output_file,
+            error_file=error_file,
+            target_host=target_host,
+            deliver_to_host=deliver_to_host,
+        )

@@ -1,0 +1,124 @@
+"""Job lifecycle and the status table both sides keep (§6.2).
+
+"The submit command returns a job identifier that can be used subsequently
+to query the status of the job. ... The client maintains the information
+on the status of all the jobs."
+
+States move strictly forward::
+
+    QUEUED -> WAITING_FILES -> READY -> RUNNING -> COMPLETED
+                                             \\-> FAILED
+    (any non-terminal state) -> CANCELLED
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import JobError, UnknownJobError
+
+
+class JobState(enum.Enum):
+    """Where a job is in its life."""
+
+    QUEUED = "queued"
+    WAITING_FILES = "waiting-files"
+    READY = "ready"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.COMPLETED, JobState.FAILED, JobState.CANCELLED)
+
+
+_ALLOWED = {
+    JobState.QUEUED: {JobState.WAITING_FILES, JobState.READY, JobState.CANCELLED},
+    JobState.WAITING_FILES: {JobState.READY, JobState.CANCELLED},
+    JobState.READY: {JobState.RUNNING, JobState.CANCELLED},
+    JobState.RUNNING: {JobState.COMPLETED, JobState.FAILED, JobState.CANCELLED},
+    JobState.COMPLETED: set(),
+    JobState.FAILED: set(),
+    JobState.CANCELLED: set(),
+}
+
+
+@dataclass
+class JobRecord:
+    """The status both client and server keep for one job."""
+
+    job_id: str
+    owner: str
+    state: JobState = JobState.QUEUED
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    exit_code: Optional[int] = None
+    detail: str = ""
+
+    def transition(
+        self, state: JobState, timestamp: float = 0.0, detail: str = ""
+    ) -> None:
+        """Move to ``state``, enforcing the lifecycle graph."""
+        if state not in _ALLOWED[self.state]:
+            raise JobError(
+                f"job {self.job_id}: illegal transition "
+                f"{self.state.value} -> {state.value}"
+            )
+        self.state = state
+        if detail:
+            self.detail = detail
+        if state is JobState.RUNNING:
+            self.started_at = timestamp
+        if state.terminal:
+            self.finished_at = timestamp
+
+    @property
+    def elapsed(self) -> Optional[float]:
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+
+class StatusTable:
+    """All job records known to one party, newest last."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, JobRecord] = {}
+
+    def add(self, record: JobRecord) -> None:
+        if record.job_id in self._records:
+            raise JobError(f"duplicate job id {record.job_id!r}")
+        self._records[record.job_id] = record
+
+    def get(self, job_id: str) -> JobRecord:
+        try:
+            return self._records[job_id]
+        except KeyError:
+            raise UnknownJobError(job_id) from None
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._records
+
+    def all_records(self) -> List[JobRecord]:
+        return list(self._records.values())
+
+    def pending(self) -> List[JobRecord]:
+        """Jobs not yet in a terminal state (the status command default)."""
+        return [
+            record
+            for record in self._records.values()
+            if not record.state.terminal
+        ]
+
+    def for_owner(self, owner: str) -> List[JobRecord]:
+        return [
+            record for record in self._records.values() if record.owner == owner
+        ]
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,27 @@
+"""Measurement records and paper-style reporting."""
+
+from repro.metrics.recorder import (
+    CycleOutcome,
+    FigureData,
+    FigurePoint,
+    Series,
+)
+from repro.metrics.plot import ascii_plot
+from repro.metrics.report import (
+    format_figure,
+    format_series_csv,
+    format_speedup_table,
+    format_table,
+)
+
+__all__ = [
+    "CycleOutcome",
+    "FigureData",
+    "FigurePoint",
+    "Series",
+    "ascii_plot",
+    "format_figure",
+    "format_series_csv",
+    "format_speedup_table",
+    "format_table",
+]

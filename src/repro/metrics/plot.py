@@ -1,0 +1,95 @@
+"""ASCII rendering of the paper's figures.
+
+The original Figures 1 and 2 are line plots: S-time curves rising with
+the modification percentage under horizontal E-time lines.  This module
+draws the same picture in plain text so benchmark output and
+EXPERIMENTS.md can show the *shape*, not just the numbers — much like
+the hand-drawn plots in the 1987 technical report.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ShadowError
+from repro.metrics.recorder import FigureData
+
+_MARKERS = "abcdefgh"
+
+
+def ascii_plot(
+    figure: FigureData, width: int = 68, height: int = 22
+) -> str:
+    """Render S-time curves and E-time levels as a text plot.
+
+    Each file size gets a letter marker for its S-time curve and a dashed
+    horizontal line (same letter, upper-case) for its E-time level.
+    """
+    if width < 20 or height < 8:
+        raise ShadowError("plot area too small")
+    sizes = sorted(figure.shadow_series)
+    if not sizes:
+        raise ShadowError("figure has no series to plot")
+    if len(sizes) > len(_MARKERS):
+        raise ShadowError(f"too many series ({len(sizes)})")
+
+    max_percent = max(
+        max(series.xs()) for series in figure.shadow_series.values()
+    )
+    max_seconds = max(figure.conventional_levels.values()) * 1.08
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x_value: float, y_value: float, marker: str) -> None:
+        column = int(round(x_value / max_percent * (width - 1)))
+        row = height - 1 - int(round(y_value / max_seconds * (height - 1)))
+        row = min(height - 1, max(0, row))
+        column = min(width - 1, max(0, column))
+        if grid[row][column] == " " or grid[row][column] == "-":
+            grid[row][column] = marker
+
+    # E-time levels first (dashes), so curve markers overwrite them.
+    for index, size in enumerate(sizes):
+        level = figure.conventional_levels[size]
+        row = height - 1 - int(round(level / max_seconds * (height - 1)))
+        row = min(height - 1, max(0, row))
+        for column in range(width):
+            if column % 2 == 0 and grid[row][column] == " ":
+                grid[row][column] = "-"
+        place(max_percent * 0.02, level, _MARKERS[index].upper())
+
+    # S-time curves, with linear interpolation between sweep points.
+    for index, size in enumerate(sizes):
+        marker = _MARKERS[index]
+        points = sorted(figure.shadow_series[size].points)
+        for (x0, y0), (x1, y1) in zip(points, points[1:]):
+            steps = max(2, int((x1 - x0) / max_percent * width))
+            for step in range(steps + 1):
+                fraction = step / steps
+                place(
+                    x0 + (x1 - x0) * fraction,
+                    y0 + (y1 - y0) * fraction,
+                    marker,
+                )
+        for x_value, y_value in points:
+            place(x_value, y_value, marker)
+
+    # Assemble with a y axis (seconds) and x axis (% modified).
+    lines: List[str] = [figure.title]
+    for row_index, row in enumerate(grid):
+        seconds = max_seconds * (height - 1 - row_index) / (height - 1)
+        label = f"{seconds:7.0f}s |" if row_index % 4 == 0 else "         |"
+        lines.append(label + "".join(row))
+    lines.append("         +" + "-" * width)
+    axis = [" "] * (width + 4)  # room for the last label to overhang
+    for percent in range(0, int(max_percent) + 1, 20):
+        column = int(round(percent / max_percent * (width - 1)))
+        for offset, character in enumerate(str(percent)):
+            axis[column + offset] = character
+    lines.append("          " + "".join(axis) + "  (% modified)")
+    legend = "  ".join(
+        f"{_MARKERS[index]}=S-time({size // 1000}k) "
+        f"{_MARKERS[index].upper()}=E-time"
+        for index, size in enumerate(sizes)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)

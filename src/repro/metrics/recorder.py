@@ -1,0 +1,90 @@
+"""Measurement records for the paper's experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import ShadowError
+
+
+@dataclass(frozen=True)
+class CycleOutcome:
+    """One measured edit-submit-fetch cycle (§8.1's stopwatch unit)."""
+
+    label: str
+    seconds: float
+    uplink_payload_bytes: int
+    downlink_payload_bytes: int
+    uplink_wire_bytes: int
+    downlink_wire_bytes: int
+    job_id: str = ""
+
+    @property
+    def total_payload_bytes(self) -> int:
+        return self.uplink_payload_bytes + self.downlink_payload_bytes
+
+    @property
+    def total_wire_bytes(self) -> int:
+        return self.uplink_wire_bytes + self.downlink_wire_bytes
+
+
+@dataclass(frozen=True)
+class FigurePoint:
+    """One (file size, % modified) point of Figures 1–3."""
+
+    file_size: int
+    percent: float
+    shadow_seconds: float
+    conventional_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        """Figure 3's metric: E-time / S-time."""
+        if self.shadow_seconds <= 0:
+            raise ShadowError("shadow time must be positive")
+        return self.conventional_seconds / self.shadow_seconds
+
+
+@dataclass
+class Series:
+    """A named curve: x = % modified, y = seconds (one file size)."""
+
+    name: str
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.points.append((x, y))
+
+    def xs(self) -> List[float]:
+        return [x for x, _ in self.points]
+
+    def ys(self) -> List[float]:
+        return [y for _, y in self.points]
+
+
+@dataclass
+class FigureData:
+    """Everything one figure needs: S-time curves + E-time levels."""
+
+    title: str
+    shadow_series: Dict[int, Series] = field(default_factory=dict)
+    conventional_levels: Dict[int, float] = field(default_factory=dict)
+
+    def add_point(self, point: FigurePoint) -> None:
+        series = self.shadow_series.get(point.file_size)
+        if series is None:
+            series = Series(name=f"S-time ({point.file_size // 1000}k)")
+            self.shadow_series[point.file_size] = series
+        series.add(point.percent, point.shadow_seconds)
+        self.conventional_levels.setdefault(
+            point.file_size, point.conventional_seconds
+        )
+
+    def speedups(self) -> Dict[Tuple[int, float], float]:
+        result: Dict[Tuple[int, float], float] = {}
+        for size, series in self.shadow_series.items():
+            level = self.conventional_levels[size]
+            for percent, seconds in series.points:
+                result[(size, percent)] = level / seconds
+        return result

@@ -1,0 +1,88 @@
+"""Paper-style table and figure rendering.
+
+The benchmark harness prints the same rows and series the paper reports:
+Figure 1/2 as S-time-vs-percent tables with the E-time level, Figure 3 as
+the speedup-factor table.  Output is plain text so it reads well under
+``pytest -s`` and diffs cleanly in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.metrics.recorder import FigureData
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    """Fixed-width text table with a header rule."""
+    materialised = [list(map(str, row)) for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def render(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+    lines = [render(list(headers)), render(["-" * width for width in widths])]
+    lines.extend(render(row) for row in materialised)
+    return "\n".join(lines)
+
+
+def format_figure(figure: FigureData) -> str:
+    """Render a Figure-1/2-style dataset: one row per % modified."""
+    sizes = sorted(figure.shadow_series)
+    headers = ["% modified"] + [
+        f"S-time ({size // 1000}k)" for size in sizes
+    ]
+    percents = figure.shadow_series[sizes[0]].xs() if sizes else []
+    rows: List[List[str]] = []
+    for row_index, percent in enumerate(percents):
+        row = [f"{percent:g}%"]
+        for size in sizes:
+            seconds = figure.shadow_series[size].points[row_index][1]
+            row.append(f"{seconds:.1f}s")
+        rows.append(row)
+    level_row = ["E-time"] + [
+        f"{figure.conventional_levels[size]:.1f}s" for size in sizes
+    ]
+    rows.append(level_row)
+    return f"{figure.title}\n" + format_table(headers, rows)
+
+
+def format_speedup_table(
+    speedups: Dict[Tuple[int, float], float],
+    sizes: Sequence[int],
+    percents: Sequence[float],
+) -> str:
+    """Render Figure 3: rows = file sizes, columns = % modified."""
+    headers = ["File Size"] + [f"{percent:g}% modified" for percent in percents]
+    rows = []
+    for size in sizes:
+        row = [f"{size // 1000}k"]
+        for percent in percents:
+            row.append(f"{speedups[(size, percent)]:.1f}")
+        rows.append(row)
+    return (
+        "Speedup Factor (= conventional time / shadow time)\n"
+        + format_table(headers, rows)
+    )
+
+
+def format_series_csv(figure: FigureData) -> str:
+    """Machine-readable dump: percent, then one column per file size."""
+    sizes = sorted(figure.shadow_series)
+    lines = [
+        "percent," + ",".join(f"s_{size}" for size in sizes)
+        + "," + ",".join(f"e_{size}" for size in sizes)
+    ]
+    percents = figure.shadow_series[sizes[0]].xs() if sizes else []
+    for row_index, percent in enumerate(percents):
+        cells = [f"{percent:g}"]
+        cells.extend(
+            f"{figure.shadow_series[size].points[row_index][1]:.3f}"
+            for size in sizes
+        )
+        cells.extend(
+            f"{figure.conventional_levels[size]:.3f}" for size in sizes
+        )
+        lines.append(",".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""Name resolution: local file names to globally unique names (§5.3, §6.5).
+
+A simulated UNIX VFS (symlinks, hard links), an NFS environment (exports,
+mounts, the paper's iterative resolution algorithm), the Tilde naming
+scheme [CM86], and the client-side mapping function producing
+``(domain id, file id)`` pairs.
+"""
+
+from repro.naming.domain import DomainId, GlobalName
+from repro.naming.nfs import Export, Mount, NfsEnvironment, NfsHost
+from repro.naming.resolver import NameResolver
+from repro.naming.tilde import TildeNamespace, TildeTree
+from repro.naming.vfs import (
+    DirectoryNode,
+    FileNode,
+    SymlinkNode,
+    VirtualFileSystem,
+    join_path,
+    split_path,
+)
+
+__all__ = [
+    "DirectoryNode",
+    "DomainId",
+    "Export",
+    "FileNode",
+    "GlobalName",
+    "Mount",
+    "NameResolver",
+    "NfsEnvironment",
+    "NfsHost",
+    "SymlinkNode",
+    "TildeNamespace",
+    "TildeTree",
+    "VirtualFileSystem",
+    "join_path",
+    "split_path",
+]

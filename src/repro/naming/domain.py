@@ -1,0 +1,70 @@
+"""Domains and globally unique file names (§5.3).
+
+"Our approach is to view the client's name space as consisting of a
+domain and a unique file name within that domain. ... We assume that each
+domain can be identified uniquely on a global basis (for example, an
+internet network number may serve as a unique domain id)."
+
+A :class:`GlobalName` is the ``(domain id, unique file id)`` pair the
+client presents to the shadow server; within an NFS domain the file id is
+``host:canonical-path`` of the file system that actually stores the file,
+so every alias of a file collapses to one global name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import NamingError
+
+
+@dataclass(frozen=True)
+class DomainId:
+    """A globally unique domain identifier (e.g. an internet network number)."""
+
+    value: str
+
+    def __post_init__(self) -> None:
+        if not self.value or "/" in self.value or ":" in self.value:
+            raise NamingError(f"invalid domain id {self.value!r}")
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class GlobalName:
+    """The unique name a client presents to the server for one file."""
+
+    domain: DomainId
+    host: str
+    path: str
+
+    def __post_init__(self) -> None:
+        if not self.host:
+            raise NamingError("global name requires a host")
+        if not self.path.startswith("/"):
+            raise NamingError(f"global name path must be absolute: {self.path!r}")
+
+    @property
+    def file_id(self) -> str:
+        """The unique file id within the domain."""
+        return f"{self.host}:{self.path}"
+
+    def render(self) -> str:
+        """One-string wire form: ``domain/host:path``."""
+        return f"{self.domain}/{self.file_id}"
+
+    @classmethod
+    def parse(cls, text: str) -> "GlobalName":
+        """Inverse of :meth:`render`."""
+        domain_part, separator, file_part = text.partition("/")
+        if not separator:
+            raise NamingError(f"malformed global name {text!r}")
+        host, separator, path = file_part.partition(":")
+        if not separator:
+            raise NamingError(f"malformed global name {text!r}")
+        return cls(DomainId(domain_part), host, path)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,188 @@
+"""A simulated NFS environment: exports, mounts, iterative resolution.
+
+Models the scenario the paper uses to motivate global naming (§5.3): host
+C exports ``/usr``; host A mounts it at ``/projl`` and host B at
+``/others``; both ``/projl/foo`` (on A) and ``/others/foo`` (on B) must
+resolve to the *same* file, so the server keeps a single cached copy.
+
+Resolution follows §6.5: canonicalise on the current host until a mounted
+prefix is hit, then continue resolution on the exporting host, iterating
+"until a file name is resolved to a unique (host id, path name) pair
+within the NFS domain".  NFS forbids mount circularities; a hop limit
+turns any mis-configured cycle into :class:`MountError` instead of a
+hang.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Tuple
+
+from repro.errors import MountError, NamingError
+from repro.naming.vfs import VirtualFileSystem, join_path, split_path
+
+_MOUNT_HOP_LIMIT = 32
+
+
+@dataclass(frozen=True)
+class Export:
+    """A subtree a host offers to the network."""
+
+    host: str
+    path: str
+
+
+@dataclass(frozen=True)
+class Mount:
+    """A remote export attached into a host's local namespace."""
+
+    mount_point: str
+    remote_host: str
+    remote_path: str
+
+
+class NfsHost:
+    """One machine: a file system plus its mount table."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise NamingError("host name must be non-empty")
+        self.name = name
+        self.vfs = VirtualFileSystem()
+        self.mounts: Dict[str, Mount] = {}
+
+    @property
+    def mount_points(self) -> FrozenSet[str]:
+        return frozenset(self.mounts)
+
+
+class NfsEnvironment:
+    """A collection of hosts sharing file systems over NFS."""
+
+    def __init__(self) -> None:
+        self._hosts: Dict[str, NfsHost] = {}
+        self._exports: Dict[Tuple[str, str], Export] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_host(self, name: str) -> NfsHost:
+        if name in self._hosts:
+            raise NamingError(f"duplicate host {name!r}")
+        host = NfsHost(name)
+        self._hosts[name] = host
+        return host
+
+    def host(self, name: str) -> NfsHost:
+        try:
+            return self._hosts[name]
+        except KeyError:
+            raise NamingError(f"unknown host {name!r}") from None
+
+    def export(self, host_name: str, path: str) -> Export:
+        """Offer ``path`` on ``host_name`` to the network."""
+        host = self.host(host_name)
+        canonical = host.vfs.realpath(path)
+        record = Export(host_name, canonical)
+        self._exports[(host_name, canonical)] = record
+        return record
+
+    def is_exported(self, host_name: str, path: str) -> bool:
+        return (host_name, path) in self._exports
+
+    def mount(
+        self,
+        host_name: str,
+        mount_point: str,
+        remote_host: str,
+        remote_path: str,
+    ) -> Mount:
+        """Attach ``remote_host:remote_path`` at ``mount_point``.
+
+        The remote subtree must have been exported; the mount point
+        directory is created if absent (matching ``mount`` practice of
+        requiring a directory to mount over).
+        """
+        host = self.host(host_name)
+        remote = self.host(remote_host)
+        canonical_remote = remote.vfs.realpath(remote_path)
+        if (remote_host, canonical_remote) not in self._exports:
+            raise MountError(
+                f"{remote_host}:{canonical_remote} is not exported"
+            )
+        if host_name == remote_host:
+            raise MountError("a host cannot NFS-mount its own export")
+        host.vfs.mkdir(mount_point)
+        canonical_mount = host.vfs.realpath(mount_point)
+        if canonical_mount in host.mounts:
+            raise MountError(
+                f"{host_name}:{canonical_mount} already has a mount"
+            )
+        record = Mount(canonical_mount, remote_host, canonical_remote)
+        host.mounts[canonical_mount] = record
+        return record
+
+    # ------------------------------------------------------------------
+    # the paper's iterative resolution algorithm (§6.5)
+    # ------------------------------------------------------------------
+    def resolve(self, host_name: str, path: str) -> Tuple[str, str]:
+        """Resolve a local name to its unique ``(host, path)`` pair.
+
+        Iterates: canonicalise locally (aliases and symlinks resolved);
+        if a prefix of the result is a mount point, consult the mount
+        table and continue on the exporting host; repeat until the path
+        no longer crosses a mount.
+        """
+        current_host = self.host(host_name)
+        current_path = path
+        for _ in range(_MOUNT_HOP_LIMIT):
+            resolved, remainder = current_host.vfs.realpath_until(
+                current_path, current_host.mount_points
+            )
+            if not remainder and resolved not in current_host.mounts:
+                return current_host.name, resolved
+            mount = current_host.mounts[resolved]
+            current_host = self.host(mount.remote_host)
+            current_path = join_path(
+                split_path(mount.remote_path) + remainder
+            )
+        raise MountError(
+            f"mount resolution exceeded {_MOUNT_HOP_LIMIT} hops for "
+            f"{host_name}:{path} (circular mounts?)"
+        )
+
+    # ------------------------------------------------------------------
+    # content access through the mount fabric
+    # ------------------------------------------------------------------
+    def read_file(self, host_name: str, path: str) -> bytes:
+        owner, canonical = self.resolve(host_name, path)
+        return self.host(owner).vfs.read_file(canonical)
+
+    def write_file(self, host_name: str, path: str, content: bytes) -> None:
+        owner, canonical = self.resolve_for_write(host_name, path)
+        self.host(owner).vfs.write_file(canonical, content)
+
+    def resolve_for_write(self, host_name: str, path: str) -> Tuple[str, str]:
+        """Like :meth:`resolve` but tolerates a missing terminal component.
+
+        Writing a new file needs its *parent* resolved; the final name
+        component may not exist yet.
+        """
+        try:
+            return self.resolve(host_name, path)
+        except NamingError:
+            components = split_path(path)
+            if not components:
+                raise
+            parent = join_path(components[:-1])
+            owner, canonical_parent = self.resolve(host_name, parent)
+            return owner, join_path(
+                split_path(canonical_parent) + [components[-1]]
+            )
+
+    def exists(self, host_name: str, path: str) -> bool:
+        try:
+            owner, canonical = self.resolve(host_name, path)
+        except NamingError:
+            return False
+        return self.host(owner).vfs.exists(canonical)

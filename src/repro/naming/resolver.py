@@ -1,0 +1,62 @@
+"""The client-side mapping function: local name -> global name (§5.3, §6.5).
+
+"We expect a mapping function at the local site to localize the details
+of the naming scheme used under that domain.  That function maps each
+local file name into a (domain id, unique file id) pair and presents it
+to the remote site."
+
+:class:`NameResolver` wraps one NFS domain.  Resolution steps:
+
+1. the paper's iterative NFS algorithm reduces the user's path to a
+   unique ``(host, canonical path)`` pair on the file system that stores
+   the file — symbolic links and mount prefixes resolved;
+2. optionally, hard-link aliases are collapsed by inode: the first
+   canonical path observed for an inode becomes the basic name for every
+   other link to it (the paper's "reduce it to its basic file name");
+3. the pair is stamped with the domain id, yielding a
+   :class:`~repro.naming.domain.GlobalName`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.naming.domain import DomainId, GlobalName
+from repro.naming.nfs import NfsEnvironment
+
+
+class NameResolver:
+    """Maps local file names within one NFS domain to global names."""
+
+    def __init__(
+        self,
+        environment: NfsEnvironment,
+        domain: DomainId,
+        canonicalize_hard_links: bool = True,
+    ) -> None:
+        self.environment = environment
+        self.domain = domain
+        self.canonicalize_hard_links = canonicalize_hard_links
+        self._inode_names: Dict[Tuple[str, int], str] = {}
+
+    def resolve(self, host_name: str, path: str) -> GlobalName:
+        """Resolve ``path`` as seen from ``host_name`` to its global name."""
+        owner, canonical = self.environment.resolve(host_name, path)
+        if self.canonicalize_hard_links:
+            canonical = self._basic_name(owner, canonical)
+        return GlobalName(self.domain, owner, canonical)
+
+    def _basic_name(self, owner: str, canonical: str) -> str:
+        """Collapse hard-link aliases via inode identity."""
+        vfs = self.environment.host(owner).vfs
+        try:
+            inode = vfs.inode_of(canonical)
+        except Exception:
+            # Directories / non-regular files keep their path name.
+            return canonical
+        key = (owner, inode)
+        return self._inode_names.setdefault(key, canonical)
+
+    def read(self, host_name: str, path: str) -> bytes:
+        """Read content through the same resolution the name took."""
+        return self.environment.read_file(host_name, path)

@@ -1,0 +1,128 @@
+"""The Tilde file naming scheme [CM86] (§5.3).
+
+The paper surveys Tilde as an alternative naming discipline: "the
+directory system [is organised] into a set of logically independent
+directory trees called tilde trees.  Files within a tree are accessed
+using the tree's tilde name and a pathname within that tree.  Each user
+specifies his own tilde trees ...  An absolute name is associated with
+each tilde tree and is unique across all machines."
+
+This module implements that scheme over the simulated NFS environment so
+the repository can demonstrate (as the paper argues) why a per-user tilde
+name alone is *not* globally unique: two users may bind the same tilde
+name to different trees, and one tree may carry different tilde names.
+The combination ``absolute tree name + path within tree`` is what feeds
+the global-name mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import NamingError
+from repro.naming.vfs import join_path, split_path
+
+
+@dataclass(frozen=True)
+class TildeTree:
+    """A logically independent directory tree.
+
+    ``absolute_name`` is unique across all machines; ``host``/``root``
+    give its current physical location, which "may migrate from a machine
+    to another without altering the user's view".
+    """
+
+    absolute_name: str
+    host: str
+    root: str
+
+    def __post_init__(self) -> None:
+        if not self.absolute_name:
+            raise NamingError("tilde tree requires an absolute name")
+        if not self.root.startswith("/"):
+            raise NamingError(f"tree root must be absolute: {self.root!r}")
+
+
+class TildeNamespace:
+    """All tilde trees known to an installation, plus per-user views."""
+
+    def __init__(self) -> None:
+        self._trees: Dict[str, TildeTree] = {}
+        self._user_views: Dict[str, Dict[str, str]] = {}
+
+    # ------------------------------------------------------------------
+    # trees
+    # ------------------------------------------------------------------
+    def create_tree(self, absolute_name: str, host: str, root: str) -> TildeTree:
+        if absolute_name in self._trees:
+            raise NamingError(f"tilde tree {absolute_name!r} already exists")
+        tree = TildeTree(absolute_name, host, root)
+        self._trees[absolute_name] = tree
+        return tree
+
+    def tree(self, absolute_name: str) -> TildeTree:
+        try:
+            return self._trees[absolute_name]
+        except KeyError:
+            raise NamingError(f"unknown tilde tree {absolute_name!r}") from None
+
+    def migrate_tree(self, absolute_name: str, host: str, root: str) -> TildeTree:
+        """Move a tree to a new physical location, keeping its identity."""
+        self.tree(absolute_name)  # must exist
+        tree = TildeTree(absolute_name, host, root)
+        self._trees[absolute_name] = tree
+        return tree
+
+    # ------------------------------------------------------------------
+    # per-user views
+    # ------------------------------------------------------------------
+    def bind(self, user: str, tilde_name: str, absolute_name: str) -> None:
+        """Give ``user`` a tilde name for a tree in their personal view."""
+        self.tree(absolute_name)  # must exist
+        if not tilde_name or "/" in tilde_name:
+            raise NamingError(f"invalid tilde name {tilde_name!r}")
+        self._user_views.setdefault(user, {})[tilde_name] = absolute_name
+
+    def bindings(self, user: str) -> Dict[str, str]:
+        return dict(self._user_views.get(user, {}))
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+    def parse(self, name: str) -> Tuple[str, List[str]]:
+        """Split ``~tree/path/inside`` into (tilde name, components)."""
+        if not name.startswith("~"):
+            raise NamingError(f"not a tilde name: {name!r}")
+        body = name[1:]
+        tilde_name, _, rest = body.partition("/")
+        if not tilde_name:
+            raise NamingError(f"empty tilde tree name in {name!r}")
+        components = [part for part in rest.split("/") if part not in ("", ".")]
+        return tilde_name, components
+
+    def resolve(self, user: str, name: str) -> Tuple[str, str]:
+        """Resolve a user's ``~tree/path`` to ``(host, absolute path)``.
+
+        The result feeds the NFS/global-name resolution chain; it is *not*
+        itself globally unique until stamped with the tree's absolute name
+        and domain (which the paper highlights as Tilde's subtlety).
+        """
+        tilde_name, components = self.parse(name)
+        view = self._user_views.get(user, {})
+        if tilde_name not in view:
+            raise NamingError(
+                f"user {user!r} has no tilde tree named ~{tilde_name}"
+            )
+        tree = self.tree(view[tilde_name])
+        return tree.host, join_path(split_path(tree.root) + components)
+
+    def canonical_name(self, user: str, name: str) -> str:
+        """The location-independent name: ``absolute_tree:path-in-tree``."""
+        tilde_name, components = self.parse(name)
+        view = self._user_views.get(user, {})
+        if tilde_name not in view:
+            raise NamingError(
+                f"user {user!r} has no tilde tree named ~{tilde_name}"
+            )
+        return f"{view[tilde_name]}:{join_path(components)}"

@@ -1,0 +1,284 @@
+"""A simulated hierarchical UNIX-style file system.
+
+The paper's name-resolution algorithm (§6.5) "resolves aliases, symbolic
+links and retrieves a unique absolute path name for the file within the
+local host".  To exercise that algorithm without touching the real OS,
+this module models just enough of a 1987 UNIX file system: directories,
+regular files with inode identity (so hard links alias content), and
+symbolic links (absolute or relative, resolved mid-path with a loop
+limit).
+
+Paths are POSIX-style strings; all API paths are absolute.  The root
+directory always exists.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Tuple, Union
+
+from repro.errors import (
+    FileNotFoundInVfsError,
+    NamingError,
+    SymlinkLoopError,
+)
+
+_SYMLINK_LIMIT = 40
+
+
+@dataclass
+class FileNode:
+    """A regular file.  Hard links are multiple entries to one node."""
+
+    inode: int
+    content: bytes = b""
+
+
+@dataclass
+class SymlinkNode:
+    """A symbolic link holding a target path (absolute or relative)."""
+
+    target: str
+
+
+@dataclass
+class DirectoryNode:
+    """A directory mapping entry names to child nodes."""
+
+    entries: Dict[str, "Node"] = field(default_factory=dict)
+
+
+Node = Union[FileNode, SymlinkNode, DirectoryNode]
+
+
+def split_path(path: str) -> List[str]:
+    """Absolute path -> component list.  Normalises empty and '.' parts."""
+    if not path.startswith("/"):
+        raise NamingError(f"path must be absolute: {path!r}")
+    return [part for part in path.split("/") if part not in ("", ".")]
+
+
+def join_path(components: Iterable[str]) -> str:
+    return "/" + "/".join(components)
+
+
+class VirtualFileSystem:
+    """One host's file tree."""
+
+    def __init__(self) -> None:
+        self._root = DirectoryNode()
+        self._inode_counter = itertools.count(2)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def mkdir(self, path: str) -> None:
+        """Create a directory, making parents as needed (mkdir -p)."""
+        node = self._root
+        for part in split_path(path):
+            child = node.entries.get(part)
+            if child is None:
+                child = DirectoryNode()
+                node.entries[part] = child
+            if not isinstance(child, DirectoryNode):
+                raise NamingError(f"{path!r}: {part!r} exists and is not a directory")
+            node = child
+
+    def write_file(self, path: str, content: bytes) -> FileNode:
+        """Create or overwrite a regular file, making parent directories."""
+        components = split_path(path)
+        if not components:
+            raise NamingError("cannot write to '/'")
+        parent = self._ensure_parent(components)
+        name = components[-1]
+        existing = parent.entries.get(name)
+        if isinstance(existing, FileNode):
+            existing.content = content
+            return existing
+        if isinstance(existing, DirectoryNode):
+            raise NamingError(f"{path!r} is a directory")
+        node = FileNode(inode=next(self._inode_counter), content=content)
+        parent.entries[name] = node
+        return node
+
+    def hard_link(self, existing_path: str, new_path: str) -> None:
+        """Alias ``new_path`` to the same file node as ``existing_path``."""
+        node = self._lookup(existing_path, follow_terminal=True)
+        if not isinstance(node, FileNode):
+            raise NamingError(f"hard link source {existing_path!r} is not a file")
+        components = split_path(new_path)
+        if not components:
+            raise NamingError("cannot hard link at '/'")
+        parent = self._ensure_parent(components)
+        if components[-1] in parent.entries:
+            raise NamingError(f"{new_path!r} already exists")
+        parent.entries[components[-1]] = node
+
+    def symlink(self, target: str, link_path: str) -> None:
+        """Create a symbolic link at ``link_path`` pointing to ``target``."""
+        components = split_path(link_path)
+        if not components:
+            raise NamingError("cannot create symlink at '/'")
+        parent = self._ensure_parent(components)
+        if components[-1] in parent.entries:
+            raise NamingError(f"{link_path!r} already exists")
+        parent.entries[components[-1]] = SymlinkNode(target)
+
+    def remove(self, path: str) -> None:
+        """Unlink a file, symlink, or empty directory."""
+        components = split_path(path)
+        if not components:
+            raise NamingError("cannot remove '/'")
+        parent = self._walk_directories(components[:-1])
+        name = components[-1]
+        node = parent.entries.get(name)
+        if node is None:
+            raise FileNotFoundInVfsError(path)
+        if isinstance(node, DirectoryNode) and node.entries:
+            raise NamingError(f"directory {path!r} is not empty")
+        del parent.entries[name]
+
+    def _ensure_parent(self, components: List[str]) -> DirectoryNode:
+        node = self._root
+        for part in components[:-1]:
+            child = node.entries.get(part)
+            if child is None:
+                child = DirectoryNode()
+                node.entries[part] = child
+            if not isinstance(child, DirectoryNode):
+                raise NamingError(f"{part!r} is not a directory")
+            node = child
+        return node
+
+    def _walk_directories(self, components: List[str]) -> DirectoryNode:
+        node = self._root
+        for part in components:
+            child = node.entries.get(part)
+            if not isinstance(child, DirectoryNode):
+                raise FileNotFoundInVfsError(join_path(components))
+            node = child
+        return node
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def exists(self, path: str) -> bool:
+        try:
+            self._lookup(path, follow_terminal=True)
+            return True
+        except NamingError:
+            return False
+
+    def read_file(self, path: str) -> bytes:
+        node = self._lookup(path, follow_terminal=True)
+        if not isinstance(node, FileNode):
+            raise NamingError(f"{path!r} is not a regular file")
+        return node.content
+
+    def inode_of(self, path: str) -> int:
+        node = self._lookup(path, follow_terminal=True)
+        if not isinstance(node, FileNode):
+            raise NamingError(f"{path!r} is not a regular file")
+        return node.inode
+
+    def list_directory(self, path: str) -> List[str]:
+        node = self._lookup(path, follow_terminal=True) if path != "/" else self._root
+        if not isinstance(node, DirectoryNode):
+            raise NamingError(f"{path!r} is not a directory")
+        return sorted(node.entries)
+
+    def _lookup(self, path: str, follow_terminal: bool) -> Node:
+        resolved, remainder = self.realpath_until(
+            path, frozenset(), follow_terminal=follow_terminal
+        )
+        if remainder:
+            raise FileNotFoundInVfsError(path)
+        return self._node_at(resolved)
+
+    def _node_at(self, canonical_path: str) -> Node:
+        node: Node = self._root
+        for part in split_path(canonical_path):
+            if not isinstance(node, DirectoryNode):
+                raise FileNotFoundInVfsError(canonical_path)
+            child = node.entries.get(part)
+            if child is None:
+                raise FileNotFoundInVfsError(canonical_path)
+            node = child
+        return node
+
+    # ------------------------------------------------------------------
+    # canonicalisation (the heart of name resolution)
+    # ------------------------------------------------------------------
+    def realpath(self, path: str, follow_terminal: bool = True) -> str:
+        """Fully resolve ``path``: symlinks followed, ``..`` collapsed."""
+        resolved, remainder = self.realpath_until(
+            path, frozenset(), follow_terminal=follow_terminal
+        )
+        if remainder:
+            raise FileNotFoundInVfsError(path)
+        return resolved
+
+    def realpath_until(
+        self,
+        path: str,
+        boundaries: FrozenSet[str],
+        follow_terminal: bool = True,
+    ) -> Tuple[str, List[str]]:
+        """Resolve ``path`` until done or a boundary prefix is reached.
+
+        ``boundaries`` is a set of canonical directory paths (NFS mount
+        points) at which resolution must stop because the subtree below
+        them lives on another host.  Returns ``(canonical_path,
+        unresolved_components)``; the second element is non-empty only if
+        a boundary was hit, in which case ``canonical_path`` is the
+        boundary itself.
+
+        Raises :class:`SymlinkLoopError` after 40 link traversals and
+        :class:`FileNotFoundInVfsError` if a non-terminal component is
+        missing.
+        """
+        pending: List[str] = split_path(path)
+        resolved: List[str] = []
+        node: Node = self._root
+        hops = 0
+        while pending:
+            current = join_path(resolved)
+            if current in boundaries:
+                return current, pending
+            part = pending.pop(0)
+            if part == "..":
+                if resolved:
+                    resolved.pop()
+                node = self._node_at(join_path(resolved))
+                continue
+            if not isinstance(node, DirectoryNode):
+                raise FileNotFoundInVfsError(path)
+            child = node.entries.get(part)
+            if child is None:
+                raise FileNotFoundInVfsError(path)
+            if isinstance(child, SymlinkNode):
+                is_terminal = not pending
+                if is_terminal and not follow_terminal:
+                    resolved.append(part)
+                    break
+                hops += 1
+                if hops > _SYMLINK_LIMIT:
+                    raise SymlinkLoopError(path, _SYMLINK_LIMIT)
+                if child.target.startswith("/"):
+                    resolved = []
+                    node = self._root
+                    pending = split_path(child.target) + pending
+                else:
+                    target_parts = [
+                        p for p in child.target.split("/") if p not in ("", ".")
+                    ]
+                    pending = target_parts + pending
+                    node = self._node_at(join_path(resolved))
+                continue
+            resolved.append(part)
+            node = child
+        final = join_path(resolved)
+        if final in boundaries and not pending:
+            return final, []
+        return final, pending

@@ -1,0 +1,11 @@
+"""Reverse shadow processing: output caching experiments (§8.3)."""
+
+from repro.reverse.experiment import (
+    ReverseShadowOutcome,
+    run_reverse_shadow_experiment,
+)
+
+__all__ = [
+    "ReverseShadowOutcome",
+    "run_reverse_shadow_experiment",
+]

@@ -1,0 +1,55 @@
+"""Deterministic discrete-event network simulator.
+
+Models the 1987 long-haul environment the paper measured: slow serial lines
+(Cypress at 9600 baud), congested ARPANET trunks, and Sun-3-era CPU costs.
+All experiment timing in this repository is *virtual*: reproducible on any
+machine, derived only from byte counts and these models.
+"""
+
+from repro.simnet.clock import Clock, SimulatedClock, WallClock
+from repro.simnet.events import EventHandle, EventScheduler
+from repro.simnet.link import (
+    ARPANET_56K,
+    CLEAR_56K,
+    CYPRESS_9600,
+    FREE_PROCESSING,
+    LAN_10M,
+    PRESET_LINKS,
+    SUN3_PROCESSING,
+    Link,
+    LinkStats,
+    ProcessingModel,
+)
+from repro.simnet.topology import Host, Network
+from repro.simnet.traffic import (
+    BurstyTraffic,
+    CongestedLink,
+    ConstantTraffic,
+    DiurnalTraffic,
+    TrafficModel,
+)
+
+__all__ = [
+    "ARPANET_56K",
+    "CLEAR_56K",
+    "CYPRESS_9600",
+    "FREE_PROCESSING",
+    "LAN_10M",
+    "PRESET_LINKS",
+    "SUN3_PROCESSING",
+    "BurstyTraffic",
+    "Clock",
+    "CongestedLink",
+    "ConstantTraffic",
+    "DiurnalTraffic",
+    "EventHandle",
+    "EventScheduler",
+    "Host",
+    "Link",
+    "LinkStats",
+    "Network",
+    "ProcessingModel",
+    "SimulatedClock",
+    "TrafficModel",
+    "WallClock",
+]

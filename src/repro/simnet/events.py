@@ -1,0 +1,148 @@
+"""Discrete-event scheduler driving the simulated network.
+
+A minimal but complete event loop: callbacks are scheduled at absolute or
+relative virtual times and dispatched in timestamp order (FIFO among equal
+timestamps, by insertion sequence, so runs are fully deterministic).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import ClockError, SimulationError
+from repro.simnet.clock import SimulatedClock
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    """Internal heap entry: ordered by (time, sequence number)."""
+
+    timestamp: float
+    sequence: int
+    callback: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Returned by :meth:`EventScheduler.schedule_at`; allows cancellation."""
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    @property
+    def timestamp(self) -> float:
+        return self._event.timestamp
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self._event.cancelled = True
+
+
+class EventScheduler:
+    """Timestamp-ordered event queue over a :class:`SimulatedClock`.
+
+    Usage::
+
+        scheduler = EventScheduler()
+        scheduler.schedule_in(1.5, lambda: print("fired"))
+        scheduler.run()          # drains the queue, advancing the clock
+    """
+
+    def __init__(self, clock: Optional[SimulatedClock] = None) -> None:
+        self.clock = clock if clock is not None else SimulatedClock()
+        self._queue: list[_ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._dispatched = 0
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-fired, not-cancelled events."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    @property
+    def dispatched(self) -> int:
+        """Total number of events fired since construction."""
+        return self._dispatched
+
+    def schedule_at(
+        self, timestamp: float, callback: Callable[[], Any]
+    ) -> EventHandle:
+        """Schedule ``callback`` at absolute virtual time ``timestamp``."""
+        if timestamp < self.clock.now():
+            raise ClockError(
+                f"cannot schedule at {timestamp} before now {self.clock.now()}"
+            )
+        event = _ScheduledEvent(timestamp, next(self._sequence), callback)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_in(self, delay: float, callback: Callable[[], Any]) -> EventHandle:
+        """Schedule ``callback`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise ClockError(f"negative delay {delay}")
+        return self.schedule_at(self.clock.now() + delay, callback)
+
+    def step(self) -> bool:
+        """Dispatch the single earliest event.
+
+        Returns ``True`` if an event fired, ``False`` if the queue was empty.
+        Cancelled events are discarded without firing.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.timestamp)
+            self._dispatched += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, max_events: int = 1_000_000) -> int:
+        """Dispatch events until the queue drains.
+
+        ``max_events`` bounds runaway simulations (events that endlessly
+        reschedule themselves); exceeding it raises
+        :class:`~repro.errors.SimulationError`.  Returns the number of events
+        dispatched by this call.
+        """
+        fired = 0
+        while self.step():
+            fired += 1
+            if fired > max_events:
+                raise SimulationError(
+                    f"simulation exceeded {max_events} events; "
+                    "likely a self-rescheduling loop"
+                )
+        return fired
+
+    def run_until(self, timestamp: float, max_events: int = 1_000_000) -> int:
+        """Dispatch events with timestamps <= ``timestamp``.
+
+        The clock is left at ``timestamp`` even if the queue drained earlier,
+        mirroring how a real experiment window elapses.
+        """
+        fired = 0
+        while self._queue:
+            event = self._queue[0]
+            if event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if event.timestamp > timestamp:
+                break
+            self.step()
+            fired += 1
+            if fired > max_events:
+                raise SimulationError(
+                    f"simulation exceeded {max_events} events before {timestamp}"
+                )
+        if timestamp > self.clock.now():
+            self.clock.advance_to(timestamp)
+        return fired

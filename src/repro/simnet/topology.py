@@ -1,0 +1,195 @@
+"""Network topology: named hosts joined by links, with routing.
+
+The prototype in the paper ran between Purdue workstations and a remote
+"supercomputer" over either one Cypress hop or an ARPANET path.  The
+benchmarks only need a single hop, but a real deployment crosses several
+(workstation -> campus gateway -> backbone -> centre), so :class:`Network`
+models an arbitrary graph and computes end-to-end transfer times over the
+minimum-delay route.
+
+Routing uses :func:`networkx.shortest_path` weighted by each hop's time to
+carry a reference packet, i.e. classic static min-delay routing.
+
+Multi-hop transfer time assumes store-and-forward with per-packet
+pipelining: the payload streams at the bottleneck hop's rate while every
+hop adds its propagation latency and one packet's serialisation time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+import networkx
+
+from repro.errors import SimulationError
+from repro.simnet.link import Link, LinkStats
+
+
+@dataclass
+class Host:
+    """A named endpoint in the simulated internet."""
+
+    name: str
+    domain: str = "default"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SimulationError("host name must be non-empty")
+
+
+_REFERENCE_PACKET = 512
+
+
+class Network:
+    """An undirected graph of :class:`Host` nodes and :class:`Link` edges."""
+
+    def __init__(self) -> None:
+        self._graph = networkx.Graph()
+        self._hosts: Dict[str, Host] = {}
+        self._stats: Dict[Tuple[str, str], LinkStats] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_host(self, host: Host) -> Host:
+        """Register a host; re-adding the same name is an error."""
+        if host.name in self._hosts:
+            raise SimulationError(f"duplicate host {host.name!r}")
+        self._hosts[host.name] = host
+        self._graph.add_node(host.name)
+        return host
+
+    def host(self, name: str) -> Host:
+        try:
+            return self._hosts[name]
+        except KeyError:
+            raise SimulationError(f"unknown host {name!r}") from None
+
+    @property
+    def hosts(self) -> List[str]:
+        return sorted(self._hosts)
+
+    def connect(self, a: str, b: str, link: Link) -> None:
+        """Join hosts ``a`` and ``b`` with ``link``."""
+        if a not in self._hosts or b not in self._hosts:
+            raise SimulationError(f"both endpoints must exist: {a!r}, {b!r}")
+        if a == b:
+            raise SimulationError(f"cannot link host {a!r} to itself")
+        weight = link.transfer_seconds(_REFERENCE_PACKET)
+        self._graph.add_edge(a, b, link=link, weight=weight)
+        self._stats[self._edge_key(a, b)] = LinkStats()
+
+    @staticmethod
+    def _edge_key(a: str, b: str) -> Tuple[str, str]:
+        return (a, b) if a <= b else (b, a)
+
+    def link_between(self, a: str, b: str) -> Link:
+        try:
+            return self._graph.edges[a, b]["link"]
+        except KeyError:
+            raise SimulationError(f"no link between {a!r} and {b!r}") from None
+
+    def stats_between(self, a: str, b: str) -> LinkStats:
+        try:
+            return self._stats[self._edge_key(a, b)]
+        except KeyError:
+            raise SimulationError(f"no link between {a!r} and {b!r}") from None
+
+    # ------------------------------------------------------------------
+    # routing and transfer accounting
+    # ------------------------------------------------------------------
+    def route(self, source: str, destination: str) -> List[str]:
+        """Minimum-delay host path from ``source`` to ``destination``."""
+        if source == destination:
+            return [source]
+        try:
+            return networkx.shortest_path(
+                self._graph, source, destination, weight="weight"
+            )
+        except networkx.NetworkXNoPath:
+            raise SimulationError(
+                f"no route from {source!r} to {destination!r}"
+            ) from None
+        except networkx.NodeNotFound as exc:
+            raise SimulationError(str(exc)) from None
+
+    def path_links(self, source: str, destination: str) -> List[Link]:
+        path = self.route(source, destination)
+        return [
+            self.link_between(a, b) for a, b in zip(path, path[1:])
+        ]
+
+    def transfer_seconds(
+        self, source: str, destination: str, payload_bytes: int
+    ) -> float:
+        """End-to-end seconds to move ``payload_bytes`` along the route.
+
+        Records the transfer against every traversed link's stats.
+        """
+        if source == destination:
+            return 0.0
+        path = self.route(source, destination)
+        links = self.path_links(source, destination)
+        bottleneck = min(links, key=lambda lnk: lnk.effective_bytes_per_second)
+        total = bottleneck.transfer_seconds(payload_bytes)
+        seen_bottleneck = False
+        for link, (a, b) in zip(links, zip(path, path[1:])):
+            if link is bottleneck and not seen_bottleneck:
+                seen_bottleneck = True
+            else:
+                # Pipelined hop: adds its latency plus one packet's
+                # serialisation time (the rest overlaps the bottleneck).
+                total += link.transfer_seconds(
+                    min(payload_bytes, link.payload_per_packet)
+                )
+            self.stats_between(a, b).record(
+                payload_bytes,
+                link.wire_bytes(payload_bytes),
+                link.transfer_seconds(payload_bytes),
+            )
+        return total
+
+    # ------------------------------------------------------------------
+    # convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def point_to_point(
+        cls,
+        link: Link,
+        client_name: str = "workstation",
+        server_name: str = "supercomputer",
+        client_domain: str = "purdue.edu",
+        server_domain: str = "centre",
+    ) -> "Network":
+        """The paper's measurement setup: one workstation, one centre."""
+        network = cls()
+        network.add_host(Host(client_name, domain=client_domain))
+        network.add_host(Host(server_name, domain=server_domain))
+        network.connect(client_name, server_name, link)
+        return network
+
+    @classmethod
+    def campus_backbone(
+        cls,
+        access_link: Link,
+        backbone_link: Link,
+        workstations: Iterable[str] = ("ws1", "ws2", "ws3"),
+        centre_name: str = "supercomputer",
+    ) -> "Network":
+        """Several workstations behind a gateway reaching one centre.
+
+        Mirrors the NSFnet capillary topology the paper targets: slow access
+        lines feeding a faster shared backbone.
+        """
+        network = cls()
+        gateway = Host("gateway", domain="purdue.edu")
+        centre = Host(centre_name, domain="centre")
+        network.add_host(gateway)
+        network.add_host(centre)
+        network.connect("gateway", centre_name, backbone_link)
+        for name in workstations:
+            network.add_host(Host(name, domain="purdue.edu"))
+            network.connect(name, "gateway", access_link)
+        return network

@@ -1,0 +1,120 @@
+"""Background-traffic / congestion models.
+
+The paper attributes ARPANET's poor effective throughput to congestion from
+other users (citing Nagle, RFC 896) and argues that reducing traffic volume
+is itself a design goal.  These models let experiments vary a link's
+congestion level over virtual time — deterministically, so benchmark runs
+are reproducible.
+
+A model maps a virtual timestamp to a utilization in ``(0, 1]``; the
+:class:`CongestedLink` adaptor applies it to a base :class:`Link`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.simnet.link import Link
+
+
+class TrafficModel(ABC):
+    """Maps virtual time to the fraction of link capacity available."""
+
+    @abstractmethod
+    def utilization_at(self, timestamp: float) -> float:
+        """Available capacity fraction in ``(0, 1]`` at ``timestamp``."""
+
+    def _check(self, value: float) -> float:
+        if not 0 < value <= 1:
+            raise SimulationError(f"utilization {value} out of (0, 1]")
+        return value
+
+
+@dataclass
+class ConstantTraffic(TrafficModel):
+    """A fixed congestion level (the default for the paper's figures)."""
+
+    available: float = 1.0
+
+    def utilization_at(self, timestamp: float) -> float:  # noqa: ARG002
+        return self._check(self.available)
+
+
+@dataclass
+class DiurnalTraffic(TrafficModel):
+    """Sinusoidal load: busy mid-day, quiet at night.
+
+    ``peak_load`` is the fraction of capacity consumed by other users at the
+    busiest moment; ``period_seconds`` defaults to 24 h of virtual time.
+    """
+
+    peak_load: float = 0.8
+    base_load: float = 0.1
+    period_seconds: float = 86_400.0
+    phase_seconds: float = 0.0
+
+    def utilization_at(self, timestamp: float) -> float:
+        if not 0 <= self.base_load <= self.peak_load < 1:
+            raise SimulationError(
+                f"need 0 <= base {self.base_load} <= peak {self.peak_load} < 1"
+            )
+        angle = 2 * math.pi * (timestamp + self.phase_seconds) / self.period_seconds
+        # 0 at night, 1 at mid-day.
+        day_fraction = 0.5 * (1 - math.cos(angle))
+        load = self.base_load + (self.peak_load - self.base_load) * day_fraction
+        return self._check(1.0 - load)
+
+
+@dataclass
+class BurstyTraffic(TrafficModel):
+    """Seeded random bursts of cross-traffic.
+
+    The timeline is divided into fixed slots; each slot's load is drawn from
+    a seeded PRNG, so a given seed always produces the same congestion
+    trace.
+    """
+
+    seed: int = 1988
+    slot_seconds: float = 30.0
+    mean_load: float = 0.5
+    burst_load: float = 0.9
+    burst_probability: float = 0.2
+
+    def utilization_at(self, timestamp: float) -> float:
+        if timestamp < 0:
+            raise SimulationError(f"negative timestamp {timestamp}")
+        slot = int(timestamp // self.slot_seconds)
+        rng = random.Random(str((self.seed, slot)))
+        if rng.random() < self.burst_probability:
+            load = self.burst_load
+        else:
+            # Jitter around the mean, clamped away from full saturation.
+            load = min(0.95, max(0.0, rng.gauss(self.mean_load, 0.1)))
+        return self._check(1.0 - load)
+
+
+class CongestedLink:
+    """A :class:`Link` whose capacity varies under a :class:`TrafficModel`.
+
+    Presents the same timing interface as :class:`Link` but takes the
+    transfer's start time so the congestion level can be sampled.
+    """
+
+    def __init__(self, base: Link, model: TrafficModel) -> None:
+        self.base = base
+        self.model = model
+
+    def link_at(self, timestamp: float) -> Link:
+        """The effective :class:`Link` at ``timestamp``."""
+        available = self.model.utilization_at(timestamp)
+        return self.base.scaled(utilization=self.base.utilization * available)
+
+    def transfer_seconds(self, payload_bytes: int, timestamp: float = 0.0) -> float:
+        return self.link_at(timestamp).transfer_seconds(payload_bytes)
+
+    def wire_bytes(self, payload_bytes: int) -> int:
+        return self.base.wire_bytes(payload_bytes)

@@ -1,0 +1,37 @@
+"""Interchangeable transports: loopback, simulated wire, real TCP (§7)."""
+
+from repro.transport.base import (
+    ChannelHandler,
+    ChannelStats,
+    LoopbackChannel,
+    RequestChannel,
+)
+from repro.transport.framing import (
+    HEADER_SIZE,
+    MAX_FRAME_SIZE,
+    FrameDecoder,
+    encode_frame,
+    frame_overhead,
+)
+from repro.transport.flaky import FailNextChannel, FlakyChannel
+from repro.transport.sim import RouteWire, SimChannel, Wire
+from repro.transport.tcp import TcpChannel, TcpChannelServer
+
+__all__ = [
+    "HEADER_SIZE",
+    "MAX_FRAME_SIZE",
+    "ChannelHandler",
+    "ChannelStats",
+    "FailNextChannel",
+    "FlakyChannel",
+    "FrameDecoder",
+    "LoopbackChannel",
+    "RequestChannel",
+    "RouteWire",
+    "SimChannel",
+    "TcpChannel",
+    "TcpChannelServer",
+    "Wire",
+    "encode_frame",
+    "frame_overhead",
+]

@@ -1,0 +1,79 @@
+"""Channel abstractions connecting shadow clients and servers.
+
+The protocol layer (:mod:`repro.core.protocol`) is written against two
+small interfaces so identical client/server code runs over an in-process
+loopback (unit tests), the discrete-event simulator (benchmarks), and
+real TCP sockets (live examples):
+
+* :class:`RequestChannel` — the initiator side: ship a request payload,
+  get the reply payload.  Synchronous; both the paper's client->server
+  commands and server->client callbacks use it.
+* :class:`ChannelHandler` — the responder side: a callable from request
+  payload to reply payload.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import TransportClosedError
+
+ChannelHandler = Callable[[bytes], bytes]
+
+
+@dataclass
+class ChannelStats:
+    """Byte/message accounting for one channel direction pair."""
+
+    requests: int = 0
+    request_bytes: int = 0
+    reply_bytes: int = 0
+
+    def record(self, request_size: int, reply_size: int) -> None:
+        self.requests += 1
+        self.request_bytes += request_size
+        self.reply_bytes += reply_size
+
+    @property
+    def total_bytes(self) -> int:
+        return self.request_bytes + self.reply_bytes
+
+
+class RequestChannel(ABC):
+    """A synchronous request/reply channel to one peer."""
+
+    def __init__(self) -> None:
+        self.stats = ChannelStats()
+        self._closed = False
+
+    @abstractmethod
+    def _deliver(self, payload: bytes) -> bytes:
+        """Transport-specific: move payload to peer, return its reply."""
+
+    def request(self, payload: bytes) -> bytes:
+        """Send ``payload``; block until the peer's reply arrives."""
+        if self._closed:
+            raise TransportClosedError("channel is closed")
+        reply = self._deliver(payload)
+        self.stats.record(len(payload), len(reply))
+        return reply
+
+    def close(self) -> None:
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+class LoopbackChannel(RequestChannel):
+    """Zero-latency direct call into a handler.  For unit tests."""
+
+    def __init__(self, handler: ChannelHandler) -> None:
+        super().__init__()
+        self._handler = handler
+
+    def _deliver(self, payload: bytes) -> bytes:
+        return self._handler(payload)

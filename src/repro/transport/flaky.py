@@ -1,0 +1,102 @@
+"""Failure-injection channel wrappers for resilience testing.
+
+Long-haul 1987 networks failed constantly; the service's best-effort
+design (§5.1) means a lost cache or a dropped connection must degrade to
+extra transfers, never to corruption.  :class:`FlakyChannel` wraps any
+:class:`RequestChannel` and injects deterministic, seeded faults so tests
+can drive every failure path repeatably:
+
+* ``drop`` — the request never reaches the peer (raises TransportError);
+* ``break_after`` — the peer processed the request but the reply is lost
+  (the nastier case: side effects happened, the caller cannot know);
+* ``garble`` — the reply arrives bit-flipped (exercises frame/codec
+  validation).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import TransportError
+from repro.transport.base import RequestChannel
+
+
+class FlakyChannel(RequestChannel):
+    """A channel that fails on a seeded schedule."""
+
+    def __init__(
+        self,
+        inner: RequestChannel,
+        drop_rate: float = 0.0,
+        reply_loss_rate: float = 0.0,
+        garble_rate: float = 0.0,
+        seed: int = 722,
+    ) -> None:
+        super().__init__()
+        for name, rate in (
+            ("drop_rate", drop_rate),
+            ("reply_loss_rate", reply_loss_rate),
+            ("garble_rate", garble_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise TransportError(f"{name} must be in [0, 1], got {rate}")
+        self.inner = inner
+        self.drop_rate = drop_rate
+        self.reply_loss_rate = reply_loss_rate
+        self.garble_rate = garble_rate
+        self._rng = random.Random(seed)
+        self.faults_injected = 0
+
+    def _deliver(self, payload: bytes) -> bytes:
+        if self._rng.random() < self.drop_rate:
+            self.faults_injected += 1
+            raise TransportError("injected fault: request dropped")
+        reply = self.inner.request(payload)
+        if self._rng.random() < self.reply_loss_rate:
+            self.faults_injected += 1
+            raise TransportError(
+                "injected fault: reply lost (request WAS processed)"
+            )
+        if reply and self._rng.random() < self.garble_rate:
+            self.faults_injected += 1
+            corrupted = bytearray(reply)
+            index = self._rng.randrange(len(corrupted))
+            corrupted[index] ^= 0xFF
+            return bytes(corrupted)
+        return reply
+
+    def close(self) -> None:
+        super().close()
+        self.inner.close()
+
+
+class FailNextChannel(RequestChannel):
+    """A channel whose next ``fail_count`` requests fail on command.
+
+    For tests that need a fault at one exact protocol step rather than a
+    stochastic schedule.
+    """
+
+    def __init__(self, inner: RequestChannel) -> None:
+        super().__init__()
+        self.inner = inner
+        self._fail_count = 0
+        self._lose_reply = False
+
+    def fail_next(self, count: int = 1, lose_reply: bool = False) -> None:
+        """Arm the next ``count`` requests to fail.
+
+        ``lose_reply`` lets the request reach the peer first (side effects
+        happen) and loses only the reply.
+        """
+        self._fail_count = count
+        self._lose_reply = lose_reply
+
+    def _deliver(self, payload: bytes) -> bytes:
+        if self._fail_count > 0:
+            self._fail_count -= 1
+            if self._lose_reply:
+                self.inner.request(payload)
+                raise TransportError("armed fault: reply lost")
+            raise TransportError("armed fault: request dropped")
+        return self.inner.request(payload)

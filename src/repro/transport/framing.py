@@ -1,0 +1,81 @@
+"""Length-prefixed message framing for stream transports.
+
+The prototype ran its protocol over TCP (§7); TCP delivers a byte stream,
+so message boundaries need framing.  Each frame is a 4-byte big-endian
+payload length followed by the payload.  :class:`FrameDecoder` is an
+incremental decoder for socket readers that receive arbitrary chunks.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional
+
+from repro.errors import TransportError
+
+HEADER_SIZE = 4
+
+#: Refuse absurd frames rather than allocating gigabytes on a bad header.
+MAX_FRAME_SIZE = 64 * 1024 * 1024
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """Wrap ``payload`` in a length header."""
+    if len(payload) > MAX_FRAME_SIZE:
+        raise TransportError(
+            f"frame of {len(payload)} bytes exceeds maximum {MAX_FRAME_SIZE}"
+        )
+    return struct.pack(">I", len(payload)) + payload
+
+
+def frame_overhead() -> int:
+    """Bytes of framing added per message (for wire accounting)."""
+    return HEADER_SIZE
+
+
+class FrameDecoder:
+    """Incremental frame decoder: feed chunks, pop complete frames.
+
+    Completed frames queue internally, so a single chunk carrying several
+    frames loses none of them even when the reader pops one at a time.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._ready: List[bytes] = []
+
+    def feed(self, chunk: bytes) -> List[bytes]:
+        """Absorb ``chunk``; return every frame completed by it."""
+        self._buffer.extend(chunk)
+        frames: List[bytes] = []
+        while True:
+            frame = self._next_frame()
+            if frame is None:
+                self._ready.extend(frames)
+                return frames
+            frames.append(frame)
+
+    def pop(self) -> Optional[bytes]:
+        """Take the next queued complete frame, or None."""
+        if self._ready:
+            return self._ready.pop(0)
+        return None
+
+    def _next_frame(self) -> Optional[bytes]:
+        if len(self._buffer) < HEADER_SIZE:
+            return None
+        (length,) = struct.unpack(">I", bytes(self._buffer[:HEADER_SIZE]))
+        if length > MAX_FRAME_SIZE:
+            raise TransportError(
+                f"incoming frame of {length} bytes exceeds maximum"
+            )
+        if len(self._buffer) < HEADER_SIZE + length:
+            return None
+        payload = bytes(self._buffer[HEADER_SIZE : HEADER_SIZE + length])
+        del self._buffer[: HEADER_SIZE + length]
+        return payload
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet forming a complete frame."""
+        return len(self._buffer)

@@ -1,0 +1,173 @@
+"""Simulated channel: every payload charges virtual wire time.
+
+:class:`Wire` binds a :class:`~repro.simnet.link.Link` (optionally
+congestion-modulated) to a :class:`~repro.simnet.clock.SimulatedClock` and
+converts payload sizes to elapsed virtual seconds, including the 4-byte
+message framing.  :class:`SimChannel` then carries request/reply payloads
+between the in-process client and server, advancing the shared clock for
+the uplink, the handler's (virtual) processing, and the downlink — which
+is exactly what the paper's stopwatch measured.
+
+``arrival_after`` supports the background-update mode (§5.1 concurrency):
+it computes when a transfer *would* land without blocking the caller's
+timeline, so updates can overlap editing think-time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.errors import SimulationError
+from repro.simnet.clock import SimulatedClock
+from repro.simnet.link import Link, LinkStats
+from repro.simnet.topology import Network
+from repro.simnet.traffic import CongestedLink
+from repro.transport.base import ChannelHandler, RequestChannel
+from repro.transport.framing import frame_overhead
+
+
+class Wire:
+    """One direction-agnostic slow line with a shared virtual clock."""
+
+    def __init__(
+        self,
+        link: Union[Link, CongestedLink],
+        clock: Optional[SimulatedClock] = None,
+    ) -> None:
+        self.link = link
+        self.clock = clock if clock is not None else SimulatedClock()
+        self.stats = LinkStats()
+
+    def _link_now(self) -> Link:
+        if isinstance(self.link, CongestedLink):
+            return self.link.link_at(self.clock.now())
+        return self.link
+
+    def transfer_seconds(self, payload_bytes: int) -> float:
+        """Seconds for one framed message of ``payload_bytes``."""
+        framed = payload_bytes + frame_overhead()
+        return self._link_now().transfer_seconds(framed)
+
+    def deliver(self, payload_bytes: int) -> float:
+        """Blocking send: advance the clock; return the arrival time."""
+        framed = payload_bytes + frame_overhead()
+        link = self._link_now()
+        seconds = link.transfer_seconds(framed)
+        self.stats.record(payload_bytes, link.wire_bytes(framed), seconds)
+        self.clock.advance(seconds)
+        return self.clock.now()
+
+    def arrival_after(
+        self, payload_bytes: int, start: Optional[float] = None
+    ) -> float:
+        """Non-blocking send: when would this payload finish arriving?
+
+        The clock is *not* advanced; the caller owns the overlap logic
+        (typically ``clock.advance_to(max(now, arrival))`` at the moment
+        the data is actually needed).
+        """
+        framed = payload_bytes + frame_overhead()
+        begin = self.clock.now() if start is None else start
+        if begin < self.clock.now():
+            raise SimulationError(
+                f"background transfer cannot start in the past ({begin})"
+            )
+        link = self._link_now()
+        seconds = link.transfer_seconds(framed)
+        self.stats.record(payload_bytes, link.wire_bytes(framed), seconds)
+        return begin + seconds
+
+
+class RouteWire(Wire):
+    """A wire whose timing follows a multi-hop route through a topology.
+
+    The paper's deployment picture is a capillary one: workstation ->
+    campus gateway -> NSFnet backbone -> supercomputer centre.  RouteWire
+    charges the end-to-end time computed by
+    :meth:`repro.simnet.topology.Network.transfer_seconds` for that path,
+    so deployments can run over an arbitrary
+    :class:`~repro.simnet.topology.Network` instead of one link.
+    """
+
+    def __init__(
+        self,
+        network: "Network",
+        source: str,
+        destination: str,
+        clock: Optional[SimulatedClock] = None,
+    ) -> None:
+        bottleneck = min(
+            network.path_links(source, destination),
+            key=lambda link: link.effective_bytes_per_second,
+        )
+        super().__init__(bottleneck, clock)
+        self.network = network
+        self.source = source
+        self.destination = destination
+
+    def transfer_seconds(self, payload_bytes: int) -> float:
+        framed = payload_bytes + frame_overhead()
+        return self.network.transfer_seconds(
+            self.source, self.destination, framed
+        )
+
+    def deliver(self, payload_bytes: int) -> float:
+        framed = payload_bytes + frame_overhead()
+        seconds = self.network.transfer_seconds(
+            self.source, self.destination, framed
+        )
+        self.stats.record(payload_bytes, framed, seconds)
+        self.clock.advance(seconds)
+        return self.clock.now()
+
+    def arrival_after(
+        self, payload_bytes: int, start: Optional[float] = None
+    ) -> float:
+        framed = payload_bytes + frame_overhead()
+        begin = self.clock.now() if start is None else start
+        if begin < self.clock.now():
+            raise SimulationError(
+                f"background transfer cannot start in the past ({begin})"
+            )
+        seconds = self.network.transfer_seconds(
+            self.source, self.destination, framed
+        )
+        self.stats.record(payload_bytes, framed, seconds)
+        return begin + seconds
+
+
+class SimChannel(RequestChannel):
+    """Request/reply over two simulated wires sharing one clock."""
+
+    def __init__(
+        self,
+        handler: ChannelHandler,
+        uplink: Wire,
+        downlink: Optional[Wire] = None,
+    ) -> None:
+        super().__init__()
+        if downlink is not None and downlink.clock is not uplink.clock:
+            raise SimulationError("uplink and downlink must share a clock")
+        self._handler = handler
+        self.uplink = uplink
+        self.downlink = downlink if downlink is not None else uplink
+
+    @property
+    def clock(self) -> SimulatedClock:
+        return self.uplink.clock
+
+    def _deliver(self, payload: bytes) -> bytes:
+        self.uplink.deliver(len(payload))
+        reply = self._handler(payload)
+        self.downlink.deliver(len(reply))
+        return reply
+
+    @classmethod
+    def over_link(
+        cls,
+        handler: ChannelHandler,
+        link: Union[Link, CongestedLink],
+        clock: Optional[SimulatedClock] = None,
+    ) -> "SimChannel":
+        """Convenience: one symmetric link both ways."""
+        return cls(handler, Wire(link, clock))

@@ -1,0 +1,165 @@
+"""Real TCP transport over stdlib sockets.
+
+The prototype's deployment shape (§7): "Clients and servers are
+implemented as UNIX processes that use a reliable transport protocol
+(TCP/IP) for interprocess communication.  A server process listens at a
+well-known port for connections from clients."
+
+:class:`TcpChannelServer` accepts connections and answers framed requests
+through a :class:`~repro.transport.base.ChannelHandler`; each connection
+gets a thread, so multiple clients can have connections open to a server
+simultaneously (§6.1).  :class:`TcpChannel` is the initiator side.  The
+live examples run a full shadow session over these.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import List, Optional, Tuple
+
+from repro.errors import TransportClosedError, TransportError
+from repro.transport.base import ChannelHandler, RequestChannel
+from repro.transport.framing import FrameDecoder, encode_frame
+
+_ACCEPT_POLL_SECONDS = 0.2
+_RECV_CHUNK = 65_536
+
+#: The prototype's "well-known port" for examples; 0 asks the OS to pick.
+DEFAULT_PORT = 0
+
+
+def _recv_frame(connection: socket.socket, decoder: FrameDecoder) -> Optional[bytes]:
+    """Read one complete frame from ``connection`` (None on clean EOF)."""
+    while True:
+        frame = decoder.pop()
+        if frame is not None:
+            return frame
+        try:
+            chunk = connection.recv(_RECV_CHUNK)
+        except socket.timeout:
+            raise  # idle poll, not a failure; callers decide what idle means
+        except OSError as exc:
+            raise TransportError(f"socket receive failed: {exc}") from exc
+        if not chunk:
+            if decoder.pending_bytes:
+                raise TransportError("connection closed mid-frame")
+            return None
+        decoder.feed(chunk)
+
+
+class TcpChannel(RequestChannel):
+    """Client side: framed request/reply over one TCP connection."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        super().__init__()
+        try:
+            self._socket = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise TransportError(f"cannot connect to {host}:{port}: {exc}") from exc
+        self._decoder = FrameDecoder()
+        self._lock = threading.Lock()
+
+    def _deliver(self, payload: bytes) -> bytes:
+        with self._lock:
+            try:
+                self._socket.sendall(encode_frame(payload))
+            except OSError as exc:
+                raise TransportError(f"socket send failed: {exc}") from exc
+            reply = _recv_frame(self._socket, self._decoder)
+        if reply is None:
+            raise TransportClosedError("server closed the connection")
+        return reply
+
+    def close(self) -> None:
+        super().close()
+        try:
+            self._socket.close()
+        except OSError:
+            pass
+
+
+class TcpChannelServer:
+    """Server side: accepts connections, one answering thread each."""
+
+    def __init__(
+        self,
+        handler: ChannelHandler,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+    ) -> None:
+        self._handler = handler
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(16)
+        self._listener.settimeout(_ACCEPT_POLL_SECONDS)
+        self.address: Tuple[str, int] = self._listener.getsockname()
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = []
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="shadow-tcp-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    @property
+    def port(self) -> int:
+        return self.address[1]
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                connection, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(connection,),
+                name="shadow-tcp-conn",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _serve_connection(self, connection: socket.socket) -> None:
+        decoder = FrameDecoder()
+        with connection:
+            connection.settimeout(_ACCEPT_POLL_SECONDS)
+            while not self._stop.is_set():
+                try:
+                    request = _recv_frame(connection, decoder)
+                except socket.timeout:
+                    continue
+                except TransportError:
+                    return
+                if request is None:
+                    return
+                try:
+                    reply = self._handler(request)
+                except Exception as exc:  # surface handler crashes to peer
+                    reply = b"\x00HANDLER-ERROR:" + str(exc).encode(
+                        "utf-8", "replace"
+                    )
+                try:
+                    connection.sendall(encode_frame(reply))
+                except OSError:
+                    return
+
+    def close(self) -> None:
+        """Stop accepting, close the listener, join worker threads."""
+        self._stop.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self._accept_thread.join(timeout=2.0)
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+
+    def __enter__(self) -> "TcpChannelServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,18 @@
+"""Client-side version control for shadow files (§6.3.2)."""
+
+from repro.versioning.store import (
+    DeltaUpdate,
+    FullContent,
+    Update,
+    VersionStore,
+)
+from repro.versioning.version import FileVersion, VersionChain
+
+__all__ = [
+    "DeltaUpdate",
+    "FileVersion",
+    "FullContent",
+    "Update",
+    "VersionChain",
+    "VersionStore",
+]

@@ -1,0 +1,159 @@
+"""The client-side version store.
+
+Holds a :class:`~repro.versioning.version.VersionChain` per shadow file
+and answers the two questions the protocol asks of it (§6.3.2):
+
+* *record* — the shadow editor finished; snapshot the new content as the
+  next version;
+* *delta or full* — the server asked for the update relative to the base
+  version it holds; return a delta if that base is still retained and the
+  delta actually saves bytes, otherwise the full content.
+
+Pruning follows the paper exactly: once the server acknowledges holding
+version N of a file, every retained version below N is deleted.  An
+additional per-user ``max_retained`` cap (shadow-environment
+customisation) bounds disk usage regardless of acknowledgements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from repro.diffing.model import Delta
+from repro.diffing.selector import DEFAULT_ALGORITHM, compute_delta, worthwhile
+from repro.errors import VersionNotFoundError, VersioningError
+from repro.versioning.version import FileVersion, VersionChain
+
+
+@dataclass(frozen=True)
+class FullContent:
+    """An update that must travel as the entire file.
+
+    Produced when no usable base exists (first submission, pruned base,
+    cache eviction at the server) or when a delta would not be smaller.
+    """
+
+    name: str
+    number: int
+    content: bytes
+
+    @property
+    def encoded_size(self) -> int:
+        return len(self.content)
+
+
+@dataclass(frozen=True)
+class DeltaUpdate:
+    """An update expressed as a delta from ``base_number``."""
+
+    name: str
+    number: int
+    base_number: int
+    delta: Delta
+
+    @property
+    def encoded_size(self) -> int:
+        return self.delta.encoded_size
+
+
+Update = Union[FullContent, DeltaUpdate]
+
+
+class VersionStore:
+    """All version chains for one user's shadow files."""
+
+    def __init__(
+        self,
+        max_retained: Optional[int] = 8,
+        diff_algorithm: str = DEFAULT_ALGORITHM,
+    ) -> None:
+        if max_retained is not None and max_retained < 1:
+            raise VersioningError(f"max_retained must be >= 1, got {max_retained}")
+        self.max_retained = max_retained
+        self.diff_algorithm = diff_algorithm
+        self._chains: Dict[str, VersionChain] = {}
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record_edit(
+        self, name: str, content: bytes, timestamp: float = 0.0
+    ) -> FileVersion:
+        """Snapshot ``content`` as the next version of ``name``."""
+        chain = self._chains.get(name)
+        if chain is None:
+            chain = VersionChain(name, max_retained=self.max_retained)
+            self._chains[name] = chain
+        return chain.add(content, timestamp)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def names(self) -> List[str]:
+        return sorted(self._chains)
+
+    def chain(self, name: str) -> VersionChain:
+        try:
+            return self._chains[name]
+        except KeyError:
+            raise VersionNotFoundError(name, 0) from None
+
+    def tracks(self, name: str) -> bool:
+        return name in self._chains
+
+    def latest(self, name: str) -> FileVersion:
+        return self.chain(name).latest()
+
+    def get(self, name: str, number: int) -> FileVersion:
+        return self.chain(name).get(number)
+
+    @property
+    def retained_bytes(self) -> int:
+        return sum(chain.retained_bytes for chain in self._chains.values())
+
+    # ------------------------------------------------------------------
+    # update production (the server's pull request lands here)
+    # ------------------------------------------------------------------
+    def update_from(
+        self,
+        name: str,
+        server_base: Optional[int],
+        target: Optional[int] = None,
+    ) -> Update:
+        """Produce the update the server asked for.
+
+        ``server_base`` is the version number the server says it holds
+        (``None`` or 0 meaning none).  ``target`` defaults to the latest
+        version.  Per §6.3.2: "the client may transmit a completely new
+        version (if the specified version is not available for computing
+        the differences), or the difference between the current version
+        and the previous version specified by the server."
+        """
+        chain = self.chain(name)
+        target_version = chain.get(target if target is not None else chain.latest_number)
+        if not server_base or not chain.retains(server_base):
+            return FullContent(name, target_version.number, target_version.content)
+        if server_base == target_version.number:
+            # The server is already current; an empty delta says so.
+            base = chain.get(server_base)
+            delta = compute_delta(base.content, base.content, self.diff_algorithm)
+            return DeltaUpdate(name, target_version.number, server_base, delta)
+        base = chain.get(server_base)
+        delta = compute_delta(
+            base.content, target_version.content, self.diff_algorithm
+        )
+        if not worthwhile(delta, len(target_version.content)):
+            return FullContent(name, target_version.number, target_version.content)
+        return DeltaUpdate(name, target_version.number, server_base, delta)
+
+    # ------------------------------------------------------------------
+    # acknowledgement-driven pruning
+    # ------------------------------------------------------------------
+    def acknowledge(self, name: str, number: int) -> int:
+        """The server confirmed holding version ``number`` of ``name``.
+
+        Prunes every older version; returns how many were dropped.
+        """
+        return self.chain(name).prune_older_than(number)

@@ -1,0 +1,134 @@
+"""File versions and per-file version chains (§6.3.2).
+
+"On the client side, the system associates a version number with each
+file.  Thus, every time a file is edited, a new version is created and
+identified separately from the previous versions."
+
+A :class:`VersionChain` is the ordered history of one file.  Version
+numbers start at 1 and increase by one per edit; retention trims from the
+oldest end only, so the retained set is always a contiguous suffix of the
+history — the invariant the server relies on when naming a base version
+it holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.diffing.model import checksum as content_checksum
+from repro.errors import VersioningError, VersionNotFoundError
+
+
+@dataclass(frozen=True)
+class FileVersion:
+    """An immutable snapshot of one file at one version number."""
+
+    name: str
+    number: int
+    content: bytes
+    checksum: str
+    created_at: float = 0.0
+
+    @property
+    def size(self) -> int:
+        return len(self.content)
+
+    def __repr__(self) -> str:
+        return (
+            f"FileVersion(name={self.name!r}, number={self.number}, "
+            f"size={self.size}, checksum={self.checksum!r})"
+        )
+
+
+class VersionChain:
+    """The retained history of one file, oldest first."""
+
+    def __init__(self, name: str, max_retained: Optional[int] = None) -> None:
+        if max_retained is not None and max_retained < 1:
+            raise VersioningError(
+                f"max_retained must be >= 1, got {max_retained}"
+            )
+        self.name = name
+        self.max_retained = max_retained
+        self._versions: Dict[int, FileVersion] = {}
+        self._next_number = 1
+
+    # ------------------------------------------------------------------
+    # growth
+    # ------------------------------------------------------------------
+    def add(self, content: bytes, timestamp: float = 0.0) -> FileVersion:
+        """Record a new version; enforces the retention limit."""
+        version = FileVersion(
+            name=self.name,
+            number=self._next_number,
+            content=content,
+            checksum=content_checksum(content),
+            created_at=timestamp,
+        )
+        self._versions[version.number] = version
+        self._next_number += 1
+        self._enforce_limit()
+        return version
+
+    def _enforce_limit(self) -> None:
+        if self.max_retained is None:
+            return
+        while len(self._versions) > self.max_retained:
+            del self._versions[min(self._versions)]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def latest_number(self) -> int:
+        """Highest version number ever created (0 if none)."""
+        return self._next_number - 1
+
+    @property
+    def retained_numbers(self) -> List[int]:
+        return sorted(self._versions)
+
+    def retains(self, number: int) -> bool:
+        return number in self._versions
+
+    def get(self, number: int) -> FileVersion:
+        try:
+            return self._versions[number]
+        except KeyError:
+            raise VersionNotFoundError(self.name, number) from None
+
+    def latest(self) -> FileVersion:
+        if not self._versions:
+            raise VersionNotFoundError(self.name, self.latest_number)
+        return self._versions[max(self._versions)]
+
+    @property
+    def retained_bytes(self) -> int:
+        return sum(version.size for version in self._versions.values())
+
+    # ------------------------------------------------------------------
+    # pruning
+    # ------------------------------------------------------------------
+    def prune_older_than(self, number: int) -> int:
+        """Drop every version strictly below ``number``.
+
+        The paper prunes "after the server acknowledges the receipt of a
+        later version": once the server holds version N, no delta will
+        ever be requested from a base below N.  Returns how many versions
+        were dropped.  The latest version is never dropped.
+        """
+        keep_floor = min(number, self.latest_number)
+        doomed = [n for n in self._versions if n < keep_floor]
+        for n in doomed:
+            del self._versions[n]
+        return len(doomed)
+
+    def __len__(self) -> int:
+        return len(self._versions)
+
+    def __repr__(self) -> str:
+        return (
+            f"VersionChain(name={self.name!r}, retained={self.retained_numbers},"
+            f" latest={self.latest_number})"
+        )

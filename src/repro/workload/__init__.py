@@ -1,0 +1,49 @@
+"""Workload generation and the §8.1 experiment driver."""
+
+from repro.workload.community import CommunityReport, run_community
+from repro.workload.concurrent import SessionReport, run_concurrent_session
+from repro.workload.cycles import (
+    EditSubmitFetchDriver,
+    ExperimentConfig,
+    figure_data,
+    figure_point,
+    run_conventional_experiment,
+    run_shadow_experiment,
+)
+from repro.workload.edits import (
+    FIGURE_PERCENTAGES,
+    TABLE_PERCENTAGES,
+    delete_percent,
+    insert_percent,
+    measured_change_percent,
+    modify_percent,
+)
+from repro.workload.files import (
+    FIGURE_FILE_SIZES,
+    make_binary_file,
+    make_repetitive_file,
+    make_text_file,
+)
+
+__all__ = [
+    "FIGURE_FILE_SIZES",
+    "FIGURE_PERCENTAGES",
+    "TABLE_PERCENTAGES",
+    "EditSubmitFetchDriver",
+    "ExperimentConfig",
+    "delete_percent",
+    "figure_data",
+    "figure_point",
+    "insert_percent",
+    "make_binary_file",
+    "make_repetitive_file",
+    "make_text_file",
+    "measured_change_percent",
+    "modify_percent",
+    "CommunityReport",
+    "run_community",
+    "run_concurrent_session",
+    "run_conventional_experiment",
+    "run_shadow_experiment",
+    "SessionReport",
+]

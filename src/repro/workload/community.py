@@ -1,0 +1,114 @@
+"""A community of scientists sharing one supercomputer centre (§2.1).
+
+"Because a supercomputer serves several users, it is likely to be
+swamped with several such remote login and file transfer sessions."
+
+This driver puts N independent clients behind one shadow server, each
+running its own edit-submit-fetch cadence on its own files, and accounts
+the *aggregate* bytes arriving at the centre — the quantity that swamps
+a shared access line and the server's disks.  Comparing shadow against
+conventional traffic shows how many more users one centre (or one
+backbone trunk) can serve at the same load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.baseline.conventional import ConventionalBatchClient
+from repro.core.client import ShadowClient
+from repro.core.server import ShadowServer
+from repro.core.workspace import MappingWorkspace
+from repro.errors import ShadowError
+from repro.transport.base import LoopbackChannel
+from repro.workload.edits import modify_percent
+from repro.workload.files import make_text_file
+
+
+@dataclass(frozen=True)
+class CommunityReport:
+    """Aggregate centre-side load for one community run."""
+
+    users: int
+    cycles_per_user: int
+    bytes_into_centre: int
+    bytes_out_of_centre: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_into_centre + self.bytes_out_of_centre
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        return self.total_bytes / (self.users * self.cycles_per_user)
+
+
+def run_community(
+    users: int = 8,
+    cycles_per_user: int = 5,
+    file_size: int = 30_000,
+    percent_modified: float = 3.0,
+    shadow: bool = True,
+    seed: int = 722,
+) -> CommunityReport:
+    """N users, each priming once then running measured resubmission
+    cycles.  Returns the centre's aggregate traffic for the measured
+    cycles only (priming excluded, as in the paper's steady state).
+    """
+    if users < 1 or cycles_per_user < 1:
+        raise ShadowError("need at least one user and one cycle")
+    server = ShadowServer()
+    clients: List = []
+    channels: List[LoopbackChannel] = []
+    contents: Dict[int, bytes] = {}
+    for index in range(users):
+        workspace = MappingWorkspace(host=f"ws{index}")
+        channel = LoopbackChannel(server.handle)
+        if shadow:
+            client = ShadowClient(f"user{index}@ws{index}", workspace)
+            client.connect(server.name, channel)
+        else:
+            client = ConventionalBatchClient(
+                f"user{index}@ws{index}", workspace
+            )
+            client.connect(server.name, channel)
+        clients.append(client)
+        channels.append(channel)
+        contents[index] = make_text_file(file_size, seed=seed + index)
+        path = f"/u{index}/data.dat"
+        workspace.write(path, contents[index])
+        if shadow:
+            client.write_file(path, contents[index])
+            job = client.submit("wc data.dat", [path])
+            client.fetch_output(job)
+        else:
+            job = client.submit_job("wc data.dat", [path])
+            client.fetch_output(job)
+    into_before = sum(channel.stats.request_bytes for channel in channels)
+    out_before = sum(channel.stats.reply_bytes for channel in channels)
+    for cycle in range(cycles_per_user):
+        for index, client in enumerate(clients):
+            path = f"/u{index}/data.dat"
+            contents[index] = modify_percent(
+                contents[index], percent_modified, seed=seed + 100 * cycle + index
+            )
+            if shadow:
+                client.write_file(path, contents[index])
+                job = client.submit("wc data.dat", [path])
+            else:
+                client.workspace.write(path, contents[index])
+                job = client.submit_job("wc data.dat", [path])
+            client.fetch_output(job)
+    return CommunityReport(
+        users=users,
+        cycles_per_user=cycles_per_user,
+        bytes_into_centre=sum(
+            channel.stats.request_bytes for channel in channels
+        )
+        - into_before,
+        bytes_out_of_centre=sum(
+            channel.stats.reply_bytes for channel in channels
+        )
+        - out_before,
+    )

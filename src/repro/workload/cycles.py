@@ -1,0 +1,224 @@
+"""The edit-submit-fetch experiment driver (§8.1).
+
+"In each experiment, we submitted a job with a data file.  After
+obtaining the results, we edited the data file and resubmitted the same
+job.  We modified the data file by a different amount every time ...  We
+measured the total amount of time spent in each case."
+
+:class:`EditSubmitFetchDriver` runs one cycle against a simulated
+deployment and reads the stopwatch (the shared virtual clock) and the
+wire counters.  :func:`figure_data` sweeps file sizes and modification
+percentages to regenerate Figures 1–3's datasets, with the conventional
+batch client measured under identical conditions for the E-time levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.baseline.conventional import ConventionalBatchClient
+from repro.core.environment import ShadowEnvironment
+from repro.core.server import ShadowServer
+from repro.core.service import SimulatedDeployment
+from repro.core.workspace import MappingWorkspace
+from repro.errors import ShadowError
+from repro.jobs.scheduler import Scheduler
+from repro.metrics.recorder import CycleOutcome, FigureData, FigurePoint
+from repro.simnet.clock import SimulatedClock
+from repro.simnet.link import SUN3_PROCESSING, Link, ProcessingModel
+from repro.simnet.traffic import CongestedLink
+from repro.transport.sim import SimChannel, Wire
+from repro.workload.edits import modify_percent
+from repro.workload.files import make_text_file
+
+_DATA_PATH = "/experiment/data.dat"
+_DEFAULT_SCRIPT = "wc data.dat"
+_POLL_STEP_SECONDS = 5.0
+_MAX_POLLS = 10_000
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything that parameterises one experiment family."""
+
+    link: Union[Link, CongestedLink]
+    processing: Optional[ProcessingModel] = SUN3_PROCESSING
+    environment: ShadowEnvironment = field(default_factory=ShadowEnvironment)
+    scheduler: Optional[Scheduler] = None
+    script: str = _DEFAULT_SCRIPT
+    seed: int = 722
+    clustered_edits: bool = False
+
+    def with_environment(self, **overrides: object) -> "ExperimentConfig":
+        return replace(
+            self, environment=self.environment.customized(**overrides)
+        )
+
+
+class EditSubmitFetchDriver:
+    """Runs measured cycles on one shadow deployment."""
+
+    def __init__(
+        self,
+        deployment: SimulatedDeployment,
+        path: str = _DATA_PATH,
+        script: str = _DEFAULT_SCRIPT,
+    ) -> None:
+        self.deployment = deployment
+        self.path = path
+        self.script = script
+        self.cycles_run = 0
+
+    def run_cycle(self, content: Optional[bytes] = None) -> CycleOutcome:
+        """One cycle: (optionally) edit, submit, fetch.  Stopwatch result."""
+        deployment = self.deployment
+        clock = deployment.clock
+        up_payload0 = deployment.uplink.stats.payload_bytes
+        down_payload0 = deployment.downlink.stats.payload_bytes
+        up_wire0 = deployment.uplink.stats.wire_bytes
+        down_wire0 = deployment.downlink.stats.wire_bytes
+        start = clock.now()
+        if content is not None:
+            deployment.client.write_file(self.path, content)
+        job_id = deployment.client.submit(self.script, [self.path])
+        bundle = deployment.client.fetch_output(job_id)
+        polls = 0
+        while bundle is None:
+            polls += 1
+            if polls > _MAX_POLLS:
+                raise ShadowError(f"job {job_id} never completed")
+            clock.advance(_POLL_STEP_SECONDS)
+            bundle = deployment.client.fetch_output(job_id)
+        if bundle.exit_code != 0:
+            raise ShadowError(
+                f"experiment job failed (exit {bundle.exit_code}): "
+                f"{bundle.stderr!r}"
+            )
+        self.cycles_run += 1
+        return CycleOutcome(
+            label=f"cycle-{self.cycles_run}",
+            seconds=clock.now() - start,
+            uplink_payload_bytes=deployment.uplink.stats.payload_bytes
+            - up_payload0,
+            downlink_payload_bytes=deployment.downlink.stats.payload_bytes
+            - down_payload0,
+            uplink_wire_bytes=deployment.uplink.stats.wire_bytes - up_wire0,
+            downlink_wire_bytes=deployment.downlink.stats.wire_bytes
+            - down_wire0,
+            job_id=job_id,
+        )
+
+
+def run_shadow_experiment(
+    file_size: int, percent: float, config: ExperimentConfig
+) -> Tuple[CycleOutcome, CycleOutcome]:
+    """The paper's procedure for one point: returns (first, resubmission).
+
+    The first cycle ships the whole file (and is itself the conventional-
+    equivalent time); the second ships only the delta for an edit touching
+    ``percent`` % of the bytes and is the S-time the figures plot.
+    """
+    deployment = SimulatedDeployment.build(
+        config.link,
+        environment=config.environment,
+        scheduler=config.scheduler,
+        processing=config.processing,
+    )
+    driver = EditSubmitFetchDriver(deployment, script=config.script)
+    base = make_text_file(file_size, seed=config.seed)
+    first = driver.run_cycle(base)
+    edited = modify_percent(
+        base, percent, seed=config.seed, clustered=config.clustered_edits
+    )
+    resubmission = driver.run_cycle(edited)
+    return first, resubmission
+
+
+def run_conventional_experiment(
+    file_size: int, config: ExperimentConfig
+) -> CycleOutcome:
+    """One conventional-batch cycle (the E-time level).
+
+    Conventional transfers are identical on every submission, so one
+    cycle is representative; it is measured as a *resubmission* (the
+    second of two) for strict parity with the shadow measurement.
+    """
+    clock = SimulatedClock()
+    server = ShadowServer(
+        clock=clock, processing=config.processing, scheduler=config.scheduler
+    )
+    uplink = Wire(config.link, clock)
+    downlink = Wire(config.link, clock)
+    channel = SimChannel(server.handle, uplink, downlink)
+    workspace = MappingWorkspace()
+    client = ConventionalBatchClient("conventional@workstation", workspace)
+    client.connect(server.name, channel)
+    base = make_text_file(file_size, seed=config.seed)
+    workspace.write(_DATA_PATH, base)
+    job_id = client.submit_job(config.script, [_DATA_PATH])
+    bundle = client.fetch_output(job_id)
+    if bundle is None or bundle.exit_code != 0:
+        raise ShadowError("conventional baseline job failed")
+    # The measured cycle: edit (same cadence as the shadow run), resubmit.
+    edited = modify_percent(base, 5, seed=config.seed)
+    workspace.write(_DATA_PATH, edited)
+    up0, down0 = uplink.stats.payload_bytes, downlink.stats.payload_bytes
+    up_w0, down_w0 = uplink.stats.wire_bytes, downlink.stats.wire_bytes
+    start = clock.now()
+    job_id = client.submit_job(config.script, [_DATA_PATH])
+    bundle = client.fetch_output(job_id)
+    if bundle is None or bundle.exit_code != 0:
+        raise ShadowError("conventional baseline job failed")
+    return CycleOutcome(
+        label="conventional",
+        seconds=clock.now() - start,
+        uplink_payload_bytes=uplink.stats.payload_bytes - up0,
+        downlink_payload_bytes=downlink.stats.payload_bytes - down0,
+        uplink_wire_bytes=uplink.stats.wire_bytes - up_w0,
+        downlink_wire_bytes=downlink.stats.wire_bytes - down_w0,
+        job_id=job_id,
+    )
+
+
+def figure_point(
+    file_size: int, percent: float, config: ExperimentConfig
+) -> FigurePoint:
+    """One (size, percent) point with its conventional comparator."""
+    _, resubmission = run_shadow_experiment(file_size, percent, config)
+    conventional = run_conventional_experiment(file_size, config)
+    return FigurePoint(
+        file_size=file_size,
+        percent=percent,
+        shadow_seconds=resubmission.seconds,
+        conventional_seconds=conventional.seconds,
+    )
+
+
+def figure_data(
+    title: str,
+    file_sizes: Sequence[int],
+    percents: Sequence[float],
+    config: ExperimentConfig,
+) -> FigureData:
+    """Sweep a whole figure: S-time curves plus E-time levels."""
+    figure = FigureData(title=title)
+    conventional: Dict[int, float] = {}
+    for file_size in file_sizes:
+        conventional[file_size] = run_conventional_experiment(
+            file_size, config
+        ).seconds
+    for file_size in file_sizes:
+        for percent in percents:
+            _, resubmission = run_shadow_experiment(
+                file_size, percent, config
+            )
+            figure.add_point(
+                FigurePoint(
+                    file_size=file_size,
+                    percent=percent,
+                    shadow_seconds=resubmission.seconds,
+                    conventional_seconds=conventional[file_size],
+                )
+            )
+    return figure

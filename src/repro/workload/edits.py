@@ -1,0 +1,132 @@
+"""Edit generators: modify an exact percentage of a file (§8.1).
+
+"We modified the data file by a different amount every time (the amount
+of text modified varied from 1% of the text to 80% of the text) before
+resubmitting the same file."  Figure 3's footnote pins the metric:
+"percentage (in bytes) of text that was modified".
+
+:func:`modify_percent` rewrites whole lines until the rewritten lines'
+bytes reach the requested share of the file — the natural unit of change
+under a text editor, and the unit line diffs charge for.  Variants
+produce clustered edits, insertions and deletions for robustness and
+ablation studies.  All generators are seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.errors import ShadowError
+
+#: The modification percentages the paper's figures sweep.
+FIGURE_PERCENTAGES = (1, 5, 10, 20, 40, 60, 80)
+
+#: The subset Figure 3's speedup table reports.
+TABLE_PERCENTAGES = (1, 5, 10, 20)
+
+
+def _split_keep_sizes(data: bytes) -> List[bytes]:
+    lines = data.split(b"\n")
+    # Re-attach the newline to each line except a trailing empty segment.
+    return [line + b"\n" for line in lines[:-1]] + (
+        [lines[-1]] if lines[-1] else []
+    )
+
+
+def _rewrite(line: bytes, rng: random.Random) -> bytes:
+    """A same-length rewrite of ``line`` (an edited line, byte-for-byte)."""
+    body_len = max(0, len(line) - 1)
+    alphabet = b"abcdefghijklmnopqrstuvwxyz0123456789 "
+    body = bytes(rng.choice(alphabet) for _ in range(body_len))
+    return body + (b"\n" if line.endswith(b"\n") else b"")
+
+
+def modify_percent(
+    data: bytes, percent: float, seed: int = 0, clustered: bool = False
+) -> bytes:
+    """Rewrite lines totalling ``percent`` % of ``data``'s bytes.
+
+    ``clustered`` rewrites one contiguous region (a focused editing
+    session); the default scatters edits uniformly (typo fixes across the
+    file).  The returned file has the same size and line structure, so
+    sweeps isolate *how much* changed from *what kind* of change.
+    """
+    if not 0 <= percent <= 100:
+        raise ShadowError(f"percent must be in [0, 100], got {percent}")
+    if percent == 0 or not data:
+        return data
+    lines = _split_keep_sizes(data)
+    if not lines:
+        return data
+    budget = len(data) * percent / 100.0
+    rng = random.Random(str((seed, int(percent * 100), len(data))))
+    order = list(range(len(lines)))
+    if clustered:
+        start = rng.randrange(len(lines))
+        order = [(start + offset) % len(lines) for offset in range(len(lines))]
+    else:
+        rng.shuffle(order)
+    edited = list(lines)
+    spent = 0.0
+    for index in order:
+        if spent >= budget:
+            break
+        edited[index] = _rewrite(lines[index], rng)
+        spent += len(lines[index])
+    return b"".join(edited)
+
+
+def insert_percent(data: bytes, percent: float, seed: int = 0) -> bytes:
+    """Grow the file by ``percent`` % with new lines at a random spot."""
+    if not 0 <= percent <= 100:
+        raise ShadowError(f"percent must be in [0, 100], got {percent}")
+    if percent == 0 or not data:
+        return data
+    lines = _split_keep_sizes(data)
+    rng = random.Random(str((seed, int(percent * 100), len(data), "insert")))
+    budget = len(data) * percent / 100.0
+    new_lines: List[bytes] = []
+    grown = 0.0
+    while grown < budget:
+        line = _rewrite(b"x" * 63 + b"\n", rng)
+        new_lines.append(line)
+        grown += len(line)
+    position = rng.randrange(len(lines) + 1)
+    return b"".join(lines[:position] + new_lines + lines[position:])
+
+
+def delete_percent(data: bytes, percent: float, seed: int = 0) -> bytes:
+    """Shrink the file by ``percent`` % by deleting scattered lines."""
+    if not 0 <= percent <= 100:
+        raise ShadowError(f"percent must be in [0, 100], got {percent}")
+    if percent == 0 or not data:
+        return data
+    lines = _split_keep_sizes(data)
+    rng = random.Random(str((seed, int(percent * 100), len(data), "delete")))
+    order = list(range(len(lines)))
+    rng.shuffle(order)
+    budget = len(data) * percent / 100.0
+    doomed = set()
+    spent = 0.0
+    for index in order:
+        if spent >= budget or len(doomed) >= len(lines) - 1:
+            break
+        doomed.add(index)
+        spent += len(lines[index])
+    return b"".join(
+        line for index, line in enumerate(lines) if index not in doomed
+    )
+
+
+def measured_change_percent(base: bytes, edited: bytes) -> float:
+    """Rough %-changed metric: bytes of differing lines over file size."""
+    if not base:
+        return 100.0 if edited else 0.0
+    base_lines = set(base.split(b"\n"))
+    changed = sum(
+        len(line) + 1
+        for line in edited.split(b"\n")
+        if line not in base_lines
+    )
+    return 100.0 * changed / len(base)

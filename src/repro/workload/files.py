@@ -1,0 +1,80 @@
+"""Synthetic data files mirroring the paper's experiments (§8.1).
+
+"We used files of different sizes (ranging from 10K to 500K bytes) in our
+experiments."  The generator produces line-structured text (the natural
+content for 1987 program and data files, and what line diffs operate on)
+of an exact byte size, deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.errors import ShadowError
+
+#: The file sizes the paper's figures sweep.
+FIGURE_FILE_SIZES = {
+    "10k": 10_000,
+    "50k": 50_000,
+    "100k": 100_000,
+    "200k": 200_000,
+    "500k": 500_000,
+}
+
+_WORDS = (
+    "alpha bravo charlie delta echo foxtrot golf hotel india juliet kilo "
+    "lima mike november oscar papa quebec romeo sierra tango uniform victor "
+    "whiskey xray yankee zulu"
+).split()
+
+
+def make_text_file(
+    size_bytes: int, seed: int = 1987, line_width: int = 64
+) -> bytes:
+    """Exactly ``size_bytes`` of seeded line-structured text.
+
+    Every line ends in a newline; the final line is padded/truncated so
+    the total is exact.  Lines are unique-ish (they carry a line number),
+    which keeps the Hunt–McIlroy equivalence classes small — the common
+    case for real source and data files.
+    """
+    if size_bytes < 0:
+        raise ShadowError(f"negative file size {size_bytes}")
+    if line_width < 16:
+        raise ShadowError(f"line width {line_width} too small")
+    rng = random.Random(seed)
+    lines: List[bytes] = []
+    total = 0
+    line_number = 0
+    while total < size_bytes:
+        words = " ".join(rng.choice(_WORDS) for _ in range(12))
+        body = f"{line_number:08d} {words}"
+        line = (body[: line_width - 1] + "\n").encode("ascii")
+        if total + len(line) > size_bytes:
+            remainder = size_bytes - total
+            if remainder == 1:
+                line = b"\n"
+            else:
+                line = line[: remainder - 1] + b"\n"
+        lines.append(line)
+        total += len(line)
+        line_number += 1
+    return b"".join(lines)
+
+
+def make_binary_file(size_bytes: int, seed: int = 1987) -> bytes:
+    """Seeded high-entropy bytes (the diff-hostile worst case)."""
+    if size_bytes < 0:
+        raise ShadowError(f"negative file size {size_bytes}")
+    rng = random.Random(seed)
+    return bytes(rng.getrandbits(8) for _ in range(size_bytes))
+
+
+def make_repetitive_file(
+    size_bytes: int, period: int = 100, seed: int = 1987
+) -> bytes:
+    """Text with a repeating stanza (the compression-friendly best case)."""
+    stanza = make_text_file(period, seed=seed)
+    repeats = size_bytes // len(stanza) + 1
+    return (stanza * repeats)[:size_bytes]

@@ -1,0 +1,127 @@
+"""Tests for the conventional-batch and remote-login baselines."""
+
+import pytest
+
+from repro.baseline.conventional import ConventionalBatchClient
+from repro.baseline.remote_login import RemoteLoginSession
+from repro.core.server import ShadowServer
+from repro.core.workspace import MappingWorkspace
+from repro.errors import SimulationError, TransportError
+from repro.simnet.clock import SimulatedClock
+from repro.simnet.link import CYPRESS_9600
+from repro.transport.base import LoopbackChannel
+from repro.transport.sim import SimChannel, Wire
+from repro.workload.edits import modify_percent
+from repro.workload.files import make_text_file
+
+PATH = "/data/input.dat"
+
+
+@pytest.fixture
+def conventional():
+    server = ShadowServer()
+    workspace = MappingWorkspace()
+    client = ConventionalBatchClient("conv@ws", workspace)
+    client.connect(server.name, LoopbackChannel(server.handle))
+    return client, server, workspace
+
+
+class TestConventionalClient:
+    def test_submit_and_fetch(self, conventional):
+        client, _, workspace = conventional
+        workspace.write(PATH, b"batch data\n")
+        job_id = client.submit_job("cat input.dat", [PATH])
+        bundle = client.fetch_output(job_id)
+        assert bundle.stdout == b"batch data\n"
+
+    def test_every_submission_ships_full_file(self):
+        clock = SimulatedClock()
+        server = ShadowServer(clock=clock)
+        uplink = Wire(CYPRESS_9600, clock)
+        channel = SimChannel(server.handle, uplink)
+        workspace = MappingWorkspace()
+        client = ConventionalBatchClient("conv@ws", workspace)
+        client.connect(server.name, channel)
+        content = make_text_file(20_000, seed=90)
+        workspace.write(PATH, content)
+        client.fetch_output(client.submit_job("wc input.dat", [PATH]))
+        first_up = uplink.stats.payload_bytes
+        workspace.write(PATH, modify_percent(content, 1, seed=90))
+        client.fetch_output(client.submit_job("wc input.dat", [PATH]))
+        second_up = uplink.stats.payload_bytes - first_up
+        # No caching benefit: the second submission pays full price again.
+        assert second_up > len(content)
+
+    def test_versions_increment_per_submission(self, conventional):
+        client, server, workspace = conventional
+        workspace.write(PATH, b"v1\n")
+        client.submit_job("cat input.dat", [PATH])
+        workspace.write(PATH, b"v2\n")
+        client.submit_job("cat input.dat", [PATH])
+        key = str(workspace.resolve(PATH))
+        assert server.cache.peek_version(key) == 2
+
+    def test_unconnected_host_raises(self, conventional):
+        client, _, _ = conventional
+        with pytest.raises(TransportError):
+            client.submit_job("echo hi", [], host="nowhere")
+
+    def test_multiple_hosts_require_explicit_choice(self, conventional):
+        client, _, _ = conventional
+        other = ShadowServer(name="other")
+        client.connect("other", LoopbackChannel(other.handle))
+        with pytest.raises(TransportError):
+            client.submit_job("echo hi", [])
+
+
+class TestRemoteLoginModel:
+    def test_cycle_phases_sum_to_total(self):
+        session = RemoteLoginSession(Wire(CYPRESS_9600))
+        report = session.run_cycle(
+            input_sizes={"a.dat": 10_000}, output_size=2_000,
+            execution_seconds=30.0,
+        )
+        assert report.total_seconds == pytest.approx(
+            report.login_seconds
+            + report.upload_seconds
+            + report.execute_seconds
+            + report.polling_seconds
+            + report.download_seconds
+        )
+
+    def test_upload_dominated_by_file_bytes(self):
+        session = RemoteLoginSession(Wire(CYPRESS_9600))
+        report = session.run_cycle(
+            input_sizes={"big.dat": 100_000}, output_size=100,
+            execution_seconds=1.0,
+        )
+        assert report.upload_seconds > 100.0  # 100 KB at ~960 B/s
+
+    def test_polling_adds_latency_over_batch(self):
+        session = RemoteLoginSession(
+            Wire(CYPRESS_9600), poll_interval_seconds=120.0
+        )
+        report = session.run_cycle(
+            input_sizes={}, output_size=0, execution_seconds=0.0
+        )
+        assert report.polling_seconds >= 60.0  # half the poll interval
+
+    def test_remote_login_slower_than_shadow_resubmission(self):
+        # The paper's motivation: the §2.1 workflow is strictly worse.
+        from repro.workload.cycles import (
+            ExperimentConfig,
+            run_shadow_experiment,
+        )
+
+        config = ExperimentConfig(link=CYPRESS_9600)
+        _, resubmission = run_shadow_experiment(20_000, 5, config)
+        session = RemoteLoginSession(Wire(CYPRESS_9600))
+        report = session.run_cycle(
+            input_sizes={"data.dat": 20_000}, output_size=500,
+            execution_seconds=1.0,
+        )
+        assert report.total_seconds > resubmission.seconds
+
+    def test_invalid_poll_interval(self):
+        with pytest.raises(SimulationError):
+            RemoteLoginSession(Wire(CYPRESS_9600), poll_interval_seconds=0)

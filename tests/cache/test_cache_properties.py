@@ -1,0 +1,130 @@
+"""Property-based and stateful tests for the cache store."""
+
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.cache.eviction import POLICIES
+from repro.cache.store import CacheStore
+from repro.errors import CacheMissError
+
+keys = st.sampled_from([f"dom/h:/f{i}" for i in range(8)])
+contents = st.binary(min_size=0, max_size=300)
+policies = st.sampled_from(sorted(POLICIES))
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    policy=policies,
+    operations=st.lists(st.tuples(keys, contents), min_size=1, max_size=40),
+)
+def test_capacity_never_exceeded(policy, operations):
+    store = CacheStore(capacity_bytes=500, policy=POLICIES[policy])
+    version = 0
+    for key, content in operations:
+        version += 1
+        store.put(key, content, version=version)
+        assert store.used_bytes <= 500
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    policy=policies,
+    operations=st.lists(st.tuples(keys, contents), min_size=1, max_size=40),
+)
+def test_cached_content_is_last_written(policy, operations):
+    store = CacheStore(capacity_bytes=2_000, policy=POLICIES[policy])
+    latest = {}
+    version = 0
+    for key, content in operations:
+        version += 1
+        stored = store.put(key, content, version=version)
+        if stored is not None:
+            latest[key] = (content, version)
+        else:
+            latest.pop(key, None)
+    for key, (content, version) in latest.items():
+        if key in store:
+            entry = store.get(key)
+            assert entry.content == content
+            assert entry.version == version
+
+
+class CacheMachine(RuleBasedStateMachine):
+    """Stateful model check: the store vs a dict-with-size-bound model."""
+
+    def __init__(self):
+        super().__init__()
+        self.store = CacheStore(capacity_bytes=400)
+        self.model = {}
+        self.version = 0
+        self.timestamp = 0.0
+
+    def _tick(self) -> float:
+        self.timestamp += 1.0
+        return self.timestamp
+
+    @rule(key=keys, content=contents)
+    def put(self, key, content):
+        self.version += 1
+        stored = self.store.put(
+            key, content, version=self.version, timestamp=self._tick()
+        )
+        if stored is None:
+            self.model.pop(key, None)
+        else:
+            self.model[key] = (content, self.version)
+
+    @rule(key=keys)
+    def get(self, key):
+        if key in self.store:
+            entry = self.store.get(key, timestamp=self._tick())
+            content, version = self.model[key]
+            assert entry.content == content
+            assert entry.version == version
+        else:
+            try:
+                self.store.get(key, timestamp=self._tick())
+                raise AssertionError("expected CacheMissError")
+            except CacheMissError:
+                pass
+
+    @rule(key=keys)
+    def invalidate(self, key):
+        self.store.invalidate(key)
+        self.model.pop(key, None)
+
+    @rule()
+    def flush(self):
+        self.store.flush()
+        self.model.clear()
+
+    @invariant()
+    def within_capacity(self):
+        assert self.store.used_bytes <= 400
+
+    @invariant()
+    def store_is_subset_of_model(self):
+        # Evictions may drop model entries silently (they are the
+        # best-effort part); whatever IS cached must match the model.
+        for key, (content, version) in self.model.items():
+            if key in self.store:
+                entry = self.store.peek_entry(key)
+                assert entry is not None and entry.content == content
+
+    @invariant()
+    def directories_track_entries(self):
+        for domain in self.store.domains:
+            directory = self.store.domain_directory(domain)
+            for file_id, shadow_id in directory.entries().items():
+                key = f"{domain}/{file_id}"
+                entry = self.store.peek_entry(key)
+                assert entry is not None
+                assert entry.shadow_id == shadow_id
+
+
+TestCacheMachine = CacheMachine.TestCase

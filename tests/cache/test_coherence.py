@@ -1,0 +1,81 @@
+"""Tests for coherence tracking (notifications vs cached versions)."""
+
+import pytest
+
+from repro.cache.coherence import CoherenceTracker
+from repro.cache.store import CacheStore
+
+KEY = "dom/host:/file"
+
+
+@pytest.fixture
+def tracker():
+    return CoherenceTracker(CacheStore())
+
+
+class TestNotifications:
+    def test_notification_recorded(self, tracker):
+        tracker.note_notification(KEY, 3)
+        assert tracker.latest_known(KEY) == 3
+
+    def test_stale_notification_ignored(self, tracker):
+        tracker.note_notification(KEY, 5)
+        tracker.note_notification(KEY, 2)  # reordered / duplicate message
+        assert tracker.latest_known(KEY) == 5
+
+    def test_unknown_file_has_no_latest(self, tracker):
+        assert tracker.latest_known("never/seen:/x") is None
+
+
+class TestPullNeeds:
+    def test_uncached_announced_file_needs_initial_pull(self, tracker):
+        tracker.note_notification(KEY, 1)
+        need = tracker.needs_pull(KEY)
+        assert need is not None
+        assert need.is_initial
+        assert need.latest_version == 1
+
+    def test_stale_cache_needs_incremental_pull(self, tracker):
+        tracker.store.put(KEY, b"old", version=1)
+        tracker.note_notification(KEY, 4)
+        need = tracker.needs_pull(KEY)
+        assert need is not None
+        assert not need.is_initial
+        assert need.cached_version == 1
+
+    def test_current_cache_needs_nothing(self, tracker):
+        tracker.store.put(KEY, b"new", version=2)
+        tracker.note_notification(KEY, 2)
+        assert tracker.needs_pull(KEY) is None
+        assert tracker.is_current(KEY)
+
+    def test_ahead_cache_needs_nothing(self, tracker):
+        tracker.store.put(KEY, b"ahead", version=5)
+        tracker.note_notification(KEY, 3)
+        assert tracker.needs_pull(KEY) is None
+
+    def test_never_announced_needs_nothing(self, tracker):
+        assert tracker.needs_pull(KEY) is None
+
+    def test_stale_keys_lists_all_lagging(self, tracker):
+        tracker.note_notification("d/h:/a", 2)
+        tracker.note_notification("d/h:/b", 1)
+        tracker.store.put("d/h:/b", b"x", version=1)
+        needs = tracker.stale_keys()
+        assert [need.key for need in needs] == ["d/h:/a"]
+
+    def test_eviction_makes_file_stale_again(self, tracker):
+        tracker.store.put(KEY, b"x", version=2)
+        tracker.note_notification(KEY, 2)
+        tracker.store.invalidate(KEY)
+        need = tracker.needs_pull(KEY)
+        assert need is not None and need.is_initial
+
+
+class TestForget:
+    def test_forget_clears_tracking_and_cache(self, tracker):
+        tracker.store.put(KEY, b"x", version=1)
+        tracker.note_notification(KEY, 1)
+        tracker.forget(KEY)
+        assert tracker.latest_known(KEY) is None
+        assert KEY not in tracker.store

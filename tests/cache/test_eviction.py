@@ -1,0 +1,108 @@
+"""Tests for eviction policies."""
+
+import pytest
+
+from repro.cache.entry import ShadowFile
+from repro.cache.eviction import (
+    POLICIES,
+    CostAwarePolicy,
+    FifoPolicy,
+    LargestFirstPolicy,
+    LfuPolicy,
+    LruPolicy,
+    policy_named,
+)
+from repro.errors import CacheError
+
+
+def entry(key, size=10, created=0.0, accessed=0.0, hits=0):
+    shadow = ShadowFile(
+        shadow_id=f"sf-{key}",
+        key=key,
+        version=1,
+        content=b"x" * size,
+        created_at=created,
+        last_access=accessed,
+    )
+    shadow.access_count = hits
+    return shadow
+
+
+class TestLru:
+    def test_least_recent_first(self):
+        entries = [entry("a", accessed=5.0), entry("b", accessed=1.0)]
+        order = LruPolicy().victim_order(entries, now=10.0)
+        assert [e.key for e in order] == ["b", "a"]
+
+
+class TestLfu:
+    def test_least_frequent_first(self):
+        entries = [entry("hot", hits=10), entry("cold", hits=1)]
+        order = LfuPolicy().victim_order(entries, now=0.0)
+        assert order[0].key == "cold"
+
+    def test_frequency_ties_broken_by_recency(self):
+        entries = [
+            entry("newer", hits=2, accessed=9.0),
+            entry("older", hits=2, accessed=1.0),
+        ]
+        order = LfuPolicy().victim_order(entries, now=10.0)
+        assert order[0].key == "older"
+
+
+class TestFifo:
+    def test_oldest_creation_first(self):
+        entries = [entry("young", created=9.0), entry("old", created=1.0)]
+        order = FifoPolicy().victim_order(entries, now=10.0)
+        assert order[0].key == "old"
+
+    def test_access_does_not_rescue_fifo_victim(self):
+        old = entry("old", created=1.0, accessed=100.0, hits=50)
+        young = entry("young", created=9.0)
+        order = FifoPolicy().victim_order([old, young], now=100.0)
+        assert order[0].key == "old"
+
+
+class TestLargestFirst:
+    def test_largest_first(self):
+        entries = [entry("small", size=5), entry("big", size=500)]
+        order = LargestFirstPolicy().victim_order(entries, now=0.0)
+        assert order[0].key == "big"
+
+
+class TestCostAware:
+    def test_small_hot_files_kept(self):
+        hot = entry("hot", size=10, hits=20, accessed=99.0)
+        cold_big = entry("cold", size=10_000, hits=1, accessed=1.0)
+        order = CostAwarePolicy().victim_order([hot, cold_big], now=100.0)
+        assert order[0].key == "cold"
+
+    def test_decay_forgets_ancient_hits(self):
+        ancient = entry("ancient", size=10, hits=100, accessed=0.0)
+        recent = entry("recent", size=10, hits=2, accessed=99_990.0)
+        order = CostAwarePolicy(half_life=100.0).victim_order(
+            [ancient, recent], now=100_000.0
+        )
+        assert order[0].key == "ancient"
+
+    def test_half_life_validated(self):
+        with pytest.raises(CacheError):
+            CostAwarePolicy(half_life=0)
+
+
+class TestRegistry:
+    def test_all_policies_named(self):
+        assert set(POLICIES) == {
+            "lru",
+            "lfu",
+            "fifo",
+            "largest-first",
+            "cost-aware",
+        }
+
+    def test_lookup(self):
+        assert policy_named("lru").name == "lru"
+
+    def test_unknown_policy(self):
+        with pytest.raises(CacheError):
+            policy_named("arc")

@@ -1,0 +1,160 @@
+"""Tests for the best-effort cache store and domain directories."""
+
+import pytest
+
+from repro.cache.eviction import LruPolicy
+from repro.cache.store import CacheStore
+from repro.errors import CacheError, CacheMissError
+
+KEY_A = "dom1/hostA:/usr/a.dat"
+KEY_B = "dom1/hostA:/usr/b.dat"
+KEY_C = "dom2/hostB:/home/c.dat"
+
+
+@pytest.fixture
+def store():
+    return CacheStore(capacity_bytes=100)
+
+
+class TestPutGet:
+    def test_roundtrip(self, store):
+        store.put(KEY_A, b"content", version=1)
+        entry = store.get(KEY_A)
+        assert entry.content == b"content"
+        assert entry.version == 1
+
+    def test_miss_raises(self, store):
+        with pytest.raises(CacheMissError):
+            store.get("dom/never:/seen")
+
+    def test_update_replaces_content_and_version(self, store):
+        store.put(KEY_A, b"v1", version=1)
+        store.put(KEY_A, b"v2 longer", version=2)
+        entry = store.get(KEY_A)
+        assert entry.content == b"v2 longer"
+        assert entry.version == 2
+
+    def test_update_keeps_shadow_id(self, store):
+        first = store.put(KEY_A, b"v1", version=1)
+        second = store.put(KEY_A, b"v2", version=2)
+        assert first.shadow_id == second.shadow_id
+
+    def test_peek_version_without_stats(self, store):
+        store.put(KEY_A, b"x", version=3)
+        assert store.peek_version(KEY_A) == 3
+        assert store.peek_version("dom/ghost:/x") is None
+        assert store.stats.lookups == 0
+
+    def test_contains(self, store):
+        store.put(KEY_A, b"x", version=1)
+        assert KEY_A in store
+        assert KEY_B not in store
+
+    def test_invalidate(self, store):
+        store.put(KEY_A, b"x", version=1)
+        assert store.invalidate(KEY_A)
+        assert not store.invalidate(KEY_A)
+        assert KEY_A not in store
+
+    def test_flush_empties(self, store):
+        store.put(KEY_A, b"x", version=1)
+        store.put(KEY_B, b"y", version=1)
+        assert store.flush() == 2
+        assert len(store) == 0
+
+    def test_bad_version_rejected(self, store):
+        with pytest.raises(CacheError):
+            store.put(KEY_A, b"x", version=0)
+
+
+class TestCapacity:
+    def test_used_bytes(self, store):
+        store.put(KEY_A, b"12345", version=1)
+        store.put(KEY_B, b"678", version=1)
+        assert store.used_bytes == 8
+
+    def test_eviction_frees_space(self, store):
+        store.put(KEY_A, b"a" * 60, version=1, timestamp=1.0)
+        store.put(KEY_B, b"b" * 60, version=1, timestamp=2.0)
+        assert KEY_A not in store  # LRU victim
+        assert KEY_B in store
+
+    def test_oversized_item_rejected_not_cached(self, store):
+        assert store.put(KEY_A, b"x" * 101, version=1) is None
+        assert KEY_A not in store
+        assert store.stats.rejected == 1
+
+    def test_oversized_update_drops_stale_entry(self, store):
+        store.put(KEY_A, b"small", version=1)
+        assert store.put(KEY_A, b"x" * 200, version=2) is None
+        # The stale v1 must not linger: callers would patch against it.
+        assert KEY_A not in store
+
+    def test_unbounded_store_never_evicts(self):
+        store = CacheStore(capacity_bytes=None)
+        for index in range(50):
+            store.put(f"d/h:/f{index}", b"x" * 1000, version=1)
+        assert len(store) == 50
+        assert store.stats.evictions == 0
+
+    def test_in_place_update_does_not_self_evict(self, store):
+        store.put(KEY_A, b"a" * 80, version=1)
+        store.put(KEY_A, b"a" * 90, version=2)
+        assert store.get(KEY_A).version == 2
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(CacheError):
+            CacheStore(capacity_bytes=-1)
+
+
+class TestStats:
+    def test_hit_and_miss_counts(self, store):
+        store.put(KEY_A, b"x", version=1)
+        store.get(KEY_A)
+        with pytest.raises(CacheMissError):
+            store.get(KEY_B)
+        assert store.stats.hits == 1
+        assert store.stats.misses == 1
+        assert store.stats.hit_rate == 0.5
+
+    def test_hit_rate_zero_when_no_lookups(self, store):
+        assert store.stats.hit_rate == 0.0
+
+    def test_eviction_stats(self, store):
+        store.put(KEY_A, b"a" * 60, version=1)
+        store.put(KEY_B, b"b" * 60, version=1)
+        assert store.stats.evictions == 1
+        assert store.stats.evicted_bytes == 60
+
+    def test_insertions_and_updates_counted(self, store):
+        store.put(KEY_A, b"x", version=1)
+        store.put(KEY_A, b"y", version=2)
+        assert store.stats.insertions == 1
+        assert store.stats.updates == 1
+
+
+class TestDomainDirectories:
+    def test_directory_per_domain(self, store):
+        store.put(KEY_A, b"x", version=1)
+        store.put(KEY_C, b"y", version=1)
+        assert store.domains == ["dom1", "dom2"]
+
+    def test_file_id_maps_to_shadow_id(self, store):
+        entry = store.put(KEY_A, b"x", version=1)
+        directory = store.domain_directory("dom1")
+        assert directory.lookup("hostA:/usr/a.dat") == entry.shadow_id
+
+    def test_eviction_unbinds_directory_entry(self, store):
+        store.put(KEY_A, b"a" * 60, version=1, timestamp=1.0)
+        store.put(KEY_B, b"b" * 60, version=1, timestamp=2.0)
+        assert store.domain_directory("dom1").lookup("hostA:/usr/a.dat") is None
+
+    def test_shadow_ids_unique(self, store):
+        first = store.put(KEY_A, b"x", version=1)
+        second = store.put(KEY_B, b"y", version=1)
+        assert first.shadow_id != second.shadow_id
+
+    def test_directory_entries_snapshot(self, store):
+        store.put(KEY_A, b"x", version=1)
+        entries = store.domain_directory("dom1").entries()
+        assert list(entries) == ["hostA:/usr/a.dat"]

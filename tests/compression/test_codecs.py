@@ -1,0 +1,130 @@
+"""Tests for the individual compression codecs."""
+
+import random
+
+import pytest
+
+from repro.compression import huffman, lz77, rle
+from repro.errors import CompressionError
+from repro.workload.files import (
+    make_binary_file,
+    make_repetitive_file,
+    make_text_file,
+)
+
+ALL_CODECS = [rle, lz77, huffman]
+
+
+def corpus():
+    return {
+        "empty": b"",
+        "one-byte": b"x",
+        "run": b"a" * 500,
+        "alternating": b"ab" * 300,
+        "text": make_text_file(8_000, seed=31),
+        "repetitive": make_repetitive_file(8_000, seed=32),
+        "binary": make_binary_file(4_000, seed=33),
+        "all-byte-values": bytes(range(256)) * 4,
+    }
+
+
+@pytest.mark.parametrize("codec", ALL_CODECS, ids=lambda m: m.NAME)
+@pytest.mark.parametrize("name", sorted(corpus()))
+def test_roundtrip(codec, name):
+    data = corpus()[name]
+    assert codec.decompress(codec.compress(data)) == data
+
+
+class TestRle:
+    def test_long_run_compresses_well(self):
+        data = b"z" * 10_000
+        assert len(rle.compress(data)) < len(data) * 0.05
+
+    def test_runless_data_expands_modestly(self):
+        data = bytes(range(256))
+        compressed = rle.compress(data)
+        # Worst case adds one control byte per 128 literals.
+        assert len(compressed) <= len(data) + len(data) // 128 + 2
+
+    def test_truncated_literal_raises(self):
+        compressed = rle.compress(b"abcdef")
+        with pytest.raises(CompressionError):
+            rle.decompress(compressed[:-2])
+
+    def test_truncated_run_raises(self):
+        with pytest.raises(CompressionError):
+            rle.decompress(b"\x85")  # run header with no value byte
+
+    def test_exact_run_boundaries(self):
+        for run in (2, 3, 4, 129, 130, 131, 260):
+            data = b"q" * run
+            assert rle.decompress(rle.compress(data)) == data
+
+
+class TestLz77:
+    def test_repetitive_text_compresses_hard(self):
+        data = make_repetitive_file(20_000, seed=34)
+        assert len(lz77.compress(data)) < len(data) * 0.1
+
+    def test_self_overlapping_match(self):
+        # distance < length exercises the overlap copy path.
+        data = b"abc" * 1000
+        assert lz77.decompress(lz77.compress(data)) == data
+
+    def test_bad_distance_raises(self):
+        # match token pointing before the start of output
+        bad = b"\x01\x00\x10\x00\x08"
+        with pytest.raises(CompressionError):
+            lz77.decompress(bad)
+
+    def test_unknown_token_raises(self):
+        with pytest.raises(CompressionError):
+            lz77.decompress(b"\x7fxx")
+
+    def test_truncated_match_raises(self):
+        with pytest.raises(CompressionError):
+            lz77.decompress(b"\x01\x00\x01")
+
+    def test_zero_length_literal_block_raises(self):
+        with pytest.raises(CompressionError):
+            lz77.decompress(b"\x00\x00")
+
+
+class TestHuffman:
+    def test_skewed_distribution_compresses(self):
+        data = b"a" * 9_000 + b"b" * 900 + b"c" * 90 + b"d" * 10
+        assert len(huffman.compress(data)) < len(data) * 0.4
+
+    def test_uniform_bytes_do_not_compress(self):
+        data = make_binary_file(4_096, seed=35)
+        compressed = huffman.compress(data)
+        assert len(compressed) >= len(data)  # header + ~8 bits per byte
+
+    def test_single_symbol_input(self):
+        data = b"only-one-letter:" + b"m" * 100
+        assert huffman.decompress(huffman.compress(b"m" * 5)) == b"m" * 5
+        assert huffman.decompress(huffman.compress(data)) == data
+
+    def test_truncated_header_raises(self):
+        with pytest.raises(CompressionError):
+            huffman.decompress(b"\x00\x00\x00\x05short")
+
+    def test_truncated_body_raises(self):
+        compressed = huffman.compress(b"hello world, hello huffman")
+        with pytest.raises(CompressionError):
+            huffman.decompress(compressed[:-1])
+
+    def test_codes_are_prefix_free(self):
+        from repro.compression.huffman import _canonical_codes, _code_lengths
+
+        frequencies = [0] * 256
+        for index, byte in enumerate(b"abracadabra alakazam"):
+            frequencies[byte] += 1
+        codes = _canonical_codes(_code_lengths(frequencies))
+        rendered = {
+            format(code, f"0{length}b") for code, length in codes.values()
+        }
+        for code in rendered:
+            for other in rendered:
+                if code is not other:
+                    assert not other.startswith(code)

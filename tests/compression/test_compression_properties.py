@@ -1,0 +1,49 @@
+"""Property-based tests for the compression codecs."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.compression import huffman, lz77, rle
+from repro.compression.pipeline import Pipeline
+
+any_bytes = st.binary(max_size=2_000)
+runny_bytes = st.lists(
+    st.tuples(st.integers(0, 255), st.integers(1, 50)), max_size=40
+).map(lambda runs: b"".join(bytes([v]) * n for v, n in runs))
+
+
+@settings(max_examples=150, deadline=None)
+@given(data=any_bytes)
+def test_rle_roundtrip(data):
+    assert rle.decompress(rle.compress(data)) == data
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=runny_bytes)
+def test_rle_roundtrip_runny(data):
+    assert rle.decompress(rle.compress(data)) == data
+
+
+@settings(max_examples=150, deadline=None)
+@given(data=any_bytes)
+def test_lz77_roundtrip(data):
+    assert lz77.decompress(lz77.compress(data)) == data
+
+
+@settings(max_examples=150, deadline=None)
+@given(data=any_bytes)
+def test_huffman_roundtrip(data):
+    assert huffman.decompress(huffman.compress(data)) == data
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=any_bytes)
+def test_default_pipeline_roundtrip(data):
+    pipeline = Pipeline.default()
+    assert pipeline.decompress(pipeline.compress(data)) == data
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=any_bytes)
+def test_pipeline_never_expands_beyond_header(data):
+    framed = Pipeline.default().compress(data)
+    assert len(framed) <= len(data) + 5

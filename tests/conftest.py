@@ -1,0 +1,60 @@
+"""Shared fixtures for the shadow-editing test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.service import SimulatedDeployment, loopback_pair
+from repro.naming.domain import DomainId
+from repro.naming.nfs import NfsEnvironment
+from repro.naming.resolver import NameResolver
+from repro.simnet.link import CYPRESS_9600
+from repro.workload.files import make_text_file
+
+
+@pytest.fixture
+def pair():
+    """A connected loopback client/server pair."""
+    return loopback_pair()
+
+
+@pytest.fixture
+def client(pair):
+    return pair[0]
+
+
+@pytest.fixture
+def server(pair):
+    return pair[1]
+
+
+@pytest.fixture
+def deployment():
+    """A simulated Cypress deployment with the 1987 cost models."""
+    return SimulatedDeployment.build(CYPRESS_9600)
+
+
+@pytest.fixture
+def sample_text():
+    """A 20 KB seeded text file."""
+    return make_text_file(20_000, seed=42)
+
+
+@pytest.fixture
+def nfs_paper_scenario():
+    """The paper's §5.3 example: C exports /usr; A and B mount it.
+
+    Returns (environment, resolver): ``/projl/foo`` on A and
+    ``/others/foo`` on B are both ``C:/usr/foo``.
+    """
+    environment = NfsEnvironment()
+    for name in ("A", "B", "C"):
+        environment.add_host(name)
+    c = environment.host("C")
+    c.vfs.mkdir("/usr")
+    c.vfs.write_file("/usr/foo", b"shared content\n")
+    environment.export("C", "/usr")
+    environment.mount("A", "/projl", "C", "/usr")
+    environment.mount("B", "/others", "C", "/usr")
+    resolver = NameResolver(environment, DomainId("nsf-128-10"))
+    return environment, resolver

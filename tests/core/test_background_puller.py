@@ -1,0 +1,123 @@
+"""Tests for server-initiated background retrieval (§6.4)."""
+
+import pytest
+
+from repro.core.background import BackgroundPuller
+from repro.core.client import ShadowClient
+from repro.core.server import ShadowServer
+from repro.core.workspace import MappingWorkspace
+from repro.errors import ShadowError
+from repro.jobs.scheduler import ConstantLoad, PullPolicy, Scheduler
+from repro.simnet.events import EventScheduler
+from repro.transport.base import LoopbackChannel
+from repro.transport.flaky import FailNextChannel
+from repro.workload.edits import modify_percent
+from repro.workload.files import make_text_file
+
+PATH = "/data/input.dat"
+
+
+def build(pull_policy=PullPolicy.ON_SUBMIT, load=0.2, delay=60.0):
+    events = EventScheduler()
+    server = ShadowServer(
+        scheduler=Scheduler(
+            pull_policy=pull_policy, load_model=ConstantLoad(load)
+        )
+    )
+    client = ShadowClient("alice@ws", MappingWorkspace())
+    client.connect(server.name, LoopbackChannel(server.handle))
+    callback = FailNextChannel(LoopbackChannel(client.handle_callback))
+    server.register_callback(client.client_id, callback)
+    puller = BackgroundPuller(server, events, delay_seconds=delay)
+    puller.attach()
+    return events, server, client, puller, callback
+
+
+class TestBackgroundPulls:
+    def test_deferred_update_arrives_without_submit(self):
+        events, server, client, puller, _ = build()
+        content = make_text_file(10_000, seed=140)
+        client.write_file(PATH, content)
+        key = str(client.workspace.resolve(PATH))
+        # Deferred: nothing cached yet, one pull timer armed.
+        assert server.cache.peek_version(key) is None
+        assert puller.pending_keys == 1
+        events.run()
+        assert server.cache.get(key).content == content
+        assert puller.pulls_completed == 1
+
+    def test_background_pull_ships_delta_for_later_versions(self):
+        events, server, client, puller, _ = build()
+        base = make_text_file(10_000, seed=141)
+        client.write_file(PATH, base)
+        events.run()  # first background pull: full
+        edited = modify_percent(base, 2, seed=141)
+        client.write_file(PATH, edited)
+        events.run()  # second: delta against the pulled base
+        key = str(client.workspace.resolve(PATH))
+        assert server.cache.get(key).content == edited
+        assert server.cache.get(key).version == 2
+
+    def test_one_timer_per_file(self):
+        events, server, client, puller, _ = build()
+        client.write_file(PATH, b"v1 aaaaaaaaaaaaaaaa\n")
+        client.write_file(PATH, b"v2 aaaaaaaaaaaaaaaa\n")
+        client.write_file(PATH, b"v3 aaaaaaaaaaaaaaaa\n")
+        assert puller.pending_keys == 1
+        events.run()
+        key = str(client.workspace.resolve(PATH))
+        # The single pull fetched the newest version.
+        assert server.cache.get(key).version == 3
+
+    def test_busy_server_re_defers_until_idle(self):
+        # LOAD_AWARE with high load defers; the timer re-arms.
+        events, server, client, puller, _ = build(
+            pull_policy=PullPolicy.LOAD_AWARE, load=0.9, delay=30.0
+        )
+        client.write_file(PATH, b"under load aaaaaaaaaa\n")
+        events.run_until(100.0)
+        key = str(client.workspace.resolve(PATH))
+        assert server.cache.peek_version(key) is None
+        assert puller.pulls_deferred >= 2
+        # The load drops; the next firing completes the pull.
+        server.scheduler.load_model = ConstantLoad(0.1)
+        events.run()
+        assert server.cache.get(key).version == 1
+
+    def test_submit_beats_timer_timer_becomes_noop(self):
+        events, server, client, puller, _ = build()
+        client.write_file(PATH, b"race me aaaaaaaaaaaa\n")
+        # The user submits before the timer fires: needs-path pulls it.
+        client.fetch_output(client.submit("cat input.dat", [PATH]))
+        completed_before = puller.pulls_completed
+        events.run()
+        assert puller.pulls_completed == completed_before
+        assert puller.pending_keys == 0
+
+    def test_transport_failure_retries_then_succeeds(self):
+        events, server, client, puller, callback = build(delay=10.0)
+        client.write_file(PATH, b"flaky path aaaaaaaaaa\n")
+        callback.fail_next(count=2)
+        events.run()
+        key = str(client.workspace.resolve(PATH))
+        assert server.cache.get(key).version == 1
+        assert puller.pulls_deferred == 2
+
+    def test_gives_up_after_max_retries(self):
+        events, server, client, puller, callback = build(delay=5.0)
+        puller.max_retries = 3
+        client.write_file(PATH, b"doomed aaaaaaaaaaaaaa\n")
+        callback.fail_next(count=99)
+        events.run()
+        assert puller.pending_keys == 0
+        key = str(client.workspace.resolve(PATH))
+        assert server.cache.peek_version(key) is None
+        # ...but the submit path still converges (best effort).
+        callback.fail_next(count=0)
+        bundle = client.fetch_output(client.submit("cat input.dat", [PATH]))
+        assert bundle is not None and bundle.exit_code == 0
+
+    def test_invalid_delay_rejected(self):
+        events, server, client, puller, _ = build()
+        with pytest.raises(ShadowError):
+            BackgroundPuller(server, events, delay_seconds=0.0)

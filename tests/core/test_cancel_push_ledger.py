@@ -1,0 +1,210 @@
+"""Tests for job cancellation, completion push, and traffic accounting."""
+
+import pytest
+
+from repro.core.client import ShadowClient
+from repro.core.protocol import Submit, SubmitReply, decode_message
+from repro.core.server import ShadowServer
+from repro.core.service import loopback_pair
+from repro.core.workspace import MappingWorkspace
+from repro.errors import ProtocolError
+from repro.jobs.scheduler import PullPolicy, Scheduler
+from repro.jobs.status import JobState
+from repro.transport.base import LoopbackChannel
+from repro.workload.files import make_text_file
+
+PATH = "/data/input.dat"
+
+
+def waiting_job(client, server):
+    """Create a job stuck in WAITING_FILES via the raw protocol."""
+    channel = client._channels[server.name]
+    reply = decode_message(
+        channel.request(
+            Submit(
+                client_id=client.client_id,
+                script="cat ghost.dat",
+                files=(("local/workstation:/ghost.dat", 1),),
+            ).to_wire()
+        )
+    )
+    assert isinstance(reply, SubmitReply)
+    # Mirror what client.submit would record.
+    from repro.core.client import SubmittedJob
+    from repro.jobs.status import JobRecord
+
+    client._jobs[reply.job_id] = SubmittedJob(
+        job_id=reply.job_id,
+        host=server.name,
+        signature="raw",
+        output_file="o",
+        error_file="e",
+    )
+    client.status.add(JobRecord(job_id=reply.job_id, owner=client.client_id))
+    return reply.job_id
+
+
+class TestCancel:
+    def test_cancel_waiting_job(self, pair):
+        client, server = pair
+        job_id = waiting_job(client, server)
+        assert client.cancel_job(job_id) is True
+        assert server.status.get(job_id).state is JobState.CANCELLED
+        assert len(server.queue) == 0
+
+    def test_cancel_finished_job_is_noop(self, pair):
+        client, _ = pair
+        job_id = client.submit("echo done", [])
+        assert client.cancel_job(job_id) is False
+
+    def test_cancel_unknown_job_raises(self, pair):
+        client, _ = pair
+        with pytest.raises(ProtocolError):
+            client.cancel_job("never-submitted")
+
+    def test_cannot_cancel_another_clients_job(self):
+        server = ShadowServer()
+        alice = ShadowClient("alice@ws", MappingWorkspace())
+        mallory = ShadowClient("mallory@ws", MappingWorkspace())
+        alice.connect(server.name, LoopbackChannel(server.handle))
+        mallory.connect(server.name, LoopbackChannel(server.handle))
+        job_id = waiting_job(alice, server)
+        from repro.core.protocol import CancelJob, ErrorReply
+
+        reply = decode_message(
+            server.handle(
+                CancelJob(client_id="mallory@ws", job_id=job_id).to_wire()
+            )
+        )
+        assert isinstance(reply, ErrorReply)
+        assert not server.status.get(job_id).state.terminal
+
+    def test_cancelled_job_fetch_reports_cancelled(self, pair):
+        client, server = pair
+        job_id = waiting_job(client, server)
+        client.cancel_job(job_id)
+        bundle = client.fetch_output(job_id)
+        assert bundle is not None
+        assert bundle.stdout == b""
+
+
+class TestCompletionPush:
+    def build(self):
+        server = ShadowServer(push_outputs=True)
+        client = ShadowClient("alice@ws", MappingWorkspace())
+        client.connect(server.name, LoopbackChannel(server.handle))
+        server.register_callback(
+            client.client_id, LoopbackChannel(client.handle_callback)
+        )
+        return client, server
+
+    def test_output_arrives_without_fetch(self):
+        client, server = self.build()
+        job_id = client.submit("echo pushed to me", [])
+        job = client._jobs[job_id]
+        # Before any fetch call, the result is already in the sink.
+        assert client.results[job.output_file] == b"pushed to me\n"
+        assert client.status.get(job_id).state is JobState.COMPLETED
+
+    def test_fetch_after_push_is_local(self):
+        client, server = self.build()
+        job_id = client.submit("echo cached locally", [])
+        channel = client._channels[server.name]
+        requests_before = channel.stats.requests
+        bundle = client.fetch_output(job_id)
+        assert bundle.stdout == b"cached locally\n"
+        assert channel.stats.requests == requests_before  # no wire traffic
+
+    def test_push_disabled_without_callback(self):
+        server = ShadowServer(push_outputs=True)
+        client = ShadowClient("alice@ws", MappingWorkspace())
+        client.connect(server.name, LoopbackChannel(server.handle))
+        job_id = client.submit("echo fetch me", [])
+        # No callback channel: fetch still works.
+        assert client.fetch_output(job_id).stdout == b"fetch me\n"
+
+    def test_push_respects_reverse_shadow_retention(self):
+        from repro.core.environment import ShadowEnvironment
+
+        server = ShadowServer(push_outputs=True)
+        client = ShadowClient(
+            "alice@ws",
+            MappingWorkspace(),
+            environment=ShadowEnvironment(reverse_shadow=True),
+        )
+        client.connect(server.name, LoopbackChannel(server.handle))
+        server.register_callback(
+            client.client_id, LoopbackChannel(client.handle_callback)
+        )
+        client.write_file(PATH, make_text_file(3_000, seed=160))
+        job_id = client.submit("simulate 100 input.dat", [PATH])
+        job = client._jobs[job_id]
+        assert job.signature in client._retained_outputs
+
+
+class TestTrafficLedger:
+    def test_bytes_accounted_per_client(self):
+        server = ShadowServer()
+        alice = ShadowClient("alice@ws", MappingWorkspace(host="ws1"))
+        bob = ShadowClient("bob@ws", MappingWorkspace(host="ws2"))
+        alice.connect(server.name, LoopbackChannel(server.handle))
+        bob.connect(server.name, LoopbackChannel(server.handle))
+        alice.write_file(PATH, make_text_file(20_000, seed=161))
+        bob.write_file(PATH, b"tiny\n")
+        assert (
+            server.ledger["alice@ws"].bytes_in
+            > server.ledger["bob@ws"].bytes_in
+        )
+        assert server.ledger["alice@ws"].requests >= 2  # hello + notify/update
+
+    def test_pushed_bytes_counted(self):
+        server = ShadowServer(push_outputs=True)
+        client = ShadowClient("alice@ws", MappingWorkspace())
+        client.connect(server.name, LoopbackChannel(server.handle))
+        server.register_callback(
+            client.client_id, LoopbackChannel(client.handle_callback)
+        )
+        client.submit("gen-output 5000", [])
+        assert server.ledger["alice@ws"].pushed_bytes > 5_000
+
+    def test_total_bytes_property(self):
+        from repro.core.server import TrafficAccount
+
+        account = TrafficAccount(bytes_in=10, bytes_out=20, pushed_bytes=5)
+        assert account.total_bytes == 35
+
+
+class TestNewExecutorPrograms:
+    @pytest.fixture
+    def run(self, pair):
+        client, _ = pair
+
+        def runner(script, content=b"l1\nl2\nl3\nl4\nl5\n"):
+            client.write_file(PATH, content)
+            job_id = client.submit(script, [PATH])
+            return client.fetch_output(job_id)
+
+        return runner
+
+    def test_head(self, run):
+        assert run("head 2 input.dat").stdout == b"l1\nl2\n"
+
+    def test_tail(self, run):
+        assert run("tail 2 input.dat").stdout == b"l4\nl5\n"
+
+    def test_checksum_is_stable(self, run):
+        first = run("checksum input.dat").stdout
+        second = run("checksum input.dat").stdout
+        assert first == second
+        assert b"input.dat" in first
+
+    def test_paste(self, pair):
+        client, _ = pair
+        client.write_file("/a.txt", b"1\n2\n")
+        client.write_file("/b.txt", b"x\ny\n")
+        job_id = client.submit("paste a.txt b.txt", ["/a.txt", "/b.txt"])
+        assert client.fetch_output(job_id).stdout.startswith(b"1\tx\n2\ty\n")
+
+    def test_head_bad_count_fails_cleanly(self, run):
+        bundle = run("head zero input.dat")
+        assert bundle.exit_code == 1

@@ -1,0 +1,139 @@
+"""Tests for the command-line interface (§6.2's user commands)."""
+
+import os
+
+import pytest
+
+from repro.cli import WELL_KNOWN_PORT, _coerce, _parse_endpoint, main
+from repro.core.server import ShadowServer
+from repro.jobs.executor import SimulatedExecutor
+from repro.transport.tcp import TcpChannelServer
+
+
+@pytest.fixture
+def live_server():
+    server = ShadowServer(executor=SimulatedExecutor())
+    listener = TcpChannelServer(server.handle, host="127.0.0.1", port=0)
+    yield listener
+    listener.close()
+
+
+@pytest.fixture
+def workdir(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+def cli(live_server, *argv):
+    return main(
+        [
+            argv[0],
+            "--server",
+            f"127.0.0.1:{live_server.port}",
+            "--state",
+            ".shadow/state.json",
+            *argv[1:],
+        ]
+    )
+
+
+class TestHelpers:
+    def test_parse_endpoint_full(self):
+        assert _parse_endpoint("example.org:9999") == ("example.org", 9999)
+
+    def test_parse_endpoint_defaults(self):
+        assert _parse_endpoint("hostonly") == ("hostonly", WELL_KNOWN_PORT)
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("true", True), ("False", False), ("42", 42), ("myers", "myers")],
+    )
+    def test_coerce(self, text, expected):
+        assert _coerce(text) == expected
+
+
+class TestCommands:
+    def test_submit_wait_prints_output(self, live_server, workdir, capsys):
+        (workdir / "data.txt").write_text("b\na\nc\n")
+        code = cli(
+            live_server, "submit", "--script", "sort data.txt",
+            "data.txt", "--wait",
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "submitted" in captured.out
+        assert "a\nb\nc" in captured.out
+
+    def test_submit_then_fetch(self, live_server, workdir, capsys):
+        (workdir / "data.txt").write_text("hello shadow\n")
+        assert cli(
+            live_server, "submit", "--script", "wc data.txt", "data.txt"
+        ) == 0
+        job_id = capsys.readouterr().out.split()[-1]
+        assert cli(live_server, "fetch", job_id) == 0
+        captured = capsys.readouterr()
+        assert "exit 0" in captured.out
+        # The output file materialised into the working directory.
+        out_files = [name for name in os.listdir(workdir) if name.endswith(".out")]
+        assert out_files
+
+    def test_state_persists_across_invocations(self, live_server, workdir, capsys):
+        (workdir / "data.txt").write_text("original content\n" * 50)
+        cli(live_server, "submit", "--script", "wc data.txt", "data.txt")
+        capsys.readouterr()
+        # Second invocation: edit via CLI; state carries the version chain.
+        code = cli(
+            live_server, "edit", "data.txt",
+            "--with-content", "edited content\n" * 50,
+        )
+        assert code == 0
+        assert "version 2" in capsys.readouterr().out
+
+    def test_edit_without_change_is_free(self, live_server, workdir, capsys):
+        (workdir / "data.txt").write_text("same\n")
+        code = cli(
+            live_server, "edit", "data.txt", "--with-content", "same\n"
+        )
+        assert code == 0
+        assert "no change" in capsys.readouterr().out
+
+    def test_status_lists_nothing_when_idle(self, live_server, workdir, capsys):
+        assert cli(live_server, "status") == 0
+        assert "no pending jobs" in capsys.readouterr().out
+
+    def test_failing_job_propagates_exit_code(self, live_server, workdir, capsys):
+        code = cli(
+            live_server, "submit", "--script", "fail on purpose", "--wait"
+        )
+        assert code == 1
+        assert "on purpose" in capsys.readouterr().err
+
+    def test_cancel_finished_job_reports_done(self, live_server, workdir, capsys):
+        (workdir / "data.txt").write_text("x\n")
+        cli(live_server, "submit", "--script", "cat data.txt", "data.txt")
+        job_id = capsys.readouterr().out.split()[-1]
+        code = cli(live_server, "cancel", job_id)
+        assert code == 1  # already finished
+        assert "already finished" in capsys.readouterr().out
+
+    def test_env_show_and_set(self, live_server, workdir, capsys):
+        assert main(["env", "--state", ".shadow/state.json"]) == 0
+        assert "diff_algorithm = hunt-mcilroy" in capsys.readouterr().out
+        assert main(
+            ["env", "--state", ".shadow/state.json",
+             "--set", "diff_algorithm=myers", "--set", "compress_updates=true"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "diff_algorithm = myers" in out
+        assert "compress_updates = True" in out
+
+    def test_env_rejects_bad_parameter(self, workdir, capsys):
+        code = main(
+            ["env", "--state", ".shadow/state.json", "--set", "bogus=1"]
+        )
+        assert code == 2
+        assert "shadow:" in capsys.readouterr().err
+
+    def test_serve_once(self, workdir, capsys):
+        assert main(["serve", "--port", "0", "--once"]) == 0
+        assert "listening" in capsys.readouterr().out

@@ -1,0 +1,376 @@
+"""Integration tests: the full shadow protocol over loopback channels."""
+
+import pytest
+
+from repro.cache.store import CacheStore
+from repro.core.client import ShadowClient
+from repro.core.environment import ShadowEnvironment
+from repro.core.protocol import (
+    ErrorReply,
+    Notify,
+    Submit,
+    SubmitReply,
+    Update,
+    decode_message,
+)
+from repro.core.server import ShadowServer
+from repro.core.service import loopback_pair
+from repro.core.workspace import MappingWorkspace
+from repro.errors import ProtocolError, TransportError
+from repro.jobs.scheduler import PullPolicy, Scheduler
+from repro.workload.edits import modify_percent
+from repro.workload.files import make_text_file
+
+PATH = "/data/input.dat"
+
+
+class TestSessionManagement:
+    def test_hello_registers_client(self, pair):
+        client, server = pair
+        assert client.client_id in server._clients
+
+    def test_unregistered_client_rejected(self):
+        server = ShadowServer()
+        reply = decode_message(
+            server.handle(
+                Notify(client_id="stranger", key="k", version=1).to_wire()
+            )
+        )
+        assert isinstance(reply, ErrorReply)
+
+    def test_garbage_payload_answered_with_error(self):
+        server = ShadowServer()
+        reply = decode_message(server.handle(b"not a message"))
+        assert isinstance(reply, ErrorReply)
+        assert reply.code == "bad-message"
+
+    def test_disconnect_says_bye(self, pair):
+        client, server = pair
+        client.disconnect(server.name)
+        assert client.client_id not in server._clients
+
+    def test_request_to_unconnected_host_raises(self, client):
+        with pytest.raises(TransportError):
+            client.submit("echo hi", [], host="never-connected")
+
+
+class TestNotifyAndUpdate:
+    def test_edit_populates_server_cache(self, pair):
+        client, server = pair
+        client.write_file(PATH, b"version one\n")
+        key = str(client.workspace.resolve(PATH))
+        assert server.cache.peek_version(key) == 1
+
+    def test_second_edit_updates_cache(self, pair):
+        client, server = pair
+        client.write_file(PATH, b"one\n")
+        client.write_file(PATH, b"two\n")
+        key = str(client.workspace.resolve(PATH))
+        assert server.cache.get(key).content == b"two\n"
+        assert server.cache.get(key).version == 2
+
+    def test_acknowledged_versions_pruned_at_client(self, pair):
+        client, _ = pair
+        client.write_file(PATH, b"one\n")
+        client.write_file(PATH, b"two\n")
+        key = str(client.workspace.resolve(PATH))
+        assert client.versions.chain(key).retained_numbers == [2]
+
+    def test_unchanged_notify_not_repulled(self, pair):
+        client, server = pair
+        client.write_file(PATH, b"same\n")
+        key = str(client.workspace.resolve(PATH))
+        before = server.cache.stats.updates + server.cache.stats.insertions
+        # Re-notify the same version: server is current, no pull.
+        client._notify(key, 1, None)
+        after = server.cache.stats.updates + server.cache.stats.insertions
+        assert after == before
+
+    def test_cache_eviction_triggers_full_fallback(self):
+        # A tiny cache evicts the base; the delta update must fall back to
+        # a full transfer without the user noticing (§5.1 best effort).
+        server = ShadowServer(cache=CacheStore(capacity_bytes=50_000))
+        workspace = MappingWorkspace()
+        client = ShadowClient("alice@ws", workspace)
+        from repro.transport.base import LoopbackChannel
+
+        client.connect(server.name, LoopbackChannel(server.handle))
+        base = make_text_file(20_000, seed=60)
+        client.write_file(PATH, base)
+        key = str(client.workspace.resolve(PATH))
+        server.cache.flush()  # the remote host reclaimed its disk
+        edited = modify_percent(base, 2, seed=60)
+        client.write_file(PATH, edited)
+        assert server.cache.get(key).content == edited
+
+    def test_delta_actually_smaller_on_wire(self, pair):
+        client, server = pair
+        channel = client._channels[server.name]
+        base = make_text_file(30_000, seed=61)
+        client.write_file(PATH, base)
+        sent_before = channel.stats.request_bytes
+        client.write_file(PATH, modify_percent(base, 2, seed=61))
+        second_edit_bytes = channel.stats.request_bytes - sent_before
+        assert second_edit_bytes < len(base) * 0.2
+
+
+class TestSubmitAndRun:
+    def test_submit_runs_and_fetches(self, pair):
+        client, _ = pair
+        client.write_file(PATH, b"alpha beta\ngamma\n")
+        job_id = client.submit("wc input.dat", [PATH])
+        bundle = client.fetch_output(job_id)
+        assert bundle is not None
+        assert bundle.exit_code == 0
+        assert b"input.dat" in bundle.stdout
+
+    def test_untracked_file_auto_shadowed_at_submit(self, pair):
+        client, server = pair
+        client.workspace.write(PATH, b"never explicitly edited\n")
+        job_id = client.submit("cat input.dat", [PATH])
+        bundle = client.fetch_output(job_id)
+        assert bundle.stdout == b"never explicitly edited\n"
+
+    def test_multi_file_job(self, pair):
+        client, _ = pair
+        client.write_file("/data/a.txt", b"from a\n")
+        client.write_file("/data/b.txt", b"from b\n")
+        job_id = client.submit("cat a.txt b.txt", ["/data/a.txt", "/data/b.txt"])
+        assert client.fetch_output(job_id).stdout == b"from a\nfrom b\n"
+
+    def test_basename_collision_rejected(self, pair):
+        client, _ = pair
+        client.write_file("/one/same.dat", b"1")
+        client.write_file("/two/same.dat", b"2")
+        with pytest.raises(ProtocolError, match="same.dat"):
+            client.submit("cat same.dat", ["/one/same.dat", "/two/same.dat"])
+
+    def test_failing_job_reports_exit_and_stderr(self, pair):
+        client, _ = pair
+        job_id = client.submit("fail out of disk", [])
+        bundle = client.fetch_output(job_id)
+        assert bundle.exit_code == 1
+        assert b"out of disk" in bundle.stderr
+        job = client._jobs[job_id]
+        assert client.results[job.error_file] == bundle.stderr
+
+    def test_output_stored_under_custom_names(self, pair):
+        client, _ = pair
+        job_id = client.submit("echo result", [], output_file="/res/answer.txt")
+        client.fetch_output(job_id)
+        assert client.results["/res/answer.txt"] == b"result\n"
+
+    def test_output_files_delivered(self, pair):
+        client, _ = pair
+        client.write_file(PATH, b"zeta\nalpha\n")
+        job_id = client.submit("sort input.dat > sorted.txt", [PATH])
+        bundle = client.fetch_output(job_id)
+        assert bundle.output_files["sorted.txt"].startswith(b"\nalpha")
+        assert client.results["sorted.txt"] == bundle.output_files["sorted.txt"]
+
+    def test_file_bigger_than_entire_cache_still_runs(self):
+        from repro.cache.store import CacheStore
+        from repro.transport.base import LoopbackChannel
+
+        server = ShadowServer(cache=CacheStore(capacity_bytes=1_000))
+        client = ShadowClient("alice@ws", MappingWorkspace())
+        client.connect(server.name, LoopbackChannel(server.handle))
+        huge = make_text_file(50_000, seed=67)
+        client.write_file(PATH, huge)
+        job_id = client.submit("wc input.dat", [PATH])
+        bundle = client.fetch_output(job_id)
+        assert bundle is not None and bundle.exit_code == 0
+        # The cache itself never held it (best-effort rejection).
+        key = str(client.workspace.resolve(PATH))
+        assert key not in server.cache
+
+    def test_job_ids_unique_and_sequential(self, pair):
+        client, _ = pair
+        first = client.submit("echo 1", [])
+        second = client.submit("echo 2", [])
+        assert first != second
+
+    def test_fetch_of_foreign_job_rejected_at_client(self, pair):
+        client, _ = pair
+        with pytest.raises(ProtocolError):
+            client.fetch_output("not-my-job")
+
+
+class TestStatus:
+    def test_status_of_completed_job(self, pair):
+        client, _ = pair
+        job_id = client.submit("echo hi", [])
+        records = client.job_status(job_id)
+        assert records[0]["state"] == "completed"
+
+    def test_status_all_pending_empty_after_completion(self, pair):
+        client, _ = pair
+        client.submit("echo hi", [])
+        assert client.job_status() == []
+
+    def test_pending_job_visible_in_status(self, pair):
+        client, server = pair
+        # Submit referencing a version the server does not have yet, via
+        # the raw protocol (the library client would satisfy needs).
+        channel = client._channels[server.name]
+        reply = decode_message(
+            channel.request(
+                Submit(
+                    client_id=client.client_id,
+                    script="cat ghost.dat",
+                    files=(("local/workstation:/ghost.dat", 1),),
+                ).to_wire()
+            )
+        )
+        assert isinstance(reply, SubmitReply)
+        assert reply.needs
+        records = client.job_status(reply.job_id)
+        assert records[0]["state"] == "waiting-files"
+
+    def test_unknown_job_status_is_error(self, pair):
+        client, _ = pair
+        with pytest.raises(ProtocolError):
+            client.job_status("ghost-job")
+
+
+class TestDeferredPull:
+    def test_on_submit_policy_defers_transfer(self):
+        server = ShadowServer(
+            scheduler=Scheduler(pull_policy=PullPolicy.ON_SUBMIT)
+        )
+        client = ShadowClient("alice@ws", MappingWorkspace())
+        from repro.transport.base import LoopbackChannel
+
+        client.connect(server.name, LoopbackChannel(server.handle))
+        client.write_file(PATH, b"deferred content\n")
+        key = str(client.workspace.resolve(PATH))
+        # Notification recorded but nothing pulled yet.
+        assert server.cache.peek_version(key) is None
+        assert server.coherence.latest_known(key) == 1
+        # Submit forces the pull via the needs list.
+        job_id = client.submit("cat input.dat", [PATH])
+        assert server.cache.peek_version(key) == 1
+        assert client.fetch_output(job_id).stdout == b"deferred content\n"
+
+    def test_callback_pull_requests_update(self):
+        client, server = loopback_pair()
+        base = make_text_file(8_000, seed=66)
+        edited = modify_percent(base, 2, seed=66)
+        client.write_file(PATH, base)
+        client.workspace.write(PATH, edited)
+        key = str(client.workspace.resolve(PATH))
+        client.versions.record_edit(key, edited)
+        # Server-initiated background pull over the callback channel.
+        from repro.core.protocol import RequestUpdate, UpdateAck
+
+        callback = server._callbacks[client.client_id]
+        reply = decode_message(
+            callback.request(RequestUpdate(key=key, base_version=1).to_wire())
+        )
+        assert isinstance(reply, Update)
+        assert reply.is_delta
+        ack = decode_message(server.handle(reply.to_wire()))
+        assert isinstance(ack, UpdateAck)
+        assert server.cache.get(key).content == edited
+
+
+class TestEnvironmentDrivenBehaviour:
+    def test_compressed_updates_roundtrip(self):
+        client, server = loopback_pair(
+            environment=ShadowEnvironment(compress_updates=True)
+        )
+        content = make_text_file(30_000, seed=62)
+        client.write_file(PATH, content)
+        key = str(client.workspace.resolve(PATH))
+        assert server.cache.get(key).content == content
+
+    def test_compression_shrinks_wire_bytes(self):
+        plain_client, plain_server = loopback_pair()
+        squeezed_client, squeezed_server = loopback_pair(
+            environment=ShadowEnvironment(compress_updates=True)
+        )
+        content = make_text_file(30_000, seed=63)
+        plain_client.write_file(PATH, content)
+        squeezed_client.write_file(PATH, content)
+        plain = plain_client._channels[plain_server.name].stats.request_bytes
+        squeezed = squeezed_client._channels[
+            squeezed_server.name
+        ].stats.request_bytes
+        assert squeezed < plain
+
+    def test_best_delta_mode_roundtrips(self):
+        client, server = loopback_pair(
+            environment=ShadowEnvironment(use_best_delta=True)
+        )
+        base = make_text_file(10_000, seed=64)
+        client.write_file(PATH, base)
+        edited = modify_percent(base, 3, seed=64)
+        client.write_file(PATH, edited)
+        key = str(client.workspace.resolve(PATH))
+        assert server.cache.get(key).content == edited
+
+    def test_custom_diff_algorithm_used_on_wire(self):
+        client, server = loopback_pair(
+            environment=ShadowEnvironment(diff_algorithm="tichy")
+        )
+        base = make_text_file(10_000, seed=65)
+        client.write_file(PATH, base)
+        client.write_file(PATH, modify_percent(base, 3, seed=65))
+        key = str(client.workspace.resolve(PATH))
+        assert server.cache.get(key).version == 2
+
+
+class TestMultiParty:
+    def test_two_clients_one_server(self):
+        from repro.transport.base import LoopbackChannel
+
+        server = ShadowServer()
+        alice = ShadowClient("alice@ws1", MappingWorkspace(host="ws1"))
+        bob = ShadowClient("bob@ws2", MappingWorkspace(host="ws2"))
+        alice.connect(server.name, LoopbackChannel(server.handle))
+        bob.connect(server.name, LoopbackChannel(server.handle))
+        alice.write_file("/a.dat", b"alice data\n")
+        bob.write_file("/b.dat", b"bob data\n")
+        job_a = alice.submit("cat a.dat", ["/a.dat"])
+        job_b = bob.submit("cat b.dat", ["/b.dat"])
+        assert alice.fetch_output(job_a).stdout == b"alice data\n"
+        assert bob.fetch_output(job_b).stdout == b"bob data\n"
+
+    def test_one_client_two_servers(self):
+        from repro.transport.base import LoopbackChannel
+
+        centre_1 = ShadowServer(name="centre-1")
+        centre_2 = ShadowServer(name="centre-2")
+        client = ShadowClient(
+            "alice@ws",
+            MappingWorkspace(),
+            environment=ShadowEnvironment(default_host="centre-1"),
+        )
+        client.connect("centre-1", LoopbackChannel(centre_1.handle))
+        client.connect("centre-2", LoopbackChannel(centre_2.handle))
+        client.write_file(PATH, b"shared\n")
+        default_job = client.submit("cat input.dat", [PATH])
+        other_job = client.submit("wc input.dat", [PATH], host="centre-2")
+        assert client.fetch_output(default_job).stdout == b"shared\n"
+        assert b"input.dat" in client.fetch_output(other_job).stdout
+
+    def test_third_party_output_routing(self):
+        from repro.transport.base import LoopbackChannel
+
+        server = ShadowServer()
+        submitter = ShadowClient("alice@ws", MappingWorkspace())
+        printer = ShadowClient("printer@lab", MappingWorkspace(host="lab"))
+        submitter.connect(server.name, LoopbackChannel(server.handle))
+        printer.connect(server.name, LoopbackChannel(server.handle))
+        server.register_callback(
+            "printer@lab", LoopbackChannel(printer.handle_callback)
+        )
+        submitter.write_file(PATH, b"print me\n")
+        job_id = submitter.submit(
+            "cat input.dat", [PATH], deliver_to_host="printer@lab"
+        )
+        # Output went to the printer host, not the submitter.
+        assert printer.results[f"{job_id}.out"] == b"print me\n"
+        reply = submitter.fetch_output(job_id)
+        assert reply is not None
+        assert reply.stdout == b""

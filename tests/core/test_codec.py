@@ -1,0 +1,103 @@
+"""Tests for the binary value codec."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.codec import decode, encode
+from repro.errors import ProtocolError
+
+
+class TestScalars:
+    @pytest.mark.parametrize(
+        "value",
+        [None, True, False, 0, 1, 127, 128, 2**40, -1, -(2**40), 3.5, -0.25],
+    )
+    def test_roundtrip(self, value):
+        assert decode(encode(value)) == value
+
+    def test_bytes_roundtrip(self):
+        assert decode(encode(b"\x00\xff raw")) == b"\x00\xff raw"
+
+    def test_text_roundtrip(self):
+        assert decode(encode("héllo wörld")) == "héllo wörld"
+
+    def test_bool_distinct_from_int(self):
+        assert decode(encode(True)) is True
+        assert decode(encode(1)) == 1
+        assert decode(encode(1)) is not True
+
+    def test_float_precision(self):
+        assert decode(encode(0.1)) == 0.1
+
+
+class TestContainers:
+    def test_list_roundtrip(self):
+        value = [1, "two", b"three", None, [4, 5]]
+        assert decode(encode(value)) == value
+
+    def test_dict_roundtrip(self):
+        value = {"a": 1, "b": [True, {"nested": b"x"}]}
+        assert decode(encode(value)) == value
+
+    def test_dict_encoding_is_deterministic(self):
+        assert encode({"b": 1, "a": 2}) == encode({"a": 2, "b": 1})
+
+    def test_non_string_key_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode({1: "x"})
+
+    def test_unencodable_type_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode(object())
+
+
+class TestMalformedInput:
+    def test_empty_input(self):
+        with pytest.raises(ProtocolError):
+            decode(b"")
+
+    def test_unknown_tag(self):
+        with pytest.raises(ProtocolError):
+            decode(b"z")
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode(encode(1) + b"junk")
+
+    def test_truncated_string(self):
+        with pytest.raises(ProtocolError):
+            decode(b"u\x05ab")
+
+    def test_truncated_varint(self):
+        with pytest.raises(ProtocolError):
+            decode(b"i\x80")
+
+    def test_truncated_float(self):
+        with pytest.raises(ProtocolError):
+            decode(b"r\x00\x00")
+
+    def test_invalid_utf8_in_text(self):
+        with pytest.raises(ProtocolError):
+            decode(b"u\x02\xff\xfe")
+
+    def test_overlong_varint(self):
+        with pytest.raises(ProtocolError):
+            decode(b"i" + b"\xff" * 10 + b"\x01")
+
+
+json_like = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**50), max_value=2**50)
+    | st.binary(max_size=60)
+    | st.text(max_size=60),
+    lambda children: st.lists(children, max_size=5)
+    | st.dictionaries(st.text(max_size=10), children, max_size=5),
+    max_leaves=25,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(value=json_like)
+def test_codec_roundtrip_property(value):
+    assert decode(encode(value)) == value

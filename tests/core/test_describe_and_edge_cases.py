@@ -1,0 +1,131 @@
+"""Client introspection and whole-stack edge cases."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.service import loopback_pair
+from repro.workload.files import make_text_file
+
+PATH = "/data/input.dat"
+
+
+class TestClientDescribe:
+    def test_describe_lists_shadow_files(self, pair):
+        client, _ = pair
+        client.write_file(PATH, b"v1 content\n")
+        client.write_file(PATH, b"v2 content\n")
+        described = client.describe()
+        key = str(client.workspace.resolve(PATH))
+        assert described["shadow_files"][key]["latest"] == 2
+        assert described["client_id"] == client.client_id
+        assert described["connected_hosts"] == ["supercomputer"]
+
+    def test_describe_counts_results(self, pair):
+        client, _ = pair
+        client.fetch_output(client.submit("echo x", []))
+        assert client.describe()["results_held"] == 1
+
+    def test_describe_environment_included(self, pair):
+        client, _ = pair
+        assert (
+            client.describe()["environment"]["diff_algorithm"]
+            == "hunt-mcilroy"
+        )
+
+
+class TestCliFiles:
+    def test_files_command(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        from repro.core.server import ShadowServer
+        from repro.jobs.executor import SimulatedExecutor
+        from repro.transport.tcp import TcpChannelServer
+
+        server = ShadowServer(executor=SimulatedExecutor())
+        listener = TcpChannelServer(server.handle, port=0)
+        try:
+            (tmp_path / "data.txt").write_text("some text\n")
+            argv = [
+                "--server", f"127.0.0.1:{listener.port}",
+                "--state", ".shadow/state.json",
+            ]
+            assert main(["edit", *argv, "data.txt",
+                         "--with-content", "edited\n"]) == 0
+            capsys.readouterr()
+            assert main(["files", *argv]) == 0
+            out = capsys.readouterr().out
+            assert "data.txt" in out
+            assert "latest v1" in out
+        finally:
+            listener.close()
+
+
+class TestEdgeCases:
+    def test_empty_file_through_full_stack(self, pair):
+        client, server = pair
+        client.write_file(PATH, b"")
+        key = str(client.workspace.resolve(PATH))
+        assert server.cache.get(key).content == b""
+        bundle = client.fetch_output(client.submit("wc input.dat", [PATH]))
+        assert bundle.exit_code == 0
+
+    def test_file_shrinks_to_empty_and_back(self, pair):
+        client, server = pair
+        key = str(client.workspace.resolve(PATH))
+        client.write_file(PATH, b"full of content\n" * 100)
+        client.write_file(PATH, b"")
+        assert server.cache.get(key).content == b""
+        client.write_file(PATH, b"reborn\n")
+        assert server.cache.get(key).content == b"reborn\n"
+
+    def test_binary_content_with_all_byte_values(self, pair):
+        client, server = pair
+        content = bytes(range(256)) * 20
+        client.write_file(PATH, content)
+        key = str(client.workspace.resolve(PATH))
+        assert server.cache.get(key).content == content
+
+    def test_unicode_path_names(self, pair):
+        client, server = pair
+        path = "/données/mesures-α.dat"
+        client.write_file(path, b"unicode path content\n")
+        key = str(client.workspace.resolve(path))
+        assert server.cache.get(key).content == b"unicode path content\n"
+        name = path.rsplit("/", 1)[-1]
+        bundle = client.fetch_output(client.submit(f"cat {name}", [path]))
+        assert bundle.stdout == b"unicode path content\n"
+
+    def test_many_versions_of_one_file(self, pair):
+        client, server = pair
+        content = make_text_file(2_000, seed=180)
+        key = str(client.workspace.resolve(PATH))
+        for round_number in range(40):
+            content = content + b"round %d\n" % round_number
+            client.write_file(PATH, content)
+        assert server.cache.get(key).version == 40
+        assert server.cache.get(key).content == content
+        # Retention bounded the client-side chain.
+        assert len(client.versions.chain(key).retained_numbers) <= 8
+
+    def test_script_with_many_commands(self, pair):
+        client, _ = pair
+        client.write_file(PATH, b"a\nb\nc\n")
+        script = "\n".join(["wc input.dat"] * 25)
+        bundle = client.fetch_output(client.submit(script, [PATH]))
+        assert bundle.stdout.count(b"input.dat") == 25
+
+    def test_submit_with_no_files(self, pair):
+        client, _ = pair
+        bundle = client.fetch_output(client.submit("gen-output 100", []))
+        assert len(bundle.stdout) == 100
+
+    def test_very_long_single_line_file(self, pair):
+        client, server = pair
+        content = b"x" * 200_000  # one line, no newline at all
+        client.write_file(PATH, content)
+        key = str(client.workspace.resolve(PATH))
+        assert server.cache.get(key).content == content
+        # Edit one byte: tichy-style deltas aside, the default line diff
+        # must still converge (it will resend the single line).
+        edited = b"y" + content[1:]
+        client.write_file(PATH, edited)
+        assert server.cache.get(key).content == edited

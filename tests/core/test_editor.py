@@ -1,0 +1,90 @@
+"""Tests for the shadow editor wrapper."""
+
+import pytest
+
+from repro.core.editor import ShadowEditor, scripted_editor
+from repro.core.service import loopback_pair
+from repro.errors import ShadowError
+
+PATH = "/home/user/program.f"
+
+
+@pytest.fixture
+def setup():
+    client, server = loopback_pair()
+    return client, server
+
+
+class TestEditing:
+    def test_edit_creates_version_and_notifies(self, setup):
+        client, server = setup
+        editor = ShadowEditor(client, scripted_editor(b"PROGRAM X\nEND\n"))
+        version = editor.edit(PATH)
+        assert version == 1
+        key = str(client.workspace.resolve(PATH))
+        assert server.cache.peek_version(key) == 1
+
+    def test_sequential_sessions_bump_versions(self, setup):
+        client, _ = setup
+        editor = ShadowEditor(
+            client, scripted_editor(b"draft 1\n", b"draft 2\n")
+        )
+        assert editor.edit(PATH) == 1
+        assert editor.edit(PATH) == 2
+
+    def test_no_change_session_is_free(self, setup):
+        client, server = setup
+        editor = ShadowEditor(client, scripted_editor(b"content\n"))
+        editor.edit(PATH)
+        channel = client._channels[server.name]
+        requests_before = channel.stats.requests
+        # Second session: scripted editor leaves content unchanged.
+        assert editor.edit(PATH) is None
+        assert channel.stats.requests == requests_before
+        assert editor.versions_created == 1
+        assert editor.sessions == 2
+
+    def test_missing_file_starts_empty(self, setup):
+        client, _ = setup
+        seen = {}
+
+        def editor_fn(path, old_content):
+            seen["old"] = old_content
+            return b"created from scratch\n"
+
+        ShadowEditor(client, editor_fn).edit("/brand/new.txt")
+        assert seen["old"] == b""
+        assert client.workspace.read("/brand/new.txt") == (
+            b"created from scratch\n"
+        )
+
+    def test_existing_content_passed_to_editor(self, setup):
+        client, _ = setup
+        client.workspace.write(PATH, b"pre-existing\n")
+        seen = {}
+
+        def editor_fn(path, old_content):
+            seen["old"] = old_content
+            return old_content + b"appended\n"
+
+        ShadowEditor(client, editor_fn).edit(PATH)
+        assert seen["old"] == b"pre-existing\n"
+
+    def test_editor_returning_non_bytes_rejected(self, setup):
+        client, _ = setup
+        editor = ShadowEditor(client, lambda path, old: "a string")
+        with pytest.raises(ShadowError):
+            editor.edit(PATH)
+
+    def test_user_view_unchanged_workspace_has_new_content(self, setup):
+        # §6.2: "the user's view of the editor remains unchanged" — the
+        # wrapper writes exactly what the editor produced.
+        client, _ = setup
+        editor = ShadowEditor(client, scripted_editor(b"exact bytes\x00\n"))
+        editor.edit(PATH)
+        assert client.workspace.read(PATH) == b"exact bytes\x00\n"
+
+    def test_editor_name_defaults_to_environment(self, setup):
+        client, _ = setup
+        editor = ShadowEditor(client, scripted_editor())
+        assert editor.editor_name == client.environment.editor

@@ -1,0 +1,107 @@
+"""Tests for the shadow environment and workspaces."""
+
+import pytest
+
+from repro.core.environment import ShadowEnvironment
+from repro.core.workspace import MappingWorkspace, NfsWorkspace
+from repro.errors import (
+    EnvironmentError_,
+    FileNotFoundInVfsError,
+    NamingError,
+)
+
+
+class TestShadowEnvironment:
+    def test_defaults_are_valid(self):
+        environment = ShadowEnvironment()
+        assert environment.default_host == "supercomputer"
+        assert environment.diff_algorithm == "hunt-mcilroy"
+
+    def test_customized_returns_new_instance(self):
+        base = ShadowEnvironment()
+        custom = base.customized(diff_algorithm="myers")
+        assert custom.diff_algorithm == "myers"
+        assert base.diff_algorithm == "hunt-mcilroy"
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(EnvironmentError_):
+            ShadowEnvironment().customized(colour_scheme="solarized")
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(EnvironmentError_):
+            ShadowEnvironment(diff_algorithm="bsdiff")
+
+    def test_empty_default_host_rejected(self):
+        with pytest.raises(EnvironmentError_):
+            ShadowEnvironment(default_host="")
+
+    def test_retention_minimum(self):
+        with pytest.raises(EnvironmentError_):
+            ShadowEnvironment(max_retained_versions=0)
+
+    def test_describe_covers_every_field(self):
+        described = ShadowEnvironment().describe()
+        assert "compress_updates" in described
+        assert "reverse_shadow" in described
+        assert described["max_retained_versions"] == 8
+
+
+class TestMappingWorkspace:
+    @pytest.fixture
+    def workspace(self):
+        return MappingWorkspace(domain="d1", host="ws")
+
+    def test_write_read(self, workspace):
+        workspace.write("/a/b.txt", b"data")
+        assert workspace.read("/a/b.txt") == b"data"
+
+    def test_missing_read_raises(self, workspace):
+        with pytest.raises(FileNotFoundInVfsError):
+            workspace.read("/ghost")
+
+    def test_relative_write_rejected(self, workspace):
+        with pytest.raises(NamingError):
+            workspace.write("relative.txt", b"")
+
+    def test_resolve_includes_domain_host_path(self, workspace):
+        name = workspace.resolve("/a/b.txt")
+        assert str(name) == "d1/ws:/a/b.txt"
+
+    def test_exists(self, workspace):
+        workspace.write("/x", b"")
+        assert workspace.exists("/x")
+        assert not workspace.exists("/y")
+
+    def test_initial_files(self):
+        workspace = MappingWorkspace(files={"/seed.txt": b"seeded"})
+        assert workspace.read("/seed.txt") == b"seeded"
+
+    def test_paths_listing(self, workspace):
+        workspace.write("/b", b"")
+        workspace.write("/a", b"")
+        assert workspace.paths() == ["/a", "/b"]
+
+
+class TestNfsWorkspace:
+    def test_resolve_collapses_aliases(self, nfs_paper_scenario):
+        _, resolver = nfs_paper_scenario
+        from_a = NfsWorkspace(resolver, host="A")
+        from_b = NfsWorkspace(resolver, host="B")
+        assert from_a.resolve("/projl/foo") == from_b.resolve("/others/foo")
+
+    def test_read_through_mounts(self, nfs_paper_scenario):
+        _, resolver = nfs_paper_scenario
+        workspace = NfsWorkspace(resolver, host="A")
+        assert workspace.read("/projl/foo") == b"shared content\n"
+
+    def test_write_lands_on_exporting_host(self, nfs_paper_scenario):
+        env, resolver = nfs_paper_scenario
+        workspace = NfsWorkspace(resolver, host="A")
+        workspace.write("/projl/new.dat", b"created")
+        assert env.host("C").vfs.read_file("/usr/new.dat") == b"created"
+
+    def test_exists(self, nfs_paper_scenario):
+        _, resolver = nfs_paper_scenario
+        workspace = NfsWorkspace(resolver, host="A")
+        assert workspace.exists("/projl/foo")
+        assert not workspace.exists("/projl/ghost")

@@ -1,0 +1,59 @@
+"""Tests for the real-filesystem workspace used by the CLI."""
+
+import os
+
+import pytest
+
+from repro.core.workspace import LocalDirectoryWorkspace
+from repro.errors import FileNotFoundInVfsError, NamingError
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    return LocalDirectoryWorkspace(str(tmp_path), domain="testfs", host="testhost")
+
+
+class TestLocalDirectoryWorkspace:
+    def test_write_read_roundtrip(self, workspace):
+        workspace.write("sub/dir/file.dat", b"on disk")
+        assert workspace.read("sub/dir/file.dat") == b"on disk"
+
+    def test_missing_file_raises(self, workspace):
+        with pytest.raises(FileNotFoundInVfsError):
+            workspace.read("nope.txt")
+
+    def test_exists(self, workspace):
+        workspace.write("present", b"")
+        assert workspace.exists("present")
+        assert not workspace.exists("absent")
+
+    def test_resolve_is_canonical(self, workspace, tmp_path):
+        workspace.write("real.txt", b"x")
+        name = workspace.resolve("real.txt")
+        assert name.host == "testhost"
+        assert name.path == str(tmp_path / "real.txt")
+
+    def test_symlink_aliases_collapse(self, workspace, tmp_path):
+        workspace.write("target.txt", b"content")
+        os.symlink(tmp_path / "target.txt", tmp_path / "alias.txt")
+        assert workspace.resolve("alias.txt") == workspace.resolve(
+            "target.txt"
+        )
+        assert workspace.read("alias.txt") == b"content"
+
+    def test_escape_rejected(self, workspace):
+        with pytest.raises(NamingError):
+            workspace.read("../../etc/passwd")
+
+    def test_symlink_escape_rejected(self, workspace, tmp_path):
+        os.symlink("/etc", tmp_path / "sneaky")
+        with pytest.raises(NamingError):
+            workspace.read("sneaky/passwd")
+
+    def test_absolute_path_inside_root_ok(self, workspace, tmp_path):
+        workspace.write("direct.txt", b"y")
+        assert workspace.read(str(tmp_path / "direct.txt")) == b"y"
+
+    def test_root_probe_resolves(self, workspace):
+        name = workspace.resolve("/")
+        assert name.path == "/"

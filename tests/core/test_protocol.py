@@ -1,0 +1,133 @@
+"""Tests for protocol message serialisation."""
+
+import pytest
+
+from repro.core.protocol import (
+    Bye,
+    DeliverOutput,
+    ErrorReply,
+    FetchOutput,
+    Hello,
+    Notify,
+    NotifyReply,
+    Ok,
+    OutputReply,
+    RequestUpdate,
+    StatusQuery,
+    StatusReply,
+    Submit,
+    SubmitReply,
+    Update,
+    UpdateAck,
+    decode_message,
+    expect,
+)
+from repro.errors import ProtocolError
+
+ALL_MESSAGES = [
+    Hello(client_id="alice", domain="d1"),
+    Notify(client_id="alice", key="d/h:/f", version=2, size=100, checksum="ab"),
+    Update(
+        client_id="alice",
+        key="d/h:/f",
+        version=2,
+        base_version=1,
+        is_delta=True,
+        compressed=True,
+        payload=b"\x00\x01delta",
+    ),
+    Submit(
+        client_id="alice",
+        script="wc f",
+        files=(("d/h:/f", 2),),
+        output_file="out.txt",
+        deliver_to_host="printer",
+        priority=3,
+    ),
+    StatusQuery(client_id="alice", job_id="j1"),
+    StatusQuery(client_id="alice", job_id=None),
+    FetchOutput(client_id="alice", job_id="j1", have_output_of="j0"),
+    Bye(client_id="alice"),
+    Ok(detail="fine"),
+    ErrorReply(code="x", message="broken"),
+    NotifyReply(pull_now=True, base_version=4),
+    UpdateAck(key="d/h:/f", stored_version=2, cached=False),
+    SubmitReply(job_id="j9", needs=(("d/h:/f", 0), ("d/h:/g", 3))),
+    StatusReply(records=({"job_id": "j1", "state": "running"},)),
+    OutputReply(
+        job_id="j1",
+        ready=True,
+        state="completed",
+        exit_code=0,
+        cpu_seconds=1.25,
+        streams={"stdout": {"kind": "full", "data": b"hi"}},
+    ),
+    RequestUpdate(key="d/h:/f", base_version=1),
+    DeliverOutput(
+        job_id="j1",
+        exit_code=0,
+        streams={"stdout": {"kind": "full", "data": b"pushed"}},
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "message", ALL_MESSAGES, ids=lambda m: type(m).__name__ + str(id(m) % 97)
+)
+def test_wire_roundtrip(message):
+    assert decode_message(message.to_wire()) == message
+
+
+def test_every_type_tag_unique():
+    tags = [type(message).TYPE for message in ALL_MESSAGES]
+    assert len(set(tags)) == len(set(type(m) for m in ALL_MESSAGES))
+
+
+def test_unknown_type_rejected():
+    from repro.core import codec
+
+    with pytest.raises(ProtocolError):
+        decode_message(codec.encode({"_t": "no-such-message"}))
+
+
+def test_untagged_payload_rejected():
+    from repro.core import codec
+
+    with pytest.raises(ProtocolError):
+        decode_message(codec.encode({"foo": 1}))
+
+
+def test_non_dict_payload_rejected():
+    from repro.core import codec
+
+    with pytest.raises(ProtocolError):
+        decode_message(codec.encode([1, 2, 3]))
+
+
+def test_unexpected_field_rejected():
+    from repro.core import codec
+
+    with pytest.raises(ProtocolError):
+        decode_message(codec.encode({"_t": "ok", "bogus": 1}))
+
+
+def test_control_messages_are_small():
+    # §5.2: "job submission and update requests are short and quick".
+    notify = Notify(
+        client_id="alice@ws", key="dom/host:/some/path.dat", version=3,
+        size=100_000, checksum="0123456789abcdef",
+    ).to_wire()
+    assert len(notify) < 200
+
+
+class TestExpect:
+    def test_passes_matching_type(self):
+        assert expect(Ok(), Ok) == Ok()
+
+    def test_raises_on_server_error(self):
+        with pytest.raises(ProtocolError, match="broken"):
+            expect(ErrorReply(code="c", message="broken"), Ok)
+
+    def test_raises_on_wrong_type(self):
+        with pytest.raises(ProtocolError):
+            expect(Ok(), NotifyReply)

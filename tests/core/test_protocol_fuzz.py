@@ -1,0 +1,146 @@
+"""Adversarial-input tests: the server must never crash on bad bytes.
+
+Every payload handed to :meth:`ShadowServer.handle` — random garbage,
+truncated real messages, type-confused values — must produce an encoded
+``ErrorReply`` (or a valid reply), never an exception, and must leave the
+server able to serve the next well-formed request.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import codec
+from repro.core.protocol import (
+    ErrorReply,
+    Hello,
+    Message,
+    Notify,
+    Submit,
+    Update,
+    decode_message,
+)
+from repro.core.server import ShadowServer
+
+
+@pytest.fixture
+def server():
+    server = ShadowServer()
+    # Register a client so stateful messages get past the hello check.
+    server.handle(Hello(client_id="fuzz@ws").to_wire())
+    return server
+
+
+def is_valid_reply(payload: bytes) -> bool:
+    reply = decode_message(payload)
+    return isinstance(reply, Message)
+
+
+@settings(max_examples=300, deadline=None)
+@given(payload=st.binary(max_size=400))
+def test_random_bytes_never_crash(payload):
+    server = ShadowServer()
+    reply = server.handle(payload)
+    assert is_valid_reply(reply)
+
+
+@settings(max_examples=150, deadline=None)
+@given(cut=st.integers(min_value=0, max_value=200))
+def test_truncated_real_messages(cut):
+    server = ShadowServer()
+    wire = Notify(
+        client_id="fuzz@ws", key="d/h:/f", version=3, size=10, checksum="ab"
+    ).to_wire()
+    reply = server.handle(wire[: min(cut, len(wire) - 1)])
+    assert is_valid_reply(reply)
+
+
+json_like = st.recursive(
+    st.none() | st.booleans() | st.integers() | st.binary(max_size=30)
+    | st.text(max_size=30),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=12,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    type_tag=st.sampled_from(
+        ["hello", "notify", "update", "submit", "status", "fetch", "bye"]
+    ),
+    fields=st.dictionaries(st.text(max_size=12), json_like, max_size=5),
+)
+def test_type_confused_fields_never_crash(type_tag, fields):
+    server = ShadowServer()
+    payload = dict(fields)
+    payload["_t"] = type_tag
+    reply = server.handle(codec.encode(payload))
+    assert is_valid_reply(reply)
+
+
+class TestServerSurvivesGarbage:
+    def test_still_serves_after_garbage(self, server):
+        for junk in (b"", b"\x00" * 50, b"dGARBAGE", codec.encode([1, 2])):
+            server.handle(junk)
+        reply = decode_message(
+            server.handle(
+                Notify(
+                    client_id="fuzz@ws",
+                    key="d/h:/f",
+                    version=1,
+                    size=5,
+                    checksum="x",
+                ).to_wire()
+            )
+        )
+        assert not isinstance(reply, ErrorReply)
+
+    def test_delta_for_uncached_file_is_clean_error(self, server):
+        reply = decode_message(
+            server.handle(
+                Update(
+                    client_id="fuzz@ws",
+                    key="d/h:/never-seen",
+                    version=2,
+                    base_version=1,
+                    is_delta=True,
+                    payload=b"not even a delta",
+                ).to_wire()
+            )
+        )
+        assert isinstance(reply, ErrorReply)
+        assert reply.code == "need-full"
+
+    def test_submit_with_bogus_version_is_clean_error(self, server):
+        reply = decode_message(
+            server.handle(
+                Submit(
+                    client_id="fuzz@ws",
+                    script="echo hi",
+                    files=(("d/h:/f", 0),),
+                ).to_wire()
+            )
+        )
+        assert isinstance(reply, ErrorReply)
+
+    def test_submit_with_empty_script_is_clean_error(self, server):
+        reply = decode_message(
+            server.handle(
+                Submit(client_id="fuzz@ws", script="   \n", files=()).to_wire()
+            )
+        )
+        assert isinstance(reply, ErrorReply)
+
+    def test_corrupt_compressed_update_is_clean_error(self, server):
+        reply = decode_message(
+            server.handle(
+                Update(
+                    client_id="fuzz@ws",
+                    key="d/h:/f",
+                    version=1,
+                    compressed=True,
+                    payload=b"NOT A COMPRESSION FRAME",
+                ).to_wire()
+            )
+        )
+        assert isinstance(reply, ErrorReply)

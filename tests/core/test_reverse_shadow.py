@@ -1,0 +1,105 @@
+"""Tests for reverse shadow processing (§8.3): output deltas."""
+
+import pytest
+
+from repro.core.environment import ShadowEnvironment
+from repro.core.service import SimulatedDeployment, loopback_pair
+from repro.reverse.experiment import run_reverse_shadow_experiment
+from repro.simnet.link import CYPRESS_9600
+from repro.workload.edits import modify_percent
+from repro.workload.files import make_text_file
+
+PATH = "/exp/data.dat"
+SCRIPT = "simulate 500 data.dat"
+
+
+def run_same_job_twice(environment):
+    client, server = loopback_pair(environment=environment)
+    base = make_text_file(10_000, seed=80)
+    client.write_file(PATH, base)
+    first = client.fetch_output(client.submit(SCRIPT, [PATH]))
+    client.write_file(PATH, modify_percent(base, 1, seed=80, clustered=True))
+    channel = client._channels[server.name]
+    downloaded_before = channel.stats.reply_bytes
+    second = client.fetch_output(client.submit(SCRIPT, [PATH]))
+    downloaded = channel.stats.reply_bytes - downloaded_before
+    return first, second, downloaded
+
+
+class TestOutputDeltas:
+    def test_rerun_output_reconstructed_correctly(self):
+        first, second, _ = run_same_job_twice(
+            ShadowEnvironment(reverse_shadow=True)
+        )
+        # Ground truth: run the same pipeline without reverse shadow.
+        plain_first, plain_second, _ = run_same_job_twice(
+            ShadowEnvironment(reverse_shadow=False)
+        )
+        assert second.stdout == plain_second.stdout
+        assert second.exit_code == 0
+
+    def test_rerun_downloads_fewer_bytes(self):
+        _, _, with_reverse = run_same_job_twice(
+            ShadowEnvironment(reverse_shadow=True)
+        )
+        _, _, without = run_same_job_twice(
+            ShadowEnvironment(reverse_shadow=False)
+        )
+        assert with_reverse < without * 0.7
+
+    def test_different_job_not_delta_encoded(self):
+        client, _ = loopback_pair(
+            environment=ShadowEnvironment(reverse_shadow=True)
+        )
+        client.write_file(PATH, make_text_file(5_000, seed=81))
+        first = client.fetch_output(client.submit(SCRIPT, [PATH]))
+        # A *different* script is a different job signature: full output.
+        other = client.fetch_output(
+            client.submit("simulate 400 data.dat", [PATH])
+        )
+        assert other.stdout != first.stdout
+        assert other.exit_code == 0
+
+    def test_disabled_at_server_still_correct(self):
+        from repro.core.client import ShadowClient
+        from repro.core.server import ShadowServer
+        from repro.core.workspace import MappingWorkspace
+        from repro.transport.base import LoopbackChannel
+
+        server = ShadowServer(reverse_shadow=False)
+        client = ShadowClient(
+            "alice@ws",
+            MappingWorkspace(),
+            environment=ShadowEnvironment(reverse_shadow=True),
+        )
+        client.connect(server.name, LoopbackChannel(server.handle))
+        base = make_text_file(5_000, seed=82)
+        client.write_file(PATH, base)
+        first = client.fetch_output(client.submit(SCRIPT, [PATH]))
+        client.write_file(PATH, modify_percent(base, 1, seed=82))
+        second = client.fetch_output(client.submit(SCRIPT, [PATH]))
+        assert second.exit_code == 0
+        assert len(second.stdout) == len(first.stdout)
+
+
+class TestReverseExperiment:
+    def test_experiment_reports_savings(self):
+        outcome = run_reverse_shadow_experiment(
+            CYPRESS_9600, input_size=8_000, simulate_steps=800, enabled=True
+        )
+        assert outcome.byte_savings_factor > 1.5
+
+    def test_disabled_experiment_shows_no_savings(self):
+        outcome = run_reverse_shadow_experiment(
+            CYPRESS_9600, input_size=8_000, simulate_steps=800, enabled=False
+        )
+        assert outcome.byte_savings_factor == pytest.approx(1.0, rel=0.2)
+
+    def test_enabled_rerun_faster_than_disabled(self):
+        enabled = run_reverse_shadow_experiment(
+            CYPRESS_9600, input_size=8_000, simulate_steps=800, enabled=True
+        )
+        disabled = run_reverse_shadow_experiment(
+            CYPRESS_9600, input_size=8_000, simulate_steps=800, enabled=False
+        )
+        assert enabled.rerun_seconds < disabled.rerun_seconds

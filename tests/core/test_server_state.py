@@ -1,0 +1,155 @@
+"""Tests for server-side persistence: the cache survives restarts."""
+
+import json
+
+import pytest
+
+from repro.core.client import ShadowClient
+from repro.core.server import ShadowServer
+from repro.core.state import (
+    restore_server,
+    save_server_state,
+    snapshot_server,
+)
+from repro.core.workspace import MappingWorkspace
+from repro.errors import ShadowError
+from repro.transport.base import LoopbackChannel
+from repro.workload.edits import modify_percent
+from repro.workload.files import make_text_file
+
+PATH = "/data/input.dat"
+
+
+def connect(server, client_id="alice@ws"):
+    client = ShadowClient(client_id, MappingWorkspace())
+    client.connect(server.name, LoopbackChannel(server.handle))
+    return client
+
+
+class TestServerPersistence:
+    def test_cache_entries_survive_restart(self):
+        server = ShadowServer()
+        client = connect(server)
+        content = make_text_file(10_000, seed=170)
+        client.write_file(PATH, content)
+        state = snapshot_server(server)
+
+        reborn = ShadowServer()
+        restore_server(reborn, state)
+        key = str(client.workspace.resolve(PATH))
+        assert reborn.cache.get(key).content == content
+        assert reborn.cache.get(key).version == 1
+
+    def test_client_delta_works_against_restarted_server(self):
+        # The whole point: after a server restart, the client's next edit
+        # still travels as a delta, not a full file.
+        server = ShadowServer()
+        client = connect(server)
+        base = make_text_file(25_000, seed=171)
+        client.write_file(PATH, base)
+        state = snapshot_server(server)
+
+        reborn = ShadowServer()
+        restore_server(reborn, state)
+        # Same client reconnects to the restarted server.
+        client._channels[server.name] = LoopbackChannel(reborn.handle)
+        client.connect(server.name, client._channels[server.name])
+        channel = client._channels[server.name]
+        sent_before = channel.stats.request_bytes
+        edited = modify_percent(base, 2, seed=171)
+        client.write_file(PATH, edited)
+        sent = channel.stats.request_bytes - sent_before
+        assert sent < len(base) * 0.2
+        key = str(client.workspace.resolve(PATH))
+        assert reborn.cache.get(key).content == edited
+
+    def test_job_ids_never_collide_after_restart(self):
+        server = ShadowServer()
+        client = connect(server)
+        old_job = client.submit("echo one", [])
+        state = snapshot_server(server)
+
+        reborn = ShadowServer()
+        restore_server(reborn, state)
+        fresh_client = connect(reborn, client_id="bob@ws")
+        new_job = fresh_client.submit("echo two", [])
+        assert new_job != old_job
+
+    def test_coherence_tracking_survives(self):
+        from repro.jobs.scheduler import PullPolicy, Scheduler
+
+        server = ShadowServer(
+            scheduler=Scheduler(pull_policy=PullPolicy.ON_SUBMIT)
+        )
+        client = connect(server)
+        client.write_file(PATH, b"deferred and never pulled\n")
+        key = str(client.workspace.resolve(PATH))
+        state = snapshot_server(server)
+
+        reborn = ShadowServer()
+        restore_server(reborn, state)
+        need = reborn.coherence.needs_pull(key)
+        assert need is not None and need.latest_version == 1
+
+    def test_finished_job_fetchable_after_restart(self):
+        server = ShadowServer()
+        client = connect(server)
+        job_id = client.submit("echo survived the crash", [])
+        state = snapshot_server(server)
+
+        reborn = ShadowServer()
+        restore_server(reborn, state)
+        client._channels[server.name] = LoopbackChannel(reborn.handle)
+        client.connect(server.name, client._channels[server.name])
+        bundle = client.fetch_output(job_id)
+        assert bundle is not None
+        assert bundle.stdout == b"survived the crash\n"
+
+    def test_inflight_jobs_dropped_on_restart(self):
+        from repro.core.protocol import Submit, SubmitReply, decode_message
+
+        server = ShadowServer()
+        client = connect(server)
+        channel = client._channels[server.name]
+        reply = decode_message(
+            channel.request(
+                Submit(
+                    client_id=client.client_id,
+                    script="cat ghost.dat",
+                    files=(("local/workstation:/ghost.dat", 1),),
+                ).to_wire()
+            )
+        )
+        assert isinstance(reply, SubmitReply)
+        state = snapshot_server(server)
+        reborn = ShadowServer()
+        restore_server(reborn, state)
+        # The waiting job did not survive; its id is unknown now.
+        assert reply.job_id not in reborn.status
+
+    def test_save_to_file(self, tmp_path):
+        server = ShadowServer()
+        client = connect(server)
+        client.write_file(PATH, bytes(range(256)))
+        target = tmp_path / "server.json"
+        save_server_state(server, target)
+        parsed = json.loads(target.read_text())
+        assert parsed["format"] == "shadow-server-state-v1"
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ShadowError):
+            restore_server(ShadowServer(), {"format": "nope"})
+
+    def test_restore_respects_capacity(self):
+        from repro.cache.store import CacheStore
+
+        server = ShadowServer()
+        client = connect(server)
+        for index in range(4):
+            client.write_file(
+                f"/data/f{index}.dat", make_text_file(5_000, seed=172 + index)
+            )
+        state = snapshot_server(server)
+        tiny = ShadowServer(cache=CacheStore(capacity_bytes=12_000))
+        restore_server(tiny, state)
+        assert tiny.cache.used_bytes <= 12_000

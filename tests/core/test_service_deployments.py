@@ -1,0 +1,96 @@
+"""Tests for service wiring: simulated and TCP deployments."""
+
+import pytest
+
+from repro.core.service import SimulatedDeployment, tcp_pair
+from repro.simnet.link import CYPRESS_9600, LAN_10M
+from repro.workload.edits import modify_percent
+from repro.workload.files import make_text_file
+
+PATH = "/data/input.dat"
+
+
+class TestSimulatedDeployment:
+    def test_cycle_advances_virtual_clock(self, deployment):
+        client = deployment.client
+        client.write_file(PATH, make_text_file(10_000, seed=70))
+        job_id = client.submit("wc input.dat", [PATH])
+        client.fetch_output(job_id)
+        assert deployment.clock.now() > 10.0  # 10 KB at ~960 B/s
+
+    def test_resubmission_much_faster_than_first(self, deployment):
+        client = deployment.client
+        base = make_text_file(50_000, seed=71)
+        start = deployment.clock.now()
+        client.write_file(PATH, base)
+        client.fetch_output(client.submit("wc input.dat", [PATH]))
+        first_cycle = deployment.clock.now() - start
+        start = deployment.clock.now()
+        client.write_file(PATH, modify_percent(base, 2, seed=71))
+        client.fetch_output(client.submit("wc input.dat", [PATH]))
+        second_cycle = deployment.clock.now() - start
+        assert second_cycle < first_cycle / 3
+
+    def test_wire_bytes_accounted(self, deployment):
+        client = deployment.client
+        content = make_text_file(5_000, seed=72)
+        client.write_file(PATH, content)
+        assert deployment.uplink.stats.payload_bytes > 5_000
+        assert deployment.total_wire_bytes > 5_000
+
+    def test_deterministic_across_runs(self):
+        def run_once():
+            deployment = SimulatedDeployment.build(CYPRESS_9600)
+            client = deployment.client
+            client.write_file(PATH, make_text_file(8_000, seed=73))
+            client.fetch_output(client.submit("wc input.dat", [PATH]))
+            return deployment.clock.now(), deployment.total_wire_bytes
+
+        assert run_once() == run_once()
+
+    def test_faster_link_faster_cycle(self):
+        def cycle_seconds(link):
+            deployment = SimulatedDeployment.build(link)
+            client = deployment.client
+            client.write_file(PATH, make_text_file(20_000, seed=74))
+            client.fetch_output(client.submit("wc input.dat", [PATH]))
+            return deployment.clock.now()
+
+        assert cycle_seconds(LAN_10M) < cycle_seconds(CYPRESS_9600)
+
+    def test_no_processing_model_means_no_cpu_charge(self):
+        slow = SimulatedDeployment.build(LAN_10M)
+        free = SimulatedDeployment.build(LAN_10M, processing=None)
+        base = make_text_file(50_000, seed=75)
+        for deployment in (slow, free):
+            client = deployment.client
+            client.write_file(PATH, base)
+            client.fetch_output(client.submit("wc input.dat", [PATH]))
+            # The resubmission is where diff/patch CPU gets charged.
+            client.write_file(PATH, modify_percent(base, 2, seed=75))
+            client.fetch_output(client.submit("wc input.dat", [PATH]))
+        assert free.clock.now() < slow.clock.now()
+
+
+class TestTcpDeployment:
+    def test_full_cycle_over_real_sockets(self):
+        with tcp_pair() as deployment:
+            client = deployment.client
+            client.write_file(PATH, b"over real tcp\n")
+            job_id = client.submit("cat input.dat", [PATH])
+            bundle = client.fetch_output(job_id)
+            assert bundle.stdout == b"over real tcp\n"
+
+    def test_delta_resubmission_over_sockets(self):
+        with tcp_pair() as deployment:
+            client = deployment.client
+            base = make_text_file(20_000, seed=76)
+            client.write_file(PATH, base)
+            client.fetch_output(client.submit("wc input.dat", [PATH]))
+            edited = modify_percent(base, 3, seed=76)
+            client.write_file(PATH, edited)
+            job_id = client.submit("wc input.dat", [PATH])
+            bundle = client.fetch_output(job_id)
+            assert bundle.exit_code == 0
+            key = str(client.workspace.resolve(PATH))
+            assert deployment.server.cache.get(key).content == edited

@@ -1,0 +1,165 @@
+"""Tests for shadow-environment persistence (§6.3.1)."""
+
+import json
+
+import pytest
+
+from repro.core.client import ShadowClient
+from repro.core.environment import ShadowEnvironment
+from repro.core.server import ShadowServer
+from repro.core.state import (
+    environment_from_state,
+    load_state,
+    restore_client,
+    save_state,
+    snapshot_client,
+)
+from repro.core.workspace import MappingWorkspace
+from repro.errors import ShadowError
+from repro.transport.base import LoopbackChannel
+from repro.workload.edits import modify_percent
+from repro.workload.files import make_text_file
+
+PATH = "/data/input.dat"
+
+
+def fresh_client(server, client_id="alice@ws", environment=None):
+    client = ShadowClient(
+        client_id, MappingWorkspace(), environment=environment
+    )
+    client.connect(server.name, LoopbackChannel(server.handle))
+    return client
+
+
+class TestSnapshotRestore:
+    def test_version_chains_survive(self):
+        server = ShadowServer()
+        client = fresh_client(server)
+        base = make_text_file(8_000, seed=120)
+        client.write_file(PATH, base)
+        state = snapshot_client(client)
+
+        revived = fresh_client(server)
+        restore_client(revived, state)
+        key = str(revived.workspace.resolve(PATH))
+        assert revived.versions.latest(key).content == base
+        assert revived.versions.latest(key).number == 1
+
+    def test_restored_client_sends_delta_not_full(self):
+        # The point of persisting versions: a new process still has the
+        # base the server named, so the next edit ships as a delta.
+        server = ShadowServer()
+        client = fresh_client(server)
+        base = make_text_file(20_000, seed=121)
+        client.write_file(PATH, base)
+        state = snapshot_client(client)
+
+        revived = fresh_client(server)
+        restore_client(revived, state)
+        revived.workspace.write(PATH, base)  # workspace is not persisted
+        channel = revived._channels[server.name]
+        sent_before = channel.stats.request_bytes
+        revived.write_file(PATH, modify_percent(base, 2, seed=121))
+        sent = channel.stats.request_bytes - sent_before
+        assert sent < len(base) * 0.2
+
+    def test_job_table_and_results_survive(self):
+        server = ShadowServer()
+        client = fresh_client(server)
+        job_id = client.submit("echo persisted", [])
+        client.fetch_output(job_id)
+        state = snapshot_client(client)
+
+        revived = fresh_client(server)
+        restore_client(revived, state)
+        assert job_id in revived._jobs
+        assert revived.status.get(job_id).state.value == "completed"
+        assert revived.results[f"{job_id}.out"] == b"persisted\n"
+
+    def test_version_numbering_continues_after_restore(self):
+        server = ShadowServer()
+        client = fresh_client(server)
+        client.write_file(PATH, b"v1 content here\n")
+        client.write_file(PATH, b"v2 content here\n")
+        state = snapshot_client(client)
+
+        revived = fresh_client(server)
+        restore_client(revived, state)
+        version = revived.write_file(PATH, b"v3 content here\n")
+        assert version == 3
+
+    def test_retained_outputs_survive_for_reverse_shadow(self):
+        server = ShadowServer()
+        environment = ShadowEnvironment(reverse_shadow=True)
+        client = fresh_client(server, environment=environment)
+        client.write_file(PATH, make_text_file(5_000, seed=122))
+        job_id = client.submit("simulate 200 input.dat", [PATH])
+        client.fetch_output(job_id)
+        state = snapshot_client(client)
+
+        revived = fresh_client(server, environment=environment)
+        restore_client(revived, state)
+        assert revived._retained_outputs
+
+    def test_environment_round_trips(self):
+        server = ShadowServer()
+        environment = ShadowEnvironment(
+            diff_algorithm="tichy", compress_updates=True
+        )
+        client = fresh_client(server, environment=environment)
+        state = snapshot_client(client)
+        rebuilt = environment_from_state(state)
+        assert rebuilt.diff_algorithm == "tichy"
+        assert rebuilt.compress_updates is True
+
+    def test_wrong_client_id_rejected(self):
+        server = ShadowServer()
+        state = snapshot_client(fresh_client(server, client_id="alice@ws"))
+        other = fresh_client(server, client_id="bob@ws")
+        with pytest.raises(ShadowError):
+            restore_client(other, state)
+
+    def test_unknown_format_rejected(self):
+        server = ShadowServer()
+        client = fresh_client(server)
+        with pytest.raises(ShadowError):
+            restore_client(client, {"format": "something-else"})
+
+
+class TestStateFiles:
+    def test_save_load_roundtrip(self, tmp_path):
+        server = ShadowServer()
+        client = fresh_client(server)
+        client.write_file(PATH, b"filed away\n")
+        target = tmp_path / "state.json"
+        save_state(client, target)
+        state = load_state(target)
+        assert state is not None
+        revived = fresh_client(server)
+        restore_client(revived, state)
+        key = str(revived.workspace.resolve(PATH))
+        assert revived.versions.latest(key).content == b"filed away\n"
+
+    def test_missing_file_returns_none(self, tmp_path):
+        assert load_state(tmp_path / "nope.json") is None
+
+    def test_corrupt_json_rejected(self, tmp_path):
+        target = tmp_path / "state.json"
+        target.write_text("{not json")
+        with pytest.raises(ShadowError):
+            load_state(target)
+
+    def test_non_object_rejected(self, tmp_path):
+        target = tmp_path / "state.json"
+        target.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(ShadowError):
+            load_state(target)
+
+    def test_state_file_is_valid_json(self, tmp_path):
+        server = ShadowServer()
+        client = fresh_client(server)
+        client.write_file(PATH, bytes(range(256)))  # binary content
+        target = tmp_path / "state.json"
+        save_state(client, target)
+        parsed = json.loads(target.read_text())
+        assert parsed["format"] == "shadow-state-v1"

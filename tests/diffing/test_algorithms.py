@@ -1,0 +1,181 @@
+"""Tests for the three diff algorithms: HM, Myers, Tichy."""
+
+import random
+
+import pytest
+
+from repro.diffing import hunt_mcilroy, myers, tichy
+from repro.diffing.hunt_mcilroy import longest_common_subsequence
+from repro.diffing.model import BlockDelta, CopyOp, LineDelta
+from repro.diffing.myers import shortest_edit_matches
+from repro.workload.files import make_text_file
+
+LINE_ALGORITHMS = [hunt_mcilroy, myers]
+ALL_ALGORITHMS = [hunt_mcilroy, myers, tichy]
+
+
+def edit_cases():
+    base = make_text_file(4_000, seed=1)
+    lines = base.split(b"\n")
+    scattered = list(lines)
+    for index in range(0, len(scattered), 7):
+        scattered[index] = b"CHANGED " + scattered[index]
+    inserted = lines[:10] + [b"brand new line"] * 3 + lines[10:]
+    deleted = lines[:5] + lines[20:]
+    return {
+        "identical": (base, base),
+        "scattered": (base, b"\n".join(scattered)),
+        "insertion": (base, b"\n".join(inserted)),
+        "deletion": (base, b"\n".join(deleted)),
+        "replace-all": (base, make_text_file(4_000, seed=2)),
+        "empty-to-content": (b"", base),
+        "content-to-empty": (base, b""),
+        "no-trailing-newline": (b"a\nb\nc", b"a\nB\nc"),
+        "only-newlines": (b"\n\n\n", b"\n\n"),
+    }
+
+
+@pytest.mark.parametrize("algorithm", ALL_ALGORITHMS, ids=lambda m: m.ALGORITHM_NAME)
+@pytest.mark.parametrize("case", sorted(edit_cases()))
+def test_apply_reconstructs_target(algorithm, case):
+    base, target = edit_cases()[case]
+    delta = algorithm.diff(base, target)
+    assert delta.apply(base) == target
+
+
+@pytest.mark.parametrize("algorithm", ALL_ALGORITHMS, ids=lambda m: m.ALGORITHM_NAME)
+def test_small_edit_makes_small_delta(algorithm):
+    base = make_text_file(50_000, seed=3)
+    lines = base.split(b"\n")
+    lines[100] = b"one single edited line"
+    target = b"\n".join(lines)
+    delta = algorithm.diff(base, target)
+    assert delta.encoded_size < len(target) * 0.05
+
+
+@pytest.mark.parametrize("algorithm", LINE_ALGORITHMS, ids=lambda m: m.ALGORITHM_NAME)
+def test_identity_has_no_ops(algorithm):
+    base = b"line\nanother\n"
+    delta = algorithm.diff(base, base)
+    assert isinstance(delta, LineDelta)
+    assert delta.ops == ()
+
+
+def test_algorithm_names_differ():
+    assert len({m.ALGORITHM_NAME for m in ALL_ALGORITHMS}) == 3
+
+
+def test_delta_records_algorithm_name():
+    for module in ALL_ALGORITHMS:
+        delta = module.diff(b"a\n", b"b\n")
+        assert delta.algorithm == module.ALGORITHM_NAME
+
+
+class TestHuntMcIlroyLcs:
+    def test_classic_example(self):
+        a = [b"a", b"b", b"c", b"a", b"b", b"b", b"a"]
+        b = [b"c", b"b", b"a", b"b", b"a", b"c"]
+        matches = longest_common_subsequence(a, b)
+        assert len(matches) == 4  # LCS of abcabba/cbabac is caba/baba etc.
+
+    def test_matches_are_strictly_increasing(self):
+        a = make_text_file(2_000, seed=4).split(b"\n")
+        b = list(a)
+        b[3] = b"edit"
+        del b[10:12]
+        matches = longest_common_subsequence(a, b)
+        for (a1, b1), (a2, b2) in zip(matches, matches[1:]):
+            assert a2 > a1 and b2 > b1
+
+    def test_matched_lines_are_equal(self):
+        a = [b"x", b"y", b"z"]
+        b = [b"y", b"q", b"z"]
+        for ai, bi in longest_common_subsequence(a, b):
+            assert a[ai] == b[bi]
+
+    def test_no_common_lines(self):
+        assert longest_common_subsequence([b"a"], [b"b"]) == []
+
+    def test_duplicate_heavy_input(self):
+        a = [b"dup"] * 50
+        b = [b"dup"] * 30
+        matches = longest_common_subsequence(a, b)
+        assert len(matches) == 30
+
+
+class TestMyers:
+    def test_matches_lie_on_diagonals(self):
+        a = make_text_file(2_000, seed=5).split(b"\n")
+        b = list(a)
+        b.insert(5, b"added")
+        matches = shortest_edit_matches(a, b)
+        for ai, bi in matches:
+            assert a[ai] == b[bi]
+
+    def test_single_insertion_keeps_all_base_lines(self):
+        a = [b"1", b"2", b"3"]
+        b = [b"1", b"x", b"2", b"3"]
+        matches = shortest_edit_matches(a, b)
+        assert [ai for ai, _ in matches] == [0, 1, 2]
+
+    def test_shortest_script_for_small_case(self):
+        # abc -> axc needs exactly one change op.
+        delta = myers.diff(b"a\nb\nc", b"a\nx\nc")
+        assert len(delta.ops) == 1
+
+    def test_myers_not_larger_than_hm_on_heavy_edits(self):
+        base = make_text_file(10_000, seed=6)
+        target = make_text_file(10_000, seed=7)
+        myers_delta = myers.diff(base, target)
+        hm_delta = hunt_mcilroy.diff(base, target)
+        # Myers guarantees a shortest edit script; sizes may differ but
+        # both must reconstruct and be within a small factor.
+        assert myers_delta.apply(base) == target
+        assert myers_delta.encoded_size <= hm_delta.encoded_size * 1.2
+
+
+class TestTichy:
+    def test_block_move_found_across_reordering(self):
+        base = b"A" * 200 + b"B" * 200
+        target = b"B" * 200 + b"A" * 200
+        delta = tichy.diff(base, target)
+        assert delta.apply(base) == target
+        # Reordering should be two copies, far smaller than the content.
+        assert delta.encoded_size < 100
+
+    def test_byte_level_edit_cheaper_than_line_diff(self):
+        # One character changed in a 1000-character single line: the line
+        # diff must resend the whole line, Tichy only the neighbourhood.
+        base = b"x" * 1000 + b"\n" + make_text_file(5_000, seed=8)
+        target = b"x" * 500 + b"Y" + b"x" * 499 + b"\n" + make_text_file(
+            5_000, seed=8
+        )
+        block = tichy.diff(base, target)
+        line = hunt_mcilroy.diff(base, target)
+        assert block.apply(base) == target
+        assert block.encoded_size < line.encoded_size
+
+    def test_ops_reference_valid_base_ranges(self):
+        base = make_text_file(3_000, seed=9)
+        target = make_text_file(3_000, seed=10)
+        delta = tichy.diff(base, target)
+        assert isinstance(delta, BlockDelta)
+        for op in delta.ops:
+            if isinstance(op, CopyOp):
+                assert op.offset + op.length <= len(base)
+
+    def test_repetitive_base_bounded_index(self):
+        # An all-zero base must not blow up the match search.
+        base = b"\x00" * 50_000
+        target = b"\x00" * 25_000 + b"\x01" + b"\x00" * 24_999
+        delta = tichy.diff(base, target)
+        assert delta.apply(base) == target
+
+    def test_binary_content(self):
+        rng = random.Random(11)
+        base = bytes(rng.getrandbits(8) for _ in range(5_000))
+        target = bytearray(base)
+        target[1000:1100] = bytes(rng.getrandbits(8) for _ in range(100))
+        delta = tichy.diff(base, bytes(target))
+        assert delta.apply(base) == bytes(target)
+        assert delta.encoded_size < len(base)

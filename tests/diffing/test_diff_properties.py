@@ -1,0 +1,82 @@
+"""Property-based tests: the diff invariants the whole system rests on.
+
+The shadow service is only correct if ``apply(diff(a, b), a) == b`` holds
+for *every* pair of byte strings — the server reconstructs user files
+from these deltas before running jobs on them.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.diffing import hunt_mcilroy, myers, tichy
+from repro.diffing.edscript import apply_ed_script, to_ed_script
+from repro.diffing.model import decode_delta
+from repro.errors import DiffError
+
+# Line-ish content: short alphabets maximise collisions and edge cases.
+line_text = st.binary(max_size=400).map(
+    lambda b: bytes(byte if byte != 0 else 10 for byte in b)
+)
+texty = st.text(alphabet="ab\n", max_size=300).map(str.encode)
+any_bytes = st.binary(max_size=600)
+
+
+@settings(max_examples=150, deadline=None)
+@given(base=any_bytes, target=any_bytes)
+def test_hunt_mcilroy_roundtrip(base, target):
+    assert hunt_mcilroy.diff(base, target).apply(base) == target
+
+
+@settings(max_examples=150, deadline=None)
+@given(base=any_bytes, target=any_bytes)
+def test_myers_roundtrip(base, target):
+    assert myers.diff(base, target).apply(base) == target
+
+
+@settings(max_examples=150, deadline=None)
+@given(base=any_bytes, target=any_bytes)
+def test_tichy_roundtrip(base, target):
+    assert tichy.diff(base, target).apply(base) == target
+
+
+@settings(max_examples=100, deadline=None)
+@given(base=texty, target=texty)
+def test_line_delta_wire_roundtrip(base, target):
+    delta = hunt_mcilroy.diff(base, target)
+    assert decode_delta(delta.encode()).apply(base) == target
+
+
+@settings(max_examples=100, deadline=None)
+@given(base=any_bytes, target=any_bytes)
+def test_block_delta_wire_roundtrip(base, target):
+    delta = tichy.diff(base, target)
+    assert decode_delta(delta.encode()).apply(base) == target
+
+
+@settings(max_examples=100, deadline=None)
+@given(base=texty, target=texty)
+def test_ed_script_roundtrip(base, target):
+    delta = hunt_mcilroy.diff(base, target)
+    try:
+        script = to_ed_script(delta)
+    except DiffError:
+        # The historical "." limitation — only when a target line is ".".
+        assert b"." in target.split(b"\n")
+        return
+    assert apply_ed_script(base, script) == target
+
+
+@settings(max_examples=100, deadline=None)
+@given(content=any_bytes)
+def test_self_diff_is_empty_for_line_algorithms(content):
+    assert hunt_mcilroy.diff(content, content).ops == ()
+    assert myers.diff(content, content).ops == ()
+
+
+@settings(max_examples=50, deadline=None)
+@given(base=any_bytes, target=any_bytes)
+def test_myers_never_bigger_than_whole_file_rewrite(base, target):
+    # A delta can always fall back to one change op covering everything,
+    # so its op count can never exceed lines(base) + lines(target).
+    delta = myers.diff(base, target)
+    bound = len(base.split(b"\n")) + len(target.split(b"\n"))
+    assert len(delta.ops) <= bound

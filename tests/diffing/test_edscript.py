@@ -1,0 +1,118 @@
+"""Tests for classic ed-script generation and interpretation."""
+
+import pytest
+
+from repro.diffing import hunt_mcilroy
+from repro.diffing.edscript import (
+    apply_ed_script,
+    parse_ed_script,
+    to_ed_script,
+)
+from repro.diffing.model import (
+    AppendOp,
+    ChangeOp,
+    DeleteOp,
+    LineDelta,
+    checksum,
+)
+from repro.errors import DiffError, PatchConflictError
+
+
+def delta_for(base, target):
+    return hunt_mcilroy.diff(base, target)
+
+
+class TestGeneration:
+    def test_delete_command_format(self):
+        script = to_ed_script(delta_for(b"a\nb\nc", b"a\nc"))
+        assert script == b"2d\n"
+
+    def test_delete_range_format(self):
+        script = to_ed_script(delta_for(b"a\nb\nc\nd", b"a\nd"))
+        assert script == b"2,3d\n"
+
+    def test_change_command_format(self):
+        script = to_ed_script(delta_for(b"a\nb\nc", b"a\nX\nc"))
+        assert script == b"2c\nX\n.\n"
+
+    def test_append_command_format(self):
+        script = to_ed_script(delta_for(b"a\nc", b"a\nb\nc"))
+        assert script == b"1a\nb\n.\n"
+
+    def test_commands_emitted_in_reverse_order(self):
+        base = b"1\n2\n3\n4\n5"
+        target = b"one\n2\n3\n4\nfive"
+        script = to_ed_script(delta_for(base, target))
+        # The edit near line 5 must appear before the edit at line 1.
+        assert script.index(b"5c") < script.index(b"1c")
+
+    def test_identity_delta_is_empty_script(self):
+        assert to_ed_script(delta_for(b"same", b"same")) == b""
+
+    def test_dot_line_cannot_be_encoded(self):
+        delta = LineDelta(
+            [ChangeOp(1, 1, (b".",))], checksum(b"a"), checksum(b".")
+        )
+        with pytest.raises(DiffError):
+            to_ed_script(delta)
+
+
+class TestParsing:
+    def test_parse_delete(self):
+        assert parse_ed_script(b"2,3d\n") == [DeleteOp(2, 3)]
+
+    def test_parse_append(self):
+        assert parse_ed_script(b"0a\nhello\n.\n") == [
+            AppendOp(0, (b"hello",))
+        ]
+
+    def test_parse_change_multiline(self):
+        ops = parse_ed_script(b"1,2c\nx\ny\nz\n.\n")
+        assert ops == [ChangeOp(1, 2, (b"x", b"y", b"z"))]
+
+    def test_parse_sorts_ascending(self):
+        ops = parse_ed_script(b"5d\n1d\n")
+        assert ops == [DeleteOp(1, 1), DeleteOp(5, 5)]
+
+    def test_malformed_command_raises(self):
+        with pytest.raises(DiffError):
+            parse_ed_script(b"frobnicate\n")
+
+    def test_unterminated_input_mode_raises(self):
+        with pytest.raises(DiffError):
+            parse_ed_script(b"1a\nno terminator")
+
+    def test_change_without_text_raises(self):
+        with pytest.raises(DiffError):
+            parse_ed_script(b"1c\n.\n")
+
+
+class TestApplication:
+    @pytest.mark.parametrize(
+        "base,target",
+        [
+            (b"a\nb\nc", b"a\nB\nc"),
+            (b"a\nb\nc\n", b"c\nb\na\n"),
+            (b"1\n2\n3\n4\n5", b"1\n3\n5\nnew"),
+            (b"only", b"only\nplus"),
+        ],
+    )
+    def test_script_reproduces_diff(self, base, target):
+        script = to_ed_script(delta_for(base, target))
+        assert apply_ed_script(base, script) == target
+
+    def test_empty_script_is_identity(self):
+        assert apply_ed_script(b"x\ny", b"") == b"x\ny"
+
+    def test_out_of_range_address_raises(self):
+        with pytest.raises(PatchConflictError):
+            apply_ed_script(b"a\nb", b"99d\n")
+
+    def test_large_file_roundtrip(self):
+        from repro.workload.files import make_text_file
+        from repro.workload.edits import modify_percent
+
+        base = make_text_file(30_000, seed=13)
+        target = modify_percent(base, 10, seed=13)
+        script = to_ed_script(delta_for(base, target))
+        assert apply_ed_script(base, script) == target

@@ -1,0 +1,239 @@
+"""Tests for the delta model: ops, application, binary encoding."""
+
+import pytest
+
+from repro.diffing.model import (
+    AddOp,
+    AppendOp,
+    BlockDelta,
+    ChangeOp,
+    CopyOp,
+    DeleteOp,
+    LineDelta,
+    checksum,
+    decode_delta,
+    join_lines,
+    ops_from_matches,
+    split_lines,
+)
+from repro.errors import DiffError, PatchConflictError
+
+
+class TestLineSplitting:
+    @pytest.mark.parametrize(
+        "data",
+        [b"", b"\n", b"a", b"a\n", b"a\nb", b"a\nb\n", b"\n\n\n", b"a\n\nb"],
+    )
+    def test_split_join_roundtrip(self, data):
+        assert join_lines(split_lines(data)) == data
+
+    def test_trailing_newline_yields_empty_segment(self):
+        assert split_lines(b"a\n") == [b"a", b""]
+
+    def test_no_trailing_newline(self):
+        assert split_lines(b"a\nb") == [b"a", b"b"]
+
+
+class TestOpValidation:
+    def test_append_rejects_negative_position(self):
+        with pytest.raises(DiffError):
+            AppendOp(-1, (b"x",))
+
+    def test_append_rejects_empty_lines(self):
+        with pytest.raises(DiffError):
+            AppendOp(0, ())
+
+    def test_delete_rejects_inverted_range(self):
+        with pytest.raises(DiffError):
+            DeleteOp(5, 3)
+
+    def test_delete_rejects_zero_start(self):
+        with pytest.raises(DiffError):
+            DeleteOp(0, 1)
+
+    def test_change_rejects_empty_replacement(self):
+        with pytest.raises(DiffError):
+            ChangeOp(1, 1, ())
+
+    def test_copy_rejects_zero_length(self):
+        with pytest.raises(DiffError):
+            CopyOp(0, 0)
+
+    def test_add_rejects_empty(self):
+        with pytest.raises(DiffError):
+            AddOp(b"")
+
+
+def make_line_delta(base, target, ops):
+    return LineDelta(ops, checksum(base), checksum(target))
+
+
+class TestLineDeltaApply:
+    def test_append_at_top(self):
+        base = b"b\nc"
+        target = b"a\nb\nc"
+        delta = make_line_delta(base, target, [AppendOp(0, (b"a",))])
+        assert delta.apply(base) == target
+
+    def test_append_in_middle(self):
+        base = b"a\nc"
+        target = b"a\nb\nc"
+        delta = make_line_delta(base, target, [AppendOp(1, (b"b",))])
+        assert delta.apply(base) == target
+
+    def test_delete_range(self):
+        base = b"a\nb\nc\nd"
+        target = b"a\nd"
+        delta = make_line_delta(base, target, [DeleteOp(2, 3)])
+        assert delta.apply(base) == target
+
+    def test_change_single_line(self):
+        base = b"a\nb\nc"
+        target = b"a\nB\nc"
+        delta = make_line_delta(base, target, [ChangeOp(2, 2, (b"B",))])
+        assert delta.apply(base) == target
+
+    def test_multiple_ops_apply_without_interference(self):
+        base = b"1\n2\n3\n4\n5"
+        target = b"one\n2\n4\nfive\n6"
+        ops = [
+            ChangeOp(1, 1, (b"one",)),
+            DeleteOp(3, 3),
+            ChangeOp(5, 5, (b"five", b"6")),
+        ]
+        delta = make_line_delta(base, target, ops)
+        assert delta.apply(base) == target
+
+    def test_identity_delta(self):
+        base = b"same\ncontent"
+        delta = make_line_delta(base, base, [])
+        assert delta.is_identity
+        assert delta.apply(base) == base
+
+    def test_base_checksum_mismatch_raises(self):
+        delta = make_line_delta(b"a", b"b", [ChangeOp(1, 1, (b"b",))])
+        with pytest.raises(PatchConflictError):
+            delta.apply(b"not the base")
+
+    def test_out_of_range_op_raises(self):
+        base = b"a\nb"
+        delta = LineDelta([DeleteOp(5, 9)], checksum(base), checksum(b"x"))
+        with pytest.raises(PatchConflictError):
+            delta.apply(base)
+
+    def test_target_checksum_verified(self):
+        base = b"a\nb"
+        delta = LineDelta(
+            [ChangeOp(1, 1, (b"z",))], checksum(base), "0" * 16
+        )
+        with pytest.raises(PatchConflictError):
+            delta.apply(base)
+
+    def test_overlapping_ops_rejected_at_construction(self):
+        with pytest.raises(DiffError):
+            LineDelta(
+                [DeleteOp(1, 3), ChangeOp(2, 4, (b"x",))], "c", "c"
+            )
+
+
+class TestLineDeltaEncoding:
+    def test_roundtrip(self):
+        base = b"a\nb\nc\nd"
+        target = b"a\nX\nc\nd\ne"
+        delta = make_line_delta(
+            base, target, [ChangeOp(2, 2, (b"X",)), AppendOp(4, (b"e",))]
+        )
+        decoded = decode_delta(delta.encode())
+        assert isinstance(decoded, LineDelta)
+        assert decoded.apply(base) == target
+        assert decoded.algorithm == delta.algorithm
+
+    def test_rejects_wrong_magic(self):
+        with pytest.raises(DiffError):
+            LineDelta.decode(b"XXXXgarbage")
+
+    def test_rejects_truncation(self):
+        base, target = b"a", b"b"
+        encoded = make_line_delta(
+            base, target, [ChangeOp(1, 1, (b"b",))]
+        ).encode()
+        with pytest.raises(DiffError):
+            LineDelta.decode(encoded[:-2])
+
+    def test_rejects_trailing_garbage(self):
+        encoded = make_line_delta(b"a", b"a", []).encode()
+        with pytest.raises(DiffError):
+            LineDelta.decode(encoded + b"zz")
+
+    def test_encoded_size_matches_length(self):
+        delta = make_line_delta(b"a", b"a", [])
+        assert delta.encoded_size == len(delta.encode())
+
+
+class TestBlockDelta:
+    def test_copy_and_add(self):
+        base = b"hello wonderful world"
+        delta = BlockDelta(
+            [CopyOp(0, 6), AddOp(b"cruel "), CopyOp(16, 5)],
+            checksum(base),
+            checksum(b"hello cruel world"),
+        )
+        assert delta.apply(base) == b"hello cruel world"
+
+    def test_copy_past_end_raises(self):
+        base = b"short"
+        delta = BlockDelta([CopyOp(0, 99)], checksum(base), checksum(b"x"))
+        with pytest.raises(PatchConflictError):
+            delta.apply(base)
+
+    def test_base_checksum_enforced(self):
+        delta = BlockDelta([AddOp(b"x")], checksum(b"base"), checksum(b"x"))
+        with pytest.raises(PatchConflictError):
+            delta.apply(b"other")
+
+    def test_encoding_roundtrip(self):
+        base = b"0123456789"
+        target = b"0123xy6789"
+        delta = BlockDelta(
+            [CopyOp(0, 4), AddOp(b"xy"), CopyOp(6, 4)],
+            checksum(base),
+            checksum(target),
+        )
+        decoded = decode_delta(delta.encode())
+        assert isinstance(decoded, BlockDelta)
+        assert decoded.apply(base) == target
+
+    def test_unknown_magic_rejected(self):
+        with pytest.raises(DiffError):
+            decode_delta(b"ZZZZ....")
+
+
+class TestOpsFromMatches:
+    def test_identical_produces_no_ops(self):
+        lines = [b"a", b"b"]
+        matches = [(0, 0), (1, 1)]
+        assert ops_from_matches(lines, lines, matches) == []
+
+    def test_pure_insertion(self):
+        base = [b"a", b"c"]
+        target = [b"a", b"b", b"c"]
+        ops = ops_from_matches(base, target, [(0, 0), (1, 2)])
+        assert ops == [AppendOp(1, (b"b",))]
+
+    def test_pure_deletion(self):
+        base = [b"a", b"b", b"c"]
+        target = [b"a", b"c"]
+        ops = ops_from_matches(base, target, [(0, 0), (2, 1)])
+        assert ops == [DeleteOp(2, 2)]
+
+    def test_change(self):
+        base = [b"a", b"b", b"c"]
+        target = [b"a", b"B", b"c"]
+        ops = ops_from_matches(base, target, [(0, 0), (2, 2)])
+        assert ops == [ChangeOp(2, 2, (b"B",))]
+
+    def test_trailing_gap_becomes_op(self):
+        base = [b"a"]
+        target = [b"a", b"b"]
+        ops = ops_from_matches(base, target, [(0, 0)])
+        assert ops == [AppendOp(1, (b"b",))]

@@ -1,0 +1,79 @@
+"""Tests for algorithm selection policy."""
+
+import pytest
+
+from repro.diffing.selector import (
+    ALGORITHMS,
+    DEFAULT_ALGORITHM,
+    algorithm,
+    best_delta,
+    compute_delta,
+    worthwhile,
+)
+from repro.errors import DiffError
+from repro.workload.files import make_text_file
+
+
+class TestRegistry:
+    def test_three_algorithms_registered(self):
+        assert set(ALGORITHMS) == {"hunt-mcilroy", "myers", "tichy"}
+
+    def test_default_is_hunt_mcilroy(self):
+        # The prototype used UNIX diff, i.e. Hunt-McIlroy (§7).
+        assert DEFAULT_ALGORITHM == "hunt-mcilroy"
+
+    def test_unknown_algorithm_raises(self):
+        with pytest.raises(DiffError):
+            algorithm("bsdiff")
+
+    def test_compute_delta_uses_named_algorithm(self):
+        delta = compute_delta(b"a\n", b"b\n", "myers")
+        assert delta.algorithm == "myers"
+
+
+class TestBestDelta:
+    def test_picks_smallest_encoding(self):
+        base = make_text_file(5_000, seed=20)
+        lines = base.split(b"\n")
+        lines[10] = lines[10][:-4] + b"EDIT"  # sub-line edit favours tichy
+        target = b"\n".join(lines)
+        best = best_delta(base, target)
+        sizes = {
+            name: compute_delta(base, target, name).encoded_size
+            for name in ALGORITHMS
+        }
+        assert best.encoded_size == min(sizes.values())
+
+    def test_subset_of_algorithms(self):
+        best = best_delta(b"a\nb\n", b"a\nc\n", ["myers"])
+        assert best.algorithm == "myers"
+
+    def test_empty_algorithm_list_raises(self):
+        with pytest.raises(DiffError):
+            best_delta(b"a", b"b", [])
+
+    def test_result_applies(self):
+        base = make_text_file(3_000, seed=21)
+        target = make_text_file(3_000, seed=22)
+        assert best_delta(base, target).apply(base) == target
+
+
+class TestWorthwhile:
+    def test_smaller_delta_is_worthwhile(self):
+        delta = compute_delta(b"a\n" * 100, b"a\n" * 99 + b"b\n")
+        assert worthwhile(delta, full_size=200)
+
+    def test_oversized_delta_is_not(self):
+        delta = compute_delta(b"a\nb\nc\n", b"x\ny\nz\n")
+        assert not worthwhile(delta, full_size=1)
+
+    def test_margin_tightens_the_bar(self):
+        delta = compute_delta(b"a\n" * 50, b"b\n" + b"a\n" * 49)
+        size = delta.encoded_size
+        assert worthwhile(delta, full_size=size + 1, margin=1.0)
+        assert not worthwhile(delta, full_size=size + 1, margin=0.5)
+
+    def test_margin_must_be_positive(self):
+        delta = compute_delta(b"a", b"b")
+        with pytest.raises(DiffError):
+            worthwhile(delta, 100, margin=0)

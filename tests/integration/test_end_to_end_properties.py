@@ -1,0 +1,140 @@
+"""End-to-end property tests: random edit histories always converge.
+
+The system's core invariant, composed across every subsystem: whatever
+sequence of edits a user makes, the content the job sees at the
+supercomputer equals the content in the user's workspace at submit time —
+through versioning, diffing, caching, eviction, compression and the wire.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.store import CacheStore
+from repro.core.client import ShadowClient
+from repro.core.environment import ShadowEnvironment
+from repro.core.server import ShadowServer
+from repro.core.workspace import MappingWorkspace
+from repro.transport.base import LoopbackChannel
+
+PATH = "/data/file.dat"
+
+# Edits as transformations of the previous content.
+edit_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("append"), st.binary(min_size=1, max_size=120)),
+        st.tuples(st.just("prepend"), st.binary(min_size=1, max_size=120)),
+        st.tuples(st.just("replace"), st.binary(max_size=200)),
+        st.tuples(
+            st.just("mutate"), st.integers(min_value=0, max_value=10_000)
+        ),
+        st.tuples(st.just("truncate"), st.integers(min_value=0, max_value=200)),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def apply_edit(content: bytes, op) -> bytes:
+    kind, argument = op
+    if kind == "append":
+        return content + argument
+    if kind == "prepend":
+        return argument + content
+    if kind == "replace":
+        return argument
+    if kind == "mutate":
+        if not content:
+            return b"seeded"
+        index = argument % len(content)
+        return content[:index] + bytes([content[index] ^ 0x5A]) + content[index + 1 :]
+    if kind == "truncate":
+        return content[: argument % (len(content) + 1)]
+    raise AssertionError(kind)
+
+
+def build(environment=None, cache=None):
+    server = ShadowServer(cache=cache)
+    client = ShadowClient(
+        "prop@ws", MappingWorkspace(), environment=environment
+    )
+    client.connect(server.name, LoopbackChannel(server.handle))
+    return client, server
+
+
+@settings(max_examples=60, deadline=None)
+@given(edits=edit_ops)
+def test_cache_tracks_every_edit(edits):
+    client, server = build()
+    content = b"initial file content\nwith lines\n"
+    client.write_file(PATH, content)
+    key = str(client.workspace.resolve(PATH))
+    for op in edits:
+        new_content = apply_edit(content, op)
+        if new_content == content:
+            continue
+        content = new_content
+        client.write_file(PATH, content)
+        assert server.cache.get(key).content == content
+
+
+@settings(max_examples=40, deadline=None)
+@given(edits=edit_ops)
+def test_job_sees_workspace_content_under_tiny_cache(edits):
+    # A 300-byte cache forces constant eviction; the best-effort design
+    # must still deliver the right bytes to the job.
+    client, server = build(cache=CacheStore(capacity_bytes=300))
+    content = b"start\n"
+    client.write_file(PATH, content)
+    for op in edits:
+        content = apply_edit(content, op)
+        client.write_file(PATH, content)
+    job_id = client.submit("cat file.dat", [PATH])
+    bundle = client.fetch_output(job_id)
+    # Even a file LARGER than the whole cache must reach its job: the
+    # server pins job inputs in per-job staging (best effort = worst case
+    # re-transfer, never failure).
+    assert bundle is not None
+    assert bundle.stdout == content
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    edits=edit_ops,
+    algorithm=st.sampled_from(["hunt-mcilroy", "myers", "tichy"]),
+    compress=st.booleans(),
+)
+def test_convergence_under_every_configuration(edits, algorithm, compress):
+    environment = ShadowEnvironment(
+        diff_algorithm=algorithm, compress_updates=compress
+    )
+    client, server = build(environment=environment)
+    content = b"base content for configuration sweep\n" * 3
+    client.write_file(PATH, content)
+    key = str(client.workspace.resolve(PATH))
+    for op in edits:
+        new_content = apply_edit(content, op)
+        if new_content == content:
+            continue
+        content = new_content
+        client.write_file(PATH, content)
+    assert server.cache.get(key).content == content
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    edits=edit_ops,
+    retained=st.integers(min_value=1, max_value=3),
+)
+def test_convergence_with_aggressive_version_pruning(edits, retained):
+    environment = ShadowEnvironment(max_retained_versions=retained)
+    client, server = build(environment=environment)
+    content = b"prune me\n" * 4
+    client.write_file(PATH, content)
+    key = str(client.workspace.resolve(PATH))
+    for op in edits:
+        new_content = apply_edit(content, op)
+        if new_content == content:
+            continue
+        content = new_content
+        client.write_file(PATH, content)
+        assert server.cache.get(key).content == content

@@ -1,0 +1,124 @@
+"""Stateful model check of the whole service.
+
+A hypothesis rule machine drives a client/server pair through random
+interleavings of edits, submits, fetches, cancels, cache flushes and
+server restarts, holding the system to a simple reference model:
+
+* the server's cached content for a file is never something the client
+  never wrote;
+* a completed job's output equals what the model computes from the
+  content at submit time;
+* job states only ever move forward.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core.client import ShadowClient
+from repro.core.server import ShadowServer
+from repro.core.state import restore_server, snapshot_server
+from repro.core.workspace import MappingWorkspace
+from repro.jobs.status import JobState
+from repro.transport.base import LoopbackChannel
+
+PATHS = ["/w/a.dat", "/w/b.dat", "/w/c.dat"]
+
+
+class ShadowSystemMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.server = ShadowServer()
+        self.client = ShadowClient("machine@ws", MappingWorkspace())
+        self.client.connect(
+            self.server.name, LoopbackChannel(self.server.handle)
+        )
+        # Model: path -> full history of contents written.
+        self.history = {path: [] for path in PATHS}
+        # Model: job id -> expected cat output (content at submit time).
+        self.expected_output = {}
+        self.fetched = set()
+
+    # ------------------------------------------------------------------
+    # actions
+    # ------------------------------------------------------------------
+    @rule(
+        path=st.sampled_from(PATHS),
+        content=st.binary(min_size=1, max_size=400),
+    )
+    def edit(self, path, content):
+        if self.history[path] and self.history[path][-1] == content:
+            return  # editors that change nothing do nothing
+        self.client.write_file(path, content)
+        self.history[path].append(content)
+
+    @rule(path=st.sampled_from(PATHS))
+    def submit(self, path):
+        if not self.history[path]:
+            return
+        name = path.rsplit("/", 1)[-1]
+        job_id = self.client.submit(f"cat {name}", [path])
+        self.expected_output[job_id] = self.history[path][-1]
+
+    @rule()
+    def fetch_all(self):
+        for job_id, expected in list(self.expected_output.items()):
+            if job_id in self.fetched:
+                continue
+            bundle = self.client.fetch_output(job_id)
+            if bundle is not None:
+                assert bundle.stdout == expected, (
+                    f"{job_id} saw stale content"
+                )
+                self.fetched.add(job_id)
+
+    @rule()
+    def flush_cache(self):
+        # The remote host reclaims its disk (§5.1 best effort).
+        self.server.cache.flush()
+
+    @rule()
+    def restart_server(self):
+        state = snapshot_server(self.server)
+        reborn = ShadowServer()
+        restore_server(reborn, state)
+        # Carry over session registration and swap the channel.
+        reborn._clients = dict(self.server._clients)
+        self.server = reborn
+        self.client._channels[reborn.name] = LoopbackChannel(reborn.handle)
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+    @invariant()
+    def cached_content_was_really_written(self):
+        for path in PATHS:
+            key = str(self.client.workspace.resolve(path))
+            entry = self.server.cache.peek_entry(key)
+            if entry is not None:
+                assert entry.content in self.history[path]
+
+    @invariant()
+    def no_job_regresses(self):
+        for record in self.server.status.all_records():
+            if record.job_id in self.fetched:
+                assert record.state.terminal
+
+    @invariant()
+    def client_versions_monotonic(self):
+        for path in PATHS:
+            key = str(self.client.workspace.resolve(path))
+            if self.client.versions.tracks(key):
+                chain = self.client.versions.chain(key)
+                assert chain.latest_number == len(self.history[path])
+
+
+ShadowSystemMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+TestShadowSystem = ShadowSystemMachine.TestCase

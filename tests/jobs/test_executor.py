@@ -1,0 +1,162 @@
+"""Tests for the simulated and local executors."""
+
+import sys
+
+import pytest
+
+from repro.jobs.executor import (
+    ExecutorCostModel,
+    LocalExecutor,
+    SimulatedExecutor,
+    _simulate_computation,
+)
+from repro.jobs.spec import JobCommandFile
+
+
+@pytest.fixture
+def executor():
+    return SimulatedExecutor()
+
+
+def run(executor, script, **inputs):
+    encoded = {name: content for name, content in inputs.items()}
+    return executor.execute(JobCommandFile.parse(script), encoded)
+
+
+class TestBuiltins:
+    def test_cat(self, executor):
+        result = run(executor, "cat a b", a=b"one ", b=b"two")
+        assert result.succeeded
+        assert result.stdout == b"one two"
+
+    def test_wc_counts(self, executor):
+        result = run(executor, "wc data", data=b"a b\nc d e\n")
+        assert result.succeeded
+        assert b"2" in result.stdout  # two newlines
+        assert b"data" in result.stdout
+
+    def test_sort(self, executor):
+        result = run(executor, "sort f", f=b"b\na\nc")
+        assert result.stdout.startswith(b"a\nb\nc")
+
+    def test_grep(self, executor):
+        result = run(executor, "grep needle f", f=b"hay\nneedle here\nhay")
+        assert result.stdout == b"needle here\n"
+
+    def test_grep_no_match(self, executor):
+        result = run(executor, "grep absent f", f=b"nothing")
+        assert result.stdout == b""
+        assert result.succeeded
+
+    def test_echo(self, executor):
+        result = run(executor, "echo hello world")
+        assert result.stdout == b"hello world\n"
+
+    def test_gen_output_exact_size(self, executor):
+        result = run(executor, "gen-output 12345")
+        assert len(result.stdout) == 12345
+
+    def test_gen_output_deterministic(self, executor):
+        first = run(executor, "gen-output 1000").stdout
+        second = run(executor, "gen-output 1000").stdout
+        assert first == second
+
+    def test_simulate_produces_log(self, executor):
+        result = run(executor, "simulate 10 f", f=b"input data")
+        lines = result.stdout.split(b"\n")
+        assert lines[0] == b"step residual checksum"
+        assert len(lines) == 12  # header + 10 steps + trailing empty
+
+    def test_sleep_charges_cpu(self, executor):
+        result = run(executor, "sleep 30")
+        assert result.cpu_seconds > 30
+
+    def test_fail_sets_exit_and_stderr(self, executor):
+        result = run(executor, "fail disk on fire")
+        assert result.exit_code == 1
+        assert b"disk on fire" in result.stderr
+
+    def test_unknown_program_fails(self, executor):
+        result = run(executor, "frobnicate x")
+        assert result.exit_code == 1
+        assert b"unknown program" in result.stderr
+
+    def test_missing_staged_file_fails(self, executor):
+        result = run(executor, "cat ghost")
+        assert result.exit_code == 1
+        assert b"ghost" in result.stderr
+
+    def test_failure_stops_remaining_commands(self, executor):
+        result = run(executor, "fail early\necho never")
+        assert b"never" not in result.stdout
+
+
+class TestRedirection:
+    def test_redirect_to_output_file(self, executor):
+        result = run(executor, "sort f > sorted.txt", f=b"b\na")
+        assert result.stdout == b""
+        assert result.output_files["sorted.txt"].startswith(b"a\nb")
+
+    def test_attached_redirect_form(self, executor):
+        result = run(executor, "echo hi >greeting", )
+        assert result.output_files["greeting"] == b"hi\n"
+
+    def test_later_commands_read_redirected_file(self, executor):
+        result = run(executor, "echo first > tmp\ncat tmp")
+        assert result.stdout == b"first\n"
+
+
+class TestSimulateStability:
+    def test_pure_function_of_inputs(self):
+        assert _simulate_computation(50, b"abc") == _simulate_computation(
+            50, b"abc"
+        )
+
+    def test_localised_edit_perturbs_few_rows(self):
+        base = b"A" * 4096
+        edited = b"A" * 2048 + b"B" + b"A" * 2047
+        out_base = _simulate_computation(64, base).split(b"\n")
+        out_edited = _simulate_computation(64, edited).split(b"\n")
+        differing = sum(1 for a, b in zip(out_base, out_edited) if a != b)
+        # 8 chunks of 512; 1-2 chunks touched -> ~1/8 to 2/8 of 64 rows.
+        assert 0 < differing <= 20
+
+
+class TestCostModel:
+    def test_cost_grows_with_bytes(self):
+        model = ExecutorCostModel()
+        assert model.command_cost(1_000_000, 0) > model.command_cost(10, 0)
+
+    def test_cpu_seconds_accumulate_per_command(self):
+        executor = SimulatedExecutor(
+            ExecutorCostModel(per_command_seconds=1.0)
+        )
+        result = run(executor, "echo a\necho b\necho c")
+        assert result.cpu_seconds >= 3.0
+
+
+class TestLocalExecutor:
+    @pytest.mark.skipif(sys.platform == "win32", reason="POSIX tools")
+    def test_real_subprocess_runs(self):
+        executor = LocalExecutor()
+        result = run(executor, "cat data", data=b"real bytes")
+        assert result.succeeded
+        assert result.stdout == b"real bytes"
+
+    @pytest.mark.skipif(sys.platform == "win32", reason="POSIX tools")
+    def test_missing_command_reports_127(self):
+        executor = LocalExecutor()
+        result = run(executor, "definitely-not-a-command-xyz")
+        assert result.exit_code == 127
+
+    @pytest.mark.skipif(sys.platform == "win32", reason="POSIX tools")
+    def test_redirect_collected_as_output_file(self):
+        executor = LocalExecutor()
+        result = run(executor, "cat data > copy.txt", data=b"payload")
+        assert result.output_files.get("copy.txt") == b"payload"
+
+    @pytest.mark.skipif(sys.platform == "win32", reason="POSIX tools")
+    def test_input_names_sanitised(self):
+        executor = LocalExecutor()
+        result = run(executor, "cat escape", **{"escape": b"ok"})
+        assert result.succeeded

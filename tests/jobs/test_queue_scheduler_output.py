@@ -1,0 +1,227 @@
+"""Tests for the job queue, load-aware scheduler, and output delivery."""
+
+import pytest
+
+from repro.errors import JobError, UnknownJobError
+from repro.jobs.executor import ExecutionResult
+from repro.jobs.output import DeliveryPlan, OutputBundle, store_bundle
+from repro.jobs.queue import JobQueue, QueuedJob
+from repro.jobs.scheduler import (
+    ConstantLoad,
+    PullPolicy,
+    Scheduler,
+    SeededRandomLoad,
+    SinusoidalLoad,
+)
+from repro.jobs.spec import JobRequest
+
+
+def queued(job_id, owner="alice", priority=0, enqueued_at=0.0, files=()):
+    return QueuedJob(
+        job_id=job_id,
+        owner=owner,
+        request=JobRequest.build("echo hi"),
+        file_keys=tuple(files),
+        file_versions={key: 1 for key in files},
+        enqueued_at=enqueued_at,
+        priority=priority,
+    )
+
+
+class TestJobQueue:
+    def test_fifo_among_equal_priority(self):
+        queue = JobQueue()
+        queue.push(queued("a", enqueued_at=1.0))
+        queue.push(queued("b", enqueued_at=2.0))
+        assert queue.peek_ready(lambda job: True).job_id == "a"
+
+    def test_priority_beats_age(self):
+        queue = JobQueue()
+        queue.push(queued("old", enqueued_at=1.0))
+        queue.push(queued("urgent", enqueued_at=9.0, priority=5))
+        assert queue.peek_ready(lambda job: True).job_id == "urgent"
+
+    def test_readiness_filter(self):
+        queue = JobQueue()
+        queue.push(queued("blocked", files=("f",)))
+        queue.push(queued("free", enqueued_at=5.0))
+        ready = queue.peek_ready(lambda job: not job.file_keys)
+        assert ready.job_id == "free"
+
+    def test_empty_queue_returns_none(self):
+        assert JobQueue().peek_ready(lambda job: True) is None
+
+    def test_pop_removes(self):
+        queue = JobQueue()
+        queue.push(queued("a"))
+        queue.pop("a")
+        assert len(queue) == 0
+
+    def test_pop_unknown_raises(self):
+        with pytest.raises(UnknownJobError):
+            JobQueue().pop("ghost")
+
+    def test_remove_for_owner(self):
+        queue = JobQueue()
+        queue.push(queued("a", owner="alice"))
+        queue.push(queued("b", owner="bob"))
+        removed = queue.remove_for_owner("alice")
+        assert [job.job_id for job in removed] == ["a"]
+        assert "b" in queue
+
+    def test_versions_must_cover_keys(self):
+        with pytest.raises(JobError):
+            QueuedJob(
+                job_id="x",
+                owner="o",
+                request=JobRequest.build("echo hi"),
+                file_keys=("f1",),
+                file_versions={},
+            )
+
+
+class TestLoadModels:
+    def test_constant(self):
+        assert ConstantLoad(level=0.3).load_at(999.0) == 0.3
+
+    def test_constant_validates(self):
+        with pytest.raises(JobError):
+            ConstantLoad(level=1.5).load_at(0.0)
+
+    def test_sinusoidal_peak_at_half_period(self):
+        model = SinusoidalLoad(peak=0.9, trough=0.1, period_seconds=100.0)
+        assert model.load_at(50.0) == pytest.approx(0.9)
+        assert model.load_at(0.0) == pytest.approx(0.1)
+
+    def test_seeded_random_deterministic(self):
+        a = SeededRandomLoad(seed=1)
+        b = SeededRandomLoad(seed=1)
+        assert [a.load_at(t * 60.0) for t in range(10)] == [
+            b.load_at(t * 60.0) for t in range(10)
+        ]
+
+    def test_seeded_random_bounded(self):
+        model = SeededRandomLoad()
+        for slot in range(200):
+            assert 0.0 <= model.load_at(slot * 60.0) <= 1.0
+
+
+class TestSchedulerPullDecisions:
+    def test_immediate_always_pulls(self):
+        scheduler = Scheduler(pull_policy=PullPolicy.IMMEDIATE)
+        assert scheduler.should_pull_on_notify(0.0)
+
+    def test_on_submit_never_pulls_on_notify(self):
+        scheduler = Scheduler(pull_policy=PullPolicy.ON_SUBMIT)
+        assert not scheduler.should_pull_on_notify(0.0)
+
+    def test_load_aware_pulls_when_idle(self):
+        scheduler = Scheduler(
+            pull_policy=PullPolicy.LOAD_AWARE,
+            load_model=ConstantLoad(level=0.1),
+        )
+        assert scheduler.should_pull_on_notify(0.0)
+
+    def test_load_aware_defers_when_busy(self):
+        scheduler = Scheduler(
+            pull_policy=PullPolicy.LOAD_AWARE,
+            load_model=ConstantLoad(level=0.9),
+        )
+        assert not scheduler.should_pull_on_notify(0.0)
+
+    def test_threshold_validated(self):
+        with pytest.raises(JobError):
+            Scheduler(pull_load_threshold=0.0)
+
+
+class TestSchedulerStartDelay:
+    def test_idle_machine_starts_now(self):
+        scheduler = Scheduler(load_model=ConstantLoad(level=0.1))
+        assert scheduler.start_delay(0.0, queue_depth=1) == 0.0
+
+    def test_busy_machine_delays(self):
+        scheduler = Scheduler(load_model=ConstantLoad(level=1.0))
+        assert scheduler.start_delay(0.0, queue_depth=1) > 0.0
+
+    def test_deep_queue_adds_pressure(self):
+        scheduler = Scheduler(load_model=ConstantLoad(level=0.6))
+        shallow = scheduler.start_delay(0.0, queue_depth=2)
+        deep = scheduler.start_delay(0.0, queue_depth=10)
+        assert deep >= shallow
+
+    def test_delay_capped(self):
+        scheduler = Scheduler(
+            load_model=ConstantLoad(level=1.0), max_start_delay_seconds=60.0
+        )
+        assert scheduler.start_delay(0.0, queue_depth=100) <= 60.0
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(JobError):
+            Scheduler().start_delay(0.0, queue_depth=-1)
+
+
+class TestOutputDelivery:
+    def make_bundle(self):
+        result = ExecutionResult(
+            exit_code=0,
+            stdout=b"the answer",
+            stderr=b"",
+            output_files={"table.csv": b"1,2\n"},
+            cpu_seconds=1.5,
+        )
+        return OutputBundle.from_result("job-1", result)
+
+    def test_bundle_from_result(self):
+        bundle = self.make_bundle()
+        assert bundle.exit_code == 0
+        assert bundle.payload_bytes == len(b"the answer") + len(b"1,2\n")
+
+    def test_plan_defaults_to_submitter(self):
+        plan = DeliveryPlan.for_request(
+            "job-1", JobRequest.build("echo hi"), client_host="alice@ws"
+        )
+        assert plan.destination_host == "alice@ws"
+        assert not plan.is_third_party
+        assert plan.output_file == "job-1.out"
+
+    def test_plan_honours_routing(self):
+        request = JobRequest.build("echo hi", deliver_to_host="printer")
+        plan = DeliveryPlan.for_request("job-1", request, client_host="alice")
+        assert plan.destination_host == "printer"
+        assert plan.is_third_party
+
+    def test_plan_honours_custom_names(self):
+        request = JobRequest.build(
+            "echo hi", output_file="res.txt", error_file="errs.txt"
+        )
+        plan = DeliveryPlan.for_request("job-1", request, client_host="a")
+        assert plan.output_file == "res.txt"
+        assert plan.error_file == "errs.txt"
+
+    def test_plan_requires_client_host(self):
+        with pytest.raises(JobError):
+            DeliveryPlan.for_request(
+                "job-1", JobRequest.build("echo hi"), client_host=""
+            )
+
+    def test_store_bundle_writes_streams(self):
+        sink = {}
+        plan = DeliveryPlan.for_request(
+            "job-1", JobRequest.build("echo hi"), client_host="a"
+        )
+        written = store_bundle(self.make_bundle(), plan, sink)
+        assert sink["job-1.out"] == b"the answer"
+        assert sink["table.csv"] == b"1,2\n"
+        assert "job-1.err" not in sink  # empty stderr writes nothing
+        assert set(written) == {"job-1.out", "table.csv"}
+
+    def test_store_bundle_writes_stderr_when_present(self):
+        sink = {}
+        bundle = OutputBundle(
+            job_id="j", exit_code=1, stdout=b"", stderr=b"oops"
+        )
+        plan = DeliveryPlan.for_request(
+            "j", JobRequest.build("echo hi"), client_host="a"
+        )
+        store_bundle(bundle, plan, sink)
+        assert sink["j.err"] == b"oops"

@@ -1,0 +1,64 @@
+"""Tests for job command files and job requests."""
+
+import pytest
+
+from repro.errors import JobCommandError
+from repro.jobs.spec import JobCommand, JobCommandFile, JobRequest
+
+
+class TestJobCommandFile:
+    def test_parse_single_command(self):
+        script = JobCommandFile.parse("wc data.dat")
+        assert script.commands == (JobCommand("wc", ("data.dat",)),)
+
+    def test_parse_multiple_lines(self):
+        script = JobCommandFile.parse("wc a\nsort a > sorted\n")
+        assert len(script) == 2
+        assert script.commands[1].arguments == ("a", ">", "sorted")
+
+    def test_comments_and_blanks_skipped(self):
+        script = JobCommandFile.parse("# header\n\nwc a\n  # trailing\n")
+        assert len(script) == 1
+
+    def test_quoted_arguments(self):
+        script = JobCommandFile.parse('grep "two words" file')
+        assert script.commands[0].arguments == ("two words", "file")
+
+    def test_empty_script_rejected(self):
+        with pytest.raises(JobCommandError):
+            JobCommandFile.parse("# only comments\n")
+
+    def test_unbalanced_quote_rejected(self):
+        with pytest.raises(JobCommandError):
+            JobCommandFile.parse('grep "unterminated file')
+
+    def test_empty_command_tuple_rejected(self):
+        with pytest.raises(JobCommandError):
+            JobCommandFile(())
+
+    def test_render_roundtrip(self):
+        text = "wc a\nsort b > out\n"
+        script = JobCommandFile.parse(text)
+        assert JobCommandFile.parse(script.render()) == script
+
+
+class TestJobRequest:
+    def test_build_parses_script(self):
+        request = JobRequest.build("wc a", data_files=["/data/a"])
+        assert request.data_files == ("/data/a",)
+        assert len(request.command_file) == 1
+
+    def test_duplicate_data_files_rejected(self):
+        with pytest.raises(JobCommandError):
+            JobRequest.build("wc a", data_files=["/a", "/a"])
+
+    def test_optional_fields_default_none(self):
+        request = JobRequest.build("wc a")
+        assert request.output_file is None
+        assert request.error_file is None
+        assert request.target_host is None
+        assert request.deliver_to_host is None
+
+    def test_third_party_delivery_recorded(self):
+        request = JobRequest.build("wc a", deliver_to_host="printer-host")
+        assert request.deliver_to_host == "printer-host"

@@ -1,0 +1,113 @@
+"""Tests for the job lifecycle state machine and status table."""
+
+import pytest
+
+from repro.errors import JobError, UnknownJobError
+from repro.jobs.status import JobRecord, JobState, StatusTable
+
+
+@pytest.fixture
+def record():
+    return JobRecord(job_id="j1", owner="alice")
+
+
+class TestLifecycle:
+    def test_starts_queued(self, record):
+        assert record.state is JobState.QUEUED
+
+    def test_full_happy_path(self, record):
+        record.transition(JobState.WAITING_FILES, 1.0)
+        record.transition(JobState.READY, 2.0)
+        record.transition(JobState.RUNNING, 3.0)
+        record.transition(JobState.COMPLETED, 4.0)
+        assert record.started_at == 3.0
+        assert record.finished_at == 4.0
+        assert record.elapsed == 1.0
+
+    def test_direct_ready_path(self, record):
+        record.transition(JobState.READY, 1.0)
+        record.transition(JobState.RUNNING, 2.0)
+        record.transition(JobState.FAILED, 3.0)
+        assert record.state is JobState.FAILED
+
+    def test_skipping_ready_rejected(self, record):
+        with pytest.raises(JobError):
+            record.transition(JobState.RUNNING)
+
+    def test_terminal_states_frozen(self, record):
+        record.transition(JobState.READY)
+        record.transition(JobState.RUNNING)
+        record.transition(JobState.COMPLETED)
+        with pytest.raises(JobError):
+            record.transition(JobState.RUNNING)
+
+    @pytest.mark.parametrize(
+        "state",
+        [JobState.QUEUED, JobState.WAITING_FILES, JobState.READY, JobState.RUNNING],
+    )
+    def test_cancel_from_any_nonterminal(self, state):
+        record = JobRecord(job_id="x", owner="o")
+        path = {
+            JobState.QUEUED: [],
+            JobState.WAITING_FILES: [JobState.WAITING_FILES],
+            JobState.READY: [JobState.READY],
+            JobState.RUNNING: [JobState.READY, JobState.RUNNING],
+        }[state]
+        for step in path:
+            record.transition(step)
+        record.transition(JobState.CANCELLED)
+        assert record.state.terminal
+
+    def test_detail_recorded(self, record):
+        record.transition(JobState.READY, detail="files current")
+        assert record.detail == "files current"
+
+    def test_terminal_property(self):
+        assert JobState.COMPLETED.terminal
+        assert JobState.FAILED.terminal
+        assert JobState.CANCELLED.terminal
+        assert not JobState.RUNNING.terminal
+
+    def test_elapsed_none_until_finished(self, record):
+        assert record.elapsed is None
+
+
+class TestStatusTable:
+    def test_add_and_get(self):
+        table = StatusTable()
+        table.add(JobRecord(job_id="j1", owner="a"))
+        assert table.get("j1").owner == "a"
+
+    def test_duplicate_rejected(self):
+        table = StatusTable()
+        table.add(JobRecord(job_id="j1", owner="a"))
+        with pytest.raises(JobError):
+            table.add(JobRecord(job_id="j1", owner="b"))
+
+    def test_unknown_job_raises(self):
+        with pytest.raises(UnknownJobError):
+            StatusTable().get("ghost")
+
+    def test_pending_excludes_terminal(self):
+        table = StatusTable()
+        running = JobRecord(job_id="r", owner="a")
+        running.transition(JobState.READY)
+        done = JobRecord(job_id="d", owner="a")
+        done.transition(JobState.READY)
+        done.transition(JobState.RUNNING)
+        done.transition(JobState.COMPLETED)
+        table.add(running)
+        table.add(done)
+        assert [record.job_id for record in table.pending()] == ["r"]
+
+    def test_for_owner(self):
+        table = StatusTable()
+        table.add(JobRecord(job_id="j1", owner="alice"))
+        table.add(JobRecord(job_id="j2", owner="bob"))
+        assert [r.job_id for r in table.for_owner("alice")] == ["j1"]
+
+    def test_contains_and_len(self):
+        table = StatusTable()
+        table.add(JobRecord(job_id="j1", owner="a"))
+        assert "j1" in table
+        assert len(table) == 1

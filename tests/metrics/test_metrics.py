@@ -1,0 +1,115 @@
+"""Tests for measurement records and paper-style reporting."""
+
+import pytest
+
+from repro.errors import ShadowError
+from repro.metrics.recorder import (
+    CycleOutcome,
+    FigureData,
+    FigurePoint,
+    Series,
+)
+from repro.metrics.report import (
+    format_figure,
+    format_series_csv,
+    format_speedup_table,
+    format_table,
+)
+
+
+def point(size, percent, shadow, conventional):
+    return FigurePoint(
+        file_size=size,
+        percent=percent,
+        shadow_seconds=shadow,
+        conventional_seconds=conventional,
+    )
+
+
+class TestRecords:
+    def test_cycle_outcome_totals(self):
+        outcome = CycleOutcome(
+            label="x",
+            seconds=1.0,
+            uplink_payload_bytes=10,
+            downlink_payload_bytes=20,
+            uplink_wire_bytes=15,
+            downlink_wire_bytes=25,
+        )
+        assert outcome.total_payload_bytes == 30
+        assert outcome.total_wire_bytes == 40
+
+    def test_speedup(self):
+        assert point(10_000, 1, 10.0, 100.0).speedup == 10.0
+
+    def test_speedup_requires_positive_shadow_time(self):
+        with pytest.raises(ShadowError):
+            point(10_000, 1, 0.0, 10.0).speedup
+
+    def test_series_accessors(self):
+        series = Series("s")
+        series.add(1, 10.0)
+        series.add(5, 20.0)
+        assert series.xs() == [1, 5]
+        assert series.ys() == [10.0, 20.0]
+
+
+class TestFigureData:
+    @pytest.fixture
+    def figure(self):
+        figure = FigureData(title="Fig")
+        for size in (10_000, 50_000):
+            for percent in (1, 5):
+                figure.add_point(
+                    point(size, percent, percent * 1.0 * size / 10_000, size / 100)
+                )
+        return figure
+
+    def test_series_per_size(self, figure):
+        assert set(figure.shadow_series) == {10_000, 50_000}
+
+    def test_conventional_level_recorded_once(self, figure):
+        assert figure.conventional_levels[10_000] == 100.0
+
+    def test_speedups_computed(self, figure):
+        speedups = figure.speedups()
+        assert speedups[(10_000, 1)] == pytest.approx(100.0)
+
+
+class TestRendering:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_format_figure_contains_series_and_levels(self):
+        figure = FigureData(title="Cypress Transfer Times")
+        figure.add_point(point(100_000, 1, 9.0, 110.0))
+        figure.add_point(point(100_000, 20, 35.0, 110.0))
+        text = format_figure(figure)
+        assert "Cypress Transfer Times" in text
+        assert "S-time (100k)" in text
+        assert "E-time" in text
+        assert "35.0s" in text
+
+    def test_format_speedup_table_matches_figure3_shape(self):
+        speedups = {
+            (10_000, 1): 13.5,
+            (10_000, 5): 9.3,
+            (500_000, 1): 24.9,
+            (500_000, 5): 12.5,
+        }
+        text = format_speedup_table(
+            speedups, sizes=[10_000, 500_000], percents=[1, 5]
+        )
+        assert "10k" in text and "500k" in text
+        assert "13.5" in text and "24.9" in text
+
+    def test_format_series_csv(self):
+        figure = FigureData(title="f")
+        figure.add_point(point(10_000, 1, 2.0, 20.0))
+        csv = format_series_csv(figure)
+        lines = csv.splitlines()
+        assert lines[0] == "percent,s_10000,e_10000"
+        assert lines[1] == "1,2.000,20.000"

@@ -1,0 +1,53 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.errors import ShadowError
+from repro.metrics.plot import ascii_plot
+from repro.metrics.recorder import FigureData, FigurePoint
+
+
+def sample_figure():
+    figure = FigureData(title="Test Figure")
+    for size, level in ((100_000, 110.0), (500_000, 560.0)):
+        for percent, seconds in ((1, level / 12), (40, level / 2), (80, level * 0.9)):
+            figure.add_point(FigurePoint(size, percent, seconds, level))
+    return figure
+
+
+class TestAsciiPlot:
+    def test_contains_title_and_legend(self):
+        text = ascii_plot(sample_figure())
+        assert "Test Figure" in text
+        assert "a=S-time(100k)" in text
+        assert "b=S-time(500k)" in text
+
+    def test_contains_both_curves_and_levels(self):
+        text = ascii_plot(sample_figure())
+        assert "a" in text and "b" in text
+        assert "A" in text and "B" in text
+        assert "-" in text  # dashed E-time lines
+
+    def test_axes_labelled(self):
+        text = ascii_plot(sample_figure())
+        assert "(% modified)" in text
+        assert "s |" in text  # seconds axis
+
+    def test_rows_match_requested_height(self):
+        text = ascii_plot(sample_figure(), width=40, height=10)
+        # title + height rows + axis line + tick labels + legend
+        assert len(text.splitlines()) == 1 + 10 + 1 + 1 + 1
+
+    def test_bigger_file_curve_sits_higher(self):
+        lines = ascii_plot(sample_figure()).splitlines()
+        first_b = next(i for i, line in enumerate(lines) if "b" in line)
+        first_a = next(i for i, line in enumerate(lines) if "a" in line)
+        assert first_b < first_a  # b (500k) appears nearer the top
+
+    def test_empty_figure_rejected(self):
+        with pytest.raises(ShadowError):
+            ascii_plot(FigureData(title="empty"))
+
+    def test_too_small_area_rejected(self):
+        with pytest.raises(ShadowError):
+            ascii_plot(sample_figure(), width=5, height=5)

@@ -1,0 +1,127 @@
+"""Tests for the simulated NFS environment and §6.5 resolution."""
+
+import pytest
+
+from repro.errors import MountError, NamingError
+from repro.naming.nfs import NfsEnvironment
+
+
+@pytest.fixture
+def env(nfs_paper_scenario):
+    return nfs_paper_scenario[0]
+
+
+class TestPaperScenario:
+    """The exact example from §5.3 of the paper."""
+
+    def test_a_sees_file_through_projl(self, env):
+        assert env.resolve("A", "/projl/foo") == ("C", "/usr/foo")
+
+    def test_b_sees_file_through_others(self, env):
+        assert env.resolve("B", "/others/foo") == ("C", "/usr/foo")
+
+    def test_both_aliases_resolve_identically(self, env):
+        assert env.resolve("A", "/projl/foo") == env.resolve(
+            "B", "/others/foo"
+        )
+
+    def test_content_readable_through_either(self, env):
+        assert env.read_file("A", "/projl/foo") == b"shared content\n"
+        assert env.read_file("B", "/others/foo") == b"shared content\n"
+
+    def test_write_through_mount_lands_on_exporter(self, env):
+        env.write_file("A", "/projl/bar", b"from A")
+        assert env.host("C").vfs.read_file("/usr/bar") == b"from A"
+        assert env.read_file("B", "/others/bar") == b"from A"
+
+
+class TestExportsAndMounts:
+    def test_mount_requires_export(self):
+        env = NfsEnvironment()
+        env.add_host("x")
+        env.add_host("y")
+        env.host("y").vfs.mkdir("/data")
+        with pytest.raises(MountError):
+            env.mount("x", "/mnt", "y", "/data")
+
+    def test_cannot_mount_own_export(self):
+        env = NfsEnvironment()
+        env.add_host("x")
+        env.host("x").vfs.mkdir("/data")
+        env.export("x", "/data")
+        with pytest.raises(MountError):
+            env.mount("x", "/mnt", "x", "/data")
+
+    def test_double_mount_at_same_point_rejected(self, env):
+        with pytest.raises(MountError):
+            env.mount("A", "/projl", "C", "/usr")
+
+    def test_duplicate_host_rejected(self, env):
+        with pytest.raises(NamingError):
+            env.add_host("A")
+
+    def test_unknown_host_rejected(self, env):
+        with pytest.raises(NamingError):
+            env.resolve("ghost", "/anything")
+
+    def test_is_exported(self, env):
+        assert env.is_exported("C", "/usr")
+        assert not env.is_exported("C", "/etc")
+
+
+class TestResolution:
+    def test_local_file_resolves_locally(self, env):
+        env.host("A").vfs.write_file("/local.txt", b"mine")
+        assert env.resolve("A", "/local.txt") == ("A", "/local.txt")
+
+    def test_symlink_into_mount_crosses_hosts(self, env):
+        a = env.host("A")
+        a.vfs.mkdir("/home")
+        a.vfs.symlink("/projl/foo", "/home/shortcut")
+        assert env.resolve("A", "/home/shortcut") == ("C", "/usr/foo")
+
+    def test_remote_symlink_resolved_on_exporter(self, env):
+        c = env.host("C")
+        c.vfs.symlink("foo", "/usr/foolink")
+        assert env.resolve("A", "/projl/foolink") == ("C", "/usr/foo")
+
+    def test_two_hop_mount_chain(self):
+        # A mounts from B; B's subtree contains a mount from C.
+        env = NfsEnvironment()
+        for name in ("A", "B", "C"):
+            env.add_host(name)
+        c = env.host("C")
+        c.vfs.write_file("/store/data", b"deep")
+        env.export("C", "/store")
+        env.mount("B", "/mid", "C", "/store")
+        b = env.host("B")
+        env.export("B", "/mid")
+        env.mount("A", "/top", "B", "/mid")
+        assert env.resolve("A", "/top/data") == ("C", "/store/data")
+
+    def test_mount_point_itself_resolves_to_export_root(self, env):
+        assert env.resolve("A", "/projl") == ("C", "/usr")
+
+    def test_exists_through_mount(self, env):
+        assert env.exists("A", "/projl/foo")
+        assert not env.exists("A", "/projl/ghost")
+
+    def test_resolve_for_write_missing_terminal(self, env):
+        owner, path = env.resolve_for_write("A", "/projl/newfile")
+        assert (owner, path) == ("C", "/usr/newfile")
+
+    def test_circular_mounts_detected(self):
+        env = NfsEnvironment()
+        env.add_host("p")
+        env.add_host("q")
+        env.host("p").vfs.mkdir("/a")
+        env.host("q").vfs.mkdir("/b")
+        env.export("p", "/a")
+        env.export("q", "/b")
+        env.mount("p", "/a/loop", "q", "/b")
+        env.mount("q", "/b/loop", "p", "/a")
+        with pytest.raises(MountError):
+            env.resolve("p", "/a/loop/loop/loop/loop/loop/loop/loop/loop/"
+                        "loop/loop/loop/loop/loop/loop/loop/loop/loop/loop/"
+                        "loop/loop/loop/loop/loop/loop/loop/loop/loop/loop/"
+                        "loop/loop/loop/loop/loop/x")

@@ -1,0 +1,148 @@
+"""Tests for global names, the mapping function, and Tilde trees."""
+
+import pytest
+
+from repro.errors import NamingError
+from repro.naming.domain import DomainId, GlobalName
+from repro.naming.resolver import NameResolver
+from repro.naming.tilde import TildeNamespace
+
+
+class TestDomainId:
+    def test_valid(self):
+        assert str(DomainId("nsf-128-10")) == "nsf-128-10"
+
+    @pytest.mark.parametrize("bad", ["", "has/slash", "has:colon"])
+    def test_invalid(self, bad):
+        with pytest.raises(NamingError):
+            DomainId(bad)
+
+
+class TestGlobalName:
+    def test_render_parse_roundtrip(self):
+        name = GlobalName(DomainId("d1"), "hostA", "/usr/foo")
+        assert GlobalName.parse(name.render()) == name
+
+    def test_file_id_combines_host_and_path(self):
+        name = GlobalName(DomainId("d1"), "hostA", "/usr/foo")
+        assert name.file_id == "hostA:/usr/foo"
+
+    def test_relative_path_rejected(self):
+        with pytest.raises(NamingError):
+            GlobalName(DomainId("d"), "h", "usr/foo")
+
+    def test_empty_host_rejected(self):
+        with pytest.raises(NamingError):
+            GlobalName(DomainId("d"), "", "/x")
+
+    @pytest.mark.parametrize("bad", ["nodomainsep", "d/nopathsep"])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(NamingError):
+            GlobalName.parse(bad)
+
+    def test_parse_keeps_colons_in_path(self):
+        name = GlobalName.parse("d/h:/weird:path")
+        assert name.path == "/weird:path"
+
+
+class TestNameResolver:
+    def test_aliases_collapse_to_one_global_name(self, nfs_paper_scenario):
+        _, resolver = nfs_paper_scenario
+        assert resolver.resolve("A", "/projl/foo") == resolver.resolve(
+            "B", "/others/foo"
+        )
+
+    def test_hard_links_collapse_when_enabled(self, nfs_paper_scenario):
+        env, resolver = nfs_paper_scenario
+        env.host("C").vfs.hard_link("/usr/foo", "/usr/foo-alias")
+        first = resolver.resolve("A", "/projl/foo")
+        second = resolver.resolve("A", "/projl/foo-alias")
+        assert first == second
+
+    def test_hard_links_kept_distinct_when_disabled(self, nfs_paper_scenario):
+        env, _ = nfs_paper_scenario
+        env.host("C").vfs.hard_link("/usr/foo", "/usr/foo-alias")
+        resolver = NameResolver(
+            env, DomainId("d"), canonicalize_hard_links=False
+        )
+        first = resolver.resolve("A", "/projl/foo")
+        second = resolver.resolve("A", "/projl/foo-alias")
+        assert first != second
+
+    def test_domain_stamped(self, nfs_paper_scenario):
+        _, resolver = nfs_paper_scenario
+        name = resolver.resolve("A", "/projl/foo")
+        assert str(name.domain) == "nsf-128-10"
+
+    def test_read_through_resolution(self, nfs_paper_scenario):
+        _, resolver = nfs_paper_scenario
+        assert resolver.read("A", "/projl/foo") == b"shared content\n"
+
+
+class TestTildeTrees:
+    @pytest.fixture
+    def namespace(self):
+        namespace = TildeNamespace()
+        namespace.create_tree("purdue.cs.comer", "hostA", "/home/comer")
+        namespace.create_tree("purdue.cs.shared", "hostB", "/projects")
+        namespace.bind("comer", "home", "purdue.cs.comer")
+        namespace.bind("comer", "proj", "purdue.cs.shared")
+        namespace.bind("grif", "work", "purdue.cs.shared")
+        return namespace
+
+    def test_resolve_within_tree(self, namespace):
+        assert namespace.resolve("comer", "~home/src/paper.tex") == (
+            "hostA",
+            "/home/comer/src/paper.tex",
+        )
+
+    def test_different_users_same_tree_different_names(self, namespace):
+        comer = namespace.resolve("comer", "~proj/data")
+        grif = namespace.resolve("grif", "~work/data")
+        assert comer == grif
+
+    def test_same_tilde_name_may_mean_different_trees(self, namespace):
+        namespace.create_tree("purdue.cs.grif", "hostC", "/home/grif")
+        namespace.bind("grif", "home", "purdue.cs.grif")
+        assert namespace.resolve("comer", "~home/x") != namespace.resolve(
+            "grif", "~home/x"
+        )
+
+    def test_canonical_name_is_location_independent(self, namespace):
+        before = namespace.canonical_name("comer", "~proj/data")
+        namespace.migrate_tree("purdue.cs.shared", "hostZ", "/moved")
+        after = namespace.canonical_name("comer", "~proj/data")
+        assert before == after == "purdue.cs.shared:/data"
+
+    def test_migration_changes_physical_location(self, namespace):
+        namespace.migrate_tree("purdue.cs.shared", "hostZ", "/moved")
+        assert namespace.resolve("comer", "~proj/data") == (
+            "hostZ",
+            "/moved/data",
+        )
+
+    def test_unknown_tilde_name_raises(self, namespace):
+        with pytest.raises(NamingError):
+            namespace.resolve("comer", "~nope/x")
+
+    def test_unknown_user_raises(self, namespace):
+        with pytest.raises(NamingError):
+            namespace.resolve("stranger", "~home/x")
+
+    def test_non_tilde_name_rejected(self, namespace):
+        with pytest.raises(NamingError):
+            namespace.parse("/absolute/path")
+
+    def test_duplicate_tree_rejected(self, namespace):
+        with pytest.raises(NamingError):
+            namespace.create_tree("purdue.cs.comer", "x", "/y")
+
+    def test_bind_requires_existing_tree(self, namespace):
+        with pytest.raises(NamingError):
+            namespace.bind("comer", "x", "no.such.tree")
+
+    def test_bindings_listed(self, namespace):
+        assert namespace.bindings("comer") == {
+            "home": "purdue.cs.comer",
+            "proj": "purdue.cs.shared",
+        }

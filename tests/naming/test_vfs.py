@@ -1,0 +1,184 @@
+"""Tests for the simulated virtual file system."""
+
+import pytest
+
+from repro.errors import (
+    FileNotFoundInVfsError,
+    NamingError,
+    SymlinkLoopError,
+)
+from repro.naming.vfs import VirtualFileSystem, join_path, split_path
+
+
+@pytest.fixture
+def vfs():
+    fs = VirtualFileSystem()
+    fs.mkdir("/home/user")
+    fs.write_file("/home/user/notes.txt", b"hello")
+    return fs
+
+
+class TestPaths:
+    def test_split_requires_absolute(self):
+        with pytest.raises(NamingError):
+            split_path("relative/path")
+
+    def test_split_normalises_dots_and_doubles(self):
+        assert split_path("/a//b/./c") == ["a", "b", "c"]
+
+    def test_join_inverts_split(self):
+        assert join_path(split_path("/x/y/z")) == "/x/y/z"
+
+    def test_root_splits_empty(self):
+        assert split_path("/") == []
+
+
+class TestBasicOperations:
+    def test_read_back(self, vfs):
+        assert vfs.read_file("/home/user/notes.txt") == b"hello"
+
+    def test_overwrite(self, vfs):
+        vfs.write_file("/home/user/notes.txt", b"new")
+        assert vfs.read_file("/home/user/notes.txt") == b"new"
+
+    def test_write_creates_parents(self, vfs):
+        vfs.write_file("/deep/nested/dir/file", b"x")
+        assert vfs.read_file("/deep/nested/dir/file") == b"x"
+
+    def test_missing_file_raises(self, vfs):
+        with pytest.raises(FileNotFoundInVfsError):
+            vfs.read_file("/no/such/file")
+
+    def test_read_directory_raises(self, vfs):
+        with pytest.raises(NamingError):
+            vfs.read_file("/home/user")
+
+    def test_write_over_directory_raises(self, vfs):
+        with pytest.raises(NamingError):
+            vfs.write_file("/home/user", b"nope")
+
+    def test_exists(self, vfs):
+        assert vfs.exists("/home/user/notes.txt")
+        assert not vfs.exists("/ghost")
+
+    def test_list_directory(self, vfs):
+        vfs.write_file("/home/user/a", b"")
+        assert vfs.list_directory("/home/user") == ["a", "notes.txt"]
+
+    def test_list_root(self, vfs):
+        assert "home" in vfs.list_directory("/")
+
+    def test_remove_file(self, vfs):
+        vfs.remove("/home/user/notes.txt")
+        assert not vfs.exists("/home/user/notes.txt")
+
+    def test_remove_nonempty_directory_raises(self, vfs):
+        with pytest.raises(NamingError):
+            vfs.remove("/home/user")
+
+    def test_mkdir_idempotent(self, vfs):
+        vfs.mkdir("/home/user")
+        assert vfs.exists("/home/user/notes.txt")
+
+
+class TestHardLinks:
+    def test_links_share_content(self, vfs):
+        vfs.hard_link("/home/user/notes.txt", "/home/user/alias.txt")
+        vfs.write_file("/home/user/notes.txt", b"updated")
+        assert vfs.read_file("/home/user/alias.txt") == b"updated"
+
+    def test_links_share_inode(self, vfs):
+        vfs.hard_link("/home/user/notes.txt", "/alias")
+        assert vfs.inode_of("/alias") == vfs.inode_of("/home/user/notes.txt")
+
+    def test_distinct_files_distinct_inodes(self, vfs):
+        vfs.write_file("/other", b"hello")
+        assert vfs.inode_of("/other") != vfs.inode_of("/home/user/notes.txt")
+
+    def test_link_to_directory_rejected(self, vfs):
+        with pytest.raises(NamingError):
+            vfs.hard_link("/home/user", "/dirlink")
+
+    def test_link_over_existing_rejected(self, vfs):
+        vfs.write_file("/target", b"")
+        with pytest.raises(NamingError):
+            vfs.hard_link("/home/user/notes.txt", "/target")
+
+
+class TestSymlinks:
+    def test_absolute_symlink_followed(self, vfs):
+        vfs.symlink("/home/user", "/u")
+        assert vfs.read_file("/u/notes.txt") == b"hello"
+
+    def test_relative_symlink_followed(self, vfs):
+        vfs.symlink("user/notes.txt", "/home/shortcut")
+        assert vfs.read_file("/home/shortcut") == b"hello"
+
+    def test_chained_symlinks(self, vfs):
+        vfs.symlink("/home/user", "/a")
+        vfs.symlink("/a", "/b")
+        assert vfs.read_file("/b/notes.txt") == b"hello"
+
+    def test_symlink_with_dotdot(self, vfs):
+        vfs.mkdir("/home/other")
+        vfs.symlink("../user/notes.txt", "/home/other/link")
+        assert vfs.read_file("/home/other/link") == b"hello"
+
+    def test_symlink_loop_detected(self, vfs):
+        vfs.symlink("/loop2", "/loop1")
+        vfs.symlink("/loop1", "/loop2")
+        with pytest.raises(SymlinkLoopError):
+            vfs.read_file("/loop1")
+
+    def test_realpath_resolves_symlinks(self, vfs):
+        vfs.symlink("/home/user", "/u")
+        assert vfs.realpath("/u/notes.txt") == "/home/user/notes.txt"
+
+    def test_realpath_collapses_dotdot(self, vfs):
+        assert (
+            vfs.realpath("/home/user/../user/notes.txt")
+            == "/home/user/notes.txt"
+        )
+
+    def test_dangling_symlink_read_raises(self, vfs):
+        vfs.symlink("/nowhere", "/dangling")
+        with pytest.raises(FileNotFoundInVfsError):
+            vfs.read_file("/dangling")
+
+    def test_symlink_over_existing_rejected(self, vfs):
+        with pytest.raises(NamingError):
+            vfs.symlink("/x", "/home/user/notes.txt")
+
+
+class TestBoundaries:
+    def test_resolution_stops_at_boundary(self, vfs):
+        vfs.mkdir("/mnt/remote")
+        resolved, remainder = vfs.realpath_until(
+            "/mnt/remote/sub/file", frozenset({"/mnt/remote"})
+        )
+        assert resolved == "/mnt/remote"
+        assert remainder == ["sub", "file"]
+
+    def test_boundary_reached_via_symlink(self, vfs):
+        vfs.mkdir("/mnt/remote")
+        vfs.symlink("/mnt/remote", "/shortcut")
+        resolved, remainder = vfs.realpath_until(
+            "/shortcut/data", frozenset({"/mnt/remote"})
+        )
+        assert resolved == "/mnt/remote"
+        assert remainder == ["data"]
+
+    def test_exact_boundary_path(self, vfs):
+        vfs.mkdir("/mnt/remote")
+        resolved, remainder = vfs.realpath_until(
+            "/mnt/remote", frozenset({"/mnt/remote"})
+        )
+        assert resolved == "/mnt/remote"
+        assert remainder == []
+
+    def test_no_boundary_resolves_fully(self, vfs):
+        resolved, remainder = vfs.realpath_until(
+            "/home/user/notes.txt", frozenset()
+        )
+        assert resolved == "/home/user/notes.txt"
+        assert remainder == []

@@ -1,0 +1,97 @@
+"""Property-based tests for the virtual file system."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NamingError
+from repro.naming.vfs import VirtualFileSystem, join_path, split_path
+
+# Path components: short lowercase names, occasionally dots.
+component = st.text(
+    alphabet="abcdefghij", min_size=1, max_size=6
+)
+path_components = st.lists(component, min_size=1, max_size=5)
+
+
+def to_path(components):
+    return "/" + "/".join(components)
+
+
+@settings(max_examples=150, deadline=None)
+@given(components=path_components)
+def test_split_join_roundtrip(components):
+    path = to_path(components)
+    assert join_path(split_path(path)) == path
+
+
+@settings(max_examples=100, deadline=None)
+@given(components=path_components, content=st.binary(max_size=100))
+def test_write_then_read(components, content):
+    vfs = VirtualFileSystem()
+    path = to_path(components)
+    vfs.write_file(path, content)
+    assert vfs.read_file(path) == content
+
+
+@settings(max_examples=100, deadline=None)
+@given(components=path_components)
+def test_realpath_is_idempotent(components):
+    vfs = VirtualFileSystem()
+    path = to_path(components)
+    vfs.write_file(path, b"x")
+    resolved = vfs.realpath(path)
+    assert vfs.realpath(resolved) == resolved
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    components=path_components,
+    dots=st.integers(min_value=1, max_value=3),
+)
+def test_dotdot_never_escapes_root(components, dots):
+    vfs = VirtualFileSystem()
+    vfs.write_file("/anchor", b"a")
+    path = "/" + "/".join([".."] * dots) + "/anchor"
+    assert vfs.realpath(path) == "/anchor"
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    target=path_components,
+    link=path_components,
+    content=st.binary(max_size=50),
+)
+def test_symlink_resolves_to_target(target, link, content):
+    vfs = VirtualFileSystem()
+    target_path = to_path(["t"] + target)
+    link_path = to_path(["l"] + link)
+    if target_path == link_path:
+        return
+    vfs.write_file(target_path, content)
+    try:
+        vfs.symlink(target_path, link_path)
+    except NamingError:
+        return  # link path collides with a directory of the target
+    assert vfs.realpath(link_path) == vfs.realpath(target_path)
+    assert vfs.read_file(link_path) == content
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    original=path_components,
+    alias=path_components,
+    first=st.binary(max_size=40),
+    second=st.binary(max_size=40),
+)
+def test_hard_links_always_agree(original, alias, first, second):
+    vfs = VirtualFileSystem()
+    original_path = to_path(["o"] + original)
+    alias_path = to_path(["a"] + alias)
+    vfs.write_file(original_path, first)
+    try:
+        vfs.hard_link(original_path, alias_path)
+    except NamingError:
+        return
+    vfs.write_file(original_path, second)
+    assert vfs.read_file(alias_path) == second
+    assert vfs.inode_of(alias_path) == vfs.inode_of(original_path)

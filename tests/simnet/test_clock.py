@@ -1,0 +1,73 @@
+"""Tests for the virtual clocks."""
+
+import pytest
+
+from repro.errors import ClockError
+from repro.simnet.clock import SimulatedClock, WallClock
+
+
+class TestSimulatedClock:
+    def test_starts_at_zero(self):
+        assert SimulatedClock().now() == 0.0
+
+    def test_starts_at_given_time(self):
+        assert SimulatedClock(start=5.5).now() == 5.5
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ClockError):
+            SimulatedClock(start=-1.0)
+
+    def test_advance_moves_forward(self):
+        clock = SimulatedClock()
+        clock.advance(2.5)
+        assert clock.now() == 2.5
+
+    def test_advance_accumulates(self):
+        clock = SimulatedClock()
+        clock.advance(1.0)
+        clock.advance(0.5)
+        assert clock.now() == pytest.approx(1.5)
+
+    def test_advance_to_absolute(self):
+        clock = SimulatedClock()
+        clock.advance_to(10.0)
+        assert clock.now() == 10.0
+
+    def test_advance_to_same_time_is_noop(self):
+        clock = SimulatedClock(start=3.0)
+        clock.advance_to(3.0)
+        assert clock.now() == 3.0
+
+    def test_cannot_move_backwards(self):
+        clock = SimulatedClock(start=5.0)
+        with pytest.raises(ClockError):
+            clock.advance_to(4.0)
+
+    def test_cannot_advance_by_negative(self):
+        clock = SimulatedClock()
+        with pytest.raises(ClockError):
+            clock.advance(-0.1)
+
+    def test_zero_advance_allowed(self):
+        clock = SimulatedClock(start=1.0)
+        clock.advance(0.0)
+        assert clock.now() == 1.0
+
+    def test_repr_mentions_time(self):
+        assert "2.5" in repr(SimulatedClock(start=2.5))
+
+
+class TestWallClock:
+    def test_starts_near_zero(self):
+        assert WallClock().now() < 1.0
+
+    def test_advance_to_is_noop(self):
+        clock = WallClock()
+        clock.advance_to(1_000_000.0)
+        assert clock.now() < 1.0
+
+    def test_monotonic(self):
+        clock = WallClock()
+        first = clock.now()
+        second = clock.now()
+        assert second >= first

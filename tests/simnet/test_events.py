@@ -1,0 +1,124 @@
+"""Tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.errors import ClockError, SimulationError
+from repro.simnet.events import EventScheduler
+
+
+@pytest.fixture
+def scheduler():
+    return EventScheduler()
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, scheduler):
+        fired = []
+        scheduler.schedule_at(2.0, lambda: fired.append("b"))
+        scheduler.schedule_at(1.0, lambda: fired.append("a"))
+        scheduler.schedule_at(3.0, lambda: fired.append("c"))
+        scheduler.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_equal_timestamps_fire_in_insertion_order(self, scheduler):
+        fired = []
+        for label in "abcde":
+            scheduler.schedule_at(1.0, lambda l=label: fired.append(l))
+        scheduler.run()
+        assert fired == ["a", "b", "c", "d", "e"]
+
+    def test_clock_advances_to_event_time(self, scheduler):
+        times = []
+        scheduler.schedule_at(4.5, lambda: times.append(scheduler.clock.now()))
+        scheduler.run()
+        assert times == [4.5]
+
+    def test_schedule_in_is_relative(self, scheduler):
+        scheduler.clock.advance(10.0)
+        handle = scheduler.schedule_in(2.0, lambda: None)
+        assert handle.timestamp == 12.0
+
+    def test_cannot_schedule_in_past(self, scheduler):
+        scheduler.clock.advance(5.0)
+        with pytest.raises(ClockError):
+            scheduler.schedule_at(4.0, lambda: None)
+
+    def test_negative_delay_rejected(self, scheduler):
+        with pytest.raises(ClockError):
+            scheduler.schedule_in(-1.0, lambda: None)
+
+    def test_events_may_schedule_events(self, scheduler):
+        fired = []
+
+        def first():
+            fired.append("first")
+            scheduler.schedule_in(1.0, lambda: fired.append("second"))
+
+        scheduler.schedule_at(1.0, first)
+        scheduler.run()
+        assert fired == ["first", "second"]
+        assert scheduler.clock.now() == 2.0
+
+    def test_run_returns_event_count(self, scheduler):
+        for offset in range(5):
+            scheduler.schedule_at(float(offset), lambda: None)
+        assert scheduler.run() == 5
+
+    def test_dispatched_counter(self, scheduler):
+        scheduler.schedule_at(1.0, lambda: None)
+        scheduler.run()
+        assert scheduler.dispatched == 1
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, scheduler):
+        fired = []
+        handle = scheduler.schedule_at(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        scheduler.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, scheduler):
+        handle = scheduler.schedule_at(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_pending_excludes_cancelled(self, scheduler):
+        handle = scheduler.schedule_at(1.0, lambda: None)
+        scheduler.schedule_at(2.0, lambda: None)
+        handle.cancel()
+        assert scheduler.pending == 1
+
+
+class TestRunUntil:
+    def test_stops_at_deadline(self, scheduler):
+        fired = []
+        scheduler.schedule_at(1.0, lambda: fired.append(1))
+        scheduler.schedule_at(5.0, lambda: fired.append(5))
+        scheduler.run_until(3.0)
+        assert fired == [1]
+        assert scheduler.clock.now() == 3.0
+
+    def test_clock_lands_on_deadline_even_when_queue_empty(self, scheduler):
+        scheduler.run_until(7.0)
+        assert scheduler.clock.now() == 7.0
+
+    def test_boundary_event_fires(self, scheduler):
+        fired = []
+        scheduler.schedule_at(3.0, lambda: fired.append(3))
+        scheduler.run_until(3.0)
+        assert fired == [3]
+
+
+class TestRunawayProtection:
+    def test_self_rescheduling_loop_detected(self, scheduler):
+        def loop():
+            scheduler.schedule_in(0.1, loop)
+
+        scheduler.schedule_in(0.1, loop)
+        with pytest.raises(SimulationError):
+            scheduler.run(max_events=100)
+
+    def test_step_on_empty_queue_returns_false(self, scheduler):
+        assert scheduler.step() is False

@@ -1,0 +1,166 @@
+"""Tests for the byte-accurate link model and 1987 presets."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simnet.link import (
+    ARPANET_56K,
+    CYPRESS_9600,
+    FREE_PROCESSING,
+    LAN_10M,
+    PRESET_LINKS,
+    SUN3_PROCESSING,
+    Link,
+    LinkStats,
+    ProcessingModel,
+)
+
+
+def simple_link(**overrides):
+    defaults = dict(
+        name="test",
+        bits_per_second=8_000,
+        latency_seconds=0.0,
+        mtu_bytes=1_040,
+        header_bytes=40,
+        bits_per_byte=8,
+    )
+    defaults.update(overrides)
+    return Link(**defaults)
+
+
+class TestLinkMath:
+    def test_effective_rate(self):
+        # 8000 bps / 8 bits per byte = 1000 B/s.
+        assert simple_link().effective_bytes_per_second == 1000.0
+
+    def test_utilization_scales_rate(self):
+        assert simple_link(utilization=0.5).effective_bytes_per_second == 500.0
+
+    def test_async_serial_costs_ten_bits_per_byte(self):
+        link = simple_link(bits_per_byte=10)
+        assert link.effective_bytes_per_second == 800.0
+
+    def test_packet_count_single(self):
+        assert simple_link().packet_count(1000) == 1
+
+    def test_packet_count_exact_boundary(self):
+        link = simple_link()
+        assert link.packet_count(link.payload_per_packet) == 1
+        assert link.packet_count(link.payload_per_packet + 1) == 2
+
+    def test_empty_payload_still_one_packet(self):
+        assert simple_link().packet_count(0) == 1
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(SimulationError):
+            simple_link().packet_count(-1)
+
+    def test_wire_bytes_include_headers(self):
+        link = simple_link()
+        assert link.wire_bytes(1000) == 1000 + 40
+
+    def test_transfer_time_is_wire_bytes_over_rate_plus_latency(self):
+        link = simple_link(latency_seconds=0.5)
+        expected = 0.5 + (1000 + 40) / 1000.0
+        assert link.transfer_seconds(1000) == pytest.approx(expected)
+
+    def test_round_trip_sums_both_directions(self):
+        link = simple_link(latency_seconds=0.1)
+        expected = link.transfer_seconds(100) + link.transfer_seconds(200)
+        assert link.round_trip_seconds(100, 200) == pytest.approx(expected)
+
+    def test_scaled_changes_only_utilization(self):
+        link = simple_link()
+        slower = link.scaled(utilization=0.25)
+        assert slower.effective_bytes_per_second == 250.0
+        assert slower.name == link.name
+
+    def test_large_transfer_splits_into_many_packets(self):
+        link = simple_link()
+        payload = 100_000
+        packets = math.ceil(payload / link.payload_per_packet)
+        assert link.wire_bytes(payload) == payload + packets * 40
+
+
+class TestLinkValidation:
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(SimulationError):
+            simple_link(bits_per_second=0)
+
+    def test_utilization_bounds(self):
+        with pytest.raises(SimulationError):
+            simple_link(utilization=0.0)
+        with pytest.raises(SimulationError):
+            simple_link(utilization=1.5)
+
+    def test_mtu_must_exceed_header(self):
+        with pytest.raises(SimulationError):
+            simple_link(mtu_bytes=40, header_bytes=40)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(SimulationError):
+            simple_link(latency_seconds=-0.1)
+
+
+class TestPresets:
+    def test_cypress_is_9600_baud_async(self):
+        assert CYPRESS_9600.bits_per_second == 9_600
+        assert CYPRESS_9600.bits_per_byte == 10
+
+    def test_cypress_500k_transfer_in_paper_range(self):
+        # Figure 1's top E-time line sits around 560-600 s.
+        seconds = CYPRESS_9600.transfer_seconds(500_000)
+        assert 500 < seconds < 650
+
+    def test_arpanet_effective_rate_reflects_congestion(self):
+        # Nominal 7000 B/s; the paper measured an order of magnitude less.
+        assert ARPANET_56K.effective_bytes_per_second < 1000
+
+    def test_arpanet_500k_transfer_in_paper_range(self):
+        seconds = ARPANET_56K.transfer_seconds(500_000)
+        assert 600 < seconds < 800
+
+    def test_lan_is_fast(self):
+        assert LAN_10M.transfer_seconds(500_000) < 1.0
+
+    def test_preset_registry_contains_all(self):
+        assert {"cypress-9600", "arpanet-56k", "clear-56k", "lan-10m"} <= set(
+            PRESET_LINKS
+        )
+
+
+class TestLinkStats:
+    def test_record_accumulates(self):
+        stats = LinkStats()
+        stats.record(100, 140, 1.0)
+        stats.record(200, 240, 2.0)
+        assert stats.transfers == 2
+        assert stats.payload_bytes == 300
+        assert stats.wire_bytes == 380
+        assert stats.busy_seconds == pytest.approx(3.0)
+
+
+class TestProcessingModel:
+    def test_diff_cost_grows_with_size(self):
+        model = ProcessingModel()
+        assert model.diff_seconds(500_000) > model.diff_seconds(10_000)
+
+    def test_sun3_diff_of_500k_is_tens_of_seconds(self):
+        # This is what makes Figure 3's speedup plateau near 25x.
+        assert 10 < SUN3_PROCESSING.diff_seconds(500_000) < 30
+
+    def test_free_model_charges_nothing(self):
+        assert FREE_PROCESSING.diff_seconds(1_000_000) == 0.0
+        assert FREE_PROCESSING.patch_seconds(1_000_000) == 0.0
+
+    def test_scaled_speeds_up(self):
+        model = ProcessingModel()
+        faster = model.scaled(10.0)
+        assert faster.diff_seconds(100_000) < model.diff_seconds(100_000)
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(SimulationError):
+            ProcessingModel().scaled(0.0)

@@ -1,0 +1,112 @@
+"""Tests for network topology and routing."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simnet.link import CYPRESS_9600, LAN_10M, Link
+from repro.simnet.topology import Host, Network
+
+
+@pytest.fixture
+def point_to_point():
+    return Network.point_to_point(CYPRESS_9600)
+
+
+class TestConstruction:
+    def test_point_to_point_has_two_hosts(self, point_to_point):
+        assert point_to_point.hosts == ["supercomputer", "workstation"]
+
+    def test_duplicate_host_rejected(self, point_to_point):
+        with pytest.raises(SimulationError):
+            point_to_point.add_host(Host("workstation"))
+
+    def test_empty_host_name_rejected(self):
+        with pytest.raises(SimulationError):
+            Host("")
+
+    def test_self_link_rejected(self, point_to_point):
+        with pytest.raises(SimulationError):
+            point_to_point.connect("workstation", "workstation", CYPRESS_9600)
+
+    def test_link_requires_existing_hosts(self, point_to_point):
+        with pytest.raises(SimulationError):
+            point_to_point.connect("workstation", "ghost", CYPRESS_9600)
+
+    def test_unknown_host_lookup(self, point_to_point):
+        with pytest.raises(SimulationError):
+            point_to_point.host("ghost")
+
+    def test_link_between(self, point_to_point):
+        link = point_to_point.link_between("workstation", "supercomputer")
+        assert link.name == "cypress-9600"
+
+
+class TestRouting:
+    def test_direct_route(self, point_to_point):
+        assert point_to_point.route("workstation", "supercomputer") == [
+            "workstation",
+            "supercomputer",
+        ]
+
+    def test_route_to_self(self, point_to_point):
+        assert point_to_point.route("workstation", "workstation") == [
+            "workstation"
+        ]
+
+    def test_no_route_raises(self):
+        network = Network()
+        network.add_host(Host("a"))
+        network.add_host(Host("b"))
+        with pytest.raises(SimulationError):
+            network.route("a", "b")
+
+    def test_campus_routes_through_gateway(self):
+        network = Network.campus_backbone(CYPRESS_9600, LAN_10M)
+        assert network.route("ws1", "supercomputer") == [
+            "ws1",
+            "gateway",
+            "supercomputer",
+        ]
+
+    def test_min_delay_route_preferred(self):
+        network = Network()
+        for name in ("a", "b", "via"):
+            network.add_host(Host(name))
+        network.connect("a", "b", CYPRESS_9600)  # slow direct
+        network.connect("a", "via", LAN_10M)
+        network.connect("via", "b", LAN_10M)
+        assert network.route("a", "b") == ["a", "via", "b"]
+
+
+class TestTransferAccounting:
+    def test_single_hop_matches_link_time(self, point_to_point):
+        seconds = point_to_point.transfer_seconds(
+            "workstation", "supercomputer", 10_000
+        )
+        assert seconds == pytest.approx(CYPRESS_9600.transfer_seconds(10_000))
+
+    def test_same_host_transfer_is_free(self, point_to_point):
+        assert (
+            point_to_point.transfer_seconds("workstation", "workstation", 999)
+            == 0.0
+        )
+
+    def test_bottleneck_dominates_multi_hop(self):
+        network = Network.campus_backbone(CYPRESS_9600, LAN_10M)
+        seconds = network.transfer_seconds("ws1", "supercomputer", 50_000)
+        bottleneck = CYPRESS_9600.transfer_seconds(50_000)
+        assert seconds >= bottleneck
+        # The fast hop adds at most one packet's time plus latency.
+        assert seconds < bottleneck + 1.0
+
+    def test_stats_recorded_per_link(self, point_to_point):
+        point_to_point.transfer_seconds("workstation", "supercomputer", 1_000)
+        stats = point_to_point.stats_between("workstation", "supercomputer")
+        assert stats.transfers == 1
+        assert stats.payload_bytes == 1_000
+
+    def test_stats_symmetric_lookup(self, point_to_point):
+        point_to_point.transfer_seconds("workstation", "supercomputer", 10)
+        forward = point_to_point.stats_between("workstation", "supercomputer")
+        backward = point_to_point.stats_between("supercomputer", "workstation")
+        assert forward is backward

@@ -1,0 +1,100 @@
+"""Tests for congestion / background-traffic models."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simnet.link import CLEAR_56K
+from repro.simnet.traffic import (
+    BurstyTraffic,
+    CongestedLink,
+    ConstantTraffic,
+    DiurnalTraffic,
+)
+
+
+class TestConstantTraffic:
+    def test_default_is_uncongested(self):
+        assert ConstantTraffic().utilization_at(123.0) == 1.0
+
+    def test_fixed_level(self):
+        assert ConstantTraffic(available=0.4).utilization_at(0.0) == 0.4
+
+    def test_rejects_zero(self):
+        with pytest.raises(SimulationError):
+            ConstantTraffic(available=0.0).utilization_at(0.0)
+
+
+class TestDiurnalTraffic:
+    def test_quietest_at_phase_zero(self):
+        model = DiurnalTraffic(peak_load=0.8, base_load=0.1)
+        night = model.utilization_at(0.0)
+        midday = model.utilization_at(43_200.0)
+        assert night > midday
+
+    def test_midday_availability_matches_peak_load(self):
+        model = DiurnalTraffic(peak_load=0.8, base_load=0.1)
+        assert model.utilization_at(43_200.0) == pytest.approx(0.2)
+
+    def test_period_repeats(self):
+        model = DiurnalTraffic()
+        assert model.utilization_at(1000.0) == pytest.approx(
+            model.utilization_at(1000.0 + 86_400.0)
+        )
+
+    def test_invalid_loads_rejected(self):
+        with pytest.raises(SimulationError):
+            DiurnalTraffic(peak_load=0.1, base_load=0.5).utilization_at(0.0)
+
+
+class TestBurstyTraffic:
+    def test_deterministic_per_seed(self):
+        a = BurstyTraffic(seed=7)
+        b = BurstyTraffic(seed=7)
+        times = [0.0, 31.0, 200.0, 999.0]
+        assert [a.utilization_at(t) for t in times] == [
+            b.utilization_at(t) for t in times
+        ]
+
+    def test_different_seeds_differ(self):
+        a = BurstyTraffic(seed=1)
+        b = BurstyTraffic(seed=2)
+        times = [30.0 * slot for slot in range(40)]
+        assert [a.utilization_at(t) for t in times] != [
+            b.utilization_at(t) for t in times
+        ]
+
+    def test_constant_within_a_slot(self):
+        model = BurstyTraffic(slot_seconds=30.0)
+        assert model.utilization_at(60.0) == model.utilization_at(89.9)
+
+    def test_always_in_range(self):
+        model = BurstyTraffic()
+        for slot in range(100):
+            value = model.utilization_at(slot * 30.0)
+            assert 0 < value <= 1
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            BurstyTraffic().utilization_at(-1.0)
+
+
+class TestCongestedLink:
+    def test_congestion_slows_transfers(self):
+        congested = CongestedLink(CLEAR_56K, ConstantTraffic(available=0.5))
+        clear = CLEAR_56K.transfer_seconds(10_000)
+        assert congested.transfer_seconds(10_000) > clear
+
+    def test_link_at_samples_model(self):
+        congested = CongestedLink(
+            CLEAR_56K, DiurnalTraffic(peak_load=0.8, base_load=0.0)
+        )
+        night_link = congested.link_at(0.0)
+        midday_link = congested.link_at(43_200.0)
+        assert (
+            night_link.effective_bytes_per_second
+            > midday_link.effective_bytes_per_second
+        )
+
+    def test_wire_bytes_independent_of_congestion(self):
+        congested = CongestedLink(CLEAR_56K, ConstantTraffic(available=0.5))
+        assert congested.wire_bytes(1000) == CLEAR_56K.wire_bytes(1000)

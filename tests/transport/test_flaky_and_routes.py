@@ -1,0 +1,191 @@
+"""Tests for failure injection and multi-hop route wires."""
+
+import pytest
+
+from repro.core.client import ShadowClient
+from repro.core.server import ShadowServer
+from repro.core.workspace import MappingWorkspace
+from repro.errors import ProtocolError, TransportError
+from repro.simnet.clock import SimulatedClock
+from repro.simnet.link import CYPRESS_9600, LAN_10M
+from repro.simnet.topology import Network
+from repro.transport.base import LoopbackChannel
+from repro.transport.flaky import FailNextChannel, FlakyChannel
+from repro.transport.sim import RouteWire, SimChannel
+from repro.workload.files import make_text_file
+
+PATH = "/data/input.dat"
+
+
+class TestFlakyChannel:
+    def test_no_faults_at_zero_rates(self):
+        channel = FlakyChannel(LoopbackChannel(lambda p: p))
+        for _ in range(50):
+            assert channel.request(b"x") == b"x"
+        assert channel.faults_injected == 0
+
+    def test_drops_raise_transport_error(self):
+        channel = FlakyChannel(
+            LoopbackChannel(lambda p: p), drop_rate=1.0
+        )
+        with pytest.raises(TransportError):
+            channel.request(b"x")
+
+    def test_seeded_schedule_is_deterministic(self):
+        def outcomes(seed):
+            channel = FlakyChannel(
+                LoopbackChannel(lambda p: p), drop_rate=0.5, seed=seed
+            )
+            results = []
+            for _ in range(20):
+                try:
+                    channel.request(b"x")
+                    results.append(True)
+                except TransportError:
+                    results.append(False)
+            return results
+
+        assert outcomes(1) == outcomes(1)
+        assert outcomes(1) != outcomes(2)
+
+    def test_reply_loss_happens_after_processing(self):
+        seen = []
+
+        def handler(payload: bytes) -> bytes:
+            seen.append(payload)
+            return b"ok"
+
+        channel = FlakyChannel(
+            LoopbackChannel(handler), reply_loss_rate=1.0
+        )
+        with pytest.raises(TransportError):
+            channel.request(b"did it arrive?")
+        assert seen == [b"did it arrive?"]
+
+    def test_garbled_reply_detected_by_codec(self):
+        server = ShadowServer()
+        client = ShadowClient("alice@ws", MappingWorkspace())
+        garbler = FlakyChannel(
+            LoopbackChannel(server.handle), garble_rate=1.0
+        )
+        with pytest.raises(ProtocolError):
+            client.connect(server.name, garbler)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(TransportError):
+            FlakyChannel(LoopbackChannel(lambda p: p), drop_rate=1.5)
+
+
+class TestFailureRecovery:
+    """The service stays consistent across injected faults."""
+
+    def build(self):
+        server = ShadowServer()
+        client = ShadowClient("alice@ws", MappingWorkspace())
+        channel = FailNextChannel(LoopbackChannel(server.handle))
+        client.connect(server.name, channel)
+        return server, client, channel
+
+    def test_lost_update_reply_then_retry_edit(self):
+        server, client, channel = self.build()
+        base = make_text_file(10_000, seed=130)
+        client.write_file(PATH, base)
+        key = str(client.workspace.resolve(PATH))
+        # The next notify's update exchange dies mid-flight (reply lost:
+        # the server may or may not have stored the new version).
+        edited = base + b"extra line\n"
+        channel.fail_next(count=1, lose_reply=True)
+        with pytest.raises(TransportError):
+            client.write_file(PATH, edited)
+        # The user simply saves again; shadow processing reconverges.
+        client.write_file(PATH, edited)
+        assert server.cache.get(key).content == edited
+
+    def test_dropped_submit_leaves_no_client_job(self):
+        server, client, channel = self.build()
+        channel.fail_next(count=1)
+        with pytest.raises(TransportError):
+            client.submit("echo hi", [])
+        assert len(client.status) == 0
+        # Retry works.
+        job_id = client.submit("echo hi", [])
+        assert client.fetch_output(job_id).stdout == b"hi\n"
+
+    def test_lost_fetch_reply_can_be_refetched(self):
+        server, client, channel = self.build()
+        job_id = client.submit("echo durable", [])
+        channel.fail_next(count=1, lose_reply=True)
+        with pytest.raises(TransportError):
+            client.fetch_output(job_id)
+        bundle = client.fetch_output(job_id)
+        assert bundle.stdout == b"durable\n"
+
+    def test_server_state_consistent_under_random_faults(self):
+        server = ShadowServer()
+        client = ShadowClient("alice@ws", MappingWorkspace())
+        flaky = FlakyChannel(
+            LoopbackChannel(server.handle),
+            drop_rate=0.15,
+            reply_loss_rate=0.15,
+            seed=31,
+        )
+        client.connect_attempts = 0
+        # Connect may itself fail; retry until it goes through.
+        for _ in range(20):
+            try:
+                client.connect(server.name, flaky)
+                break
+            except TransportError:
+                continue
+        content = make_text_file(5_000, seed=131)
+        successes = 0
+        for round_number in range(30):
+            content = content + b"line %d\n" % round_number
+            try:
+                client.write_file(PATH, content)
+                successes += 1
+            except TransportError:
+                # A later save converges; meanwhile retry is allowed.
+                continue
+        assert successes > 5
+        key = str(client.workspace.resolve(PATH))
+        # Whatever landed, the cached copy equals some real client version.
+        cached = server.cache.get(key)
+        chain = client.versions.chain(key)
+        assert cached.content in [
+            chain.get(number).content for number in chain.retained_numbers
+        ] or cached.version <= chain.latest_number
+
+
+class TestRouteWire:
+    def make_network(self):
+        network = Network.campus_backbone(CYPRESS_9600, LAN_10M)
+        return network
+
+    def test_route_timing_matches_network(self):
+        network = self.make_network()
+        wire = RouteWire(network, "ws1", "supercomputer")
+        seconds = wire.transfer_seconds(10_000)
+        direct = CYPRESS_9600.transfer_seconds(10_000 + 4)
+        assert seconds >= direct  # bottleneck + backbone hop overhead
+
+    def test_deliver_advances_clock(self):
+        network = self.make_network()
+        clock = SimulatedClock()
+        wire = RouteWire(network, "ws1", "supercomputer", clock)
+        wire.deliver(1_000)
+        assert clock.now() > 1.0
+
+    def test_full_protocol_over_multi_hop_route(self):
+        network = self.make_network()
+        clock = SimulatedClock()
+        server = ShadowServer(clock=clock)
+        uplink = RouteWire(network, "ws1", "supercomputer", clock)
+        downlink = RouteWire(network, "supercomputer", "ws1", clock)
+        channel = SimChannel(server.handle, uplink, downlink)
+        client = ShadowClient("alice@ws1", MappingWorkspace(), clock=clock)
+        client.connect(server.name, channel)
+        client.write_file(PATH, make_text_file(8_000, seed=132))
+        bundle = client.fetch_output(client.submit("wc input.dat", [PATH]))
+        assert bundle.exit_code == 0
+        assert clock.now() > 8.0  # 8 KB over a 9600-baud access line

@@ -1,0 +1,166 @@
+"""Tests for framing, loopback channels and the simulated wire."""
+
+import pytest
+
+from repro.errors import SimulationError, TransportClosedError, TransportError
+from repro.simnet.clock import SimulatedClock
+from repro.simnet.link import CYPRESS_9600
+from repro.simnet.traffic import CongestedLink, ConstantTraffic
+from repro.transport.base import LoopbackChannel
+from repro.transport.framing import (
+    HEADER_SIZE,
+    MAX_FRAME_SIZE,
+    FrameDecoder,
+    encode_frame,
+    frame_overhead,
+)
+from repro.transport.sim import SimChannel, Wire
+
+
+class TestFraming:
+    def test_encode_prefixes_length(self):
+        frame = encode_frame(b"abc")
+        assert frame == b"\x00\x00\x00\x03abc"
+
+    def test_decoder_single_frame(self):
+        decoder = FrameDecoder()
+        assert decoder.feed(encode_frame(b"hello")) == [b"hello"]
+
+    def test_decoder_handles_partial_chunks(self):
+        decoder = FrameDecoder()
+        frame = encode_frame(b"split me")
+        assert decoder.feed(frame[:3]) == []
+        assert decoder.feed(frame[3:6]) == []
+        assert decoder.feed(frame[6:]) == [b"split me"]
+
+    def test_decoder_handles_multiple_frames_in_one_chunk(self):
+        decoder = FrameDecoder()
+        chunk = encode_frame(b"one") + encode_frame(b"two")
+        assert decoder.feed(chunk) == [b"one", b"two"]
+
+    def test_pop_drains_in_order(self):
+        decoder = FrameDecoder()
+        decoder.feed(encode_frame(b"a") + encode_frame(b"b"))
+        assert decoder.pop() == b"a"
+        assert decoder.pop() == b"b"
+        assert decoder.pop() is None
+
+    def test_empty_frame(self):
+        decoder = FrameDecoder()
+        assert decoder.feed(encode_frame(b"")) == [b""]
+
+    def test_oversized_outgoing_rejected(self):
+        with pytest.raises(TransportError):
+            encode_frame(b"x" * (MAX_FRAME_SIZE + 1))
+
+    def test_oversized_incoming_rejected(self):
+        decoder = FrameDecoder()
+        bad_header = (MAX_FRAME_SIZE + 1).to_bytes(HEADER_SIZE, "big")
+        with pytest.raises(TransportError):
+            decoder.feed(bad_header)
+
+    def test_pending_bytes(self):
+        decoder = FrameDecoder()
+        decoder.feed(b"\x00\x00")
+        assert decoder.pending_bytes == 2
+
+    def test_overhead_constant(self):
+        assert frame_overhead() == 4
+
+
+class TestLoopbackChannel:
+    def test_request_reply(self):
+        channel = LoopbackChannel(lambda payload: payload.upper())
+        assert channel.request(b"ping") == b"PING"
+
+    def test_stats_recorded(self):
+        channel = LoopbackChannel(lambda payload: b"12345")
+        channel.request(b"ab")
+        assert channel.stats.requests == 1
+        assert channel.stats.request_bytes == 2
+        assert channel.stats.reply_bytes == 5
+        assert channel.stats.total_bytes == 7
+
+    def test_closed_channel_rejects(self):
+        channel = LoopbackChannel(lambda payload: payload)
+        channel.close()
+        with pytest.raises(TransportClosedError):
+            channel.request(b"x")
+
+
+class TestWire:
+    def test_deliver_advances_clock(self):
+        wire = Wire(CYPRESS_9600)
+        before = wire.clock.now()
+        wire.deliver(1_000)
+        framed = 1_000 + frame_overhead()
+        expected = CYPRESS_9600.transfer_seconds(framed)
+        assert wire.clock.now() - before == pytest.approx(expected)
+
+    def test_stats_accumulate(self):
+        wire = Wire(CYPRESS_9600)
+        wire.deliver(100)
+        wire.deliver(200)
+        assert wire.stats.transfers == 2
+        assert wire.stats.payload_bytes == 300
+
+    def test_arrival_after_does_not_advance_clock(self):
+        wire = Wire(CYPRESS_9600)
+        arrival = wire.arrival_after(10_000)
+        assert wire.clock.now() == 0.0
+        assert arrival > 0.0
+
+    def test_arrival_after_with_explicit_start(self):
+        wire = Wire(CYPRESS_9600)
+        a = wire.arrival_after(100, start=5.0)
+        assert a > 5.0
+
+    def test_arrival_in_past_rejected(self):
+        wire = Wire(CYPRESS_9600)
+        wire.clock.advance(10.0)
+        with pytest.raises(SimulationError):
+            wire.arrival_after(100, start=3.0)
+
+    def test_congested_wire_samples_model(self):
+        congested = CongestedLink(CYPRESS_9600, ConstantTraffic(available=0.5))
+        slow = Wire(congested)
+        fast = Wire(CYPRESS_9600)
+        assert slow.transfer_seconds(1_000) > fast.transfer_seconds(1_000)
+
+
+class TestSimChannel:
+    def test_request_charges_both_directions(self):
+        clock = SimulatedClock()
+        channel = SimChannel.over_link(
+            lambda payload: b"reply-" + payload, CYPRESS_9600, clock
+        )
+        channel.request(b"hello")
+        up = CYPRESS_9600.transfer_seconds(5 + 4)
+        down = CYPRESS_9600.transfer_seconds(11 + 4)
+        assert clock.now() == pytest.approx(up + down)
+
+    def test_separate_wires_share_clock(self):
+        clock = SimulatedClock()
+        uplink = Wire(CYPRESS_9600, clock)
+        downlink = Wire(CYPRESS_9600, clock)
+        channel = SimChannel(lambda p: p, uplink, downlink)
+        channel.request(b"x")
+        assert uplink.stats.transfers == 1
+        assert downlink.stats.transfers == 1
+
+    def test_mismatched_clocks_rejected(self):
+        uplink = Wire(CYPRESS_9600, SimulatedClock())
+        downlink = Wire(CYPRESS_9600, SimulatedClock())
+        with pytest.raises(SimulationError):
+            SimChannel(lambda p: p, uplink, downlink)
+
+    def test_handler_may_advance_clock(self):
+        clock = SimulatedClock()
+
+        def slow_handler(payload: bytes) -> bytes:
+            clock.advance(60.0)  # simulated server CPU time
+            return b"done"
+
+        channel = SimChannel.over_link(slow_handler, CYPRESS_9600, clock)
+        channel.request(b"work")
+        assert clock.now() > 60.0

@@ -1,0 +1,93 @@
+"""Tests for the real TCP transport (stdlib sockets, localhost)."""
+
+import threading
+
+import pytest
+
+from repro.errors import TransportError
+from repro.transport.tcp import TcpChannel, TcpChannelServer
+
+
+@pytest.fixture
+def echo_server():
+    server = TcpChannelServer(lambda payload: b"echo:" + payload)
+    yield server
+    server.close()
+
+
+class TestTcpChannel:
+    def test_request_reply(self, echo_server):
+        channel = TcpChannel("127.0.0.1", echo_server.port)
+        try:
+            assert channel.request(b"hello") == b"echo:hello"
+        finally:
+            channel.close()
+
+    def test_multiple_requests_one_connection(self, echo_server):
+        channel = TcpChannel("127.0.0.1", echo_server.port)
+        try:
+            for index in range(20):
+                payload = b"msg-%d" % index
+                assert channel.request(payload) == b"echo:" + payload
+        finally:
+            channel.close()
+
+    def test_large_payload(self, echo_server):
+        channel = TcpChannel("127.0.0.1", echo_server.port)
+        try:
+            big = b"x" * 1_000_000
+            assert channel.request(big) == b"echo:" + big
+        finally:
+            channel.close()
+
+    def test_concurrent_clients(self, echo_server):
+        errors = []
+
+        def worker(index: int) -> None:
+            try:
+                channel = TcpChannel("127.0.0.1", echo_server.port)
+                try:
+                    for n in range(5):
+                        payload = b"c%d-%d" % (index, n)
+                        assert channel.request(payload) == b"echo:" + payload
+                finally:
+                    channel.close()
+            except Exception as exc:  # noqa: BLE001 - collect for assertion
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(index,)) for index in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+    def test_connect_to_dead_port_raises(self):
+        probe = TcpChannelServer(lambda p: p)
+        dead_port = probe.port
+        probe.close()
+        with pytest.raises(TransportError):
+            TcpChannel("127.0.0.1", dead_port, timeout=0.5)
+
+    def test_handler_exception_surfaced_to_client(self):
+        def broken(payload: bytes) -> bytes:
+            raise RuntimeError("boom")
+
+        server = TcpChannelServer(broken)
+        try:
+            channel = TcpChannel("127.0.0.1", server.port)
+            try:
+                reply = channel.request(b"x")
+                assert b"HANDLER-ERROR" in reply
+            finally:
+                channel.close()
+        finally:
+            server.close()
+
+    def test_server_context_manager(self):
+        with TcpChannelServer(lambda p: p) as server:
+            channel = TcpChannel("127.0.0.1", server.port)
+            assert channel.request(b"ok") == b"ok"
+            channel.close()

@@ -1,0 +1,129 @@
+"""Tests for file versions and version chains."""
+
+import pytest
+
+from repro.errors import VersioningError, VersionNotFoundError
+from repro.versioning.version import FileVersion, VersionChain
+
+
+@pytest.fixture
+def chain():
+    return VersionChain("local/ws:/data/file.dat")
+
+
+class TestGrowth:
+    def test_versions_number_from_one(self, chain):
+        assert chain.add(b"v1").number == 1
+        assert chain.add(b"v2").number == 2
+
+    def test_latest_number_tracks_history(self, chain):
+        chain.add(b"a")
+        chain.add(b"b")
+        assert chain.latest_number == 2
+
+    def test_empty_chain_latest_number_zero(self, chain):
+        assert chain.latest_number == 0
+
+    def test_latest_on_empty_raises(self, chain):
+        with pytest.raises(VersionNotFoundError):
+            chain.latest()
+
+    def test_checksum_computed(self, chain):
+        version = chain.add(b"content")
+        assert len(version.checksum) == 16
+
+    def test_timestamp_recorded(self, chain):
+        assert chain.add(b"x", timestamp=42.0).created_at == 42.0
+
+    def test_versions_are_immutable(self, chain):
+        version = chain.add(b"x")
+        with pytest.raises(AttributeError):
+            version.content = b"y"
+
+    def test_size_property(self, chain):
+        assert chain.add(b"12345").size == 5
+
+
+class TestRetention:
+    def test_limit_drops_oldest(self):
+        chain = VersionChain("f", max_retained=2)
+        chain.add(b"1")
+        chain.add(b"2")
+        chain.add(b"3")
+        assert chain.retained_numbers == [2, 3]
+
+    def test_limit_of_one_keeps_latest_only(self):
+        chain = VersionChain("f", max_retained=1)
+        for index in range(5):
+            chain.add(b"v%d" % index)
+        assert chain.retained_numbers == [5]
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(VersioningError):
+            VersionChain("f", max_retained=0)
+
+    def test_numbers_keep_increasing_after_pruning(self):
+        chain = VersionChain("f", max_retained=1)
+        chain.add(b"a")
+        chain.add(b"b")
+        assert chain.add(b"c").number == 3
+
+    def test_retained_is_contiguous_suffix(self):
+        chain = VersionChain("f", max_retained=3)
+        for index in range(7):
+            chain.add(b"v%d" % index)
+        numbers = chain.retained_numbers
+        assert numbers == list(range(numbers[0], numbers[0] + len(numbers)))
+        assert numbers[-1] == chain.latest_number
+
+
+class TestAcknowledgementPruning:
+    def test_prune_below_acknowledged(self):
+        chain = VersionChain("f")
+        for index in range(5):
+            chain.add(b"v%d" % index)
+        dropped = chain.prune_older_than(4)
+        assert dropped == 3
+        assert chain.retained_numbers == [4, 5]
+
+    def test_latest_never_pruned(self):
+        chain = VersionChain("f")
+        chain.add(b"only")
+        assert chain.prune_older_than(99) == 0
+        assert chain.retained_numbers == [1]
+
+    def test_prune_is_idempotent(self):
+        chain = VersionChain("f")
+        chain.add(b"a")
+        chain.add(b"b")
+        chain.prune_older_than(2)
+        assert chain.prune_older_than(2) == 0
+
+
+class TestQueries:
+    def test_get_missing_raises_with_context(self):
+        chain = VersionChain("file-x")
+        chain.add(b"a")
+        with pytest.raises(VersionNotFoundError) as excinfo:
+            chain.get(7)
+        assert excinfo.value.name == "file-x"
+        assert excinfo.value.version == 7
+
+    def test_retains(self):
+        chain = VersionChain("f", max_retained=1)
+        chain.add(b"a")
+        chain.add(b"b")
+        assert not chain.retains(1)
+        assert chain.retains(2)
+
+    def test_retained_bytes(self):
+        chain = VersionChain("f")
+        chain.add(b"12")
+        chain.add(b"3456")
+        assert chain.retained_bytes == 6
+
+    def test_len(self):
+        chain = VersionChain("f", max_retained=2)
+        for index in range(4):
+            chain.add(b"x")
+        assert len(chain) == 2

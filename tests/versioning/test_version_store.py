@@ -1,0 +1,135 @@
+"""Tests for the client-side version store and update production."""
+
+import pytest
+
+from repro.diffing.model import decode_delta
+from repro.errors import VersionNotFoundError, VersioningError
+from repro.versioning.store import DeltaUpdate, FullContent, VersionStore
+from repro.workload.edits import modify_percent
+from repro.workload.files import make_text_file
+
+KEY = "local/ws:/data/file.dat"
+
+
+@pytest.fixture
+def store():
+    return VersionStore()
+
+
+class TestRecording:
+    def test_record_creates_chain(self, store):
+        version = store.record_edit(KEY, b"content")
+        assert version.number == 1
+        assert store.tracks(KEY)
+
+    def test_separate_files_have_separate_chains(self, store):
+        store.record_edit(KEY, b"a")
+        store.record_edit("other", b"b")
+        assert store.latest(KEY).content == b"a"
+        assert store.latest("other").content == b"b"
+
+    def test_names_sorted(self, store):
+        store.record_edit("b", b"")
+        store.record_edit("a", b"")
+        assert store.names == ["a", "b"]
+
+    def test_unknown_file_raises(self, store):
+        with pytest.raises(VersionNotFoundError):
+            store.latest("ghost")
+
+    def test_retained_bytes_sums_chains(self, store):
+        store.record_edit("a", b"12")
+        store.record_edit("b", b"345")
+        assert store.retained_bytes == 5
+
+    def test_invalid_max_retained(self):
+        with pytest.raises(VersioningError):
+            VersionStore(max_retained=0)
+
+
+class TestUpdateProduction:
+    def test_first_update_is_full(self, store):
+        store.record_edit(KEY, b"v1 content")
+        update = store.update_from(KEY, server_base=None)
+        assert isinstance(update, FullContent)
+        assert update.content == b"v1 content"
+        assert update.number == 1
+
+    def test_zero_base_means_full(self, store):
+        store.record_edit(KEY, b"v1")
+        assert isinstance(store.update_from(KEY, server_base=0), FullContent)
+
+    def test_small_edit_becomes_delta(self, store):
+        base = make_text_file(10_000, seed=50)
+        store.record_edit(KEY, base)
+        edited = modify_percent(base, 2, seed=50)
+        store.record_edit(KEY, edited)
+        update = store.update_from(KEY, server_base=1)
+        assert isinstance(update, DeltaUpdate)
+        assert update.base_number == 1
+        assert update.number == 2
+        assert update.encoded_size < len(edited)
+
+    def test_delta_reconstructs_target(self, store):
+        base = make_text_file(5_000, seed=51)
+        edited = modify_percent(base, 5, seed=51)
+        store.record_edit(KEY, base)
+        store.record_edit(KEY, edited)
+        update = store.update_from(KEY, server_base=1)
+        assert isinstance(update, DeltaUpdate)
+        rebuilt = decode_delta(update.delta.encode()).apply(base)
+        assert rebuilt == edited
+
+    def test_pruned_base_falls_back_to_full(self):
+        store = VersionStore(max_retained=1)
+        store.record_edit(KEY, b"v1")
+        store.record_edit(KEY, b"v2")
+        update = store.update_from(KEY, server_base=1)
+        assert isinstance(update, FullContent)
+
+    def test_rewritten_file_falls_back_to_full(self, store):
+        # When the delta would exceed the full file, ship the file.
+        store.record_edit(KEY, make_text_file(2_000, seed=52))
+        store.record_edit(KEY, make_text_file(2_000, seed=53))
+        update = store.update_from(KEY, server_base=1)
+        assert isinstance(update, FullContent)
+
+    def test_server_already_current_gets_empty_delta(self, store):
+        store.record_edit(KEY, b"same\ncontent\n")
+        update = store.update_from(KEY, server_base=1)
+        assert isinstance(update, DeltaUpdate)
+        assert update.delta.ops == ()
+
+    def test_explicit_target_version(self, store):
+        store.record_edit(KEY, b"v1\n")
+        store.record_edit(KEY, b"v2\n")
+        store.record_edit(KEY, b"v3\n")
+        update = store.update_from(KEY, server_base=1, target=2)
+        assert update.number == 2
+
+    def test_respects_configured_algorithm(self):
+        store = VersionStore(diff_algorithm="tichy")
+        base = make_text_file(5_000, seed=54)
+        store.record_edit(KEY, base)
+        store.record_edit(KEY, modify_percent(base, 2, seed=54))
+        update = store.update_from(KEY, server_base=1)
+        assert isinstance(update, DeltaUpdate)
+        assert update.delta.algorithm == "tichy"
+
+
+class TestAcknowledgement:
+    def test_acknowledge_prunes_older(self, store):
+        for index in range(4):
+            store.record_edit(KEY, b"v%d" % index)
+        dropped = store.acknowledge(KEY, 3)
+        assert dropped == 2
+        assert store.chain(KEY).retained_numbers == [3, 4]
+
+    def test_after_acknowledge_delta_from_acked_base_works(self, store):
+        base = make_text_file(3_000, seed=55)
+        store.record_edit(KEY, base)
+        store.acknowledge(KEY, 1)
+        edited = modify_percent(base, 3, seed=55)
+        store.record_edit(KEY, edited)
+        update = store.update_from(KEY, server_base=1)
+        assert isinstance(update, DeltaUpdate)

@@ -1,0 +1,38 @@
+"""Tests for the multi-user community driver."""
+
+import pytest
+
+from repro.errors import ShadowError
+from repro.workload.community import run_community
+
+
+class TestCommunity:
+    def test_shadow_far_cheaper_than_conventional(self):
+        shadow = run_community(users=3, cycles_per_user=3, shadow=True)
+        conventional = run_community(users=3, cycles_per_user=3, shadow=False)
+        assert shadow.total_bytes < conventional.total_bytes / 4
+
+    def test_traffic_scales_linearly_with_users(self):
+        two = run_community(users=2, cycles_per_user=2)
+        four = run_community(users=4, cycles_per_user=2)
+        assert four.total_bytes == pytest.approx(
+            two.total_bytes * 2, rel=0.15
+        )
+
+    def test_report_fields(self):
+        report = run_community(users=2, cycles_per_user=3)
+        assert report.users == 2
+        assert report.cycles_per_user == 3
+        assert report.bytes_per_cycle > 0
+
+    def test_users_isolated_from_each_other(self):
+        # Each user's files are private; a community run must not leak
+        # content between workspaces (distinct hosts => distinct keys).
+        report = run_community(users=2, cycles_per_user=1)
+        assert report.total_bytes > 0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ShadowError):
+            run_community(users=0)
+        with pytest.raises(ShadowError):
+            run_community(cycles_per_user=0)

@@ -1,0 +1,56 @@
+"""Tests for the background-update concurrency driver (§5.1)."""
+
+import pytest
+
+from repro.errors import ShadowError
+from repro.simnet.link import CYPRESS_9600, LAN_10M
+from repro.workload.concurrent import run_concurrent_session
+
+
+class TestConcurrentSessions:
+    def test_overlap_shrinks_submit_wait(self):
+        overlapped = run_concurrent_session(CYPRESS_9600, overlap=True)
+        sequential = run_concurrent_session(CYPRESS_9600, overlap=False)
+        assert overlapped.submit_wait_seconds < sequential.submit_wait_seconds / 2
+
+    def test_overlap_never_slower_in_total(self):
+        overlapped = run_concurrent_session(CYPRESS_9600, overlap=True)
+        sequential = run_concurrent_session(CYPRESS_9600, overlap=False)
+        assert overlapped.total_seconds <= sequential.total_seconds * 1.01
+
+    def test_transfers_hide_fully_under_long_think_time(self):
+        report = run_concurrent_session(
+            CYPRESS_9600, think_seconds=300.0, overlap=True
+        )
+        # Editing dominates; the submit wait is just control + execution.
+        assert report.edit_phase_seconds == pytest.approx(900.0, abs=1.0)
+        assert report.submit_wait_seconds < 10.0
+
+    def test_zero_think_time_degenerates_to_sequential(self):
+        overlapped = run_concurrent_session(
+            CYPRESS_9600, think_seconds=0.0, overlap=True
+        )
+        sequential = run_concurrent_session(
+            CYPRESS_9600, think_seconds=0.0, overlap=False
+        )
+        # No think time to hide under: totals converge.
+        assert overlapped.total_seconds == pytest.approx(
+            sequential.total_seconds, rel=0.25
+        )
+
+    def test_fast_link_makes_policies_equal(self):
+        overlapped = run_concurrent_session(LAN_10M, overlap=True)
+        sequential = run_concurrent_session(LAN_10M, overlap=False)
+        assert overlapped.total_seconds == pytest.approx(
+            sequential.total_seconds, rel=0.05
+        )
+
+    def test_file_count_recorded(self):
+        report = run_concurrent_session(
+            CYPRESS_9600, file_sizes=(10_000, 10_000), overlap=True
+        )
+        assert report.files == 2
+
+    def test_negative_think_time_rejected(self):
+        with pytest.raises(ShadowError):
+            run_concurrent_session(CYPRESS_9600, think_seconds=-1.0)

@@ -1,0 +1,94 @@
+"""Tests for the §8.1 experiment driver."""
+
+import pytest
+
+from repro.core.service import SimulatedDeployment
+from repro.simnet.link import ARPANET_56K, CYPRESS_9600
+from repro.workload.cycles import (
+    EditSubmitFetchDriver,
+    ExperimentConfig,
+    figure_data,
+    figure_point,
+    run_conventional_experiment,
+    run_shadow_experiment,
+)
+from repro.workload.files import make_text_file
+
+
+@pytest.fixture
+def config():
+    return ExperimentConfig(link=CYPRESS_9600)
+
+
+class TestDriver:
+    def test_cycle_outcome_fields(self, config):
+        deployment = SimulatedDeployment.build(config.link)
+        driver = EditSubmitFetchDriver(deployment)
+        outcome = driver.run_cycle(make_text_file(5_000, seed=100))
+        assert outcome.seconds > 0
+        assert outcome.uplink_payload_bytes > 5_000
+        assert outcome.downlink_payload_bytes > 0
+        assert outcome.job_id
+
+    def test_cycles_counted(self, config):
+        deployment = SimulatedDeployment.build(config.link)
+        driver = EditSubmitFetchDriver(deployment)
+        driver.run_cycle(b"one\n")
+        driver.run_cycle(b"two\n")
+        assert driver.cycles_run == 2
+
+
+class TestShadowExperiment:
+    def test_resubmission_faster_than_first(self, config):
+        first, resubmission = run_shadow_experiment(20_000, 5, config)
+        assert resubmission.seconds < first.seconds
+
+    def test_more_modification_costs_more(self, config):
+        _, light = run_shadow_experiment(20_000, 1, config)
+        _, heavy = run_shadow_experiment(20_000, 40, config)
+        assert heavy.seconds > light.seconds
+
+    def test_bigger_files_cost_more(self, config):
+        _, small = run_shadow_experiment(10_000, 5, config)
+        _, large = run_shadow_experiment(50_000, 5, config)
+        assert large.seconds > small.seconds
+
+    def test_deterministic(self, config):
+        a = run_shadow_experiment(10_000, 5, config)
+        b = run_shadow_experiment(10_000, 5, config)
+        assert a[1].seconds == b[1].seconds
+
+
+class TestConventionalExperiment:
+    def test_time_scales_with_size(self, config):
+        small = run_conventional_experiment(10_000, config)
+        large = run_conventional_experiment(50_000, config)
+        assert large.seconds > small.seconds * 3
+
+    def test_conventional_ships_full_file(self, config):
+        outcome = run_conventional_experiment(20_000, config)
+        assert outcome.uplink_payload_bytes > 20_000
+
+
+class TestFigureAssembly:
+    def test_figure_point_speedup_positive(self, config):
+        point = figure_point(10_000, 5, config)
+        assert point.speedup > 1.0
+
+    def test_figure_data_structure(self, config):
+        figure = figure_data(
+            "test figure", [10_000, 20_000], [1, 10], config
+        )
+        assert set(figure.shadow_series) == {10_000, 20_000}
+        assert set(figure.conventional_levels) == {10_000, 20_000}
+        assert figure.shadow_series[10_000].xs() == [1, 10]
+        speedups = figure.speedups()
+        assert (10_000, 1) in speedups
+
+    def test_environment_override_plumbs_through(self):
+        config = ExperimentConfig(link=ARPANET_56K).with_environment(
+            diff_algorithm="tichy"
+        )
+        assert config.environment.diff_algorithm == "tichy"
+        _, resubmission = run_shadow_experiment(10_000, 5, config)
+        assert resubmission.seconds > 0

@@ -1,0 +1,145 @@
+"""Tests for workload file and edit generators."""
+
+import pytest
+
+from repro.errors import ShadowError
+from repro.workload.edits import (
+    delete_percent,
+    insert_percent,
+    measured_change_percent,
+    modify_percent,
+)
+from repro.workload.files import (
+    FIGURE_FILE_SIZES,
+    make_binary_file,
+    make_repetitive_file,
+    make_text_file,
+)
+
+
+class TestFileGenerators:
+    @pytest.mark.parametrize("size", [0, 1, 2, 100, 9_999, 100_000])
+    def test_exact_size(self, size):
+        assert len(make_text_file(size)) == size
+
+    def test_deterministic(self):
+        assert make_text_file(5_000, seed=1) == make_text_file(5_000, seed=1)
+
+    def test_seeds_differ(self):
+        assert make_text_file(5_000, seed=1) != make_text_file(5_000, seed=2)
+
+    def test_line_structured(self):
+        content = make_text_file(10_000)
+        lines = content.split(b"\n")
+        assert len(lines) > 100
+        assert content.endswith(b"\n")
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ShadowError):
+            make_text_file(-1)
+
+    def test_binary_exact_size_and_entropy(self):
+        data = make_binary_file(10_000, seed=3)
+        assert len(data) == 10_000
+        assert len(set(data)) > 200  # roughly uniform
+
+    def test_repetitive_repeats(self):
+        data = make_repetitive_file(10_000, period=100, seed=4)
+        assert len(data) == 10_000
+        assert data[:100] == data[100:200]
+
+    def test_figure_sizes_match_paper(self):
+        assert FIGURE_FILE_SIZES == {
+            "10k": 10_000,
+            "50k": 50_000,
+            "100k": 100_000,
+            "200k": 200_000,
+            "500k": 500_000,
+        }
+
+
+class TestModifyPercent:
+    @pytest.fixture
+    def base(self):
+        return make_text_file(50_000, seed=10)
+
+    @pytest.mark.parametrize("percent", [1, 5, 10, 20, 40, 60, 80])
+    def test_modified_share_close_to_requested(self, base, percent):
+        edited = modify_percent(base, percent, seed=10)
+        measured = measured_change_percent(base, edited)
+        assert measured == pytest.approx(percent, rel=0.35, abs=0.5)
+
+    def test_size_preserved(self, base):
+        assert len(modify_percent(base, 20, seed=10)) == len(base)
+
+    def test_zero_percent_identity(self, base):
+        assert modify_percent(base, 0, seed=10) is base
+
+    def test_deterministic(self, base):
+        assert modify_percent(base, 5, seed=1) == modify_percent(
+            base, 5, seed=1
+        )
+
+    def test_seeds_scatter_differently(self, base):
+        assert modify_percent(base, 5, seed=1) != modify_percent(
+            base, 5, seed=2
+        )
+
+    def test_clustered_edits_are_contiguous(self, base):
+        edited = modify_percent(base, 10, seed=10, clustered=True)
+        base_lines = base.split(b"\n")
+        edited_lines = edited.split(b"\n")
+        changed = [
+            index
+            for index, (a, b) in enumerate(zip(base_lines, edited_lines))
+            if a != b
+        ]
+        # Contiguous modulo wrap-around: spread == count.
+        assert changed
+        span = changed[-1] - changed[0] + 1
+        assert span == len(changed) or len(base_lines) - span < len(changed)
+
+    def test_out_of_range_rejected(self, base):
+        with pytest.raises(ShadowError):
+            modify_percent(base, 101)
+        with pytest.raises(ShadowError):
+            modify_percent(base, -1)
+
+    def test_empty_input(self):
+        assert modify_percent(b"", 50) == b""
+
+
+class TestInsertDelete:
+    @pytest.fixture
+    def base(self):
+        return make_text_file(20_000, seed=11)
+
+    def test_insert_grows_by_percent(self, base):
+        grown = insert_percent(base, 10, seed=11)
+        assert len(grown) == pytest.approx(len(base) * 1.1, rel=0.02)
+
+    def test_insert_preserves_original_lines(self, base):
+        grown = insert_percent(base, 5, seed=11)
+        for line in base.split(b"\n")[:10]:
+            assert line in grown
+
+    def test_delete_shrinks_by_percent(self, base):
+        shrunk = delete_percent(base, 10, seed=11)
+        assert len(shrunk) == pytest.approx(len(base) * 0.9, rel=0.05)
+
+    def test_delete_never_empties(self, base):
+        assert len(delete_percent(base, 100, seed=11)) > 0
+
+    def test_zero_percent_identity(self, base):
+        assert insert_percent(base, 0) is base
+        assert delete_percent(base, 0) is base
+
+
+class TestMeasuredChange:
+    def test_identical_is_zero(self):
+        content = make_text_file(1_000, seed=12)
+        assert measured_change_percent(content, content) == 0.0
+
+    def test_empty_base(self):
+        assert measured_change_percent(b"", b"x") == 100.0
+        assert measured_change_percent(b"", b"") == 0.0
