@@ -183,6 +183,39 @@ class CacheStore:
         """The cached entry without touching access stats (or None)."""
         return self._entries.get(key)
 
+    #: Verdicts from :meth:`reconcile`.
+    CURRENT = "current"
+    STALE = "stale"
+    MISSING = "missing"
+    DIVERGENT = "divergent"
+
+    def reconcile(self, key: str, version: int, checksum: str = "") -> str:
+        """Compare a client's ``(version, checksum)`` claim to the cache.
+
+        The reconciliation decision after a reconnect (§5.1 made
+        explicit).  Returns:
+
+        * ``CURRENT`` — same version *and* checksum (version numbers
+          alone cannot prove currency: they are per-client lineage);
+        * ``STALE`` — the cache is older; a delta from the cached
+          version (the last common point) repairs it;
+        * ``MISSING`` — no entry; only a full transfer helps;
+        * ``DIVERGENT`` — same-version checksum mismatch, or the cache
+          is *ahead* of the client's lineage (the client lost state);
+          treated like missing: full transfer, the best-effort worst
+          case.
+        """
+        cached = self._entries.get(key)
+        if cached is None:
+            return self.MISSING
+        if cached.version == version:
+            if not checksum or cached.checksum == checksum:
+                return self.CURRENT
+            return self.DIVERGENT
+        if cached.version < version:
+            return self.STALE
+        return self.DIVERGENT
+
     def invalidate(self, key: str) -> bool:
         """Drop an entry (e.g. the client reported it deleted)."""
         if key in self._entries:

@@ -33,6 +33,8 @@ from repro.core.protocol import (
     Ok,
     OutputReply,
     RequestUpdate,
+    Resync,
+    ResyncReply,
     StatusQuery,
     StatusReply,
     Submit,
@@ -45,9 +47,22 @@ from repro.core.protocol import (
 from repro.core.workspace import Workspace
 from repro.diffing.model import decode_delta
 from repro.diffing.selector import best_delta, worthwhile
-from repro.errors import ProtocolError, ShadowError, TransportError
+from repro.errors import (
+    CircuitOpenError,
+    ProtocolError,
+    RetryExhaustedError,
+    ShadowError,
+    TransportError,
+)
 from repro.jobs.output import OutputBundle
 from repro.jobs.status import JobRecord, JobState, StatusTable
+from repro.metrics.recorder import ResilienceStats
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.session import (
+    RawSession,
+    ResilienceConfig,
+    ResilientSession,
+)
 from repro.simnet.clock import Clock
 from repro.simnet.link import ProcessingModel
 from repro.transport.base import RequestChannel
@@ -75,6 +90,7 @@ class ShadowClient:
         environment: Optional[ShadowEnvironment] = None,
         clock: Optional[Clock] = None,
         processing: Optional[ProcessingModel] = None,
+        resilience: Optional[ResilienceConfig] = None,
     ) -> None:
         if not client_id:
             raise ProtocolError("client id must be non-empty")
@@ -85,6 +101,11 @@ class ShadowClient:
         )
         self.clock = clock
         self.processing = processing
+        self.resilience = (
+            resilience if resilience is not None else ResilienceConfig()
+        )
+        #: Shared by every session this client opens.
+        self.resilience_stats = ResilienceStats()
         self.versions = VersionStore(
             max_retained=self.environment.max_retained_versions,
             diff_algorithm=self.environment.diff_algorithm,
@@ -93,6 +114,12 @@ class ShadowClient:
         #: Delivered results: local file name -> content.
         self.results: Dict[str, bytes] = {}
         self._channels: Dict[str, RequestChannel] = {}
+        #: host -> session wrapping the channel above.  Sessions are
+        #: (re)built lazily whenever the channel object changes, so test
+        #: code that swaps ``_channels[host]`` directly keeps working.
+        self._sessions: Dict[str, Any] = {}
+        #: host -> {key: version} notifications parked while degraded.
+        self._parked: Dict[str, Dict[str, int]] = {}
         self._jobs: Dict[str, SubmittedJob] = {}
         #: Bundles the server pushed on completion (§6.2); fetch_output
         #: serves these locally instead of re-downloading.
@@ -121,37 +148,135 @@ class ShadowClient:
     # ------------------------------------------------------------------
     def connect(self, host: str, channel: RequestChannel) -> None:
         """Open a session to a shadow server reachable via ``channel``."""
-        reply = self._request(
-            channel,
-            Hello(client_id=self.client_id, domain=str(self._domain())),
+        session = self._make_session(channel)
+        reply = session.send(
+            Hello(client_id=self.client_id, domain=str(self._domain()))
         )
         expect(reply, Ok)
         self._channels[host] = channel
+        self._sessions[host] = session
 
     def disconnect(self, host: str) -> None:
         channel = self._channels.pop(host, None)
+        session = self._sessions.pop(host, None)
+        self._parked.pop(host, None)
         if channel is not None and not channel.closed:
+            if session is None:
+                session = self._make_session(channel)
             try:
-                self._request(channel, Bye(client_id=self.client_id))
+                session.send(Bye(client_id=self.client_id))
             except (TransportError, ProtocolError):
                 pass  # best effort: the session is going away regardless
+
+    def reconnect(
+        self, host: Optional[str] = None, channel: Optional[RequestChannel] = None
+    ) -> Dict[str, int]:
+        """Resume a session after a crash, partition or server restart.
+
+        Re-``Hello``s (over ``channel`` if given, else the existing one),
+        then reconciles state with the server: every tracked shadow file
+        is reported with its latest version and checksum, and the server
+        answers with the repairs it needs — a delta from the last common
+        version for a stale cache entry, full content for a missing or
+        divergent one (§5.1: worst case is an extra transfer, never
+        corruption).  Parked notifications are replayed afterwards.
+
+        Returns a small report: files current / repaired by delta /
+        repaired in full.
+        """
+        name = host or self.environment.default_host
+        if channel is None:
+            channel = self._channels.get(name)
+            if channel is None:
+                raise TransportError(
+                    f"no channel for {name!r}; pass one to reconnect"
+                )
+        session = self._make_session(channel)
+        reply = session.send(
+            Hello(client_id=self.client_id, domain=str(self._domain()))
+        )
+        expect(reply, Ok)
+        self._channels[name] = channel
+        self._sessions[name] = session
+        report = self._reconcile(name, session)
+        self.resilience_stats.resyncs += 1
+        self._replay_parked(name)
+        return report
+
+    def _reconcile(self, host: str, session: Any) -> Dict[str, int]:
+        entries = []
+        for key in self.versions.names:
+            latest = self.versions.latest(key)
+            entries.append((key, latest.number, latest.checksum))
+        if not entries:
+            return {"current": 0, "delta": 0, "full": 0}
+        reply = session.send(
+            Resync(
+                client_id=self.client_id,
+                domain=str(self._domain()),
+                entries=tuple(entries),
+            )
+        )
+        resync = expect(reply, ResyncReply)
+        assert isinstance(resync, ResyncReply)
+        delta_repairs = 0
+        full_repairs = 0
+        for key, base_version in resync.needs:
+            if base_version:
+                delta_repairs += 1
+                self.resilience_stats.resync_delta_transfers += 1
+            else:
+                full_repairs += 1
+                self.resilience_stats.resync_full_transfers += 1
+            self._send_update(session, key, base_version)
+        return {
+            "current": len(resync.current),
+            "delta": delta_repairs,
+            "full": full_repairs,
+        }
+
+    def heal(self, host: Optional[str] = None) -> int:
+        """Replay notifications parked while the link was degraded.
+
+        Returns how many were successfully replayed.  Called implicitly
+        before every edit/submit, and by :meth:`reconnect`; exposed for
+        callers that learn out-of-band that the link is back.
+        """
+        name = host or self.environment.default_host
+        return self._replay_parked(name)
 
     def _domain(self) -> str:
         probe = self.workspace.resolve("/")  # root always resolves
         return str(probe.domain)
 
-    def _channel(self, host: Optional[str]) -> Tuple[str, RequestChannel]:
+    def _make_session(self, channel: RequestChannel) -> Any:
+        if not self.resilience.enabled:
+            return RawSession(channel)
+        return ResilientSession(
+            client_id=self.client_id,
+            channel=channel,
+            policy=self.resilience.retry,
+            breaker=CircuitBreaker(self.resilience.breaker),
+            clock=self.clock,
+            stats=self.resilience_stats,
+            seed=self.resilience.seed,
+        )
+
+    def _session(self, host: Optional[str]) -> Tuple[str, Any]:
+        """Resolve ``host`` to its session, rebuilding if the channel
+        was swapped out from under us (server restart in tests)."""
         name = host or self.environment.default_host
         try:
-            return name, self._channels[name]
+            channel = self._channels[name]
         except KeyError:
             raise TransportError(
                 f"not connected to {name!r}; connected: {sorted(self._channels)}"
             ) from None
-
-    @staticmethod
-    def _request(channel: RequestChannel, message: Message) -> Message:
-        return decode_message(channel.request(message.to_wire()))
+        session = self._sessions.get(name)
+        if session is None or session.channel is not channel:
+            session = self._make_session(channel)
+            self._sessions[name] = session
+        return name, session
 
     # ------------------------------------------------------------------
     # editing and notification (§6.4 "typical scenario")
@@ -172,40 +297,92 @@ class ShadowClient:
         return version.number
 
     def _notify(self, key: str, version: int, host: Optional[str]) -> None:
-        name, channel = self._channel(host)
+        name, session = self._session(host)
+        self._replay_parked(name)
         snapshot = self.versions.get(key, version)
-        reply = self._request(
-            channel,
-            Notify(
-                client_id=self.client_id,
-                key=key,
-                version=version,
-                size=snapshot.size,
-                checksum=snapshot.checksum,
-            ),
-        )
+        try:
+            reply = session.send(
+                Notify(
+                    client_id=self.client_id,
+                    key=key,
+                    version=version,
+                    size=snapshot.size,
+                    checksum=snapshot.checksum,
+                )
+            )
+        except (CircuitOpenError, RetryExhaustedError):
+            # Graceful degradation: the edit already succeeded locally,
+            # and notifications are advisory — the server pulls what it
+            # needs at submit time anyway.  Park the latest version per
+            # file and replay when the link heals.
+            parked = self._parked.setdefault(name, {})
+            if key not in parked or parked[key] < version:
+                parked[key] = version
+            self.resilience_stats.parked_notifications += 1
+            return
         notify_reply = expect(reply, NotifyReply)
         assert isinstance(notify_reply, NotifyReply)
         if notify_reply.pull_now:
-            self._send_update(channel, key, notify_reply.base_version, version)
+            self._send_update(session, key, notify_reply.base_version, version)
+
+    def _replay_parked(self, host: str) -> int:
+        """Flush notifications parked during a degraded spell."""
+        parked = self._parked.get(host)
+        if not parked:
+            return 0
+        session = self._sessions.get(host)
+        if session is None:
+            return 0
+        replayed = 0
+        for key in list(parked):
+            version = parked[key]
+            latest = self.versions.latest(key).number
+            if latest > version:
+                version = latest  # only the newest matters (§5.1)
+            snapshot = self.versions.get(key, version)
+            try:
+                reply = session.send(
+                    Notify(
+                        client_id=self.client_id,
+                        key=key,
+                        version=version,
+                        size=snapshot.size,
+                        checksum=snapshot.checksum,
+                    )
+                )
+            except (CircuitOpenError, RetryExhaustedError):
+                parked[key] = version
+                break  # still degraded; try again next time
+            del parked[key]
+            replayed += 1
+            self.resilience_stats.replayed_notifications += 1
+            notify_reply = expect(reply, NotifyReply)
+            assert isinstance(notify_reply, NotifyReply)
+            if notify_reply.pull_now:
+                self._send_update(
+                    session, key, notify_reply.base_version, version
+                )
+        if not parked:
+            self._parked.pop(host, None)
+        return replayed
 
     # ------------------------------------------------------------------
     # updates (client -> server content flow)
     # ------------------------------------------------------------------
     def _send_update(
         self,
-        channel: RequestChannel,
+        session: Any,
         key: str,
         base_version: int,
         target_version: Optional[int] = None,
     ) -> int:
         """Ship the requested update; returns the version now at the server."""
         update = self._build_update(key, base_version, target_version)
-        reply = self._request(channel, update)
+        reply = session.send(update)
         if isinstance(reply, ErrorReply) and reply.code == "need-full":
             # Best-effort cache let us down mid-flight; fall back to full.
             update = self._build_update(key, 0, target_version)
-            reply = self._request(channel, update)
+            reply = session.send(update)
         ack = expect(reply, UpdateAck)
         assert isinstance(ack, UpdateAck)
         self.versions.acknowledge(key, ack.stored_version)
@@ -278,7 +455,8 @@ class ShadowClient:
         are versioned and announced on the spot (the "no user setup"
         transparency objective).
         """
-        name, channel = self._channel(host)
+        name, session = self._session(host)
+        self._replay_parked(name)
         files: List[Tuple[str, int, str]] = []
         for path in data_files:
             key = str(self.workspace.resolve(path))
@@ -288,8 +466,7 @@ class ShadowClient:
                 self._notify(key, version.number, host)
             latest = self.versions.latest(key)
             files.append((key, latest.number, latest.checksum))
-        reply = self._request(
-            channel,
+        reply = session.send(
             Submit(
                 client_id=self.client_id,
                 script=script,
@@ -298,12 +475,12 @@ class ShadowClient:
                 error_file=error_file,
                 deliver_to_host=deliver_to_host,
                 priority=priority,
-            ),
+            )
         )
         submit_reply = expect(reply, SubmitReply)
         assert isinstance(submit_reply, SubmitReply)
         for key, base_version in submit_reply.needs:
-            self._send_update(channel, key, base_version)
+            self._send_update(session, key, base_version)
         job_id = submit_reply.job_id
         signature = _job_signature(script, [key for key, _, _ in files])
         self._jobs[job_id] = SubmittedJob(
@@ -354,9 +531,9 @@ class ShadowClient:
         """Status of one job, or of all pending jobs (§6.2)."""
         if job_id is not None and job_id in self._jobs:
             host = host or self._jobs[job_id].host
-        _, channel = self._channel(host)
-        reply = self._request(
-            channel, StatusQuery(client_id=self.client_id, job_id=job_id)
+        _, session = self._session(host)
+        reply = session.send(
+            StatusQuery(client_id=self.client_id, job_id=job_id)
         )
         status_reply = expect(reply, StatusReply)
         assert isinstance(status_reply, StatusReply)
@@ -391,17 +568,16 @@ class ShadowClient:
         pushed = self._delivered.get(job_id)
         if pushed is not None:
             return pushed
-        _, channel = self._channel(host or job.host)
+        _, session = self._session(host or job.host)
         have = ""
         if self.environment.reverse_shadow:
             retained = self._retained_outputs.get(job.signature)
             if retained is not None:
                 have = retained[0]
-        reply = self._request(
-            channel,
+        reply = session.send(
             FetchOutput(
                 client_id=self.client_id, job_id=job_id, have_output_of=have
-            ),
+            )
         )
         output = expect(reply, OutputReply)
         assert isinstance(output, OutputReply)
@@ -484,6 +660,17 @@ class ShadowClient:
                 "pending": [record.job_id for record in self.status.pending()],
             },
             "results_held": len(self.results),
+            "resilience": {
+                "enabled": self.resilience.enabled,
+                "parked_notifications": sum(
+                    len(parked) for parked in self._parked.values()
+                ),
+                "stats": {
+                    name: value
+                    for name, value in self.resilience_stats.as_dict().items()
+                    if value
+                },
+            },
         }
 
     def cancel_job(self, job_id: str, host: Optional[str] = None) -> bool:
@@ -491,9 +678,9 @@ class ShadowClient:
         job = self._jobs.get(job_id)
         if job is None:
             raise ProtocolError(f"job {job_id!r} was not submitted here")
-        _, channel = self._channel(host or job.host)
-        reply = self._request(
-            channel, CancelJob(client_id=self.client_id, job_id=job_id)
+        _, session = self._session(host or job.host)
+        reply = session.send(
+            CancelJob(client_id=self.client_id, job_id=job_id)
         )
         ok = expect(reply, Ok)
         assert isinstance(ok, Ok)

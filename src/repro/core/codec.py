@@ -159,6 +159,14 @@ def _decode_at(data: bytes, position: int) -> Tuple[Value, int]:
             raise ProtocolError(f"invalid utf-8 in text string: {exc}") from exc
     if tag == b"l":
         count, position = _decode_varint(data, position)
+        # Every item costs at least one byte; a count beyond the
+        # remaining bytes is corruption (e.g. a garbled varint) — fail
+        # fast instead of looping into ProtocolErrors item by item.
+        if count > len(data) - position:
+            raise ProtocolError(
+                f"list count {count} exceeds remaining {len(data) - position} "
+                "bytes"
+            )
         items: List[Value] = []
         for _ in range(count):
             item, position = _decode_at(data, position)
@@ -166,12 +174,21 @@ def _decode_at(data: bytes, position: int) -> Tuple[Value, int]:
         return items, position
     if tag == b"d":
         count, position = _decode_varint(data, position)
+        # Each entry needs a key-length varint and a value tag: 2+ bytes.
+        if count * 2 > len(data) - position:
+            raise ProtocolError(
+                f"dict count {count} exceeds remaining {len(data) - position} "
+                "bytes"
+            )
         result: Dict[str, Value] = {}
         for _ in range(count):
             key_length, position = _decode_varint(data, position)
             if position + key_length > len(data):
                 raise ProtocolError("truncated dict key")
-            key = data[position : position + key_length].decode("utf-8")
+            try:
+                key = data[position : position + key_length].decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise ProtocolError(f"invalid utf-8 in dict key: {exc}") from exc
             position += key_length
             value, position = _decode_at(data, position)
             result[key] = value

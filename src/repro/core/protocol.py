@@ -103,6 +103,39 @@ def decode_message(data: bytes) -> Message:
 
 
 # ---------------------------------------------------------------------------
+# the request-id envelope (resilience layer)
+# ---------------------------------------------------------------------------
+
+
+@register
+@dataclass(frozen=True)
+class Envelope(Message):
+    """A request wrapped with a session-unique request id.
+
+    The resilience layer wraps every client->server request so the
+    server can answer a *retried* request from its bounded reply cache
+    instead of re-executing it — exactly-once effects over
+    at-least-once delivery.  Field names are deliberately terse
+    (``rid``, ``body``) because the envelope rides on every message and
+    its bytes are charged to the simulated wire.
+
+    ``body`` is the wire form of the inner message; an empty ``rid``
+    disables deduplication for that request.
+    """
+
+    TYPE = "env"
+    rid: str = ""
+    body: bytes = b""
+
+    def open(self) -> "Message":
+        """Decode the wrapped message (nested envelopes are rejected)."""
+        inner = decode_message(self.body)
+        if isinstance(inner, Envelope):
+            raise ProtocolError("nested envelope")
+        return inner
+
+
+# ---------------------------------------------------------------------------
 # client -> server
 # ---------------------------------------------------------------------------
 
@@ -206,6 +239,26 @@ class CancelJob(Message):
 
 @register
 @dataclass(frozen=True)
+class Resync(Message):
+    """Post-reconnect reconciliation: the client's view of its shadows.
+
+    Sent after a re-``Hello`` when a client suspects the server's state
+    diverged from its own (server crash, evicted cache, long partition).
+    Each entry is ``(key, latest_version, checksum)``.  The server
+    compares against its cache and answers with the repairs it needs —
+    §5.1's best-effort degradation made explicit: a missing or
+    divergent cache entry costs a full transfer, a merely stale one a
+    delta from the last common version.
+    """
+
+    TYPE = "resync"
+    client_id: str = ""
+    domain: str = ""
+    entries: Tuple[Tuple, ...] = ()
+
+
+@register
+@dataclass(frozen=True)
 class Bye(Message):
     """Session close."""
 
@@ -305,6 +358,21 @@ class OutputReply(Message):
     exit_code: int = 0
     cpu_seconds: float = 0.0
     streams: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+
+@register
+@dataclass(frozen=True)
+class ResyncReply(Message):
+    """The server's reconciliation verdict.
+
+    ``needs`` lists ``(key, base_version)`` repairs the client should
+    push (0 = send full content); ``current`` names the keys whose
+    cached copies already match the client's latest checksum.
+    """
+
+    TYPE = "resync-reply"
+    needs: Tuple[Tuple[str, int], ...] = ()
+    current: Tuple[str, ...] = ()
 
 
 @register

@@ -26,6 +26,7 @@ from repro.core.protocol import (
     Bye,
     CancelJob,
     DeliverOutput,
+    Envelope,
     ErrorReply,
     FetchOutput,
     Hello,
@@ -34,6 +35,8 @@ from repro.core.protocol import (
     NotifyReply,
     Ok,
     OutputReply,
+    Resync,
+    ResyncReply,
     StatusQuery,
     StatusReply,
     Submit,
@@ -61,6 +64,7 @@ from repro.jobs.queue import JobQueue, QueuedJob
 from repro.jobs.scheduler import Scheduler
 from repro.jobs.spec import JobCommandFile, JobRequest
 from repro.jobs.status import JobRecord, JobState, StatusTable
+from repro.metrics.recorder import ResilienceStats
 from repro.simnet.clock import Clock
 from repro.simnet.link import ProcessingModel
 from repro.transport.base import RequestChannel
@@ -99,7 +103,12 @@ class ShadowServer:
         processing: Optional[ProcessingModel] = None,
         reverse_shadow: bool = True,
         push_outputs: bool = False,
+        reply_cache_size: int = 1024,
     ) -> None:
+        if reply_cache_size < 0:
+            raise ProtocolError(
+                f"reply_cache_size must be >= 0, got {reply_cache_size}"
+            )
         self.name = name
         self.cache = cache if cache is not None else CacheStore()
         self.coherence = CoherenceTracker(self.cache)
@@ -124,6 +133,14 @@ class ShadowServer:
         self._staged: Dict[str, Dict[str, bytes]] = {}
         self._finished: "OrderedDict[str, OutputBundle]" = OrderedDict()
         self._routed: Dict[str, str] = {}
+        #: Idempotency: (client_id, request_id) -> encoded reply.  A
+        #: bounded LRU so a retried request whose reply was lost gets
+        #: the *same* answer instead of a second execution (no duplicate
+        #: job submissions, no double-applied deltas).
+        self.reply_cache_size = reply_cache_size
+        self._replies: "OrderedDict[Tuple[str, str], bytes]" = OrderedDict()
+        #: Counters for idempotent replays and resyncs served.
+        self.resilience = ResilienceStats()
         #: Optional hook fired as (client_id, key) whenever a change
         #: notification is deferred; a BackgroundPuller attaches here to
         #: realise §6.4's postponed retrieval.
@@ -155,6 +172,15 @@ class ShadowServer:
             },
             "retained_bundles": len(self._finished),
             "stale_files": len(self.coherence.stale_keys()),
+            "resilience": {
+                "reply_cache_entries": len(self._replies),
+                "reply_cache_capacity": self.reply_cache_size,
+                **{
+                    name: value
+                    for name, value in self.resilience.as_dict().items()
+                    if value
+                },
+            },
         }
 
     # ------------------------------------------------------------------
@@ -182,11 +208,35 @@ class ShadowServer:
     # the wire entry point
     # ------------------------------------------------------------------
     def handle(self, payload: bytes) -> bytes:
-        """Decode, dispatch, encode — every request lands here."""
+        """Decode, dispatch, encode — every request lands here.
+
+        Enveloped requests (the resilience layer wraps everything in an
+        :class:`Envelope` carrying a request id) are deduplicated: a
+        retry of a request whose reply was lost is answered verbatim
+        from the bounded reply cache, so side effects happen exactly
+        once even though delivery is at-least-once.
+        """
         try:
             message = decode_message(payload)
         except ShadowError as exc:
             return ErrorReply(code="bad-message", message=str(exc)).to_wire()
+        cache_key: Optional[Tuple[str, str]] = None
+        if isinstance(message, Envelope):
+            try:
+                inner = message.open()
+            except ShadowError as exc:
+                return ErrorReply(
+                    code="bad-message", message=str(exc)
+                ).to_wire()
+            if message.rid and self.reply_cache_size:
+                cache_key = (getattr(inner, "client_id", ""), message.rid)
+                cached = self._replies.get(cache_key)
+                if cached is not None:
+                    self._replies.move_to_end(cache_key)
+                    self.resilience.duplicate_replies_served += 1
+                    self._account(inner, len(payload), len(cached))
+                    return cached
+            message = inner
         try:
             reply = self._dispatch(message)
         except UnknownJobError as exc:
@@ -200,13 +250,22 @@ class ShadowServer:
         except ShadowError as exc:
             reply = ErrorReply(code="server-error", message=str(exc))
         encoded = reply.to_wire()
+        if cache_key is not None:
+            self._replies[cache_key] = encoded
+            while len(self._replies) > self.reply_cache_size:
+                self._replies.popitem(last=False)
+        self._account(message, len(payload), len(encoded))
+        return encoded
+
+    def _account(
+        self, message: Message, bytes_in: int, bytes_out: int
+    ) -> None:
         client_id = getattr(message, "client_id", "")
         if client_id:
             account = self.ledger.setdefault(client_id, TrafficAccount())
             account.requests += 1
-            account.bytes_in += len(payload)
-            account.bytes_out += len(encoded)
-        return encoded
+            account.bytes_in += bytes_in
+            account.bytes_out += bytes_out
 
     def _dispatch(self, message: Message) -> Message:
         if isinstance(message, Hello):
@@ -223,6 +282,8 @@ class ShadowServer:
             return self._on_fetch(message)
         if isinstance(message, CancelJob):
             return self._on_cancel(message)
+        if isinstance(message, Resync):
+            return self._on_resync(message)
         if isinstance(message, Bye):
             return self._on_bye(message)
         raise ProtocolError(f"server cannot handle {message.TYPE!r}")
@@ -242,11 +303,17 @@ class ShadowServer:
         if not message.client_id:
             return ErrorReply(code="bad-client", message="empty client id")
         self._clients[message.client_id] = message.domain
+        # A Hello starts a new session incarnation; replies cached for an
+        # earlier life of this client can only ever be wrong answers now.
+        for key in [k for k in self._replies if k[0] == message.client_id]:
+            del self._replies[key]
         return Ok(detail=f"welcome to {self.name}")
 
     def _on_bye(self, message: Bye) -> Message:
         self._clients.pop(message.client_id, None)
         self._callbacks.pop(message.client_id, None)
+        for key in [k for k in self._replies if k[0] == message.client_id]:
+            del self._replies[key]
         for job in self.queue.remove_for_owner(message.client_id):
             self._staged.pop(job.job_id, None)
             record = self.status.get(job.job_id)
@@ -285,6 +352,35 @@ class ShadowServer:
         if self.on_deferred_pull is not None:
             self.on_deferred_pull(message.client_id, message.key)
         return NotifyReply(pull_now=False, base_version=base)
+
+    def _on_resync(self, message: Resync) -> Message:
+        """Reconciliation after a reconnect (§5.1 made explicit).
+
+        For each ``(key, latest_version, checksum)`` the client reports,
+        ask the cache to judge its copy (:meth:`CacheStore.reconcile`)
+        and translate the verdict into a repair request: a stale entry
+        asks for a delta from the cached version (the last common point
+        this server can patch from); a missing or divergent one asks for
+        full content — the best-effort worst case.
+        """
+        self._require_client(message.client_id)
+        needs: List[Tuple[str, int]] = []
+        current: List[str] = []
+        for entry in message.entries:
+            key, version = entry[0], entry[1]
+            checksum = entry[2] if len(entry) > 2 else ""
+            if version < 1:
+                raise ProtocolError(f"bad version {version} for {key}")
+            self.coherence.note_notification(key, version)
+            verdict = self.cache.reconcile(key, version, checksum)
+            if verdict == self.cache.CURRENT:
+                current.append(key)
+            elif verdict == self.cache.STALE:
+                needs.append((key, self.cache.peek_version(key) or 0))
+            else:  # missing or divergent
+                needs.append((key, 0))
+        self.resilience.resyncs += 1
+        return ResyncReply(needs=tuple(needs), current=tuple(current))
 
     def _on_update(self, message: Update) -> Message:
         self._require_client(message.client_id)

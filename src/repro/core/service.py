@@ -21,6 +21,7 @@ from repro.core.server import ShadowServer
 from repro.core.workspace import MappingWorkspace, Workspace
 from repro.jobs.executor import Executor
 from repro.jobs.scheduler import Scheduler
+from repro.resilience.session import ResilienceConfig
 from repro.simnet.clock import SimulatedClock
 from repro.simnet.link import (
     SUN3_PROCESSING,
@@ -40,6 +41,7 @@ def loopback_pair(
     workspace: Optional[Workspace] = None,
     executor: Optional[Executor] = None,
     scheduler: Optional[Scheduler] = None,
+    resilience: Optional[ResilienceConfig] = None,
 ) -> Tuple[ShadowClient, ShadowServer]:
     """A connected client/server with no wire costs (tests)."""
     server = ShadowServer(
@@ -49,6 +51,7 @@ def loopback_pair(
         client_id=client_id,
         workspace=workspace if workspace is not None else MappingWorkspace(),
         environment=environment,
+        resilience=resilience,
     )
     client.connect(server_name, LoopbackChannel(server.handle))
     server.register_callback(client_id, LoopbackChannel(client.handle_callback))
@@ -83,6 +86,7 @@ class SimulatedDeployment:
         scheduler: Optional[Scheduler] = None,
         processing: Optional[ProcessingModel] = SUN3_PROCESSING,
         reverse_shadow: bool = True,
+        resilience: Optional[ResilienceConfig] = None,
     ) -> "SimulatedDeployment":
         clock = SimulatedClock()
         server = ShadowServer(
@@ -99,6 +103,7 @@ class SimulatedDeployment:
             environment=environment,
             clock=clock,
             processing=processing,
+            resilience=resilience,
         )
         uplink = Wire(link, clock)
         downlink = Wire(link, clock)
@@ -150,6 +155,7 @@ def tcp_pair(
     environment: Optional[ShadowEnvironment] = None,
     workspace: Optional[Workspace] = None,
     executor: Optional[Executor] = None,
+    resilience: Optional[ResilienceConfig] = None,
 ) -> TcpDeployment:
     """Start a TCP shadow server and connect a client to it."""
     server = ShadowServer(name=server_name, executor=executor)
@@ -159,6 +165,7 @@ def tcp_pair(
         client_id=client_id,
         workspace=workspace if workspace is not None else MappingWorkspace(),
         environment=environment,
+        resilience=resilience,
     )
     client.connect(server_name, channel)
     return TcpDeployment(

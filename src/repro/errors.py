@@ -25,6 +25,27 @@ class TransportClosedError(TransportError):
     """An operation was attempted on a closed transport."""
 
 
+class FrameCorruptionError(TransportError):
+    """A frame failed its CRC32 check or could not be delimited.
+
+    Distinct from generic :class:`TransportError` so callers can tell a
+    garbled reply (retry is safe with idempotent requests) from a link
+    that is down.
+    """
+
+
+class RetryExhaustedError(TransportError):
+    """A request was retried up to the policy limit and never succeeded."""
+
+
+class DeadlineExceededError(TransportError):
+    """A request's per-call deadline expired before it could succeed."""
+
+
+class CircuitOpenError(TransportError):
+    """The circuit breaker is open: the request was not attempted."""
+
+
 class NamingError(ShadowError):
     """A file name could not be resolved to a global name."""
 

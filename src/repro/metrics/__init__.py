@@ -4,11 +4,13 @@ from repro.metrics.recorder import (
     CycleOutcome,
     FigureData,
     FigurePoint,
+    ResilienceStats,
     Series,
 )
 from repro.metrics.plot import ascii_plot
 from repro.metrics.report import (
     format_figure,
+    format_resilience,
     format_series_csv,
     format_speedup_table,
     format_table,
@@ -18,9 +20,11 @@ __all__ = [
     "CycleOutcome",
     "FigureData",
     "FigurePoint",
+    "ResilienceStats",
     "Series",
     "ascii_plot",
     "format_figure",
+    "format_resilience",
     "format_series_csv",
     "format_speedup_table",
     "format_table",

@@ -47,6 +47,80 @@ class FigurePoint:
 
 
 @dataclass
+class ResilienceStats:
+    """Counters for the resilience layer (retries, faults, degradation).
+
+    One instance is shared by every :class:`~repro.resilience.session.
+    ResilientSession` a client owns; servers keep their own for the
+    idempotent-replay and reconciliation counters.  Benchmarks and
+    examples read these alongside transfer times to report the overhead
+    of surviving faults (§5.1: degrade to extra transfers, never to
+    corruption).
+    """
+
+    #: Wire attempts made (first tries + retries).
+    attempts: int = 0
+    #: Attempts beyond the first for any request.
+    retries: int = 0
+    #: Transport-level failures observed (drops, lost replies).
+    faults_seen: int = 0
+    #: Replies rejected as corrupt (CRC / codec failure) and retried.
+    garbled_replies: int = 0
+    #: Requests abandoned after exhausting the retry budget.
+    giveups: int = 0
+    #: Requests abandoned because their deadline expired mid-retry.
+    deadline_exceeded: int = 0
+    #: Times a circuit breaker tripped open.
+    breaker_opened: int = 0
+    #: Requests refused without a wire attempt because the breaker was open.
+    breaker_short_circuits: int = 0
+    #: Notifications parked locally while the link was degraded.
+    parked_notifications: int = 0
+    #: Parked notifications successfully replayed after the link healed.
+    replayed_notifications: int = 0
+    #: Reconnect handshakes that ran the resync exchange.
+    resyncs: int = 0
+    #: Resync repairs that needed the full file (lost/divergent cache).
+    resync_full_transfers: int = 0
+    #: Resync repairs satisfied by a delta from a common version.
+    resync_delta_transfers: int = 0
+    #: Duplicate requests answered from the server's reply cache.
+    duplicate_replies_served: int = 0
+    #: Faults injected by the test harness (copied from FlakyChannel).
+    faults_injected: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """All counters, for describe() blocks and reports."""
+        return {
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "faults_seen": self.faults_seen,
+            "garbled_replies": self.garbled_replies,
+            "giveups": self.giveups,
+            "deadline_exceeded": self.deadline_exceeded,
+            "breaker_opened": self.breaker_opened,
+            "breaker_short_circuits": self.breaker_short_circuits,
+            "parked_notifications": self.parked_notifications,
+            "replayed_notifications": self.replayed_notifications,
+            "resyncs": self.resyncs,
+            "resync_full_transfers": self.resync_full_transfers,
+            "resync_delta_transfers": self.resync_delta_transfers,
+            "duplicate_replies_served": self.duplicate_replies_served,
+            "faults_injected": self.faults_injected,
+        }
+
+    def merge(self, other: "ResilienceStats") -> None:
+        """Fold ``other``'s counters into this one (client + server views)."""
+        for name, value in other.as_dict().items():
+            setattr(self, name, getattr(self, name) + value)
+
+    @property
+    def degradations(self) -> int:
+        """Times the service entered a degraded mode instead of failing."""
+        return self.breaker_opened + self.parked_notifications
+
+
+@dataclass
 class Series:
     """A named curve: x = % modified, y = seconds (one file size)."""
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Sequence, Tuple
 
-from repro.metrics.recorder import FigureData
+from repro.metrics.recorder import FigureData, ResilienceStats
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
@@ -86,3 +86,19 @@ def format_series_csv(figure: FigureData) -> str:
         )
         lines.append(",".join(cells))
     return "\n".join(lines)
+
+
+def format_resilience(stats: ResilienceStats) -> str:
+    """Render resilience counters as a two-column table.
+
+    Zero-valued counters are elided so a clean (fault-free) run prints
+    an empty-ish block instead of a wall of zeroes.
+    """
+    rows = [
+        (name, str(value))
+        for name, value in stats.as_dict().items()
+        if value
+    ]
+    if not rows:
+        return "no faults, retries or degradations recorded"
+    return format_table(["counter", "value"], rows)

@@ -1,0 +1,39 @@
+"""Resilience layer: retries, idempotency, reconnection, degradation.
+
+The paper's service is explicitly best-effort (§5.1): "in the worst case
+it would have to send the entire file" — a lost cache or a dropped
+connection degrades to extra transfers, never to corruption.  This
+package supplies the machinery that makes the claim true under real
+faults:
+
+* :class:`~repro.resilience.policy.RetryPolicy` — bounded exponential
+  backoff with seeded jitter and per-request deadlines, clock-aware so
+  simulated benchmarks stay deterministic;
+* :class:`~repro.resilience.breaker.CircuitBreaker` — refuse fast once
+  the link is plainly down, so callers can park work locally;
+* :class:`~repro.resilience.session.ResilientSession` — the request
+  pipe tying both to a transport channel, with request-id envelopes the
+  server deduplicates (exactly-once *effects* over at-least-once
+  delivery).
+
+Session resumption (re-hello + shadow reconciliation) lives on
+:class:`~repro.core.client.ShadowClient.reconnect`, which drives the
+``Resync`` protocol exchange added alongside this package.
+"""
+
+from repro.resilience.breaker import BreakerPolicy, CircuitBreaker
+from repro.resilience.policy import RetryPolicy
+from repro.resilience.session import (
+    RawSession,
+    ResilienceConfig,
+    ResilientSession,
+)
+
+__all__ = [
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "RawSession",
+    "ResilienceConfig",
+    "ResilientSession",
+    "RetryPolicy",
+]

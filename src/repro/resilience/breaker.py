@@ -1,0 +1,97 @@
+"""Circuit breaker: stop hammering a link that is plainly down.
+
+Failures counted here are *whole requests* that exhausted their retry
+budget — not individual attempts — so a run of bad luck inside one
+request does not trip the breaker, but a genuinely dead link does after
+``failure_threshold`` consecutive dead requests.  While open, callers
+are refused instantly with :class:`~repro.errors.CircuitOpenError`; the
+client layer uses that to *park* notifications locally and replay them
+when the link heals (§5.1's graceful degradation).  After
+``reset_after`` seconds the breaker half-opens and admits one probe:
+success closes it, failure re-opens it.
+
+Time is whatever clock the owner passes to :meth:`allows` /
+:meth:`record_failure` — simulated seconds under the benchmark rig,
+wall seconds over TCP — so behaviour is deterministic in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ShadowError
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Tuning for one :class:`CircuitBreaker`."""
+
+    #: Consecutive exhausted requests before the breaker opens.
+    failure_threshold: int = 3
+    #: Seconds the breaker stays open before admitting a probe.
+    reset_after: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ShadowError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.reset_after < 0:
+            raise ShadowError(
+                f"reset_after must be non-negative, got {self.reset_after}"
+            )
+
+
+class CircuitBreaker:
+    """Closed -> open -> half-open state machine over consecutive failures."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(self, policy: BreakerPolicy = BreakerPolicy()) -> None:
+        self.policy = policy
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = 0.0
+        self.times_opened = 0
+
+    def allows(self, now: float) -> bool:
+        """May a request be attempted at time ``now``?
+
+        An open breaker whose cool-down elapsed moves to half-open and
+        admits the caller as its probe.
+        """
+        if self.state == self.OPEN:
+            if now - self.opened_at >= self.policy.reset_after:
+                self.state = self.HALF_OPEN
+                return True
+            return False
+        return True
+
+    def record_success(self) -> None:
+        """A request fully succeeded; the link is healthy again."""
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+
+    def record_failure(self, now: float) -> bool:
+        """A request exhausted its retries; returns True if this opened
+        the breaker (newly or re-opened from half-open)."""
+        self.consecutive_failures += 1
+        if (
+            self.state == self.HALF_OPEN
+            or self.consecutive_failures >= self.policy.failure_threshold
+        ):
+            was_open = self.state == self.OPEN
+            self.state = self.OPEN
+            self.opened_at = now
+            if not was_open:
+                self.times_opened += 1
+                return True
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker(state={self.state}, "
+            f"failures={self.consecutive_failures})"
+        )

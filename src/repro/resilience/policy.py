@@ -1,0 +1,80 @@
+"""Retry policies: exponential backoff with seeded jitter and deadlines.
+
+The service is *best-effort* (§5.1): a dropped request or a lost reply
+must degrade to an extra transfer, never to corruption or a stuck user.
+The policy here decides *how hard* to try before giving up.  Two
+properties matter for this repository:
+
+* **Determinism** — jitter comes from a seeded :class:`random.Random`,
+  and wait time is *charged* to a simulated clock instead of slept when
+  the session runs under one, so benchmarks with faults reproduce
+  byte- and second-exact.
+* **Boundedness** — both an attempt cap and an optional per-request
+  deadline, so a dead link turns into a clean
+  :class:`~repro.errors.RetryExhaustedError` /
+  :class:`~repro.errors.DeadlineExceededError` the caller (or circuit
+  breaker) can act on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ShadowError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a :class:`~repro.resilience.session.ResilientSession` retries.
+
+    ``delay(attempt)`` grows as ``base_delay * multiplier**(attempt-1)``,
+    capped at ``max_delay``, then jittered by ``±jitter`` (a fraction).
+    ``deadline`` bounds the whole request — attempts plus waits — in
+    (possibly simulated) seconds; ``None`` means attempts alone bound it.
+    """
+
+    max_attempts: int = 6
+    base_delay: float = 0.2
+    multiplier: float = 2.0
+    max_delay: float = 10.0
+    jitter: float = 0.25
+    deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ShadowError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ShadowError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ShadowError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ShadowError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ShadowError(f"deadline must be positive, got {self.deadline}")
+
+    def delay_for(self, attempt: int, rng: random.Random) -> float:
+        """Seconds to wait after failed attempt number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ShadowError(f"attempt numbers are 1-based, got {attempt}")
+        raw = min(
+            self.base_delay * self.multiplier ** (attempt - 1), self.max_delay
+        )
+        if self.jitter and raw > 0:
+            raw *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return raw
+
+    @classmethod
+    def none(cls) -> "RetryPolicy":
+        """A single attempt, no waiting — faults surface immediately."""
+        return cls(max_attempts=1, base_delay=0.0, jitter=0.0)
+
+    @classmethod
+    def aggressive(cls) -> "RetryPolicy":
+        """Many fast attempts, for chaos tests over a simulated clock."""
+        return cls(max_attempts=10, base_delay=0.1, max_delay=5.0)

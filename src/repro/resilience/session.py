@@ -1,0 +1,207 @@
+"""Resilient request sessions: idempotent, retried, breaker-guarded.
+
+A :class:`ResilientSession` owns one direction of a client/server
+relationship: it wraps a :class:`~repro.transport.base.RequestChannel`
+and turns the raw "payload in, payload out, exceptions on failure"
+contract into the §5.1 best-effort contract the rest of the stack wants:
+
+* every request is wrapped in an :class:`~repro.core.protocol.Envelope`
+  carrying a session-unique request id, so the server can deduplicate
+  the retry of a request whose *reply* was lost after the request was
+  processed (the nasty fault :class:`~repro.transport.flaky.FlakyChannel`
+  models) — the retry returns the cached reply instead of double-applying
+  a ``Submit`` or ``Update``;
+* transport faults and corrupt replies are retried under a
+  :class:`~repro.resilience.policy.RetryPolicy`, with backoff *charged*
+  to a simulated clock (deterministic benchmarks) or slept for real
+  (live TCP);
+* a :class:`~repro.resilience.breaker.CircuitBreaker` refuses instantly
+  once the link is plainly down, so callers can degrade (park work)
+  rather than hang.
+
+:class:`RawSession` is the null object: no envelope, no retries — the
+seed's original semantics, kept for ablations and "without the
+resilience layer" comparisons.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.protocol import Envelope, Message, decode_message
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    ProtocolError,
+    RetryExhaustedError,
+    TransportClosedError,
+    TransportError,
+)
+from repro.metrics.recorder import ResilienceStats
+from repro.resilience.breaker import BreakerPolicy, CircuitBreaker
+from repro.resilience.policy import RetryPolicy
+from repro.simnet.clock import Clock, SimulatedClock
+from repro.transport.base import RequestChannel
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Everything a client needs to build sessions.
+
+    ``enabled=False`` restores the seed's raw behaviour — no envelope,
+    no retries, every fault surfaces — which is both the ablation
+    baseline and the cheapest possible wire format.
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker: BreakerPolicy = field(default_factory=BreakerPolicy)
+    seed: int = 722
+    enabled: bool = True
+
+    @classmethod
+    def disabled(cls) -> "ResilienceConfig":
+        return cls(enabled=False)
+
+
+#: Process-wide session incarnation counter.  Folded into every request
+#: id so two sessions built with the same seed and client id (a restored
+#: client, or a session rebuilt after a channel swap) can never collide
+#: in the server's reply cache.  Deterministic: identical runs create
+#: sessions in the same order and get the same incarnation numbers.
+_INCARNATIONS = itertools.count()
+
+
+class RawSession:
+    """Pass-through session: the seed's original request semantics."""
+
+    def __init__(self, channel: RequestChannel) -> None:
+        self.channel = channel
+
+    def send(self, message: Message) -> Message:
+        return decode_message(self.channel.request(message.to_wire()))
+
+
+class ResilientSession:
+    """One retried, idempotent request pipe over a channel."""
+
+    def __init__(
+        self,
+        client_id: str,
+        channel: RequestChannel,
+        policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        clock: Optional[Clock] = None,
+        stats: Optional[ResilienceStats] = None,
+        seed: int = 722,
+    ) -> None:
+        self.client_id = client_id
+        self.channel = channel
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.clock = clock
+        self.stats = stats if stats is not None else ResilienceStats()
+        self._rng = random.Random(seed)
+        # Request ids must be unique per (client, session incarnation):
+        # a client that restarts with the same seed must not collide with
+        # replies cached for its previous life.  The nonce mixes the
+        # seeded stream with the client identity and a process-wide
+        # incarnation number, so runs are repeatable under a fixed seed
+        # yet distinct across clients and session rebuilds.
+        nonce = (
+            self._rng.getrandbits(32) ^ zlib.crc32(client_id.encode("utf-8"))
+        ) & 0xFFFFFFFF
+        self._nonce = f"{nonce:08x}.{next(_INCARNATIONS):x}"
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+    def _now(self) -> float:
+        return self.clock.now() if self.clock is not None else 0.0
+
+    def _wait(self, seconds: float) -> None:
+        """Charge backoff to the sim clock, or sleep for real.
+
+        Under a :class:`SimulatedClock` the wait is *advanced*, keeping
+        fault benchmarks deterministic; under a wall clock (or none —
+        the live TCP path) it is an actual sleep.
+        """
+        if seconds <= 0:
+            return
+        if isinstance(self.clock, SimulatedClock):
+            self.clock.advance(seconds)
+        else:
+            time.sleep(seconds)
+
+    # ------------------------------------------------------------------
+    # the request pipe
+    # ------------------------------------------------------------------
+    def next_request_id(self) -> str:
+        self._counter += 1
+        return f"{self._nonce}-{self._counter:x}"
+
+    def send(self, message: Message) -> Message:
+        """Ship ``message``; retry faults; dedupe via the request id.
+
+        Raises :class:`CircuitOpenError` without touching the wire when
+        the breaker is open, :class:`RetryExhaustedError` /
+        :class:`DeadlineExceededError` when the budget runs out, and
+        :class:`TransportClosedError` immediately (a closed channel
+        needs a reconnect, not a retry).
+        """
+        if not self.breaker.allows(self._now()):
+            self.stats.breaker_short_circuits += 1
+            raise CircuitOpenError(
+                f"circuit open towards peer of {self.client_id}; "
+                "request not attempted"
+            )
+        rid = self.next_request_id()
+        wire = Envelope(rid=rid, body=message.to_wire()).to_wire()
+        deadline: Optional[float] = None
+        if self.policy.deadline is not None:
+            deadline = self._now() + self.policy.deadline
+        last_error: Optional[Exception] = None
+        for attempt in range(1, self.policy.max_attempts + 1):
+            self.stats.attempts += 1
+            if attempt > 1:
+                self.stats.retries += 1
+            try:
+                raw = self.channel.request(wire)
+                reply = decode_message(raw)
+            except TransportClosedError:
+                raise
+            except TransportError as exc:
+                last_error = exc
+                self.stats.faults_seen += 1
+            except ProtocolError as exc:
+                # The reply did not decode: corruption, not a server
+                # error (those arrive as well-formed ErrorReply
+                # messages).  Idempotency makes re-asking safe.
+                last_error = exc
+                self.stats.garbled_replies += 1
+            else:
+                self.breaker.record_success()
+                return reply
+            if attempt == self.policy.max_attempts:
+                break
+            delay = self.policy.delay_for(attempt, self._rng)
+            if deadline is not None and self._now() + delay > deadline:
+                self.stats.deadline_exceeded += 1
+                if self.breaker.record_failure(self._now()):
+                    self.stats.breaker_opened += 1
+                raise DeadlineExceededError(
+                    f"deadline of {self.policy.deadline}s expired after "
+                    f"{attempt} attempts"
+                ) from last_error
+            self._wait(delay)
+        self.stats.giveups += 1
+        if self.breaker.record_failure(self._now()):
+            self.stats.breaker_opened += 1
+        raise RetryExhaustedError(
+            f"request failed after {self.policy.max_attempts} attempts"
+        ) from last_error

@@ -9,7 +9,10 @@ from repro.transport.base import (
 from repro.transport.framing import (
     HEADER_SIZE,
     MAX_FRAME_SIZE,
+    ChecksummedChannel,
     FrameDecoder,
+    checksummed_handler,
+    decode_single_frame,
     encode_frame,
     frame_overhead,
 )
@@ -22,6 +25,7 @@ __all__ = [
     "MAX_FRAME_SIZE",
     "ChannelHandler",
     "ChannelStats",
+    "ChecksummedChannel",
     "FailNextChannel",
     "FlakyChannel",
     "FrameDecoder",
@@ -32,6 +36,8 @@ __all__ = [
     "TcpChannel",
     "TcpChannelServer",
     "Wire",
+    "checksummed_handler",
+    "decode_single_frame",
     "encode_frame",
     "frame_overhead",
 ]

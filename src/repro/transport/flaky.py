@@ -16,6 +16,7 @@ can drive every failure path repeatably:
 from __future__ import annotations
 
 import random
+from typing import Dict
 
 from repro.errors import TransportError
 from repro.transport.base import RequestChannel
@@ -60,7 +61,9 @@ class FlakyChannel(RequestChannel):
         if reply and self._rng.random() < self.garble_rate:
             self.faults_injected += 1
             corrupted = bytearray(reply)
-            index = self._rng.randrange(len(corrupted))
+            # One rng draw exactly, whatever the length: the schedule of
+            # later faults must not depend on payload sizes.
+            index = int(self._rng.random() * len(corrupted))
             corrupted[index] ^= 0xFF
             return bytes(corrupted)
         return reply
@@ -71,10 +74,12 @@ class FlakyChannel(RequestChannel):
 
 
 class FailNextChannel(RequestChannel):
-    """A channel whose next ``fail_count`` requests fail on command.
+    """A channel whose requests fail on command.
 
     For tests that need a fault at one exact protocol step rather than a
-    stochastic schedule.
+    stochastic schedule: arm the next N requests with :meth:`fail_next`,
+    or a specific future request by ordinal with
+    :meth:`schedule_failure`.
     """
 
     def __init__(self, inner: RequestChannel) -> None:
@@ -82,6 +87,9 @@ class FailNextChannel(RequestChannel):
         self.inner = inner
         self._fail_count = 0
         self._lose_reply = False
+        self._request_index = 0
+        self._scheduled: Dict[int, bool] = {}
+        self.faults_injected = 0
 
     def fail_next(self, count: int = 1, lose_reply: bool = False) -> None:
         """Arm the next ``count`` requests to fail.
@@ -92,11 +100,37 @@ class FailNextChannel(RequestChannel):
         self._fail_count = count
         self._lose_reply = lose_reply
 
+    def schedule_failure(self, at_request: int, lose_reply: bool = False) -> None:
+        """Arm the ``at_request``-th future request (1-based) to fail.
+
+        Counting starts from the next request, so a test can place one
+        fault at *every* step of a protocol cycle in turn and assert
+        recovery after each.
+        """
+        if at_request < 1:
+            raise TransportError(
+                f"at_request is 1-based, got {at_request}"
+            )
+        self._scheduled[self._request_index + at_request] = lose_reply
+
+    def _fail(self, payload: bytes, lose_reply: bool) -> bytes:
+        self.faults_injected += 1
+        if lose_reply:
+            self.inner.request(payload)
+            raise TransportError("armed fault: reply lost")
+        raise TransportError("armed fault: request dropped")
+
     def _deliver(self, payload: bytes) -> bytes:
+        self._request_index += 1
+        scheduled = self._scheduled.pop(self._request_index, None)
+        if scheduled is not None:
+            return self._fail(payload, scheduled)
         if self._fail_count > 0:
             self._fail_count -= 1
-            if self._lose_reply:
-                self.inner.request(payload)
-                raise TransportError("armed fault: reply lost")
-            raise TransportError("armed fault: request dropped")
+            return self._fail(payload, self._lose_reply)
         return self.inner.request(payload)
+
+    @property
+    def requests_seen(self) -> int:
+        """How many requests have passed through (including failed ones)."""
+        return self._request_index

@@ -53,12 +53,39 @@ class TcpChannel(RequestChannel):
 
     def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
         super().__init__()
-        try:
-            self._socket = socket.create_connection((host, port), timeout=timeout)
-        except OSError as exc:
-            raise TransportError(f"cannot connect to {host}:{port}: {exc}") from exc
-        self._decoder = FrameDecoder()
+        self._host = host
+        self._port = port
+        self._timeout = timeout
         self._lock = threading.Lock()
+        self._connect()
+
+    def _connect(self) -> None:
+        try:
+            self._socket = socket.create_connection(
+                (self._host, self._port), timeout=self._timeout
+            )
+        except OSError as exc:
+            raise TransportError(
+                f"cannot connect to {self._host}:{self._port}: {exc}"
+            ) from exc
+        self._decoder = FrameDecoder()
+
+    def reconnect(self) -> None:
+        """Tear down the socket and dial the same endpoint again.
+
+        Half-received frames are discarded with the old decoder; the
+        channel leaves the closed state, so a
+        :meth:`~repro.core.client.ShadowClient.reconnect` can resume a
+        session over the same object after a server restart or a
+        mid-request failure.
+        """
+        with self._lock:
+            try:
+                self._socket.close()
+            except OSError:
+                pass
+            self._connect()
+            self._closed = False
 
     def _deliver(self, payload: bytes) -> bytes:
         with self._lock:

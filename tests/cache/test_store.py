@@ -158,3 +158,35 @@ class TestDomainDirectories:
         store.put(KEY_A, b"x", version=1)
         entries = store.domain_directory("dom1").entries()
         assert list(entries) == ["hostA:/usr/a.dat"]
+
+
+class TestReconcile:
+    """The post-reconnect reconciliation verdicts (§5.1 made explicit)."""
+
+    def test_missing(self, store):
+        assert store.reconcile(KEY_A, 3, "whatever") == CacheStore.MISSING
+
+    def test_current_requires_matching_checksum(self, store):
+        entry = store.put(KEY_A, b"payload", version=2)
+        assert store.reconcile(KEY_A, 2, entry.checksum) == CacheStore.CURRENT
+        assert store.reconcile(KEY_A, 2, "bogus") == CacheStore.DIVERGENT
+
+    def test_current_without_checksum_trusts_version(self, store):
+        store.put(KEY_A, b"payload", version=2)
+        assert store.reconcile(KEY_A, 2) == CacheStore.CURRENT
+
+    def test_stale_when_cache_is_older(self, store):
+        store.put(KEY_A, b"old", version=1)
+        assert store.reconcile(KEY_A, 4, "anything") == CacheStore.STALE
+
+    def test_divergent_when_cache_is_ahead(self, store):
+        # The client lost state; its lineage restarted below ours.
+        store.put(KEY_A, b"new", version=5)
+        assert store.reconcile(KEY_A, 2, "anything") == CacheStore.DIVERGENT
+
+    def test_reconcile_does_not_touch_stats(self, store):
+        store.put(KEY_A, b"x", version=1)
+        before = (store.stats.hits, store.stats.misses)
+        store.reconcile(KEY_A, 1)
+        store.reconcile(KEY_B, 1)
+        assert (store.stats.hits, store.stats.misses) == before

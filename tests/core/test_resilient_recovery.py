@@ -1,0 +1,99 @@
+"""A fault at *every* protocol step of a full cycle recovers transparently.
+
+Satellite of the resilience work: run one notify -> pull -> submit ->
+fetch cycle and, for each request position it takes on the wire, rerun
+it with a fault armed at exactly that step — both a dropped request and
+the nastier lost-reply-after-processing.  Every variant must converge to
+the same end state as the clean run, with no duplicate job submissions.
+"""
+
+import functools
+
+import pytest
+
+from repro.core.client import ShadowClient
+from repro.core.server import ShadowServer
+from repro.core.workspace import MappingWorkspace
+from repro.resilience.policy import RetryPolicy
+from repro.resilience.session import ResilienceConfig
+from repro.transport.base import LoopbackChannel
+from repro.transport.flaky import FailNextChannel
+from repro.workload.files import make_text_file
+
+PATH = "/data/input.dat"
+
+#: Fast, jitter-free retries keep the matrix quick and deterministic.
+FAST = ResilienceConfig(
+    retry=RetryPolicy(max_attempts=4, base_delay=0.0, jitter=0.0)
+)
+
+
+def build():
+    server = ShadowServer()
+    client = ShadowClient("alice@ws", MappingWorkspace(), resilience=FAST)
+    channel = FailNextChannel(LoopbackChannel(server.handle))
+    client.connect(server.name, channel)
+    return server, client, channel
+
+
+def run_cycle(client):
+    """One user cycle: edit (notify + pull), submit, poll, fetch."""
+    content = make_text_file(4_000, seed=140)
+    client.write_file(PATH, content)
+    job_id = client.submit("wc input.dat", [PATH])
+    client.job_status(job_id)
+    bundle = client.fetch_output(job_id)
+    return content, job_id, bundle
+
+
+@functools.lru_cache(maxsize=1)
+def clean_run():
+    """The fault-free reference: request count and end state."""
+    server, client, channel = build()
+    start = channel.requests_seen
+    content, job_id, bundle = run_cycle(client)
+    key = str(client.workspace.resolve(PATH))
+    return {
+        "steps": channel.requests_seen - start,
+        "content": content,
+        "stdout": bundle.stdout,
+        "cached": server.cache.get(key).content,
+    }
+
+
+#: Upper bound on cycle length; positions beyond the real count skip.
+MAX_STEPS = 12
+
+
+def test_reference_cycle_shape():
+    reference = clean_run()
+    # notify, update, submit, status, fetch at minimum.
+    assert 5 <= reference["steps"] <= MAX_STEPS
+    assert reference["cached"] == reference["content"]
+
+
+@pytest.mark.parametrize("lose_reply", [False, True], ids=["drop", "lost-reply"])
+@pytest.mark.parametrize("fault_at", range(1, MAX_STEPS + 1))
+def test_fault_at_every_step_recovers(fault_at, lose_reply):
+    reference = clean_run()
+    if fault_at > reference["steps"]:
+        pytest.skip(f"cycle is only {reference['steps']} requests long")
+    server, client, channel = build()
+    channel.schedule_failure(fault_at, lose_reply=lose_reply)
+    content, job_id, bundle = run_cycle(client)
+
+    assert channel.faults_injected == 1  # the fault really fired
+    assert client.resilience_stats.retries >= 1  # and was retried
+
+    # End state is indistinguishable from the clean run.
+    key = str(client.workspace.resolve(PATH))
+    assert server.cache.get(key).content == content == reference["content"]
+    assert bundle is not None and bundle.stdout == reference["stdout"]
+
+    # Exactly one job exists anywhere, even when the submit reply was
+    # lost after the server processed it (idempotent retry, no double
+    # submission).
+    assert len(server.status) == 1
+    assert len(client.status) == 1
+    if lose_reply:
+        assert server.resilience.duplicate_replies_served >= 1

@@ -1,0 +1,283 @@
+"""Chaos test: the whole stack converges through sustained random faults.
+
+The acceptance bar for the resilience layer: a 50-cycle editing/submit
+workload over a :class:`FlakyChannel` injecting drops, lost replies and
+garbled bytes must end with byte-identical shadows, exactly one server
+job per submission, and a deterministic trace under a fixed seed and
+simulated clock.  The same workload without the resilience layer fails.
+"""
+
+import pytest
+
+from repro.core.client import ShadowClient
+from repro.core.server import ShadowServer
+from repro.core.service import SimulatedDeployment
+from repro.core.workspace import MappingWorkspace
+from repro.errors import ProtocolError, TransportError
+from repro.resilience.breaker import BreakerPolicy
+from repro.resilience.policy import RetryPolicy
+from repro.resilience.session import ResilienceConfig
+from repro.simnet.clock import SimulatedClock
+from repro.simnet.link import CYPRESS_9600
+from repro.transport.base import LoopbackChannel
+from repro.transport.flaky import FailNextChannel, FlakyChannel
+from repro.transport.framing import ChecksummedChannel, checksummed_handler
+from repro.workload.edits import modify_percent
+from repro.workload.files import make_text_file
+
+PATH = "/data/input.dat"
+CYCLES = 50
+
+#: Plenty of fast attempts: at these fault rates a request failing ten
+#: times in a row has probability ~1e-6, so the run completes; backoff
+#: is charged to the simulated clock, so it costs no wall time.
+CHAOS = ResilienceConfig(
+    retry=RetryPolicy(max_attempts=10, base_delay=0.1, max_delay=5.0),
+    breaker=BreakerPolicy(failure_threshold=3, reset_after=30.0),
+)
+
+
+def build_chaos_stack(resilience, seed=722):
+    """Client/server joined by a CRC-framed, fault-injecting loopback.
+
+    The CRC framing layer sits *inside* the fault injector, so garbled
+    bytes are detected at the transport (a retryable
+    FrameCorruptionError) before they can reach the codec.
+    """
+    clock = SimulatedClock()
+    server = ShadowServer(clock=clock)
+    flaky = FlakyChannel(
+        LoopbackChannel(checksummed_handler(server.handle)),
+        drop_rate=0.1,
+        reply_loss_rate=0.1,
+        garble_rate=0.05,
+        seed=seed,
+    )
+    channel = ChecksummedChannel(flaky)
+    client = ShadowClient(
+        "alice@ws", MappingWorkspace(), clock=clock, resilience=resilience
+    )
+    client.connect(server.name, channel)
+    return server, client, flaky, clock
+
+
+def run_workload(client):
+    """50 cycles of edit -> notify/pull -> submit -> fetch."""
+    content = make_text_file(4_000, seed=150)
+    outputs = []
+    for cycle in range(CYCLES):
+        content = modify_percent(content, 2, seed=150 + cycle)
+        client.write_file(PATH, content)
+        job_id = client.submit("wc input.dat", [PATH])
+        bundle = client.fetch_output(job_id)
+        outputs.append(bundle.stdout if bundle else None)
+    return content, outputs
+
+
+def fingerprint(server, client, flaky, clock):
+    """Everything observable that a fixed seed must reproduce."""
+    key = str(client.workspace.resolve(PATH))
+    return {
+        "clock": clock.now(),
+        "faults": flaky.faults_injected,
+        "client_stats": client.resilience_stats.as_dict(),
+        "server_duplicates": server.resilience.duplicate_replies_served,
+        "cached_checksum": server.cache.get(key).checksum,
+        "jobs": len(server.status),
+    }
+
+
+class TestChaosConvergence:
+    def test_converges_byte_exact_with_no_duplicate_jobs(self):
+        server, client, flaky, clock = build_chaos_stack(CHAOS)
+        content, outputs = run_workload(client)
+
+        # The chaos was real.
+        assert flaky.faults_injected > 10
+        assert client.resilience_stats.retries > 10
+
+        # Byte-exact shadow convergence (§5.1: never corruption).
+        key = str(client.workspace.resolve(PATH))
+        assert server.cache.get(key).content == content
+
+        # Exactly one server-side job per submission, even though some
+        # submit replies were lost after processing.
+        assert len(server.status) == CYCLES
+        assert len(client.status) == CYCLES
+        assert all(output is not None for output in outputs)
+        if client.resilience_stats.faults_seen:
+            assert server.resilience.duplicate_replies_served >= 0
+
+    def test_deterministic_under_fixed_seed_and_sim_clock(self):
+        runs = []
+        for _ in range(2):
+            server, client, flaky, clock = build_chaos_stack(CHAOS)
+            run_workload(client)
+            runs.append(fingerprint(server, client, flaky, clock))
+        assert runs[0] == runs[1]
+
+    def test_different_seed_different_trace(self):
+        traces = []
+        for seed in (722, 1988):
+            server, client, flaky, clock = build_chaos_stack(CHAOS, seed=seed)
+            run_workload(client)
+            traces.append(fingerprint(server, client, flaky, clock))
+        assert traces[0]["faults"] != traces[1]["faults"]
+
+    def test_same_workload_without_resilience_fails(self):
+        server, client, flaky, clock = build_chaos_stack(
+            ResilienceConfig.disabled()
+        )
+        with pytest.raises((TransportError, ProtocolError)):
+            run_workload(client)
+
+
+class TestGracefulDegradation:
+    def build(self):
+        clock = SimulatedClock()
+        server = ShadowServer(clock=clock)
+        channel = FailNextChannel(LoopbackChannel(server.handle))
+        config = ResilienceConfig(
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0),
+            breaker=BreakerPolicy(failure_threshold=1, reset_after=30.0),
+        )
+        client = ShadowClient(
+            "alice@ws", MappingWorkspace(), clock=clock, resilience=config
+        )
+        client.connect(server.name, channel)
+        return server, client, channel, clock
+
+    def test_notifications_park_while_down_and_replay_on_heal(self):
+        server, client, channel, clock = self.build()
+        content = make_text_file(2_000, seed=151)
+        client.write_file(PATH, content)
+        key = str(client.workspace.resolve(PATH))
+        assert server.cache.get(key).content == content
+
+        # The link dies: edits keep working locally, notifications park.
+        channel.fail_next(count=1_000)
+        for round_number in range(3):
+            content = content + b"offline edit %d\n" % round_number
+            client.write_file(PATH, content)  # does not raise
+        assert client.resilience_stats.parked_notifications >= 1
+        assert client.resilience_stats.breaker_opened == 1
+        assert server.cache.get(key).content != content  # server behind
+
+        # The link heals and the breaker's cool-down elapses; the next
+        # edit replays the parked backlog first.
+        channel.fail_next(count=0)
+        clock.advance(31.0)
+        content = content + b"back online\n"
+        client.write_file(PATH, content)
+        assert client.resilience_stats.replayed_notifications >= 1
+        assert server.cache.get(key).content == content
+        assert client.describe()["resilience"]["parked_notifications"] == 0
+
+    def test_breaker_short_circuits_instead_of_hammering(self):
+        server, client, channel, clock = self.build()
+        client.write_file(PATH, make_text_file(1_000, seed=152))
+        channel.fail_next(count=1_000)
+        client.write_file(PATH, b"x" * 100)  # opens the breaker
+        seen = channel.requests_seen
+        client.write_file(PATH, b"y" * 100)  # parked without wire traffic
+        assert channel.requests_seen == seen
+        assert client.resilience_stats.breaker_short_circuits >= 1
+
+
+class TestReconnectResync:
+    def build(self):
+        server = ShadowServer()
+        client = ShadowClient("alice@ws", MappingWorkspace())
+        channel = LoopbackChannel(server.handle)
+        client.connect(server.name, channel)
+        return server, client, channel
+
+    def test_all_current_needs_nothing(self):
+        server, client, channel = self.build()
+        client.write_file(PATH, make_text_file(3_000, seed=153))
+        report = client.reconnect(server.name)
+        assert report == {"current": 1, "delta": 0, "full": 0}
+
+    def test_evicted_cache_entry_triggers_full_transfer(self):
+        server, client, channel = self.build()
+        content = make_text_file(3_000, seed=154)
+        client.write_file(PATH, content)
+        key = str(client.workspace.resolve(PATH))
+        server.cache.invalidate(key)  # best-effort cache lost the copy
+        report = client.reconnect(server.name)
+        assert report["full"] == 1
+        assert server.cache.get(key).content == content
+        assert client.resilience_stats.resync_full_transfers == 1
+
+    def test_stale_cache_entry_repaired_by_delta(self):
+        clock = SimulatedClock()
+        server = ShadowServer(clock=clock)
+        channel = FailNextChannel(LoopbackChannel(server.handle))
+        config = ResilienceConfig(
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0),
+            breaker=BreakerPolicy(failure_threshold=1, reset_after=5.0),
+        )
+        client = ShadowClient(
+            "alice@ws", MappingWorkspace(), clock=clock, resilience=config
+        )
+        client.connect(server.name, channel)
+        content = make_text_file(8_000, seed=155)
+        client.write_file(PATH, content)
+        key = str(client.workspace.resolve(PATH))
+        # Server falls behind while the link is down...
+        channel.fail_next(count=1_000)
+        content = modify_percent(content, 2, seed=156)
+        client.write_file(PATH, content)
+        assert server.cache.get(key).content != content
+        # ...then the client resumes: the stale entry is repaired from
+        # the last common version, not re-shipped in full.
+        channel.fail_next(count=0)
+        clock.advance(10.0)
+        report = client.reconnect(server.name)
+        assert report["delta"] == 1 and report["full"] == 0
+        assert server.cache.get(key).content == content
+        assert client.resilience_stats.resync_delta_transfers == 1
+
+    def test_reconnect_after_server_restart(self):
+        server, client, channel = self.build()
+        content = make_text_file(3_000, seed=157)
+        client.write_file(PATH, content)
+        key = str(client.workspace.resolve(PATH))
+        # The server process is replaced wholesale: empty cache.
+        revived = ShadowServer()
+        report = client.reconnect(
+            server.name, LoopbackChannel(revived.handle)
+        )
+        assert report["full"] == 1
+        assert revived.cache.get(key).content == content
+
+
+class TestZeroFaultOverhead:
+    """With no faults the resilience layer costs only the envelope."""
+
+    def run_workload(self, resilience):
+        deployment = SimulatedDeployment.build(
+            CYPRESS_9600, resilience=resilience
+        )
+        content = make_text_file(20_000, seed=158)
+        deployment.client.write_file(PATH, content)
+        for cycle in range(3):
+            content = modify_percent(content, 2, seed=159 + cycle)
+            deployment.client.write_file(PATH, content)
+            job_id = deployment.client.submit("wc input.dat", [PATH])
+            deployment.client.fetch_output(job_id)
+        return deployment
+
+    def test_wire_overhead_under_two_percent(self):
+        enabled = self.run_workload(None)  # default: resilience on
+        disabled = self.run_workload(ResilienceConfig.disabled())
+        assert enabled.client.resilience_stats.retries == 0
+        assert (
+            enabled.total_wire_bytes
+            <= disabled.total_wire_bytes * 1.02
+        )
+
+    def test_time_overhead_under_two_percent(self):
+        enabled = self.run_workload(None)
+        disabled = self.run_workload(ResilienceConfig.disabled())
+        assert enabled.clock.now() <= disabled.clock.now() * 1.02

@@ -7,10 +7,12 @@ from repro.metrics.recorder import (
     CycleOutcome,
     FigureData,
     FigurePoint,
+    ResilienceStats,
     Series,
 )
 from repro.metrics.report import (
     format_figure,
+    format_resilience,
     format_series_csv,
     format_speedup_table,
     format_table,
@@ -113,3 +115,30 @@ class TestRendering:
         lines = csv.splitlines()
         assert lines[0] == "percent,s_10000,e_10000"
         assert lines[1] == "1,2.000,20.000"
+
+
+class TestResilienceStats:
+    def test_starts_all_zero(self):
+        stats = ResilienceStats()
+        assert all(value == 0 for value in stats.as_dict().values())
+
+    def test_merge_folds_counters(self):
+        client_view = ResilienceStats(retries=3, parked_notifications=1)
+        server_view = ResilienceStats(duplicate_replies_served=2, retries=1)
+        client_view.merge(server_view)
+        assert client_view.retries == 4
+        assert client_view.duplicate_replies_served == 2
+        assert client_view.parked_notifications == 1
+
+    def test_degradations_property(self):
+        stats = ResilienceStats(breaker_opened=2, parked_notifications=5)
+        assert stats.degradations == 7
+
+    def test_format_elides_zero_counters(self):
+        rendered = format_resilience(ResilienceStats(retries=4))
+        assert "retries" in rendered and "4" in rendered
+        assert "giveups" not in rendered
+
+    def test_format_clean_run(self):
+        rendered = format_resilience(ResilienceStats())
+        assert rendered == "no faults, retries or degradations recorded"

@@ -1,0 +1,267 @@
+"""Unit tests for the resilience layer: policy, breaker, session."""
+
+import random
+
+import pytest
+
+from repro.core.protocol import Envelope, Notify, Ok, decode_message
+from repro.core.server import ShadowServer
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    RetryExhaustedError,
+    ShadowError,
+    TransportClosedError,
+    TransportError,
+)
+from repro.metrics.recorder import ResilienceStats
+from repro.resilience.breaker import BreakerPolicy, CircuitBreaker
+from repro.resilience.policy import RetryPolicy
+from repro.resilience.session import RawSession, ResilientSession
+from repro.simnet.clock import SimulatedClock
+from repro.transport.base import LoopbackChannel
+from repro.transport.flaky import FailNextChannel
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=2.0, jitter=0.0)
+        rng = random.Random(0)
+        delays = [policy.delay_for(attempt, rng) for attempt in (1, 2, 3)]
+        assert delays == [1.0, 2.0, 4.0]
+
+    def test_backoff_caps_at_max_delay(self):
+        policy = RetryPolicy(
+            base_delay=1.0, multiplier=10.0, max_delay=5.0, jitter=0.0
+        )
+        assert policy.delay_for(4, random.Random(0)) == 5.0
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, jitter=0.25)
+        rng = random.Random(7)
+        for _ in range(200):
+            delay = policy.delay_for(1, rng)
+            assert 0.75 <= delay <= 1.25
+
+    def test_jitter_is_deterministic_under_a_seed(self):
+        policy = RetryPolicy()
+        a = [policy.delay_for(i, random.Random(3)) for i in (1, 2, 3)]
+        b = [policy.delay_for(i, random.Random(3)) for i in (1, 2, 3)]
+        assert a == b
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ShadowError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ShadowError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ShadowError):
+            RetryPolicy(jitter=2.0)
+        with pytest.raises(ShadowError):
+            RetryPolicy(deadline=0.0)
+
+    def test_none_policy_is_single_attempt(self):
+        assert RetryPolicy.none().max_attempts == 1
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=3))
+        assert breaker.record_failure(0.0) is False
+        assert breaker.record_failure(1.0) is False
+        assert breaker.record_failure(2.0) is True
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allows(2.5)
+
+    def test_success_resets_the_count(self):
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=2))
+        breaker.record_failure(0.0)
+        breaker.record_success()
+        assert breaker.record_failure(1.0) is False
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_probe_after_cooldown(self):
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=1, reset_after=10.0)
+        )
+        breaker.record_failure(0.0)
+        assert not breaker.allows(5.0)
+        assert breaker.allows(10.0)  # the probe
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_failure_reopens(self):
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=1, reset_after=10.0)
+        )
+        breaker.record_failure(0.0)
+        assert breaker.allows(10.0)
+        assert breaker.record_failure(11.0) is True
+        assert not breaker.allows(12.0)
+
+
+def _notify(version=1):
+    return Notify(
+        client_id="alice@ws",
+        key="//d/f",
+        version=version,
+        size=3,
+        checksum="abc",
+    )
+
+
+class _CountingChannel(LoopbackChannel):
+    """Loopback that also records decoded request ids."""
+
+    def __init__(self, handler):
+        super().__init__(handler)
+        self.rids = []
+
+    def _deliver(self, payload):
+        message = decode_message(payload)
+        if isinstance(message, Envelope):
+            self.rids.append(message.rid)
+        return super()._deliver(payload)
+
+
+class TestResilientSession:
+    def build(self, policy=None, breaker=None, handler=None, clock=None):
+        handler = handler or (lambda payload: Ok(detail="fine").to_wire())
+        channel = FailNextChannel(_CountingChannel(handler))
+        stats = ResilienceStats()
+        session = ResilientSession(
+            client_id="alice@ws",
+            channel=channel,
+            policy=policy or RetryPolicy(base_delay=0.01, jitter=0.0),
+            breaker=breaker or CircuitBreaker(),
+            clock=clock,
+            stats=stats,
+        )
+        return session, channel, stats
+
+    def test_envelopes_every_request(self):
+        session, channel, _ = self.build()
+        session.send(_notify())
+        assert len(channel.inner.rids) == 1
+
+    def test_retry_reuses_the_same_request_id(self):
+        # The heart of idempotency: the retry IS the same request.
+        session, channel, stats = self.build()
+        channel.fail_next(count=2)
+        reply = session.send(_notify())
+        assert isinstance(reply, Ok)
+        assert len(set(channel.inner.rids)) == 1
+        assert stats.retries == 2
+
+    def test_distinct_requests_get_distinct_ids(self):
+        session, channel, _ = self.build()
+        session.send(_notify(1))
+        session.send(_notify(2))
+        assert len(set(channel.inner.rids)) == 2
+
+    def test_two_sessions_never_share_ids(self):
+        # Same seed, same client id: a rebuilt session must not collide
+        # with replies cached for the previous incarnation.
+        first, channel, _ = self.build()
+        first.send(_notify())
+        second = ResilientSession(
+            client_id="alice@ws", channel=channel, policy=RetryPolicy.none()
+        )
+        second.send(_notify())
+        assert len(set(channel.inner.rids)) == 2
+
+    def test_exhaustion_raises_retry_exhausted(self):
+        session, channel, stats = self.build(
+            policy=RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+        )
+        channel.fail_next(count=3)
+        with pytest.raises(RetryExhaustedError):
+            session.send(_notify())
+        assert stats.giveups == 1
+        assert stats.attempts == 3
+
+    def test_closed_channel_not_retried(self):
+        session, channel, stats = self.build()
+        channel.close()
+        with pytest.raises(TransportClosedError):
+            session.send(_notify())
+        assert stats.retries == 0
+
+    def test_backoff_charges_simulated_clock(self):
+        clock = SimulatedClock()
+        session, channel, _ = self.build(
+            policy=RetryPolicy(
+                max_attempts=3, base_delay=1.0, multiplier=2.0, jitter=0.0
+            ),
+            clock=clock,
+        )
+        channel.fail_next(count=2)
+        session.send(_notify())
+        assert clock.now() == pytest.approx(1.0 + 2.0)  # two waits, no sleep
+
+    def test_deadline_bounds_the_whole_request(self):
+        clock = SimulatedClock()
+        session, channel, stats = self.build(
+            policy=RetryPolicy(
+                max_attempts=10,
+                base_delay=1.0,
+                multiplier=2.0,
+                jitter=0.0,
+                deadline=2.0,
+            ),
+            clock=clock,
+        )
+        channel.fail_next(count=10)
+        with pytest.raises(DeadlineExceededError):
+            session.send(_notify())
+        assert stats.deadline_exceeded == 1
+        assert clock.now() <= 2.0
+
+    def test_breaker_short_circuits_without_touching_wire(self):
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=1))
+        session, channel, stats = self.build(
+            policy=RetryPolicy(max_attempts=1), breaker=breaker
+        )
+        channel.fail_next(count=1)
+        with pytest.raises(RetryExhaustedError):
+            session.send(_notify())
+        seen = channel.requests_seen
+        with pytest.raises(CircuitOpenError):
+            session.send(_notify())
+        assert channel.requests_seen == seen  # nothing hit the wire
+        assert stats.breaker_short_circuits == 1
+        assert stats.breaker_opened == 1
+
+    def test_server_dedupes_replayed_request_id(self):
+        # Reply lost after processing; the retry must not double-apply.
+        server = ShadowServer()
+        channel = FailNextChannel(LoopbackChannel(server.handle))
+        session = ResilientSession(
+            client_id="alice@ws",
+            channel=channel,
+            policy=RetryPolicy(max_attempts=4, base_delay=0.0, jitter=0.0),
+        )
+        from repro.core.protocol import Hello, Submit, SubmitReply
+
+        session.send(Hello(client_id="alice@ws", domain="//ws"))
+        channel.fail_next(count=1, lose_reply=True)
+        reply = session.send(
+            Submit(client_id="alice@ws", script="echo once", files=())
+        )
+        assert isinstance(reply, SubmitReply)
+        assert len(server.status) == 1  # processed exactly once
+        assert server.resilience.duplicate_replies_served == 1
+
+
+class TestRawSession:
+    def test_no_envelope_no_retry(self):
+        server = ShadowServer()
+        channel = FailNextChannel(_CountingChannel(server.handle))
+        session = RawSession(channel)
+        from repro.core.protocol import Hello
+
+        session.send(Hello(client_id="alice@ws", domain="//ws"))
+        assert channel.inner.rids == []  # bare message, no envelope
+        channel.fail_next(count=1)
+        with pytest.raises(TransportError):
+            session.send(Hello(client_id="alice@ws", domain="//ws"))

@@ -6,6 +6,7 @@ from repro.core.client import ShadowClient
 from repro.core.server import ShadowServer
 from repro.core.workspace import MappingWorkspace
 from repro.errors import ProtocolError, TransportError
+from repro.resilience.session import ResilienceConfig
 from repro.simnet.clock import SimulatedClock
 from repro.simnet.link import CYPRESS_9600, LAN_10M
 from repro.simnet.topology import Network
@@ -63,8 +64,14 @@ class TestFlakyChannel:
         assert seen == [b"did it arrive?"]
 
     def test_garbled_reply_detected_by_codec(self):
+        # Without the resilience layer every garbled reply surfaces as a
+        # decode failure (the seed's baseline behaviour).
         server = ShadowServer()
-        client = ShadowClient("alice@ws", MappingWorkspace())
+        client = ShadowClient(
+            "alice@ws",
+            MappingWorkspace(),
+            resilience=ResilienceConfig.disabled(),
+        )
         garbler = FlakyChannel(
             LoopbackChannel(server.handle), garble_rate=1.0
         )
@@ -77,11 +84,22 @@ class TestFlakyChannel:
 
 
 class TestFailureRecovery:
-    """The service stays consistent across injected faults."""
+    """The service stays consistent across injected faults.
+
+    These run with the resilience layer *disabled*: they document the
+    seed's baseline contract, where faults surface to the caller but the
+    protocol's convergence properties (§5.1) still hold on manual retry.
+    The resilient paths are covered in ``tests/core`` and
+    ``tests/integration``.
+    """
 
     def build(self):
         server = ShadowServer()
-        client = ShadowClient("alice@ws", MappingWorkspace())
+        client = ShadowClient(
+            "alice@ws",
+            MappingWorkspace(),
+            resilience=ResilienceConfig.disabled(),
+        )
         channel = FailNextChannel(LoopbackChannel(server.handle))
         client.connect(server.name, channel)
         return server, client, channel

@@ -1,8 +1,16 @@
 """Tests for framing, loopback channels and the simulated wire."""
 
+import struct
+import zlib
+
 import pytest
 
-from repro.errors import SimulationError, TransportClosedError, TransportError
+from repro.errors import (
+    FrameCorruptionError,
+    SimulationError,
+    TransportClosedError,
+    TransportError,
+)
 from repro.simnet.clock import SimulatedClock
 from repro.simnet.link import CYPRESS_9600
 from repro.simnet.traffic import CongestedLink, ConstantTraffic
@@ -10,7 +18,10 @@ from repro.transport.base import LoopbackChannel
 from repro.transport.framing import (
     HEADER_SIZE,
     MAX_FRAME_SIZE,
+    ChecksummedChannel,
     FrameDecoder,
+    checksummed_handler,
+    decode_single_frame,
     encode_frame,
     frame_overhead,
 )
@@ -18,25 +29,31 @@ from repro.transport.sim import SimChannel, Wire
 
 
 class TestFraming:
-    def test_encode_prefixes_length(self):
+    def test_encode_prefixes_length_and_crc(self):
         frame = encode_frame(b"abc")
-        assert frame == b"\x00\x00\x00\x03abc"
+        assert frame == struct.pack(">II", 3, zlib.crc32(b"abc")) + b"abc"
 
     def test_decoder_single_frame(self):
         decoder = FrameDecoder()
-        assert decoder.feed(encode_frame(b"hello")) == [b"hello"]
+        assert decoder.feed(encode_frame(b"hello")) == 1
+        assert decoder.pop() == b"hello"
+        assert decoder.pop() is None
 
     def test_decoder_handles_partial_chunks(self):
         decoder = FrameDecoder()
         frame = encode_frame(b"split me")
-        assert decoder.feed(frame[:3]) == []
-        assert decoder.feed(frame[3:6]) == []
-        assert decoder.feed(frame[6:]) == [b"split me"]
+        assert decoder.feed(frame[:3]) == 0
+        assert decoder.feed(frame[3:6]) == 0
+        assert decoder.feed(frame[6:]) == 1
+        assert decoder.pop() == b"split me"
 
     def test_decoder_handles_multiple_frames_in_one_chunk(self):
         decoder = FrameDecoder()
         chunk = encode_frame(b"one") + encode_frame(b"two")
-        assert decoder.feed(chunk) == [b"one", b"two"]
+        assert decoder.feed(chunk) == 2
+        assert decoder.ready_frames == 2
+        assert decoder.pop() == b"one"
+        assert decoder.pop() == b"two"
 
     def test_pop_drains_in_order(self):
         decoder = FrameDecoder()
@@ -45,9 +62,18 @@ class TestFraming:
         assert decoder.pop() == b"b"
         assert decoder.pop() is None
 
+    def test_feed_does_not_deliver(self):
+        # The pop-only contract: feed counts, pop delivers exactly once.
+        decoder = FrameDecoder()
+        count = decoder.feed(encode_frame(b"once"))
+        assert count == 1
+        assert decoder.pop() == b"once"
+        assert decoder.pop() is None  # not deliverable a second time
+
     def test_empty_frame(self):
         decoder = FrameDecoder()
-        assert decoder.feed(encode_frame(b"")) == [b""]
+        assert decoder.feed(encode_frame(b"")) == 1
+        assert decoder.pop() == b""
 
     def test_oversized_outgoing_rejected(self):
         with pytest.raises(TransportError):
@@ -55,7 +81,7 @@ class TestFraming:
 
     def test_oversized_incoming_rejected(self):
         decoder = FrameDecoder()
-        bad_header = (MAX_FRAME_SIZE + 1).to_bytes(HEADER_SIZE, "big")
+        bad_header = struct.pack(">II", MAX_FRAME_SIZE + 1, 0)
         with pytest.raises(TransportError):
             decoder.feed(bad_header)
 
@@ -65,7 +91,53 @@ class TestFraming:
         assert decoder.pending_bytes == 2
 
     def test_overhead_constant(self):
-        assert frame_overhead() == 4
+        assert frame_overhead() == HEADER_SIZE == 8
+
+    def test_corrupt_payload_rejected(self):
+        frame = bytearray(encode_frame(b"precious payload"))
+        frame[HEADER_SIZE + 3] ^= 0xFF
+        decoder = FrameDecoder()
+        with pytest.raises(FrameCorruptionError):
+            decoder.feed(bytes(frame))
+
+    def test_corruption_is_a_transport_error(self):
+        # Distinct type, but catchable by existing TransportError handlers.
+        assert issubclass(FrameCorruptionError, TransportError)
+
+    def test_decode_single_frame_roundtrip(self):
+        assert decode_single_frame(encode_frame(b"whole")) == b"whole"
+
+    def test_decode_single_frame_rejects_trailing_bytes(self):
+        with pytest.raises(FrameCorruptionError):
+            decode_single_frame(encode_frame(b"x") + b"junk")
+
+    def test_decode_single_frame_rejects_truncation(self):
+        with pytest.raises(FrameCorruptionError):
+            decode_single_frame(encode_frame(b"chopped")[:-2])
+
+    def test_decode_single_frame_rejects_garbled_length(self):
+        frame = bytearray(encode_frame(b"y"))
+        frame[0] = 0xFF  # claims a multi-gigabyte frame
+        with pytest.raises(FrameCorruptionError):
+            decode_single_frame(bytes(frame))
+
+
+class TestChecksummedChannel:
+    def test_round_trip(self):
+        channel = ChecksummedChannel(
+            LoopbackChannel(checksummed_handler(lambda p: p.upper()))
+        )
+        assert channel.request(b"ping") == b"PING"
+
+    def test_detects_reply_corruption(self):
+        def corrupting_handler(raw: bytes) -> bytes:
+            reply = bytearray(checksummed_handler(lambda p: p)(raw))
+            reply[-1] ^= 0xFF
+            return bytes(reply)
+
+        channel = ChecksummedChannel(LoopbackChannel(corrupting_handler))
+        with pytest.raises(FrameCorruptionError):
+            channel.request(b"data")
 
 
 class TestLoopbackChannel:
@@ -135,8 +207,8 @@ class TestSimChannel:
             lambda payload: b"reply-" + payload, CYPRESS_9600, clock
         )
         channel.request(b"hello")
-        up = CYPRESS_9600.transfer_seconds(5 + 4)
-        down = CYPRESS_9600.transfer_seconds(11 + 4)
+        up = CYPRESS_9600.transfer_seconds(5 + frame_overhead())
+        down = CYPRESS_9600.transfer_seconds(11 + frame_overhead())
         assert clock.now() == pytest.approx(up + down)
 
     def test_separate_wires_share_clock(self):
