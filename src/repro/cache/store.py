@@ -11,18 +11,32 @@ entire file."
 directories (§5.3) mapping each domain's file ids to server-local shadow
 identifiers.  A lookup miss raises :class:`CacheMissError`; callers treat
 it as "request the full file", never as failure.
+
+Concurrency: entries are spread over a fixed number of *shards*, each
+with its own lock, so connection threads touching different files never
+contend.  The byte budget stays global — a single budget lock serialises
+capacity checks and evictions across shards, and victim selection still
+ranks *every* entry (in insertion order, exactly as the unsharded store
+did), so eviction decisions are identical regardless of shard count.
 """
 
 from __future__ import annotations
 
 import itertools
+import threading
+import zlib
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.cache.entry import ShadowFile
 from repro.cache.eviction import EvictionPolicy, LruPolicy
 from repro.diffing.model import checksum as content_checksum
 from repro.errors import CacheError, CacheMissError
+
+#: Default shard count: enough to keep a dozen connection threads from
+#: contending, cheap enough for the single-threaded simulations.
+DEFAULT_SHARDS = 8
 
 
 @dataclass
@@ -69,35 +83,107 @@ class DomainDirectory:
         return len(self._mapping)
 
 
+class _Shard:
+    """One lock-guarded slice of the key space."""
+
+    __slots__ = ("lock", "entries")
+
+    def __init__(self) -> None:
+        self.lock = threading.RLock()
+        self.entries: Dict[str, ShadowFile] = {}
+
+
 class CacheStore:
-    """Bounded, policy-driven store of shadow files."""
+    """Bounded, policy-driven, sharded store of shadow files."""
 
     def __init__(
         self,
         capacity_bytes: Optional[int] = None,
         policy: Optional[EvictionPolicy] = None,
+        shards: int = DEFAULT_SHARDS,
     ) -> None:
         if capacity_bytes is not None and capacity_bytes < 0:
             raise CacheError(f"capacity must be >= 0, got {capacity_bytes}")
+        if shards < 1:
+            raise CacheError(f"need at least one shard, got {shards}")
         self.capacity_bytes = capacity_bytes
         self.policy = policy if policy is not None else LruPolicy()
         self.stats = CacheStats()
-        self._entries: Dict[str, ShadowFile] = {}
+        self._shards: List[_Shard] = [_Shard() for _ in range(shards)]
+        #: Serialises capacity checks + evictions across shards: the byte
+        #: budget is a *global* invariant, so admission is single-file.
+        self._budget_lock = threading.RLock()
+        #: Guards the domain directories, shadow-id counter, insertion
+        #: sequence, and the stats counters (cheap, rarely contended).
+        self._meta_lock = threading.RLock()
         self._domains: Dict[str, DomainDirectory] = {}
         self._shadow_ids = itertools.count(1)
+        #: key -> insertion sequence; preserves the unsharded store's
+        #: dict-insertion order for victim ranking (a key re-put in place
+        #: keeps its original position, exactly like a dict update).
+        self._insert_seq: Dict[str, int] = {}
+        self._seq = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # sharding
+    # ------------------------------------------------------------------
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    def _shard_for(self, key: str) -> _Shard:
+        # crc32, not hash(): stable across processes and PYTHONHASHSEED.
+        index = zlib.crc32(key.encode("utf-8")) % len(self._shards)
+        return self._shards[index]
+
+    @contextmanager
+    def _all_shards(self) -> Iterator[None]:
+        """Hold every shard lock (in index order — no lock cycles)."""
+        for shard in self._shards:
+            shard.lock.acquire()
+        try:
+            yield
+        finally:
+            for shard in reversed(self._shards):
+                shard.lock.release()
+
+    def _ordered_entries(self) -> List[ShadowFile]:
+        """Every entry, in global insertion order (callers hold locks)."""
+        merged = [
+            entry for shard in self._shards for entry in shard.entries.values()
+        ]
+        merged.sort(key=lambda entry: self._insert_seq[entry.key])
+        return merged
+
+    @property
+    def _entries(self) -> Dict[str, ShadowFile]:
+        """Insertion-ordered snapshot of every entry.
+
+        Compatibility view for persistence and diagnostics; internal code
+        goes through the shards.
+        """
+        with self._all_shards():
+            return {entry.key: entry for entry in self._ordered_entries()}
 
     # ------------------------------------------------------------------
     # sizing
     # ------------------------------------------------------------------
     @property
     def used_bytes(self) -> int:
-        return sum(entry.size for entry in self._entries.values())
+        with self._all_shards():
+            return sum(
+                entry.size
+                for shard in self._shards
+                for entry in shard.entries.values()
+            )
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return sum(len(shard.entries) for shard in self._shards)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        shard = self._shard_for(key)
+        with shard.lock:
+            return key in shard.entries
 
     # ------------------------------------------------------------------
     # domain directories
@@ -108,15 +194,17 @@ class CacheStore:
         return domain, file_id
 
     def domain_directory(self, domain: str) -> DomainDirectory:
-        directory = self._domains.get(domain)
-        if directory is None:
-            directory = DomainDirectory(domain)
-            self._domains[domain] = directory
-        return directory
+        with self._meta_lock:
+            directory = self._domains.get(domain)
+            if directory is None:
+                directory = DomainDirectory(domain)
+                self._domains[domain] = directory
+            return directory
 
     @property
     def domains(self) -> List[str]:
-        return sorted(self._domains)
+        with self._meta_lock:
+            return sorted(self._domains)
 
     # ------------------------------------------------------------------
     # operations
@@ -130,58 +218,80 @@ class CacheStore:
         else, it is *not* cached and ``None`` is returned — the system
         stays correct, only slower (§5.1).
         """
-        existing = self._entries.get(key)
-        if existing is not None:
-            freed = existing.size
-        else:
-            freed = 0
+        # The budget lock makes (capacity check, eviction, insert) atomic
+        # across shards; without a capacity there is nothing global to
+        # protect and per-shard locking suffices.
+        if self.capacity_bytes is not None:
+            with self._budget_lock:
+                return self._put_locked(key, content, version, timestamp)
+        return self._put_locked(key, content, version, timestamp)
+
+    def _put_locked(
+        self, key: str, content: bytes, version: int, timestamp: float
+    ) -> Optional[ShadowFile]:
+        shard = self._shard_for(key)
+        with shard.lock:
+            existing = shard.entries.get(key)
+            freed = existing.size if existing is not None else 0
         if self.capacity_bytes is not None and len(content) > self.capacity_bytes:
             if existing is not None:
                 self._drop(key)
-            self.stats.rejected += 1
+            with self._meta_lock:
+                self.stats.rejected += 1
             return None
         self._make_room(len(content) - freed, protect=key)
-        if existing is not None:
-            existing.content = content
-            existing.version = version
-            existing.checksum = content_checksum(content)
-            existing.touch(timestamp)
-            self.stats.updates += 1
-            return existing
-        shadow_id = f"sf-{next(self._shadow_ids):06d}"
-        entry = ShadowFile(
-            shadow_id=shadow_id,
-            key=key,
-            version=version,
-            content=content,
-            created_at=timestamp,
-            last_access=timestamp,
-            checksum=content_checksum(content),
-        )
-        self._entries[key] = entry
+        with shard.lock:
+            existing = shard.entries.get(key)
+            if existing is not None:
+                existing.content = content
+                existing.version = version
+                existing.checksum = content_checksum(content)
+                existing.touch(timestamp)
+                with self._meta_lock:
+                    self.stats.updates += 1
+                return existing
+            with self._meta_lock:
+                shadow_id = f"sf-{next(self._shadow_ids):06d}"
+                self._insert_seq[key] = next(self._seq)
+                self.stats.insertions += 1
+            entry = ShadowFile(
+                shadow_id=shadow_id,
+                key=key,
+                version=version,
+                content=content,
+                created_at=timestamp,
+                last_access=timestamp,
+                checksum=content_checksum(content),
+            )
+            shard.entries[key] = entry
         domain, file_id = self._split_key(key)
         self.domain_directory(domain).bind(file_id, shadow_id)
-        self.stats.insertions += 1
         return entry
 
     def get(self, key: str, timestamp: float = 0.0) -> ShadowFile:
         """Fetch the cached entry, recording a hit or raising on a miss."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            raise CacheMissError(key)
-        entry.touch(timestamp)
-        self.stats.hits += 1
-        return entry
+        shard = self._shard_for(key)
+        with shard.lock:
+            entry = shard.entries.get(key)
+            if entry is None:
+                with self._meta_lock:
+                    self.stats.misses += 1
+                raise CacheMissError(key)
+            entry.touch(timestamp)
+            with self._meta_lock:
+                self.stats.hits += 1
+            return entry
 
     def peek_version(self, key: str) -> Optional[int]:
         """The cached version number without touching access stats."""
-        entry = self._entries.get(key)
+        entry = self.peek_entry(key)
         return entry.version if entry is not None else None
 
     def peek_entry(self, key: str) -> Optional[ShadowFile]:
         """The cached entry without touching access stats (or None)."""
-        return self._entries.get(key)
+        shard = self._shard_for(key)
+        with shard.lock:
+            return shard.entries.get(key)
 
     #: Verdicts from :meth:`reconcile`.
     CURRENT = "current"
@@ -205,7 +315,7 @@ class CacheStore:
           treated like missing: full transfer, the best-effort worst
           case.
         """
-        cached = self._entries.get(key)
+        cached = self.peek_entry(key)
         if cached is None:
             return self.MISSING
         if cached.version == version:
@@ -218,44 +328,60 @@ class CacheStore:
 
     def invalidate(self, key: str) -> bool:
         """Drop an entry (e.g. the client reported it deleted)."""
-        if key in self._entries:
+        shard = self._shard_for(key)
+        with shard.lock:
+            present = key in shard.entries
+        if present:
             self._drop(key)
             return True
         return False
 
     def flush(self) -> int:
         """Drop everything (simulates the remote host reclaiming disk)."""
-        count = len(self._entries)
-        for key in list(self._entries):
+        with self._all_shards():
+            keys = [
+                key for shard in self._shards for key in list(shard.entries)
+            ]
+        for key in keys:
             self._drop(key)
-        return count
+        return len(keys)
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
     def _drop(self, key: str) -> None:
-        entry = self._entries.pop(key)
+        shard = self._shard_for(key)
+        with shard.lock:
+            shard.entries.pop(key, None)
+        with self._meta_lock:
+            self._insert_seq.pop(key, None)
         domain, file_id = self._split_key(key)
-        directory = self._domains.get(domain)
+        with self._meta_lock:
+            directory = self._domains.get(domain)
         if directory is not None:
             directory.unbind(file_id)
 
     def _make_room(self, needed: int, protect: str) -> None:
         if self.capacity_bytes is None or needed <= 0:
             return
-        headroom = self.capacity_bytes - self.used_bytes
-        if headroom >= needed:
-            return
-        candidates = [
-            entry for key, entry in self._entries.items() if key != protect
-        ]
-        now = max(
-            (entry.last_access for entry in self._entries.values()), default=0.0
-        )
-        for victim in self.policy.victim_order(candidates, now):
+        with self._all_shards():
+            everything = self._ordered_entries()
+            used = sum(entry.size for entry in everything)
+            headroom = self.capacity_bytes - used
+            if headroom >= needed:
+                return
+            candidates = [
+                entry for entry in everything if entry.key != protect
+            ]
+            now = max(
+                (entry.last_access for entry in everything), default=0.0
+            )
+            victims = self.policy.victim_order(candidates, now)
+        for victim in victims:
             self._drop(victim.key)
-            self.stats.evictions += 1
-            self.stats.evicted_bytes += victim.size
+            with self._meta_lock:
+                self.stats.evictions += 1
+                self.stats.evicted_bytes += victim.size
             headroom = self.capacity_bytes - self.used_bytes
             if headroom >= needed:
                 return

@@ -71,6 +71,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="bound the shadow cache (best-effort eviction beyond this)",
     )
     serve.add_argument(
+        "--cache-shards", type=int, default=None,
+        help="lock shards in the cache store (default 8)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=0,
+        help="off-path job worker threads (0 = run jobs inline with submit)",
+    )
+    serve.add_argument(
+        "--max-connections", type=int, default=None,
+        help="refuse connections beyond this many concurrent clients",
+    )
+    serve.add_argument(
         "--once", action="store_true",
         help="exit after start-up (used by the test suite)",
     )
@@ -176,13 +188,26 @@ def _close_client(client: ShadowClient, args: argparse.Namespace) -> None:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     executor = LocalExecutor() if args.executor == "local" else SimulatedExecutor()
-    from repro.cache.store import CacheStore
+    from repro.cache.store import CacheStore, DEFAULT_SHARDS
 
     server = ShadowServer(
         executor=executor,
-        cache=CacheStore(capacity_bytes=args.cache_bytes),
+        cache=CacheStore(
+            capacity_bytes=args.cache_bytes,
+            shards=(
+                args.cache_shards
+                if args.cache_shards is not None
+                else DEFAULT_SHARDS
+            ),
+        ),
+        workers=args.workers,
     )
-    listener = TcpChannelServer(server.handle, host=args.host, port=args.port)
+    listener = TcpChannelServer(
+        server.handle,
+        host=args.host,
+        port=args.port,
+        max_connections=args.max_connections,
+    )
     print(f"shadow server listening on {args.host}:{listener.port}")
     try:
         if args.once:

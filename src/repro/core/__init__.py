@@ -4,12 +4,16 @@ from repro.core.background import BackgroundPuller
 from repro.core.client import ShadowClient, SubmittedJob
 from repro.core.editor import EditorFunction, ShadowEditor, scripted_editor
 from repro.core.environment import ShadowEnvironment
+from repro.core.router import RequestRouter
 from repro.core.server import ShadowServer
+from repro.core.sessions import ClientSession, SessionRegistry, TrafficAccount
 from repro.core.service import (
     SimulatedDeployment,
     TcpDeployment,
+    TcpService,
     loopback_pair,
     tcp_pair,
+    tcp_service,
 )
 from repro.core.state import (
     load_state,
@@ -26,10 +30,13 @@ from repro.core.workspace import (
 
 __all__ = [
     "BackgroundPuller",
+    "ClientSession",
     "EditorFunction",
     "LocalDirectoryWorkspace",
     "MappingWorkspace",
     "NfsWorkspace",
+    "RequestRouter",
+    "SessionRegistry",
     "ShadowClient",
     "ShadowEditor",
     "ShadowEnvironment",
@@ -37,6 +44,8 @@ __all__ = [
     "SimulatedDeployment",
     "SubmittedJob",
     "TcpDeployment",
+    "TcpService",
+    "TrafficAccount",
     "Workspace",
     "load_state",
     "loopback_pair",
@@ -45,4 +54,5 @@ __all__ = [
     "scripted_editor",
     "snapshot_client",
     "tcp_pair",
+    "tcp_service",
 ]

@@ -81,7 +81,7 @@ class BackgroundPuller:
         if load >= self.server.scheduler.pull_load_threshold:
             self._retry(client_id, key, reason="server busy")
             return
-        channel = self.server._callbacks.get(client_id)
+        channel = self.server.callback_for(client_id)
         if channel is None:
             self._pending.pop(key, None)
             return  # push channel gone; submit-time pull will cover it

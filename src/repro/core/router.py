@@ -1,0 +1,79 @@
+"""The request router: message type -> handler dispatch.
+
+The first of the server's four layers.  Where ``ShadowServer.handle``
+used to walk an if/elif chain over every message class, handlers now
+register per message type and the router resolves one table lookup per
+request.  The router also owns the translation from handler exceptions
+to protocol :class:`~repro.core.protocol.ErrorReply` codes, so every
+transport sees identical error behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Type
+
+from repro.core.protocol import ErrorReply, Message
+from repro.errors import (
+    DiffError,
+    JobCommandError,
+    JobError,
+    PatchConflictError,
+    ProtocolError,
+    ShadowError,
+    UnknownJobError,
+)
+
+Handler = Callable[[Message], Message]
+
+
+class RequestRouter:
+    """Dispatch decoded messages to their registered handlers."""
+
+    def __init__(self) -> None:
+        self._handlers: Dict[str, Handler] = {}
+
+    def register(self, message_type: Type[Message], handler: Handler) -> None:
+        """Bind ``handler`` to a message class (one handler per type)."""
+        if not message_type.TYPE:
+            raise ProtocolError(f"{message_type.__name__} lacks a TYPE tag")
+        if message_type.TYPE in self._handlers:
+            raise ProtocolError(
+                f"handler already registered for {message_type.TYPE!r}"
+            )
+        self._handlers[message_type.TYPE] = handler
+
+    def handles(self, message_type: Type[Message]) -> bool:
+        return message_type.TYPE in self._handlers
+
+    @property
+    def routes(self) -> Dict[str, Handler]:
+        return dict(self._handlers)
+
+    def dispatch(self, message: Message) -> Message:
+        """Route ``message``; raises for unknown types, propagates
+        handler exceptions untranslated."""
+        handler = self._handlers.get(message.TYPE)
+        if handler is None:
+            raise ProtocolError(f"server cannot handle {message.TYPE!r}")
+        return handler(message)
+
+    def respond(self, message: Message) -> Message:
+        """Route ``message`` and translate failures to error replies.
+
+        The error-code mapping every transport relies on: job problems,
+        delta/patch conflicts (the client falls back to a full
+        transfer on ``need-full``), protocol violations, and a
+        catch-all for any other shadow fault.
+        """
+        try:
+            return self.dispatch(message)
+        except UnknownJobError as exc:
+            return ErrorReply(code="unknown-job", message=str(exc))
+        except (JobError, JobCommandError) as exc:
+            return ErrorReply(code="job-error", message=str(exc))
+        except (DiffError, PatchConflictError) as exc:
+            return ErrorReply(code="need-full", message=str(exc))
+        except ProtocolError as exc:
+            return ErrorReply(code="protocol", message=str(exc))
+        except ShadowError as exc:
+            return ErrorReply(code="server-error", message=str(exc))

@@ -10,12 +10,31 @@ reply payload), so the same instance runs over loopback, the simulated
 wire, or TCP.  When given a :class:`SimulatedClock` it charges virtual
 CPU seconds for patching, diffing and job execution from a
 :class:`ProcessingModel` — reproducing 1987 costs on modern hardware.
+
+Internally the server is four explicit layers, each safe under the
+multi-threaded TCP transport:
+
+1. a :class:`~repro.core.router.RequestRouter` decoding envelopes and
+   dispatching by message type;
+2. a :class:`~repro.core.sessions.SessionRegistry` holding one
+   :class:`~repro.core.sessions.ClientSession` per client (reply cache,
+   traffic account, callback) — requests for the *same* client
+   serialise on the session lock, different clients never contend;
+3. an off-path job pipeline (:mod:`repro.jobs.pipeline`) — Submit
+   enqueues and returns; workers drain the queue (inline under a
+   simulated clock, a bounded thread pool when ``workers > 0``);
+4. a sharded, byte-budgeted :class:`~repro.cache.store.CacheStore`.
+
+Every request carries a :class:`~repro.metrics.tracing.RequestTrace`
+through the layers (decode, session wait, dispatch, encode, plus
+handler sub-phases) into a bounded :class:`TraceLog`.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from collections import OrderedDict
-from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.cache.coherence import CoherenceTracker
@@ -25,7 +44,6 @@ from repro.core import protocol
 from repro.core.protocol import (
     Bye,
     CancelJob,
-    DeliverOutput,
     Envelope,
     ErrorReply,
     FetchOutput,
@@ -45,19 +63,20 @@ from repro.core.protocol import (
     UpdateAck,
     decode_message,
 )
+from repro.core.router import RequestRouter
+from repro.core.sessions import ClientSession, SessionRegistry, TrafficAccount
 from repro.diffing import tichy
-from repro.diffing.model import checksum as content_digest, decode_delta
+from repro.diffing.model import decode_delta
 from repro.diffing.selector import worthwhile
 from repro.errors import (
     CacheMissError,
-    DiffError,
     JobCommandError,
     JobError,
     PatchConflictError,
     ProtocolError,
     ShadowError,
-    UnknownJobError,
 )
+from repro.jobs import pipeline as job_pipeline
 from repro.jobs.executor import Executor, SimulatedExecutor
 from repro.jobs.output import DeliveryPlan, OutputBundle
 from repro.jobs.queue import JobQueue, QueuedJob
@@ -65,29 +84,21 @@ from repro.jobs.scheduler import Scheduler
 from repro.jobs.spec import JobCommandFile, JobRequest
 from repro.jobs.status import JobRecord, JobState, StatusTable
 from repro.metrics.recorder import ResilienceStats
+from repro.metrics.tracing import (
+    RequestTrace,
+    TraceLog,
+    set_active_trace,
+    traced_phase,
+)
 from repro.simnet.clock import Clock
 from repro.simnet.link import ProcessingModel
 from repro.transport.base import RequestChannel
 
-#: How many finished output bundles are retained per client for the
-#: reverse-shadow delta base (§8.3) and late fetches.
-_RETAINED_BUNDLES_PER_CLIENT = 8
+__all__ = ["ShadowServer", "TrafficAccount"]
 
-
-@dataclass
-class TrafficAccount:
-    """Per-client traffic totals (§2.2: "users will be charged for their
-    use of network services in proportion to the volume of traffic
-    generated")."""
-
-    requests: int = 0
-    bytes_in: int = 0
-    bytes_out: int = 0
-    pushed_bytes: int = 0
-
-    @property
-    def total_bytes(self) -> int:
-        return self.bytes_in + self.bytes_out + self.pushed_bytes
+#: Backwards-compatible alias; the canonical constant lives with the
+#: pipeline that enforces it.
+_RETAINED_BUNDLES_PER_CLIENT = job_pipeline.RETAINED_BUNDLES_PER_CLIENT
 
 
 class ShadowServer:
@@ -104,11 +115,9 @@ class ShadowServer:
         reverse_shadow: bool = True,
         push_outputs: bool = False,
         reply_cache_size: int = 1024,
+        workers: int = 0,
+        trace_capacity: int = 256,
     ) -> None:
-        if reply_cache_size < 0:
-            raise ProtocolError(
-                f"reply_cache_size must be >= 0, got {reply_cache_size}"
-            )
         self.name = name
         self.cache = cache if cache is not None else CacheStore()
         self.coherence = CoherenceTracker(self.cache)
@@ -118,13 +127,13 @@ class ShadowServer:
         self.processing = processing
         self.reverse_shadow = reverse_shadow
         self.push_outputs = push_outputs
-        self.ledger: Dict[str, TrafficAccount] = {}
+        #: Layer 2: per-client sessions (validates reply_cache_size).
+        self.sessions = SessionRegistry(reply_cache_size=reply_cache_size)
+        self.reply_cache_size = reply_cache_size
         self.status = StatusTable()
         self.queue = JobQueue()
         self._pipeline = Pipeline.default()
         self._job_counter = 0
-        self._clients: Dict[str, str] = {}
-        self._callbacks: Dict[str, RequestChannel] = {}
         self._requests: Dict[str, JobRequest] = {}
         self._plans: Dict[str, DeliveryPlan] = {}
         #: Per-queued-job input staging, independent of the cache: a file
@@ -133,18 +142,37 @@ class ShadowServer:
         self._staged: Dict[str, Dict[str, bytes]] = {}
         self._finished: "OrderedDict[str, OutputBundle]" = OrderedDict()
         self._routed: Dict[str, str] = {}
-        #: Idempotency: (client_id, request_id) -> encoded reply.  A
-        #: bounded LRU so a retried request whose reply was lost gets
-        #: the *same* answer instead of a second execution (no duplicate
-        #: job submissions, no double-applied deltas).
-        self.reply_cache_size = reply_cache_size
-        self._replies: "OrderedDict[Tuple[str, str], bytes]" = OrderedDict()
+        #: Guards queue/status/staging/bundle state shared between the
+        #: request path and the job workers.  Re-entrant: the inline
+        #: pipeline drains while a handler may already hold it.
+        self._jobs_lock = threading.RLock()
         #: Counters for idempotent replays and resyncs served.
         self.resilience = ResilienceStats()
         #: Optional hook fired as (client_id, key) whenever a change
         #: notification is deferred; a BackgroundPuller attaches here to
         #: realise §6.4's postponed retrieval.
         self.on_deferred_pull = None
+        #: Layer 1: message-type routing table.
+        self.router = RequestRouter()
+        self._register_routes()
+        #: Per-request structured traces (diagnostic, wall-clock only).
+        self.traces = TraceLog(capacity=trace_capacity)
+        #: Layer 3: the off-path job pipeline.  ``workers == 0`` drains
+        #: inline on the request thread (virtual-time mode, the
+        #: benchmark-faithful default); ``workers > 0`` runs a bounded
+        #: thread pool so Submit returns before execution.
+        self.pipeline = job_pipeline.build_pipeline(self, workers)
+
+    def _register_routes(self) -> None:
+        self.router.register(Hello, self._on_hello)
+        self.router.register(Notify, self._on_notify)
+        self.router.register(Update, self._on_update)
+        self.router.register(Submit, self._on_submit)
+        self.router.register(StatusQuery, self._on_status)
+        self.router.register(FetchOutput, self._on_fetch)
+        self.router.register(CancelJob, self._on_cancel)
+        self.router.register(Resync, self._on_resync)
+        self.router.register(Bye, self._on_bye)
 
     # ------------------------------------------------------------------
     # introspection
@@ -157,6 +185,7 @@ class ShadowServer:
         return {
             "name": self.name,
             "clients": sorted(self._clients),
+            "sessions": len(self.sessions),
             "cache": {
                 "entries": len(self.cache),
                 "used_bytes": self.cache.used_bytes,
@@ -164,16 +193,18 @@ class ShadowServer:
                 "hit_rate": round(self.cache.stats.hit_rate, 4),
                 "evictions": self.cache.stats.evictions,
                 "policy": self.cache.policy.name,
+                "shards": self.cache.shard_count,
             },
             "jobs": {
                 "queued": len(self.queue),
                 "total": len(self.status),
                 "by_state": states,
             },
+            "pipeline": self.pipeline.describe(),
             "retained_bundles": len(self._finished),
             "stale_files": len(self.coherence.stale_keys()),
             "resilience": {
-                "reply_cache_entries": len(self._replies),
+                "reply_cache_entries": self.sessions.reply_cache_entries(),
                 "reply_cache_capacity": self.reply_cache_size,
                 **{
                     name: value
@@ -181,7 +212,45 @@ class ShadowServer:
                     if value
                 },
             },
+            "traces": self.traces.summary(),
         }
+
+    def close(self) -> None:
+        """Stop pipeline workers (no-op for the inline pipeline)."""
+        self.pipeline.close()
+
+    # ------------------------------------------------------------------
+    # compatibility views over the session registry
+    # ------------------------------------------------------------------
+    @property
+    def ledger(self) -> Dict[str, TrafficAccount]:
+        """client id -> traffic account (live objects, snapshot dict)."""
+        return self.sessions.accounts()
+
+    @property
+    def _clients(self) -> Dict[str, str]:
+        return self.sessions.greeted_clients()
+
+    @_clients.setter
+    def _clients(self, value: Dict[str, str]) -> None:
+        # State restore assigns the greeted-client map wholesale.
+        for session in self.sessions.all_sessions():
+            if session.client_id not in value and session.greeted:
+                session.farewell()
+        for client_id, domain in value.items():
+            self.sessions.ensure(client_id).greet(domain)
+
+    @property
+    def _callbacks(self) -> Dict[str, RequestChannel]:
+        return self.sessions.callbacks()
+
+    def register_callback(self, client_id: str, channel: RequestChannel) -> None:
+        """Attach a server->client channel for pushes (sim / live modes)."""
+        self.sessions.ensure(client_id).callback = channel
+
+    def callback_for(self, client_id: str) -> Optional[RequestChannel]:
+        session = self.sessions.get(client_id)
+        return session.callback if session is not None else None
 
     # ------------------------------------------------------------------
     # time helpers
@@ -208,85 +277,88 @@ class ShadowServer:
     # the wire entry point
     # ------------------------------------------------------------------
     def handle(self, payload: bytes) -> bytes:
-        """Decode, dispatch, encode — every request lands here.
+        """Decode, route, encode — every request lands here.
 
         Enveloped requests (the resilience layer wraps everything in an
         :class:`Envelope` carrying a request id) are deduplicated: a
         retry of a request whose reply was lost is answered verbatim
-        from the bounded reply cache, so side effects happen exactly
-        once even though delivery is at-least-once.
+        from the session's bounded reply cache, so side effects happen
+        exactly once even though delivery is at-least-once.
+
+        Handling is serialised *per session*: the same client's
+        requests (and retries) run one at a time, different clients run
+        concurrently under the threaded TCP transport.
         """
+        trace = RequestTrace(request_id=self.traces.next_request_id())
         try:
-            message = decode_message(payload)
-        except ShadowError as exc:
-            return ErrorReply(code="bad-message", message=str(exc)).to_wire()
-        cache_key: Optional[Tuple[str, str]] = None
-        if isinstance(message, Envelope):
-            try:
-                inner = message.open()
-            except ShadowError as exc:
-                return ErrorReply(
-                    code="bad-message", message=str(exc)
-                ).to_wire()
-            if message.rid and self.reply_cache_size:
-                cache_key = (getattr(inner, "client_id", ""), message.rid)
-                cached = self._replies.get(cache_key)
-                if cached is not None:
-                    self._replies.move_to_end(cache_key)
-                    self.resilience.duplicate_replies_served += 1
-                    self._account(inner, len(payload), len(cached))
-                    return cached
-            message = inner
-        try:
-            reply = self._dispatch(message)
-        except UnknownJobError as exc:
-            reply = ErrorReply(code="unknown-job", message=str(exc))
-        except (JobError, JobCommandError) as exc:
-            reply = ErrorReply(code="job-error", message=str(exc))
-        except (DiffError, PatchConflictError) as exc:
-            reply = ErrorReply(code="need-full", message=str(exc))
-        except ProtocolError as exc:
-            reply = ErrorReply(code="protocol", message=str(exc))
-        except ShadowError as exc:
-            reply = ErrorReply(code="server-error", message=str(exc))
-        encoded = reply.to_wire()
-        if cache_key is not None:
-            self._replies[cache_key] = encoded
-            while len(self._replies) > self.reply_cache_size:
-                self._replies.popitem(last=False)
-        self._account(message, len(payload), len(encoded))
+            with trace.phase("decode"):
+                try:
+                    message = decode_message(payload)
+                except ShadowError as exc:
+                    trace.outcome = "error:bad-message"
+                    return ErrorReply(
+                        code="bad-message", message=str(exc)
+                    ).to_wire()
+                rid = ""
+                if isinstance(message, Envelope):
+                    try:
+                        inner = message.open()
+                    except ShadowError as exc:
+                        trace.outcome = "error:bad-message"
+                        return ErrorReply(
+                            code="bad-message", message=str(exc)
+                        ).to_wire()
+                    rid = message.rid
+                    message = inner
+            if rid:
+                trace.request_id = rid
+            trace.kind = message.TYPE
+            client_id = getattr(message, "client_id", "")
+            trace.client_id = client_id
+            session = self.sessions.ensure(client_id)
+            wait_begin = time.perf_counter()
+            with session.lock:
+                trace.mark("session-wait", time.perf_counter() - wait_begin)
+                return self._handle_locked(session, message, payload, rid, trace)
+        finally:
+            set_active_trace(None)
+            self.traces.record(trace)
+
+    def _handle_locked(
+        self,
+        session: ClientSession,
+        message: Message,
+        payload: bytes,
+        rid: str,
+        trace: RequestTrace,
+    ) -> bytes:
+        """The per-session critical section: replay check, dispatch,
+        reply caching and accounting."""
+        if rid and self.reply_cache_size:
+            cached = session.cached_reply(rid)
+            if cached is not None:
+                self.resilience.duplicate_replies_served += 1
+                trace.outcome = "replayed"
+                self._account(session, len(payload), len(cached))
+                return cached
+        set_active_trace(trace)
+        with trace.phase("dispatch"):
+            reply = self.router.respond(message)
+        with trace.phase("encode"):
+            encoded = reply.to_wire()
+        if isinstance(reply, ErrorReply):
+            trace.outcome = f"error:{reply.code}"
+        if rid and self.reply_cache_size:
+            session.store_reply(rid, encoded)
+        self._account(session, len(payload), len(encoded))
         return encoded
 
     def _account(
-        self, message: Message, bytes_in: int, bytes_out: int
+        self, session: ClientSession, bytes_in: int, bytes_out: int
     ) -> None:
-        client_id = getattr(message, "client_id", "")
-        if client_id:
-            account = self.ledger.setdefault(client_id, TrafficAccount())
-            account.requests += 1
-            account.bytes_in += bytes_in
-            account.bytes_out += bytes_out
-
-    def _dispatch(self, message: Message) -> Message:
-        if isinstance(message, Hello):
-            return self._on_hello(message)
-        if isinstance(message, Notify):
-            return self._on_notify(message)
-        if isinstance(message, Update):
-            return self._on_update(message)
-        if isinstance(message, Submit):
-            return self._on_submit(message)
-        if isinstance(message, StatusQuery):
-            return self._on_status(message)
-        if isinstance(message, FetchOutput):
-            return self._on_fetch(message)
-        if isinstance(message, CancelJob):
-            return self._on_cancel(message)
-        if isinstance(message, Resync):
-            return self._on_resync(message)
-        if isinstance(message, Bye):
-            return self._on_bye(message)
-        raise ProtocolError(f"server cannot handle {message.TYPE!r}")
+        # Anonymous payloads (no client_id) are not billable to anyone.
+        if session.client_id:
+            session.charge(bytes_in, bytes_out)
 
     # ------------------------------------------------------------------
     # session management
@@ -302,31 +374,27 @@ class ShadowServer:
             )
         if not message.client_id:
             return ErrorReply(code="bad-client", message="empty client id")
-        self._clients[message.client_id] = message.domain
         # A Hello starts a new session incarnation; replies cached for an
         # earlier life of this client can only ever be wrong answers now.
-        for key in [k for k in self._replies if k[0] == message.client_id]:
-            del self._replies[key]
+        self.sessions.ensure(message.client_id).greet(message.domain)
         return Ok(detail=f"welcome to {self.name}")
 
     def _on_bye(self, message: Bye) -> Message:
-        self._clients.pop(message.client_id, None)
-        self._callbacks.pop(message.client_id, None)
-        for key in [k for k in self._replies if k[0] == message.client_id]:
-            del self._replies[key]
-        for job in self.queue.remove_for_owner(message.client_id):
-            self._staged.pop(job.job_id, None)
-            record = self.status.get(job.job_id)
-            if not record.state.terminal:
-                record.transition(JobState.CANCELLED, self.now(), "client left")
+        session = self.sessions.get(message.client_id)
+        if session is not None:
+            session.farewell()
+        with self._jobs_lock:
+            for job in self.queue.remove_for_owner(message.client_id):
+                self._staged.pop(job.job_id, None)
+                record = self.status.get(job.job_id)
+                if not record.state.terminal:
+                    record.transition(
+                        JobState.CANCELLED, self.now(), "client left"
+                    )
         return Ok(detail="bye")
 
-    def register_callback(self, client_id: str, channel: RequestChannel) -> None:
-        """Attach a server->client channel for pushes (sim / live modes)."""
-        self._callbacks[client_id] = channel
-
     def _require_client(self, client_id: str) -> None:
-        if client_id not in self._clients:
+        if not self.sessions.greeted(client_id):
             raise ProtocolError(f"client {client_id!r} has not said hello")
 
     # ------------------------------------------------------------------
@@ -402,39 +470,27 @@ class ShadowServer:
                     f"cached version {entry.version} != update base "
                     f"{message.base_version}; send full"
                 )
-            delta = decode_delta(payload)
-            content = delta.apply(entry.content)
+            with traced_phase("patch"):
+                delta = decode_delta(payload)
+                content = delta.apply(entry.content)
             self._charge(self._patch_cost(len(content)))
         else:
             content = payload
         self.coherence.note_notification(message.key, message.version)
-        stored = self.cache.put(
-            message.key, content, message.version, self.now()
-        )
-        self._stage_for_waiting_jobs(message.key, message.version, content)
-        self._run_ready_jobs()
+        with traced_phase("cache-write"):
+            stored = self.cache.put(
+                message.key, content, message.version, self.now()
+            )
+        with traced_phase("stage"):
+            job_pipeline.stage_for_waiting_jobs(
+                self, message.key, message.version, content
+            )
+        self.pipeline.kick()
         return UpdateAck(
             key=message.key,
             stored_version=message.version,
             cached=stored is not None,
         )
-
-    def _stage_for_waiting_jobs(
-        self, key: str, version: int, content: bytes
-    ) -> None:
-        """Pin arriving content to every queued job that needs it."""
-        digest = None
-        for job in self.queue.snapshot():
-            needed = job.file_versions.get(key)
-            if needed is None or version < needed:
-                continue
-            expected = job.file_checksums.get(key, "")
-            if expected and version == needed:
-                if digest is None:
-                    digest = content_digest(content)
-                if digest != expected:
-                    continue
-            self._staged.setdefault(job.job_id, {})[key] = content
 
     # ------------------------------------------------------------------
     # submission and execution
@@ -449,8 +505,6 @@ class ShadowServer:
             error_file=message.error_file,
             deliver_to_host=message.deliver_to_host,
         )
-        self._job_counter += 1
-        job_id = f"{self.name}-job-{self._job_counter:05d}"
         file_versions: Dict[str, int] = {}
         file_checksums: Dict[str, str] = {}
         for entry in message.files:
@@ -464,166 +518,40 @@ class ShadowServer:
             if version < 1:
                 raise ProtocolError(f"bad version {version} for {key}")
             self.coherence.note_notification(key, version)
-        job = QueuedJob(
-            job_id=job_id,
-            owner=message.client_id,
-            request=request,
-            file_keys=tuple(file_versions),
-            file_versions=file_versions,
-            file_checksums=file_checksums,
-            enqueued_at=self.now(),
-            priority=message.priority,
-        )
-        record = JobRecord(
-            job_id=job_id, owner=message.client_id, submitted_at=self.now()
-        )
-        self.status.add(record)
-        self._requests[job_id] = request
-        self._plans[job_id] = DeliveryPlan.for_request(
-            job_id, request, client_host=message.client_id
-        )
-        needs = self._missing_files(job)
-        self.queue.push(job)
-        if needs:
-            record.transition(
-                JobState.WAITING_FILES, self.now(), f"waiting for {len(needs)} files"
+        with traced_phase("enqueue"), self._jobs_lock:
+            self._job_counter += 1
+            job_id = f"{self.name}-job-{self._job_counter:05d}"
+            job = QueuedJob(
+                job_id=job_id,
+                owner=message.client_id,
+                request=request,
+                file_keys=tuple(file_versions),
+                file_versions=file_versions,
+                file_checksums=file_checksums,
+                enqueued_at=self.now(),
+                priority=message.priority,
             )
-        self._run_ready_jobs()
-        return SubmitReply(job_id=job_id, needs=tuple(needs))
-
-    def _missing_files(self, job: QueuedJob) -> List[Tuple[str, int]]:
-        """Files whose cached copy cannot satisfy this job.
-
-        A copy satisfies the job when its version is at least the
-        submitted one AND, when the submit carried a checksum and the
-        versions are equal, the content actually matches — two clients
-        sharing one file each start their lineage at version 1 (§5.3).
-        A checksum mismatch forces a full pull (base 0): the divergent
-        cached copy is useless as a delta base.
-        """
-        staged = self._staged.get(job.job_id, {})
-        needs: List[Tuple[str, int]] = []
-        for key, version in job.file_versions.items():
-            if key in staged:
-                continue  # pinned for this job regardless of the cache
-            cached = self.cache.peek_entry(key)
-            if cached is None:
-                needs.append((key, 0))
-                continue
-            expected = job.file_checksums.get(key, "")
-            if cached.version < version:
-                needs.append((key, cached.version))
-            elif (
-                expected
-                and cached.version == version
-                and cached.checksum != expected
-            ):
-                needs.append((key, 0))
-        return needs
-
-    def _job_is_ready(self, job: QueuedJob) -> bool:
-        return not self._missing_files(job)
-
-    def _run_ready_jobs(self) -> None:
-        """Start every queued job whose files are now current."""
-        while True:
-            job = self.queue.peek_ready(self._job_is_ready)
-            if job is None:
-                return
-            self.queue.pop(job.job_id)
-            self._execute(job)
-
-    def _execute(self, job: QueuedJob) -> None:
-        record = self.status.get(job.job_id)
-        if record.state is JobState.QUEUED:
-            record.transition(JobState.READY, self.now())
-        elif record.state is JobState.WAITING_FILES:
-            record.transition(JobState.READY, self.now())
-        self._charge(self.scheduler.start_delay(self.now(), len(self.queue) + 1))
-        record.transition(JobState.RUNNING, self.now())
-        inputs: Dict[str, bytes] = {}
-        stage_names = _stage_names(job.file_versions)
-        staged = self._staged.pop(job.job_id, {})
-        for key in job.file_keys:
-            pinned = staged.get(key)
-            if pinned is not None:
-                inputs[stage_names[key]] = pinned
-                continue
-            try:
-                entry = self.cache.get(key, self.now())
-            except CacheMissError:
+            record = JobRecord(
+                job_id=job_id, owner=message.client_id, submitted_at=self.now()
+            )
+            self.status.add(record)
+            self._requests[job_id] = request
+            self._plans[job_id] = DeliveryPlan.for_request(
+                job_id, request, client_host=message.client_id
+            )
+            needs = job_pipeline.missing_files(self, job)
+            self.queue.push(job)
+            if needs:
                 record.transition(
-                    JobState.FAILED,
+                    JobState.WAITING_FILES,
                     self.now(),
-                    f"staged file {key} vanished from cache",
+                    f"waiting for {len(needs)} files",
                 )
-                return
-            inputs[stage_names[key]] = entry.content
-        result = self.executor.execute(job.request.command_file, inputs)
-        self._charge(result.cpu_seconds)
-        bundle = OutputBundle.from_result(job.job_id, result)
-        self._remember_bundle(job.owner, bundle)
-        record.exit_code = result.exit_code
-        record.transition(
-            JobState.COMPLETED if result.succeeded else JobState.FAILED,
-            self.now(),
-            f"exit {result.exit_code}",
-        )
-        self._deliver_if_routed(job, bundle)
-        self._push_to_owner(job, bundle)
-
-    def _remember_bundle(self, owner: str, bundle: OutputBundle) -> None:
-        self._finished[bundle.job_id] = bundle
-        owned = [
-            job_id
-            for job_id, kept in self._finished.items()
-            if self.status.get(job_id).owner == owner
-        ]
-        while len(owned) > _RETAINED_BUNDLES_PER_CLIENT:
-            self._finished.pop(owned.pop(0), None)
-
-    def _deliver_if_routed(self, job: QueuedJob, bundle: OutputBundle) -> None:
-        """Push output onward when routed to a third host (§8.3)."""
-        plan = self._plans[job.job_id]
-        if not plan.is_third_party:
-            return
-        channel = self._callbacks.get(plan.destination_host)
-        if channel is None:
-            # Destination not connected; the bundle stays fetchable there.
-            return
-        push = DeliverOutput(
-            job_id=job.job_id,
-            exit_code=bundle.exit_code,
-            cpu_seconds=bundle.cpu_seconds,
-            streams=_full_streams(bundle),
-        )
-        channel.request(push.to_wire())
-        self._routed[job.job_id] = plan.destination_host
-
-    def _push_to_owner(self, job: QueuedJob, bundle: OutputBundle) -> None:
-        """§6.2 completion push: "the shadow server contacts the client
-        to transfer the output"."""
-        if not self.push_outputs:
-            return
-        plan = self._plans[job.job_id]
-        if plan.is_third_party:
-            return  # routed delivery already handled it
-        channel = self._callbacks.get(job.owner)
-        if channel is None:
-            return  # no callback path; the client will fetch
-        push = DeliverOutput(
-            job_id=job.job_id,
-            exit_code=bundle.exit_code,
-            cpu_seconds=bundle.cpu_seconds,
-            streams=_full_streams(bundle),
-        )
-        try:
-            payload = push.to_wire()
-            channel.request(payload)
-        except ShadowError:
-            return  # push is opportunistic; fetch remains available
-        account = self.ledger.setdefault(job.owner, TrafficAccount())
-        account.pushed_bytes += len(payload)
+        # Off the request path: inline workers drain now (virtual-time
+        # mode), thread workers are merely woken — Submit has already
+        # got its answer.
+        self.pipeline.kick()
+        return SubmitReply(job_id=job_id, needs=tuple(needs))
 
     # ------------------------------------------------------------------
     # status and output
@@ -644,35 +572,41 @@ class ShadowServer:
 
     def _on_cancel(self, message: CancelJob) -> Message:
         self._require_client(message.client_id)
-        record = self.status.get(message.job_id)
-        if record.owner != message.client_id:
-            raise JobError(
-                f"{message.job_id} belongs to {record.owner}, "
-                f"not {message.client_id}"
+        with self._jobs_lock:
+            record = self.status.get(message.job_id)
+            if record.owner != message.client_id:
+                raise JobError(
+                    f"{message.job_id} belongs to {record.owner}, "
+                    f"not {message.client_id}"
+                )
+            if record.state.terminal:
+                return Ok(detail=f"already {record.state.value}")
+            if message.job_id in self.queue:
+                self.queue.pop(message.job_id)
+            self._staged.pop(message.job_id, None)
+            # A RUNNING job (claimed by a worker) may also be cancelled;
+            # the worker notices the terminal state and drops the output.
+            record.transition(
+                JobState.CANCELLED, self.now(), "cancelled by owner"
             )
-        if record.state.terminal:
-            return Ok(detail=f"already {record.state.value}")
-        if message.job_id in self.queue:
-            self.queue.pop(message.job_id)
-        self._staged.pop(message.job_id, None)
-        record.transition(JobState.CANCELLED, self.now(), "cancelled by owner")
         return Ok(detail="cancelled")
 
     def _on_fetch(self, message: FetchOutput) -> Message:
         self._require_client(message.client_id)
-        record = self.status.get(message.job_id)
-        if not record.state.terminal:
-            return OutputReply(
-                job_id=message.job_id, ready=False, state=record.state.value
-            )
-        if message.job_id in self._routed:
-            return OutputReply(
-                job_id=message.job_id,
-                ready=True,
-                state=f"routed:{self._routed[message.job_id]}",
-                exit_code=record.exit_code or 0,
-            )
-        bundle = self._finished.get(message.job_id)
+        with self._jobs_lock:
+            record = self.status.get(message.job_id)
+            if not record.state.terminal:
+                return OutputReply(
+                    job_id=message.job_id, ready=False, state=record.state.value
+                )
+            if message.job_id in self._routed:
+                return OutputReply(
+                    job_id=message.job_id,
+                    ready=True,
+                    state=f"routed:{self._routed[message.job_id]}",
+                    exit_code=record.exit_code or 0,
+                )
+            bundle = self._finished.get(message.job_id)
         if bundle is None:
             if record.state is JobState.CANCELLED:
                 return OutputReply(
@@ -693,11 +627,12 @@ class ShadowServer:
         self, bundle: OutputBundle, have_output_of: str
     ) -> Dict[str, Dict[str, Any]]:
         """Full streams, or reverse-shadow deltas against a prior bundle."""
-        base = (
-            self._finished.get(have_output_of)
-            if self.reverse_shadow and have_output_of
-            else None
-        )
+        with self._jobs_lock:
+            base = (
+                self._finished.get(have_output_of)
+                if self.reverse_shadow and have_output_of
+                else None
+            )
         if base is None:
             return _full_streams(bundle)
         streams: Dict[str, Dict[str, Any]] = {}

@@ -139,6 +139,7 @@ class TcpDeployment:
         self.client.disconnect(self.server.name)
         self.channel.close()
         self.listener.close()
+        self.server.close()
 
     def __enter__(self) -> "TcpDeployment":
         return self
@@ -156,10 +157,20 @@ def tcp_pair(
     workspace: Optional[Workspace] = None,
     executor: Optional[Executor] = None,
     resilience: Optional[ResilienceConfig] = None,
+    workers: int = 0,
+    max_connections: Optional[int] = None,
 ) -> TcpDeployment:
-    """Start a TCP shadow server and connect a client to it."""
-    server = ShadowServer(name=server_name, executor=executor)
-    listener = TcpChannelServer(server.handle, host=host, port=port)
+    """Start a TCP shadow server and connect a client to it.
+
+    ``workers=0`` (default) keeps job execution inline with Submit —
+    single-client sessions can fetch output immediately after submitting.
+    ``workers=N`` runs the off-path worker pool; callers then poll
+    ``fetch_output`` (or drain the pipeline) before expecting results.
+    """
+    server = ShadowServer(name=server_name, executor=executor, workers=workers)
+    listener = TcpChannelServer(
+        server.handle, host=host, port=port, max_connections=max_connections
+    )
     channel = TcpChannel(host, listener.port)
     client = ShadowClient(
         client_id=client_id,
@@ -171,3 +182,76 @@ def tcp_pair(
     return TcpDeployment(
         client=client, server=server, listener=listener, channel=channel
     )
+
+
+@dataclass
+class TcpService:
+    """A multi-tenant TCP shadow server that clients join ad hoc.
+
+    The shape of the paper's deployment proper: one server at a
+    well-known port, N workstations connecting as they please.  Job
+    execution runs on the off-path worker pool, so one client's job
+    never holds up another client's request.
+    """
+
+    server: ShadowServer
+    listener: TcpChannelServer
+
+    @property
+    def port(self) -> int:
+        return self.listener.port
+
+    def connect(
+        self,
+        client_id: str,
+        environment: Optional[ShadowEnvironment] = None,
+        workspace: Optional[Workspace] = None,
+        resilience: Optional[ResilienceConfig] = None,
+        timeout: float = 30.0,
+    ) -> Tuple[ShadowClient, TcpChannel]:
+        """Dial the service and say hello as ``client_id``."""
+        channel = TcpChannel(
+            self.listener.address[0], self.listener.port, timeout=timeout
+        )
+        client = ShadowClient(
+            client_id=client_id,
+            workspace=workspace if workspace is not None else MappingWorkspace(),
+            environment=environment,
+            resilience=resilience,
+        )
+        client.connect(self.server.name, channel)
+        return client, channel
+
+    def close(self) -> None:
+        self.listener.close()
+        self.server.close()
+
+    def __enter__(self) -> "TcpService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def tcp_service(
+    server_name: str = "supercomputer",
+    host: str = "127.0.0.1",
+    port: int = 0,
+    executor: Optional[Executor] = None,
+    workers: int = 4,
+    max_connections: Optional[int] = None,
+    cache_shards: Optional[int] = None,
+) -> TcpService:
+    """Start a multi-tenant TCP shadow service (off-path workers on)."""
+    from repro.cache.store import CacheStore
+
+    cache = (
+        CacheStore(shards=cache_shards) if cache_shards is not None else None
+    )
+    server = ShadowServer(
+        name=server_name, executor=executor, cache=cache, workers=workers
+    )
+    listener = TcpChannelServer(
+        server.handle, host=host, port=port, max_connections=max_connections
+    )
+    return TcpService(server=server, listener=listener)

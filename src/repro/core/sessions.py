@@ -1,0 +1,192 @@
+"""Per-client session state at the shadow server (§6.1).
+
+"A server process listens at a well-known port for connections from
+clients" — and under the TCP transport every connection is its own
+thread, so everything the server keeps *per client* must be safe to
+touch from many threads at once.  This module gathers that state into
+one :class:`ClientSession` object per client id:
+
+* the traffic account (§2.2 volume charging);
+* the bounded idempotent-reply cache (retried requests answered
+  verbatim, exactly-once effects over at-least-once delivery);
+* the registered callback channel for server->client pushes;
+* the session's naming domain and greeted flag (has it said Hello?).
+
+Each session carries its own re-entrant lock.  The server serialises
+request handling *per session*: two requests from the same client run
+one after the other (so a retry can never race its original), while
+requests from different clients never contend.  The
+:class:`SessionRegistry` guards only the id->session map itself.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import ProtocolError
+from repro.transport.base import RequestChannel
+
+
+@dataclass
+class TrafficAccount:
+    """Per-client traffic totals (§2.2: "users will be charged for their
+    use of network services in proportion to the volume of traffic
+    generated")."""
+
+    requests: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    pushed_bytes: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_in + self.bytes_out + self.pushed_bytes
+
+
+class ClientSession:
+    """Everything the server keeps for one client id."""
+
+    def __init__(self, client_id: str, reply_cache_size: int = 1024) -> None:
+        self.client_id = client_id
+        #: Serialises request handling for this client.  Re-entrant: a
+        #: handler that recursively feeds a message back through the
+        #: server (background pulls do) must not self-deadlock.
+        self.lock = threading.RLock()
+        self.account = TrafficAccount()
+        self.reply_cache_size = reply_cache_size
+        self._replies: "OrderedDict[str, bytes]" = OrderedDict()
+        self.domain: str = ""
+        #: True between Hello and Bye; requests other than Hello are
+        #: refused while False.
+        self.greeted = False
+        self.callback: Optional[RequestChannel] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def greet(self, domain: str) -> None:
+        """Start a session incarnation: replies cached for an earlier
+        life of this client can only ever be wrong answers now."""
+        self.domain = domain
+        self.greeted = True
+        self._replies.clear()
+
+    def farewell(self) -> None:
+        """End the incarnation but keep the traffic account: volume
+        charges outlive connections (§2.2)."""
+        self.greeted = False
+        self.callback = None
+        self._replies.clear()
+
+    # ------------------------------------------------------------------
+    # idempotent reply cache
+    # ------------------------------------------------------------------
+    def cached_reply(self, request_id: str) -> Optional[bytes]:
+        """The stored reply for a retried request id, freshened to MRU."""
+        reply = self._replies.get(request_id)
+        if reply is not None:
+            self._replies.move_to_end(request_id)
+        return reply
+
+    def store_reply(self, request_id: str, encoded: bytes) -> None:
+        self._replies[request_id] = encoded
+        while len(self._replies) > self.reply_cache_size:
+            self._replies.popitem(last=False)
+
+    @property
+    def reply_cache_entries(self) -> int:
+        return len(self._replies)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def charge(self, bytes_in: int, bytes_out: int) -> None:
+        self.account.requests += 1
+        self.account.bytes_in += bytes_in
+        self.account.bytes_out += bytes_out
+
+    def __repr__(self) -> str:
+        return (
+            f"ClientSession({self.client_id!r}, greeted={self.greeted}, "
+            f"requests={self.account.requests})"
+        )
+
+
+class SessionRegistry:
+    """Thread-safe id -> :class:`ClientSession` map.
+
+    Sessions are created on first contact (even a malformed or
+    pre-Hello request is accounted) and survive Bye — only the greeted
+    flag, callback, and reply cache reset, so traffic totals persist the
+    way the old global ledger did.
+    """
+
+    def __init__(self, reply_cache_size: int = 1024) -> None:
+        if reply_cache_size < 0:
+            raise ProtocolError(
+                f"reply_cache_size must be >= 0, got {reply_cache_size}"
+            )
+        self.reply_cache_size = reply_cache_size
+        self._lock = threading.Lock()
+        self._sessions: Dict[str, ClientSession] = {}
+
+    def ensure(self, client_id: str) -> ClientSession:
+        """The session for ``client_id``, created on first contact."""
+        with self._lock:
+            session = self._sessions.get(client_id)
+            if session is None:
+                session = ClientSession(
+                    client_id, reply_cache_size=self.reply_cache_size
+                )
+                self._sessions[client_id] = session
+            return session
+
+    def get(self, client_id: str) -> Optional[ClientSession]:
+        with self._lock:
+            return self._sessions.get(client_id)
+
+    def greeted(self, client_id: str) -> bool:
+        session = self.get(client_id)
+        return session is not None and session.greeted
+
+    def greeted_clients(self) -> Dict[str, str]:
+        """client id -> domain for every live (greeted) session."""
+        with self._lock:
+            return {
+                client_id: session.domain
+                for client_id, session in self._sessions.items()
+                if session.greeted
+            }
+
+    def accounts(self) -> Dict[str, TrafficAccount]:
+        """client id -> traffic account for every accounted client."""
+        with self._lock:
+            return {
+                client_id: session.account
+                for client_id, session in self._sessions.items()
+                if session.account.requests
+            }
+
+    def callbacks(self) -> Dict[str, RequestChannel]:
+        with self._lock:
+            return {
+                client_id: session.callback
+                for client_id, session in self._sessions.items()
+                if session.callback is not None
+            }
+
+    def all_sessions(self) -> List[ClientSession]:
+        with self._lock:
+            return list(self._sessions.values())
+
+    def reply_cache_entries(self) -> int:
+        return sum(
+            session.reply_cache_entries for session in self.all_sessions()
+        )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)

@@ -8,6 +8,7 @@ from repro.jobs.executor import (
     SimulatedExecutor,
 )
 from repro.jobs.output import DeliveryPlan, OutputBundle, store_bundle
+from repro.jobs.pipeline import ThreadWorkers, VirtualTimeWorkers, build_pipeline
 from repro.jobs.queue import JobQueue, QueuedJob
 from repro.jobs.scheduler import (
     ConstantLoad,
@@ -42,5 +43,8 @@ __all__ = [
     "SimulatedExecutor",
     "SinusoidalLoad",
     "StatusTable",
+    "ThreadWorkers",
+    "VirtualTimeWorkers",
+    "build_pipeline",
     "store_bundle",
 ]

@@ -1,0 +1,451 @@
+"""The off-path job pipeline: queued execution behind the request path.
+
+Layer three of the server stack.  A Submit enqueues the job and returns
+immediately; *workers* drain the :class:`~repro.jobs.queue.JobQueue`
+whenever files arrive or jobs are enqueued.  Two interchangeable worker
+implementations exist:
+
+* :class:`VirtualTimeWorkers` — the default, and the simulated-clock
+  mode.  ``kick()`` drains every ready job synchronously on the calling
+  thread, exactly as the pre-pipeline server did, so virtual-time
+  charging (scheduler start delay, CPU seconds) happens in the same
+  order at the same instants and the paper figures stay byte-identical.
+* :class:`ThreadWorkers` — a bounded pool of real threads for the
+  multi-tenant TCP server.  ``kick()`` just wakes the pool; execution
+  happens off the request path, so one client's long job never blocks
+  another client's Update round-trip.  Workers pick the next job with
+  per-client fairness: among ready jobs, the owner served least
+  recently goes first (priority and FIFO order break ties), so one
+  chatty client cannot starve the rest.
+
+The job-execution logic itself (readiness, staging, the run, completion
+delivery) lives here as module functions over the server, shared by both
+worker styles.  All queue/status/staging mutations happen under the
+server's ``_jobs_lock``; the executor runs *outside* it, which is what
+lets two jobs overlap under :class:`ThreadWorkers`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.errors import CacheMissError, ShadowError
+from repro.jobs.output import OutputBundle
+from repro.jobs.queue import QueuedJob
+from repro.jobs.status import JobState
+from repro.metrics.tracing import RequestTrace, active_trace, set_active_trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.server import ShadowServer
+
+#: How many finished output bundles are retained per client for the
+#: reverse-shadow delta base (§8.3) and late fetches.
+RETAINED_BUNDLES_PER_CLIENT = 8
+
+
+# ----------------------------------------------------------------------
+# job-execution logic, shared by both worker styles
+# ----------------------------------------------------------------------
+def missing_files(server: "ShadowServer", job: QueuedJob) -> List[Tuple[str, int]]:
+    """Files whose cached copy cannot satisfy this job.
+
+    A copy satisfies the job when its version is at least the submitted
+    one AND, when the submit carried a checksum and the versions are
+    equal, the content actually matches — two clients sharing one file
+    each start their lineage at version 1 (§5.3).  A checksum mismatch
+    forces a full pull (base 0): the divergent cached copy is useless as
+    a delta base.
+    """
+    staged = server._staged.get(job.job_id, {})
+    needs: List[Tuple[str, int]] = []
+    for key, version in job.file_versions.items():
+        if key in staged:
+            continue  # pinned for this job regardless of the cache
+        cached = server.cache.peek_entry(key)
+        if cached is None:
+            needs.append((key, 0))
+            continue
+        expected = job.file_checksums.get(key, "")
+        if cached.version < version:
+            needs.append((key, cached.version))
+        elif (
+            expected
+            and cached.version == version
+            and cached.checksum != expected
+        ):
+            needs.append((key, 0))
+    return needs
+
+
+def job_is_ready(server: "ShadowServer", job: QueuedJob) -> bool:
+    return not missing_files(server, job)
+
+
+def stage_for_waiting_jobs(
+    server: "ShadowServer", key: str, version: int, content: bytes
+) -> None:
+    """Pin arriving content to every queued job that needs it."""
+    from repro.diffing.model import checksum as content_digest
+
+    digest = None
+    with server._jobs_lock:
+        for job in server.queue.snapshot():
+            needed = job.file_versions.get(key)
+            if needed is None or version < needed:
+                continue
+            expected = job.file_checksums.get(key, "")
+            if expected and version == needed:
+                if digest is None:
+                    digest = content_digest(content)
+                if digest != expected:
+                    continue
+            server._staged.setdefault(job.job_id, {})[key] = content
+
+
+def remember_bundle(
+    server: "ShadowServer", owner: str, bundle: OutputBundle
+) -> None:
+    """Retain a finished bundle, evicting the owner's oldest past the cap."""
+    server._finished[bundle.job_id] = bundle
+    owned = [
+        job_id
+        for job_id, kept in server._finished.items()
+        if server.status.get(job_id).owner == owner
+    ]
+    while len(owned) > RETAINED_BUNDLES_PER_CLIENT:
+        server._finished.pop(owned.pop(0), None)
+
+
+def run_job(server: "ShadowServer", job: QueuedJob) -> bool:
+    """Execute one claimed job to completion.
+
+    The caller has already popped ``job`` from the queue.  Stage and
+    completion bookkeeping run under the server's jobs lock; the
+    executor call itself does not, so jobs overlap under
+    :class:`ThreadWorkers`.  A job cancelled after claiming (or while
+    running — legal under the lifecycle graph) is quietly dropped.
+    Returns True when the executor actually ran.
+    """
+    record = server.status.get(job.job_id)
+    trace = RequestTrace(
+        request_id=job.job_id, client_id=job.owner, kind="job"
+    )
+    previous = active_trace()
+    set_active_trace(trace)
+    try:
+        with server._jobs_lock:
+            if record.state.terminal:
+                trace.outcome = "skipped:cancelled"
+                return False
+            if record.state in (JobState.QUEUED, JobState.WAITING_FILES):
+                record.transition(JobState.READY, server.now())
+            server._charge(
+                server.scheduler.start_delay(
+                    server.now(), len(server.queue) + 1
+                )
+            )
+            record.transition(JobState.RUNNING, server.now())
+            from repro.core.server import _stage_names
+
+            inputs: Dict[str, bytes] = {}
+            stage_names = _stage_names(job.file_versions)
+            staged = server._staged.pop(job.job_id, {})
+            with trace.phase("stage"):
+                for key in job.file_keys:
+                    pinned = staged.get(key)
+                    if pinned is not None:
+                        inputs[stage_names[key]] = pinned
+                        continue
+                    try:
+                        entry = server.cache.get(key, server.now())
+                    except CacheMissError:
+                        record.transition(
+                            JobState.FAILED,
+                            server.now(),
+                            f"staged file {key} vanished from cache",
+                        )
+                        trace.outcome = "error:staging"
+                        return False
+                    inputs[stage_names[key]] = entry.content
+        with trace.phase("execute"):
+            result = server.executor.execute(job.request.command_file, inputs)
+        server._charge(result.cpu_seconds)
+        with server._jobs_lock:
+            if record.state.terminal:
+                # Cancelled while running: discard the output, keep the
+                # cancellation verdict.
+                trace.outcome = "skipped:cancelled"
+                return True
+            bundle = OutputBundle.from_result(job.job_id, result)
+            remember_bundle(server, job.owner, bundle)
+            record.exit_code = result.exit_code
+            record.transition(
+                JobState.COMPLETED if result.succeeded else JobState.FAILED,
+                server.now(),
+                f"exit {result.exit_code}",
+            )
+            if not result.succeeded:
+                trace.outcome = f"error:exit-{result.exit_code}"
+        with trace.phase("deliver"):
+            deliver_if_routed(server, job, bundle)
+            push_to_owner(server, job, bundle)
+        return True
+    finally:
+        set_active_trace(previous)
+        server.traces.record(trace)
+
+
+def deliver_if_routed(
+    server: "ShadowServer", job: QueuedJob, bundle: OutputBundle
+) -> None:
+    """Push output onward when routed to a third host (§8.3)."""
+    from repro.core.protocol import DeliverOutput
+    from repro.core.server import _full_streams
+
+    plan = server._plans[job.job_id]
+    if not plan.is_third_party:
+        return
+    channel = server.callback_for(plan.destination_host)
+    if channel is None:
+        # Destination not connected; the bundle stays fetchable there.
+        return
+    push = DeliverOutput(
+        job_id=job.job_id,
+        exit_code=bundle.exit_code,
+        cpu_seconds=bundle.cpu_seconds,
+        streams=_full_streams(bundle),
+    )
+    channel.request(push.to_wire())
+    server._routed[job.job_id] = plan.destination_host
+
+
+def push_to_owner(
+    server: "ShadowServer", job: QueuedJob, bundle: OutputBundle
+) -> None:
+    """§6.2 completion push: "the shadow server contacts the client to
+    transfer the output"."""
+    from repro.core.protocol import DeliverOutput
+    from repro.core.server import _full_streams
+
+    if not server.push_outputs:
+        return
+    plan = server._plans[job.job_id]
+    if plan.is_third_party:
+        return  # routed delivery already handled it
+    channel = server.callback_for(job.owner)
+    if channel is None:
+        return  # no callback path; the client will fetch
+    push = DeliverOutput(
+        job_id=job.job_id,
+        exit_code=bundle.exit_code,
+        cpu_seconds=bundle.cpu_seconds,
+        streams=_full_streams(bundle),
+    )
+    try:
+        payload = push.to_wire()
+        channel.request(payload)
+    except ShadowError:
+        return  # push is opportunistic; fetch remains available
+    server.sessions.ensure(job.owner).account.pushed_bytes += len(payload)
+
+
+# ----------------------------------------------------------------------
+# worker implementations
+# ----------------------------------------------------------------------
+class VirtualTimeWorkers:
+    """Synchronous drain on the caller's thread (the default).
+
+    Under a :class:`~repro.simnet.clock.SimulatedClock` this IS the
+    worker pool: each ``kick()`` runs every ready job to completion
+    before returning, in queue order, charging virtual time exactly as
+    the pre-pipeline server did.  A re-entrant drain lock keeps two
+    request threads (possible under inline-mode TCP) from interleaving
+    drains.
+    """
+
+    mode = "inline"
+    workers = 0
+
+    def __init__(self, server: "ShadowServer") -> None:
+        self._server = server
+        self._drain_lock = threading.RLock()
+        self.executed = 0
+        self.max_concurrent = 0
+
+    def kick(self) -> int:
+        """Run every ready job now; returns how many executed."""
+        server = self._server
+        ran = 0
+        with self._drain_lock:
+            while True:
+                with server._jobs_lock:
+                    job = server.queue.peek_ready(
+                        lambda queued: job_is_ready(server, queued)
+                    )
+                    if job is not None:
+                        server.queue.pop(job.job_id)
+                if job is None:
+                    break
+                if run_job(server, job):
+                    ran += 1
+                    self.executed += 1
+                self.max_concurrent = max(self.max_concurrent, 1)
+        return ran
+
+    def drain(self, timeout: float = 0.0) -> bool:
+        self.kick()
+        return True
+
+    def close(self) -> None:
+        pass
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "workers": self.workers,
+            "executed": self.executed,
+            "inflight": 0,
+        }
+
+
+class ThreadWorkers:
+    """A bounded pool of real worker threads (multi-tenant TCP mode).
+
+    ``kick()`` wakes the pool and returns; requests never wait for a
+    job.  Claiming is fair per client: among ready jobs, pick the owner
+    served least recently, then priority, then FIFO.  ``drain()`` lets
+    tests and shutdown wait until the queue holds no runnable jobs and
+    no worker is mid-execution.
+    """
+
+    mode = "threads"
+
+    def __init__(
+        self,
+        server: "ShadowServer",
+        workers: int,
+        poll_interval: float = 0.05,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._server = server
+        self.workers = workers
+        self._poll_interval = poll_interval
+        self._cond = threading.Condition()
+        self._stopping = False
+        self._inflight = 0
+        self.executed = 0
+        self.max_concurrent = 0
+        self._serve_seq = 0
+        self._last_served: Dict[str, int] = {}
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"{server.name}-worker-{index}",
+                daemon=True,
+            )
+            for index in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def kick(self) -> int:
+        with self._cond:
+            self._cond.notify_all()
+        return 0
+
+    def _claim(self) -> Optional[QueuedJob]:
+        """Pop the fairest ready job, recording who got served."""
+        server = self._server
+        with server._jobs_lock:
+            ready = [
+                job
+                for job in server.queue.snapshot()
+                if job_is_ready(server, job)
+            ]
+            if not ready:
+                return None
+            job = min(
+                ready,
+                key=lambda queued: (
+                    self._last_served.get(queued.owner, -1),
+                    -queued.priority,
+                    queued.enqueued_at,
+                ),
+            )
+            server.queue.pop(job.job_id)
+            with self._cond:
+                self._serve_seq += 1
+                self._last_served[job.owner] = self._serve_seq
+            return job
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cond:
+                if self._stopping:
+                    return
+            job = self._claim()
+            if job is None:
+                with self._cond:
+                    if self._stopping:
+                        return
+                    # Timed wait: a notify raced before we slept is then
+                    # only a poll-interval delay, never a hang.
+                    self._cond.wait(self._poll_interval)
+                continue
+            with self._cond:
+                self._inflight += 1
+                self.max_concurrent = max(self.max_concurrent, self._inflight)
+            try:
+                if run_job(self._server, job):
+                    with self._cond:
+                        self.executed += 1
+            finally:
+                with self._cond:
+                    self._inflight -= 1
+                    self._cond.notify_all()
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Block until no runnable job is queued and no worker is busy."""
+        deadline = time.monotonic() + timeout
+        server = self._server
+        while time.monotonic() < deadline:
+            with self._cond:
+                busy = self._inflight
+            with server._jobs_lock:
+                runnable = any(
+                    job_is_ready(server, job)
+                    for job in server.queue.snapshot()
+                )
+            if not busy and not runnable:
+                return True
+            time.sleep(0.002)
+        return False
+
+    def close(self) -> None:
+        with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+
+    def describe(self) -> Dict[str, Any]:
+        with self._cond:
+            return {
+                "mode": self.mode,
+                "workers": self.workers,
+                "executed": self.executed,
+                "inflight": self._inflight,
+                "max_concurrent": self.max_concurrent,
+            }
+
+
+def build_pipeline(server: "ShadowServer", workers: int):
+    """``workers == 0`` -> inline virtual-time drain, else a thread pool."""
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    if workers == 0:
+        return VirtualTimeWorkers(server)
+    return ThreadWorkers(server, workers)

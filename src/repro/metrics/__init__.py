@@ -14,18 +14,23 @@ from repro.metrics.report import (
     format_series_csv,
     format_speedup_table,
     format_table,
+    format_traces,
 )
+from repro.metrics.tracing import RequestTrace, TraceLog
 
 __all__ = [
     "CycleOutcome",
     "FigureData",
     "FigurePoint",
+    "RequestTrace",
     "ResilienceStats",
     "Series",
+    "TraceLog",
     "ascii_plot",
     "format_figure",
     "format_resilience",
     "format_series_csv",
     "format_speedup_table",
     "format_table",
+    "format_traces",
 ]

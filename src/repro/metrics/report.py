@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.metrics.recorder import FigureData, ResilienceStats
+from repro.metrics.tracing import TraceLog
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
@@ -102,3 +103,28 @@ def format_resilience(stats: ResilienceStats) -> str:
     if not rows:
         return "no faults, retries or degradations recorded"
     return format_table(["counter", "value"], rows)
+
+
+def format_traces(log: TraceLog, limit: int = 20) -> str:
+    """Render the newest request traces as a phase-timing table."""
+    traces = log.snapshot()[-limit:]
+    if not traces:
+        return "no traces recorded"
+    rows = []
+    for trace in traces:
+        phases = " ".join(
+            f"{name}={seconds * 1000:.2f}ms" for name, seconds in trace.phases
+        )
+        rows.append(
+            (
+                trace.request_id,
+                trace.client_id or "-",
+                trace.kind or "-",
+                trace.outcome,
+                f"{trace.total_seconds * 1000:.2f}ms",
+                phases,
+            )
+        )
+    return format_table(
+        ["request", "client", "kind", "outcome", "total", "phases"], rows
+    )

@@ -1,0 +1,158 @@
+"""Structured per-request tracing through the server's layers.
+
+Every request that enters :meth:`ShadowServer.handle` gets a
+:class:`RequestTrace` carrying the request id (the resilience envelope's
+``rid`` when present, a server-local sequence number otherwise), the
+session it ran under, and a span per layer it crossed — decode, session
+lock wait, dispatch, encode — plus any sub-phases a handler marks (cache
+writes, job staging).  The off-path job pipeline records one trace per
+job execution the same way, so a submit's synchronous cost and its
+asynchronous execution cost are separately attributable.
+
+Traces land in a bounded, thread-safe :class:`TraceLog`; they measure
+wall time (``perf_counter``) and are diagnostic only — no benchmark
+output depends on them, so the simulated-clock figures stay
+deterministic.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass
+class RequestTrace:
+    """One request's (or job's) journey through the layers."""
+
+    request_id: str = ""
+    client_id: str = ""
+    kind: str = ""  #: message TYPE for requests, "job" for executions
+    outcome: str = "ok"  #: "ok", "replayed", or "error:<code>"
+    #: (phase name, seconds) in the order the phases ran.
+    phases: List[Tuple[str, float]] = field(default_factory=list)
+    started_at: float = field(default_factory=time.perf_counter)
+    total_seconds: float = 0.0
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a span and append it to :attr:`phases`."""
+        begin = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.phases.append((name, time.perf_counter() - begin))
+
+    def mark(self, name: str, seconds: float) -> None:
+        """Append an externally measured span."""
+        self.phases.append((name, seconds))
+
+    def finish(self) -> "RequestTrace":
+        self.total_seconds = time.perf_counter() - self.started_at
+        return self
+
+    def phase_seconds(self, name: str) -> float:
+        return sum(seconds for phase, seconds in self.phases if phase == name)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "request_id": self.request_id,
+            "client_id": self.client_id,
+            "kind": self.kind,
+            "outcome": self.outcome,
+            "total_seconds": self.total_seconds,
+            "phases": list(self.phases),
+        }
+
+
+class TraceLog:
+    """A bounded, thread-safe ring of finished traces."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._traces: Deque[RequestTrace] = deque(maxlen=capacity or None)
+        self._lock = threading.Lock()
+        self._request_ids = itertools.count(1)
+        self.recorded = 0
+
+    def next_request_id(self) -> str:
+        """A server-local id for requests arriving without an envelope."""
+        with self._lock:
+            return f"req-{next(self._request_ids):06d}"
+
+    def record(self, trace: RequestTrace) -> RequestTrace:
+        """Finish ``trace`` and append it (drops oldest past capacity)."""
+        trace.finish()
+        if self.capacity:
+            with self._lock:
+                self._traces.append(trace)
+                self.recorded += 1
+        return trace
+
+    def snapshot(self) -> List[RequestTrace]:
+        with self._lock:
+            return list(self._traces)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+    def for_client(self, client_id: str) -> List[RequestTrace]:
+        return [
+            trace for trace in self.snapshot() if trace.client_id == client_id
+        ]
+
+    def summary(self) -> Dict[str, Any]:
+        """Aggregate view for ``describe()`` blocks and reports."""
+        traces = self.snapshot()
+        by_kind: Dict[str, int] = {}
+        phase_totals: Dict[str, float] = {}
+        errors = 0
+        for trace in traces:
+            by_kind[trace.kind] = by_kind.get(trace.kind, 0) + 1
+            if trace.outcome.startswith("error"):
+                errors += 1
+            for name, seconds in trace.phases:
+                phase_totals[name] = phase_totals.get(name, 0.0) + seconds
+        return {
+            "retained": len(traces),
+            "recorded": self.recorded,
+            "by_kind": by_kind,
+            "errors": errors,
+            "phase_seconds": {
+                name: round(seconds, 6)
+                for name, seconds in sorted(phase_totals.items())
+            },
+        }
+
+
+#: Thread-local holder for "the trace of the request this thread is
+#: serving"; lets deep layers (cache writes, job staging) add sub-phases
+#: without threading a trace argument through every call.
+_active = threading.local()
+
+
+def set_active_trace(trace: Optional[RequestTrace]) -> None:
+    _active.trace = trace
+
+
+def active_trace() -> Optional[RequestTrace]:
+    return getattr(_active, "trace", None)
+
+
+@contextmanager
+def traced_phase(name: str) -> Iterator[None]:
+    """Time a span against the active trace, if any (no-op otherwise)."""
+    trace = active_trace()
+    if trace is None:
+        yield
+        return
+    with trace.phase(name):
+        yield

@@ -8,8 +8,11 @@ well-known port for connections from clients."
 :class:`TcpChannelServer` accepts connections and answers framed requests
 through a :class:`~repro.transport.base.ChannelHandler`; each connection
 gets a thread, so multiple clients can have connections open to a server
-simultaneously (§6.1).  :class:`TcpChannel` is the initiator side.  The
-live examples run a full shadow session over these.
+simultaneously (§6.1).  Finished connection threads are reaped on every
+accept, and an optional ``max_connections`` cap refuses surplus
+connections with a framed ``SERVER-BUSY`` notice instead of letting the
+thread list grow without bound.  :class:`TcpChannel` is the initiator
+side.  The live examples run a full shadow session over these.
 """
 
 from __future__ import annotations
@@ -27,6 +30,11 @@ _RECV_CHUNK = 65_536
 
 #: The prototype's "well-known port" for examples; 0 asks the OS to pick.
 DEFAULT_PORT = 0
+
+#: Refusal frame sent (then the connection closed) when the server is at
+#: its connection cap.  Leads with NUL like HANDLER-ERROR frames so it
+#: can never be mistaken for a JSON protocol message.
+SERVER_BUSY_FRAME = b"\x00SERVER-BUSY: connection limit reached, try again later"
 
 
 def _recv_frame(connection: socket.socket, decoder: FrameDecoder) -> Optional[bytes]:
@@ -114,8 +122,14 @@ class TcpChannelServer:
         handler: ChannelHandler,
         host: str = "127.0.0.1",
         port: int = DEFAULT_PORT,
+        max_connections: Optional[int] = None,
     ) -> None:
+        if max_connections is not None and max_connections < 1:
+            raise ValueError(
+                f"max_connections must be >= 1, got {max_connections}"
+            )
         self._handler = handler
+        self._max_connections = max_connections
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -124,6 +138,8 @@ class TcpChannelServer:
         self.address: Tuple[str, int] = self._listener.getsockname()
         self._stop = threading.Event()
         self._threads: List[threading.Thread] = []
+        self.refused_connections = 0
+        self.accepted_connections = 0
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="shadow-tcp-accept", daemon=True
         )
@@ -133,6 +149,26 @@ class TcpChannelServer:
     def port(self) -> int:
         return self.address[1]
 
+    @property
+    def live_connections(self) -> int:
+        """Connection threads still serving a peer."""
+        return sum(1 for thread in self._threads if thread.is_alive())
+
+    def _reap_finished(self) -> None:
+        """Forget threads whose connections have ended."""
+        self._threads = [
+            thread for thread in self._threads if thread.is_alive()
+        ]
+
+    def _refuse(self, connection: socket.socket) -> None:
+        """Turn away a surplus connection with a clean framed notice."""
+        self.refused_connections += 1
+        with connection:
+            try:
+                connection.sendall(encode_frame(SERVER_BUSY_FRAME))
+            except OSError:
+                pass  # peer already gone; the close is the message
+
     def _accept_loop(self) -> None:
         while not self._stop.is_set():
             try:
@@ -141,6 +177,14 @@ class TcpChannelServer:
                 continue
             except OSError:
                 return
+            self._reap_finished()
+            if (
+                self._max_connections is not None
+                and len(self._threads) >= self._max_connections
+            ):
+                self._refuse(connection)
+                continue
+            self.accepted_connections += 1
             thread = threading.Thread(
                 target=self._serve_connection,
                 args=(connection,),

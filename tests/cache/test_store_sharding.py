@@ -1,0 +1,151 @@
+"""Tests for the sharded, thread-safe cache store."""
+
+import sys
+import threading
+import zlib
+
+import pytest
+
+from repro.cache.store import DEFAULT_SHARDS, CacheStore
+from repro.errors import CacheError, CacheMissError
+
+
+class TestShardSelection:
+    def test_default_shard_count(self):
+        assert CacheStore().shard_count == DEFAULT_SHARDS
+
+    def test_single_shard_allowed(self):
+        store = CacheStore(shards=1)
+        store.put("d/f", b"x", 1)
+        assert store.get("d/f").content == b"x"
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(CacheError):
+            CacheStore(shards=0)
+
+    def test_shard_choice_is_crc_stable(self):
+        """Shard selection must not depend on PYTHONHASHSEED."""
+        store = CacheStore(shards=4)
+        for key in ("a/one", "b/two", "c/three"):
+            expected = zlib.crc32(key.encode("utf-8")) % 4
+            assert store._shard_for(key) is store._shards[expected]
+
+    def test_keys_spread_over_shards(self):
+        store = CacheStore(shards=8)
+        for index in range(64):
+            store.put(f"d/file-{index}", b"x", 1)
+        occupied = sum(1 for shard in store._shards if shard.entries)
+        assert occupied >= 4  # crc32 spreads 64 keys over most of 8 shards
+
+    def test_entries_compat_view_is_insertion_ordered(self):
+        store = CacheStore(shards=4)
+        keys = [f"d/file-{index}" for index in range(12)]
+        for key in keys:
+            store.put(key, b"x", 1)
+        assert list(store._entries) == keys
+        store.put(keys[3], b"xx", 2)  # update keeps its slot
+        assert list(store._entries) == keys
+
+
+class TestGlobalByteBudget:
+    def test_budget_spans_shards(self):
+        store = CacheStore(capacity_bytes=100, shards=4)
+        store.put("d/a", b"x" * 40, 1, timestamp=1.0)
+        store.put("d/b", b"x" * 40, 1, timestamp=2.0)
+        store.put("d/c", b"x" * 40, 1, timestamp=3.0)  # evicts the LRU
+        assert store.used_bytes <= 100
+        assert store.stats.evictions == 1
+        assert "d/a" not in store
+        assert store.get("d/c").content == b"x" * 40
+
+    def test_eviction_identical_across_shard_counts(self):
+        """Victim choice ranks all entries globally, so any shard count
+        evicts the same keys in the same order."""
+        def run(shards):
+            store = CacheStore(capacity_bytes=1000, shards=shards)
+            evicted_before = []
+            for index in range(30):
+                store.put(f"d/file-{index}", b"x" * 90, 1, timestamp=index)
+                evicted_before.append(store.stats.evictions)
+            return [f"d/file-{i}" in store for i in range(30)], evicted_before
+
+        assert run(1) == run(4) == run(16)
+
+    def test_concurrent_puts_never_exceed_budget(self):
+        store = CacheStore(capacity_bytes=10_000, shards=8)
+        errors = []
+        old_interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-5)
+        try:
+            def hammer(worker):
+                try:
+                    for index in range(50):
+                        key = f"d/w{worker}-f{index % 10}"
+                        store.put(key, b"x" * 500, index + 1, timestamp=index)
+                        assert store.used_bytes <= 10_000
+                except Exception as exc:  # noqa: BLE001 - collect for assert
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=hammer, args=(worker,))
+                for worker in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            sys.setswitchinterval(old_interval)
+        assert errors == []
+        assert store.used_bytes <= 10_000
+
+    def test_concurrent_distinct_keys_all_land(self):
+        store = CacheStore(shards=8)
+        errors = []
+
+        def writer(worker):
+            try:
+                for index in range(100):
+                    store.put(f"d/w{worker}-f{index}", b"y" * 10, 1)
+            except Exception as exc:  # noqa: BLE001 - collect for assert
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(worker,))
+            for worker in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert len(store) == 600
+        for worker in range(6):
+            assert store.get(f"d/w{worker}-f99").content == b"y" * 10
+
+    def test_concurrent_get_and_invalidate(self):
+        store = CacheStore(shards=4)
+        for index in range(20):
+            store.put(f"d/f{index}", b"z", 1)
+        errors = []
+
+        def reader():
+            for _ in range(200):
+                try:
+                    store.get(f"d/f{_ % 20}")
+                except CacheMissError:
+                    pass  # legal: a concurrent invalidate got there first
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+        def dropper():
+            for index in range(20):
+                store.invalidate(f"d/f{index}")
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        threads.append(threading.Thread(target=dropper))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []

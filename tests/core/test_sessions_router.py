@@ -1,0 +1,164 @@
+"""Unit tests for the session registry and request router layers."""
+
+import pytest
+
+from repro.core.protocol import (
+    Bye,
+    ErrorReply,
+    Hello,
+    Notify,
+    Ok,
+    decode_message,
+)
+from repro.core.router import RequestRouter
+from repro.core.server import ShadowServer, TrafficAccount
+from repro.core.sessions import ClientSession, SessionRegistry
+from repro.errors import JobError, ProtocolError, UnknownJobError
+from repro.transport.base import LoopbackChannel
+
+
+class TestClientSession:
+    def test_greet_sets_domain_and_clears_replies(self):
+        session = ClientSession("alice@ws")
+        session.store_reply("r1", b"old")
+        session.greet("ws.example.edu")
+        assert session.greeted
+        assert session.domain == "ws.example.edu"
+        assert session.cached_reply("r1") is None
+
+    def test_farewell_keeps_traffic_account(self):
+        session = ClientSession("alice@ws")
+        session.greet("d")
+        session.charge(100, 50)
+        session.callback = LoopbackChannel(lambda p: p)
+        session.farewell()
+        assert not session.greeted
+        assert session.callback is None
+        assert session.account.requests == 1
+        assert session.account.bytes_in == 100
+
+    def test_reply_cache_is_bounded_lru(self):
+        session = ClientSession("alice@ws", reply_cache_size=2)
+        session.store_reply("r1", b"one")
+        session.store_reply("r2", b"two")
+        assert session.cached_reply("r1") == b"one"  # freshen r1
+        session.store_reply("r3", b"three")  # evicts r2, the LRU
+        assert session.cached_reply("r2") is None
+        assert session.cached_reply("r1") == b"one"
+        assert session.cached_reply("r3") == b"three"
+
+    def test_charge_accumulates(self):
+        session = ClientSession("alice@ws")
+        session.charge(10, 20)
+        session.charge(1, 2)
+        assert session.account.requests == 2
+        assert session.account.bytes_in == 11
+        assert session.account.bytes_out == 22
+        assert session.account.total_bytes == 33
+
+
+class TestSessionRegistry:
+    def test_ensure_is_idempotent(self):
+        registry = SessionRegistry()
+        first = registry.ensure("alice@ws")
+        assert registry.ensure("alice@ws") is first
+        assert len(registry) == 1
+
+    def test_greeted_clients_excludes_departed(self):
+        registry = SessionRegistry()
+        registry.ensure("alice@ws").greet("d1")
+        registry.ensure("bob@ws").greet("d2")
+        registry.ensure("carol@ws")  # contacted, never greeted
+        registry.get("bob@ws").farewell()
+        assert registry.greeted_clients() == {"alice@ws": "d1"}
+        assert registry.greeted("alice@ws")
+        assert not registry.greeted("bob@ws")
+        assert not registry.greeted("nobody@ws")
+
+    def test_accounts_only_lists_charged_sessions(self):
+        registry = SessionRegistry()
+        registry.ensure("alice@ws").charge(5, 5)
+        registry.ensure("bob@ws")
+        assert set(registry.accounts()) == {"alice@ws"}
+
+    def test_negative_reply_cache_rejected(self):
+        with pytest.raises(ProtocolError):
+            SessionRegistry(reply_cache_size=-1)
+
+
+class TestRequestRouter:
+    def test_dispatch_unknown_type_raises(self):
+        router = RequestRouter()
+        with pytest.raises(ProtocolError):
+            router.dispatch(Hello(client_id="x"))
+
+    def test_duplicate_registration_rejected(self):
+        router = RequestRouter()
+        router.register(Hello, lambda m: Ok())
+        with pytest.raises(ProtocolError):
+            router.register(Hello, lambda m: Ok())
+
+    def test_respond_translates_errors_to_codes(self):
+        router = RequestRouter()
+
+        def raise_unknown(message):
+            raise UnknownJobError("job-x")
+
+        def raise_job(message):
+            raise JobError("broken")
+
+        router.register(Hello, raise_unknown)
+        router.register(Bye, raise_job)
+        reply = router.respond(Hello())
+        assert isinstance(reply, ErrorReply) and reply.code == "unknown-job"
+        reply = router.respond(Bye())
+        assert isinstance(reply, ErrorReply) and reply.code == "job-error"
+        reply = router.respond(Notify())  # unregistered -> protocol error
+        assert isinstance(reply, ErrorReply) and reply.code == "protocol"
+
+    def test_routes_cover_the_shadow_protocol(self):
+        server = ShadowServer()
+        for message_type in (Hello, Notify, Bye):
+            assert server.router.handles(message_type)
+
+
+class TestServerCompatibilityViews:
+    """The old public surface still works over the registry."""
+
+    def test_ledger_exposes_live_accounts(self):
+        server = ShadowServer()
+        server.handle(Hello(client_id="alice@ws", domain="d").to_wire())
+        assert isinstance(server.ledger["alice@ws"], TrafficAccount)
+        assert server.ledger["alice@ws"].requests == 1
+
+    def test_clients_view_and_setter(self):
+        server = ShadowServer()
+        server.handle(Hello(client_id="alice@ws", domain="d").to_wire())
+        assert "alice@ws" in server._clients
+        server._clients = {"bob@ws": "elsewhere"}
+        assert "alice@ws" not in server._clients
+        assert server._clients == {"bob@ws": "elsewhere"}
+        assert server.sessions.greeted("bob@ws")
+
+    def test_callbacks_view(self):
+        server = ShadowServer()
+        channel = LoopbackChannel(lambda p: p)
+        server.register_callback("alice@ws", channel)
+        assert server._callbacks["alice@ws"] is channel
+        assert server.callback_for("alice@ws") is channel
+        assert server.callback_for("nobody") is None
+
+    def test_bye_preserves_account(self):
+        server = ShadowServer()
+        server.handle(Hello(client_id="alice@ws", domain="d").to_wire())
+        server.handle(Bye(client_id="alice@ws").to_wire())
+        assert server.ledger["alice@ws"].requests == 2
+        assert "alice@ws" not in server._clients
+
+    def test_hello_reply_unchanged(self):
+        server = ShadowServer(name="cray")
+        reply = decode_message(
+            server.handle(Hello(client_id="alice@ws", domain="d").to_wire())
+        )
+        assert isinstance(reply, Ok)
+        assert reply.detail == "welcome to cray"

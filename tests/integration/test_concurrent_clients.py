@@ -1,0 +1,280 @@
+"""Concurrency tests for the multi-tenant server core.
+
+Two halves:
+
+* Targeted regressions that fail on the pre-refactor server: concurrent
+  requests racing the reply cache and the traffic accounts (the old
+  ``handle`` had no per-session lock, so ``account.requests += 1`` lost
+  increments and duplicate-rid retries could both miss the replay check
+  and create two jobs).
+* A full multi-client TCP integration test: four clients over real
+  sockets, two jobs executing concurrently off-path while a third
+  client's Update round-trips, byte-exact shadow convergence, exactly
+  one job per submit, and no cross-client traffic-account bleed.
+"""
+
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.core.protocol import Envelope, Hello, Notify, Submit, decode_message
+from repro.core.server import ShadowServer
+from repro.core.service import tcp_service
+from repro.core.workspace import MappingWorkspace
+from repro.jobs.executor import ExecutionResult, Executor, SimulatedExecutor
+
+
+class SlowExecutor(Executor):
+    """Holds each execution briefly, widening the replay-race window."""
+
+    def __init__(self, delay: float = 0.02):
+        self.inner = SimulatedExecutor()
+        self.delay = delay
+
+    def execute(self, command_file, inputs) -> ExecutionResult:
+        time.sleep(self.delay)
+        return self.inner.execute(command_file, inputs)
+
+
+@pytest.fixture
+def fast_switching():
+    """Force frequent thread switches so races surface deterministically."""
+    old = sys.getswitchinterval()
+    sys.setswitchinterval(1e-5)
+    yield
+    sys.setswitchinterval(old)
+
+
+def _greet(server, client_id):
+    server.handle(Hello(client_id=client_id, domain="d").to_wire())
+
+
+class TestSameClientRaces:
+    def test_concurrent_requests_account_exactly(self, fast_switching):
+        """K threads firing enveloped requests for ONE client must leave
+        an exact request count: the per-session lock serialises them.
+
+        On the old server the unlocked ``requests += 1`` read-modify-write
+        loses increments under contention and this count comes up short.
+        """
+        server = ShadowServer()
+        _greet(server, "alice@ws")
+        threads_n, per_thread = 8, 25
+        barrier = threading.Barrier(threads_n)
+        errors = []
+
+        def fire(worker):
+            try:
+                barrier.wait()
+                for index in range(per_thread):
+                    notify = Notify(
+                        client_id="alice@ws",
+                        key=f"local:ws:/f{worker}-{index}",
+                        version=1,
+                    )
+                    wire = Envelope(
+                        rid=f"w{worker}-r{index}", body=notify.to_wire()
+                    ).to_wire()
+                    server.handle(wire)
+            except Exception as exc:  # noqa: BLE001 - collect for assert
+                errors.append(exc)
+
+        workers = [
+            threading.Thread(target=fire, args=(worker,))
+            for worker in range(threads_n)
+        ]
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join()
+        assert errors == []
+        # hello + every notify, no lost increments.
+        assert server.ledger["alice@ws"].requests == 1 + threads_n * per_thread
+
+    def test_duplicate_rid_submit_creates_one_job(self, fast_switching):
+        """Concurrent retries of the SAME enveloped Submit must yield one
+        job and identical cached replies (exactly-once over
+        at-least-once).
+
+        On the old server every thread that enters ``handle`` before the
+        first one stores its reply misses the replay check and mints its
+        own job — with the dispatch held open even a moment, all eight
+        retries create eight jobs for one rid.  The per-session lock
+        serialises them: one dispatch, seven replays.
+        """
+        for trial in range(3):
+            server = ShadowServer(executor=SlowExecutor())
+            _greet(server, "alice@ws")
+            wire = Envelope(
+                rid="submit-once",
+                body=Submit(
+                    client_id="alice@ws", script="echo once"
+                ).to_wire(),
+            ).to_wire()
+            threads_n = 8
+            barrier = threading.Barrier(threads_n)
+            replies, errors = [], []
+            replies_lock = threading.Lock()
+
+            def retry():
+                try:
+                    barrier.wait()
+                    encoded = server.handle(wire)
+                    with replies_lock:
+                        replies.append(encoded)
+                except Exception as exc:  # noqa: BLE001 - collect
+                    errors.append(exc)
+
+            workers = [
+                threading.Thread(target=retry) for _ in range(threads_n)
+            ]
+            for thread in workers:
+                thread.start()
+            for thread in workers:
+                thread.join()
+            assert errors == []
+            assert len(set(replies)) == 1  # every retry saw the same reply
+            assert server._job_counter == 1, f"extra jobs in trial {trial}"
+            assert decode_message(replies[0]).TYPE == "submit-reply"
+
+    def test_no_cross_client_account_bleed(self, fast_switching):
+        """Concurrent traffic from four clients stays in four ledgers."""
+        server = ShadowServer()
+        clients = [f"user{index}@ws" for index in range(4)]
+        for client_id in clients:
+            _greet(server, client_id)
+        per_client = 40
+        barrier = threading.Barrier(len(clients))
+        errors = []
+
+        def fire(client_id):
+            try:
+                barrier.wait()
+                for index in range(per_client):
+                    notify = Notify(
+                        client_id=client_id,
+                        key=f"local:ws:/{client_id}/f{index}",
+                        version=1,
+                    )
+                    wire = Envelope(
+                        rid=f"{client_id}-r{index}", body=notify.to_wire()
+                    ).to_wire()
+                    server.handle(wire)
+            except Exception as exc:  # noqa: BLE001 - collect for assert
+                errors.append(exc)
+
+        workers = [
+            threading.Thread(target=fire, args=(client_id,))
+            for client_id in clients
+        ]
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join()
+        assert errors == []
+        for client_id in clients:
+            assert server.ledger[client_id].requests == 1 + per_client
+
+
+class GateExecutor(Executor):
+    """Holds each execution at a gate until released (see jobs tests)."""
+
+    def __init__(self):
+        self.inner = SimulatedExecutor()
+        self.release = threading.Event()
+        self.entries = threading.Semaphore(0)
+
+    def execute(self, command_file, inputs) -> ExecutionResult:
+        self.entries.release()
+        assert self.release.wait(timeout=10.0), "gate never released"
+        return self.inner.execute(command_file, inputs)
+
+
+class TestMultiClientTcpService:
+    def test_four_clients_concurrent_over_real_sockets(self):
+        """The acceptance scenario: two clients' jobs execute concurrently
+        on the off-path pool while a third client's Update round-trips
+        without waiting; shadows converge byte-exactly; one job per
+        submit; per-client ledgers stay exact."""
+        gate = GateExecutor()
+        contents = {
+            "alice@ws1": b"alpha shadow payload\n" * 40,
+            "bob@ws2": b"bravo shadow payload\n" * 30,
+            "carol@ws3": b"carol mid-run edit\n" * 20,
+        }
+        with tcp_service(executor=gate, workers=2) as service:
+            sessions = {}
+            for index, client_id in enumerate(
+                ("alice@ws1", "bob@ws2", "carol@ws3", "dave@ws4"), start=1
+            ):
+                workspace = MappingWorkspace(host=f"ws{index}")
+                client, channel = service.connect(
+                    client_id, workspace=workspace
+                )
+                sessions[client_id] = (client, channel)
+            alice, _ = sessions["alice@ws1"]
+            bob, _ = sessions["bob@ws2"]
+            carol, _ = sessions["carol@ws3"]
+
+            try:
+                # Each submitting client ships one shadowed input file.
+                alice.write_file("/home/alice/data.txt", contents["alice@ws1"])
+                bob.write_file("/home/bob/data.txt", contents["bob@ws2"])
+                job_a = alice.submit("echo alpha", ["/home/alice/data.txt"])
+                job_b = bob.submit("echo bravo", ["/home/bob/data.txt"])
+
+                # Both jobs are inside the executor at once...
+                assert gate.entries.acquire(timeout=5.0)
+                assert gate.entries.acquire(timeout=5.0)
+                assert service.server.pipeline.describe()["inflight"] == 2
+
+                # ...while a third client's Update round-trips unimpeded
+                # and the submitters can poll without blocking.
+                version = carol.write_file(
+                    "/home/carol/notes.txt", contents["carol@ws3"]
+                )
+                assert version == 1
+                assert alice.fetch_output(job_a) is None  # still running
+
+                gate.release.set()
+                assert service.server.pipeline.drain(timeout=10.0)
+                assert (
+                    service.server.pipeline.describe()["max_concurrent"] >= 2
+                )
+
+                bundle_a = alice.fetch_output(job_a)
+                bundle_b = bob.fetch_output(job_b)
+                assert bundle_a is not None and bundle_a.exit_code == 0
+                assert bundle_b is not None and bundle_b.exit_code == 0
+
+                # Exactly one job per submit, despite retries/concurrency.
+                assert service.server._job_counter == 2
+                assert job_a != job_b
+
+                # Byte-exact shadow convergence for every written file.
+                server_cache = service.server.cache
+                for client, path in (
+                    (alice, "/home/alice/data.txt"),
+                    (bob, "/home/bob/data.txt"),
+                    (carol, "/home/carol/notes.txt"),
+                ):
+                    key = str(client.workspace.resolve(path))
+                    entry = server_cache.get(key)
+                    assert entry.content == client.workspace.read(path)
+            finally:
+                gate.release.set()
+                for client, channel in sessions.values():
+                    client.disconnect(service.server.name)
+                    channel.close()
+
+            # No cross-client traffic-account bleed: every ledger holds
+            # exactly its own requests.  hello=1, write_file=2 (notify +
+            # immediate pull), submit=1, one fetch that answered
+            # not-ready=1, final fetch=1, bye=1.
+            ledger = service.server.ledger
+            assert ledger["alice@ws1"].requests == 7
+            assert ledger["bob@ws2"].requests == 6  # no mid-run poll
+            assert ledger["carol@ws3"].requests == 4  # hello + write + bye
+            assert ledger["dave@ws4"].requests == 2  # hello + bye

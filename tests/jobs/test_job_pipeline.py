@@ -1,0 +1,204 @@
+"""Tests for the off-path job pipeline (inline and thread-pool workers)."""
+
+import threading
+
+import pytest
+
+from repro.core.protocol import (
+    CancelJob,
+    FetchOutput,
+    Hello,
+    Ok,
+    OutputReply,
+    StatusQuery,
+    StatusReply,
+    Submit,
+    SubmitReply,
+    decode_message,
+)
+from repro.core.server import ShadowServer
+from repro.jobs.executor import Executor, ExecutionResult, SimulatedExecutor
+from repro.jobs.pipeline import ThreadWorkers, VirtualTimeWorkers, build_pipeline
+from repro.jobs.status import JobState
+
+
+class GateExecutor(Executor):
+    """Delegates to the simulated executor, but holds each execution at a
+    gate until released; records the order commands entered."""
+
+    def __init__(self):
+        self.inner = SimulatedExecutor()
+        self.release = threading.Event()
+        self.entered = []  # first-command render, in entry order
+        self._entered_lock = threading.Lock()
+        self.entries = threading.Semaphore(0)
+
+    def execute(self, command_file, inputs) -> ExecutionResult:
+        with self._entered_lock:
+            self.entered.append(command_file.commands[0].render())
+        self.entries.release()
+        assert self.release.wait(timeout=10.0), "gate never released"
+        return self.inner.execute(command_file, inputs)
+
+
+def _hello(server, client_id):
+    reply = decode_message(
+        server.handle(Hello(client_id=client_id, domain="d").to_wire())
+    )
+    assert isinstance(reply, Ok)
+
+
+def _submit(server, client_id, script):
+    reply = decode_message(
+        server.handle(Submit(client_id=client_id, script=script).to_wire())
+    )
+    assert isinstance(reply, SubmitReply)
+    return reply.job_id
+
+
+def _fetch(server, client_id, job_id):
+    return decode_message(
+        server.handle(
+            FetchOutput(client_id=client_id, job_id=job_id).to_wire()
+        )
+    )
+
+
+class TestBuildPipeline:
+    def test_zero_workers_is_inline(self):
+        server = ShadowServer()
+        assert isinstance(server.pipeline, VirtualTimeWorkers)
+        assert server.pipeline.describe()["mode"] == "inline"
+
+    def test_positive_workers_is_thread_pool(self):
+        server = ShadowServer(workers=3)
+        try:
+            assert isinstance(server.pipeline, ThreadWorkers)
+            assert server.pipeline.describe()["workers"] == 3
+        finally:
+            server.close()
+
+    def test_negative_workers_rejected(self):
+        server = ShadowServer()
+        with pytest.raises(ValueError):
+            build_pipeline(server, -1)
+
+
+class TestInlinePipeline:
+    def test_submit_completes_synchronously(self):
+        server = ShadowServer()
+        _hello(server, "alice@ws")
+        job_id = _submit(server, "alice@ws", "echo hi")
+        assert server.status.get(job_id).state is JobState.COMPLETED
+        reply = _fetch(server, "alice@ws", job_id)
+        assert isinstance(reply, OutputReply) and reply.ready
+
+    def test_executed_counter(self):
+        server = ShadowServer()
+        _hello(server, "alice@ws")
+        _submit(server, "alice@ws", "echo one")
+        _submit(server, "alice@ws", "echo two")
+        assert server.pipeline.executed == 2
+
+
+class TestThreadPipeline:
+    def test_submit_returns_before_execution(self):
+        gate = GateExecutor()
+        server = ShadowServer(executor=gate, workers=1)
+        try:
+            _hello(server, "alice@ws")
+            job_id = _submit(server, "alice@ws", "echo off-path")
+            # Submit answered while the job is still gated.
+            assert gate.entries.acquire(timeout=5.0)
+            assert server.status.get(job_id).state is JobState.RUNNING
+            reply = _fetch(server, "alice@ws", job_id)
+            assert isinstance(reply, OutputReply) and not reply.ready
+            gate.release.set()
+            assert server.pipeline.drain(timeout=10.0)
+            assert server.status.get(job_id).state is JobState.COMPLETED
+            reply = _fetch(server, "alice@ws", job_id)
+            assert reply.ready and reply.exit_code == 0
+        finally:
+            gate.release.set()
+            server.close()
+
+    def test_two_jobs_execute_concurrently(self):
+        gate = GateExecutor()
+        server = ShadowServer(executor=gate, workers=2)
+        try:
+            _hello(server, "alice@ws")
+            _hello(server, "bob@ws")
+            _submit(server, "alice@ws", "echo a")
+            _submit(server, "bob@ws", "echo b")
+            assert gate.entries.acquire(timeout=5.0)
+            assert gate.entries.acquire(timeout=5.0)
+            assert server.pipeline.describe()["inflight"] == 2
+            gate.release.set()
+            assert server.pipeline.drain(timeout=10.0)
+            assert server.pipeline.describe()["max_concurrent"] >= 2
+        finally:
+            gate.release.set()
+            server.close()
+
+    def test_per_client_fairness(self):
+        """With one worker busy, a backlog owner yields to a fresh owner."""
+        gate = GateExecutor()
+        server = ShadowServer(executor=gate, workers=1)
+        try:
+            _hello(server, "alice@ws")
+            _hello(server, "bob@ws")
+            _submit(server, "alice@ws", "echo a1")
+            assert gate.entries.acquire(timeout=5.0)  # a1 running, gated
+            _submit(server, "alice@ws", "echo a2")
+            _submit(server, "alice@ws", "echo a3")
+            _submit(server, "bob@ws", "echo b1")
+            gate.release.set()
+            assert server.pipeline.drain(timeout=10.0)
+            # alice was just served (a1), so bob's b1 jumps her backlog.
+            assert gate.entered[0] == "echo a1"
+            assert gate.entered[1] == "echo b1"
+            assert gate.entered[2:] == ["echo a2", "echo a3"]
+        finally:
+            gate.release.set()
+            server.close()
+
+    def test_cancel_while_running_discards_output(self):
+        gate = GateExecutor()
+        server = ShadowServer(executor=gate, workers=1)
+        try:
+            _hello(server, "alice@ws")
+            job_id = _submit(server, "alice@ws", "echo doomed")
+            assert gate.entries.acquire(timeout=5.0)
+            reply = decode_message(
+                server.handle(
+                    CancelJob(client_id="alice@ws", job_id=job_id).to_wire()
+                )
+            )
+            assert isinstance(reply, Ok)
+            gate.release.set()
+            assert server.pipeline.drain(timeout=10.0)
+            record = server.status.get(job_id)
+            assert record.state is JobState.CANCELLED
+            reply = _fetch(server, "alice@ws", job_id)
+            assert reply.ready and reply.state == "cancelled"
+            assert job_id not in server._finished
+        finally:
+            gate.release.set()
+            server.close()
+
+    def test_status_query_answers_while_job_runs(self):
+        gate = GateExecutor()
+        server = ShadowServer(executor=gate, workers=1)
+        try:
+            _hello(server, "alice@ws")
+            job_id = _submit(server, "alice@ws", "echo busy")
+            assert gate.entries.acquire(timeout=5.0)
+            reply = decode_message(
+                server.handle(StatusQuery(client_id="alice@ws").to_wire())
+            )
+            assert isinstance(reply, StatusReply)
+            assert reply.records[0]["job_id"] == job_id
+            assert reply.records[0]["state"] == "running"
+        finally:
+            gate.release.set()
+            server.close()

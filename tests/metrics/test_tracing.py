@@ -1,0 +1,138 @@
+"""Tests for per-request structured tracing through the server layers."""
+
+import threading
+
+from repro.core.protocol import Envelope, Hello, Notify, Submit, decode_message
+from repro.core.server import ShadowServer
+from repro.metrics.report import format_traces
+from repro.metrics.tracing import (
+    RequestTrace,
+    TraceLog,
+    active_trace,
+    set_active_trace,
+    traced_phase,
+)
+
+
+class TestRequestTrace:
+    def test_phases_accumulate_in_order(self):
+        trace = RequestTrace(request_id="r1", kind="test")
+        with trace.phase("first"):
+            pass
+        trace.mark("second", 0.5)
+        assert [name for name, _ in trace.phases] == ["first", "second"]
+        assert trace.phase_seconds("second") == 0.5
+
+    def test_finish_stamps_total(self):
+        trace = RequestTrace()
+        trace.finish()
+        assert trace.total_seconds >= 0.0
+        assert trace.as_dict()["outcome"] == "ok"
+
+
+class TestTraceLog:
+    def test_bounded_retention(self):
+        log = TraceLog(capacity=3)
+        for index in range(5):
+            log.record(RequestTrace(request_id=f"r{index}"))
+        kept = [trace.request_id for trace in log.snapshot()]
+        assert kept == ["r2", "r3", "r4"]
+        assert log.recorded == 5
+
+    def test_zero_capacity_records_nothing(self):
+        log = TraceLog(capacity=0)
+        log.record(RequestTrace())
+        assert len(log) == 0
+
+    def test_summary_aggregates(self):
+        log = TraceLog()
+        good = RequestTrace(kind="hello")
+        good.mark("dispatch", 0.25)
+        log.record(good)
+        bad = RequestTrace(kind="notify", outcome="error:protocol")
+        log.record(bad)
+        summary = log.summary()
+        assert summary["by_kind"] == {"hello": 1, "notify": 1}
+        assert summary["errors"] == 1
+        assert summary["phase_seconds"]["dispatch"] == 0.25
+
+    def test_thread_local_active_trace(self):
+        trace = RequestTrace()
+        set_active_trace(trace)
+        try:
+            assert active_trace() is trace
+            with traced_phase("sub"):
+                pass
+            assert trace.phase_seconds("sub") >= 0.0
+            seen = []
+            other = threading.Thread(target=lambda: seen.append(active_trace()))
+            other.start()
+            other.join()
+            assert seen == [None]  # the holder is per-thread
+        finally:
+            set_active_trace(None)
+        with traced_phase("ignored"):
+            pass  # no active trace: a clean no-op
+
+
+class TestServerTracing:
+    def test_every_request_leaves_a_trace(self):
+        server = ShadowServer()
+        server.handle(Hello(client_id="alice@ws", domain="d").to_wire())
+        traces = server.traces.snapshot()
+        assert len(traces) == 1
+        trace = traces[0]
+        assert trace.kind == "hello"
+        assert trace.client_id == "alice@ws"
+        assert trace.outcome == "ok"
+        names = [name for name, _ in trace.phases]
+        for expected in ("decode", "session-wait", "dispatch", "encode"):
+            assert expected in names
+
+    def test_envelope_rid_becomes_request_id(self):
+        server = ShadowServer()
+        hello = Hello(client_id="alice@ws", domain="d")
+        server.handle(Envelope(rid="rid-7", body=hello.to_wire()).to_wire())
+        assert server.traces.snapshot()[0].request_id == "rid-7"
+
+    def test_replayed_request_marked(self):
+        server = ShadowServer()
+        hello = Hello(client_id="alice@ws", domain="d")
+        wire = Envelope(rid="rid-1", body=hello.to_wire()).to_wire()
+        server.handle(wire)
+        server.handle(wire)  # the retry is answered from the reply cache
+        outcomes = [trace.outcome for trace in server.traces.snapshot()]
+        assert outcomes == ["ok", "replayed"]
+
+    def test_error_outcome_carries_code(self):
+        server = ShadowServer()
+        server.handle(Notify(client_id="stranger", key="k", version=1).to_wire())
+        assert server.traces.snapshot()[0].outcome == "error:protocol"
+
+    def test_job_execution_traced_separately(self):
+        server = ShadowServer()
+        server.handle(Hello(client_id="alice@ws", domain="d").to_wire())
+        server.handle(
+            Submit(client_id="alice@ws", script="echo traced").to_wire()
+        )
+        kinds = [trace.kind for trace in server.traces.snapshot()]
+        assert "job" in kinds and "submit" in kinds
+        job_trace = next(
+            trace for trace in server.traces.snapshot() if trace.kind == "job"
+        )
+        names = [name for name, _ in job_trace.phases]
+        assert "execute" in names
+
+    def test_describe_includes_trace_summary(self):
+        server = ShadowServer()
+        server.handle(Hello(client_id="alice@ws", domain="d").to_wire())
+        description = server.describe()
+        assert description["traces"]["recorded"] == 1
+        assert description["traces"]["by_kind"] == {"hello": 1}
+
+    def test_format_traces_renders_table(self):
+        server = ShadowServer()
+        server.handle(Hello(client_id="alice@ws", domain="d").to_wire())
+        text = format_traces(server.traces)
+        assert "hello" in text and "alice@ws" in text
+        assert format_traces(TraceLog()) == "no traces recorded"

@@ -1,0 +1,102 @@
+"""Tests for connection-thread reaping and the max-connections cap."""
+
+import socket
+import time
+
+import pytest
+
+from repro.errors import TransportClosedError, TransportError
+from repro.transport.framing import FrameDecoder
+from repro.transport.tcp import (
+    SERVER_BUSY_FRAME,
+    TcpChannel,
+    TcpChannelServer,
+    _recv_frame,
+)
+
+
+def _wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return False
+
+
+class TestThreadReaping:
+    def test_finished_threads_are_reaped(self):
+        server = TcpChannelServer(lambda payload: payload)
+        try:
+            for _ in range(5):
+                channel = TcpChannel("127.0.0.1", server.port)
+                assert channel.request(b"ping") == b"ping"
+                channel.close()
+            assert _wait_until(lambda: server.live_connections == 0)
+            # A new connection triggers the reap of the dead threads.
+            channel = TcpChannel("127.0.0.1", server.port)
+            try:
+                assert channel.request(b"ping") == b"ping"
+                assert _wait_until(lambda: len(server._threads) <= 1)
+            finally:
+                channel.close()
+            assert server.accepted_connections == 6
+            assert server.refused_connections == 0
+        finally:
+            server.close()
+
+
+class TestMaxConnections:
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(ValueError):
+            TcpChannelServer(lambda p: p, max_connections=0)
+
+    def test_surplus_connection_refused_with_busy_frame(self):
+        server = TcpChannelServer(lambda p: p, max_connections=1)
+        try:
+            first = TcpChannel("127.0.0.1", server.port)
+            try:
+                assert first.request(b"one") == b"one"
+                # The refusal is a clean framed notice pushed at accept
+                # time, then close — readable without sending anything.
+                surplus = socket.create_connection(
+                    ("127.0.0.1", server.port), timeout=5.0
+                )
+                try:
+                    surplus.settimeout(5.0)
+                    frame = _recv_frame(surplus, FrameDecoder())
+                    assert frame == SERVER_BUSY_FRAME
+                finally:
+                    surplus.close()
+                assert _wait_until(
+                    lambda: server.refused_connections == 1
+                )
+                # The admitted connection is unaffected.
+                assert first.request(b"still-here") == b"still-here"
+            finally:
+                first.close()
+        finally:
+            server.close()
+
+    def test_slot_freed_after_disconnect(self):
+        server = TcpChannelServer(lambda p: p, max_connections=1)
+        try:
+            first = TcpChannel("127.0.0.1", server.port)
+            assert first.request(b"a") == b"a"
+            first.close()
+            assert _wait_until(lambda: server.live_connections == 0)
+
+            def admitted():
+                channel = TcpChannel("127.0.0.1", server.port)
+                try:
+                    return channel.request(b"b") == b"b"
+                except (TransportError, TransportClosedError):
+                    return False
+                finally:
+                    channel.close()
+
+            # The dead thread is reaped on the accept, freeing the slot
+            # (retry in case the reap races the connection teardown).
+            assert _wait_until(admitted)
+        finally:
+            server.close()
