@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Telemetry tour: one flaky workload, every observability surface.
+
+Runs an edit/submit/fetch workload over a link that drops requests,
+loses replies and garbles bytes, then walks the three telemetry
+surfaces the runtime exposes:
+
+1. the unified metrics registry, as human tables and as a Prometheus
+   text snapshot (``repro.telemetry.export``);
+2. the structured event log (job lifecycle, slow requests, breaker and
+   eviction events);
+3. one **end-to-end trace**: the client-minted trace id that joins the
+   client's span, the server's request span, and the asynchronous job
+   execution into a single story.
+
+Everything here runs on wall clocks — trace ids are minted because no
+simulated clock is involved.  Under the benchmark rig's virtual clock
+the same instrumentation stays dark and the figures are byte-identical.
+
+Run:  python examples/telemetry_tour.py
+"""
+
+from repro.core.client import ShadowClient
+from repro.core.server import ShadowServer
+from repro.core.workspace import MappingWorkspace
+from repro.metrics.report import format_telemetry
+from repro.resilience.policy import RetryPolicy
+from repro.resilience.session import ResilienceConfig
+from repro.telemetry.export import render_prometheus
+from repro.transport.base import LoopbackChannel
+from repro.transport.flaky import FlakyChannel
+from repro.transport.framing import ChecksummedChannel, checksummed_handler
+from repro.workload.edits import modify_percent
+from repro.workload.files import make_text_file
+
+PATH = "/home/alice/input.dat"
+CYCLES = 12
+
+
+def run_workload():
+    server = ShadowServer()
+    flaky = FlakyChannel(
+        LoopbackChannel(checksummed_handler(server.handle)),
+        drop_rate=0.10,
+        reply_loss_rate=0.10,
+        garble_rate=0.05,
+    )
+    client = ShadowClient(
+        "alice@workstation",
+        MappingWorkspace(),
+        resilience=ResilienceConfig(
+            retry=RetryPolicy(max_attempts=8, base_delay=0.002, max_delay=0.02)
+        ),
+    )
+    client.connect(server.name, ChecksummedChannel(flaky))
+
+    data = make_text_file(10_000, seed=1988)
+    job_id = None
+    for cycle in range(CYCLES):
+        data = modify_percent(data, 2, seed=1988 + cycle)
+        client.write_file(PATH, data)
+        job_id = client.submit("wc input.dat", [PATH])
+        client.fetch_output(job_id)
+    return server, client, job_id
+
+
+def show_registry(server: ShadowServer) -> None:
+    print("=" * 72)
+    print("1. the metrics registry (shadow stats would show this over TCP)")
+    print("=" * 72)
+    print(format_telemetry(server.telemetry.snapshot()))
+    print()
+    text = render_prometheus(server.telemetry)
+    lines = text.splitlines()
+    print(f"-- Prometheus text snapshot ({len(lines)} lines), first 15 --")
+    print("\n".join(lines[:15]))
+    print()
+
+
+def show_events(server: ShadowServer) -> None:
+    print("=" * 72)
+    print("2. structured events (JSON-lines ready; memory ring shown)")
+    print("=" * 72)
+    for event in server.events.snapshot()[-8:]:
+        fields = " ".join(
+            f"{key}={value}"
+            for key, value in event.items()
+            if key not in ("seq", "ts")
+        )
+        print(f"  #{event['seq']:03d} {fields}")
+    print()
+
+
+def show_trace(server: ShadowServer, client: ShadowClient) -> None:
+    print("=" * 72)
+    print("3. one end-to-end trace (client span -> request span -> job span)")
+    print("=" * 72)
+    submit_spans = [
+        trace for trace in client.traces.snapshot() if trace.kind == "submit"
+    ]
+    trace_id = submit_spans[-1].trace_id
+    print(f"trace id {trace_id} (minted by the client, carried in the")
+    print("envelope's tid field, stamped onto the queued job):\n")
+    spans = [submit_spans[-1]] + [
+        trace
+        for trace in server.traces.snapshot()
+        if trace.trace_id == trace_id
+    ]
+    for side, span in zip(("client", "server", "server"), spans):
+        phases = " ".join(
+            f"{name}={seconds * 1000:.2f}ms" for name, seconds in span.phases
+        )
+        print(f"  [{side:6s}] kind={span.kind:7s} outcome={span.outcome:12s} {phases}")
+    print()
+
+
+def main() -> None:
+    server, client, _ = run_workload()
+    show_registry(server)
+    show_events(server)
+    show_trace(server, client)
+    retries = client.resilience_stats.retries
+    print(f"(the flaky link forced {retries} retries; every cycle still")
+    print(" completed — and every retry is visible above.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""CI smoke test: boot a TCP server, run a workload, validate `stats --json`.
+
+Everything runs through the real CLI in subprocesses — the same path an
+operator uses — then the scraped snapshot is checked against the
+checked-in schema (``telemetry_schema.json``, validated with the small
+subset validator below; no third-party dependency) and for coverage of
+every instrumented layer.
+
+Exit code 0 on success; any failure prints a reason and exits 1.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+SCHEMA_PATH = pathlib.Path(__file__).with_name("telemetry_schema.json")
+
+#: Series the snapshot must cover — one per instrumented layer.
+REQUIRED_COUNTERS = (
+    "requests_total",        # request router
+    "traffic_requests_total",  # session registry
+    "cache_insertions_total",  # sharded cache
+    "jobs_executed_total",   # job pipeline
+    "resilience_attempts_total",  # resilience layer
+    "tcp_accepted_total",    # TCP transport
+    "tcp_frames_total",
+)
+REQUIRED_GAUGES = (
+    "sessions_known",
+    "sessions_live",
+    "jobs_total",
+    "cache_entries",
+    "tcp_live_connections",
+)
+REQUIRED_HISTOGRAMS = (
+    "request_seconds",
+    "session_lock_wait_seconds",
+    "job_execution_seconds",
+)
+
+
+def fail(reason: str) -> "NoReturn":  # noqa: F821 - py3.10 compat
+    print(f"TELEMETRY SMOKE FAILED: {reason}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate(instance, schema, path="$"):
+    """Validate ``instance`` against the JSON-Schema subset we use:
+    ``type``, ``required``, ``properties``, ``items``."""
+    expected = schema.get("type")
+    checks = {
+        "object": lambda v: isinstance(v, dict),
+        "array": lambda v: isinstance(v, list),
+        "string": lambda v: isinstance(v, str),
+        "number": lambda v: isinstance(v, (int, float))
+        and not isinstance(v, bool),
+        "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+        "boolean": lambda v: isinstance(v, bool),
+    }
+    if expected is not None and not checks[expected](instance):
+        fail(f"{path}: expected {expected}, got {type(instance).__name__}")
+    for key in schema.get("required", ()):
+        if key not in instance:
+            fail(f"{path}: missing required key {key!r}")
+    for key, subschema in schema.get("properties", {}).items():
+        if isinstance(instance, dict) and key in instance:
+            validate(instance[key], subschema, f"{path}.{key}")
+    if "items" in schema and isinstance(instance, list):
+        for index, item in enumerate(instance):
+            validate(item, schema["items"], f"{path}[{index}]")
+
+
+def cli(*argv, **kwargs):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *argv],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+        **kwargs,
+    )
+
+
+def main() -> int:
+    server = cli("serve", "--port", "0", "--workers", "2")
+    try:
+        banner = server.stdout.readline().strip()
+        if "listening" not in banner:
+            fail(f"server did not start: {banner!r}")
+        endpoint = banner.rsplit(" ", 1)[-1]
+        print(f"server up at {endpoint}")
+
+        with tempfile.TemporaryDirectory() as workdir:
+            data = pathlib.Path(workdir) / "data.txt"
+            data.write_text("shadow editing smoke\n" * 32)
+            submit = cli(
+                "submit",
+                "--server", endpoint,
+                "--state", str(pathlib.Path(workdir) / "state.json"),
+                "--root", workdir,
+                "--script", "wc data.txt",
+                "data.txt",
+                "--wait",
+                cwd=workdir,
+            )
+            out, err = submit.communicate(timeout=60)
+            if submit.returncode != 0:
+                fail(f"submit failed ({submit.returncode}): {err.strip()}")
+            print(f"workload done: {out.strip().splitlines()[0]}")
+
+        scrape = cli("stats", endpoint, "--json")
+        out, err = scrape.communicate(timeout=30)
+        if scrape.returncode != 0:
+            fail(f"stats scrape failed ({scrape.returncode}): {err.strip()}")
+        snapshot = json.loads(out)
+
+        schema = json.loads(SCHEMA_PATH.read_text())
+        validate(snapshot, schema)
+        print("schema: ok")
+
+        registry = snapshot["registry"]
+        names = {
+            kind: {entry["name"] for entry in registry[kind]}
+            for kind in ("counters", "gauges", "histograms")
+        }
+        for name in REQUIRED_COUNTERS:
+            if name not in names["counters"]:
+                fail(f"counter {name!r} missing from snapshot")
+        for name in REQUIRED_GAUGES:
+            if name not in names["gauges"]:
+                fail(f"gauge {name!r} missing from snapshot")
+        for name in REQUIRED_HISTOGRAMS:
+            if name not in names["histograms"]:
+                fail(f"histogram {name!r} missing from snapshot")
+        print(
+            f"coverage: ok ({len(names['counters'])} counters, "
+            f"{len(names['gauges'])} gauges, "
+            f"{len(names['histograms'])} histograms)"
+        )
+        return 0
+    finally:
+        server.terminate()
+        try:
+            server.wait(timeout=5)
+        except subprocess.TimeoutExpired:
+            server.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

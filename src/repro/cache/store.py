@@ -26,30 +26,59 @@ import itertools
 import threading
 import zlib
 from contextlib import contextmanager
-from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.cache.entry import ShadowFile
 from repro.cache.eviction import EvictionPolicy, LruPolicy
 from repro.diffing.model import checksum as content_checksum
 from repro.errors import CacheError, CacheMissError
+from repro.telemetry.registry import MetricsRegistry
 
 #: Default shard count: enough to keep a dozen connection threads from
 #: contending, cheap enough for the single-threaded simulations.
 DEFAULT_SHARDS = 8
 
 
-@dataclass
 class CacheStats:
-    """Hit/miss/eviction accounting for one store."""
+    """Hit/miss/eviction accounting for one store.
 
-    hits: int = 0
-    misses: int = 0
-    insertions: int = 0
-    updates: int = 0
-    evictions: int = 0
-    evicted_bytes: int = 0
-    rejected: int = 0
+    A compat view over :class:`~repro.telemetry.registry.MetricsRegistry`
+    counters named ``cache_<field>_total`` — attribute reads and writes
+    delegate to the registry, so the store's accounting and a wire
+    ``Stats`` snapshot can never disagree.  Constructed bare it backs
+    itself with a private registry (the old value-object usage);
+    :meth:`CacheStore.bind_telemetry` rebinds a store's stats onto the
+    owning server's registry, carrying current values over.
+    """
+
+    COUNTERS: Tuple[str, ...] = (
+        "hits",
+        "misses",
+        "insertions",
+        "updates",
+        "evictions",
+        "evicted_bytes",
+        "rejected",
+    )
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        labels: Optional[Mapping[str, str]] = None,
+        **initial: int,
+    ) -> None:
+        self._registry = registry if registry is not None else MetricsRegistry()
+        self._labels = dict(labels or {})
+        for name in self.COUNTERS:
+            self._registry.counter(self._metric(name), self._labels)
+        for name, value in initial.items():
+            if name not in self.COUNTERS:
+                raise TypeError(f"unknown cache counter {name!r}")
+            setattr(self, name, value)
+
+    @staticmethod
+    def _metric(name: str) -> str:
+        return f"cache_{name}_total"
 
     @property
     def lookups(self) -> int:
@@ -58,6 +87,29 @@ class CacheStats:
     @property
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.COUNTERS}
+
+    def __repr__(self) -> str:
+        return f"CacheStats({self.as_dict()})"
+
+
+def _cache_counter(name: str) -> property:
+    metric = CacheStats._metric(name)
+
+    def fget(self: CacheStats) -> int:
+        return int(self._registry.counter(metric, self._labels).value)
+
+    def fset(self: CacheStats, value: int) -> None:
+        self._registry.counter(metric, self._labels).set(value)
+
+    return property(fget, fset)
+
+
+for _name in CacheStats.COUNTERS:
+    setattr(CacheStats, _name, _cache_counter(_name))
+del _name
 
 
 class DomainDirectory:
@@ -109,6 +161,7 @@ class CacheStore:
         self.capacity_bytes = capacity_bytes
         self.policy = policy if policy is not None else LruPolicy()
         self.stats = CacheStats()
+        self._events = None  # EventLog attached by bind_telemetry
         self._shards: List[_Shard] = [_Shard() for _ in range(shards)]
         #: Serialises capacity checks + evictions across shards: the byte
         #: budget is a *global* invariant, so admission is single-file.
@@ -123,6 +176,45 @@ class CacheStore:
         #: keeps its original position, exactly like a dict update).
         self._insert_seq: Dict[str, int] = {}
         self._seq = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def bind_telemetry(self, registry: MetricsRegistry, events=None) -> None:
+        """Report this store's series into ``registry`` (and evictions
+        into ``events``).
+
+        Counter values accumulated so far carry over; occupancy becomes
+        callback gauges sampled at collection time, so the request path
+        pays nothing and the simulated clock is never touched.
+        """
+        carried = self.stats.as_dict()
+        self.stats = CacheStats(registry=registry, **carried)
+        self._events = events
+        registry.gauge("cache_entries", callback=lambda: float(len(self)))
+        registry.gauge(
+            "cache_used_bytes", callback=lambda: float(self.used_bytes)
+        )
+        registry.gauge(
+            "cache_capacity_bytes",
+            callback=lambda: float(self.capacity_bytes or 0),
+        )
+        for index in range(len(self._shards)):
+            shard = self._shards[index]
+            registry.gauge(
+                "cache_shard_entries",
+                {"shard": str(index)},
+                callback=(lambda s=shard: float(len(s.entries))),
+            )
+            registry.gauge(
+                "cache_shard_used_bytes",
+                {"shard": str(index)},
+                callback=(
+                    lambda s=shard: float(
+                        sum(entry.size for entry in s.entries.values())
+                    )
+                ),
+            )
 
     # ------------------------------------------------------------------
     # sharding
@@ -382,6 +474,13 @@ class CacheStore:
             with self._meta_lock:
                 self.stats.evictions += 1
                 self.stats.evicted_bytes += victim.size
+            if self._events is not None:
+                self._events.emit(
+                    "cache_eviction",
+                    key=victim.key,
+                    bytes=victim.size,
+                    version=victim.version,
+                )
             headroom = self.capacity_bytes - self.used_bytes
             if headroom >= needed:
                 return

@@ -133,6 +133,48 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     client_options(files)
 
+    stats = subparsers.add_parser(
+        "stats", help="query a live server's telemetry over the wire"
+    )
+    stats.add_argument(
+        "server",
+        nargs="?",
+        default=f"127.0.0.1:{WELL_KNOWN_PORT}",
+        help="server endpoint as HOST:PORT",
+    )
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="print the raw snapshot as JSON instead of tables",
+    )
+    stats.add_argument(
+        "--watch",
+        action="store_true",
+        help="refresh continuously until interrupted",
+    )
+    stats.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between --watch refreshes",
+    )
+    stats.add_argument(
+        "--section",
+        action="append",
+        default=[],
+        choices=("server", "registry", "events_log", "traces_log"),
+        help="restrict the snapshot to these sections (repeatable)",
+    )
+    stats.add_argument(
+        "--events", type=int, default=0,
+        help="include the newest N structured events",
+    )
+    stats.add_argument(
+        "--traces", type=int, default=0,
+        help="include the newest N request traces",
+    )
+
     env = subparsers.add_parser("env", help="show or customise the environment")
     client_options(env)
     env.add_argument(
@@ -207,6 +249,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         max_connections=args.max_connections,
+        telemetry=server.telemetry,
     )
     print(f"shadow server listening on {args.host}:{listener.port}")
     try:
@@ -366,6 +409,88 @@ def _cmd_files(args: argparse.Namespace) -> int:
         _close_client(client, args)
 
 
+def _fetch_stats(args: argparse.Namespace) -> dict:
+    """One stats-query round trip against a live server."""
+    from repro.core.protocol import StatsQuery, StatsReply
+    from repro.resilience.session import RawSession
+
+    host, port = _parse_endpoint(args.server)
+    channel = TcpChannel(host, port, timeout=5.0)
+    try:
+        reply = RawSession(channel).send(
+            StatsQuery(
+                client_id=f"{os.environ.get('USER', 'user')}@cli",
+                sections=tuple(args.section),
+                events=args.events,
+                traces=args.traces,
+            )
+        )
+    finally:
+        channel.close()
+    if not isinstance(reply, StatsReply):
+        raise ShadowError(f"unexpected stats reply: {reply.TYPE}")
+    return reply.snapshot
+
+
+def _render_stats(snapshot: dict, as_json: bool) -> str:
+    import json
+
+    if as_json:
+        return json.dumps(snapshot, indent=2, sort_keys=True, default=list)
+    from repro.metrics.report import format_telemetry
+
+    parts = []
+    server_name = snapshot.get("server")
+    if server_name:
+        parts.append(f"server {server_name}")
+    registry = snapshot.get("registry")
+    if registry is not None:
+        parts.append(format_telemetry(registry))
+    events = snapshot.get("events")
+    if events:
+        lines = ["events"]
+        for event in events:
+            fields = {
+                key: value
+                for key, value in sorted(event.items())
+                if key not in ("seq", "ts", "kind")
+            }
+            rendered = " ".join(f"{k}={v}" for k, v in fields.items())
+            lines.append(f"  #{event.get('seq')} {event.get('kind')} {rendered}")
+        parts.append("\n".join(lines))
+    traces = snapshot.get("traces")
+    if traces:
+        lines = ["traces"]
+        for trace in traces:
+            phases = " ".join(
+                f"{name}={seconds * 1000:.2f}ms"
+                for name, seconds in trace.get("phases", ())
+            )
+            lines.append(
+                f"  {trace.get('request_id')} trace={trace.get('trace_id') or '-'} "
+                f"kind={trace.get('kind') or '-'} outcome={trace.get('outcome')} "
+                f"{phases}"
+            )
+        parts.append("\n".join(lines))
+    return "\n\n".join(parts) if parts else "empty snapshot"
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    while True:
+        snapshot = _fetch_stats(args)
+        text = _render_stats(snapshot, args.as_json)
+        if args.watch:
+            # Clear-and-home keeps each refresh readable on a terminal.
+            sys.stdout.write("\x1b[2J\x1b[H")
+        print(text)
+        if not args.watch:
+            return 0
+        try:
+            time.sleep(max(args.interval, 0.1))
+        except KeyboardInterrupt:
+            return 0
+
+
 def _cmd_env(args: argparse.Namespace) -> int:
     state_path = Path(args.state)
     state = load_state(state_path)
@@ -416,6 +541,7 @@ _COMMANDS = {
     "cancel": _cmd_cancel,
     "edit": _cmd_edit,
     "files": _cmd_files,
+    "stats": _cmd_stats,
     "env": _cmd_env,
 }
 

@@ -57,6 +57,7 @@ from repro.errors import (
 from repro.jobs.output import OutputBundle
 from repro.jobs.status import JobRecord, JobState, StatusTable
 from repro.metrics.recorder import ResilienceStats
+from repro.metrics.tracing import TraceLog
 from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.session import (
     RawSession,
@@ -65,6 +66,8 @@ from repro.resilience.session import (
 )
 from repro.simnet.clock import Clock
 from repro.simnet.link import ProcessingModel
+from repro.telemetry.events import EventLog
+from repro.telemetry.registry import MetricsRegistry
 from repro.transport.base import RequestChannel
 from repro.versioning.store import DeltaUpdate, FullContent, VersionStore
 
@@ -104,8 +107,16 @@ class ShadowClient:
         self.resilience = (
             resilience if resilience is not None else ResilienceConfig()
         )
+        #: This client's own metric series (resilience counters land
+        #: here via the compat view below).
+        self.telemetry = MetricsRegistry()
+        #: Client-side spans: one trace per resilient request, carrying
+        #: the minted trace id that the server's spans join on.
+        self.traces = TraceLog()
+        #: Structured events (breaker transitions).
+        self.events = EventLog()
         #: Shared by every session this client opens.
-        self.resilience_stats = ResilienceStats()
+        self.resilience_stats = ResilienceStats(registry=self.telemetry)
         self.versions = VersionStore(
             max_retained=self.environment.max_retained_versions,
             diff_algorithm=self.environment.diff_algorithm,
@@ -260,6 +271,8 @@ class ShadowClient:
             clock=self.clock,
             stats=self.resilience_stats,
             seed=self.resilience.seed,
+            traces=self.traces,
+            events=self.events,
         )
 
     def _session(self, host: Optional[str]) -> Tuple[str, Any]:

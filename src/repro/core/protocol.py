@@ -121,11 +121,28 @@ class Envelope(Message):
 
     ``body`` is the wire form of the inner message; an empty ``rid``
     disables deduplication for that request.
+
+    ``tid`` is an optional trace id minted by the client so the
+    server-side spans (decode, session wait, dispatch, async job
+    execution) join the client's own spans into one end-to-end trace.
+    It is *omitted from the wire entirely* when empty — the simulated
+    benchmarks never mint one, so their wire byte counts are unchanged.
     """
 
     TYPE = "env"
     rid: str = ""
     body: bytes = b""
+    tid: str = ""
+
+    def to_wire(self) -> bytes:
+        payload: Dict[str, codec.Value] = {
+            "_t": self.TYPE,
+            "rid": self.rid,
+            "body": self.body,
+        }
+        if self.tid:
+            payload["tid"] = self.tid
+        return codec.encode(payload)
 
     def open(self) -> "Message":
         """Decode the wrapped message (nested envelopes are rejected)."""
@@ -264,6 +281,36 @@ class Bye(Message):
 
     TYPE = "bye"
     client_id: str = ""
+
+
+@register
+@dataclass(frozen=True)
+class StatsQuery(Message):
+    """Ask a live server for its telemetry snapshot.
+
+    An operator/diagnostic message: read-only, idempotent, and allowed
+    *without* a Hello so ``repro stats host:port`` can inspect any
+    reachable server.  ``sections`` filters the reply to the named
+    top-level snapshot keys (empty = everything); ``events`` /
+    ``traces`` bound how many recent structured events and request
+    traces ride along (0 = none).
+    """
+
+    TYPE = "stats-query"
+    client_id: str = ""
+    sections: Tuple[str, ...] = ()
+    events: int = 0
+    traces: int = 0
+
+
+@register
+@dataclass(frozen=True)
+class StatsReply(Message):
+    """The server's telemetry snapshot (see
+    :meth:`~repro.telemetry.registry.MetricsRegistry.snapshot`)."""
+
+    TYPE = "stats-reply"
+    snapshot: Dict[str, Any] = field(default_factory=dict)
 
 
 # ---------------------------------------------------------------------------

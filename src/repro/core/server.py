@@ -55,6 +55,8 @@ from repro.core.protocol import (
     OutputReply,
     Resync,
     ResyncReply,
+    StatsQuery,
+    StatsReply,
     StatusQuery,
     StatusReply,
     Submit,
@@ -87,11 +89,14 @@ from repro.metrics.recorder import ResilienceStats
 from repro.metrics.tracing import (
     RequestTrace,
     TraceLog,
-    set_active_trace,
+    active_trace,
+    recording_trace,
     traced_phase,
 )
 from repro.simnet.clock import Clock
 from repro.simnet.link import ProcessingModel
+from repro.telemetry.events import EventLog
+from repro.telemetry.registry import MetricsRegistry
 from repro.transport.base import RequestChannel
 
 __all__ = ["ShadowServer", "TrafficAccount"]
@@ -117,9 +122,20 @@ class ShadowServer:
         reply_cache_size: int = 1024,
         workers: int = 0,
         trace_capacity: int = 256,
+        telemetry: Optional[MetricsRegistry] = None,
+        events: Optional[EventLog] = None,
+        slow_request_seconds: float = 0.25,
     ) -> None:
         self.name = name
+        #: This server's metric series: every layer below reports here.
+        self.telemetry = telemetry if telemetry is not None else MetricsRegistry()
+        #: Structured events (slow requests, job lifecycle, evictions).
+        self.events = events if events is not None else EventLog()
+        #: Requests slower than this (wall seconds) emit a
+        #: ``slow_request`` event with the full phase breakdown.
+        self.slow_request_seconds = slow_request_seconds
         self.cache = cache if cache is not None else CacheStore()
+        self.cache.bind_telemetry(self.telemetry, events=self.events)
         self.coherence = CoherenceTracker(self.cache)
         self.executor = executor if executor is not None else SimulatedExecutor()
         self.scheduler = scheduler if scheduler is not None else Scheduler()
@@ -128,7 +144,9 @@ class ShadowServer:
         self.reverse_shadow = reverse_shadow
         self.push_outputs = push_outputs
         #: Layer 2: per-client sessions (validates reply_cache_size).
-        self.sessions = SessionRegistry(reply_cache_size=reply_cache_size)
+        self.sessions = SessionRegistry(
+            reply_cache_size=reply_cache_size, telemetry=self.telemetry
+        )
         self.reply_cache_size = reply_cache_size
         self.status = StatusTable()
         self.queue = JobQueue()
@@ -147,7 +165,17 @@ class ShadowServer:
         #: pipeline drains while a handler may already hold it.
         self._jobs_lock = threading.RLock()
         #: Counters for idempotent replays and resyncs served.
-        self.resilience = ResilienceStats()
+        self.resilience = ResilienceStats(registry=self.telemetry)
+        self.telemetry.gauge(
+            "jobs_queued", callback=lambda: float(len(self.queue))
+        )
+        self.telemetry.gauge(
+            "jobs_total", callback=lambda: float(len(self.status))
+        )
+        self.telemetry.gauge(
+            "jobs_retained_bundles",
+            callback=lambda: float(len(self._finished)),
+        )
         #: Optional hook fired as (client_id, key) whenever a change
         #: notification is deferred; a BackgroundPuller attaches here to
         #: realise §6.4's postponed retrieval.
@@ -173,6 +201,7 @@ class ShadowServer:
         self.router.register(CancelJob, self._on_cancel)
         self.router.register(Resync, self._on_resync)
         self.router.register(Bye, self._on_bye)
+        self.router.register(StatsQuery, self._on_stats)
 
     # ------------------------------------------------------------------
     # introspection
@@ -213,6 +242,11 @@ class ShadowServer:
                 },
             },
             "traces": self.traces.summary(),
+            "telemetry": {
+                "series": len(self.telemetry.collect()),
+                "events": self.events.describe(),
+                "slow_request_seconds": self.slow_request_seconds,
+            },
         }
 
     def close(self) -> None:
@@ -290,39 +324,57 @@ class ShadowServer:
         concurrently under the threaded TCP transport.
         """
         trace = RequestTrace(request_id=self.traces.next_request_id())
-        try:
-            with trace.phase("decode"):
+        with recording_trace(self.traces, trace):
+            reply = self._handle_traced(payload, trace)
+        self._observe_request(trace)
+        return reply
+
+    def _handle_traced(self, payload: bytes, trace: RequestTrace) -> bytes:
+        with trace.phase("decode"):
+            try:
+                message = decode_message(payload)
+            except ShadowError as exc:
+                trace.outcome = "error:bad-message"
+                return ErrorReply(
+                    code="bad-message", message=str(exc)
+                ).to_wire()
+            rid = ""
+            if isinstance(message, Envelope):
                 try:
-                    message = decode_message(payload)
+                    inner = message.open()
                 except ShadowError as exc:
                     trace.outcome = "error:bad-message"
                     return ErrorReply(
                         code="bad-message", message=str(exc)
                     ).to_wire()
-                rid = ""
-                if isinstance(message, Envelope):
-                    try:
-                        inner = message.open()
-                    except ShadowError as exc:
-                        trace.outcome = "error:bad-message"
-                        return ErrorReply(
-                            code="bad-message", message=str(exc)
-                        ).to_wire()
-                    rid = message.rid
-                    message = inner
-            if rid:
-                trace.request_id = rid
-            trace.kind = message.TYPE
-            client_id = getattr(message, "client_id", "")
-            trace.client_id = client_id
-            session = self.sessions.ensure(client_id)
-            wait_begin = time.perf_counter()
-            with session.lock:
-                trace.mark("session-wait", time.perf_counter() - wait_begin)
-                return self._handle_locked(session, message, payload, rid, trace)
-        finally:
-            set_active_trace(None)
-            self.traces.record(trace)
+                rid = message.rid
+                trace.trace_id = message.tid
+                message = inner
+        if rid:
+            trace.request_id = rid
+        trace.kind = message.TYPE
+        client_id = getattr(message, "client_id", "")
+        trace.client_id = client_id
+        session = self.sessions.ensure(client_id)
+        wait_begin = time.perf_counter()
+        with session.lock:
+            wait = time.perf_counter() - wait_begin
+            trace.mark("session-wait", wait)
+            self.telemetry.histogram("session_lock_wait_seconds").observe(wait)
+            return self._handle_locked(session, message, payload, rid, trace)
+
+    def _observe_request(self, trace: RequestTrace) -> None:
+        """Fold a finished request trace into the metric series."""
+        kind = trace.kind or "unknown"
+        outcome = trace.outcome.split(":", 1)[0]  # ok / replayed / error
+        self.telemetry.counter(
+            "requests_total", {"type": kind, "outcome": outcome}
+        ).inc()
+        self.telemetry.histogram(
+            "request_seconds", {"type": kind}
+        ).observe(trace.total_seconds)
+        if trace.total_seconds >= self.slow_request_seconds:
+            self.events.emit("slow_request", **trace.as_dict())
 
     def _handle_locked(
         self,
@@ -341,7 +393,6 @@ class ShadowServer:
                 trace.outcome = "replayed"
                 self._account(session, len(payload), len(cached))
                 return cached
-        set_active_trace(trace)
         with trace.phase("dispatch"):
             reply = self.router.respond(message)
         with trace.phase("encode"):
@@ -396,6 +447,38 @@ class ShadowServer:
     def _require_client(self, client_id: str) -> None:
         if not self.sessions.greeted(client_id):
             raise ProtocolError(f"client {client_id!r} has not said hello")
+
+    # ------------------------------------------------------------------
+    # telemetry over the wire
+    # ------------------------------------------------------------------
+    def _on_stats(self, message: StatsQuery) -> Message:
+        """Answer a :class:`StatsQuery` with the telemetry snapshot.
+
+        Read-only and idempotent; deliberately allowed *without* a
+        Hello so ``shadow stats host:port`` can inspect any reachable
+        server without joining it as a client.
+        """
+        snapshot: Dict[str, Any] = {
+            "server": self.name,
+            "registry": self.telemetry.snapshot(),
+            "events_log": self.events.describe(),
+            "traces_log": self.traces.summary(),
+        }
+        if message.events > 0:
+            snapshot["events"] = self.events.snapshot()[-message.events:]
+        if message.traces > 0:
+            snapshot["traces"] = [
+                trace.as_dict()
+                for trace in self.traces.snapshot()[-message.traces:]
+            ]
+        if message.sections:
+            wanted = set(message.sections) | {"server"}
+            snapshot = {
+                key: value
+                for key, value in snapshot.items()
+                if key in wanted
+            }
+        return StatsReply(snapshot=snapshot)
 
     # ------------------------------------------------------------------
     # coherence: notifications and updates
@@ -518,6 +601,8 @@ class ShadowServer:
             if version < 1:
                 raise ProtocolError(f"bad version {version} for {key}")
             self.coherence.note_notification(key, version)
+        request_trace = active_trace()
+        trace_id = request_trace.trace_id if request_trace is not None else ""
         with traced_phase("enqueue"), self._jobs_lock:
             self._job_counter += 1
             job_id = f"{self.name}-job-{self._job_counter:05d}"
@@ -530,6 +615,7 @@ class ShadowServer:
                 file_checksums=file_checksums,
                 enqueued_at=self.now(),
                 priority=message.priority,
+                trace_id=trace_id,
             )
             record = JobRecord(
                 job_id=job_id, owner=message.client_id, submitted_at=self.now()
@@ -547,6 +633,13 @@ class ShadowServer:
                     self.now(),
                     f"waiting for {len(needs)} files",
                 )
+        self.events.emit(
+            "job_enqueued",
+            job_id=job_id,
+            owner=message.client_id,
+            trace_id=trace_id,
+            missing_files=len(needs),
+        )
         # Off the request path: inline workers drain now (virtual-time
         # mode), thread workers are merely woken — Submit has already
         # got its answer.

@@ -107,6 +107,8 @@ class SimulatedDeployment:
         )
         uplink = Wire(link, clock)
         downlink = Wire(link, clock)
+        uplink.bind_telemetry(server.telemetry, "uplink")
+        downlink.bind_telemetry(server.telemetry, "downlink")
         channel = SimChannel(server.handle, uplink, downlink)
         client.connect(server_name, channel)
         # Server -> client pushes ride the same pair of wires, reversed.
@@ -169,7 +171,11 @@ def tcp_pair(
     """
     server = ShadowServer(name=server_name, executor=executor, workers=workers)
     listener = TcpChannelServer(
-        server.handle, host=host, port=port, max_connections=max_connections
+        server.handle,
+        host=host,
+        port=port,
+        max_connections=max_connections,
+        telemetry=server.telemetry,
     )
     channel = TcpChannel(host, listener.port)
     client = ShadowClient(
@@ -252,6 +258,10 @@ def tcp_service(
         name=server_name, executor=executor, cache=cache, workers=workers
     )
     listener = TcpChannelServer(
-        server.handle, host=host, port=port, max_connections=max_connections
+        server.handle,
+        host=host,
+        port=port,
+        max_connections=max_connections,
+        telemetry=server.telemetry,
     )
     return TcpService(server=server, listener=listener)

@@ -23,39 +23,103 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import ProtocolError
+from repro.telemetry.registry import MetricsRegistry
 from repro.transport.base import RequestChannel
 
 
-@dataclass
 class TrafficAccount:
     """Per-client traffic totals (§2.2: "users will be charged for their
     use of network services in proportion to the volume of traffic
-    generated")."""
+    generated").
 
-    requests: int = 0
-    bytes_in: int = 0
-    bytes_out: int = 0
-    pushed_bytes: int = 0
+    A compat view over :class:`~repro.telemetry.registry.MetricsRegistry`
+    counters named ``traffic_<field>_total``; when owned by a
+    :class:`ClientSession` the series carry a ``client`` label in the
+    server's registry, so per-tenant byte charging shows up directly in
+    ``Stats`` snapshots and Prometheus scrapes.  Constructed bare it
+    backs itself with a private registry (the old value-object usage).
+    """
+
+    COUNTERS: Tuple[str, ...] = (
+        "requests",
+        "bytes_in",
+        "bytes_out",
+        "pushed_bytes",
+    )
+
+    def __init__(
+        self,
+        requests: int = 0,
+        bytes_in: int = 0,
+        bytes_out: int = 0,
+        pushed_bytes: int = 0,
+        registry: Optional[MetricsRegistry] = None,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        self._registry = registry if registry is not None else MetricsRegistry()
+        self._labels = dict(labels or {})
+        for name in self.COUNTERS:
+            self._registry.counter(self._metric(name), self._labels)
+        for name, value in (
+            ("requests", requests),
+            ("bytes_in", bytes_in),
+            ("bytes_out", bytes_out),
+            ("pushed_bytes", pushed_bytes),
+        ):
+            if value:
+                setattr(self, name, value)
+
+    @staticmethod
+    def _metric(name: str) -> str:
+        return f"traffic_{name}_total"
 
     @property
     def total_bytes(self) -> int:
         return self.bytes_in + self.bytes_out + self.pushed_bytes
 
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.COUNTERS}
+
+    def __repr__(self) -> str:
+        return f"TrafficAccount({self.as_dict()})"
+
+
+def _traffic_counter(name: str) -> property:
+    metric = TrafficAccount._metric(name)
+
+    def fget(self: TrafficAccount) -> int:
+        return int(self._registry.counter(metric, self._labels).value)
+
+    def fset(self: TrafficAccount, value: int) -> None:
+        self._registry.counter(metric, self._labels).set(value)
+
+    return property(fget, fset)
+
+
+for _name in TrafficAccount.COUNTERS:
+    setattr(TrafficAccount, _name, _traffic_counter(_name))
+del _name
+
 
 class ClientSession:
     """Everything the server keeps for one client id."""
 
-    def __init__(self, client_id: str, reply_cache_size: int = 1024) -> None:
+    def __init__(
+        self,
+        client_id: str,
+        reply_cache_size: int = 1024,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.client_id = client_id
         #: Serialises request handling for this client.  Re-entrant: a
         #: handler that recursively feeds a message back through the
         #: server (background pulls do) must not self-deadlock.
         self.lock = threading.RLock()
-        self.account = TrafficAccount()
+        labels = {"client": client_id} if registry is not None else None
+        self.account = TrafficAccount(registry=registry, labels=labels)
         self.reply_cache_size = reply_cache_size
         self._replies: "OrderedDict[str, bytes]" = OrderedDict()
         self.domain: str = ""
@@ -124,14 +188,32 @@ class SessionRegistry:
     way the old global ledger did.
     """
 
-    def __init__(self, reply_cache_size: int = 1024) -> None:
+    def __init__(
+        self,
+        reply_cache_size: int = 1024,
+        telemetry: Optional[MetricsRegistry] = None,
+    ) -> None:
         if reply_cache_size < 0:
             raise ProtocolError(
                 f"reply_cache_size must be >= 0, got {reply_cache_size}"
             )
         self.reply_cache_size = reply_cache_size
+        self.telemetry = telemetry
         self._lock = threading.Lock()
         self._sessions: Dict[str, ClientSession] = {}
+        if telemetry is not None:
+            telemetry.gauge(
+                "sessions_known",
+                callback=lambda: float(len(self)),
+            )
+            telemetry.gauge(
+                "sessions_live",
+                callback=lambda: float(len(self.greeted_clients())),
+            )
+            telemetry.gauge(
+                "sessions_reply_cache_entries",
+                callback=lambda: float(self.reply_cache_entries()),
+            )
 
     def ensure(self, client_id: str) -> ClientSession:
         """The session for ``client_id``, created on first contact."""
@@ -139,7 +221,9 @@ class SessionRegistry:
             session = self._sessions.get(client_id)
             if session is None:
                 session = ClientSession(
-                    client_id, reply_cache_size=self.reply_cache_size
+                    client_id,
+                    reply_cache_size=self.reply_cache_size,
+                    registry=self.telemetry,
                 )
                 self._sessions[client_id] = session
             return session

@@ -35,7 +35,7 @@ from repro.errors import CacheMissError, ShadowError
 from repro.jobs.output import OutputBundle
 from repro.jobs.queue import QueuedJob
 from repro.jobs.status import JobState
-from repro.metrics.tracing import RequestTrace, active_trace, set_active_trace
+from repro.metrics.tracing import RequestTrace, recording_trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.server import ShadowServer
@@ -130,11 +130,30 @@ def run_job(server: "ShadowServer", job: QueuedJob) -> bool:
     """
     record = server.status.get(job.job_id)
     trace = RequestTrace(
-        request_id=job.job_id, client_id=job.owner, kind="job"
+        request_id=job.job_id,
+        client_id=job.owner,
+        kind="job",
+        trace_id=job.trace_id,
     )
-    previous = active_trace()
-    set_active_trace(trace)
+    server.events.emit(
+        "job_started",
+        job_id=job.job_id,
+        owner=job.owner,
+        trace_id=job.trace_id,
+    )
     try:
+        return _run_job_traced(server, job, record, trace)
+    finally:
+        _observe_job(server, job, trace)
+
+
+def _run_job_traced(
+    server: "ShadowServer",
+    job: QueuedJob,
+    record,
+    trace: RequestTrace,
+) -> bool:
+    with recording_trace(server.traces, trace):
         with server._jobs_lock:
             if record.state.terminal:
                 trace.outcome = "skipped:cancelled"
@@ -192,9 +211,31 @@ def run_job(server: "ShadowServer", job: QueuedJob) -> bool:
             deliver_if_routed(server, job, bundle)
             push_to_owner(server, job, bundle)
         return True
-    finally:
-        set_active_trace(previous)
-        server.traces.record(trace)
+
+
+def _observe_job(server: "ShadowServer", job: QueuedJob, trace: RequestTrace) -> None:
+    """Fold one finished (or skipped) job trace into the metric series.
+
+    Wall-clock only — the virtual-time charges already happened inside
+    the run; nothing here reads or advances the simulated clock.
+    """
+    executed = any(name == "execute" for name, _ in trace.phases)
+    if executed:
+        server.telemetry.histogram("job_execution_seconds").observe(
+            trace.phase_seconds("execute")
+        )
+        server.telemetry.counter(
+            "jobs_executed_total", {"owner": job.owner}
+        ).inc()
+    server.events.emit(
+        "job_finished",
+        job_id=job.job_id,
+        owner=job.owner,
+        trace_id=job.trace_id,
+        outcome=trace.outcome,
+        executed=executed,
+        seconds=trace.total_seconds,
+    )
 
 
 def deliver_if_routed(

@@ -28,6 +28,10 @@ class QueuedJob:
     file_checksums: Dict[str, str] = field(default_factory=dict)
     enqueued_at: float = 0.0
     priority: int = 0
+    #: End-to-end trace id of the Submit that enqueued this job; the
+    #: async execution's trace carries it so client span, request span
+    #: and job span join into one trace.
+    trace_id: str = ""
 
     def __post_init__(self) -> None:
         if set(self.file_versions) != set(self.file_keys):

@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import ShadowError
+from repro.telemetry.registry import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -46,7 +47,6 @@ class FigurePoint:
         return self.conventional_seconds / self.shadow_seconds
 
 
-@dataclass
 class ResilienceStats:
     """Counters for the resilience layer (retries, faults, degradation).
 
@@ -56,58 +56,59 @@ class ResilienceStats:
     examples read these alongside transfer times to report the overhead
     of surviving faults (§5.1: degrade to extra transfers, never to
     corruption).
+
+    Since the telemetry layer landed this is a *compat view* over
+    :class:`~repro.telemetry.registry.MetricsRegistry` counter series
+    named ``resilience_<counter>_total``: attribute reads and writes go
+    straight to the registry, so ``stats.retries += 1`` and a wire
+    ``Stats`` snapshot can never disagree.  Constructed bare it backs
+    itself with a private registry, keeping the old value-object usage
+    (tests, merged report views) working unchanged.
     """
 
-    #: Wire attempts made (first tries + retries).
-    attempts: int = 0
-    #: Attempts beyond the first for any request.
-    retries: int = 0
-    #: Transport-level failures observed (drops, lost replies).
-    faults_seen: int = 0
-    #: Replies rejected as corrupt (CRC / codec failure) and retried.
-    garbled_replies: int = 0
-    #: Requests abandoned after exhausting the retry budget.
-    giveups: int = 0
-    #: Requests abandoned because their deadline expired mid-retry.
-    deadline_exceeded: int = 0
-    #: Times a circuit breaker tripped open.
-    breaker_opened: int = 0
-    #: Requests refused without a wire attempt because the breaker was open.
-    breaker_short_circuits: int = 0
-    #: Notifications parked locally while the link was degraded.
-    parked_notifications: int = 0
-    #: Parked notifications successfully replayed after the link healed.
-    replayed_notifications: int = 0
-    #: Reconnect handshakes that ran the resync exchange.
-    resyncs: int = 0
-    #: Resync repairs that needed the full file (lost/divergent cache).
-    resync_full_transfers: int = 0
-    #: Resync repairs satisfied by a delta from a common version.
-    resync_delta_transfers: int = 0
-    #: Duplicate requests answered from the server's reply cache.
-    duplicate_replies_served: int = 0
-    #: Faults injected by the test harness (copied from FlakyChannel).
-    faults_injected: int = 0
+    #: Every counter this view exposes, in reporting order.
+    COUNTERS: Tuple[str, ...] = (
+        "attempts",
+        "retries",
+        "faults_seen",
+        "garbled_replies",
+        "giveups",
+        "deadline_exceeded",
+        "breaker_opened",
+        "breaker_short_circuits",
+        "parked_notifications",
+        "replayed_notifications",
+        "resyncs",
+        "resync_full_transfers",
+        "resync_delta_transfers",
+        "duplicate_replies_served",
+        "faults_injected",
+    )
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        labels: Optional[Mapping[str, str]] = None,
+        **initial: int,
+    ) -> None:
+        self._registry = registry if registry is not None else MetricsRegistry()
+        self._labels = dict(labels or {})
+        for name in self.COUNTERS:
+            # Materialise every series up front so snapshots and
+            # as_dict() are shape-stable from the first scrape.
+            self._registry.counter(self._metric(name), self._labels)
+        for name, value in initial.items():
+            if name not in self.COUNTERS:
+                raise TypeError(f"unknown resilience counter {name!r}")
+            setattr(self, name, value)
+
+    @staticmethod
+    def _metric(name: str) -> str:
+        return f"resilience_{name}_total"
 
     def as_dict(self) -> Dict[str, int]:
         """All counters, for describe() blocks and reports."""
-        return {
-            "attempts": self.attempts,
-            "retries": self.retries,
-            "faults_seen": self.faults_seen,
-            "garbled_replies": self.garbled_replies,
-            "giveups": self.giveups,
-            "deadline_exceeded": self.deadline_exceeded,
-            "breaker_opened": self.breaker_opened,
-            "breaker_short_circuits": self.breaker_short_circuits,
-            "parked_notifications": self.parked_notifications,
-            "replayed_notifications": self.replayed_notifications,
-            "resyncs": self.resyncs,
-            "resync_full_transfers": self.resync_full_transfers,
-            "resync_delta_transfers": self.resync_delta_transfers,
-            "duplicate_replies_served": self.duplicate_replies_served,
-            "faults_injected": self.faults_injected,
-        }
+        return {name: getattr(self, name) for name in self.COUNTERS}
 
     def merge(self, other: "ResilienceStats") -> None:
         """Fold ``other``'s counters into this one (client + server views)."""
@@ -118,6 +119,27 @@ class ResilienceStats:
     def degradations(self) -> int:
         """Times the service entered a degraded mode instead of failing."""
         return self.breaker_opened + self.parked_notifications
+
+    def __repr__(self) -> str:
+        lively = {k: v for k, v in self.as_dict().items() if v}
+        return f"ResilienceStats({lively})"
+
+
+def _resilience_counter(name: str) -> property:
+    metric = ResilienceStats._metric(name)
+
+    def fget(self: ResilienceStats) -> int:
+        return int(self._registry.counter(metric, self._labels).value)
+
+    def fset(self: ResilienceStats, value: int) -> None:
+        self._registry.counter(metric, self._labels).set(value)
+
+    return property(fget, fset)
+
+
+for _name in ResilienceStats.COUNTERS:
+    setattr(ResilienceStats, _name, _resilience_counter(_name))
+del _name
 
 
 @dataclass

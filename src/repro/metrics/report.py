@@ -8,7 +8,7 @@ the speedup-factor table.  Output is plain text so it reads well under
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple
 
 from repro.metrics.recorder import FigureData, ResilienceStats
 from repro.metrics.tracing import TraceLog
@@ -128,3 +128,71 @@ def format_traces(log: TraceLog, limit: int = 20) -> str:
     return format_table(
         ["request", "client", "kind", "outcome", "total", "phases"], rows
     )
+
+
+def _series_name(entry: Mapping[str, Any]) -> str:
+    """``name{k=v,...}`` display form for one snapshot series."""
+    labels = entry.get("labels") or {}
+    if not labels:
+        return str(entry["name"])
+    inner = ",".join(f"{key}={value}" for key, value in sorted(labels.items()))
+    return f"{entry['name']}{{{inner}}}"
+
+
+def format_telemetry(
+    snapshot: Mapping[str, Any], include_zero: bool = False
+) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` dict as text tables.
+
+    Works equally on a live snapshot and on one that round-tripped the
+    wire inside a ``StatsReply`` (lists arrive as tuples; both iterate).
+    Zero-valued counters and gauges are elided unless ``include_zero``,
+    mirroring :func:`format_resilience`'s quiet-when-clean convention.
+    """
+    blocks: List[str] = []
+    counters = [
+        entry
+        for entry in snapshot.get("counters", ())
+        if include_zero or entry["value"]
+    ]
+    if counters:
+        rows = [
+            (_series_name(entry), f"{entry['value']:g}") for entry in counters
+        ]
+        blocks.append("counters\n" + format_table(["series", "value"], rows))
+    gauges = [
+        entry
+        for entry in snapshot.get("gauges", ())
+        if include_zero or entry["value"]
+    ]
+    if gauges:
+        rows = [
+            (_series_name(entry), f"{entry['value']:g}") for entry in gauges
+        ]
+        blocks.append("gauges\n" + format_table(["series", "value"], rows))
+    histograms = [
+        entry
+        for entry in snapshot.get("histograms", ())
+        if include_zero or entry["count"]
+    ]
+    if histograms:
+        rows = [
+            (
+                _series_name(entry),
+                str(entry["count"]),
+                f"{entry['sum']:.4f}s",
+                f"{entry['p50'] * 1000:.2f}ms",
+                f"{entry['p95'] * 1000:.2f}ms",
+                f"{entry['p99'] * 1000:.2f}ms",
+            )
+            for entry in histograms
+        ]
+        blocks.append(
+            "histograms\n"
+            + format_table(
+                ["series", "count", "sum", "p50", "p95", "p99"], rows
+            )
+        )
+    if not blocks:
+        return "no telemetry recorded"
+    return "\n\n".join(blocks)

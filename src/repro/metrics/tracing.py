@@ -33,6 +33,10 @@ class RequestTrace:
     request_id: str = ""
     client_id: str = ""
     kind: str = ""  #: message TYPE for requests, "job" for executions
+    #: Client-minted end-to-end trace id (the envelope's ``tid``).  The
+    #: same id appears on the client's span, the server's request trace,
+    #: and the async job-execution trace, joining them into one trace.
+    trace_id: str = ""
     outcome: str = "ok"  #: "ok", "replayed", or "error:<code>"
     #: (phase name, seconds) in the order the phases ran.
     phases: List[Tuple[str, float]] = field(default_factory=list)
@@ -64,9 +68,10 @@ class RequestTrace:
             "request_id": self.request_id,
             "client_id": self.client_id,
             "kind": self.kind,
+            "trace_id": self.trace_id,
             "outcome": self.outcome,
             "total_seconds": self.total_seconds,
-            "phases": list(self.phases),
+            "phases": [[name, seconds] for name, seconds in self.phases],
         }
 
 
@@ -156,3 +161,24 @@ def traced_phase(name: str) -> Iterator[None]:
         return
     with trace.phase(name):
         yield
+
+
+@contextmanager
+def recording_trace(log: TraceLog, trace: RequestTrace) -> Iterator[RequestTrace]:
+    """Make ``trace`` the thread's active trace for the block, then
+    record it into ``log``.
+
+    The previously active trace (if any) is restored on exit, so nested
+    scopes — a handler that recursively feeds a message back through the
+    server, or a job execution started from a request thread — stack
+    correctly.  This is the one way the server's request path and the
+    off-path job pipeline open a trace; both used to hand-roll the same
+    save/set/restore/record dance.
+    """
+    previous = active_trace()
+    set_active_trace(trace)
+    try:
+        yield trace
+    finally:
+        set_active_trace(previous)
+        log.record(trace)

@@ -43,9 +43,11 @@ from repro.errors import (
     TransportError,
 )
 from repro.metrics.recorder import ResilienceStats
+from repro.metrics.tracing import RequestTrace, TraceLog
 from repro.resilience.breaker import BreakerPolicy, CircuitBreaker
 from repro.resilience.policy import RetryPolicy
 from repro.simnet.clock import Clock, SimulatedClock
+from repro.telemetry.events import EventLog
 from repro.transport.base import RequestChannel
 
 
@@ -98,6 +100,9 @@ class ResilientSession:
         clock: Optional[Clock] = None,
         stats: Optional[ResilienceStats] = None,
         seed: int = 722,
+        trace_ids: Optional[bool] = None,
+        traces: Optional[TraceLog] = None,
+        events: Optional[EventLog] = None,
     ) -> None:
         self.client_id = client_id
         self.channel = channel
@@ -105,6 +110,18 @@ class ResilientSession:
         self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.clock = clock
         self.stats = stats if stats is not None else ResilienceStats()
+        #: Mint an end-to-end trace id (the envelope's ``tid``) per
+        #: request?  ``None`` auto-resolves: off under a simulated clock
+        #: (an empty ``tid`` is omitted from the wire entirely, so the
+        #: benchmark byte counts are untouched), on for wall-clock and
+        #: live-TCP sessions where end-to-end tracing is the point.
+        if trace_ids is None:
+            trace_ids = not isinstance(clock, SimulatedClock)
+        self.trace_ids = trace_ids
+        #: Optional client-side span log; one trace per request when set.
+        self.traces = traces
+        #: Optional structured event log for breaker transitions.
+        self.events = events
         self._rng = random.Random(seed)
         # Request ids must be unique per (client, session incarnation):
         # a client that restarts with the same seed must not collide with
@@ -145,6 +162,29 @@ class ResilientSession:
         self._counter += 1
         return f"{self._nonce}-{self._counter:x}"
 
+    def next_trace_id(self) -> str:
+        """An end-to-end trace id; distinct space from request ids so a
+        replayed rid still reads as the same trace."""
+        return f"t-{self._nonce}-{self._counter:x}"
+
+    def _breaker_opened(self) -> None:
+        self.stats.breaker_opened += 1
+        if self.events is not None:
+            self.events.emit(
+                "breaker",
+                client=self.client_id,
+                state=self.breaker.state,
+                consecutive_failures=self.breaker.consecutive_failures,
+            )
+
+    def _record_success(self) -> None:
+        recovered = self.breaker.state != CircuitBreaker.CLOSED
+        self.breaker.record_success()
+        if recovered and self.events is not None:
+            self.events.emit(
+                "breaker", client=self.client_id, state=self.breaker.state
+            )
+
     def send(self, message: Message) -> Message:
         """Ship ``message``; retry faults; dedupe via the request id.
 
@@ -161,47 +201,79 @@ class ResilientSession:
                 "request not attempted"
             )
         rid = self.next_request_id()
-        wire = Envelope(rid=rid, body=message.to_wire()).to_wire()
-        deadline: Optional[float] = None
-        if self.policy.deadline is not None:
-            deadline = self._now() + self.policy.deadline
-        last_error: Optional[Exception] = None
-        for attempt in range(1, self.policy.max_attempts + 1):
-            self.stats.attempts += 1
-            if attempt > 1:
-                self.stats.retries += 1
-            try:
-                raw = self.channel.request(wire)
-                reply = decode_message(raw)
-            except TransportClosedError:
-                raise
-            except TransportError as exc:
-                last_error = exc
-                self.stats.faults_seen += 1
-            except ProtocolError as exc:
-                # The reply did not decode: corruption, not a server
-                # error (those arrive as well-formed ErrorReply
-                # messages).  Idempotency makes re-asking safe.
-                last_error = exc
-                self.stats.garbled_replies += 1
+        tid = self.next_trace_id() if self.trace_ids else ""
+        trace: Optional[RequestTrace] = None
+        if self.traces is not None:
+            trace = RequestTrace(
+                request_id=rid,
+                client_id=self.client_id,
+                kind=message.TYPE,
+                trace_id=tid,
+            )
+        try:
+            if trace is not None:
+                with trace.phase("encode"):
+                    wire = Envelope(
+                        rid=rid, body=message.to_wire(), tid=tid
+                    ).to_wire()
             else:
-                self.breaker.record_success()
-                return reply
-            if attempt == self.policy.max_attempts:
-                break
-            delay = self.policy.delay_for(attempt, self._rng)
-            if deadline is not None and self._now() + delay > deadline:
-                self.stats.deadline_exceeded += 1
-                if self.breaker.record_failure(self._now()):
-                    self.stats.breaker_opened += 1
-                raise DeadlineExceededError(
-                    f"deadline of {self.policy.deadline}s expired after "
-                    f"{attempt} attempts"
-                ) from last_error
-            self._wait(delay)
-        self.stats.giveups += 1
-        if self.breaker.record_failure(self._now()):
-            self.stats.breaker_opened += 1
-        raise RetryExhaustedError(
-            f"request failed after {self.policy.max_attempts} attempts"
-        ) from last_error
+                wire = Envelope(
+                    rid=rid, body=message.to_wire(), tid=tid
+                ).to_wire()
+            deadline: Optional[float] = None
+            if self.policy.deadline is not None:
+                deadline = self._now() + self.policy.deadline
+            last_error: Optional[Exception] = None
+            for attempt in range(1, self.policy.max_attempts + 1):
+                self.stats.attempts += 1
+                if attempt > 1:
+                    self.stats.retries += 1
+                try:
+                    if trace is not None:
+                        with trace.phase(f"attempt-{attempt}"):
+                            raw = self.channel.request(wire)
+                            reply = decode_message(raw)
+                    else:
+                        raw = self.channel.request(wire)
+                        reply = decode_message(raw)
+                except TransportClosedError:
+                    if trace is not None:
+                        trace.outcome = "error:closed"
+                    raise
+                except TransportError as exc:
+                    last_error = exc
+                    self.stats.faults_seen += 1
+                except ProtocolError as exc:
+                    # The reply did not decode: corruption, not a server
+                    # error (those arrive as well-formed ErrorReply
+                    # messages).  Idempotency makes re-asking safe.
+                    last_error = exc
+                    self.stats.garbled_replies += 1
+                else:
+                    self._record_success()
+                    return reply
+                if attempt == self.policy.max_attempts:
+                    break
+                delay = self.policy.delay_for(attempt, self._rng)
+                if deadline is not None and self._now() + delay > deadline:
+                    self.stats.deadline_exceeded += 1
+                    if self.breaker.record_failure(self._now()):
+                        self._breaker_opened()
+                    if trace is not None:
+                        trace.outcome = "error:deadline"
+                    raise DeadlineExceededError(
+                        f"deadline of {self.policy.deadline}s expired after "
+                        f"{attempt} attempts"
+                    ) from last_error
+                self._wait(delay)
+            self.stats.giveups += 1
+            if self.breaker.record_failure(self._now()):
+                self._breaker_opened()
+            if trace is not None:
+                trace.outcome = "error:exhausted"
+            raise RetryExhaustedError(
+                f"request failed after {self.policy.max_attempts} attempts"
+            ) from last_error
+        finally:
+            if trace is not None:
+                self.traces.record(trace)

@@ -1,0 +1,54 @@
+"""Unified telemetry: metrics registry, exporters, structured events.
+
+``repro.telemetry`` is the one layer every subsystem reports into:
+
+* :mod:`repro.telemetry.registry` — labeled counters, gauges and
+  fixed-bucket histograms in a thread-safe
+  :class:`~repro.telemetry.registry.MetricsRegistry`;
+* :mod:`repro.telemetry.export` — Prometheus-text and JSON snapshot
+  exporters over a registry;
+* :mod:`repro.telemetry.events` — JSON-lines structured event log
+  (slow requests, job lifecycle, evictions, breaker transitions) behind
+  a pluggable sink.
+
+Each :class:`~repro.core.server.ShadowServer` and
+:class:`~repro.core.client.ShadowClient` owns its own registry so tests
+and co-hosted services never collide; :data:`REGISTRY` is the shared
+process-wide default for code without a natural owner.
+
+Nothing in this package reads or advances the simulated clock: all
+instrumentation is wall-clock and event-count only, so the benchmark
+figures are byte-identical with telemetry enabled.
+"""
+
+from repro.telemetry.events import EventLog, JsonLinesSink, MemorySink
+from repro.telemetry.export import (
+    parse_prometheus_line,
+    render_json,
+    render_prometheus,
+)
+from repro.telemetry.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+#: The process-wide default registry (ad hoc scripts, module-level code).
+REGISTRY = MetricsRegistry()
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "JsonLinesSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "REGISTRY",
+    "parse_prometheus_line",
+    "render_json",
+    "render_prometheus",
+]

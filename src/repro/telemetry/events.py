@@ -1,0 +1,127 @@
+"""Structured event log: JSON-lines records behind a pluggable sink.
+
+Counters say *how much*; events say *what happened*.  The runtime emits
+a small set of structured records — slow requests past a configurable
+threshold, job lifecycle transitions, cache evictions, circuit-breaker
+transitions — through an :class:`EventLog` whose sink is pluggable:
+
+* the default :class:`MemorySink` keeps a bounded ring for tests,
+  ``describe()`` blocks and the ``stats`` CLI;
+* :class:`JsonLinesSink` writes one JSON object per line to any text
+  stream (a file, stderr, a pipe to a shipper);
+* any callable taking the event dict can be a sink (fan-out, filtering).
+
+Events carry a monotonically increasing ``seq`` and a wall-clock ``ts``
+(diagnostic only — the simulated clock is never read), the event
+``kind``, and the emitter's fields.  A sink that raises is disabled for
+the rest of the process instead of taking the request path down.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, TextIO
+
+Sink = Callable[[Dict[str, Any]], None]
+
+
+class MemorySink:
+    """Bounded in-memory ring of events (the default sink)."""
+
+    def __init__(self, capacity: int = 512) -> None:
+        self.capacity = capacity
+        self._events: Deque[Dict[str, Any]] = deque(maxlen=capacity or None)
+        self._lock = threading.Lock()
+
+    def __call__(self, event: Dict[str, Any]) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return list(self._events)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+class JsonLinesSink:
+    """Write each event as one JSON line to a text stream."""
+
+    def __init__(self, stream: TextIO) -> None:
+        self.stream = stream
+        self._lock = threading.Lock()
+
+    def __call__(self, event: Dict[str, Any]) -> None:
+        line = json.dumps(event, sort_keys=True, default=str)
+        with self._lock:
+            self.stream.write(line + "\n")
+            self.stream.flush()
+
+
+class EventLog:
+    """Thread-safe event emitter over one or more sinks."""
+
+    def __init__(self, sink: Optional[Sink] = None, capacity: int = 512) -> None:
+        #: The memory ring is always attached so recent events stay
+        #: queryable over the wire even when a file sink is plugged in.
+        self.memory = MemorySink(capacity)
+        self._sinks: List[Sink] = [self.memory]
+        if sink is not None:
+            self._sinks.append(sink)
+        self._lock = threading.Lock()
+        self._seq = 0
+        self.emitted = 0
+        self.dropped_sinks = 0
+
+    def add_sink(self, sink: Sink) -> None:
+        with self._lock:
+            self._sinks.append(sink)
+
+    def emit(self, kind: str, **fields: Any) -> Dict[str, Any]:
+        """Record one event; returns the record that was sunk."""
+        with self._lock:
+            self._seq += 1
+            event: Dict[str, Any] = {
+                "seq": self._seq,
+                "ts": time.time(),
+                "kind": kind,
+            }
+            event.update(fields)
+            self.emitted += 1
+            sinks = list(self._sinks)
+        for sink in sinks:
+            try:
+                sink(event)
+            except Exception:
+                # A broken sink must never break the request path; drop
+                # it and keep serving.
+                with self._lock:
+                    if sink in self._sinks and sink is not self.memory:
+                        self._sinks.remove(sink)
+                        self.dropped_sinks += 1
+        return event
+
+    def snapshot(self, kind: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Recent events from the memory ring, optionally by kind."""
+        events = self.memory.snapshot()
+        if kind is None:
+            return events
+        return [event for event in events if event["kind"] == kind]
+
+    def __len__(self) -> int:
+        return len(self.memory)
+
+    def describe(self) -> Dict[str, Any]:
+        with self._lock:
+            sinks = len(self._sinks)
+        return {
+            "emitted": self.emitted,
+            "retained": len(self.memory),
+            "sinks": sinks,
+            "dropped_sinks": self.dropped_sinks,
+        }

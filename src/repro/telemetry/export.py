@@ -1,0 +1,171 @@
+"""Exporters: Prometheus text format and JSON snapshots.
+
+Two machine-readable views over one :class:`~repro.telemetry.registry.
+MetricsRegistry`:
+
+* :func:`render_prometheus` — the Prometheus text exposition format
+  (``# TYPE`` headers, ``name{label="value"} value`` samples, histogram
+  ``_bucket``/``_sum``/``_count`` expansion), suitable for a scrape
+  endpoint or a file sink;
+* :func:`render_json` — the registry's :meth:`snapshot` dict, optionally
+  dumped as a JSON string.
+
+Both are pure functions over a snapshot-in-time; neither mutates any
+series nor touches any clock.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _render_labels(labels: Dict[str, str], extra: Optional[str] = None) -> str:
+    parts = [
+        f'{key}="{_escape_label_value(value)}"'
+        for key, value in labels.items()
+    ]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry, prefix: str = "repro_") -> str:
+    """Render every series in the Prometheus text exposition format."""
+    lines = []
+    typed = set()
+    for series in registry.collect():
+        name = prefix + series.name
+        if isinstance(series, Counter):
+            if name not in typed:
+                lines.append(f"# TYPE {name} counter")
+                typed.add(name)
+            lines.append(
+                f"{name}{_render_labels(series.label_dict)}"
+                f" {_format_value(series.value)}"
+            )
+        elif isinstance(series, Gauge):
+            if name not in typed:
+                lines.append(f"# TYPE {name} gauge")
+                typed.add(name)
+            lines.append(
+                f"{name}{_render_labels(series.label_dict)}"
+                f" {_format_value(series.value)}"
+            )
+        elif isinstance(series, Histogram):
+            if name not in typed:
+                lines.append(f"# TYPE {name} histogram")
+                typed.add(name)
+            labels = series.label_dict
+            for le, count in series.bucket_counts():
+                extra = 'le="' + str(le) + '"'
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_render_labels(labels, extra=extra)}"
+                    f" {count}"
+                )
+            lines.append(
+                f"{name}_sum{_render_labels(labels)}"
+                f" {_format_value(series.sum)}"
+            )
+            lines.append(
+                f"{name}_count{_render_labels(labels)} {series.count}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_json(
+    registry: MetricsRegistry, *, as_text: bool = False
+) -> Any:
+    """The registry snapshot as a dict (default) or a JSON string."""
+    snapshot = registry.snapshot()
+    if as_text:
+        return json.dumps(snapshot, sort_keys=True)
+    return snapshot
+
+
+def parse_prometheus_line(line: str) -> Optional[Dict[str, Any]]:
+    """Parse one exposition line into ``{name, labels, value}``.
+
+    Comment/TYPE lines return ``None``.  Used by tests (and operators'
+    throwaway scripts) to check the exporter emits well-formed samples
+    without needing a Prometheus client library.
+    """
+    line = line.strip()
+    if not line or line.startswith("#"):
+        return None
+    name_part, _, value_part = line.rpartition(" ")
+    if not name_part:
+        raise ValueError(f"unparseable sample line: {line!r}")
+    labels: Dict[str, str] = {}
+    if "{" in name_part:
+        name, _, label_blob = name_part.partition("{")
+        label_blob = label_blob.rstrip("}")
+        if label_blob:
+            for chunk in _split_labels(label_blob):
+                key, _, raw = chunk.partition("=")
+                if not raw.startswith('"') or not raw.endswith('"'):
+                    raise ValueError(f"bad label value in {line!r}")
+                labels[key] = (
+                    raw[1:-1]
+                    .replace('\\"', '"')
+                    .replace("\\n", "\n")
+                    .replace("\\\\", "\\")
+                )
+    else:
+        name = name_part
+    if value_part == "+Inf":
+        value: float = float("inf")
+    else:
+        value = float(value_part)
+    return {"name": name, "labels": labels, "value": value}
+
+
+def _split_labels(blob: str) -> list:
+    """Split ``k1="v1",k2="v2"`` respecting escaped quotes."""
+    parts = []
+    current = []
+    in_quotes = False
+    escaped = False
+    for char in blob:
+        if escaped:
+            current.append(char)
+            escaped = False
+            continue
+        if char == "\\":
+            current.append(char)
+            escaped = True
+            continue
+        if char == '"':
+            in_quotes = not in_quotes
+            current.append(char)
+            continue
+        if char == "," and not in_quotes:
+            parts.append("".join(current))
+            current = []
+            continue
+        current.append(char)
+    if current:
+        parts.append("".join(current))
+    return parts

@@ -1,0 +1,341 @@
+"""The process-wide metrics registry: one place every subsystem reports.
+
+The paper's argument is measurement (§8's stopwatch cycles are
+byte-and-seconds accounting over slow links), and after the server grew
+into explicit layers its runtime counters were scattered: resilience
+counters here, traffic accounts there, cache stats in the store, link
+tallies in the simulator.  :class:`MetricsRegistry` unifies them into
+three series kinds —
+
+* :class:`Counter` — monotonically increasing totals (frames, retries,
+  cache hits);
+* :class:`Gauge` — point-in-time levels (queue depth, live sessions,
+  cache occupancy), optionally *callback-backed* so the value is sampled
+  from the owning subsystem at collection time instead of being pushed;
+* :class:`Histogram` — fixed-bucket streaming distributions with
+  p50/p95/p99 estimates (lock waits, execution times).
+
+Series are identified by ``(name, labels)``; asking for the same pair
+returns the same object, so instrument-at-use-site code needs no
+central declaration.  Everything is thread-safe: creation takes the
+registry lock, mutation takes a per-series lock.
+
+All values are *wall-clock or event counts only* — nothing here reads
+or advances the simulated clock, so enabling telemetry can never
+perturb a benchmark figure.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.errors import ShadowError
+
+#: Default histogram upper bounds, in seconds — tuned for request-path
+#: latencies (sub-millisecond loopback up to multi-second remote jobs).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005,
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    30.0,
+)
+
+Labels = Tuple[Tuple[str, str], ...]
+
+
+def _freeze_labels(labels: Optional[Mapping[str, str]]) -> Labels:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Series:
+    """Common identity for one (name, labels) time series."""
+
+    kind = "series"
+
+    def __init__(self, name: str, labels: Labels) -> None:
+        self.name = name
+        self.labels = labels
+        self._lock = threading.Lock()
+
+    @property
+    def label_dict(self) -> Dict[str, str]:
+        return dict(self.labels)
+
+
+class Counter(_Series):
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: Labels) -> None:
+        super().__init__(name, labels)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ShadowError(
+                f"counter {self.name} cannot decrease (inc {amount})"
+            )
+        with self._lock:
+            self._value += amount
+
+    def set(self, value: float) -> None:
+        """Restore an absolute value (compat views and state loads)."""
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge(_Series):
+    """A level that moves both ways; optionally sampled via callback."""
+
+    kind = "gauge"
+
+    def __init__(
+        self,
+        name: str,
+        labels: Labels,
+        callback: Optional[Callable[[], float]] = None,
+    ) -> None:
+        super().__init__(name, labels)
+        self._value = 0.0
+        self.callback = callback
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        if self.callback is not None:
+            try:
+                return float(self.callback())
+            except Exception:
+                # A collection pass must never take the server down with
+                # it; a dead callback reads as zero.
+                return 0.0
+        with self._lock:
+            return self._value
+
+
+class Histogram(_Series):
+    """Fixed-bucket streaming distribution (cumulative, Prometheus-style)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: Labels,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, labels)
+        bounds = tuple(sorted(set(float(b) for b in buckets)))
+        if not bounds:
+            raise ShadowError(f"histogram {name} needs at least one bucket")
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # final slot = +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            for index, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self._counts[index] += 1
+                    return
+            self._counts[-1] += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (upper bound of the bucket
+        holding the q-th observation; the last bound caps +Inf)."""
+        if not 0 <= q <= 1:
+            raise ShadowError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            rank = q * self._count
+            cumulative = 0
+            for index, bound in enumerate(self.bounds):
+                cumulative += self._counts[index]
+                if cumulative >= rank:
+                    return bound
+            return self.bounds[-1]
+
+    def bucket_counts(self) -> List[Tuple[str, int]]:
+        """Cumulative ``(le, count)`` pairs, ending with ``+Inf``."""
+        with self._lock:
+            pairs: List[Tuple[str, int]] = []
+            running = 0
+            for index, bound in enumerate(self.bounds):
+                running += self._counts[index]
+                pairs.append((format_bound(bound), running))
+            pairs.append(("+Inf", running + self._counts[-1]))
+            return pairs
+
+
+def format_bound(bound: float) -> str:
+    """Render a bucket bound the way Prometheus text format does."""
+    text = f"{bound:g}"
+    return text
+
+
+class MetricsRegistry:
+    """Thread-safe, get-or-create home for every metric series.
+
+    One registry per server (and per client) keeps tests and co-hosted
+    services isolated; :data:`repro.telemetry.REGISTRY` is the shared
+    process-wide default for code without a natural owner.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._series: "Dict[Tuple[str, Labels], _Series]" = {}
+
+    def _get_or_create(
+        self, name: str, labels: Labels, factory: Callable[[], _Series]
+    ) -> _Series:
+        if not name:
+            raise ShadowError("metric name must be non-empty")
+        key = (name, labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = factory()
+                self._series[key] = series
+            return series
+
+    def counter(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> Counter:
+        frozen = _freeze_labels(labels)
+        series = self._get_or_create(
+            name, frozen, lambda: Counter(name, frozen)
+        )
+        if not isinstance(series, Counter):
+            raise ShadowError(f"{name} already registered as {series.kind}")
+        return series
+
+    def gauge(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        callback: Optional[Callable[[], float]] = None,
+    ) -> Gauge:
+        frozen = _freeze_labels(labels)
+        series = self._get_or_create(
+            name, frozen, lambda: Gauge(name, frozen, callback)
+        )
+        if not isinstance(series, Gauge):
+            raise ShadowError(f"{name} already registered as {series.kind}")
+        if callback is not None:
+            series.callback = callback
+        return series
+
+    def histogram(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        frozen = _freeze_labels(labels)
+        series = self._get_or_create(
+            name, frozen, lambda: Histogram(name, frozen, buckets)
+        )
+        if not isinstance(series, Histogram):
+            raise ShadowError(f"{name} already registered as {series.kind}")
+        return series
+
+    # ------------------------------------------------------------------
+    # collection
+    # ------------------------------------------------------------------
+    def collect(self) -> List[_Series]:
+        """Every series, sorted by (name, labels) for stable output."""
+        with self._lock:
+            return [
+                self._series[key] for key in sorted(self._series)
+            ]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-serializable snapshot of every series.
+
+        Shape::
+
+            {"counters":   [{"name", "labels", "value"}, ...],
+             "gauges":     [{"name", "labels", "value"}, ...],
+             "histograms": [{"name", "labels", "count", "sum",
+                             "p50", "p95", "p99", "buckets"}, ...]}
+        """
+        counters: List[Dict[str, Any]] = []
+        gauges: List[Dict[str, Any]] = []
+        histograms: List[Dict[str, Any]] = []
+        for series in self.collect():
+            if isinstance(series, Counter):
+                counters.append(
+                    {
+                        "name": series.name,
+                        "labels": series.label_dict,
+                        "value": series.value,
+                    }
+                )
+            elif isinstance(series, Gauge):
+                gauges.append(
+                    {
+                        "name": series.name,
+                        "labels": series.label_dict,
+                        "value": series.value,
+                    }
+                )
+            elif isinstance(series, Histogram):
+                histograms.append(
+                    {
+                        "name": series.name,
+                        "labels": series.label_dict,
+                        "count": series.count,
+                        "sum": series.sum,
+                        "p50": series.quantile(0.50),
+                        "p95": series.quantile(0.95),
+                        "p99": series.quantile(0.99),
+                        "buckets": [
+                            [le, count]
+                            for le, count in series.bucket_counts()
+                        ],
+                    }
+                )
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }

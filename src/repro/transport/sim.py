@@ -22,6 +22,7 @@ from repro.simnet.clock import SimulatedClock
 from repro.simnet.link import Link, LinkStats
 from repro.simnet.topology import Network
 from repro.simnet.traffic import CongestedLink
+from repro.telemetry.registry import MetricsRegistry
 from repro.transport.base import ChannelHandler, RequestChannel
 from repro.transport.framing import frame_overhead
 
@@ -42,6 +43,49 @@ class Wire:
         if isinstance(self.link, CongestedLink):
             return self.link.link_at(self.clock.now())
         return self.link
+
+    def bind_telemetry(
+        self, registry: MetricsRegistry, direction: str
+    ) -> None:
+        """Expose this wire's running totals as callback gauges.
+
+        Sampling happens at *collect* time, reading :attr:`stats` and the
+        (possibly congestion-modulated) current link — the simulated clock
+        is never touched, so bound wires produce byte-identical benchmark
+        timelines.
+        """
+        labels = {"direction": direction}
+        stats = self.stats
+        registry.gauge(
+            "link_transfers", labels, callback=lambda: float(stats.transfers)
+        )
+        registry.gauge(
+            "link_payload_bytes",
+            labels,
+            callback=lambda: float(stats.payload_bytes),
+        )
+        registry.gauge(
+            "link_wire_bytes",
+            labels,
+            callback=lambda: float(stats.wire_bytes),
+        )
+        registry.gauge(
+            "link_busy_seconds",
+            labels,
+            callback=lambda: stats.busy_seconds,
+        )
+        registry.gauge(
+            "link_utilization",
+            labels,
+            callback=lambda: self._link_now().utilization,
+        )
+        registry.gauge(
+            "link_mean_transfer_seconds",
+            labels,
+            callback=lambda: (
+                stats.busy_seconds / stats.transfers if stats.transfers else 0.0
+            ),
+        )
 
     def transfer_seconds(self, payload_bytes: int) -> float:
         """Seconds for one framed message of ``payload_bytes``."""

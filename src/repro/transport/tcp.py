@@ -22,6 +22,7 @@ import threading
 from typing import List, Optional, Tuple
 
 from repro.errors import TransportClosedError, TransportError
+from repro.telemetry.registry import MetricsRegistry
 from repro.transport.base import ChannelHandler, RequestChannel
 from repro.transport.framing import FrameDecoder, encode_frame
 
@@ -59,12 +60,20 @@ def _recv_frame(connection: socket.socket, decoder: FrameDecoder) -> Optional[by
 class TcpChannel(RequestChannel):
     """Client side: framed request/reply over one TCP connection."""
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        telemetry: Optional[MetricsRegistry] = None,
+    ) -> None:
         super().__init__()
         self._host = host
         self._port = port
         self._timeout = timeout
         self._lock = threading.Lock()
+        self.reconnects = 0
+        self._telemetry = telemetry
         self._connect()
 
     def _connect(self) -> None:
@@ -94,6 +103,9 @@ class TcpChannel(RequestChannel):
                 pass
             self._connect()
             self._closed = False
+            self.reconnects += 1
+            if self._telemetry is not None:
+                self._telemetry.counter("tcp_client_reconnects_total").inc()
 
     def _deliver(self, payload: bytes) -> bytes:
         with self._lock:
@@ -123,6 +135,7 @@ class TcpChannelServer:
         host: str = "127.0.0.1",
         port: int = DEFAULT_PORT,
         max_connections: Optional[int] = None,
+        telemetry: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_connections is not None and max_connections < 1:
             raise ValueError(
@@ -130,6 +143,12 @@ class TcpChannelServer:
             )
         self._handler = handler
         self._max_connections = max_connections
+        self._telemetry = telemetry
+        if telemetry is not None:
+            telemetry.gauge(
+                "tcp_live_connections",
+                callback=lambda: float(self.live_connections),
+            )
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -160,9 +179,15 @@ class TcpChannelServer:
             thread for thread in self._threads if thread.is_alive()
         ]
 
+    def _count(self, name: str, amount: float = 1.0, **labels: str) -> None:
+        """Bump a telemetry counter, or do nothing when unbound."""
+        if self._telemetry is not None:
+            self._telemetry.counter(name, labels or None).inc(amount)
+
     def _refuse(self, connection: socket.socket) -> None:
         """Turn away a surplus connection with a clean framed notice."""
         self.refused_connections += 1
+        self._count("tcp_refused_total")
         with connection:
             try:
                 connection.sendall(encode_frame(SERVER_BUSY_FRAME))
@@ -185,6 +210,7 @@ class TcpChannelServer:
                 self._refuse(connection)
                 continue
             self.accepted_connections += 1
+            self._count("tcp_accepted_total")
             thread = threading.Thread(
                 target=self._serve_connection,
                 args=(connection,),
@@ -204,12 +230,20 @@ class TcpChannelServer:
                 except socket.timeout:
                     continue
                 except TransportError:
+                    # Covers CRC mismatches (FrameCorruptionError) and
+                    # torn connections alike: the frame never made it.
+                    self._count("tcp_frame_errors_total")
                     return
                 if request is None:
                     return
+                self._count("tcp_frames_total", direction="in")
+                self._count(
+                    "tcp_bytes_total", float(len(request)), direction="in"
+                )
                 try:
                     reply = self._handler(request)
                 except Exception as exc:  # surface handler crashes to peer
+                    self._count("tcp_handler_errors_total")
                     reply = b"\x00HANDLER-ERROR:" + str(exc).encode(
                         "utf-8", "replace"
                     )
@@ -217,6 +251,10 @@ class TcpChannelServer:
                     connection.sendall(encode_frame(reply))
                 except OSError:
                     return
+                self._count("tcp_frames_total", direction="out")
+                self._count(
+                    "tcp_bytes_total", float(len(reply)), direction="out"
+                )
 
     def close(self) -> None:
         """Stop accepting, close the listener, join worker threads."""

@@ -1,5 +1,6 @@
 """Tests for the command-line interface (§6.2's user commands)."""
 
+import json
 import os
 
 import pytest
@@ -137,3 +138,50 @@ class TestCommands:
     def test_serve_once(self, workdir, capsys):
         assert main(["serve", "--port", "0", "--once"]) == 0
         assert "listening" in capsys.readouterr().out
+
+
+class TestStatsCommand:
+    def endpoint(self, live_server):
+        return f"127.0.0.1:{live_server.port}"
+
+    def test_stats_json_snapshot(self, live_server, workdir, capsys):
+        (workdir / "data.txt").write_text("hello shadow\n")
+        cli(live_server, "submit", "--script", "wc data.txt", "data.txt")
+        capsys.readouterr()
+        assert main(["stats", self.endpoint(live_server), "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["server"] == "supercomputer"
+        names = {
+            entry["name"] for entry in snapshot["registry"]["counters"]
+        }
+        assert "requests_total" in names
+        assert any(
+            entry["name"] == "request_seconds"
+            for entry in snapshot["registry"]["histograms"]
+        )
+
+    def test_stats_tables(self, live_server, workdir, capsys):
+        (workdir / "data.txt").write_text("x\n")
+        cli(live_server, "submit", "--script", "cat data.txt", "data.txt")
+        capsys.readouterr()
+        assert main(["stats", self.endpoint(live_server)]) == 0
+        out = capsys.readouterr().out
+        assert "server supercomputer" in out
+        assert "counters" in out
+        assert "requests_total" in out
+
+    def test_stats_event_and_trace_tails(self, live_server, workdir, capsys):
+        (workdir / "data.txt").write_text("x\n")
+        cli(live_server, "submit", "--script", "cat data.txt", "data.txt")
+        capsys.readouterr()
+        assert main(
+            ["stats", self.endpoint(live_server),
+             "--events", "5", "--traces", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "job_enqueued" in out
+        assert "kind=submit" in out
+
+    def test_stats_connection_refused_is_a_clean_error(self, capsys):
+        assert main(["stats", "127.0.0.1:1"]) == 2
+        assert "shadow:" in capsys.readouterr().err

@@ -1,0 +1,42 @@
+"""describe() blocks must be fully JSON-serializable (ops tooling eats them)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.service import loopback_pair
+
+
+def roundtrip(payload):
+    return json.loads(json.dumps(payload, sort_keys=True))
+
+
+def test_server_describe_round_trips_through_json():
+    client, server = loopback_pair()
+    client.write_file("/data.dat", b"payload" * 100)
+    job = client.submit("run /data.dat", ["/data.dat"])
+    client.fetch_output(job)
+
+    described = server.describe()
+    recovered = roundtrip(described)
+    assert recovered["name"] == server.name
+    assert recovered["telemetry"]["series"] > 0
+    assert recovered["telemetry"]["events"]["emitted"] >= 0
+    # Lossless: nothing in the block needed coercion on the way out.
+    assert roundtrip(recovered) == recovered
+
+
+def test_client_describe_round_trips_through_json():
+    client, server = loopback_pair()
+    client.write_file("/data.dat", b"x" * 64)
+    described = client.describe()
+    recovered = roundtrip(described)
+    assert recovered["client_id"] == client.client_id
+    assert any(
+        name.endswith("/data.dat") for name in recovered["shadow_files"]
+    )
+
+
+def test_fresh_server_describe_is_json_clean():
+    _, server = loopback_pair()
+    assert roundtrip(server.describe())["jobs"] is not None

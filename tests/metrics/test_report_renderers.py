@@ -1,0 +1,111 @@
+"""Text renderers: format_traces, format_resilience, format_telemetry."""
+
+from __future__ import annotations
+
+from repro.metrics.recorder import ResilienceStats
+from repro.metrics.report import (
+    format_resilience,
+    format_telemetry,
+    format_traces,
+)
+from repro.metrics.tracing import RequestTrace, TraceLog
+from repro.telemetry.registry import MetricsRegistry
+
+
+def make_trace(request_id: str, kind: str = "submit") -> RequestTrace:
+    trace = RequestTrace(
+        request_id=request_id, client_id="alice@ws", kind=kind
+    )
+    trace.mark("decode", 0.001)
+    trace.mark("dispatch", 0.0042)
+    return trace
+
+
+class TestFormatTraces:
+    def test_empty_log(self):
+        assert format_traces(TraceLog()) == "no traces recorded"
+
+    def test_renders_phases_and_outcome(self):
+        log = TraceLog()
+        log.record(make_trace("r-1"))
+        text = format_traces(log)
+        assert "r-1" in text
+        assert "alice@ws" in text
+        assert "submit" in text
+        assert "decode=1.00ms" in text
+        assert "dispatch=4.20ms" in text
+
+    def test_limit_keeps_newest(self):
+        log = TraceLog()
+        for index in range(30):
+            log.record(make_trace(f"r-{index:02d}"))
+        text = format_traces(log, limit=5)
+        assert "r-29" in text
+        assert "r-24" not in text
+
+
+class TestFormatResilience:
+    def test_clean_run_is_quiet(self):
+        assert "no faults" in format_resilience(ResilienceStats())
+
+    def test_nonzero_counters_tabulated(self):
+        stats = ResilienceStats(retries=3, breaker_opened=1)
+        text = format_resilience(stats)
+        assert "retries" in text and "3" in text
+        assert "breaker_opened" in text
+        # Zero counters stay out of the table.
+        assert "giveups" not in text
+
+
+class TestFormatTelemetry:
+    def test_empty_registry(self):
+        assert (
+            format_telemetry(MetricsRegistry().snapshot())
+            == "no telemetry recorded"
+        )
+
+    def test_all_three_sections(self):
+        registry = MetricsRegistry()
+        registry.counter("frames_total", {"direction": "in"}).inc(4)
+        registry.gauge("queue_depth").set(2)
+        registry.histogram("request_seconds").observe(0.2)
+        text = format_telemetry(registry.snapshot())
+        assert "counters" in text
+        assert "frames_total{direction=in}" in text
+        assert "gauges" in text and "queue_depth" in text
+        assert "histograms" in text and "request_seconds" in text
+        assert "p95" in text
+
+    def test_zero_series_elided_unless_asked(self):
+        registry = MetricsRegistry()
+        registry.counter("quiet_total")
+        registry.counter("busy_total").inc()
+        assert "quiet_total" not in format_telemetry(registry.snapshot())
+        assert "quiet_total" in format_telemetry(
+            registry.snapshot(), include_zero=True
+        )
+
+    def test_accepts_wire_round_tripped_snapshot(self):
+        # Decoding a StatsReply turns lists into tuples; the renderer
+        # must not care.
+        snapshot = {
+            "counters": (
+                {"name": "x_total", "labels": {"k": "v"}, "value": 2.0},
+            ),
+            "gauges": (),
+            "histograms": (
+                {
+                    "name": "h_seconds",
+                    "labels": {},
+                    "count": 1,
+                    "sum": 0.5,
+                    "p50": 0.5,
+                    "p95": 0.5,
+                    "p99": 0.5,
+                    "buckets": (("0.5", 1), ("+Inf", 1)),
+                },
+            ),
+        }
+        text = format_telemetry(snapshot)
+        assert "x_total{k=v}" in text
+        assert "h_seconds" in text

@@ -1,0 +1,94 @@
+"""Compat stats views: old value-object API backed by registry series."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.store import CacheStats, CacheStore
+from repro.core.sessions import TrafficAccount
+from repro.metrics.recorder import ResilienceStats
+from repro.telemetry.registry import MetricsRegistry
+
+
+def test_resilience_stats_bare_kwargs_still_work():
+    stats = ResilienceStats(retries=3, faults_seen=2)
+    assert stats.retries == 3
+    stats.retries += 1
+    assert stats.retries == 4
+    assert stats.as_dict()["faults_seen"] == 2
+    with pytest.raises(TypeError):
+        ResilienceStats(not_a_counter=1)
+
+
+def test_resilience_stats_report_into_shared_registry():
+    registry = MetricsRegistry()
+    stats = ResilienceStats(registry=registry)
+    stats.retries += 2
+    stats.breaker_opened += 1
+    assert registry.counter("resilience_retries_total").value == 2
+    assert registry.counter("resilience_breaker_opened_total").value == 1
+    # The view reads back through the registry, so they cannot diverge.
+    registry.counter("resilience_retries_total").inc()
+    assert stats.retries == 3
+
+
+def test_resilience_stats_merge_and_degradations():
+    a = ResilienceStats(retries=1, breaker_opened=1)
+    b = ResilienceStats(retries=2, parked_notifications=3)
+    a.merge(b)
+    assert a.retries == 3
+    assert a.degradations == 4
+
+
+def test_traffic_account_kwargs_and_totals():
+    account = TrafficAccount(bytes_in=10, bytes_out=20, pushed_bytes=5)
+    assert account.total_bytes == 35
+    account.requests += 1
+    assert account.as_dict()["requests"] == 1
+
+
+def test_traffic_account_labels_per_client():
+    registry = MetricsRegistry()
+    alice = TrafficAccount(registry=registry, labels={"client": "alice"})
+    bob = TrafficAccount(registry=registry, labels={"client": "bob"})
+    alice.bytes_in += 100
+    bob.bytes_in += 7
+    assert (
+        registry.counter("traffic_bytes_in_total", {"client": "alice"}).value
+        == 100
+    )
+    assert (
+        registry.counter("traffic_bytes_in_total", {"client": "bob"}).value
+        == 7
+    )
+
+
+def test_cache_stats_kwargs_and_derived_properties():
+    stats = CacheStats(hits=3, misses=1)
+    assert stats.lookups == 4
+    assert stats.hit_rate == pytest.approx(0.75)
+
+
+def test_cache_store_bind_telemetry_carries_counts_over():
+    store = CacheStore()
+    key = "dom1/hostA:/usr/a.dat"
+    store.put(key, b"payload", version=1)
+    store.get(key)
+    before = store.stats.as_dict()
+    assert before["insertions"] == 1 and before["hits"] == 1
+
+    registry = MetricsRegistry()
+    store.bind_telemetry(registry)
+    # Accumulated counts carried into the shared registry...
+    assert registry.counter("cache_insertions_total").value == 1
+    assert registry.counter("cache_hits_total").value == 1
+    # ...and new activity lands there too.
+    store.get(key)
+    assert registry.counter("cache_hits_total").value == 2
+    # Occupancy gauges sample the live store.
+    gauges = {
+        entry["name"]: entry["value"]
+        for entry in registry.snapshot()["gauges"]
+    }
+    assert gauges["cache_entries"] == 1
+    assert gauges["cache_used_bytes"] > 0

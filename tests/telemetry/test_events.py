@@ -1,0 +1,76 @@
+"""Structured event log: sinks, rings, and fault isolation."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.telemetry.events import EventLog, JsonLinesSink, MemorySink
+
+
+def test_emit_stamps_seq_ts_and_kind():
+    log = EventLog()
+    first = log.emit("job_started", job_id="j1")
+    second = log.emit("job_finished", job_id="j1", outcome="ok")
+    assert first["seq"] == 1 and second["seq"] == 2
+    assert first["kind"] == "job_started"
+    assert isinstance(first["ts"], float)
+    assert second["outcome"] == "ok"
+    assert len(log) == 2
+
+
+def test_snapshot_filters_by_kind():
+    log = EventLog()
+    log.emit("cache_eviction", key="a")
+    log.emit("slow_request", request_id="r1")
+    log.emit("cache_eviction", key="b")
+    evictions = log.snapshot("cache_eviction")
+    assert [event["key"] for event in evictions] == ["a", "b"]
+    assert len(log.snapshot()) == 3
+
+
+def test_memory_ring_is_bounded():
+    log = EventLog(capacity=3)
+    for index in range(10):
+        log.emit("tick", index=index)
+    kept = [event["index"] for event in log.snapshot()]
+    assert kept == [7, 8, 9]
+    assert log.emitted == 10
+
+
+def test_json_lines_sink_writes_one_object_per_line():
+    stream = io.StringIO()
+    log = EventLog(sink=JsonLinesSink(stream))
+    log.emit("breaker", state="open")
+    log.emit("breaker", state="closed")
+    lines = stream.getvalue().strip().splitlines()
+    assert len(lines) == 2
+    records = [json.loads(line) for line in lines]
+    assert [record["state"] for record in records] == ["open", "closed"]
+
+
+def test_broken_sink_is_dropped_but_memory_survives():
+    calls = []
+
+    def broken(event):
+        calls.append(event)
+        raise RuntimeError("disk full")
+
+    log = EventLog(sink=broken)
+    log.emit("first")
+    log.emit("second")
+    # The broken sink saw exactly one event before being dropped.
+    assert len(calls) == 1
+    assert log.dropped_sinks == 1
+    assert [event["kind"] for event in log.snapshot()] == ["first", "second"]
+    assert log.describe()["sinks"] == 1  # only the memory ring remains
+
+
+def test_add_sink_fans_out():
+    extra = MemorySink()
+    log = EventLog()
+    log.emit("before")
+    log.add_sink(extra)
+    log.emit("after")
+    assert [event["kind"] for event in extra.snapshot()] == ["after"]
+    assert log.describe()["emitted"] == 2

@@ -1,0 +1,113 @@
+"""Exporters: Prometheus text format and JSON snapshots."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry.export import (
+    parse_prometheus_line,
+    render_json,
+    render_prometheus,
+)
+from repro.telemetry.registry import MetricsRegistry
+
+
+def populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("frames_total", {"direction": "in"}).inc(4)
+    registry.counter("frames_total", {"direction": "out"}).inc(3)
+    registry.gauge("queue_depth").set(2)
+    histogram = registry.histogram("request_seconds", buckets=(0.1, 1.0))
+    histogram.observe(0.05)
+    histogram.observe(0.5)
+    histogram.observe(5.0)
+    return registry
+
+
+def test_every_sample_line_parses():
+    text = render_prometheus(populated_registry())
+    samples = []
+    for line in text.splitlines():
+        parsed = parse_prometheus_line(line)
+        if parsed is not None:
+            samples.append(parsed)
+        else:
+            assert line.startswith("# TYPE")
+    names = {sample["name"] for sample in samples}
+    assert "repro_frames_total" in names
+    assert "repro_queue_depth" in names
+    assert "repro_request_seconds_bucket" in names
+    assert "repro_request_seconds_sum" in names
+    assert "repro_request_seconds_count" in names
+
+
+def test_counter_and_gauge_values_round_trip():
+    text = render_prometheus(populated_registry())
+    samples = [
+        parsed
+        for parsed in map(parse_prometheus_line, text.splitlines())
+        if parsed is not None
+    ]
+    by_key = {
+        (sample["name"], tuple(sorted(sample["labels"].items()))): sample[
+            "value"
+        ]
+        for sample in samples
+    }
+    assert by_key[("repro_frames_total", (("direction", "in"),))] == 4
+    assert by_key[("repro_frames_total", (("direction", "out"),))] == 3
+    assert by_key[("repro_queue_depth", ())] == 2
+
+
+def test_histogram_buckets_are_cumulative_and_inf_matches_count():
+    text = render_prometheus(populated_registry())
+    buckets = []
+    count = None
+    for line in text.splitlines():
+        parsed = parse_prometheus_line(line)
+        if parsed is None:
+            continue
+        if parsed["name"] == "repro_request_seconds_bucket":
+            buckets.append((parsed["labels"]["le"], parsed["value"]))
+        if parsed["name"] == "repro_request_seconds_count":
+            count = parsed["value"]
+    values = [value for _, value in buckets]
+    assert values == sorted(values)
+    assert buckets[-1][0] == "+Inf"
+    assert buckets[-1][1] == count == 3
+
+
+def test_label_values_are_escaped():
+    registry = MetricsRegistry()
+    registry.counter("odd_total", {"k": 'quote " back \\ nl \n end'}).inc()
+    text = render_prometheus(registry)
+    sample_lines = [
+        line for line in text.splitlines() if not line.startswith("#")
+    ]
+    assert len(sample_lines) == 1
+    parsed = parse_prometheus_line(sample_lines[0])
+    assert parsed["labels"]["k"] == 'quote " back \\ nl \n end'
+
+
+def test_prefix_is_configurable_and_empty_registry_renders_empty():
+    registry = MetricsRegistry()
+    assert render_prometheus(registry) == ""
+    registry.counter("x_total").inc()
+    assert render_prometheus(registry, prefix="shadow_").startswith(
+        "# TYPE shadow_x_total counter"
+    )
+
+
+def test_render_json_matches_snapshot_and_text_round_trips():
+    registry = populated_registry()
+    snapshot = render_json(registry)
+    assert snapshot == registry.snapshot()
+    text = render_json(registry, as_text=True)
+    assert json.loads(text) == snapshot
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(ValueError):
+        parse_prometheus_line('bad{k="unclosed} x')

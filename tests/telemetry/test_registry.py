@@ -1,0 +1,153 @@
+"""MetricsRegistry: series identity, kinds, snapshots, thread safety."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ShadowError
+from repro.telemetry.registry import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+def test_counter_get_or_create_is_identity():
+    registry = MetricsRegistry()
+    first = registry.counter("frames_total", {"direction": "in"})
+    second = registry.counter("frames_total", {"direction": "in"})
+    assert first is second
+    first.inc()
+    first.inc(2.5)
+    assert second.value == 3.5
+
+
+def test_label_order_does_not_matter():
+    registry = MetricsRegistry()
+    a = registry.counter("x", {"b": "1", "a": "2"})
+    b = registry.counter("x", {"a": "2", "b": "1"})
+    assert a is b
+    assert a.label_dict == {"a": "2", "b": "1"}
+
+
+def test_counter_rejects_negative_increment():
+    counter = MetricsRegistry().counter("ups")
+    with pytest.raises(ShadowError):
+        counter.inc(-1)
+
+
+def test_kind_mismatch_is_an_error():
+    registry = MetricsRegistry()
+    registry.counter("thing")
+    with pytest.raises(ShadowError):
+        registry.gauge("thing")
+    with pytest.raises(ShadowError):
+        registry.histogram("thing")
+
+
+def test_gauge_set_inc_dec():
+    gauge = MetricsRegistry().gauge("depth")
+    gauge.set(10)
+    gauge.inc(5)
+    gauge.dec(2)
+    assert gauge.value == 13
+
+
+def test_gauge_callback_sampled_at_read_time():
+    registry = MetricsRegistry()
+    level = {"value": 1.0}
+    gauge = registry.gauge("level", callback=lambda: level["value"])
+    assert gauge.value == 1.0
+    level["value"] = 7.0
+    assert gauge.value == 7.0
+
+
+def test_gauge_callback_failure_reads_zero():
+    registry = MetricsRegistry()
+
+    def boom() -> float:
+        raise RuntimeError("sampling failed")
+
+    gauge = registry.gauge("broken", callback=boom)
+    assert gauge.value == 0.0
+
+
+def test_gauge_callback_can_be_rebound():
+    registry = MetricsRegistry()
+    registry.gauge("rebind", callback=lambda: 1.0)
+    assert registry.gauge("rebind", callback=lambda: 2.0).value == 2.0
+
+
+def test_histogram_counts_sum_and_quantiles():
+    histogram = MetricsRegistry().histogram(
+        "latency", buckets=(0.01, 0.1, 1.0)
+    )
+    for value in (0.005, 0.005, 0.05, 0.5):
+        histogram.observe(value)
+    assert histogram.count == 4
+    assert histogram.sum == pytest.approx(0.56)
+    # Quantiles resolve to the upper bound of the holding bucket.
+    assert histogram.quantile(0.5) == 0.01
+    assert histogram.quantile(0.95) == 1.0
+    # Values beyond every bound land in +Inf but quantiles cap at the top.
+    histogram.observe(10.0)
+    assert histogram.quantile(1.0) == 1.0
+
+
+def test_histogram_bucket_counts_are_cumulative_and_end_with_inf():
+    histogram = Histogram("h", (), buckets=(1.0, 2.0))
+    histogram.observe(0.5)
+    histogram.observe(1.5)
+    histogram.observe(99.0)
+    assert histogram.bucket_counts() == [("1", 1), ("2", 2), ("+Inf", 3)]
+
+
+def test_histogram_empty_quantile_and_bad_q():
+    histogram = MetricsRegistry().histogram("empty")
+    assert histogram.quantile(0.99) == 0.0
+    with pytest.raises(ShadowError):
+        histogram.quantile(1.5)
+
+
+def test_default_buckets_are_sorted_and_unique():
+    assert list(DEFAULT_BUCKETS) == sorted(set(DEFAULT_BUCKETS))
+
+
+def test_snapshot_shape_and_stable_order():
+    registry = MetricsRegistry()
+    registry.counter("b_total").inc(2)
+    registry.counter("a_total", {"k": "v"}).inc()
+    registry.gauge("depth").set(3)
+    registry.histogram("seconds").observe(0.25)
+    snapshot = registry.snapshot()
+    assert [entry["name"] for entry in snapshot["counters"]] == [
+        "a_total",
+        "b_total",
+    ]
+    assert snapshot["counters"][0]["labels"] == {"k": "v"}
+    assert snapshot["gauges"] == [
+        {"name": "depth", "labels": {}, "value": 3.0}
+    ]
+    histogram = snapshot["histograms"][0]
+    assert histogram["count"] == 1
+    assert histogram["sum"] == pytest.approx(0.25)
+    assert histogram["p50"] == 0.5  # upper bound of the holding bucket
+    assert histogram["buckets"][-1][0] == "+Inf"
+
+
+def test_concurrent_increments_are_exact():
+    registry = MetricsRegistry()
+    counter = registry.counter("races_total")
+
+    def spin() -> None:
+        for _ in range(1000):
+            counter.inc()
+
+    threads = [threading.Thread(target=spin) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert counter.value == 8000

@@ -1,0 +1,102 @@
+"""End-to-end trace ids: one ``tid`` joins client, server, and job spans."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.protocol import Envelope
+from repro.core.service import SimulatedDeployment, tcp_pair
+from repro.resilience.session import ResilientSession
+from repro.simnet.clock import SimulatedClock
+from repro.simnet.link import CYPRESS_9600
+from repro.transport.base import LoopbackChannel
+
+
+def test_empty_tid_is_omitted_from_the_wire():
+    bare = Envelope(rid="r-1", body=b"payload")
+    assert bare.to_wire() == Envelope(rid="r-1", body=b"payload", tid="").to_wire()
+    traced = Envelope(rid="r-1", body=b"payload", tid="t-1")
+    assert traced.to_wire() != bare.to_wire()
+    assert len(bare.to_wire()) < len(traced.to_wire())
+
+
+def test_trace_ids_default_off_under_simulated_clock():
+    echo = LoopbackChannel(lambda payload: payload)
+    simulated = ResilientSession("c", echo, clock=SimulatedClock())
+    assert simulated.trace_ids is False
+    wall = ResilientSession("c", LoopbackChannel(lambda p: p))
+    assert wall.trace_ids is True
+
+
+def test_simulated_benchmarks_carry_no_trace_bytes():
+    deployment = SimulatedDeployment.build(CYPRESS_9600)
+    deployment.client.write_file("/data.dat", b"x" * 2048)
+    session = deployment.client._sessions[
+        deployment.client.environment.default_host
+    ]
+    assert session.trace_ids is False
+    for trace in deployment.server.traces.snapshot():
+        assert trace.trace_id == ""
+
+
+def _wait_for(client, job_id, timeout=15.0):
+    deadline = time.monotonic() + timeout
+    while True:
+        bundle = client.fetch_output(job_id)
+        if bundle is not None:
+            return bundle
+        if time.monotonic() > deadline:
+            pytest.fail(f"job {job_id} never finished")
+        time.sleep(0.05)
+
+
+def test_one_trace_id_spans_client_server_and_async_job_over_tcp():
+    with tcp_pair(workers=2) as deployment:
+        client = deployment.client
+        client.write_file("/data.dat", b"hello shadow\n" * 64)
+        job = client.submit("wc /data.dat", ["/data.dat"])
+        _wait_for(client, job)
+
+        client_submits = [
+            trace
+            for trace in client.traces.snapshot()
+            if trace.kind == "submit"
+        ]
+        assert client_submits, "client recorded no submit span"
+        tid = client_submits[-1].trace_id
+        assert tid.startswith("t-")
+        phase_names = [name for name, _ in client_submits[-1].phases]
+        assert "encode" in phase_names
+        assert any(name.startswith("attempt-") for name in phase_names)
+
+        server_traces = [
+            trace
+            for trace in deployment.server.traces.snapshot()
+            if trace.trace_id == tid
+        ]
+        kinds = {trace.kind for trace in server_traces}
+        assert kinds == {"submit", "job"}, (
+            f"expected request + async job spans for {tid}, got {kinds}"
+        )
+        submit_span = next(t for t in server_traces if t.kind == "submit")
+        submit_phases = [name for name, _ in submit_span.phases]
+        for expected in ("decode", "session-wait", "dispatch"):
+            assert expected in submit_phases
+        job_span = next(t for t in server_traces if t.kind == "job")
+        assert "execute" in [name for name, _ in job_span.phases]
+
+
+def test_every_tcp_request_gets_its_own_trace_id():
+    with tcp_pair() as deployment:
+        client = deployment.client
+        client.write_file("/a.txt", b"one")
+        client.write_file("/b.txt", b"two")
+        ids = [
+            trace.trace_id
+            for trace in deployment.server.traces.snapshot()
+            if trace.trace_id
+        ]
+        assert ids, "no traced requests on the server"
+        assert len(set(ids)) == len(ids)
