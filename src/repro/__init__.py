@@ -35,7 +35,9 @@ Subpackages:
 =====================  ====================================================
 """
 
-from repro.core.client import ShadowClient
+import warnings
+
+from repro import api
 from repro.core.editor import ShadowEditor, scripted_editor
 from repro.core.environment import ShadowEnvironment
 from repro.core.server import ShadowServer
@@ -51,7 +53,28 @@ from repro.simnet.link import ARPANET_56K, CLEAR_56K, CYPRESS_9600, LAN_10M
 
 __version__ = "1.0.0"
 
+
+def __getattr__(name: str):
+    # Legacy alias: ``repro.ShadowClient`` predates the facade and
+    # resolves to the core client.  New code should reach for
+    # ``repro.api.ShadowClient`` (the stable verb set) or import the
+    # core client from ``repro.core.client`` explicitly.
+    if name == "ShadowClient":
+        warnings.warn(
+            "importing ShadowClient from 'repro' is deprecated; use "
+            "repro.api.ShadowClient (facade) or "
+            "repro.core.client.ShadowClient (core)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.core.client import ShadowClient
+
+        return ShadowClient
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
 __all__ = [
+    "api",
     "ARPANET_56K",
     "CLEAR_56K",
     "CYPRESS_9600",

@@ -1,0 +1,236 @@
+"""The public client facade: one import for programs using the service.
+
+:class:`ShadowClient` here wraps the full-featured core client
+(:class:`repro.core.client.ShadowClient`) behind a small, stable verb
+set — ``edit`` / ``submit`` / ``status`` / ``fetch`` — with
+keyword-only construction and context-manager lifetime::
+
+    from repro.api import ShadowClient
+
+    with ShadowClient.connect("supercomputer", transport=server) as c:
+        c.edit("/data/input.dat", b"hello\n")
+        job_id = c.submit("wc input.dat", ["/data/input.dat"])
+        bundle = c.fetch(job_id)
+
+``transport`` accepts whatever you have: a ``"host:port"`` string (TCP),
+a :class:`~repro.transport.base.RequestChannel`, a
+:class:`~repro.core.server.ShadowServer` (loopback, callbacks wired), or
+a bare ``bytes -> bytes`` handler.  Anything not covered by the facade
+verbs delegates to the core client transparently, and :attr:`core`
+exposes it outright.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.core.client import ShadowClient as _CoreClient
+from repro.core.client import WriteCoalescer
+from repro.core.environment import ShadowEnvironment
+from repro.core.server import ShadowServer as _Server
+from repro.core.workspace import MappingWorkspace, Workspace
+from repro.errors import TransportError
+from repro.jobs.output import OutputBundle
+from repro.resilience.session import ResilienceConfig
+from repro.simnet.clock import Clock
+from repro.transport.base import LoopbackChannel, RequestChannel
+from repro.transport.tcp import TcpChannel
+
+__all__ = ["ShadowClient"]
+
+#: What :meth:`ShadowClient.connect` accepts as a transport.
+Transport = Union[str, RequestChannel, _Server, Callable[[bytes], bytes]]
+
+
+def _open_channel(
+    transport: Transport, timeout: float
+) -> Tuple[RequestChannel, Optional[_Server]]:
+    """Materialise a channel from whatever the caller handed us."""
+    if isinstance(transport, RequestChannel):
+        return transport, None
+    if isinstance(transport, _Server):
+        return LoopbackChannel(transport.handle), transport
+    if isinstance(transport, str):
+        host, _, port = transport.rpartition(":")
+        if not host or not port.isdigit():
+            raise TransportError(
+                f"tcp transport must be 'host:port', got {transport!r}"
+            )
+        return TcpChannel(host, int(port), timeout=timeout), None
+    if callable(transport):
+        return LoopbackChannel(transport), None
+    raise TransportError(
+        f"cannot build a channel from {type(transport).__name__}"
+    )
+
+
+class ShadowClient:
+    """The user-facing shadow service endpoint.
+
+    Construct via :meth:`connect` (recommended) or directly with
+    keyword arguments; either way the instance is a context manager
+    that says Bye to every server on exit.
+    """
+
+    def __init__(
+        self,
+        *,
+        client_id: str = "user@workstation",
+        workspace: Optional[Workspace] = None,
+        environment: Optional[ShadowEnvironment] = None,
+        clock: Optional[Clock] = None,
+        resilience: Optional[ResilienceConfig] = None,
+    ) -> None:
+        self._core = _CoreClient(
+            client_id=client_id,
+            workspace=workspace if workspace is not None else MappingWorkspace(),
+            environment=environment,
+            clock=clock,
+            resilience=resilience,
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def connect(
+        cls,
+        host: Optional[str] = None,
+        *,
+        transport: Transport,
+        client_id: str = "user@workstation",
+        workspace: Optional[Workspace] = None,
+        environment: Optional[ShadowEnvironment] = None,
+        clock: Optional[Clock] = None,
+        resilience: Optional[ResilienceConfig] = None,
+        timeout: float = 30.0,
+    ) -> "ShadowClient":
+        """Build a client and open its first session in one call.
+
+        ``host`` is the name later verbs refer to the server by; when
+        omitted it defaults to the server's own name (loopback
+        transports) or the environment's ``default_host``.
+        """
+        facade = cls(
+            client_id=client_id,
+            workspace=workspace,
+            environment=environment,
+            clock=clock,
+            resilience=resilience,
+        )
+        facade.open(host, transport=transport, timeout=timeout)
+        return facade
+
+    def open(
+        self,
+        host: Optional[str] = None,
+        *,
+        transport: Transport,
+        timeout: float = 30.0,
+    ) -> str:
+        """Open one more server session; returns the host name used."""
+        channel, server = _open_channel(transport, timeout)
+        if host is None:
+            host = (
+                server.name
+                if server is not None
+                else self._core.environment.default_host
+            )
+        self._core.connect(host, channel)
+        if server is not None:
+            server.register_callback(
+                self._core.client_id,
+                LoopbackChannel(self._core.handle_callback),
+            )
+        return host
+
+    def close(self) -> None:
+        """Say Bye on every open session (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for host in list(self._core._channels):
+            self._core.disconnect(host)
+
+    def __enter__(self) -> "ShadowClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # the verb set
+    # ------------------------------------------------------------------
+    def edit(
+        self, path: str, content: bytes, host: Optional[str] = None
+    ) -> int:
+        """Write a file and announce the change; returns its version."""
+        return self._core.write_file(path, content, host=host)
+
+    def edit_many(
+        self,
+        files: Union[Mapping[str, bytes], Iterable[Tuple[str, bytes]]],
+        host: Optional[str] = None,
+    ) -> Dict[str, int]:
+        """Write many files and announce them in one batched exchange."""
+        return self._core.write_files(files, host=host)
+
+    def batch(
+        self,
+        flush_window: Optional[float] = None,
+        host: Optional[str] = None,
+        max_items: Optional[int] = None,
+    ) -> WriteCoalescer:
+        """Batching context: ``with c.batch(): c.edit(...); c.edit(...)``."""
+        return self._core.batched(
+            flush_window=flush_window, host=host, max_items=max_items
+        )
+
+    def submit(
+        self,
+        script: str,
+        files: Optional[List[str]] = None,
+        host: Optional[str] = None,
+        **options: Any,
+    ) -> str:
+        """Submit a job; returns its id."""
+        return self._core.submit(script, list(files or []), host=host, **options)
+
+    def status(
+        self, job_id: Optional[str] = None, host: Optional[str] = None
+    ) -> List[Dict[str, Any]]:
+        """Status of one job, or of all pending jobs."""
+        return self._core.job_status(job_id, host=host)
+
+    def fetch(
+        self, job_id: str, host: Optional[str] = None
+    ) -> Optional[OutputBundle]:
+        """A finished job's output bundle; ``None`` while still running."""
+        return self._core.fetch_output(job_id, host=host)
+
+    def cancel(self, job_id: str, host: Optional[str] = None) -> bool:
+        """Withdraw an unfinished job."""
+        return self._core.cancel_job(job_id, host=host)
+
+    def describe(self) -> Dict[str, Any]:
+        described = self._core.describe()
+        described["component"] = "api-client"
+        return described
+
+    # ------------------------------------------------------------------
+    # escape hatches
+    # ------------------------------------------------------------------
+    @property
+    def core(self) -> _CoreClient:
+        """The wrapped core client, for anything the verbs don't cover."""
+        return self._core
+
+    def __getattr__(self, name: str) -> Any:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self._core, name)
+
+    def __repr__(self) -> str:
+        hosts = sorted(self._core._channels)
+        return f"ShadowClient({self._core.client_id!r}, hosts={hosts})"

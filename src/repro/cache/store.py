@@ -26,7 +26,7 @@ import itertools
 import threading
 import zlib
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.cache.entry import ShadowFile
 from repro.cache.eviction import EvictionPolicy, LruPolicy
@@ -271,6 +271,19 @@ class CacheStore:
 
     def __len__(self) -> int:
         return sum(len(shard.entries) for shard in self._shards)
+
+    def describe(self) -> Dict[str, Any]:
+        """Operational snapshot (the schema every component shares)."""
+        return {
+            "component": "cache",
+            "entries": len(self),
+            "used_bytes": self.used_bytes,
+            "capacity_bytes": self.capacity_bytes,
+            "hit_rate": round(self.stats.hit_rate, 4),
+            "evictions": self.stats.evictions,
+            "policy": self.policy.name,
+            "shards": self.shard_count,
+        }
 
     def __contains__(self, key: str) -> bool:
         shard = self._shard_for(key)

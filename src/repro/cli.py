@@ -31,7 +31,9 @@ import time
 from pathlib import Path
 from typing import List, Optional
 
+from repro import __version__
 from repro.core.client import ShadowClient
+from repro.core.protocol import PROTOCOL_VERSION
 from repro.core.server import ShadowServer
 from repro.core.state import (
     environment_from_state,
@@ -54,6 +56,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="shadow",
         description="Shadow editing: remote job entry with cached deltas.",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"shadow {__version__} (protocol {PROTOCOL_VERSION})",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -97,8 +104,12 @@ def _build_parser() -> argparse.ArgumentParser:
     client_options(submit)
     submit.add_argument("--script", required=True, help="job command file text")
     submit.add_argument("files", nargs="*", help="data files the job needs")
-    submit.add_argument("--output", default=None, help="result file name")
-    submit.add_argument("--error", default=None, help="error file name")
+    submit.add_argument(
+        "--output", "--output-file", default=None, help="result file name"
+    )
+    submit.add_argument(
+        "--error", "--error-file", default=None, help="error file name"
+    )
     submit.add_argument(
         "--wait", action="store_true", help="wait and fetch the output now"
     )
@@ -117,15 +128,26 @@ def _build_parser() -> argparse.ArgumentParser:
     cancel.add_argument("job")
 
     edit = subparsers.add_parser(
-        "edit", help="edit a file through the shadow editor wrapper"
+        "edit", help="edit files through the shadow editor wrapper"
     )
     client_options(edit)
-    edit.add_argument("file")
+    edit.add_argument("files", nargs="+")
     edit.add_argument(
         "--with-content",
         default=None,
         help="replace the file with this text instead of running $EDITOR "
-        "(scripting/testing hook)",
+        "(scripting/testing hook; single file only)",
+    )
+    edit.add_argument(
+        "--batch",
+        action="store_true",
+        help="coalesce the change notifications into batched frames",
+    )
+    edit.add_argument(
+        "--flush-window",
+        type=float,
+        default=None,
+        help="seconds --batch may hold notifications before flushing",
     )
 
     files = subparsers.add_parser(
@@ -355,22 +377,34 @@ def _cmd_cancel(args: argparse.Namespace) -> int:
 
 
 def _cmd_edit(args: argparse.Namespace) -> int:
+    if args.with_content is not None and len(args.files) > 1:
+        raise ShadowError("--with-content edits exactly one file")
     client = _open_client(args)
     try:
-        if args.with_content is not None:
-            new_content = args.with_content.encode()
+        edits: List[tuple] = []
+        for path in args.files:
+            if args.with_content is not None:
+                new_content = args.with_content.encode()
+            else:
+                new_content = _run_real_editor(client, path)
+            old = (
+                client.workspace.read(path)
+                if client.workspace.exists(path)
+                else b""
+            )
+            if new_content == old:
+                print(f"{path}: no change; no shadow processing needed")
+                continue
+            edits.append((path, new_content))
+        if args.batch and len(edits) > 1:
+            with client.batched(flush_window=args.flush_window):
+                for path, content in edits:
+                    version = client.write_file(path, content)
+                    print(f"{path}: version {version} shadowed")
         else:
-            new_content = _run_real_editor(client, args.file)
-        old = (
-            client.workspace.read(args.file)
-            if client.workspace.exists(args.file)
-            else b""
-        )
-        if new_content == old:
-            print("no change; no shadow processing needed")
-            return 0
-        version = client.write_file(args.file, new_content)
-        print(f"{args.file}: version {version} shadowed")
+            for path, content in edits:
+                version = client.write_file(path, content)
+                print(f"{path}: version {version} shadowed")
         return 0
     finally:
         _close_client(client, args)

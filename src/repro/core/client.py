@@ -16,11 +16,23 @@ reconstruction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from repro.compression.pipeline import Pipeline
 from repro.core.environment import ShadowEnvironment
 from repro.core.protocol import (
+    BatchNotify,
+    BatchReply,
+    BatchUpdate,
     Bye,
     CancelJob,
     DeliverOutput,
@@ -41,6 +53,7 @@ from repro.core.protocol import (
     SubmitReply,
     Update,
     UpdateAck,
+    UpdateChunk,
     decode_message,
     expect,
 )
@@ -138,6 +151,18 @@ class ShadowClient:
         #: signature -> (job_id, {stream: bytes}) retained for reverse shadow.
         self._retained_outputs: Dict[str, Tuple[str, Dict[str, bytes]]] = {}
         self._pipeline = Pipeline.default()
+        #: Active write coalescer (see :meth:`batched`); None outside a
+        #: batching context.
+        self._coalescer: Optional["WriteCoalescer"] = None
+        self.telemetry.gauge(
+            "pipeline_inflight",
+            callback=lambda: float(
+                sum(
+                    getattr(session, "inflight", 0)
+                    for session in self._sessions.values()
+                )
+            ),
+        )
 
     # ------------------------------------------------------------------
     # time helpers
@@ -273,6 +298,7 @@ class ShadowClient:
             seed=self.resilience.seed,
             traces=self.traces,
             events=self.events,
+            telemetry=self.telemetry,
         )
 
     def _session(self, host: Optional[str]) -> Tuple[str, Any]:
@@ -306,8 +332,69 @@ class ShadowClient:
         self.workspace.write(path, content)
         key = str(self.workspace.resolve(path))
         version = self.versions.record_edit(key, content, self.now())
-        self._notify(key, version.number, host)
+        if self._coalescer is not None:
+            self._coalescer.add(key, version.number)
+        else:
+            self._notify(key, version.number, host)
         return version.number
+
+    def write_files(
+        self,
+        files: Union[Mapping[str, bytes], Iterable[Tuple[str, bytes]]],
+        host: Optional[str] = None,
+    ) -> Dict[str, int]:
+        """Store many files and announce them in one batched round trip.
+
+        ``files`` maps path to content (or is an iterable of such
+        pairs).  Every file is written and versioned locally first, then
+        a single :class:`BatchNotify` carries all the announcements —
+        one link latency instead of one per file.  Returns path -> new
+        version number.
+        """
+        pairs = list(files.items()) if isinstance(files, Mapping) else list(files)
+        numbers: Dict[str, int] = {}
+        entries: List[Tuple[str, int]] = []
+        for path, content in pairs:
+            self.workspace.write(path, content)
+            key = str(self.workspace.resolve(path))
+            version = self.versions.record_edit(key, content, self.now())
+            numbers[path] = version.number
+            entries.append((key, version.number))
+        if self._coalescer is not None:
+            for key, number in entries:
+                self._coalescer.add(key, number)
+        elif entries:
+            self._notify_batch(entries, host)
+        return numbers
+
+    def batched(
+        self,
+        flush_window: Optional[float] = None,
+        host: Optional[str] = None,
+        max_items: Optional[int] = None,
+    ) -> "WriteCoalescer":
+        """Enter a batching context: subsequent writes coalesce.
+
+        ``with client.batched(): ...`` holds change notifications back
+        and flushes them as :class:`BatchNotify` frames — when
+        ``max_items`` accumulate, when ``flush_window`` (seconds on the
+        client's clock) elapses since the first held write, on any
+        submit/status/fetch/cancel, or at context exit.
+        """
+        if self._coalescer is not None:
+            raise ShadowError(
+                "already batching; flush or exit the current batch first"
+            )
+        coalescer = WriteCoalescer(
+            self, host=host, flush_window=flush_window, max_items=max_items
+        )
+        self._coalescer = coalescer
+        return coalescer
+
+    def _flush_coalesced(self) -> None:
+        """Notifications must precede any request that relies on them."""
+        if self._coalescer is not None:
+            self._coalescer.flush()
 
     def _notify(self, key: str, version: int, host: Optional[str]) -> None:
         name, session = self._session(host)
@@ -380,6 +467,139 @@ class ShadowClient:
         return replayed
 
     # ------------------------------------------------------------------
+    # batched notification and transfer
+    # ------------------------------------------------------------------
+    def _notify_batch(
+        self, entries: List[Tuple[str, int]], host: Optional[str]
+    ) -> None:
+        """Announce many ``(key, version)`` edits in pipelined frames."""
+        name, session = self._session(host)
+        self._replay_parked(name)
+        items: List[Tuple[str, int, int, str]] = []
+        for key, version in entries:
+            snapshot = self.versions.get(key, version)
+            items.append((key, version, snapshot.size, snapshot.checksum))
+        limit = self.environment.batch_max_items
+        frames = [
+            BatchNotify(
+                client_id=self.client_id,
+                items=tuple(items[start : start + limit]),
+            )
+            for start in range(0, len(items), limit)
+        ]
+        try:
+            if len(frames) > 1:
+                replies = session.send_pipelined(frames)
+            else:
+                replies = [session.send(frames[0])]
+        except (CircuitOpenError, RetryExhaustedError):
+            # Same degradation contract as the single-notify path: the
+            # edits already succeeded locally, so park every
+            # announcement and replay when the link heals.
+            parked = self._parked.setdefault(name, {})
+            for key, version in entries:
+                if key not in parked or parked[key] < version:
+                    parked[key] = version
+                self.resilience_stats.parked_notifications += 1
+            return
+        wants: List[Tuple[str, int, int]] = []
+        for frame, reply in zip(frames, replies):
+            batch = expect(reply, BatchReply)
+            assert isinstance(batch, BatchReply)
+            if len(batch.items) != len(frame.items):
+                raise ProtocolError(
+                    f"batch reply carried {len(batch.items)} verdicts "
+                    f"for {len(frame.items)} notifications"
+                )
+            for entry, verdict in zip(frame.items, batch.items):
+                key, version = str(entry[0]), int(entry[1])
+                kind = verdict.get("verdict")
+                if kind == "error":
+                    raise ProtocolError(
+                        f"notification for {key} refused: "
+                        f"{verdict.get('error')}: {verdict.get('message')}"
+                    )
+                if kind == "pull-now":
+                    base = int(verdict.get("base_version", 0))
+                    wants.append((key, base, version))
+        if wants:
+            self._send_update_batch(session, wants)
+
+    def _send_update_batch(
+        self, session: Any, wants: List[Tuple[str, int, int]]
+    ) -> None:
+        """Ship the pulls a batch notify provoked, grouped and pipelined.
+
+        Small updates share :class:`BatchUpdate` frames under the
+        environment's item/byte budgets; anything over the byte budget
+        (or eligible for chunking) ships on its own so one big file
+        cannot head-of-line-block its neighbours' acknowledgements.
+        """
+        env = self.environment
+        small: List[Tuple[Update, int]] = []
+        for key, base, target in wants:
+            update = self._build_update(key, base, target)
+            oversized = len(update.payload) > env.batch_max_bytes
+            chunked = (
+                env.chunk_updates
+                and len(update.payload) >= env.chunk_threshold_bytes
+            )
+            if oversized or chunked:
+                self._ship_update(session, update, target)
+            else:
+                small.append((update, target))
+        if not small:
+            return
+        groups: List[List[Tuple[Update, int]]] = []
+        group: List[Tuple[Update, int]] = []
+        group_bytes = 0
+        for update, target in small:
+            if group and (
+                len(group) >= env.batch_max_items
+                or group_bytes + len(update.payload) > env.batch_max_bytes
+            ):
+                groups.append(group)
+                group, group_bytes = [], 0
+            group.append((update, target))
+            group_bytes += len(update.payload)
+        groups.append(group)
+        frames = [
+            BatchUpdate(
+                client_id=self.client_id,
+                items=tuple(_update_item(update) for update, _ in members),
+            )
+            for members in groups
+        ]
+        if len(frames) > 1:
+            replies = session.send_pipelined(frames)
+        else:
+            replies = [session.send(frames[0])]
+        for members, reply in zip(groups, replies):
+            batch = expect(reply, BatchReply)
+            assert isinstance(batch, BatchReply)
+            if len(batch.items) != len(members):
+                raise ProtocolError(
+                    f"batch reply carried {len(batch.items)} acks "
+                    f"for {len(members)} updates"
+                )
+            for (update, target), ack in zip(members, batch.items):
+                error = ack.get("error")
+                if error == "need-full":
+                    # This item's cached base vanished mid-flight; only
+                    # it falls back to full content, not the whole batch.
+                    full = self._build_update(update.key, 0, target)
+                    self._ship_update(session, full, target)
+                    continue
+                if error is not None:
+                    raise ProtocolError(
+                        f"update for {update.key} refused: "
+                        f"{error}: {ack.get('message')}"
+                    )
+                self.versions.acknowledge(
+                    update.key, int(ack["stored_version"])
+                )
+
+    # ------------------------------------------------------------------
     # updates (client -> server content flow)
     # ------------------------------------------------------------------
     def _send_update(
@@ -391,15 +611,74 @@ class ShadowClient:
     ) -> int:
         """Ship the requested update; returns the version now at the server."""
         update = self._build_update(key, base_version, target_version)
-        reply = session.send(update)
+        return self._ship_update(session, update, target_version)
+
+    def _ship_update(
+        self,
+        session: Any,
+        update: Update,
+        target_version: Optional[int] = None,
+    ) -> int:
+        """Transfer one built update (chunked when eligible) and
+        acknowledge the stored version."""
+        reply = self._transfer_update(session, update)
         if isinstance(reply, ErrorReply) and reply.code == "need-full":
             # Best-effort cache let us down mid-flight; fall back to full.
-            update = self._build_update(key, 0, target_version)
-            reply = session.send(update)
+            update = self._build_update(update.key, 0, target_version)
+            reply = self._transfer_update(session, update)
         ack = expect(reply, UpdateAck)
         assert isinstance(ack, UpdateAck)
-        self.versions.acknowledge(key, ack.stored_version)
+        self.versions.acknowledge(update.key, ack.stored_version)
         return ack.stored_version
+
+    def _transfer_update(self, session: Any, update: Update) -> Message:
+        env = self.environment
+        if (
+            env.chunk_updates
+            and len(update.payload) >= env.chunk_threshold_bytes
+        ):
+            return self._send_chunked(session, update)
+        return session.send(update)
+
+    def _send_chunked(self, session: Any, update: Update) -> Message:
+        """Stream one large update as windowed :class:`UpdateChunk`s.
+
+        ``chunk_window`` frames are pipelined per round trip; the chunk
+        completing the stream is answered like the equivalent single
+        Update (UpdateAck or need-full), which this method returns.
+        """
+        env = self.environment
+        payload = update.payload
+        size = len(payload)
+        step = env.chunk_bytes
+        total = max(1, -(-size // step))
+        frames = [
+            UpdateChunk(
+                client_id=self.client_id,
+                key=update.key,
+                version=update.version,
+                seq=seq,
+                total=total,
+                size=size,
+                base_version=update.base_version,
+                is_delta=update.is_delta,
+                compressed=update.compressed,
+                data=payload[seq * step : (seq + 1) * step],
+            )
+            for seq in range(total)
+        ]
+        reply: Optional[Message] = None
+        for start in range(0, total, env.chunk_window):
+            window = frames[start : start + env.chunk_window]
+            if len(window) > 1:
+                replies = session.send_pipelined(window)
+            else:
+                replies = [session.send(window[0])]
+            for reply in replies:
+                if isinstance(reply, ErrorReply):
+                    return reply  # abort the stream; caller decides
+        assert reply is not None
+        return reply
 
     def _build_update(
         self, key: str, base_version: int, target_version: Optional[int]
@@ -468,6 +747,7 @@ class ShadowClient:
         are versioned and announced on the spot (the "no user setup"
         transparency objective).
         """
+        self._flush_coalesced()
         name, session = self._session(host)
         self._replay_parked(name)
         files: List[Tuple[str, int, str]] = []
@@ -542,6 +822,7 @@ class ShadowClient:
         self, job_id: Optional[str] = None, host: Optional[str] = None
     ) -> List[Dict[str, Any]]:
         """Status of one job, or of all pending jobs (§6.2)."""
+        self._flush_coalesced()
         if job_id is not None and job_id in self._jobs:
             host = host or self._jobs[job_id].host
         _, session = self._session(host)
@@ -575,6 +856,7 @@ class ShadowClient:
         names.  With ``reverse_shadow`` enabled the server may send deltas
         against a previous run's output, reconstructed here transparently.
         """
+        self._flush_coalesced()
         job = self._jobs.get(job_id)
         if job is None:
             raise ProtocolError(f"job {job_id!r} was not submitted here")
@@ -664,6 +946,7 @@ class ShadowClient:
                 "retained_bytes": chain.retained_bytes,
             }
         return {
+            "component": "client",
             "client_id": self.client_id,
             "connected_hosts": sorted(self._channels),
             "environment": self.environment.describe(),
@@ -673,6 +956,17 @@ class ShadowClient:
                 "pending": [record.job_id for record in self.status.pending()],
             },
             "results_held": len(self.results),
+            "batching": {
+                "active": self._coalescer is not None,
+                "pending": (
+                    self._coalescer.pending
+                    if self._coalescer is not None
+                    else 0
+                ),
+                "batch_max_items": self.environment.batch_max_items,
+                "batch_max_bytes": self.environment.batch_max_bytes,
+                "chunk_updates": self.environment.chunk_updates,
+            },
             "resilience": {
                 "enabled": self.resilience.enabled,
                 "parked_notifications": sum(
@@ -688,6 +982,7 @@ class ShadowClient:
 
     def cancel_job(self, job_id: str, host: Optional[str] = None) -> bool:
         """Withdraw an unfinished job; returns True if it was cancelled."""
+        self._flush_coalesced()
         job = self._jobs.get(job_id)
         if job is None:
             raise ProtocolError(f"job {job_id!r} was not submitted here")
@@ -768,6 +1063,106 @@ class ShadowClient:
             raise ProtocolError(f"client cannot handle {message.TYPE!r}")
         except ShadowError as exc:
             return ErrorReply(code="client-error", message=str(exc)).to_wire()
+
+
+class WriteCoalescer:
+    """Coalesces rapid writes into batched notifications.
+
+    Opened via :meth:`ShadowClient.batched`; while active, every
+    :meth:`~ShadowClient.write_file` parks its announcement here (latest
+    version per key) instead of paying a notify round trip.  The batch
+    flushes when ``max_items`` accumulate, when ``flush_window`` seconds
+    (on the client's clock) pass since the first held write, before any
+    submit/status/fetch/cancel, explicitly via :meth:`flush`, or on
+    clean context exit.
+    """
+
+    #: Seconds a held write may wait before the next add forces a flush.
+    DEFAULT_FLUSH_WINDOW = 0.05
+
+    def __init__(
+        self,
+        client: ShadowClient,
+        host: Optional[str] = None,
+        flush_window: Optional[float] = None,
+        max_items: Optional[int] = None,
+    ) -> None:
+        self.client = client
+        self.host = host
+        self.flush_window = (
+            flush_window
+            if flush_window is not None
+            else self.DEFAULT_FLUSH_WINDOW
+        )
+        self.max_items = (
+            max_items
+            if max_items is not None
+            else client.environment.batch_max_items
+        )
+        if self.flush_window < 0:
+            raise ShadowError("flush_window must be >= 0")
+        if self.max_items < 1:
+            raise ShadowError("max_items must be >= 1")
+        self._pending: Dict[str, int] = {}
+        self._first_at: Optional[float] = None
+
+    @property
+    def pending(self) -> int:
+        """Writes held for the next flush."""
+        return len(self._pending)
+
+    def add(self, key: str, version: int) -> None:
+        """Hold one write's announcement (only the newest version of a
+        key matters — §5.1)."""
+        held = self._pending.get(key)
+        if held is None or held < version:
+            self._pending[key] = version
+        if self._first_at is None:
+            self._first_at = self.client.now()
+        self.client.telemetry.counter("coalesced_writes_total").inc()
+        if (
+            len(self._pending) >= self.max_items
+            or self.client.now() - self._first_at >= self.flush_window
+        ):
+            self.flush()
+
+    def flush(self) -> int:
+        """Announce everything held; returns how many writes flushed."""
+        if not self._pending:
+            return 0
+        entries = list(self._pending.items())
+        self._pending.clear()
+        self._first_at = None
+        self.client.telemetry.counter("batch_flushes_total").inc()
+        self.client._notify_batch(entries, self.host)
+        return len(entries)
+
+    def __enter__(self) -> "WriteCoalescer":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        self.client._coalescer = None
+        if exc_type is None:
+            # A failing body keeps its writes parked locally rather
+            # than masking the original exception with a flush error.
+            self.flush()
+        return False
+
+
+def _update_item(update: Update) -> Dict[str, Any]:
+    """One :class:`BatchUpdate` item for an already-built update."""
+    item: Dict[str, Any] = {
+        "key": update.key,
+        "version": update.version,
+        "payload": update.payload,
+    }
+    if update.base_version is not None:
+        item["base_version"] = update.base_version
+    if update.is_delta:
+        item["is_delta"] = True
+    if update.compressed:
+        item["compressed"] = True
+    return item
 
 
 def _job_signature(script: str, keys: List[str]) -> str:

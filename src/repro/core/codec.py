@@ -68,6 +68,18 @@ def encode(value: Value) -> bytes:
     return bytes(out)
 
 
+def encoded_size(value: Value) -> int:
+    """Wire bytes ``value`` would occupy, without keeping the encoding.
+
+    Batching layers use this to pack items against a frame byte budget;
+    the answer is exact (the codec is deterministic) and the scratch
+    buffer is discarded.
+    """
+    out = bytearray()
+    _encode_into(value, out)
+    return len(out)
+
+
 def _encode_into(value: Value, out: bytearray) -> None:
     if value is None:
         out += b"n"

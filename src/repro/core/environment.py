@@ -43,6 +43,19 @@ class ShadowEnvironment:
     #: Default names for result files when the submit names none.
     output_suffix: str = ".out"
     error_suffix: str = ".err"
+    #: Ship large updates as windowed chunk streams.  Off by default:
+    #: the single-Update wire image is the paper-faithful baseline.
+    chunk_updates: bool = False
+    #: Smallest payload worth chunking (bytes).
+    chunk_threshold_bytes: int = 65_536
+    #: Bytes of payload per chunk frame.
+    chunk_bytes: int = 16_384
+    #: Chunk frames pipelined per flow-control window.
+    chunk_window: int = 4
+    #: Most items one batch-notify / batch-update frame may carry.
+    batch_max_items: int = 32
+    #: Payload budget per batch-update frame; bigger updates ship alone.
+    batch_max_bytes: int = 49_152
 
     def __post_init__(self) -> None:
         if not self.default_host:
@@ -57,6 +70,16 @@ class ShadowEnvironment:
                 f"max_retained_versions must be >= 1, "
                 f"got {self.max_retained_versions}"
             )
+        for name in (
+            "chunk_threshold_bytes",
+            "chunk_bytes",
+            "chunk_window",
+            "batch_max_items",
+            "batch_max_bytes",
+        ):
+            value = getattr(self, name)
+            if value < 1:
+                raise EnvironmentError_(f"{name} must be >= 1, got {value}")
 
     def customized(self, **overrides: Any) -> "ShadowEnvironment":
         """A copy with ``overrides`` applied (validated)."""

@@ -203,6 +203,107 @@ class Update(Message):
 
 @register
 @dataclass(frozen=True)
+class BatchNotify(Message):
+    """Many change notifications coalesced into one frame.
+
+    On a high-latency link the per-message cost (latency + framing)
+    dominates small notifications; batching amortises it across every
+    file touched in an edit burst.  Each item is ``(key, version)`` or
+    ``(key, version, size, checksum)`` — the same fields as
+    :class:`Notify`.  The server answers with one :class:`BatchReply`
+    carrying a per-item verdict in the same order.
+    """
+
+    TYPE = "batch-notify"
+    client_id: str = ""
+    items: Tuple[Tuple, ...] = ()
+
+
+@register
+@dataclass(frozen=True)
+class BatchUpdate(Message):
+    """Many small updates coalesced into one frame.
+
+    Each item is an :class:`Update` minus the shared ``client_id``, as a
+    dict with keys ``key``, ``version`` and optionally ``base_version``,
+    ``is_delta``, ``compressed``, ``payload``.  The server applies the
+    items independently and answers with one :class:`BatchReply`: a
+    failed item (say a delta whose base was evicted) gets a per-item
+    error verdict without disturbing its neighbours.
+    """
+
+    TYPE = "batch-update"
+    items: Tuple[Dict[str, Any], ...] = ()
+    client_id: str = ""
+
+
+@register
+@dataclass(frozen=True)
+class BatchReply(Message):
+    """Per-item verdicts for a batch request, in request order.
+
+    For :class:`BatchNotify` each item is ``{"key", "verdict":
+    "pull-now"|"deferred"|"current", "base_version"}``; for
+    :class:`BatchUpdate` it is ``{"key", "stored_version", "cached"}``.
+    A failed item carries ``{"key", "verdict": "error"?, "error": code,
+    "message"}`` using the same codes as :class:`ErrorReply` — in
+    particular ``need-full`` asks for a full-content resend of just
+    that item.
+    """
+
+    TYPE = "batch-reply"
+    items: Tuple[Dict[str, Any], ...] = ()
+
+
+@register
+@dataclass(frozen=True)
+class UpdateChunk(Message):
+    """One window of a chunked :class:`Update` stream.
+
+    A payload above the environment's chunk threshold is split into
+    ``total`` chunks so a large full-content fallback does not
+    head-of-line-block small deltas sharing the link.  ``seq`` is
+    0-based; ``size`` is the total payload length (declared on every
+    chunk so the server can bound its reassembly buffer up front); the
+    delta/compression metadata rides on every chunk too, making each
+    one self-describing under retry reordering.  Non-final receipt is
+    acknowledged with :class:`ChunkAck`; the chunk that completes the
+    stream is answered exactly like the equivalent single
+    :class:`Update` (an :class:`UpdateAck`, or ``need-full``).
+    """
+
+    TYPE = "update-chunk"
+    client_id: str = ""
+    key: str = ""
+    version: int = 0
+    seq: int = 0
+    total: int = 1
+    size: int = 0
+    base_version: Optional[int] = None
+    is_delta: bool = False
+    compressed: bool = False
+    data: bytes = b""
+
+
+@register
+@dataclass(frozen=True)
+class ChunkAck(Message):
+    """Receipt for a non-final :class:`UpdateChunk`.
+
+    ``received`` counts the chunks buffered so far for this
+    ``(key, version)`` stream — the client's flow-control window
+    advances on these.
+    """
+
+    TYPE = "chunk-ack"
+    key: str = ""
+    version: int = 0
+    seq: int = 0
+    received: int = 0
+
+
+@register
+@dataclass(frozen=True)
 class Submit(Message):
     """A job submission (§6.2): script plus file identities.
 

@@ -57,23 +57,30 @@ class RequestRouter:
             raise ProtocolError(f"server cannot handle {message.TYPE!r}")
         return handler(message)
 
-    def respond(self, message: Message) -> Message:
-        """Route ``message`` and translate failures to error replies.
+    @staticmethod
+    def translate(exc: ShadowError) -> ErrorReply:
+        """Map a handler exception to its protocol error reply.
 
         The error-code mapping every transport relies on: job problems,
         delta/patch conflicts (the client falls back to a full
         transfer on ``need-full``), protocol violations, and a
-        catch-all for any other shadow fault.
+        catch-all for any other shadow fault.  Batch handlers use this
+        directly to give each failed item its own verdict without
+        failing its neighbours.
         """
+        if isinstance(exc, UnknownJobError):
+            return ErrorReply(code="unknown-job", message=str(exc))
+        if isinstance(exc, (JobError, JobCommandError)):
+            return ErrorReply(code="job-error", message=str(exc))
+        if isinstance(exc, (DiffError, PatchConflictError)):
+            return ErrorReply(code="need-full", message=str(exc))
+        if isinstance(exc, ProtocolError):
+            return ErrorReply(code="protocol", message=str(exc))
+        return ErrorReply(code="server-error", message=str(exc))
+
+    def respond(self, message: Message) -> Message:
+        """Route ``message`` and translate failures to error replies."""
         try:
             return self.dispatch(message)
-        except UnknownJobError as exc:
-            return ErrorReply(code="unknown-job", message=str(exc))
-        except (JobError, JobCommandError) as exc:
-            return ErrorReply(code="job-error", message=str(exc))
-        except (DiffError, PatchConflictError) as exc:
-            return ErrorReply(code="need-full", message=str(exc))
-        except ProtocolError as exc:
-            return ErrorReply(code="protocol", message=str(exc))
         except ShadowError as exc:
-            return ErrorReply(code="server-error", message=str(exc))
+            return self.translate(exc)

@@ -42,8 +42,12 @@ from repro.cache.store import CacheStore
 from repro.compression.pipeline import Pipeline
 from repro.core import protocol
 from repro.core.protocol import (
+    BatchNotify,
+    BatchReply,
+    BatchUpdate,
     Bye,
     CancelJob,
+    ChunkAck,
     Envelope,
     ErrorReply,
     FetchOutput,
@@ -63,6 +67,7 @@ from repro.core.protocol import (
     SubmitReply,
     Update,
     UpdateAck,
+    UpdateChunk,
     decode_message,
 )
 from repro.core.router import RequestRouter
@@ -176,6 +181,15 @@ class ShadowServer:
             "jobs_retained_bundles",
             callback=lambda: float(len(self._finished)),
         )
+        self.telemetry.gauge(
+            "chunk_assemblies",
+            callback=lambda: float(
+                sum(
+                    session.chunk_assemblies
+                    for session in self.sessions.all_sessions()
+                )
+            ),
+        )
         #: Optional hook fired as (client_id, key) whenever a change
         #: notification is deferred; a BackgroundPuller attaches here to
         #: realise §6.4's postponed retrieval.
@@ -195,6 +209,9 @@ class ShadowServer:
         self.router.register(Hello, self._on_hello)
         self.router.register(Notify, self._on_notify)
         self.router.register(Update, self._on_update)
+        self.router.register(BatchNotify, self._on_batch_notify)
+        self.router.register(BatchUpdate, self._on_batch_update)
+        self.router.register(UpdateChunk, self._on_update_chunk)
         self.router.register(Submit, self._on_submit)
         self.router.register(StatusQuery, self._on_status)
         self.router.register(FetchOutput, self._on_fetch)
@@ -212,18 +229,11 @@ class ShadowServer:
         for record in self.status.all_records():
             states[record.state.value] = states.get(record.state.value, 0) + 1
         return {
+            "component": "server",
             "name": self.name,
             "clients": sorted(self._clients),
             "sessions": len(self.sessions),
-            "cache": {
-                "entries": len(self.cache),
-                "used_bytes": self.cache.used_bytes,
-                "capacity_bytes": self.cache.capacity_bytes,
-                "hit_rate": round(self.cache.stats.hit_rate, 4),
-                "evictions": self.cache.stats.evictions,
-                "policy": self.cache.policy.name,
-                "shards": self.cache.shard_count,
-            },
+            "cache": self.cache.describe(),
             "jobs": {
                 "queued": len(self.queue),
                 "total": len(self.status),
@@ -483,8 +493,16 @@ class ShadowServer:
     # ------------------------------------------------------------------
     # coherence: notifications and updates
     # ------------------------------------------------------------------
-    def _on_notify(self, message: Notify) -> Message:
-        self._require_client(message.client_id)
+    def _notify_decision(self, message: Notify) -> Tuple[str, int]:
+        """The demand-driven verdict for one change notification.
+
+        Returns ``(verdict, base_version)`` where the verdict is
+        ``"pull-now"`` (send the update immediately), ``"deferred"``
+        (the server will pull later) or ``"current"`` (the cache already
+        holds this content).  Shared verbatim by the single
+        :class:`Notify` path and the batch path, so batching can never
+        change a pull decision.
+        """
         if message.version < 1:
             raise ProtocolError(f"bad version {message.version}")
         self.coherence.note_notification(message.key, message.version)
@@ -494,15 +512,126 @@ class ShadowServer:
             # content checksum proves the cache is actually current (two
             # clients sharing one NFS file both start at version 1).
             if not message.checksum or cached.checksum == message.checksum:
-                return NotifyReply(pull_now=False, base_version=cached.version)
+                return "current", cached.version
             base = 0  # divergent content: a delta base cannot be trusted
         else:
             base = cached.version if cached is not None else 0
         if self.scheduler.should_pull_on_notify(self.now()):
-            return NotifyReply(pull_now=True, base_version=base)
+            return "pull-now", base
         if self.on_deferred_pull is not None:
             self.on_deferred_pull(message.client_id, message.key)
-        return NotifyReply(pull_now=False, base_version=base)
+        return "deferred", base
+
+    def _on_notify(self, message: Notify) -> Message:
+        self._require_client(message.client_id)
+        verdict, base = self._notify_decision(message)
+        return NotifyReply(pull_now=(verdict == "pull-now"), base_version=base)
+
+    # ------------------------------------------------------------------
+    # batched and chunked transfers
+    # ------------------------------------------------------------------
+
+    #: Batch-size histogram buckets (items per frame).
+    _BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+    def _observe_batch(self, kind: str, items: int) -> None:
+        self.telemetry.histogram(
+            "batch_items", {"type": kind}, buckets=self._BATCH_BUCKETS
+        ).observe(float(items))
+
+    def _on_batch_notify(self, message: BatchNotify) -> Message:
+        self._require_client(message.client_id)
+        self._observe_batch("notify", len(message.items))
+        verdicts: List[Dict[str, Any]] = []
+        for entry in message.items:
+            if len(entry) < 2:
+                raise ProtocolError("batch-notify items need (key, version)")
+            key = str(entry[0])
+            notify = Notify(
+                client_id=message.client_id,
+                key=key,
+                version=int(entry[1]),
+                size=int(entry[2]) if len(entry) > 2 else 0,
+                checksum=str(entry[3]) if len(entry) > 3 else "",
+            )
+            try:
+                verdict, base = self._notify_decision(notify)
+            except ShadowError as exc:
+                error = self.router.translate(exc)
+                verdicts.append(
+                    {
+                        "key": key,
+                        "verdict": "error",
+                        "error": error.code,
+                        "message": error.message,
+                    }
+                )
+            else:
+                verdicts.append(
+                    {"key": key, "verdict": verdict, "base_version": base}
+                )
+        return BatchReply(items=tuple(verdicts))
+
+    def _on_batch_update(self, message: BatchUpdate) -> Message:
+        self._require_client(message.client_id)
+        self._observe_batch("update", len(message.items))
+        acks: List[Dict[str, Any]] = []
+        for item in message.items:
+            key = str(item.get("key", ""))
+            try:
+                reply = self._on_update(
+                    _update_from_item(message.client_id, item)
+                )
+            except ShadowError as exc:
+                # One bad item (say a delta whose base was evicted) must
+                # not void its neighbours' stores: the verdict carries
+                # the same code an ErrorReply would, per item.
+                error = self.router.translate(exc)
+                acks.append(
+                    {"key": key, "error": error.code, "message": error.message}
+                )
+            else:
+                assert isinstance(reply, UpdateAck)
+                acks.append(
+                    {
+                        "key": reply.key,
+                        "stored_version": reply.stored_version,
+                        "cached": reply.cached,
+                    }
+                )
+        return BatchReply(items=tuple(acks))
+
+    def _on_update_chunk(self, message: UpdateChunk) -> Message:
+        self._require_client(message.client_id)
+        session = self.sessions.ensure(message.client_id)
+        payload = session.chunk_add(
+            message.key,
+            message.version,
+            message.seq,
+            message.total,
+            message.size,
+            message.data,
+        )
+        self.telemetry.counter("chunk_frames_total").inc()
+        if payload is None:
+            return ChunkAck(
+                key=message.key,
+                version=message.version,
+                seq=message.seq,
+                received=session.chunks_received(message.key, message.version),
+            )
+        self.telemetry.counter("chunk_payloads_total").inc()
+        return self._on_update(
+            Update(
+                client_id=message.client_id,
+                key=message.key,
+                version=message.version,
+                base_version=message.base_version,
+                is_delta=message.is_delta,
+                compressed=message.compressed,
+                payload=payload,
+            )
+        )
 
     def _on_resync(self, message: Resync) -> Message:
         """Reconciliation after a reconnect (§5.1 made explicit).
@@ -745,6 +874,34 @@ class ShadowServer:
             else:
                 streams[name] = {"kind": "full", "data": data}
         return streams
+
+
+#: Fields a batch-update item may carry; anything else is a protocol
+#: violation (catching typos early beats silently ignoring them).
+_BATCH_UPDATE_FIELDS = frozenset(
+    {"key", "version", "base_version", "is_delta", "compressed", "payload"}
+)
+
+
+def _update_from_item(client_id: str, item: Dict[str, Any]) -> Update:
+    """Materialise one batch-update item as a plain :class:`Update`."""
+    unknown = set(item) - _BATCH_UPDATE_FIELDS
+    if unknown:
+        raise ProtocolError(
+            f"unknown batch-update fields {sorted(unknown)}"
+        )
+    if "key" not in item or "version" not in item:
+        raise ProtocolError("batch-update items need key and version")
+    base = item.get("base_version")
+    return Update(
+        client_id=client_id,
+        key=str(item["key"]),
+        version=int(item["version"]),
+        base_version=int(base) if base is not None else None,
+        is_delta=bool(item.get("is_delta", False)),
+        compressed=bool(item.get("compressed", False)),
+        payload=bytes(item.get("payload", b"")),
+    )
 
 
 def _stage_names(file_versions: Dict[str, int]) -> Dict[str, str]:

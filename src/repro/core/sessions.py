@@ -29,6 +29,26 @@ from repro.errors import ProtocolError
 from repro.telemetry.registry import MetricsRegistry
 from repro.transport.base import RequestChannel
 
+#: Most concurrent partial chunk streams one session may hold.  A
+#: client's flow-control window keeps it at a handful; anything beyond
+#: this is a protocol violation, not load.
+MAX_CHUNK_ASSEMBLIES = 16
+
+#: Largest total payload a chunked stream may declare, bounding the
+#: reassembly buffer a single client can pin.
+MAX_CHUNK_PAYLOAD_BYTES = 256 * 1024 * 1024
+
+
+class _ChunkAssembly:
+    """Reassembly buffer for one in-flight ``(key, version)`` stream."""
+
+    __slots__ = ("total", "size", "parts")
+
+    def __init__(self, total: int, size: int) -> None:
+        self.total = total
+        self.size = size
+        self.parts: Dict[int, bytes] = {}
+
 
 class TrafficAccount:
     """Per-client traffic totals (§2.2: "users will be charged for their
@@ -127,6 +147,10 @@ class ClientSession:
         #: refused while False.
         self.greeted = False
         self.callback: Optional[RequestChannel] = None
+        #: (key, version) -> partial chunked-update reassembly.  Same-
+        #: client requests serialise on :attr:`lock`, so no extra
+        #: locking is needed here.
+        self._assemblies: Dict[Tuple[str, int], _ChunkAssembly] = {}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -137,6 +161,7 @@ class ClientSession:
         self.domain = domain
         self.greeted = True
         self._replies.clear()
+        self._assemblies.clear()
 
     def farewell(self) -> None:
         """End the incarnation but keep the traffic account: volume
@@ -144,6 +169,69 @@ class ClientSession:
         self.greeted = False
         self.callback = None
         self._replies.clear()
+        self._assemblies.clear()
+
+    # ------------------------------------------------------------------
+    # chunked-update reassembly
+    # ------------------------------------------------------------------
+    def chunk_add(
+        self,
+        key: str,
+        version: int,
+        seq: int,
+        total: int,
+        size: int,
+        data: bytes,
+    ) -> Optional[bytes]:
+        """Buffer one chunk; the full payload once every chunk arrived.
+
+        Chunks may arrive out of order (a retried chunk lands after its
+        successors) and duplicated (a replay whose rid fell out of the
+        reply cache); both are absorbed.  Malformed streams raise
+        :class:`ProtocolError` and drop the assembly, so a bad client
+        cannot pin buffer space.
+        """
+        if total < 1:
+            raise ProtocolError(f"bad chunk total {total}")
+        if not 0 <= seq < total:
+            raise ProtocolError(f"chunk seq {seq} outside 0..{total - 1}")
+        if not 0 <= size <= MAX_CHUNK_PAYLOAD_BYTES:
+            raise ProtocolError(f"bad chunked payload size {size}")
+        stream = (key, version)
+        assembly = self._assemblies.get(stream)
+        if assembly is None:
+            if len(self._assemblies) >= MAX_CHUNK_ASSEMBLIES:
+                raise ProtocolError(
+                    "too many partial chunk streams "
+                    f"(max {MAX_CHUNK_ASSEMBLIES})"
+                )
+            assembly = _ChunkAssembly(total, size)
+            self._assemblies[stream] = assembly
+        if assembly.total != total or assembly.size != size:
+            del self._assemblies[stream]
+            raise ProtocolError(
+                f"chunk stream for {key} v{version} changed shape mid-flight"
+            )
+        assembly.parts[seq] = data
+        if len(assembly.parts) < assembly.total:
+            return None
+        del self._assemblies[stream]
+        payload = b"".join(assembly.parts[i] for i in range(assembly.total))
+        if len(payload) != assembly.size:
+            raise ProtocolError(
+                f"chunked payload for {key} v{version} reassembled to "
+                f"{len(payload)} bytes, declared {assembly.size}"
+            )
+        return payload
+
+    def chunks_received(self, key: str, version: int) -> int:
+        assembly = self._assemblies.get((key, version))
+        return len(assembly.parts) if assembly is not None else 0
+
+    @property
+    def chunk_assemblies(self) -> int:
+        """Partial chunk streams currently buffered."""
+        return len(self._assemblies)
 
     # ------------------------------------------------------------------
     # idempotent reply cache

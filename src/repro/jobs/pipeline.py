@@ -344,10 +344,12 @@ class VirtualTimeWorkers:
 
     def describe(self) -> Dict[str, Any]:
         return {
+            "component": "jobs-pipeline",
             "mode": self.mode,
             "workers": self.workers,
             "executed": self.executed,
             "inflight": 0,
+            "max_concurrent": 0,
         }
 
 
@@ -475,6 +477,7 @@ class ThreadWorkers:
     def describe(self) -> Dict[str, Any]:
         with self._cond:
             return {
+                "component": "jobs-pipeline",
                 "mode": self.mode,
                 "workers": self.workers,
                 "executed": self.executed,

@@ -76,6 +76,9 @@ class ResilienceStats:
         "deadline_exceeded",
         "breaker_opened",
         "breaker_short_circuits",
+        "pipelined_batches",
+        "pipelined_requests",
+        "pipeline_item_retries",
         "parked_notifications",
         "replayed_notifications",
         "resyncs",

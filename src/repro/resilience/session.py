@@ -31,7 +31,7 @@ import random
 import time
 import zlib
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.core.protocol import Envelope, Message, decode_message
 from repro.errors import (
@@ -48,7 +48,13 @@ from repro.resilience.breaker import BreakerPolicy, CircuitBreaker
 from repro.resilience.policy import RetryPolicy
 from repro.simnet.clock import Clock, SimulatedClock
 from repro.telemetry.events import EventLog
+from repro.telemetry.registry import MetricsRegistry
 from repro.transport.base import RequestChannel
+
+#: Histogram buckets for pipelined batch sizes (requests in flight).
+PIPELINE_DEPTH_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0,
+)
 
 
 @dataclass(frozen=True)
@@ -87,6 +93,18 @@ class RawSession:
     def send(self, message: Message) -> Message:
         return decode_message(self.channel.request(message.to_wire()))
 
+    def send_pipelined(self, messages: Sequence[Message]) -> List[Message]:
+        """Pipeline without envelopes or retries: any lost item raises."""
+        replies: List[Message] = []
+        wires = [message.to_wire() for message in messages]
+        for raw in self.channel.request_many(wires):
+            if raw is None:
+                raise TransportError(
+                    "pipelined request lost (raw sessions do not retry)"
+                )
+            replies.append(decode_message(raw))
+        return replies
+
 
 class ResilientSession:
     """One retried, idempotent request pipe over a channel."""
@@ -103,6 +121,7 @@ class ResilientSession:
         trace_ids: Optional[bool] = None,
         traces: Optional[TraceLog] = None,
         events: Optional[EventLog] = None,
+        telemetry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.client_id = client_id
         self.channel = channel
@@ -134,6 +153,12 @@ class ResilientSession:
         ) & 0xFFFFFFFF
         self._nonce = f"{nonce:08x}.{next(_INCARNATIONS):x}"
         self._counter = 0
+        #: Optional metric registry for the batch-size histogram.
+        self.telemetry = telemetry
+        #: Request ids shipped by a pipelined batch whose replies are
+        #: still outstanding.  Emptied item by item as replies resolve;
+        #: MUST be empty between calls (leak assertions key off this).
+        self._inflight_rids: Set[str] = set()
 
     # ------------------------------------------------------------------
     # time
@@ -220,60 +245,161 @@ class ResilientSession:
                 wire = Envelope(
                     rid=rid, body=message.to_wire(), tid=tid
                 ).to_wire()
-            deadline: Optional[float] = None
-            if self.policy.deadline is not None:
-                deadline = self._now() + self.policy.deadline
-            last_error: Optional[Exception] = None
-            for attempt in range(1, self.policy.max_attempts + 1):
-                self.stats.attempts += 1
-                if attempt > 1:
-                    self.stats.retries += 1
-                try:
-                    if trace is not None:
-                        with trace.phase(f"attempt-{attempt}"):
-                            raw = self.channel.request(wire)
-                            reply = decode_message(raw)
-                    else:
-                        raw = self.channel.request(wire)
-                        reply = decode_message(raw)
-                except TransportClosedError:
-                    if trace is not None:
-                        trace.outcome = "error:closed"
-                    raise
-                except TransportError as exc:
-                    last_error = exc
-                    self.stats.faults_seen += 1
-                except ProtocolError as exc:
-                    # The reply did not decode: corruption, not a server
-                    # error (those arrive as well-formed ErrorReply
-                    # messages).  Idempotency makes re-asking safe.
-                    last_error = exc
-                    self.stats.garbled_replies += 1
-                else:
-                    self._record_success()
-                    return reply
-                if attempt == self.policy.max_attempts:
-                    break
-                delay = self.policy.delay_for(attempt, self._rng)
-                if deadline is not None and self._now() + delay > deadline:
-                    self.stats.deadline_exceeded += 1
-                    if self.breaker.record_failure(self._now()):
-                        self._breaker_opened()
-                    if trace is not None:
-                        trace.outcome = "error:deadline"
-                    raise DeadlineExceededError(
-                        f"deadline of {self.policy.deadline}s expired after "
-                        f"{attempt} attempts"
-                    ) from last_error
-                self._wait(delay)
-            self.stats.giveups += 1
-            if self.breaker.record_failure(self._now()):
-                self._breaker_opened()
-            if trace is not None:
-                trace.outcome = "error:exhausted"
-            raise RetryExhaustedError(
-                f"request failed after {self.policy.max_attempts} attempts"
-            ) from last_error
+            return self._transmit(wire, trace)
         finally:
             if trace is not None:
                 self.traces.record(trace)
+
+    def _transmit(
+        self,
+        wire: bytes,
+        trace: Optional[RequestTrace],
+        attempts_used: int = 0,
+    ) -> Message:
+        """The retry loop for one already-enveloped request.
+
+        The request id is baked into ``wire``, so every attempt here is
+        the *same* request to the server — its reply cache answers a
+        retry whose original was processed.  ``attempts_used`` credits
+        deliveries that already happened elsewhere (a pipelined batch
+        counts as the first attempt for each of its items).
+        """
+        deadline: Optional[float] = None
+        if self.policy.deadline is not None:
+            deadline = self._now() + self.policy.deadline
+        last_error: Optional[Exception] = None
+        for attempt in range(attempts_used + 1, self.policy.max_attempts + 1):
+            self.stats.attempts += 1
+            if attempt > 1:
+                self.stats.retries += 1
+            try:
+                if trace is not None:
+                    with trace.phase(f"attempt-{attempt}"):
+                        raw = self.channel.request(wire)
+                        reply = decode_message(raw)
+                else:
+                    raw = self.channel.request(wire)
+                    reply = decode_message(raw)
+            except TransportClosedError:
+                if trace is not None:
+                    trace.outcome = "error:closed"
+                raise
+            except TransportError as exc:
+                last_error = exc
+                self.stats.faults_seen += 1
+            except ProtocolError as exc:
+                # The reply did not decode: corruption, not a server
+                # error (those arrive as well-formed ErrorReply
+                # messages).  Idempotency makes re-asking safe.
+                last_error = exc
+                self.stats.garbled_replies += 1
+            else:
+                self._record_success()
+                return reply
+            if attempt == self.policy.max_attempts:
+                break
+            delay = self.policy.delay_for(attempt, self._rng)
+            if deadline is not None and self._now() + delay > deadline:
+                self.stats.deadline_exceeded += 1
+                if self.breaker.record_failure(self._now()):
+                    self._breaker_opened()
+                if trace is not None:
+                    trace.outcome = "error:deadline"
+                raise DeadlineExceededError(
+                    f"deadline of {self.policy.deadline}s expired after "
+                    f"{attempt} attempts"
+                ) from last_error
+            self._wait(delay)
+        self.stats.giveups += 1
+        if self.breaker.record_failure(self._now()):
+            self._breaker_opened()
+        if trace is not None:
+            trace.outcome = "error:exhausted"
+        raise RetryExhaustedError(
+            f"request failed after {self.policy.max_attempts} attempts"
+        ) from last_error
+
+    # ------------------------------------------------------------------
+    # pipelining
+    # ------------------------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        """Pipelined requests currently awaiting a resolved reply."""
+        return len(self._inflight_rids)
+
+    @property
+    def inflight_rids(self) -> "frozenset[str]":
+        return frozenset(self._inflight_rids)
+
+    def send_pipelined(self, messages: Sequence[Message]) -> List[Message]:
+        """Ship several requests with all of them in flight at once.
+
+        Every message gets its own request id and envelope, the whole
+        batch enters the channel before the first reply is read
+        (:meth:`RequestChannel.request_many`), and replies resolve in
+        request order.  An item whose delivery failed or whose reply
+        was corrupted is replayed *alone* — same rid, so the server's
+        reply cache keeps effects exactly-once — without disturbing the
+        other in-flight requests.  Raises like :meth:`send` (breaker,
+        exhausted retries) with the failing item's error.
+        """
+        messages = list(messages)
+        if not messages:
+            return []
+        if len(messages) == 1:
+            return [self.send(messages[0])]
+        if not self.breaker.allows(self._now()):
+            self.stats.breaker_short_circuits += 1
+            raise CircuitOpenError(
+                f"circuit open towards peer of {self.client_id}; "
+                "batch not attempted"
+            )
+        entries: List[Tuple[str, bytes]] = []
+        for message in messages:
+            rid = self.next_request_id()
+            tid = self.next_trace_id() if self.trace_ids else ""
+            entries.append(
+                (rid, Envelope(rid=rid, body=message.to_wire(), tid=tid).to_wire())
+            )
+        self.stats.pipelined_batches += 1
+        self.stats.pipelined_requests += len(entries)
+        if self.telemetry is not None:
+            self.telemetry.histogram(
+                "pipeline_batch_size", buckets=PIPELINE_DEPTH_BUCKETS
+            ).observe(float(len(entries)))
+        self._inflight_rids.update(rid for rid, _ in entries)
+        try:
+            try:
+                raws: List[Optional[bytes]] = self.channel.request_many(
+                    [wire for _, wire in entries]
+                )
+            except TransportClosedError:
+                raise
+            except TransportError:
+                # The whole batch failed to ship; fall through to
+                # per-item replay below.
+                self.stats.faults_seen += 1
+                raws = [None] * len(entries)
+            replies: List[Message] = []
+            for (rid, wire), raw in zip(entries, raws):
+                self.stats.attempts += 1
+                reply: Optional[Message] = None
+                if raw is not None:
+                    try:
+                        reply = decode_message(raw)
+                    except ProtocolError:
+                        self.stats.garbled_replies += 1
+                if reply is None:
+                    # Replay just this rid; neighbours already resolved
+                    # (or will, from replies already on the wire).
+                    self.stats.pipeline_item_retries += 1
+                    reply = self._transmit(wire, None, attempts_used=1)
+                replies.append(reply)
+                self._inflight_rids.discard(rid)
+            self._record_success()
+            return replies
+        finally:
+            # A terminal failure abandons the batch's remaining items;
+            # they must not read as leaked in-flight requests.
+            for rid, _ in entries:
+                self._inflight_rids.discard(rid)

@@ -16,9 +16,9 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, List, Optional, Sequence
 
-from repro.errors import TransportClosedError
+from repro.errors import TransportClosedError, TransportError
 
 ChannelHandler = Callable[[bytes], bytes]
 
@@ -59,6 +59,52 @@ class RequestChannel(ABC):
         reply = self._deliver(payload)
         self.stats.record(len(payload), len(reply))
         return reply
+
+    def _deliver_many(self, payloads: Sequence[bytes]) -> List[Optional[bytes]]:
+        """Transport-specific pipelining hook.
+
+        The default delivers sequentially but isolates faults per item:
+        a :class:`TransportError` on one payload yields ``None`` in its
+        slot instead of abandoning the rest, so fault-injection wrappers
+        and carriers without true pipelining still honour the
+        :meth:`request_many` contract.  A closed channel still raises.
+        """
+        replies: List[Optional[bytes]] = []
+        for payload in payloads:
+            try:
+                replies.append(self._deliver(payload))
+            except TransportClosedError:
+                raise
+            except TransportError:
+                replies.append(None)
+        return replies
+
+    def request_many(
+        self, payloads: Sequence[bytes]
+    ) -> List[Optional[bytes]]:
+        """Ship every payload before waiting on any reply (pipelining).
+
+        Replies come back in request order; ``None`` marks an item whose
+        delivery failed, which the caller retries individually (the
+        resilience layer replays just that request id).  Raises
+        :class:`TransportClosedError` when the channel as a whole is
+        unusable.
+        """
+        if self._closed:
+            raise TransportClosedError("channel is closed")
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        replies = self._deliver_many(payloads)
+        if len(replies) != len(payloads):
+            raise TransportError(
+                f"pipelined delivery returned {len(replies)} replies "
+                f"for {len(payloads)} requests"
+            )
+        for payload, reply in zip(payloads, replies):
+            if reply is not None:
+                self.stats.record(len(payload), len(reply))
+        return replies
 
     def close(self) -> None:
         self._closed = True

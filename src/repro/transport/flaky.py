@@ -88,7 +88,8 @@ class FailNextChannel(RequestChannel):
         self._fail_count = 0
         self._lose_reply = False
         self._request_index = 0
-        self._scheduled: Dict[int, bool] = {}
+        #: request ordinal -> fault mode ("drop" | "lose-reply" | "garble").
+        self._scheduled: Dict[int, str] = {}
         self.faults_injected = 0
 
     def fail_next(self, count: int = 1, lose_reply: bool = False) -> None:
@@ -111,7 +112,19 @@ class FailNextChannel(RequestChannel):
             raise TransportError(
                 f"at_request is 1-based, got {at_request}"
             )
-        self._scheduled[self._request_index + at_request] = lose_reply
+        self._scheduled[self._request_index + at_request] = (
+            "lose-reply" if lose_reply else "drop"
+        )
+
+    def schedule_garble(self, at_request: int) -> None:
+        """Arm the ``at_request``-th future request's *reply* to arrive
+        corrupted (the request IS processed; the reply fails to decode).
+        """
+        if at_request < 1:
+            raise TransportError(
+                f"at_request is 1-based, got {at_request}"
+            )
+        self._scheduled[self._request_index + at_request] = "garble"
 
     def _fail(self, payload: bytes, lose_reply: bool) -> bytes:
         self.faults_injected += 1
@@ -120,11 +133,19 @@ class FailNextChannel(RequestChannel):
             raise TransportError("armed fault: reply lost")
         raise TransportError("armed fault: request dropped")
 
+    def _garble(self, payload: bytes) -> bytes:
+        self.faults_injected += 1
+        corrupted = bytearray(self.inner.request(payload))
+        corrupted[len(corrupted) // 2] ^= 0xFF
+        return bytes(corrupted)
+
     def _deliver(self, payload: bytes) -> bytes:
         self._request_index += 1
         scheduled = self._scheduled.pop(self._request_index, None)
+        if scheduled == "garble":
+            return self._garble(payload)
         if scheduled is not None:
-            return self._fail(payload, scheduled)
+            return self._fail(payload, scheduled == "lose-reply")
         if self._fail_count > 0:
             self._fail_count -= 1
             return self._fail(payload, self._lose_reply)

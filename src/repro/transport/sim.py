@@ -15,7 +15,7 @@ timeline, so updates can overlap editing think-time.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import List, Optional, Sequence, Union
 
 from repro.errors import SimulationError
 from repro.simnet.clock import SimulatedClock
@@ -205,6 +205,47 @@ class SimChannel(RequestChannel):
         reply = self._handler(payload)
         self.downlink.deliver(len(reply))
         return reply
+
+    def _deliver_many(self, payloads: Sequence[bytes]) -> List[Optional[bytes]]:
+        """Pipelined timing: requests stream back to back up the link.
+
+        Sequential request/reply pays ``N * (uplink + processing +
+        downlink)``.  With every request in flight at once the uplink
+        serialises the requests back to back, the server handles each as
+        it lands, and the replies stream down a link that is otherwise
+        idle — so the elapsed time is one link traversal plus the
+        *serialisation* (not latency) of everything behind it, which is
+        what HTTP pipelining and the batch-transfer literature exploit.
+        Per-item timeline:
+
+        * arrival of request *i* = arrival of request *i-1* plus its own
+          serialisation (``Wire.arrival_after`` chains start times);
+        * the handler runs at the later of that arrival and the current
+          clock (processing may still be charging the previous item);
+        * its reply queues on the downlink behind earlier replies.
+
+        The clock finishes at the last reply's arrival, exactly when the
+        caller (who needs every reply) can proceed.
+        """
+        clock = self.clock
+        send_done = clock.now()
+        arrivals = []
+        for payload in payloads:
+            send_done = self.uplink.arrival_after(len(payload), start=send_done)
+            arrivals.append(send_done)
+        replies: List[Optional[bytes]] = []
+        reply_done = clock.now()
+        for payload, arrival in zip(payloads, arrivals):
+            if arrival > clock.now():
+                clock.advance_to(arrival)
+            reply = self._handler(payload)
+            reply_done = self.downlink.arrival_after(
+                len(reply), start=max(clock.now(), reply_done)
+            )
+            replies.append(reply)
+        if reply_done > clock.now():
+            clock.advance_to(reply_done)
+        return replies
 
     @classmethod
     def over_link(

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import socket
 import threading
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import TransportClosedError, TransportError
 from repro.telemetry.registry import MetricsRegistry
@@ -117,6 +117,39 @@ class TcpChannel(RequestChannel):
         if reply is None:
             raise TransportClosedError("server closed the connection")
         return reply
+
+    def _deliver_many(self, payloads: Sequence[bytes]) -> List[Optional[bytes]]:
+        """True pipelining: one write of every frame, then N ordered reads.
+
+        The server handles each connection's frames sequentially and
+        writes replies in order, so positional matching is sound.  A
+        receive failure mid-batch invalidates the reply ordering for
+        whatever is still in flight — those slots come back ``None``
+        (the session retries them one at a time, where a genuinely dead
+        connection surfaces normally) and the decoder is reset so a
+        half-read frame cannot poison the next request.
+        """
+        replies: List[Optional[bytes]] = []
+        with self._lock:
+            try:
+                self._socket.sendall(
+                    b"".join(encode_frame(payload) for payload in payloads)
+                )
+            except OSError as exc:
+                raise TransportError(f"socket send failed: {exc}") from exc
+            for _ in payloads:
+                try:
+                    reply = _recv_frame(self._socket, self._decoder)
+                except (socket.timeout, TransportError):
+                    self._decoder = FrameDecoder()
+                    replies.extend(
+                        None for _ in range(len(payloads) - len(replies))
+                    )
+                    break
+                if reply is None:
+                    raise TransportClosedError("server closed the connection")
+                replies.append(reply)
+        return replies
 
     def close(self) -> None:
         super().close()

@@ -1,0 +1,127 @@
+"""The ``repro.api`` facade: one import, a small stable verb set."""
+
+import pytest
+
+import repro
+from repro.api import ShadowClient
+from repro.core.server import ShadowServer
+from repro.core.service import tcp_service
+from repro.errors import TransportError
+
+
+@pytest.fixture
+def server():
+    return ShadowServer()
+
+
+class TestLifecycle:
+    def test_connect_is_a_context_manager(self, server):
+        with ShadowClient.connect(transport=server) as client:
+            version = client.edit("/data/a.txt", b"hello\n")
+            assert version == 1
+        # Bye was said: the server marked the session as parted.
+        assert server.sessions.get("user@workstation").greeted is False
+
+    def test_host_defaults_to_server_name(self, server):
+        with ShadowClient.connect(transport=server) as client:
+            assert server.name in client.core._channels
+
+    def test_close_is_idempotent(self, server):
+        client = ShadowClient.connect(transport=server)
+        client.close()
+        client.close()
+
+    def test_constructor_is_keyword_only(self):
+        with pytest.raises(TypeError):
+            ShadowClient("user@workstation")
+
+    def test_callable_transport(self, server):
+        with ShadowClient.connect(
+            "supercomputer", transport=server.handle
+        ) as client:
+            assert client.edit("/d/x.txt", b"via handler") == 1
+
+    def test_bad_transport_string_rejected(self):
+        with pytest.raises(TransportError):
+            ShadowClient.connect(transport="no-port-here")
+        with pytest.raises(TransportError):
+            ShadowClient.connect(transport=":9999")
+
+    def test_unbuildable_transport_rejected(self):
+        with pytest.raises(TransportError):
+            ShadowClient.connect(transport=12345)
+
+
+class TestVerbs:
+    def test_edit_submit_status_fetch_cycle(self, server):
+        with ShadowClient.connect(transport=server) as client:
+            client.edit("/data/in.txt", b"payload\n")
+            job_id = client.submit("wc in.txt", ["/data/in.txt"])
+            statuses = client.status(job_id)
+            assert statuses and statuses[0]["job_id"] == job_id
+            bundle = client.fetch(job_id)
+            assert bundle is not None and bundle.exit_code == 0
+
+    def test_edit_many(self, server):
+        with ShadowClient.connect(transport=server) as client:
+            versions = client.edit_many(
+                {"/d/a.txt": b"aaa", "/d/b.txt": b"bbb"}
+            )
+            assert versions == {"/d/a.txt": 1, "/d/b.txt": 1}
+            assert len(server.cache) == 2
+
+    def test_batch_context(self, server):
+        with ShadowClient.connect(transport=server) as client:
+            with client.batch(flush_window=1000.0) as batch:
+                client.edit("/d/a.txt", b"one")
+                client.edit("/d/b.txt", b"two")
+                assert batch.pending == 2
+            assert len(server.cache) == 2
+
+    def test_cancel_finished_job_is_noop(self, server):
+        with ShadowClient.connect(transport=server) as client:
+            client.edit("/data/in.txt", b"x")
+            job_id = client.submit("wc in.txt", ["/data/in.txt"])
+            # Inline executor already ran it; cancel reports too-late.
+            assert client.cancel(job_id) is False
+
+    def test_describe_identifies_the_facade(self, server):
+        with ShadowClient.connect(transport=server) as client:
+            described = client.describe()
+            assert described["component"] == "api-client"
+            assert "batching" in described
+
+    def test_escape_hatch_delegates_to_core(self, server):
+        with ShadowClient.connect(transport=server) as client:
+            assert client.core.client_id == "user@workstation"
+            # Unknown-to-the-facade attributes resolve on the core client.
+            assert client.resilience_stats is client.core.resilience_stats
+            with pytest.raises(AttributeError):
+                client._not_a_real_attribute
+
+
+class TestTcpTransport:
+    def test_host_port_string(self):
+        with tcp_service(workers=0) as service:
+            address = f"127.0.0.1:{service.port}"
+            with ShadowClient.connect(
+                "supercomputer", transport=address, client_id="tcp@ws"
+            ) as client:
+                assert client.edit("/d/remote.txt", b"over tcp") == 1
+                job_id = client.submit(
+                    "wc remote.txt", ["/d/remote.txt"]
+                )
+                bundle = client.fetch(job_id)
+                assert bundle is not None and bundle.exit_code == 0
+
+
+class TestLegacyImport:
+    def test_repro_shadowclient_warns_but_works(self):
+        with pytest.warns(DeprecationWarning, match="repro.api.ShadowClient"):
+            legacy = repro.ShadowClient
+        from repro.core.client import ShadowClient as CoreClient
+
+        assert legacy is CoreClient
+
+    def test_facade_reachable_from_package(self):
+        assert repro.api.ShadowClient is ShadowClient

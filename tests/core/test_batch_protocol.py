@@ -1,0 +1,313 @@
+"""Batched notify/update frames, chunked transfers, and write coalescing.
+
+The pipelined batch-transfer wire layer: many small protocol exchanges
+collapse into few frames, with per-item verdicts so one failure never
+voids its neighbours — and the single-message paths stay untouched.
+"""
+
+import pytest
+
+from repro.core.protocol import (
+    BatchNotify,
+    BatchReply,
+    BatchUpdate,
+    ChunkAck,
+    Hello,
+    Ok,
+    Update,
+    UpdateAck,
+    UpdateChunk,
+)
+from repro.core.environment import ShadowEnvironment
+from repro.core.server import ShadowServer
+from repro.core.service import loopback_pair
+from repro.diffing.model import checksum
+from repro.errors import ProtocolError, ShadowError
+from repro.resilience.session import RawSession
+from repro.transport.base import LoopbackChannel
+
+CLIENT = "alice@ws"
+
+
+@pytest.fixture
+def server():
+    return ShadowServer()
+
+
+@pytest.fixture
+def session(server):
+    session = RawSession(LoopbackChannel(server.handle))
+    reply = session.send(Hello(client_id=CLIENT, domain="/"))
+    assert isinstance(reply, Ok)
+    return session
+
+
+def store(session, key, content, version=1):
+    reply = session.send(
+        Update(client_id=CLIENT, key=key, version=version, payload=content)
+    )
+    assert isinstance(reply, UpdateAck)
+    return reply
+
+
+class TestBatchNotify:
+    def test_per_item_verdicts(self, server, session):
+        content = b"cached content\n"
+        store(session, "/d/a", content, version=1)
+        reply = session.send(
+            BatchNotify(
+                client_id=CLIENT,
+                items=(
+                    ("/d/a", 1, len(content), checksum(content)),
+                    ("/d/a", 2),
+                    ("/d/new", 1),
+                ),
+            )
+        )
+        assert isinstance(reply, BatchReply)
+        current, stale, new = reply.items
+        assert current == {
+            "key": "/d/a", "verdict": "current", "base_version": 1,
+        }
+        # Version 2 is newer than the cache: pull from the cached base.
+        assert stale["verdict"] == "pull-now"
+        assert stale["base_version"] == 1
+        assert new["verdict"] == "pull-now"
+        assert new["base_version"] == 0
+
+    def test_divergent_checksum_demands_full(self, server, session):
+        store(session, "/d/a", b"server copy", version=3)
+        reply = session.send(
+            BatchNotify(
+                client_id=CLIENT, items=(("/d/a", 3, 9, "different"),)
+            )
+        )
+        verdict = reply.items[0]
+        assert verdict["verdict"] == "pull-now"
+        assert verdict["base_version"] == 0  # delta base cannot be trusted
+
+    def test_bad_item_gets_error_verdict_neighbours_survive(self, session):
+        reply = session.send(
+            BatchNotify(
+                client_id=CLIENT, items=(("/d/ok", 1), ("/d/bad", 0))
+            )
+        )
+        ok, bad = reply.items
+        assert ok["verdict"] == "pull-now"
+        assert bad["verdict"] == "error"
+        assert bad["error"] == "protocol"
+
+    def test_verdicts_match_single_notify_decisions(self, server, session):
+        """Batching must never change a pull decision (byte-identity of
+        the protocol semantics, not just the wire)."""
+        from repro.core.protocol import Notify, NotifyReply
+
+        store(session, "/d/a", b"x" * 10, version=1)
+        single = session.send(Notify(client_id=CLIENT, key="/d/a", version=2))
+        assert isinstance(single, NotifyReply)
+        batched = session.send(
+            BatchNotify(client_id=CLIENT, items=(("/d/a", 2),))
+        ).items[0]
+        assert (batched["verdict"] == "pull-now") == single.pull_now
+        assert batched["base_version"] == single.base_version
+
+
+class TestBatchUpdate:
+    def test_items_stored_independently(self, server, session):
+        reply = session.send(
+            BatchUpdate(
+                client_id=CLIENT,
+                items=(
+                    {"key": "/d/a", "version": 1, "payload": b"aaa"},
+                    {"key": "/d/b", "version": 1, "payload": b"bbb"},
+                ),
+            )
+        )
+        assert isinstance(reply, BatchReply)
+        assert [item["stored_version"] for item in reply.items] == [1, 1]
+        assert all(item["cached"] for item in reply.items)
+        assert server.cache.peek_entry("/d/a").content == b"aaa"
+        assert server.cache.peek_entry("/d/b").content == b"bbb"
+
+    def test_need_full_is_per_item(self, server, session):
+        """A delta whose base was never cached fails alone; its
+        neighbour's store still lands."""
+        reply = session.send(
+            BatchUpdate(
+                client_id=CLIENT,
+                items=(
+                    {
+                        "key": "/d/missing", "version": 2,
+                        "base_version": 1, "is_delta": True,
+                        "payload": b"bogus delta",
+                    },
+                    {"key": "/d/fine", "version": 1, "payload": b"ok"},
+                ),
+            )
+        )
+        failed, stored = reply.items
+        assert failed["error"] == "need-full"
+        assert stored["stored_version"] == 1
+        assert server.cache.peek_entry("/d/fine").content == b"ok"
+        assert server.cache.peek_entry("/d/missing") is None
+
+    def test_unknown_item_field_is_a_protocol_error(self, session):
+        reply = session.send(
+            BatchUpdate(
+                client_id=CLIENT,
+                items=(
+                    {"key": "/d/a", "version": 1, "payload": b"x",
+                     "typo_field": 1},
+                ),
+            )
+        )
+        assert reply.items[0]["error"] == "protocol"
+
+
+class TestChunkedUpdates:
+    def chunks(self, key, payload, step, version=1):
+        total = -(-len(payload) // step)
+        return [
+            UpdateChunk(
+                client_id=CLIENT, key=key, version=version,
+                seq=seq, total=total, size=len(payload),
+                data=payload[seq * step : (seq + 1) * step],
+            )
+            for seq in range(total)
+        ]
+
+    def test_in_order_reassembly(self, server, session):
+        payload = b"0123456789" * 30
+        frames = self.chunks("/d/big", payload, step=100)
+        assert len(frames) == 3
+        for expected, frame in enumerate(frames[:-1], start=1):
+            ack = session.send(frame)
+            assert isinstance(ack, ChunkAck)
+            assert ack.received == expected
+        final = session.send(frames[-1])
+        assert isinstance(final, UpdateAck)
+        assert final.stored_version == 1
+        assert server.cache.peek_entry("/d/big").content == payload
+
+    def test_out_of_order_chunks_absorbed(self, server, session):
+        payload = bytes(range(256)) * 4
+        frames = self.chunks("/d/shuffled", payload, step=300)
+        order = [1, 0, 2, 3]
+        final = None
+        for index in order:
+            final = session.send(frames[index])
+        assert isinstance(final, UpdateAck)
+        assert server.cache.peek_entry("/d/shuffled").content == payload
+
+    def test_duplicate_chunk_is_absorbed(self, server, session):
+        payload = b"ab" * 200
+        frames = self.chunks("/d/dup", payload, step=150)
+        session.send(frames[0])
+        session.send(frames[0])  # replayed frame, rid fell out of cache
+        session.send(frames[1])
+        final = session.send(frames[2])
+        assert isinstance(final, UpdateAck)
+        assert server.cache.peek_entry("/d/dup").content == payload
+
+    def test_shape_change_drops_the_assembly(self, server, session):
+        frames = self.chunks("/d/x", b"z" * 200, step=100)
+        session.send(frames[0])
+        reshaped = UpdateChunk(
+            client_id=CLIENT, key="/d/x", version=1,
+            seq=0, total=5, size=200, data=b"z" * 40,
+        )
+        error = session.send(reshaped)
+        assert error.TYPE == "error"
+        assert error.code == "protocol"
+        session_state = server.sessions.get(CLIENT)
+        assert session_state.chunk_assemblies == 0
+
+    def test_declared_size_must_match(self, server, session):
+        lying = UpdateChunk(
+            client_id=CLIENT, key="/d/short", version=1,
+            seq=0, total=1, size=100, data=b"only these bytes",
+        )
+        error = session.send(lying)
+        assert error.TYPE == "error"
+        assert error.code == "protocol"
+        assert server.cache.peek_entry("/d/short") is None
+
+
+class TestWriteFilesAndCoalescer:
+    def test_write_files_converges_byte_identically(self):
+        client, server = loopback_pair()
+        contents = {
+            f"/data/f{i}.txt": f"file {i}\n".encode() * 20 for i in range(6)
+        }
+        numbers = client.write_files(contents)
+        assert set(numbers.values()) == {1}
+        for path, content in contents.items():
+            key = str(client.workspace.resolve(path))
+            assert server.cache.peek_entry(key).content == content
+
+    def test_batches_split_at_max_items_and_pipeline(self):
+        environment = ShadowEnvironment().customized(batch_max_items=2)
+        client, server = loopback_pair(environment=environment)
+        contents = {f"/data/f{i}.txt": b"x" * 64 for i in range(5)}
+        client.write_files(contents)
+        # 5 announcements in frames of 2 -> a 3-frame pipelined batch.
+        assert client.resilience_stats.pipelined_batches >= 1
+        for path, content in contents.items():
+            key = str(client.workspace.resolve(path))
+            assert server.cache.peek_entry(key).content == content
+
+    def test_coalescer_holds_until_flush(self):
+        client, server = loopback_pair()
+        with client.batched(flush_window=1000.0) as batch:
+            client.write_file("/d/a.txt", b"held")
+            client.write_file("/d/b.txt", b"back")
+            assert batch.pending == 2
+            assert len(server.cache) == 0  # nothing announced yet
+            batch.flush()
+            assert batch.pending == 0
+            assert len(server.cache) == 2
+        assert client._coalescer is None
+
+    def test_coalescer_flushes_at_max_items(self):
+        client, server = loopback_pair()
+        with client.batched(flush_window=1000.0, max_items=2) as batch:
+            client.write_file("/d/a.txt", b"one")
+            assert batch.pending == 1
+            client.write_file("/d/b.txt", b"two")
+            assert batch.pending == 0  # hit the cap, flushed itself
+            assert len(server.cache) == 2
+
+    def test_coalescer_flushes_before_submit(self):
+        client, server = loopback_pair()
+        with client.batched(flush_window=1000.0):
+            client.write_file("/data/in.txt", b"payload\n")
+            job_id = client.submit("wc in.txt", ["/data/in.txt"])
+        bundle = client.fetch_output(job_id)
+        assert bundle is not None and bundle.exit_code == 0
+
+    def test_coalescer_keeps_latest_version_per_key(self):
+        client, server = loopback_pair()
+        with client.batched(flush_window=1000.0) as batch:
+            client.write_file("/d/a.txt", b"v1")
+            client.write_file("/d/a.txt", b"v2")
+            assert batch.pending == 1
+        key = str(client.workspace.resolve("/d/a.txt"))
+        entry = server.cache.peek_entry(key)
+        assert entry.version == 2
+        assert entry.content == b"v2"
+
+    def test_nested_batching_refused(self):
+        client, _ = loopback_pair()
+        with client.batched():
+            with pytest.raises(ShadowError):
+                client.batched()
+
+    def test_failed_body_does_not_mask_exception_with_flush(self):
+        client, server = loopback_pair()
+        with pytest.raises(ValueError):
+            with client.batched(flush_window=1000.0):
+                client.write_file("/d/a.txt", b"held")
+                raise ValueError("body failed")
+        # The coalescer detached without flushing over the wire.
+        assert client._coalescer is None
+        assert len(server.cache) == 0

@@ -1,0 +1,102 @@
+"""Multi-client pipelined batch workload over real TCP sockets.
+
+The CI stress shape: several clients hammer the service with batched
+edit rounds (write coalescer + BatchNotify/BatchUpdate frames in
+flight), concurrently, for multiple rounds.  Afterwards every shadow
+must match the client's last write byte for byte, and no session may
+leak an in-flight rid — the pipelined path has to come back to rest.
+
+Run deterministically in CI with PYTHONHASHSEED pinned; nothing here
+depends on hash order, so the pin is a tripwire, not a crutch.
+"""
+
+import threading
+
+from repro.core.environment import ShadowEnvironment
+from repro.core.service import tcp_service
+from repro.core.workspace import MappingWorkspace
+
+CLIENTS = 3
+FILES_PER_CLIENT = 4
+ROUNDS = 5
+
+
+def _content(client_index: int, file_index: int, round_index: int) -> bytes:
+    line = f"client {client_index} file {file_index} round {round_index}\n"
+    return line.encode() * (10 + 7 * file_index + round_index)
+
+
+class TestPipelinedBatchStress:
+    def test_concurrent_batched_rounds_converge_byte_exact(self):
+        with tcp_service(workers=2) as service:
+            # Small frames force every round through the pipelined
+            # multi-frame path instead of a single batch frame.
+            environment = ShadowEnvironment().customized(batch_max_items=2)
+            sessions = []
+            for index in range(CLIENTS):
+                workspace = MappingWorkspace(host=f"ws{index}")
+                client, channel = service.connect(
+                    f"user{index}@ws{index}",
+                    workspace=workspace,
+                    environment=environment,
+                )
+                sessions.append((client, channel))
+
+            barrier = threading.Barrier(CLIENTS)
+            errors = []
+
+            def run_rounds(client_index):
+                client, _ = sessions[client_index]
+                try:
+                    barrier.wait(timeout=10.0)
+                    for round_index in range(ROUNDS):
+                        files = {
+                            f"/home/u{client_index}/f{file_index}.txt": (
+                                _content(client_index, file_index, round_index)
+                            )
+                            for file_index in range(FILES_PER_CLIENT)
+                        }
+                        with client.batched(
+                            flush_window=1000.0,
+                            max_items=FILES_PER_CLIENT,
+                        ):
+                            for path, payload in files.items():
+                                client.write_file(path, payload)
+                        # Context exit flushed: one BatchNotify round per
+                        # edit cycle instead of FILES_PER_CLIENT Notifys.
+                except Exception as exc:  # noqa: BLE001 - assert later
+                    errors.append((client_index, exc))
+
+            threads = [
+                threading.Thread(target=run_rounds, args=(index,))
+                for index in range(CLIENTS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60.0)
+            assert errors == []
+
+            # Byte-exact convergence: every shadow holds the final round.
+            for client_index, (client, _) in enumerate(sessions):
+                for file_index in range(FILES_PER_CLIENT):
+                    path = f"/home/u{client_index}/f{file_index}.txt"
+                    key = str(client.workspace.resolve(path))
+                    entry = service.server.cache.peek_entry(key)
+                    assert entry is not None, key
+                    assert entry.content == _content(
+                        client_index, file_index, ROUNDS - 1
+                    )
+                    assert entry.version == ROUNDS
+
+            # The pipelined path actually ran, and came back to rest:
+            # zero leaked in-flight rids on every session.
+            for client, _ in sessions:
+                assert client.resilience_stats.pipelined_batches >= ROUNDS
+                for session in client._sessions.values():
+                    assert session.inflight == 0
+                    assert session.inflight_rids == frozenset()
+
+            for client, channel in sessions:
+                client.disconnect(service.server.name)
+                channel.close()

@@ -1,0 +1,116 @@
+"""Pipelined sends under chaos: only the damaged rid is replayed.
+
+The mid-pipeline failure tests for the batch-transfer wire layer: a
+frame garbled or dropped inside a pipelined window must cost exactly
+one per-item retry, leave its neighbours' replies intact, and never
+leak an in-flight rid.
+"""
+
+import pytest
+
+from repro.core.protocol import Hello, Notify, NotifyReply, Ok
+from repro.core.server import ShadowServer
+from repro.errors import RetryExhaustedError, TransportError
+from repro.metrics.recorder import ResilienceStats
+from repro.resilience.policy import RetryPolicy
+from repro.resilience.session import RawSession, ResilientSession
+from repro.transport.base import LoopbackChannel
+from repro.transport.flaky import FailNextChannel
+
+CLIENT = "alice@ws"
+
+
+def build(max_attempts=4):
+    server = ShadowServer()
+    channel = FailNextChannel(LoopbackChannel(server.handle))
+    stats = ResilienceStats()
+    session = ResilientSession(
+        client_id=CLIENT,
+        channel=channel,
+        policy=RetryPolicy(max_attempts=max_attempts, base_delay=0.0, jitter=0.0),
+        stats=stats,
+    )
+    reply = session.send(Hello(client_id=CLIENT, domain="/"))
+    assert isinstance(reply, Ok)
+    return server, channel, session, stats
+
+
+def notifies(count):
+    return [
+        Notify(client_id=CLIENT, key=f"/d/f{i}", version=1)
+        for i in range(count)
+    ]
+
+
+class TestPipelinedChaos:
+    def test_garbled_frame_replays_only_that_rid(self):
+        server, channel, session, stats = build()
+        # Ordinals count from the next request: garble the reply of the
+        # 3rd pipelined item, mid-window.
+        channel.schedule_garble(3)
+        replies = session.send_pipelined(notifies(5))
+        assert len(replies) == 5
+        assert all(isinstance(reply, NotifyReply) for reply in replies)
+        assert stats.garbled_replies == 1
+        assert stats.pipeline_item_retries == 1
+        # The server DID process the garbled item; the replay was served
+        # from its rid reply-cache, not re-executed.
+        assert server.resilience.duplicate_replies_served == 1
+        assert session.inflight_rids == frozenset()
+
+    def test_dropped_frame_replays_only_that_rid(self):
+        server, channel, session, stats = build()
+        channel.schedule_failure(2)  # 2nd pipelined item never arrives
+        replies = session.send_pipelined(notifies(4))
+        assert all(isinstance(reply, NotifyReply) for reply in replies)
+        assert stats.pipeline_item_retries == 1
+        # The request never reached the server, so the retry is a fresh
+        # execution — no dedupe hit.
+        assert server.resilience.duplicate_replies_served == 0
+        assert session.inflight_rids == frozenset()
+
+    def test_lost_reply_after_processing_dedupes(self):
+        server, channel, session, stats = build()
+        channel.schedule_failure(2, lose_reply=True)
+        replies = session.send_pipelined(notifies(4))
+        assert all(isinstance(reply, NotifyReply) for reply in replies)
+        assert server.resilience.duplicate_replies_served == 1
+
+    def test_exhaustion_leaks_no_rids(self):
+        server, channel, session, stats = build(max_attempts=2)
+        channel.fail_next(count=100)
+        with pytest.raises(RetryExhaustedError):
+            session.send_pipelined(notifies(5))
+        assert session.inflight_rids == frozenset()
+        assert session.inflight == 0
+
+    def test_pipelined_stats_accounting(self):
+        server, channel, session, stats = build()
+        session.send_pipelined(notifies(3))
+        assert stats.pipelined_batches == 1
+        assert stats.pipelined_requests == 3
+        assert stats.pipeline_item_retries == 0
+
+    def test_single_message_batch_uses_plain_send(self):
+        server, channel, session, stats = build()
+        [reply] = session.send_pipelined(notifies(1))
+        assert isinstance(reply, NotifyReply)
+        assert stats.pipelined_batches == 0  # not worth a pipeline
+
+    def test_empty_batch_is_a_noop(self):
+        server, channel, session, stats = build()
+        assert session.send_pipelined([]) == []
+        assert channel.requests_seen == 1  # just the Hello
+
+
+class TestRawPipelining:
+    def test_raw_session_pipelines_but_does_not_retry(self):
+        server = ShadowServer()
+        channel = FailNextChannel(LoopbackChannel(server.handle))
+        session = RawSession(channel)
+        session.send(Hello(client_id=CLIENT, domain="/"))
+        replies = session.send_pipelined(notifies(3))
+        assert all(isinstance(reply, NotifyReply) for reply in replies)
+        channel.schedule_failure(2)  # 2nd item of the next batch
+        with pytest.raises(TransportError):
+            session.send_pipelined(notifies(3))
