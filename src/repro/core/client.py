@@ -329,6 +329,7 @@ class ShadowClient:
         Returns the new version number.  This is the programmatic
         equivalent of finishing a shadow-editor session on ``path``.
         """
+        self._check_batch_host(host)
         self.workspace.write(path, content)
         key = str(self.workspace.resolve(path))
         version = self.versions.record_edit(key, content, self.now())
@@ -351,6 +352,7 @@ class ShadowClient:
         one link latency instead of one per file.  Returns path -> new
         version number.
         """
+        self._check_batch_host(host)
         pairs = list(files.items()) if isinstance(files, Mapping) else list(files)
         numbers: Dict[str, int] = {}
         entries: List[Tuple[str, int]] = []
@@ -390,6 +392,24 @@ class ShadowClient:
         )
         self._coalescer = coalescer
         return coalescer
+
+    def _check_batch_host(self, host: Optional[str]) -> None:
+        """Writes inside a batch go to the batch's host, or nowhere.
+
+        The coalescer flushes to the host fixed at :meth:`batched` time;
+        silently routing a differently-addressed write there would notify
+        the wrong server, so it is an error instead.
+        """
+        if self._coalescer is None or host is None:
+            return
+        batch_host = (
+            self._coalescer.host or self.environment.default_host
+        )
+        if host != batch_host:
+            raise ShadowError(
+                f"cannot write to {host!r} inside a batch bound to "
+                f"{batch_host!r}; flush or exit the batch first"
+            )
 
     def _flush_coalesced(self) -> None:
         """Notifications must precede any request that relies on them."""
@@ -1074,7 +1094,9 @@ class WriteCoalescer:
     flushes when ``max_items`` accumulate, when ``flush_window`` seconds
     (on the client's clock) pass since the first held write, before any
     submit/status/fetch/cancel, explicitly via :meth:`flush`, or on
-    clean context exit.
+    clean context exit.  An exceptional exit :meth:`park`\\ s the held
+    announcements instead — they replay with the next request to the
+    host, like notifications parked during a degraded spell.
     """
 
     #: Seconds a held write may wait before the next add forces a flush.
@@ -1143,10 +1165,31 @@ class WriteCoalescer:
     def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
         self.client._coalescer = None
         if exc_type is None:
-            # A failing body keeps its writes parked locally rather
-            # than masking the original exception with a flush error.
             self.flush()
+        else:
+            # A failing body must not flush (that could mask the original
+            # exception with a link error) — but dropping the held
+            # announcements would silently desynchronise the server's
+            # coherence view.  Park them exactly as a degraded link
+            # would, so _replay_parked announces them with the next
+            # request to this host.
+            self.park()
         return False
+
+    def park(self) -> int:
+        """Move held announcements into the client's parked set."""
+        if not self._pending:
+            return 0
+        name = self.host or self.client.environment.default_host
+        parked = self.client._parked.setdefault(name, {})
+        for key, version in self._pending.items():
+            if key not in parked or parked[key] < version:
+                parked[key] = version
+            self.client.resilience_stats.parked_notifications += 1
+        count = len(self._pending)
+        self._pending.clear()
+        self._first_at = None
+        return count
 
 
 def _update_item(update: Update) -> Dict[str, Any]:

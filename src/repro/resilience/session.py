@@ -369,17 +369,7 @@ class ResilientSession:
             ).observe(float(len(entries)))
         self._inflight_rids.update(rid for rid, _ in entries)
         try:
-            try:
-                raws: List[Optional[bytes]] = self.channel.request_many(
-                    [wire for _, wire in entries]
-                )
-            except TransportClosedError:
-                raise
-            except TransportError:
-                # The whole batch failed to ship; fall through to
-                # per-item replay below.
-                self.stats.faults_seen += 1
-                raws = [None] * len(entries)
+            raws = self._ship_batch([wire for _, wire in entries])
             replies: List[Message] = []
             for (rid, wire), raw in zip(entries, raws):
                 self.stats.attempts += 1
@@ -403,3 +393,36 @@ class ResilientSession:
             # they must not read as leaked in-flight requests.
             for rid, _ in entries:
                 self._inflight_rids.discard(rid)
+
+    def _ship_batch(self, wires: List[bytes]) -> List[Optional[bytes]]:
+        """Put a pipelined batch on the wire, retrying it as one unit.
+
+        A :class:`TransportError` from :meth:`RequestChannel.request_many`
+        means the batch never shipped (the TCP transport re-dials before
+        raising, so the retry starts on a clean connection): that is ONE
+        failed attempt for the whole batch, not one per item — degrading
+        to N independent per-item retry loops would multiply the backoff
+        sleeps and breaker pressure by the batch size for a single link
+        fault.  Per-item faults (``None`` slots, garbled replies) stay
+        with the caller's per-rid replay.
+        """
+        last_error: Optional[Exception] = None
+        for attempt in range(1, self.policy.max_attempts + 1):
+            if attempt > 1:
+                self.stats.retries += 1
+            try:
+                return self.channel.request_many(wires)
+            except TransportClosedError:
+                raise
+            except TransportError as exc:
+                self.stats.faults_seen += 1
+                last_error = exc
+            if attempt < self.policy.max_attempts:
+                self._wait(self.policy.delay_for(attempt, self._rng))
+        self.stats.giveups += 1
+        if self.breaker.record_failure(self._now()):
+            self._breaker_opened()
+        raise RetryExhaustedError(
+            f"pipelined batch failed to ship after "
+            f"{self.policy.max_attempts} attempts"
+        ) from last_error

@@ -97,15 +97,29 @@ class TcpChannel(RequestChannel):
         mid-request failure.
         """
         with self._lock:
-            try:
-                self._socket.close()
-            except OSError:
-                pass
+            self._redial_locked(strict=True)
+
+    def _redial_locked(self, strict: bool = False) -> None:
+        """Replace the connection; the caller holds ``self._lock``.
+
+        ``strict`` propagates a failed dial (explicit reconnects want to
+        know); otherwise the dead socket is kept and the next request
+        surfaces the failure through the normal retry machinery.
+        """
+        try:
+            self._socket.close()
+        except OSError:
+            pass
+        try:
             self._connect()
-            self._closed = False
-            self.reconnects += 1
-            if self._telemetry is not None:
-                self._telemetry.counter("tcp_client_reconnects_total").inc()
+        except TransportError:
+            if strict:
+                raise
+            return
+        self._closed = False
+        self.reconnects += 1
+        if self._telemetry is not None:
+            self._telemetry.counter("tcp_client_reconnects_total").inc()
 
     def _deliver(self, payload: bytes) -> bytes:
         with self._lock:
@@ -122,12 +136,16 @@ class TcpChannel(RequestChannel):
         """True pipelining: one write of every frame, then N ordered reads.
 
         The server handles each connection's frames sequentially and
-        writes replies in order, so positional matching is sound.  A
-        receive failure mid-batch invalidates the reply ordering for
-        whatever is still in flight — those slots come back ``None``
-        (the session retries them one at a time, where a genuinely dead
-        connection surfaces normally) and the decoder is reset so a
-        half-read frame cannot poison the next request.
+        writes replies in order, so positional matching is sound — which
+        also means a failure mid-batch is unrecoverable on this
+        connection: replies for the remaining requests may still be in
+        flight (or sitting unread in the kernel buffer), and with no rid
+        on the reply frames a later read cannot tell a stale reply from
+        its own.  So any send or receive failure tears the connection
+        down and re-dials before handing control back: the failed slots
+        come back ``None`` and the session replays them one at a time on
+        the fresh connection, where the server's per-rid reply cache
+        keeps effects exactly-once.
         """
         replies: List[Optional[bytes]] = []
         with self._lock:
@@ -136,12 +154,16 @@ class TcpChannel(RequestChannel):
                     b"".join(encode_frame(payload) for payload in payloads)
                 )
             except OSError as exc:
+                # A partial send may still have reached the server; its
+                # replies would desynchronise this socket, so replace it
+                # before the caller retries the batch.
+                self._redial_locked()
                 raise TransportError(f"socket send failed: {exc}") from exc
             for _ in payloads:
                 try:
                     reply = _recv_frame(self._socket, self._decoder)
                 except (socket.timeout, TransportError):
-                    self._decoder = FrameDecoder()
+                    self._redial_locked()
                     replies.extend(
                         None for _ in range(len(payloads) - len(replies))
                     )

@@ -311,3 +311,35 @@ class TestWriteFilesAndCoalescer:
         # The coalescer detached without flushing over the wire.
         assert client._coalescer is None
         assert len(server.cache) == 0
+
+    def test_failed_body_parks_held_writes_for_replay(self):
+        client, server = loopback_pair()
+        with pytest.raises(ValueError):
+            with client.batched(flush_window=1000.0):
+                client.write_file("/d/a.txt", b"v1")
+                client.write_file("/d/a.txt", b"v2")
+                client.write_file("/d/b.txt", b"other")
+                raise ValueError("body failed")
+        # The held announcements were parked (latest version per key),
+        # not dropped on the floor.
+        key_a = str(client.workspace.resolve("/d/a.txt"))
+        parked = client._parked["supercomputer"]
+        assert parked[key_a] == 2
+        assert len(parked) == 2
+        assert client.resilience_stats.parked_notifications == 2
+        # The next request to the host replays them: the server's
+        # coherence view catches up without a fresh write.
+        client.write_file("/d/c.txt", b"later")
+        assert client.resilience_stats.replayed_notifications == 2
+        assert server.cache.peek_entry(key_a).content == b"v2"
+        assert client._parked.get("supercomputer") is None
+
+    def test_write_inside_batch_rejects_other_host(self):
+        client, _ = loopback_pair()
+        with client.batched(flush_window=1000.0):
+            client.write_file("/d/a.txt", b"ok")  # default host: fine
+            client.write_file("/d/b.txt", b"ok", host="supercomputer")
+            with pytest.raises(ShadowError):
+                client.write_file("/d/c.txt", b"bad", host="elsewhere")
+            with pytest.raises(ShadowError):
+                client.write_files({"/d/d.txt": b"bad"}, host="elsewhere")

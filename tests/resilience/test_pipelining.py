@@ -103,6 +103,74 @@ class TestPipelinedChaos:
         assert channel.requests_seen == 1  # just the Hello
 
 
+class BatchFaultChannel(FailNextChannel):
+    """Fails whole pipelined batches at the ship step, on command.
+
+    Models a TCP ``sendall`` failure: :meth:`request_many` raises
+    :class:`TransportError` for the batch as a unit (no item shipped),
+    unlike the per-item ``None`` slots of the base fault isolation.
+    """
+
+    def __init__(self, inner):
+        super().__init__(inner)
+        self.batch_failures = 0
+        self.batch_attempts = 0
+
+    def fail_batches(self, count: int) -> None:
+        self.batch_failures = count
+
+    def _deliver_many(self, payloads):
+        self.batch_attempts += 1
+        if self.batch_failures > 0:
+            self.batch_failures -= 1
+            self.faults_injected += 1
+            raise TransportError("armed fault: batch send failed")
+        return super()._deliver_many(payloads)
+
+
+class TestWholeBatchSendFailure:
+    def build(self, max_attempts=4):
+        server = ShadowServer()
+        channel = BatchFaultChannel(LoopbackChannel(server.handle))
+        stats = ResilienceStats()
+        session = ResilientSession(
+            client_id=CLIENT,
+            channel=channel,
+            policy=RetryPolicy(
+                max_attempts=max_attempts, base_delay=0.0, jitter=0.0
+            ),
+            stats=stats,
+        )
+        session.send(Hello(client_id=CLIENT, domain="/"))
+        return server, channel, session, stats
+
+    def test_batch_retried_as_one_unit(self):
+        server, channel, session, stats = self.build()
+        channel.fail_batches(2)
+        replies = session.send_pipelined(notifies(5))
+        assert all(isinstance(reply, NotifyReply) for reply in replies)
+        # Two whole-batch faults cost two batch re-ships — NOT 5
+        # independent per-item retry loops.
+        assert channel.batch_attempts == 3
+        assert stats.faults_seen == 2
+        assert stats.retries == 2
+        assert stats.pipeline_item_retries == 0
+        assert session.inflight_rids == frozenset()
+
+    def test_unshippable_batch_fails_once_not_per_item(self):
+        server, channel, session, stats = self.build(max_attempts=3)
+        channel.fail_batches(100)
+        with pytest.raises(RetryExhaustedError):
+            session.send_pipelined(notifies(5))
+        # The batch burned its own retry budget exactly once: 3 ship
+        # attempts total, one giveup — not 5 x (max_attempts - 1)
+        # per-item replays multiplying sleeps and breaker pressure.
+        assert channel.batch_attempts == 3
+        assert stats.faults_seen == 3
+        assert stats.giveups == 1
+        assert session.inflight_rids == frozenset()
+
+
 class TestRawPipelining:
     def test_raw_session_pipelines_but_does_not_retry(self):
         server = ShadowServer()

@@ -104,3 +104,34 @@ class TestTcpPipelining:
                 channel.close()
         finally:
             server.close()
+
+    def test_mid_batch_receive_failure_redials_no_stale_replies(self):
+        # Replies carry no rid: correlation is positional.  If a receive
+        # fails mid-batch, the server's replies for the remaining items
+        # are still in flight on the old connection — reusing it would
+        # hand those stale frames to the NEXT requests (silent reply
+        # mis-attribution).  The channel must re-dial instead.
+        import time
+
+        def slow_on_request(payload: bytes) -> bytes:
+            if payload == b"slow":
+                time.sleep(1.5)
+            return b"reply:" + payload
+
+        server = TcpChannelServer(slow_on_request, port=0)
+        try:
+            channel = TcpChannel("127.0.0.1", server.port, timeout=0.4)
+            try:
+                channel._timeout = 5.0  # only the first dial is impatient
+                replies = channel.request_many([b"a", b"slow", b"c"])
+                # The timed-out tail comes back as replayable Nones...
+                assert replies == [b"reply:a", None, None]
+                # ...and the connection was replaced, so the next request
+                # gets ITS OWN reply, not the old batch's buffered
+                # b"reply:slow".
+                assert channel.reconnects == 1
+                assert channel.request(b"after") == b"reply:after"
+            finally:
+                channel.close()
+        finally:
+            server.close()
