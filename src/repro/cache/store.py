@@ -162,6 +162,11 @@ class CacheStore:
         self.policy = policy if policy is not None else LruPolicy()
         self.stats = CacheStats()
         self._events = None  # EventLog attached by bind_telemetry
+        #: Optional hook fired as ``on_drop(key)`` whenever an entry
+        #: leaves the store (eviction, invalidation, flush).  The
+        #: durability layer journals drops through it so recovery never
+        #: resurrects an entry the running server had already lost.
+        self.on_drop = None
         self._shards: List[_Shard] = [_Shard() for _ in range(shards)]
         #: Serialises capacity checks + evictions across shards: the byte
         #: budget is a *global* invariant, so admission is single-file.
@@ -465,6 +470,8 @@ class CacheStore:
             directory = self._domains.get(domain)
         if directory is not None:
             directory.unbind(file_id)
+        if self.on_drop is not None:
+            self.on_drop(key)
 
     def _make_room(self, needed: int, protect: str) -> None:
         if self.capacity_bytes is None or needed <= 0:

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import os
+import signal
 import subprocess
 import sys
 import tempfile
@@ -88,6 +89,23 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--max-connections", type=int, default=None,
         help="refuse connections beyond this many concurrent clients",
+    )
+    serve.add_argument(
+        "--journal", default=None, metavar="DIR",
+        help="journal directory for crash-safe durable state "
+        "(off by default: the server is memory-only)",
+    )
+    serve.add_argument(
+        "--journal-fsync", action="store_true",
+        help="fsync every journal append (slower, survives power loss)",
+    )
+    serve.add_argument(
+        "--snapshot-every", type=int, default=None, metavar="N",
+        help="journal records between snapshots (default 512)",
+    )
+    serve.add_argument(
+        "--drain-seconds", type=float, default=5.0,
+        help="graceful-shutdown budget for in-flight work on SIGTERM",
     )
     serve.add_argument(
         "--once", action="store_true",
@@ -253,6 +271,7 @@ def _close_client(client: ShadowClient, args: argparse.Namespace) -> None:
 def _cmd_serve(args: argparse.Namespace) -> int:
     executor = LocalExecutor() if args.executor == "local" else SimulatedExecutor()
     from repro.cache.store import CacheStore, DEFAULT_SHARDS
+    from repro.durability.manager import DEFAULT_SNAPSHOT_EVERY
 
     server = ShadowServer(
         executor=executor,
@@ -265,7 +284,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ),
         ),
         workers=args.workers,
+        journal_dir=args.journal,
+        journal_fsync=args.journal_fsync,
+        snapshot_every=(
+            args.snapshot_every
+            if args.snapshot_every is not None
+            else DEFAULT_SNAPSHOT_EVERY
+        ),
     )
+    if args.journal is not None and server.durability is not None:
+        recovery = server.durability.last_recovery
+        if recovery.get("replayed_records") or recovery.get("had_snapshot"):
+            print(
+                "recovered {replayed_records} journal records "
+                "(snapshot: {had_snapshot}, truncated tail: "
+                "{truncated_tail_records}) in {recovery_seconds:.3f}s".format(
+                    **recovery
+                )
+            )
     listener = TcpChannelServer(
         server.handle,
         host=args.host,
@@ -273,6 +309,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_connections=args.max_connections,
         telemetry=server.telemetry,
     )
+
+    # SIGTERM (systemd stop, kill) takes the graceful path: stop
+    # accepting, drain in-flight jobs, flush journal + final snapshot.
+    stop = {"signalled": False}
+
+    def _on_sigterm(signum: int, frame: object) -> None:
+        stop["signalled"] = True
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:
+        pass  # not the main thread (embedded use); Ctrl-C still works
+
     print(f"shadow server listening on {args.host}:{listener.port}")
     try:
         if args.once:
@@ -280,9 +330,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         while True:
             time.sleep(1.0)
     except KeyboardInterrupt:
+        if stop["signalled"]:
+            print("SIGTERM: draining and flushing journal")
         return 0
     finally:
-        listener.close()
+        # New connections are refused first so the drain can finish;
+        # server.close() then parks a final snapshot for fast recovery.
+        server.close(drain_seconds=args.drain_seconds)
+        listener.close(drain_seconds=min(args.drain_seconds, 2.0))
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:

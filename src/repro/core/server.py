@@ -73,6 +73,12 @@ from repro.core.protocol import (
 from repro.core.router import RequestRouter
 from repro.core.sessions import ClientSession, SessionRegistry, TrafficAccount
 from repro.diffing import tichy
+from repro.durability.manager import (
+    DEFAULT_SNAPSHOT_EVERY,
+    DurabilityManager,
+    pack_bytes,
+    request_dict,
+)
 from repro.diffing.model import decode_delta
 from repro.diffing.selector import worthwhile
 from repro.errors import (
@@ -130,6 +136,9 @@ class ShadowServer:
         telemetry: Optional[MetricsRegistry] = None,
         events: Optional[EventLog] = None,
         slow_request_seconds: float = 0.25,
+        journal_dir: Optional[str] = None,
+        journal_fsync: bool = False,
+        snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
     ) -> None:
         self.name = name
         #: This server's metric series: every layer below reports here.
@@ -159,6 +168,10 @@ class ShadowServer:
         self._job_counter = 0
         self._requests: Dict[str, JobRequest] = {}
         self._plans: Dict[str, DeliveryPlan] = {}
+        #: job id -> its QueuedJob, retained past the queue pop so a
+        #: snapshot can persist (and recovery re-queue) a job that was
+        #: RUNNING when the server died.
+        self._job_meta: Dict[str, QueuedJob] = {}
         #: Per-queued-job input staging, independent of the cache: a file
         #: larger than the whole cache must still reach its job (§5.1's
         #: worst case is re-transfer, never failure).  Cleared on run.
@@ -204,6 +217,26 @@ class ShadowServer:
         #: benchmark-faithful default); ``workers > 0`` runs a bounded
         #: thread pool so Submit returns before execution.
         self.pipeline = job_pipeline.build_pipeline(self, workers)
+        #: True while :meth:`close` drains; new Hellos get SERVER-BUSY.
+        self._closing = False
+        #: Optional durability layer: write-ahead journal + periodic
+        #: snapshot + startup recovery.  ``None`` (the default) keeps the
+        #: server purely in-memory and byte-identical to earlier builds.
+        self.durability: Optional[DurabilityManager] = None
+        if journal_dir is not None:
+            self.durability = DurabilityManager(
+                journal_dir,
+                fsync=journal_fsync,
+                snapshot_every=snapshot_every,
+                telemetry=self.telemetry,
+                events=self.events,
+            )
+            self.cache.on_drop = self._journal_cache_drop
+            self.durability.recover(self)
+            # Jobs that were queued (or RUNNING) at the crash are ready
+            # again; their effects never left the server, so re-running
+            # them is the exactly-once-visible outcome.
+            self.pipeline.kick()
 
     def _register_routes(self) -> None:
         self.router.register(Hello, self._on_hello)
@@ -228,7 +261,7 @@ class ShadowServer:
         states: Dict[str, int] = {}
         for record in self.status.all_records():
             states[record.state.value] = states.get(record.state.value, 0) + 1
-        return {
+        info = {
             "component": "server",
             "name": self.name,
             "clients": sorted(self._clients),
@@ -258,10 +291,24 @@ class ShadowServer:
                 "slow_request_seconds": self.slow_request_seconds,
             },
         }
+        if self.durability is not None:
+            info["durability"] = self.durability.describe()
+        return info
 
-    def close(self) -> None:
-        """Stop pipeline workers (no-op for the inline pipeline)."""
+    def close(self, drain_seconds: float = 5.0) -> None:
+        """Graceful shutdown.
+
+        Refuses new Hellos with SERVER-BUSY, lets in-flight jobs finish
+        (bounded by ``drain_seconds``), stops the workers, then writes a
+        final snapshot and releases the journal so the next start
+        recovers instantly from the snapshot alone.
+        """
+        self._closing = True
+        self.pipeline.drain(timeout=drain_seconds)
         self.pipeline.close()
+        if self.durability is not None:
+            self.durability.close(self)
+        self.events.close()
 
     # ------------------------------------------------------------------
     # compatibility views over the session registry
@@ -337,6 +384,11 @@ class ShadowServer:
         with recording_trace(self.traces, trace):
             reply = self._handle_traced(payload, trace)
         self._observe_request(trace)
+        if self.durability is not None:
+            # After every lock is released: the snapshot capture takes
+            # server locks itself (server locks before the journal lock,
+            # never the reverse).
+            self.durability.maybe_snapshot(self)
         return reply
 
     def _handle_traced(self, payload: bytes, trace: RequestTrace) -> bytes:
@@ -411,6 +463,15 @@ class ShadowServer:
             trace.outcome = f"error:{reply.code}"
         if rid and self.reply_cache_size:
             session.store_reply(rid, encoded)
+            # Reply journaled after the handler's own records: a crash
+            # here loses only the reply, and the client's retry is
+            # answered from the recovered reply cache — exactly once.
+            self._journal(
+                "reply",
+                client=session.client_id,
+                rid=rid,
+                data=pack_bytes(encoded),
+            )
         self._account(session, len(payload), len(encoded))
         return encoded
 
@@ -424,7 +485,24 @@ class ShadowServer:
     # ------------------------------------------------------------------
     # session management
     # ------------------------------------------------------------------
+    def _journal(self, kind: str, **fields: Any) -> None:
+        """Append one durability record (no-op when journaling is off)."""
+        if self.durability is not None:
+            self.durability.record(kind, **fields)
+
+    def _journal_cache_drop(self, key: str) -> None:
+        """Cache ``on_drop`` hook: evictions and invalidations must be
+        journaled, or recovery would resurrect entries the running
+        server had dropped — and reconcile would then call a repaired
+        file ``divergent`` where the truth is ``missing``."""
+        self._journal("cache-drop", key=key)
+
     def _on_hello(self, message: Hello) -> Message:
+        if self._closing:
+            return ErrorReply(
+                code="server-busy",
+                message=f"{self.name} is shutting down; try again later",
+            )
         if message.protocol_version != protocol.PROTOCOL_VERSION:
             return ErrorReply(
                 code="version",
@@ -438,12 +516,16 @@ class ShadowServer:
         # A Hello starts a new session incarnation; replies cached for an
         # earlier life of this client can only ever be wrong answers now.
         self.sessions.ensure(message.client_id).greet(message.domain)
+        self._journal(
+            "hello", client=message.client_id, domain=message.domain
+        )
         return Ok(detail=f"welcome to {self.name}")
 
     def _on_bye(self, message: Bye) -> Message:
         session = self.sessions.get(message.client_id)
         if session is not None:
             session.farewell()
+        self._journal("bye", client=message.client_id)
         with self._jobs_lock:
             for job in self.queue.remove_for_owner(message.client_id):
                 self._staged.pop(job.job_id, None)
@@ -451,6 +533,12 @@ class ShadowServer:
                 if not record.state.terminal:
                     record.transition(
                         JobState.CANCELLED, self.now(), "client left"
+                    )
+                    self._journal(
+                        "job-cancel",
+                        job_id=job.job_id,
+                        ts=self.now(),
+                        detail="client left",
                     )
         return Ok(detail="bye")
 
@@ -697,6 +785,16 @@ class ShadowServer:
             job_pipeline.stage_for_waiting_jobs(
                 self, message.key, message.version, content
             )
+        # Journaled whether or not the cache admitted it: replay must
+        # re-run the same admission decision AND re-pin the content for
+        # any job that was waiting on it.
+        self._journal(
+            "cache-put",
+            key=message.key,
+            version=message.version,
+            content=pack_bytes(content),
+            ts=self.now(),
+        )
         self.pipeline.kick()
         return UpdateAck(
             key=message.key,
@@ -751,6 +849,7 @@ class ShadowServer:
             )
             self.status.add(record)
             self._requests[job_id] = request
+            self._job_meta[job_id] = job
             self._plans[job_id] = DeliveryPlan.for_request(
                 job_id, request, client_host=message.client_id
             )
@@ -762,6 +861,21 @@ class ShadowServer:
                     self.now(),
                     f"waiting for {len(needs)} files",
                 )
+            # Inside the jobs lock: a worker claims (and completes) jobs
+            # under this same lock, so the submit record always precedes
+            # the job's job-done record in the journal.
+            self._journal(
+                "job-submit",
+                job_id=job_id,
+                owner=message.client_id,
+                submitted_at=record.submitted_at,
+                request=request_dict(request),
+                file_versions=file_versions,
+                file_checksums=file_checksums,
+                priority=message.priority,
+                enqueued_at=job.enqueued_at,
+                trace_id=trace_id,
+            )
         self.events.emit(
             "job_enqueued",
             job_id=job_id,
@@ -810,6 +924,12 @@ class ShadowServer:
             # the worker notices the terminal state and drops the output.
             record.transition(
                 JobState.CANCELLED, self.now(), "cancelled by owner"
+            )
+            self._journal(
+                "job-cancel",
+                job_id=message.job_id,
+                ts=self.now(),
+                detail="cancelled by owner",
             )
         return Ok(detail="cancelled")
 

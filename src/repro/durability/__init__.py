@@ -1,0 +1,51 @@
+"""Durability: the server's crash-safe write-ahead journal and snapshots.
+
+The paper's premise is that the server-side shadow cache lets
+resubmission ship *diffs* instead of whole files over a 9600-baud link —
+but that only holds while the server remembers its cache.  This package
+makes server state survive a crash:
+
+* :mod:`repro.durability.journal` — an append-only write-ahead log of
+  length-prefixed, CRC32-guarded records (the same framing conventions
+  as :mod:`repro.transport.framing`), with torn-tail truncation on read;
+* :mod:`repro.durability.snapshot` — periodic full-state snapshots
+  written atomically (temp file + fsync + rename) so the journal can be
+  truncated;
+* :mod:`repro.durability.manager` — the :class:`DurabilityManager` that
+  threads journaling through the server's handlers and rebuilds
+  cache / session / job state on startup;
+* :mod:`repro.durability.crashable` — a deterministic crash/restart
+  harness (:class:`CrashableService`) for tests and chaos runs.
+"""
+
+from repro.durability.journal import (
+    JournalReader,
+    JournalScan,
+    JournalWriter,
+    read_journal,
+)
+from repro.durability.manager import DurabilityManager
+from repro.durability.snapshot import load_snapshot, write_snapshot
+
+__all__ = [
+    "CrashableService",
+    "CrashingExecutor",
+    "DurabilityManager",
+    "JournalReader",
+    "JournalScan",
+    "JournalWriter",
+    "load_snapshot",
+    "read_journal",
+    "write_snapshot",
+]
+
+
+def __getattr__(name: str):
+    # The harness pulls in the server (and with it most of the runtime);
+    # load it lazily so `import repro.durability` stays cheap for the
+    # fsck script and the journal unit tests.
+    if name in ("CrashableService", "CrashingExecutor"):
+        from repro.durability import crashable
+
+        return getattr(crashable, name)
+    raise AttributeError(name)

@@ -1,0 +1,266 @@
+"""Deterministic crash/restart harness for the journaled server.
+
+Chaos testing the durability layer needs the server to die at an *exact*
+protocol step — mid-Update, between a journal append and its reply,
+mid-job — then come back from its journal while the clients keep using
+the same channel objects.  :class:`CrashableService` provides that:
+
+* it owns the current :class:`~repro.core.server.ShadowServer` and a
+  ``handle`` dispatch indirection, so channels built once keep pointing
+  at whichever incarnation is alive;
+* :meth:`channel` hands out a
+  :class:`~repro.transport.flaky.FailNextChannel` whose
+  ``schedule_crash(ordinal, after_handling=...)`` is wired to
+  :meth:`crash` — the crash fires on the scheduled request, 1-based
+  from the next one, exactly like ``schedule_failure``;
+* :meth:`crash` simulates ``kill -9``: the journal handle is abandoned
+  (no final snapshot, no flush beyond the per-record ones), in-memory
+  state is discarded, live TCP sockets are torn down without draining;
+* :meth:`restart` builds a fresh server over the same journal directory
+  — recovery runs in its constructor — and, under TCP, rebinds the same
+  port so clients reconnect to the address they already know.
+
+A crash that fires *while* a request is being handled (a
+:class:`CrashingExecutor` killing the server mid-job) must not surface
+as a clean ErrorReply — the router catches ShadowErrors — so
+:meth:`handle` re-checks the incarnation after the inner handle and
+raises :class:`~repro.errors.ServerCrashedError` at the transport level
+instead, exactly what a torn connection looks like to the client.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.server import ShadowServer
+from repro.errors import JournalError, ServerCrashedError
+from repro.jobs.executor import Executor, SimulatedExecutor
+from repro.simnet.clock import SimulatedClock
+from repro.simnet.link import CYPRESS_9600
+from repro.transport.base import LoopbackChannel, RequestChannel
+from repro.transport.flaky import FailNextChannel
+from repro.transport.sim import SimChannel, Wire
+from repro.transport.tcp import TcpChannel, TcpChannelServer
+
+TRANSPORTS = ("loopback", "sim", "tcp")
+
+
+class CrashingExecutor(Executor):
+    """An executor that can take the server down mid-job.
+
+    The crash fires *after* the armed execution ran but *before* the
+    pipeline journals its completion — the exact window where a real
+    machine loses a finished computation whose output never became
+    fetchable.  Execution counting persists across restarts, so "crash
+    on the 2nd execution" stays deterministic through the whole matrix.
+    """
+
+    def __init__(
+        self, inner: Optional[Executor], service: "CrashableService"
+    ) -> None:
+        self.inner = inner if inner is not None else SimulatedExecutor()
+        self.service = service
+        self.executions = 0
+        self._crash_at: Optional[int] = None
+
+    def schedule_crash(self, at_execution: int = 1) -> None:
+        """Kill the server right after the ``at_execution``-th run
+        (1-based, counted across restarts)."""
+        if at_execution <= self.executions:
+            raise JournalError(
+                f"execution {at_execution} already happened "
+                f"({self.executions} so far)"
+            )
+        self._crash_at = at_execution
+
+    def execute(self, command_file, inputs):
+        self.executions += 1
+        result = self.inner.execute(command_file, inputs)
+        if self._crash_at is not None and self.executions >= self._crash_at:
+            self._crash_at = None
+            self.service.crash()
+        return result
+
+
+class CrashableService:
+    """One journaled server plus the machinery to kill and revive it."""
+
+    def __init__(
+        self,
+        journal_dir: str,
+        transport: str = "loopback",
+        link=None,
+        clock: Optional[SimulatedClock] = None,
+        server_factory: Optional[
+            Callable[["CrashableService"], ShadowServer]
+        ] = None,
+        **server_kwargs: Any,
+    ) -> None:
+        if transport not in TRANSPORTS:
+            raise JournalError(
+                f"transport must be one of {TRANSPORTS}, got {transport!r}"
+            )
+        self.journal_dir = str(journal_dir)
+        self.transport = transport
+        self.link = link if link is not None else CYPRESS_9600
+        self.clock = clock
+        if self.clock is None and transport == "sim":
+            self.clock = SimulatedClock()
+        self._server_factory = server_factory
+        self._server_kwargs = server_kwargs
+        #: For server factories: an executor that kills the server
+        #: mid-job on command (see :class:`CrashingExecutor`).
+        self.crashing_executor = CrashingExecutor(None, self)
+        self.server: Optional[ShadowServer] = None
+        self._tcp: Optional[TcpChannelServer] = None
+        self._port = 0
+        self.generation = 0
+        self.crashes = 0
+        #: Every sim wire ever created, dead incarnations included —
+        #: bytes-on-wire across crashes is the whole point.
+        self.wires: List[Wire] = []
+        self.channels: List[FailNextChannel] = []
+        self.start()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> ShadowServer:
+        """Boot a server incarnation (recovery runs in its constructor)."""
+        if self.server is not None:
+            raise JournalError("server already running; crash() it first")
+        if self._server_factory is not None:
+            self.server = self._server_factory(self)
+        else:
+            self.server = ShadowServer(
+                journal_dir=self.journal_dir,
+                clock=self.clock,
+                **self._server_kwargs,
+            )
+        self.generation += 1
+        if self.transport == "tcp":
+            self._tcp = TcpChannelServer(self.handle, port=self._port)
+            self._port = self._tcp.port
+        return self.server
+
+    def crash(self) -> None:
+        """Simulate ``kill -9``: drop the journal handle (no snapshot,
+        no goodbye), discard in-memory state, tear down live sockets."""
+        server, self.server = self.server, None
+        if server is None:
+            return
+        self.crashes += 1
+        if server.durability is not None:
+            server.durability.abandon()
+        server.pipeline.close()  # a dead process takes its workers along
+        self._kill_tcp()
+
+    def restart(self) -> Dict[str, Any]:
+        """Crash (if still up) and boot a fresh incarnation from the
+        journal; returns the recovery report."""
+        if self.server is not None:
+            self.crash()
+        self.start()
+        assert self.server is not None
+        if self.server.durability is None:
+            return {}
+        return dict(self.server.durability.last_recovery)
+
+    def close(self) -> None:
+        """Graceful end-of-test shutdown (final snapshot included)."""
+        server, self.server = self.server, None
+        self._kill_tcp()
+        if server is not None:
+            server.close()
+
+    # ------------------------------------------------------------------
+    # the dispatch indirection
+    # ------------------------------------------------------------------
+    def handle(self, payload: bytes) -> bytes:
+        server = self.server
+        if server is None:
+            raise ServerCrashedError("the server is down")
+        reply = server.handle(payload)
+        if self.server is not server:
+            # Died while handling (mid-job crash): the reply must not
+            # escape as a clean protocol answer — the client sees the
+            # same torn connection a real kill produces.
+            raise ServerCrashedError(
+                "the server died while handling this request"
+            )
+        return reply
+
+    # ------------------------------------------------------------------
+    # client plumbing
+    # ------------------------------------------------------------------
+    def channel(self) -> FailNextChannel:
+        """A fault-injectable channel to the current (and every future)
+        incarnation.
+
+        Loopback and sim channels dispatch through :meth:`handle`, so
+        they survive restarts untouched.  A TCP channel holds a real
+        socket: after a restart call ``channel.inner.reconnect()``.
+        """
+        inner: RequestChannel
+        if self.transport == "tcp":
+            assert self._tcp is not None, "TCP server is down"
+            host, port = self._tcp.address
+            inner = TcpChannel(host, port)
+        elif self.transport == "sim":
+            uplink = Wire(self.link, self.clock)
+            downlink = Wire(self.link, self.clock)
+            self.wires.extend((uplink, downlink))
+            inner = SimChannel(self.handle, uplink, downlink)
+        else:
+            inner = LoopbackChannel(self.handle)
+        channel = FailNextChannel(inner)
+        channel.crash_hook = self.crash
+        self.channels.append(channel)
+        return channel
+
+    def total_wire_bytes(self) -> int:
+        """Bytes that crossed every sim wire, crashes included."""
+        return sum(wire.stats.wire_bytes for wire in self.wires)
+
+    @property
+    def tcp_port(self) -> int:
+        if self._tcp is None:
+            raise JournalError("no TCP server is running")
+        return self._tcp.port
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _kill_tcp(self) -> None:
+        """Tear the TCP transport down without draining.
+
+        May run on one of the transport's own connection threads (a
+        crash scheduled mid-request), so it never joins the current
+        thread — sockets are closed and every *other* thread reaped.
+        """
+        tcp, self._tcp = self._tcp, None
+        if tcp is None:
+            return
+        current = threading.current_thread()
+        tcp._stop.set()
+        tcp._draining.set()
+        try:
+            tcp._listener.close()
+        except OSError:
+            pass
+        with tcp._conn_lock:
+            sockets = list(tcp._connections)
+        for sock in sockets:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        for thread in (tcp._accept_thread, *tcp._threads):
+            if thread is not current:
+                thread.join(timeout=2.0)

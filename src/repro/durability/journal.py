@@ -1,0 +1,210 @@
+"""The append-only write-ahead journal.
+
+Each record is one frame in the wire format of
+:mod:`repro.transport.framing` — a 4-byte big-endian payload length and
+the CRC32 of the payload, followed by the payload — holding one JSON
+object.  Reusing the wire framing means the journal inherits the same
+corruption detection the transport layer already trusts, and
+``scripts/journal_fsck.py`` can validate a journal with nothing but this
+module.
+
+Crash semantics on read: a journal may end mid-record (the process died
+inside a ``write``) or hold a record whose CRC does not match (a torn
+sector).  :func:`read_journal` returns every record up to the last valid
+one and reports where the valid prefix ends; recovery **truncates** the
+tail there and keeps going — a torn tail is data loss of the final
+write, never a recovery failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.errors import JournalError
+from repro.transport.framing import HEADER_SIZE, MAX_FRAME_SIZE, encode_frame
+
+import zlib
+
+
+def encode_record(record: Dict[str, Any]) -> bytes:
+    """One journal record: a framed, CRC-guarded JSON object."""
+    payload = json.dumps(
+        record, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return encode_frame(payload)
+
+
+class JournalWriter:
+    """Appends framed records to one journal file.
+
+    ``flush_each`` (default on) pushes every record through the stdio
+    buffer so a *process* crash loses at most the record being written;
+    ``fsync`` additionally forces each record to stable storage, the
+    full power-failure guarantee, at a per-append cost.
+    """
+
+    def __init__(
+        self, path: str, fsync: bool = False, flush_each: bool = True
+    ) -> None:
+        self.path = path
+        self.fsync = fsync
+        self.flush_each = flush_each
+        self._file = open(path, "ab")
+        self.appended_records = 0
+        self.appended_bytes = 0
+
+    def append(self, record: Dict[str, Any]) -> int:
+        """Write one record; returns the bytes it occupies on disk."""
+        encoded = encode_record(record)
+        self._file.write(encoded)
+        if self.flush_each:
+            self._file.flush()
+        if self.fsync:
+            os.fsync(self._file.fileno())
+        self.appended_records += 1
+        self.appended_bytes += len(encoded)
+        return len(encoded)
+
+    def flush(self) -> None:
+        self._file.flush()
+        if self.fsync:
+            os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        if self._file.closed:
+            return
+        self._file.flush()
+        try:
+            os.fsync(self._file.fileno())
+        except OSError:
+            pass  # best effort on exotic filesystems
+        self._file.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._file.closed
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+@dataclass
+class JournalScan:
+    """The result of reading a journal file back.
+
+    ``records`` is the valid prefix; ``valid_bytes`` is where it ends.
+    Anything between ``valid_bytes`` and ``total_bytes`` is a torn or
+    corrupt tail that recovery must truncate.
+    """
+
+    path: str
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    valid_bytes: int = 0
+    total_bytes: int = 0
+    #: Why the scan stopped short, empty when the whole file was valid.
+    truncation_reason: str = ""
+
+    @property
+    def truncated_bytes(self) -> int:
+        return self.total_bytes - self.valid_bytes
+
+    @property
+    def truncated(self) -> bool:
+        return self.truncated_bytes > 0
+
+
+class JournalReader:
+    """Sequential reader over one journal file's raw bytes."""
+
+    def __init__(self, raw: bytes) -> None:
+        self._raw = raw
+        self.offset = 0
+        self.truncation_reason = ""
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return self
+
+    def __next__(self) -> Dict[str, Any]:
+        record = self._next_record()
+        if record is None:
+            raise StopIteration
+        return record
+
+    def _next_record(self) -> Optional[Dict[str, Any]]:
+        raw, start = self._raw, self.offset
+        if start >= len(raw):
+            return None
+        if len(raw) - start < HEADER_SIZE:
+            self.truncation_reason = "torn header"
+            return None
+        length, expected_crc = struct.unpack(
+            ">II", raw[start : start + HEADER_SIZE]
+        )
+        if length > MAX_FRAME_SIZE:
+            self.truncation_reason = f"absurd record length {length}"
+            return None
+        body_start = start + HEADER_SIZE
+        if len(raw) - body_start < length:
+            self.truncation_reason = "torn record body"
+            return None
+        payload = raw[body_start : body_start + length]
+        if zlib.crc32(payload) != expected_crc:
+            self.truncation_reason = "CRC mismatch"
+            return None
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            self.truncation_reason = "unparsable record payload"
+            return None
+        if not isinstance(record, dict):
+            self.truncation_reason = "record is not an object"
+            return None
+        self.offset = body_start + length
+        return record
+
+
+def read_journal(path: str) -> JournalScan:
+    """Read every valid record of the journal at ``path``.
+
+    Never raises on a damaged tail: scanning stops at the first torn or
+    CRC-bad record and the scan reports where the valid prefix ends.
+    A missing file is an empty journal.
+    """
+    try:
+        raw = open(path, "rb").read()
+    except FileNotFoundError:
+        return JournalScan(path=path)
+    reader = JournalReader(raw)
+    records = list(reader)
+    return JournalScan(
+        path=path,
+        records=records,
+        valid_bytes=reader.offset,
+        total_bytes=len(raw),
+        truncation_reason=reader.truncation_reason,
+    )
+
+
+def truncate_tail(path: str, scan: JournalScan) -> int:
+    """Cut a damaged tail off the journal; returns bytes removed.
+
+    The scan must have come from :func:`read_journal` on the same path.
+    """
+    if not scan.truncated:
+        return 0
+    if scan.path != path:
+        raise JournalError(
+            f"scan of {scan.path!r} cannot truncate {path!r}"
+        )
+    with open(path, "r+b") as handle:
+        handle.truncate(scan.valid_bytes)
+        handle.flush()
+        os.fsync(handle.fileno())
+    return scan.truncated_bytes

@@ -1,0 +1,634 @@
+"""The durability manager: journaling hooks + startup recovery.
+
+One :class:`DurabilityManager` per journaled server.  It owns the
+journal directory (``journal.wal`` plus ``snapshot.bin``), appends one
+record per durable state change, rewrites the snapshot every
+``snapshot_every`` records, and rebuilds the server's state on startup.
+
+What is durable
+---------------
+* shadow-cache entries and versions (``cache-put`` / ``cache-drop``);
+* job state — submissions, cancellations, completions with their output
+  bundles (``job-submit`` / ``job-cancel`` / ``job-done`` /
+  ``job-routed``);
+* session incarnations (``hello`` / ``bye``) and the idempotent reply
+  cache (``reply``), so a client retrying a request whose reply died
+  with the server still gets exactly-once effects;
+* coherence bookkeeping and staged job inputs ride in the snapshot.
+
+Write ordering
+--------------
+A handler mutates in-memory state first, then appends the journal
+record, and the reply leaves the server only after its ``reply`` record
+is down.  A crash between mutation and append loses the mutation *and*
+the reply — the client retries and the whole effect happens again.  A
+crash between append and reply keeps the effect — the client's retry is
+answered from the journaled reply cache.  Either way: exactly once.
+
+Snapshot rotation (lock order: server locks, then the journal lock —
+never the reverse)
+------------------
+1. under the journal lock, rotate ``journal.wal`` aside to
+   ``journal.wal.old`` and open a fresh journal;
+2. capture the full server state (mutations recorded in the *old*
+   journal strictly precede the rotation, so the capture contains them;
+   anything later lands in the fresh journal);
+3. atomically replace ``snapshot.bin``;
+4. delete ``journal.wal.old``.
+
+Recovery applies the snapshot, then replays ``journal.wal.old`` (a
+crash between steps 3 and 4 leaves one behind; every replay is
+idempotent), then ``journal.wal`` — truncating a torn or CRC-bad tail
+at the last valid record instead of failing.
+"""
+
+from __future__ import annotations
+
+import base64
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from repro.durability.journal import (
+    JournalWriter,
+    read_journal,
+    truncate_tail,
+)
+from repro.durability.snapshot import load_snapshot, write_snapshot
+from repro.errors import JournalError
+from repro.jobs.output import DeliveryPlan, OutputBundle
+from repro.jobs.queue import QueuedJob
+from repro.jobs.spec import JobRequest
+from repro.jobs.status import JobRecord, JobState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.server import ShadowServer
+
+#: On-disk names inside the journal directory.
+JOURNAL_FILE = "journal.wal"
+JOURNAL_ROTATED = "journal.wal.old"
+SNAPSHOT_FILE = "snapshot.bin"
+
+#: Snapshot cadence: a fresh snapshot (and journal truncation) every
+#: this many journal records.
+DEFAULT_SNAPSHOT_EVERY = 512
+
+#: Snapshot format version; bump on incompatible layout changes.
+SNAPSHOT_FORMAT = 1
+
+
+def pack_bytes(data: bytes) -> str:
+    return base64.b64encode(data).decode("ascii")
+
+
+def unpack_bytes(text: str) -> bytes:
+    return base64.b64decode(text.encode("ascii"))
+
+
+class DurabilityManager:
+    """Journal + snapshot + recovery for one :class:`ShadowServer`."""
+
+    def __init__(
+        self,
+        journal_dir: str,
+        fsync: bool = False,
+        snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
+        telemetry=None,
+        events=None,
+    ) -> None:
+        if snapshot_every < 1:
+            raise JournalError(
+                f"snapshot_every must be >= 1, got {snapshot_every}"
+            )
+        self.journal_dir = journal_dir
+        self.fsync = fsync
+        self.snapshot_every = snapshot_every
+        self.telemetry = telemetry
+        self.events = events
+        os.makedirs(journal_dir, exist_ok=True)
+        #: Serialises journal appends and rotation; taken *after* any
+        #: server lock, never before (see the module doc's lock order).
+        self._journal_lock = threading.Lock()
+        self._writer: Optional[JournalWriter] = None
+        self._records_since_snapshot = 0
+        self._recovering = False
+        self._closed = False
+        #: Filled by :meth:`recover`; diagnostic only.
+        self.last_recovery: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+    @property
+    def journal_path(self) -> str:
+        return os.path.join(self.journal_dir, JOURNAL_FILE)
+
+    @property
+    def rotated_path(self) -> str:
+        return os.path.join(self.journal_dir, JOURNAL_ROTATED)
+
+    @property
+    def snapshot_path(self) -> str:
+        return os.path.join(self.journal_dir, SNAPSHOT_FILE)
+
+    # ------------------------------------------------------------------
+    # telemetry helpers
+    # ------------------------------------------------------------------
+    def _count(self, name: str, amount: float = 1.0) -> None:
+        if self.telemetry is not None:
+            self.telemetry.counter(name).inc(amount)
+
+    def _emit(self, kind: str, **fields: Any) -> None:
+        if self.events is not None:
+            self.events.emit(kind, **fields)
+
+    # ------------------------------------------------------------------
+    # the write path
+    # ------------------------------------------------------------------
+    def record(self, kind: str, **fields: Any) -> None:
+        """Append one journal record (no-op during recovery/after close)."""
+        if self._recovering or self._closed:
+            return
+        entry = {"kind": kind}
+        entry.update(fields)
+        with self._journal_lock:
+            if self._writer is None or self._writer.closed:
+                self._writer = JournalWriter(
+                    self.journal_path, fsync=self.fsync
+                )
+            written = self._writer.append(entry)
+            self._records_since_snapshot += 1
+        self._count("journal_appends")
+        self._count("journal_bytes", float(written))
+
+    def maybe_snapshot(self, server: "ShadowServer") -> bool:
+        """Snapshot + truncate when the cadence says so.
+
+        Called from the request path *after* every lock is released, so
+        the capture can take server locks without ordering hazards.
+        """
+        if self._recovering or self._closed:
+            return False
+        if self._records_since_snapshot < self.snapshot_every:
+            return False
+        self.snapshot(server)
+        return True
+
+    def snapshot(self, server: "ShadowServer") -> None:
+        """Write a fresh snapshot and truncate the journal behind it."""
+        with self._journal_lock:
+            if self._writer is not None and not self._writer.closed:
+                self._writer.close()
+            self._writer = None
+            if os.path.exists(self.journal_path):
+                os.replace(self.journal_path, self.rotated_path)
+            self._records_since_snapshot = 0
+        state = capture_state(server)
+        written = write_snapshot(self.snapshot_path, state)
+        try:
+            os.remove(self.rotated_path)
+        except FileNotFoundError:
+            pass
+        self._count("journal_snapshots")
+        self._count("journal_bytes", float(written))
+        self._emit(
+            "durability_snapshot",
+            bytes=written,
+            cache_entries=len(state["cache"]),
+            jobs=len(state["jobs"]),
+        )
+
+    def flush(self) -> None:
+        with self._journal_lock:
+            if self._writer is not None and not self._writer.closed:
+                self._writer.flush()
+
+    def close(self, server: Optional["ShadowServer"] = None) -> None:
+        """Graceful shutdown: final snapshot (when given the server),
+        then flush and release the journal."""
+        if self._closed:
+            return
+        if server is not None:
+            self.snapshot(server)
+        with self._journal_lock:
+            if self._writer is not None and not self._writer.closed:
+                self._writer.close()
+            self._writer = None
+            self._closed = True
+
+    def abandon(self) -> None:
+        """Simulate a crash: drop the journal handle without snapshot
+        or final flush (appends already flushed per record)."""
+        with self._journal_lock:
+            if self._writer is not None and not self._writer.closed:
+                self._writer.close()
+            self._writer = None
+            self._closed = True
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def recover(self, server: "ShadowServer") -> Dict[str, Any]:
+        """Rebuild ``server``'s durable state from disk.
+
+        Ordering: snapshot first, then the rotated journal a crash may
+        have left mid-snapshot, then the live journal.  Torn or CRC-bad
+        tails are truncated at the last valid record — recovery never
+        fails on a damaged journal.
+        """
+        began = time.perf_counter()
+        self._recovering = True
+        replayed = 0
+        truncated_records = 0
+        truncated_bytes = 0
+        try:
+            snapshot = load_snapshot(self.snapshot_path)
+            if snapshot is not None:
+                apply_snapshot(server, snapshot)
+            for path in (self.rotated_path, self.journal_path):
+                scan = read_journal(path)
+                if scan.truncated:
+                    truncated_records += 1
+                    truncated_bytes += truncate_tail(path, scan)
+                for entry in scan.records:
+                    replay_record(server, entry)
+                    replayed += 1
+            _settle_queued_jobs(server)
+        finally:
+            self._recovering = False
+        try:
+            os.remove(self.rotated_path)
+        except FileNotFoundError:
+            pass
+        # Append from where the (possibly truncated) journal now ends.
+        with self._journal_lock:
+            self._writer = JournalWriter(self.journal_path, fsync=self.fsync)
+            self._records_since_snapshot = replayed
+        elapsed = time.perf_counter() - began
+        if self.telemetry is not None:
+            self.telemetry.gauge("recovery_seconds").set(elapsed)
+        self._count("replayed_records", float(replayed))
+        if truncated_records:
+            self._count("truncated_tail_records", float(truncated_records))
+        report = {
+            "replayed_records": replayed,
+            "truncated_tail_records": truncated_records,
+            "truncated_bytes": truncated_bytes,
+            "had_snapshot": snapshot is not None,
+            "recovery_seconds": elapsed,
+        }
+        self.last_recovery = report
+        self._emit("recovery", **report)
+        return report
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "component": "durability",
+            "journal_dir": self.journal_dir,
+            "fsync": self.fsync,
+            "snapshot_every": self.snapshot_every,
+            "records_since_snapshot": self._records_since_snapshot,
+            "last_recovery": dict(self.last_recovery),
+        }
+
+
+# ----------------------------------------------------------------------
+# state capture (server -> snapshot dict)
+# ----------------------------------------------------------------------
+def capture_state(server: "ShadowServer") -> Dict[str, Any]:
+    """A self-contained snapshot of everything the journal protects."""
+    cache_entries: List[Dict[str, Any]] = []
+    for entry in server.cache._entries.values():  # insertion-ordered view
+        cache_entries.append(
+            {
+                "key": entry.key,
+                "version": entry.version,
+                "content": pack_bytes(entry.content),
+                "created_at": entry.created_at,
+                "last_access": entry.last_access,
+                "access_count": entry.access_count,
+            }
+        )
+    sessions: List[Dict[str, Any]] = []
+    for session in server.sessions.all_sessions():
+        with session.lock:
+            if not session.greeted and not session.reply_cache_entries:
+                continue
+            sessions.append(
+                {
+                    "client": session.client_id,
+                    "domain": session.domain,
+                    "greeted": session.greeted,
+                    "replies": [
+                        [rid, pack_bytes(reply)]
+                        for rid, reply in session._replies.items()
+                    ],
+                }
+            )
+    with server._jobs_lock:
+        queued_ids = {job.job_id for job in server.queue.snapshot()}
+        jobs: List[Dict[str, Any]] = []
+        for record in server.status.all_records():
+            meta = server._job_meta.get(record.job_id)
+            info: Dict[str, Any] = {
+                "job_id": record.job_id,
+                "owner": record.owner,
+                "state": record.state.value,
+                "submitted_at": record.submitted_at,
+                "started_at": record.started_at,
+                "finished_at": record.finished_at,
+                "exit_code": record.exit_code,
+                "detail": record.detail,
+                "queued": record.job_id in queued_ids,
+            }
+            if meta is not None:
+                info.update(
+                    {
+                        "request": request_dict(meta.request),
+                        "file_versions": dict(meta.file_versions),
+                        "file_checksums": dict(meta.file_checksums),
+                        "priority": meta.priority,
+                        "enqueued_at": meta.enqueued_at,
+                        "trace_id": meta.trace_id,
+                    }
+                )
+            jobs.append(info)
+        staged = {
+            job_id: {key: pack_bytes(content) for key, content in files.items()}
+            for job_id, files in server._staged.items()
+        }
+        finished = [
+            {
+                "job_id": bundle.job_id,
+                "exit_code": bundle.exit_code,
+                "stdout": pack_bytes(bundle.stdout),
+                "stderr": pack_bytes(bundle.stderr),
+                "output_files": {
+                    name: pack_bytes(content)
+                    for name, content in bundle.output_files.items()
+                },
+                "cpu_seconds": bundle.cpu_seconds,
+            }
+            for bundle in server._finished.values()
+        ]
+        routed = dict(server._routed)
+        job_counter = server._job_counter
+    return {
+        "kind": "snapshot",
+        "format": SNAPSHOT_FORMAT,
+        "server": server.name,
+        "job_counter": job_counter,
+        "cache": cache_entries,
+        "coherence": dict(server.coherence._latest_known),
+        "sessions": sessions,
+        "jobs": jobs,
+        "staged": staged,
+        "finished": finished,
+        "routed": routed,
+    }
+
+
+def request_dict(request: JobRequest) -> Dict[str, Any]:
+    return {
+        "script": request.command_file.render(),
+        "data_files": list(request.data_files),
+        "output_file": request.output_file,
+        "error_file": request.error_file,
+        "target_host": request.target_host,
+        "deliver_to_host": request.deliver_to_host,
+    }
+
+
+def _request_from_dict(info: Dict[str, Any]) -> JobRequest:
+    return JobRequest.build(
+        info["script"],
+        data_files=tuple(info.get("data_files", ())),
+        output_file=info.get("output_file"),
+        error_file=info.get("error_file"),
+        target_host=info.get("target_host"),
+        deliver_to_host=info.get("deliver_to_host"),
+    )
+
+
+# ----------------------------------------------------------------------
+# state restore (snapshot dict / journal records -> server)
+# ----------------------------------------------------------------------
+def apply_snapshot(server: "ShadowServer", state: Dict[str, Any]) -> None:
+    if state.get("format") != SNAPSHOT_FORMAT:
+        raise JournalError(
+            f"snapshot format {state.get('format')!r} is not "
+            f"{SNAPSHOT_FORMAT} (wrong tool version?)"
+        )
+    for info in state.get("cache", ()):
+        content = unpack_bytes(info["content"])
+        entry = server.cache.put(
+            info["key"], content, int(info["version"]),
+            float(info.get("created_at", 0.0)),
+        )
+        if entry is not None:
+            entry.created_at = float(info.get("created_at", 0.0))
+            entry.last_access = float(info.get("last_access", 0.0))
+            entry.access_count = int(info.get("access_count", 0))
+    for key, version in state.get("coherence", {}).items():
+        server.coherence.note_notification(key, int(version))
+    for info in state.get("sessions", ()):
+        session = server.sessions.ensure(info["client"])
+        if info.get("greeted"):
+            session.greet(info.get("domain", ""))
+        for rid, reply in info.get("replies", ()):
+            session.store_reply(rid, unpack_bytes(reply))
+    with server._jobs_lock:
+        server._job_counter = max(
+            server._job_counter, int(state.get("job_counter", 0))
+        )
+        for info in state.get("jobs", ()):
+            _restore_job(server, info)
+        for job_id, files in state.get("staged", {}).items():
+            if job_id not in server.status:
+                continue
+            server._staged[job_id] = {
+                key: unpack_bytes(content) for key, content in files.items()
+            }
+        for info in state.get("finished", ()):
+            if info["job_id"] not in server.status:
+                continue
+            server._finished[info["job_id"]] = _bundle_from_dict(info)
+        for job_id, host in state.get("routed", {}).items():
+            server._routed[job_id] = host
+
+
+def _bundle_from_dict(info: Dict[str, Any]) -> OutputBundle:
+    return OutputBundle(
+        job_id=info["job_id"],
+        exit_code=int(info.get("exit_code", 0)),
+        stdout=unpack_bytes(info.get("stdout", "")),
+        stderr=unpack_bytes(info.get("stderr", "")),
+        output_files={
+            name: unpack_bytes(content)
+            for name, content in info.get("output_files", {}).items()
+        },
+        cpu_seconds=float(info.get("cpu_seconds", 0.0)),
+    )
+
+
+def _restore_job(server: "ShadowServer", info: Dict[str, Any]) -> None:
+    """Rebuild one job from its snapshot entry (caller holds the jobs
+    lock).  Non-terminal jobs — including ones RUNNING at the crash —
+    are re-queued; their effects never became visible, so re-running is
+    the exactly-once-visible outcome."""
+    job_id = info["job_id"]
+    if job_id in server.status:
+        return
+    state = JobState(info["state"])
+    record = JobRecord(
+        job_id=job_id,
+        owner=info["owner"],
+        submitted_at=float(info.get("submitted_at", 0.0)),
+    )
+    record.detail = info.get("detail", "")
+    if state.terminal:
+        record.state = state
+        record.started_at = info.get("started_at")
+        record.finished_at = info.get("finished_at")
+        record.exit_code = info.get("exit_code")
+    server.status.add(record)
+    if "request" not in info:
+        return  # legacy/partial entry: keep the record, lose the queue slot
+    request = _request_from_dict(info["request"])
+    file_versions = {
+        key: int(version)
+        for key, version in info.get("file_versions", {}).items()
+    }
+    job = QueuedJob(
+        job_id=job_id,
+        owner=info["owner"],
+        request=request,
+        file_keys=tuple(file_versions),
+        file_versions=file_versions,
+        file_checksums=dict(info.get("file_checksums", {})),
+        enqueued_at=float(info.get("enqueued_at", 0.0)),
+        priority=int(info.get("priority", 0)),
+        trace_id=info.get("trace_id", ""),
+    )
+    server._job_meta[job_id] = job
+    server._requests[job_id] = request
+    server._plans[job_id] = DeliveryPlan.for_request(
+        job_id, request, client_host=info["owner"]
+    )
+    if not state.terminal:
+        server.queue.push(job)
+
+
+def replay_record(server: "ShadowServer", entry: Dict[str, Any]) -> None:
+    """Apply one journal record; every branch tolerates re-application
+    (a crash between snapshot rename and journal truncation replays
+    records the snapshot already contains)."""
+    kind = entry.get("kind")
+    if kind == "hello":
+        server.sessions.ensure(entry["client"]).greet(entry.get("domain", ""))
+    elif kind == "bye":
+        session = server.sessions.get(entry["client"])
+        if session is not None:
+            session.farewell()
+    elif kind == "cache-put":
+        content = unpack_bytes(entry["content"])
+        version = int(entry["version"])
+        server.cache.put(
+            entry["key"], content, version, float(entry.get("ts", 0.0))
+        )
+        server.coherence.note_notification(entry["key"], version)
+        from repro.jobs import pipeline as job_pipeline
+
+        job_pipeline.stage_for_waiting_jobs(
+            server, entry["key"], version, content
+        )
+    elif kind == "cache-drop":
+        server.cache.invalidate(entry["key"])
+    elif kind == "job-submit":
+        with server._jobs_lock:
+            _restore_job(
+                server,
+                {
+                    "job_id": entry["job_id"],
+                    "owner": entry["owner"],
+                    "state": JobState.QUEUED.value,
+                    "submitted_at": entry.get("submitted_at", 0.0),
+                    "request": entry["request"],
+                    "file_versions": entry.get("file_versions", {}),
+                    "file_checksums": entry.get("file_checksums", {}),
+                    "priority": entry.get("priority", 0),
+                    "enqueued_at": entry.get("enqueued_at", 0.0),
+                    "trace_id": entry.get("trace_id", ""),
+                },
+            )
+            number = _job_number(entry["job_id"])
+            server._job_counter = max(server._job_counter, number)
+    elif kind == "job-cancel":
+        with server._jobs_lock:
+            if entry["job_id"] not in server.status:
+                return
+            record = server.status.get(entry["job_id"])
+            if record.state.terminal:
+                return
+            if entry["job_id"] in server.queue:
+                server.queue.pop(entry["job_id"])
+            server._staged.pop(entry["job_id"], None)
+            record.state = JobState.CANCELLED
+            record.finished_at = entry.get("ts")
+            record.detail = entry.get("detail", "cancelled")
+    elif kind == "job-done":
+        with server._jobs_lock:
+            if entry["job_id"] not in server.status:
+                return
+            record = server.status.get(entry["job_id"])
+            if record.state.terminal:
+                return
+            if entry["job_id"] in server.queue:
+                server.queue.pop(entry["job_id"])
+            server._staged.pop(entry["job_id"], None)
+            record.state = JobState(entry["state"])
+            record.exit_code = entry.get("exit_code")
+            record.started_at = entry.get("started_at")
+            record.finished_at = entry.get("finished_at")
+            record.detail = entry.get("detail", "")
+            from repro.jobs import pipeline as job_pipeline
+
+            job_pipeline.remember_bundle(
+                server, record.owner, _bundle_from_dict(entry)
+            )
+    elif kind == "job-routed":
+        with server._jobs_lock:
+            server._routed[entry["job_id"]] = entry["host"]
+    elif kind == "reply":
+        server.sessions.ensure(entry["client"]).store_reply(
+            entry["rid"], unpack_bytes(entry["data"])
+        )
+    # Unknown kinds are skipped: an older server build must be able to
+    # recover a journal written by a newer one as far as it understands.
+
+
+def _job_number(job_id: str) -> int:
+    """The counter value embedded in ``<server>-job-<n>`` ids (0 when
+    the id is foreign)."""
+    tail = job_id.rsplit("-", 1)[-1]
+    try:
+        return int(tail)
+    except ValueError:
+        return 0
+
+
+def _settle_queued_jobs(server: "ShadowServer") -> None:
+    """Recompute QUEUED vs WAITING_FILES for every recovered job."""
+    from repro.jobs import pipeline as job_pipeline
+
+    with server._jobs_lock:
+        for job in server.queue.snapshot():
+            record = server.status.get(job.job_id)
+            needs = job_pipeline.missing_files(server, job)
+            record.state = (
+                JobState.WAITING_FILES if needs else JobState.QUEUED
+            )
+            record.started_at = None
+            if needs:
+                record.detail = f"waiting for {len(needs)} files"

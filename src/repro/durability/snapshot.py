@@ -1,0 +1,63 @@
+"""Atomic full-state snapshots, the journal's truncation points.
+
+A snapshot is one framed, CRC-guarded JSON record (the same on-disk
+format as a journal record) holding the server's entire durable state.
+It is written atomically — temp file in the same directory, fsync,
+rename over the live name, directory fsync — so a crash mid-snapshot
+leaves the previous snapshot intact and a crash *after* the rename but
+before the journal truncation merely replays records the snapshot
+already contains (every replay is idempotent by design).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional
+
+from repro.durability.journal import JournalReader, encode_record
+
+
+def write_snapshot(path: str, state: Dict[str, Any]) -> int:
+    """Atomically replace the snapshot at ``path``; returns bytes written."""
+    encoded = encode_record(state)
+    directory = os.path.dirname(path) or "."
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "wb") as handle:
+        handle.write(encoded)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+    _fsync_directory(directory)
+    return len(encoded)
+
+
+def load_snapshot(path: str) -> Optional[Dict[str, Any]]:
+    """The snapshot at ``path``, or None when absent or damaged.
+
+    A damaged snapshot (torn write of the rename target on an exotic
+    filesystem) is treated as absent: recovery then replays the journal
+    from an empty state, trading time for safety.
+    """
+    try:
+        raw = open(path, "rb").read()
+    except FileNotFoundError:
+        return None
+    reader = JournalReader(raw)
+    record = reader._next_record()
+    if record is None or reader.offset != len(raw):
+        return None
+    return record
+
+
+def _fsync_directory(directory: str) -> None:
+    """Persist a rename by fsyncing its directory (POSIX durability)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return  # not supported here (e.g. some CI filesystems); best effort
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)

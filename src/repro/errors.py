@@ -130,3 +130,20 @@ class CompressionError(ShadowError):
 
 class EnvironmentError_(ShadowError):
     """The shadow environment (user customisation DB) was misconfigured."""
+
+
+class JournalError(ShadowError):
+    """The durability journal was misused (never raised for torn tails:
+    damaged journals are truncated at the last valid record, not failed)."""
+
+
+class ServerCrashedError(TransportError):
+    """An injected crash took the server down mid-exchange.
+
+    Raised by the crash/restart harness (:mod:`repro.durability.crashable`)
+    so clients see a dead server exactly as a torn connection: a
+    retryable transport fault."""
+
+
+class ServerClosingError(ShadowError):
+    """The server is draining for shutdown and refuses new sessions."""

@@ -207,6 +207,29 @@ def _run_job_traced(
             )
             if not result.succeeded:
                 trace.outcome = f"error:exit-{result.exit_code}"
+            # Under the jobs lock, so completion can never be journaled
+            # before its own job-submit record.  A crash *before* this
+            # append loses the run entirely — recovery re-queues and
+            # re-executes, and since the bundle never became fetchable,
+            # the re-run is still the only visible execution.
+            from repro.durability.manager import pack_bytes
+
+            server._journal(
+                "job-done",
+                job_id=job.job_id,
+                state=record.state.value,
+                exit_code=record.exit_code,
+                started_at=record.started_at,
+                finished_at=record.finished_at,
+                detail=record.detail,
+                stdout=pack_bytes(bundle.stdout),
+                stderr=pack_bytes(bundle.stderr),
+                output_files={
+                    name: pack_bytes(content)
+                    for name, content in bundle.output_files.items()
+                },
+                cpu_seconds=bundle.cpu_seconds,
+            )
         with trace.phase("deliver"):
             deliver_if_routed(server, job, bundle)
             push_to_owner(server, job, bundle)
@@ -260,6 +283,9 @@ def deliver_if_routed(
     )
     channel.request(push.to_wire())
     server._routed[job.job_id] = plan.destination_host
+    server._journal(
+        "job-routed", job_id=job.job_id, host=plan.destination_host
+    )
 
 
 def push_to_owner(

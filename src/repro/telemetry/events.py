@@ -19,7 +19,10 @@ the rest of the process instead of taking the request path down.
 
 from __future__ import annotations
 
+import io
 import json
+import os
+import sys
 import threading
 import time
 from collections import deque
@@ -50,10 +53,17 @@ class MemorySink:
 
 
 class JsonLinesSink:
-    """Write each event as one JSON line to a text stream."""
+    """Write each event as one JSON line to a text stream.
 
-    def __init__(self, stream: TextIO) -> None:
+    Every event is flushed through the stdio buffer as it is written;
+    ``fsync=True`` additionally forces the file to stable storage on
+    :meth:`close` and :meth:`rotate`, so a log shipped after a crash is
+    complete up to the last record the process survived to write.
+    """
+
+    def __init__(self, stream: TextIO, fsync: bool = False) -> None:
         self.stream = stream
+        self.fsync = fsync
         self._lock = threading.Lock()
 
     def __call__(self, event: Dict[str, Any]) -> None:
@@ -61,6 +71,42 @@ class JsonLinesSink:
         with self._lock:
             self.stream.write(line + "\n")
             self.stream.flush()
+
+    def _sync_locked(self, stream: TextIO) -> None:
+        stream.flush()
+        if self.fsync:
+            try:
+                os.fsync(stream.fileno())
+            except (OSError, ValueError, io.UnsupportedOperation):
+                pass  # stream has no file descriptor (StringIO, pipes)
+
+    def rotate(self, stream: TextIO) -> TextIO:
+        """Swap to a fresh stream (log rotation), flushing — and when
+        ``fsync`` is set, syncing — the old one first.
+
+        Returns the previous stream; the caller closes it if it owns it.
+        """
+        with self._lock:
+            old = self.stream
+            self._sync_locked(old)
+            self.stream = stream
+        return old
+
+    def close(self) -> None:
+        """Flush (and optionally fsync) pending lines, then close the
+        stream — unless it is the process's stdout/stderr, which belong
+        to the caller."""
+        with self._lock:
+            try:
+                self._sync_locked(self.stream)
+            except ValueError:
+                return  # stream already closed
+            if self.stream in (sys.stdout, sys.stderr):
+                return
+            try:
+                self.stream.close()
+            except OSError:
+                pass
 
 
 class EventLog:
@@ -115,6 +161,22 @@ class EventLog:
 
     def __len__(self) -> int:
         return len(self.memory)
+
+    def close(self) -> None:
+        """Flush and close every sink that supports it.
+
+        The memory ring has nothing to flush and stays queryable, so
+        ``describe()`` and late ``stats`` reads keep working after close.
+        """
+        with self._lock:
+            sinks = list(self._sinks)
+        for sink in sinks:
+            closer = getattr(sink, "close", None)
+            if callable(closer):
+                try:
+                    closer()
+                except Exception:
+                    pass  # closing is best effort, mirrors emit()
 
     def describe(self) -> Dict[str, Any]:
         with self._lock:

@@ -18,7 +18,7 @@ from __future__ import annotations
 import random
 from typing import Dict
 
-from repro.errors import TransportError
+from repro.errors import ServerCrashedError, TransportError
 from repro.transport.base import RequestChannel
 
 
@@ -88,9 +88,13 @@ class FailNextChannel(RequestChannel):
         self._fail_count = 0
         self._lose_reply = False
         self._request_index = 0
-        #: request ordinal -> fault mode ("drop" | "lose-reply" | "garble").
+        #: request ordinal -> fault mode
+        #: ("drop" | "lose-reply" | "garble" | "crash" | "crash-after").
         self._scheduled: Dict[int, str] = {}
         self.faults_injected = 0
+        #: Called (no args) when a scheduled crash fires — the harness
+        #: hooks here to actually take the server down.
+        self.crash_hook = None
 
     def fail_next(self, count: int = 1, lose_reply: bool = False) -> None:
         """Arm the next ``count`` requests to fail.
@@ -116,6 +120,27 @@ class FailNextChannel(RequestChannel):
             "lose-reply" if lose_reply else "drop"
         )
 
+    def schedule_crash(
+        self, at_request: int, after_handling: bool = False
+    ) -> None:
+        """Arm the ``at_request``-th future request to kill the server.
+
+        With ``after_handling=False`` the server dies *before* the
+        request arrives: no side effect, no journal record, the client
+        sees a dead connection.  With ``after_handling=True`` the server
+        processes (and journals) the request and dies before the reply
+        gets out — the nastiest window: effects are durable, and only
+        the recovered reply cache keeps the client's retry exactly-once.
+        Requires :attr:`crash_hook` to be wired to the crash harness.
+        """
+        if at_request < 1:
+            raise TransportError(
+                f"at_request is 1-based, got {at_request}"
+            )
+        self._scheduled[self._request_index + at_request] = (
+            "crash-after" if after_handling else "crash"
+        )
+
     def schedule_garble(self, at_request: int) -> None:
         """Arm the ``at_request``-th future request's *reply* to arrive
         corrupted (the request IS processed; the reply fails to decode).
@@ -139,11 +164,25 @@ class FailNextChannel(RequestChannel):
         corrupted[len(corrupted) // 2] ^= 0xFF
         return bytes(corrupted)
 
+    def _crash(self, payload: bytes, after_handling: bool) -> bytes:
+        self.faults_injected += 1
+        if after_handling:
+            self.inner.request(payload)  # the server DID process this
+        if self.crash_hook is not None:
+            self.crash_hook()
+        raise ServerCrashedError(
+            "injected crash: server died "
+            + ("after handling the request" if after_handling
+               else "before the request arrived")
+        )
+
     def _deliver(self, payload: bytes) -> bytes:
         self._request_index += 1
         scheduled = self._scheduled.pop(self._request_index, None)
         if scheduled == "garble":
             return self._garble(payload)
+        if scheduled in ("crash", "crash-after"):
+            return self._crash(payload, scheduled == "crash-after")
         if scheduled is not None:
             return self._fail(payload, scheduled == "lose-reply")
         if self._fail_count > 0:

@@ -19,7 +19,8 @@ from __future__ import annotations
 
 import socket
 import threading
-from typing import List, Optional, Sequence, Tuple
+import time
+from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.errors import TransportClosedError, TransportError
 from repro.telemetry.registry import MetricsRegistry
@@ -211,6 +212,13 @@ class TcpChannelServer:
         self._listener.settimeout(_ACCEPT_POLL_SECONDS)
         self.address: Tuple[str, int] = self._listener.getsockname()
         self._stop = threading.Event()
+        #: Draining: stop accepting and finish in-flight frames, but let
+        #: live connections close cleanly between frames (graceful half
+        #: of :meth:`close`); ``_stop`` is the hard stop after the drain
+        #: deadline.
+        self._draining = threading.Event()
+        self._conn_lock = threading.Lock()
+        self._connections: Set[socket.socket] = set()
         self._threads: List[threading.Thread] = []
         self.refused_connections = 0
         self.accepted_connections = 0
@@ -277,50 +285,89 @@ class TcpChannelServer:
 
     def _serve_connection(self, connection: socket.socket) -> None:
         decoder = FrameDecoder()
-        with connection:
-            connection.settimeout(_ACCEPT_POLL_SECONDS)
-            while not self._stop.is_set():
-                try:
-                    request = _recv_frame(connection, decoder)
-                except socket.timeout:
-                    continue
-                except TransportError:
-                    # Covers CRC mismatches (FrameCorruptionError) and
-                    # torn connections alike: the frame never made it.
-                    self._count("tcp_frame_errors_total")
-                    return
-                if request is None:
-                    return
-                self._count("tcp_frames_total", direction="in")
-                self._count(
-                    "tcp_bytes_total", float(len(request)), direction="in"
-                )
-                try:
-                    reply = self._handler(request)
-                except Exception as exc:  # surface handler crashes to peer
-                    self._count("tcp_handler_errors_total")
-                    reply = b"\x00HANDLER-ERROR:" + str(exc).encode(
-                        "utf-8", "replace"
+        with self._conn_lock:
+            self._connections.add(connection)
+        try:
+            with connection:
+                connection.settimeout(_ACCEPT_POLL_SECONDS)
+                while not self._stop.is_set():
+                    try:
+                        request = _recv_frame(connection, decoder)
+                    except socket.timeout:
+                        # While draining, close idle connections — but a
+                        # half-received request is finished first (the
+                        # drain deadline bounds a stalled peer).
+                        if (
+                            self._draining.is_set()
+                            and not decoder.pending_bytes
+                        ):
+                            return
+                        continue
+                    except TransportError:
+                        # Covers CRC mismatches (FrameCorruptionError) and
+                        # torn connections alike: the frame never made it.
+                        self._count("tcp_frame_errors_total")
+                        return
+                    if request is None:
+                        return
+                    self._count("tcp_frames_total", direction="in")
+                    self._count(
+                        "tcp_bytes_total", float(len(request)), direction="in"
                     )
-                try:
-                    connection.sendall(encode_frame(reply))
-                except OSError:
-                    return
-                self._count("tcp_frames_total", direction="out")
-                self._count(
-                    "tcp_bytes_total", float(len(reply)), direction="out"
-                )
+                    try:
+                        reply = self._handler(request)
+                    except Exception as exc:  # surface handler crashes
+                        self._count("tcp_handler_errors_total")
+                        reply = b"\x00HANDLER-ERROR:" + str(exc).encode(
+                            "utf-8", "replace"
+                        )
+                    try:
+                        connection.sendall(encode_frame(reply))
+                    except OSError:
+                        return
+                    self._count("tcp_frames_total", direction="out")
+                    self._count(
+                        "tcp_bytes_total", float(len(reply)), direction="out"
+                    )
+                    if self._draining.is_set():
+                        return  # reply fully written; close between frames
+        finally:
+            with self._conn_lock:
+                self._connections.discard(connection)
 
-    def close(self) -> None:
-        """Stop accepting, close the listener, join worker threads."""
-        self._stop.set()
+    def close(self, drain_seconds: float = 2.0) -> None:
+        """Graceful shutdown: stop accepting, drain, then force-close.
+
+        New connections stop immediately.  Live handler threads get a
+        single shared deadline of ``drain_seconds`` to finish their
+        in-flight frame and exit — a reply in progress is always fully
+        written, never torn.  Whatever outlives the deadline has its
+        socket shut down so every thread is joined before returning.
+        """
+        self._draining.set()
         try:
             self._listener.close()
         except OSError:
             pass
         self._accept_thread.join(timeout=2.0)
-        for thread in self._threads:
-            thread.join(timeout=2.0)
+        deadline = time.monotonic() + max(drain_seconds, 0.0)
+        for thread in list(self._threads):
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+        # Drain deadline passed: hard-stop the stragglers.
+        self._stop.set()
+        with self._conn_lock:
+            stragglers = list(self._connections)
+        for connection in stragglers:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                connection.close()
+            except OSError:
+                pass
+        for thread in list(self._threads):
+            thread.join(timeout=1.0)
 
     def __enter__(self) -> "TcpChannelServer":
         return self

@@ -1,0 +1,176 @@
+"""Unit tests for the write-ahead journal and atomic snapshots.
+
+Every torn-tail shape the reader promises to survive gets its own case:
+a header cut mid-write, a body cut mid-write, a CRC-flipped sector, an
+absurd length field, an unparsable payload.  The valid prefix must
+always come back intact and the scan must say exactly where the damage
+starts so :func:`truncate_tail` can cut there.
+"""
+
+import os
+import struct
+
+import pytest
+
+from repro.durability.journal import (
+    JournalScan,
+    JournalWriter,
+    encode_record,
+    read_journal,
+    truncate_tail,
+)
+from repro.durability.snapshot import load_snapshot, write_snapshot
+from repro.errors import JournalError
+from repro.transport.framing import HEADER_SIZE, encode_frame
+
+RECORDS = [
+    {"kind": "hello", "client": "alice@ws"},
+    {"kind": "cache-put", "key": "/data/a", "version": 3},
+    {"kind": "job-submit", "job_id": "supercomputer-job-00001"},
+]
+
+
+def write_records(path, records=RECORDS):
+    with JournalWriter(str(path)) as writer:
+        for record in records:
+            writer.append(record)
+    return str(path)
+
+
+def test_append_read_roundtrip(tmp_path):
+    path = write_records(tmp_path / "journal.wal")
+    scan = read_journal(path)
+    assert scan.records == RECORDS
+    assert not scan.truncated
+    assert scan.valid_bytes == scan.total_bytes == os.path.getsize(path)
+
+
+def test_missing_file_is_an_empty_journal(tmp_path):
+    scan = read_journal(str(tmp_path / "nope.wal"))
+    assert scan.records == []
+    assert not scan.truncated
+
+
+def test_append_returns_on_disk_size(tmp_path):
+    with JournalWriter(str(tmp_path / "journal.wal")) as writer:
+        written = writer.append(RECORDS[0])
+    assert written == len(encode_record(RECORDS[0]))
+    assert written == os.path.getsize(tmp_path / "journal.wal")
+
+
+@pytest.mark.parametrize(
+    "damage, reason",
+    [
+        (lambda raw: raw + b"\x00\x00\x01", "torn header"),
+        (
+            lambda raw: raw + encode_record({"kind": "bye"})[:-2],
+            "torn record body",
+        ),
+        (
+            lambda raw: raw + struct.pack(">II", 2**31, 0) + b"xx",
+            "absurd record length",
+        ),
+        (
+            lambda raw: raw + encode_frame(b"not json at all {"),
+            "unparsable record payload",
+        ),
+        (
+            lambda raw: raw + encode_frame(b"[1, 2, 3]"),
+            "record is not an object",
+        ),
+    ],
+    ids=[
+        "torn-header",
+        "torn-body",
+        "absurd-length",
+        "bad-json",
+        "non-object",
+    ],
+)
+def test_damaged_tail_keeps_valid_prefix(tmp_path, damage, reason):
+    path = write_records(tmp_path / "journal.wal")
+    clean_size = os.path.getsize(path)
+    raw = open(path, "rb").read()
+    open(path, "wb").write(damage(raw))
+
+    scan = read_journal(path)
+    assert scan.records == RECORDS
+    assert scan.truncated
+    assert scan.valid_bytes == clean_size
+    assert reason in scan.truncation_reason
+
+    removed = truncate_tail(path, scan)
+    assert removed == scan.truncated_bytes
+    assert os.path.getsize(path) == clean_size
+    healed = read_journal(path)
+    assert healed.records == RECORDS and not healed.truncated
+
+
+def test_crc_flip_truncates_at_the_bad_record(tmp_path):
+    path = write_records(tmp_path / "journal.wal")
+    first_two = len(encode_record(RECORDS[0])) + len(encode_record(RECORDS[1]))
+    raw = bytearray(open(path, "rb").read())
+    raw[first_two + HEADER_SIZE + 3] ^= 0xFF  # flip a byte of record 3's body
+    open(path, "wb").write(bytes(raw))
+
+    scan = read_journal(path)
+    assert scan.records == RECORDS[:2]
+    assert scan.valid_bytes == first_two
+    assert "CRC mismatch" in scan.truncation_reason
+
+
+def test_truncate_refuses_a_foreign_scan(tmp_path):
+    path = write_records(tmp_path / "journal.wal")
+    scan = JournalScan(path="/somewhere/else.wal", valid_bytes=0, total_bytes=9)
+    with pytest.raises(JournalError):
+        truncate_tail(path, scan)
+
+
+def test_truncate_is_a_noop_on_a_clean_journal(tmp_path):
+    path = write_records(tmp_path / "journal.wal")
+    scan = read_journal(path)
+    assert truncate_tail(path, scan) == 0
+    assert read_journal(path).records == RECORDS
+
+
+def test_writer_appends_across_reopen(tmp_path):
+    path = write_records(tmp_path / "journal.wal", RECORDS[:2])
+    with JournalWriter(path) as writer:
+        writer.append(RECORDS[2])
+    assert read_journal(path).records == RECORDS
+
+
+# ----------------------------------------------------------------------
+# snapshots
+# ----------------------------------------------------------------------
+STATE = {"kind": "snapshot", "format": 1, "cache": [{"key": "/data/a"}]}
+
+
+def test_snapshot_roundtrip(tmp_path):
+    path = str(tmp_path / "snapshot.bin")
+    written = write_snapshot(path, STATE)
+    assert written == os.path.getsize(path)
+    assert load_snapshot(path) == STATE
+    # The temp file used for the atomic replace must not linger.
+    assert os.listdir(tmp_path) == ["snapshot.bin"]
+
+
+def test_snapshot_missing_is_none(tmp_path):
+    assert load_snapshot(str(tmp_path / "absent.bin")) is None
+
+
+@pytest.mark.parametrize(
+    "damage",
+    [
+        lambda raw: raw[:-3],  # torn write
+        lambda raw: raw + b"trailing garbage",  # partial overwrite
+        lambda raw: b"",  # zero-length file
+    ],
+    ids=["torn", "trailing-garbage", "empty"],
+)
+def test_damaged_snapshot_is_none(tmp_path, damage):
+    path = str(tmp_path / "snapshot.bin")
+    write_snapshot(path, STATE)
+    raw = open(path, "rb").read()
+    open(path, "wb").write(damage(raw))
+    assert load_snapshot(path) is None

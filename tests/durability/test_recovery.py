@@ -1,0 +1,231 @@
+"""Restart-from-journal rebuilds the exact server state.
+
+A full client cycle runs against a journaled server; a second server is
+then booted over the same journal directory and must agree with the
+first on every durable axis: cache contents and versions, session reply
+caches, job records and their output bundles.  The satellite cases pin
+the :meth:`CacheStore.reconcile` verdicts after a restart — in
+particular that an entry evicted *between* the snapshot and the crash
+stays evicted (``missing``), rather than resurrecting or reporting
+``divergent``.
+"""
+
+import os
+
+import pytest
+
+from repro.core.client import ShadowClient
+from repro.core.server import ShadowServer
+from repro.core.workspace import MappingWorkspace
+from repro.durability.journal import JournalWriter, read_journal
+from repro.durability.manager import (
+    JOURNAL_FILE,
+    JOURNAL_ROTATED,
+    SNAPSHOT_FILE,
+)
+from repro.errors import JournalError
+from repro.jobs.status import JobState
+from repro.transport.base import LoopbackChannel
+from repro.workload.files import make_text_file
+
+PATHS = ["/data/alpha.dat", "/data/beta.dat", "/data/gamma.dat"]
+
+
+def build(journal_dir, **kwargs):
+    server = ShadowServer(journal_dir=str(journal_dir), **kwargs)
+    client = ShadowClient("alice@ws", MappingWorkspace())
+    client.connect(server.name, LoopbackChannel(server.handle))
+    return server, client
+
+
+def run_cycle(client):
+    for index, path in enumerate(PATHS):
+        client.write_file(path, make_text_file(2_000, seed=300 + index))
+    job_id = client.submit("wc alpha.dat", [PATHS[0]])
+    bundle = client.fetch_output(job_id)
+    return job_id, bundle
+
+
+def restart(journal_dir, **kwargs):
+    return ShadowServer(journal_dir=str(journal_dir), **kwargs)
+
+
+def cache_image(server):
+    return {
+        key: (entry.version, entry.content, entry.checksum)
+        for key in list(server.cache._entries)
+        for entry in [server.cache.peek_entry(key)]
+    }
+
+
+def test_restart_rebuilds_cache_sessions_and_jobs(tmp_path, client=None):
+    server, client = build(tmp_path)
+    job_id, bundle = run_cycle(client)
+    before_cache = cache_image(server)
+    before_replies = {
+        session.client_id: dict(session._replies)
+        for session in server.sessions.all_sessions()
+    }
+
+    revived = restart(tmp_path)
+    report = revived.durability.last_recovery
+    assert report["replayed_records"] > 0
+    assert report["truncated_tail_records"] == 0
+
+    assert cache_image(revived) == before_cache
+    for session in revived.sessions.all_sessions():
+        assert session.greeted
+        assert dict(session._replies) == before_replies[session.client_id]
+    record = revived.status.get(job_id)
+    assert record.state is JobState.COMPLETED
+    revived_bundle = revived._finished[job_id]
+    assert revived_bundle.stdout == bundle.stdout
+    assert revived_bundle.output_files == bundle.output_files
+    assert revived.describe()["durability"]["journal_dir"] == str(tmp_path)
+
+
+def test_restart_from_snapshot_alone(tmp_path):
+    server, client = build(tmp_path)
+    job_id, bundle = run_cycle(client)
+    before_cache = cache_image(server)
+    server.durability.snapshot(server)
+    assert os.path.exists(tmp_path / SNAPSHOT_FILE)
+    assert not os.path.exists(tmp_path / JOURNAL_ROTATED)
+
+    revived = restart(tmp_path)
+    report = revived.durability.last_recovery
+    assert report["had_snapshot"]
+    assert report["replayed_records"] == 0
+    assert cache_image(revived) == before_cache
+    assert revived.status.get(job_id).state is JobState.COMPLETED
+    assert revived._finished[job_id].stdout == bundle.stdout
+
+
+def test_snapshot_cadence_truncates_the_journal(tmp_path):
+    server, client = build(tmp_path, snapshot_every=4)
+    run_cycle(client)
+    # Enough records went down to cross the cadence at least once.
+    assert os.path.exists(tmp_path / SNAPSHOT_FILE)
+    live = read_journal(str(tmp_path / JOURNAL_FILE))
+    assert len(live.records) < server.telemetry.counter("journal_appends").value
+
+
+def test_torn_tail_is_truncated_not_fatal(tmp_path):
+    server, client = build(tmp_path)
+    run_cycle(client)
+    journal = tmp_path / JOURNAL_FILE
+    clean = read_journal(str(journal))
+    with open(journal, "ab") as handle:
+        handle.write(b"\x00\x00\x00\x30garbage-that-is-not-a-frame")
+
+    revived = restart(tmp_path)
+    report = revived.durability.last_recovery
+    assert report["truncated_tail_records"] == 1
+    assert report["truncated_bytes"] > 0
+    assert report["replayed_records"] == len(clean.records)
+    # The journal on disk healed: the next scan is clean.
+    assert not read_journal(str(journal)).truncated
+
+
+def test_double_replay_is_idempotent(tmp_path):
+    """A crash between snapshot rename and journal delete replays
+    records the snapshot already holds; state must not double up."""
+    server, client = build(tmp_path)
+    job_id, _ = run_cycle(client)
+    records = read_journal(str(tmp_path / JOURNAL_FILE)).records
+    for target, repeats in ((tmp_path / "once", 1), (tmp_path / "twice", 2)):
+        os.makedirs(target, exist_ok=True)
+        with JournalWriter(str(target / JOURNAL_FILE)) as writer:
+            for _ in range(repeats):
+                for record in records:
+                    writer.append(record)
+    once = restart(tmp_path / "once")
+    twice = restart(tmp_path / "twice")
+    assert cache_image(once) == cache_image(twice)
+    assert len(once.status.all_records()) == len(twice.status.all_records())
+    assert twice.status.get(job_id).state is JobState.COMPLETED
+
+
+def test_rotated_journal_left_by_a_crash_is_replayed(tmp_path):
+    server, client = build(tmp_path)
+    run_cycle(client)
+    before_cache = cache_image(server)
+    # Simulate dying between rotation and snapshot write: the live
+    # journal became .old and nothing else happened.
+    os.replace(tmp_path / JOURNAL_FILE, tmp_path / JOURNAL_ROTATED)
+
+    revived = restart(tmp_path)
+    assert cache_image(revived) == before_cache
+    assert not os.path.exists(tmp_path / JOURNAL_ROTATED)
+
+
+def test_snapshot_every_must_be_positive(tmp_path):
+    with pytest.raises(JournalError):
+        ShadowServer(journal_dir=str(tmp_path), snapshot_every=0)
+
+
+# ----------------------------------------------------------------------
+# satellite: reconcile verdicts across restart-from-snapshot
+# ----------------------------------------------------------------------
+def claims_matrix(store, key, version, checksum):
+    """Reconcile verdicts for one key across the interesting claims."""
+    return {
+        "same": store.reconcile(key, version, checksum),
+        "ahead": store.reconcile(key, version + 2, checksum),
+        "behind": store.reconcile(key, max(version - 1, 0), "different"),
+        "forged": store.reconcile(key, version, "different"),
+    }
+
+
+def test_reconcile_verdicts_survive_restart(tmp_path):
+    server, client = build(tmp_path)
+    run_cycle(client)
+    keys = {
+        path: str(client.workspace.resolve(path)) for path in PATHS
+    }
+    claims = {
+        path: (entry.version, entry.checksum)
+        for path, key in keys.items()
+        for entry in [server.cache.peek_entry(key)]
+    }
+    before = {
+        path: claims_matrix(server.cache, keys[path], *claims[path])
+        for path in PATHS
+    }
+    server.durability.snapshot(server)
+
+    revived = restart(tmp_path)
+    after = {
+        path: claims_matrix(revived.cache, keys[path], *claims[path])
+        for path in PATHS
+    }
+    assert after == before
+    assert before[PATHS[0]]["same"] == revived.cache.CURRENT
+    assert before[PATHS[0]]["ahead"] == revived.cache.STALE
+
+
+def test_entry_evicted_after_snapshot_stays_missing(tmp_path):
+    """The ISSUE's sharp edge: evicted between snapshot and crash must
+    recover as MISSING (full transfer), never DIVERGENT or resurrected."""
+    server, client = build(tmp_path)
+    run_cycle(client)
+    victim = str(client.workspace.resolve(PATHS[1]))
+    entry = server.cache.peek_entry(victim)
+    version, checksum = entry.version, entry.checksum
+    server.durability.snapshot(server)
+    # Eviction *after* the snapshot: journaled as cache-drop.
+    assert server.cache.invalidate(victim)
+
+    revived = restart(tmp_path)
+    assert revived.cache.peek_entry(victim) is None
+    assert (
+        revived.cache.reconcile(victim, version, checksum)
+        == revived.cache.MISSING
+    )
+    # The untouched neighbours are still CURRENT.
+    survivor = str(client.workspace.resolve(PATHS[0]))
+    alive = revived.cache.peek_entry(survivor)
+    assert (
+        revived.cache.reconcile(survivor, alive.version, alive.checksum)
+        == revived.cache.CURRENT
+    )

@@ -1,0 +1,192 @@
+"""Graceful shutdown: drain, flush, refuse — and the TCP/journal edges.
+
+``ShadowServer.close()`` must drain in-flight jobs, flush the journal
+behind a final snapshot, and refuse new Hellos with ``server-busy``.
+The TCP listener's ``close()`` must let an in-flight frame finish —
+never tearing a half-written reply — before hard-stopping stragglers.
+``JsonLinesSink`` must flush on close and rotation so a shipped log is
+complete up to the crash.
+"""
+
+import io
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.core.client import ShadowClient
+from repro.core.server import ShadowServer
+from repro.core.workspace import MappingWorkspace
+from repro.durability import CrashableService
+from repro.durability.manager import JOURNAL_FILE, SNAPSHOT_FILE
+from repro.errors import ProtocolError
+from repro.telemetry.events import EventLog, JsonLinesSink
+from repro.transport.base import LoopbackChannel
+from repro.transport.tcp import TcpChannel, TcpChannelServer
+from repro.workload.files import make_text_file
+
+PATH = "/data/input.dat"
+
+
+def test_close_refuses_new_hellos_with_server_busy(tmp_path):
+    server = ShadowServer(journal_dir=str(tmp_path))
+    alice = ShadowClient("alice@ws", MappingWorkspace())
+    alice.connect(server.name, LoopbackChannel(server.handle))
+    server.close()
+
+    bob = ShadowClient("bob@ws", MappingWorkspace())
+    with pytest.raises(ProtocolError, match="server-busy"):
+        bob.connect(server.name, LoopbackChannel(server.handle))
+
+
+def test_close_parks_a_final_snapshot(tmp_path):
+    server = ShadowServer(journal_dir=str(tmp_path))
+    client = ShadowClient("alice@ws", MappingWorkspace())
+    client.connect(server.name, LoopbackChannel(server.handle))
+    client.write_file(PATH, make_text_file(2_000, seed=11))
+    key = str(client.workspace.resolve(PATH))
+    server.close()
+
+    assert os.path.exists(tmp_path / SNAPSHOT_FILE)
+    revived = ShadowServer(journal_dir=str(tmp_path))
+    report = revived.durability.last_recovery
+    # Everything rode the snapshot; nothing needed journal replay.
+    assert report["had_snapshot"] and report["replayed_records"] == 0
+    assert revived.cache.peek_entry(key) is not None
+
+
+def test_close_is_idempotent_and_stops_journaling(tmp_path):
+    server = ShadowServer(journal_dir=str(tmp_path))
+    server.close()
+    server.close()  # second close must be harmless
+    server._journal("cache-put", key="/x", version=1, content="", ts=0.0)
+    # Post-close appends are suppressed, not crashes.
+    assert not os.path.exists(tmp_path / JOURNAL_FILE) or (
+        os.path.getsize(tmp_path / JOURNAL_FILE) == 0
+    )
+
+
+def test_tcp_drain_never_tears_an_in_flight_reply():
+    release = threading.Event()
+
+    def slow_handler(payload: bytes) -> bytes:
+        release.wait(timeout=5.0)
+        return b"echo:" + payload
+
+    listener = TcpChannelServer(slow_handler)
+    channel = TcpChannel(*listener.address)
+    replies = {}
+
+    def ask():
+        replies["value"] = channel.request(b"ping")
+
+    asker = threading.Thread(target=ask)
+    asker.start()
+    time.sleep(0.1)  # the request is now in flight inside the handler
+
+    closer = threading.Thread(target=listener.close, kwargs={"drain_seconds": 5.0})
+    closer.start()
+    time.sleep(0.1)
+    release.set()  # handler finishes while the drain is waiting
+    closer.join(timeout=5.0)
+    asker.join(timeout=5.0)
+
+    assert replies["value"] == b"echo:ping"  # full frame, not torn
+    assert not closer.is_alive()
+    channel.close()
+
+
+def test_tcp_drain_deadline_bounds_a_stalled_handler():
+    def stuck_handler(payload: bytes) -> bytes:
+        time.sleep(10.0)
+        return payload
+
+    listener = TcpChannelServer(stuck_handler)
+    channel = TcpChannel(*listener.address)
+
+    def swallow():
+        try:
+            channel.request(b"ping")
+        except Exception:
+            pass  # the forced close is the expected outcome
+
+    threading.Thread(target=swallow, daemon=True).start()
+    time.sleep(0.1)
+
+    began = time.monotonic()
+    listener.close(drain_seconds=0.3)
+    elapsed = time.monotonic() - began
+    assert elapsed < 5.0  # the deadline, not the handler, set the pace
+    channel.close()
+
+
+def test_tcp_crash_restart_same_port_resumes_session(tmp_path):
+    service = CrashableService(str(tmp_path), transport="tcp")
+    client = ShadowClient("alice@ws", MappingWorkspace())
+    channel = service.channel()
+    client.connect(service.server.name, channel)
+    client.write_file(PATH, make_text_file(2_500, seed=19))
+    key = str(client.workspace.resolve(PATH))
+    port = service.tcp_port
+
+    service.crash()
+    service.restart()
+    assert service.tcp_port == port  # clients re-dial the address they know
+    channel.inner.reconnect()
+    report = client.reconnect(service.server.name, channel)
+    assert report == {"current": 1, "delta": 0, "full": 0}
+    assert service.server.cache.peek_entry(key).version == 1
+    service.close()
+
+
+# ----------------------------------------------------------------------
+# satellite: JsonLinesSink flush/close/rotate
+# ----------------------------------------------------------------------
+def test_jsonlines_sink_close_flushes_to_disk(tmp_path):
+    path = tmp_path / "events.jsonl"
+    stream = open(path, "w", buffering=1024 * 1024)
+    sink = JsonLinesSink(stream, fsync=True)
+    log = EventLog(sink=sink)
+    log.emit("durability_snapshot", bytes=128)
+    log.emit("recovery", replayed_records=3)
+    log.close()
+
+    assert stream.closed
+    lines = [json.loads(line) for line in open(path)]
+    assert [line["kind"] for line in lines] == [
+        "durability_snapshot",
+        "recovery",
+    ]
+    # The memory ring stays queryable after close.
+    assert len(log.snapshot("recovery")) == 1
+
+
+def test_jsonlines_sink_rotation_hands_back_the_old_stream(tmp_path):
+    first = io.StringIO()
+    second = io.StringIO()
+    sink = JsonLinesSink(first)
+    sink({"kind": "a", "seq": 1})
+    old = sink.rotate(second)
+    sink({"kind": "b", "seq": 2})
+
+    assert old is first
+    assert json.loads(first.getvalue())["kind"] == "a"
+    assert json.loads(second.getvalue())["kind"] == "b"
+
+
+def test_jsonlines_sink_tolerates_fsyncless_streams():
+    stream = io.StringIO()
+    sink = JsonLinesSink(stream, fsync=True)  # StringIO has no fileno
+    sink({"kind": "a"})
+    sink.close()  # must not raise
+    assert stream.closed
+
+
+def test_event_log_close_is_idempotent(tmp_path):
+    stream = open(tmp_path / "events.jsonl", "w")
+    log = EventLog(sink=JsonLinesSink(stream))
+    log.emit("recovery", replayed_records=0)
+    log.close()
+    log.close()  # second close hits an already-closed stream: harmless
