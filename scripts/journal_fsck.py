@@ -6,7 +6,11 @@ Scans ``snapshot.bin``, ``journal.wal.old`` (if a crash left one) and
 record prefix of each file, a per-kind histogram, and exactly where any
 torn or CRC-bad tail starts.  With ``--repair`` the damaged tail is
 truncated at the last valid record — the same cut recovery would make —
-so the journal scans clean afterwards.
+so the journal scans clean afterwards.  The repair itself is
+crash-safe: the valid prefix is copied to a temp file, fsynced, and
+atomically renamed over the journal (the snapshot discipline), so a
+kill mid-repair leaves either the original damaged file or the fully
+healed one, never a half-truncated in-between.
 
 Exit codes: 0 when every file is clean (or was just repaired), 1 when
 damage was found and left in place, 2 on usage errors.
@@ -26,7 +30,10 @@ import sys
 ROOT = pathlib.Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(ROOT / "src"))
 
-from repro.durability.journal import read_journal, truncate_tail  # noqa: E402
+from repro.durability.journal import (  # noqa: E402
+    read_journal,
+    truncate_tail_atomic,
+)
 from repro.durability.manager import (  # noqa: E402
     JOURNAL_FILE,
     JOURNAL_ROTATED,
@@ -88,7 +95,7 @@ def check_journal(path: str, name: str, repair: bool) -> bool:
     if not repair:
         print(f"  {name}: run with --repair to truncate the damaged tail")
         return False
-    removed = truncate_tail(path, scan)
+    removed = truncate_tail_atomic(path, scan)
     print(f"  {name}: repaired — {removed} bytes truncated")
     return True
 

@@ -15,14 +15,30 @@ keyword-only construction and context-manager lifetime::
 ``transport`` accepts whatever you have: a ``"host:port"`` string (TCP),
 a :class:`~repro.transport.base.RequestChannel`, a
 :class:`~repro.core.server.ShadowServer` (loopback, callbacks wired), or
-a bare ``bytes -> bytes`` handler.  Anything not covered by the facade
-verbs delegates to the core client transparently, and :attr:`core`
-exposes it outright.
+a bare ``bytes -> bytes`` handler.  A **dial list** — a list/tuple of
+any of those, or a comma-separated ``"host:port,host:port"`` string —
+builds a :class:`~repro.replication.failover.FailoverChannel` that
+fails over from a dead (or fenced, or still-standby) endpoint to the
+next: point it at a replicated primary/standby pair and failover is
+transparent to every verb.  Anything not covered by the facade verbs
+delegates to the core client transparently, and :attr:`core` exposes it
+outright.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.client import ShadowClient as _CoreClient
 from repro.core.client import WriteCoalescer
@@ -31,6 +47,7 @@ from repro.core.server import ShadowServer as _Server
 from repro.core.workspace import MappingWorkspace, Workspace
 from repro.errors import TransportError
 from repro.jobs.output import OutputBundle
+from repro.replication.failover import FailoverChannel
 from repro.resilience.session import ResilienceConfig
 from repro.simnet.clock import Clock
 from repro.transport.base import LoopbackChannel, RequestChannel
@@ -38,8 +55,27 @@ from repro.transport.tcp import TcpChannel
 
 __all__ = ["ShadowClient"]
 
-#: What :meth:`ShadowClient.connect` accepts as a transport.
-Transport = Union[str, RequestChannel, _Server, Callable[[bytes], bytes]]
+#: What :meth:`ShadowClient.connect` accepts as a transport.  A list or
+#: tuple (or comma-separated TCP string) is a failover dial list.
+Transport = Union[
+    str,
+    RequestChannel,
+    _Server,
+    Callable[[bytes], bytes],
+    Sequence[Union[str, RequestChannel, _Server, Callable[[bytes], bytes]]],
+]
+
+
+def _split_endpoint(spec: str, timeout: float) -> Callable[[], TcpChannel]:
+    """A lazy dial factory for one ``host:port`` of a dial list — the
+    standby is not contacted (or even required to be up) until the
+    failover channel rotates to it."""
+    host, _, port = spec.strip().rpartition(":")
+    if not host or not port.isdigit():
+        raise TransportError(
+            f"tcp transport must be 'host:port', got {spec!r}"
+        )
+    return lambda: TcpChannel(host, int(port), timeout=timeout)
 
 
 def _open_channel(
@@ -51,12 +87,35 @@ def _open_channel(
     if isinstance(transport, _Server):
         return LoopbackChannel(transport.handle), transport
     if isinstance(transport, str):
+        if "," in transport:
+            return (
+                FailoverChannel(
+                    [
+                        _split_endpoint(spec, timeout)
+                        for spec in transport.split(",")
+                        if spec.strip()
+                    ]
+                ),
+                None,
+            )
         host, _, port = transport.rpartition(":")
         if not host or not port.isdigit():
             raise TransportError(
                 f"tcp transport must be 'host:port', got {transport!r}"
             )
         return TcpChannel(host, int(port), timeout=timeout), None
+    if isinstance(transport, (list, tuple)):
+        endpoints = []
+        first_server: Optional[_Server] = None
+        for item in transport:
+            if isinstance(item, str):
+                endpoints.append(_split_endpoint(item, timeout))
+            else:
+                channel, server = _open_channel(item, timeout)
+                endpoints.append(channel)
+                if first_server is None and server is not None:
+                    first_server = server
+        return FailoverChannel(endpoints), first_server
     if callable(transport):
         return LoopbackChannel(transport), None
     raise TransportError(

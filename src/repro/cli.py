@@ -13,6 +13,9 @@ the real TCP transport:
     shadow fetch JOB                               # retrieve results
     shadow edit data.dat                           # shadow-edit via $EDITOR
     shadow env [--set key=value]                   # customise (§6.3.1)
+    shadow serve --standby-of HOST:PORT            # warm standby
+    shadow promote [HOST:PORT]                     # fail over to a standby
+    shadow replication-status [HOST:PORT]          # role, epoch, lag
 
 The client's shadow environment — retained versions (so resubmissions
 ship deltas), the job table, customisation — persists in a state file
@@ -108,12 +111,47 @@ def _build_parser() -> argparse.ArgumentParser:
         help="graceful-shutdown budget for in-flight work on SIGTERM",
     )
     serve.add_argument(
+        "--replicate", action="store_true",
+        help="serve as a replication primary (requires --journal); "
+        "standbys announced via 'serve --standby-of' get the journal "
+        "stream",
+    )
+    serve.add_argument(
+        "--standby-of", default=None, metavar="HOST:PORT",
+        help="serve as a warm standby of the primary at HOST:PORT: "
+        "bootstrap its state, replay its journal stream, refuse client "
+        "traffic until promoted",
+    )
+    serve.add_argument(
+        "--advertise", default=None, metavar="HOST",
+        help="the address the primary dials back to reach this standby "
+        "(default: --host)",
+    )
+    serve.add_argument(
+        "--auto-promote", action="store_true",
+        help="standby only: promote automatically once the primary has "
+        "been silent past --heartbeat-timeout",
+    )
+    serve.add_argument(
+        "--heartbeat-interval", type=float, default=1.0,
+        help="seconds between primary liveness beacons",
+    )
+    serve.add_argument(
+        "--heartbeat-timeout", type=float, default=3.0,
+        help="silence (seconds) after which the primary is presumed dead",
+    )
+    serve.add_argument(
         "--once", action="store_true",
         help="exit after start-up (used by the test suite)",
     )
 
     def client_options(sub: argparse.ArgumentParser) -> None:
-        sub.add_argument("--server", default=f"127.0.0.1:{WELL_KNOWN_PORT}")
+        sub.add_argument(
+            "--server",
+            default=f"127.0.0.1:{WELL_KNOWN_PORT}",
+            help="server endpoint, or a comma-separated failover dial "
+            "list (primary:port,standby:port)",
+        )
         sub.add_argument("--state", default=_DEFAULT_STATE)
         sub.add_argument("--root", default=".", help="workspace root")
         sub.add_argument("--client-id", default=None)
@@ -215,6 +253,40 @@ def _build_parser() -> argparse.ArgumentParser:
         help="include the newest N request traces",
     )
 
+    promote = subparsers.add_parser(
+        "promote", help="promote a warm standby to primary"
+    )
+    promote.add_argument(
+        "server",
+        nargs="?",
+        default=f"127.0.0.1:{WELL_KNOWN_PORT}",
+        help="the standby's endpoint as HOST:PORT",
+    )
+    promote.add_argument(
+        "--min-epoch",
+        type=int,
+        default=0,
+        help="highest epoch known for the dead primary; the promoted "
+        "server's epoch goes past it, fencing any resurrection",
+    )
+
+    repl_status = subparsers.add_parser(
+        "replication-status",
+        help="show a server's replication role, epoch, and lag",
+    )
+    repl_status.add_argument(
+        "server",
+        nargs="?",
+        default=f"127.0.0.1:{WELL_KNOWN_PORT}",
+        help="server endpoint as HOST:PORT",
+    )
+    repl_status.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="print the raw replication section as JSON",
+    )
+
     env = subparsers.add_parser("env", help="show or customise the environment")
     client_options(env)
     env.add_argument(
@@ -251,11 +323,30 @@ def _open_client(args: argparse.Namespace) -> ShadowClient:
     )
     if state:
         restore_client(client, state)
-    host, port = _parse_endpoint(args.server)
     client.connect(
-        client.environment.default_host, TcpChannel(host, port)
+        client.environment.default_host, _dial_channel(args.server)
     )
     return client
+
+
+def _dial_channel(server_arg: str):
+    """One endpoint dials directly; a comma-separated dial list gets a
+    failover channel that rotates to the next endpoint on a torn
+    connection or a stale-epoch refusal."""
+    endpoints = [
+        part.strip() for part in server_arg.split(",") if part.strip()
+    ]
+    if len(endpoints) == 1:
+        return TcpChannel(*_parse_endpoint(endpoints[0]))
+    # Lazy dial: a downed endpoint in the list must surface on use (so
+    # the failover channel rotates), not fail the whole list up front.
+    channels = [
+        TcpChannel(*_parse_endpoint(endpoint), lazy=True)
+        for endpoint in endpoints
+    ]
+    from repro.replication.failover import FailoverChannel
+
+    return FailoverChannel(channels)
 
 
 def _close_client(client: ShadowClient, args: argparse.Namespace) -> None:
@@ -302,6 +393,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     **recovery
                 )
             )
+    repl = None
+    if args.replicate and args.standby_of:
+        raise ShadowError("--replicate and --standby-of are exclusive roles")
+    if args.replicate or args.standby_of:
+        from repro.replication.manager import ReplicationManager
+
+        repl = ReplicationManager(
+            server,
+            role="standby" if args.standby_of else "primary",
+            heartbeat_interval=args.heartbeat_interval,
+            heartbeat_timeout=args.heartbeat_timeout,
+        )
     listener = TcpChannelServer(
         server.handle,
         host=args.host,
@@ -323,12 +426,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except ValueError:
         pass  # not the main thread (embedded use); Ctrl-C still works
 
-    print(f"shadow server listening on {args.host}:{listener.port}")
+    role = "standby" if args.standby_of else ("primary" if repl else None)
+    print(
+        f"shadow server listening on {args.host}:{listener.port}"
+        + (f" ({role}, epoch {server.epoch})" if role else "")
+    )
     try:
         if args.once:
             return 0
-        while True:
-            time.sleep(1.0)
+        _serve_loop(server, listener, repl, args)
+        return 0
     except KeyboardInterrupt:
         if stop["signalled"]:
             print("SIGTERM: draining and flushing journal")
@@ -338,6 +445,83 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # server.close() then parks a final snapshot for fast recovery.
         server.close(drain_seconds=args.drain_seconds)
         listener.close(drain_seconds=min(args.drain_seconds, 2.0))
+
+
+def _announce_standby(
+    server: ShadowServer, args: argparse.Namespace, own_port: int
+) -> bool:
+    """One hello to the primary: "dial me back and feed me".
+
+    Returns True when the primary attached a feed (the bootstrap
+    snapshot arrives on our listener before the primary's Ok does).
+    """
+    from repro.core.protocol import Ok, ReplicateHello
+    from repro.resilience.session import RawSession
+
+    host, port = _parse_endpoint(args.standby_of)
+    try:
+        channel = TcpChannel(host, port, timeout=10.0)
+    except ShadowError:
+        return False
+    try:
+        reply = RawSession(channel).send(
+            ReplicateHello(
+                sender=server.name,
+                host=args.advertise or args.host,
+                port=own_port,
+                epoch=server.epoch,
+            )
+        )
+    except ShadowError:
+        return False
+    finally:
+        channel.close()
+    return isinstance(reply, Ok)
+
+
+def _serve_loop(
+    server: ShadowServer,
+    listener: TcpChannelServer,
+    repl,
+    args: argparse.Namespace,
+) -> None:
+    """Idle duties between requests: heartbeats, liveness, promotion.
+
+    A plain server just sleeps.  A replication primary pumps so
+    heartbeats flow even with no client traffic; a standby keeps itself
+    announced to the primary and — under ``--auto-promote`` — takes
+    over once the failure detector expires.
+    """
+    if repl is None:
+        while True:
+            time.sleep(1.0)
+    tick = min(1.0, max(args.heartbeat_interval / 2.0, 0.05))
+    announced = False
+    last_announce = float("-inf")
+    while True:
+        time.sleep(tick)
+        if repl.role == "primary":
+            repl.pump()
+            continue
+        if repl.detector.expired():
+            if args.auto_promote:
+                epoch = repl.promote()
+                print(
+                    f"primary silent past {repl.detector.timeout:.1f}s: "
+                    f"promoted to epoch {epoch}"
+                )
+                continue
+            announced = False  # feed is dead; re-announce if it returns
+        if repl.detector.age() is None or not announced:
+            now = time.monotonic()
+            if now - last_announce >= args.heartbeat_timeout:
+                last_announce = now
+                announced = _announce_standby(server, args, listener.port)
+                if announced:
+                    print(
+                        f"attached to primary at {args.standby_of} "
+                        f"(epoch {server.epoch})"
+                    )
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
@@ -509,9 +693,9 @@ def _fetch_stats(args: argparse.Namespace) -> dict:
         reply = RawSession(channel).send(
             StatsQuery(
                 client_id=f"{os.environ.get('USER', 'user')}@cli",
-                sections=tuple(args.section),
-                events=args.events,
-                traces=args.traces,
+                sections=tuple(getattr(args, "section", ())),
+                events=getattr(args, "events", 0),
+                traces=getattr(args, "traces", 0),
             )
         )
     finally:
@@ -526,12 +710,15 @@ def _render_stats(snapshot: dict, as_json: bool) -> str:
 
     if as_json:
         return json.dumps(snapshot, indent=2, sort_keys=True, default=list)
-    from repro.metrics.report import format_telemetry
+    from repro.metrics.report import format_replication, format_telemetry
 
     parts = []
     server_name = snapshot.get("server")
     if server_name:
         parts.append(f"server {server_name}")
+    replication = snapshot.get("replication")
+    if replication:
+        parts.append(format_replication(replication))
     registry = snapshot.get("registry")
     if registry is not None:
         parts.append(format_telemetry(registry))
@@ -578,6 +765,64 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             time.sleep(max(args.interval, 0.1))
         except KeyboardInterrupt:
             return 0
+
+
+def _cmd_promote(args: argparse.Namespace) -> int:
+    from repro.core.protocol import Ok, Promote
+    from repro.resilience.session import RawSession
+
+    host, port = _parse_endpoint(args.server)
+    channel = TcpChannel(host, port, timeout=5.0)
+    try:
+        reply = RawSession(channel).send(Promote(min_epoch=args.min_epoch))
+    finally:
+        channel.close()
+    if not isinstance(reply, Ok):
+        raise ShadowError(f"promotion refused: {reply!r}")
+    print(reply.detail)
+    return 0
+
+
+def _cmd_replication_status(args: argparse.Namespace) -> int:
+    snapshot = _fetch_stats(args)
+    replication = snapshot.get("replication")
+    if replication is None:
+        print(f"{snapshot.get('server', args.server)}: replication off")
+        return 1
+    if args.as_json:
+        import json
+
+        print(json.dumps(replication, indent=2, sort_keys=True))
+        return 0
+    print(f"server {snapshot.get('server', '')}")
+    for key in (
+        "role",
+        "epoch",
+        "fenced",
+        "fence_reason",
+        "stream_seq",
+        "shipped_seq",
+        "applied_seq",
+        "pending_records",
+        "pending_bytes",
+        "standby_attached",
+        "standby",
+    ):
+        if key in replication:
+            print(f"  {key} = {replication[key]}")
+    detector = replication.get("detector")
+    if detector:
+        age = detector.get("last_beat_age")
+        print(
+            "  primary liveness: "
+            + (
+                "never heard"
+                if age is None
+                else f"last beat {age:.2f}s ago"
+                + (" (EXPIRED)" if detector.get("expired") else "")
+            )
+        )
+    return 0
 
 
 def _cmd_env(args: argparse.Namespace) -> int:
@@ -631,6 +876,8 @@ _COMMANDS = {
     "edit": _cmd_edit,
     "files": _cmd_files,
     "stats": _cmd_stats,
+    "promote": _cmd_promote,
+    "replication-status": _cmd_replication_status,
     "env": _cmd_env,
 }
 

@@ -154,6 +154,11 @@ class ShadowClient:
         #: Active write coalescer (see :meth:`batched`); None outside a
         #: batching context.
         self._coalescer: Optional["WriteCoalescer"] = None
+        #: Highest replication epoch learned from any Hello reply.
+        #: Stamped on every envelope (sessions copy it) so a resurrected
+        #: old primary refuses us instead of serving stale state; 0
+        #: (non-replicated) adds nothing to the wire.
+        self._epoch = 0
         self.telemetry.gauge(
             "pipeline_inflight",
             callback=lambda: float(
@@ -188,7 +193,8 @@ class ShadowClient:
         reply = session.send(
             Hello(client_id=self.client_id, domain=str(self._domain()))
         )
-        expect(reply, Ok)
+        ok = expect(reply, Ok)
+        self._learn_epoch(ok, session)
         self._channels[host] = channel
         self._sessions[host] = session
 
@@ -231,13 +237,42 @@ class ShadowClient:
         reply = session.send(
             Hello(client_id=self.client_id, domain=str(self._domain()))
         )
-        expect(reply, Ok)
+        ok = expect(reply, Ok)
+        self._learn_epoch(ok, session)
         self._channels[name] = channel
         self._sessions[name] = session
         report = self._reconcile(name, session)
         self.resilience_stats.resyncs += 1
         self._replay_parked(name)
         return report
+
+    def failover(
+        self,
+        host: Optional[str] = None,
+        channel: Optional[RequestChannel] = None,
+    ) -> Dict[str, int]:
+        """Converge on the promoted standby after the primary died.
+
+        A thin, intention-revealing wrapper over :meth:`reconnect`: the
+        Hello teaches us the new primary's (bumped) epoch — from here
+        on every envelope fences the old primary — and the Resync
+        reconciliation repairs any divergence with deltas, never a full
+        retransfer of an acknowledged update (the standby already
+        applied every record the dead primary acked).  Works with a
+        :class:`~repro.replication.failover.FailoverChannel` already
+        rotated to the standby, or an explicit ``channel``.
+        """
+        self.telemetry.counter("client_failovers").inc()
+        return self.reconnect(host, channel)
+
+    def _learn_epoch(self, ok: Any, session: Any) -> None:
+        """Adopt the epoch a Hello reply teaches (never go backwards:
+        an old primary cannot talk us down to its stale epoch)."""
+        epoch = getattr(ok, "epoch", 0)
+        if epoch > self._epoch:
+            self._epoch = epoch
+        if hasattr(session, "epoch"):
+            session.epoch = self._epoch
 
     def _reconcile(self, host: str, session: Any) -> Dict[str, int]:
         entries = []
@@ -288,7 +323,7 @@ class ShadowClient:
     def _make_session(self, channel: RequestChannel) -> Any:
         if not self.resilience.enabled:
             return RawSession(channel)
-        return ResilientSession(
+        session = ResilientSession(
             client_id=self.client_id,
             channel=channel,
             policy=self.resilience.retry,
@@ -300,6 +335,8 @@ class ShadowClient:
             events=self.events,
             telemetry=self.telemetry,
         )
+        session.epoch = self._epoch
+        return session
 
     def _session(self, host: Optional[str]) -> Tuple[str, Any]:
         """Resolve ``host`` to its session, rebuilding if the channel

@@ -127,12 +127,21 @@ class Envelope(Message):
     execution) join the client's own spans into one end-to-end trace.
     It is *omitted from the wire entirely* when empty — the simulated
     benchmarks never mint one, so their wire byte counts are unchanged.
+
+    ``epo`` is the replication **epoch fence**: the highest primary
+    epoch this client has learned (from a Hello ``Ok``).  A server
+    whose own epoch is *lower* knows it has been superseded by a
+    promoted standby and must refuse the request (``stale-epoch``)
+    rather than split-brain the cache.  Like ``tid``, an ``epo`` of 0
+    (replication off, or nothing learned yet) is omitted from the wire,
+    so non-replicated sessions stay byte-identical.
     """
 
     TYPE = "env"
     rid: str = ""
     body: bytes = b""
     tid: str = ""
+    epo: int = 0
 
     def to_wire(self) -> bytes:
         payload: Dict[str, codec.Value] = {
@@ -142,6 +151,8 @@ class Envelope(Message):
         }
         if self.tid:
             payload["tid"] = self.tid
+        if self.epo:
+            payload["epo"] = self.epo
         return codec.encode(payload)
 
     def open(self) -> "Message":
@@ -422,8 +433,25 @@ class StatsReply(Message):
 @register
 @dataclass(frozen=True)
 class Ok(Message):
+    """Generic success.
+
+    ``epoch`` teaches clients the server's replication epoch (carried on
+    Hello replies from replicated servers); 0 — replication off — is
+    omitted from the wire so non-replicated replies are byte-identical.
+    """
+
     TYPE = "ok"
     detail: str = ""
+    epoch: int = 0
+
+    def to_wire(self) -> bytes:
+        payload: Dict[str, codec.Value] = {
+            "_t": self.TYPE,
+            "detail": self.detail,
+        }
+        if self.epoch:
+            payload["epoch"] = self.epoch
+        return codec.encode(payload)
 
 
 @register
@@ -543,6 +571,100 @@ class DeliverOutput(Message):
     exit_code: int = 0
     cpu_seconds: float = 0.0
     streams: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# warm-standby replication (primary <-> standby)
+# ---------------------------------------------------------------------------
+
+
+@register
+@dataclass(frozen=True)
+class ReplicateHello(Message):
+    """A standby announcing itself to the primary it shadows.
+
+    ``host``/``port`` name the standby's own listening endpoint so the
+    primary can dial back a feed channel (empty host = the harness
+    attaches a channel directly and this message is informational).
+    """
+
+    TYPE = "repl-hello"
+    sender: str = ""
+    host: str = ""
+    port: int = 0
+    epoch: int = 0
+
+
+@register
+@dataclass(frozen=True)
+class ReplicateSnapshot(Message):
+    """Full-state bootstrap for a fresh standby.
+
+    ``state`` is the primary's captured server state (the same
+    JSON-able dict the durability snapshot persists); ``seq`` is the
+    journal-stream sequence number the snapshot is current through —
+    subsequent :class:`ReplicateRecord`\\ s continue from ``seq + 1``.
+    """
+
+    TYPE = "repl-snapshot"
+    sender: str = ""
+    epoch: int = 0
+    seq: int = 0
+    state: Dict[str, Any] = field(default_factory=dict)
+
+
+@register
+@dataclass(frozen=True)
+class ReplicateRecord(Message):
+    """One journal record streamed from primary to standby.
+
+    ``record`` is the journal entry dict (kind + fields, binary content
+    base64-packed exactly as journaled).  ``seq`` is monotonic per
+    primary epoch; the standby deduplicates on it, so re-shipping after
+    a transport fault is idempotent.
+    """
+
+    TYPE = "repl-record"
+    sender: str = ""
+    epoch: int = 0
+    seq: int = 0
+    record: Dict[str, Any] = field(default_factory=dict)
+
+
+@register
+@dataclass(frozen=True)
+class ReplicateAck(Message):
+    """The standby's receipt: applied through ``seq`` at ``epoch``."""
+
+    TYPE = "repl-ack"
+    epoch: int = 0
+    seq: int = 0
+
+
+@register
+@dataclass(frozen=True)
+class Heartbeat(Message):
+    """Primary liveness beacon; also carries the stream high-water mark
+    so an idle standby can see it is fully caught up."""
+
+    TYPE = "heartbeat"
+    sender: str = ""
+    epoch: int = 0
+    seq: int = 0
+
+
+@register
+@dataclass(frozen=True)
+class Promote(Message):
+    """Operator / failover-driver command: make this standby primary.
+
+    The promoted server bumps its epoch past ``min_epoch`` (the highest
+    epoch the caller knows of, normally the dead primary's), fencing the
+    old primary if it ever resurrects.
+    """
+
+    TYPE = "promote"
+    min_epoch: int = 0
 
 
 def expect(reply: Message, expected: Type[Message]) -> Message:

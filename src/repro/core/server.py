@@ -219,6 +219,17 @@ class ShadowServer:
         self.pipeline = job_pipeline.build_pipeline(self, workers)
         #: True while :meth:`close` drains; new Hellos get SERVER-BUSY.
         self._closing = False
+        #: Replication epoch fence.  0 = replication off (omitted from
+        #: every wire message, keeping non-replicated runs
+        #: byte-identical); >= 1 once a ReplicationManager attaches.
+        #: Recovery may restore a persisted epoch before any manager
+        #: exists, so the attribute lives here rather than on the
+        #: manager.
+        self.epoch = 0
+        #: Optional :class:`~repro.replication.manager.ReplicationManager`;
+        #: set by its constructor, never created here (the core server
+        #: does not import the replication layer).
+        self.replication = None
         #: Optional durability layer: write-ahead journal + periodic
         #: snapshot + startup recovery.  ``None`` (the default) keeps the
         #: server purely in-memory and byte-identical to earlier builds.
@@ -293,6 +304,8 @@ class ShadowServer:
         }
         if self.durability is not None:
             info["durability"] = self.durability.describe()
+        if self.replication is not None:
+            info["replication"] = self.replication.describe()
         return info
 
     def close(self, drain_seconds: float = 5.0) -> None:
@@ -384,6 +397,11 @@ class ShadowServer:
         with recording_trace(self.traces, trace):
             reply = self._handle_traced(payload, trace)
         self._observe_request(trace)
+        if self.replication is not None:
+            # Ship every journal record this request appended to the
+            # standby BEFORE the reply escapes: an acknowledged effect
+            # exists on the standby by the time the client sees the ack.
+            self.replication.pump()
         if self.durability is not None:
             # After every lock is released: the snapshot capture takes
             # server locks itself (server locks before the journal lock,
@@ -401,6 +419,7 @@ class ShadowServer:
                     code="bad-message", message=str(exc)
                 ).to_wire()
             rid = ""
+            epo = 0
             if isinstance(message, Envelope):
                 try:
                     inner = message.open()
@@ -410,11 +429,20 @@ class ShadowServer:
                         code="bad-message", message=str(exc)
                     ).to_wire()
                 rid = message.rid
+                epo = message.epo
                 trace.trace_id = message.tid
                 message = inner
         if rid:
             trace.request_id = rid
         trace.kind = message.TYPE
+        if self.replication is not None:
+            # Epoch fence + standby refusal.  Deliberately *before* the
+            # reply cache: a refusal is about this server's role right
+            # now, and must never be replayed after a promotion.
+            refusal = self.replication.admit(message, epo)
+            if refusal is not None:
+                trace.outcome = f"error:{refusal.code}"
+                return refusal.to_wire()
         client_id = getattr(message, "client_id", "")
         trace.client_id = client_id
         session = self.sessions.ensure(client_id)
@@ -519,7 +547,10 @@ class ShadowServer:
         self._journal(
             "hello", client=message.client_id, domain=message.domain
         )
-        return Ok(detail=f"welcome to {self.name}")
+        # A replicated server teaches the client its epoch so envelopes
+        # can fence a resurrected old primary; epoch 0 is omitted from
+        # the wire entirely (non-replicated replies are byte-identical).
+        return Ok(detail=f"welcome to {self.name}", epoch=self.epoch)
 
     def _on_bye(self, message: Bye) -> Message:
         session = self.sessions.get(message.client_id)
@@ -562,6 +593,8 @@ class ShadowServer:
             "events_log": self.events.describe(),
             "traces_log": self.traces.summary(),
         }
+        if self.replication is not None:
+            snapshot["replication"] = self.replication.describe()
         if message.events > 0:
             snapshot["events"] = self.events.snapshot()[-message.events:]
         if message.traces > 0:

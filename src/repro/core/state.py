@@ -97,6 +97,11 @@ def snapshot_client(client: ShadowClient) -> Dict[str, Any]:
     return {
         "format": _FORMAT,
         "client_id": client.client_id,
+        # The highest replication epoch this client has been told (0 =
+        # replication never seen).  Persisted so a later process cannot
+        # be lured back to a resurrected stale primary: its first
+        # enveloped request carries the epoch and fences the old server.
+        "epoch": client._epoch,
         "environment": client.environment.describe(),
         "version_chains": chains,
         "jobs": jobs,
@@ -120,6 +125,7 @@ def restore_client(client: ShadowClient, state: Dict[str, Any]) -> None:
             f"state belongs to {state.get('client_id')!r}, "
             f"not {client.client_id!r}"
         )
+    client._epoch = max(client._epoch, int(state.get("epoch", 0)))
     for name, chain_state in state.get("version_chains", {}).items():
         chain = VersionChain(name, max_retained=client.versions.max_retained)
         for version_state in chain_state["versions"]:

@@ -208,3 +208,50 @@ def truncate_tail(path: str, scan: JournalScan) -> int:
         handle.flush()
         os.fsync(handle.fileno())
     return scan.truncated_bytes
+
+
+def truncate_tail_atomic(path: str, scan: JournalScan) -> int:
+    """Crash-safe variant of :func:`truncate_tail` for offline repair.
+
+    An in-place ``truncate()`` that dies between the metadata update and
+    the fsync can leave the file in a state neither the old nor the new
+    length describes.  This version uses the snapshot discipline
+    instead: copy the valid prefix to a temp file in the same directory,
+    fsync it, atomically rename it over the journal, then fsync the
+    directory.  At every instant the journal path names either the
+    original (damaged-tail) file or the fully healed one — a crash
+    mid-repair costs nothing.
+    """
+    if not scan.truncated:
+        return 0
+    if scan.path != path:
+        raise JournalError(
+            f"scan of {scan.path!r} cannot truncate {path!r}"
+        )
+    with open(path, "rb") as handle:
+        prefix = handle.read(scan.valid_bytes)
+    tmp_path = path + ".repair-tmp"
+    try:
+        with open(tmp_path, "wb") as handle:
+            handle.write(prefix)
+            handle.flush()
+            os.fsync(handle.fileno())
+    except OSError:
+        try:
+            os.remove(tmp_path)
+        except OSError:
+            pass
+        raise
+    os.replace(tmp_path, path)
+    directory = os.path.dirname(path) or "."
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return scan.truncated_bytes  # best effort (exotic filesystems)
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+    return scan.truncated_bytes

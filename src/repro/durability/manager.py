@@ -48,7 +48,7 @@ import base64
 import os
 import threading
 import time
-from typing import Any, Dict, List, Optional, TYPE_CHECKING
+from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
 
 from repro.durability.journal import (
     JournalWriter,
@@ -116,6 +116,11 @@ class DurabilityManager:
         self._closed = False
         #: Filled by :meth:`recover`; diagnostic only.
         self.last_recovery: Dict[str, Any] = {}
+        #: Replication tap: called with each entry dict right after its
+        #: journal append, under the journal lock.  The hook must only
+        #: enqueue (never take a server lock or block); the replication
+        #: manager ships the queued records later, off this path.
+        self.on_record: Optional[Callable[[Dict[str, Any]], None]] = None
 
     # ------------------------------------------------------------------
     # paths
@@ -159,6 +164,9 @@ class DurabilityManager:
                 )
             written = self._writer.append(entry)
             self._records_since_snapshot += 1
+            hook = self.on_record
+            if hook is not None:
+                hook(entry)
         self._count("journal_appends")
         self._count("journal_bytes", float(written))
 
@@ -172,20 +180,55 @@ class DurabilityManager:
             return False
         if self._records_since_snapshot < self.snapshot_every:
             return False
-        self.snapshot(server)
+        try:
+            self.snapshot(server)
+        except OSError:
+            # Disk pressure (ENOSPC, short write) mid-snapshot: the old
+            # snapshot plus the rotated journal remain a complete
+            # recovery source, and :meth:`snapshot` already restored the
+            # cadence counter so a later request retries.  The request
+            # path must not fail over a background snapshot.
+            return False
         return True
 
     def snapshot(self, server: "ShadowServer") -> None:
-        """Write a fresh snapshot and truncate the journal behind it."""
+        """Write a fresh snapshot and truncate the journal behind it.
+
+        Raises :class:`OSError` when the snapshot write fails (disk
+        pressure); the journal — rotated aside, never deleted until the
+        snapshot is durably down — remains the recovery source, and the
+        cadence counter is restored so the next opportunity retries.
+        """
         with self._journal_lock:
             if self._writer is not None and not self._writer.closed:
                 self._writer.close()
             self._writer = None
+            rotated_records = self._records_since_snapshot
             if os.path.exists(self.journal_path):
-                os.replace(self.journal_path, self.rotated_path)
+                if os.path.exists(self.rotated_path):
+                    # A previous snapshot attempt failed after rotating:
+                    # ``.old`` still holds records no snapshot captured.
+                    # Clobbering it with os.replace would lose them —
+                    # append the live journal behind them instead (replay
+                    # order is preserved: old records strictly precede).
+                    with open(self.rotated_path, "ab") as rotated:
+                        with open(self.journal_path, "rb") as live:
+                            rotated.write(live.read())
+                        rotated.flush()
+                        os.fsync(rotated.fileno())
+                    os.remove(self.journal_path)
+                else:
+                    os.replace(self.journal_path, self.rotated_path)
             self._records_since_snapshot = 0
         state = capture_state(server)
-        written = write_snapshot(self.snapshot_path, state)
+        try:
+            written = write_snapshot(self.snapshot_path, state)
+        except OSError as exc:
+            with self._journal_lock:
+                self._records_since_snapshot += rotated_records
+            self._count("journal_snapshot_failures")
+            self._emit("durability_snapshot_failed", error=str(exc))
+            raise
         try:
             os.remove(self.rotated_path)
         except FileNotFoundError:
@@ -210,7 +253,12 @@ class DurabilityManager:
         if self._closed:
             return
         if server is not None:
-            self.snapshot(server)
+            try:
+                self.snapshot(server)
+            except OSError:
+                # Shutdown must not fail on disk pressure: everything
+                # the snapshot would have captured is already journaled.
+                pass
         with self._journal_lock:
             if self._writer is not None and not self._writer.closed:
                 self._writer.close()
@@ -374,7 +422,7 @@ def capture_state(server: "ShadowServer") -> Dict[str, Any]:
         ]
         routed = dict(server._routed)
         job_counter = server._job_counter
-    return {
+    state = {
         "kind": "snapshot",
         "format": SNAPSHOT_FORMAT,
         "server": server.name,
@@ -387,6 +435,11 @@ def capture_state(server: "ShadowServer") -> Dict[str, Any]:
         "finished": finished,
         "routed": routed,
     }
+    if server.epoch:
+        # Replication only: a non-replicated server (epoch 0) writes
+        # snapshots byte-identical to pre-replication builds.
+        state["epoch"] = server.epoch
+    return state
 
 
 def request_dict(request: JobRequest) -> Dict[str, Any]:
@@ -420,6 +473,7 @@ def apply_snapshot(server: "ShadowServer", state: Dict[str, Any]) -> None:
             f"snapshot format {state.get('format')!r} is not "
             f"{SNAPSHOT_FORMAT} (wrong tool version?)"
         )
+    server.epoch = max(server.epoch, int(state.get("epoch", 0)))
     for info in state.get("cache", ()):
         content = unpack_bytes(info["content"])
         entry = server.cache.put(
@@ -604,6 +658,11 @@ def replay_record(server: "ShadowServer", entry: Dict[str, Any]) -> None:
         server.sessions.ensure(entry["client"]).store_reply(
             entry["rid"], unpack_bytes(entry["data"])
         )
+    elif kind == "repl-epoch":
+        # The replication epoch fence must survive a restart: a
+        # resurrected old primary that forgot its epoch could not be
+        # told it was superseded.
+        server.epoch = max(server.epoch, int(entry["epoch"]))
     # Unknown kinds are skipped: an older server build must be able to
     # recover a journal written by a newer one as far as it understands.
 

@@ -18,14 +18,26 @@ from repro.durability.journal import JournalReader, encode_record
 
 
 def write_snapshot(path: str, state: Dict[str, Any]) -> int:
-    """Atomically replace the snapshot at ``path``; returns bytes written."""
+    """Atomically replace the snapshot at ``path``; returns bytes written.
+
+    On a failed write (disk pressure) the temp file is removed and the
+    previous snapshot is left untouched — the caller's journal remains
+    the recovery source.
+    """
     encoded = encode_record(state)
     directory = os.path.dirname(path) or "."
     tmp_path = path + ".tmp"
-    with open(tmp_path, "wb") as handle:
-        handle.write(encoded)
-        handle.flush()
-        os.fsync(handle.fileno())
+    try:
+        with open(tmp_path, "wb") as handle:
+            handle.write(encoded)
+            handle.flush()
+            os.fsync(handle.fileno())
+    except OSError:
+        try:
+            os.remove(tmp_path)
+        except OSError:
+            pass
+        raise
     os.replace(tmp_path, path)
     _fsync_directory(directory)
     return len(encoded)

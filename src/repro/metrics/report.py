@@ -130,6 +130,44 @@ def format_traces(log: TraceLog, limit: int = 20) -> str:
     )
 
 
+def format_replication(info: Mapping[str, Any]) -> str:
+    """Render a ReplicationManager.describe() dict as a stats block.
+
+    One line per fact, in reading order: who am I, how fresh is my view
+    of the peer, how far behind is the stream.
+    """
+    lines = [
+        "replication",
+        f"  role = {info.get('role', '?')}"
+        + (" (FENCED)" if info.get("fenced") else ""),
+        f"  epoch = {info.get('epoch', 0)}",
+    ]
+    if info.get("fence_reason"):
+        lines.append(f"  fence_reason = {info['fence_reason']}")
+    lines.append(
+        f"  lag = {info.get('pending_records', 0)} records / "
+        f"{info.get('pending_bytes', 0):,} B pending"
+    )
+    lines.append(
+        f"  stream: seq {info.get('stream_seq', 0)}, "
+        f"shipped {info.get('shipped_seq', 0)}, "
+        f"applied {info.get('applied_seq', 0)}"
+    )
+    if info.get("standby_attached"):
+        lines.append(f"  standby = {info.get('standby') or '(attached)'}")
+    detector = info.get("detector")
+    if detector:
+        age = detector.get("last_beat_age")
+        if age is None:
+            liveness = "never heard from the primary"
+        else:
+            liveness = f"last heartbeat {age:.2f}s ago"
+            if detector.get("expired"):
+                liveness += " (EXPIRED: primary presumed dead)"
+        lines.append(f"  primary liveness: {liveness}")
+    return "\n".join(lines)
+
+
 def _series_name(entry: Mapping[str, Any]) -> str:
     """``name{k=v,...}`` display form for one snapshot series."""
     labels = entry.get("labels") or {}

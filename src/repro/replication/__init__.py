@@ -1,0 +1,24 @@
+"""Warm-standby replication: journal shipping, detection, failover.
+
+The primary streams its write-ahead journal to a standby that replays
+it into live state (:mod:`repro.replication.manager`), a heartbeat
+detector notices primary death (:mod:`repro.replication.detector`),
+clients fail over across a dial list
+(:mod:`repro.replication.failover`), and promotion is fenced by a
+monotonic epoch carried on every envelope.  Deterministic
+kill-at-record-boundary testing lives in
+:mod:`repro.replication.harness`.
+"""
+
+from repro.replication.detector import FailureDetector
+from repro.replication.failover import FailoverChannel
+from repro.replication.harness import JournalCrash, ReplicatedPair
+from repro.replication.manager import ReplicationManager
+
+__all__ = [
+    "FailureDetector",
+    "FailoverChannel",
+    "JournalCrash",
+    "ReplicatedPair",
+    "ReplicationManager",
+]

@@ -1,0 +1,82 @@
+"""Heartbeat-based failure detection for the replication pair.
+
+A :class:`FailureDetector` answers one question — "has the primary been
+silent for longer than the timeout?" — against an injected clock, so
+the same detector drives deterministic virtual-time tests (pass the
+simulated clock's ``now``) and live deployments (the default,
+``time.monotonic``).
+
+The detector is deliberately dumb: it never *acts* on expiry.  The
+standby's operator (``shadow promote``), the ``--auto-promote`` serve
+loop, or a test harness reads :meth:`expired` and decides; conflating
+detection with promotion is how split-brain happens.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import ShadowError
+
+
+class FailureDetector:
+    """Tracks liveness of one peer from its heartbeat arrivals.
+
+    ``interval`` is the sender's advertised beat cadence (kept here so
+    :meth:`describe` can report both sides of the contract); ``timeout``
+    is how long silence must last before :meth:`expired` fires.  The
+    timeout must exceed the interval or every gap between beats would
+    read as a death.
+    """
+
+    def __init__(
+        self,
+        interval: float = 1.0,
+        timeout: float = 3.0,
+        now_fn: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if timeout <= interval:
+            raise ShadowError(
+                f"detector timeout ({timeout}s) must exceed the "
+                f"heartbeat interval ({interval}s)"
+            )
+        self.interval = interval
+        self.timeout = timeout
+        self._now = now_fn if now_fn is not None else time.monotonic
+        self._last_beat: Optional[float] = None
+        self.beats = 0
+
+    def beat(self) -> None:
+        """Record a liveness signal (heartbeat or any replicated traffic)."""
+        self._last_beat = self._now()
+        self.beats += 1
+
+    def age(self) -> Optional[float]:
+        """Seconds since the last beat; None before the first one."""
+        if self._last_beat is None:
+            return None
+        return max(0.0, self._now() - self._last_beat)
+
+    def expired(self) -> bool:
+        """True once silence has outlasted the timeout.
+
+        Before the first beat the peer was never alive from this
+        detector's point of view, so it cannot have *died*: False.
+        """
+        age = self.age()
+        return age is not None and age > self.timeout
+
+    def reset(self) -> None:
+        """Forget the peer (it was demoted, detached, or we promoted)."""
+        self._last_beat = None
+
+    def describe(self) -> Dict[str, Any]:
+        age = self.age()
+        return {
+            "interval": self.interval,
+            "timeout": self.timeout,
+            "beats": self.beats,
+            "last_beat_age": age,
+            "expired": self.expired(),
+        }

@@ -1,0 +1,181 @@
+"""Client-side failover: one channel over a dial list of endpoints.
+
+A :class:`FailoverChannel` looks like any other
+:class:`~repro.transport.base.RequestChannel`, but behind it sits an
+ordered list of endpoints — live channels, or zero-argument factories
+dialled lazily (so a standby that is down at client start costs
+nothing until needed).
+
+On a transport fault, *or* a reply that says the endpoint cannot serve
+us (``standby-mode``: not promoted yet; ``stale-epoch``: a fenced old
+primary), the channel rotates to the next endpoint and raises a
+:class:`~repro.errors.TransportError`.  The resilience layer above
+retries the SAME request id on the new endpoint, and the promoted
+standby's replicated reply cache answers an already-acknowledged
+request verbatim — failover preserves exactly-once without any new
+client-side protocol.
+
+One rotation per delivery keeps the retry budget and backoff with the
+:class:`~repro.resilience.session.ResilientSession` that owns them,
+instead of burning all endpoints inside a single opaque call.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.core.protocol import ErrorReply, decode_message
+from repro.errors import (
+    ShadowError,
+    TransportClosedError,
+    TransportError,
+)
+from repro.transport.base import RequestChannel
+
+#: An endpoint: a ready channel, or a factory that dials one on demand.
+Endpoint = Union[RequestChannel, Callable[[], RequestChannel]]
+
+#: Reply codes that mean "this endpoint will never serve this client
+#: until the topology changes" — rotate instead of retrying in place.
+REFUSAL_CODES = ("standby-mode", "stale-epoch")
+
+
+class FailoverChannel(RequestChannel):
+    """A request channel that fails over across a dial list."""
+
+    def __init__(self, endpoints: Sequence[Endpoint]) -> None:
+        super().__init__()
+        endpoints = list(endpoints)
+        if not endpoints:
+            raise TransportError("a failover channel needs >= 1 endpoint")
+        self._endpoints = endpoints
+        #: Channels realised from factory entries, dropped on rotation
+        #: so a later rotation back re-dials fresh.
+        self._realized: List[Optional[RequestChannel]] = [None] * len(
+            endpoints
+        )
+        self.active = 0
+        self.failovers = 0
+        self.last_rotation = ""
+
+    # ------------------------------------------------------------------
+    # endpoint management
+    # ------------------------------------------------------------------
+    def _current(self) -> RequestChannel:
+        entry = self._endpoints[self.active]
+        if isinstance(entry, RequestChannel):
+            return entry
+        channel = self._realized[self.active]
+        if channel is None or channel.closed:
+            try:
+                channel = entry()
+            except (TransportError, OSError) as exc:
+                raise TransportError(
+                    f"endpoint {self.active} failed to dial: {exc}"
+                ) from exc
+            self._realized[self.active] = channel
+        return channel
+
+    def rotate(self, reason: str) -> int:
+        """Advance to the next endpoint; returns the new index.
+
+        A realised (factory-dialled) channel for the endpoint we are
+        leaving is closed and dropped — if we ever rotate back, the
+        re-dial starts on a clean connection.  Direct channel entries
+        are left untouched: the caller owns their lifecycle and a
+        revived endpoint (a restarted primary) must stay reachable.
+        """
+        realized = self._realized[self.active]
+        if realized is not None:
+            try:
+                realized.close()
+            except (TransportError, OSError):
+                pass
+            self._realized[self.active] = None
+        self.active = (self.active + 1) % len(self._endpoints)
+        self.failovers += 1
+        self.last_rotation = reason
+        return self.active
+
+    def _refusal(self, raw: bytes) -> str:
+        """The refusal code of a rotate-worthy reply, or ''.
+
+        Substring pre-check first — decoding every reply would tax the
+        hot path; the codes cannot appear in a well-formed non-error
+        reply without also appearing literally in its bytes.
+        """
+        if (
+            b"stale-epoch" not in raw
+            and b"standby-mode" not in raw
+        ):
+            return ""
+        try:
+            message = decode_message(raw)
+        except ShadowError:
+            return ""
+        if isinstance(message, ErrorReply) and message.code in REFUSAL_CODES:
+            return message.code
+        return ""
+
+    # ------------------------------------------------------------------
+    # delivery
+    # ------------------------------------------------------------------
+    def _deliver(self, payload: bytes) -> bytes:
+        try:
+            channel = self._current()
+            reply = channel.request(payload)
+        except TransportClosedError as exc:
+            # The *inner* channel died; the failover channel itself is
+            # still usable — surface a retryable fault, not a closure.
+            self.rotate(f"endpoint closed: {exc}")
+            raise TransportError(str(exc)) from exc
+        except TransportError as exc:
+            self.rotate(f"endpoint fault: {exc}")
+            raise
+        refusal = self._refusal(reply)
+        if refusal:
+            self.rotate(f"endpoint refused: {refusal}")
+            raise TransportError(
+                f"endpoint refused with {refusal}; failing over"
+            )
+        return reply
+
+    def _deliver_many(
+        self, payloads: Sequence[bytes]
+    ) -> List[Optional[bytes]]:
+        """Pipeline through the active endpoint.
+
+        A whole-batch transport fault, or any refused reply, rotates and
+        raises — the resilience layer re-ships the batch (same request
+        ids) on the next endpoint and the reply cache keeps effects
+        exactly-once.  Per-item ``None`` slots pass through untouched.
+        """
+        try:
+            channel = self._current()
+            replies = channel.request_many(payloads)
+        except TransportClosedError as exc:
+            self.rotate(f"endpoint closed: {exc}")
+            raise TransportError(str(exc)) from exc
+        except TransportError as exc:
+            self.rotate(f"endpoint fault: {exc}")
+            raise
+        for raw in replies:
+            if raw is None:
+                continue
+            refusal = self._refusal(raw)
+            if refusal:
+                self.rotate(f"endpoint refused: {refusal}")
+                raise TransportError(
+                    f"endpoint refused with {refusal}; failing over"
+                )
+        return replies
+
+    def close(self) -> None:
+        super().close()
+        for index, channel in enumerate(self._realized):
+            if channel is not None:
+                try:
+                    channel.close()
+                except (TransportError, OSError):
+                    pass
+                self._realized[index] = None

@@ -1,0 +1,269 @@
+"""Deterministic failover harness: kill the primary at any record.
+
+The crash-restart harness (:mod:`repro.durability.crashable`) kills one
+server at protocol steps; chaos-testing *replication* needs something
+sharper — kill the primary at an exact **journal record boundary**,
+either before the record ships to the standby or just after its ack —
+then drive a client through failover and check nothing acknowledged was
+lost.
+
+:class:`ReplicatedPair` wires a primary and a warm standby over an
+in-process feed channel, hands out client-side
+:class:`~repro.replication.failover.FailoverChannel`\\ s whose dial list
+covers both, and arms crashes via :class:`JournalCrash` — a
+``BaseException`` so it cannot be swallowed by the router's
+``ShadowError`` handling; the harness's dispatch wrapper converts it to
+the :class:`~repro.errors.ServerCrashedError` a torn connection shows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.server import ShadowServer
+from repro.errors import JournalError, ServerCrashedError
+from repro.replication.failover import FailoverChannel
+from repro.replication.manager import ReplicationManager
+from repro.simnet.clock import SimulatedClock
+from repro.simnet.link import CYPRESS_9600
+from repro.transport.base import LoopbackChannel, RequestChannel
+from repro.transport.sim import SimChannel, Wire
+
+
+class JournalCrash(BaseException):
+    """The armed record boundary was hit: the primary dies here.
+
+    Deliberately NOT a ShadowError (the router would catch it and send
+    a clean ErrorReply); as a BaseException it escapes the whole server
+    stack and the harness turns it into a torn connection.
+    """
+
+
+class _RecordBoundaryKiller:
+    """Counts journal records (or shipped acks) and raises at the Nth."""
+
+    def __init__(self, at_record: int, inner=None) -> None:
+        if at_record < 1:
+            raise JournalError(f"at_record must be >= 1, got {at_record}")
+        self.at_record = at_record
+        self.inner = inner
+        self.seen = 0
+        self.fired = False
+
+    def on_record(self, entry: Dict[str, Any]) -> None:
+        # Crash-before-ship: the record is journaled on the primary but
+        # never reaches the standby (the enqueue below is moot — the
+        # pump never runs, the reply never escapes).
+        if self.inner is not None:
+            self.inner(entry)
+        self.seen += 1
+        if not self.fired and self.seen >= self.at_record:
+            self.fired = True
+            raise JournalCrash(
+                f"primary killed at journal record {self.seen}"
+            )
+
+    def after_ship(self, seq: int, entry: Dict[str, Any]) -> None:
+        # Crash-after-ship: the standby has applied (and acked) this
+        # record, but the primary dies before the client sees a reply.
+        self.seen += 1
+        if not self.fired and self.seen >= self.at_record:
+            self.fired = True
+            raise JournalCrash(
+                f"primary killed after shipping stream record {seq}"
+            )
+
+
+class ReplicatedPair:
+    """A journaled primary + warm standby with kill/failover controls."""
+
+    def __init__(
+        self,
+        primary_dir: str,
+        standby_dir: str,
+        clock: Optional[SimulatedClock] = None,
+        transport: str = "loopback",
+        link=None,
+        auto_promote: bool = True,
+        heartbeat_interval: float = 0.5,
+        heartbeat_timeout: float = 2.0,
+        **server_kwargs: Any,
+    ) -> None:
+        if transport not in ("loopback", "sim"):
+            raise JournalError(
+                f"transport must be loopback or sim, got {transport!r}"
+            )
+        self.primary_dir = str(primary_dir)
+        self.standby_dir = str(standby_dir)
+        self.transport = transport
+        self.link = link if link is not None else CYPRESS_9600
+        self.clock = clock
+        if self.clock is None and transport == "sim":
+            self.clock = SimulatedClock()
+        #: Promote the standby the instant a harness-armed crash fires,
+        #: so the in-flight client retry lands on a serving primary.
+        self.auto_promote = auto_promote
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self._server_kwargs = dict(server_kwargs)
+        #: Both incarnations carry the SAME server name: the standby
+        #: takes over the primary's identity on promotion, so clients
+        #: keep their host mapping (and job ids stay in one sequence).
+        self._server_kwargs.setdefault("name", "supercomputer")
+        self.crashes = 0
+        #: Client-side sim wires, dead incarnations included.
+        self.wires: List[Wire] = []
+        self.primary: Optional[ShadowServer] = None
+        self.primary_repl: Optional[ReplicationManager] = None
+        self._killer: Optional[_RecordBoundaryKiller] = None
+        self.standby = ShadowServer(
+            journal_dir=self.standby_dir,
+            clock=self.clock,
+            **self._server_kwargs,
+        )
+        self.standby_repl = self._manager(self.standby, "standby")
+        self.start_primary()
+
+    def _manager(self, server: ShadowServer, role: str) -> ReplicationManager:
+        return ReplicationManager(
+            server,
+            role=role,
+            heartbeat_interval=self.heartbeat_interval,
+            heartbeat_timeout=self.heartbeat_timeout,
+            now_fn=self.clock.now if self.clock is not None else None,
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start_primary(self) -> ShadowServer:
+        """Boot (or resurrect) the primary over its journal directory.
+
+        A resurrection recovers the journal — including the persisted
+        ``repl-epoch`` record — so an old primary comes back at its old
+        epoch and gets fenced, never silently split-brained.
+        """
+        if self.primary is not None:
+            raise JournalError("primary already running; kill it first")
+        self.primary = ShadowServer(
+            journal_dir=self.primary_dir,
+            clock=self.clock,
+            **self._server_kwargs,
+        )
+        self.primary_repl = self._manager(self.primary, "primary")
+        if self.standby_repl.role == "standby":
+            self.primary_repl.attach_standby(
+                LoopbackChannel(self.handle_standby), name=self.standby.name
+            )
+        return self.primary
+
+    def kill_primary(self) -> None:
+        """``kill -9`` the primary: journal abandoned, workers gone."""
+        primary, self.primary = self.primary, None
+        self.primary_repl = None
+        self._killer = None
+        if primary is None:
+            return
+        self.crashes += 1
+        if primary.durability is not None:
+            primary.durability.abandon()
+        primary.pipeline.close()
+
+    def promote(self) -> int:
+        """Promote the standby (bumps the epoch past the primary's)."""
+        return self.standby_repl.promote()
+
+    def close(self) -> None:
+        if self.primary is not None:
+            self.primary.close()
+            self.primary = None
+        self.standby.close()
+
+    # ------------------------------------------------------------------
+    # crash arming
+    # ------------------------------------------------------------------
+    def schedule_crash_at_record(
+        self, at_record: int, after_ship: bool = False
+    ) -> None:
+        """Kill the primary at the ``at_record``-th journal record from
+        now (1-based).
+
+        ``after_ship=False`` fires as the record is appended — journaled
+        locally, never shipped, reply never escapes.  ``after_ship=True``
+        fires after the standby acknowledged the corresponding stream
+        record — the standby has it, the reply still never escapes.
+        Either way the client sees a torn connection and retries the
+        same request id on the standby.
+        """
+        if self.primary is None or self.primary_repl is None:
+            raise JournalError("no primary to arm")
+        assert self.primary.durability is not None
+        if after_ship:
+            killer = _RecordBoundaryKiller(at_record)
+            self.primary_repl.after_ship = killer.after_ship
+        else:
+            killer = _RecordBoundaryKiller(
+                at_record, inner=self.primary.durability.on_record
+            )
+            self.primary.durability.on_record = killer.on_record
+        self._killer = killer
+
+    # ------------------------------------------------------------------
+    # dispatch (what the channels call)
+    # ------------------------------------------------------------------
+    def handle_primary(self, payload: bytes) -> bytes:
+        primary = self.primary
+        if primary is None:
+            raise ServerCrashedError("the primary is down")
+        try:
+            reply = primary.handle(payload)
+        except JournalCrash as crash:
+            self.kill_primary()
+            if self.auto_promote:
+                self.promote()
+            raise ServerCrashedError(str(crash)) from None
+        if self.primary is not primary:
+            raise ServerCrashedError(
+                "the primary died while handling this request"
+            )
+        return reply
+
+    def handle_standby(self, payload: bytes) -> bytes:
+        return self.standby.handle(payload)
+
+    # ------------------------------------------------------------------
+    # client plumbing
+    # ------------------------------------------------------------------
+    def _endpoint(self, handler) -> RequestChannel:
+        if self.transport == "sim":
+            uplink = Wire(self.link, self.clock)
+            downlink = Wire(self.link, self.clock)
+            self.wires.extend((uplink, downlink))
+            return SimChannel(handler, uplink, downlink)
+        return LoopbackChannel(handler)
+
+    def client_channel(self) -> FailoverChannel:
+        """A failover channel dialling primary first, standby second.
+
+        Survives primary death and resurrection: both endpoints
+        dispatch through the harness indirection, exactly like the
+        crash-restart harness's channels.
+        """
+        return FailoverChannel(
+            [
+                self._endpoint(self.handle_primary),
+                self._endpoint(self.handle_standby),
+            ]
+        )
+
+    def total_wire_bytes(self) -> int:
+        """Client-side bytes across every sim wire (replication feed is
+        an unmetered loopback: A11 measures the *client's* cost)."""
+        return sum(wire.stats.wire_bytes for wire in self.wires)
+
+    @property
+    def stream_seq(self) -> int:
+        """Stream records enqueued since the standby attached."""
+        if self.primary_repl is None:
+            return 0
+        return self.primary_repl._seq

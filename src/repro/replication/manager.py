@@ -1,0 +1,612 @@
+"""Warm-standby replication: journal shipping, apply, and promotion.
+
+One :class:`ReplicationManager` rides on one
+:class:`~repro.core.server.ShadowServer` and gives it a replication
+role:
+
+* a **primary** taps the durability journal — every record appended by
+  the PR 5 write-ahead path is queued (under the journal lock, via the
+  enqueue-only ``on_record`` hook) and shipped to the standby as a
+  :class:`~repro.core.protocol.ReplicateRecord` *before the reply
+  escapes the server* (:meth:`pump` runs at the tail of
+  ``ShadowServer.handle``).  An acknowledged update therefore exists on
+  the standby by the time the client sees its ack: killing the primary
+  at any record boundary loses nothing that was acknowledged.
+* a **standby** replays each shipped record into live server state with
+  the same :func:`~repro.durability.manager.replay_record` recovery
+  uses, journals it locally (so the standby itself can crash and
+  recover), and refuses ordinary client traffic (``standby-mode``)
+  until promoted.
+
+Epoch fencing
+-------------
+``server.epoch`` is 0 while replication is off (and is then omitted
+from every wire message, keeping non-replicated runs byte-identical).
+Enabling replication starts it at 1; **promotion bumps it past the dead
+primary's**.  Clients learn the epoch from Hello replies and stamp it
+on every request envelope; replication messages carry it too.  Any
+server that sees an epoch *newer* than its own knows it has been
+superseded and fences itself — a resurrected old primary answers
+``stale-epoch`` instead of split-braining the cache.
+
+Lock order: the ``on_record`` tap runs under the journal lock and only
+appends to the pending deque (pending lock is taken *after* the journal
+lock, and nothing here ever takes the journal lock while holding it).
+Shipping runs under a dedicated ship lock with no server lock held.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Optional, Tuple, TYPE_CHECKING
+
+from repro.core.protocol import (
+    ErrorReply,
+    Heartbeat,
+    Message,
+    Ok,
+    Promote,
+    ReplicateAck,
+    ReplicateHello,
+    ReplicateRecord,
+    ReplicateSnapshot,
+    StatsQuery,
+    decode_message,
+)
+from repro.durability.journal import encode_record
+from repro.durability.manager import (
+    _settle_queued_jobs,
+    apply_snapshot,
+    capture_state,
+)
+from repro.durability.manager import replay_record as _replay_record
+from repro.errors import JournalError, ShadowError, TransportError
+from repro.replication.detector import FailureDetector
+from repro.transport.base import RequestChannel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.server import ShadowServer
+
+#: How many journal records may sit unshipped before the standby is
+#: declared too far behind and detached (it re-bootstraps on reattach).
+DEFAULT_MAX_PENDING = 10_000
+
+#: Message types a standby (or fenced primary) still answers.
+_REPLICATION_TYPES = (
+    ReplicateHello,
+    ReplicateSnapshot,
+    ReplicateRecord,
+    Heartbeat,
+    Promote,
+)
+
+ROLES = ("primary", "standby")
+
+
+class ReplicationManager:
+    """Replication role, journal stream, and epoch fence for one server."""
+
+    def __init__(
+        self,
+        server: "ShadowServer",
+        role: str = "primary",
+        heartbeat_interval: float = 1.0,
+        heartbeat_timeout: float = 3.0,
+        now_fn: Optional[Callable[[], float]] = None,
+        max_pending: int = DEFAULT_MAX_PENDING,
+    ) -> None:
+        if role not in ROLES:
+            raise JournalError(f"role must be one of {ROLES}, got {role!r}")
+        if role == "primary" and server.durability is None:
+            raise JournalError(
+                "a replicated primary needs a journal: the replication "
+                "stream *is* the journal (pass journal_dir=...)"
+            )
+        self.server = server
+        self.role = role
+        self.max_pending = max_pending
+        if now_fn is not None:
+            self._now = now_fn
+        elif server.clock is not None:
+            self._now = server.clock.now
+        else:
+            self._now = time.monotonic
+        #: Standby-side liveness view of the primary (primaries keep one
+        #: too, unused, so describe() has a stable shape).
+        self.detector = FailureDetector(
+            interval=heartbeat_interval,
+            timeout=heartbeat_timeout,
+            now_fn=self._now,
+        )
+        self.heartbeat_interval = heartbeat_interval
+        #: True once this server learned it was superseded; every client
+        #: request is then refused with ``stale-epoch``.
+        self.fenced = False
+        self.fence_reason = ""
+        # -- primary -> standby stream state ---------------------------
+        #: (seq, entry, encoded-size) queue, appended under the journal
+        #: lock, drained by pump() under the ship lock.
+        self._pending: Deque[Tuple[int, Dict[str, Any], int]] = deque()
+        self._pending_bytes = 0
+        self._pending_lock = threading.Lock()
+        self._ship_lock = threading.Lock()
+        self._feed: Optional[RequestChannel] = None
+        self._standby_name = ""
+        self._seq = 0  #: stream high-water mark (assigned at enqueue)
+        self.shipped_seq = 0  #: last seq the standby acknowledged
+        self._last_beat_sent: Optional[float] = None
+        self._overflowed = False
+        # -- standby apply state ---------------------------------------
+        self.applied_seq = 0
+        self._apply_lock = threading.Lock()
+        #: Test hook: called as (seq, entry) after each record is acked
+        #: by the standby — the harness raises from here to kill the
+        #: primary *after* a record shipped but before the reply escaped.
+        self.after_ship: Optional[Callable[[int, Dict[str, Any]], None]] = None
+
+        if server.epoch == 0:
+            self._set_epoch(1)
+        if role == "primary":
+            assert server.durability is not None
+            server.durability.on_record = self._on_journal_record
+        self._register_routes()
+        self._register_telemetry()
+        server.replication = self
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        return self.server.epoch
+
+    def _set_epoch(self, epoch: int) -> None:
+        """Adopt a (higher) epoch and journal it so a restart keeps it."""
+        if epoch <= self.server.epoch:
+            return
+        self.server.epoch = epoch
+        if self.server.durability is not None:
+            self.server.durability.record("repl-epoch", epoch=epoch)
+
+    def _register_routes(self) -> None:
+        router = self.server.router
+        router.register(ReplicateHello, self._on_replicate_hello)
+        router.register(ReplicateSnapshot, self._on_replicate_snapshot)
+        router.register(ReplicateRecord, self._on_replicate_record)
+        router.register(Heartbeat, self._on_heartbeat)
+        router.register(Promote, self._on_promote)
+
+    def _register_telemetry(self) -> None:
+        telemetry = self.server.telemetry
+        telemetry.gauge(
+            "replication_epoch", callback=lambda: float(self.server.epoch)
+        )
+        telemetry.gauge(
+            "replication_lag_records",
+            callback=lambda: float(len(self._pending)),
+        )
+        telemetry.gauge(
+            "replication_lag_bytes",
+            callback=lambda: float(self._pending_bytes),
+        )
+
+    def _count(self, name: str, amount: float = 1.0) -> None:
+        self.server.telemetry.counter(name).inc(amount)
+
+    def _emit(self, kind: str, **fields: Any) -> None:
+        self.server.events.emit(kind, **fields)
+
+    # ------------------------------------------------------------------
+    # admission: the epoch fence and standby refusal
+    # ------------------------------------------------------------------
+    def admit(
+        self, message: Message, envelope_epoch: int
+    ) -> Optional[ErrorReply]:
+        """Gate one decoded request before dispatch.
+
+        Returns the refusal to send (NEVER cached in the reply cache —
+        a refusal is about *this server's role right now*, not about the
+        request), or None to let the request through.
+        """
+        if envelope_epoch > self.server.epoch:
+            # The client has spoken to a newer primary: we were
+            # superseded while we were dead.  Fence ourselves.
+            self._fence(
+                f"client presented epoch {envelope_epoch}, "
+                f"ours is {self.server.epoch}"
+            )
+        if isinstance(message, (StatsQuery, Promote)):
+            return None  # always answerable: observe, or take over
+        if self.fenced:
+            self._count("replication_stale_epoch_rejections")
+            return ErrorReply(
+                code="stale-epoch",
+                message=(
+                    f"server superseded at epoch {self.server.epoch} "
+                    f"({self.fence_reason}); talk to the new primary"
+                ),
+            )
+        if isinstance(message, _REPLICATION_TYPES):
+            return None
+        if self.role == "standby":
+            self._count("replication_standby_refusals")
+            return ErrorReply(
+                code="standby-mode",
+                message=(
+                    f"{self.server.name} is a warm standby "
+                    f"(epoch {self.server.epoch}); not serving clients"
+                ),
+            )
+        return None
+
+    def _fence(self, reason: str) -> None:
+        if self.fenced:
+            return
+        self.fenced = True
+        self.fence_reason = reason
+        self._detach_locked_free(f"fenced: {reason}")
+        self._count("replication_fenced")
+        self._emit(
+            "replication_fenced", epoch=self.server.epoch, reason=reason
+        )
+
+    # ------------------------------------------------------------------
+    # primary: the journal tap and the ship loop
+    # ------------------------------------------------------------------
+    def _on_journal_record(self, entry: Dict[str, Any]) -> None:
+        """Durability ``on_record`` tap.  Runs UNDER the journal lock:
+        enqueue only, never ship, never take a server lock."""
+        with self._pending_lock:
+            if self._feed is None:
+                return  # nothing attached: no stream to buffer for
+            self._seq += 1
+            size = len(encode_record(entry))
+            self._pending.append((self._seq, dict(entry), size))
+            self._pending_bytes += size
+            if len(self._pending) > self.max_pending:
+                self._overflowed = True
+
+    def attach_standby(
+        self, channel: RequestChannel, name: str = ""
+    ) -> int:
+        """Bootstrap ``channel``'s standby and start streaming to it.
+
+        Ships a :class:`ReplicateSnapshot` of the full current state;
+        records journaled *during* the capture are both buffered and
+        (possibly) inside the capture — every replay is idempotent and
+        the standby deduplicates by sequence number, so the overlap is
+        harmless.  Returns the stream seq the snapshot is current
+        through.
+        """
+        if self.role != "primary":
+            raise JournalError("only a primary can feed a standby")
+        with self._ship_lock:
+            with self._pending_lock:
+                self._feed = channel
+                self._standby_name = name
+                self._pending.clear()
+                self._pending_bytes = 0
+                self._overflowed = False
+                snap_seq = self._seq
+            state = capture_state(self.server)
+            message = ReplicateSnapshot(
+                sender=self.server.name,
+                epoch=self.server.epoch,
+                seq=snap_seq,
+                state=state,
+            )
+            try:
+                reply = decode_message(channel.request(message.to_wire()))
+            except (TransportError, ShadowError) as exc:
+                self._detach_locked_free(f"bootstrap failed: {exc}")
+                raise
+            if isinstance(reply, ErrorReply):
+                self._detach_locked_free(f"bootstrap refused: {reply.code}")
+                if reply.code == "stale-epoch":
+                    self._fence("standby refused our bootstrap epoch")
+                raise JournalError(
+                    f"standby refused bootstrap [{reply.code}]: "
+                    f"{reply.message}"
+                )
+            self.shipped_seq = snap_seq
+        self._count("replication_snapshots_shipped")
+        self._emit(
+            "replication_attached",
+            standby=name,
+            epoch=self.server.epoch,
+            seq=snap_seq,
+        )
+        return snap_seq
+
+    def detach(self, reason: str = "operator detach") -> None:
+        with self._ship_lock:
+            self._detach_locked_free(reason)
+
+    def _detach_locked_free(self, reason: str) -> None:
+        """Drop the feed + pending buffer (safe under any of our locks)."""
+        with self._pending_lock:
+            had_feed = self._feed is not None
+            self._feed = None
+            self._pending.clear()
+            self._pending_bytes = 0
+            self._overflowed = False
+        if had_feed:
+            self._count("replication_standby_detachments")
+            self._emit("replication_detached", reason=reason)
+
+    def pump(self) -> None:
+        """Ship every pending record (and maybe a heartbeat) now.
+
+        Called at the tail of ``ShadowServer.handle`` — after the
+        handler released every lock, *before* the reply escapes — and by
+        the serve loop's heartbeat thread on idle servers.  Transport
+        faults detach the standby (it re-bootstraps on reattach); a
+        ``stale-epoch`` refusal means the standby was promoted over us,
+        so we fence.
+        """
+        if self.role != "primary" or self.fenced:
+            return
+        with self._ship_lock:
+            if self._overflowed:
+                self._detach_locked_free(
+                    f"standby lagged past {self.max_pending} records"
+                )
+                return
+            channel = self._feed
+            if channel is None:
+                return
+            while True:
+                with self._pending_lock:
+                    if not self._pending:
+                        break
+                    seq, entry, size = self._pending[0]
+                message = ReplicateRecord(
+                    sender=self.server.name,
+                    epoch=self.server.epoch,
+                    seq=seq,
+                    record=entry,
+                )
+                if not self._ship(channel, message):
+                    return
+                with self._pending_lock:
+                    self._pending.popleft()
+                    self._pending_bytes -= size
+                self.shipped_seq = seq
+                self._count("replication_records_shipped")
+                hook = self.after_ship
+                if hook is not None:
+                    hook(seq, entry)
+            self._maybe_heartbeat(channel)
+
+    def _ship(self, channel: RequestChannel, message: Message) -> bool:
+        """One replication send; False when the feed just went away."""
+        try:
+            reply = decode_message(channel.request(message.to_wire()))
+        except (TransportError, ShadowError) as exc:
+            self._detach_locked_free(f"feed fault: {exc}")
+            return False
+        if isinstance(reply, ErrorReply):
+            if reply.code == "stale-epoch":
+                self._fence("standby reports a newer epoch")
+            else:
+                self._detach_locked_free(
+                    f"standby refused [{reply.code}]: {reply.message}"
+                )
+            return False
+        if isinstance(reply, ReplicateAck) and reply.epoch > self.server.epoch:
+            self._fence(f"standby acked at newer epoch {reply.epoch}")
+            return False
+        return True
+
+    def _maybe_heartbeat(self, channel: RequestChannel) -> None:
+        now = self._now()
+        if (
+            self._last_beat_sent is not None
+            and now - self._last_beat_sent < self.heartbeat_interval
+        ):
+            return
+        self._last_beat_sent = now
+        beat = Heartbeat(
+            sender=self.server.name,
+            epoch=self.server.epoch,
+            seq=self._seq,
+        )
+        if self._ship(channel, beat):
+            self._count("replication_heartbeats_sent")
+
+    # ------------------------------------------------------------------
+    # standby: apply, liveness, promotion
+    # ------------------------------------------------------------------
+    def _check_peer_epoch(self, epoch: int) -> Optional[ErrorReply]:
+        """Common fence for replication messages: a peer behind our
+        epoch is a resurrected old primary and must be told so."""
+        if epoch < self.server.epoch:
+            self._count("replication_stale_epoch_rejections")
+            return ErrorReply(
+                code="stale-epoch",
+                message=(
+                    f"peer epoch {epoch} is behind "
+                    f"{self.server.name}'s epoch {self.server.epoch}"
+                ),
+            )
+        if epoch > self.server.epoch:
+            self._set_epoch(epoch)
+        return None
+
+    def _on_replicate_hello(self, message: ReplicateHello) -> Message:
+        refusal = self._check_peer_epoch(message.epoch)
+        if refusal is not None:
+            return refusal
+        if self.role != "primary":
+            return ErrorReply(
+                code="standby-mode",
+                message=f"{self.server.name} is itself a standby",
+            )
+        if message.host:
+            from repro.transport.tcp import TcpChannel
+
+            try:
+                channel: RequestChannel = TcpChannel(
+                    message.host, message.port
+                )
+            except (TransportError, OSError) as exc:
+                return ErrorReply(
+                    code="repl-dial",
+                    message=(
+                        f"cannot dial standby at "
+                        f"{message.host}:{message.port}: {exc}"
+                    ),
+                )
+            self.attach_standby(channel, name=message.sender)
+            return Ok(
+                detail=f"feed attached to {message.sender}",
+                epoch=self.server.epoch,
+            )
+        # Harness topologies attach a channel directly; the hello is
+        # informational.
+        self._standby_name = message.sender or self._standby_name
+        return Ok(detail="standby announced", epoch=self.server.epoch)
+
+    def _on_replicate_snapshot(self, message: ReplicateSnapshot) -> Message:
+        refusal = self._check_peer_epoch(message.epoch)
+        if refusal is not None:
+            return refusal
+        if self.role != "standby":
+            return ErrorReply(
+                code="repl-role",
+                message=f"{self.server.name} is not a standby",
+            )
+        self.detector.beat()
+        with self._apply_lock:
+            apply_snapshot(self.server, message.state)
+            self.applied_seq = message.seq
+        if self.server.durability is not None:
+            try:
+                # Persist the bootstrap so a standby crash recovers to
+                # it instead of an empty state.
+                self.server.durability.snapshot(self.server)
+            except OSError:
+                pass  # journal-only persistence still works
+        self._count("replication_snapshots_applied")
+        self._emit(
+            "replication_bootstrap",
+            primary=message.sender,
+            epoch=message.epoch,
+            seq=message.seq,
+        )
+        return ReplicateAck(epoch=self.server.epoch, seq=self.applied_seq)
+
+    def _on_replicate_record(self, message: ReplicateRecord) -> Message:
+        refusal = self._check_peer_epoch(message.epoch)
+        if refusal is not None:
+            return refusal
+        if self.role != "standby":
+            return ErrorReply(
+                code="repl-role",
+                message=f"{self.server.name} is not a standby",
+            )
+        self.detector.beat()
+        with self._apply_lock:
+            if message.seq <= self.applied_seq:
+                # Re-shipped after a transport fault: already applied.
+                return ReplicateAck(
+                    epoch=self.server.epoch, seq=self.applied_seq
+                )
+            if message.seq != self.applied_seq + 1:
+                # A hole in the stream (we restarted, or the primary
+                # dropped us): only a fresh bootstrap can heal it.
+                self._count("replication_stream_gaps")
+                return ErrorReply(
+                    code="repl-gap",
+                    message=(
+                        f"expected seq {self.applied_seq + 1}, "
+                        f"got {message.seq}; re-bootstrap required"
+                    ),
+                )
+            entry = dict(message.record)
+            _replay_record(self.server, entry)
+            kind = str(entry.pop("kind", ""))
+            if kind and self.server.durability is not None:
+                # Journal locally so the *standby* can crash and recover
+                # without asking the primary to re-bootstrap.
+                self.server.durability.record(kind, **entry)
+            self.applied_seq = message.seq
+        self._count("replication_records_applied")
+        return ReplicateAck(epoch=self.server.epoch, seq=self.applied_seq)
+
+    def _on_heartbeat(self, message: Heartbeat) -> Message:
+        refusal = self._check_peer_epoch(message.epoch)
+        if refusal is not None:
+            return refusal
+        self.detector.beat()
+        self._count("replication_heartbeats_received")
+        return ReplicateAck(epoch=self.server.epoch, seq=self.applied_seq)
+
+    def _on_promote(self, message: Promote) -> Message:
+        epoch = self.promote(min_epoch=message.min_epoch)
+        return Ok(
+            detail=f"{self.server.name} is primary at epoch {epoch}",
+            epoch=epoch,
+        )
+
+    def promote(self, min_epoch: int = 0) -> int:
+        """Make this server the primary.
+
+        Bumps the epoch past both our own and ``min_epoch`` (the
+        highest epoch the caller knows of — normally the dead
+        primary's), fencing that primary if it ever resurrects.  Jobs
+        replicated as queued are settled and kicked: their effects
+        never became client-visible on the old primary past what the
+        replicated reply cache already answers, so running them here is
+        the exactly-once-visible outcome.
+        """
+        with self._apply_lock:
+            if self.role == "primary" and not self.fenced:
+                if min_epoch >= self.server.epoch:
+                    self._set_epoch(min_epoch + 1)
+                return self.server.epoch
+            self._set_epoch(max(self.server.epoch, min_epoch) + 1)
+            self.role = "primary"
+            self.fenced = False
+            self.fence_reason = ""
+            if self.server.durability is not None:
+                self.server.durability.on_record = self._on_journal_record
+            self.detector.reset()
+        _settle_queued_jobs(self.server)
+        self.server.pipeline.kick()
+        self._count("replication_promotions")
+        self._emit(
+            "replication_promoted",
+            server=self.server.name,
+            epoch=self.server.epoch,
+        )
+        return self.server.epoch
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict[str, Any]:
+        with self._pending_lock:
+            pending = len(self._pending)
+            pending_bytes = self._pending_bytes
+            attached = self._feed is not None
+        info: Dict[str, Any] = {
+            "component": "replication",
+            "role": self.role,
+            "epoch": self.server.epoch,
+            "fenced": self.fenced,
+            "stream_seq": self._seq,
+            "shipped_seq": self.shipped_seq,
+            "applied_seq": self.applied_seq,
+            "pending_records": pending,
+            "pending_bytes": pending_bytes,
+            "standby_attached": attached,
+            "standby": self._standby_name,
+        }
+        if self.fence_reason:
+            info["fence_reason"] = self.fence_reason
+        if self.role == "standby":
+            info["detector"] = self.detector.describe()
+        return info

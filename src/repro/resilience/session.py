@@ -141,6 +141,11 @@ class ResilientSession:
         self.traces = traces
         #: Optional structured event log for breaker transitions.
         self.events = events
+        #: Highest replication epoch learned from a Hello ``Ok``; stamped
+        #: on every envelope so a resurrected old primary fences itself.
+        #: 0 (non-replicated, or nothing learned) is omitted from the
+        #: wire — the benchmark byte counts are untouched.
+        self.epoch = 0
         self._rng = random.Random(seed)
         # Request ids must be unique per (client, session incarnation):
         # a client that restarts with the same seed must not collide with
@@ -239,11 +244,13 @@ class ResilientSession:
             if trace is not None:
                 with trace.phase("encode"):
                     wire = Envelope(
-                        rid=rid, body=message.to_wire(), tid=tid
+                        rid=rid, body=message.to_wire(), tid=tid,
+                        epo=self.epoch,
                     ).to_wire()
             else:
                 wire = Envelope(
-                    rid=rid, body=message.to_wire(), tid=tid
+                    rid=rid, body=message.to_wire(), tid=tid,
+                    epo=self.epoch,
                 ).to_wire()
             return self._transmit(wire, trace)
         finally:
@@ -359,7 +366,13 @@ class ResilientSession:
             rid = self.next_request_id()
             tid = self.next_trace_id() if self.trace_ids else ""
             entries.append(
-                (rid, Envelope(rid=rid, body=message.to_wire(), tid=tid).to_wire())
+                (
+                    rid,
+                    Envelope(
+                        rid=rid, body=message.to_wire(), tid=tid,
+                        epo=self.epoch,
+                    ).to_wire(),
+                )
             )
         self.stats.pipelined_batches += 1
         self.stats.pipelined_requests += len(entries)

@@ -17,18 +17,27 @@ side.  The live examples run a full shadow session over these.
 
 from __future__ import annotations
 
+import random
 import socket
 import threading
 import time
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import Callable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import TransportClosedError, TransportError
+from repro.resilience.policy import RetryPolicy
 from repro.telemetry.registry import MetricsRegistry
 from repro.transport.base import ChannelHandler, RequestChannel
 from repro.transport.framing import FrameDecoder, encode_frame
 
 _ACCEPT_POLL_SECONDS = 0.2
 _RECV_CHUNK = 65_536
+
+#: Backoff between consecutive failed re-dials.  ``max_attempts`` here
+#: caps the *exponent* (the wait plateaus at ``max_delay``), not the
+#: number of tries — giving up entirely is the resilience layer's call.
+DEFAULT_REDIAL_POLICY = RetryPolicy(
+    max_attempts=6, base_delay=0.05, multiplier=2.0, max_delay=2.0
+)
 
 #: The prototype's "well-known port" for examples; 0 asks the OS to pick.
 DEFAULT_PORT = 0
@@ -67,6 +76,10 @@ class TcpChannel(RequestChannel):
         port: int,
         timeout: float = 30.0,
         telemetry: Optional[MetricsRegistry] = None,
+        redial_policy: Optional[RetryPolicy] = None,
+        redial_sleep: Optional[Callable[[float], None]] = None,
+        redial_seed: int = 2718,
+        lazy: bool = False,
     ) -> None:
         super().__init__()
         self._host = host
@@ -75,7 +88,27 @@ class TcpChannel(RequestChannel):
         self._lock = threading.Lock()
         self.reconnects = 0
         self._telemetry = telemetry
-        self._connect()
+        self._socket: Optional[socket.socket] = None
+        self._decoder = FrameDecoder()
+        #: Exponential backoff between consecutive failed re-dials, so a
+        #: dead server is not hammered once per request (a retry storm
+        #: amplified by every client's resilience layer).  The sleep fn
+        #: and rng are injectable: simulated runs charge a fake clock
+        #: and stay deterministic.
+        self._redial_policy = (
+            redial_policy if redial_policy is not None else DEFAULT_REDIAL_POLICY
+        )
+        self._redial_sleep = redial_sleep if redial_sleep is not None else time.sleep
+        self._redial_rng = random.Random(redial_seed)
+        self._redial_failures = 0
+        self.redial_waits = 0
+        self.redial_wait_seconds = 0.0
+        #: ``lazy=True`` defers the dial to the first request, so an
+        #: endpoint in a failover dial list that happens to be down
+        #: doesn't fail the whole list at construction time — the
+        #: failure surfaces as a TransportError on use, which rotates.
+        if not lazy:
+            self._connect()
 
     def _connect(self) -> None:
         try:
@@ -100,23 +133,49 @@ class TcpChannel(RequestChannel):
         with self._lock:
             self._redial_locked(strict=True)
 
+    def _redial_backoff(self) -> None:
+        """Wait out the backoff owed for consecutive failed re-dials.
+
+        The attempt number is clamped to the policy's ``max_attempts``
+        so the wait plateaus at ``max_delay`` instead of growing without
+        bound; jitter (seeded) decorrelates clients re-dialling the same
+        dead server.
+        """
+        if self._redial_failures < 1:
+            return
+        attempt = min(self._redial_failures, self._redial_policy.max_attempts)
+        delay = self._redial_policy.delay_for(attempt, self._redial_rng)
+        if delay <= 0:
+            return
+        self.redial_waits += 1
+        self.redial_wait_seconds += delay
+        if self._telemetry is not None:
+            self._telemetry.counter("tcp_redial_backoff_total").inc()
+        self._redial_sleep(delay)
+
     def _redial_locked(self, strict: bool = False) -> None:
         """Replace the connection; the caller holds ``self._lock``.
 
         ``strict`` propagates a failed dial (explicit reconnects want to
         know); otherwise the dead socket is kept and the next request
-        surfaces the failure through the normal retry machinery.
+        surfaces the failure through the normal retry machinery.  Each
+        consecutive failure widens the backoff slept *before* the next
+        dial; the first dial after a healthy connection pays nothing.
         """
-        try:
-            self._socket.close()
-        except OSError:
-            pass
+        if self._socket is not None:
+            try:
+                self._socket.close()
+            except OSError:
+                pass
+        self._redial_backoff()
         try:
             self._connect()
         except TransportError:
+            self._redial_failures += 1
             if strict:
                 raise
             return
+        self._redial_failures = 0
         self._closed = False
         self.reconnects += 1
         if self._telemetry is not None:
@@ -124,6 +183,8 @@ class TcpChannel(RequestChannel):
 
     def _deliver(self, payload: bytes) -> bytes:
         with self._lock:
+            if self._socket is None:
+                self._connect()
             try:
                 self._socket.sendall(encode_frame(payload))
             except OSError as exc:
@@ -150,6 +211,8 @@ class TcpChannel(RequestChannel):
         """
         replies: List[Optional[bytes]] = []
         with self._lock:
+            if self._socket is None:
+                self._connect()
             try:
                 self._socket.sendall(
                     b"".join(encode_frame(payload) for payload in payloads)
@@ -176,10 +239,11 @@ class TcpChannel(RequestChannel):
 
     def close(self) -> None:
         super().close()
-        try:
-            self._socket.close()
-        except OSError:
-            pass
+        if self._socket is not None:
+            try:
+                self._socket.close()
+            except OSError:
+                pass
 
 
 class TcpChannelServer:

@@ -185,3 +185,77 @@ class TestStatsCommand:
     def test_stats_connection_refused_is_a_clean_error(self, capsys):
         assert main(["stats", "127.0.0.1:1"]) == 2
         assert "shadow:" in capsys.readouterr().err
+
+
+class TestDialLists:
+    """--server accepts a comma-separated failover dial list."""
+
+    def test_edit_through_a_dial_list_with_a_dead_first_endpoint(
+        self, live_server, workdir, capsys
+    ):
+        # Port 1 is reserved and nothing listens there: the dial must be
+        # lazy, surface on first use, and rotate to the live endpoint.
+        (workdir / "input.dat").write_text("original")
+        code = main(
+            [
+                "edit",
+                "--server",
+                f"127.0.0.1:1,127.0.0.1:{live_server.port}",
+                "--state",
+                ".shadow/state.json",
+                "input.dat",
+                "--with-content",
+                "via the standby",
+            ]
+        )
+        assert code == 0
+        assert "version 1 shadowed" in capsys.readouterr().out
+
+    def test_single_endpoint_still_dials_eagerly(self, workdir, capsys):
+        from repro.cli import _dial_channel
+        from repro.errors import TransportError
+
+        with pytest.raises(TransportError):
+            _dial_channel("127.0.0.1:1")
+
+    def test_dial_list_builds_a_failover_channel(self, workdir):
+        from repro.cli import _dial_channel
+        from repro.replication.failover import FailoverChannel
+
+        channel = _dial_channel("127.0.0.1:1, 127.0.0.1:2")
+        assert isinstance(channel, FailoverChannel)
+        channel.close()
+
+    def test_state_file_remembers_the_learned_epoch(
+        self, workdir, capsys, tmp_path
+    ):
+        from repro.replication.manager import ReplicationManager
+
+        server = ShadowServer(
+            executor=SimulatedExecutor(), journal_dir=str(tmp_path / "j")
+        )
+        repl = ReplicationManager(server, role="standby")
+        repl.promote()  # epoch >= 2, like a post-failover survivor
+        listener = TcpChannelServer(server.handle, host="127.0.0.1", port=0)
+        try:
+            (workdir / "input.dat").write_text("original")
+            code = main(
+                [
+                    "edit",
+                    "--server",
+                    f"127.0.0.1:{listener.port}",
+                    "--state",
+                    ".shadow/state.json",
+                    "input.dat",
+                    "--with-content",
+                    "learned an epoch",
+                ]
+            )
+            assert code == 0
+            state = json.loads(
+                (workdir / ".shadow" / "state.json").read_text()
+            )
+            assert state["epoch"] == server.epoch >= 2
+        finally:
+            listener.close()
+            server.close()

@@ -1,0 +1,140 @@
+"""Crash-safe offline repair: journal_fsck --repair survives a kill.
+
+The repair follows the snapshot discipline — valid prefix to a temp
+file, fsync, atomic rename — so a kill at ANY instant mid-repair leaves
+the journal path naming either the original damaged file or the fully
+healed one.  These tests inject the kill at both windows (before the
+temp file is durable, and before the rename lands) and assert recovery
+still works from whatever was left behind.
+"""
+
+import importlib.util
+import os
+import pathlib
+
+import pytest
+
+from repro.core.client import ShadowClient
+from repro.core.server import ShadowServer
+from repro.core.workspace import MappingWorkspace
+from repro.durability.journal import read_journal, truncate_tail_atomic
+from repro.transport.base import LoopbackChannel
+from repro.workload.files import make_text_file
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def load_fsck():
+    spec = importlib.util.spec_from_file_location(
+        "journal_fsck", ROOT / "scripts" / "journal_fsck.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def build_damaged_journal(journal_dir):
+    """A real journal with a torn tail appended, like a mid-append kill."""
+    server = ShadowServer(journal_dir=str(journal_dir))
+    client = ShadowClient("alice@ws", MappingWorkspace())
+    client.connect(server.name, LoopbackChannel(server.handle))
+    for index in range(3):
+        client.write_file(
+            f"/data/file{index}.dat", make_text_file(1_500, seed=index)
+        )
+    server.durability.flush()
+    server.durability.abandon()
+    path = os.path.join(str(journal_dir), "journal.wal")
+    with open(path, "ab") as handle:
+        handle.write(b"torn-tail-garbage")
+    return path
+
+
+def test_repair_heals_a_torn_tail(tmp_path):
+    fsck = load_fsck()
+    path = build_damaged_journal(tmp_path)
+    damaged = read_journal(path)
+    assert damaged.truncated
+
+    assert fsck.main([str(tmp_path)]) == 1  # damage found, left in place
+    assert fsck.main(["--repair", str(tmp_path)]) == 0
+    healed = read_journal(path)
+    assert not healed.truncated
+    assert len(healed.records) == len(damaged.records)
+    assert fsck.main([str(tmp_path)]) == 0  # clean now
+
+    # And the healed journal boots a server with every write intact.
+    server = ShadowServer(journal_dir=str(tmp_path))
+    assert server.durability.last_recovery["replayed_records"] == len(
+        healed.records
+    )
+    server.close()
+
+
+def test_kill_before_temp_is_durable_leaves_the_original(tmp_path, monkeypatch):
+    path = build_damaged_journal(tmp_path)
+    damaged_bytes = open(path, "rb").read()
+    scan = read_journal(path)
+
+    real_fsync = os.fsync
+
+    def dying_fsync(fd):
+        raise OSError(28, "No space left on device")
+
+    monkeypatch.setattr(os, "fsync", dying_fsync)
+    with pytest.raises(OSError):
+        truncate_tail_atomic(path, scan)
+    monkeypatch.setattr(os, "fsync", real_fsync)
+
+    # Nothing moved: the journal is byte-identical, the temp was removed.
+    assert open(path, "rb").read() == damaged_bytes
+    assert not os.path.exists(path + ".repair-tmp")
+    # Recovery still works on the untouched damaged file.
+    server = ShadowServer(journal_dir=str(tmp_path))
+    assert server.durability.last_recovery["replayed_records"] == len(
+        scan.records
+    )
+    server.close()
+
+
+def test_kill_before_rename_leaves_the_original_then_repairs(tmp_path, monkeypatch):
+    path = build_damaged_journal(tmp_path)
+    damaged_bytes = open(path, "rb").read()
+    scan = read_journal(path)
+
+    real_replace = os.replace
+
+    def dying_replace(src, dst):
+        raise OSError(5, "killed before the rename landed")
+
+    monkeypatch.setattr(os, "replace", dying_replace)
+    with pytest.raises(OSError):
+        truncate_tail_atomic(path, scan)
+    monkeypatch.setattr(os, "replace", real_replace)
+
+    # The journal path still names the original damaged file; a stale
+    # temp may linger, exactly as after a real kill.
+    assert open(path, "rb").read() == damaged_bytes
+
+    # Re-running the repair (the operator's natural next step) heals it,
+    # stale temp and all.
+    removed = truncate_tail_atomic(path, scan)
+    assert removed == scan.truncated_bytes
+    healed = read_journal(path)
+    assert not healed.truncated
+    assert len(healed.records) == len(scan.records)
+    assert not os.path.exists(path + ".repair-tmp")
+
+
+def test_repair_with_a_stale_temp_from_a_previous_kill(tmp_path):
+    path = build_damaged_journal(tmp_path)
+    scan = read_journal(path)
+    # A previous repair died after writing garbage to the temp file.
+    with open(path + ".repair-tmp", "wb") as handle:
+        handle.write(b"half-written nonsense from the dead repair")
+
+    removed = truncate_tail_atomic(path, scan)
+    assert removed == scan.truncated_bytes
+    healed = read_journal(path)
+    assert not healed.truncated
+    assert len(healed.records) == len(scan.records)

@@ -1,0 +1,156 @@
+"""Snapshot rotation under disk pressure: ENOSPC and short writes.
+
+The cadence snapshot rotates the live journal aside *before* writing
+the new snapshot.  If the snapshot write then dies (full disk, torn
+write), nothing acknowledged may be at risk: the old snapshot plus the
+rotated ``journal.wal.old`` plus whatever lands in the fresh
+``journal.wal`` must remain a complete recovery source, and the request
+that happened to trigger the snapshot must still succeed.
+"""
+
+import errno
+import os
+
+import pytest
+
+from repro.core.client import ShadowClient
+from repro.core.server import ShadowServer
+from repro.core.workspace import MappingWorkspace
+from repro.durability.manager import JOURNAL_FILE, JOURNAL_ROTATED, SNAPSHOT_FILE
+from repro.transport.base import LoopbackChannel
+from repro.workload.files import make_text_file
+
+
+def connect(server):
+    client = ShadowClient("alice@ws", MappingWorkspace())
+    client.connect(server.name, LoopbackChannel(server.handle))
+    return client
+
+
+def content_for(index, size=1_200):
+    return make_text_file(size, seed=index)
+
+
+def no_space(path, state):
+    raise OSError(errno.ENOSPC, "No space left on device")
+
+
+def counter_value(server, name):
+    snapshot = server.telemetry.snapshot()
+    values = {entry["name"]: entry["value"] for entry in snapshot["counters"]}
+    return values.get(name, 0.0)
+
+
+def test_enospc_snapshot_keeps_journal_as_recovery_source(
+    tmp_path, monkeypatch
+):
+    server = ShadowServer(journal_dir=str(tmp_path), snapshot_every=4)
+    client = connect(server)
+    monkeypatch.setattr("repro.durability.manager.write_snapshot", no_space)
+
+    # Enough edits to cross the cadence (each edit journals >= 2 records
+    # plus a reply record): the snapshot attempt fails mid-request, but
+    # every write is acknowledged normally — disk pressure on the
+    # background snapshot never surfaces on the request path.
+    for index in range(4):
+        assert client.write_file(f"/data/f{index}.dat", content_for(index)) == 1
+
+    assert counter_value(server, "journal_snapshot_failures") >= 1
+    # The rotation happened, the snapshot did not: records live in .old.
+    assert os.path.exists(os.path.join(str(tmp_path), JOURNAL_ROTATED))
+    assert not os.path.exists(os.path.join(str(tmp_path), SNAPSHOT_FILE))
+
+    # Crash here.  Recovery must rebuild everything from .old + .wal.
+    server.durability.abandon()
+    monkeypatch.undo()
+    revived = ShadowServer(journal_dir=str(tmp_path))
+    for index in range(4):
+        key = str(client.workspace.resolve(f"/data/f{index}.dat"))
+        entry = revived.cache.peek_entry(key)
+        assert entry is not None, f"f{index} lost to the failed snapshot"
+        assert entry.version == 1
+        assert entry.content == content_for(index)
+    revived.close()
+
+
+def test_second_failure_appends_to_old_instead_of_clobbering(
+    tmp_path, monkeypatch
+):
+    """Two failed snapshots in a row: the second rotation must append
+    the live journal behind ``.old``, not replace it — replacing would
+    silently drop every record the first rotation set aside."""
+    server = ShadowServer(journal_dir=str(tmp_path), snapshot_every=3)
+    client = connect(server)
+    monkeypatch.setattr("repro.durability.manager.write_snapshot", no_space)
+
+    total = 8  # enough edits to trip the cadence at least twice
+    for index in range(total):
+        client.write_file(f"/data/f{index}.dat", content_for(index))
+    assert counter_value(server, "journal_snapshot_failures") >= 2
+
+    server.durability.abandon()
+    monkeypatch.undo()
+    revived = ShadowServer(journal_dir=str(tmp_path))
+    for index in range(total):
+        key = str(client.workspace.resolve(f"/data/f{index}.dat"))
+        entry = revived.cache.peek_entry(key)
+        assert entry is not None, f"f{index} dropped by the second rotation"
+        assert entry.content == content_for(index)
+    revived.close()
+
+
+def test_short_write_torn_snapshot_falls_back_to_journal(tmp_path):
+    """A snapshot torn mid-write (short write + crash) must be treated
+    as absent: recovery falls back to replaying the journal files."""
+    server = ShadowServer(journal_dir=str(tmp_path), snapshot_every=10_000)
+    client = connect(server)
+    for index in range(3):
+        client.write_file(f"/data/f{index}.dat", content_for(index))
+    server.durability.flush()
+    server.durability.abandon()
+
+    # The machine died halfway through writing snapshot.bin directly
+    # (no tmp-rename discipline — e.g. a partial restore from backup).
+    snapshot_path = os.path.join(str(tmp_path), SNAPSHOT_FILE)
+    with open(snapshot_path, "wb") as handle:
+        handle.write(b"\x00\x01torn")
+
+    revived = ShadowServer(journal_dir=str(tmp_path))
+    for index in range(3):
+        key = str(client.workspace.resolve(f"/data/f{index}.dat"))
+        entry = revived.cache.peek_entry(key)
+        assert entry is not None
+        assert entry.content == content_for(index)
+    revived.close()
+
+
+def test_recovery_after_failure_then_success_uses_fresh_snapshot(
+    tmp_path, monkeypatch
+):
+    """Disk pressure clears: the next cadence crossing snapshots
+    successfully, removes ``.old``, and recovery uses the snapshot."""
+    server = ShadowServer(journal_dir=str(tmp_path), snapshot_every=3)
+    client = connect(server)
+
+    monkeypatch.setattr("repro.durability.manager.write_snapshot", no_space)
+    for index in range(3):
+        client.write_file(f"/data/f{index}.dat", content_for(index))
+    assert counter_value(server, "journal_snapshot_failures") >= 1
+    monkeypatch.undo()  # the disk frees up
+
+    for index in range(3, 6):
+        client.write_file(f"/data/f{index}.dat", content_for(index))
+    assert counter_value(server, "journal_snapshots") >= 1
+    # Success cleaned up the rotated file and wrote a real snapshot.
+    assert not os.path.exists(os.path.join(str(tmp_path), JOURNAL_ROTATED))
+    assert os.path.exists(os.path.join(str(tmp_path), SNAPSHOT_FILE))
+
+    server.durability.abandon()
+    revived = ShadowServer(journal_dir=str(tmp_path))
+    assert revived.durability.last_recovery["had_snapshot"] is True
+    for index in range(6):
+        key = str(client.workspace.resolve(f"/data/f{index}.dat"))
+        entry = revived.cache.peek_entry(key)
+        assert entry is not None
+        assert entry.content == content_for(index)
+    revived.close()

@@ -1,0 +1,68 @@
+"""Failure detector: liveness from heartbeats, against both clocks."""
+
+import pytest
+
+from repro.errors import ShadowError
+from repro.replication.detector import FailureDetector
+from repro.simnet.clock import SimulatedClock
+
+
+def test_timeout_must_exceed_interval():
+    with pytest.raises(ShadowError):
+        FailureDetector(interval=1.0, timeout=1.0)
+    with pytest.raises(ShadowError):
+        FailureDetector(interval=2.0, timeout=0.5)
+
+
+def test_never_beaten_peer_is_not_expired():
+    clock = SimulatedClock()
+    detector = FailureDetector(interval=1.0, timeout=3.0, now_fn=clock.now)
+    assert detector.age() is None
+    assert not detector.expired()
+    clock.advance(1_000.0)  # silence forever, but it was never alive
+    assert not detector.expired()
+
+
+def test_expiry_on_the_simulated_clock_is_exact():
+    clock = SimulatedClock()
+    detector = FailureDetector(interval=1.0, timeout=3.0, now_fn=clock.now)
+    detector.beat()
+    clock.advance(3.0)
+    assert detector.age() == pytest.approx(3.0)
+    assert not detector.expired()  # exactly at the timeout: still alive
+    clock.advance(0.001)
+    assert detector.expired()
+
+
+def test_beats_refresh_the_deadline():
+    clock = SimulatedClock()
+    detector = FailureDetector(interval=1.0, timeout=3.0, now_fn=clock.now)
+    for _ in range(5):
+        detector.beat()
+        clock.advance(2.5)  # always inside the timeout
+        assert not detector.expired()
+    assert detector.beats == 5
+    clock.advance(1.0)  # 3.5s of silence now
+    assert detector.expired()
+
+
+def test_reset_forgets_the_peer():
+    clock = SimulatedClock()
+    detector = FailureDetector(interval=1.0, timeout=3.0, now_fn=clock.now)
+    detector.beat()
+    clock.advance(10.0)
+    assert detector.expired()
+    detector.reset()
+    assert detector.age() is None
+    assert not detector.expired()
+
+
+def test_wall_clock_default_behaves():
+    detector = FailureDetector(interval=0.01, timeout=0.02)
+    detector.beat()
+    assert detector.age() is not None
+    assert detector.age() >= 0.0
+    assert not detector.expired()
+    described = detector.describe()
+    assert described["beats"] == 1
+    assert described["expired"] is False

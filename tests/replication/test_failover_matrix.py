@@ -1,0 +1,182 @@
+"""Deterministic failover matrix: kill the primary at EVERY record.
+
+The tentpole guarantee — *zero acknowledged updates lost, exactly-once
+effects, delta-only reconvergence* — must hold no matter where the
+primary dies.  So: run a 10-file edit cycle, and for every journal
+record boundary the cycle produces, run it again with the primary
+killed exactly there — once with the record unshipped (crash-before-
+ship: the standby never saw it, the client's retry re-executes) and
+once just after the standby's ack (crash-after-ship: the record is
+live on the standby, the retry must dedupe).  The promoted standby
+must end byte-identical to what the client was acknowledged, every
+time.
+"""
+
+import pytest
+
+from repro.core.client import ShadowClient
+from repro.core.workspace import MappingWorkspace
+from repro.replication import ReplicatedPair
+from repro.resilience.policy import RetryPolicy
+from repro.resilience.session import ResilienceConfig
+from repro.workload.files import make_text_file
+
+PATHS = [f"/data/file{index}.dat" for index in range(10)]
+
+FAST = ResilienceConfig(
+    retry=RetryPolicy(max_attempts=6, base_delay=0.0, jitter=0.0)
+)
+
+
+def content_for(index):
+    return make_text_file(2_000, seed=100 + index)
+
+
+def start(base_dir):
+    pair = ReplicatedPair(str(base_dir / "p"), str(base_dir / "s"))
+    client = ShadowClient("alice@ws", MappingWorkspace(), resilience=FAST)
+    channel = pair.client_channel()
+    client.connect("supercomputer", channel)
+    return pair, client, channel
+
+
+def edit_cycle(client):
+    for index, path in enumerate(PATHS):
+        version = client.write_file(path, content_for(index))
+        assert version == 1
+
+
+def serving_server(pair):
+    """Whichever incarnation is serving clients now."""
+    if pair.primary is not None and pair.primary_repl.role == "primary":
+        return pair.primary
+    return pair.standby
+
+
+def assert_no_acknowledged_loss(pair, client):
+    """Every acknowledged write exists, exactly once, on the server."""
+    server = serving_server(pair)
+    for index, path in enumerate(PATHS):
+        key = str(client.workspace.resolve(path))
+        entry = server.cache.peek_entry(key)
+        assert entry is not None, f"{path} lost"
+        assert entry.version == 1, f"{path} double-applied"
+        assert entry.content == content_for(index), f"{path} corrupted"
+
+
+def count_cycle_records(tmp_path):
+    """How many journal records one clean edit cycle appends."""
+    pair, client, _ = start(tmp_path / "probe")
+    before = pair.stream_seq
+    edit_cycle(client)
+    total = pair.stream_seq - before
+    pair.close()
+    return total
+
+
+def run_killed_cycle(base_dir, at_record, after_ship):
+    pair, client, channel = start(base_dir)
+    pair.schedule_crash_at_record(at_record, after_ship=after_ship)
+    edit_cycle(client)
+
+    assert pair.crashes == 1, f"kill at record {at_record} never fired"
+    assert pair.standby_repl.role == "primary"
+    assert pair.standby.epoch >= 2
+    assert_no_acknowledged_loss(pair, client)
+
+    # Reconvergence after the failover is free: everything acknowledged
+    # already lives on the promoted standby, so the resync finds every
+    # file current — no full transfers, no deltas, on a 9600-baud link.
+    report = client.reconnect("supercomputer", channel)
+    assert report == {"current": len(PATHS), "delta": 0, "full": 0}
+
+    duplicates = pair.standby.resilience.as_dict().get(
+        "duplicate_replies_served", 0
+    )
+    pair.close()
+    return duplicates
+
+
+def test_kill_at_every_record_boundary_before_ship(tmp_path):
+    total = count_cycle_records(tmp_path)
+    assert total >= len(PATHS)  # at least one record per edit
+    for at_record in range(1, total + 1):
+        run_killed_cycle(tmp_path / f"before-{at_record}", at_record, False)
+
+
+def test_kill_at_every_record_boundary_after_ship(tmp_path):
+    total = count_cycle_records(tmp_path)
+    duplicate_runs = 0
+    for at_record in range(1, total + 1):
+        served = run_killed_cycle(
+            tmp_path / f"after-{at_record}", at_record, True
+        )
+        if served:
+            duplicate_runs += 1
+    # Whenever the kill lands after a *reply* record shipped, the retry
+    # must be answered verbatim from the replicated reply cache — the
+    # replicated half of exactly-once.  That covers half the boundaries.
+    assert duplicate_runs >= total // 4
+
+
+def test_failover_during_the_first_hello(tmp_path):
+    """The very first record (the client's Hello) is a boundary too."""
+    pair = ReplicatedPair(str(tmp_path / "p"), str(tmp_path / "s"))
+    pair.schedule_crash_at_record(1)
+    client = ShadowClient("alice@ws", MappingWorkspace(), resilience=FAST)
+    channel = pair.client_channel()
+    client.connect("supercomputer", channel)  # retried onto the standby
+    assert pair.crashes == 1
+    client.write_file(PATHS[0], content_for(0))
+    key = str(client.workspace.resolve(PATHS[0]))
+    assert pair.standby.cache.peek_entry(key).version == 1
+    pair.close()
+
+
+def test_jobs_survive_failover(tmp_path):
+    """A job completed (and journaled) on the primary is fetchable from
+    the promoted standby: execution state replicates with the cache."""
+    pair, client, channel = start(tmp_path)
+    client.write_file(PATHS[0], content_for(0))
+    job_id = client.submit("wc file0.dat", [PATHS[0]])
+
+    pair.schedule_crash_at_record(1)
+    client.write_file(PATHS[1], content_for(1))  # the kill + failover
+    assert pair.crashes == 1
+
+    bundle = client.fetch_output(job_id)
+    assert bundle is not None
+    assert bundle.exit_code == 0
+    pair.close()
+
+
+def test_resurrected_primary_is_fenced_not_split_brained(tmp_path):
+    pair, client, channel = start(tmp_path)
+    pair.schedule_crash_at_record(5)
+    edit_cycle(client)
+    assert pair.crashes == 1
+    new_epoch = pair.standby.epoch
+    assert new_epoch >= 2
+
+    # The client heals on the promoted standby and learns its epoch.
+    client.reconnect("supercomputer", channel)
+    assert client._epoch == new_epoch
+
+    # The old primary rises from its journal — at its OLD epoch.
+    pair.start_primary()
+    assert pair.primary.epoch < new_epoch
+    assert not pair.primary_repl.fenced
+
+    # Aim the dial list back at it and write: it must fence itself on
+    # the newer envelope epoch and refuse, and the failover channel must
+    # carry the write to the real primary.  No split-brain.
+    channel.rotate("test: back to the resurrected old primary")
+    version = client.write_file(PATHS[0], make_text_file(2_100, seed=999))
+    assert version == 2
+    assert pair.primary_repl.fenced
+    assert "stale-epoch" in channel.last_rotation
+
+    key = str(client.workspace.resolve(PATHS[0]))
+    assert pair.standby.cache.peek_entry(key).version == 2
+    assert pair.primary.cache.peek_entry(key).version == 1  # never applied
+    pair.close()

@@ -1,0 +1,209 @@
+"""Journal shipping: bootstrap, streaming, refusals, heartbeats.
+
+These tests drive a :class:`~repro.replication.harness.ReplicatedPair`
+over loopback channels and assert the stream contract directly: the
+standby's live state tracks the primary record-for-record, wrong-role
+and out-of-sequence traffic is refused (never silently applied), and
+heartbeats keep the failure detector fed when no client writes flow.
+"""
+
+import pytest
+
+from repro.core.client import ShadowClient
+from repro.core.protocol import (
+    ErrorReply,
+    Hello,
+    Ok,
+    ReplicateAck,
+    Heartbeat,
+    ReplicateRecord,
+    StatsQuery,
+    StatsReply,
+)
+from repro.core.workspace import MappingWorkspace
+from repro.replication import ReplicatedPair
+from repro.resilience.policy import RetryPolicy
+from repro.resilience.session import RawSession, ResilienceConfig
+from repro.simnet.clock import SimulatedClock
+from repro.transport.base import LoopbackChannel
+from repro.workload.files import make_text_file
+
+FAST = ResilienceConfig(
+    retry=RetryPolicy(max_attempts=4, base_delay=0.0, jitter=0.0)
+)
+
+PATHS = [f"/data/file{index}.dat" for index in range(4)]
+
+
+def make_pair(tmp_path, **kwargs):
+    return ReplicatedPair(
+        str(tmp_path / "primary"), str(tmp_path / "standby"), **kwargs
+    )
+
+
+def connect(pair):
+    client = ShadowClient("alice@ws", MappingWorkspace(), resilience=FAST)
+    channel = pair.client_channel()
+    client.connect("supercomputer", channel)
+    return client, channel
+
+
+def cache_version(server, client, path):
+    key = str(client.workspace.resolve(path))
+    entry = server.cache.peek_entry(key)
+    return None if entry is None else entry.version
+
+
+def test_stream_keeps_standby_state_current(tmp_path):
+    pair = make_pair(tmp_path)
+    client, _ = connect(pair)
+    for index, path in enumerate(PATHS):
+        client.write_file(path, make_text_file(2_000, seed=index))
+    client.write_file(PATHS[0], make_text_file(2_050, seed=99))
+
+    # Every acknowledged version exists on the standby, byte-identical.
+    for path in PATHS:
+        key = str(client.workspace.resolve(path))
+        primary_entry = pair.primary.cache.peek_entry(key)
+        standby_entry = pair.standby.cache.peek_entry(key)
+        assert standby_entry is not None
+        assert standby_entry.version == primary_entry.version
+        assert standby_entry.content == primary_entry.content
+    assert cache_version(pair.standby, client, PATHS[0]) == 2
+    # Fully shipped: nothing pending, stream acked through the HWM.
+    described = pair.primary_repl.describe()
+    assert described["pending_records"] == 0
+    assert described["shipped_seq"] == described["stream_seq"]
+    assert pair.standby_repl.applied_seq == described["stream_seq"]
+    pair.close()
+
+
+def test_standby_refuses_client_traffic_until_promoted(tmp_path):
+    pair = make_pair(tmp_path)
+    session = RawSession(LoopbackChannel(pair.handle_standby))
+    reply = session.send(Hello(client_id="eve@ws"))
+    assert isinstance(reply, ErrorReply)
+    assert reply.code == "standby-mode"
+    # Observation is always allowed, and reports the standby role.
+    stats = session.send(StatsQuery(client_id="eve@ws"))
+    assert isinstance(stats, StatsReply)
+    assert stats.snapshot["replication"]["role"] == "standby"
+
+    pair.standby_repl.promote()
+    reply = session.send(Hello(client_id="eve@ws"))
+    assert isinstance(reply, Ok)
+    assert reply.epoch == pair.standby.epoch >= 2
+    pair.close()
+
+
+def test_out_of_sequence_record_is_refused_not_applied(tmp_path):
+    pair = make_pair(tmp_path)
+    session = RawSession(LoopbackChannel(pair.handle_standby))
+    epoch = pair.standby.epoch
+    reply = session.send(
+        ReplicateRecord(
+            sender="impostor", epoch=epoch, seq=99, record={"kind": "noop"}
+        )
+    )
+    assert isinstance(reply, ErrorReply)
+    assert reply.code == "repl-gap"
+    assert pair.standby_repl.applied_seq == 0
+
+    # A duplicate (already-applied) seq is acked idempotently instead.
+    client, _ = connect(pair)
+    client.write_file(PATHS[0], make_text_file(1_000, seed=1))
+    applied = pair.standby_repl.applied_seq
+    reply = session.send(
+        ReplicateRecord(
+            sender="impostor", epoch=epoch, seq=1, record={"kind": "noop"}
+        )
+    )
+    assert isinstance(reply, ReplicateAck)
+    assert pair.standby_repl.applied_seq == applied
+    pair.close()
+
+
+def test_stale_peer_epoch_is_fenced_and_newer_adopted(tmp_path):
+    pair = make_pair(tmp_path)
+    session = RawSession(LoopbackChannel(pair.handle_standby))
+    # A peer behind our epoch is a resurrected primary: refuse it.
+    reply = session.send(Heartbeat(sender="ghost", epoch=0, seq=0))
+    assert isinstance(reply, ErrorReply)
+    assert reply.code == "stale-epoch"
+    # A peer ahead of us carries news: adopt its epoch.
+    reply = session.send(Heartbeat(sender="future", epoch=7, seq=0))
+    assert isinstance(reply, ReplicateAck)
+    assert reply.epoch == 7
+    assert pair.standby.epoch == 7
+    pair.close()
+
+
+def test_heartbeats_feed_the_detector_between_writes(tmp_path):
+    clock = SimulatedClock()
+    pair = make_pair(tmp_path, clock=clock)
+    client, _ = connect(pair)
+    client.write_file(PATHS[0], make_text_file(1_000, seed=3))
+    beats_before = pair.standby_repl.detector.beats
+    assert beats_before > 0  # bootstrap + stream already counted
+
+    # Idle except for read-only stats queries: the pump still beats.
+    session = RawSession(LoopbackChannel(pair.handle_primary))
+    for _ in range(3):
+        clock.advance(pair.heartbeat_interval + 0.01)
+        session.send(StatsQuery(client_id="probe@cli"))
+    assert pair.standby_repl.detector.beats >= beats_before + 3
+    assert not pair.standby_repl.detector.expired()
+
+    # Kill the primary: silence outlasts the timeout and expiry fires.
+    pair.kill_primary()
+    clock.advance(pair.heartbeat_timeout + 0.01)
+    assert pair.standby_repl.detector.expired()
+    pair.close()
+
+
+def test_lagging_standby_is_detached_and_rebootstraps(tmp_path):
+    pair = make_pair(tmp_path)
+    client, _ = connect(pair)
+    client.write_file(PATHS[0], make_text_file(1_000, seed=5))
+    assert pair.primary_repl.describe()["standby_attached"]
+
+    # Choke the pending buffer: one request journals more records than
+    # the bound, so the pump declares the standby too far behind.
+    pair.primary_repl.max_pending = 1
+    client.write_file(PATHS[1], make_text_file(1_000, seed=6))
+    assert not pair.primary_repl.describe()["standby_attached"]
+    # The write itself was never at risk: replication is best-effort
+    # behind the journal, the client saw a normal ack.
+    assert cache_version(pair.primary, client, PATHS[1]) == 1
+
+    # Reattach: a fresh bootstrap snapshot heals the gap completely.
+    pair.primary_repl.max_pending = 10_000
+    pair.primary_repl.attach_standby(
+        LoopbackChannel(pair.handle_standby), name=pair.standby.name
+    )
+    client.write_file(PATHS[2], make_text_file(1_000, seed=7))
+    for path in PATHS[:3]:
+        assert cache_version(pair.standby, client, path) == 1
+    pair.close()
+
+
+def test_replication_telemetry_gauges_and_stats_section(tmp_path):
+    pair = make_pair(tmp_path)
+    client, _ = connect(pair)
+    client.write_file(PATHS[0], make_text_file(1_000, seed=8))
+
+    snapshot = pair.primary.telemetry.snapshot()
+    gauges = {entry["name"]: entry["value"] for entry in snapshot["gauges"]}
+    assert gauges["replication_epoch"] == float(pair.primary.epoch)
+    assert gauges["replication_lag_records"] == 0.0
+    assert gauges["replication_lag_bytes"] == 0.0
+    counters = {
+        entry["name"]: entry["value"] for entry in snapshot["counters"]
+    }
+    assert counters["replication_records_shipped"] > 0
+    assert counters["replication_snapshots_shipped"] == 1
+
+    described = pair.primary.describe()
+    assert described["replication"]["role"] == "primary"
+    assert described["replication"]["standby_attached"] is True
+    pair.close()

@@ -1,0 +1,208 @@
+"""Warm-standby failover over real TCP sockets, driven end to end.
+
+The loopback matrix proves the record-boundary invariants; these tests
+prove the *deployment shape*: a standby announcing itself over the wire
+(`ReplicateHello` dial-back), a client holding a two-endpoint dial
+list, the operator CLI (`shadow promote`, `shadow replication-status`),
+and randomized journal-offset kills with byte-exact convergence on the
+promoted standby.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro import cli
+from repro.api import ShadowClient
+from repro.core.protocol import Ok, ReplicateHello
+from repro.core.server import ShadowServer
+from repro.replication.manager import ReplicationManager
+from repro.resilience.policy import RetryPolicy
+from repro.resilience.session import RawSession, ResilienceConfig
+from repro.transport.tcp import TcpChannel, TcpChannelServer
+from repro.workload.files import make_text_file
+
+FAST = ResilienceConfig(
+    retry=RetryPolicy(max_attempts=8, base_delay=0.01, jitter=0.0)
+)
+
+#: Redial backoff tuned for tests: bounded, effectively instant.
+QUICK_REDIAL = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+
+
+class TcpPair:
+    """Primary + standby shadow servers, each behind a real listener."""
+
+    def __init__(self, primary_dir, standby_dir):
+        self.primary = ShadowServer(journal_dir=str(primary_dir))
+        self.primary_repl = ReplicationManager(self.primary, role="primary")
+        self.primary_listener = TcpChannelServer(self.primary.handle)
+        self.standby = ShadowServer(journal_dir=str(standby_dir))
+        self.standby_repl = ReplicationManager(self.standby, role="standby")
+        self.standby_listener = TcpChannelServer(self.standby.handle)
+        self.primary_down = False
+
+    def announce(self):
+        """The standby's hello: primary dials back and attaches a feed."""
+        channel = TcpChannel(
+            "127.0.0.1",
+            self.primary_listener.port,
+            redial_policy=QUICK_REDIAL,
+        )
+        try:
+            reply = RawSession(channel).send(
+                ReplicateHello(
+                    sender=self.standby.name,
+                    host="127.0.0.1",
+                    port=self.standby_listener.port,
+                    epoch=self.standby.epoch,
+                )
+            )
+        finally:
+            channel.close()
+        assert isinstance(reply, Ok), f"attach failed: {reply!r}"
+        return reply
+
+    def dial_list(self):
+        return (
+            f"127.0.0.1:{self.primary_listener.port},"
+            f"127.0.0.1:{self.standby_listener.port}"
+        )
+
+    def kill_primary(self):
+        """kill -9 equivalent: sockets torn down, journal abandoned."""
+        self.primary_down = True
+        self.primary_listener.close(drain_seconds=0.0)
+        self.primary.durability.abandon()
+        self.primary.pipeline.close()
+
+    def close(self):
+        if not self.primary_down:
+            self.primary_listener.close(drain_seconds=0.0)
+        self.standby_listener.close(drain_seconds=0.0)
+        self.standby.close()
+
+
+def standby_content(pair, client, path):
+    key = str(client.core.workspace.resolve(path))
+    entry = pair.standby.cache.peek_entry(key)
+    return None if entry is None else entry.content
+
+
+def test_tcp_attach_promote_and_failover(tmp_path, capsys):
+    pair = TcpPair(tmp_path / "p", tmp_path / "s")
+    try:
+        pair.announce()
+        with ShadowClient.connect(
+            transport=pair.dial_list(), client_id="alice@ws", resilience=FAST
+        ) as client:
+            payload_a = make_text_file(2_000, seed=1)
+            client.edit("/data/a.dat", payload_a)
+            # Shipped over the feed before the ack left the primary.
+            assert standby_content(pair, client, "/data/a.dat") == payload_a
+
+            # Operator view over the wire, pre-failover.
+            code = cli.main(
+                [
+                    "replication-status",
+                    f"127.0.0.1:{pair.standby_listener.port}",
+                ]
+            )
+            out = capsys.readouterr().out
+            assert code == 0
+            assert "role = standby" in out
+
+            pair.kill_primary()
+            code = cli.main(
+                ["promote", f"127.0.0.1:{pair.standby_listener.port}"]
+            )
+            out = capsys.readouterr().out
+            assert code == 0
+            assert "primary at epoch 2" in out
+
+            # Same client, same dial list: the next edit fails over.
+            payload_b = make_text_file(2_000, seed=2)
+            client.edit("/data/b.dat", payload_b)
+            assert standby_content(pair, client, "/data/b.dat") == payload_b
+
+            code = cli.main(
+                [
+                    "replication-status",
+                    f"127.0.0.1:{pair.standby_listener.port}",
+                ]
+            )
+            out = capsys.readouterr().out
+            assert code == 0
+            assert "role = primary" in out
+            assert "epoch = 2" in out
+    finally:
+        pair.close()
+
+
+def test_tcp_randomized_journal_offset_kills(tmp_path):
+    """Seeded random kill offsets over real sockets, three rounds.
+
+    Each round writes ``TOTAL`` files, kills the primary cold after a
+    random number of them (so the journal dies at a random record
+    offset), promotes, and finishes the cycle on the standby.  Every
+    acknowledged byte must be on the standby, exactly once, and the
+    client's resync must find nothing to repair.
+    """
+    rng = random.Random(int(os.environ.get("PYTHONHASHSEED", "722")))
+    total = 8
+    paths = [f"/data/file{index}.dat" for index in range(total)]
+    for round_index in range(3):
+        kill_after = rng.randint(1, total - 1)
+        pair = TcpPair(
+            tmp_path / f"p{round_index}", tmp_path / f"s{round_index}"
+        )
+        try:
+            pair.announce()
+            with ShadowClient.connect(
+                transport=pair.dial_list(),
+                client_id="alice@ws",
+                resilience=FAST,
+            ) as client:
+                contents = {
+                    path: make_text_file(
+                        2_000, seed=round_index * 100 + index
+                    )
+                    for index, path in enumerate(paths)
+                }
+                for path in paths[:kill_after]:
+                    client.edit(path, contents[path])
+                pair.kill_primary()
+                pair.standby_repl.promote()
+                for path in paths[kill_after:]:
+                    client.edit(path, contents[path])
+
+                # Byte-exact convergence on the survivor.
+                for path in paths:
+                    assert (
+                        standby_content(pair, client, path) == contents[path]
+                    ), f"round {round_index}: {path} diverged"
+                report = client.core.reconnect("supercomputer")
+                assert report["full"] == 0
+                assert report["delta"] == 0
+        finally:
+            pair.close()
+
+
+def test_dial_list_accepts_sequences_and_servers(tmp_path):
+    """The api facade builds a failover channel from a mixed dial list."""
+    server = ShadowServer(journal_dir=str(tmp_path / "j"))
+    listener = TcpChannelServer(server.handle)
+    try:
+        with ShadowClient.connect(
+            transport=[f"127.0.0.1:{listener.port}", server],
+            client_id="bob@ws",
+            resilience=FAST,
+        ) as client:
+            payload = make_text_file(1_000, seed=9)
+            client.edit("/data/x.dat", payload)
+            key = str(client.core.workspace.resolve("/data/x.dat"))
+            assert server.cache.peek_entry(key).content == payload
+    finally:
+        listener.close(drain_seconds=0.0)
+        server.close()

@@ -1,0 +1,118 @@
+"""Bounded, jittered, deterministic backoff between TCP re-dials.
+
+A dead server must not be hammered once per request per client — the
+retry storm §5.1 warns about.  The channel sleeps an exponentially
+growing (capped) delay before each re-dial after a failure, through an
+injectable sleep function and a seeded rng, so simulated runs stay
+deterministic and tests need no wall-clock waits.
+"""
+
+import pytest
+
+from repro.errors import TransportError
+from repro.resilience.policy import RetryPolicy
+from repro.transport.tcp import (
+    DEFAULT_REDIAL_POLICY,
+    TcpChannel,
+    TcpChannelServer,
+)
+
+NO_JITTER = RetryPolicy(
+    max_attempts=3, base_delay=0.1, multiplier=2.0, max_delay=0.4, jitter=0.0
+)
+
+
+def make_dead_channel(policy, seed=2718):
+    """A channel whose server died right after the first dial."""
+    server = TcpChannelServer(lambda payload: payload)
+    slept = []
+    channel = TcpChannel(
+        "127.0.0.1",
+        server.port,
+        timeout=2.0,
+        redial_policy=policy,
+        redial_sleep=slept.append,
+        redial_seed=seed,
+    )
+    server.close(drain_seconds=0.0)
+    return channel, slept
+
+
+def test_backoff_grows_exponentially_then_plateaus():
+    channel, slept = make_dead_channel(NO_JITTER)
+    for _ in range(6):
+        with pytest.raises(TransportError):
+            channel.reconnect()
+    # First re-dial after a healthy connection pays nothing; each
+    # consecutive failure then widens the wait, capped at max_delay.
+    assert slept == [0.1, 0.2, 0.4, 0.4, 0.4]
+    assert channel.redial_waits == 5
+    assert channel.redial_wait_seconds == pytest.approx(1.5)
+    channel.close()
+
+
+def test_successful_redial_resets_the_backoff():
+    server = TcpChannelServer(lambda payload: payload)
+    port = server.port
+    slept = []
+    channel = TcpChannel(
+        "127.0.0.1",
+        port,
+        timeout=2.0,
+        redial_policy=NO_JITTER,
+        redial_sleep=slept.append,
+    )
+    server.close(drain_seconds=0.0)
+    for _ in range(3):
+        with pytest.raises(TransportError):
+            channel.reconnect()
+    assert slept == [0.1, 0.2]
+
+    # The server comes back on the same port: the re-dial (which still
+    # pays the owed 0.4s wait) succeeds and the streak is forgotten.
+    revived = TcpChannelServer(lambda payload: payload, port=port)
+    try:
+        channel.reconnect()
+        assert channel.reconnects == 1
+    finally:
+        revived.close(drain_seconds=0.0)
+    assert slept == [0.1, 0.2, 0.4]
+    # Dead again: the backoff restarts from the bottom of the curve.
+    with pytest.raises(TransportError):
+        channel.reconnect()
+    with pytest.raises(TransportError):
+        channel.reconnect()
+    assert slept == [0.1, 0.2, 0.4, 0.1]
+    channel.close()
+
+
+def test_jitter_is_seeded_and_deterministic():
+    policy = RetryPolicy(
+        max_attempts=4,
+        base_delay=0.1,
+        multiplier=2.0,
+        max_delay=1.0,
+        jitter=0.25,
+    )
+    runs = []
+    for _ in range(2):
+        channel, slept = make_dead_channel(policy, seed=42)
+        for _ in range(5):
+            with pytest.raises(TransportError):
+                channel.reconnect()
+        channel.close()
+        runs.append(slept)
+    assert runs[0] == runs[1]  # same seed, same schedule
+    assert all(delay > 0 for delay in runs[0])
+
+    channel, other = make_dead_channel(policy, seed=43)
+    for _ in range(5):
+        with pytest.raises(TransportError):
+            channel.reconnect()
+    channel.close()
+    assert other != runs[0]  # different seed decorrelates clients
+
+
+def test_default_policy_is_bounded():
+    assert DEFAULT_REDIAL_POLICY.max_delay <= 2.0
+    assert DEFAULT_REDIAL_POLICY.base_delay > 0
