@@ -1,0 +1,387 @@
+"""Wall-clock load harness for the TCP transport backends.
+
+Drives N concurrent closed-loop connections against a live server and
+reports sustained requests/second plus latency percentiles (p50, p95,
+p99) — the number the event-loop backend exists for.  Unlike the
+``benchmarks/test_fig*`` rigs, which run on the simulated 1987 testbed,
+this harness measures *real* sockets on *this* machine.
+
+The load generator is itself a single ``selectors`` loop (a thread per
+connection would perturb the measurement and cap N at the thread
+limit), so one process can open thousands of sockets.  Each connection
+runs closed-loop: send one framed request, wait for the framed reply,
+record the latency, repeat — so ``connections`` is also the offered
+concurrency, and req/s is throughput under that concurrency.
+
+Workloads:
+
+* ``echo`` — a trivial echoing handler: pure transport cost, the
+  backend comparison with nothing else in the frame.
+* ``stats`` — a real :class:`~repro.core.server.ShadowServer` answering
+  ``StatsQuery`` (legal without a Hello): framing + codec + server
+  bookkeeping on the hot path.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/load_harness.py \
+        --connections 1000 --duration 5 --transport both
+
+Exits non-zero under ``--check`` if any connection errored or the run
+completed zero requests — the CI smoke contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import selectors
+import socket
+import struct
+import sys
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+if __package__ in (None, ""):  # script execution: make src importable
+    _ROOT = pathlib.Path(__file__).resolve().parent.parent
+    for entry in (str(_ROOT / "src"),):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+
+from repro.transport import TRANSPORT_BACKENDS, channel_server
+
+HEADER = struct.Struct(">II")
+RECV_CHUNK = 65_536
+
+
+def _frame(payload: bytes) -> bytes:
+    return HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def raise_fd_limit(need: int) -> int:
+    """Best-effort bump of RLIMIT_NOFILE to fit ``need`` sockets."""
+    try:
+        import resource
+    except ImportError:  # non-POSIX: hope for the best
+        return need
+    soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    want = need + 256  # listener, waker, stdio, slack
+    if soft >= want:
+        return soft
+    try:
+        resource.setrlimit(resource.RLIMIT_NOFILE, (min(want, hard), hard))
+    except (ValueError, OSError):
+        pass
+    return resource.getrlimit(resource.RLIMIT_NOFILE)[0]
+
+
+# ----------------------------------------------------------------------
+# workloads
+# ----------------------------------------------------------------------
+
+
+def echo_workload(payload_bytes: int):
+    """A trivial echo handler and the request each connection repeats."""
+    request = b"x" * payload_bytes
+
+    def handler(data: bytes) -> bytes:
+        return data
+
+    return handler, request, None
+
+
+def stats_workload(payload_bytes: int):
+    """A real ShadowServer answering StatsQuery (no Hello needed)."""
+    from repro.core.protocol import StatsQuery
+    from repro.core.server import ShadowServer
+
+    server = ShadowServer(name="bench-server")
+    request = StatsQuery(client_id="bench@loadgen").to_wire()
+    return server.handle, request, server.close
+
+
+WORKLOADS: Dict[str, Callable] = {
+    "echo": echo_workload,
+    "stats": stats_workload,
+}
+
+
+# ----------------------------------------------------------------------
+# load generator
+# ----------------------------------------------------------------------
+
+
+class _LoadConn:
+    """One closed-loop connection inside the generator's selector."""
+
+    __slots__ = (
+        "sock",
+        "outbound",
+        "sent_offset",
+        "inbound",
+        "expect",
+        "sent_at",
+        "completed",
+        "failed",
+    )
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.outbound = b""
+        self.sent_offset = 0
+        self.inbound = bytearray()
+        self.expect = 0  # reply bytes still owed (0 = idle)
+        self.sent_at = 0.0
+        self.completed = 0
+        self.failed = False
+
+
+@dataclass
+class LoadResult:
+    transport: str
+    workload: str
+    connections: int
+    duration_seconds: float
+    requests: int
+    errors: int
+    rps: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    connect_seconds: float
+    samples: int = field(repr=False, default=0)
+
+    def row(self) -> str:
+        return (
+            f"{self.transport:<10} {self.workload:<6} "
+            f"{self.connections:>6} conns  "
+            f"{self.rps:>10.0f} req/s  "
+            f"p50 {self.p50_ms:7.2f} ms  "
+            f"p95 {self.p95_ms:7.2f} ms  "
+            f"p99 {self.p99_ms:7.2f} ms  "
+            f"({self.requests} reqs, {self.errors} errors)"
+        )
+
+
+def _percentile(sorted_samples: List[float], fraction: float) -> float:
+    if not sorted_samples:
+        return float("nan")
+    index = min(
+        len(sorted_samples) - 1, int(fraction * (len(sorted_samples) - 1))
+    )
+    return sorted_samples[index]
+
+
+def _connect_all(
+    port: int, count: int, deadline: float
+) -> List[socket.socket]:
+    """Open ``count`` sockets, retrying refusals until ``deadline``.
+
+    A listen backlog under heavy simultaneous connects can refuse or
+    reset; the harness retries rather than counting setup noise as
+    measurement errors.
+    """
+    sockets: List[socket.socket] = []
+    while len(sockets) < count:
+        if time.monotonic() > deadline:
+            for sock in sockets:
+                sock.close()
+            raise RuntimeError(
+                f"could not open {count} connections before deadline "
+                f"(got {len(sockets)})"
+            )
+        try:
+            sock = socket.create_connection(("127.0.0.1", port), timeout=10.0)
+        except OSError:
+            time.sleep(0.05)
+            continue
+        sock.setblocking(False)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sockets.append(sock)
+    return sockets
+
+
+def run_load(
+    transport: str,
+    workload: str = "echo",
+    connections: int = 100,
+    duration: float = 5.0,
+    payload_bytes: int = 64,
+    port: int = 0,
+) -> LoadResult:
+    """Measure one backend under one workload; returns the result row."""
+    handler, request_payload, cleanup = WORKLOADS[workload](payload_bytes)
+    request = _frame(request_payload)
+    raise_fd_limit(connections)
+    server = channel_server(handler, transport=transport, port=port)
+    latencies: List[float] = []
+    errors = 0
+    requests = 0
+    try:
+        connect_began = time.monotonic()
+        socks = _connect_all(
+            server.port, connections, connect_began + max(30.0, duration * 4)
+        )
+        connect_seconds = time.monotonic() - connect_began
+
+        selector = selectors.DefaultSelector()
+        conns: List[_LoadConn] = []
+        for sock in socks:
+            conn = _LoadConn(sock)
+            conn.outbound = request
+            conn.sent_at = 0.0
+            conns.append(conn)
+            selector.register(sock, selectors.EVENT_WRITE, conn)
+
+        began = time.monotonic()
+        cutoff = began + duration
+
+        def retire(conn: _LoadConn, *, failed: bool) -> None:
+            nonlocal errors
+            if failed:
+                errors += 1
+                conn.failed = True
+            try:
+                selector.unregister(conn.sock)
+            except (KeyError, ValueError):
+                pass
+            conn.sock.close()
+
+        live = len(conns)
+        while live and time.monotonic() < cutoff:
+            events = selector.select(timeout=0.2)
+            now = time.monotonic()
+            for key, mask in events:
+                conn: _LoadConn = key.data
+                if conn.failed:
+                    continue
+                if mask & selectors.EVENT_WRITE and conn.outbound:
+                    if conn.sent_offset == 0:
+                        conn.sent_at = now
+                    try:
+                        sent = conn.sock.send(
+                            conn.outbound[conn.sent_offset :]
+                        )
+                    except (BlockingIOError, InterruptedError):
+                        sent = 0
+                    except OSError:
+                        retire(conn, failed=True)
+                        live -= 1
+                        continue
+                    conn.sent_offset += sent
+                    if conn.sent_offset >= len(conn.outbound):
+                        conn.outbound = b""
+                        conn.sent_offset = 0
+                        selector.modify(
+                            conn.sock, selectors.EVENT_READ, conn
+                        )
+                if mask & selectors.EVENT_READ:
+                    try:
+                        chunk = conn.sock.recv(RECV_CHUNK)
+                    except (BlockingIOError, InterruptedError):
+                        continue
+                    except OSError:
+                        retire(conn, failed=True)
+                        live -= 1
+                        continue
+                    if not chunk:
+                        retire(conn, failed=True)
+                        live -= 1
+                        continue
+                    conn.inbound += chunk
+                    # One reply per outstanding request: a whole frame
+                    # in the buffer completes the cycle.
+                    if len(conn.inbound) >= HEADER.size:
+                        (length, _) = HEADER.unpack_from(conn.inbound)
+                        if len(conn.inbound) >= HEADER.size + length:
+                            latency = now - conn.sent_at
+                            latencies.append(latency)
+                            requests += 1
+                            conn.completed += 1
+                            del conn.inbound[: HEADER.size + length]
+                            conn.outbound = request
+                            selector.modify(
+                                conn.sock, selectors.EVENT_WRITE, conn
+                            )
+        measured = time.monotonic() - began
+        for conn in conns:
+            if not conn.failed:
+                retire(conn, failed=False)
+        selector.close()
+    finally:
+        server.close(drain_seconds=1.0)
+        if cleanup is not None:
+            cleanup()
+
+    latencies.sort()
+    return LoadResult(
+        transport=transport,
+        workload=workload,
+        connections=connections,
+        duration_seconds=measured,
+        requests=requests,
+        errors=errors,
+        rps=requests / measured if measured > 0 else 0.0,
+        p50_ms=_percentile(latencies, 0.50) * 1000,
+        p95_ms=_percentile(latencies, 0.95) * 1000,
+        p99_ms=_percentile(latencies, 0.99) * 1000,
+        connect_seconds=connect_seconds,
+        samples=len(latencies),
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="wall-clock load comparison of the transport backends"
+    )
+    parser.add_argument(
+        "--transport",
+        choices=list(TRANSPORT_BACKENDS) + ["both"],
+        default="both",
+    )
+    parser.add_argument(
+        "--workload", choices=sorted(WORKLOADS), default="echo"
+    )
+    parser.add_argument("--connections", type=int, default=100)
+    parser.add_argument("--duration", type=float, default=5.0)
+    parser.add_argument("--payload-bytes", type=int, default=64)
+    parser.add_argument(
+        "--json", action="store_true", help="emit JSON rows instead of text"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 on any connection error or an idle run (CI smoke)",
+    )
+    args = parser.parse_args(argv)
+
+    backends = (
+        list(TRANSPORT_BACKENDS)
+        if args.transport == "both"
+        else [args.transport]
+    )
+    failed = False
+    for backend in backends:
+        result = run_load(
+            backend,
+            workload=args.workload,
+            connections=args.connections,
+            duration=args.duration,
+            payload_bytes=args.payload_bytes,
+        )
+        if args.json:
+            print(json.dumps(result.__dict__))
+        else:
+            print(result.row())
+        if result.errors or result.requests == 0:
+            failed = True
+    if args.check and failed:
+        print("load check FAILED: errors or zero completed requests")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,7 +48,8 @@ from repro.core.state import (
 from repro.core.workspace import LocalDirectoryWorkspace
 from repro.errors import ShadowError
 from repro.jobs.executor import LocalExecutor, SimulatedExecutor
-from repro.transport.tcp import TcpChannel, TcpChannelServer
+from repro.transport import TRANSPORT_BACKENDS, channel_server
+from repro.transport.tcp import TcpChannel
 
 #: The service's well-known port (after technical report CSD-TR-722).
 WELL_KNOWN_PORT = 7220
@@ -71,6 +72,19 @@ def _build_parser() -> argparse.ArgumentParser:
     serve = subparsers.add_parser("serve", help="run a shadow server")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=WELL_KNOWN_PORT)
+    serve.add_argument(
+        "--transport",
+        choices=TRANSPORT_BACKENDS,
+        default=None,
+        help="listening backend: thread-per-connection (threaded, the "
+        "default) or a single selector loop multiplexing every "
+        "connection (eventloop); unset honours $SHADOW_TRANSPORT",
+    )
+    serve.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="SECONDS",
+        help="eventloop only: reap connections that complete no request "
+        "for this long (default 300)",
+    )
     serve.add_argument(
         "--executor",
         choices=("local", "simulated"),
@@ -405,12 +419,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             heartbeat_interval=args.heartbeat_interval,
             heartbeat_timeout=args.heartbeat_timeout,
         )
-    listener = TcpChannelServer(
+    listener = channel_server(
         server.handle,
+        transport=args.transport,
         host=args.host,
         port=args.port,
         max_connections=args.max_connections,
         telemetry=server.telemetry,
+        idle_timeout=args.idle_timeout,
     )
 
     # SIGTERM (systemd stop, kill) takes the graceful path: stop
@@ -426,12 +442,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except ValueError:
         pass  # not the main thread (embedded use); Ctrl-C still works
 
+    from repro.transport import default_transport
+
+    backend = args.transport or default_transport()
     role = "standby" if args.standby_of else ("primary" if repl else None)
-    print(
-        f"shadow server listening on {args.host}:{listener.port}"
-        + (f" ({role}, epoch {server.epoch})" if role else "")
-    )
     try:
+        # The listening announcement sits *inside* the KeyboardInterrupt
+        # guard: the print blocks on pipe I/O, and a SIGTERM landing in
+        # that window would otherwise escape the graceful path entirely.
+        print(
+            f"shadow server listening on {args.host}:{listener.port}"
+            # The threaded line stays byte-identical for log scrapers;
+            # only the non-default backend announces itself.
+            + (" [eventloop]" if backend == "eventloop" else "")
+            + (f" ({role}, epoch {server.epoch})" if role else "")
+        )
         if args.once:
             return 0
         _serve_loop(server, listener, repl, args)

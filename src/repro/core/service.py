@@ -13,7 +13,7 @@ Three factory shapes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+from typing import Optional, Protocol, Tuple, Union
 
 from repro.core.client import ShadowClient
 from repro.core.environment import ShadowEnvironment
@@ -29,9 +29,26 @@ from repro.simnet.link import (
     ProcessingModel,
 )
 from repro.simnet.traffic import CongestedLink
+from repro.transport import channel_server
 from repro.transport.base import LoopbackChannel
 from repro.transport.sim import SimChannel, Wire
-from repro.transport.tcp import TcpChannel, TcpChannelServer
+from repro.transport.tcp import TcpChannel
+
+
+class ChannelServer(Protocol):
+    """What the service layer needs from a listening TCP backend.
+
+    Both :class:`~repro.transport.tcp.TcpChannelServer` (threaded) and
+    :class:`~repro.transport.eventloop.EventLoopChannelServer` satisfy
+    this; deployments carry whichever the ``transport`` choice built.
+    """
+
+    address: Tuple[str, int]
+
+    @property
+    def port(self) -> int: ...
+
+    def close(self, drain_seconds: float = 2.0) -> None: ...
 
 
 def loopback_pair(
@@ -134,7 +151,7 @@ class TcpDeployment:
 
     client: ShadowClient
     server: ShadowServer
-    listener: TcpChannelServer
+    listener: ChannelServer
     channel: TcpChannel
 
     def close(self) -> None:
@@ -161,6 +178,7 @@ def tcp_pair(
     resilience: Optional[ResilienceConfig] = None,
     workers: int = 0,
     max_connections: Optional[int] = None,
+    transport: Optional[str] = None,
 ) -> TcpDeployment:
     """Start a TCP shadow server and connect a client to it.
 
@@ -168,10 +186,13 @@ def tcp_pair(
     single-client sessions can fetch output immediately after submitting.
     ``workers=N`` runs the off-path worker pool; callers then poll
     ``fetch_output`` (or drain the pipeline) before expecting results.
+    ``transport`` picks the listening backend (``threaded`` default,
+    ``eventloop``; None honours the ``SHADOW_TRANSPORT`` override).
     """
     server = ShadowServer(name=server_name, executor=executor, workers=workers)
-    listener = TcpChannelServer(
+    listener = channel_server(
         server.handle,
+        transport=transport,
         host=host,
         port=port,
         max_connections=max_connections,
@@ -201,7 +222,7 @@ class TcpService:
     """
 
     server: ShadowServer
-    listener: TcpChannelServer
+    listener: ChannelServer
 
     @property
     def port(self) -> int:
@@ -247,8 +268,14 @@ def tcp_service(
     workers: int = 4,
     max_connections: Optional[int] = None,
     cache_shards: Optional[int] = None,
+    transport: Optional[str] = None,
+    idle_timeout: Optional[float] = None,
 ) -> TcpService:
-    """Start a multi-tenant TCP shadow service (off-path workers on)."""
+    """Start a multi-tenant TCP shadow service (off-path workers on).
+
+    ``transport`` picks the listening backend; ``idle_timeout`` (event
+    loop only) reaps connections that complete no request for that long.
+    """
     from repro.cache.store import CacheStore
 
     cache = (
@@ -257,11 +284,13 @@ def tcp_service(
     server = ShadowServer(
         name=server_name, executor=executor, cache=cache, workers=workers
     )
-    listener = TcpChannelServer(
+    listener = channel_server(
         server.handle,
+        transport=transport,
         host=host,
         port=port,
         max_connections=max_connections,
         telemetry=server.telemetry,
+        idle_timeout=idle_timeout,
     )
     return TcpService(server=server, listener=listener)

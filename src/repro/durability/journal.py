@@ -20,14 +20,11 @@ from __future__ import annotations
 
 import json
 import os
-import struct
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
 
 from repro.errors import JournalError
-from repro.transport.framing import HEADER_SIZE, MAX_FRAME_SIZE, encode_frame
-
-import zlib
+from repro.transport.framing import FrameScanner, encode_frame
 
 
 def encode_record(record: Dict[str, Any]) -> bytes:
@@ -121,10 +118,19 @@ class JournalScan:
 
 
 class JournalReader:
-    """Sequential reader over one journal file's raw bytes."""
+    """Sequential reader over one journal file's raw bytes.
+
+    Frame walking — header parse, length sanity, CRC — is the wire
+    format's, delegated to :class:`~repro.transport.framing.FrameScanner`
+    (the journal *is* wire frames on disk).  This layer adds only what
+    makes a frame a *record*: the payload must parse as one JSON object.
+    ``offset`` advances past a frame only once it fully qualifies, so a
+    CRC-valid frame holding garbage JSON still ends the valid prefix
+    right before itself, exactly like transport-level damage.
+    """
 
     def __init__(self, raw: bytes) -> None:
-        self._raw = raw
+        self._scanner = FrameScanner(raw, noun="record")
         self.offset = 0
         self.truncation_reason = ""
 
@@ -138,35 +144,23 @@ class JournalReader:
         return record
 
     def _next_record(self) -> Optional[Dict[str, Any]]:
-        raw, start = self._raw, self.offset
-        if start >= len(raw):
+        if self.truncation_reason:
             return None
-        if len(raw) - start < HEADER_SIZE:
-            self.truncation_reason = "torn header"
-            return None
-        length, expected_crc = struct.unpack(
-            ">II", raw[start : start + HEADER_SIZE]
-        )
-        if length > MAX_FRAME_SIZE:
-            self.truncation_reason = f"absurd record length {length}"
-            return None
-        body_start = start + HEADER_SIZE
-        if len(raw) - body_start < length:
-            self.truncation_reason = "torn record body"
-            return None
-        payload = raw[body_start : body_start + length]
-        if zlib.crc32(payload) != expected_crc:
-            self.truncation_reason = "CRC mismatch"
+        payload = self._scanner.next_payload()
+        if payload is None:
+            self.truncation_reason = self._scanner.truncation_reason
             return None
         try:
-            record = json.loads(payload.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError):
+            record = json.loads(str(payload, "utf-8"))
+        except (UnicodeDecodeError, ValueError):
             self.truncation_reason = "unparsable record payload"
             return None
+        finally:
+            payload.release()
         if not isinstance(record, dict):
             self.truncation_reason = "record is not an object"
             return None
-        self.offset = body_start + length
+        self.offset = self._scanner.offset
         return record
 
 

@@ -1,34 +1,136 @@
-"""Interchangeable transports: loopback, simulated wire, real TCP (§7)."""
+"""Interchangeable transports: loopback, simulated wire, real TCP (§7).
 
+The real-socket server has two backends behind one seam:
+
+* ``threaded`` — :class:`~repro.transport.tcp.TcpChannelServer`, one
+  blocking thread per connection.  The default: simple, battle-tested,
+  and byte-identical to every published figure.
+* ``eventloop`` — :class:`~repro.transport.eventloop.EventLoopChannelServer`,
+  a single ``selectors`` loop multiplexing every connection with
+  zero-copy framing, bounded write buffers, and idle reaping — the
+  backend for thousand-connection fleets.
+
+:func:`channel_server` is the seam: callers name a backend (or let
+``SHADOW_TRANSPORT`` / the default decide) and get a server with the
+same wire format, handler contract, and drain semantics either way.
+"""
+
+import os
+from typing import Optional
+
+from repro.errors import ShadowError
 from repro.transport.base import (
     ChannelHandler,
     ChannelStats,
     LoopbackChannel,
     RequestChannel,
 )
+from repro.transport.eventloop import EventLoopChannelServer
+from repro.transport.flaky import FailNextChannel, FlakyChannel
 from repro.transport.framing import (
     HEADER_SIZE,
     MAX_FRAME_SIZE,
     ChecksummedChannel,
     FrameDecoder,
+    FrameScanner,
     checksummed_handler,
     decode_single_frame,
     encode_frame,
+    encode_frame_header,
     frame_overhead,
 )
-from repro.transport.flaky import FailNextChannel, FlakyChannel
 from repro.transport.sim import RouteWire, SimChannel, Wire
 from repro.transport.tcp import TcpChannel, TcpChannelServer
+
+#: The selectable server backends, in default-first order.
+TRANSPORT_BACKENDS = ("threaded", "eventloop")
+
+#: Environment override consulted when no backend is named explicitly —
+#: lets CI point an entire existing suite at the eventloop backend
+#: without touching the tests.
+TRANSPORT_ENV = "SHADOW_TRANSPORT"
+
+
+def default_transport() -> str:
+    """The backend used when callers don't choose one."""
+    choice = (
+        os.environ.get(TRANSPORT_ENV, TRANSPORT_BACKENDS[0]).strip().lower()
+        or TRANSPORT_BACKENDS[0]
+    )
+    if choice not in TRANSPORT_BACKENDS:
+        raise ShadowError(
+            f"{TRANSPORT_ENV}={choice!r} is not a transport backend "
+            f"(choose from {', '.join(TRANSPORT_BACKENDS)})"
+        )
+    return choice
+
+
+def channel_server(
+    handler: ChannelHandler,
+    *,
+    transport: Optional[str] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_connections: Optional[int] = None,
+    telemetry=None,
+    idle_timeout: Optional[float] = None,
+    outbox_limit_bytes: Optional[int] = None,
+):
+    """Start a framed TCP server on the chosen backend.
+
+    ``transport=None`` resolves via :func:`default_transport` (the
+    ``SHADOW_TRANSPORT`` environment override, else ``threaded``).
+    ``idle_timeout`` / ``outbox_limit_bytes`` tune the event loop only;
+    naming them with the threaded backend is a configuration error, not
+    a silent no-op.
+    """
+    choice = transport if transport is not None else default_transport()
+    if choice == "threaded":
+        if idle_timeout is not None or outbox_limit_bytes is not None:
+            raise ShadowError(
+                "idle_timeout/outbox_limit_bytes tune the eventloop "
+                "backend; the threaded backend has no such knobs"
+            )
+        return TcpChannelServer(
+            handler,
+            host=host,
+            port=port,
+            max_connections=max_connections,
+            telemetry=telemetry,
+        )
+    if choice == "eventloop":
+        extras = {}
+        if idle_timeout is not None:
+            extras["idle_timeout"] = idle_timeout
+        if outbox_limit_bytes is not None:
+            extras["outbox_limit_bytes"] = outbox_limit_bytes
+        return EventLoopChannelServer(
+            handler,
+            host=host,
+            port=port,
+            max_connections=max_connections,
+            telemetry=telemetry,
+            **extras,
+        )
+    raise ShadowError(
+        f"unknown transport backend {choice!r} "
+        f"(choose from {', '.join(TRANSPORT_BACKENDS)})"
+    )
+
 
 __all__ = [
     "HEADER_SIZE",
     "MAX_FRAME_SIZE",
+    "TRANSPORT_BACKENDS",
+    "TRANSPORT_ENV",
     "ChannelHandler",
     "ChannelStats",
     "ChecksummedChannel",
+    "EventLoopChannelServer",
     "FailNextChannel",
     "FlakyChannel",
     "FrameDecoder",
+    "FrameScanner",
     "LoopbackChannel",
     "RequestChannel",
     "RouteWire",
@@ -36,8 +138,11 @@ __all__ = [
     "TcpChannel",
     "TcpChannelServer",
     "Wire",
+    "channel_server",
     "checksummed_handler",
     "decode_single_frame",
+    "default_transport",
     "encode_frame",
+    "encode_frame_header",
     "frame_overhead",
 ]

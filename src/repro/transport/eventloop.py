@@ -1,0 +1,598 @@
+"""Selector-based event-loop TCP backend: many connections, one thread.
+
+The threaded backend (:mod:`repro.transport.tcp`) spends an OS thread
+per connection — honest to the paper's 1988 deployment, but a hard cap
+well short of the roadmap's fleet-level concurrency.  This backend
+multiplexes every connection onto a single ``selectors`` loop:
+
+* **Non-blocking sockets** throughout; the loop sleeps in
+  ``selector.select`` and wakes per readiness event.
+* **Zero-copy framing**: each connection owns a
+  :class:`~repro.transport.framing.FrameDecoder`, whose grow-only
+  buffer locates frames in place (no per-frame copies, amortised
+  compaction) — a peer dribbling one byte per segment costs O(bytes).
+* **Shared write buffering**: replies append to a per-connection outbox
+  (header and payload buffered separately, so a large ``BatchReply`` or
+  chunk stream is never concatenated first) and drain with as few
+  ``send`` calls as the kernel allows.  Write interest is registered
+  only while the outbox is non-empty.
+* **Backpressure**: the outbox is bounded; a connection whose peer
+  stops reading gets its *read* interest dropped once the bound is hit
+  — no new requests are parsed for it — and resumes below a low-water
+  mark.  One slow consumer can stall only itself.
+* **Idle reaping**: a connection that completes no request within
+  ``idle_timeout`` is closed, so half-sent frames (slow-loris) cannot
+  pin sockets forever.
+* **Fairness**: at most ``frames_per_turn`` requests are served per
+  connection per loop pass; connections with frames still queued go on
+  a runnable list and the next pass continues them, so one pipelining
+  client cannot starve the rest.
+
+The wire format, handler contract (request payload in, reply payload
+out, ``\\x00HANDLER-ERROR:`` on handler crash), ``SERVER-BUSY`` refusal,
+and ``close(drain_seconds)`` semantics — a reply in progress is always
+fully written, never torn — are identical to the threaded backend, so
+the same clients, :class:`~repro.replication.failover.FailoverChannel`
+dial lists, and chaos suites run unchanged against either.  The handler
+runs *inside* the loop thread; the server architecture already keeps
+handlers short (job execution is off-path on the worker pool), which is
+exactly what lets one loop serve thousands of connections.
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+import threading
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.errors import TransportError
+from repro.telemetry.registry import MetricsRegistry
+from repro.transport.base import ChannelHandler
+from repro.transport.framing import (
+    FrameDecoder,
+    encode_frame,
+    encode_frame_header,
+)
+from repro.transport.tcp import DEFAULT_PORT, SERVER_BUSY_FRAME, set_nodelay
+
+_RECV_CHUNK = 65_536
+_SEND_CHUNK = 262_144
+#: Idle select timeout: bounds how stale idle-reaping and drain checks
+#: can get when no socket is ready.  Readiness events wake the loop
+#: immediately; this only paces housekeeping.
+_IDLE_TICK = 0.2
+#: Dead-prefix bytes tolerated in an outbox before it slides.
+_OUTBOX_COMPACT = 64 * 1024
+
+#: A connection that completes no request for this long is reaped.
+DEFAULT_IDLE_TIMEOUT = 300.0
+#: Per-connection outbox bound; reads pause above it (backpressure).
+DEFAULT_OUTBOX_LIMIT = 4 * 1024 * 1024
+#: Requests served per connection per loop pass (fairness quantum).
+DEFAULT_FRAMES_PER_TURN = 16
+
+#: Loop-iteration histogram buckets — an event-loop pass is far finer
+#: grained than the request-path defaults.
+ITERATION_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0,
+)
+
+_LISTENER = "listener"
+_WAKER = "waker"
+
+
+class _OutBuffer:
+    """A connection's pending output: append frames, drain with a cursor.
+
+    One grow-only bytearray with a send offset — the same amortised
+    compaction discipline as the read-side decoder.  Every queued reply
+    shares this buffer, so a burst of small frames (a pipelined batch's
+    replies) drains in large ``send`` calls instead of one syscall per
+    frame.
+    """
+
+    __slots__ = ("_data", "_offset")
+
+    def __init__(self) -> None:
+        self._data = bytearray()
+        self._offset = 0
+
+    @property
+    def pending(self) -> int:
+        return len(self._data) - self._offset
+
+    def append(self, *parts: bytes) -> None:
+        for part in parts:
+            self._data += part
+
+    def send_to(self, sock: socket.socket) -> int:
+        """Push bytes until the kernel refuses; returns bytes sent."""
+        total = 0
+        while self.pending:
+            with memoryview(self._data) as whole:
+                with whole[self._offset : self._offset + _SEND_CHUNK] as part:
+                    try:
+                        sent = sock.send(part)
+                    except (BlockingIOError, InterruptedError):
+                        break
+            if sent <= 0:
+                break
+            self._offset += sent
+            total += sent
+        if self._offset and (
+            self._offset == len(self._data) or self._offset > _OUTBOX_COMPACT
+        ):
+            del self._data[: self._offset]
+            self._offset = 0
+        return total
+
+
+class _Connection:
+    """Loop-private per-connection state."""
+
+    __slots__ = (
+        "sock",
+        "fd",
+        "decoder",
+        "outbox",
+        "last_frame",
+        "paused",
+        "close_after_flush",
+        "registered",
+    )
+
+    def __init__(self, sock: socket.socket, now: float) -> None:
+        self.sock = sock
+        self.fd = sock.fileno()
+        self.decoder = FrameDecoder()
+        self.outbox = _OutBuffer()
+        #: When the last *complete* request arrived (or the accept).
+        #: Deliberately not refreshed by mere bytes: a peer dribbling a
+        #: frame forever must still age out.
+        self.last_frame = now
+        self.paused = False
+        self.close_after_flush = False
+        self.registered = 0
+
+
+class EventLoopChannelServer:
+    """Server side: one selector loop answering framed requests.
+
+    Drop-in peer of :class:`~repro.transport.tcp.TcpChannelServer` —
+    same constructor shape, ``address``/``port``/``live_connections``,
+    accept/refuse counters, and ``close(drain_seconds)``.
+    """
+
+    def __init__(
+        self,
+        handler: ChannelHandler,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        max_connections: Optional[int] = None,
+        telemetry: Optional[MetricsRegistry] = None,
+        idle_timeout: Optional[float] = DEFAULT_IDLE_TIMEOUT,
+        outbox_limit_bytes: int = DEFAULT_OUTBOX_LIMIT,
+        frames_per_turn: int = DEFAULT_FRAMES_PER_TURN,
+    ) -> None:
+        if max_connections is not None and max_connections < 1:
+            raise ValueError(
+                f"max_connections must be >= 1, got {max_connections}"
+            )
+        if outbox_limit_bytes < 1:
+            raise ValueError(
+                f"outbox_limit_bytes must be >= 1, got {outbox_limit_bytes}"
+            )
+        self._handler = handler
+        self._max_connections = max_connections
+        self._telemetry = telemetry
+        self._idle_timeout = idle_timeout
+        self._outbox_limit = outbox_limit_bytes
+        self._frames_per_turn = max(1, frames_per_turn)
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(128)
+        self._listener.setblocking(False)
+        self.address: Tuple[str, int] = self._listener.getsockname()
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self._listener, selectors.EVENT_READ, _LISTENER)
+        #: Cross-thread wake-up for close(): select() returns as soon as
+        #: a byte lands on the pipe instead of waiting out the idle tick.
+        self._wake_recv, self._wake_send = socket.socketpair()
+        self._wake_recv.setblocking(False)
+        self._wake_send.setblocking(False)
+        self._selector.register(self._wake_recv, selectors.EVENT_READ, _WAKER)
+        self._conns: Dict[int, _Connection] = {}
+        self._conn_lock = threading.Lock()
+        #: fds with frames decoded but not yet served (fairness carry-over).
+        self._runnable: set = set()
+        self._stop = threading.Event()
+        self._draining = threading.Event()
+        self._drain_deadline = 0.0
+        self._next_reap = 0.0
+        self.accepted_connections = 0
+        self.refused_connections = 0
+        self.reaped_idle_connections = 0
+        self._iteration_histogram = None
+        if telemetry is not None:
+            telemetry.gauge(
+                "tcp_live_connections",
+                callback=lambda: float(self.live_connections),
+            )
+            telemetry.gauge(
+                "eventloop_outbox_bytes", callback=self._total_outbox_bytes
+            )
+            telemetry.gauge(
+                "eventloop_paused_connections",
+                callback=self._paused_connections,
+            )
+            self._iteration_histogram = telemetry.histogram(
+                "eventloop_iteration_seconds", buckets=ITERATION_BUCKETS
+            )
+        self._loop_thread = threading.Thread(
+            target=self._run, name="shadow-eventloop", daemon=True
+        )
+        self._loop_thread.start()
+
+    # ------------------------------------------------------------------
+    # public surface (parity with TcpChannelServer)
+    # ------------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        return self.address[1]
+
+    @property
+    def live_connections(self) -> int:
+        with self._conn_lock:
+            return len(self._conns)
+
+    def _total_outbox_bytes(self) -> float:
+        with self._conn_lock:
+            return float(
+                sum(conn.outbox.pending for conn in self._conns.values())
+            )
+
+    def _paused_connections(self) -> float:
+        with self._conn_lock:
+            return float(
+                sum(1 for conn in self._conns.values() if conn.paused)
+            )
+
+    def _count(self, name: str, amount: float = 1.0, **labels: str) -> None:
+        if self._telemetry is not None:
+            self._telemetry.counter(name, labels or None).inc(amount)
+
+    def _wake(self) -> None:
+        try:
+            self._wake_send.send(b"\x00")
+        except OSError:
+            pass
+
+    def close(self, drain_seconds: float = 2.0) -> None:
+        """Graceful shutdown: stop accepting, drain, then force-close.
+
+        New connections stop immediately.  Connections with work in
+        flight — a half-received request, queued frames, or an
+        unflushed reply — get a shared ``drain_seconds`` deadline to
+        finish; a reply in progress is always fully written, never
+        torn.  Whatever outlives the deadline is force-closed, and the
+        loop thread is joined before returning.
+        """
+        self._drain_deadline = time.monotonic() + max(drain_seconds, 0.0)
+        self._draining.set()
+        self._wake()
+        self._loop_thread.join(timeout=max(drain_seconds, 0.0) + 2.0)
+        if self._loop_thread.is_alive():
+            # A handler is stuck past the deadline; nothing more to do
+            # gracefully — the loop will notice the flags when it
+            # returns.  Mirror the threaded backend: don't hang close().
+            self._stop.set()
+            self._wake()
+            self._loop_thread.join(timeout=1.0)
+
+    def __enter__(self) -> "EventLoopChannelServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # the loop
+    # ------------------------------------------------------------------
+
+    def _run(self) -> None:
+        try:
+            while not self._stop.is_set():
+                timeout = 0.0 if self._runnable else _IDLE_TICK
+                if self._draining.is_set():
+                    timeout = min(
+                        timeout if self._runnable else 0.05,
+                        max(self._drain_deadline - time.monotonic(), 0.0),
+                    )
+                try:
+                    events = self._selector.select(timeout)
+                except OSError:
+                    break
+                # The iteration clock starts *after* select returns: the
+                # histogram measures work per pass, not idle sleeping —
+                # its tail is the signal that a handler stalls the loop.
+                now = began = time.monotonic()
+                for key, mask in events:
+                    data = key.data
+                    if data is _LISTENER:
+                        self._accept_ready(now)
+                    elif data is _WAKER:
+                        self._drain_waker()
+                    else:
+                        conn = data
+                        # Write first: a freed outbox can resume reads
+                        # for this very pass.
+                        if mask & selectors.EVENT_WRITE:
+                            self._write_ready(conn)
+                        if (
+                            conn.fd in self._conns
+                            and mask & selectors.EVENT_READ
+                        ):
+                            self._read_ready(conn, now)
+                self._serve_runnable(now)
+                self._maybe_reap_idle(now)
+                if self._draining.is_set() and self._drain_step(now):
+                    break
+                if self._iteration_histogram is not None:
+                    self._iteration_histogram.observe(
+                        time.monotonic() - began
+                    )
+        finally:
+            self._teardown()
+
+    def _drain_waker(self) -> None:
+        try:
+            while self._wake_recv.recv(1024):
+                pass
+        except (BlockingIOError, InterruptedError, OSError):
+            pass
+
+    # -- accept ---------------------------------------------------------
+
+    def _accept_ready(self, now: float) -> None:
+        while True:
+            try:
+                sock, _ = self._listener.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return  # listener closed under us (drain)
+            if self._draining.is_set() or self._stop.is_set():
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                continue
+            if (
+                self._max_connections is not None
+                and len(self._conns) >= self._max_connections
+            ):
+                self._refuse(sock)
+                continue
+            sock.setblocking(False)
+            set_nodelay(sock)
+            conn = _Connection(sock, now)
+            with self._conn_lock:
+                self._conns[conn.fd] = conn
+            self.accepted_connections += 1
+            self._count("tcp_accepted_total")
+            self._register(conn, selectors.EVENT_READ)
+
+    def _refuse(self, sock: socket.socket) -> None:
+        """Turn away a surplus connection with a clean framed notice."""
+        self.refused_connections += 1
+        self._count("tcp_refused_total")
+        with sock:
+            try:
+                # The frame is tiny; a fresh socket's send buffer always
+                # has room, so one non-blocking send suffices.
+                sock.send(encode_frame(SERVER_BUSY_FRAME))
+            except OSError:
+                pass  # peer already gone; the close is the message
+
+    # -- read / serve ---------------------------------------------------
+
+    def _read_ready(self, conn: _Connection, now: float) -> None:
+        try:
+            chunk = conn.sock.recv(_RECV_CHUNK)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._close_conn(conn)
+            return
+        if not chunk:
+            if conn.decoder.pending_bytes:
+                # Peer died mid-frame: the request never made it.
+                self._count("tcp_frame_errors_total")
+            self._close_conn(conn)
+            return
+        try:
+            conn.decoder.feed(chunk)
+        except TransportError:
+            # Covers CRC mismatches (FrameCorruptionError) and absurd
+            # lengths alike: the stream is unrecoverable.
+            self._count("tcp_frame_errors_total")
+            self._close_conn(conn)
+            return
+        self._serve_conn(conn, now)
+
+    def _serve_conn(self, conn: _Connection, now: float) -> None:
+        """Answer up to a fairness quantum of this connection's frames."""
+        served = 0
+        while served < self._frames_per_turn:
+            if conn.close_after_flush:
+                break
+            if conn.outbox.pending > self._outbox_limit:
+                break  # backpressure: stop consuming for this peer
+            request = conn.decoder.pop()
+            if request is None:
+                break
+            served += 1
+            conn.last_frame = now
+            self._count("tcp_frames_total", direction="in")
+            self._count(
+                "tcp_bytes_total", float(len(request)), direction="in"
+            )
+            try:
+                reply = self._handler(request)
+            except Exception as exc:  # surface handler crashes
+                self._count("tcp_handler_errors_total")
+                reply = b"\x00HANDLER-ERROR:" + str(exc).encode(
+                    "utf-8", "replace"
+                )
+            conn.outbox.append(encode_frame_header(reply), reply)
+            self._count("tcp_frames_total", direction="out")
+            self._count(
+                "tcp_bytes_total", float(len(reply)), direction="out"
+            )
+            if self._draining.is_set():
+                # Parity with the threaded drain: finish this reply,
+                # then close between frames.
+                conn.close_after_flush = True
+                break
+        if conn.decoder.ready_frames and not conn.close_after_flush:
+            self._runnable.add(conn.fd)
+        else:
+            self._runnable.discard(conn.fd)
+        self._flush(conn)
+
+    def _serve_runnable(self, now: float) -> None:
+        """Continue connections whose decoded frames outlasted their turn."""
+        for fd in list(self._runnable):
+            conn = self._conns.get(fd)
+            if conn is None:
+                self._runnable.discard(fd)
+                continue
+            if conn.outbox.pending > self._outbox_limit:
+                continue  # still backpressured; resumes via _write_ready
+            self._serve_conn(conn, now)
+
+    # -- write ----------------------------------------------------------
+
+    def _flush(self, conn: _Connection) -> None:
+        """Opportunistic send, then recompute selector interest."""
+        if conn.outbox.pending:
+            try:
+                conn.outbox.send_to(conn.sock)
+            except OSError:
+                self._close_conn(conn)
+                return
+        if conn.close_after_flush and not conn.outbox.pending:
+            self._close_conn(conn)
+            return
+        self._update_interest(conn)
+
+    def _write_ready(self, conn: _Connection) -> None:
+        self._flush(conn)
+        if conn.fd not in self._conns:
+            return
+        # Dropping below the low-water mark resumes a paused reader; any
+        # frames parsed before the pause get a turn on the runnable list.
+        if (
+            conn.paused
+            and conn.outbox.pending <= self._outbox_limit // 2
+            and conn.decoder.ready_frames
+        ):
+            self._runnable.add(conn.fd)
+
+    def _update_interest(self, conn: _Connection) -> None:
+        conn.paused = conn.outbox.pending > self._outbox_limit
+        want = 0
+        if not conn.paused and not conn.close_after_flush:
+            want |= selectors.EVENT_READ
+        if conn.outbox.pending:
+            want |= selectors.EVENT_WRITE
+        if want == 0:
+            # Not reading, nothing to write: only reachable when paused
+            # with an instantly-drained outbox, which cannot happen
+            # (paused implies pending > limit); close defensively.
+            self._close_conn(conn)
+            return
+        self._register(conn, want)
+
+    def _register(self, conn: _Connection, events: int) -> None:
+        if conn.registered == events:
+            return
+        try:
+            if conn.registered == 0:
+                self._selector.register(conn.sock, events, conn)
+            else:
+                self._selector.modify(conn.sock, events, conn)
+        except (KeyError, ValueError, OSError):
+            self._close_conn(conn)
+            return
+        conn.registered = events
+
+    # -- lifecycle ------------------------------------------------------
+
+    def _close_conn(self, conn: _Connection) -> None:
+        with self._conn_lock:
+            self._conns.pop(conn.fd, None)
+        self._runnable.discard(conn.fd)
+        if conn.registered:
+            try:
+                self._selector.unregister(conn.sock)
+            except (KeyError, ValueError, OSError):
+                pass
+            conn.registered = 0
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+
+    def _maybe_reap_idle(self, now: float) -> None:
+        if self._idle_timeout is None or now < self._next_reap:
+            return
+        self._next_reap = now + max(self._idle_timeout / 4.0, _IDLE_TICK)
+        for conn in list(self._conns.values()):
+            if conn.outbox.pending or conn.decoder.ready_frames:
+                continue  # never tear queued work; backpressure ≠ idle
+            if now - conn.last_frame > self._idle_timeout:
+                self.reaped_idle_connections += 1
+                self._count("eventloop_idle_reaped_total")
+                self._close_conn(conn)
+
+    def _drain_step(self, now: float) -> bool:
+        """One drain pass; True once the loop should exit."""
+        try:
+            self._selector.unregister(self._listener)
+        except (KeyError, ValueError, OSError):
+            pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        expired = now >= self._drain_deadline
+        for conn in list(self._conns.values()):
+            busy = (
+                conn.outbox.pending
+                or conn.decoder.ready_frames
+                or conn.decoder.pending_bytes
+            )
+            if expired or not busy:
+                # Idle connections close immediately; busy ones only
+                # once the deadline has passed (their replies flush
+                # through the normal write path until then).
+                self._close_conn(conn)
+        return expired or not self._conns
+
+    def _teardown(self) -> None:
+        for conn in list(self._conns.values()):
+            self._close_conn(conn)
+        for sock in (self._listener, self._wake_recv, self._wake_send):
+            try:
+                sock.close()
+            except OSError:
+                pass
+        try:
+            self._selector.close()
+        except OSError:
+            pass

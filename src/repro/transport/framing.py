@@ -15,13 +15,32 @@ completed, and :meth:`FrameDecoder.pop` hands each completed frame out
 exactly once.  (An earlier revision both *returned* completed frames
 from ``feed`` and queued them for ``pop``, so a caller mixing the APIs
 processed every frame twice.)
+
+The decoder's buffering is built for the event-loop hot path: bytes
+accumulate in one grow-only buffer and frames are *located*, not copied
+— the header is parsed in place with ``struct.unpack_from`` and the CRC
+runs over a :class:`memoryview` slice, so completing a frame allocates
+nothing.  The only copy is the single ``bytes`` materialisation when
+:meth:`FrameDecoder.pop` hands the payload to the codec (which needs an
+owned buffer anyway); :meth:`FrameDecoder.popview` skips even that for
+callers that can consume a view.  Consumed prefixes are reclaimed by
+*amortised* compaction — the buffer slides only once
+``compact_threshold`` bytes are dead — so a peer dribbling one byte per
+segment costs O(bytes), not the quadratic re-copying a
+delete-per-frame scheme pays.
+
+:class:`FrameScanner` is the tolerant batch-mode sibling: it walks a
+fully materialised buffer of concatenated frames (the durability
+journal's on-disk format) and *reports* damage instead of raising, so a
+torn tail ends the scan cleanly.
 """
 
 from __future__ import annotations
 
 import struct
 import zlib
-from typing import List, Optional
+from collections import deque
+from typing import Deque, Iterator, Optional, Tuple
 
 from repro.errors import FrameCorruptionError, TransportError
 from repro.transport.base import RequestChannel
@@ -32,14 +51,30 @@ HEADER_SIZE = 8
 #: Refuse absurd frames rather than allocating gigabytes on a bad header.
 MAX_FRAME_SIZE = 64 * 1024 * 1024
 
+#: Dead-prefix bytes tolerated before the decoder slides its buffer.
+#: Large enough that compaction is rare under normal traffic, small
+#: enough that a slow-loris sender can never pin more than this much
+#: consumed garbage in memory.
+DEFAULT_COMPACT_THRESHOLD = 64 * 1024
+
 
 def encode_frame(payload: bytes) -> bytes:
     """Wrap ``payload`` in a length + CRC32 header."""
+    return encode_frame_header(payload) + payload
+
+
+def encode_frame_header(payload: bytes) -> bytes:
+    """Just the 8-byte header for ``payload``.
+
+    Write paths that buffer header and payload separately (the event
+    loop's per-connection outbox) avoid concatenating — and therefore
+    copying — a large payload only to split it into segments again.
+    """
     if len(payload) > MAX_FRAME_SIZE:
         raise TransportError(
             f"frame of {len(payload)} bytes exceeds maximum {MAX_FRAME_SIZE}"
         )
-    return struct.pack(">II", len(payload), zlib.crc32(payload)) + payload
+    return struct.pack(">II", len(payload), zlib.crc32(payload))
 
 
 def frame_overhead() -> int:
@@ -60,58 +95,172 @@ class FrameDecoder:
     drop the connection (and, with idempotent requests, retry).
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self, compact_threshold: int = DEFAULT_COMPACT_THRESHOLD
+    ) -> None:
         self._buffer = bytearray()
-        self._ready: List[bytes] = []
+        #: Where header parsing resumes; everything before it is either
+        #: a located frame (tracked in ``_spans``) or dead bytes.
+        self._parse_pos = 0
+        #: ``(body_start, length)`` of CRC-verified, not-yet-popped
+        #: frames, in arrival order.  Offsets index into ``_buffer``.
+        self._spans: Deque[Tuple[int, int]] = deque()
+        self._compact_threshold = max(int(compact_threshold), HEADER_SIZE)
 
     def feed(self, chunk: bytes) -> int:
         """Absorb ``chunk``; return how many frames it completed."""
-        self._buffer.extend(chunk)
+        self._compact()
+        self._buffer += chunk
         completed = 0
-        while True:
-            frame = self._next_frame()
-            if frame is None:
-                return completed
-            self._ready.append(frame)
+        while self._locate_one():
             completed += 1
+        return completed
 
-    def pop(self) -> Optional[bytes]:
-        """Take the next complete frame, or None.  The only delivery path."""
-        if self._ready:
-            return self._ready.pop(0)
-        return None
-
-    def _next_frame(self) -> Optional[bytes]:
-        if len(self._buffer) < HEADER_SIZE:
-            return None
-        length, expected_crc = struct.unpack(
-            ">II", bytes(self._buffer[:HEADER_SIZE])
-        )
+    def _locate_one(self) -> bool:
+        """Verify the next frame in place; never copies the payload."""
+        buffer = self._buffer
+        start = self._parse_pos
+        if len(buffer) - start < HEADER_SIZE:
+            return False
+        length, expected_crc = struct.unpack_from(">II", buffer, start)
         if length > MAX_FRAME_SIZE:
             raise TransportError(
                 f"incoming frame of {length} bytes exceeds maximum"
             )
-        if len(self._buffer) < HEADER_SIZE + length:
-            return None
-        payload = bytes(self._buffer[HEADER_SIZE : HEADER_SIZE + length])
-        del self._buffer[: HEADER_SIZE + length]
-        actual_crc = zlib.crc32(payload)
+        body_start = start + HEADER_SIZE
+        if len(buffer) - body_start < length:
+            return False
+        with memoryview(buffer) as whole:
+            with whole[body_start : body_start + length] as body:
+                actual_crc = zlib.crc32(body)
         if actual_crc != expected_crc:
             raise FrameCorruptionError(
                 f"frame CRC mismatch: header says {expected_crc:#010x}, "
                 f"payload is {actual_crc:#010x}"
             )
-        return payload
+        self._spans.append((body_start, length))
+        self._parse_pos = body_start + length
+        return True
+
+    def _compact(self) -> None:
+        """Reclaim the consumed prefix, amortised.
+
+        Everything before the oldest unpopped frame's body (or, with no
+        frames waiting, before the parse cursor) is dead.  A fully
+        drained buffer is cleared outright; otherwise the buffer slides
+        only once the dead prefix passes ``compact_threshold``, keeping
+        per-byte cost O(1) even against a one-byte-per-segment sender.
+        """
+        if not self._spans and self._parse_pos == len(self._buffer):
+            if self._parse_pos:
+                self._buffer.clear()
+                self._parse_pos = 0
+            return
+        dead = self._spans[0][0] if self._spans else self._parse_pos
+        if dead < self._compact_threshold:
+            return
+        del self._buffer[:dead]
+        self._parse_pos -= dead
+        self._spans = deque(
+            (start - dead, length) for start, length in self._spans
+        )
+
+    def pop(self) -> Optional[bytes]:
+        """Take the next complete frame, or None.  The only delivery path.
+
+        This materialises the payload as owned ``bytes`` — the one copy
+        on the receive path, made at the codec handoff because the
+        protocol layer outlives the decoder's buffer.
+        """
+        if not self._spans:
+            return None
+        start, length = self._spans.popleft()
+        with memoryview(self._buffer) as whole:
+            return bytes(whole[start : start + length])
+
+    def popview(self) -> Optional[memoryview]:
+        """Zero-copy :meth:`pop`: a view into the decoder's buffer.
+
+        The view is only valid until the next :meth:`feed` — feeding
+        while a view is alive raises ``BufferError`` (the underlying
+        buffer cannot grow with exports outstanding).  Release or drop
+        the view before feeding again.
+        """
+        if not self._spans:
+            return None
+        start, length = self._spans.popleft()
+        return memoryview(self._buffer)[start : start + length]
 
     @property
     def pending_bytes(self) -> int:
         """Bytes buffered but not yet forming a complete frame."""
-        return len(self._buffer)
+        return len(self._buffer) - self._parse_pos
 
     @property
     def ready_frames(self) -> int:
         """Frames completed but not yet popped."""
-        return len(self._ready)
+        return len(self._spans)
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Total bytes held, dead prefix included (compaction tests)."""
+        return len(self._buffer)
+
+
+class FrameScanner:
+    """Tolerant sequential scan over a buffer of concatenated frames.
+
+    Where :class:`FrameDecoder` serves live streams — damage there is
+    fatal, the connection is dropped — the scanner serves *stored*
+    frames (the durability journal's on-disk format, which reuses the
+    wire framing byte for byte).  A stored file may legitimately end
+    mid-frame after a crash, so the scanner never raises: the first torn
+    header, absurd length, torn body, or CRC mismatch ends the scan,
+    with ``truncation_reason`` saying why and ``offset`` marking where
+    the valid prefix ends.  Payloads come back as :class:`memoryview`
+    slices of ``raw`` — no copy per frame.
+
+    ``noun`` names the framed unit in damage reports ("frame" on the
+    wire, "record" in the journal).
+    """
+
+    def __init__(self, raw: bytes, noun: str = "frame") -> None:
+        self._raw = raw
+        self._noun = noun
+        self.offset = 0
+        self.truncation_reason = ""
+
+    def next_payload(self) -> Optional[memoryview]:
+        """The next valid payload, or None at the end of the prefix."""
+        raw, start = self._raw, self.offset
+        remaining = len(raw) - start
+        if remaining == 0 or self.truncation_reason:
+            return None
+        if remaining < HEADER_SIZE:
+            self.truncation_reason = "torn header"
+            return None
+        length, expected_crc = struct.unpack_from(">II", raw, start)
+        if length > MAX_FRAME_SIZE:
+            self.truncation_reason = f"absurd {self._noun} length {length}"
+            return None
+        body_start = start + HEADER_SIZE
+        if len(raw) - body_start < length:
+            self.truncation_reason = f"torn {self._noun} body"
+            return None
+        payload = memoryview(raw)[body_start : body_start + length]
+        if zlib.crc32(payload) != expected_crc:
+            payload.release()
+            self.truncation_reason = "CRC mismatch"
+            return None
+        self.offset = body_start + length
+        return payload
+
+    def __iter__(self) -> Iterator[memoryview]:
+        while True:
+            payload = self.next_payload()
+            if payload is None:
+                return
+            yield payload
 
 
 def decode_single_frame(raw: bytes) -> bytes:

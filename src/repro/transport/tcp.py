@@ -42,6 +42,21 @@ DEFAULT_REDIAL_POLICY = RetryPolicy(
 #: The prototype's "well-known port" for examples; 0 asks the OS to pick.
 DEFAULT_PORT = 0
 
+
+def set_nodelay(sock: socket.socket) -> None:
+    """Disable Nagle's algorithm on ``sock`` (best effort).
+
+    Shadow requests are small CRC-framed messages answered immediately;
+    Nagle would hold each one back waiting to coalesce it with bytes
+    that are never coming, adding up to an RTT of idle latency per
+    request.  Both backends and the client set this on every stream
+    socket; failure (exotic socket types in tests) is harmless.
+    """
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    except OSError:
+        pass
+
 #: Refusal frame sent (then the connection closed) when the server is at
 #: its connection cap.  Leads with NUL like HANDLER-ERROR frames so it
 #: can never be mistaken for a JSON protocol message.
@@ -119,6 +134,7 @@ class TcpChannel(RequestChannel):
             raise TransportError(
                 f"cannot connect to {self._host}:{self._port}: {exc}"
             ) from exc
+        set_nodelay(self._socket)
         self._decoder = FrameDecoder()
 
     def reconnect(self) -> None:
@@ -272,7 +288,7 @@ class TcpChannelServer:
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
-        self._listener.listen(16)
+        self._listener.listen(128)
         self._listener.settimeout(_ACCEPT_POLL_SECONDS)
         self.address: Tuple[str, int] = self._listener.getsockname()
         self._stop = threading.Event()
@@ -349,6 +365,7 @@ class TcpChannelServer:
 
     def _serve_connection(self, connection: socket.socket) -> None:
         decoder = FrameDecoder()
+        set_nodelay(connection)
         with self._conn_lock:
             self._connections.add(connection)
         try:

@@ -1,0 +1,50 @@
+"""A tiny end-to-end run of the wall-clock load harness on both
+backends — keeps `benchmarks/load_harness.py` importable and honest
+without putting a real load test in tier-1."""
+
+import pathlib
+import sys
+
+import pytest
+
+BENCH_DIR = str(pathlib.Path(__file__).resolve().parents[2] / "benchmarks")
+if BENCH_DIR not in sys.path:
+    sys.path.insert(0, BENCH_DIR)
+
+import load_harness  # noqa: E402
+
+
+@pytest.mark.parametrize("backend", ["threaded", "eventloop"])
+def test_small_echo_load_completes_cleanly(backend):
+    result = load_harness.run_load(
+        backend, workload="echo", connections=8, duration=0.5
+    )
+    assert result.errors == 0
+    assert result.requests > 0
+    assert result.rps > 0
+    assert result.p99_ms >= result.p50_ms
+
+
+def test_cli_check_mode_passes():
+    assert (
+        load_harness.main(
+            [
+                "--transport",
+                "eventloop",
+                "--connections",
+                "4",
+                "--duration",
+                "0.3",
+                "--check",
+                "--json",
+            ]
+        )
+        == 0
+    )
+
+
+def test_percentile_edge_cases():
+    assert load_harness._percentile([1.0], 0.99) == 1.0
+    samples = sorted(float(n) for n in range(100))
+    assert load_harness._percentile(samples, 0.50) == 49.0
+    assert load_harness._percentile(samples, 0.99) == 98.0

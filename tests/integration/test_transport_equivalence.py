@@ -46,6 +46,24 @@ class TestTransportEquivalence:
             tcp_result = run_scenario(deployment.client, deployment.server)
         assert loop_result == tcp_result
 
+    def test_loopback_vs_eventloop_tcp(self):
+        """The event-loop backend must be observationally identical to
+        every other transport — same bytes, same end state."""
+        loop_client, loop_server = loopback_pair()
+        loop_result = run_scenario(loop_client, loop_server)
+        with tcp_pair(transport="eventloop") as deployment:
+            event_result = run_scenario(deployment.client, deployment.server)
+        assert loop_result == event_result
+
+    def test_threaded_vs_eventloop_tcp(self):
+        with tcp_pair(transport="threaded") as deployment:
+            threaded_result = run_scenario(
+                deployment.client, deployment.server
+            )
+        with tcp_pair(transport="eventloop") as deployment:
+            event_result = run_scenario(deployment.client, deployment.server)
+        assert threaded_result == event_result
+
     def test_loopback_vs_simulated(self):
         loop_client, loop_server = loopback_pair()
         loop_result = run_scenario(loop_client, loop_server)

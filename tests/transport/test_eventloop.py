@@ -1,0 +1,447 @@
+"""The selector-based event-loop backend: contract parity plus its own
+promises (fairness under dribbling peers, idle reaping, backpressure,
+drain semantics, failover dial lists)."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core.service import tcp_pair, tcp_service
+from repro.errors import ShadowError, TransportError
+from repro.telemetry.registry import MetricsRegistry
+from repro.transport import channel_server
+from repro.transport.eventloop import EventLoopChannelServer
+from repro.transport.framing import FrameDecoder, encode_frame
+from repro.transport.tcp import TcpChannel
+
+
+@pytest.fixture
+def echo_server():
+    server = EventLoopChannelServer(lambda payload: b"echo:" + payload)
+    yield server
+    server.close()
+
+
+def request_raw(port: int, payload: bytes, timeout: float = 5.0) -> bytes:
+    """One framed request over a raw socket (no channel machinery)."""
+    with socket.create_connection(("127.0.0.1", port), timeout=timeout) as sock:
+        sock.sendall(encode_frame(payload))
+        decoder = FrameDecoder()
+        while True:
+            frame = decoder.pop()
+            if frame is not None:
+                return frame
+            chunk = sock.recv(65_536)
+            if not chunk:
+                raise AssertionError("server closed before replying")
+            decoder.feed(chunk)
+
+
+class TestRequestReply:
+    def test_request_reply(self, echo_server):
+        channel = TcpChannel("127.0.0.1", echo_server.port)
+        try:
+            assert channel.request(b"hello") == b"echo:hello"
+        finally:
+            channel.close()
+
+    def test_many_requests_one_connection(self, echo_server):
+        channel = TcpChannel("127.0.0.1", echo_server.port)
+        try:
+            for index in range(50):
+                payload = b"msg-%d" % index
+                assert channel.request(payload) == b"echo:" + payload
+        finally:
+            channel.close()
+
+    def test_large_payload(self, echo_server):
+        channel = TcpChannel("127.0.0.1", echo_server.port)
+        try:
+            big = b"x" * 1_000_000
+            assert channel.request(big) == b"echo:" + big
+        finally:
+            channel.close()
+
+    def test_pipelined_requests(self, echo_server):
+        channel = TcpChannel("127.0.0.1", echo_server.port)
+        try:
+            payloads = [b"p-%d" % n for n in range(40)]
+            replies = channel.request_many(payloads)
+            assert replies == [b"echo:" + p for p in payloads]
+        finally:
+            channel.close()
+
+    def test_concurrent_clients(self, echo_server):
+        errors = []
+
+        def worker(index: int) -> None:
+            try:
+                channel = TcpChannel("127.0.0.1", echo_server.port)
+                try:
+                    for n in range(10):
+                        payload = b"c%d-%d" % (index, n)
+                        assert channel.request(payload) == b"echo:" + payload
+                finally:
+                    channel.close()
+            except Exception as exc:  # noqa: BLE001 - collect for assertion
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(index,)) for index in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+    def test_handler_exception_surfaced_to_client(self):
+        def broken(payload: bytes) -> bytes:
+            raise RuntimeError("boom")
+
+        with EventLoopChannelServer(broken) as server:
+            reply = request_raw(server.port, b"x")
+            assert reply.startswith(b"\x00HANDLER-ERROR:")
+            assert b"boom" in reply
+
+    def test_empty_payload_round_trip(self, echo_server):
+        assert request_raw(echo_server.port, b"") == b"echo:"
+
+    def test_corrupt_frame_drops_connection(self, echo_server):
+        frame = bytearray(encode_frame(b"payload"))
+        frame[-1] ^= 0xFF
+        with socket.create_connection(
+            ("127.0.0.1", echo_server.port), timeout=5.0
+        ) as sock:
+            sock.sendall(bytes(frame))
+            assert sock.recv(1024) == b""  # server hangs up, sends nothing
+
+
+class TestAdmission:
+    def test_max_connections_refuses_with_busy_frame(self):
+        server = EventLoopChannelServer(
+            lambda p: p, max_connections=1
+        )
+        try:
+            first = TcpChannel("127.0.0.1", server.port)
+            assert first.request(b"a") == b"a"  # occupies the one slot
+            with socket.create_connection(
+                ("127.0.0.1", server.port), timeout=5.0
+            ) as surplus:
+                decoder = FrameDecoder()
+                while decoder.ready_frames == 0:
+                    chunk = surplus.recv(1024)
+                    if not chunk:
+                        break
+                    decoder.feed(chunk)
+                frame = decoder.pop()
+                assert frame is not None and frame.startswith(b"\x00SERVER-BUSY")
+            assert server.refused_connections == 1
+            first.close()
+        finally:
+            server.close()
+
+    def test_max_connections_validated(self):
+        with pytest.raises(ValueError):
+            EventLoopChannelServer(lambda p: p, max_connections=0)
+
+    def test_counters_and_live_connections(self, echo_server):
+        channel = TcpChannel("127.0.0.1", echo_server.port)
+        channel.request(b"x")
+        assert echo_server.accepted_connections == 1
+        assert echo_server.live_connections == 1
+        channel.close()
+        deadline = time.monotonic() + 5.0
+        while echo_server.live_connections and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert echo_server.live_connections == 0
+
+
+class TestStarvation:
+    def test_dribbling_peer_does_not_delay_other_connections(self):
+        """Satellite: a slow-loris frame must not starve healthy peers.
+
+        One connection sends a frame one byte at a time while another
+        runs full request/reply cycles; every cycle must complete
+        promptly even though the dribbler never finishes its frame.
+        """
+        with EventLoopChannelServer(lambda p: b"ok:" + p) as server:
+            dribbler = socket.create_connection(
+                ("127.0.0.1", server.port), timeout=5.0
+            )
+            frame = encode_frame(b"never finished")
+            healthy = TcpChannel("127.0.0.1", server.port)
+            try:
+                worst = 0.0
+                for index, byte in enumerate(frame[:-1]):
+                    dribbler.sendall(bytes([byte]))
+                    began = time.monotonic()
+                    payload = b"fast-%d" % index
+                    assert healthy.request(payload) == b"ok:" + payload
+                    worst = max(worst, time.monotonic() - began)
+                # Generous bound: each round trip is a localhost hop; a
+                # starved loop would park the healthy peer behind the
+                # dribbler for seconds.
+                assert worst < 1.0
+            finally:
+                healthy.close()
+                dribbler.close()
+
+    def test_idle_timeout_reaps_dribbling_connection(self):
+        """Satellite: dribbled *bytes* don't count as activity — only a
+        completed request refreshes the idle clock."""
+        with EventLoopChannelServer(
+            lambda p: p, idle_timeout=0.4
+        ) as server:
+            dribbler = socket.create_connection(
+                ("127.0.0.1", server.port), timeout=5.0
+            )
+            try:
+                frame = encode_frame(b"slow")
+                deadline = time.monotonic() + 8.0
+                reaped = False
+                position = 0
+                while time.monotonic() < deadline:
+                    try:
+                        if position < len(frame) - 1:
+                            dribbler.sendall(frame[position : position + 1])
+                            position += 1
+                    except OSError:
+                        reaped = True
+                        break
+                    # A closed peer surfaces as EOF on recv too.
+                    dribbler.settimeout(0.2)
+                    try:
+                        if dribbler.recv(16) == b"":
+                            reaped = True
+                            break
+                    except socket.timeout:
+                        pass
+                    except OSError:
+                        reaped = True
+                        break
+                assert reaped, "dribbler outlived the idle timeout"
+                assert server.reaped_idle_connections >= 1
+            finally:
+                dribbler.close()
+
+    def test_active_connection_survives_idle_timeout(self):
+        with EventLoopChannelServer(lambda p: p, idle_timeout=0.5) as server:
+            channel = TcpChannel("127.0.0.1", server.port)
+            try:
+                for _ in range(8):  # keeps completing requests: never idle
+                    assert channel.request(b"beat") == b"beat"
+                    time.sleep(0.15)
+            finally:
+                channel.close()
+            assert server.reaped_idle_connections == 0
+
+
+class TestBackpressure:
+    def test_bounded_outbox_pauses_reads_until_peer_drains(self):
+        """A peer that stops reading gets paused, not buffered forever."""
+        reply = b"r" * 65_536
+        total = 256  # 16 MB of replies: beyond any loopback kernel buffer
+        server = EventLoopChannelServer(
+            lambda p: reply, outbox_limit_bytes=64 * 1024
+        )
+        try:
+            sock = socket.create_connection(
+                ("127.0.0.1", server.port), timeout=5.0
+            )
+            request = encode_frame(b"go")
+            # Far more requests than the outbox bound can hold replies
+            # for, sent without reading a single reply back.
+            for _ in range(total):
+                sock.sendall(request)
+            deadline = time.monotonic() + 5.0
+            paused = 0.0
+            while time.monotonic() < deadline:
+                paused = server._paused_connections()
+                if paused:
+                    break
+                time.sleep(0.01)
+            assert paused == 1.0, "connection never hit the outbox bound"
+            # Now drain: every reply must still arrive, in order, whole.
+            decoder = FrameDecoder()
+            received = 0
+            sock.settimeout(5.0)
+            while received < total:
+                frame = decoder.pop()
+                if frame is not None:
+                    assert frame == reply
+                    received += 1
+                    continue
+                chunk = sock.recv(65_536)
+                assert chunk, "server hung up mid-drain"
+                decoder.feed(chunk)
+            sock.close()
+        finally:
+            server.close()
+
+
+class TestDrain:
+    def test_drain_never_tears_an_in_flight_reply(self):
+        release = threading.Event()
+
+        def slow_handler(payload: bytes) -> bytes:
+            release.wait(timeout=5.0)
+            return b"echo:" + payload
+
+        listener = EventLoopChannelServer(slow_handler)
+        channel = TcpChannel(*listener.address)
+        replies = {}
+
+        def ask():
+            replies["value"] = channel.request(b"ping")
+
+        asker = threading.Thread(target=ask)
+        asker.start()
+        time.sleep(0.1)  # the request is now in flight inside the handler
+
+        closer = threading.Thread(
+            target=listener.close, kwargs={"drain_seconds": 5.0}
+        )
+        closer.start()
+        time.sleep(0.1)
+        release.set()  # handler finishes while the drain is waiting
+        closer.join(timeout=5.0)
+        asker.join(timeout=5.0)
+
+        assert replies["value"] == b"echo:ping"  # full frame, not torn
+        assert not closer.is_alive()
+        channel.close()
+
+    def test_drain_deadline_bounds_a_stalled_handler(self):
+        def stuck_handler(payload: bytes) -> bytes:
+            time.sleep(10.0)
+            return payload
+
+        listener = EventLoopChannelServer(stuck_handler)
+        channel = TcpChannel(*listener.address)
+
+        def swallow():
+            try:
+                channel.request(b"ping")
+            except Exception:
+                pass  # the forced close is the expected outcome
+
+        threading.Thread(target=swallow, daemon=True).start()
+        time.sleep(0.1)
+
+        began = time.monotonic()
+        listener.close(drain_seconds=0.3)
+        elapsed = time.monotonic() - began
+        assert elapsed < 5.0  # the deadline, not the handler, set the pace
+        channel.close()
+
+    def test_close_is_idempotent(self):
+        server = EventLoopChannelServer(lambda p: p)
+        server.close()
+        server.close()  # second close must be harmless
+
+
+class TestServiceIntegration:
+    def test_tcp_pair_runs_shadow_session_over_eventloop(self):
+        with tcp_pair(transport="eventloop") as deployment:
+            assert isinstance(deployment.listener, EventLoopChannelServer)
+            deployment.client.write_file("/data/a.dat", b"alpha\n" * 100)
+            job = deployment.client.submit("wc a.dat", ["/data/a.dat"])
+            bundle = deployment.client.fetch_output(job)
+            assert bundle is not None and bundle.exit_code == 0
+
+    def test_tcp_service_multi_tenant_over_eventloop(self):
+        with tcp_service(workers=2, transport="eventloop") as service:
+            alice, alice_channel = service.connect("alice@ws")
+            bob, bob_channel = service.connect("bob@ws")
+            alice.write_file("/data/a.dat", b"from alice\n")
+            bob.write_file("/data/b.dat", b"from bob\n")
+            assert service.server.cache.peek_entry(
+                str(alice.workspace.resolve("/data/a.dat"))
+            )
+            assert service.server.cache.peek_entry(
+                str(bob.workspace.resolve("/data/b.dat"))
+            )
+            alice_channel.close()
+            bob_channel.close()
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ShadowError, match="transport backend"):
+            channel_server(lambda p: p, transport="fibers")
+
+    def test_threaded_rejects_eventloop_knobs(self):
+        with pytest.raises(ShadowError, match="eventloop"):
+            channel_server(lambda p: p, transport="threaded", idle_timeout=1.0)
+
+
+class TestFailoverDialPaths:
+    def test_failover_channel_rotates_onto_eventloop_server(self):
+        """Replication dial lists must work unchanged against the new
+        backend: a dead first endpoint rotates to a live eventloop one."""
+        from repro.replication.failover import FailoverChannel
+
+        probe = EventLoopChannelServer(lambda p: p)
+        dead_port = probe.port
+        probe.close()
+
+        with EventLoopChannelServer(lambda p: b"live:" + p) as live:
+            channel = FailoverChannel(
+                [
+                    TcpChannel("127.0.0.1", dead_port, timeout=0.5, lazy=True),
+                    TcpChannel("127.0.0.1", live.port, lazy=True),
+                ]
+            )
+            try:
+                # The dead endpoint faults and rotates; the caller's
+                # retry (normally the resilience layer) lands on the
+                # live eventloop server.
+                with pytest.raises(TransportError):
+                    channel.request(b"hello")
+                assert channel.failovers == 1
+                assert channel.request(b"hello") == b"live:hello"
+            finally:
+                channel.close()
+
+    def test_reconnect_after_server_restart_same_port(self):
+        server = EventLoopChannelServer(lambda p: b"one:" + p)
+        port = server.port
+        channel = TcpChannel("127.0.0.1", port)
+        assert channel.request(b"x") == b"one:x"
+        server.close()
+
+        revived = EventLoopChannelServer(lambda p: b"two:" + p, port=port)
+        try:
+            with pytest.raises(TransportError):
+                channel.request(b"y")  # old socket is dead
+            channel.reconnect()
+            assert channel.request(b"y") == b"two:y"
+        finally:
+            channel.close()
+            revived.close()
+
+
+class TestTelemetry:
+    def test_eventloop_metrics_registered_and_move(self):
+        registry = MetricsRegistry()
+        with EventLoopChannelServer(
+            lambda p: p, telemetry=registry
+        ) as server:
+            channel = TcpChannel("127.0.0.1", server.port)
+            channel.request(b"metered")
+            channel.close()
+            snapshot = registry.snapshot()
+            gauges = {series["name"] for series in snapshot["gauges"]}
+            assert "tcp_live_connections" in gauges
+            assert "eventloop_outbox_bytes" in gauges
+            assert "eventloop_paused_connections" in gauges
+            histograms = {
+                series["name"] for series in snapshot["histograms"]
+            }
+            assert "eventloop_iteration_seconds" in histograms
+            counters = {
+                (series["name"], tuple(sorted(series["labels"].items())))
+                for series in snapshot["counters"]
+            }
+            assert ("tcp_frames_total", (("direction", "in"),)) in counters

@@ -1,0 +1,91 @@
+"""Socket options: TCP_NODELAY must be set on every data socket —
+client side and per-connection server side, on both backends — so
+small request/reply frames are never parked behind Nagle's algorithm."""
+
+import socket
+
+from repro.transport.eventloop import EventLoopChannelServer
+from repro.transport.tcp import TcpChannel, TcpChannelServer, set_nodelay
+
+
+def nodelay_enabled(sock: socket.socket) -> bool:
+    return sock.getsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY) != 0
+
+
+class TestSetNodelayHelper:
+    def test_sets_the_option(self):
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            set_nodelay(sock)
+            assert nodelay_enabled(sock)
+        finally:
+            sock.close()
+
+    def test_tolerates_non_tcp_sockets(self):
+        a, b = socket.socketpair()  # AF_UNIX: TCP_NODELAY is meaningless
+        try:
+            set_nodelay(a)  # must not raise
+        finally:
+            a.close()
+            b.close()
+
+
+class TestClientSide:
+    def test_channel_socket_has_nodelay_threaded(self):
+        with TcpChannelServer(lambda p: p) as server:
+            channel = TcpChannel("127.0.0.1", server.port)
+            try:
+                assert nodelay_enabled(channel._socket)
+            finally:
+                channel.close()
+
+    def test_channel_socket_has_nodelay_eventloop(self):
+        with EventLoopChannelServer(lambda p: p) as server:
+            channel = TcpChannel("127.0.0.1", server.port)
+            try:
+                assert nodelay_enabled(channel._socket)
+            finally:
+                channel.close()
+
+    def test_reconnect_reapplies_nodelay(self):
+        with TcpChannelServer(lambda p: p) as server:
+            channel = TcpChannel("127.0.0.1", server.port)
+            try:
+                channel.reconnect()
+                assert nodelay_enabled(channel._socket)
+            finally:
+                channel.close()
+
+
+class TestServerSide:
+    def test_eventloop_connection_sockets_have_nodelay(self):
+        with EventLoopChannelServer(lambda p: p) as server:
+            channel = TcpChannel("127.0.0.1", server.port)
+            try:
+                channel.request(b"x")  # connection is now live, loop-side
+                with server._conn_lock:
+                    conns = list(server._conns.values())
+                assert conns, "no live connection registered"
+                assert all(nodelay_enabled(c.sock) for c in conns)
+            finally:
+                channel.close()
+
+    def test_threaded_connection_sockets_have_nodelay(self, monkeypatch):
+        """The threaded backend applies the option at the top of its
+        per-connection serve loop — capture the serving socket and check
+        after a round trip (which guarantees the loop has started)."""
+        captured = []
+        real_serve = TcpChannelServer._serve_connection
+
+        def probe(self, connection):
+            captured.append(connection)
+            real_serve(self, connection)
+
+        monkeypatch.setattr(TcpChannelServer, "_serve_connection", probe)
+        with TcpChannelServer(lambda p: p) as server:
+            channel = TcpChannel("127.0.0.1", server.port)
+            try:
+                channel.request(b"x")
+                assert captured and nodelay_enabled(captured[0])
+            finally:
+                channel.close()

@@ -1,0 +1,173 @@
+"""Zero-copy decoder mechanics: in-place location, amortised compaction,
+view-based delivery, and the tolerant batch scanner."""
+
+import pytest
+
+from repro.transport.framing import (
+    DEFAULT_COMPACT_THRESHOLD,
+    HEADER_SIZE,
+    FrameDecoder,
+    FrameScanner,
+    encode_frame,
+    encode_frame_header,
+)
+
+
+class TestByteAtATime:
+    def test_one_byte_at_a_time_decodes_every_frame(self):
+        """Satellite: slow-loris delivery — one byte per feed — must
+        produce every frame intact, in order."""
+        frames = [b"alpha", b"", b"b" * 300, b"gamma!"]
+        stream = b"".join(encode_frame(f) for f in frames)
+        decoder = FrameDecoder()
+        popped = []
+        for index in range(len(stream)):
+            completed = decoder.feed(stream[index : index + 1])
+            for _ in range(completed):
+                popped.append(decoder.pop())
+        assert popped == frames
+
+    def test_one_byte_at_a_time_stays_within_compaction_bound(self):
+        """Feeding byte-by-byte must not accumulate unbounded dead bytes:
+        buffered_bytes stays under threshold + one frame's footprint."""
+        frame = encode_frame(b"z" * 100)
+        decoder = FrameDecoder(compact_threshold=256)
+        ceiling = 256 + len(frame)
+        for _ in range(50):  # 50 frames dribbled one byte at a time
+            for index in range(len(frame)):
+                decoder.feed(frame[index : index + 1])
+                assert decoder.buffered_bytes <= ceiling
+            assert decoder.pop() == b"z" * 100
+
+    def test_drained_buffer_clears_outright(self):
+        decoder = FrameDecoder()
+        decoder.feed(encode_frame(b"payload"))
+        decoder.pop()
+        decoder.feed(b"")  # feed triggers compaction of the drained buffer
+        assert decoder.buffered_bytes == 0
+
+    def test_compaction_preserves_unpopped_spans(self):
+        """Sliding the buffer must not corrupt frames located but not yet
+        popped — their offsets are rebased, not invalidated."""
+        decoder = FrameDecoder(compact_threshold=32)
+        first, second, third = b"one" * 20, b"two" * 20, b"three" * 20
+        decoder.feed(encode_frame(first) + encode_frame(second))
+        assert decoder.pop() == first
+        # The dead prefix (first frame) now exceeds the tiny threshold;
+        # the next feed slides the buffer under the remaining span.
+        decoder.feed(encode_frame(third))
+        assert decoder.pop() == second
+        assert decoder.pop() == third
+
+    def test_custom_threshold_floor_is_header_size(self):
+        decoder = FrameDecoder(compact_threshold=0)
+        assert decoder._compact_threshold == HEADER_SIZE
+
+    def test_default_threshold_bounds_dead_prefix(self):
+        """At the default threshold, even a huge consumed prefix is
+        reclaimed once it crosses 64 KB."""
+        decoder = FrameDecoder()
+        big = b"p" * (DEFAULT_COMPACT_THRESHOLD + 1)
+        decoder.feed(encode_frame(big))
+        assert decoder.pop() == big
+        decoder.feed(encode_frame(b"after"))
+        assert decoder.pop() == b"after"
+        assert decoder.buffered_bytes < DEFAULT_COMPACT_THRESHOLD
+
+
+class TestPopview:
+    def test_popview_returns_payload_without_copy(self):
+        decoder = FrameDecoder()
+        decoder.feed(encode_frame(b"view me"))
+        view = decoder.popview()
+        assert view is not None
+        assert bytes(view) == b"view me"
+        assert view.obj is decoder._buffer  # a real view, not a copy
+        view.release()
+
+    def test_popview_is_valid_until_next_feed(self):
+        """The documented lifetime: a live view blocks the buffer from
+        growing, so the next feed raises BufferError."""
+        decoder = FrameDecoder()
+        decoder.feed(encode_frame(b"held"))
+        view = decoder.popview()
+        with pytest.raises(BufferError):
+            decoder.feed(encode_frame(b"more"))
+        view.release()
+        decoder.feed(encode_frame(b"more"))
+        assert decoder.pop() == b"more"
+
+    def test_popview_empty_returns_none(self):
+        assert FrameDecoder().popview() is None
+
+
+class TestEncodeHeader:
+    def test_header_plus_payload_equals_encode_frame(self):
+        payload = b"split encoding"
+        assert encode_frame_header(payload) + payload == encode_frame(payload)
+
+    def test_header_is_fixed_size(self):
+        assert len(encode_frame_header(b"")) == HEADER_SIZE
+        assert len(encode_frame_header(b"x" * 1000)) == HEADER_SIZE
+
+
+class TestFrameScanner:
+    def test_scans_all_frames_in_order(self):
+        frames = [b"first", b"second", b"third"]
+        raw = b"".join(encode_frame(f) for f in frames)
+        scanner = FrameScanner(raw)
+        assert [bytes(v) for v in scanner] == frames
+        assert scanner.truncation_reason == ""
+        assert scanner.offset == len(raw)
+
+    def test_empty_buffer_is_clean(self):
+        scanner = FrameScanner(b"")
+        assert scanner.next_payload() is None
+        assert scanner.truncation_reason == ""
+
+    def test_torn_header_reported_not_raised(self):
+        raw = encode_frame(b"whole") + b"\x00\x01\x02"  # 3 bytes < header
+        scanner = FrameScanner(raw)
+        assert bytes(scanner.next_payload()) == b"whole"
+        assert scanner.next_payload() is None
+        assert scanner.truncation_reason == "torn header"
+        assert scanner.offset == len(encode_frame(b"whole"))
+
+    def test_torn_body_reported(self):
+        raw = encode_frame(b"whole") + encode_frame(b"cut here")[:-3]
+        scanner = FrameScanner(raw)
+        assert bytes(scanner.next_payload()) == b"whole"
+        assert scanner.next_payload() is None
+        assert scanner.truncation_reason == "torn frame body"
+
+    def test_noun_names_the_unit_in_reports(self):
+        raw = encode_frame(b"rec")[:-2]
+        scanner = FrameScanner(raw, noun="record")
+        assert scanner.next_payload() is None
+        assert scanner.truncation_reason == "torn record body"
+
+    def test_crc_mismatch_ends_scan(self):
+        bad = bytearray(encode_frame(b"garbled"))
+        bad[-1] ^= 0xFF
+        raw = encode_frame(b"good") + bytes(bad) + encode_frame(b"never seen")
+        scanner = FrameScanner(raw)
+        assert bytes(scanner.next_payload()) == b"good"
+        assert scanner.next_payload() is None
+        assert scanner.truncation_reason == "CRC mismatch"
+        assert scanner.offset == len(encode_frame(b"good"))
+
+    def test_absurd_length_ends_scan(self):
+        import struct
+
+        raw = struct.pack(">II", 2**31, 0) + b"x" * 16
+        scanner = FrameScanner(raw)
+        assert scanner.next_payload() is None
+        assert "absurd frame length" in scanner.truncation_reason
+
+    def test_scan_sticks_after_damage(self):
+        """Once damaged, the scanner stays ended — no resyncing into
+        garbage."""
+        scanner = FrameScanner(encode_frame(b"x")[:-1])
+        assert scanner.next_payload() is None
+        assert scanner.next_payload() is None
+        assert scanner.truncation_reason == "torn frame body"
