@@ -355,6 +355,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="exit 1 on any connection error or an idle run (CI smoke)",
     )
+    parser.add_argument(
+        "--artifact",
+        nargs="?",
+        const="BENCH_loadharness.json",
+        default=None,
+        metavar="PATH",
+        help="also write every result row as one machine-readable JSON "
+        "file (default name BENCH_loadharness.json) for trend tracking",
+    )
     args = parser.parse_args(argv)
 
     backends = (
@@ -363,6 +372,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         else [args.transport]
     )
     failed = False
+    results: List[LoadResult] = []
     for backend in backends:
         result = run_load(
             backend,
@@ -371,12 +381,30 @@ def main(argv: Optional[List[str]] = None) -> int:
             duration=args.duration,
             payload_bytes=args.payload_bytes,
         )
+        results.append(result)
         if args.json:
             print(json.dumps(result.__dict__))
         else:
             print(result.row())
         if result.errors or result.requests == 0:
             failed = True
+    if args.artifact:
+        pathlib.Path(args.artifact).write_text(
+            json.dumps(
+                {
+                    "harness": "load_harness",
+                    "workload": args.workload,
+                    "connections": args.connections,
+                    "duration_seconds": args.duration,
+                    "payload_bytes": args.payload_bytes,
+                    "results": [result.__dict__ for result in results],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
     if args.check and failed:
         print("load check FAILED: errors or zero completed requests")
         return 1

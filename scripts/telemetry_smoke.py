@@ -15,6 +15,7 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import re
 import subprocess
 import sys
 import tempfile
@@ -98,7 +99,12 @@ def main() -> int:
         banner = server.stdout.readline().strip()
         if "listening" not in banner:
             fail(f"server did not start: {banner!r}")
-        endpoint = banner.rsplit(" ", 1)[-1]
+        # The banner may carry suffixes (" [eventloop]", "(primary, ...)")
+        # after the endpoint; match the HOST:PORT itself.
+        matched = re.search(r"listening on (\S+:\d+)", banner)
+        if not matched:
+            fail(f"no endpoint in banner: {banner!r}")
+        endpoint = matched.group(1)
         print(f"server up at {endpoint}")
 
         with tempfile.TemporaryDirectory() as workdir:
@@ -148,6 +154,24 @@ def main() -> int:
             f"{len(names['gauges'])} gauges, "
             f"{len(names['histograms'])} histograms)"
         )
+
+        health = snapshot["health"]
+        if health["status"] not in ("ok", "degraded", "critical"):
+            fail(f"unknown health status {health['status']!r}")
+        if not health["objectives"]:
+            fail("health section carries no objectives")
+
+        probe = cli("health", endpoint, "--json")
+        out, err = probe.communicate(timeout=30)
+        if probe.returncode not in (0, 1, 2):
+            fail(f"shadow health crashed ({probe.returncode}): {err.strip()}")
+        report = json.loads(out)
+        if report["status"] != health["status"] and probe.returncode == 0:
+            print(
+                f"note: health moved between scrapes "
+                f"({health['status']} -> {report['status']})"
+            )
+        print(f"health: {report['status']} (exit {probe.returncode})")
         return 0
     finally:
         server.terminate()

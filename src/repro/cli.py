@@ -16,6 +16,9 @@ the real TCP transport:
     shadow serve --standby-of HOST:PORT            # warm standby
     shadow promote [HOST:PORT]                     # fail over to a standby
     shadow replication-status [HOST:PORT]          # role, epoch, lag
+    shadow health [HOST:PORT]                      # SLO verdict (exit 0/1/2)
+    shadow trace show TRACE --spans FILE...        # assemble a span tree
+    shadow flight dump|show ...                    # postmortem bundles
 
 The client's shadow environment — retained versions (so resubmissions
 ship deltas), the job table, customisation — persists in a state file
@@ -155,6 +158,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="silence (seconds) after which the primary is presumed dead",
     )
     serve.add_argument(
+        "--spans", default=None, metavar="FILE",
+        help="append every finished server-side span as one JSON line "
+        "to FILE (the offline half of 'shadow trace show')",
+    )
+    serve.add_argument(
+        "--flight-dir", default=None, metavar="DIR",
+        help="write flight-recorder postmortem bundles into DIR when a "
+        "trigger fires (unset: triggers are counted, nothing is written)",
+    )
+    serve.add_argument(
+        "--slo-window", type=float, default=300.0, metavar="SECONDS",
+        help="rolling window the SLO health engine judges over",
+    )
+    serve.add_argument(
         "--once", action="store_true",
         help="exit after start-up (used by the test suite)",
     )
@@ -169,6 +186,12 @@ def _build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--state", default=_DEFAULT_STATE)
         sub.add_argument("--root", default=".", help="workspace root")
         sub.add_argument("--client-id", default=None)
+        sub.add_argument(
+            "--spans", default=None, metavar="FILE",
+            help="append this command's client-side spans to FILE as "
+            "JSON lines (pairs with 'serve --spans' for cross-process "
+            "'shadow trace show')",
+        )
 
     submit = subparsers.add_parser("submit", help="submit a job")
     client_options(submit)
@@ -255,7 +278,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--section",
         action="append",
         default=[],
-        choices=("server", "registry", "events_log", "traces_log"),
+        choices=(
+            "server",
+            "registry",
+            "events_log",
+            "traces_log",
+            "spans_log",
+            "health",
+            "flight",
+        ),
         help="restrict the snapshot to these sections (repeatable)",
     )
     stats.add_argument(
@@ -265,6 +296,10 @@ def _build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--traces", type=int, default=0,
         help="include the newest N request traces",
+    )
+    stats.add_argument(
+        "--spans", type=int, default=0,
+        help="include the newest N finished spans",
     )
 
     promote = subparsers.add_parser(
@@ -299,6 +334,76 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         dest="as_json",
         help="print the raw replication section as JSON",
+    )
+
+    health = subparsers.add_parser(
+        "health",
+        help="ask a live server for its SLO verdict (exit 0 ok, "
+        "1 degraded, 2 critical)",
+    )
+    health.add_argument(
+        "server",
+        nargs="?",
+        default=f"127.0.0.1:{WELL_KNOWN_PORT}",
+        help="server endpoint as HOST:PORT",
+    )
+    health.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="print the full health report as JSON",
+    )
+
+    trace = subparsers.add_parser(
+        "trace", help="assemble cross-process span trees from span files"
+    )
+    trace.add_argument("action", choices=("show",))
+    trace.add_argument("trace_id", help="the trace id to assemble")
+    trace.add_argument(
+        "--spans",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="JSON-lines span file (client, primary, standby); repeatable",
+    )
+    trace.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="print the assembled tree as JSON instead of a timeline",
+    )
+
+    flight = subparsers.add_parser(
+        "flight", help="flight-recorder postmortem bundles"
+    )
+    flight.add_argument(
+        "action",
+        choices=("dump", "show"),
+        help="dump: pull a live server's rings into a bundle; "
+        "show: summarise a bundle file",
+    )
+    flight.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="dump: server endpoint (default 127.0.0.1:%d); "
+        "show: bundle path" % WELL_KNOWN_PORT,
+    )
+    flight.add_argument(
+        "--out", default=".", metavar="DIR",
+        help="dump only: directory the bundle lands in",
+    )
+    flight.add_argument(
+        "--events", type=int, default=200,
+        help="dump only: newest N events to capture",
+    )
+    flight.add_argument(
+        "--traces", type=int, default=100,
+        help="dump only: newest N request traces to capture",
+    )
+    flight.add_argument(
+        "--spans", type=int, default=200,
+        help="dump only: newest N spans to capture",
     )
 
     env = subparsers.add_parser("env", help="show or customise the environment")
@@ -337,10 +442,22 @@ def _open_client(args: argparse.Namespace) -> ShadowClient:
     )
     if state:
         restore_client(client, state)
+    if getattr(args, "spans", None):
+        # Sink attached before connect so even the Hello span lands.
+        client.spans.sink = _open_span_sink(args.spans)
     client.connect(
         client.environment.default_host, _dial_channel(args.server)
     )
     return client
+
+
+def _open_span_sink(path_text: str):
+    from repro.telemetry.events import JsonLinesSink
+
+    path = Path(path_text)
+    if path.parent != Path("."):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    return JsonLinesSink(path.open("a", encoding="utf-8"))
 
 
 def _dial_channel(server_arg: str):
@@ -366,6 +483,7 @@ def _dial_channel(server_arg: str):
 def _close_client(client: ShadowClient, args: argparse.Namespace) -> None:
     save_state(client, Path(args.state))
     client.disconnect(client.environment.default_host)
+    client.spans.close()  # flush the JSONL sink (no-op without one)
 
 
 # ---------------------------------------------------------------------------
@@ -396,6 +514,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             if args.snapshot_every is not None
             else DEFAULT_SNAPSHOT_EVERY
         ),
+        span_sink=_open_span_sink(args.spans) if args.spans else None,
+        flight_dir=args.flight_dir,
+        slo_window_seconds=args.slo_window,
     )
     if args.journal is not None and server.durability is not None:
         recovery = server.durability.last_recovery
@@ -427,6 +548,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_connections=args.max_connections,
         telemetry=server.telemetry,
         idle_timeout=args.idle_timeout,
+        # A handler crash at the transport boundary never reached the
+        # dispatcher's error accounting — exactly when a postmortem
+        # bundle is most wanted.
+        on_handler_error=lambda exc: server.flight.trigger(
+            "transport-handler-error", error=repr(exc)
+        ),
     )
 
     # SIGTERM (systemd stop, kill) takes the graceful path: stop
@@ -463,6 +590,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 0
     except KeyboardInterrupt:
         if stop["signalled"]:
+            # Last chance to capture the rings: SIGTERM bypasses the
+            # dump rate limit.
+            server.flight.trigger("sigterm", force=True)
             print("SIGTERM: draining and flushing journal")
         return 0
     finally:
@@ -520,11 +650,15 @@ def _serve_loop(
     if repl is None:
         while True:
             time.sleep(1.0)
+            # Keep the SLO window populated even with no health queries:
+            # the first 'shadow health' then judges real history.
+            server.slo.sample()
     tick = min(1.0, max(args.heartbeat_interval / 2.0, 0.05))
     announced = False
     last_announce = float("-inf")
     while True:
         time.sleep(tick)
+        server.slo.sample()
         if repl.role == "primary":
             repl.pump()
             continue
@@ -721,6 +855,7 @@ def _fetch_stats(args: argparse.Namespace) -> dict:
                 sections=tuple(getattr(args, "section", ())),
                 events=getattr(args, "events", 0),
                 traces=getattr(args, "traces", 0),
+                spans=getattr(args, "spans", 0) or 0,
             )
         )
     finally:
@@ -744,6 +879,17 @@ def _render_stats(snapshot: dict, as_json: bool) -> str:
     replication = snapshot.get("replication")
     if replication:
         parts.append(format_replication(replication))
+    health = snapshot.get("health")
+    if health:
+        lines = [f"health: {health.get('status', '?')}"]
+        for objective in health.get("objectives", ()):
+            lines.append(
+                f"  {objective.get('name')} [{objective.get('status')}] "
+                f"value={objective.get('value')} "
+                f"target={objective.get('target')} "
+                f"burn={objective.get('burn_rate')}"
+            )
+        parts.append("\n".join(lines))
     registry = snapshot.get("registry")
     if registry is not None:
         parts.append(format_telemetry(registry))
@@ -773,6 +919,17 @@ def _render_stats(snapshot: dict, as_json: bool) -> str:
                 f"{phases}"
             )
         parts.append("\n".join(lines))
+    spans = snapshot.get("spans")
+    if spans:
+        lines = ["spans"]
+        for span in spans:
+            lines.append(
+                f"  {span.get('span_id')} trace={span.get('trace_id') or '-'} "
+                f"parent={span.get('parent_id') or '-'} {span.get('name')} "
+                f"{span.get('duration', 0.0) * 1000:.2f}ms "
+                f"[{span.get('status')}] @{span.get('site')}"
+            )
+        parts.append("\n".join(lines))
     return "\n\n".join(parts) if parts else "empty snapshot"
 
 
@@ -781,10 +938,13 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         snapshot = _fetch_stats(args)
         text = _render_stats(snapshot, args.as_json)
         if args.watch:
-            # Clear-and-home keeps each refresh readable on a terminal.
-            sys.stdout.write("\x1b[2J\x1b[H")
-        print(text)
-        if not args.watch:
+            # Clear-and-home plus the frame in ONE write, flushed, so
+            # each refresh repaints atomically instead of leaving the
+            # previous frame (or a torn mix) on screen between prints.
+            sys.stdout.write("\x1b[2J\x1b[H" + text + "\n")
+            sys.stdout.flush()
+        else:
+            print(text)
             return 0
         try:
             time.sleep(max(args.interval, 0.1))
@@ -850,6 +1010,102 @@ def _cmd_replication_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_health(args: argparse.Namespace) -> int:
+    """One HealthQuery round trip; the exit code IS the verdict."""
+    from repro.core.protocol import HealthQuery, HealthReply
+    from repro.resilience.session import RawSession
+    from repro.telemetry.slo import status_exit_code
+
+    host, port = _parse_endpoint(args.server)
+    channel = TcpChannel(host, port, timeout=5.0)
+    try:
+        reply = RawSession(channel).send(
+            HealthQuery(client_id=f"{os.environ.get('USER', 'user')}@cli")
+        )
+    finally:
+        channel.close()
+    if not isinstance(reply, HealthReply):
+        raise ShadowError(f"unexpected health reply: {reply.TYPE}")
+    report = reply.report
+    if args.as_json:
+        import json
+
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(f"{args.server}: {reply.status}")
+        for objective in report.get("objectives", ()):
+            print(
+                f"  {objective.get('name')} [{objective.get('status')}] "
+                f"value={objective.get('value')} "
+                f"target={objective.get('target')} "
+                f"burn={objective.get('burn_rate')}"
+            )
+    return status_exit_code(reply.status)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Offline span-tree assembly across client/primary/standby files."""
+    from repro.telemetry.spans import assemble, load_span_files, render_tree
+
+    if not args.spans:
+        raise ShadowError(
+            "trace show needs at least one --spans FILE "
+            "(from 'serve --spans' / client '--spans')"
+        )
+    records = load_span_files(args.spans)
+    tree = assemble(records, args.trace_id)
+    if args.as_json:
+        import json
+
+        print(json.dumps(tree, indent=2, sort_keys=True))
+    else:
+        print(render_tree(tree))
+    return 0 if tree["spans"] else 1
+
+
+def _cmd_flight(args: argparse.Namespace) -> int:
+    from repro.telemetry.flightrecorder import load_bundle, summarize_bundle
+
+    if args.action == "show":
+        if not args.target:
+            raise ShadowError("flight show needs a bundle path")
+        print(summarize_bundle(load_bundle(args.target)))
+        return 0
+    # dump: freeze a live server's rings into a local bundle — the
+    # operator-initiated twin of the server-side trigger path.
+    import json
+    import re
+
+    args.server = args.target or f"127.0.0.1:{WELL_KNOWN_PORT}"
+    args.section = ()
+    snapshot = _fetch_stats(args)
+    now = time.time()
+    bundle = {
+        "trigger": "manual-dump",
+        "ts": now,
+        "detail": {"server": args.server},
+        "server": snapshot.get("server", ""),
+        "health": snapshot.get("health", {}),
+        "registry": snapshot.get("registry", {}),
+        "events": snapshot.get("events", []),
+        "spans": snapshot.get("spans", []),
+        "traces": snapshot.get("traces", []),
+    }
+    if "replication" in snapshot:
+        bundle["replication"] = snapshot["replication"]
+    stamp = time.strftime("%Y%m%d-%H%M%S", time.gmtime(now))
+    safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", "manual-dump")
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"flight-{stamp}-000-{safe}.json"
+    path.write_text(
+        json.dumps(bundle, sort_keys=True, default=str) + "\n",
+        encoding="utf-8",
+    )
+    print(path)
+    return 0
+
+
 def _cmd_env(args: argparse.Namespace) -> int:
     state_path = Path(args.state)
     state = load_state(state_path)
@@ -903,6 +1159,9 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "promote": _cmd_promote,
     "replication-status": _cmd_replication_status,
+    "health": _cmd_health,
+    "trace": _cmd_trace,
+    "flight": _cmd_flight,
     "env": _cmd_env,
 }
 

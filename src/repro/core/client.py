@@ -81,6 +81,7 @@ from repro.simnet.clock import Clock
 from repro.simnet.link import ProcessingModel
 from repro.telemetry.events import EventLog
 from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.spans import SpanRecorder
 from repro.transport.base import RequestChannel
 from repro.versioning.store import DeltaUpdate, FullContent, VersionStore
 
@@ -126,6 +127,11 @@ class ShadowClient:
         #: Client-side spans: one trace per resilient request, carrying
         #: the minted trace id that the server's spans join on.
         self.traces = TraceLog()
+        #: Finished span records (the RPC root spans whose ids ride the
+        #: envelope's ``psp`` field).  Like trace ids, span minting is
+        #: automatically off under a simulated clock, so attaching the
+        #: recorder costs the figures nothing.
+        self.spans = SpanRecorder(site=f"client:{client_id}")
         #: Structured events (breaker transitions).
         self.events = EventLog()
         #: Shared by every session this client opens.
@@ -334,6 +340,7 @@ class ShadowClient:
             traces=self.traces,
             events=self.events,
             telemetry=self.telemetry,
+            spans=self.spans,
         )
         session.epoch = self._epoch
         return session

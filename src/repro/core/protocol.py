@@ -135,6 +135,12 @@ class Envelope(Message):
     rather than split-brain the cache.  Like ``tid``, an ``epo`` of 0
     (replication off, or nothing learned yet) is omitted from the wire,
     so non-replicated sessions stay byte-identical.
+
+    ``psp`` is the **parent span id**: the client-side RPC span this
+    request descends from, making the server's request span a child in
+    one cross-process span tree (see :mod:`repro.telemetry.spans`).
+    Like ``tid``, an empty ``psp`` is omitted from the wire entirely, so
+    with spans disabled the envelope bytes are unchanged.
     """
 
     TYPE = "env"
@@ -142,6 +148,7 @@ class Envelope(Message):
     body: bytes = b""
     tid: str = ""
     epo: int = 0
+    psp: str = ""
 
     def to_wire(self) -> bytes:
         payload: Dict[str, codec.Value] = {
@@ -153,6 +160,8 @@ class Envelope(Message):
             payload["tid"] = self.tid
         if self.epo:
             payload["epo"] = self.epo
+        if self.psp:
+            payload["psp"] = self.psp
         return codec.encode(payload)
 
     def open(self) -> "Message":
@@ -404,8 +413,8 @@ class StatsQuery(Message):
     *without* a Hello so ``repro stats host:port`` can inspect any
     reachable server.  ``sections`` filters the reply to the named
     top-level snapshot keys (empty = everything); ``events`` /
-    ``traces`` bound how many recent structured events and request
-    traces ride along (0 = none).
+    ``traces`` / ``spans`` bound how many recent structured events,
+    request traces, and finished spans ride along (0 = none).
     """
 
     TYPE = "stats-query"
@@ -413,6 +422,7 @@ class StatsQuery(Message):
     sections: Tuple[str, ...] = ()
     events: int = 0
     traces: int = 0
+    spans: int = 0
 
 
 @register
@@ -423,6 +433,36 @@ class StatsReply(Message):
 
     TYPE = "stats-reply"
     snapshot: Dict[str, Any] = field(default_factory=dict)
+
+
+@register
+@dataclass(frozen=True)
+class HealthQuery(Message):
+    """Probe a server's SLO health (see :mod:`repro.telemetry.slo`).
+
+    Like :class:`StatsQuery` this is read-only, idempotent, and allowed
+    without a Hello — and additionally answered by *fenced* and
+    *standby* servers, because a health probe must be able to reach a
+    server precisely when it is refusing normal traffic.
+    """
+
+    TYPE = "health-query"
+    client_id: str = ""
+
+
+@register
+@dataclass(frozen=True)
+class HealthReply(Message):
+    """The server's SLO verdict.
+
+    ``status`` is ``ok`` / ``degraded`` / ``critical`` (the worst
+    objective's status); ``report`` is the full per-objective evaluation
+    from :meth:`~repro.telemetry.slo.SloEngine.evaluate`.
+    """
+
+    TYPE = "health-reply"
+    status: str = "ok"
+    report: Dict[str, Any] = field(default_factory=dict)
 
 
 # ---------------------------------------------------------------------------

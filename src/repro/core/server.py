@@ -51,6 +51,8 @@ from repro.core.protocol import (
     Envelope,
     ErrorReply,
     FetchOutput,
+    HealthQuery,
+    HealthReply,
     Hello,
     Message,
     Notify,
@@ -107,7 +109,10 @@ from repro.metrics.tracing import (
 from repro.simnet.clock import Clock
 from repro.simnet.link import ProcessingModel
 from repro.telemetry.events import EventLog
+from repro.telemetry.flightrecorder import FlightRecorder
 from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.slo import SloEngine
+from repro.telemetry.spans import SpanRecorder, current_span_id
 from repro.transport.base import RequestChannel
 
 __all__ = ["ShadowServer", "TrafficAccount"]
@@ -139,12 +144,36 @@ class ShadowServer:
         journal_dir: Optional[str] = None,
         journal_fsync: bool = False,
         snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
+        span_capacity: int = 512,
+        span_sink: Optional[Any] = None,
+        flight_dir: Optional[str] = None,
+        slo_window_seconds: float = 300.0,
     ) -> None:
         self.name = name
         #: This server's metric series: every layer below reports here.
         self.telemetry = telemetry if telemetry is not None else MetricsRegistry()
         #: Structured events (slow requests, job lifecycle, evictions).
         self.events = events if events is not None else EventLog()
+        self.events.bind_telemetry(self.telemetry)
+        #: Finished spans (request roots + layer children), always on:
+        #: a bounded ring costs nothing on the wire, and the flight
+        #: recorder freezes it into postmortem bundles.  ``span_sink``
+        #: (any callable taking a dict; a JsonLinesSink for files)
+        #: additionally streams every span out for offline assembly.
+        self.spans = SpanRecorder(
+            site=f"server:{name}", capacity=span_capacity, sink=span_sink
+        )
+        #: Rolling-window SLO evaluation over the registry; sampled by
+        #: the serve loop and on demand by HealthQuery.
+        self.slo = SloEngine(self.telemetry, window_seconds=slo_window_seconds)
+        #: Black-box flight recorder; triggers are counted always,
+        #: bundles are written when ``flight_dir`` is set.
+        self.flight = FlightRecorder(
+            collect=self._flight_bundle,
+            dump_dir=flight_dir,
+            telemetry=self.telemetry,
+            events=self.events,
+        )
         #: Requests slower than this (wall seconds) emit a
         #: ``slow_request`` event with the full phase breakdown.
         self.slow_request_seconds = slow_request_seconds
@@ -263,6 +292,7 @@ class ShadowServer:
         self.router.register(Resync, self._on_resync)
         self.router.register(Bye, self._on_bye)
         self.router.register(StatsQuery, self._on_stats)
+        self.router.register(HealthQuery, self._on_health)
 
     # ------------------------------------------------------------------
     # introspection
@@ -299,6 +329,8 @@ class ShadowServer:
             "telemetry": {
                 "series": len(self.telemetry.collect()),
                 "events": self.events.describe(),
+                "spans": self.spans.describe(),
+                "flight": self.flight.describe(),
                 "slow_request_seconds": self.slow_request_seconds,
             },
         }
@@ -322,6 +354,7 @@ class ShadowServer:
         if self.durability is not None:
             self.durability.close(self)
         self.events.close()
+        self.spans.close()
 
     # ------------------------------------------------------------------
     # compatibility views over the session registry
@@ -394,14 +427,22 @@ class ShadowServer:
         concurrently under the threaded TCP transport.
         """
         trace = RequestTrace(request_id=self.traces.next_request_id())
-        with recording_trace(self.traces, trace):
-            reply = self._handle_traced(payload, trace)
+        # The span scope wraps the trace scope: on exit (trace finished
+        # by recording_trace) it emits the request root span — parented
+        # on the envelope's ``psp`` once decode reveals it — plus one
+        # child span per phase.  Layers below add their own children
+        # (journal append, replication ship) via ``child_span``.
+        with self.spans.trace_scope(trace, "server.request"):
+            with recording_trace(self.traces, trace):
+                reply = self._handle_traced(payload, trace)
+            if self.replication is not None:
+                # Ship every journal record this request appended to the
+                # standby BEFORE the reply escapes: an acknowledged effect
+                # exists on the standby by the time the client sees the
+                # ack.  Inside the span scope, so the per-record ship
+                # spans parent on this request.
+                self.replication.pump()
         self._observe_request(trace)
-        if self.replication is not None:
-            # Ship every journal record this request appended to the
-            # standby BEFORE the reply escapes: an acknowledged effect
-            # exists on the standby by the time the client sees the ack.
-            self.replication.pump()
         if self.durability is not None:
             # After every lock is released: the snapshot capture takes
             # server locks itself (server locks before the journal lock,
@@ -431,6 +472,7 @@ class ShadowServer:
                 rid = message.rid
                 epo = message.epo
                 trace.trace_id = message.tid
+                trace.parent_span = message.psp
                 message = inner
         if rid:
             trace.request_id = rid
@@ -465,6 +507,19 @@ class ShadowServer:
         ).observe(trace.total_seconds)
         if trace.total_seconds >= self.slow_request_seconds:
             self.events.emit("slow_request", **trace.as_dict())
+            self.flight.trigger(
+                "slow-request",
+                request_id=trace.request_id,
+                kind=kind,
+                seconds=round(trace.total_seconds, 6),
+            )
+        if outcome == "error":
+            self.flight.trigger(
+                "handler-error",
+                request_id=trace.request_id,
+                kind=kind,
+                outcome=trace.outcome,
+            )
 
     def _handle_locked(
         self,
@@ -592,6 +647,9 @@ class ShadowServer:
             "registry": self.telemetry.snapshot(),
             "events_log": self.events.describe(),
             "traces_log": self.traces.summary(),
+            "spans_log": self.spans.describe(),
+            "health": self.slo.evaluate(),
+            "flight": self.flight.describe(),
         }
         if self.replication is not None:
             snapshot["replication"] = self.replication.describe()
@@ -602,6 +660,11 @@ class ShadowServer:
                 trace.as_dict()
                 for trace in self.traces.snapshot()[-message.traces:]
             ]
+        if message.spans > 0:
+            snapshot["spans"] = [
+                span.as_dict()
+                for span in self.spans.snapshot()[-message.spans:]
+            ]
         if message.sections:
             wanted = set(message.sections) | {"server"}
             snapshot = {
@@ -610,6 +673,35 @@ class ShadowServer:
                 if key in wanted
             }
         return StatsReply(snapshot=snapshot)
+
+    def _on_health(self, message: HealthQuery) -> Message:
+        """Answer a :class:`HealthQuery` with the SLO verdict.
+
+        Allowed without a Hello, and — unlike everything else — answered
+        even by fenced and standby servers (see
+        :meth:`~repro.replication.manager.ReplicationManager.admit`): a
+        probe must reach a server precisely when it refuses real work.
+        """
+        report = self.slo.evaluate()
+        return HealthReply(status=report["status"], report=report)
+
+    def _flight_bundle(self) -> Dict[str, Any]:
+        """Freeze the diagnostic rings into one postmortem body."""
+        bundle: Dict[str, Any] = {
+            "server": self.name,
+            "health": self.slo.evaluate(),
+            "registry": self.telemetry.snapshot(),
+            "events": self.events.snapshot(),
+            "spans": [span.as_dict() for span in self.spans.snapshot()],
+            "traces": [
+                trace.as_dict() for trace in self.traces.snapshot()
+            ],
+        }
+        if self.replication is not None:
+            bundle["replication"] = self.replication.describe()
+        if self.durability is not None:
+            bundle["durability"] = self.durability.describe()
+        return bundle
 
     # ------------------------------------------------------------------
     # coherence: notifications and updates
@@ -863,6 +955,9 @@ class ShadowServer:
             self.coherence.note_notification(key, version)
         request_trace = active_trace()
         trace_id = request_trace.trace_id if request_trace is not None else ""
+        # The submit request's root span parents the async job-execution
+        # span, joining the off-path execution into the same span tree.
+        parent_span = current_span_id()
         with traced_phase("enqueue"), self._jobs_lock:
             self._job_counter += 1
             job_id = f"{self.name}-job-{self._job_counter:05d}"
@@ -876,6 +971,7 @@ class ShadowServer:
                 enqueued_at=self.now(),
                 priority=message.priority,
                 trace_id=trace_id,
+                parent_span=parent_span,
             )
             record = JobRecord(
                 job_id=job_id, owner=message.client_id, submitted_at=self.now()
@@ -908,6 +1004,7 @@ class ShadowServer:
                 priority=message.priority,
                 enqueued_at=job.enqueued_at,
                 trace_id=trace_id,
+                parent_span=parent_span,
             )
         self.events.emit(
             "job_enqueued",

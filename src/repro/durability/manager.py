@@ -61,6 +61,7 @@ from repro.jobs.output import DeliveryPlan, OutputBundle
 from repro.jobs.queue import QueuedJob
 from repro.jobs.spec import JobRequest
 from repro.jobs.status import JobRecord, JobState
+from repro.telemetry.spans import child_span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.server import ShadowServer
@@ -157,18 +158,26 @@ class DurabilityManager:
             return
         entry = {"kind": kind}
         entry.update(fields)
-        with self._journal_lock:
-            if self._writer is None or self._writer.closed:
-                self._writer = JournalWriter(
-                    self.journal_path, fsync=self.fsync
-                )
-            written = self._writer.append(entry)
-            self._records_since_snapshot += 1
-            hook = self.on_record
-            if hook is not None:
-                hook(entry)
+        began = time.perf_counter()
+        with child_span("journal.append", record=kind):
+            with self._journal_lock:
+                if self._writer is None or self._writer.closed:
+                    self._writer = JournalWriter(
+                        self.journal_path, fsync=self.fsync
+                    )
+                written = self._writer.append(entry)
+                self._records_since_snapshot += 1
+                hook = self.on_record
+                if hook is not None:
+                    hook(entry)
         self._count("journal_appends")
         self._count("journal_bytes", float(written))
+        if self.telemetry is not None:
+            # Fsync stalls show up here; the SLO engine watches this
+            # series for its journal-stall objective.
+            self.telemetry.histogram("journal_append_seconds").observe(
+                time.perf_counter() - began
+            )
 
     def maybe_snapshot(self, server: "ShadowServer") -> bool:
         """Snapshot + truncate when the cadence says so.
@@ -399,6 +408,7 @@ def capture_state(server: "ShadowServer") -> Dict[str, Any]:
                         "priority": meta.priority,
                         "enqueued_at": meta.enqueued_at,
                         "trace_id": meta.trace_id,
+                        "parent_span": meta.parent_span,
                     }
                 )
             jobs.append(info)
@@ -564,6 +574,7 @@ def _restore_job(server: "ShadowServer", info: Dict[str, Any]) -> None:
         enqueued_at=float(info.get("enqueued_at", 0.0)),
         priority=int(info.get("priority", 0)),
         trace_id=info.get("trace_id", ""),
+        parent_span=info.get("parent_span", ""),
     )
     server._job_meta[job_id] = job
     server._requests[job_id] = request
@@ -614,6 +625,7 @@ def replay_record(server: "ShadowServer", entry: Dict[str, Any]) -> None:
                     "priority": entry.get("priority", 0),
                     "enqueued_at": entry.get("enqueued_at", 0.0),
                     "trace_id": entry.get("trace_id", ""),
+                    "parent_span": entry.get("parent_span", ""),
                 },
             )
             number = _job_number(entry["job_id"])

@@ -134,6 +134,7 @@ def run_job(server: "ShadowServer", job: QueuedJob) -> bool:
         client_id=job.owner,
         kind="job",
         trace_id=job.trace_id,
+        parent_span=job.parent_span,
     )
     server.events.emit(
         "job_started",
@@ -142,7 +143,11 @@ def run_job(server: "ShadowServer", job: QueuedJob) -> bool:
         trace_id=job.trace_id,
     )
     try:
-        return _run_job_traced(server, job, record, trace)
+        # The job span parents on the Submit request's root span (carried
+        # on the QueuedJob across the queue — and across a failover, via
+        # the journal), joining the async execution into the same tree.
+        with server.spans.trace_scope(trace, "job.execute"):
+            return _run_job_traced(server, job, record, trace)
     finally:
         _observe_job(server, job, trace)
 

@@ -32,6 +32,10 @@ class QueuedJob:
     #: async execution's trace carries it so client span, request span
     #: and job span join into one trace.
     trace_id: str = ""
+    #: Root span id of the Submit request that enqueued this job; the
+    #: async execution's span parents on it, so the job hangs off the
+    #: submit in the assembled span tree ("" = submit recorded no span).
+    parent_span: str = ""
 
     def __post_init__(self) -> None:
         if set(self.file_versions) != set(self.file_keys):

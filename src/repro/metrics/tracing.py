@@ -38,9 +38,19 @@ class RequestTrace:
     #: and the async job-execution trace, joining them into one trace.
     trace_id: str = ""
     outcome: str = "ok"  #: "ok", "replayed", or "error:<code>"
+    #: Parent span id carried in on the envelope's ``psp`` field ("" when
+    #: the sender did not propagate one).
+    parent_span: str = ""
     #: (phase name, seconds) in the order the phases ran.
     phases: List[Tuple[str, float]] = field(default_factory=list)
+    #: (phase name, offset-from-start, seconds) — same entries as
+    #: :attr:`phases` plus each phase's start offset, so span exporters
+    #: can place phases on a wall-clock timeline.
+    records: List[Tuple[str, float, float]] = field(default_factory=list)
     started_at: float = field(default_factory=time.perf_counter)
+    #: Wall-clock twin of :attr:`started_at`; diagnostic only, never read
+    #: by anything the figures depend on.
+    started_wall: float = field(default_factory=time.time)
     total_seconds: float = 0.0
 
     @contextmanager
@@ -50,11 +60,15 @@ class RequestTrace:
         try:
             yield
         finally:
-            self.phases.append((name, time.perf_counter() - begin))
+            seconds = time.perf_counter() - begin
+            self.phases.append((name, seconds))
+            self.records.append((name, begin - self.started_at, seconds))
 
     def mark(self, name: str, seconds: float) -> None:
-        """Append an externally measured span."""
+        """Append an externally measured span (assumed to end now)."""
         self.phases.append((name, seconds))
+        offset = max(0.0, time.perf_counter() - self.started_at - seconds)
+        self.records.append((name, offset, seconds))
 
     def finish(self) -> "RequestTrace":
         self.total_seconds = time.perf_counter() - self.started_at

@@ -44,6 +44,7 @@ from typing import Any, Callable, Deque, Dict, Optional, Tuple, TYPE_CHECKING
 
 from repro.core.protocol import (
     ErrorReply,
+    HealthQuery,
     Heartbeat,
     Message,
     Ok,
@@ -64,6 +65,7 @@ from repro.durability.manager import (
 from repro.durability.manager import replay_record as _replay_record
 from repro.errors import JournalError, ShadowError, TransportError
 from repro.replication.detector import FailureDetector
+from repro.telemetry.spans import child_span
 from repro.transport.base import RequestChannel
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -217,7 +219,7 @@ class ReplicationManager:
                 f"client presented epoch {envelope_epoch}, "
                 f"ours is {self.server.epoch}"
             )
-        if isinstance(message, (StatsQuery, Promote)):
+        if isinstance(message, (StatsQuery, HealthQuery, Promote)):
             return None  # always answerable: observe, or take over
         if self.fenced:
             self._count("replication_stale_epoch_rejections")
@@ -251,6 +253,15 @@ class ReplicationManager:
         self._emit(
             "replication_fenced", epoch=self.server.epoch, reason=reason
         )
+        flight = getattr(self.server, "flight", None)
+        if flight is not None:
+            # A fence is exactly the kind of rare, hard-to-reproduce
+            # moment the flight recorder exists for.
+            flight.trigger(
+                "replication-fence",
+                fence_reason=reason,
+                epoch=self.server.epoch,
+            )
 
     # ------------------------------------------------------------------
     # primary: the journal tap and the ship loop
@@ -368,7 +379,11 @@ class ReplicationManager:
                     seq=seq,
                     record=entry,
                 )
-                if not self._ship(channel, message):
+                with child_span(
+                    "replication.ship", seq=seq, record=entry.get("record", "")
+                ):
+                    shipped = self._ship(channel, message)
+                if not shipped:
                     return
                 with self._pending_lock:
                     self._pending.popleft()

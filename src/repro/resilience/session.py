@@ -44,6 +44,7 @@ from repro.errors import (
 )
 from repro.metrics.recorder import ResilienceStats
 from repro.metrics.tracing import RequestTrace, TraceLog
+from repro.telemetry.spans import Span, SpanRecorder
 from repro.resilience.breaker import BreakerPolicy, CircuitBreaker
 from repro.resilience.policy import RetryPolicy
 from repro.simnet.clock import Clock, SimulatedClock
@@ -122,6 +123,7 @@ class ResilientSession:
         traces: Optional[TraceLog] = None,
         events: Optional[EventLog] = None,
         telemetry: Optional[MetricsRegistry] = None,
+        spans: Optional[SpanRecorder] = None,
     ) -> None:
         self.client_id = client_id
         self.channel = channel
@@ -139,6 +141,10 @@ class ResilientSession:
         self.trace_ids = trace_ids
         #: Optional client-side span log; one trace per request when set.
         self.traces = traces
+        #: Optional span recorder.  When set (and trace ids are on), each
+        #: request mints an RPC root span whose id rides the envelope's
+        #: ``psp`` field, parenting the server-side spans under it.
+        self.spans = spans
         #: Optional structured event log for breaker transitions.
         self.events = events
         #: Highest replication epoch learned from a Hello ``Ok``; stamped
@@ -232,8 +238,19 @@ class ResilientSession:
             )
         rid = self.next_request_id()
         tid = self.next_trace_id() if self.trace_ids else ""
+        #: The client RPC root span: its id crosses the wire as ``psp``
+        #: so every server-side span descends from it.  Empty (and thus
+        #: omitted from the wire) whenever spans or trace ids are off.
+        # NB: ``is not None`` — SpanRecorder defines __len__, so an
+        # empty recorder is falsy and a bare truthiness test would
+        # never mint the very first span.
+        psp = (
+            self.spans.new_span_id()
+            if self.spans is not None and tid
+            else ""
+        )
         trace: Optional[RequestTrace] = None
-        if self.traces is not None:
+        if self.traces is not None or psp:
             trace = RequestTrace(
                 request_id=rid,
                 client_id=self.client_id,
@@ -245,7 +262,7 @@ class ResilientSession:
                 with trace.phase("encode"):
                     wire = Envelope(
                         rid=rid, body=message.to_wire(), tid=tid,
-                        epo=self.epoch,
+                        epo=self.epoch, psp=psp,
                     ).to_wire()
             else:
                 wire = Envelope(
@@ -255,7 +272,14 @@ class ResilientSession:
             return self._transmit(wire, trace)
         finally:
             if trace is not None:
-                self.traces.record(trace)
+                if self.traces is not None:
+                    self.traces.record(trace)
+                else:
+                    trace.finish()
+                if psp:
+                    self.spans.record_trace(
+                        trace, span_id=psp, name="client.rpc"
+                    )
 
     def _transmit(
         self,
@@ -362,15 +386,25 @@ class ResilientSession:
                 "batch not attempted"
             )
         entries: List[Tuple[str, bytes]] = []
+        #: (tid, psp) per item for span recording after the batch lands.
+        span_marks: List[Tuple[str, str]] = []
+        batch_wall = time.time()
+        batch_begin = time.perf_counter()
         for message in messages:
             rid = self.next_request_id()
             tid = self.next_trace_id() if self.trace_ids else ""
+            psp = (
+                self.spans.new_span_id()
+                if self.spans is not None and tid
+                else ""
+            )
+            span_marks.append((tid, psp))
             entries.append(
                 (
                     rid,
                     Envelope(
                         rid=rid, body=message.to_wire(), tid=tid,
-                        epo=self.epoch,
+                        epo=self.epoch, psp=psp,
                     ).to_wire(),
                 )
             )
@@ -400,6 +434,25 @@ class ResilientSession:
                 replies.append(reply)
                 self._inflight_rids.discard(rid)
             self._record_success()
+            if self.spans is not None:
+                # One RPC span per item; all share the batch's wall
+                # window (items were genuinely concurrent on the wire).
+                duration = time.perf_counter() - batch_begin
+                for tid, psp in span_marks:
+                    if not psp:
+                        continue
+                    self.spans.record(
+                        Span(
+                            span_id=psp,
+                            trace_id=tid,
+                            parent_id="",
+                            name="client.rpc",
+                            site=self.spans.site,
+                            start=batch_wall,
+                            duration=duration,
+                            attrs={"pipelined": len(entries)},
+                        )
+                    )
             return replies
         finally:
             # A terminal failure abandons the batch's remaining items;

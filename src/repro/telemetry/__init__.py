@@ -27,6 +27,7 @@ from repro.telemetry.export import (
     render_json,
     render_prometheus,
 )
+from repro.telemetry.flightrecorder import FlightRecorder
 from repro.telemetry.registry import (
     DEFAULT_BUCKETS,
     Counter,
@@ -34,6 +35,8 @@ from repro.telemetry.registry import (
     Histogram,
     MetricsRegistry,
 )
+from repro.telemetry.slo import Objective, SloEngine, status_exit_code
+from repro.telemetry.spans import Span, SpanRecorder, child_span, current_span_id
 
 #: The process-wide default registry (ad hoc scripts, module-level code).
 REGISTRY = MetricsRegistry()
@@ -42,13 +45,21 @@ __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
     "EventLog",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "JsonLinesSink",
     "MemorySink",
     "MetricsRegistry",
+    "Objective",
     "REGISTRY",
+    "SloEngine",
+    "Span",
+    "SpanRecorder",
+    "child_span",
+    "current_span_id",
     "parse_prometheus_line",
     "render_json",
     "render_prometheus",
+    "status_exit_code",
 ]

@@ -123,10 +123,21 @@ class EventLog:
         self._seq = 0
         self.emitted = 0
         self.dropped_sinks = 0
+        self._drop_counter: Optional[Any] = None
 
     def add_sink(self, sink: Sink) -> None:
         with self._lock:
             self._sinks.append(sink)
+
+    def bind_telemetry(self, registry: Any) -> None:
+        """Mirror sink drops into ``telemetry_sink_drops_total`` so a dead
+        JSONL sink is visible on a dashboard, not just in ``describe()``."""
+        counter = registry.counter("telemetry_sink_drops_total")
+        with self._lock:
+            self._drop_counter = counter
+            backlog = self.dropped_sinks
+        if backlog:
+            counter.inc(backlog)
 
     def emit(self, kind: str, **fields: Any) -> Dict[str, Any]:
         """Record one event; returns the record that was sunk."""
@@ -147,9 +158,13 @@ class EventLog:
                 # A broken sink must never break the request path; drop
                 # it and keep serving.
                 with self._lock:
-                    if sink in self._sinks and sink is not self.memory:
+                    dropped = sink in self._sinks and sink is not self.memory
+                    if dropped:
                         self._sinks.remove(sink)
                         self.dropped_sinks += 1
+                    counter = self._drop_counter
+                if dropped and counter is not None:
+                    counter.inc()
         return event
 
     def snapshot(self, kind: Optional[str] = None) -> List[Dict[str, Any]]:

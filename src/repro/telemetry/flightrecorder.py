@@ -1,0 +1,161 @@
+"""Black-box flight recorder: postmortem bundles on failure triggers.
+
+The server already retains everything a postmortem needs — recent
+structured events (:class:`~repro.telemetry.events.EventLog` memory
+ring), recent finished spans (:class:`~repro.telemetry.spans.SpanRecorder`
+ring), recent request traces, a full metrics snapshot, and the SLO
+verdict — but at crash time nobody is around to scrape it.  The
+:class:`FlightRecorder` is the always-on hook that, when a *trigger*
+fires (slow request, handler error, replication fence, SIGTERM,
+crash-harness kill), freezes those rings into one timestamped JSON
+bundle on disk.
+
+Triggers are counted unconditionally (``flight_triggers_total`` by
+trigger name); bundles are only written when a dump directory is
+configured, and are rate-limited so a storm of slow requests produces
+one bundle, not thousands.  Dump failures are swallowed — the recorder
+must never take the request path down.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import time
+from typing import Any, Callable, Dict, Optional
+
+Collector = Callable[[], Dict[str, Any]]
+
+_SAFE = re.compile(r"[^A-Za-z0-9_.-]+")
+
+
+class FlightRecorder:
+    """Dump a postmortem bundle when a trigger fires.
+
+    ``collect`` returns the bundle body (the server wires in a closure
+    over its own rings so the recorder holds no layer references);
+    ``dump_dir`` of ``None`` counts triggers but writes nothing.
+    """
+
+    def __init__(
+        self,
+        collect: Collector,
+        dump_dir: Optional[str] = None,
+        telemetry: Optional[Any] = None,
+        events: Optional[Any] = None,
+        min_interval_seconds: float = 10.0,
+    ) -> None:
+        self.collect = collect
+        self.dump_dir = dump_dir
+        self.telemetry = telemetry
+        self.events = events
+        self.min_interval_seconds = min_interval_seconds
+        self._lock = threading.Lock()
+        self._last_dump = 0.0
+        self._seq = 0
+        self.triggers = 0
+        self.dumps = 0
+
+    def trigger(
+        self, reason: str, force: bool = False, **detail: Any
+    ) -> Optional[str]:
+        """Record a trigger; returns the bundle path if one was written.
+
+        ``force`` bypasses the rate limit — used for terminal triggers
+        (SIGTERM) where this is the last chance to capture anything.
+        """
+        with self._lock:
+            self.triggers += 1
+        if self.telemetry is not None:
+            self.telemetry.counter(
+                "flight_triggers_total", {"trigger": reason}
+            ).inc()
+        if self.dump_dir is None:
+            return None
+        now = time.time()
+        with self._lock:
+            if not force and now - self._last_dump < self.min_interval_seconds:
+                return None
+            self._last_dump = now
+            self._seq += 1
+            seq = self._seq
+        try:
+            body = self.collect()
+        except Exception:
+            body = {"collect_error": True}
+        bundle: Dict[str, Any] = {
+            "trigger": reason,
+            "ts": now,
+            "detail": detail,
+        }
+        bundle.update(body)
+        stamp = time.strftime("%Y%m%d-%H%M%S", time.gmtime(now))
+        name = f"flight-{stamp}-{seq:03d}-{_SAFE.sub('_', reason)}.json"
+        path = os.path.join(self.dump_dir, name)
+        try:
+            os.makedirs(self.dump_dir, exist_ok=True)
+            tmp = path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(bundle, handle, sort_keys=True, default=str)
+                handle.write("\n")
+            os.replace(tmp, path)
+        except OSError:
+            return None
+        with self._lock:
+            self.dumps += 1
+        if self.telemetry is not None:
+            self.telemetry.counter("flight_dumps_total").inc()
+        if self.events is not None:
+            try:
+                self.events.emit("flight_dump", trigger=reason, path=path)
+            except Exception:
+                pass
+        return path
+
+    def describe(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "dump_dir": self.dump_dir or "",
+                "min_interval_seconds": self.min_interval_seconds,
+                "triggers": self.triggers,
+                "dumps": self.dumps,
+            }
+
+
+def load_bundle(path: str) -> Dict[str, Any]:
+    """Read one flight bundle back (``shadow flight show``)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def summarize_bundle(bundle: Dict[str, Any]) -> str:
+    """Terse human summary of a bundle's contents."""
+    when = time.strftime(
+        "%Y-%m-%d %H:%M:%S", time.gmtime(bundle.get("ts", 0.0))
+    )
+    lines = [
+        f"trigger : {bundle.get('trigger', '?')}",
+        f"when    : {when} UTC",
+    ]
+    detail = bundle.get("detail") or {}
+    if detail:
+        rendered = ", ".join(f"{k}={v}" for k, v in sorted(detail.items()))
+        lines.append(f"detail  : {rendered}")
+    health = bundle.get("health") or {}
+    if health:
+        lines.append(f"health  : {health.get('status', '?')}")
+    for section in ("events", "spans", "traces"):
+        items = bundle.get(section)
+        if isinstance(items, list):
+            lines.append(f"{section:<8}: {len(items)} records")
+    registry = bundle.get("registry") or {}
+    if registry:
+        lines.append(
+            "registry: "
+            f"{len(registry.get('counters', ()))} counters, "
+            f"{len(registry.get('gauges', ()))} gauges, "
+            f"{len(registry.get('histograms', ()))} histograms"
+        )
+    return "\n".join(lines)

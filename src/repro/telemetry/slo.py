@@ -1,0 +1,251 @@
+"""Rolling-window SLO evaluation over the metrics registry.
+
+The registry's counters and histograms are cumulative since boot; an
+operator cares about *now*.  The :class:`SloEngine` samples the relevant
+series on a cadence (the serve loop's tick), keeps a bounded rolling
+window of those samples, and evaluates each configured
+:class:`Objective` over the **delta** between the newest and oldest
+in-window sample — so a burst of errors an hour ago stops mattering once
+it slides out of the window.
+
+Each objective yields a *burn rate*: how fast the error budget is being
+consumed (1.0 = consuming exactly the budget; availability follows the
+standard error-ratio / budget formulation, latency and gauge objectives
+use observed / target).  Burn below 1 is ``ok``, at or above 1 is
+``degraded``, and at or above the objective's ``critical_burn`` is
+``critical``.  The engine's overall status is the worst objective's,
+which maps onto ``shadow health`` exit codes 0/1/2.
+
+The default objectives cover the four signals the ISSUE names:
+availability (error ratio of ``requests_total``), p99 of
+``request_seconds``, replication lag (``replication_lag_records``
+gauge), and journal fsync stalls (p99 of ``journal_append_seconds``).
+
+Everything here is wall-clock and read-only over the registry — nothing
+touches the simulated clock or the wire format.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.telemetry.registry import MetricsRegistry
+
+#: Status names in increasing severity; index doubles as the exit code.
+STATUSES = ("ok", "degraded", "critical")
+
+
+def status_exit_code(status: str) -> int:
+    """Map an SLO status onto the ``shadow health`` exit code (0/1/2)."""
+    try:
+        return STATUSES.index(status)
+    except ValueError:
+        return 2
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One service-level objective.
+
+    ``kind`` selects the evaluator:
+
+    * ``availability`` — error ratio of counter ``series`` (labels with
+      an ``outcome`` starting with ``error`` count against the budget);
+      ``target`` is the availability goal (e.g. 0.999).
+    * ``latency`` — p99 of histogram ``series`` over the window;
+      ``target`` is the latency bound in seconds.
+    * ``gauge`` — current value of gauge ``series``; ``target`` is the
+      maximum healthy value.
+    """
+
+    name: str
+    kind: str
+    series: str
+    target: float
+    critical_burn: float = 2.0
+
+
+DEFAULT_OBJECTIVES: Tuple[Objective, ...] = (
+    Objective("availability", "availability", "requests_total", 0.999,
+              critical_burn=10.0),
+    Objective("request_p99", "latency", "request_seconds", 0.25),
+    Objective("replication_lag", "gauge", "replication_lag_records", 256.0),
+    Objective("journal_stall_p99", "latency", "journal_append_seconds", 0.25),
+)
+
+
+@dataclass
+class _Sample:
+    ts: float
+    counters: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+    #: series -> (bucket le -> cumulative count)
+    histograms: Dict[str, Dict[float, int]] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+
+
+class SloEngine:
+    """Sample the registry on a cadence; evaluate objectives over deltas."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        objectives: Tuple[Objective, ...] = DEFAULT_OBJECTIVES,
+        window_seconds: float = 300.0,
+        max_samples: int = 600,
+    ) -> None:
+        self.registry = registry
+        self.objectives = tuple(objectives)
+        self.window_seconds = window_seconds
+        self._samples: Deque[_Sample] = deque(maxlen=max_samples)
+        self._lock = threading.Lock()
+        # The boot baseline: deltas are well-defined from the first
+        # real sample onward even before the window fills.
+        self._samples.append(self._take(time.time()))
+
+    # -- sampling ---------------------------------------------------------
+
+    def _take(self, now: float) -> _Sample:
+        snapshot = self.registry.snapshot()
+        sample = _Sample(ts=now)
+        counter_names = {
+            obj.series for obj in self.objectives
+            if obj.kind == "availability"
+        }
+        histogram_names = {
+            obj.series for obj in self.objectives if obj.kind == "latency"
+        }
+        gauge_names = {
+            obj.series for obj in self.objectives if obj.kind == "gauge"
+        }
+        for entry in snapshot["counters"]:
+            if entry["name"] not in counter_names:
+                continue
+            total, errors = sample.counters.get(entry["name"], (0.0, 0.0))
+            total += entry["value"]
+            if str(entry["labels"].get("outcome", "")).startswith("error"):
+                errors += entry["value"]
+            sample.counters[entry["name"]] = (total, errors)
+        for entry in snapshot["histograms"]:
+            if entry["name"] not in histogram_names:
+                continue
+            buckets = sample.histograms.setdefault(entry["name"], {})
+            for le, count in entry["buckets"]:
+                bound = float(le)
+                buckets[bound] = buckets.get(bound, 0) + count
+        for entry in snapshot["gauges"]:
+            if entry["name"] not in gauge_names:
+                continue
+            sample.gauges[entry["name"]] = (
+                sample.gauges.get(entry["name"], 0.0) + entry["value"]
+            )
+        return sample
+
+    def sample(self, now: Optional[float] = None) -> None:
+        """Record one rolling-window sample (call on the serve tick)."""
+        now = time.time() if now is None else now
+        sample = self._take(now)
+        with self._lock:
+            self._samples.append(sample)
+            cutoff = now - self.window_seconds
+            # Keep one sample older than the cutoff as the delta base.
+            while len(self._samples) > 2 and self._samples[1].ts <= cutoff:
+                self._samples.popleft()
+
+    # -- evaluation -------------------------------------------------------
+
+    @staticmethod
+    def _delta_p99(
+        newest: Dict[float, int], oldest: Dict[float, int]
+    ) -> Tuple[float, int]:
+        """(p99 seconds, observation count) from cumulative bucket deltas."""
+        deltas = [
+            (le, max(0, count - oldest.get(le, 0)))
+            for le, count in sorted(newest.items())
+        ]
+        total = deltas[-1][1] if deltas else 0
+        if total <= 0:
+            return 0.0, 0
+        rank = 0.99 * total
+        for le, cumulative in deltas:
+            if cumulative >= rank:
+                return (le if le != float("inf") else deltas[-1][0]), total
+        return deltas[-1][0], total
+
+    def _evaluate_one(
+        self, objective: Objective, newest: _Sample, oldest: _Sample
+    ) -> Dict[str, Any]:
+        value = 0.0
+        burn = 0.0
+        if objective.kind == "availability":
+            new_total, new_errors = newest.counters.get(
+                objective.series, (0.0, 0.0))
+            old_total, old_errors = oldest.counters.get(
+                objective.series, (0.0, 0.0))
+            total = max(0.0, new_total - old_total)
+            errors = max(0.0, new_errors - old_errors)
+            if total > 0:
+                error_ratio = errors / total
+                value = 1.0 - error_ratio
+                budget = max(1e-9, 1.0 - objective.target)
+                burn = error_ratio / budget
+            else:
+                value = 1.0
+        elif objective.kind == "latency":
+            p99, observed = self._delta_p99(
+                newest.histograms.get(objective.series, {}),
+                oldest.histograms.get(objective.series, {}),
+            )
+            value = p99
+            if observed:
+                burn = p99 / max(1e-9, objective.target)
+        elif objective.kind == "gauge":
+            value = newest.gauges.get(objective.series, 0.0)
+            burn = value / max(1e-9, objective.target)
+        else:
+            raise ValueError(f"unknown objective kind {objective.kind!r}")
+        if burn < 1.0:
+            status = "ok"
+        elif burn < objective.critical_burn:
+            status = "degraded"
+        else:
+            status = "critical"
+        return {
+            "name": objective.name,
+            "kind": objective.kind,
+            "series": objective.series,
+            "status": status,
+            "value": round(value, 6),
+            "target": objective.target,
+            "burn_rate": round(burn, 4),
+        }
+
+    def evaluate(self, now: Optional[float] = None) -> Dict[str, Any]:
+        """Evaluate every objective over the current window.
+
+        Takes a fresh sample first, so an on-demand probe (HealthQuery)
+        never judges stale data.
+        """
+        now = time.time() if now is None else now
+        self.sample(now)
+        with self._lock:
+            oldest = self._samples[0]
+            newest = self._samples[-1]
+            retained = len(self._samples)
+        results: List[Dict[str, Any]] = [
+            self._evaluate_one(objective, newest, oldest)
+            for objective in self.objectives
+        ]
+        worst = max(
+            (STATUSES.index(entry["status"]) for entry in results), default=0
+        )
+        return {
+            "status": STATUSES[worst],
+            "window_seconds": self.window_seconds,
+            "samples": retained,
+            "span_seconds": round(newest.ts - oldest.ts, 3),
+            "objectives": results,
+        }

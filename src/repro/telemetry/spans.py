@@ -1,0 +1,404 @@
+"""Parent/child span tracing across processes.
+
+PR 3's flat ``tid`` joins a client send, a server request trace, and an
+async job execution into one *trace*; this module upgrades that into a
+*span tree*.  Each process owns a :class:`SpanRecorder` that keeps a
+bounded ring of finished :class:`Span` records (and optionally streams
+them to a JSON-lines sink).  A span carries the trace id, its own span
+id, and its parent's span id; the parent id crosses process boundaries
+as the optional ``psp`` envelope field, so a client RPC span becomes the
+parent of the server's request span, which in turn parents the decode /
+session-wait / dispatch / journal-append / replication-ship spans, and —
+for submits — the asynchronous job-execution span on whichever server
+(primary or promoted standby) eventually runs the job.
+
+Span recording is wall-clock only and never touches the wire unless the
+client explicitly mints a ``psp``; with spans disabled (or under the
+simulated clock, where trace ids are off by default) every byte the
+paper figures depend on is unchanged.
+
+The offline half — :func:`assemble` and :func:`render_tree` — rebuilds a
+cross-process timeline from any mix of span files (client + primary +
+standby), which is what ``shadow trace show TID`` prints.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Iterable, Iterator, List, Optional
+
+from repro.metrics.tracing import RequestTrace
+
+Sink = Any  # Callable[[Dict[str, Any]], None]; JsonLinesSink qualifies.
+
+
+@dataclass
+class Span:
+    """One timed operation inside a trace.
+
+    ``start`` is wall-clock (``time.time()``) so spans recorded by
+    different processes land on one timeline; ``duration`` is measured
+    with ``perf_counter`` for resolution.
+    """
+
+    span_id: str
+    trace_id: str
+    parent_id: str
+    name: str
+    site: str  #: which process recorded it ("client", "server:alpha", ...)
+    start: float
+    duration: float
+    status: str = "ok"
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "span_id": self.span_id,
+            "trace_id": self.trace_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "site": self.site,
+            "start": self.start,
+            "duration": self.duration,
+            "status": self.status,
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        return record
+
+
+class SpanRecorder:
+    """Bounded, thread-safe ring of finished spans with an optional sink.
+
+    One recorder per process side (the client owns one, each server owns
+    one).  Span ids are globally unique across recorders: they embed a
+    per-recorder nonce derived from the pid and a random suffix, so
+    spans from a client, a primary, and a standby never collide when the
+    offline assembler merges their files.
+    """
+
+    def __init__(
+        self,
+        site: str = "",
+        capacity: int = 512,
+        sink: Optional[Sink] = None,
+    ) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.site = site or f"proc-{os.getpid()}"
+        self.capacity = capacity
+        self._spans: Deque[Span] = deque(maxlen=capacity or None)
+        self._lock = threading.Lock()
+        self._counter = 0
+        self._nonce = f"{os.getpid():x}{os.urandom(3).hex()}"
+        self.sink = sink
+        self.recorded = 0
+
+    def new_span_id(self) -> str:
+        with self._lock:
+            self._counter += 1
+            return f"s-{self._nonce}-{self._counter:x}"
+
+    def record(self, span: Span) -> Span:
+        """Append a finished span (drops oldest past capacity)."""
+        sink = self.sink
+        with self._lock:
+            if self.capacity:
+                self._spans.append(span)
+            self.recorded += 1
+        if sink is not None:
+            try:
+                sink(span.as_dict())
+            except Exception:
+                self.sink = None  # a broken sink must not break requests
+        return span
+
+    def snapshot(self, trace_id: Optional[str] = None) -> List[Span]:
+        with self._lock:
+            spans = list(self._spans)
+        if trace_id is None:
+            return spans
+        return [span for span in spans if span.trace_id == trace_id]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def describe(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "site": self.site,
+                "retained": len(self._spans),
+                "recorded": self.recorded,
+                "capacity": self.capacity,
+                "sink": self.sink is not None,
+            }
+
+    def close(self) -> None:
+        sink, self.sink = self.sink, None
+        closer = getattr(sink, "close", None)
+        if callable(closer):
+            try:
+                closer()
+            except Exception:
+                pass
+
+    # -- converting finished RequestTraces into span trees ---------------
+
+    def record_trace(
+        self,
+        trace: RequestTrace,
+        *,
+        span_id: str,
+        name: str,
+        parent_id: str = "",
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> Span:
+        """Emit a finished :class:`RequestTrace` as a root span plus one
+        child span per timed phase record.
+
+        The trace must already be finished (``total_seconds`` set).
+        Child wall starts are reconstructed from the trace's wall start
+        plus each phase's ``perf_counter`` offset.
+        """
+        root_attrs: Dict[str, Any] = {}
+        if trace.request_id:
+            root_attrs["request_id"] = trace.request_id
+        if trace.client_id:
+            root_attrs["client_id"] = trace.client_id
+        if trace.kind:
+            root_attrs["kind"] = trace.kind
+        if attrs:
+            root_attrs.update(attrs)
+        root = Span(
+            span_id=span_id,
+            trace_id=trace.trace_id,
+            parent_id=parent_id,
+            name=name,
+            site=self.site,
+            start=trace.started_wall,
+            duration=trace.total_seconds,
+            status=trace.outcome,
+            attrs=root_attrs,
+        )
+        for phase, offset, duration in trace.records:
+            self.record(
+                Span(
+                    span_id=self.new_span_id(),
+                    trace_id=trace.trace_id,
+                    parent_id=span_id,
+                    name=phase,
+                    site=self.site,
+                    start=trace.started_wall + offset,
+                    duration=duration,
+                )
+            )
+        return self.record(root)
+
+    @contextmanager
+    def trace_scope(
+        self,
+        trace: RequestTrace,
+        name: str,
+        *,
+        parent_id: str = "",
+    ) -> Iterator[str]:
+        """Run a block as the root span of ``trace`` on this thread.
+
+        Mints the root span id up front (so it can be propagated as a
+        ``psp`` or captured for async work via :func:`current_span_id`),
+        makes it the thread's active span scope — :func:`child_span`
+        calls in any layer below attach to it — and on exit converts the
+        by-then-finished trace into the root span plus its phase
+        children.  The caller is responsible for finishing the trace
+        before the scope exits (``recording_trace`` inside the block
+        does exactly that).
+        """
+        root_id = self.new_span_id()
+        previous = getattr(_scope, "value", None)
+        _scope.value = _Scope(self, trace, root_id)
+        try:
+            yield root_id
+        finally:
+            _scope.value = previous
+            if not trace.total_seconds:
+                trace.finish()
+            self.record_trace(
+                trace,
+                span_id=root_id,
+                name=name,
+                parent_id=parent_id or trace.parent_span,
+            )
+
+
+@dataclass
+class _Scope:
+    recorder: SpanRecorder
+    trace: RequestTrace
+    root_id: str
+
+
+_scope = threading.local()
+
+
+def current_scope() -> Optional[_Scope]:
+    return getattr(_scope, "value", None)
+
+
+def current_span_id() -> str:
+    """The root span id of the request this thread is serving ("" when
+    no span scope is active) — captured as the parent for async work."""
+    scope = current_scope()
+    return scope.root_id if scope is not None else ""
+
+
+@contextmanager
+def child_span(name: str, **attrs: Any) -> Iterator[str]:
+    """Record a child span of the thread's active span scope.
+
+    No-op (yields ``""``) when no scope is active, so deep layers —
+    journal append, replication ship — can call this unconditionally
+    without holding recorder references or paying anything when spans
+    are off.
+    """
+    scope = current_scope()
+    if scope is None:
+        yield ""
+        return
+    span_id = scope.recorder.new_span_id()
+    start = time.time()
+    begin = time.perf_counter()
+    status = "ok"
+    try:
+        yield span_id
+    except Exception:
+        status = "error"
+        raise
+    finally:
+        scope.recorder.record(
+            Span(
+                span_id=span_id,
+                trace_id=scope.trace.trace_id,
+                parent_id=scope.root_id,
+                name=name,
+                site=scope.recorder.site,
+                start=start,
+                duration=time.perf_counter() - begin,
+                status=status,
+                attrs=dict(attrs) if attrs else {},
+            )
+        )
+
+
+# -- offline assembly --------------------------------------------------------
+
+
+def assemble(
+    records: Iterable[Dict[str, Any]],
+    trace_id: str,
+) -> Dict[str, Any]:
+    """Rebuild the span tree for one trace from raw span dicts.
+
+    ``records`` is any mix of span records (e.g. parsed from the client,
+    primary, and standby JSONL files); duplicates by span id are
+    dropped.  Returns roots (parentless spans), a ``children`` adjacency
+    map, and ``orphans`` — spans whose parent id is set but missing from
+    the record set, which is how a broken propagation chain shows up.
+    """
+    by_id: Dict[str, Dict[str, Any]] = {}
+    for record in records:
+        if record.get("trace_id") != trace_id:
+            continue
+        span_id = record.get("span_id", "")
+        if span_id and span_id not in by_id:
+            by_id[span_id] = record
+    children: Dict[str, List[Dict[str, Any]]] = {}
+    roots: List[Dict[str, Any]] = []
+    orphans: List[Dict[str, Any]] = []
+    for record in by_id.values():
+        parent = record.get("parent_id", "")
+        if not parent:
+            roots.append(record)
+        elif parent in by_id:
+            children.setdefault(parent, []).append(record)
+        else:
+            orphans.append(record)
+    for siblings in children.values():
+        siblings.sort(key=lambda r: r.get("start", 0.0))
+    roots.sort(key=lambda r: r.get("start", 0.0))
+    orphans.sort(key=lambda r: r.get("start", 0.0))
+    return {
+        "trace_id": trace_id,
+        "spans": len(by_id),
+        "roots": roots,
+        "children": children,
+        "orphans": orphans,
+    }
+
+
+def render_tree(tree: Dict[str, Any]) -> str:
+    """Human-readable timeline for an assembled span tree.
+
+    One line per span, indented by depth, with millisecond offsets
+    relative to the earliest span in the trace.
+    """
+    roots = tree["roots"]
+    children = tree["children"]
+    orphans = tree["orphans"]
+    all_spans = list(roots) + list(orphans)
+    stack = list(all_spans)
+    while stack:
+        span = stack.pop()
+        stack.extend(children.get(span.get("span_id", ""), ()))
+        if span not in all_spans:
+            all_spans.append(span)
+    if not all_spans:
+        return f"trace {tree['trace_id']}: no spans"
+    epoch = min(span.get("start", 0.0) for span in all_spans)
+    lines = [f"trace {tree['trace_id']} · {tree['spans']} spans"]
+
+    def emit(span: Dict[str, Any], depth: int) -> None:
+        offset_ms = (span.get("start", 0.0) - epoch) * 1000.0
+        duration_ms = span.get("duration", 0.0) * 1000.0
+        status = span.get("status", "ok")
+        flag = "" if status == "ok" else f"  !{status}"
+        lines.append(
+            f"{'  ' * depth}{span.get('name', '?'):<24} "
+            f"+{offset_ms:9.3f}ms {duration_ms:9.3f}ms "
+            f"[{span.get('site', '?')}]{flag}"
+        )
+        for kid in children.get(span.get("span_id", ""), ()):
+            emit(kid, depth + 1)
+
+    for root in roots:
+        emit(root, 0)
+    if orphans:
+        lines.append(f"orphans ({len(orphans)} — missing parents):")
+        for span in orphans:
+            emit(span, 1)
+    return "\n".join(lines)
+
+
+def load_span_files(paths: Iterable[str]) -> List[Dict[str, Any]]:
+    """Parse JSONL span files, skipping unparseable lines."""
+    import json
+
+    records: List[Dict[str, Any]] = []
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(record, dict) and "span_id" in record:
+                    records.append(record)
+    return records

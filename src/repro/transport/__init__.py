@@ -75,6 +75,7 @@ def channel_server(
     telemetry=None,
     idle_timeout: Optional[float] = None,
     outbox_limit_bytes: Optional[int] = None,
+    on_handler_error=None,
 ):
     """Start a framed TCP server on the chosen backend.
 
@@ -82,7 +83,9 @@ def channel_server(
     ``SHADOW_TRANSPORT`` environment override, else ``threaded``).
     ``idle_timeout`` / ``outbox_limit_bytes`` tune the event loop only;
     naming them with the threaded backend is a configuration error, not
-    a silent no-op.
+    a silent no-op.  ``on_handler_error`` is called (on either backend)
+    with the exception whenever the handler crashes — the flight
+    recorder's hook into transport-level failures.
     """
     choice = transport if transport is not None else default_transport()
     if choice == "threaded":
@@ -97,6 +100,7 @@ def channel_server(
             port=port,
             max_connections=max_connections,
             telemetry=telemetry,
+            on_handler_error=on_handler_error,
         )
     if choice == "eventloop":
         extras = {}
@@ -110,6 +114,7 @@ def channel_server(
             port=port,
             max_connections=max_connections,
             telemetry=telemetry,
+            on_handler_error=on_handler_error,
             **extras,
         )
     raise ShadowError(

@@ -45,7 +45,7 @@ import selectors
 import socket
 import threading
 import time
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.errors import TransportError
 from repro.telemetry.registry import MetricsRegistry
@@ -175,6 +175,7 @@ class EventLoopChannelServer:
         idle_timeout: Optional[float] = DEFAULT_IDLE_TIMEOUT,
         outbox_limit_bytes: int = DEFAULT_OUTBOX_LIMIT,
         frames_per_turn: int = DEFAULT_FRAMES_PER_TURN,
+        on_handler_error: Optional[Callable[[BaseException], None]] = None,
     ) -> None:
         if max_connections is not None and max_connections < 1:
             raise ValueError(
@@ -187,6 +188,10 @@ class EventLoopChannelServer:
         self._handler = handler
         self._max_connections = max_connections
         self._telemetry = telemetry
+        #: Observer for handler crashes (flight-recorder hook); failures
+        #: inside the observer itself are swallowed — observability must
+        #: never stall the loop.
+        self._on_handler_error = on_handler_error
         self._idle_timeout = idle_timeout
         self._outbox_limit = outbox_limit_bytes
         self._frames_per_turn = max(1, frames_per_turn)
@@ -445,6 +450,11 @@ class EventLoopChannelServer:
                 reply = self._handler(request)
             except Exception as exc:  # surface handler crashes
                 self._count("tcp_handler_errors_total")
+                if self._on_handler_error is not None:
+                    try:
+                        self._on_handler_error(exc)
+                    except Exception:
+                        pass
                 reply = b"\x00HANDLER-ERROR:" + str(exc).encode(
                     "utf-8", "replace"
                 )

@@ -272,6 +272,7 @@ class TcpChannelServer:
         port: int = DEFAULT_PORT,
         max_connections: Optional[int] = None,
         telemetry: Optional[MetricsRegistry] = None,
+        on_handler_error: Optional[Callable[[BaseException], None]] = None,
     ) -> None:
         if max_connections is not None and max_connections < 1:
             raise ValueError(
@@ -280,6 +281,10 @@ class TcpChannelServer:
         self._handler = handler
         self._max_connections = max_connections
         self._telemetry = telemetry
+        #: Observer for handler crashes (flight-recorder hook); failures
+        #: inside the observer itself are swallowed — observability must
+        #: never take a connection down.
+        self._on_handler_error = on_handler_error
         if telemetry is not None:
             telemetry.gauge(
                 "tcp_live_connections",
@@ -399,6 +404,11 @@ class TcpChannelServer:
                         reply = self._handler(request)
                     except Exception as exc:  # surface handler crashes
                         self._count("tcp_handler_errors_total")
+                        if self._on_handler_error is not None:
+                            try:
+                                self._on_handler_error(exc)
+                            except Exception:
+                                pass
                         reply = b"\x00HANDLER-ERROR:" + str(exc).encode(
                             "utf-8", "replace"
                         )

@@ -120,6 +120,49 @@ def test_control_messages_are_small():
     assert len(notify) < 200
 
 
+class TestEnvelopeSpanParent:
+    """The optional ``psp`` field must cost zero bytes when unused."""
+
+    def _envelope(self, **extra):
+        from repro.core.protocol import Envelope
+
+        return Envelope(
+            rid="r-1",
+            body=Hello(client_id="alice", domain="d1").to_wire(),
+            **extra,
+        )
+
+    def test_wire_bytes_identical_without_psp(self):
+        assert self._envelope().to_wire() == self._envelope(psp="").to_wire()
+        assert b"psp" not in self._envelope().to_wire()
+
+    def test_psp_round_trips(self):
+        wire = self._envelope(psp="s-abc-1").to_wire()
+        assert b"psp" in wire
+        decoded = decode_message(wire)
+        assert decoded.psp == "s-abc-1"
+        assert decode_message(self._envelope().to_wire()).psp == ""
+
+
+class TestHealthMessages:
+    def test_health_query_round_trips(self):
+        from repro.core.protocol import HealthQuery
+
+        query = HealthQuery(client_id="probe@cli")
+        assert decode_message(query.to_wire()) == query
+
+    def test_health_reply_round_trips(self):
+        from repro.core.protocol import HealthReply
+
+        reply = HealthReply(
+            status="degraded",
+            report={"status": "degraded", "objectives": []},
+        )
+        decoded = decode_message(reply.to_wire())
+        assert decoded.status == "degraded"
+        assert list(decoded.report["objectives"]) == []
+
+
 class TestExpect:
     def test_passes_matching_type(self):
         assert expect(Ok(), Ok) == Ok()

@@ -1,0 +1,114 @@
+"""Span trees across failover: one trace id, three processes, no orphans.
+
+The acceptance bar for distributed tracing is the ugly path: a client
+edit whose first attempt dies with the primary and whose retry lands on
+the freshly promoted standby must still reassemble — from the client's
+ring plus both servers' rings — into a single tree rooted at the
+client RPC span, with every server span parented and zero orphans.
+"""
+
+from repro.api import ShadowClient
+from repro.telemetry.spans import assemble, render_tree
+from repro.workload.files import make_text_file
+
+from tests.replication.test_tcp_failover import FAST, TcpPair
+
+
+def all_span_records(pair, client):
+    records = [span.as_dict() for span in client.core.spans.snapshot()]
+    records += [span.as_dict() for span in pair.primary.spans.snapshot()]
+    records += [span.as_dict() for span in pair.standby.spans.snapshot()]
+    return records
+
+
+def client_trace_ids(client):
+    """Trace ids of the client's RPC root spans, oldest first."""
+    seen = []
+    for span in client.core.spans.snapshot():
+        if span.name == "client.rpc" and span.trace_id not in seen:
+            seen.append(span.trace_id)
+    return seen
+
+
+def test_span_tree_reassembles_across_failover(tmp_path):
+    pair = TcpPair(tmp_path / "p", tmp_path / "s")
+    try:
+        pair.announce()
+        with ShadowClient.connect(
+            transport=pair.dial_list(), client_id="alice@ws", resilience=FAST
+        ) as client:
+            client.edit("/data/a.dat", make_text_file(1_000, seed=1))
+            before_kill = set(client_trace_ids(client))
+
+            pair.kill_primary()
+            pair.standby_repl.promote()
+            client.edit("/data/b.dat", make_text_file(1_000, seed=2))
+
+            failover_tids = [
+                tid
+                for tid in client_trace_ids(client)
+                if tid not in before_kill
+            ]
+            assert failover_tids, "failover edit minted no trace ids"
+            records = all_span_records(pair, client)
+
+            # Every trace the client started — before and after the
+            # kill — assembles into fully parented trees.
+            for tid in client_trace_ids(client):
+                tree = assemble(records, tid)
+                assert tree["spans"] >= 1, tid
+                assert tree["orphans"] == [], render_tree(tree)
+                assert [root["name"] for root in tree["roots"]] == [
+                    "client.rpc"
+                ], tid
+
+            # At least one failover-era trace crossed the wire onto the
+            # promoted standby: client RPC root with the standby's
+            # server.request parented directly beneath it.
+            crossed = []
+            for tid in failover_tids:
+                sites = {
+                    record["site"]
+                    for record in records
+                    if record.get("trace_id") == tid
+                }
+                if any(site.startswith("server:") for site in sites):
+                    crossed.append(assemble(records, tid))
+            assert crossed, "no failover trace reached the standby"
+            tree = crossed[-1]
+            root_id = tree["roots"][0]["span_id"]
+            server_roots = [
+                span
+                for span in tree["children"][root_id]
+                if span["name"] == "server.request"
+            ]
+            assert server_roots, render_tree(tree)
+            rendered = render_tree(tree)
+            assert "client.rpc" in rendered
+            assert "server.request" in rendered
+    finally:
+        pair.close()
+
+
+def test_pre_failover_trace_includes_replication_ship_child(tmp_path):
+    """While the feed is attached, the per-record ship shows up as a
+    child span of the request that produced the journal record."""
+    pair = TcpPair(tmp_path / "p", tmp_path / "s")
+    try:
+        pair.announce()
+        with ShadowClient.connect(
+            transport=pair.dial_list(), client_id="bob@ws", resilience=FAST
+        ) as client:
+            client.edit("/data/a.dat", make_text_file(1_000, seed=3))
+            records = all_span_records(pair, client)
+            ship_names = {
+                record["name"]
+                for record in records
+                if record["name"].startswith("replication.")
+            }
+            assert "replication.ship" in ship_names
+            for tid in client_trace_ids(client):
+                tree = assemble(records, tid)
+                assert tree["orphans"] == [], render_tree(tree)
+    finally:
+        pair.close()

@@ -57,6 +57,10 @@ def test_broken_sink_is_dropped_but_memory_survives():
         raise RuntimeError("disk full")
 
     log = EventLog(sink=broken)
+    from repro.telemetry.registry import MetricsRegistry
+
+    registry = MetricsRegistry()
+    log.bind_telemetry(registry)
     log.emit("first")
     log.emit("second")
     # The broken sink saw exactly one event before being dropped.
@@ -64,6 +68,22 @@ def test_broken_sink_is_dropped_but_memory_survives():
     assert log.dropped_sinks == 1
     assert [event["kind"] for event in log.snapshot()] == ["first", "second"]
     assert log.describe()["sinks"] == 1  # only the memory ring remains
+    # The drop is a first-class series, not just a describe() field.
+    assert registry.counter("telemetry_sink_drops_total").value == 1
+
+
+def test_bind_telemetry_backfills_earlier_drops():
+    def broken(event):
+        raise RuntimeError("disk full")
+
+    log = EventLog(sink=broken)
+    log.emit("first")
+    assert log.dropped_sinks == 1
+    from repro.telemetry.registry import MetricsRegistry
+
+    registry = MetricsRegistry()
+    log.bind_telemetry(registry)
+    assert registry.counter("telemetry_sink_drops_total").value == 1
 
 
 def test_add_sink_fans_out():

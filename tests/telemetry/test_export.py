@@ -111,3 +111,64 @@ def test_render_json_matches_snapshot_and_text_round_trips():
 def test_parse_rejects_garbage():
     with pytest.raises(ValueError):
         parse_prometheus_line('bad{k="unclosed} x')
+
+
+def test_callback_gauge_round_trips():
+    registry = MetricsRegistry()
+    registry.gauge("live_now", {"pool": "tcp"}, callback=lambda: 17.0)
+    samples = [
+        parsed
+        for parsed in map(
+            parse_prometheus_line, render_prometheus(registry).splitlines()
+        )
+        if parsed is not None
+    ]
+    assert samples == [
+        {"name": "repro_live_now", "labels": {"pool": "tcp"}, "value": 17.0}
+    ]
+
+
+def test_every_emitted_sample_round_trips_exactly():
+    """Everything render_prometheus emits, parse_prometheus_line reads
+    back: escaped label values, every histogram bucket (including +Inf),
+    _sum and _count, plain and callback gauges, multi-label series."""
+    registry = MetricsRegistry()
+    registry.counter("requests_total", {"type": "submit", "outcome": "ok"}).inc(9)
+    registry.counter("odd_total", {"path": 'a\\b"c\nd'}).inc(2)
+    registry.gauge("depth").set(3.5)
+    registry.gauge("cb_gauge", callback=lambda: 7.0)
+    histogram = registry.histogram(
+        "latency_seconds", {"type": "edit"}, buckets=(0.01, 0.1, 1.0)
+    )
+    for value in (0.005, 0.05, 0.5, 5.0):
+        histogram.observe(value)
+
+    text = render_prometheus(registry)
+    samples = {}
+    for line in text.splitlines():
+        parsed = parse_prometheus_line(line)
+        if parsed is None:
+            assert line.startswith("# TYPE")
+            continue
+        key = (parsed["name"], tuple(sorted(parsed["labels"].items())))
+        assert key not in samples, f"duplicate sample {key}"
+        samples[key] = parsed["value"]
+
+    assert samples[
+        ("repro_requests_total", (("outcome", "ok"), ("type", "submit")))
+    ] == 9
+    assert samples[("repro_odd_total", (("path", 'a\\b"c\nd'),))] == 2
+    assert samples[("repro_depth", ())] == 3.5
+    assert samples[("repro_cb_gauge", ())] == 7.0
+    buckets = {
+        labels: value
+        for (name, labels), value in samples.items()
+        if name == "repro_latency_seconds_bucket"
+    }
+    expected = {"0.01": 1, "0.1": 2, "1": 3, "+Inf": 4}
+    for le, count in expected.items():
+        assert buckets[(("le", le), ("type", "edit"))] == count
+    assert samples[("repro_latency_seconds_sum", (("type", "edit"),))] == (
+        pytest.approx(5.555)
+    )
+    assert samples[("repro_latency_seconds_count", (("type", "edit"),))] == 4

@@ -1,0 +1,118 @@
+"""Flight recorder: triggers, rate limiting, bundle round trips."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.telemetry.events import EventLog
+from repro.telemetry.flightrecorder import (
+    FlightRecorder,
+    load_bundle,
+    summarize_bundle,
+)
+from repro.telemetry.registry import MetricsRegistry
+
+
+def collect():
+    return {
+        "server": "test",
+        "health": {"status": "ok", "objectives": []},
+        "registry": {"counters": [], "gauges": [], "histograms": []},
+        "events": [{"kind": "slow_request"}],
+        "spans": [],
+        "traces": [],
+    }
+
+
+def test_triggers_counted_even_without_dump_dir():
+    registry = MetricsRegistry()
+    recorder = FlightRecorder(collect, dump_dir=None, telemetry=registry)
+    assert recorder.trigger("slow-request", seconds=1.2) is None
+    assert recorder.describe()["triggers"] == 1
+    assert recorder.describe()["dumps"] == 0
+    assert (
+        registry.counter(
+            "flight_triggers_total", {"trigger": "slow-request"}
+        ).value
+        == 1
+    )
+
+
+def test_dump_writes_bundle_and_emits_event(tmp_path):
+    registry = MetricsRegistry()
+    events = EventLog()
+    recorder = FlightRecorder(
+        collect,
+        dump_dir=str(tmp_path),
+        telemetry=registry,
+        events=events,
+    )
+    path = recorder.trigger("handler-error", request_id="r-9")
+    assert path is not None and os.path.exists(path)
+    assert os.path.basename(path).startswith("flight-")
+    assert path.endswith("handler-error.json")
+    bundle = load_bundle(path)
+    assert bundle["trigger"] == "handler-error"
+    assert bundle["detail"] == {"request_id": "r-9"}
+    assert bundle["server"] == "test"
+    assert registry.counter("flight_dumps_total").value == 1
+    kinds = [event["kind"] for event in events.snapshot()]
+    assert "flight_dump" in kinds
+    summary = summarize_bundle(bundle)
+    assert "handler-error" in summary
+    assert "events" in summary
+
+
+def test_rate_limit_and_force(tmp_path):
+    recorder = FlightRecorder(
+        collect, dump_dir=str(tmp_path), min_interval_seconds=3600.0
+    )
+    first = recorder.trigger("slow-request")
+    assert first is not None
+    assert recorder.trigger("slow-request") is None  # inside the window
+    forced = recorder.trigger("sigterm", force=True)
+    assert forced is not None and forced != first
+    assert recorder.describe() == {
+        "dump_dir": str(tmp_path),
+        "min_interval_seconds": 3600.0,
+        "triggers": 3,
+        "dumps": 2,
+    }
+
+
+def test_unsafe_reason_characters_are_sanitised(tmp_path):
+    recorder = FlightRecorder(collect, dump_dir=str(tmp_path))
+    path = recorder.trigger("weird reason/$evil")
+    assert path is not None
+    name = os.path.basename(path)
+    assert "/" not in name and "$" not in name and " " not in name
+    assert "weird_reason" in name and name.endswith(".json")
+
+
+def test_collect_failure_still_writes_a_bundle(tmp_path):
+    def broken():
+        raise RuntimeError("rings unavailable")
+
+    recorder = FlightRecorder(broken, dump_dir=str(tmp_path))
+    path = recorder.trigger("crash")
+    assert path is not None
+    bundle = load_bundle(path)
+    assert bundle["collect_error"] is True
+    assert bundle["trigger"] == "crash"
+
+
+def test_dump_failure_is_swallowed(tmp_path):
+    missing = tmp_path / "file-not-dir"
+    missing.write_text("occupied")
+    recorder = FlightRecorder(collect, dump_dir=str(missing))
+    assert recorder.trigger("slow-request") is None  # makedirs fails
+    assert recorder.describe()["dumps"] == 0
+    assert recorder.describe()["triggers"] == 1
+
+
+def test_bundle_is_valid_json_on_disk(tmp_path):
+    recorder = FlightRecorder(collect, dump_dir=str(tmp_path))
+    path = recorder.trigger("slow-request")
+    with open(path, "r", encoding="utf-8") as handle:
+        assert json.load(handle)["server"] == "test"

@@ -1,0 +1,136 @@
+"""SLO engine: rolling-window burn rates and the health verdict."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.slo import (
+    DEFAULT_OBJECTIVES,
+    Objective,
+    SloEngine,
+    status_exit_code,
+)
+
+
+AVAILABILITY = (Objective("availability", "availability", "requests_total",
+                          0.999, critical_burn=10.0),)
+
+
+def test_status_exit_codes():
+    assert status_exit_code("ok") == 0
+    assert status_exit_code("degraded") == 1
+    assert status_exit_code("critical") == 2
+    assert status_exit_code("garbage") == 2
+
+
+def test_no_traffic_is_healthy():
+    engine = SloEngine(MetricsRegistry(), objectives=DEFAULT_OBJECTIVES)
+    report = engine.evaluate(now=1000.0)
+    assert report["status"] == "ok"
+    assert {entry["name"] for entry in report["objectives"]} == {
+        obj.name for obj in DEFAULT_OBJECTIVES
+    }
+    availability = [
+        entry for entry in report["objectives"]
+        if entry["name"] == "availability"
+    ][0]
+    assert availability["value"] == 1.0
+    assert availability["burn_rate"] == 0.0
+
+
+def test_error_ratio_drives_availability_burn():
+    registry = MetricsRegistry()
+    engine = SloEngine(registry, objectives=AVAILABILITY)
+    ok = registry.counter("requests_total", {"type": "edit", "outcome": "ok"})
+    bad = registry.counter(
+        "requests_total", {"type": "edit", "outcome": "error"}
+    )
+    ok.inc(98)
+    bad.inc(2)  # 2% errors against a 0.1% budget -> burn 20 -> critical
+    report = engine.evaluate(now=10.0)
+    entry = report["objectives"][0]
+    assert entry["status"] == "critical"
+    assert entry["burn_rate"] == pytest.approx(20.0)
+    assert entry["value"] == pytest.approx(0.98)
+    assert report["status"] == "critical"
+
+
+def test_degraded_between_one_and_critical_burn():
+    registry = MetricsRegistry()
+    engine = SloEngine(registry, objectives=AVAILABILITY)
+    registry.counter(
+        "requests_total", {"type": "edit", "outcome": "ok"}
+    ).inc(499)
+    registry.counter(
+        "requests_total", {"type": "edit", "outcome": "error"}
+    ).inc(1)  # 0.2% errors -> burn 2 -> degraded (critical at 10)
+    report = engine.evaluate(now=10.0)
+    assert report["objectives"][0]["status"] == "degraded"
+    assert report["status"] == "degraded"
+
+
+def test_window_forgets_old_errors():
+    registry = MetricsRegistry()
+    engine = SloEngine(registry, objectives=AVAILABILITY,
+                       window_seconds=60.0)
+    bad = registry.counter(
+        "requests_total", {"type": "edit", "outcome": "error"}
+    )
+    ok = registry.counter(
+        "requests_total", {"type": "edit", "outcome": "ok"}
+    )
+    bad.inc(50)
+    assert engine.evaluate(now=10.0)["status"] == "critical"
+    # An hour later the burst has slid out of the window; fresh traffic
+    # is clean, so the verdict recovers.
+    ok.inc(100)
+    engine.sample(now=3600.0)
+    report = engine.evaluate(now=3660.0)
+    assert report["objectives"][0]["status"] == "ok"
+
+
+def test_latency_objective_uses_windowed_p99():
+    registry = MetricsRegistry()
+    objectives = (Objective("p99", "latency", "request_seconds", 0.25),)
+    engine = SloEngine(registry, objectives=objectives)
+    histogram = registry.histogram(
+        "request_seconds", {"type": "edit"},
+        buckets=(0.005, 0.05, 0.25, 1.0),
+    )
+    for _ in range(100):
+        histogram.observe(0.01)
+    assert engine.evaluate(now=5.0)["status"] == "ok"
+    for _ in range(100):
+        histogram.observe(0.9)  # p99 lands in the 1.0 bucket: burn 4
+    report = engine.evaluate(now=10.0)
+    entry = report["objectives"][0]
+    assert entry["status"] == "critical"
+    assert entry["value"] == pytest.approx(1.0)
+
+
+def test_gauge_objective_reads_current_value():
+    registry = MetricsRegistry()
+    objectives = (
+        Objective("lag", "gauge", "replication_lag_records", 256.0),
+    )
+    engine = SloEngine(registry, objectives=objectives)
+    lag = registry.gauge("replication_lag_records")
+    lag.set(10.0)
+    assert engine.evaluate(now=1.0)["status"] == "ok"
+    lag.set(400.0)
+    report = engine.evaluate(now=2.0)
+    assert report["objectives"][0]["status"] == "degraded"
+    assert report["objectives"][0]["value"] == 400.0
+
+
+def test_window_pruning_keeps_a_delta_base():
+    registry = MetricsRegistry()
+    engine = SloEngine(registry, objectives=AVAILABILITY,
+                       window_seconds=10.0, max_samples=50)
+    for tick in range(40):
+        engine.sample(now=float(tick))
+    report = engine.evaluate(now=40.0)
+    # Pruned to roughly the window, never below two samples.
+    assert 2 <= report["samples"] <= 14
+    assert report["span_seconds"] <= 12.0

@@ -1,0 +1,161 @@
+"""Span recorder, scopes, and the offline assembler."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.metrics.tracing import RequestTrace
+from repro.telemetry.events import JsonLinesSink
+from repro.telemetry.spans import (
+    Span,
+    SpanRecorder,
+    assemble,
+    child_span,
+    current_span_id,
+    load_span_files,
+    render_tree,
+)
+
+
+def make_span(recorder: SpanRecorder, **overrides) -> Span:
+    fields = dict(
+        span_id=recorder.new_span_id(),
+        trace_id="t-1",
+        parent_id="",
+        name="op",
+        site=recorder.site,
+        start=100.0,
+        duration=0.01,
+    )
+    fields.update(overrides)
+    return Span(**fields)
+
+
+def test_span_ids_are_unique_across_recorders():
+    first = SpanRecorder(site="a")
+    second = SpanRecorder(site="b")
+    ids = {first.new_span_id() for _ in range(100)}
+    ids |= {second.new_span_id() for _ in range(100)}
+    assert len(ids) == 200
+
+
+def test_ring_is_bounded_and_snapshot_filters_by_trace():
+    recorder = SpanRecorder(site="s", capacity=3)
+    for index in range(5):
+        recorder.record(make_span(recorder, trace_id=f"t-{index % 2}"))
+    assert len(recorder) == 3
+    assert recorder.recorded == 5
+    only = recorder.snapshot(trace_id="t-0")
+    assert all(span.trace_id == "t-0" for span in only)
+
+
+def test_sink_receives_dicts_and_broken_sink_is_dropped():
+    seen = []
+    recorder = SpanRecorder(site="s", sink=seen.append)
+    recorder.record(make_span(recorder))
+    assert seen and seen[0]["site"] == "s"
+
+    def broken(record):
+        raise RuntimeError("disk full")
+
+    recorder.sink = broken
+    recorder.record(make_span(recorder))  # must not raise
+    assert recorder.sink is None
+    assert recorder.describe()["sink"] is False
+
+
+def test_record_trace_emits_root_plus_phase_children():
+    recorder = SpanRecorder(site="server:test")
+    trace = RequestTrace(request_id="r1", client_id="c", kind="edit",
+                         trace_id="t-9")
+    with trace.phase("decode"):
+        pass
+    trace.finish()
+    root_id = recorder.new_span_id()
+    recorder.record_trace(trace, span_id=root_id, name="server.request",
+                          parent_id="psp-1")
+    spans = recorder.snapshot()
+    root = [span for span in spans if span.span_id == root_id][0]
+    assert root.parent_id == "psp-1"
+    assert root.attrs["request_id"] == "r1"
+    children = [span for span in spans if span.parent_id == root_id]
+    assert [child.name for child in children] == ["decode"]
+
+
+def test_trace_scope_sets_parent_from_trace_and_nests_child_spans():
+    recorder = SpanRecorder(site="server:test")
+    trace = RequestTrace(request_id="r2", trace_id="t-10")
+    trace.parent_span = "client-psp"
+    assert current_span_id() == ""
+    with recorder.trace_scope(trace, "server.request") as root_id:
+        assert current_span_id() == root_id
+        with child_span("journal.append", record="submit") as child_id:
+            assert child_id
+    assert current_span_id() == ""
+    spans = {span.span_id: span for span in recorder.snapshot()}
+    root = spans[root_id]
+    assert root.parent_id == "client-psp"
+    assert root.trace_id == "t-10"
+    child = spans[child_id]
+    assert child.parent_id == root_id
+    assert child.attrs == {"record": "submit"}
+
+
+def test_child_span_is_noop_without_scope_and_flags_errors():
+    with child_span("orphan") as span_id:
+        assert span_id == ""
+    recorder = SpanRecorder(site="s")
+    trace = RequestTrace(trace_id="t-11")
+    with pytest.raises(ValueError):
+        with recorder.trace_scope(trace, "req"):
+            with child_span("boom"):
+                raise ValueError("nope")
+    failed = [
+        span for span in recorder.snapshot() if span.name == "boom"
+    ][0]
+    assert failed.status == "error"
+
+
+def test_assemble_builds_tree_and_reports_orphans():
+    records = [
+        {"span_id": "a", "trace_id": "t", "parent_id": "", "name": "rpc",
+         "start": 1.0, "duration": 0.5},
+        {"span_id": "b", "trace_id": "t", "parent_id": "a",
+         "name": "request", "start": 1.1, "duration": 0.3},
+        {"span_id": "b", "trace_id": "t", "parent_id": "a",
+         "name": "request", "start": 1.1, "duration": 0.3},  # duplicate
+        {"span_id": "c", "trace_id": "t", "parent_id": "missing",
+         "name": "lost", "start": 1.2, "duration": 0.1},
+        {"span_id": "z", "trace_id": "other", "parent_id": "",
+         "name": "noise", "start": 0.0, "duration": 0.1},
+    ]
+    tree = assemble(records, "t")
+    assert tree["spans"] == 3
+    assert [root["span_id"] for root in tree["roots"]] == ["a"]
+    assert [kid["span_id"] for kid in tree["children"]["a"]] == ["b"]
+    assert [orphan["span_id"] for orphan in tree["orphans"]] == ["c"]
+    rendered = render_tree(tree)
+    assert "rpc" in rendered and "orphans" in rendered
+
+
+def test_load_span_files_round_trips_jsonl(tmp_path):
+    recorder = SpanRecorder(site="client")
+    stream = io.StringIO()
+    recorder.sink = JsonLinesSink(stream)
+    recorder.record(make_span(recorder, trace_id="t-file"))
+    path = tmp_path / "spans.jsonl"
+    path.write_text(stream.getvalue() + "not json\n{\"no_span\": 1}\n")
+    records = load_span_files([str(path)])
+    assert len(records) == 1
+    assert records[0]["trace_id"] == "t-file"
+    tree = assemble(records, "t-file")
+    assert tree["spans"] == 1 and not tree["orphans"]
+
+
+def test_render_tree_empty_trace():
+    tree = assemble([], "t-none")
+    assert "no spans" in render_tree(tree)
+    assert json.dumps(tree)  # JSON-serialisable for --json
