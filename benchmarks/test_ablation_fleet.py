@@ -1,0 +1,134 @@
+"""Ablation A12: N-shard fleet throughput on the simulated 1987 testbed.
+
+The fleet's pitch is horizontal capacity: each shard owns a disjoint
+slice of the ``(domain, file)`` key space, so N shards serve N slow
+lines *concurrently*.  This ablation replays the same edit workload
+against 1, 2, and 3 shards.  The consistent-hash ring partitions the
+files exactly as ``FleetChannel`` would route them; each shard is an
+independent :class:`SimulatedDeployment` (its own virtual clock and
+9600-baud line, mirroring a real fleet where every shard terminates
+its own links).  Aggregate wall time is the *slowest* shard's virtual
+clock — the shard the ring loads heaviest bounds the fleet — so the
+scaling factor directly exposes the ring's balance:
+
+    aggregate throughput(N) = total ops / max per-shard elapsed
+
+Consistent hashing is not a perfect splitter (that is the price of
+moving only ~1/N keys on reshard, per ``tests/fleet/test_ring.py``),
+so the acceptance bars are near-linear, not linear: >=1.8x at two
+shards, >=2.6x at three.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+from conftest import publish
+
+from repro.core.service import SimulatedDeployment
+from repro.core.workspace import MappingWorkspace
+from repro.fleet import HashRing
+from repro.metrics.report import format_table
+from repro.simnet.link import CYPRESS_9600
+from repro.workload.edits import modify_percent
+from repro.workload.files import make_text_file
+
+FILES = [f"/data/a12-{index:03d}.dat" for index in range(144)]
+FILE_SIZE = 1_200
+EDIT_PERCENT = 5
+SHARD_NAMES = ("alpha", "beta", "gamma")
+
+
+def partition(shard_count: int) -> Dict[str, List[str]]:
+    """Split FILES by ring owner of the resolved cache key."""
+    names = SHARD_NAMES[:shard_count]
+    ring = HashRing(list(names))
+    resolver = MappingWorkspace()
+    shares: Dict[str, List[str]] = {name: [] for name in names}
+    for path in FILES:
+        shares[ring.owner(str(resolver.resolve(path)))].append(path)
+    return shares
+
+def run_fleet(shard_count: int) -> Dict[str, float]:
+    """Run the prime + edit cycle against ``shard_count`` shards."""
+    shares = partition(shard_count)
+    elapsed: Dict[str, float] = {}
+    wire_bytes = 0
+    operations = 0
+    for name, paths in shares.items():
+        deployment = SimulatedDeployment.build(
+            CYPRESS_9600,
+            client_id="bench@ws",
+            server_name=name,
+            workspace=MappingWorkspace(),
+        )
+        contents = {
+            path: make_text_file(FILE_SIZE, seed=1200 + FILES.index(path))
+            for path in paths
+        }
+        for path in paths:
+            deployment.client.write_file(path, contents[path], host=name)
+        for index, path in enumerate(paths):
+            deployment.client.write_file(
+                path,
+                modify_percent(contents[path], EDIT_PERCENT, seed=77 + index),
+                host=name,
+            )
+        # The shard holds exactly the ring's slice, nothing else.
+        assert len(deployment.server.cache) == len(paths)
+        elapsed[name] = deployment.clock.now()
+        wire_bytes += deployment.total_wire_bytes
+        operations += 2 * len(paths)
+    return {
+        "shards": shard_count,
+        "operations": operations,
+        "seconds": max(elapsed.values()),
+        "wire_bytes": wire_bytes,
+        "largest_share": max(len(paths) for paths in shares.values()),
+    }
+
+
+@lru_cache(maxsize=1)
+def run_all() -> Tuple[Dict[str, float], ...]:
+    return tuple(run_fleet(count) for count in (1, 2, 3))
+
+
+def test_fleet_scaling_ablation(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    baseline = results[0]
+    rows = []
+    for stats in results:
+        scaling = baseline["seconds"] / stats["seconds"]
+        rows.append(
+            [
+                str(stats["shards"]),
+                f"{stats['seconds']:.1f}s",
+                f"{stats['operations'] / stats['seconds']:.2f}",
+                f"{scaling:.2f}x",
+                str(stats["largest_share"]),
+            ]
+        )
+    publish(
+        "ablation_a12_fleet",
+        format_table(
+            [
+                "shards",
+                "cycle (slowest shard)",
+                "ops/sec aggregate",
+                "scaling",
+                "largest share",
+            ],
+            rows,
+        ),
+    )
+    # Same workload, same total bytes — only the parallelism changes.
+    assert all(
+        stats["operations"] == baseline["operations"] for stats in results
+    )
+    two, three = results[1], results[2]
+    assert baseline["seconds"] / two["seconds"] >= 1.8
+    assert baseline["seconds"] / three["seconds"] >= 2.6
+    # Elapsed tracks the ring's heaviest slice: near-linear, not linear.
+    assert two["seconds"] >= baseline["seconds"] / 2
+    assert three["seconds"] >= baseline["seconds"] / 3

@@ -55,10 +55,11 @@ __version__ = "1.0.0"
 
 
 def __getattr__(name: str):
-    # Legacy alias: ``repro.ShadowClient`` predates the facade and
-    # resolves to the core client.  New code should reach for
-    # ``repro.api.ShadowClient`` (the stable verb set) or import the
-    # core client from ``repro.core.client`` explicitly.
+    # Legacy alias: ``repro.ShadowClient`` predates the facade.  It now
+    # resolves to ``repro.api.ShadowClient`` — the facade delegates any
+    # attribute it does not define to the core client, so code written
+    # against the old alias keeps working — but the import itself stays
+    # deprecated: name the facade (or the core client) explicitly.
     if name == "ShadowClient":
         warnings.warn(
             "importing ShadowClient from 'repro' is deprecated; use "
@@ -67,9 +68,7 @@ def __getattr__(name: str):
             DeprecationWarning,
             stacklevel=2,
         )
-        from repro.core.client import ShadowClient
-
-        return ShadowClient
+        return api.ShadowClient
     raise AttributeError(f"module 'repro' has no attribute {name!r}")
 
 

@@ -12,17 +12,22 @@ keyword-only construction and context-manager lifetime::
         job_id = c.submit("wc input.dat", ["/data/input.dat"])
         bundle = c.fetch(job_id)
 
-``transport`` accepts whatever you have: a ``"host:port"`` string (TCP),
-a :class:`~repro.transport.base.RequestChannel`, a
-:class:`~repro.core.server.ShadowServer` (loopback, callbacks wired), or
-a bare ``bytes -> bytes`` handler.  A **dial list** — a list/tuple of
-any of those, or a comma-separated ``"host:port,host:port"`` string —
-builds a :class:`~repro.replication.failover.FailoverChannel` that
-fails over from a dead (or fenced, or still-standby) endpoint to the
-next: point it at a replicated primary/standby pair and failover is
-transparent to every verb.  Anything not covered by the facade verbs
-delegates to the core client transparently, and :attr:`core` exposes it
-outright.
+``transport`` accepts whatever you have: a dial-spec string parsed by
+:class:`DialSpec` (``"host:port"`` for one TCP server,
+``"host:port,host:port"`` for a failover dial list,
+``"fleet:name=host:port,..."`` for a shard fleet), a ready
+:class:`DialSpec`, a :class:`~repro.transport.base.RequestChannel`, a
+:class:`~repro.core.server.ShadowServer` (loopback, callbacks wired),
+or a bare ``bytes -> bytes`` handler.  A list/tuple of any of those is
+a failover dial list too: it builds a
+:class:`~repro.replication.failover.FailoverChannel` that fails over
+from a dead (or fenced, or still-standby) endpoint to the next — point
+it at a replicated primary/standby pair and failover is transparent to
+every verb.  A fleet spec builds a
+:class:`~repro.fleet.channel.FleetChannel` that consistent-hashes each
+request onto its owning shard.  Anything not covered by the facade
+verbs delegates to the core client transparently, and :attr:`core`
+exposes it outright.
 """
 
 from __future__ import annotations
@@ -51,14 +56,16 @@ from repro.replication.failover import FailoverChannel
 from repro.resilience.session import ResilienceConfig
 from repro.simnet.clock import Clock
 from repro.transport.base import LoopbackChannel, RequestChannel
-from repro.transport.tcp import TcpChannel
+from repro.transport.dialspec import DialSpec
 
-__all__ = ["ShadowClient"]
+__all__ = ["DialSpec", "ShadowClient"]
 
-#: What :meth:`ShadowClient.connect` accepts as a transport.  A list or
-#: tuple (or comma-separated TCP string) is a failover dial list.
+#: What :meth:`ShadowClient.connect` accepts as a transport.  A string
+#: is parsed by :class:`DialSpec` — one endpoint, a failover dial list,
+#: or a ``fleet:`` shard map; a list or tuple is a failover dial list.
 Transport = Union[
     str,
+    DialSpec,
     RequestChannel,
     _Server,
     Callable[[bytes], bytes],
@@ -66,50 +73,36 @@ Transport = Union[
 ]
 
 
-def _split_endpoint(spec: str, timeout: float) -> Callable[[], TcpChannel]:
-    """A lazy dial factory for one ``host:port`` of a dial list — the
-    standby is not contacted (or even required to be up) until the
-    failover channel rotates to it."""
-    host, _, port = spec.strip().rpartition(":")
-    if not host or not port.isdigit():
-        raise TransportError(
-            f"tcp transport must be 'host:port', got {spec!r}"
-        )
-    return lambda: TcpChannel(host, int(port), timeout=timeout)
+def _endpoint_factory(spec: DialSpec, timeout: float):
+    """A lazy dial factory for one dial-list entry — the standby is not
+    contacted (or even required to be up) until the failover channel
+    rotates to it."""
+    return lambda: spec.connect(timeout=timeout)
 
 
 def _open_channel(
     transport: Transport, timeout: float
 ) -> Tuple[RequestChannel, Optional[_Server]]:
-    """Materialise a channel from whatever the caller handed us."""
+    """Materialise a channel from whatever the caller handed us.
+
+    Every string goes through :class:`DialSpec` — the one endpoint
+    parser shared with the CLI and the replication layer."""
+    if isinstance(transport, DialSpec):
+        return transport.connect(timeout=timeout), None
     if isinstance(transport, RequestChannel):
         return transport, None
     if isinstance(transport, _Server):
         return LoopbackChannel(transport.handle), transport
     if isinstance(transport, str):
-        if "," in transport:
-            return (
-                FailoverChannel(
-                    [
-                        _split_endpoint(spec, timeout)
-                        for spec in transport.split(",")
-                        if spec.strip()
-                    ]
-                ),
-                None,
-            )
-        host, _, port = transport.rpartition(":")
-        if not host or not port.isdigit():
-            raise TransportError(
-                f"tcp transport must be 'host:port', got {transport!r}"
-            )
-        return TcpChannel(host, int(port), timeout=timeout), None
+        return DialSpec.parse(transport).connect(timeout=timeout), None
     if isinstance(transport, (list, tuple)):
         endpoints = []
         first_server: Optional[_Server] = None
         for item in transport:
             if isinstance(item, str):
-                endpoints.append(_split_endpoint(item, timeout))
+                endpoints.append(
+                    _endpoint_factory(DialSpec.parse(item), timeout)
+                )
             else:
                 channel, server = _open_channel(item, timeout)
                 endpoints.append(channel)

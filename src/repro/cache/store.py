@@ -295,6 +295,15 @@ class CacheStore:
         with shard.lock:
             return key in shard.entries
 
+    def keys(self) -> List[str]:
+        """Every cached key, in global insertion order.
+
+        The public iteration surface (fleet migration plans over it);
+        internal code goes through the shards directly.
+        """
+        with self._all_shards():
+            return [entry.key for entry in self._ordered_entries()]
+
     # ------------------------------------------------------------------
     # domain directories
     # ------------------------------------------------------------------

@@ -19,6 +19,14 @@ the real TCP transport:
     shadow health [HOST:PORT]                      # SLO verdict (exit 0/1/2)
     shadow trace show TRACE --spans FILE...        # assemble a span tree
     shadow flight dump|show ...                    # postmortem bundles
+    shadow route --map fleet:NAME=H:P,... --port N # shard router tier
+    shadow stats fleet:a=H:P,b=H:P --fleet         # merged fleet telemetry
+
+Every ``--server`` (and the positional endpoints of ``stats`` /
+``promote`` / ``health``) goes through one resolver —
+:class:`repro.transport.dialspec.DialSpec` — so ``host:port``, a
+comma-separated failover dial list, and a ``fleet:`` shard map all
+parse the same way everywhere.
 
 The client's shadow environment — retained versions (so resubmissions
 ship deltas), the job table, customisation — persists in a state file
@@ -39,7 +47,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro import __version__
-from repro.core.client import ShadowClient
+from repro.api import ShadowClient
 from repro.core.protocol import PROTOCOL_VERSION
 from repro.core.server import ShadowServer
 from repro.core.state import (
@@ -49,13 +57,11 @@ from repro.core.state import (
     save_state,
 )
 from repro.core.workspace import LocalDirectoryWorkspace
-from repro.errors import ShadowError
+from repro.errors import DialSpecError, ShadowError
 from repro.jobs.executor import LocalExecutor, SimulatedExecutor
 from repro.transport import TRANSPORT_BACKENDS, channel_server
+from repro.transport.dialspec import WELL_KNOWN_PORT, DialSpec
 from repro.transport.tcp import TcpChannel
-
-#: The service's well-known port (after technical report CSD-TR-722).
-WELL_KNOWN_PORT = 7220
 
 _DEFAULT_STATE = ".shadow/state.json"
 
@@ -172,6 +178,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="rolling window the SLO health engine judges over",
     )
     serve.add_argument(
+        "--fleet-map", default=None, metavar="SPEC",
+        help="join a shard fleet: the full fleet dial spec "
+        "(fleet:name=host:port,...); Hello replies then carry the map "
+        "and foreign-key requests get wrong-shard redirects",
+    )
+    serve.add_argument(
+        "--shard", default=None, metavar="NAME",
+        help="this server's shard name within --fleet-map (also becomes "
+        "the server name, so job ids are routable)",
+    )
+    serve.add_argument(
         "--once", action="store_true",
         help="exit after start-up (used by the test suite)",
     )
@@ -180,8 +197,9 @@ def _build_parser() -> argparse.ArgumentParser:
         sub.add_argument(
             "--server",
             default=f"127.0.0.1:{WELL_KNOWN_PORT}",
-            help="server endpoint, or a comma-separated failover dial "
-            "list (primary:port,standby:port)",
+            help="dial spec: one endpoint (host:port), a comma-separated "
+            "failover dial list (primary:port,standby:port), or a shard "
+            "fleet (fleet:name=host:port,...)",
         )
         sub.add_argument("--state", default=_DEFAULT_STATE)
         sub.add_argument("--root", default=".", help="workspace root")
@@ -255,13 +273,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "server",
         nargs="?",
         default=f"127.0.0.1:{WELL_KNOWN_PORT}",
-        help="server endpoint as HOST:PORT",
+        help="server endpoint as HOST:PORT, or a fleet dial spec "
+        "(fleet:name=host:port,...)",
     )
     stats.add_argument(
         "--json",
         action="store_true",
         dest="as_json",
         help="print the raw snapshot as JSON instead of tables",
+    )
+    stats.add_argument(
+        "--fleet",
+        action="store_true",
+        dest="fleet",
+        help="aggregate every shard's telemetry into one merged view; "
+        "with a plain endpoint the shard map is discovered from the "
+        "server's Hello reply (implied by a fleet: dial spec)",
     )
     stats.add_argument(
         "--watch",
@@ -406,6 +433,30 @@ def _build_parser() -> argparse.ArgumentParser:
         help="dump only: newest N spans to capture",
     )
 
+    route = subparsers.add_parser(
+        "route",
+        help="run a shard-router proxy in front of a fleet",
+    )
+    route.add_argument(
+        "--map",
+        required=True,
+        metavar="SPEC",
+        dest="fleet_map",
+        help="the fleet dial spec to route over (fleet:name=host:port,...)",
+    )
+    route.add_argument("--host", default="127.0.0.1")
+    route.add_argument("--port", type=int, default=0)
+    route.add_argument(
+        "--transport",
+        choices=TRANSPORT_BACKENDS,
+        default=None,
+        help="listening backend (see 'serve --transport')",
+    )
+    route.add_argument(
+        "--once", action="store_true",
+        help="exit after start-up (used by the test suite)",
+    )
+
     env = subparsers.add_parser("env", help="show or customise the environment")
     client_options(env)
     env.add_argument(
@@ -423,9 +474,29 @@ def _build_parser() -> argparse.ArgumentParser:
 # ---------------------------------------------------------------------------
 
 
-def _parse_endpoint(text: str) -> tuple:
-    host, _, port = text.partition(":")
-    return host or "127.0.0.1", int(port) if port else WELL_KNOWN_PORT
+def _server_spec(server_arg: str) -> DialSpec:
+    """The ONE ``--server`` resolver every subcommand shares.
+
+    Parsing and error wording live in :class:`DialSpec`; this wrapper
+    only stamps the offending argument into the message so every
+    subcommand reports a bad spec identically."""
+    try:
+        return DialSpec.parse(server_arg)
+    except DialSpecError as exc:
+        raise ShadowError(f"bad server spec {server_arg!r}: {exc}") from exc
+
+
+def _single_endpoint(server_arg: str) -> tuple:
+    """Resolve a spec that must name exactly one server (promote,
+    health, standby announcement): a dial list or fleet is an error
+    here, not a silent first-entry pick."""
+    spec = _server_spec(server_arg)
+    if spec.kind != "single":
+        raise ShadowError(
+            f"{server_arg!r} is a {spec.kind} spec; this command "
+            f"addresses exactly one server (host:port)"
+        )
+    return spec.endpoints[0]
 
 
 def _open_client(args: argparse.Namespace) -> ShadowClient:
@@ -440,13 +511,16 @@ def _open_client(args: argparse.Namespace) -> ShadowClient:
         workspace=LocalDirectoryWorkspace(args.root),
         environment=environment,
     )
+    # State restoration and span plumbing live on the core client; the
+    # facade is the verb surface the commands talk to.
     if state:
-        restore_client(client, state)
+        restore_client(client.core, state)
     if getattr(args, "spans", None):
         # Sink attached before connect so even the Hello span lands.
-        client.spans.sink = _open_span_sink(args.spans)
-    client.connect(
-        client.environment.default_host, _dial_channel(args.server)
+        client.core.spans.sink = _open_span_sink(args.spans)
+    client.open(
+        client.core.environment.default_host,
+        transport=_server_spec(args.server),
     )
     return client
 
@@ -460,30 +534,10 @@ def _open_span_sink(path_text: str):
     return JsonLinesSink(path.open("a", encoding="utf-8"))
 
 
-def _dial_channel(server_arg: str):
-    """One endpoint dials directly; a comma-separated dial list gets a
-    failover channel that rotates to the next endpoint on a torn
-    connection or a stale-epoch refusal."""
-    endpoints = [
-        part.strip() for part in server_arg.split(",") if part.strip()
-    ]
-    if len(endpoints) == 1:
-        return TcpChannel(*_parse_endpoint(endpoints[0]))
-    # Lazy dial: a downed endpoint in the list must surface on use (so
-    # the failover channel rotates), not fail the whole list up front.
-    channels = [
-        TcpChannel(*_parse_endpoint(endpoint), lazy=True)
-        for endpoint in endpoints
-    ]
-    from repro.replication.failover import FailoverChannel
-
-    return FailoverChannel(channels)
-
-
 def _close_client(client: ShadowClient, args: argparse.Namespace) -> None:
-    save_state(client, Path(args.state))
-    client.disconnect(client.environment.default_host)
-    client.spans.close()  # flush the JSONL sink (no-op without one)
+    save_state(client.core, Path(args.state))
+    client.close()  # Bye on every session (idempotent)
+    client.core.spans.close()  # flush the JSONL sink (no-op without one)
 
 
 # ---------------------------------------------------------------------------
@@ -496,7 +550,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.cache.store import CacheStore, DEFAULT_SHARDS
     from repro.durability.manager import DEFAULT_SNAPSHOT_EVERY
 
+    fleet_spec = None
+    if args.fleet_map:
+        if not args.shard:
+            raise ShadowError("--fleet-map needs --shard NAME")
+        fleet_spec = _server_spec(args.fleet_map)
+        if fleet_spec.kind != "fleet":
+            raise ShadowError(
+                f"--fleet-map needs a fleet dial spec "
+                f"(fleet:name=host:port,...), got {args.fleet_map!r}"
+            )
+    elif args.shard:
+        raise ShadowError("--shard only makes sense with --fleet-map")
     server = ShadowServer(
+        name=args.shard if args.shard else "supercomputer",
         executor=executor,
         cache=CacheStore(
             capacity_bytes=args.cache_bytes,
@@ -528,6 +595,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     **recovery
                 )
             )
+    if fleet_spec is not None:
+        from repro.fleet import FleetMember
+
+        FleetMember(server, fleet_spec.shard_map())
     repl = None
     if args.replicate and args.standby_of:
         raise ShadowError("--replicate and --standby-of are exclusive roles")
@@ -583,6 +654,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             # only the non-default backend announces itself.
             + (" [eventloop]" if backend == "eventloop" else "")
             + (f" ({role}, epoch {server.epoch})" if role else "")
+            + (
+                f" [shard {args.shard} of {len(fleet_spec.shards)}]"
+                if fleet_spec is not None
+                else ""
+            )
         )
         if args.once:
             return 0
@@ -613,7 +689,7 @@ def _announce_standby(
     from repro.core.protocol import Ok, ReplicateHello
     from repro.resilience.session import RawSession
 
-    host, port = _parse_endpoint(args.standby_of)
+    host, port = _single_endpoint(args.standby_of)
     try:
         channel = TcpChannel(host, port, timeout=10.0)
     except ShadowError:
@@ -720,7 +796,7 @@ def _materialise_job(
     client: ShadowClient, job_id: str, bundle, out_dir: str
 ) -> None:
     """Write one job's delivered result files into ``out_dir``."""
-    job = client._jobs[job_id]
+    job = client.core._jobs[job_id]
     names = [job.output_file]
     if bundle.stderr:
         names.append(job.error_file)
@@ -841,12 +917,12 @@ def _cmd_files(args: argparse.Namespace) -> int:
         _close_client(client, args)
 
 
-def _fetch_stats(args: argparse.Namespace) -> dict:
+def _stats_one(endpoint: tuple, args: argparse.Namespace) -> dict:
     """One stats-query round trip against a live server."""
     from repro.core.protocol import StatsQuery, StatsReply
     from repro.resilience.session import RawSession
 
-    host, port = _parse_endpoint(args.server)
+    host, port = endpoint
     channel = TcpChannel(host, port, timeout=5.0)
     try:
         reply = RawSession(channel).send(
@@ -865,6 +941,69 @@ def _fetch_stats(args: argparse.Namespace) -> dict:
     return reply.snapshot
 
 
+def _discover_shards(endpoint: tuple) -> dict:
+    """Ask one server for its fleet's shard map (Hello piggyback).
+
+    ``stats --fleet`` against a plain endpoint needs the full roster;
+    any fleet member's Hello ``Ok`` carries the current map."""
+    from repro.core.protocol import Hello, Ok
+    from repro.fleet import ShardMap
+    from repro.resilience.session import RawSession
+
+    host, port = endpoint
+    channel = TcpChannel(host, port, timeout=5.0)
+    try:
+        reply = RawSession(channel).send(
+            Hello(client_id=f"{os.environ.get('USER', 'user')}@cli")
+        )
+    finally:
+        channel.close()
+    if not isinstance(reply, Ok) or not reply.shard_map:
+        raise ShadowError(
+            f"{host}:{port} is not a fleet member (its Hello carries "
+            f"no shard map); pass a fleet: dial spec instead"
+        )
+    shard_map = ShardMap.from_payload(reply.shard_map)
+    return {
+        name: _single_endpoint(shard_map.dial(name))
+        for name in shard_map.names
+    }
+
+
+def _fetch_stats(args: argparse.Namespace) -> dict:
+    """Stats for one server, or a merged fleet-wide snapshot."""
+    spec = _server_spec(args.server)
+    fleet = getattr(args, "fleet", False) or spec.kind == "fleet"
+    if not fleet:
+        if spec.kind != "single":
+            raise ShadowError(
+                f"{args.server!r} is a dial list; stats addresses one "
+                f"server (or a fleet via --fleet / a fleet: spec)"
+            )
+        return _stats_one(spec.endpoints[0], args)
+    from repro.fleet import merge_snapshots
+
+    if spec.kind == "fleet":
+        shards = {name: endpoint for name, endpoint in spec.shards}
+    else:
+        shards = _discover_shards(spec.endpoints[0])
+    snapshots = {}
+    unreachable = []
+    for name in sorted(shards):
+        try:
+            snapshots[name] = _stats_one(shards[name], args)
+        except ShadowError:
+            unreachable.append(name)
+    if not snapshots:
+        raise ShadowError(
+            f"no shard of {args.server!r} answered a stats query"
+        )
+    merged = merge_snapshots(snapshots)
+    if unreachable:
+        merged["fleet"]["unreachable"] = unreachable
+    return merged
+
+
 def _render_stats(snapshot: dict, as_json: bool) -> str:
     import json
 
@@ -879,6 +1018,21 @@ def _render_stats(snapshot: dict, as_json: bool) -> str:
     replication = snapshot.get("replication")
     if replication:
         parts.append(format_replication(replication))
+    fleet = snapshot.get("fleet")
+    if fleet and fleet.get("per_shard"):
+        lines = [
+            f"fleet: {fleet.get('shards')} shards, epoch {fleet.get('epoch')}"
+        ]
+        for name, shard in sorted(fleet.get("per_shard", {}).items()):
+            lines.append(
+                f"  {name}: requests={shard.get('requests')} "
+                f"health={shard.get('health', '?')} "
+                f"owned_keys={shard.get('owned_keys')} "
+                f"redirects={shard.get('redirects')}"
+            )
+        for name in fleet.get("unreachable", ()):
+            lines.append(f"  {name}: UNREACHABLE")
+        parts.append("\n".join(lines))
     health = snapshot.get("health")
     if health:
         lines = [f"health: {health.get('status', '?')}"]
@@ -956,7 +1110,7 @@ def _cmd_promote(args: argparse.Namespace) -> int:
     from repro.core.protocol import Ok, Promote
     from repro.resilience.session import RawSession
 
-    host, port = _parse_endpoint(args.server)
+    host, port = _single_endpoint(args.server)
     channel = TcpChannel(host, port, timeout=5.0)
     try:
         reply = RawSession(channel).send(Promote(min_epoch=args.min_epoch))
@@ -1016,7 +1170,7 @@ def _cmd_health(args: argparse.Namespace) -> int:
     from repro.resilience.session import RawSession
     from repro.telemetry.slo import status_exit_code
 
-    host, port = _parse_endpoint(args.server)
+    host, port = _single_endpoint(args.server)
     channel = TcpChannel(host, port, timeout=5.0)
     try:
         reply = RawSession(channel).send(
@@ -1106,6 +1260,37 @@ def _cmd_flight(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_route(args: argparse.Namespace) -> int:
+    """Run the thin router/proxy tier over a fleet dial spec."""
+    from repro.fleet import FleetRouter
+
+    spec = _server_spec(args.fleet_map)
+    if spec.kind != "fleet":
+        raise ShadowError(
+            f"--map needs a fleet dial spec (fleet:name=host:port,...), "
+            f"got {args.fleet_map!r}"
+        )
+    router = FleetRouter(spec.shard_map())
+    listener = router.serve(
+        host=args.host, port=args.port, transport=args.transport
+    )
+    try:
+        print(
+            f"shadow router listening on {args.host}:{listener.port} "
+            f"({len(spec.shards)} shards, epoch "
+            f"{router.directory.map.epoch})"
+        )
+        if args.once:
+            return 0
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        listener.close(drain_seconds=2.0)
+        router.close()
+
+
 def _cmd_env(args: argparse.Namespace) -> int:
     state_path = Path(args.state)
     state = load_state(state_path)
@@ -1132,8 +1317,8 @@ def _cmd_env(args: argparse.Namespace) -> int:
             environment=environment,
         )
         if state:
-            restore_client(client, state)
-        save_state(client, state_path)
+            restore_client(client.core, state)
+        save_state(client.core, state_path)
     for key, value in sorted(environment.describe().items()):
         print(f"{key} = {value}")
     return 0
@@ -1162,6 +1347,7 @@ _COMMANDS = {
     "health": _cmd_health,
     "trace": _cmd_trace,
     "flight": _cmd_flight,
+    "route": _cmd_route,
     "env": _cmd_env,
 }
 

@@ -478,11 +478,17 @@ class Ok(Message):
     ``epoch`` teaches clients the server's replication epoch (carried on
     Hello replies from replicated servers); 0 — replication off — is
     omitted from the wire so non-replicated replies are byte-identical.
+
+    ``shard_map`` teaches clients the fleet's shard map (carried on
+    Hello replies from fleet members; see :mod:`repro.fleet.ring`).
+    Like ``epoch``, an empty map — fleet mode off — is omitted from the
+    wire entirely, so single-server replies stay byte-identical.
     """
 
     TYPE = "ok"
     detail: str = ""
     epoch: int = 0
+    shard_map: Dict[str, Any] = field(default_factory=dict)
 
     def to_wire(self) -> bytes:
         payload: Dict[str, codec.Value] = {
@@ -491,6 +497,8 @@ class Ok(Message):
         }
         if self.epoch:
             payload["epoch"] = self.epoch
+        if self.shard_map:
+            payload["shard_map"] = _to_value(self.shard_map)
         return codec.encode(payload)
 
 
@@ -705,6 +713,56 @@ class Promote(Message):
 
     TYPE = "promote"
     min_epoch: int = 0
+
+
+# ---------------------------------------------------------------------------
+# fleet sharding (client <-> shard, shard <-> shard)
+# ---------------------------------------------------------------------------
+
+
+@register
+@dataclass(frozen=True)
+class WrongShard(Message):
+    """A fleet member refusing a request it does not own.
+
+    A shard that receives a :class:`Notify`/:class:`Update` for a key
+    outside its ring range answers with this redirect instead of an
+    :class:`ErrorReply`: ``owner`` names the shard the client should
+    have dialled and ``shard_map`` carries the refusing shard's current
+    map (epoch-numbered, see :mod:`repro.fleet.ring`) so a client
+    holding a stale map converges in one round-trip.  The router retries
+    against ``owner`` transparently; a direct client treats it as a
+    routing fault.
+    """
+
+    TYPE = "wrong-shard"
+    key: str = ""
+    shard: str = ""
+    owner: str = ""
+    shard_map: Dict[str, Any] = field(default_factory=dict)
+
+
+@register
+@dataclass(frozen=True)
+class ShardTransfer(Message):
+    """One cache entry migrating shard-to-shard during a reshard.
+
+    Sent by the shard losing ownership of ``key`` to the shard gaining
+    it (see :mod:`repro.fleet.migrate`).  The receiver stores the entry
+    in its cache **and journals it as an ordinary ``cache-put``
+    record**, so a replacement shard recovering from the journal (PR 5)
+    replays migrated entries exactly like client-pushed ones.  Like
+    :class:`StatsQuery` it is answerable without a Hello — migration is
+    a server-to-server admin path, not a client session.
+    """
+
+    TYPE = "shard-transfer"
+    sender: str = ""
+    key: str = ""
+    version: int = 0
+    checksum: str = ""
+    content: bytes = b""
+    client_id: str = ""
 
 
 def expect(reply: Message, expected: Type[Message]) -> Message:

@@ -61,6 +61,7 @@ from repro.core.protocol import (
     OutputReply,
     Resync,
     ResyncReply,
+    ShardTransfer,
     StatsQuery,
     StatsReply,
     StatusQuery,
@@ -81,6 +82,7 @@ from repro.durability.manager import (
     pack_bytes,
     request_dict,
 )
+from repro.diffing.model import checksum as content_checksum
 from repro.diffing.model import decode_delta
 from repro.diffing.selector import worthwhile
 from repro.errors import (
@@ -259,6 +261,11 @@ class ShadowServer:
         #: set by its constructor, never created here (the core server
         #: does not import the replication layer).
         self.replication = None
+        #: Optional :class:`~repro.fleet.member.FleetMember`; set by its
+        #: constructor the same way (the core server does not import the
+        #: fleet layer).  None — fleet mode off, the default — keeps
+        #: every reply byte-identical to a single-server build.
+        self.fleet = None
         #: Optional durability layer: write-ahead journal + periodic
         #: snapshot + startup recovery.  ``None`` (the default) keeps the
         #: server purely in-memory and byte-identical to earlier builds.
@@ -293,6 +300,7 @@ class ShadowServer:
         self.router.register(Bye, self._on_bye)
         self.router.register(StatsQuery, self._on_stats)
         self.router.register(HealthQuery, self._on_health)
+        self.router.register(ShardTransfer, self._on_shard_transfer)
 
     # ------------------------------------------------------------------
     # introspection
@@ -338,6 +346,8 @@ class ShadowServer:
             info["durability"] = self.durability.describe()
         if self.replication is not None:
             info["replication"] = self.replication.describe()
+        if self.fleet is not None:
+            info["fleet"] = self.fleet.describe()
         return info
 
     def close(self, drain_seconds: float = 5.0) -> None:
@@ -485,6 +495,14 @@ class ShadowServer:
             if refusal is not None:
                 trace.outcome = f"error:{refusal.code}"
                 return refusal.to_wire()
+        if self.fleet is not None:
+            # Ring-range fence.  Like the replication admit: the verdict
+            # is about this shard's range right now, so it runs before
+            # the reply cache and is never replayed from it.
+            redirect = self.fleet.admit(message)
+            if redirect is not None:
+                trace.outcome = "error:wrong-shard"
+                return redirect.to_wire()
         client_id = getattr(message, "client_id", "")
         trace.client_id = client_id
         session = self.sessions.ensure(client_id)
@@ -605,7 +623,15 @@ class ShadowServer:
         # A replicated server teaches the client its epoch so envelopes
         # can fence a resurrected old primary; epoch 0 is omitted from
         # the wire entirely (non-replicated replies are byte-identical).
-        return Ok(detail=f"welcome to {self.name}", epoch=self.epoch)
+        # A fleet member likewise teaches the shard map; an empty map
+        # (fleet off) is omitted the same way.
+        return Ok(
+            detail=f"welcome to {self.name}",
+            epoch=self.epoch,
+            shard_map=(
+                self.fleet.map_payload() if self.fleet is not None else {}
+            ),
+        )
 
     def _on_bye(self, message: Bye) -> Message:
         session = self.sessions.get(message.client_id)
@@ -653,6 +679,8 @@ class ShadowServer:
         }
         if self.replication is not None:
             snapshot["replication"] = self.replication.describe()
+        if self.fleet is not None:
+            snapshot["fleet"] = self.fleet.describe()
         if message.events > 0:
             snapshot["events"] = self.events.snapshot()[-message.events:]
         if message.traces > 0:
@@ -918,6 +946,56 @@ class ShadowServer:
             key=message.key,
             version=message.version,
             content=pack_bytes(content),
+            ts=self.now(),
+        )
+        self.pipeline.kick()
+        return UpdateAck(
+            key=message.key,
+            stored_version=message.version,
+            cached=stored is not None,
+        )
+
+    def _on_shard_transfer(self, message: ShardTransfer) -> Message:
+        """Accept one cache entry migrating in from a fleet peer.
+
+        A server-to-server admin path (no Hello required, like stats):
+        the sending shard lost ownership of ``key`` in a reshard and
+        this shard gained it.  The entry is cached and **journaled as an
+        ordinary cache-put**, so a replacement shard recovering from
+        this journal replays migrated entries exactly like
+        client-pushed ones — zero new replay code in the durability
+        layer.
+        """
+        if not message.key:
+            raise ProtocolError("shard-transfer without a key")
+        if message.version < 1:
+            raise ProtocolError(
+                f"bad version {message.version} for {message.key}"
+            )
+        if message.checksum and message.checksum != content_checksum(
+            message.content
+        ):
+            raise ProtocolError(
+                f"shard-transfer content for {message.key} does not match "
+                f"its checksum — refusing to cache a corrupt entry"
+            )
+        self.telemetry.counter("fleet_transfers_in_total").inc()
+        if self.fleet is not None:
+            self.fleet.transfers_in += 1
+        self.coherence.note_notification(message.key, message.version)
+        with traced_phase("cache-write"):
+            stored = self.cache.put(
+                message.key, message.content, message.version, self.now()
+            )
+        with traced_phase("stage"):
+            job_pipeline.stage_for_waiting_jobs(
+                self, message.key, message.version, message.content
+            )
+        self._journal(
+            "cache-put",
+            key=message.key,
+            version=message.version,
+            content=pack_bytes(message.content),
             ts=self.now(),
         )
         self.pipeline.kick()

@@ -147,3 +147,32 @@ class ServerCrashedError(TransportError):
 
 class ServerClosingError(ShadowError):
     """The server is draining for shutdown and refuses new sessions."""
+
+
+class DialSpecError(TransportError):
+    """A dial spec string could not be parsed into endpoints.
+
+    A :class:`TransportError` subclass: dial specs replaced the ad-hoc
+    endpoint parsing that raised ``TransportError``, and callers
+    catching that at the service boundary must keep working.
+    """
+
+
+class FleetError(ShadowError):
+    """The shard fleet was misconfigured or a request could not be routed."""
+
+
+class WrongShardError(FleetError):
+    """A request reached a shard that does not own its key.
+
+    Raised by clients talking *directly* to a shard (no router in the
+    path) when the shard answers ``wrong-shard``; carries the owning
+    shard's name and the refusing shard's fresh map payload so the
+    caller can re-dial correctly.
+    """
+
+    def __init__(self, key: str, owner: str, shard_map: dict) -> None:
+        super().__init__(f"key {key!r} belongs to shard {owner!r}")
+        self.key = key
+        self.owner = owner
+        self.shard_map = shard_map

@@ -1,0 +1,37 @@
+"""Shard fleet: many ShadowServers behind one consistent-hash ring.
+
+The paper ends at one server per supercomputer; this layer grows it
+sideways.  ``repro.fleet`` partitions the shadow namespace across N
+servers with a crc32 consistent-hash ring (:mod:`~repro.fleet.ring`),
+enforces ownership at each shard (:mod:`~repro.fleet.member`), routes
+client traffic — directly from a map-holding client
+(:mod:`~repro.fleet.channel`) or through a thin proxy tier
+(:mod:`~repro.fleet.router`) — migrates entries on reshard
+(:mod:`~repro.fleet.migrate`), and merges fleet-wide telemetry
+(:mod:`~repro.fleet.stats`).
+
+Fleet mode is strictly opt-in: a server without a
+:class:`~repro.fleet.member.FleetMember` attached behaves — to the
+byte — like every single-server figure in EXPERIMENTS.md.
+"""
+
+from repro.fleet.channel import FleetChannel
+from repro.fleet.member import FleetMember
+from repro.fleet.migrate import migrate, migration_plan
+from repro.fleet.ring import DEFAULT_REPLICAS, HashRing, ShardMap
+from repro.fleet.router import FleetRouter, ShardDirectory, ShardRouter
+from repro.fleet.stats import merge_snapshots
+
+__all__ = [
+    "DEFAULT_REPLICAS",
+    "FleetChannel",
+    "FleetMember",
+    "FleetRouter",
+    "HashRing",
+    "ShardDirectory",
+    "ShardMap",
+    "ShardRouter",
+    "merge_snapshots",
+    "migrate",
+    "migration_plan",
+]

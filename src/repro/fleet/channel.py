@@ -1,0 +1,62 @@
+"""The client side of the fleet: one channel over the whole ring.
+
+A :class:`FleetChannel` is an ordinary
+:class:`~repro.transport.base.RequestChannel` whose ``_deliver`` runs
+the shard router — so the existing client stack (core client,
+``repro.api`` facade, resilience layer, CLI) talks to N shards without
+a single code change.  The client's Hello broadcasts to every shard
+(each one must greet the session) and teaches the channel the fleet's
+current shard map off the first ``Ok``; from then on every request
+routes directly to its owner, with one ``wrong-shard`` hop only when a
+reshard outran the cached map.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.fleet.ring import ShardMap
+from repro.fleet.router import Opener, ShardDirectory, ShardRouter
+from repro.transport.base import RequestChannel
+
+
+class FleetChannel(RequestChannel):
+    """A request channel that consistent-hashes onto fleet shards."""
+
+    def __init__(
+        self,
+        shard_map: ShardMap,
+        channels: Optional[Mapping[str, RequestChannel]] = None,
+        opener: Optional[Opener] = None,
+        timeout: float = 30.0,
+    ) -> None:
+        super().__init__()
+        self.timeout = timeout
+        self.directory = ShardDirectory(
+            shard_map, channels=channels, opener=opener
+        )
+        self.router = ShardRouter(self.directory)
+
+    @property
+    def shard_map(self) -> ShardMap:
+        return self.directory.map
+
+    @property
+    def redirects(self) -> int:
+        return self.router.redirects
+
+    def _deliver(self, payload: bytes) -> bytes:
+        return self.router.deliver(payload)
+
+    def _deliver_many(self, payloads) -> List[Optional[bytes]]:
+        return self.router.deliver_many(list(payloads))
+
+    def close(self) -> None:
+        super().close()
+        self.directory.close()
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "component": "fleet-channel",
+            "router": self.router.describe(),
+        }

@@ -1,0 +1,176 @@
+"""The server side of fleet mode: one shard of the hash ring.
+
+A :class:`FleetMember` attaches to a :class:`~repro.core.server.ShadowServer`
+the same way a ``ReplicationManager`` does — the constructor sets
+``server.fleet`` and the core server calls it duck-typed, so the core
+layer never imports this module.  Attached, the server:
+
+* advertises the shard map in every Hello ``Ok`` (the client or router
+  learns the whole fleet from its first round-trip);
+* refuses coherence traffic (``Notify`` / ``Update``) for keys outside
+  its ring range with a ``wrong-shard`` redirect carrying the fresh
+  map — **except** updates a queued job of that client is waiting for,
+  which are accepted and staged so job inputs land at the job's shard
+  regardless of key ownership;
+* answers ``shard-transfer`` messages (handled by the core server) so
+  resharding can move cache entries in.
+
+Fleet mode is default-off: a server with no member attached emits an
+empty ``shard_map`` (omitted from the wire) and refuses nothing, so
+every single-server figure stays byte-identical.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional
+
+from repro.core.protocol import (
+    BatchNotify,
+    BatchUpdate,
+    Message,
+    Notify,
+    Update,
+    UpdateChunk,
+    WrongShard,
+)
+from repro.errors import FleetError
+from repro.fleet.ring import ShardMap
+
+
+class FleetMember:
+    """Ownership enforcement + map advertisement for one shard."""
+
+    def __init__(self, server: Any, shard_map: ShardMap) -> None:
+        if server.name not in shard_map.names:
+            raise FleetError(
+                f"server {server.name!r} is not a shard of the map "
+                f"{list(shard_map.names)!r} — fleet members are named "
+                f"after their shard"
+            )
+        self.server = server
+        self._lock = threading.Lock()
+        self._map = shard_map
+        self.redirects = 0
+        self.transfers_in = 0
+        self.transfers_out = 0
+        server.fleet = self
+
+    # ------------------------------------------------------------------
+    # the map
+    # ------------------------------------------------------------------
+    @property
+    def shard(self) -> str:
+        return self.server.name
+
+    @property
+    def shard_map(self) -> ShardMap:
+        with self._lock:
+            return self._map
+
+    def map_payload(self) -> Dict[str, Any]:
+        return self.shard_map.to_payload()
+
+    def update_map(self, new_map: ShardMap) -> bool:
+        """Adopt a newer map (resharding); stale epochs are ignored."""
+        if self.server.name not in new_map.names:
+            raise FleetError(
+                f"server {self.server.name!r} is not in the new map "
+                f"{list(new_map.names)!r}; migrate its entries away and "
+                f"retire it instead"
+            )
+        with self._lock:
+            if new_map.epoch <= self._map.epoch:
+                return False
+            self._map = new_map
+            return True
+
+    def owns(self, key: str) -> bool:
+        return self.shard_map.owner(key) == self.server.name
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def admit(self, message: Message) -> Optional[WrongShard]:
+        """Gate one decoded request against the ring, before dispatch.
+
+        Returns the ``wrong-shard`` redirect to send, or None to let
+        the request through.  Mirrors
+        :meth:`~repro.replication.manager.ReplicationManager.admit`:
+        the verdict is about this shard's range *right now*, so it runs
+        before the reply cache and is never replayed from it.
+        """
+        foreign = self._foreign_key(message)
+        if foreign is None:
+            return None
+        shard_map = self.shard_map
+        self.redirects += 1
+        self.server.telemetry.counter(
+            "fleet_wrong_shard_total", {"type": message.TYPE}
+        ).inc()
+        return WrongShard(
+            key=foreign,
+            shard=self.server.name,
+            owner=shard_map.owner(foreign),
+            shard_map=shard_map.to_payload(),
+        )
+
+    def _foreign_key(self, message: Message) -> Optional[str]:
+        """The first key this shard must redirect, or None."""
+        if isinstance(message, Notify):
+            if not self.owns(message.key):
+                return message.key
+            return None
+        if isinstance(message, (Update, UpdateChunk)):
+            if self.owns(message.key):
+                return None
+            if self._job_waiting(message.client_id, message.key):
+                return None
+            return message.key
+        if isinstance(message, BatchNotify):
+            for entry in message.items:
+                if entry and not self.owns(str(entry[0])):
+                    return str(entry[0])
+            return None
+        if isinstance(message, BatchUpdate):
+            for item in message.items:
+                key = str(item.get("key", ""))
+                if key and not self.owns(key):
+                    if not self._job_waiting(message.client_id, key):
+                        return key
+            return None
+        # Everything else — Hello/Bye/Submit/Status/Fetch/Cancel/Resync,
+        # stats, health, replication, transfers — is either already
+        # routed by the caller or shard-local by construction.
+        return None
+
+    def _job_waiting(self, client_id: str, key: str) -> bool:
+        """True if a queued job of ``client_id`` still needs ``key``.
+
+        The router sends a job's input files to the *job's* shard (the
+        ``needs`` list of its SubmitReply says so), which may not own
+        the key on the ring — staging must accept them anyway or no
+        multi-file job spanning shards could ever run.
+        """
+        for job in self.server.queue.snapshot():
+            if job.owner == client_id and key in job.file_versions:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict[str, Any]:
+        shard_map = self.shard_map
+        return {
+            "component": "fleet-member",
+            "shard": self.server.name,
+            "map": shard_map.describe(),
+            "owned_keys": sum(
+                1 for key in self.server.cache.keys()
+                if shard_map.owner(key) == self.server.name
+            ),
+            "redirects": self.redirects,
+            "transfers_in": self.transfers_in,
+            "transfers_out": self.transfers_out,
+        }

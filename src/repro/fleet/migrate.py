@@ -1,0 +1,103 @@
+"""Resharding: move cache entries to their new owners, journaled.
+
+When the map changes (a shard joins, a dead shard's replacement takes
+its range), every entry whose owner moved must follow it.  The transfer
+rides the ordinary request path as
+:class:`~repro.core.protocol.ShardTransfer` messages, and the receiving
+server journals each one **as a cache-put** — so the moved entries are
+exactly as durable as client-pushed ones, and a replacement shard
+recovering from a dead peer's journal (PR 5) replays them with zero new
+replay code.
+
+The consistent-hash ring keeps this cheap: adding one shard to an
+N-shard fleet moves ~1/(N+1) of the keys, not all of them (the property
+``tests/fleet/test_ring.py`` pins).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.protocol import ShardTransfer, UpdateAck, decode_message
+from repro.errors import FleetError, ShadowError, TransportError
+from repro.fleet.ring import ShardMap
+from repro.transport.base import RequestChannel
+
+
+def migration_plan(server: Any, new_map: ShardMap) -> List[Tuple[str, str]]:
+    """``(key, new owner)`` for every cached entry leaving this server."""
+    return [
+        (key, new_map.owner(key))
+        for key in server.cache.keys()
+        if new_map.owner(key) != server.name
+    ]
+
+
+def migrate(
+    server: Any,
+    new_map: ShardMap,
+    channels: Mapping[str, RequestChannel],
+    drop: bool = True,
+) -> Dict[str, Any]:
+    """Push every entry this server no longer owns to its new owner.
+
+    ``channels`` dials the receiving shards (name -> channel).  Each
+    transferred entry is invalidated locally once the receiver
+    acknowledges it (``drop=False`` keeps the local copy — a dry-run
+    style warm-up); the local invalidation is journaled through the
+    cache's ``on_drop`` hook, so both ends of the move are in their
+    journals.  Finally the server's fleet member (when attached) adopts
+    the new map, closing the window where this server would still claim
+    the moved range.
+
+    Returns a summary: keys moved, bytes shipped, per-shard counts, and
+    the keys that failed (left in place for a retry).
+    """
+    plan = migration_plan(server, new_map)
+    moved: List[str] = []
+    failed: List[str] = []
+    per_shard: Dict[str, int] = {}
+    shipped_bytes = 0
+    for key, owner in plan:
+        entry = server.cache.peek_entry(key)
+        if entry is None:
+            continue  # evicted since the plan was cut
+        channel = channels.get(owner)
+        if channel is None:
+            raise FleetError(
+                f"no channel to shard {owner!r} for migrating {key!r}"
+            )
+        message = ShardTransfer(
+            sender=server.name,
+            key=key,
+            version=entry.version,
+            checksum=entry.checksum,
+            content=entry.content,
+        )
+        try:
+            reply = decode_message(channel.request(message.to_wire()))
+        except (TransportError, ShadowError):
+            failed.append(key)
+            continue
+        if not isinstance(reply, UpdateAck):
+            failed.append(key)
+            continue
+        moved.append(key)
+        shipped_bytes += len(entry.content)
+        per_shard[owner] = per_shard.get(owner, 0) + 1
+        server.telemetry.counter("fleet_transfers_out_total").inc()
+        if getattr(server, "fleet", None) is not None:
+            server.fleet.transfers_out += 1
+        if drop:
+            server.cache.invalidate(key)
+    if getattr(server, "fleet", None) is not None:
+        server.fleet.update_map(new_map)
+    return {
+        "component": "fleet-migration",
+        "source": server.name,
+        "epoch": new_map.epoch,
+        "moved": len(moved),
+        "failed": failed,
+        "bytes": shipped_bytes,
+        "per_shard": per_shard,
+    }

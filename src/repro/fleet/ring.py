@@ -1,0 +1,193 @@
+"""Consistent-hash ring and the epoch-numbered shard map.
+
+The fleet partitions the shadow namespace by the resolved global name —
+the ``domain:file-id`` cache key every message already carries — so one
+shard owns each file for its whole lifetime regardless of which client
+touches it.  Ownership is decided by a consistent-hash ring:
+
+* Hashing is ``zlib.crc32`` of the UTF-8 key, the same
+  PYTHONHASHSEED-invariant choice as :class:`repro.cache.store.CacheStore`
+  lock sharding, so every process in the fleet (and every test run)
+  computes identical ownership.
+* Each shard contributes ``replicas`` virtual points to the ring, so
+  adding or removing one shard moves only ~1/N of the keyspace instead
+  of reshuffling everything (the property the migration path in
+  :mod:`repro.fleet.migrate` depends on).
+
+The :class:`ShardMap` wraps the ring with the two things routing needs
+beyond ownership: a monotonically increasing **epoch** (a client or
+router holding epoch 3 adopts any map with epoch > 3 and ignores older
+ones) and the **dial spec** for each shard, so learning the map from a
+Hello ``Ok`` is enough to dial every member.
+"""
+
+from __future__ import annotations
+
+import bisect
+import zlib
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.errors import FleetError
+
+#: Virtual points each shard contributes to the ring.  Enough that a
+#: three-shard fleet splits a synthetic workload within a few percent of
+#: evenly; small enough that building a map is trivially cheap.
+DEFAULT_REPLICAS = 64
+
+
+def _hash(text: str) -> int:
+    """Stable 32-bit ring position (PYTHONHASHSEED-invariant)."""
+    return zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF
+
+
+class HashRing:
+    """A consistent-hash ring over shard names."""
+
+    def __init__(
+        self, shards: Iterable[str], replicas: int = DEFAULT_REPLICAS
+    ) -> None:
+        names = list(shards)
+        if not names:
+            raise FleetError("a hash ring needs at least one shard")
+        if len(set(names)) != len(names):
+            raise FleetError(f"duplicate shard names in {names!r}")
+        if replicas < 1:
+            raise FleetError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self._shards = tuple(sorted(names))
+        points: List[Tuple[int, str]] = []
+        for name in self._shards:
+            for index in range(replicas):
+                points.append((_hash(f"{name}#{index}"), name))
+        # Ties (two shards hashing one point) resolve by name order so
+        # every process agrees; sort on the pair does exactly that.
+        points.sort()
+        self._points = [point for point, _ in points]
+        self._owners = [name for _, name in points]
+
+    @property
+    def shards(self) -> Tuple[str, ...]:
+        return self._shards
+
+    def owner(self, key: str) -> str:
+        """The shard owning ``key``: first ring point at or after its hash."""
+        position = _hash(key)
+        index = bisect.bisect_left(self._points, position)
+        if index == len(self._points):
+            index = 0  # wrap past the top of the ring
+        return self._owners[index]
+
+    def spread(self, keys: Iterable[str]) -> Dict[str, int]:
+        """How many of ``keys`` each shard owns (diagnostics / tests)."""
+        counts = {name: 0 for name in self._shards}
+        for key in keys:
+            counts[self.owner(key)] += 1
+        return counts
+
+
+class ShardMap:
+    """An epoch-numbered ring description: shard name -> dial spec.
+
+    The wire form (:meth:`to_payload`) is a plain str/int dict so it can
+    ride inside Hello ``Ok`` and ``wrong-shard`` replies through the
+    deterministic codec unchanged.
+    """
+
+    def __init__(
+        self,
+        shards: Mapping[str, str],
+        epoch: int = 1,
+        replicas: int = DEFAULT_REPLICAS,
+    ) -> None:
+        if not shards:
+            raise FleetError("a shard map needs at least one shard")
+        if epoch < 1:
+            raise FleetError(f"shard-map epoch must be >= 1, got {epoch}")
+        self.epoch = epoch
+        self.shards: Dict[str, str] = {
+            name: str(dial) for name, dial in sorted(shards.items())
+        }
+        self.ring = HashRing(self.shards, replicas=replicas)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return self.ring.shards
+
+    def owner(self, key: str) -> str:
+        return self.ring.owner(key)
+
+    def owner_of_job(self, job_id: str) -> Optional[str]:
+        """The shard that minted ``job_id``.
+
+        Fleet members are named after their shard and job ids embed the
+        server name (``<name>-job-00001``), so the longest matching
+        prefix identifies the minting shard without any routing table.
+        """
+        best: Optional[str] = None
+        for name in self.names:
+            if job_id.startswith(f"{name}-job-") and (
+                best is None or len(name) > len(best)
+            ):
+                best = name
+        return best
+
+    def dial(self, name: str) -> str:
+        try:
+            return self.shards[name]
+        except KeyError:
+            raise FleetError(f"shard {name!r} is not in the map") from None
+
+    def with_shards(
+        self, shards: Mapping[str, str], epoch: Optional[int] = None
+    ) -> "ShardMap":
+        """A successor map (epoch bumped unless given explicitly)."""
+        return ShardMap(
+            shards,
+            epoch=self.epoch + 1 if epoch is None else epoch,
+            replicas=self.ring.replicas,
+        )
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "epoch": self.epoch,
+            "replicas": self.ring.replicas,
+            "shards": dict(self.shards),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "ShardMap":
+        try:
+            shards = payload["shards"]
+            epoch = payload["epoch"]
+        except (KeyError, TypeError) as exc:
+            raise FleetError(f"malformed shard-map payload: {exc}") from exc
+        if not isinstance(shards, Mapping):
+            raise FleetError("shard-map 'shards' must be a mapping")
+        return cls(
+            {str(k): str(v) for k, v in shards.items()},
+            epoch=int(epoch),
+            replicas=int(payload.get("replicas", DEFAULT_REPLICAS)),
+        )
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "component": "shard-map",
+            "epoch": self.epoch,
+            "shards": dict(self.shards),
+            "replicas": self.ring.replicas,
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ShardMap):
+            return NotImplemented
+        return (
+            self.epoch == other.epoch
+            and self.shards == other.shards
+            and self.ring.replicas == other.ring.replicas
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardMap(epoch={self.epoch}, "
+            f"shards={list(self.shards)})"
+        )

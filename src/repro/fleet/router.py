@@ -1,0 +1,863 @@
+"""Shard routing: one request stream fanned across the hash ring.
+
+The routing brain lives in :class:`ShardRouter` and is shared by the
+two places a request can be steered:
+
+* **client side** — :class:`~repro.fleet.channel.FleetChannel` wraps a
+  router so a completely unmodified client (core or facade) talks to
+  the whole fleet through one ordinary
+  :class:`~repro.transport.base.RequestChannel`;
+* **server side** — :class:`FleetRouter` wraps the same router in a
+  ``bytes -> bytes`` handler servable under
+  :func:`~repro.transport.channel_server`: the thin proxy tier for
+  clients that only know the router's address.
+
+Routing rules, by message type:
+
+* ``Notify`` / ``Update`` / ``UpdateChunk`` — to the key's ring owner,
+  unless a live **job override** redirects the key to the shard running
+  a job that needs it (set when a ``SubmitReply`` with a non-empty
+  ``needs`` list passes through, cleared by the matching
+  ``UpdateAck``): job inputs must land where the job runs.
+* ``Submit`` — to the shard owning the job's first file key (the
+  script text hashes the job onto the ring when it names no files).
+  Job ids embed the shard name, so later ``Status``/``Fetch``/
+  ``Cancel`` route by id without any shared table.
+* ``BatchNotify`` / ``BatchUpdate`` / ``Resync`` — **split** per owner
+  into sub-frames, answered by reassembling the per-shard verdicts in
+  the original item order.
+* ``Hello`` / ``Bye`` / all-jobs ``StatusQuery`` — **broadcast**: every
+  shard must know the session; status merges every shard's records.
+* ``StatsQuery`` / ``HealthQuery`` — broadcast and merged
+  (:func:`repro.fleet.stats.merge_snapshots` / worst-status-wins).
+* replication admin (``Promote``, ``repl-*``) — refused with
+  ``not-routable``: those address one concrete server, not the ring.
+
+A ``wrong-shard`` reply (the shard's map was newer than ours) adopts
+the fresh map off the redirect and re-sends once to the named owner —
+the client converges in one extra round-trip and every later request
+routes directly.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.protocol import (
+    BatchNotify,
+    BatchReply,
+    BatchUpdate,
+    Bye,
+    CancelJob,
+    Envelope,
+    ErrorReply,
+    FetchOutput,
+    HealthQuery,
+    HealthReply,
+    Heartbeat,
+    Hello,
+    Message,
+    Notify,
+    Ok,
+    Promote,
+    ReplicateAck,
+    ReplicateHello,
+    ReplicateRecord,
+    ReplicateSnapshot,
+    Resync,
+    ResyncReply,
+    ShardTransfer,
+    StatsQuery,
+    StatsReply,
+    StatusQuery,
+    StatusReply,
+    Submit,
+    SubmitReply,
+    Update,
+    UpdateAck,
+    UpdateChunk,
+    WrongShard,
+    decode_message,
+)
+from repro.errors import (
+    FleetError,
+    ShadowError,
+    TransportClosedError,
+    TransportError,
+)
+from repro.fleet import stats as fleet_stats
+from repro.fleet.ring import ShardMap
+from repro.transport.base import RequestChannel
+
+#: Shard-name -> channel factory; ``(name, dial_text)`` -> channel.
+Opener = Callable[[str, str], RequestChannel]
+
+#: Messages that address one concrete server, not the ring.
+_NOT_ROUTABLE = (
+    Promote,
+    ReplicateHello,
+    ReplicateSnapshot,
+    ReplicateRecord,
+    ReplicateAck,
+    Heartbeat,
+)
+
+
+def _default_opener(name: str, dial: str) -> RequestChannel:
+    from repro.transport.dialspec import DialSpec
+
+    spec = DialSpec.parse(dial)
+    if spec.kind == "fleet":
+        raise FleetError(
+            f"shard {name!r} dials to another fleet ({dial!r}); "
+            f"shard endpoints must be single hosts or dial lists"
+        )
+    return spec.connect(lazy=True)
+
+
+class ShardDirectory:
+    """The current map plus a live channel per shard.
+
+    Channels come from three places, in precedence order: ones injected
+    at construction (tests, in-process fleets), ones opened earlier and
+    still usable, and ones dialled on demand through ``opener`` (TCP
+    deployments, default :func:`DialSpec.connect <repro.transport.dialspec.DialSpec.connect>`).
+    """
+
+    def __init__(
+        self,
+        shard_map: ShardMap,
+        channels: Optional[Mapping[str, RequestChannel]] = None,
+        opener: Optional[Opener] = None,
+    ) -> None:
+        self._lock = threading.RLock()
+        self._map = shard_map
+        self._channels: Dict[str, RequestChannel] = dict(channels or {})
+        #: Names we dialled ourselves — the only channels adopt()/close()
+        #: may close; injected ones belong to the caller.
+        self._opened: set = set()
+        self._opener = opener if opener is not None else _default_opener
+        self.map_updates = 0
+        for name in self._channels:
+            if name not in shard_map.names:
+                raise FleetError(
+                    f"channel for unknown shard {name!r}; map has "
+                    f"{list(shard_map.names)!r}"
+                )
+
+    @property
+    def map(self) -> ShardMap:
+        with self._lock:
+            return self._map
+
+    def channel(self, name: str) -> RequestChannel:
+        with self._lock:
+            shard_map = self._map
+            channel = self._channels.get(name)
+            if channel is not None and not channel.closed:
+                return channel
+            dial = shard_map.dial(name)
+            channel = self._opener(name, dial)
+            self._channels[name] = channel
+            self._opened.add(name)
+            return channel
+
+    def adopt(self, payload: Mapping[str, Any]) -> bool:
+        """Adopt a map payload learned from a reply, if newer."""
+        new_map = ShardMap.from_payload(payload)
+        with self._lock:
+            if new_map.epoch <= self._map.epoch:
+                return False
+            old_map = self._map
+            self._map = new_map
+            self.map_updates += 1
+            for name in list(self._opened):
+                gone = name not in new_map.names
+                moved = not gone and new_map.dial(name) != old_map.dial(name)
+                if gone or moved:
+                    channel = self._channels.pop(name, None)
+                    self._opened.discard(name)
+                    if channel is not None:
+                        try:
+                            channel.close()
+                        except (TransportError, OSError):
+                            pass
+            return True
+
+    def invalidate(self, name: str) -> None:
+        """Drop a shard's channel so the next use re-dials fresh.
+
+        Called when a request hits a torn connection (shard crashed or
+        restarted); only self-dialled channels are closed — injected
+        ones belong to the caller, exactly as in :meth:`adopt`."""
+        with self._lock:
+            channel = self._channels.pop(name, None)
+            if name in self._opened:
+                self._opened.discard(name)
+                if channel is not None:
+                    try:
+                        channel.close()
+                    except (TransportError, OSError):
+                        pass
+            elif channel is not None:
+                # Injected channel: keep it registered — the owner may
+                # revive it (in-process loopbacks never tear).
+                self._channels[name] = channel
+
+    def close(self) -> None:
+        with self._lock:
+            for name in list(self._opened):
+                channel = self._channels.pop(name, None)
+                if channel is not None:
+                    try:
+                        channel.close()
+                    except (TransportError, OSError):
+                        pass
+            self._opened.clear()
+
+    def describe(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "component": "shard-directory",
+                "map": self._map.describe(),
+                "channels": sorted(self._channels),
+                "map_updates": self.map_updates,
+            }
+
+
+class ShardRouter:
+    """Stateless-per-request routing over a :class:`ShardDirectory`.
+
+    The only cross-request state is the **job override table** —
+    ``(client id, key) -> shard`` entries steering a job's input files
+    to the job's shard — and the job-id -> shard memo for ids whose
+    shard-name prefix a restarted router has not re-learned.
+    """
+
+    def __init__(self, directory: ShardDirectory) -> None:
+        self.directory = directory
+        self._lock = threading.Lock()
+        self._job_shards: Dict[str, str] = {}
+        self._overrides: Dict[Tuple[str, str], str] = {}
+        #: client id -> the raw Hello frame we broadcast for it; replayed
+        #: to shards a mid-session map adoption adds, which would
+        #: otherwise refuse the un-greeted session's requests.
+        self._hellos: Dict[str, bytes] = {}
+        self.redirects = 0
+        self.broadcasts = 0
+        self.splits = 0
+
+    # ------------------------------------------------------------------
+    # public entry points
+    # ------------------------------------------------------------------
+    def deliver(self, payload: bytes) -> bytes:
+        envelope, inner = self._open(payload)
+        if inner is None:
+            return ErrorReply(
+                code="bad-message",
+                message="router could not decode the request",
+            ).to_wire()
+        return self._execute(payload, envelope, inner)
+
+    def deliver_many(
+        self, payloads: List[bytes]
+    ) -> List[Optional[bytes]]:
+        """Pipelined delivery: single-shard frames are grouped and
+        pipelined per shard (order preserved within each shard — and a
+        key always routes to one shard, so per-key order is preserved
+        globally); broadcast/split frames fall back to one-at-a-time."""
+        plans: List[Tuple[Optional[Envelope], Optional[Message]]] = [
+            self._open(payload) for payload in payloads
+        ]
+        replies: List[Optional[bytes]] = [None] * len(payloads)
+        groups: Dict[str, List[int]] = {}
+        singles: Dict[int, str] = {}
+        for index, (envelope, inner) in enumerate(plans):
+            shard = (
+                self._single_target(inner) if inner is not None else None
+            )
+            if shard is not None:
+                groups.setdefault(shard, []).append(index)
+                singles[index] = shard
+        for shard, indexes in groups.items():
+            try:
+                channel = self.directory.channel(shard)
+                batch = channel.request_many(
+                    [payloads[index] for index in indexes]
+                )
+            except TransportClosedError:
+                # A torn shard fails its own frames (None slots the
+                # resilience layer re-ships), never the whole fleet.
+                self.directory.invalidate(shard)
+                continue
+            except TransportError:
+                continue
+            for index, raw in zip(indexes, batch):
+                if raw is None:
+                    continue
+                raw = self._maybe_redirect(raw, payloads[index])
+                _, inner = plans[index]
+                self._absorb(raw, inner, shard)
+                replies[index] = raw
+        for index, (envelope, inner) in enumerate(plans):
+            if index in singles:
+                continue
+            if inner is None:
+                replies[index] = ErrorReply(
+                    code="bad-message",
+                    message="router could not decode the request",
+                ).to_wire()
+                continue
+            try:
+                replies[index] = self._execute(
+                    payloads[index], envelope, inner
+                )
+            except TransportError:
+                replies[index] = None
+        return replies
+
+    def describe(self) -> Dict[str, Any]:
+        with self._lock:
+            overrides = len(self._overrides)
+            jobs = len(self._job_shards)
+        return {
+            "component": "shard-router",
+            "directory": self.directory.describe(),
+            "redirects": self.redirects,
+            "broadcasts": self.broadcasts,
+            "splits": self.splits,
+            "job_overrides": overrides,
+            "jobs_routed": jobs,
+        }
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def _open(
+        self, payload: bytes
+    ) -> Tuple[Optional[Envelope], Optional[Message]]:
+        try:
+            message = decode_message(payload)
+            if isinstance(message, Envelope):
+                return message, message.open()
+            return None, message
+        except ShadowError:
+            return None, None
+
+    def _override(self, client_id: str, key: str) -> Optional[str]:
+        with self._lock:
+            return self._overrides.get((client_id, key))
+
+    def _single_target(self, inner: Message) -> Optional[str]:
+        """The one shard this message goes to, or None (broadcast /
+        split / refused)."""
+        shard_map = self.directory.map
+        if isinstance(inner, (Notify, Update, UpdateChunk)):
+            if not isinstance(inner, Notify):
+                override = self._override(inner.client_id, inner.key)
+                if override is not None and override in shard_map.names:
+                    return override
+            return shard_map.owner(inner.key)
+        if isinstance(inner, Submit):
+            if inner.files:
+                return shard_map.owner(str(inner.files[0][0]))
+            return shard_map.owner(inner.script)
+        if isinstance(inner, StatusQuery):
+            if inner.job_id is None:
+                return None  # broadcast
+            return self._job_shard(inner.job_id, shard_map)
+        if isinstance(inner, FetchOutput):
+            return self._job_shard(inner.job_id, shard_map)
+        if isinstance(inner, CancelJob):
+            return self._job_shard(inner.job_id, shard_map)
+        if isinstance(inner, ShardTransfer):
+            return shard_map.owner(inner.key)
+        if isinstance(inner, BatchNotify):
+            targets = {
+                shard_map.owner(str(entry[0]))
+                for entry in inner.items
+                if entry
+            }
+            return targets.pop() if len(targets) == 1 else None
+        if isinstance(inner, BatchUpdate):
+            targets = set()
+            for item in inner.items:
+                key = str(item.get("key", ""))
+                targets.add(
+                    self._override(inner.client_id, key)
+                    or shard_map.owner(key)
+                )
+            return targets.pop() if len(targets) == 1 else None
+        if isinstance(
+            inner,
+            (Hello, Bye, Resync, StatsQuery, HealthQuery),
+        ) or isinstance(inner, _NOT_ROUTABLE):
+            return None
+        # Anything else (future message types) pins to the first shard
+        # so behaviour is at least deterministic.
+        return shard_map.names[0]
+
+    def _job_shard(self, job_id: str, shard_map: ShardMap) -> str:
+        with self._lock:
+            known = self._job_shards.get(job_id)
+        if known is not None and known in shard_map.names:
+            return known
+        by_name = shard_map.owner_of_job(job_id)
+        if by_name is not None:
+            return by_name
+        # Unknown id (stale state file, foreign fleet): first shard
+        # answers with its usual unknown-job error.
+        return shard_map.names[0]
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _execute(
+        self,
+        payload: bytes,
+        envelope: Optional[Envelope],
+        inner: Message,
+    ) -> bytes:
+        if isinstance(inner, _NOT_ROUTABLE):
+            return ErrorReply(
+                code="not-routable",
+                message=(
+                    f"{inner.TYPE} addresses one concrete server; dial "
+                    f"the shard directly instead of the fleet"
+                ),
+            ).to_wire()
+        shard = self._single_target(inner)
+        if shard is not None:
+            raw = self._request(shard, payload)
+            raw = self._maybe_redirect(raw, payload)
+            self._absorb(raw, inner, shard)
+            return raw
+        if isinstance(inner, (Hello, Bye)):
+            return self._broadcast_first(payload, inner)
+        if isinstance(inner, StatusQuery):
+            return self._broadcast_status(payload)
+        if isinstance(inner, StatsQuery):
+            return self._broadcast_stats(payload)
+        if isinstance(inner, HealthQuery):
+            return self._broadcast_health(payload)
+        if isinstance(inner, Resync):
+            return self._split_resync(envelope, inner)
+        if isinstance(inner, BatchNotify):
+            return self._split_batch_notify(envelope, inner)
+        if isinstance(inner, BatchUpdate):
+            return self._split_batch_update(envelope, inner)
+        raise FleetError(f"unroutable message type {inner.TYPE!r}")
+
+    def _request(self, shard: str, payload: bytes) -> bytes:
+        try:
+            return self.directory.channel(shard).request(payload)
+        except TransportClosedError as exc:
+            # The *shard's* connection tore, not the fleet channel: drop
+            # it so the next attempt re-dials, and surface a retryable
+            # fault (the resilience layer re-ships the same request id;
+            # the shard's reply cache keeps effects exactly-once).
+            self.directory.invalidate(shard)
+            raise TransportError(
+                f"shard {shard!r} connection closed: {exc}"
+            ) from exc
+
+    def _adopt(self, payload: Mapping[str, Any]) -> None:
+        """Adopt a fresh map, re-greeting any shard it adds.
+
+        Shards that join mid-session never saw our clients' Hellos and
+        would refuse their requests; replaying the recorded Hello
+        frames closes that gap before any request routes to them."""
+        before = set(self.directory.map.names)
+        if not self.directory.adopt(payload):
+            return
+        added = [
+            name
+            for name in self.directory.map.names
+            if name not in before
+        ]
+        if not added:
+            return
+        with self._lock:
+            hellos = list(self._hellos.values())
+        for name in added:
+            for raw in hellos:
+                try:
+                    self._request(name, raw)
+                except (TransportError, ShadowError):
+                    pass  # surfaces on the real request, with retry
+
+    def _maybe_redirect(self, raw: bytes, payload: bytes) -> bytes:
+        """Follow one ``wrong-shard`` redirect (stale map)."""
+        if b"wrong-shard" not in raw:
+            return raw
+        try:
+            reply = decode_message(raw)
+        except ShadowError:
+            return raw
+        if not isinstance(reply, WrongShard):
+            return raw
+        self.redirects += 1
+        if reply.shard_map:
+            self._adopt(reply.shard_map)
+        owner = reply.owner
+        if owner not in self.directory.map.names:
+            return raw  # the redirect names a shard we cannot dial
+        return self._request(owner, payload)
+
+    def _absorb(self, raw: bytes, inner: Message, shard: str) -> None:
+        """Reply bookkeeping: learn maps, job shards, and override
+        lifecycles off replies as they stream back."""
+        # Substring prechecks before decoding, like FailoverChannel's
+        # refusal scan: the literals below cannot appear in a reply of
+        # another type without also appearing in its bytes (bencode
+        # strings are verbatim UTF-8), so the hot path never decodes.
+        if b"shard_map" in raw:
+            try:
+                reply = decode_message(raw)
+            except ShadowError:
+                reply = None
+            if isinstance(reply, Ok) and reply.shard_map:
+                self._adopt(reply.shard_map)
+        client_id = getattr(inner, "client_id", "")
+        if isinstance(inner, Submit) and b"submit-reply" in raw:
+            try:
+                reply = decode_message(raw)
+            except ShadowError:
+                return
+            if isinstance(reply, SubmitReply):
+                with self._lock:
+                    self._job_shards[reply.job_id] = shard
+                    for need in reply.needs:
+                        self._overrides[(client_id, str(need[0]))] = shard
+            return
+        if isinstance(inner, (Update, UpdateChunk)) and b"update-ack" in raw:
+            try:
+                reply = decode_message(raw)
+            except ShadowError:
+                return
+            if isinstance(reply, UpdateAck):
+                with self._lock:
+                    self._overrides.pop((client_id, reply.key), None)
+            return
+        if isinstance(inner, BatchUpdate) and b"batch-reply" in raw:
+            try:
+                reply = decode_message(raw)
+            except ShadowError:
+                return
+            if isinstance(reply, BatchReply):
+                with self._lock:
+                    for item in reply.items:
+                        if "stored_version" in item:
+                            self._overrides.pop(
+                                (client_id, str(item.get("key", ""))), None
+                            )
+
+    # ------------------------------------------------------------------
+    # broadcast merges
+    # ------------------------------------------------------------------
+    def _broadcast(self, payload: bytes) -> Dict[str, bytes]:
+        self.broadcasts += 1
+        replies: Dict[str, bytes] = {}
+        for name in self.directory.map.names:
+            replies[name] = self._request(name, payload)
+        return replies
+
+    def _broadcast_first(self, payload: bytes, inner: Message) -> bytes:
+        """Hello/Bye hit every shard; the first shard's reply answers.
+
+        Any shard-level error reply wins over the Oks — a session the
+        whole fleet did not accept is not open.
+        """
+        if isinstance(inner, Hello) and inner.client_id:
+            with self._lock:
+                self._hellos[inner.client_id] = payload
+        elif isinstance(inner, Bye) and getattr(inner, "client_id", ""):
+            with self._lock:
+                self._hellos.pop(inner.client_id, None)
+        replies = self._broadcast(payload)
+        first = self.directory.map.names[0]
+        for name in self.directory.map.names:
+            raw = replies[name]
+            self._absorb(raw, inner, name)
+            if b"error" in raw:
+                try:
+                    decoded = decode_message(raw)
+                except ShadowError:
+                    continue
+                if isinstance(decoded, ErrorReply):
+                    return raw
+        return replies[first]
+
+    def _broadcast_status(self, payload: bytes) -> bytes:
+        records: List[Dict[str, Any]] = []
+        for name, raw in self._broadcast(payload).items():
+            try:
+                reply = decode_message(raw)
+            except ShadowError:
+                continue
+            if isinstance(reply, ErrorReply):
+                return raw
+            if isinstance(reply, StatusReply):
+                records.extend(dict(item) for item in reply.records)
+        records.sort(key=lambda item: str(item.get("job_id", "")))
+        return StatusReply(records=tuple(records)).to_wire()
+
+    def _broadcast_stats(self, payload: bytes) -> bytes:
+        snapshots: Dict[str, Dict[str, Any]] = {}
+        for name, raw in self._broadcast(payload).items():
+            try:
+                reply = decode_message(raw)
+            except ShadowError:
+                continue
+            if isinstance(reply, StatsReply):
+                snapshots[name] = dict(reply.snapshot)
+        if not snapshots:
+            return ErrorReply(
+                code="shard-unreachable",
+                message="no shard answered the stats query",
+            ).to_wire()
+        merged = fleet_stats.merge_snapshots(
+            snapshots, epoch=self.directory.map.epoch
+        )
+        return StatsReply(snapshot=merged).to_wire()
+
+    def _broadcast_health(self, payload: bytes) -> bytes:
+        order = {"ok": 0, "degraded": 1, "critical": 2}
+        worst = "ok"
+        reports: Dict[str, Any] = {}
+        for name, raw in self._broadcast(payload).items():
+            try:
+                reply = decode_message(raw)
+            except ShadowError:
+                continue
+            if isinstance(reply, HealthReply):
+                reports[name] = dict(reply.report)
+                if order.get(reply.status, 0) > order[worst]:
+                    worst = reply.status
+        return HealthReply(
+            status=worst,
+            report={
+                "component": "fleet-health",
+                "status": worst,
+                "shards": reports,
+            },
+        ).to_wire()
+
+    # ------------------------------------------------------------------
+    # split merges
+    # ------------------------------------------------------------------
+    def _wrap(self, envelope: Optional[Envelope], inner: Message) -> bytes:
+        body = inner.to_wire()
+        if envelope is None:
+            return body
+        return Envelope(
+            rid=envelope.rid,
+            body=body,
+            tid=envelope.tid,
+            epo=envelope.epo,
+            psp=envelope.psp,
+        ).to_wire()
+
+    def _split_send(
+        self,
+        envelope: Optional[Envelope],
+        parts: Dict[str, Message],
+    ) -> Dict[str, Message]:
+        """Ship one sub-message per shard, returning decoded replies.
+
+        Sub-frames reuse the original request id: each shard keeps its
+        own reply cache, so a retry of the whole split deduplicates
+        per-shard exactly like any retried request.
+        """
+        self.splits += 1
+        decoded: Dict[str, Message] = {}
+        for shard, part in parts.items():
+            raw = self._request(shard, self._wrap(envelope, part))
+            raw = self._maybe_redirect(raw, self._wrap(envelope, part))
+            decoded[shard] = decode_message(raw)
+        return decoded
+
+    def _split_resync(
+        self, envelope: Optional[Envelope], inner: Resync
+    ) -> bytes:
+        shard_map = self.directory.map
+        groups: Dict[str, List[Tuple]] = {}
+        for entry in inner.entries:
+            groups.setdefault(
+                shard_map.owner(str(entry[0])), []
+            ).append(entry)
+        replies = self._split_send(
+            envelope,
+            {
+                shard: Resync(
+                    client_id=inner.client_id,
+                    domain=inner.domain,
+                    entries=tuple(entries),
+                )
+                for shard, entries in groups.items()
+            },
+        )
+        needs_by_key: Dict[str, int] = {}
+        current_keys = set()
+        for reply in replies.values():
+            if isinstance(reply, ErrorReply):
+                return reply.to_wire()
+            if not isinstance(reply, ResyncReply):
+                raise FleetError(
+                    f"shard answered resync with {reply.TYPE!r}"
+                )
+            for need in reply.needs:
+                needs_by_key[str(need[0])] = int(need[1])
+            current_keys.update(str(key) for key in reply.current)
+        needs: List[Tuple[str, int]] = []
+        current: List[str] = []
+        for entry in inner.entries:
+            key = str(entry[0])
+            if key in needs_by_key:
+                needs.append((key, needs_by_key.pop(key)))
+            elif key in current_keys:
+                current.append(key)
+        return ResyncReply(
+            needs=tuple(needs), current=tuple(current)
+        ).to_wire()
+
+    def _split_batch_notify(
+        self, envelope: Optional[Envelope], inner: BatchNotify
+    ) -> bytes:
+        shard_map = self.directory.map
+        groups: Dict[str, List[int]] = {}
+        for index, entry in enumerate(inner.items):
+            groups.setdefault(
+                shard_map.owner(str(entry[0])), []
+            ).append(index)
+        replies = self._split_send(
+            envelope,
+            {
+                shard: BatchNotify(
+                    client_id=inner.client_id,
+                    items=tuple(inner.items[i] for i in indexes),
+                )
+                for shard, indexes in groups.items()
+            },
+        )
+        return self._merge_batch(groups, replies, len(inner.items))
+
+    def _split_batch_update(
+        self, envelope: Optional[Envelope], inner: BatchUpdate
+    ) -> bytes:
+        shard_map = self.directory.map
+        groups: Dict[str, List[int]] = {}
+        for index, item in enumerate(inner.items):
+            key = str(item.get("key", ""))
+            shard = (
+                self._override(inner.client_id, key)
+                or shard_map.owner(key)
+            )
+            groups.setdefault(shard, []).append(index)
+        replies = self._split_send(
+            envelope,
+            {
+                shard: BatchUpdate(
+                    client_id=inner.client_id,
+                    items=tuple(inner.items[i] for i in indexes),
+                )
+                for shard, indexes in groups.items()
+            },
+        )
+        merged = self._merge_batch(groups, replies, len(inner.items))
+        self._absorb(merged, inner, "")
+        return merged
+
+    def _merge_batch(
+        self,
+        groups: Dict[str, List[int]],
+        replies: Dict[str, Message],
+        total: int,
+    ) -> bytes:
+        verdicts: List[Optional[Dict[str, Any]]] = [None] * total
+        for shard, indexes in groups.items():
+            reply = replies[shard]
+            if isinstance(reply, ErrorReply):
+                return reply.to_wire()
+            if not isinstance(reply, BatchReply):
+                raise FleetError(
+                    f"shard answered a batch with {reply.TYPE!r}"
+                )
+            if len(reply.items) != len(indexes):
+                raise FleetError(
+                    f"shard {shard!r} answered {len(reply.items)} "
+                    f"verdicts for {len(indexes)} items"
+                )
+            for index, item in zip(indexes, reply.items):
+                verdicts[index] = dict(item)
+        if any(item is None for item in verdicts):
+            raise FleetError("batch merge left unanswered items")
+        return BatchReply(items=tuple(verdicts)).to_wire()
+
+
+class FleetRouter:
+    """The thin proxy tier: a servable ``bytes -> bytes`` handler.
+
+    Stand one (or several — they share nothing) in front of the fleet
+    and clients that only know the router's address get routed,
+    redirected, and merged exactly like a map-holding client.  A shard
+    the router cannot reach surfaces as a ``shard-unreachable`` error
+    reply rather than a torn proxy connection, so the client can tell
+    "the router is down" from "a shard behind it is down".
+    """
+
+    def __init__(
+        self,
+        shard_map: ShardMap,
+        channels: Optional[Mapping[str, RequestChannel]] = None,
+        opener: Optional[Opener] = None,
+        name: str = "fleet-router",
+    ) -> None:
+        self.name = name
+        self.directory = ShardDirectory(
+            shard_map, channels=channels, opener=opener
+        )
+        self.router = ShardRouter(self.directory)
+        self.requests = 0
+        self.errors = 0
+
+    def handle(self, payload: bytes) -> bytes:
+        self.requests += 1
+        try:
+            return self.router.deliver(payload)
+        except TransportError as exc:
+            self.errors += 1
+            return ErrorReply(
+                code="shard-unreachable", message=str(exc)
+            ).to_wire()
+        except ShadowError as exc:
+            self.errors += 1
+            return ErrorReply(
+                code="router-error", message=str(exc)
+            ).to_wire()
+
+    def serve(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        transport: Optional[str] = None,
+    ):
+        """Listen on TCP via the transport seam; returns the server."""
+        from repro.transport import channel_server
+
+        return channel_server(
+            self.handle, transport=transport, host=host, port=port
+        )
+
+    def close(self) -> None:
+        self.directory.close()
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "component": "fleet-router",
+            "name": self.name,
+            "requests": self.requests,
+            "errors": self.errors,
+            "router": self.router.describe(),
+        }

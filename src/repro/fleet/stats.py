@@ -1,0 +1,225 @@
+"""Fleet-wide telemetry: merge every shard's snapshot into one view.
+
+``shadow stats --fleet`` queries each shard with an ordinary
+:class:`~repro.core.protocol.StatsQuery` and folds the replies here —
+the same shape DIRAC's ``dirac-rms-list-req-cache`` takes over its
+ReqProxy fleet: loop the proxies, query each one's cache, present one
+aggregate.  The merged snapshot keeps the schema of a single server's
+(:data:`scripts/telemetry_schema.json` validates it) with one addition:
+a ``fleet`` section recording the per-shard breakdown.
+
+Merging rules, per section:
+
+* ``registry`` — counters and gauges with the same ``(name, labels)``
+  sum; histograms sum their counts/sums and their cumulative bucket
+  counts, with the quantile estimates recomputed from the merged
+  buckets (bucket-resolution, like the registry's own estimates).
+* ``events_log`` / ``traces_log`` / ``spans_log`` — integer fields sum.
+* ``health`` — the worst per-shard status wins (``critical`` >
+  ``degraded`` > ``ok``); per-shard reports ride in the ``fleet``
+  section, not here.
+* ``flight`` — trigger/dump counts sum.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+#: Health statuses from best to worst; merge takes the maximum index.
+_HEALTH_ORDER = ("ok", "degraded", "critical")
+
+
+def _merge_series(
+    snapshots: List[Dict[str, Any]], kind: str
+) -> List[Dict[str, Any]]:
+    """Sum counters or gauges sharing one ``(name, labels)`` identity."""
+    merged: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+    for snapshot in snapshots:
+        for series in snapshot.get(kind, []):
+            identity = (
+                series["name"],
+                tuple(sorted(dict(series.get("labels", {})).items())),
+            )
+            merged[identity] = merged.get(identity, 0) + series["value"]
+    return [
+        {"name": name, "labels": dict(labels), "value": value}
+        for (name, labels), value in sorted(merged.items())
+    ]
+
+
+def _quantile_from_buckets(
+    buckets: List[List[Any]], count: float, q: float
+) -> float:
+    """Bucket-resolution quantile over merged cumulative buckets."""
+    if count <= 0:
+        return 0.0
+    rank = q * count
+    last_finite = 0.0
+    for le, cumulative in buckets:
+        if le == "+Inf":
+            break
+        last_finite = float(le)
+        if cumulative >= rank:
+            return float(le)
+    return last_finite
+
+
+def _merge_histograms(
+    snapshots: List[Dict[str, Any]]
+) -> List[Dict[str, Any]]:
+    merged: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], Dict[str, Any]] = {}
+    for snapshot in snapshots:
+        for series in snapshot.get("histograms", []):
+            identity = (
+                series["name"],
+                tuple(sorted(dict(series.get("labels", {})).items())),
+            )
+            entry = merged.setdefault(
+                identity, {"count": 0, "sum": 0.0, "buckets": {}}
+            )
+            entry["count"] += series["count"]
+            entry["sum"] += series["sum"]
+            for le, cumulative in series.get("buckets", []):
+                entry["buckets"][le] = (
+                    entry["buckets"].get(le, 0) + cumulative
+                )
+    out: List[Dict[str, Any]] = []
+    for (name, labels), entry in sorted(merged.items()):
+        # Bounds sort numerically with +Inf last, whatever mix of
+        # bucket layouts the shards used.
+        buckets = sorted(
+            entry["buckets"].items(),
+            key=lambda pair: (
+                (float("inf"), 0)
+                if pair[0] == "+Inf"
+                else (float(pair[0]), 0)
+            ),
+        )
+        bucket_rows = [[le, cumulative] for le, cumulative in buckets]
+        out.append(
+            {
+                "name": name,
+                "labels": dict(labels),
+                "count": entry["count"],
+                "sum": entry["sum"],
+                "p50": _quantile_from_buckets(
+                    bucket_rows, entry["count"], 0.50
+                ),
+                "p95": _quantile_from_buckets(
+                    bucket_rows, entry["count"], 0.95
+                ),
+                "p99": _quantile_from_buckets(
+                    bucket_rows, entry["count"], 0.99
+                ),
+                "buckets": bucket_rows,
+            }
+        )
+    return out
+
+
+def _sum_ints(dicts: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Sum the integer/float fields of parallel describe() dicts;
+    non-numeric fields keep the first shard's value."""
+    merged: Dict[str, Any] = {}
+    for item in dicts:
+        for key, value in item.items():
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float)
+            ):
+                merged.setdefault(key, value)
+            else:
+                base = merged.get(key, 0)
+                merged[key] = (base if isinstance(base, (int, float)) else 0) + value
+    return merged
+
+
+def merge_snapshots(
+    snapshots: Mapping[str, Dict[str, Any]],
+    epoch: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Fold per-shard stats snapshots into one fleet-wide snapshot.
+
+    ``snapshots`` maps shard (server) name to that server's
+    :class:`~repro.core.protocol.StatsReply` snapshot dict.  The result
+    validates against the single-server telemetry schema plus the
+    ``fleet`` section.
+    """
+    names = sorted(snapshots)
+    ordered = [snapshots[name] for name in names]
+    worst = 0
+    for snapshot in ordered:
+        status = snapshot.get("health", {}).get("status", "ok")
+        if status in _HEALTH_ORDER:
+            worst = max(worst, _HEALTH_ORDER.index(status))
+    registries = [item.get("registry", {}) for item in ordered]
+    merged: Dict[str, Any] = {
+        "server": f"fleet({len(names)} shards)",
+        "registry": {
+            "counters": _merge_series(registries, "counters"),
+            "gauges": _merge_series(registries, "gauges"),
+            "histograms": _merge_histograms(registries),
+        },
+        "events_log": _sum_ints(
+            [item.get("events_log", {}) for item in ordered]
+        ),
+        "traces_log": _sum_ints(
+            [item.get("traces_log", {}) for item in ordered]
+        ),
+        "spans_log": _sum_ints(
+            [item.get("spans_log", {}) for item in ordered]
+        ),
+        "health": {
+            "component": "fleet-health",
+            "status": _HEALTH_ORDER[worst],
+            "window_seconds": max(
+                (
+                    float(item.get("health", {}).get("window_seconds", 0.0))
+                    for item in ordered
+                ),
+                default=0.0,
+            ),
+            "samples": sum(
+                int(item.get("health", {}).get("samples", 0) or 0)
+                for item in ordered
+            ),
+            "objectives": [],
+        },
+        "flight": _sum_ints([item.get("flight", {}) for item in ordered]),
+        "fleet": {
+            "component": "fleet",
+            "shards": len(names),
+            "servers": names,
+            "epoch": epoch if epoch is not None else _map_epoch(ordered),
+            "per_shard": {
+                name: _shard_summary(snapshots[name]) for name in names
+            },
+        },
+    }
+    return merged
+
+
+def _map_epoch(snapshots: List[Dict[str, Any]]) -> int:
+    """The newest shard-map epoch any shard reported (0 = none did)."""
+    newest = 0
+    for snapshot in snapshots:
+        fleet = snapshot.get("fleet", {})
+        map_info = fleet.get("map", {})
+        newest = max(newest, int(map_info.get("epoch", 0) or 0))
+    return newest
+
+
+def _shard_summary(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """The per-shard row of the fleet section: enough to spot a limping
+    or lopsided shard without re-querying it."""
+    requests = 0
+    for series in snapshot.get("registry", {}).get("counters", []):
+        if series.get("name") == "requests_total":
+            requests += int(series.get("value", 0))
+    fleet = snapshot.get("fleet", {})
+    return {
+        "server": snapshot.get("server", ""),
+        "requests": requests,
+        "health": snapshot.get("health", {}).get("status", "ok"),
+        "owned_keys": int(fleet.get("owned_keys", 0) or 0),
+        "redirects": int(fleet.get("redirects", 0) or 0),
+    }

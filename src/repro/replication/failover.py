@@ -43,6 +43,35 @@ REFUSAL_CODES = ("standby-mode", "stale-epoch")
 class FailoverChannel(RequestChannel):
     """A request channel that fails over across a dial list."""
 
+    @classmethod
+    def from_spec(
+        cls, spec: Union[str, "object"], timeout: float = 30.0
+    ) -> "FailoverChannel":
+        """Build from a dial spec (string or parsed
+        :class:`~repro.transport.dialspec.DialSpec`).
+
+        The one string grammar shared with ``repro.api`` and the CLI;
+        a single endpoint becomes a one-entry dial list (no rotation
+        target, but the same refusal handling).  Endpoints dial lazily:
+        a downed standby costs nothing until rotation reaches it.
+        """
+        from repro.transport.dialspec import DialSpec
+        from repro.transport.tcp import TcpChannel
+
+        parsed = DialSpec.of(spec)
+        if parsed.kind == "fleet":
+            raise TransportError(
+                f"{parsed} names a shard fleet; a failover channel "
+                f"rotates a dial list — use FleetChannel (or "
+                f"DialSpec.connect) for fleets"
+            )
+        return cls(
+            [
+                TcpChannel(host, port, timeout=timeout, lazy=True)
+                for host, port in parsed.endpoints
+            ]
+        )
+
     def __init__(self, endpoints: Sequence[Endpoint]) -> None:
         super().__init__()
         endpoints = list(endpoints)

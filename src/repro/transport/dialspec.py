@@ -1,0 +1,271 @@
+"""One parser for every way to name a server: the :class:`DialSpec`.
+
+Before this module, three code paths each grew their own endpoint
+parser: the API facade split ``"host:port"`` strings, the CLI had a
+second parser with different defaults, and the replication dial lists
+from PR 6 (``"primary:port,standby:port"``) were handled ad hoc in
+both.  None of them could express a shard map.  ``DialSpec`` replaces
+all three with a single grammar:
+
+``"host:port"``
+    One endpoint (``kind="single"``).
+``"host:port,host:port"``
+    A failover dial list (``kind="list"``): endpoints in rotation
+    order, dialled lazily by a
+    :class:`~repro.replication.failover.FailoverChannel`.
+``"fleet:name=host:port,name=host:port"``
+    A shard map (``kind="fleet"``): shard names and their endpoints,
+    routed by consistent hash through a
+    :class:`~repro.fleet.channel.FleetChannel`.
+
+The old undocumented variants — a bare ``host`` (well-known port
+assumed) or a bare ``:port`` (localhost assumed) — still parse, with a
+:class:`DeprecationWarning` naming the canonical spelling, so existing
+scripts keep working while the grammar converges.  ``str(spec)`` is
+always the canonical round-trippable form.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.errors import DialSpecError
+
+#: The service's well-known port (after technical report CSD-TR-722).
+WELL_KNOWN_PORT = 7220
+
+#: The prefix selecting the fleet (shard map) grammar.
+FLEET_PREFIX = "fleet:"
+
+
+def _deprecated(original: str, canonical: str, why: str) -> None:
+    warnings.warn(
+        f"dial spec {original!r} is deprecated ({why}); "
+        f"write {canonical!r}",
+        DeprecationWarning,
+        stacklevel=4,
+    )
+
+
+def _parse_hostport(
+    text: str, default_port: int, original: str
+) -> Tuple[str, int]:
+    """Parse one ``host:port``, warning on the undocumented variants."""
+    item = text.strip()
+    if item != text:
+        _deprecated(
+            original, item, "surrounding whitespace is not canonical"
+        )
+    if not item:
+        raise DialSpecError(
+            f"empty endpoint in dial spec {original!r}"
+        )
+    host, sep, port_text = item.rpartition(":")
+    if not sep:
+        # Bare "host": historically accepted by the CLI with the
+        # well-known port filled in.
+        _deprecated(original, f"{item}:{default_port}", "port omitted")
+        return item, default_port
+    if not host:
+        # Bare ":7220": historically accepted with localhost assumed.
+        _deprecated(
+            original, f"127.0.0.1{item}", "host omitted"
+        )
+        host = "127.0.0.1"
+    if not port_text:
+        _deprecated(original, f"{host}:{default_port}", "port omitted")
+        return host, default_port
+    if not port_text.isdigit():
+        raise DialSpecError(
+            f"endpoint port must be numeric, got {item!r} "
+            f"in dial spec {original!r}"
+        )
+    return host, int(port_text)
+
+
+@dataclass(frozen=True)
+class DialSpec:
+    """A parsed server address: single endpoint, dial list, or fleet map.
+
+    Construct with :meth:`parse` (from a string), :meth:`single` /
+    :meth:`dial_list` / :meth:`fleet` (programmatically), or
+    :meth:`of` (accepts either a string or an existing spec).
+    """
+
+    kind: str
+    #: ``(host, port)`` per endpoint; rotation order for dial lists.
+    endpoints: Tuple[Tuple[str, int], ...] = ()
+    #: Fleet only: ``(shard name, (host, port))``, sorted by name.
+    shards: Tuple[Tuple[str, Tuple[str, int]], ...] = ()
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def single(cls, host: str, port: int = WELL_KNOWN_PORT) -> "DialSpec":
+        return cls(kind="single", endpoints=((host, int(port)),))
+
+    @classmethod
+    def dial_list(cls, endpoints) -> "DialSpec":
+        pairs = tuple((host, int(port)) for host, port in endpoints)
+        if not pairs:
+            raise DialSpecError("a dial list needs at least one endpoint")
+        if len(pairs) == 1:
+            return cls(kind="single", endpoints=pairs)
+        return cls(kind="list", endpoints=pairs)
+
+    @classmethod
+    def fleet(cls, shards) -> "DialSpec":
+        """``shards``: mapping of shard name -> ``(host, port)``."""
+        items = tuple(
+            (str(name), (host, int(port)))
+            for name, (host, port) in sorted(dict(shards).items())
+        )
+        if not items:
+            raise DialSpecError("a fleet spec needs at least one shard")
+        return cls(
+            kind="fleet",
+            endpoints=tuple(endpoint for _, endpoint in items),
+            shards=items,
+        )
+
+    @classmethod
+    def parse(
+        cls, text: str, default_port: int = WELL_KNOWN_PORT
+    ) -> "DialSpec":
+        if not isinstance(text, str):
+            raise DialSpecError(
+                f"dial spec must be a string, got {type(text).__name__}"
+            )
+        original = text
+        if not text.strip():
+            raise DialSpecError("dial spec is empty")
+        if text.strip().lower().startswith(FLEET_PREFIX):
+            return cls._parse_fleet(text.strip(), default_port, original)
+        parts = text.split(",")
+        if len(parts) > 1:
+            kept = [part for part in parts if part.strip()]
+            if not kept:
+                raise DialSpecError(f"dial spec {original!r} has no endpoints")
+            if len(kept) != len(parts):
+                _deprecated(
+                    original,
+                    ",".join(part.strip() for part in kept),
+                    "empty dial-list entries are skipped",
+                )
+            return cls.dial_list(
+                _parse_hostport(part, default_port, original) for part in kept
+            )
+        return cls(
+            kind="single",
+            endpoints=(_parse_hostport(text, default_port, original),),
+        )
+
+    @classmethod
+    def _parse_fleet(
+        cls, text: str, default_port: int, original: str
+    ) -> "DialSpec":
+        body = text[len(FLEET_PREFIX):]
+        shards: Dict[str, Tuple[str, int]] = {}
+        for part in body.split(","):
+            if not part.strip():
+                continue
+            name, sep, endpoint = part.partition("=")
+            name = name.strip()
+            if not sep or not name:
+                raise DialSpecError(
+                    f"fleet entries are 'name=host:port', got {part!r} "
+                    f"in dial spec {original!r}"
+                )
+            if name in shards:
+                raise DialSpecError(
+                    f"duplicate shard {name!r} in dial spec {original!r}"
+                )
+            shards[name] = _parse_hostport(endpoint, default_port, original)
+        if not shards:
+            raise DialSpecError(f"fleet dial spec {original!r} has no shards")
+        return cls.fleet(shards)
+
+    @classmethod
+    def of(cls, value: Union[str, "DialSpec"]) -> "DialSpec":
+        if isinstance(value, DialSpec):
+            return value
+        return cls.parse(value)
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        if self.kind == "fleet":
+            return FLEET_PREFIX + ",".join(
+                f"{name}={host}:{port}"
+                for name, (host, port) in self.shards
+            )
+        return ",".join(f"{host}:{port}" for host, port in self.endpoints)
+
+    def shard_dials(self) -> Dict[str, str]:
+        """Fleet only: shard name -> canonical ``host:port`` text."""
+        if self.kind != "fleet":
+            raise DialSpecError(
+                f"{self} is a {self.kind} spec, not a fleet map"
+            )
+        return {
+            name: f"{host}:{port}" for name, (host, port) in self.shards
+        }
+
+    def shard_map(self, epoch: int = 1):
+        """Fleet only: the consistent-hash map these shards form."""
+        from repro.fleet.ring import ShardMap
+
+        return ShardMap(self.shard_dials(), epoch=epoch)
+
+    def describe(self) -> Dict[str, Any]:
+        info: Dict[str, Any] = {
+            "component": "dial-spec",
+            "kind": self.kind,
+            "text": str(self),
+            "endpoints": [list(endpoint) for endpoint in self.endpoints],
+        }
+        if self.kind == "fleet":
+            info["shards"] = self.shard_dials()
+        return info
+
+    # ------------------------------------------------------------------
+    # channel construction
+    # ------------------------------------------------------------------
+    def connect(self, timeout: float = 30.0, lazy: Optional[bool] = None):
+        """Open the channel this spec describes.
+
+        ``single`` dials a :class:`~repro.transport.tcp.TcpChannel`
+        (eager by default, so a bad endpoint fails at connect time);
+        ``list`` builds a lazy-dialling
+        :class:`~repro.replication.failover.FailoverChannel`; ``fleet``
+        builds a :class:`~repro.fleet.channel.FleetChannel` over the
+        shard map.
+        """
+        from repro.transport.tcp import TcpChannel
+
+        if self.kind == "single":
+            host, port = self.endpoints[0]
+            return TcpChannel(
+                host, port, timeout=timeout,
+                lazy=bool(lazy) if lazy is not None else False,
+            )
+        if self.kind == "list":
+            from repro.replication.failover import FailoverChannel
+
+            # Lazy dial: a downed endpoint in the list must surface on
+            # use (so the channel rotates), not fail the list up front.
+            return FailoverChannel(
+                [
+                    TcpChannel(host, port, timeout=timeout, lazy=True)
+                    for host, port in self.endpoints
+                ]
+            )
+        if self.kind == "fleet":
+            from repro.fleet.channel import FleetChannel
+
+            return FleetChannel(self.shard_map(), timeout=timeout)
+        raise DialSpecError(f"unknown dial-spec kind {self.kind!r}")

@@ -43,9 +43,11 @@ class TestLifecycle:
 
     def test_bad_transport_string_rejected(self):
         with pytest.raises(TransportError):
-            ShadowClient.connect(transport="no-port-here")
+            ShadowClient.connect(transport="host:not-a-port")
         with pytest.raises(TransportError):
-            ShadowClient.connect(transport=":9999")
+            ShadowClient.connect(transport="")
+        with pytest.raises(TransportError):
+            ShadowClient.connect(transport=",,,")
 
     def test_unbuildable_transport_rejected(self):
         with pytest.raises(TransportError):
@@ -119,9 +121,10 @@ class TestLegacyImport:
     def test_repro_shadowclient_warns_but_works(self):
         with pytest.warns(DeprecationWarning, match="repro.api.ShadowClient"):
             legacy = repro.ShadowClient
-        from repro.core.client import ShadowClient as CoreClient
-
-        assert legacy is CoreClient
+        # The legacy alias now lands on the facade (it delegates any
+        # attribute it does not define to the core client), finishing
+        # the PR 4 facade migration.
+        assert legacy is ShadowClient
 
     def test_facade_reachable_from_package(self):
         assert repro.api.ShadowClient is ShadowClient

@@ -5,7 +5,7 @@ import os
 
 import pytest
 
-from repro.cli import WELL_KNOWN_PORT, _coerce, _parse_endpoint, main
+from repro.cli import WELL_KNOWN_PORT, _coerce, _single_endpoint, main
 from repro.core.server import ShadowServer
 from repro.jobs.executor import SimulatedExecutor
 from repro.transport.tcp import TcpChannelServer
@@ -39,11 +39,16 @@ def cli(live_server, *argv):
 
 
 class TestHelpers:
-    def test_parse_endpoint_full(self):
-        assert _parse_endpoint("example.org:9999") == ("example.org", 9999)
+    def test_single_endpoint_full(self):
+        assert _single_endpoint("example.org:9999") == ("example.org", 9999)
 
-    def test_parse_endpoint_defaults(self):
-        assert _parse_endpoint("hostonly") == ("hostonly", WELL_KNOWN_PORT)
+    def test_single_endpoint_bare_host_warns(self):
+        # Undocumented legacy form: still parses, but deprecated.
+        with pytest.warns(DeprecationWarning, match="port omitted"):
+            assert _single_endpoint("hostonly") == (
+                "hostonly",
+                WELL_KNOWN_PORT,
+            )
 
     @pytest.mark.parametrize(
         "text,expected",
@@ -211,18 +216,20 @@ class TestDialLists:
         assert code == 0
         assert "version 1 shadowed" in capsys.readouterr().out
 
-    def test_single_endpoint_still_dials_eagerly(self, workdir, capsys):
-        from repro.cli import _dial_channel
+    def test_single_endpoint_still_dials_eagerly(self, workdir):
+        # Port 1 is reserved: a single-endpoint spec dials eagerly, so
+        # the dead endpoint surfaces at connect time, not first use.
+        from repro.cli import _server_spec
         from repro.errors import TransportError
 
         with pytest.raises(TransportError):
-            _dial_channel("127.0.0.1:1")
+            _server_spec("127.0.0.1:1").connect(timeout=0.5)
 
     def test_dial_list_builds_a_failover_channel(self, workdir):
-        from repro.cli import _dial_channel
+        from repro.cli import _server_spec
         from repro.replication.failover import FailoverChannel
 
-        channel = _dial_channel("127.0.0.1:1, 127.0.0.1:2")
+        channel = _server_spec("127.0.0.1:1,127.0.0.1:2").connect()
         assert isinstance(channel, FailoverChannel)
         channel.close()
 

@@ -1,0 +1,143 @@
+"""DialSpec: the one grammar for naming servers.
+
+Covers the three spec kinds, canonical round-trips, the deprecation
+warnings on undocumented legacy forms, and the channel each kind
+materialises.
+"""
+
+import warnings
+
+import pytest
+
+from repro.errors import DialSpecError, TransportError
+from repro.fleet.channel import FleetChannel
+from repro.replication.failover import FailoverChannel
+from repro.transport.dialspec import WELL_KNOWN_PORT, DialSpec
+from repro.transport.tcp import TcpChannel
+
+
+class TestParse:
+    def test_single_endpoint(self):
+        spec = DialSpec.parse("example.org:7221")
+        assert spec.kind == "single"
+        assert spec.endpoints == (("example.org", 7221),)
+        assert str(spec) == "example.org:7221"
+
+    def test_dial_list(self):
+        spec = DialSpec.parse("primary:7220,standby:7221")
+        assert spec.kind == "list"
+        assert spec.endpoints == (("primary", 7220), ("standby", 7221))
+        assert str(spec) == "primary:7220,standby:7221"
+
+    def test_fleet(self):
+        spec = DialSpec.parse(
+            "fleet:beta=127.0.0.1:7302,alpha=127.0.0.1:7301"
+        )
+        assert spec.kind == "fleet"
+        # Shards sort by name so every process renders the same spec.
+        assert spec.shards == (
+            ("alpha", ("127.0.0.1", 7301)),
+            ("beta", ("127.0.0.1", 7302)),
+        )
+        assert str(spec) == (
+            "fleet:alpha=127.0.0.1:7301,beta=127.0.0.1:7302"
+        )
+
+    def test_round_trip_is_stable(self):
+        for text in (
+            "host:7220",
+            "a:1,b:2,c:3",
+            "fleet:a=h1:1,b=h2:2",
+        ):
+            spec = DialSpec.parse(text)
+            assert DialSpec.parse(str(spec)) == spec
+
+    def test_of_accepts_spec_or_string(self):
+        spec = DialSpec.parse("host:7220")
+        assert DialSpec.of(spec) is spec
+        assert DialSpec.of("host:7220") == spec
+
+
+class TestDeprecatedForms:
+    def test_bare_host_warns_and_uses_well_known_port(self):
+        with pytest.warns(DeprecationWarning, match="port omitted"):
+            spec = DialSpec.parse("justahost")
+        assert spec.endpoints == (("justahost", WELL_KNOWN_PORT),)
+
+    def test_bare_port_warns_and_assumes_localhost(self):
+        with pytest.warns(DeprecationWarning, match="host omitted"):
+            spec = DialSpec.parse(":7221")
+        assert spec.endpoints == (("127.0.0.1", 7221),)
+
+    def test_trailing_colon_warns(self):
+        with pytest.warns(DeprecationWarning, match="port omitted"):
+            spec = DialSpec.parse("host:")
+        assert spec.endpoints == (("host", WELL_KNOWN_PORT),)
+
+    def test_whitespace_warns(self):
+        with pytest.warns(DeprecationWarning):
+            spec = DialSpec.parse(" host:7220 ")
+        assert spec.endpoints == (("host", 7220),)
+
+    def test_canonical_forms_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            DialSpec.parse("host:7220")
+            DialSpec.parse("a:1,b:2")
+            DialSpec.parse("fleet:a=h:1,b=h:2")
+
+
+class TestErrors:
+    def test_empty_spec(self):
+        with pytest.raises(DialSpecError):
+            DialSpec.parse("")
+
+    def test_non_numeric_port(self):
+        with pytest.raises(DialSpecError, match="numeric"):
+            DialSpec.parse("host:not-a-port")
+
+    def test_all_empty_list_entries(self):
+        with pytest.raises(DialSpecError):
+            DialSpec.parse(",,,")
+
+    def test_duplicate_fleet_shard(self):
+        with pytest.raises(DialSpecError, match="duplicate"):
+            DialSpec.parse("fleet:a=h:1,a=h:2")
+
+    def test_fleet_entry_without_name(self):
+        with pytest.raises(DialSpecError):
+            DialSpec.parse("fleet:h:1,h:2")
+
+    def test_dialspec_error_is_a_transport_error(self):
+        # Callers catching TransportError at the service boundary keep
+        # working across the parser migration.
+        assert issubclass(DialSpecError, TransportError)
+
+
+class TestConnect:
+    def test_single_builds_a_tcp_channel(self):
+        channel = DialSpec.parse("127.0.0.1:7399").connect(lazy=True)
+        assert isinstance(channel, TcpChannel)
+        channel.close()
+
+    def test_list_builds_a_failover_channel(self):
+        channel = DialSpec.parse("127.0.0.1:7399,127.0.0.1:7398").connect()
+        assert isinstance(channel, FailoverChannel)
+        channel.close()
+
+    def test_fleet_builds_a_fleet_channel(self):
+        channel = DialSpec.parse(
+            "fleet:a=127.0.0.1:7399,b=127.0.0.1:7398"
+        ).connect()
+        assert isinstance(channel, FleetChannel)
+        assert channel.shard_map.names == ("a", "b")
+        channel.close()
+
+    def test_failover_from_spec_rejects_fleets(self):
+        with pytest.raises(TransportError, match="fleet"):
+            FailoverChannel.from_spec("fleet:a=h:1,b=h:2")
+
+    def test_failover_from_spec_accepts_lists(self):
+        channel = FailoverChannel.from_spec("127.0.0.1:7399,127.0.0.1:7398")
+        assert len(channel._endpoints) == 2
+        channel.close()

@@ -1,0 +1,178 @@
+"""End-to-end fleet routing: an unmodified client over a FleetChannel.
+
+Three in-process shards behind loopback channels; the core client (and
+the ``repro.api`` facade) talk to the fleet exactly as they would to one
+server.
+"""
+
+import pytest
+
+from repro.api import ShadowClient as FacadeClient
+from repro.core.client import ShadowClient
+from repro.core.protocol import StatsQuery, StatsReply, StatusQuery, StatusReply
+from repro.core.server import ShadowServer
+from repro.core.workspace import MappingWorkspace
+from repro.fleet import FleetChannel, FleetMember, ShardMap
+from repro.resilience.session import RawSession
+from repro.transport.base import LoopbackChannel
+
+NAMES = ("alpha", "beta", "gamma")
+
+
+def build_fleet(names=NAMES, epoch=1):
+    shard_map = ShardMap({name: f"loop:{name}" for name in names}, epoch=epoch)
+    servers = {name: ShadowServer(name=name) for name in names}
+    for server in servers.values():
+        FleetMember(server, shard_map)
+    return shard_map, servers
+
+
+def loopbacks(servers):
+    return {
+        name: LoopbackChannel(server.handle)
+        for name, server in servers.items()
+    }
+
+
+@pytest.fixture
+def fleet():
+    shard_map, servers = build_fleet()
+    channel = FleetChannel(shard_map, channels=loopbacks(servers))
+    client = ShadowClient("user@ws", MappingWorkspace())
+    client.connect("supercomputer", channel)
+    yield client, channel, servers
+    client.disconnect("supercomputer")
+
+
+class TestRouting:
+    def test_edits_spread_across_shards(self, fleet):
+        client, channel, servers = fleet
+        for index in range(12):
+            client.write_file(f"/data/f{index:02d}.dat", b"x" * 40)
+        per_shard = [len(server.cache) for server in servers.values()]
+        assert sum(per_shard) == 12
+        # More than one shard holds entries (12 keys over 3 shards).
+        assert sum(1 for count in per_shard if count) >= 2
+        assert channel.redirects == 0
+
+    def test_cross_shard_job_completes(self, fleet):
+        client, channel, servers = fleet
+        shard_map = channel.shard_map
+        paths = ["/data/job00.dat", "/data/job01.dat"]
+        for path in paths:
+            client.write_file(path, b"line one\n")
+        job_id = client.submit("wc job00.dat job01.dat", paths)
+        bundle = client.fetch_output(job_id)
+        assert bundle is not None and bundle.exit_code == 0
+        # The job id embeds the minting shard's name.
+        assert job_id.split("-job-")[0] in shard_map.names
+
+    def test_status_query_routes_by_job_id_prefix(self, fleet):
+        client, channel, servers = fleet
+        client.write_file("/data/s.dat", b"status me\n")
+        job_id = client.submit("wc s.dat", ["/data/s.dat"])
+        records = client.job_status(job_id)
+        assert records and records[0]["job_id"] == job_id
+
+    def test_status_broadcast_merges_all_shards(self, fleet):
+        client, channel, servers = fleet
+        raw = channel.request(
+            StatusQuery(client_id="user@ws", job_id=None).to_wire()
+        )
+        from repro.core.protocol import decode_message
+
+        reply = decode_message(raw)
+        assert isinstance(reply, StatusReply)
+
+    def test_batched_edits_split_per_owner(self, fleet):
+        client, channel, servers = fleet
+        with client.batched(flush_window=1000.0):
+            for index in range(8):
+                client.write_file(f"/data/b{index}.dat", b"batched\n")
+        total = sum(len(server.cache) for server in servers.values())
+        assert total == 8
+
+    def test_stats_broadcast_merges_telemetry(self, fleet):
+        client, channel, servers = fleet
+        client.write_file("/data/t.dat", b"telemetry\n")
+        reply = RawSession(channel).send(StatsQuery(client_id="user@ws"))
+        assert isinstance(reply, StatsReply)
+        snapshot = reply.snapshot
+        assert snapshot["server"] == "fleet(3 shards)"
+        assert snapshot["fleet"]["shards"] == 3
+        assert set(snapshot["fleet"]["per_shard"]) == set(NAMES)
+        inserted = sum(
+            series["value"]
+            for series in snapshot["registry"]["counters"]
+            if series["name"] == "cache_insertions_total"
+        )
+        assert inserted >= 1
+
+
+class TestMapConvergence:
+    def test_hello_adopts_a_newer_map(self):
+        # Servers hold epoch 2; the channel starts on epoch 1.
+        shard_map, servers = build_fleet(epoch=2)
+        stale = ShardMap({name: f"loop:{name}" for name in NAMES}, epoch=1)
+        channel = FleetChannel(stale, channels=loopbacks(servers))
+        client = ShadowClient("user@ws", MappingWorkspace())
+        client.connect("supercomputer", channel)
+        assert channel.shard_map.epoch == 2
+        client.disconnect("supercomputer")
+
+    def test_stale_map_converges_via_wrong_shard(self):
+        # The fleet grows AFTER the client connected: keys owned by the
+        # new shard still route per the stale map, bounce off a
+        # wrong-shard redirect carrying the fresh map, and the channel
+        # converges — re-greeting the new shard on the way.
+        old_names = ("alpha", "beta")
+        old_map = ShardMap(
+            {name: f"loop:{name}" for name in old_names}, epoch=1
+        )
+        servers = {name: ShadowServer(name=name) for name in NAMES}
+        members = {
+            name: FleetMember(servers[name], old_map)
+            for name in old_names
+        }
+        channels = loopbacks(servers)
+        channel = FleetChannel(
+            old_map,
+            channels={name: channels[name] for name in old_names},
+            opener=lambda name, dial: channels[name],
+        )
+        client = ShadowClient("user@ws", MappingWorkspace())
+        client.connect("supercomputer", channel)
+        new_map = old_map.with_shards(
+            {name: f"loop:{name}" for name in NAMES}
+        )
+        FleetMember(servers["gamma"], new_map)
+        for name in old_names:
+            members[name].update_map(new_map)
+        for index in range(30):
+            client.write_file(f"/data/c{index:02d}.dat", b"converge\n")
+        assert channel.shard_map.epoch == 2
+        assert channel.shard_map.names == NAMES
+        assert channel.redirects >= 1
+        # After convergence the new shard holds its share directly.
+        assert sum(len(server.cache) for server in servers.values()) == 30
+        client.disconnect("supercomputer")
+
+
+class TestFacade:
+    def test_facade_connects_through_a_fleet_channel(self):
+        shard_map, servers = build_fleet()
+        channel = FleetChannel(shard_map, channels=loopbacks(servers))
+        with FacadeClient.connect(
+            "supercomputer", transport=channel
+        ) as client:
+            assert client.edit("/d/facade.dat", b"over the fleet") == 1
+            job_id = client.submit("wc facade.dat", ["/d/facade.dat"])
+            bundle = client.fetch(job_id)
+            assert bundle is not None and bundle.exit_code == 0
+
+    def test_member_requires_matching_server_name(self):
+        from repro.errors import FleetError
+
+        server = ShadowServer(name="not-in-map")
+        with pytest.raises(FleetError):
+            FleetMember(server, ShardMap({"alpha": "", "beta": ""}))

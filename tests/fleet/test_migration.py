@@ -1,0 +1,148 @@
+"""Resharding: journal-backed cache migration between shards.
+
+A grown fleet moves each leaving entry to its new owner over the
+ordinary request path; the receiver journals every transfer as a
+``cache-put``, so a replacement server recovering from that journal
+replays the migrated entries byte-exactly with zero new replay code.
+"""
+
+from repro.core.client import ShadowClient
+from repro.core.server import ShadowServer
+from repro.core.workspace import MappingWorkspace
+from repro.fleet import (
+    FleetChannel,
+    FleetMember,
+    ShardMap,
+    migrate,
+    migration_plan,
+)
+from repro.transport.base import LoopbackChannel
+
+OLD = ("alpha", "beta")
+NEW = ("alpha", "beta", "gamma")
+
+
+def _dials(names):
+    return {name: f"loop:{name}" for name in names}
+
+
+def _populate(servers, shard_map, count=24):
+    channel = FleetChannel(
+        shard_map,
+        channels={
+            name: LoopbackChannel(servers[name].handle)
+            for name in shard_map.names
+        },
+    )
+    client = ShadowClient("user@ws", MappingWorkspace())
+    client.connect("supercomputer", channel)
+    for index in range(count):
+        client.write_file(
+            f"/data/m{index:02d}.dat", f"payload {index}\n".encode()
+        )
+    client.disconnect("supercomputer")
+
+
+class TestMigration:
+    def test_plan_lists_only_leaving_keys(self):
+        old_map = ShardMap(_dials(OLD))
+        servers = {name: ShadowServer(name=name) for name in OLD}
+        for server in servers.values():
+            FleetMember(server, old_map)
+        _populate(servers, old_map)
+        new_map = old_map.with_shards(_dials(NEW))
+        for server in servers.values():
+            plan = migration_plan(server, new_map)
+            for key, owner in plan:
+                assert owner == "gamma"  # growth only moves keys there
+                assert new_map.owner(key) == "gamma"
+            staying = set(server.cache.keys()) - {key for key, _ in plan}
+            for key in staying:
+                assert new_map.owner(key) == server.name
+
+    def test_migrate_moves_entries_and_updates_maps(self, tmp_path):
+        old_map = ShardMap(_dials(OLD))
+        servers = {name: ShadowServer(name=name) for name in OLD}
+        members = {
+            name: FleetMember(server, old_map)
+            for name, server in servers.items()
+        }
+        _populate(servers, old_map)
+        before = {
+            key: servers[old_map.owner(key)].cache.peek_entry(key).content
+            for name in OLD
+            for key in servers[name].cache.keys()
+        }
+        new_map = old_map.with_shards(_dials(NEW))
+        gamma = ShadowServer(
+            name="gamma", journal_dir=str(tmp_path / "gamma")
+        )
+        FleetMember(gamma, new_map)
+        channels = {"gamma": LoopbackChannel(gamma.handle)}
+        moved_total = 0
+        for name in OLD:
+            summary = migrate(servers[name], new_map, channels)
+            assert summary["failed"] == []
+            assert summary["epoch"] == new_map.epoch
+            moved_total += summary["moved"]
+            # The source dropped what it shipped and adopted the map.
+            assert members[name].shard_map.epoch == new_map.epoch
+            for key in servers[name].cache.keys():
+                assert new_map.owner(key) == name
+        assert moved_total == len(gamma.cache)
+        assert gamma.fleet.transfers_in == moved_total
+        # Every entry is byte-identical wherever it now lives.
+        for key, content in before.items():
+            owner = new_map.owner(key)
+            holder = gamma if owner == "gamma" else servers[owner]
+            assert holder.cache.peek_entry(key).content == content
+
+    def test_replacement_replays_migrated_entries_from_journal(
+        self, tmp_path
+    ):
+        journal_dir = tmp_path / "gamma"
+        old_map = ShardMap(_dials(OLD))
+        servers = {name: ShadowServer(name=name) for name in OLD}
+        for server in servers.values():
+            FleetMember(server, old_map)
+        _populate(servers, old_map)
+        new_map = old_map.with_shards(_dials(NEW))
+        gamma = ShadowServer(name="gamma", journal_dir=str(journal_dir))
+        FleetMember(gamma, new_map)
+        channels = {"gamma": LoopbackChannel(gamma.handle)}
+        for name in OLD:
+            migrate(servers[name], new_map, channels)
+        expected = {
+            key: gamma.cache.peek_entry(key).content
+            for key in gamma.cache.keys()
+        }
+        assert expected  # the reshard moved something
+        gamma.close()
+        # The dead shard's replacement recovers from the same journal:
+        # migrated entries replay exactly like client-pushed ones.
+        replacement = ShadowServer(
+            name="gamma", journal_dir=str(journal_dir)
+        )
+        FleetMember(replacement, new_map)
+        assert set(replacement.cache.keys()) == set(expected)
+        for key, content in expected.items():
+            assert replacement.cache.peek_entry(key).content == content
+
+    def test_dry_run_keeps_local_copies(self):
+        old_map = ShardMap(_dials(OLD))
+        servers = {name: ShadowServer(name=name) for name in OLD}
+        for server in servers.values():
+            FleetMember(server, old_map)
+        _populate(servers, old_map)
+        new_map = old_map.with_shards(_dials(NEW))
+        gamma = ShadowServer(name="gamma")
+        FleetMember(gamma, new_map)
+        kept = {name: len(servers[name].cache) for name in OLD}
+        for name in OLD:
+            migrate(
+                servers[name],
+                new_map,
+                {"gamma": LoopbackChannel(gamma.handle)},
+                drop=False,
+            )
+            assert len(servers[name].cache) == kept[name]

@@ -1,0 +1,193 @@
+"""Wire-level fleet protocol: shard maps in Hello, redirects, transfers.
+
+The byte-identity tests pin the acceptance criterion that fleet mode is
+default-off: a non-fleet server's replies must not change by a byte.
+"""
+
+import pytest
+
+from repro.core.protocol import (
+    Hello,
+    Notify,
+    Ok,
+    ShardTransfer,
+    UpdateAck,
+    WrongShard,
+    decode_message,
+)
+from repro.core.server import ShadowServer
+from repro.diffing.model import checksum
+from repro.errors import ProtocolError
+from repro.fleet import FleetMember, ShardMap
+from repro.transport.base import LoopbackChannel
+
+MAP = {"alpha": "127.0.0.1:7301", "beta": "127.0.0.1:7302"}
+
+
+def _fleet_server(name="alpha", **kwargs):
+    server = ShadowServer(name=name, **kwargs)
+    FleetMember(server, ShardMap(MAP))
+    return server
+
+
+def _foreign_key(shard_map, shard):
+    for index in range(1000):
+        key = f"domain:file-{index:04d}"
+        if shard_map.owner(key) != shard:
+            return key
+    raise AssertionError("no foreign key found")
+
+
+def _owned_key(shard_map, shard):
+    for index in range(1000):
+        key = f"domain:file-{index:04d}"
+        if shard_map.owner(key) == shard:
+            return key
+    raise AssertionError("no owned key found")
+
+
+class TestOkByteIdentity:
+    def test_empty_shard_map_is_omitted_from_the_wire(self):
+        wire = Ok(detail="welcome").to_wire()
+        assert b"shard_map" not in wire
+        # The exact frame a pre-fleet server produced.
+        assert wire == Ok(detail="welcome", shard_map={}).to_wire()
+
+    def test_shard_map_round_trips(self):
+        payload = ShardMap(MAP, epoch=4).to_payload()
+        ok = Ok(detail="welcome", shard_map=payload)
+        restored = decode_message(ok.to_wire())
+        assert isinstance(restored, Ok)
+        assert ShardMap.from_payload(restored.shard_map) == ShardMap(
+            MAP, epoch=4
+        )
+
+    def test_plain_server_hello_carries_no_map(self):
+        server = ShadowServer()
+        reply = decode_message(
+            LoopbackChannel(server.handle).request(
+                Hello(client_id="u@ws").to_wire()
+            )
+        )
+        assert isinstance(reply, Ok)
+        assert reply.shard_map == {}
+
+    def test_fleet_member_hello_carries_the_map(self):
+        server = _fleet_server()
+        reply = decode_message(
+            LoopbackChannel(server.handle).request(
+                Hello(client_id="u@ws").to_wire()
+            )
+        )
+        assert isinstance(reply, Ok)
+        shard_map = ShardMap.from_payload(reply.shard_map)
+        assert shard_map.names == ("alpha", "beta")
+        assert shard_map.epoch == 1
+
+
+class TestWrongShard:
+    def test_message_round_trips(self):
+        message = WrongShard(
+            key="d:f",
+            shard="alpha",
+            owner="beta",
+            shard_map=ShardMap(MAP).to_payload(),
+        )
+        restored = decode_message(message.to_wire())
+        assert restored.owner == "beta"
+        assert ShardMap.from_payload(restored.shard_map).names == (
+            "alpha",
+            "beta",
+        )
+
+    def test_foreign_notify_gets_redirected(self):
+        server = _fleet_server("alpha")
+        channel = LoopbackChannel(server.handle)
+        channel.request(Hello(client_id="u@ws").to_wire())
+        key = _foreign_key(server.fleet.shard_map, "alpha")
+        reply = decode_message(
+            channel.request(
+                Notify(
+                    client_id="u@ws", key=key, version=1, size=3
+                ).to_wire()
+            )
+        )
+        assert isinstance(reply, WrongShard)
+        assert reply.shard == "alpha"
+        assert reply.owner == server.fleet.shard_map.owner(key)
+        assert reply.shard_map["epoch"] == 1
+        assert server.fleet.redirects == 1
+
+    def test_owned_notify_passes_through(self):
+        server = _fleet_server("alpha")
+        channel = LoopbackChannel(server.handle)
+        channel.request(Hello(client_id="u@ws").to_wire())
+        key = _owned_key(server.fleet.shard_map, "alpha")
+        reply = decode_message(
+            channel.request(
+                Notify(
+                    client_id="u@ws", key=key, version=1, size=3
+                ).to_wire()
+            )
+        )
+        assert not isinstance(reply, WrongShard)
+        assert server.fleet.redirects == 0
+
+
+class TestShardTransfer:
+    def test_message_round_trips(self):
+        message = ShardTransfer(
+            sender="alpha",
+            key="d:f",
+            version=3,
+            checksum=checksum(b"abc"),
+            content=b"abc",
+        )
+        restored = decode_message(message.to_wire())
+        assert restored == message
+
+    def test_transfer_is_cached_and_acked(self):
+        server = _fleet_server("alpha")
+        key = _owned_key(server.fleet.shard_map, "alpha")
+        content = b"migrated content\n"
+        reply = decode_message(
+            LoopbackChannel(server.handle).request(
+                ShardTransfer(
+                    sender="beta",
+                    key=key,
+                    version=2,
+                    checksum=checksum(content),
+                    content=content,
+                ).to_wire()
+            )
+        )
+        assert isinstance(reply, UpdateAck)
+        assert reply.stored_version == 2
+        assert server.cache.peek_entry(key).content == content
+        assert server.fleet.transfers_in == 1
+
+    def test_corrupt_transfer_is_refused(self):
+        server = _fleet_server("alpha")
+        key = _owned_key(server.fleet.shard_map, "alpha")
+        reply = decode_message(
+            LoopbackChannel(server.handle).request(
+                ShardTransfer(
+                    sender="beta",
+                    key=key,
+                    version=1,
+                    checksum=checksum(b"original"),
+                    content=b"tampered",
+                ).to_wire()
+            )
+        )
+        assert reply.TYPE == "error"
+        assert server.cache.peek_entry(key) is None
+
+    def test_transfer_validation(self):
+        server = _fleet_server("alpha")
+        with pytest.raises(ProtocolError):
+            server._on_shard_transfer(ShardTransfer(sender="beta"))
+        with pytest.raises(ProtocolError):
+            server._on_shard_transfer(
+                ShardTransfer(sender="beta", key="d:f", version=0)
+            )

@@ -1,0 +1,102 @@
+"""The consistent-hash ring and the epoch-numbered shard map.
+
+The properties the fleet depends on: ownership is deterministic across
+processes (crc32, PYTHONHASHSEED-invariant), keys spread roughly evenly,
+and growing the fleet by one shard moves only ~1/N of the keyspace.
+"""
+
+import pytest
+
+from repro.errors import FleetError
+from repro.fleet import DEFAULT_REPLICAS, HashRing, ShardMap
+
+
+def _keys(count):
+    return [f"domain:file-{index:05d}" for index in range(count)]
+
+
+class TestHashRing:
+    def test_ownership_is_deterministic_across_instances(self):
+        first = HashRing(["alpha", "beta", "gamma"])
+        second = HashRing(["gamma", "alpha", "beta"])  # order-insensitive
+        for key in _keys(500):
+            assert first.owner(key) == second.owner(key)
+
+    def test_every_shard_owns_a_reasonable_share(self):
+        ring = HashRing(["alpha", "beta", "gamma"])
+        spread = ring.spread(_keys(3000))
+        assert sum(spread.values()) == 3000
+        for name, count in spread.items():
+            # Perfectly even would be 1000; virtual nodes keep every
+            # shard within a loose band of that.
+            assert 500 < count < 1700, (name, spread)
+
+    def test_adding_a_shard_moves_about_one_nth_of_the_keys(self):
+        keys = _keys(4000)
+        three = HashRing(["alpha", "beta", "gamma"])
+        four = HashRing(["alpha", "beta", "gamma", "delta"])
+        moved = sum(1 for key in keys if three.owner(key) != four.owner(key))
+        # Expected ~1/4; a naive modulo hash would move ~3/4.
+        assert 0.10 < moved / len(keys) < 0.45
+
+    def test_moved_keys_only_move_to_the_new_shard(self):
+        keys = _keys(2000)
+        three = HashRing(["alpha", "beta", "gamma"])
+        four = HashRing(["alpha", "beta", "gamma", "delta"])
+        for key in keys:
+            if three.owner(key) != four.owner(key):
+                assert four.owner(key) == "delta"
+
+    def test_single_shard_owns_everything(self):
+        ring = HashRing(["solo"])
+        assert all(ring.owner(key) == "solo" for key in _keys(50))
+
+    def test_bad_configurations_are_refused(self):
+        with pytest.raises(FleetError):
+            HashRing([])
+        with pytest.raises(FleetError):
+            HashRing(["a", "a"])
+        with pytest.raises(FleetError):
+            HashRing(["a"], replicas=0)
+
+
+class TestShardMap:
+    def test_payload_round_trip(self):
+        shard_map = ShardMap(
+            {"alpha": "127.0.0.1:7301", "beta": "127.0.0.1:7302"}, epoch=3
+        )
+        restored = ShardMap.from_payload(shard_map.to_payload())
+        assert restored == shard_map
+        assert restored.epoch == 3
+        assert restored.dial("beta") == "127.0.0.1:7302"
+        assert restored.ring.replicas == DEFAULT_REPLICAS
+
+    def test_owner_matches_ring(self):
+        shard_map = ShardMap({"alpha": "", "beta": "", "gamma": ""})
+        ring = HashRing(["alpha", "beta", "gamma"])
+        for key in _keys(200):
+            assert shard_map.owner(key) == ring.owner(key)
+
+    def test_owner_of_job_uses_longest_shard_prefix(self):
+        shard_map = ShardMap({"cy": "", "cy-2": ""})
+        assert shard_map.owner_of_job("cy-job-00001") == "cy"
+        assert shard_map.owner_of_job("cy-2-job-00007") == "cy-2"
+        assert shard_map.owner_of_job("unknown-job-00001") is None
+
+    def test_with_shards_bumps_the_epoch(self):
+        shard_map = ShardMap({"alpha": "", "beta": ""}, epoch=2)
+        grown = shard_map.with_shards(
+            {"alpha": "", "beta": "", "gamma": ""}
+        )
+        assert grown.epoch == 3
+        assert grown.names == ("alpha", "beta", "gamma")
+
+    def test_validation(self):
+        with pytest.raises(FleetError):
+            ShardMap({})
+        with pytest.raises(FleetError):
+            ShardMap({"a": ""}, epoch=0)
+        with pytest.raises(FleetError):
+            ShardMap({"a": ""}).dial("missing")
+        with pytest.raises(FleetError):
+            ShardMap.from_payload({"epoch": 1})  # no shards

@@ -1,0 +1,119 @@
+"""Snapshot schema: fleet sections validate against the checked-in schema.
+
+Imports the same subset validator CI's telemetry smoke test uses, so a
+snapshot that passes here is exactly what ``shadow stats --json`` emits.
+"""
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+from repro.core.protocol import StatsQuery, StatsReply
+from repro.core.server import ShadowServer
+from repro.fleet import (
+    FleetChannel,
+    FleetMember,
+    FleetRouter,
+    HashRing,
+    ShardDirectory,
+    ShardMap,
+    ShardRouter,
+)
+from repro.resilience.session import RawSession
+from repro.transport.base import LoopbackChannel
+from repro.transport.dialspec import DialSpec
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+SCHEMA = json.loads(
+    (ROOT / "scripts" / "telemetry_schema.json").read_text()
+)
+
+
+def _load_validator():
+    spec = importlib.util.spec_from_file_location(
+        "telemetry_smoke", ROOT / "scripts" / "telemetry_smoke.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.validate
+
+
+validate = _load_validator()
+
+
+def _validated(snapshot):
+    # The CLI prints the snapshot as JSON; round-trip so tuples and
+    # other codec artefacts normalise exactly as they would on screen.
+    normalised = json.loads(json.dumps(snapshot, default=list))
+    try:
+        validate(normalised, SCHEMA)
+    except SystemExit:
+        pytest.fail("snapshot failed schema validation")
+    return normalised
+
+
+def _fleet():
+    shard_map = ShardMap({"alpha": "loop:a", "beta": "loop:b"})
+    servers = {
+        name: ShadowServer(name=name) for name in shard_map.names
+    }
+    for server in servers.values():
+        FleetMember(server, shard_map)
+    channel = FleetChannel(
+        shard_map,
+        channels={
+            name: LoopbackChannel(server.handle)
+            for name, server in servers.items()
+        },
+    )
+    return shard_map, servers, channel
+
+
+def test_single_member_snapshot_validates():
+    shard_map, servers, channel = _fleet()
+    reply = RawSession(
+        LoopbackChannel(servers["alpha"].handle)
+    ).send(StatsQuery(client_id="test@schema"))
+    assert isinstance(reply, StatsReply)
+    snapshot = _validated(reply.snapshot)
+    assert snapshot["fleet"]["component"] == "fleet-member"
+    assert snapshot["fleet"]["shard"] == "alpha"
+
+
+def test_merged_fleet_snapshot_validates():
+    shard_map, servers, channel = _fleet()
+    reply = RawSession(channel).send(StatsQuery(client_id="test@schema"))
+    assert isinstance(reply, StatsReply)
+    snapshot = _validated(reply.snapshot)
+    assert snapshot["fleet"]["component"] == "fleet"
+    assert snapshot["fleet"]["shards"] == 2
+    assert snapshot["server"] == "fleet(2 shards)"
+
+
+def test_plain_server_snapshot_still_validates():
+    server = ShadowServer()
+    reply = RawSession(LoopbackChannel(server.handle)).send(
+        StatsQuery(client_id="test@schema")
+    )
+    snapshot = _validated(reply.snapshot)
+    assert "fleet" not in snapshot
+
+
+def test_every_fleet_component_describes_itself():
+    shard_map, servers, channel = _fleet()
+    directory = ShardDirectory(shard_map)
+    expectations = {
+        "shard-map": shard_map.describe(),
+        "fleet-member": servers["alpha"].fleet.describe(),
+        "fleet-channel": channel.describe(),
+        "shard-directory": directory.describe(),
+        "shard-router": ShardRouter(directory).describe(),
+        "fleet-router": FleetRouter(shard_map).describe(),
+        "dial-spec": DialSpec.parse("fleet:a=h:1,b=h:2").describe(),
+    }
+    for expected, described in expectations.items():
+        assert described["component"] == expected
+    assert "component" not in HashRing(["a"]).__dict__  # rings are plain
