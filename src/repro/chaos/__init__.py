@@ -1,0 +1,28 @@
+"""Deterministic chaos engineering for the shadow fleet.
+
+``repro.chaos`` is the fault-injection substrate the self-healing
+fleet is tested against: a seeded :class:`~repro.chaos.plan.FaultPlan`
+DSL describing *what* breaks (crash at a journal-record boundary,
+network partition, slow or garbled link, disk-full on journal append),
+an injection layer applying it (:mod:`~repro.chaos.inject`), and the
+:class:`~repro.chaos.fleet.ChaosFleet` harness running a whole sharded,
+optionally-replicated fleet plus its supervisor on one simulated clock
+(:mod:`~repro.chaos.fleet`).
+
+Everything is deterministic by construction — same seed, same run —
+and strictly test-side: no production module imports this package.
+"""
+
+from repro.chaos.fleet import ChaosFleet
+from repro.chaos.inject import LinkFaults, apply_fault, apply_plan
+from repro.chaos.plan import DEFAULT_SEED, Fault, FaultPlan
+
+__all__ = [
+    "ChaosFleet",
+    "DEFAULT_SEED",
+    "Fault",
+    "FaultPlan",
+    "LinkFaults",
+    "apply_fault",
+    "apply_plan",
+]

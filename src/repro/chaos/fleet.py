@@ -1,0 +1,406 @@
+"""ChaosFleet: a whole sharded fleet under deterministic fault injection.
+
+Composes the layers this repo built one PR at a time — journaled
+servers (PR 5), replication pairs (PR 6), the consistent-hash fleet
+(PR 9), and the self-healing supervisor (this PR) — into one in-process
+harness on a single :class:`~repro.simnet.clock.SimulatedClock`:
+
+* every shard endpoint is an opaque **token** (``alpha@p``,
+  ``alpha@s``) dispatched through this class, so killing an endpoint,
+  partitioning a shard, or garbling a reply is a data-structure
+  operation, not a socket trick;
+* shards listed in ``replicated`` run as a
+  :class:`~repro.replication.harness.ReplicatedPair` (warm standby,
+  ``auto_promote=False`` — promotion is the *supervisor's* job here);
+  the rest run solo over a journal directory;
+* the :class:`~repro.fleet.supervisor.FleetSupervisor` probes through
+  the same token dispatch, so a single-threaded test interleaves
+  client traffic and supervision deterministically: each client dial
+  of a dead endpoint advances the simulated clock one probe interval
+  and runs one supervision tick (`the failed attempt *is* the passage
+  of time`), so after enough retries the fleet has healed underneath
+  the retrying client.
+
+Nothing here touches real sockets or wall-clock time; the chaos matrix
+in ``tests/chaos/`` replays identically on every run and every machine.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.chaos.inject import LinkFaults
+from repro.chaos.plan import FaultPlan
+from repro.core.server import ShadowServer
+from repro.errors import JournalError, ServerCrashedError, TransportError
+from repro.fleet.channel import FleetChannel
+from repro.fleet.member import FleetMember
+from repro.fleet.ring import ShardMap
+from repro.fleet.supervisor import FleetSupervisor
+from repro.replication.failover import FailoverChannel
+from repro.replication.harness import (
+    JournalCrash,
+    ReplicatedPair,
+    _RecordBoundaryKiller,
+)
+from repro.simnet.clock import SimulatedClock
+from repro.transport.base import LoopbackChannel, RequestChannel
+
+
+class _DiskFullKiller(_RecordBoundaryKiller):
+    """Journal device full at the Nth append: the server must die
+    rather than acknowledge a mutation it could not journal — the same
+    containment boundary as a crash at that record."""
+
+    def on_record(self, entry: Dict[str, Any]) -> None:
+        if self.inner is not None:
+            self.inner(entry)
+        self.seen += 1
+        if not self.fired and self.seen >= self.at_record:
+            self.fired = True
+            raise JournalCrash(
+                f"journal disk full at record {self.seen}; "
+                f"refusing to acknowledge unjournaled work"
+            )
+
+
+class _SoloShard:
+    """A journaled single server with kill/resurrect controls."""
+
+    def __init__(
+        self, fleet: "ChaosFleet", name: str, journal_dir: str
+    ) -> None:
+        self.fleet = fleet
+        self.name = name
+        self.journal_dir = journal_dir
+        self.crashes = 0
+        self.server: Optional[ShadowServer] = None
+        self.start()
+
+    def start(self) -> ShadowServer:
+        if self.server is not None:
+            raise JournalError(f"solo shard {self.name} already running")
+        self.server = ShadowServer(
+            name=self.name,
+            journal_dir=self.journal_dir,
+            clock=self.fleet.clock,
+        )
+        FleetMember(self.server, self.fleet.supervisor_map())
+        return self.server
+
+    def kill(self) -> None:
+        server, self.server = self.server, None
+        if server is None:
+            return
+        self.crashes += 1
+        if server.durability is not None:
+            server.durability.abandon()
+        server.pipeline.close()
+
+    def schedule_crash(self, at_record: int) -> None:
+        if self.server is None or self.server.durability is None:
+            raise JournalError(f"no running server to arm on {self.name}")
+        killer = _RecordBoundaryKiller(
+            at_record, inner=self.server.durability.on_record
+        )
+        self.server.durability.on_record = killer.on_record
+
+    def schedule_disk_full(self, at_record: int) -> None:
+        if self.server is None or self.server.durability is None:
+            raise JournalError(f"no running server to arm on {self.name}")
+        killer = _DiskFullKiller(
+            at_record, inner=self.server.durability.on_record
+        )
+        self.server.durability.on_record = killer.on_record
+
+    def handle(self, payload: bytes) -> bytes:
+        server = self.server
+        if server is None:
+            raise ServerCrashedError(f"shard {self.name} is down")
+        try:
+            reply = server.handle(payload)
+        except JournalCrash as crash:
+            self.kill()
+            raise ServerCrashedError(str(crash)) from None
+        if self.server is not server:
+            raise ServerCrashedError(
+                f"shard {self.name} died while handling this request"
+            )
+        return reply
+
+
+class ChaosFleet:
+    """N shards + supervisor + fault plan, all on one simulated clock."""
+
+    def __init__(
+        self,
+        root: str,
+        shards=("alpha", "beta", "gamma"),
+        replicated=(),
+        probe_interval: float = 1.0,
+        probe_timeout: float = 3.0,
+        confirm_probes: int = 2,
+        heartbeat_interval: float = 0.5,
+        heartbeat_timeout: float = 2.0,
+        spawn_replacements: bool = True,
+        auto_heal: bool = True,
+    ) -> None:
+        self.root = str(root)
+        self.clock = SimulatedClock()
+        self.links = LinkFaults(self.clock.now)
+        self.auto_heal = auto_heal
+        self._healing = False
+        self._handlers: Dict[str, Callable[[bytes], bytes]] = {}
+        self.pairs: Dict[str, ReplicatedPair] = {}
+        self.solos: Dict[str, _SoloShard] = {}
+        self._replacements = 0
+        dials: Dict[str, str] = {}
+        for shard in shards:
+            if shard in replicated:
+                dials[shard] = f"{shard}@p,{shard}@s"
+            else:
+                dials[shard] = f"{shard}@p"
+        self._initial_map = ShardMap(dials, epoch=1)
+        self.supervisor = FleetSupervisor(
+            self._initial_map,
+            opener=self._open,
+            spawner=self._spawn if spawn_replacements else None,
+            now_fn=self.clock.now,
+            probe_interval=probe_interval,
+            probe_timeout=probe_timeout,
+            confirm_probes=confirm_probes,
+        )
+        for shard in shards:
+            if shard in replicated:
+                pair = ReplicatedPair(
+                    os.path.join(self.root, f"{shard}-primary"),
+                    os.path.join(self.root, f"{shard}-standby"),
+                    clock=self.clock,
+                    auto_promote=False,
+                    heartbeat_interval=heartbeat_interval,
+                    heartbeat_timeout=heartbeat_timeout,
+                    name=shard,
+                )
+                FleetMember(pair.primary, self._initial_map)
+                FleetMember(pair.standby, self._initial_map)
+                self._handlers[f"{shard}@p"] = pair.handle_primary
+                self._handlers[f"{shard}@s"] = pair.handle_standby
+                self.pairs[shard] = pair
+            else:
+                solo = _SoloShard(
+                    self, shard, os.path.join(self.root, f"{shard}-solo")
+                )
+                self._handlers[f"{shard}@p"] = solo.handle
+                self.solos[shard] = solo
+        # Baseline probe round: every live shard beats its detector, so
+        # later silence measures from a known-alive instant.
+        self.tick()
+
+    def supervisor_map(self) -> ShardMap:
+        # During __init__ the solo shards boot before the supervisor
+        # exists; they attach against the initial map.
+        supervisor = getattr(self, "supervisor", None)
+        if supervisor is None:
+            return self._initial_map
+        return supervisor.shard_map
+
+    # ------------------------------------------------------------------
+    # token dispatch — every request in the fleet funnels through here
+    # ------------------------------------------------------------------
+    def _dispatch(self, shard: str, token: str, payload: bytes) -> bytes:
+        self.links.check_partition(shard)
+        delay = self.links.link_delay(shard)
+        if delay:
+            self.clock.advance(delay)
+        handler = self._handlers.get(token)
+        if handler is None:
+            self._dead_dial()
+            raise ServerCrashedError(f"endpoint {token!r} is down")
+        try:
+            reply = handler(payload)
+        except TransportError:
+            # The incarnation behind the token died (possibly during
+            # this very request, via an armed record-boundary fault).
+            self._dead_dial()
+            raise
+        return self.links.maybe_garble(shard, reply)
+
+    def _dead_dial(self) -> None:
+        """Model time passing on every failed dial.
+
+        A single-threaded harness has no background supervisor thread;
+        instead, each client attempt against a dead endpoint advances
+        the simulated clock one probe interval and runs one supervision
+        tick.  After enough failed retries, the supervisor has detected
+        the death, confirmed it, and healed the fleet — exactly the
+        interleaving a live deployment sees, minus the wall clock."""
+        if not self.auto_heal or self._healing:
+            return
+        self.clock.advance(self.supervisor.probe_interval)
+        self.tick()
+
+    def _token_channel(self, shard: str, token: str) -> RequestChannel:
+        return LoopbackChannel(
+            lambda payload, s=shard, t=token: self._dispatch(s, t, payload)
+        )
+
+    def _open(self, shard: str, token: str) -> RequestChannel:
+        return self._token_channel(shard, token)
+
+    def _client_open(self, shard: str, dial: str) -> RequestChannel:
+        tokens = [token for token in dial.split(",") if token]
+        endpoints = [
+            self._token_channel(shard, token) for token in tokens
+        ]
+        if len(endpoints) == 1:
+            return endpoints[0]
+        return FailoverChannel(endpoints)
+
+    def _spawn(self, shard: str, dead_token: str) -> Optional[str]:
+        """Bring up a replacement over the dead shard's journal.
+
+        The replacement recovers every journaled record — client pushes
+        and ``shard-transfer`` entries alike, both journaled as
+        cache-puts — so it answers for the dead peer's whole range."""
+        solo = self.solos.get(shard)
+        if solo is None:
+            return None
+        if solo.server is not None:
+            solo.kill()
+        # The dead incarnation's endpoints stay dead — a real
+        # replacement listens on a fresh port, not the corpse's.
+        for token in list(self._handlers):
+            if token.split("@")[0] == shard:
+                del self._handlers[token]
+        self._replacements += 1
+        token = f"{shard}@r{self._replacements}"
+        solo.start()
+        self._handlers[token] = solo.handle
+        return token
+
+    # ------------------------------------------------------------------
+    # fault arming (the apply_plan surface)
+    # ------------------------------------------------------------------
+    def apply(self, plan: FaultPlan) -> None:
+        from repro.chaos.inject import apply_plan
+
+        apply_plan(self, plan)
+
+    def schedule_crash(
+        self, shard: str, at_record: int, after_ship: bool = False
+    ) -> None:
+        pair = self.pairs.get(shard)
+        if pair is not None:
+            pair.schedule_crash_at_record(at_record, after_ship=after_ship)
+            return
+        if after_ship:
+            raise JournalError(
+                f"shard {shard!r} has no standby; after-ship crashes "
+                f"need a replication pair"
+            )
+        self.solos[shard].schedule_crash(at_record)
+
+    def schedule_disk_full(self, shard: str, at_record: int) -> None:
+        pair = self.pairs.get(shard)
+        if pair is not None:
+            if pair.primary is None or pair.primary.durability is None:
+                raise JournalError(f"no running primary on {shard}")
+            killer = _DiskFullKiller(
+                at_record, inner=pair.primary.durability.on_record
+            )
+            pair.primary.durability.on_record = killer.on_record
+            return
+        self.solos[shard].schedule_disk_full(at_record)
+
+    def kill(self, shard: str) -> None:
+        """``kill -9`` the shard's serving incarnation right now."""
+        pair = self.pairs.get(shard)
+        if pair is not None:
+            pair.kill_primary()
+            return
+        self.solos[shard].kill()
+
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
+    def tick(self) -> List[Dict[str, Any]]:
+        """One guarded supervision tick.
+
+        The guard makes ticks non-reentrant: a tick's own probes hit
+        dead endpoints too, and without it each would recurse into
+        another tick through the dead-dial hook."""
+        if self._healing:
+            return []
+        self._healing = True
+        try:
+            return self.supervisor.tick()
+        finally:
+            self._healing = False
+
+    def heal_now(self, max_ticks: int = 32) -> List[Dict[str, Any]]:
+        """Advance virtual time tick by tick until a heal happens (or
+        the budget runs out); returns the heals performed."""
+        for _ in range(max_ticks):
+            self.clock.advance(self.supervisor.probe_interval)
+            performed = self.tick()
+            if performed:
+                return performed
+        return []
+
+    def resurrect(self, shard: str) -> None:
+        """Bring the shard's dead primary incarnation back over its
+        journal (it returns at its old epoch and gets fenced)."""
+        pair = self.pairs.get(shard)
+        if pair is not None:
+            server = pair.start_primary()
+            FleetMember(server, self.supervisor_map())
+            return
+        solo = self.solos[shard]
+        solo.start()
+
+    def serving_server(self, shard: str) -> Optional[ShadowServer]:
+        """The incarnation currently answering for the shard's range."""
+        pair = self.pairs.get(shard)
+        if pair is not None:
+            if (
+                pair.primary is not None
+                and pair.primary_repl is not None
+                and pair.primary_repl.role == "primary"
+            ):
+                return pair.primary
+            if pair.standby_repl.role == "primary":
+                return pair.standby
+            return pair.primary
+        return self.solos[shard].server
+
+    def client_channel(self, **kwargs: Any) -> FleetChannel:
+        """A fleet channel wired through the token dispatch; it also
+        subscribes to supervisor map publications, the in-process
+        equivalent of a client holding a ``fleet:`` dial spec."""
+        channel = FleetChannel(
+            self.supervisor.shard_map, opener=self._client_open, **kwargs
+        )
+        self.supervisor.subscribe(
+            lambda new_map, ch=channel: ch.router._adopt(
+                new_map.to_payload()
+            )
+        )
+        return channel
+
+    def close(self) -> None:
+        for pair in self.pairs.values():
+            pair.close()
+        for solo in self.solos.values():
+            if solo.server is not None:
+                solo.server.close()
+        self.supervisor.close()
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "component": "chaos-fleet",
+            "clock": self.clock.now(),
+            "supervisor": self.supervisor.status(),
+            "links": self.links.describe(),
+            "replacements": self._replacements,
+        }

@@ -1,0 +1,156 @@
+"""Fault injection primitives: where a FaultPlan meets the wire.
+
+:class:`LinkFaults` is the per-fleet registry of *link-level* faults —
+partitions, slow links, garbled replies — consulted by the
+:class:`~repro.chaos.fleet.ChaosFleet` dispatch path on every request.
+Record-boundary faults (crashes, disk-full) do not live here: they arm
+journal hooks on the target server instead (see
+:meth:`ChaosFleet.apply <repro.chaos.fleet.ChaosFleet.apply>`).
+
+All timing is read off the fleet's simulated clock, so a partition
+window is a *deterministic* interval of virtual seconds, not a race
+against the test runner's wall clock.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.chaos.plan import Fault, FaultPlan
+from repro.errors import TransportError
+
+
+def garble_bytes(payload: bytes) -> bytes:
+    """Deterministically corrupt a frame (same idiom as FailNextChannel:
+    flip bits so the codec must reject it, never a silent truncation)."""
+    if not payload:
+        return b"\xff"
+    return bytes((byte ^ 0xFF) for byte in payload[:8]) + payload[8:]
+
+
+class LinkFaults:
+    """Partition windows, slow-link windows, and garble ordinals."""
+
+    def __init__(self, now_fn: Callable[[], float]) -> None:
+        self._now = now_fn
+        self._lock = threading.Lock()
+        #: shard -> [(start, end)] virtual-time partition windows.
+        self._partitions: Dict[str, List[Tuple[float, float]]] = {}
+        #: shard -> [(start, end, delay)] slow-link windows.
+        self._slow: Dict[str, List[Tuple[float, float, float]]] = {}
+        #: shard -> list of 1-based reply ordinals still to garble.
+        self._garble: Dict[str, List[int]] = {}
+        #: shard -> replies seen (the ordinal counter).
+        self._replies: Dict[str, int] = {}
+        self.partitioned_requests = 0
+        self.delayed_requests = 0
+        self.garbled_replies = 0
+
+    # ------------------------------------------------------------------
+    # arming
+    # ------------------------------------------------------------------
+    def add_partition(
+        self, shard: str, start: float, duration: float
+    ) -> None:
+        with self._lock:
+            self._partitions.setdefault(shard, []).append(
+                (start, start + duration)
+            )
+
+    def add_slow_link(
+        self, shard: str, start: float, duration: float, delay: float
+    ) -> None:
+        with self._lock:
+            self._slow.setdefault(shard, []).append(
+                (start, start + duration, delay)
+            )
+
+    def arm_garble(self, shard: str, at_request: int) -> None:
+        with self._lock:
+            self._garble.setdefault(shard, []).append(at_request)
+
+    # ------------------------------------------------------------------
+    # the dispatch-path checks
+    # ------------------------------------------------------------------
+    def check_partition(self, shard: str) -> None:
+        """Raise if the shard is inside a partition window right now."""
+        now = self._now()
+        with self._lock:
+            windows = self._partitions.get(shard, ())
+            for start, end in windows:
+                if start <= now < end:
+                    self.partitioned_requests += 1
+                    raise TransportError(
+                        f"shard {shard!r} is partitioned "
+                        f"({start:.1f}s..{end:.1f}s, now {now:.1f}s)"
+                    )
+
+    def link_delay(self, shard: str) -> float:
+        """Extra virtual seconds this request burns, 0.0 when healthy."""
+        now = self._now()
+        with self._lock:
+            for start, end, delay in self._slow.get(shard, ()):
+                if start <= now < end:
+                    self.delayed_requests += 1
+                    return delay
+        return 0.0
+
+    def maybe_garble(self, shard: str, reply: bytes) -> bytes:
+        """Corrupt the reply if its ordinal was armed for this shard."""
+        with self._lock:
+            ordinal = self._replies.get(shard, 0) + 1
+            self._replies[shard] = ordinal
+            pending = self._garble.get(shard)
+            if pending and ordinal in pending:
+                pending.remove(ordinal)
+                self.garbled_replies += 1
+                return garble_bytes(reply)
+        return reply
+
+    def describe(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "component": "link-faults",
+                "partitions": {
+                    shard: list(windows)
+                    for shard, windows in self._partitions.items()
+                },
+                "slow_links": {
+                    shard: list(windows)
+                    for shard, windows in self._slow.items()
+                },
+                "garbles_pending": {
+                    shard: list(ordinals)
+                    for shard, ordinals in self._garble.items()
+                    if ordinals
+                },
+                "partitioned_requests": self.partitioned_requests,
+                "delayed_requests": self.delayed_requests,
+                "garbled_replies": self.garbled_replies,
+            }
+
+
+def apply_plan(fleet: Any, plan: FaultPlan) -> None:
+    """Arm every fault of ``plan`` against a ChaosFleet."""
+    for fault in plan.faults:
+        apply_fault(fleet, fault)
+
+
+def apply_fault(fleet: Any, fault: Fault) -> None:
+    if fault.kind == "crash-at-record":
+        fleet.schedule_crash(
+            fault.shard, fault.at_record, after_ship=fault.after_ship
+        )
+    elif fault.kind == "disk-full":
+        fleet.schedule_disk_full(fault.shard, fault.at_record)
+    elif fault.kind == "partition":
+        fleet.links.add_partition(fault.shard, fault.start, fault.duration)
+    elif fault.kind == "slow-link":
+        fleet.links.add_slow_link(
+            fault.shard, fault.start, fault.duration, fault.delay
+        )
+    elif fault.kind == "garble":
+        fleet.links.arm_garble(fault.shard, fault.at_request)
+    else:
+        raise TransportError(f"unknown fault kind {fault.kind!r}")

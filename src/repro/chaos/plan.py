@@ -1,0 +1,204 @@
+"""The FaultPlan DSL: a seeded, deterministic schedule of injected faults.
+
+A chaos run is only worth debugging if it can be *re*-run: every fault
+in a plan is explicit data (what, where, when), and the only source of
+randomness is the plan's own seeded ``random.Random`` — the same seed
+always builds the same plan, byte for byte, independent of
+PYTHONHASHSEED, wall clock, or interleaving.
+
+Fault kinds, mirroring the ways a real deployment dies:
+
+``crash-at-record``
+    Kill a shard's primary exactly as its Nth journal record is
+    appended (before the record ships to the standby) or just after
+    the standby acked it (``after_ship=True``) — the two boundaries
+    the PR 6 failover matrix distinguishes.
+``disk-full``
+    The journal device fills at the Nth append: the server must die
+    rather than acknowledge an unjournaled mutation, so the fault is
+    contained exactly like a crash at that boundary.
+``partition``
+    A shard drops off the network for a window of simulated time —
+    probes, client traffic, everything bounces until the window ends.
+``slow-link``
+    A shard's link degrades for a window: every request through it
+    burns extra simulated seconds (the latency chaos that flushes out
+    timeout assumptions).
+``garble``
+    The Nth reply through a shard's link is corrupted in flight —
+    the framing/codec layer must reject it rather than act on it.
+
+Plans are built fluently and consumed by
+:func:`repro.chaos.inject.apply_plan` against a
+:class:`~repro.chaos.fleet.ChaosFleet`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Tuple
+
+from repro.errors import ShadowError
+
+#: The repo-wide chaos seed (after technical report CSD-TR-722).
+DEFAULT_SEED = 722
+
+_KINDS = ("crash-at-record", "disk-full", "partition", "slow-link", "garble")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected fault; unused fields stay at their zero values."""
+
+    kind: str
+    shard: str
+    at_record: int = 0
+    after_ship: bool = False
+    start: float = 0.0
+    duration: float = 0.0
+    delay: float = 0.0
+    at_request: int = 0
+
+    def describe(self) -> Dict[str, Any]:
+        info: Dict[str, Any] = {"kind": self.kind, "shard": self.shard}
+        if self.kind in ("crash-at-record", "disk-full"):
+            info["at_record"] = self.at_record
+            if self.kind == "crash-at-record":
+                info["after_ship"] = self.after_ship
+        if self.kind in ("partition", "slow-link"):
+            info["start"] = self.start
+            info["duration"] = self.duration
+            if self.kind == "slow-link":
+                info["delay"] = self.delay
+        if self.kind == "garble":
+            info["at_request"] = self.at_request
+        return info
+
+
+class FaultPlan:
+    """An ordered fault schedule with one seeded randomness source."""
+
+    def __init__(self, seed: int = DEFAULT_SEED) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self.faults: List[Fault] = []
+
+    # ------------------------------------------------------------------
+    # explicit faults (fluent)
+    # ------------------------------------------------------------------
+    def _add(self, fault: Fault) -> "FaultPlan":
+        if fault.kind not in _KINDS:
+            raise ShadowError(f"unknown fault kind {fault.kind!r}")
+        if not fault.shard:
+            raise ShadowError("a fault needs a target shard")
+        self.faults.append(fault)
+        return self
+
+    def crash_at_record(
+        self, shard: str, at_record: int, after_ship: bool = False
+    ) -> "FaultPlan":
+        if at_record < 1:
+            raise ShadowError(f"at_record must be >= 1, got {at_record}")
+        return self._add(
+            Fault(
+                kind="crash-at-record",
+                shard=shard,
+                at_record=at_record,
+                after_ship=after_ship,
+            )
+        )
+
+    def disk_full(self, shard: str, at_record: int) -> "FaultPlan":
+        if at_record < 1:
+            raise ShadowError(f"at_record must be >= 1, got {at_record}")
+        return self._add(
+            Fault(kind="disk-full", shard=shard, at_record=at_record)
+        )
+
+    def partition(
+        self, shard: str, start: float, duration: float
+    ) -> "FaultPlan":
+        if duration <= 0:
+            raise ShadowError(f"duration must be > 0, got {duration}")
+        return self._add(
+            Fault(
+                kind="partition", shard=shard, start=start, duration=duration
+            )
+        )
+
+    def slow_link(
+        self,
+        shard: str,
+        start: float,
+        duration: float,
+        delay: float = 0.05,
+    ) -> "FaultPlan":
+        if duration <= 0 or delay <= 0:
+            raise ShadowError(
+                f"duration and delay must be > 0, got {duration}/{delay}"
+            )
+        return self._add(
+            Fault(
+                kind="slow-link",
+                shard=shard,
+                start=start,
+                duration=duration,
+                delay=delay,
+            )
+        )
+
+    def garble(self, shard: str, at_request: int) -> "FaultPlan":
+        if at_request < 1:
+            raise ShadowError(f"at_request must be >= 1, got {at_request}")
+        return self._add(
+            Fault(kind="garble", shard=shard, at_request=at_request)
+        )
+
+    # ------------------------------------------------------------------
+    # seeded sampling (the matrix generators)
+    # ------------------------------------------------------------------
+    def random_crash(
+        self,
+        shards: Iterable[str],
+        max_record: int,
+        after_ship_allowed: bool = True,
+    ) -> Fault:
+        """Sample one crash fault — which shard, which record boundary,
+        which side of the ship — from the plan's seeded stream."""
+        names: Tuple[str, ...] = tuple(shards)
+        if not names or max_record < 1:
+            raise ShadowError("random_crash needs shards and max_record >= 1")
+        shard = names[self._rng.randrange(len(names))]
+        at_record = 1 + self._rng.randrange(max_record)
+        after_ship = bool(
+            after_ship_allowed and self._rng.randrange(2)
+        )
+        fault = Fault(
+            kind="crash-at-record",
+            shard=shard,
+            at_record=at_record,
+            after_ship=after_ship,
+        )
+        self._add(fault)
+        return fault
+
+    def random_crashes(
+        self, shards: Iterable[str], max_record: int, count: int
+    ) -> List[Fault]:
+        return [
+            self.random_crash(shards, max_record) for _ in range(count)
+        ]
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def for_shard(self, shard: str) -> List[Fault]:
+        return [fault for fault in self.faults if fault.shard == shard]
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "component": "fault-plan",
+            "seed": self.seed,
+            "faults": [fault.describe() for fault in self.faults],
+        }

@@ -21,6 +21,8 @@ the real TCP transport:
     shadow flight dump|show ...                    # postmortem bundles
     shadow route --map fleet:NAME=H:P,... --port N # shard router tier
     shadow stats fleet:a=H:P,b=H:P --fleet         # merged fleet telemetry
+    shadow fleet-status fleet:a=H:P|H:P,...        # per-shard liveness (0/1/2)
+    shadow supervise --map fleet:...               # operator-free self-healing
 
 Every ``--server`` (and the positional endpoints of ``stats`` /
 ``promote`` / ``health``) goes through one resolver —
@@ -38,11 +40,13 @@ from __future__ import annotations
 
 import argparse
 import os
+import random
 import signal
 import subprocess
 import sys
 import tempfile
 import time
+import zlib
 from pathlib import Path
 from typing import List, Optional
 
@@ -457,6 +461,59 @@ def _build_parser() -> argparse.ArgumentParser:
         help="exit after start-up (used by the test suite)",
     )
 
+    fleet_status = subparsers.add_parser(
+        "fleet-status",
+        help="probe every shard endpoint of a fleet (exit 0 all-healthy, "
+        "1 degraded/healing, 2 unserved key range)",
+    )
+    fleet_status.add_argument(
+        "server",
+        help="fleet dial spec (fleet:name=host:port|host:port,...); "
+        "probes learn and follow a fresher map the fleet advertises",
+    )
+    fleet_status.add_argument(
+        "--timeout", type=float, default=3.0,
+        help="per-endpoint probe timeout (seconds)",
+    )
+    fleet_status.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="print the full per-endpoint report as JSON",
+    )
+
+    supervise = subparsers.add_parser(
+        "supervise",
+        help="watch a fleet and heal dead shards with no operator "
+        "commands: confirm death, promote the standby (or adopt a "
+        "replacement), republish the map",
+    )
+    supervise.add_argument(
+        "--map",
+        required=True,
+        metavar="SPEC",
+        dest="fleet_map",
+        help="the fleet dial spec to supervise "
+        "(fleet:name=primary:port|standby:port,...)",
+    )
+    supervise.add_argument(
+        "--interval", type=float, default=1.0,
+        help="seconds between probe rounds",
+    )
+    supervise.add_argument(
+        "--timeout", type=float, default=3.0,
+        help="probe silence (seconds) after which a shard is suspect",
+    )
+    supervise.add_argument(
+        "--confirm", type=int, default=2,
+        help="confirmation probes a suspect must miss before it is "
+        "declared dead",
+    )
+    supervise.add_argument(
+        "--once", action="store_true",
+        help="one probe round, then exit (used by the test suite)",
+    )
+
     env = subparsers.add_parser("env", help="show or customise the environment")
     client_options(env)
     env.add_argument(
@@ -730,10 +787,16 @@ def _serve_loop(
             # the first 'shadow health' then judges real history.
             server.slo.sample()
     tick = min(1.0, max(args.heartbeat_interval / 2.0, 0.05))
+    # Seeded per-server jitter (±25% of the tick): N shards started by
+    # one orchestrator would otherwise pump heartbeats and standby
+    # announcements on the same beat, thundering the supervisor's probe
+    # window in lockstep.  crc32 of the name keeps the phase stable for
+    # a given shard across restarts and PYTHONHASHSEED values.
+    jitter = random.Random(zlib.crc32(server.name.encode("utf-8")) ^ 722)
     announced = False
     last_announce = float("-inf")
     while True:
-        time.sleep(tick)
+        time.sleep(tick * (0.75 + 0.5 * jitter.random()))
         server.slo.sample()
         if repl.role == "primary":
             repl.pump()
@@ -984,7 +1047,8 @@ def _fetch_stats(args: argparse.Namespace) -> dict:
     from repro.fleet import merge_snapshots
 
     if spec.kind == "fleet":
-        shards = {name: endpoint for name, endpoint in spec.shards}
+        # Stats go to each shard's first endpoint (the active primary).
+        shards = {name: endpoints[0] for name, endpoints in spec.shards}
     else:
         shards = _discover_shards(spec.endpoints[0])
     snapshots = {}
@@ -1291,6 +1355,173 @@ def _cmd_route(args: argparse.Namespace) -> int:
         router.close()
 
 
+def _probe_endpoint(token: str, timeout: float):
+    """One Probe round trip to ``host:port``; None if silent/refused."""
+    from repro.core.protocol import Probe, ProbeReply
+    from repro.resilience.session import RawSession
+
+    host, _, port_text = token.rpartition(":")
+    try:
+        channel = TcpChannel(host, int(port_text), timeout=timeout)
+    except (ShadowError, OSError, ValueError):
+        return None
+    try:
+        reply = RawSession(channel).send(
+            Probe(sender=f"{os.environ.get('USER', 'user')}@fleet-status")
+        )
+    except (ShadowError, OSError):
+        return None
+    finally:
+        channel.close()
+    return reply if isinstance(reply, ProbeReply) else None
+
+
+def _cmd_fleet_status(args: argparse.Namespace) -> int:
+    """Probe every endpoint of every shard; the exit code IS the verdict.
+
+    0 — every shard's preferred (first-listed) endpoint is serving;
+    1 — every range is served, but some shard serves via a later
+        endpoint or behind a dead preferred one (healing/degraded);
+    2 — some shard's key range has NO serving endpoint (unserved).
+
+    Probes adopt the freshest map any member advertises, so polling
+    with yesterday's spec still judges the post-heal fleet: after the
+    supervisor republishes, the promoted standby leads the dial list
+    and the verdict returns to 0 with no operator involvement.
+    """
+    from repro.fleet.ring import ShardMap
+
+    spec = _server_spec(args.server)
+    if spec.kind != "fleet":
+        raise ShadowError(
+            f"fleet-status needs a fleet dial spec "
+            f"(fleet:name=host:port,...), got {args.server!r}"
+        )
+    shard_map = spec.shard_map()
+    replies = {}
+    for _ in range(2):  # one probe round, plus one after a map adoption
+        replies = {
+            shard: [
+                (token, _probe_endpoint(token, args.timeout))
+                for token in shard_map.dial(shard).split(",")
+            ]
+            for shard in shard_map.names
+        }
+        freshest = shard_map
+        for probes in replies.values():
+            for _, reply in probes:
+                if reply is None or not reply.shard_map:
+                    continue
+                learned = ShardMap.from_payload(reply.shard_map)
+                if learned.epoch > freshest.epoch:
+                    freshest = learned
+        if freshest.epoch == shard_map.epoch:
+            break
+        shard_map = freshest  # the fleet healed past the given spec
+
+    worst = 0
+    shards_report = {}
+    for shard in shard_map.names:
+        probes = replies[shard]
+        serving = [
+            token
+            for token, reply in probes
+            if reply is not None and reply.serving
+        ]
+        first_reply = probes[0][1]
+        if not serving:
+            verdict, code = "unserved", 2
+        elif first_reply is None or not first_reply.serving:
+            verdict, code = "healing", 1
+        else:
+            verdict, code = "ok", 0
+        worst = max(worst, code)
+        shards_report[shard] = {
+            "status": verdict,
+            "endpoints": [
+                {
+                    "endpoint": token,
+                    "reachable": reply is not None,
+                    "serving": bool(reply.serving) if reply else False,
+                    "role": reply.role if reply else None,
+                    "epoch": reply.epoch if reply else None,
+                }
+                for token, reply in probes
+            ],
+        }
+    status = {0: "ok", 1: "degraded", 2: "critical"}[worst]
+    if args.as_json:
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "status": status,
+                    "map_epoch": shard_map.epoch,
+                    "shards": shards_report,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return worst
+    print(
+        f"fleet epoch {shard_map.epoch} "
+        f"({len(shard_map.names)} shards): {status}"
+    )
+    for shard, report in shards_report.items():
+        print(f"  {shard}  [{report['status']}]")
+        for endpoint in report["endpoints"]:
+            if not endpoint["reachable"]:
+                print(f"    {endpoint['endpoint']}  down")
+                continue
+            print(
+                f"    {endpoint['endpoint']}  "
+                f"{'serving' if endpoint['serving'] else 'not serving'}  "
+                f"role={endpoint['role']} epoch={endpoint['epoch']}"
+            )
+    return worst
+
+
+def _cmd_supervise(args: argparse.Namespace) -> int:
+    """Run the self-healing supervisor over a live fleet."""
+    from repro.fleet import FleetSupervisor
+
+    spec = _server_spec(args.fleet_map)
+    if spec.kind != "fleet":
+        raise ShadowError(
+            f"--map needs a fleet dial spec (fleet:name=host:port,...), "
+            f"got {args.fleet_map!r}"
+        )
+    supervisor = FleetSupervisor(
+        spec.shard_map(),
+        probe_interval=args.interval,
+        probe_timeout=args.timeout,
+        confirm_probes=args.confirm,
+    )
+    try:
+        print(
+            f"shadow supervisor watching "
+            f"{len(supervisor.shard_map.names)} shards "
+            f"(interval {args.interval:.1f}s, timeout {args.timeout:.1f}s, "
+            f"confirm {args.confirm})"
+        )
+        while True:
+            for heal in supervisor.tick():
+                print(
+                    f"healed {heal['shard']}: {heal['action']} -> "
+                    f"epoch {heal['epoch']} (dial {heal['dial']}) "
+                    f"in {heal['heal_seconds']:.1f}s"
+                )
+            if args.once:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        supervisor.close()
+
+
 def _cmd_env(args: argparse.Namespace) -> int:
     state_path = Path(args.state)
     state = load_state(state_path)
@@ -1348,6 +1579,8 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "flight": _cmd_flight,
     "route": _cmd_route,
+    "fleet-status": _cmd_fleet_status,
+    "supervise": _cmd_supervise,
     "env": _cmd_env,
 }
 

@@ -765,6 +765,81 @@ class ShardTransfer(Message):
     client_id: str = ""
 
 
+@register
+@dataclass(frozen=True)
+class Probe(Message):
+    """A supervisor's liveness probe: "are you there, and what are you?"
+
+    Unlike :class:`Heartbeat` (which rides the replication stream and is
+    handled by the replication manager) a probe is answered by *every*
+    server — solo, fleet member, standby, even a fenced old primary —
+    because the probing supervisor must be able to tell "dead" from
+    "alive but refusing traffic".  ``nonce`` is echoed back so a probe
+    round can match replies to sends.
+    """
+
+    TYPE = "probe"
+    sender: str = ""
+    nonce: int = 0
+
+
+@register
+@dataclass(frozen=True)
+class ProbeReply(Message):
+    """The probed server's self-description.
+
+    ``role`` is ``solo`` (no replication), ``primary``, or ``standby``;
+    ``serving`` is True when the server would accept ordinary client
+    traffic right now (not a standby, not fenced, not draining).
+    ``map_epoch``/``shard_map`` describe the fleet map the server holds
+    (0 / omitted for non-members), so a probe round doubles as map
+    discovery for ``shadow fleet-status``.
+    """
+
+    TYPE = "probe-reply"
+    shard: str = ""
+    epoch: int = 0
+    role: str = "solo"
+    serving: bool = True
+    map_epoch: int = 0
+    nonce: int = 0
+    shard_map: Dict[str, Any] = field(default_factory=dict)
+
+    def to_wire(self) -> bytes:
+        payload: Dict[str, codec.Value] = {
+            "_t": self.TYPE,
+            "shard": self.shard,
+            "epoch": self.epoch,
+            "role": self.role,
+            "serving": self.serving,
+            "map_epoch": self.map_epoch,
+            "nonce": self.nonce,
+        }
+        # Omitted when empty, like Ok.shard_map: non-fleet replies carry
+        # no map bytes at all.
+        if self.shard_map:
+            payload["shard_map"] = _to_value(self.shard_map)
+        return codec.encode(payload)
+
+
+@register
+@dataclass(frozen=True)
+class MapPublish(Message):
+    """The supervisor pushing an epoch-bumped shard map to one member.
+
+    The recovery sequence's final act: after promoting a standby (or
+    adopting a replacement), the supervisor publishes the successor map
+    to every member it can reach.  Members adopt only *newer* epochs, so
+    re-publishing is idempotent and a slow duplicate can never roll a
+    member back.  Routers and clients learn the same map passively, off
+    Hello ``Ok`` and ``wrong-shard`` replies.
+    """
+
+    TYPE = "map-publish"
+    sender: str = ""
+    shard_map: Dict[str, Any] = field(default_factory=dict)
+
+
 def expect(reply: Message, expected: Type[Message]) -> Message:
     """Assert a reply's type, surfacing server-side errors cleanly."""
     if isinstance(reply, ErrorReply):

@@ -59,6 +59,8 @@ from repro.core.protocol import (
     NotifyReply,
     Ok,
     OutputReply,
+    Probe,
+    ProbeReply,
     Resync,
     ResyncReply,
     ShardTransfer,
@@ -301,6 +303,7 @@ class ShadowServer:
         self.router.register(StatsQuery, self._on_stats)
         self.router.register(HealthQuery, self._on_health)
         self.router.register(ShardTransfer, self._on_shard_transfer)
+        self.router.register(Probe, self._on_probe)
 
     # ------------------------------------------------------------------
     # introspection
@@ -712,6 +715,30 @@ class ShadowServer:
         """
         report = self.slo.evaluate()
         return HealthReply(status=report["status"], report=report)
+
+    def _on_probe(self, message: Probe) -> Message:
+        """Answer a supervisor's liveness :class:`Probe`.
+
+        Answered by every role — solo, primary, standby, fenced — so a
+        supervisor can tell a dead shard from one that is alive but
+        refusing traffic (the difference between "promote the standby"
+        and "do nothing").
+        """
+        repl = self.replication
+        role = repl.role if repl is not None else "solo"
+        fenced = bool(repl is not None and repl.fenced)
+        fleet = self.fleet
+        return ProbeReply(
+            shard=self.name,
+            epoch=self.epoch,
+            role=role,
+            serving=not self._closing and role != "standby" and not fenced,
+            map_epoch=(
+                fleet.shard_map.epoch if fleet is not None else 0
+            ),
+            nonce=message.nonce,
+            shard_map=fleet.map_payload() if fleet is not None else {},
+        )
 
     def _flight_bundle(self) -> Dict[str, Any]:
         """Freeze the diagnostic rings into one postmortem body."""

@@ -7,8 +7,9 @@ enforces ownership at each shard (:mod:`~repro.fleet.member`), routes
 client traffic — directly from a map-holding client
 (:mod:`~repro.fleet.channel`) or through a thin proxy tier
 (:mod:`~repro.fleet.router`) — migrates entries on reshard
-(:mod:`~repro.fleet.migrate`), and merges fleet-wide telemetry
-(:mod:`~repro.fleet.stats`).
+(:mod:`~repro.fleet.migrate`), merges fleet-wide telemetry
+(:mod:`~repro.fleet.stats`), and heals itself when a shard dies
+(:mod:`~repro.fleet.supervisor`).
 
 Fleet mode is strictly opt-in: a server without a
 :class:`~repro.fleet.member.FleetMember` attached behaves — to the
@@ -21,12 +22,14 @@ from repro.fleet.migrate import migrate, migration_plan
 from repro.fleet.ring import DEFAULT_REPLICAS, HashRing, ShardMap
 from repro.fleet.router import FleetRouter, ShardDirectory, ShardRouter
 from repro.fleet.stats import merge_snapshots
+from repro.fleet.supervisor import FleetSupervisor
 
 __all__ = [
     "DEFAULT_REPLICAS",
     "FleetChannel",
     "FleetMember",
     "FleetRouter",
+    "FleetSupervisor",
     "HashRing",
     "ShardDirectory",
     "ShardMap",

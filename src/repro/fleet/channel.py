@@ -16,7 +16,13 @@ from __future__ import annotations
 from typing import Any, Dict, List, Mapping, Optional
 
 from repro.fleet.ring import ShardMap
-from repro.fleet.router import Opener, ShardDirectory, ShardRouter
+from repro.fleet.router import (
+    MAX_REDIRECT_HOPS,
+    Opener,
+    ShardDirectory,
+    ShardRouter,
+)
+from repro.telemetry.registry import MetricsRegistry
 from repro.transport.base import RequestChannel
 
 
@@ -29,13 +35,19 @@ class FleetChannel(RequestChannel):
         channels: Optional[Mapping[str, RequestChannel]] = None,
         opener: Optional[Opener] = None,
         timeout: float = 30.0,
+        telemetry: Optional[MetricsRegistry] = None,
+        max_redirect_hops: int = MAX_REDIRECT_HOPS,
     ) -> None:
         super().__init__()
         self.timeout = timeout
         self.directory = ShardDirectory(
             shard_map, channels=channels, opener=opener
         )
-        self.router = ShardRouter(self.directory)
+        self.router = ShardRouter(
+            self.directory,
+            telemetry=telemetry,
+            max_redirect_hops=max_redirect_hops,
+        )
 
     @property
     def shard_map(self) -> ShardMap:

@@ -28,8 +28,10 @@ from typing import Any, Dict, Optional
 from repro.core.protocol import (
     BatchNotify,
     BatchUpdate,
+    MapPublish,
     Message,
     Notify,
+    Ok,
     Update,
     UpdateChunk,
     WrongShard,
@@ -54,6 +56,8 @@ class FleetMember:
         self.redirects = 0
         self.transfers_in = 0
         self.transfers_out = 0
+        self.maps_adopted = 0
+        server.router.register(MapPublish, self._on_map_publish)
         server.fleet = self
 
     # ------------------------------------------------------------------
@@ -87,6 +91,22 @@ class FleetMember:
 
     def owns(self, key: str) -> bool:
         return self.shard_map.owner(key) == self.server.name
+
+    def _on_map_publish(self, message: MapPublish) -> Message:
+        """Adopt a supervisor-published map; stale epochs are a no-op.
+
+        The reply is idempotent either way so the supervisor can
+        re-publish to the whole fleet without tracking who already has
+        which epoch.
+        """
+        new_map = ShardMap.from_payload(message.shard_map)
+        if self.update_map(new_map):
+            self.maps_adopted += 1
+            self.server.telemetry.counter("fleet_maps_adopted_total").inc()
+            detail = f"map adopted at epoch {new_map.epoch}"
+        else:
+            detail = f"map epoch {new_map.epoch} ignored (stale)"
+        return Ok(detail=detail, epoch=self.server.epoch)
 
     # ------------------------------------------------------------------
     # admission
@@ -173,4 +193,5 @@ class FleetMember:
             "redirects": self.redirects,
             "transfers_in": self.transfers_in,
             "transfers_out": self.transfers_out,
+            "maps_adopted": self.maps_adopted,
         }

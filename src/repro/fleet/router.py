@@ -57,9 +57,11 @@ from repro.core.protocol import (
     HealthReply,
     Heartbeat,
     Hello,
+    MapPublish,
     Message,
     Notify,
     Ok,
+    Probe,
     Promote,
     ReplicateAck,
     ReplicateHello,
@@ -88,6 +90,7 @@ from repro.errors import (
 )
 from repro.fleet import stats as fleet_stats
 from repro.fleet.ring import ShardMap
+from repro.telemetry.registry import MetricsRegistry
 from repro.transport.base import RequestChannel
 
 #: Shard-name -> channel factory; ``(name, dial_text)`` -> channel.
@@ -101,7 +104,15 @@ _NOT_ROUTABLE = (
     ReplicateRecord,
     ReplicateAck,
     Heartbeat,
+    Probe,
+    MapPublish,
 )
+
+#: Wrong-shard hops followed per request before declaring a loop.  Two
+#: stale maps can each name the other shard as owner; following more
+#: hops than the fleet could plausibly reshard mid-request means the
+#: maps are cyclic, not merely stale.
+MAX_REDIRECT_HOPS = 4
 
 
 def _default_opener(name: str, dial: str) -> RequestChannel:
@@ -235,7 +246,12 @@ class ShardRouter:
     shard-name prefix a restarted router has not re-learned.
     """
 
-    def __init__(self, directory: ShardDirectory) -> None:
+    def __init__(
+        self,
+        directory: ShardDirectory,
+        telemetry: Optional[MetricsRegistry] = None,
+        max_redirect_hops: int = MAX_REDIRECT_HOPS,
+    ) -> None:
         self.directory = directory
         self._lock = threading.Lock()
         self._job_shards: Dict[str, str] = {}
@@ -244,6 +260,14 @@ class ShardRouter:
         #: to shards a mid-session map adoption adds, which would
         #: otherwise refuse the un-greeted session's requests.
         self._hellos: Dict[str, bytes] = {}
+        #: Shards that missed a Hello broadcast (down at the time) or
+        #: changed address on a map adoption; re-greeted lazily before
+        #: the next request routed to them.
+        self._ungreeted: set = set()
+        self.telemetry = telemetry if telemetry is not None else MetricsRegistry()
+        self.max_redirect_hops = max_redirect_hops
+        self._redirect_counter = self.telemetry.counter("fleet_redirects_total")
+        self._loop_counter = self.telemetry.counter("fleet_redirect_loops_total")
         self.redirects = 0
         self.broadcasts = 0
         self.splits = 0
@@ -325,10 +349,12 @@ class ShardRouter:
             "component": "shard-router",
             "directory": self.directory.describe(),
             "redirects": self.redirects,
+            "redirect_loops": int(self._loop_counter.value),
             "broadcasts": self.broadcasts,
             "splits": self.splits,
             "job_overrides": overrides,
             "jobs_routed": jobs,
+            "ungreeted": sorted(self._ungreeted),
         }
 
     # ------------------------------------------------------------------
@@ -450,6 +476,10 @@ class ShardRouter:
         raise FleetError(f"unroutable message type {inner.TYPE!r}")
 
     def _request(self, shard: str, payload: bytes) -> bytes:
+        with self._lock:
+            needs_greeting = shard in self._ungreeted
+        if needs_greeting:
+            self._regreet(shard)
         try:
             return self.directory.channel(shard).request(payload)
         except TransportClosedError as exc:
@@ -462,20 +492,49 @@ class ShardRouter:
                 f"shard {shard!r} connection closed: {exc}"
             ) from exc
 
+    def _regreet(self, shard: str) -> None:
+        """Replay recorded Hellos to a shard that missed the broadcast.
+
+        Runs lazily before the first request routed to a shard that was
+        down (or not yet at its published address) when its sessions
+        said Hello; without it the healed shard would refuse every
+        request of a session it never greeted."""
+        with self._lock:
+            hellos = list(self._hellos.values())
+            self._ungreeted.discard(shard)
+        for raw in hellos:
+            try:
+                self.directory.channel(shard).request(raw)
+            except (TransportError, ShadowError):
+                # Still down: re-mark and let the real request surface
+                # the fault (the resilience layer retries it).
+                with self._lock:
+                    self._ungreeted.add(shard)
+                return
+
     def _adopt(self, payload: Mapping[str, Any]) -> None:
-        """Adopt a fresh map, re-greeting any shard it adds.
+        """Adopt a fresh map, re-greeting any shard it adds or moves.
 
         Shards that join mid-session never saw our clients' Hellos and
         would refuse their requests; replaying the recorded Hello
-        frames closes that gap before any request routes to them."""
-        before = set(self.directory.map.names)
+        frames closes that gap before any request routes to them.
+        Shards whose dial changed (a supervisor published a healed
+        address) are marked for lazy re-greeting instead — the new
+        incarnation may still be settling."""
+        before_map = self.directory.map
+        before = set(before_map.names)
         if not self.directory.adopt(payload):
             return
-        added = [
+        after_map = self.directory.map
+        moved = [
             name
-            for name in self.directory.map.names
-            if name not in before
+            for name in after_map.names
+            if name in before and after_map.dial(name) != before_map.dial(name)
         ]
+        if moved:
+            with self._lock:
+                self._ungreeted.update(moved)
+        added = [name for name in after_map.names if name not in before]
         if not added:
             return
         with self._lock:
@@ -483,27 +542,42 @@ class ShardRouter:
         for name in added:
             for raw in hellos:
                 try:
-                    self._request(name, raw)
+                    self.directory.channel(name).request(raw)
                 except (TransportError, ShadowError):
                     pass  # surfaces on the real request, with retry
 
     def _maybe_redirect(self, raw: bytes, payload: bytes) -> bytes:
-        """Follow one ``wrong-shard`` redirect (stale map)."""
-        if b"wrong-shard" not in raw:
-            return raw
-        try:
-            reply = decode_message(raw)
-        except ShadowError:
-            return raw
-        if not isinstance(reply, WrongShard):
-            return raw
-        self.redirects += 1
-        if reply.shard_map:
-            self._adopt(reply.shard_map)
-        owner = reply.owner
-        if owner not in self.directory.map.names:
-            return raw  # the redirect names a shard we cannot dial
-        return self._request(owner, payload)
+        """Follow ``wrong-shard`` redirects (stale map), bounded.
+
+        Two shards holding different stale maps can each name the other
+        as owner; without a hop limit the request would bounce between
+        them forever.  After :attr:`max_redirect_hops` hops the router
+        gives up with a :class:`~repro.errors.FleetError`."""
+        hops = 0
+        while b"wrong-shard" in raw:
+            try:
+                reply = decode_message(raw)
+            except ShadowError:
+                return raw
+            if not isinstance(reply, WrongShard):
+                return raw
+            if hops >= self.max_redirect_hops:
+                self._loop_counter.inc()
+                raise FleetError(
+                    f"key {reply.key!r} still redirected after {hops} "
+                    f"hops — the fleet's shard maps disagree cyclically; "
+                    f"refusing to loop"
+                )
+            hops += 1
+            self.redirects += 1
+            self._redirect_counter.inc()
+            if reply.shard_map:
+                self._adopt(reply.shard_map)
+            owner = reply.owner
+            if owner not in self.directory.map.names:
+                return raw  # the redirect names a shard we cannot dial
+            raw = self._request(owner, payload)
+        return raw
 
     def _absorb(self, raw: bytes, inner: Message, shard: str) -> None:
         """Reply bookkeeping: learn maps, job shards, and override
@@ -556,18 +630,31 @@ class ShardRouter:
     # ------------------------------------------------------------------
     # broadcast merges
     # ------------------------------------------------------------------
-    def _broadcast(self, payload: bytes) -> Dict[str, bytes]:
+    def _broadcast(
+        self, payload: bytes
+    ) -> Tuple[Dict[str, bytes], List[str]]:
+        """Send to every shard, fault-isolated per shard.
+
+        A dead shard lands in the returned unreachable list instead of
+        failing the whole fan-out — the live shards keep serving their
+        key ranges while the dead one heals (degraded mode)."""
         self.broadcasts += 1
         replies: Dict[str, bytes] = {}
+        unreachable: List[str] = []
         for name in self.directory.map.names:
-            replies[name] = self._request(name, payload)
-        return replies
+            try:
+                replies[name] = self._request(name, payload)
+            except TransportError:
+                unreachable.append(name)
+        return replies, unreachable
 
     def _broadcast_first(self, payload: bytes, inner: Message) -> bytes:
-        """Hello/Bye hit every shard; the first shard's reply answers.
+        """Hello/Bye hit every shard; the first live reply answers.
 
         Any shard-level error reply wins over the Oks — a session the
-        whole fleet did not accept is not open.
+        whole fleet did not accept is not open.  A shard that is *down*
+        does not veto the session: it is marked un-greeted and replayed
+        the Hello when it heals; only an all-dead fleet fails.
         """
         if isinstance(inner, Hello) and inner.client_id:
             with self._lock:
@@ -575,10 +662,15 @@ class ShardRouter:
         elif isinstance(inner, Bye) and getattr(inner, "client_id", ""):
             with self._lock:
                 self._hellos.pop(inner.client_id, None)
-        replies = self._broadcast(payload)
-        first = self.directory.map.names[0]
-        for name in self.directory.map.names:
-            raw = replies[name]
+        replies, unreachable = self._broadcast(payload)
+        if not replies:
+            raise TransportError(
+                "no shard of the fleet is reachable; cannot open a session"
+            )
+        if unreachable and isinstance(inner, Hello):
+            with self._lock:
+                self._ungreeted.update(unreachable)
+        for name, raw in replies.items():
             self._absorb(raw, inner, name)
             if b"error" in raw:
                 try:
@@ -587,11 +679,16 @@ class ShardRouter:
                     continue
                 if isinstance(decoded, ErrorReply):
                     return raw
-        return replies[first]
+        return next(iter(replies.values()))
 
     def _broadcast_status(self, payload: bytes) -> bytes:
         records: List[Dict[str, Any]] = []
-        for name, raw in self._broadcast(payload).items():
+        replies, unreachable = self._broadcast(payload)
+        if not replies:
+            raise TransportError(
+                "no shard of the fleet answered the status query"
+            )
+        for name, raw in replies.items():
             try:
                 reply = decode_message(raw)
             except ShadowError:
@@ -605,7 +702,8 @@ class ShardRouter:
 
     def _broadcast_stats(self, payload: bytes) -> bytes:
         snapshots: Dict[str, Dict[str, Any]] = {}
-        for name, raw in self._broadcast(payload).items():
+        replies, unreachable = self._broadcast(payload)
+        for name, raw in replies.items():
             try:
                 reply = decode_message(raw)
             except ShadowError:
@@ -620,13 +718,18 @@ class ShardRouter:
         merged = fleet_stats.merge_snapshots(
             snapshots, epoch=self.directory.map.epoch
         )
+        if unreachable:
+            merged.setdefault("fleet", {})["unreachable"] = sorted(
+                unreachable
+            )
         return StatsReply(snapshot=merged).to_wire()
 
     def _broadcast_health(self, payload: bytes) -> bytes:
         order = {"ok": 0, "degraded": 1, "critical": 2}
         worst = "ok"
         reports: Dict[str, Any] = {}
-        for name, raw in self._broadcast(payload).items():
+        replies, unreachable = self._broadcast(payload)
+        for name, raw in replies.items():
             try:
                 reply = decode_message(raw)
             except ShadowError:
@@ -635,6 +738,16 @@ class ShardRouter:
                 reports[name] = dict(reply.report)
                 if order.get(reply.status, 0) > order[worst]:
                     worst = reply.status
+        for name in unreachable:
+            # Partial availability surfaces here: the fleet is critical
+            # while a shard's key range is unserved, but the live
+            # shards' reports still show them healthy.
+            reports[name] = {
+                "component": "health",
+                "status": "critical",
+                "checks": {"reachable": {"status": "critical"}},
+            }
+            worst = "critical"
         return HealthReply(
             status=worst,
             report={

@@ -1,0 +1,464 @@
+"""Fleet self-healing: detect a dead shard, recover it, republish.
+
+PR 9 left recovery to an operator: notice the dead shard, run
+``migrate``, bring up a replacement by hand.  The
+:class:`FleetSupervisor` closes that loop with **no operator
+commands** — the detection → decision → recovery sequence is:
+
+1. **Detect** — every tick, probe each shard's active endpoint (the
+   first entry of its dial list) with the ``probe`` verb and feed a
+   per-shard PR 6 :class:`~repro.replication.detector.FailureDetector`.
+   Silence past the detector timeout marks the shard *suspect*.
+2. **Confirm** — a suspect shard gets a dedicated probe round (the
+   detector can expire over one dropped packet; a death verdict must
+   not).  Only a shard that stays silent through the confirmation
+   round is declared dead.
+3. **Recover** — in preference order:
+
+   * the rest of the shard's dial list answers *serving* (a
+     replication pair already auto-promoted): adopt it;
+   * a standby answers: promote it with ``Promote(min_epoch=...)`` at
+     a fenced epoch, so the dead primary is refused if it resurrects;
+   * no standby: ask the injected ``spawner`` for a replacement (it
+     replays the dead peer's journal — shard transfers were journaled
+     as cache-puts exactly so this replay needs no new code);
+   * none of the above: the key range is *unserved* and the fleet is
+     degraded — live shards keep serving their own ranges.
+4. **Republish** — build an epoch-bumped :class:`ShardMap` whose dial
+   list for the healed shard leads with the live endpoint, push it to
+   every member with ``map-publish``, and hand it to registered
+   subscribers (in-process routers and clients).
+
+Everything is injectable — clock, channel opener, spawner — so the
+same supervisor drives deterministic virtual-time chaos tests and a
+live TCP fleet (``shadow supervise``).  Default-off like every layer
+above the core: nothing constructs a supervisor unless asked.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.protocol import (
+    MapPublish,
+    Ok,
+    Probe,
+    ProbeReply,
+    Promote,
+    decode_message,
+)
+from repro.errors import FleetError, ShadowError, TransportError
+from repro.fleet.ring import ShardMap
+from repro.replication.detector import FailureDetector
+from repro.telemetry.registry import MetricsRegistry
+from repro.transport.base import RequestChannel
+
+#: ``(shard name, endpoint token)`` -> channel.  Endpoint tokens are the
+#: comma-separated entries of the shard's dial text — ``host:port`` in a
+#: TCP fleet, opaque labels under an injected opener in tests.
+EndpointOpener = Callable[[str, str], RequestChannel]
+
+#: ``(shard name, dead endpoint token)`` -> replacement endpoint token,
+#: or None when no replacement can be brought up.
+Spawner = Callable[[str, str], Optional[str]]
+
+
+def _default_opener(shard: str, token: str) -> RequestChannel:
+    from repro.transport.dialspec import DialSpec
+
+    spec = DialSpec.parse(token)
+    if spec.kind != "single":
+        raise FleetError(
+            f"supervisor endpoints are single 'host:port' tokens, "
+            f"got {token!r} for shard {shard!r}"
+        )
+    return spec.connect(lazy=True)
+
+
+class _ShardWatch:
+    """Per-shard liveness bookkeeping."""
+
+    def __init__(self, detector: FailureDetector) -> None:
+        self.detector = detector
+        #: Consecutive failed probes; catches shards that were already
+        #: dead at supervisor start (a never-beaten detector never
+        #: expires — it cannot distinguish "dead" from "not yet up").
+        self.fail_streak = 0
+        #: Highest server epoch seen in any probe reply, fed into
+        #: ``Promote.min_epoch`` so promotion always fences the dead
+        #: primary's last known epoch.
+        self.epoch = 0
+        self.role = "unknown"
+        #: Clock reading when the shard first went silent; anchors the
+        #: detection-to-heal time the chaos matrix bounds.
+        self.suspect_since: Optional[float] = None
+
+
+class FleetSupervisor:
+    """Probes every shard, confirms deaths, and orchestrates recovery."""
+
+    def __init__(
+        self,
+        shard_map: ShardMap,
+        opener: Optional[EndpointOpener] = None,
+        spawner: Optional[Spawner] = None,
+        now_fn: Optional[Callable[[], float]] = None,
+        probe_interval: float = 1.0,
+        probe_timeout: float = 3.0,
+        confirm_probes: int = 2,
+        telemetry: Optional[MetricsRegistry] = None,
+        name: str = "fleet-supervisor",
+    ) -> None:
+        self.name = name
+        self._lock = threading.RLock()
+        self._map = shard_map
+        self._opener = opener if opener is not None else _default_opener
+        self._spawner = spawner
+        self._now = now_fn if now_fn is not None else time.monotonic
+        self.probe_interval = probe_interval
+        self.probe_timeout = probe_timeout
+        self.confirm_probes = confirm_probes
+        self.telemetry = (
+            telemetry if telemetry is not None else MetricsRegistry()
+        )
+        self._channels: Dict[tuple, RequestChannel] = {}
+        self._watches: Dict[str, _ShardWatch] = {}
+        self._subscribers: List[Callable[[ShardMap], None]] = []
+        self._unserved: set = set()
+        self._nonce = 0
+        self.ticks = 0
+        #: Heal ledger: one dict per recovery (shard, action, epoch,
+        #: heal_seconds) — what the chaos matrix asserts bounds on.
+        self.heals: List[Dict[str, Any]] = []
+        self._probes_total = self.telemetry.counter("fleet_probes_total")
+        self._deaths_total = self.telemetry.counter(
+            "fleet_deaths_confirmed_total"
+        )
+        self._promotions_total = self.telemetry.counter(
+            "fleet_promotions_total"
+        )
+        self._replacements_total = self.telemetry.counter(
+            "fleet_replacements_total"
+        )
+        self._publishes_total = self.telemetry.counter(
+            "fleet_maps_published_total"
+        )
+        self._heal_seconds = self.telemetry.histogram("fleet_heal_seconds")
+        self.telemetry.gauge(
+            "fleet_unserved_ranges", callback=lambda: len(self._unserved)
+        )
+        for shard in shard_map.names:
+            self._watches[shard] = self._new_watch()
+
+    def _new_watch(self) -> _ShardWatch:
+        return _ShardWatch(
+            FailureDetector(
+                interval=self.probe_interval,
+                timeout=self.probe_timeout,
+                now_fn=self._now,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # the map
+    # ------------------------------------------------------------------
+    @property
+    def shard_map(self) -> ShardMap:
+        with self._lock:
+            return self._map
+
+    @property
+    def unserved(self) -> List[str]:
+        with self._lock:
+            return sorted(self._unserved)
+
+    def subscribe(self, callback: Callable[[ShardMap], None]) -> None:
+        """Register an in-process listener for every published map."""
+        with self._lock:
+            self._subscribers.append(callback)
+
+    # ------------------------------------------------------------------
+    # probing
+    # ------------------------------------------------------------------
+    def _tokens(self, shard: str) -> List[str]:
+        """The shard's dial list, primary first."""
+        return [
+            token
+            for token in self.shard_map.dial(shard).split(",")
+            if token.strip()
+        ]
+
+    def _channel(self, shard: str, token: str) -> RequestChannel:
+        key = (shard, token)
+        channel = self._channels.get(key)
+        if channel is None or channel.closed:
+            channel = self._opener(shard, token)
+            self._channels[key] = channel
+        return channel
+
+    def _drop_channel(self, shard: str, token: str) -> None:
+        channel = self._channels.pop((shard, token), None)
+        if channel is not None:
+            try:
+                channel.close()
+            except (TransportError, OSError):
+                pass
+
+    def _probe(self, shard: str, token: str) -> Optional[ProbeReply]:
+        """One probe round-trip; None when the endpoint is unreachable."""
+        self._nonce += 1
+        self._probes_total.inc()
+        message = Probe(sender=self.name, nonce=self._nonce)
+        try:
+            raw = self._channel(shard, token).request(message.to_wire())
+            reply = decode_message(raw)
+        except (TransportError, OSError):
+            self._drop_channel(shard, token)
+            return None
+        except ShadowError:
+            return None
+        if not isinstance(reply, ProbeReply):
+            return None
+        return reply
+
+    def _observe(self, shard: str, reply: ProbeReply) -> None:
+        """Fold a live probe reply into the shard's watch + our map."""
+        watch = self._watches[shard]
+        watch.detector.beat()
+        watch.fail_streak = 0
+        watch.suspect_since = None
+        watch.epoch = max(watch.epoch, reply.epoch)
+        watch.role = reply.role
+        self._unserved.discard(shard)
+        if reply.shard_map:
+            self._adopt(reply.shard_map)
+
+    def _adopt(self, payload: Dict[str, Any]) -> None:
+        """Adopt a newer map a member advertised (it may have healed
+        itself, or another supervisor instance may have published)."""
+        try:
+            new_map = ShardMap.from_payload(payload)
+        except FleetError:
+            return
+        with self._lock:
+            if new_map.epoch <= self._map.epoch:
+                return
+            self._map = new_map
+            for shard in new_map.names:
+                if shard not in self._watches:
+                    self._watches[shard] = self._new_watch()
+            for shard in list(self._watches):
+                if shard not in new_map.names:
+                    del self._watches[shard]
+
+    # ------------------------------------------------------------------
+    # the tick
+    # ------------------------------------------------------------------
+    def tick(self) -> List[Dict[str, Any]]:
+        """One supervision pass; returns the heals it performed."""
+        with self._lock:
+            self.ticks += 1
+            performed: List[Dict[str, Any]] = []
+            for shard in list(self.shard_map.names):
+                watch = self._watches[shard]
+                tokens = self._tokens(shard)
+                reply = self._probe(shard, tokens[0])
+                if reply is not None and reply.serving:
+                    self._observe(shard, reply)
+                    continue
+                watch.fail_streak += 1
+                if watch.suspect_since is None:
+                    watch.suspect_since = self._now()
+                if not self._declared_dead(watch):
+                    continue
+                if self._confirm_alive(shard, tokens[0]):
+                    continue
+                heal = self._heal(shard, tokens, watch)
+                if heal is not None:
+                    performed.append(heal)
+            return performed
+
+    def _declared_dead(self, watch: _ShardWatch) -> bool:
+        """Detector expiry, or enough consecutive failures for a shard
+        the detector never saw alive (dead before our first probe)."""
+        if watch.detector.expired():
+            return True
+        if watch.detector.age() is None:
+            return watch.fail_streak > self.confirm_probes
+        return False
+
+    def _confirm_alive(self, shard: str, token: str) -> bool:
+        """The confirmation round: a death verdict needs more than one
+        silent probe — re-probe before declaring anything."""
+        for _ in range(self.confirm_probes):
+            reply = self._probe(shard, token)
+            if reply is not None and reply.serving:
+                self._observe(shard, reply)
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def _heal(
+        self, shard: str, tokens: List[str], watch: _ShardWatch
+    ) -> Optional[Dict[str, Any]]:
+        self._deaths_total.inc()
+        detected_at = (
+            watch.suspect_since
+            if watch.suspect_since is not None
+            else self._now()
+        )
+        dead = tokens[0]
+        for token in tokens[1:]:
+            reply = self._probe(shard, token)
+            if reply is None:
+                continue
+            rest = [t for t in tokens if t not in (token, dead)]
+            if reply.serving:
+                # A replication pair already auto-promoted: nothing to
+                # command, just publish the map that points at it.
+                return self._finish_heal(
+                    shard, [token] + rest, "adopt", detected_at, watch
+                )
+            min_epoch = max(watch.epoch, reply.epoch)
+            if self._promote(shard, token, min_epoch):
+                self._promotions_total.inc()
+                return self._finish_heal(
+                    shard, [token] + rest, "promote", detected_at, watch
+                )
+        if self._spawner is not None:
+            replacement = self._spawner(shard, dead)
+            if replacement:
+                reply = self._probe(shard, replacement)
+                if reply is not None and reply.serving:
+                    self._replacements_total.inc()
+                    return self._finish_heal(
+                        shard, [replacement], "replace", detected_at, watch
+                    )
+        # Nothing to promote, nothing to spawn: the range is unserved
+        # until an operator (or a later tick) brings something back.
+        self._unserved.add(shard)
+        return None
+
+    def _promote(self, shard: str, token: str, min_epoch: int) -> bool:
+        """Promote a standby at a fenced epoch; True on its Ok."""
+        try:
+            raw = self._channel(shard, token).request(
+                Promote(min_epoch=min_epoch).to_wire()
+            )
+            reply = decode_message(raw)
+        except (TransportError, OSError):
+            self._drop_channel(shard, token)
+            return False
+        except ShadowError:
+            return False
+        return isinstance(reply, Ok)
+
+    def _finish_heal(
+        self,
+        shard: str,
+        tokens: List[str],
+        action: str,
+        detected_at: float,
+        watch: _ShardWatch,
+    ) -> Dict[str, Any]:
+        with self._lock:
+            old_map = self._map
+            shards = dict(old_map.shards)
+            shards[shard] = ",".join(tokens)
+            new_map = old_map.with_shards(shards)
+            self._map = new_map
+            self._unserved.discard(shard)
+        watch.detector.reset()
+        watch.fail_streak = 0
+        watch.suspect_since = None
+        self.publish(new_map)
+        healed_at = self._now()
+        heal = {
+            "shard": shard,
+            "action": action,
+            "epoch": new_map.epoch,
+            "dial": ",".join(tokens),
+            "heal_seconds": max(0.0, healed_at - detected_at),
+        }
+        self._heal_seconds.observe(heal["heal_seconds"])
+        self.heals.append(heal)
+        return heal
+
+    # ------------------------------------------------------------------
+    # publishing
+    # ------------------------------------------------------------------
+    def publish(self, new_map: ShardMap) -> int:
+        """Push a map to every member + subscriber; count member acks.
+
+        Publication is idempotent (members ignore stale epochs), so a
+        shard missed here learns the map on its next wrong-shard
+        exchange — publication failures degrade convergence latency,
+        never correctness."""
+        self._publishes_total.inc()
+        payload = new_map.to_payload()
+        message = MapPublish(sender=self.name, shard_map=payload)
+        acked = 0
+        for shard in new_map.names:
+            for token in self._tokens(shard):
+                try:
+                    raw = self._channel(shard, token).request(
+                        message.to_wire()
+                    )
+                    reply = decode_message(raw)
+                except (TransportError, OSError):
+                    self._drop_channel(shard, token)
+                    continue
+                except ShadowError:
+                    continue
+                if isinstance(reply, Ok):
+                    acked += 1
+                break  # one live endpoint per shard is enough
+        for callback in list(self._subscribers):
+            try:
+                callback(new_map)
+            except ShadowError:
+                pass
+        return acked
+
+    # ------------------------------------------------------------------
+    # lifecycle / introspection
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            for key in list(self._channels):
+                channel = self._channels.pop(key)
+                try:
+                    channel.close()
+                except (TransportError, OSError):
+                    pass
+
+    def status(self) -> Dict[str, Any]:
+        with self._lock:
+            shard_map = self._map
+            shards: Dict[str, Any] = {}
+            for shard in shard_map.names:
+                watch = self._watches[shard]
+                shards[shard] = {
+                    "dial": shard_map.dial(shard),
+                    "role": watch.role,
+                    "epoch": watch.epoch,
+                    "alive": not self._declared_dead(watch),
+                    "unserved": shard in self._unserved,
+                    "last_beat_age": watch.detector.age(),
+                }
+            return {
+                "component": "fleet-supervisor",
+                "name": self.name,
+                "map_epoch": shard_map.epoch,
+                "ticks": self.ticks,
+                "heals": list(self.heals),
+                "unserved": sorted(self._unserved),
+                "shards": shards,
+            }
+
+    def describe(self) -> Dict[str, Any]:
+        return self.status()

@@ -46,8 +46,10 @@ from repro.core.protocol import (
     ErrorReply,
     HealthQuery,
     Heartbeat,
+    MapPublish,
     Message,
     Ok,
+    Probe,
     Promote,
     ReplicateAck,
     ReplicateHello,
@@ -219,8 +221,14 @@ class ReplicationManager:
                 f"client presented epoch {envelope_epoch}, "
                 f"ours is {self.server.epoch}"
             )
-        if isinstance(message, (StatsQuery, HealthQuery, Promote)):
-            return None  # always answerable: observe, or take over
+        if isinstance(
+            message, (StatsQuery, HealthQuery, Probe, MapPublish, Promote)
+        ):
+            # Always answerable: observe, learn the fleet's new shape,
+            # or take over.  A supervisor must be able to probe a
+            # standby and publish a healed map to a shard that is not
+            # (yet) serving clients.
+            return None
         if self.fenced:
             self._count("replication_stale_epoch_rejections")
             return ErrorReply(

@@ -17,6 +17,12 @@ all three with a single grammar:
     A shard map (``kind="fleet"``): shard names and their endpoints,
     routed by consistent hash through a
     :class:`~repro.fleet.channel.FleetChannel`.
+``"fleet:name=host:port|host:port,..."``
+    A shard map with per-shard dial lists: within one shard, ``|``
+    separates failover endpoints in rotation order (primary first,
+    then standbys).  The router dials each shard's list lazily, so a
+    client holding this spec keeps reaching a shard whose primary
+    died once its standby was promoted.
 
 The old undocumented variants — a bare ``host`` (well-known port
 assumed) or a bare ``:port`` (localhost assumed) — still parse, with a
@@ -97,8 +103,9 @@ class DialSpec:
     kind: str
     #: ``(host, port)`` per endpoint; rotation order for dial lists.
     endpoints: Tuple[Tuple[str, int], ...] = ()
-    #: Fleet only: ``(shard name, (host, port))``, sorted by name.
-    shards: Tuple[Tuple[str, Tuple[str, int]], ...] = ()
+    #: Fleet only: ``(shard name, ((host, port), ...))``, sorted by
+    #: name; each shard's endpoints are its failover rotation order.
+    shards: Tuple[Tuple[str, Tuple[Tuple[str, int], ...]], ...] = ()
 
     # ------------------------------------------------------------------
     # constructors
@@ -118,17 +125,33 @@ class DialSpec:
 
     @classmethod
     def fleet(cls, shards) -> "DialSpec":
-        """``shards``: mapping of shard name -> ``(host, port)``."""
-        items = tuple(
-            (str(name), (host, int(port)))
-            for name, (host, port) in sorted(dict(shards).items())
-        )
+        """``shards``: mapping of shard name -> ``(host, port)`` or a
+        sequence of ``(host, port)`` pairs (the shard's dial list)."""
+        items = []
+        for name, value in sorted(dict(shards).items()):
+            if value and isinstance(value[0], str):
+                # A single (host, port) pair.
+                host, port = value
+                endpoints = ((host, int(port)),)
+            else:
+                endpoints = tuple(
+                    (host, int(port)) for host, port in value
+                )
+            if not endpoints:
+                raise DialSpecError(
+                    f"shard {name!r} has an empty dial list"
+                )
+            items.append((str(name), endpoints))
         if not items:
             raise DialSpecError("a fleet spec needs at least one shard")
         return cls(
             kind="fleet",
-            endpoints=tuple(endpoint for _, endpoint in items),
-            shards=items,
+            endpoints=tuple(
+                endpoint
+                for _, endpoints in items
+                for endpoint in endpoints
+            ),
+            shards=tuple(items),
         )
 
     @classmethod
@@ -168,7 +191,7 @@ class DialSpec:
         cls, text: str, default_port: int, original: str
     ) -> "DialSpec":
         body = text[len(FLEET_PREFIX):]
-        shards: Dict[str, Tuple[str, int]] = {}
+        shards: Dict[str, Tuple[Tuple[str, int], ...]] = {}
         for part in body.split(","):
             if not part.strip():
                 continue
@@ -183,7 +206,16 @@ class DialSpec:
                 raise DialSpecError(
                     f"duplicate shard {name!r} in dial spec {original!r}"
                 )
-            shards[name] = _parse_hostport(endpoint, default_port, original)
+            entries = [e for e in endpoint.split("|") if e.strip()]
+            if not entries:
+                raise DialSpecError(
+                    f"shard {name!r} has no endpoints "
+                    f"in dial spec {original!r}"
+                )
+            shards[name] = tuple(
+                _parse_hostport(entry, default_port, original)
+                for entry in entries
+            )
         if not shards:
             raise DialSpecError(f"fleet dial spec {original!r} has no shards")
         return cls.fleet(shards)
@@ -200,19 +232,28 @@ class DialSpec:
     def __str__(self) -> str:
         if self.kind == "fleet":
             return FLEET_PREFIX + ",".join(
-                f"{name}={host}:{port}"
-                for name, (host, port) in self.shards
+                f"{name}=" + "|".join(
+                    f"{host}:{port}" for host, port in endpoints
+                )
+                for name, endpoints in self.shards
             )
         return ",".join(f"{host}:{port}" for host, port in self.endpoints)
 
     def shard_dials(self) -> Dict[str, str]:
-        """Fleet only: shard name -> canonical ``host:port`` text."""
+        """Fleet only: shard name -> canonical dial text.
+
+        A shard with one endpoint renders as ``host:port``; a shard
+        with a dial list comma-joins its endpoints, which is exactly
+        the ``list`` grammar the router's default opener parses into a
+        :class:`~repro.replication.failover.FailoverChannel`.
+        """
         if self.kind != "fleet":
             raise DialSpecError(
                 f"{self} is a {self.kind} spec, not a fleet map"
             )
         return {
-            name: f"{host}:{port}" for name, (host, port) in self.shards
+            name: ",".join(f"{host}:{port}" for host, port in endpoints)
+            for name, endpoints in self.shards
         }
 
     def shard_map(self, epoch: int = 1):

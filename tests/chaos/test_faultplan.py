@@ -1,0 +1,120 @@
+"""FaultPlan DSL + link-level injection primitives.
+
+Determinism is the whole product here: the same seed must build the
+same plan on every run, and partitions / slow links / garbles must key
+off the simulated clock, never the wall clock.
+"""
+
+import pytest
+
+from repro.chaos import ChaosFleet, FaultPlan
+from repro.chaos.inject import LinkFaults, garble_bytes
+from repro.errors import ShadowError, TransportError
+from repro.simnet.clock import SimulatedClock
+
+
+class TestPlanDeterminism:
+    def test_same_seed_same_plan(self):
+        shards = ("alpha", "beta", "gamma")
+        first = FaultPlan(seed=722)
+        second = FaultPlan(seed=722)
+        assert (
+            first.random_crashes(shards, max_record=20, count=10)
+            == second.random_crashes(shards, max_record=20, count=10)
+        )
+        assert first.describe() == second.describe()
+
+    def test_different_seed_different_plan(self):
+        shards = ("alpha", "beta", "gamma")
+        first = FaultPlan(seed=722)
+        second = FaultPlan(seed=723)
+        assert (
+            first.random_crashes(shards, max_record=50, count=10)
+            != second.random_crashes(shards, max_record=50, count=10)
+        )
+
+    def test_fluent_builders_record_faults(self):
+        plan = (
+            FaultPlan()
+            .crash_at_record("alpha", 3, after_ship=True)
+            .disk_full("beta", 2)
+            .partition("gamma", start=1.0, duration=5.0)
+            .slow_link("alpha", start=0.0, duration=2.0, delay=0.25)
+            .garble("beta", at_request=4)
+        )
+        kinds = [fault.kind for fault in plan.faults]
+        assert kinds == [
+            "crash-at-record",
+            "disk-full",
+            "partition",
+            "slow-link",
+            "garble",
+        ]
+        assert plan.for_shard("alpha")[0].after_ship is True
+
+    def test_invalid_faults_refused(self):
+        plan = FaultPlan()
+        with pytest.raises(ShadowError):
+            plan.crash_at_record("alpha", 0)
+        with pytest.raises(ShadowError):
+            plan.partition("alpha", start=0.0, duration=0.0)
+        with pytest.raises(ShadowError):
+            plan.garble("", at_request=1)
+
+
+class TestLinkFaults:
+    def test_partition_window_is_virtual_time(self):
+        clock = SimulatedClock()
+        links = LinkFaults(clock.now)
+        links.add_partition("alpha", start=2.0, duration=3.0)
+        links.check_partition("alpha")  # before the window: fine
+        clock.advance(2.5)
+        with pytest.raises(TransportError, match="partitioned"):
+            links.check_partition("alpha")
+        clock.advance(3.0)  # past the window
+        links.check_partition("alpha")
+        assert links.partitioned_requests == 1
+
+    def test_slow_link_window(self):
+        clock = SimulatedClock()
+        links = LinkFaults(clock.now)
+        links.add_slow_link("beta", start=0.0, duration=1.0, delay=0.2)
+        assert links.link_delay("beta") == 0.2
+        assert links.link_delay("alpha") == 0.0
+        clock.advance(1.5)
+        assert links.link_delay("beta") == 0.0
+
+    def test_garble_hits_the_armed_ordinal_once(self):
+        clock = SimulatedClock()
+        links = LinkFaults(clock.now)
+        links.arm_garble("alpha", at_request=2)
+        assert links.maybe_garble("alpha", b"one") == b"one"
+        assert links.maybe_garble("alpha", b"two") != b"two"
+        assert links.maybe_garble("alpha", b"two") == b"two"
+        assert links.garbled_replies == 1
+
+    def test_garble_bytes_always_changes_the_frame(self):
+        for frame in (b"", b"x", b"d2:_t5:hello" * 4):
+            assert garble_bytes(frame) != frame
+
+
+class TestApplyPlan:
+    def test_partition_blocks_fleet_traffic(self, tmp_path):
+        fleet = ChaosFleet(str(tmp_path), auto_heal=False)
+        plan = FaultPlan().partition("alpha", start=0.0, duration=10.0)
+        fleet.apply(plan)
+        with pytest.raises(TransportError, match="partitioned"):
+            fleet._dispatch("alpha", "alpha@p", b"le")
+        # Other shards keep serving their ranges.
+        fleet._dispatch("beta", "beta@p", b"le")
+        fleet.close()
+
+    def test_unknown_kind_refused(self, tmp_path):
+        from repro.chaos import apply_fault
+        from repro.chaos.plan import Fault
+
+        fleet = ChaosFleet(str(tmp_path))
+        bad = Fault(kind="meteor", shard="alpha")
+        with pytest.raises(TransportError, match="unknown fault"):
+            apply_fault(fleet, bad)
+        fleet.close()

@@ -1,0 +1,188 @@
+"""The kill-any-shard-at-any-boundary matrix, healed with no operator.
+
+For every journal-record boundary a clean edit cycle produces on a
+shard, re-run the cycle with that shard's primary killed exactly there
+and let the **supervisor** — not the test — notice, confirm, and heal:
+
+* standby variant (``alpha`` runs as a ReplicatedPair with
+  ``auto_promote=False``): the supervisor must promote the standby at
+  a fenced epoch, both before-ship and after-ack;
+* no-standby variant (solo shards): the supervisor must spawn a
+  replacement that replays the dead peer's journal.
+
+After every heal: zero acknowledged loss (every acked write present,
+byte-exact, version 1 — version 2 would mean a retry double-applied,
+breaking exactly-once), the published map epoch bumped, and
+detection-to-heal time bounded under the simulated clock.
+"""
+
+import pytest
+
+from repro.chaos import ChaosFleet
+from repro.core.client import ShadowClient
+from repro.core.workspace import MappingWorkspace
+from repro.resilience.policy import RetryPolicy
+from repro.resilience.session import ResilienceConfig
+from repro.workload.files import make_text_file
+
+PATHS = [f"/data/chaos{index:02d}.dat" for index in range(8)]
+
+#: Generous budget, no sleeps: each retry against a dead endpoint
+#: advances the simulated clock one probe interval, so the supervisor's
+#: detect->confirm->heal sequence completes within the budget.
+FAST = ResilienceConfig(
+    retry=RetryPolicy(max_attempts=10, base_delay=0.0, jitter=0.0)
+)
+
+REPLICATED = ("alpha",)
+
+
+def content_for(index):
+    return make_text_file(1_500, seed=300 + index)
+
+
+def build(tmp_path, run):
+    return ChaosFleet(str(tmp_path / run), replicated=REPLICATED)
+
+
+def connect(fleet):
+    channel = fleet.client_channel()
+    client = ShadowClient("alice@ws", MappingWorkspace(), resilience=FAST)
+    client.connect("supercomputer", channel)
+    return client, channel
+
+
+def edit_cycle(client):
+    for index, path in enumerate(PATHS):
+        version = client.write_file(path, content_for(index))
+        assert version == 1
+
+
+def record_counts(tmp_path):
+    """Per-shard journal records one clean cycle appends (probe run)."""
+    fleet = build(tmp_path, "probe")
+    counts = {}
+    # Hooks go in AFTER the session's Hello, mirroring the killed runs
+    # (they arm their record counter after connect() too).
+    client, _ = connect(fleet)
+    for shard in fleet.supervisor.shard_map.names:
+        server = fleet.serving_server(shard)
+        counts[shard] = 0
+
+        def count(entry, shard=shard, inner=server.durability.on_record):
+            if inner is not None:
+                inner(entry)
+            counts[shard] += 1
+
+        server.durability.on_record = count
+    edit_cycle(client)
+    fleet.close()
+    return counts
+
+
+def assert_no_acknowledged_loss(fleet, client):
+    """Every acknowledged write exists exactly once, byte-exact, on the
+    shard now serving its key range."""
+    shard_map = fleet.supervisor.shard_map
+    for index, path in enumerate(PATHS):
+        key = str(client.workspace.resolve(path))
+        server = fleet.serving_server(shard_map.owner(key))
+        assert server is not None, f"{path}: owner has no server"
+        entry = server.cache.peek_entry(key)
+        assert entry is not None, f"{path} lost"
+        assert entry.version == 1, f"{path} double-applied"
+        assert entry.content == content_for(index), f"{path} corrupted"
+
+
+def assert_healed(fleet, shard, expected_action):
+    heals = [h for h in fleet.supervisor.heals if h["shard"] == shard]
+    assert heals, f"supervisor never healed {shard}"
+    heal = heals[-1]
+    assert heal["action"] == expected_action
+    # Bounded detection-to-heal: suspicion -> heal within the detector
+    # timeout plus a confirmation round, in virtual seconds.
+    bound = fleet.supervisor.probe_timeout + 2 * fleet.supervisor.probe_interval
+    assert heal["heal_seconds"] <= bound, heal
+    assert fleet.supervisor.shard_map.epoch >= 2
+
+
+def run_killed_cycle(tmp_path, run, shard, at_record, after_ship):
+    fleet = build(tmp_path, run)
+    client, channel = connect(fleet)
+    fleet.schedule_crash(shard, at_record, after_ship=after_ship)
+    edit_cycle(client)
+
+    crashed = (
+        fleet.pairs[shard].crashes
+        if shard in fleet.pairs
+        else fleet.solos[shard].crashes
+    )
+    assert crashed == 1, f"kill at {shard} record {at_record} never fired"
+    assert_healed(
+        fleet, shard, "promote" if shard in REPLICATED else "replace"
+    )
+    assert_no_acknowledged_loss(fleet, client)
+    fleet.close()
+
+
+def test_standby_shard_heals_at_every_boundary_before_ship(tmp_path):
+    total = record_counts(tmp_path)["alpha"]
+    assert total >= 1
+    for at_record in range(1, total + 1):
+        run_killed_cycle(
+            tmp_path, f"sb-before-{at_record}", "alpha", at_record, False
+        )
+
+
+def test_standby_shard_heals_at_every_boundary_after_ack(tmp_path):
+    total = record_counts(tmp_path)["alpha"]
+    for at_record in range(1, total + 1):
+        run_killed_cycle(
+            tmp_path, f"sb-after-{at_record}", "alpha", at_record, True
+        )
+
+
+@pytest.mark.parametrize("shard", ["beta", "gamma"])
+def test_solo_shard_heals_at_every_boundary(tmp_path, shard):
+    total = record_counts(tmp_path)[shard]
+    assert total >= 1
+    for at_record in range(1, total + 1):
+        run_killed_cycle(
+            tmp_path, f"{shard}-{at_record}", shard, at_record, False
+        )
+
+
+def test_promotion_is_fenced_against_the_old_primary(tmp_path):
+    """A resurrected old primary must come back *behind* the promoted
+    standby's epoch, so the fleet never splits its brain."""
+    fleet = build(tmp_path, "fence")
+    client, _ = connect(fleet)
+    edit_cycle(client)
+    old_epoch = fleet.pairs["alpha"].primary.epoch
+    fleet.kill("alpha")
+    assert fleet.heal_now(), "supervisor never promoted the standby"
+    promoted_epoch = fleet.pairs["alpha"].standby.epoch
+    assert promoted_epoch > old_epoch
+    fleet.resurrect("alpha")
+    assert fleet.pairs["alpha"].primary.epoch < promoted_epoch
+    fleet.close()
+
+
+def test_exactly_once_replies_across_the_healed_map(tmp_path):
+    """After-ack kills force the retry to be answered from the
+    replicated reply cache — the duplicate never re-executes."""
+    total = record_counts(tmp_path)["alpha"]
+    duplicate_runs = 0
+    for at_record in range(1, total + 1):
+        fleet = build(tmp_path, f"dup-{at_record}")
+        client, _ = connect(fleet)
+        fleet.schedule_crash("alpha", at_record, after_ship=True)
+        edit_cycle(client)
+        assert_no_acknowledged_loss(fleet, client)
+        served = fleet.pairs["alpha"].standby.resilience.as_dict().get(
+            "duplicate_replies_served", 0
+        )
+        if served:
+            duplicate_runs += 1
+        fleet.close()
+    assert duplicate_runs >= total // 4

@@ -36,11 +36,30 @@ class TestParse:
         assert spec.kind == "fleet"
         # Shards sort by name so every process renders the same spec.
         assert spec.shards == (
-            ("alpha", ("127.0.0.1", 7301)),
-            ("beta", ("127.0.0.1", 7302)),
+            ("alpha", (("127.0.0.1", 7301),)),
+            ("beta", (("127.0.0.1", 7302),)),
         )
         assert str(spec) == (
             "fleet:alpha=127.0.0.1:7301,beta=127.0.0.1:7302"
+        )
+
+    def test_fleet_with_dial_lists(self):
+        spec = DialSpec.parse(
+            "fleet:alpha=127.0.0.1:7301|127.0.0.1:7311,beta=127.0.0.1:7302"
+        )
+        assert spec.kind == "fleet"
+        assert spec.shards == (
+            ("alpha", (("127.0.0.1", 7301), ("127.0.0.1", 7311))),
+            ("beta", (("127.0.0.1", 7302),)),
+        )
+        # The dial text comma-joins so the router's opener builds a
+        # FailoverChannel for the listed shard.
+        assert spec.shard_dials() == {
+            "alpha": "127.0.0.1:7301,127.0.0.1:7311",
+            "beta": "127.0.0.1:7302",
+        }
+        assert str(spec) == (
+            "fleet:alpha=127.0.0.1:7301|127.0.0.1:7311,beta=127.0.0.1:7302"
         )
 
     def test_round_trip_is_stable(self):
@@ -48,6 +67,7 @@ class TestParse:
             "host:7220",
             "a:1,b:2,c:3",
             "fleet:a=h1:1,b=h2:2",
+            "fleet:a=h1:1|h1:11,b=h2:2",
         ):
             spec = DialSpec.parse(text)
             assert DialSpec.parse(str(spec)) == spec

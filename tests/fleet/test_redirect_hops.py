@@ -1,0 +1,159 @@
+"""Bounded wrong-shard redirect chains.
+
+A redirect is the fleet's self-correction path: a stale client map
+bounces off the owner's ``wrong-shard`` reply and converges.  But two
+shards holding *conflicting* maps of the same epoch can each name the
+other as owner — following that chain forever would hang the client on
+a fleet bug.  The router follows at most ``max_redirect_hops`` hops,
+then refuses with a :class:`~repro.errors.FleetError` and counts the
+loop in ``fleet_redirect_loops_total``.
+"""
+
+import pytest
+
+from repro.core.protocol import Notify, decode_message
+from repro.core.server import ShadowServer
+from repro.errors import FleetError
+from repro.fleet import FleetChannel, FleetMember, ShardMap
+from repro.fleet.router import MAX_REDIRECT_HOPS
+from repro.telemetry.registry import MetricsRegistry
+from repro.transport.base import LoopbackChannel
+
+NAMES = ("alpha", "beta")
+
+
+def _maps_with_conflicting_rings(epoch_a, epoch_b):
+    """Two maps over the same shards whose rings disagree (different
+    virtual-replica counts move keyspace between the shards)."""
+    shards = {name: f"loop:{name}" for name in NAMES}
+    return (
+        ShardMap(shards, epoch=epoch_a, replicas=64),
+        ShardMap(shards, epoch=epoch_b, replicas=7),
+    )
+
+
+def _key_owned_by(map_a, owner_a, map_b, owner_b):
+    """A key the two rings assign to different shards."""
+    for index in range(4096):
+        key = f"hop:conflict{index:04d}.dat"
+        if map_a.owner(key) == owner_a and map_b.owner(key) == owner_b:
+            return key
+    raise AssertionError("no conflicting key found in 4096 candidates")
+
+
+def _fleet(server_map, channel_map, telemetry=None, **kwargs):
+    servers = {name: ShadowServer(name=name) for name in NAMES}
+    for server in servers.values():
+        FleetMember(server, server_map)
+    channels = {
+        name: LoopbackChannel(server.handle)
+        for name, server in servers.items()
+    }
+    channel = FleetChannel(
+        channel_map, channels=channels, telemetry=telemetry, **kwargs
+    )
+    return servers, channel
+
+
+def counter_value(telemetry, name):
+    return next(
+        (
+            series["value"]
+            for series in telemetry.snapshot()["counters"]
+            if series["name"] == name
+        ),
+        0,
+    )
+
+
+class TestOneHopConvergence:
+    def test_single_redirect_adopts_and_lands(self):
+        # Channel on epoch 1; servers on an epoch-2 ring that moved the
+        # key from alpha to beta.  One hop, map adopted, no loop.
+        stale, fresh = _maps_with_conflicting_rings(1, 2)
+        key = _key_owned_by(stale, "alpha", fresh, "beta")
+        telemetry = MetricsRegistry()
+        servers, channel = _fleet(fresh, stale, telemetry=telemetry)
+        raw = channel.request(
+            Notify(client_id="u@ws", key=key, version=1).to_wire()
+        )
+        assert b"wrong-shard" not in raw
+        assert channel.shard_map.epoch == 2
+        assert channel.redirects == 1
+        assert counter_value(telemetry, "fleet_redirects_total") == 1
+        assert counter_value(telemetry, "fleet_redirect_loops_total") == 0
+
+
+class TestLoopRefusal:
+    def test_cyclic_maps_raise_after_the_hop_limit(self):
+        # Same epoch, conflicting rings: the router cannot adopt either
+        # map (not newer), so the shards ping-pong ownership forever.
+        map_a, map_b = _maps_with_conflicting_rings(5, 5)
+        key = _key_owned_by(map_a, "beta", map_b, "alpha")
+        telemetry = MetricsRegistry()
+        servers = {name: ShadowServer(name=name) for name in NAMES}
+        FleetMember(servers["alpha"], map_a)
+        FleetMember(servers["beta"], map_b)
+        channels = {
+            name: LoopbackChannel(server.handle)
+            for name, server in servers.items()
+        }
+        channel = FleetChannel(map_a, channels=channels, telemetry=telemetry)
+        with pytest.raises(FleetError, match="hops"):
+            channel.request(
+                Notify(client_id="u@ws", key=key, version=1).to_wire()
+            )
+        assert counter_value(telemetry, "fleet_redirect_loops_total") == 1
+        assert (
+            counter_value(telemetry, "fleet_redirects_total")
+            == MAX_REDIRECT_HOPS
+        )
+        assert channel.router.describe()["redirect_loops"] == 1
+
+    def test_hop_limit_is_configurable(self):
+        map_a, map_b = _maps_with_conflicting_rings(5, 5)
+        key = _key_owned_by(map_a, "beta", map_b, "alpha")
+        telemetry = MetricsRegistry()
+        servers = {name: ShadowServer(name=name) for name in NAMES}
+        FleetMember(servers["alpha"], map_a)
+        FleetMember(servers["beta"], map_b)
+        channels = {
+            name: LoopbackChannel(server.handle)
+            for name, server in servers.items()
+        }
+        channel = FleetChannel(
+            map_a,
+            channels=channels,
+            telemetry=telemetry,
+            max_redirect_hops=2,
+        )
+        with pytest.raises(FleetError, match="after 2 hops"):
+            channel.request(
+                Notify(client_id="u@ws", key=key, version=1).to_wire()
+            )
+        assert counter_value(telemetry, "fleet_redirects_total") == 2
+
+    def test_unrelated_requests_still_served_after_a_loop(self):
+        # A cyclic key poisons only itself: keys both maps agree on
+        # keep routing normally through the same channel.
+        map_a, map_b = _maps_with_conflicting_rings(5, 5)
+        bad = _key_owned_by(map_a, "beta", map_b, "alpha")
+        good = _key_owned_by(map_a, "alpha", map_b, "alpha")
+        servers = {name: ShadowServer(name=name) for name in NAMES}
+        FleetMember(servers["alpha"], map_a)
+        FleetMember(servers["beta"], map_b)
+        channels = {
+            name: LoopbackChannel(server.handle)
+            for name, server in servers.items()
+        }
+        channel = FleetChannel(map_a, channels=channels)
+        with pytest.raises(FleetError):
+            channel.request(
+                Notify(client_id="u@ws", key=bad, version=1).to_wire()
+            )
+        raw = channel.request(
+            Notify(client_id="u@ws", key=good, version=1).to_wire()
+        )
+        assert b"wrong-shard" not in raw
+        reply = decode_message(raw)
+        assert reply.TYPE != "wrong-shard"

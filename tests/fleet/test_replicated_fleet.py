@@ -1,0 +1,124 @@
+"""Layer composition: a replicated pair serving one shard of a fleet.
+
+PR 4 proved failover for a lone pair; PR 6 proved routing over a
+fleet.  This file proves they compose: shard ``alpha`` runs as a
+ReplicatedPair (``auto_promote=False`` — only the supervisor may
+promote) inside a three-shard fleet, the primary is killed, and the
+client reconverges against the supervisor-healed map:
+
+* the promoted standby serves alpha's range at a fenced, bumped epoch;
+* every acknowledged byte survives, byte-exact, exactly once;
+* reconvergence is free — the post-heal ``reconnect`` resync finds
+  every tracked file current: no delta transfers, no full transfers.
+"""
+
+from repro.chaos import ChaosFleet
+from repro.core.client import ShadowClient
+from repro.core.workspace import MappingWorkspace
+from repro.resilience.policy import RetryPolicy
+from repro.resilience.session import ResilienceConfig
+from repro.workload.files import make_text_file
+
+PATHS = [f"/data/mix{index:02d}.dat" for index in range(12)]
+
+FAST = ResilienceConfig(
+    retry=RetryPolicy(max_attempts=10, base_delay=0.0, jitter=0.0)
+)
+
+
+def content_for(index):
+    return make_text_file(1_800, seed=500 + index)
+
+
+def build(tmp_path):
+    fleet = ChaosFleet(str(tmp_path / "fleet"), replicated=("alpha",))
+    channel = fleet.client_channel()
+    client = ShadowClient("alice@ws", MappingWorkspace(), resilience=FAST)
+    client.connect("supercomputer", channel)
+    return fleet, client, channel
+
+
+def write_all(client):
+    for index, path in enumerate(PATHS):
+        assert client.write_file(path, content_for(index)) == 1
+
+
+def owners(fleet, client):
+    shard_map = fleet.supervisor.shard_map
+    return {
+        path: shard_map.owner(str(client.workspace.resolve(path)))
+        for path in PATHS
+    }
+
+
+def assert_byte_exact(fleet, client):
+    shard_map = fleet.supervisor.shard_map
+    for index, path in enumerate(PATHS):
+        key = str(client.workspace.resolve(path))
+        server = fleet.serving_server(shard_map.owner(key))
+        entry = server.cache.peek_entry(key)
+        assert entry is not None, f"{path} lost"
+        assert entry.version == 1, f"{path} double-applied"
+        assert entry.content == content_for(index), f"{path} corrupted"
+
+
+def test_supervisor_promotes_the_pair_inside_the_fleet(tmp_path):
+    fleet, client, channel = build(tmp_path)
+    write_all(client)
+    # The spread must actually exercise the replicated shard.
+    assert "alpha" in set(owners(fleet, client).values())
+
+    old_epoch = fleet.pairs["alpha"].primary.epoch
+    fleet.kill("alpha")
+    heals = fleet.heal_now()
+    assert [heal["action"] for heal in heals] == ["promote"]
+
+    # The standby now serves alpha's range, fenced above the old
+    # primary, and leads the published dial list.
+    pair = fleet.pairs["alpha"]
+    assert pair.standby_repl.role == "primary"
+    assert pair.standby.epoch > old_epoch
+    new_map = fleet.supervisor.shard_map
+    assert new_map.epoch == 2
+    assert new_map.dial("alpha").startswith("alpha@s")
+
+    assert_byte_exact(fleet, client)
+    fleet.close()
+
+
+def test_reconvergence_after_the_heal_is_delta_free(tmp_path):
+    fleet, client, channel = build(tmp_path)
+    write_all(client)
+    fleet.kill("alpha")
+    assert fleet.heal_now()
+
+    # Everything acknowledged already lives on the promoted standby (or
+    # an untouched shard), so the fleet-wide resync — split per owner,
+    # merged by the router — finds every file current.
+    report = client.reconnect("supercomputer", channel)
+    assert report == {"current": len(PATHS), "delta": 0, "full": 0}
+    assert_byte_exact(fleet, client)
+    fleet.close()
+
+
+def test_post_heal_writes_land_on_the_promoted_standby(tmp_path):
+    fleet, client, channel = build(tmp_path)
+    write_all(client)
+    fleet.kill("alpha")
+    assert fleet.heal_now()
+    client.reconnect("supercomputer", channel)
+
+    # New edits route per the healed map with zero wrong-shard hops;
+    # alpha-owned keys land on the standby incarnation.
+    shard_map = fleet.supervisor.shard_map
+    standby = fleet.pairs["alpha"].standby
+    landed = 0
+    for index, path in enumerate(PATHS):
+        assert client.write_file(path, content_for(index) + b"v2\n") == 2
+        key = str(client.workspace.resolve(path))
+        if shard_map.owner(key) == "alpha":
+            assert standby.cache.peek_entry(key).version == 2
+            landed += 1
+    assert landed > 0
+    assert channel.redirects == 0
+    fleet.close()

@@ -1,0 +1,217 @@
+"""FleetSupervisor: detection, confirmation, recovery, republication.
+
+The chaos matrix (``tests/chaos/``) proves the end-to-end guarantee;
+these tests pin the supervisor's *mechanics* — when it declares death,
+what it publishes, who learns the map — and the degraded-mode client
+semantics around an unserved range.
+"""
+
+import pytest
+
+from repro.chaos import ChaosFleet
+from repro.core.client import ShadowClient
+from repro.core.protocol import (
+    HealthQuery,
+    HealthReply,
+    MapPublish,
+    Probe,
+    ProbeReply,
+    decode_message,
+)
+from repro.core.server import ShadowServer
+from repro.core.workspace import MappingWorkspace
+from repro.errors import ShadowError
+from repro.fleet import FleetMember, FleetSupervisor, ShardMap
+from repro.resilience.policy import RetryPolicy
+from repro.resilience.session import RawSession, ResilienceConfig
+
+FAST = ResilienceConfig(
+    retry=RetryPolicy(max_attempts=10, base_delay=0.0, jitter=0.0)
+)
+
+
+class TestProbeVerb:
+    def test_solo_server_answers_a_probe(self):
+        server = ShadowServer(name="solo")
+        raw = server.handle(Probe(sender="sup", nonce=7).to_wire())
+        reply = decode_message(raw)
+        assert isinstance(reply, ProbeReply)
+        assert reply.shard == "solo"
+        assert reply.role == "solo"
+        assert reply.serving is True
+        assert reply.nonce == 7
+        assert reply.shard_map == {}  # fleet off: nothing advertised
+
+    def test_fleet_member_advertises_its_map(self):
+        shard_map = ShardMap({"alpha": "loop:alpha"}, epoch=4)
+        server = ShadowServer(name="alpha")
+        FleetMember(server, shard_map)
+        reply = decode_message(server.handle(Probe(sender="sup").to_wire()))
+        assert reply.map_epoch == 4
+        assert reply.shard_map["epoch"] == 4
+
+    def test_map_publish_adopts_only_newer_epochs(self):
+        shard_map = ShardMap({"alpha": "loop:alpha"}, epoch=2)
+        server = ShadowServer(name="alpha")
+        member = FleetMember(server, shard_map)
+        newer = shard_map.with_shards({"alpha": "elsewhere:alpha"})
+        raw = server.handle(
+            MapPublish(sender="sup", shard_map=newer.to_payload()).to_wire()
+        )
+        assert b"adopted" in raw
+        assert member.shard_map.epoch == 3
+        assert member.maps_adopted == 1
+        # Republishing the same epoch is an idempotent no-op.
+        raw = server.handle(
+            MapPublish(sender="sup", shard_map=newer.to_payload()).to_wire()
+        )
+        assert b"stale" in raw
+        assert member.maps_adopted == 1
+
+
+class TestDetection:
+    def test_baseline_tick_beats_every_shard(self, tmp_path):
+        fleet = ChaosFleet(str(tmp_path))
+        status = fleet.supervisor.status()
+        assert all(
+            shard["alive"] and shard["last_beat_age"] == 0.0
+            for shard in status["shards"].values()
+        )
+        fleet.close()
+
+    def test_one_silent_probe_is_not_a_death(self, tmp_path):
+        fleet = ChaosFleet(str(tmp_path), auto_heal=False)
+        fleet.kill("beta")
+        # One interval of silence: suspect, but under the timeout.
+        fleet.clock.advance(fleet.supervisor.probe_interval)
+        assert fleet.tick() == []
+        assert fleet.supervisor.shard_map.epoch == 1
+        fleet.close()
+
+    def test_death_needs_timeout_plus_confirmation(self, tmp_path):
+        fleet = ChaosFleet(str(tmp_path), auto_heal=False)
+        fleet.kill("beta")
+        heals = fleet.heal_now()
+        assert [heal["shard"] for heal in heals] == ["beta"]
+        assert heals[0]["action"] == "replace"
+        # Detection is bounded: timeout + a confirmation round.
+        bound = (
+            fleet.supervisor.probe_timeout
+            + 2 * fleet.supervisor.probe_interval
+        )
+        assert heals[0]["heal_seconds"] <= bound
+        fleet.close()
+
+    def test_recovered_shard_clears_suspicion(self, tmp_path):
+        fleet = ChaosFleet(str(tmp_path), auto_heal=False)
+        fleet.kill("beta")
+        fleet.clock.advance(fleet.supervisor.probe_interval)
+        fleet.tick()
+        fleet.resurrect("beta")
+        fleet.clock.advance(fleet.supervisor.probe_interval)
+        fleet.tick()
+        status = fleet.supervisor.status()["shards"]["beta"]
+        assert status["alive"] and status["last_beat_age"] == 0.0
+        # No heal happened: the shard came back under its own power.
+        assert fleet.supervisor.heals == []
+        fleet.close()
+
+
+class TestRepublication:
+    def test_members_adopt_the_published_map(self, tmp_path):
+        fleet = ChaosFleet(str(tmp_path), replicated=("alpha",))
+        fleet.kill("alpha")
+        assert fleet.heal_now()
+        new_map = fleet.supervisor.shard_map
+        assert new_map.epoch == 2
+        for shard in ("beta", "gamma"):
+            member = fleet.serving_server(shard).fleet
+            assert member.shard_map.epoch == new_map.epoch
+        # The promoted standby leads the healed shard's dial list.
+        assert new_map.dial("alpha").startswith("alpha@s")
+        fleet.close()
+
+    def test_subscribers_hear_every_publication(self, tmp_path):
+        fleet = ChaosFleet(str(tmp_path), replicated=("alpha",))
+        seen = []
+        fleet.supervisor.subscribe(lambda m: seen.append(m.epoch))
+        fleet.kill("alpha")
+        assert fleet.heal_now()
+        assert seen == [2]
+        fleet.close()
+
+    def test_heal_metrics_count(self, tmp_path):
+        fleet = ChaosFleet(str(tmp_path), replicated=("alpha",))
+        fleet.kill("alpha")
+        assert fleet.heal_now()
+        snapshot = fleet.supervisor.telemetry.snapshot()
+        counters = {
+            series["name"]: series["value"]
+            for series in snapshot["counters"]
+        }
+        assert counters["fleet_deaths_confirmed_total"] == 1
+        assert counters["fleet_promotions_total"] == 1
+        assert counters["fleet_maps_published_total"] == 1
+        assert counters["fleet_probes_total"] > 3
+        fleet.close()
+
+
+class TestDegradedMode:
+    def test_live_shards_keep_serving_while_a_range_is_unserved(
+        self, tmp_path
+    ):
+        fleet = ChaosFleet(
+            str(tmp_path), spawn_replacements=False, auto_heal=False
+        )
+        channel = fleet.client_channel()
+        client = ShadowClient("alice@ws", MappingWorkspace(), resilience=FAST)
+        client.connect("supercomputer", channel)
+        fleet.kill("beta")
+        assert fleet.heal_now() == []  # nothing to promote or spawn
+        assert fleet.supervisor.unserved == ["beta"]
+        shard_map = fleet.supervisor.shard_map
+        wrote = 0
+        for index in range(24):
+            path = f"/data/deg{index:02d}.dat"
+            key = str(client.workspace.resolve(path))
+            if shard_map.owner(key) == "beta":
+                continue
+            assert client.write_file(path, b"degraded but alive\n") == 1
+            wrote += 1
+        assert wrote > 0
+        client.disconnect("supercomputer")
+        fleet.close()
+
+    def test_health_broadcast_surfaces_partial_availability(self, tmp_path):
+        fleet = ChaosFleet(
+            str(tmp_path), spawn_replacements=False, auto_heal=False
+        )
+        channel = fleet.client_channel()
+        client = ShadowClient("alice@ws", MappingWorkspace(), resilience=FAST)
+        client.connect("supercomputer", channel)
+        fleet.kill("beta")
+        reply = RawSession(channel).send(HealthQuery(client_id="alice@ws"))
+        assert isinstance(reply, HealthReply)
+        assert reply.status == "critical"
+        shards = reply.report["shards"]
+        assert shards["beta"]["status"] == "critical"
+        assert shards["alpha"]["status"] == "ok"
+        fleet.close()
+
+
+class TestSupervisorConfig:
+    def test_supervisor_is_default_off(self):
+        # Nothing in the core server or fleet member references the
+        # supervisor: constructing a fleet without one changes nothing.
+        server = ShadowServer(name="alpha")
+        FleetMember(server, ShardMap({"alpha": "loop:alpha"}))
+        assert not hasattr(server, "supervisor")
+
+    def test_unknown_shard_probe_raises_clean_errors(self):
+        supervisor = FleetSupervisor(
+            ShardMap({"alpha": "127.0.0.1:1"}),
+            now_fn=lambda: 0.0,
+        )
+        with pytest.raises(ShadowError):
+            supervisor.shard_map.dial("nope")
+        supervisor.close()

@@ -1,0 +1,216 @@
+"""Operator-free self-healing over real TCP sockets.
+
+The chaos matrix proves the invariants under a simulated clock; this
+file proves the *deployment shape*: three shards behind real
+listeners (``alpha`` as a replicated pair on a ``primary|standby``
+dial list), a :class:`FleetSupervisor` probing them over the wire, and
+the operator's only tool being the read-only ``shadow fleet-status``
+verb — whose exit code goes 0 (healthy) -> 2 (range unserved) -> 0
+(healed) with **no** ``promote`` or ``migrate`` invocation anywhere.
+"""
+
+import time
+
+import pytest
+
+from repro import cli
+from repro.api import ShadowClient
+from repro.core.protocol import Ok, ReplicateHello
+from repro.core.server import ShadowServer
+from repro.fleet import FleetMember, FleetSupervisor, ShardMap
+from repro.replication.manager import ReplicationManager
+from repro.resilience.policy import RetryPolicy
+from repro.resilience.session import RawSession, ResilienceConfig
+from repro.transport.tcp import TcpChannel, TcpChannelServer
+from repro.workload.files import make_text_file
+
+FAST = ResilienceConfig(
+    retry=RetryPolicy(max_attempts=8, base_delay=0.01, jitter=0.0)
+)
+
+
+class TcpFleet:
+    """alpha (replicated pair) + beta + gamma behind real listeners."""
+
+    def __init__(self, tmp_path):
+        self.alpha_primary = ShadowServer(
+            name="alpha", journal_dir=str(tmp_path / "alpha-p")
+        )
+        self.alpha_primary_repl = ReplicationManager(
+            self.alpha_primary, role="primary"
+        )
+        self.alpha_primary_listener = TcpChannelServer(
+            self.alpha_primary.handle
+        )
+        self.alpha_standby = ShadowServer(
+            name="alpha", journal_dir=str(tmp_path / "alpha-s")
+        )
+        self.alpha_standby_repl = ReplicationManager(
+            self.alpha_standby, role="standby"
+        )
+        self.alpha_standby_listener = TcpChannelServer(
+            self.alpha_standby.handle
+        )
+        self.beta = ShadowServer(name="beta")
+        self.beta_listener = TcpChannelServer(self.beta.handle)
+        self.gamma = ShadowServer(name="gamma")
+        self.gamma_listener = TcpChannelServer(self.gamma.handle)
+        self.primary_down = False
+
+        ports = {
+            "alpha-p": self.alpha_primary_listener.port,
+            "alpha-s": self.alpha_standby_listener.port,
+            "beta": self.beta_listener.port,
+            "gamma": self.gamma_listener.port,
+        }
+        self.spec_text = (
+            f"fleet:alpha=127.0.0.1:{ports['alpha-p']}"
+            f"|127.0.0.1:{ports['alpha-s']},"
+            f"beta=127.0.0.1:{ports['beta']},"
+            f"gamma=127.0.0.1:{ports['gamma']}"
+        )
+        self.shard_map = ShardMap(
+            {
+                "alpha": (
+                    f"127.0.0.1:{ports['alpha-p']},"
+                    f"127.0.0.1:{ports['alpha-s']}"
+                ),
+                "beta": f"127.0.0.1:{ports['beta']}",
+                "gamma": f"127.0.0.1:{ports['gamma']}",
+            }
+        )
+        for server in (
+            self.alpha_primary,
+            self.alpha_standby,
+            self.beta,
+            self.gamma,
+        ):
+            FleetMember(server, self.shard_map)
+        self._announce()
+
+    def _announce(self):
+        channel = TcpChannel(
+            "127.0.0.1", self.alpha_primary_listener.port, timeout=5.0
+        )
+        try:
+            reply = RawSession(channel).send(
+                ReplicateHello(
+                    sender="alpha",
+                    host="127.0.0.1",
+                    port=self.alpha_standby_listener.port,
+                    epoch=self.alpha_standby.epoch,
+                )
+            )
+        finally:
+            channel.close()
+        assert isinstance(reply, Ok), f"standby attach failed: {reply!r}"
+
+    def kill_alpha_primary(self):
+        self.primary_down = True
+        self.alpha_primary_listener.close(drain_seconds=0.0)
+        self.alpha_primary.durability.abandon()
+        self.alpha_primary.pipeline.close()
+
+    def close(self):
+        if not self.primary_down:
+            self.alpha_primary_listener.close(drain_seconds=0.0)
+        for listener in (
+            self.alpha_standby_listener,
+            self.beta_listener,
+            self.gamma_listener,
+        ):
+            listener.close(drain_seconds=0.0)
+        for server in (self.alpha_standby, self.beta, self.gamma):
+            server.close()
+
+
+def drive(supervisor, budget_seconds=10.0, interval=0.05):
+    """Real-time supervision loop: tick until a heal happens."""
+    deadline = time.monotonic() + budget_seconds
+    while time.monotonic() < deadline:
+        heals = supervisor.tick()
+        if heals:
+            return heals
+        time.sleep(interval)
+    return []
+
+
+def test_tcp_fleet_self_heals_with_no_operator_commands(tmp_path, capsys):
+    fleet = TcpFleet(tmp_path)
+    supervisor = FleetSupervisor(
+        fleet.shard_map,
+        probe_interval=0.05,
+        probe_timeout=0.3,
+        confirm_probes=2,
+    )
+    try:
+        # Healthy bring-up: fleet-status says 0, supervise --once is
+        # quiet (one probe round, nothing to heal).
+        assert cli.main(["fleet-status", fleet.spec_text]) == 0
+        out = capsys.readouterr().out
+        assert "3 shards): ok" in out
+        assert (
+            cli.main(
+                [
+                    "supervise",
+                    "--map",
+                    fleet.spec_text,
+                    "--interval",
+                    "0.05",
+                    "--timeout",
+                    "0.3",
+                    "--once",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "supervisor watching 3 shards" in out
+        assert "healed" not in out
+
+        # Seed some acknowledged state through the fleet, keeping the
+        # session open across the whole failure.
+        contents = {
+            f"/data/tcp{index}.dat": make_text_file(1_200, seed=40 + index)
+            for index in range(6)
+        }
+        with ShadowClient.connect(
+            transport=fleet.spec_text, client_id="alice@ws", resilience=FAST
+        ) as client:
+            for path, payload in contents.items():
+                assert client.edit(path, payload) == 1
+
+            # kill -9 the alpha primary: its range is unserved (exit
+            # 2) — the standby refuses clients until promoted.
+            fleet.kill_alpha_primary()
+            assert cli.main(["fleet-status", fleet.spec_text]) == 2
+            out = capsys.readouterr().out
+            assert "[unserved]" in out
+
+            # The supervisor — probing over real sockets — confirms
+            # the death and promotes the standby at a fenced epoch.
+            # No 'shadow promote', no 'shadow migrate'.
+            heals = drive(supervisor)
+            assert [heal["action"] for heal in heals] == ["promote"]
+            assert fleet.alpha_standby_repl.role == "primary"
+            assert fleet.alpha_standby.epoch >= 2
+
+            # fleet-status (still holding yesterday's spec) learns the
+            # republished map off the probes and reports healthy again.
+            assert cli.main(["fleet-status", fleet.spec_text]) == 0
+            out = capsys.readouterr().out
+            assert "epoch 2" in out
+
+            # The same session keeps editing over the original dial
+            # spec; alpha-owned keys land on the promoted standby.
+            for path, payload in contents.items():
+                assert client.edit(path, payload + b"v2\n") == 2
+            shard_map = fleet.shard_map
+            for path in contents:
+                key = str(client.core.workspace.resolve(path))
+                if shard_map.owner(key) == "alpha":
+                    entry = fleet.alpha_standby.cache.peek_entry(key)
+                    assert entry is not None and entry.version == 2
+    finally:
+        supervisor.close()
+        fleet.close()
